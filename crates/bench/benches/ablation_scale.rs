@@ -1,0 +1,82 @@
+//! Bench A1 — scalability ablation: contract generation and evaluation
+//! cost as the behavioural model grows (transitions per trigger — i.e.
+//! disjuncts per contract — and invariant size).
+
+use cm_bench::{synthetic_model, SyntheticSpec};
+use cm_contracts::generate;
+use cm_ocl::{EvalContext, MapNavigator, ObjRef, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn eval_env() -> MapNavigator {
+    let project = ObjRef::new("project", 1);
+    let volume = ObjRef::new("volume", 1);
+    let user = ObjRef::new("user", 1);
+    let mut nav = MapNavigator::new();
+    nav.set_variable("project", project.clone())
+        .set_variable("volume", volume.clone())
+        .set_variable("user", user.clone());
+    nav.set_attribute(project, "volumes", Value::set(vec![Value::Obj(volume.clone())]))
+        .set_attribute(volume, "status", "available")
+        .set_attribute(user, "groups", "admin");
+    nav
+}
+
+fn generation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contract_generation_vs_transitions");
+    for transitions in [1usize, 4, 16, 64, 256] {
+        let model = synthetic_model(SyntheticSpec {
+            states: 4,
+            transitions_per_trigger: transitions,
+            invariant_conjuncts: 3,
+        });
+        group.throughput(Throughput::Elements(transitions as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(transitions),
+            &model,
+            |b, model| b.iter(|| black_box(generate(model).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn evaluation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pre_condition_eval_vs_disjuncts");
+    let nav = eval_env();
+    for transitions in [1usize, 4, 16, 64, 256] {
+        let model = synthetic_model(SyntheticSpec {
+            states: 4,
+            transitions_per_trigger: transitions,
+            invariant_conjuncts: 3,
+        });
+        let contracts = generate(&model).unwrap();
+        let pre = contracts.contracts[0].pre.clone();
+        group.throughput(Throughput::Elements(transitions as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(transitions), &pre, |b, pre| {
+            b.iter(|| black_box(EvalContext::new(&nav).eval_bool(pre).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn invariant_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pre_condition_eval_vs_invariant_size");
+    let nav = eval_env();
+    for conjuncts in [1usize, 4, 16, 64] {
+        let model = synthetic_model(SyntheticSpec {
+            states: 2,
+            transitions_per_trigger: 4,
+            invariant_conjuncts: conjuncts,
+        });
+        let contracts = generate(&model).unwrap();
+        let pre = contracts.contracts[0].pre.clone();
+        group.throughput(Throughput::Elements(conjuncts as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(conjuncts), &pre, |b, pre| {
+            b.iter(|| black_box(EvalContext::new(&nav).eval_bool(pre).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, generation_scaling, evaluation_scaling, invariant_size_scaling);
+criterion_main!(benches);

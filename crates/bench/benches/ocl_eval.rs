@@ -1,0 +1,80 @@
+//! Bench A4 — OCL engine microbenchmarks: lexing/parsing, type checking
+//! and evaluation of Listing-1-scale expressions.
+
+use cm_ocl::{check, parse, EvalContext, MapNavigator, ObjRef, PermissiveEnv, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const INVARIANT: &str = "project.id->size()=1 and project.volumes->size()>=1 and \
+                         project.volumes->size() < quota_sets.volume";
+const GUARD: &str = "volume.status <> 'in-use' and user.groups = 'admin'";
+const LISTING1_DISJUNCT: &str =
+    "(project.id->size()=1 and project.volumes->size()>=1 and \
+      project.volumes->size() < quota_sets.volume and volume.status <> 'in-use' and \
+      user.groups = 'admin') or \
+     (project.id->size()=1 and project.volumes->size()>=1 and \
+      project.volumes->size() = quota_sets.volume and volume.status <> 'in-use' and \
+      user.groups = 'admin')";
+
+fn cinder_env() -> MapNavigator {
+    let project = ObjRef::new("project", 4);
+    let volume = ObjRef::new("volume", 7);
+    let quota = ObjRef::new("quota_sets", 1);
+    let user = ObjRef::new("user", 2);
+    let mut nav = MapNavigator::new();
+    nav.set_variable("project", project.clone())
+        .set_variable("volume", volume.clone())
+        .set_variable("quota_sets", quota.clone())
+        .set_variable("user", user.clone());
+    nav.set_attribute(project.clone(), "id", Value::set(vec![Value::Int(4)]))
+        .set_attribute(project, "volumes", Value::set(vec![Value::Obj(volume.clone())]))
+        .set_attribute(volume, "status", "available")
+        .set_attribute(quota, "volume", 10i64)
+        .set_attribute(user, "groups", "admin");
+    nav
+}
+
+fn parse_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ocl_parse");
+    group.bench_function("invariant", |b| b.iter(|| black_box(parse(INVARIANT).unwrap())));
+    group.bench_function("guard", |b| b.iter(|| black_box(parse(GUARD).unwrap())));
+    group.bench_function("listing1_pre", |b| {
+        b.iter(|| black_box(parse(LISTING1_DISJUNCT).unwrap()));
+    });
+    group.finish();
+}
+
+fn typecheck_bench(c: &mut Criterion) {
+    let expr = parse(LISTING1_DISJUNCT).unwrap();
+    c.bench_function("ocl_typecheck/listing1_pre", |b| {
+        b.iter(|| black_box(check(&expr, &PermissiveEnv)));
+    });
+}
+
+fn eval_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ocl_eval");
+    let nav = cinder_env();
+    for (name, src) in
+        [("invariant", INVARIANT), ("guard", GUARD), ("listing1_pre", LISTING1_DISJUNCT)]
+    {
+        let expr = parse(src).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(EvalContext::new(&nav).eval_bool(&expr).unwrap()));
+        });
+    }
+    // Post-condition with pre-state snapshot.
+    let post =
+        parse("pre(project.volumes->size()) >= project.volumes->size()").unwrap();
+    let pre_nav = cinder_env();
+    group.bench_function("post_with_snapshot", |b| {
+        b.iter(|| {
+            black_box(
+                EvalContext::with_pre_state(&nav, &pre_nav).eval_bool(&post).unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, parse_bench, typecheck_bench, eval_bench);
+criterion_main!(benches);

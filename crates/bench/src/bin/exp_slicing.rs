@@ -1,0 +1,120 @@
+//! Ablation A6 — model slicing (the paper's future-work item): how much
+//! monitor do you get from how much model?
+//!
+//! For each slice of the Cinder behavioural model (by security
+//! requirement), this binary reports the sliced model's size, the
+//! generated contract set, and — the interesting part — which mutants a
+//! monitor generated *from the slice alone* still kills. A DELETE-only
+//! monitor kills exactly the DELETE mutants: slicing trades coverage for
+//! model simplicity, precisely as Section VI-B's "model only the critical
+//! scenarios" methodology prescribes.
+
+use cm_cloudsim::{Fault, FaultPlan, PrivateCloud};
+use cm_contracts::generate;
+use cm_core::{CloudMonitor, Mode};
+use cm_model::{cinder, slice_behavioral_model, HttpMethod, SliceCriterion};
+use cm_rbac::Rule;
+use cm_rest::{Json, RestRequest};
+
+fn main() {
+    let full = cinder::behavioral_model();
+    println!("ABLATION A6: MODEL SLICING (paper future work, implemented)");
+    println!();
+    println!(
+        "full model: {} states, {} transitions, {} contracts",
+        full.states.len(),
+        full.transitions.len(),
+        generate(&full).expect("generates").contracts.len()
+    );
+    println!();
+    println!(
+        "| {:<8} | {:<6} | {:<11} | {:<9} | {:<19} | {:<19} |",
+        "Slice", "States", "Transitions", "Contracts", "DELETE mutant", "GET mutant"
+    );
+    println!(
+        "|{}|{}|{}|{}|{}|{}|",
+        "-".repeat(10),
+        "-".repeat(8),
+        "-".repeat(13),
+        "-".repeat(11),
+        "-".repeat(21),
+        "-".repeat(21)
+    );
+
+    for req in ["1.1", "1.2", "1.3", "1.4"] {
+        let slice = slice_behavioral_model(
+            &full,
+            &SliceCriterion::Requirements(vec![req.to_string()]),
+        );
+        let contracts = generate(&slice).expect("slice generates");
+        let delete_verdict = probe_mutant(
+            &slice,
+            FaultPlan::single(Fault::PolicyOverride {
+                action: "volume:delete".into(),
+                rule: Rule::Always,
+            }),
+            HttpMethod::Delete,
+        );
+        let get_verdict = probe_mutant(
+            &slice,
+            FaultPlan::single(Fault::InvertAuthCheck { action: "volume:get".into() }),
+            HttpMethod::Get,
+        );
+        println!(
+            "| {:<8} | {:<6} | {:<11} | {:<9} | {:<19} | {:<19} |",
+            format!("SecReq {req}"),
+            slice.states.len(),
+            slice.transitions.len(),
+            contracts.contracts.len(),
+            delete_verdict,
+            get_verdict,
+        );
+    }
+    println!();
+    println!(
+        "reading: a monitor generated from the SecReq 1.4 slice alone kills the\n\
+         DELETE mutant but cannot see the GET mutant (not-modelled pass-through),\n\
+         and vice versa — coverage follows the model, exactly as designed."
+    );
+}
+
+/// Build a monitor from `slice` over a mutant cloud, fire one
+/// characteristic request, and describe the verdict.
+fn probe_mutant(
+    slice: &cm_model::BehavioralModel,
+    plan: FaultPlan,
+    method: HttpMethod,
+) -> String {
+    let mut cloud = PrivateCloud::my_project().with_faults(plan);
+    let pid = cloud.project_id();
+    let vid = cloud
+        .state_mut()
+        .create_volume(pid, "seed", 1, false)
+        .expect("quota allows")
+        .id;
+    // carol (role user) for the DELETE escalation; alice for the GET denial.
+    let (user, password) = match method {
+        HttpMethod::Delete => ("carol", "carol-pw"),
+        _ => ("alice", "alice-pw"),
+    };
+    let token = cloud.issue_token(user, password).expect("fixture").token;
+    let mut monitor =
+        CloudMonitor::generate(&cinder::resource_model(), slice, None, cloud)
+            .expect("slice monitor generates")
+            .mode(Mode::Observe);
+    monitor.authenticate("alice", "alice-pw").expect("fixture");
+    let mut req =
+        RestRequest::new(method, format!("/v3/{pid}/volumes/{vid}")).auth_token(&token);
+    if method == HttpMethod::Put {
+        req = req.json(Json::object(vec![(
+            "volume",
+            Json::object(vec![("name", Json::Str("x".into()))]),
+        )]));
+    }
+    let outcome = monitor.process(&req);
+    if outcome.verdict.is_violation() {
+        format!("KILLED ({})", outcome.verdict)
+    } else {
+        format!("unseen ({})", outcome.verdict)
+    }
+}

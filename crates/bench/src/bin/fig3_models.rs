@@ -1,0 +1,33 @@
+//! Experiment F3 — regenerate the paper's Figure 3: the Cinder resource
+//! model (left) and the behavioural model of a project (right), as text
+//! and as Graphviz DOT.
+
+use cm_model::{
+    behavioral_model_dot, behavioral_model_text, cinder, resource_model_dot,
+    resource_model_text, validate_behavioral_model, validate_resource_model,
+};
+
+fn main() {
+    let resources = cinder::resource_model();
+    let behavior = cinder::behavioral_model();
+
+    println!("FIGURE 3 (LEFT): EXTRACT OF CINDER RESOURCE MODEL");
+    println!();
+    print!("{}", resource_model_text(&resources));
+    println!();
+    println!("FIGURE 3 (RIGHT): EXTRACT OF CINDER BEHAVIORAL MODEL");
+    println!();
+    print!("{}", behavioral_model_text(&behavior));
+    println!();
+
+    let res_report = validate_resource_model(&resources);
+    let beh_report = validate_behavioral_model(&behavior, Some(&resources));
+    println!("validation: resource model: {res_report}");
+    println!("validation: behavioral model: {beh_report}");
+    println!();
+
+    println!("--- DOT (resource model; render with `dot -Tpng`) ---");
+    print!("{}", resource_model_dot(&resources));
+    println!("--- DOT (behavioral model) ---");
+    print!("{}", behavioral_model_dot(&behavior));
+}

@@ -1,0 +1,33 @@
+//! Experiment L1 — regenerate the paper's Listing 1: the pre- and
+//! post-conditions generated for DELETE on the volume resource (and, for
+//! completeness, the other three methods).
+
+use cm_contracts::{generate, render_listing};
+use cm_model::{cinder, HttpMethod, Trigger};
+
+fn main() {
+    let set = generate(&cinder::behavioral_model()).expect("cinder model generates");
+
+    println!("LISTING 1: GENERATED PRE- AND POST-CONDITIONS");
+    println!();
+    let delete = set
+        .contract_for(&Trigger::new(HttpMethod::Delete, "volume"))
+        .expect("DELETE(volume) modelled");
+    print!("{}", render_listing(delete, ".../v3/{project_id}/volumes"));
+    println!();
+    println!(
+        "shape check: {} disjuncts in the pre-condition, {} implications in the \
+         post-condition (paper: 3 and 3)",
+        delete.clauses.len(),
+        delete.clauses.len()
+    );
+    println!();
+
+    for method in [HttpMethod::Get, HttpMethod::Put, HttpMethod::Post] {
+        if let Some(c) = set.contract_for(&Trigger::new(method, "volume")) {
+            println!("--- {}(volume) ---", method);
+            print!("{}", render_listing(c, ".../v3/{project_id}/volumes"));
+            println!();
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Experiment T1 — regenerate the paper's Table I (security requirements
+//! for the Cinder API) from the model layer, plus its compilation into a
+//! `policy.json` the simulated cloud enforces.
+
+use cm_rbac::cinder_table1;
+
+fn main() {
+    let table = cinder_table1();
+    println!("TABLE I: SECURITY REQUIREMENTS FOR CINDER API (EXCERPT)");
+    println!();
+    print!("{}", table.render());
+    println!();
+    println!("Compiled policy.json:");
+    println!("{}", table.to_policy().render());
+    println!();
+    println!("Synthesised OCL authorization guards (Section IV-C):");
+    for method in cm_model::HttpMethod::ALL {
+        if let Some(guard) = table.guard("volume", method) {
+            println!(
+                "  {method}(volume): {}",
+                cm_ocl::render(&guard, cm_ocl::PrintStyle::Paper)
+            );
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! # cm-bench — experiment harness for the DSN 2018 reproduction
+//!
+//! One binary per paper artifact (see `src/bin/`) and one Criterion bench
+//! per quantitative question (see `benches/`). This library holds the
+//! shared pieces: a synthetic-model generator for the scalability
+//! ablation and a ready-made monitored-cloud harness.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use cm_cloudsim::PrivateCloud;
+use cm_core::{cinder_monitor, CloudMonitor, Mode};
+use cm_model::{BehavioralModel, HttpMethod, State, TransitionBuilder, Trigger};
+use cm_ocl::Expr;
+
+/// Parameters of a synthetic behavioural model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticSpec {
+    /// Number of states (ring topology).
+    pub states: usize,
+    /// Transitions per (method, resource) trigger.
+    pub transitions_per_trigger: usize,
+    /// Conjuncts per state invariant (controls expression size).
+    pub invariant_conjuncts: usize,
+}
+
+/// Build a synthetic behavioural model of the given size. The model is
+/// well-formed (validates cleanly) and uses the same OCL vocabulary as
+/// the Cinder model, so contract generation and evaluation costs are
+/// representative.
+#[must_use]
+pub fn synthetic_model(spec: SyntheticSpec) -> BehavioralModel {
+    let mut m = BehavioralModel::new("synthetic", "project", "s0");
+    for i in 0..spec.states.max(1) {
+        let conjuncts: Vec<Expr> = (0..spec.invariant_conjuncts.max(1))
+            .map(|j| {
+                cm_ocl::parse(&format!("project.volumes->size() >= {}", j.min(1)))
+                    .expect("synthetic invariant parses")
+            })
+            .collect();
+        m.state(State::new(format!("s{i}"), Expr::all_of(conjuncts)));
+    }
+    let n = spec.states.max(1);
+    for t in 0..spec.transitions_per_trigger {
+        let src = format!("s{}", t % n);
+        let dst = format!("s{}", (t + 1) % n);
+        m.transition(
+            TransitionBuilder::new(
+                format!("t{t}"),
+                src,
+                Trigger::new(HttpMethod::Delete, "volume"),
+                dst,
+            )
+            .guard(
+                cm_ocl::parse(&format!(
+                    "volume.status <> 'in-use' and user.groups = 'admin' and \
+                     project.volumes->size() >= {}",
+                    t % 3
+                ))
+                .expect("synthetic guard parses"),
+            )
+            .effect(
+                cm_ocl::parse("project.volumes->size() < pre(project.volumes->size())")
+                    .expect("synthetic effect parses"),
+            )
+            .security_requirement("1.4")
+            .build(),
+        );
+    }
+    m
+}
+
+/// A monitored Cinder cloud with one seeded volume and tokens for every
+/// fixture user, ready for request benchmarking.
+#[derive(Debug)]
+pub struct BenchHarness {
+    /// The monitor wrapping the simulated cloud.
+    pub monitor: CloudMonitor<PrivateCloud>,
+    /// Fixture project id.
+    pub project_id: u64,
+    /// Seeded volume id.
+    pub volume_id: u64,
+    /// `(user, token)` pairs for alice/bob/carol.
+    pub tokens: Vec<(String, String)>,
+}
+
+/// Build the bench harness in the given mode.
+///
+/// # Panics
+///
+/// Panics when the fixture cannot be constructed (harness bug).
+#[must_use]
+pub fn bench_harness(mode: Mode) -> BenchHarness {
+    let mut cloud = PrivateCloud::my_project();
+    let project_id = cloud.project_id();
+    let volume_id = cloud
+        .state_mut()
+        .create_volume(project_id, "bench", 10, false)
+        .expect("quota allows one volume")
+        .id;
+    let mut tokens = Vec::new();
+    for user in ["alice", "bob", "carol"] {
+        let t = cloud
+            .issue_token(user, &format!("{user}-pw"))
+            .expect("fixture credentials");
+        tokens.push((user.to_string(), t.token));
+    }
+    let mut monitor = cinder_monitor(cloud).expect("fixture models generate").mode(mode);
+    monitor.authenticate("alice", "alice-pw").expect("fixture admin");
+    BenchHarness { monitor, project_id, volume_id, tokens }
+}
+
+/// An *unmonitored* cloud baseline with the same seeded state and tokens,
+/// for the Figure 2 interposition-overhead comparison.
+#[derive(Debug)]
+pub struct BaselineHarness {
+    /// The bare simulated cloud.
+    pub cloud: PrivateCloud,
+    /// Fixture project id.
+    pub project_id: u64,
+    /// Seeded volume id.
+    pub volume_id: u64,
+    /// `(user, token)` pairs for alice/bob/carol.
+    pub tokens: Vec<(String, String)>,
+}
+
+/// Build the unmonitored baseline.
+///
+/// # Panics
+///
+/// Panics when the fixture cannot be constructed (harness bug).
+#[must_use]
+pub fn baseline_harness() -> BaselineHarness {
+    let mut cloud = PrivateCloud::my_project();
+    let project_id = cloud.project_id();
+    let volume_id = cloud
+        .state_mut()
+        .create_volume(project_id, "bench", 10, false)
+        .expect("quota allows one volume")
+        .id;
+    let mut tokens = Vec::new();
+    for user in ["alice", "bob", "carol"] {
+        let t = cloud
+            .issue_token(user, &format!("{user}-pw"))
+            .expect("fixture credentials");
+        tokens.push((user.to_string(), t.token));
+    }
+    BaselineHarness { cloud, project_id, volume_id, tokens }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_contracts::generate;
+    use cm_model::validate_behavioral_model;
+
+    #[test]
+    fn synthetic_models_are_well_formed() {
+        for spec in [
+            SyntheticSpec { states: 1, transitions_per_trigger: 1, invariant_conjuncts: 1 },
+            SyntheticSpec { states: 3, transitions_per_trigger: 8, invariant_conjuncts: 4 },
+            SyntheticSpec { states: 10, transitions_per_trigger: 64, invariant_conjuncts: 8 },
+        ] {
+            let m = synthetic_model(spec);
+            let report = validate_behavioral_model(&m, None);
+            assert!(report.is_valid(), "{spec:?}: {report}");
+            let contracts = generate(&m).unwrap();
+            assert_eq!(contracts.clause_count(), spec.transitions_per_trigger);
+        }
+    }
+
+    #[test]
+    fn contract_size_scales_with_spec() {
+        let small = synthetic_model(SyntheticSpec {
+            states: 2,
+            transitions_per_trigger: 2,
+            invariant_conjuncts: 1,
+        });
+        let large = synthetic_model(SyntheticSpec {
+            states: 2,
+            transitions_per_trigger: 16,
+            invariant_conjuncts: 1,
+        });
+        let pre_small = &generate(&small).unwrap().contracts[0].pre;
+        let pre_large = &generate(&large).unwrap().contracts[0].pre;
+        assert!(pre_large.node_count() > pre_small.node_count() * 4);
+    }
+
+    #[test]
+    fn harness_serves_requests() {
+        use cm_rest::{RestRequest, RestService};
+        let mut h = bench_harness(Mode::Enforce);
+        let (_, token) = h.tokens[0].clone();
+        let resp = h.monitor.handle(
+            &RestRequest::new(
+                HttpMethod::Get,
+                format!("/v3/{}/volumes/{}", h.project_id, h.volume_id),
+            )
+            .auth_token(token),
+        );
+        assert!(resp.status.is_success(), "{resp:?}");
+    }
+
+    #[test]
+    fn baseline_serves_requests() {
+        use cm_rest::{RestRequest, RestService};
+        let mut h = baseline_harness();
+        let (_, token) = h.tokens[0].clone();
+        let resp = h.cloud.handle(
+            &RestRequest::new(
+                HttpMethod::Get,
+                format!("/v3/{}/volumes/{}", h.project_id, h.volume_id),
+            )
+            .auth_token(token),
+        );
+        assert!(resp.status.is_success(), "{resp:?}");
+    }
+}

@@ -1,0 +1,158 @@
+//! `cmcli` — the cloud-monitor toolbox; see `cmcli --help`.
+
+use cm_cli::{
+    cmd_audit, cmd_codegen, cmd_contracts, cmd_export_cinder, cmd_models, cmd_slice,
+    cmd_table1, cmd_validate, parse_criterion, usage, CliError,
+};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            if !output.ends_with('\n') {
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("--help" | "-h" | "help") => Ok(usage().to_string()),
+        Some("export-cinder") => {
+            let first = it.next().ok_or(CliError("export-cinder needs <out.xmi>".into()))?;
+            if first == "--extended" {
+                let out =
+                    it.next().ok_or(CliError("export-cinder needs <out.xmi>".into()))?;
+                cm_cli::cmd_export_cinder_extended(Path::new(out))
+            } else {
+                cmd_export_cinder(Path::new(first))
+            }
+        }
+        Some("validate") => {
+            let xmi = it.next().ok_or(CliError("validate needs <xmi>".into()))?;
+            cmd_validate(Path::new(xmi))
+        }
+        Some("models") => {
+            let xmi = it.next().ok_or(CliError("models needs <xmi>".into()))?;
+            let dot = it.next() == Some("--dot");
+            cmd_models(Path::new(xmi), dot)
+        }
+        Some("contracts") => {
+            let xmi = it.next().ok_or(CliError("contracts needs <xmi>".into()))?;
+            let rest: Vec<&str> = it.collect();
+            cmd_contracts(
+                Path::new(xmi),
+                rest.contains(&"--simplify"),
+                rest.contains(&"--weave-table1"),
+            )
+        }
+        Some("slice") => {
+            let xmi = it.next().ok_or(CliError("slice needs <xmi>".into()))?;
+            let kind = it.next().ok_or(CliError("slice needs a criterion flag".into()))?;
+            let values = it.next().ok_or(CliError("criterion needs values".into()))?;
+            let out = it.next().ok_or(CliError("slice needs <out.xmi>".into()))?;
+            let criterion = parse_criterion(kind, values)?;
+            cmd_slice(Path::new(xmi), &criterion, Path::new(out))
+        }
+        Some("table1") => Ok(cmd_table1()),
+        Some("codegen") => {
+            let name = it.next().ok_or(CliError("codegen needs <project>".into()))?;
+            let xmi = it.next().ok_or(CliError("codegen needs <xmi>".into()))?;
+            let dir = it.next().ok_or(CliError("codegen needs <out-dir>".into()))?;
+            let mut cloud_url = "http://127.0.0.1:8776".to_string();
+            let rest: Vec<&str> = it.collect();
+            if let Some(pos) = rest.iter().position(|a| *a == "--cloud-url") {
+                cloud_url = rest
+                    .get(pos + 1)
+                    .ok_or(CliError("--cloud-url needs a value".into()))?
+                    .to_string();
+            }
+            cmd_codegen(name, Path::new(xmi), Path::new(dir), &cloud_url)
+        }
+        Some("audit") => Ok(cmd_audit()),
+        Some("serve") => {
+            let rest: Vec<&str> = it.collect();
+            let mut port = 8000u16;
+            if let Some(pos) = rest.iter().position(|a| *a == "--port") {
+                port = rest
+                    .get(pos + 1)
+                    .and_then(|p| p.parse().ok())
+                    .ok_or(CliError("--port needs a number".into()))?;
+            }
+            serve(port, rest.contains(&"--extended"))
+        }
+        Some(other) => Err(CliError(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Run the simulated private cloud with a generated monitor proxy in
+/// front, both over HTTP, until the process is killed.
+fn serve(port: u16, extended: bool) -> Result<String, CliError> {
+    use cm_cloudsim::PrivateCloud;
+    use cm_core::CloudMonitor;
+    use cm_httpkit::{HttpServer, RemoteService};
+    use cm_model::cinder;
+    use cm_rest::RestService;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    let cloud = Arc::new(Mutex::new(PrivateCloud::my_project()));
+    let cloud_handle = Arc::clone(&cloud);
+    let cloud_server =
+        HttpServer::bind("127.0.0.1:0", Arc::new(move |req| cloud_handle.lock().handle(&req)))
+            .map_err(|e| CliError(e.to_string()))?;
+
+    let remote = RemoteService::new(cloud_server.local_addr());
+    let mut monitor = if extended {
+        CloudMonitor::generate_multi(
+            &cinder::extended_resource_model(),
+            &[
+                &cinder::extended_behavioral_model(),
+                &cinder::snapshot_behavioral_model(),
+            ],
+            None,
+            remote,
+        )
+        .map_err(|e| CliError(e.message))?
+    } else {
+        CloudMonitor::generate(
+            &cinder::resource_model(),
+            &cinder::behavioral_model(),
+            None,
+            remote,
+        )
+        .map_err(|e| CliError(e.message))?
+    };
+    monitor
+        .authenticate("alice", "alice-pw")
+        .map_err(|e| CliError(e.message))?;
+    let monitor = Arc::new(Mutex::new(monitor));
+    let monitor_handle = Arc::clone(&monitor);
+    let monitor_server = HttpServer::bind(
+        ("127.0.0.1", port),
+        Arc::new(move |req| monitor_handle.lock().handle(&req)),
+    )
+    .map_err(|e| CliError(e.to_string()))?;
+
+    println!("private cloud   : http://{}", cloud_server.local_addr());
+    println!("cloud monitor   : http://{}", monitor_server.local_addr());
+    println!("fixture users   : alice/alice-pw (admin), bob (member), carol (user)");
+    println!("authenticate    : POST /identity/auth/tokens {{\"auth\":{{\"user\":…,\"password\":…}}}}");
+    println!("volumes API     : /v3/1/volumes[/{{id}}] with X-Auth-Token");
+    println!("press Ctrl+C to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

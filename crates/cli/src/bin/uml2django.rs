@@ -1,0 +1,43 @@
+//! `uml2django ProjectName DiagramsFileinXML` — the paper's Section VI
+//! command line, verbatim. Generates the Django monitor skeleton into
+//! `./<projectname>/`.
+
+use cm_cli::{cmd_codegen, CliError};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            if !output.ends_with('\n') {
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: uml2django ProjectName DiagramsFileinXML [--cloud-url URL]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    let project = args
+        .first()
+        .ok_or(CliError("missing ProjectName".to_string()))?;
+    let xmi = args
+        .get(1)
+        .ok_or(CliError("missing DiagramsFileinXML".to_string()))?;
+    let mut cloud_url = "http://127.0.0.1:8776".to_string();
+    if let Some(pos) = args.iter().position(|a| a == "--cloud-url") {
+        cloud_url = args
+            .get(pos + 1)
+            .ok_or(CliError("--cloud-url needs a value".to_string()))?
+            .clone();
+    }
+    let out_dir = project.to_lowercase();
+    cmd_codegen(project, Path::new(xmi), Path::new(&out_dir), &cloud_url)
+}

@@ -1,0 +1,475 @@
+//! # cm-cli — command-line tools for model-driven cloud monitors
+//!
+//! Two binaries:
+//!
+//! * **`uml2django`** — the paper's exact CLI:
+//!   `uml2django ProjectName DiagramsFileinXML` generates the Django
+//!   monitor skeleton from an XMI file.
+//! * **`cmcli`** — the full toolbox: validate models, render diagrams,
+//!   print generated contracts, slice models, run the security audit, and
+//!   serve a live monitored cloud over HTTP.
+//!
+//! Every command is implemented as a library function returning its
+//! output as a `String`, so the whole surface is unit-testable without
+//! process spawning.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use cm_codegen::{uml2django, Uml2DjangoOptions};
+use cm_contracts::{generate_with, render_listing, GenerateOptions, TraceabilityMatrix};
+use cm_model::{
+    behavioral_model_dot, behavioral_model_text, resource_model_dot, resource_model_text,
+    slice_behavioral_model, validate_behavioral_model, validate_resource_model,
+    SliceCriterion,
+};
+use cm_rest::RouteTable;
+use cm_xmi::{export, import};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A CLI-level error: exit message for the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+fn fail(message: impl Into<String>) -> CliError {
+    CliError(message.into())
+}
+
+/// `cmcli export-cinder <out.xmi>` — write the paper's canned Figure 3
+/// models as an XMI file (the starting point for every other command).
+///
+/// # Errors
+///
+/// I/O errors writing the file.
+pub fn cmd_export_cinder(out_path: &Path) -> Result<String, CliError> {
+    let xmi = export(
+        Some(&cm_model::cinder::resource_model()),
+        &[&cm_model::cinder::behavioral_model()],
+    );
+    std::fs::write(out_path, &xmi)?;
+    Ok(format!("wrote {} bytes to {}", xmi.len(), out_path.display()))
+}
+
+/// `cmcli export-cinder --extended <out.xmi>` — the extended models:
+/// volumes *and* snapshots, two state machines in one XMI file.
+///
+/// # Errors
+///
+/// I/O errors writing the file.
+pub fn cmd_export_cinder_extended(out_path: &Path) -> Result<String, CliError> {
+    let xmi = export(
+        Some(&cm_model::cinder::extended_resource_model()),
+        &[
+            &cm_model::cinder::behavioral_model(),
+            &cm_model::cinder::snapshot_behavioral_model(),
+        ],
+    );
+    std::fs::write(out_path, &xmi)?;
+    Ok(format!("wrote {} bytes to {}", xmi.len(), out_path.display()))
+}
+
+/// `cmcli validate <xmi>` — well-formedness report for both model kinds.
+///
+/// # Errors
+///
+/// I/O or XMI parse failures; validation *findings* are part of the
+/// report, not an error.
+pub fn cmd_validate(xmi_path: &Path) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(xmi_path)?;
+    let doc = import(&text).map_err(|e| fail(e.to_string()))?;
+    let mut out = String::new();
+    match &doc.resources {
+        Some(r) => {
+            let report = validate_resource_model(r);
+            let _ = writeln!(out, "resource model `{}`: {report}", r.name);
+        }
+        None => {
+            let _ = writeln!(out, "no resource model in file");
+        }
+    }
+    for b in &doc.behaviors {
+        let report = validate_behavioral_model(b, doc.resources.as_ref());
+        let _ = writeln!(out, "behavioral model `{}`: {report}", b.name);
+        if let Some(resources) = &doc.resources {
+            let findings = cm_model::typecheck_behavioral_model(b, resources);
+            if findings.is_empty() {
+                let _ = writeln!(out, "  OCL types: clean");
+            }
+            for f in findings {
+                let _ = writeln!(out, "  {f}");
+            }
+        }
+    }
+    if doc.behaviors.is_empty() {
+        let _ = writeln!(out, "no behavioral models in file");
+    }
+    Ok(out)
+}
+
+/// `cmcli models <xmi> [--dot]` — render the models as text or DOT.
+///
+/// # Errors
+///
+/// I/O or XMI parse failures.
+pub fn cmd_models(xmi_path: &Path, dot: bool) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(xmi_path)?;
+    let doc = import(&text).map_err(|e| fail(e.to_string()))?;
+    let mut out = String::new();
+    if let Some(r) = &doc.resources {
+        out.push_str(&if dot { resource_model_dot(r) } else { resource_model_text(r) });
+        out.push('\n');
+    }
+    for b in &doc.behaviors {
+        out.push_str(&if dot { behavioral_model_dot(b) } else { behavioral_model_text(b) });
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `cmcli contracts <xmi> [--simplify] [--weave-table1]` — print the
+/// generated contracts for every trigger, Listing 1 style.
+///
+/// # Errors
+///
+/// I/O, XMI parse, or contract-generation failures.
+pub fn cmd_contracts(
+    xmi_path: &Path,
+    simplify: bool,
+    weave_table1: bool,
+) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(xmi_path)?;
+    let doc = import(&text).map_err(|e| fail(e.to_string()))?;
+    if doc.behaviors.is_empty() {
+        return Err(fail("no behavioral model in file"));
+    }
+    let table = cm_rbac::cinder_table_extended();
+    let options = GenerateOptions {
+        security: weave_table1.then_some(&table),
+        simplify,
+    };
+    let routes = doc
+        .resources
+        .as_ref()
+        .map(|r| RouteTable::derive(r, "/v3"));
+    let mut out = String::new();
+    for behavior in &doc.behaviors {
+        let set = generate_with(behavior, &options).map_err(|e| fail(e.message))?;
+        for contract in &set.contracts {
+            let uri = routes
+                .as_ref()
+                .and_then(|rt| {
+                    rt.route_for_trigger(contract.trigger.method, &contract.trigger.resource)
+                })
+                .map_or_else(
+                    || format!(".../{}", contract.trigger.resource),
+                    |r| r.template.to_string(),
+                );
+            out.push_str(&render_listing(contract, &uri));
+            out.push('\n');
+        }
+        let matrix = TraceabilityMatrix::from_contracts(&set);
+        let _ = writeln!(out, "Traceability ({}):", behavior.name);
+        out.push_str(&matrix.render());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `cmcli slice <xmi> (--secreq IDS | --method METHODS) <out.xmi>` —
+/// slice the behavioural model and write the sliced XMI.
+///
+/// # Errors
+///
+/// I/O, XMI parse, or criterion parse failures.
+pub fn cmd_slice(
+    xmi_path: &Path,
+    criterion: &SliceCriterion,
+    out_path: &Path,
+) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(xmi_path)?;
+    let doc = import(&text).map_err(|e| fail(e.to_string()))?;
+    let behavior = doc
+        .behaviors
+        .first()
+        .ok_or_else(|| fail("no behavioral model in file"))?;
+    let sliced = slice_behavioral_model(behavior, criterion);
+    let xmi = export(doc.resources.as_ref(), &[&sliced]);
+    std::fs::write(out_path, &xmi)?;
+    Ok(format!(
+        "sliced `{}`: kept {} of {} transitions, {} of {} states -> {}",
+        behavior.name,
+        sliced.transitions.len(),
+        behavior.transitions.len(),
+        sliced.states.len(),
+        behavior.states.len(),
+        out_path.display()
+    ))
+}
+
+/// `cmcli table1` — print the security-requirements table and its policy.
+#[must_use]
+pub fn cmd_table1() -> String {
+    let table = cm_rbac::cinder_table1();
+    format!("{}\n{}", table.render(), table.to_policy().render())
+}
+
+/// `cmcli codegen <project> <xmi> <out-dir> [--cloud-url URL]` — the
+/// `uml2django` pipeline with an explicit output directory.
+///
+/// # Errors
+///
+/// I/O, XMI parse, or generation failures.
+pub fn cmd_codegen(
+    project: &str,
+    xmi_path: &Path,
+    out_dir: &Path,
+    cloud_url: &str,
+) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(xmi_path)?;
+    let generated = uml2django(
+        project,
+        &text,
+        &Uml2DjangoOptions { cloud_base_url: cloud_url.to_string(), security: None },
+    )
+    .map_err(|e| fail(e.message))?;
+    generated.write_to(out_dir)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "generated {} files ({} bytes) under {}",
+        generated.files.len(),
+        generated.total_bytes(),
+        out_dir.display()
+    );
+    for (path, content) in &generated.files {
+        let _ = writeln!(out, "  {:<24} {:>6} bytes", path, content.len());
+    }
+    Ok(out)
+}
+
+/// `cmcli audit` — run the oracle suite and both mutation campaigns
+/// against the built-in simulated cloud.
+#[must_use]
+pub fn cmd_audit() -> String {
+    use cm_mutation::{
+        paper_mutants, run_campaign, run_extended_campaign, snapshot_catalog, standard_catalog,
+    };
+    let mut out = String::new();
+    let baseline = cm_core::TestOracle.run(cm_cloudsim::PrivateCloud::my_project);
+    let _ = writeln!(
+        out,
+        "baseline: {} scenarios, {} violations ({})",
+        baseline.len(),
+        baseline.violations().len(),
+        if baseline.killed() { "FAULTY" } else { "clean" }
+    );
+    let paper = run_campaign(&paper_mutants());
+    let _ = writeln!(out, "paper mutants: {}/{} killed", paper.killed(), paper.total());
+    let extended = run_campaign(&standard_catalog());
+    out.push_str(&extended.render());
+    let snapshots = run_extended_campaign(&snapshot_catalog());
+    let _ = writeln!(
+        out,
+        "snapshot-resource campaign: {}/{} killed",
+        snapshots.killed(),
+        snapshots.total()
+    );
+    out
+}
+
+/// Parse a slice criterion from CLI-ish arguments.
+///
+/// # Errors
+///
+/// Unknown method names.
+pub fn parse_criterion(kind: &str, values: &str) -> Result<SliceCriterion, CliError> {
+    let parts: Vec<String> = values.split(',').map(str::trim).map(String::from).collect();
+    match kind {
+        "--secreq" => Ok(SliceCriterion::Requirements(parts)),
+        "--resource" => Ok(SliceCriterion::Resources(parts)),
+        "--method" => {
+            let methods = parts
+                .iter()
+                .map(|p| p.parse().map_err(|e| fail(format!("{e}"))))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(SliceCriterion::Methods(methods))
+        }
+        other => Err(fail(format!("unknown slice criterion `{other}`"))),
+    }
+}
+
+/// Usage text for `cmcli`.
+#[must_use]
+pub fn usage() -> &'static str {
+    "cmcli — model-driven cloud monitor toolbox\n\
+     \n\
+     USAGE:\n\
+       cmcli export-cinder [--extended] <out.xmi>  write the Figure 3 models\n\
+       cmcli validate <xmi>                   well-formedness report\n\
+       cmcli models <xmi> [--dot]             render models as text or Graphviz\n\
+       cmcli contracts <xmi> [--simplify] [--weave-table1]\n\
+                                              print generated contracts (Listing 1)\n\
+       cmcli slice <xmi> --secreq 1.4 <out>   slice by requirement ids\n\
+       cmcli slice <xmi> --method DELETE <out> slice by trigger methods\n\
+       cmcli table1                           print Table I + policy.json\n\
+       cmcli codegen <name> <xmi> <dir> [--cloud-url URL]\n\
+                                              generate the Django monitor\n\
+       cmcli audit                            oracle + mutation campaigns\n\
+       cmcli serve [--port P] [--extended]    run a live monitored cloud\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cmcli-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn export_then_validate_then_models() {
+        let path = tmp("a.xmi");
+        let msg = cmd_export_cinder(&path).unwrap();
+        assert!(msg.contains("wrote"));
+        let report = cmd_validate(&path).unwrap();
+        assert!(report.contains("resource model `Cinder`: model is well-formed"));
+        assert!(report.contains("behavioral model `CinderProject`"));
+        assert!(report.contains("paper-compat") || report.contains("OCL types"), "{report}");
+        let text = cmd_models(&path, false).unwrap();
+        assert!(text.contains("collection Volumes"));
+        let dot = cmd_models(&path, true).unwrap();
+        assert!(dot.contains("digraph"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn contracts_command_prints_listings() {
+        let path = tmp("b.xmi");
+        cmd_export_cinder(&path).unwrap();
+        let out = cmd_contracts(&path, false, false).unwrap();
+        assert!(out.contains("PreCondition(DELETE(/v3/{project_id}/volumes/{volume_id})):"));
+        assert!(out.contains("Traceability (CinderProject):"));
+        let simplified = cmd_contracts(&path, true, true).unwrap();
+        assert!(simplified.contains("PostCondition"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn slice_command_roundtrips() {
+        let input = tmp("c.xmi");
+        let output = tmp("c-sliced.xmi");
+        cmd_export_cinder(&input).unwrap();
+        let msg = cmd_slice(
+            &input,
+            &parse_criterion("--secreq", "1.4").unwrap(),
+            &output,
+        )
+        .unwrap();
+        assert!(msg.contains("kept 3 of 11 transitions"), "{msg}");
+        // The sliced file validates and regenerates contracts.
+        let report = cmd_validate(&output).unwrap();
+        assert!(report.contains("well-formed"), "{report}");
+        let contracts = cmd_contracts(&output, false, false).unwrap();
+        assert!(contracts.contains("DELETE"));
+        assert!(!contracts.contains("PreCondition(POST"));
+        std::fs::remove_file(&input).unwrap();
+        std::fs::remove_file(&output).unwrap();
+    }
+
+    #[test]
+    fn criterion_parsing() {
+        assert!(matches!(
+            parse_criterion("--method", "GET,DELETE").unwrap(),
+            SliceCriterion::Methods(m) if m.len() == 2
+        ));
+        assert!(parse_criterion("--method", "BREW").is_err());
+        assert!(parse_criterion("--bogus", "x").is_err());
+        assert!(matches!(
+            parse_criterion("--resource", "volume").unwrap(),
+            SliceCriterion::Resources(r) if r == vec!["volume".to_string()]
+        ));
+    }
+
+    #[test]
+    fn table1_command() {
+        let out = cmd_table1();
+        assert!(out.contains("proj_administrator"));
+        assert!(out.contains("volume:delete"));
+    }
+
+    #[test]
+    fn codegen_command_writes_tree() {
+        let input = tmp("d.xmi");
+        let dir = tmp("d-out");
+        cmd_export_cinder(&input).unwrap();
+        let msg = cmd_codegen("CMonitor", &input, &dir, "http://cloud:8776").unwrap();
+        assert!(msg.contains("generated 5 files"));
+        assert!(dir.join("cmonitor/views.py").exists());
+        std::fs::remove_file(&input).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn audit_command_reports_kills() {
+        let out = cmd_audit();
+        assert!(out.contains("baseline"), "{out}");
+        assert!(out.contains("clean"));
+        assert!(out.contains("paper mutants: 3/3 killed"));
+        assert!(out.contains("Overall: 24/25"));
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        let path = tmp("e.xmi");
+        std::fs::write(&path, "not xml at all").unwrap();
+        assert!(cmd_validate(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        let u = usage();
+        for cmd in ["export-cinder", "validate", "models", "contracts", "slice", "table1", "codegen", "audit", "serve"] {
+            assert!(u.contains(cmd), "usage missing {cmd}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod extended_cli_tests {
+    use super::*;
+
+    #[test]
+    fn extended_export_carries_both_machines() {
+        let path = std::env::temp_dir()
+            .join(format!("cmcli-ext-{}.xmi", std::process::id()));
+        cmd_export_cinder_extended(&path).unwrap();
+        let report = cmd_validate(&path).unwrap();
+        assert!(report.contains("behavioral model `CinderProject`"));
+        assert!(report.contains("behavioral model `CinderSnapshots`"));
+        let contracts = cmd_contracts(&path, true, false).unwrap();
+        assert!(contracts.contains(
+            "PreCondition(POST(/v3/{project_id}/volumes/{volume_id}/snapshots)):"
+        ), "{contracts}");
+        assert!(contracts.contains(
+            "PreCondition(DELETE(/v3/{project_id}/volumes/{volume_id}/snapshots/{snapshot_id})):"
+        ));
+        assert!(contracts.contains("Traceability (CinderSnapshots):"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

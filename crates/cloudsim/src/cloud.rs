@@ -1,0 +1,1432 @@
+//! The simulated private cloud: Keystone + Cinder + Nova-lite behind one
+//! REST surface.
+//!
+//! [`PrivateCloud`] implements [`RestService`]; the cloud monitor wraps it
+//! exactly as it would wrap a live OpenStack deployment, observing only
+//! URIs, methods, status codes and JSON bodies. Authorization follows the
+//! `policy.json` rules compiled from the paper's Table I; an injected
+//! [`FaultPlan`] distorts the implementation to reproduce the mutation
+//! experiment of Section VI-D.
+
+use crate::faults::FaultPlan;
+use crate::state::{CloudState, StateError, Volume};
+use cm_model::HttpMethod;
+use cm_rbac::{
+    cinder_table1, my_project_fixture, DefaultDecision, IdentityStore, PolicyFile, Rule,
+    TokenInfo, TokenService,
+};
+use cm_rest::{Json, RestRequest, RestResponse, RestService, StatusCode};
+
+/// Default volume quota for the fixture project (small, so the paper's
+/// full-quota state is reachable in tests).
+pub const DEFAULT_VOLUME_QUOTA: u32 = 3;
+
+/// The simulated private cloud.
+#[derive(Debug, Clone)]
+pub struct PrivateCloud {
+    identity: IdentityStore,
+    keystone: TokenService,
+    state: CloudState,
+    policy: PolicyFile,
+    faults: FaultPlan,
+    project_id: u64,
+}
+
+impl PrivateCloud {
+    /// Build the paper's `myProject` deployment: three usergroups/roles
+    /// (Table I), one project, the Table I policy, and an empty volume
+    /// store with [`DEFAULT_VOLUME_QUOTA`].
+    #[must_use]
+    pub fn my_project() -> PrivateCloud {
+        let (identity, project_id) = my_project_fixture();
+        let mut state = CloudState::new();
+        state.add_project(project_id, DEFAULT_VOLUME_QUOTA);
+        let mut policy = cinder_table1().to_policy();
+        policy
+            .set("project:get", Rule::Always)
+            .set("quota_sets:get", Rule::Always)
+            .set("quota_sets:put", Rule::role("admin"))
+            .set("usergroup:get", Rule::Always)
+            .set("server:post", Rule::any_role(["admin", "member"]))
+            .set("server:attach", Rule::any_role(["admin", "member"]))
+            .set("server:detach", Rule::any_role(["admin", "member"]))
+            .set("snapshot:get", Rule::any_role(["admin", "member", "user"]))
+            .set("snapshot:post", Rule::any_role(["admin", "member"]))
+            .set("snapshot:delete", Rule::role("admin"));
+        PrivateCloud {
+            identity,
+            keystone: TokenService::new(),
+            state,
+            policy,
+            faults: FaultPlan::none(),
+            project_id,
+        }
+    }
+
+    /// Replace the fault plan (build a mutant cloud).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> PrivateCloud {
+        self.faults = faults;
+        self
+    }
+
+    /// The fixture project's id.
+    #[must_use]
+    pub fn project_id(&self) -> u64 {
+        self.project_id
+    }
+
+    /// Read access to the data plane (tests and state probes).
+    #[must_use]
+    pub fn state(&self) -> &CloudState {
+        &self.state
+    }
+
+    /// Mutable access to the data plane (scenario setup in tests).
+    pub fn state_mut(&mut self) -> &mut CloudState {
+        &mut self.state
+    }
+
+    /// Read access to the identity store.
+    #[must_use]
+    pub fn identity(&self) -> &IdentityStore {
+        &self.identity
+    }
+
+    /// Mutable access to the identity store (fault injection).
+    pub fn identity_mut(&mut self) -> &mut IdentityStore {
+        &mut self.identity
+    }
+
+    /// Read access to the active policy.
+    #[must_use]
+    pub fn policy(&self) -> &PolicyFile {
+        &self.policy
+    }
+
+    /// Advance the Keystone logical clock (token-expiry scenarios).
+    pub fn advance_time(&mut self, ticks: u64) {
+        self.keystone.advance_time(ticks);
+    }
+
+    /// Replace the Keystone token lifetime (in logical ticks).
+    #[must_use]
+    pub fn with_token_lifetime(mut self, ticks: u64) -> PrivateCloud {
+        self.keystone = TokenService::new().with_lifetime(ticks);
+        self
+    }
+
+    /// Convenience: authenticate and return a token scoped to the fixture
+    /// project.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`cm_rbac::TokenError`] for bad credentials.
+    pub fn issue_token(
+        &mut self,
+        user: &str,
+        password: &str,
+    ) -> Result<TokenInfo, cm_rbac::TokenError> {
+        self.keystone.issue(&self.identity, user, password, self.project_id)
+    }
+
+    /// Authorization decision for `action` under the fault plan.
+    fn authorize(&self, action: &str, token: &TokenInfo) -> bool {
+        if self.faults.skips_auth(action) {
+            return true;
+        }
+        let decision = match self.faults.policy_override(action) {
+            Some(rule) => rule.check(token),
+            None => self.policy.check(action, token, DefaultDecision::Deny),
+        };
+        if self.faults.inverts_auth(action) {
+            !decision
+        } else {
+            decision
+        }
+    }
+
+    fn validate_token(&self, request: &RestRequest) -> Result<TokenInfo, RestResponse> {
+        let token = request.token().ok_or_else(|| {
+            RestResponse::error(StatusCode::UNAUTHORIZED, "missing X-Auth-Token")
+        })?;
+        self.keystone.validate(&self.identity, token).map_err(|_| {
+            RestResponse::error(StatusCode::UNAUTHORIZED, "invalid token")
+        })
+    }
+
+    fn volume_json(volume: &Volume) -> Json {
+        Json::object(vec![
+            ("id", Json::Int(volume.id as i64)),
+            ("name", Json::Str(volume.name.clone())),
+            ("size", Json::Int(volume.size)),
+            ("status", Json::Str(volume.status.to_string())),
+            (
+                "attached_to",
+                match volume.attached_to {
+                    Some(i) => Json::Int(i as i64),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Apply the wrong-status-code fault to a success response.
+    fn finish(&self, action: &str, response: RestResponse) -> RestResponse {
+        if response.status.is_success() {
+            if let Some(code) = self.faults.wrong_status(action) {
+                return RestResponse { status: StatusCode(code), ..response };
+            }
+        }
+        response
+    }
+
+    // ----- identity endpoints -------------------------------------------
+
+    fn handle_auth(&mut self, request: &RestRequest) -> RestResponse {
+        let Some(body) = &request.body else {
+            return RestResponse::error(StatusCode::BAD_REQUEST, "missing auth body");
+        };
+        let auth = body.get("auth").unwrap_or(body);
+        let (Some(user), Some(password)) = (
+            auth.get("user").and_then(Json::as_str),
+            auth.get("password").and_then(Json::as_str),
+        ) else {
+            return RestResponse::error(StatusCode::BAD_REQUEST, "missing user/password");
+        };
+        let project_id = auth
+            .get("project_id")
+            .and_then(Json::as_int)
+            .map_or(self.project_id, |v| v as u64);
+        match self.keystone.issue(&self.identity, user, password, project_id) {
+            Ok(info) => RestResponse::created(Self::token_json(&info)),
+            Err(cm_rbac::TokenError::UnknownProject(_)) => {
+                RestResponse::error(StatusCode::NOT_FOUND, "unknown project")
+            }
+            Err(_) => RestResponse::error(StatusCode::UNAUTHORIZED, "invalid credentials"),
+        }
+    }
+
+    fn token_json(info: &TokenInfo) -> Json {
+        Json::object(vec![(
+            "token",
+            Json::object(vec![
+                ("id", Json::Str(info.token.clone())),
+                ("user_id", Json::Int(info.user_id as i64)),
+                ("user", Json::Str(info.user_name.clone())),
+                ("project_id", Json::Int(info.project_id as i64)),
+                (
+                    "roles",
+                    Json::Array(info.roles.iter().map(|r| Json::Str(r.clone())).collect()),
+                ),
+                (
+                    "groups",
+                    Json::Array(info.groups.iter().map(|g| Json::Str(g.clone())).collect()),
+                ),
+            ]),
+        )])
+    }
+
+    fn handle_token_lookup(&self, token: &str) -> RestResponse {
+        match self.keystone.validate(&self.identity, token) {
+            Ok(info) => RestResponse::ok(Self::token_json(&info)),
+            Err(_) => RestResponse::error(StatusCode::NOT_FOUND, "unknown token"),
+        }
+    }
+
+    // ----- block-storage endpoints --------------------------------------
+
+    fn handle_project_get(&self, project_id: u64) -> RestResponse {
+        match self.identity.project(project_id) {
+            Some(p) => RestResponse::ok(Json::object(vec![(
+                "project",
+                Json::object(vec![
+                    ("id", Json::Int(p.id as i64)),
+                    ("name", Json::Str(p.name.clone())),
+                ]),
+            )])),
+            None => RestResponse::error(StatusCode::NOT_FOUND, "no such project"),
+        }
+    }
+
+    fn handle_volumes_list(&self, project_id: u64) -> RestResponse {
+        match self.state.project(project_id) {
+            Some(p) => RestResponse::ok(Json::object(vec![(
+                "volumes",
+                Json::Array(p.volumes.iter().map(Self::volume_json).collect()),
+            )])),
+            None => RestResponse::error(StatusCode::NOT_FOUND, "no such project"),
+        }
+    }
+
+    fn handle_volume_get(&self, project_id: u64, volume_id: u64) -> RestResponse {
+        match self.state.project(project_id).and_then(|p| p.volume(volume_id)) {
+            Some(v) => {
+                RestResponse::ok(Json::object(vec![("volume", Self::volume_json(v))]))
+            }
+            None => RestResponse::error(StatusCode::NOT_FOUND, "no such volume"),
+        }
+    }
+
+    fn handle_volume_create(&mut self, project_id: u64, request: &RestRequest) -> RestResponse {
+        let spec = request.body.as_ref().and_then(|b| b.get("volume"));
+        let name = spec
+            .and_then(|v| v.get("name"))
+            .and_then(Json::as_str)
+            .unwrap_or("volume")
+            .to_string();
+        let size = spec.and_then(|v| v.get("size")).and_then(Json::as_int).unwrap_or(1);
+        if self.faults.drops_state_change("volume:post") {
+            // Lost update: report success without creating anything.
+            return RestResponse::created(Json::object(vec![(
+                "volume",
+                Json::object(vec![("id", Json::Null), ("name", Json::Str(name))]),
+            )]));
+        }
+        match self.state.create_volume(project_id, name, size, self.faults.ignores_quota()) {
+            Ok(v) => RestResponse::created(Json::object(vec![("volume", Self::volume_json(v))])),
+            Err(StateError::QuotaExceeded { current, quota }) => RestResponse::error(
+                StatusCode::OVER_LIMIT,
+                format!("volume quota exceeded ({current}/{quota})"),
+            ),
+            Err(e) => RestResponse::error(StatusCode::NOT_FOUND, e.to_string()),
+        }
+    }
+
+    fn handle_volume_update(
+        &mut self,
+        project_id: u64,
+        volume_id: u64,
+        request: &RestRequest,
+    ) -> RestResponse {
+        let spec = request.body.as_ref().and_then(|b| b.get("volume"));
+        let name = spec
+            .and_then(|v| v.get("name"))
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        let size = spec.and_then(|v| v.get("size")).and_then(Json::as_int);
+        if self.faults.drops_state_change("volume:put") {
+            return self.handle_volume_get(project_id, volume_id);
+        }
+        match self.state.update_volume(project_id, volume_id, name, size) {
+            Ok(v) => RestResponse::ok(Json::object(vec![("volume", Self::volume_json(v))])),
+            Err(e) => RestResponse::error(StatusCode::NOT_FOUND, e.to_string()),
+        }
+    }
+
+    fn handle_volume_delete(&mut self, project_id: u64, volume_id: u64) -> RestResponse {
+        if self.faults.drops_state_change("volume:delete") {
+            return RestResponse::no_content();
+        }
+        match self.state.delete_volume(project_id, volume_id, self.faults.ignores_in_use()) {
+            Ok(_) => RestResponse::no_content(),
+            Err(StateError::VolumeInUse(id)) => {
+                RestResponse::error(StatusCode::CONFLICT, format!("volume {id} is in-use"))
+            }
+            Err(StateError::VolumeHasSnapshots(id)) => RestResponse::error(
+                StatusCode::CONFLICT,
+                format!("volume {id} still has snapshots"),
+            ),
+            Err(e) => RestResponse::error(StatusCode::NOT_FOUND, e.to_string()),
+        }
+    }
+
+    fn snapshot_json(snapshot: &crate::state::Snapshot) -> Json {
+        Json::object(vec![
+            ("id", Json::Int(snapshot.id as i64)),
+            ("name", Json::Str(snapshot.name.clone())),
+            ("volume_id", Json::Int(snapshot.volume_id as i64)),
+            ("status", Json::Str(snapshot.status.to_string())),
+        ])
+    }
+
+    fn handle_snapshots_list(&self, project_id: u64, volume_id: u64) -> RestResponse {
+        match self.state.project(project_id) {
+            Some(p) if p.volume(volume_id).is_some() => {
+                RestResponse::ok(Json::object(vec![(
+                    "snapshots",
+                    Json::Array(p.snapshots_of(volume_id).map(Self::snapshot_json).collect()),
+                )]))
+            }
+            _ => RestResponse::error(StatusCode::NOT_FOUND, "no such volume"),
+        }
+    }
+
+    fn handle_snapshot_get(
+        &self,
+        project_id: u64,
+        volume_id: u64,
+        snapshot_id: u64,
+    ) -> RestResponse {
+        match self
+            .state
+            .project(project_id)
+            .and_then(|p| p.snapshot(snapshot_id))
+            .filter(|s| s.volume_id == volume_id)
+        {
+            Some(snap) => {
+                RestResponse::ok(Json::object(vec![("snapshot", Self::snapshot_json(snap))]))
+            }
+            None => RestResponse::error(StatusCode::NOT_FOUND, "no such snapshot"),
+        }
+    }
+
+    fn handle_snapshot_create(
+        &mut self,
+        project_id: u64,
+        volume_id: u64,
+        request: &RestRequest,
+    ) -> RestResponse {
+        let name = request
+            .body
+            .as_ref()
+            .and_then(|b| b.get("snapshot"))
+            .and_then(|v| v.get("name"))
+            .and_then(Json::as_str)
+            .unwrap_or("snapshot")
+            .to_string();
+        if self.faults.drops_state_change("snapshot:post") {
+            return RestResponse::created(Json::object(vec![(
+                "snapshot",
+                Json::object(vec![("id", Json::Null), ("name", Json::Str(name))]),
+            )]));
+        }
+        match self.state.create_snapshot(project_id, volume_id, name) {
+            Ok(snap) => {
+                RestResponse::created(Json::object(vec![("snapshot", Self::snapshot_json(snap))]))
+            }
+            Err(e) => RestResponse::error(StatusCode::NOT_FOUND, e.to_string()),
+        }
+    }
+
+    fn handle_snapshot_delete(
+        &mut self,
+        project_id: u64,
+        volume_id: u64,
+        snapshot_id: u64,
+    ) -> RestResponse {
+        if self.faults.drops_state_change("snapshot:delete") {
+            return RestResponse::no_content();
+        }
+        let belongs = self
+            .state
+            .project(project_id)
+            .and_then(|p| p.snapshot(snapshot_id))
+            .is_some_and(|s| s.volume_id == volume_id);
+        if !belongs {
+            return RestResponse::error(StatusCode::NOT_FOUND, "no such snapshot");
+        }
+        match self.state.delete_snapshot(project_id, snapshot_id) {
+            Ok(_) => RestResponse::no_content(),
+            Err(e) => RestResponse::error(StatusCode::NOT_FOUND, e.to_string()),
+        }
+    }
+
+    fn handle_quota_get(&self, project_id: u64) -> RestResponse {
+        match self.state.project(project_id) {
+            Some(p) => RestResponse::ok(Json::object(vec![(
+                "quota_set",
+                Json::object(vec![("volume", Json::Int(i64::from(p.volume_quota)))]),
+            )])),
+            None => RestResponse::error(StatusCode::NOT_FOUND, "no such project"),
+        }
+    }
+
+    fn handle_quota_put(&mut self, project_id: u64, request: &RestRequest) -> RestResponse {
+        let quota = request
+            .body
+            .as_ref()
+            .and_then(|b| b.get("quota_set"))
+            .and_then(|q| q.get("volume"))
+            .and_then(Json::as_int);
+        let Some(quota) = quota else {
+            return RestResponse::error(StatusCode::BAD_REQUEST, "missing quota_set.volume");
+        };
+        if quota < 0 {
+            return RestResponse::error(StatusCode::BAD_REQUEST, "negative quota");
+        }
+        if self.state.set_quota(project_id, quota as u32) {
+            self.handle_quota_get(project_id)
+        } else {
+            RestResponse::error(StatusCode::NOT_FOUND, "no such project")
+        }
+    }
+
+    fn handle_usergroups_get(&self, project_id: u64) -> RestResponse {
+        match self.identity.project(project_id) {
+            Some(p) => RestResponse::ok(Json::object(vec![(
+                "usergroups",
+                Json::Array(
+                    p.groups
+                        .iter()
+                        .map(|g| {
+                            Json::object(vec![
+                                ("name", Json::Str(g.name.clone())),
+                                ("role", Json::Str(g.role.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )])),
+            None => RestResponse::error(StatusCode::NOT_FOUND, "no such project"),
+        }
+    }
+
+    // ----- compute endpoints --------------------------------------------
+
+    fn handle_server_create(&mut self, project_id: u64, request: &RestRequest) -> RestResponse {
+        let name = request
+            .body
+            .as_ref()
+            .and_then(|b| b.get("server"))
+            .and_then(|s| s.get("name"))
+            .and_then(Json::as_str)
+            .unwrap_or("server")
+            .to_string();
+        match self.state.create_instance(project_id, name) {
+            Some(id) => RestResponse::created(Json::object(vec![(
+                "server",
+                Json::object(vec![("id", Json::Int(id as i64))]),
+            )])),
+            None => RestResponse::error(StatusCode::NOT_FOUND, "no such project"),
+        }
+    }
+
+    fn handle_attach(
+        &mut self,
+        project_id: u64,
+        server_id: u64,
+        request: &RestRequest,
+        detach: bool,
+    ) -> RestResponse {
+        let volume_id = request
+            .body
+            .as_ref()
+            .and_then(|b| b.get("volume_id"))
+            .and_then(Json::as_int);
+        let Some(volume_id) = volume_id else {
+            return RestResponse::error(StatusCode::BAD_REQUEST, "missing volume_id");
+        };
+        let result = if detach {
+            self.state.detach(project_id, volume_id as u64)
+        } else {
+            self.state.attach(project_id, server_id, volume_id as u64)
+        };
+        match result {
+            Ok(()) => RestResponse::status(StatusCode::ACCEPTED),
+            Err(StateError::VolumeInUse(id)) => {
+                RestResponse::error(StatusCode::CONFLICT, format!("volume {id} is in-use"))
+            }
+            Err(e) => RestResponse::error(StatusCode::NOT_FOUND, e.to_string()),
+        }
+    }
+
+    /// Dispatch one request (the [`RestService`] entry point).
+    #[allow(clippy::too_many_lines)]
+    fn dispatch(&mut self, request: &RestRequest) -> RestResponse {
+        let segments: Vec<&str> =
+            request.path.split('/').filter(|s| !s.is_empty()).collect();
+
+        // Identity endpoints.
+        if segments.first() == Some(&"identity") {
+            return match (request.method, segments.as_slice()) {
+                (HttpMethod::Post, ["identity", "auth", "tokens"]) => self.handle_auth(request),
+                (HttpMethod::Get, ["identity", "tokens", token]) => {
+                    self.handle_token_lookup(token)
+                }
+                _ => RestResponse::error(StatusCode::NOT_FOUND, "no such identity endpoint"),
+            };
+        }
+
+        // Everything else requires a valid token.
+        let token = match self.validate_token(request) {
+            Ok(t) => t,
+            Err(resp) => return resp,
+        };
+
+        // Compute endpoints: /compute/{project_id}/servers…
+        if segments.first() == Some(&"compute") {
+            let Some(project_id) = segments.get(1).and_then(|s| s.parse::<u64>().ok())
+            else {
+                return RestResponse::error(StatusCode::BAD_REQUEST, "bad project id");
+            };
+            if token.project_id != project_id {
+                return RestResponse::error(StatusCode::FORBIDDEN, "token not scoped to project");
+            }
+            return match (request.method, &segments[2..]) {
+                (HttpMethod::Post, ["servers"]) => {
+                    if !self.authorize("server:post", &token) {
+                        return RestResponse::error(StatusCode::FORBIDDEN, "server:post denied");
+                    }
+                    let resp = self.handle_server_create(project_id, request);
+                    self.finish("server:post", resp)
+                }
+                (HttpMethod::Post, ["servers", sid, verb @ ("attach" | "detach")]) => {
+                    let action = format!("server:{verb}");
+                    if !self.authorize(&action, &token) {
+                        return RestResponse::error(
+                            StatusCode::FORBIDDEN,
+                            format!("{action} denied"),
+                        );
+                    }
+                    let Ok(server_id) = sid.parse::<u64>() else {
+                        return RestResponse::error(StatusCode::BAD_REQUEST, "bad server id");
+                    };
+                    let detach = *verb == "detach";
+                    let resp = self.handle_attach(project_id, server_id, request, detach);
+                    self.finish(&action, resp)
+                }
+                _ => RestResponse::error(StatusCode::NOT_FOUND, "no such compute endpoint"),
+            };
+        }
+
+        // Block-storage endpoints: /v3/{project_id}/…
+        if segments.first() != Some(&"v3") {
+            return RestResponse::error(StatusCode::NOT_FOUND, "no such service");
+        }
+        let Some(project_id) = segments.get(1).and_then(|s| s.parse::<u64>().ok()) else {
+            return RestResponse::error(StatusCode::BAD_REQUEST, "bad project id");
+        };
+        if token.project_id != project_id {
+            return RestResponse::error(StatusCode::FORBIDDEN, "token not scoped to project");
+        }
+
+        let (action, response) = match (request.method, &segments[2..]) {
+            (HttpMethod::Get, []) => {
+                let action = "project:get";
+                if !self.authorize(action, &token) {
+                    return RestResponse::error(StatusCode::FORBIDDEN, "project:get denied");
+                }
+                (action, self.handle_project_get(project_id))
+            }
+            (HttpMethod::Get, ["volumes"]) => {
+                let action = "volume:get";
+                if !self.authorize(action, &token) {
+                    return RestResponse::error(StatusCode::FORBIDDEN, "volume:get denied");
+                }
+                (action, self.handle_volumes_list(project_id))
+            }
+            (HttpMethod::Post, ["volumes"]) => {
+                let action = "volume:post";
+                if !self.authorize(action, &token) {
+                    return RestResponse::error(StatusCode::FORBIDDEN, "volume:post denied");
+                }
+                (action, self.handle_volume_create(project_id, request))
+            }
+            (method, ["volumes", vid, "snapshots"]) => {
+                let Ok(volume_id) = vid.parse::<u64>() else {
+                    return RestResponse::error(StatusCode::BAD_REQUEST, "bad volume id");
+                };
+                match method {
+                    HttpMethod::Get => {
+                        let action = "snapshot:get";
+                        if !self.authorize(action, &token) {
+                            return RestResponse::error(
+                                StatusCode::FORBIDDEN,
+                                "snapshot:get denied",
+                            );
+                        }
+                        (action, self.handle_snapshots_list(project_id, volume_id))
+                    }
+                    HttpMethod::Post => {
+                        let action = "snapshot:post";
+                        if !self.authorize(action, &token) {
+                            return RestResponse::error(
+                                StatusCode::FORBIDDEN,
+                                "snapshot:post denied",
+                            );
+                        }
+                        (action, self.handle_snapshot_create(project_id, volume_id, request))
+                    }
+                    _ => {
+                        return RestResponse::error(
+                            StatusCode::METHOD_NOT_ALLOWED,
+                            "only GET/POST allowed on the snapshots collection",
+                        )
+                    }
+                }
+            }
+            (method, ["volumes", vid, "snapshots", sid]) => {
+                let (Ok(volume_id), Ok(snapshot_id)) =
+                    (vid.parse::<u64>(), sid.parse::<u64>())
+                else {
+                    return RestResponse::error(StatusCode::BAD_REQUEST, "bad id");
+                };
+                match method {
+                    HttpMethod::Get => {
+                        let action = "snapshot:get";
+                        if !self.authorize(action, &token) {
+                            return RestResponse::error(
+                                StatusCode::FORBIDDEN,
+                                "snapshot:get denied",
+                            );
+                        }
+                        (action, self.handle_snapshot_get(project_id, volume_id, snapshot_id))
+                    }
+                    HttpMethod::Delete => {
+                        let action = "snapshot:delete";
+                        if !self.authorize(action, &token) {
+                            return RestResponse::error(
+                                StatusCode::FORBIDDEN,
+                                "snapshot:delete denied",
+                            );
+                        }
+                        (
+                            action,
+                            self.handle_snapshot_delete(project_id, volume_id, snapshot_id),
+                        )
+                    }
+                    _ => {
+                        return RestResponse::error(
+                            StatusCode::METHOD_NOT_ALLOWED,
+                            "only GET/DELETE allowed on a snapshot",
+                        )
+                    }
+                }
+            }
+            (method, ["volumes", vid]) => {
+                let Ok(volume_id) = vid.parse::<u64>() else {
+                    return RestResponse::error(StatusCode::BAD_REQUEST, "bad volume id");
+                };
+                match method {
+                    HttpMethod::Get => {
+                        let action = "volume:get";
+                        if !self.authorize(action, &token) {
+                            return RestResponse::error(
+                                StatusCode::FORBIDDEN,
+                                "volume:get denied",
+                            );
+                        }
+                        (action, self.handle_volume_get(project_id, volume_id))
+                    }
+                    HttpMethod::Put => {
+                        let action = "volume:put";
+                        if !self.authorize(action, &token) {
+                            return RestResponse::error(
+                                StatusCode::FORBIDDEN,
+                                "volume:put denied",
+                            );
+                        }
+                        (action, self.handle_volume_update(project_id, volume_id, request))
+                    }
+                    HttpMethod::Delete => {
+                        let action = "volume:delete";
+                        if !self.authorize(action, &token) {
+                            return RestResponse::error(
+                                StatusCode::FORBIDDEN,
+                                "volume:delete denied",
+                            );
+                        }
+                        (action, self.handle_volume_delete(project_id, volume_id))
+                    }
+                    HttpMethod::Post => {
+                        return RestResponse::error(
+                            StatusCode::METHOD_NOT_ALLOWED,
+                            "POST not allowed on a volume item",
+                        )
+                    }
+                }
+            }
+            (HttpMethod::Get, ["quota_sets"]) => {
+                let action = "quota_sets:get";
+                if !self.authorize(action, &token) {
+                    return RestResponse::error(StatusCode::FORBIDDEN, "quota_sets:get denied");
+                }
+                (action, self.handle_quota_get(project_id))
+            }
+            (HttpMethod::Put, ["quota_sets"]) => {
+                let action = "quota_sets:put";
+                if !self.authorize(action, &token) {
+                    return RestResponse::error(StatusCode::FORBIDDEN, "quota_sets:put denied");
+                }
+                (action, self.handle_quota_put(project_id, request))
+            }
+            (HttpMethod::Get, ["usergroup"]) => {
+                let action = "usergroup:get";
+                if !self.authorize(action, &token) {
+                    return RestResponse::error(StatusCode::FORBIDDEN, "usergroup:get denied");
+                }
+                (action, self.handle_usergroups_get(project_id))
+            }
+            _ => return RestResponse::error(StatusCode::NOT_FOUND, "no such endpoint"),
+        };
+        self.finish(action, response)
+    }
+
+}
+
+impl RestService for PrivateCloud {
+    fn handle(&mut self, request: &RestRequest) -> RestResponse {
+        self.dispatch(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::Fault;
+
+    fn authed(cloud: &mut PrivateCloud, user: &str) -> String {
+        cloud.issue_token(user, &format!("{user}-pw")).unwrap().token
+    }
+
+    fn get(cloud: &mut PrivateCloud, token: &str, path: &str) -> RestResponse {
+        cloud.handle(&RestRequest::new(HttpMethod::Get, path).auth_token(token))
+    }
+
+    fn post(cloud: &mut PrivateCloud, token: &str, path: &str, body: Json) -> RestResponse {
+        cloud.handle(&RestRequest::new(HttpMethod::Post, path).auth_token(token).json(body))
+    }
+
+    fn delete(cloud: &mut PrivateCloud, token: &str, path: &str) -> RestResponse {
+        cloud.handle(&RestRequest::new(HttpMethod::Delete, path).auth_token(token))
+    }
+
+    fn volume_body(name: &str, size: i64) -> Json {
+        Json::object(vec![(
+            "volume",
+            Json::object(vec![("name", Json::Str(name.into())), ("size", Json::Int(size))]),
+        )])
+    }
+
+    #[test]
+    fn auth_endpoint_issues_tokens() {
+        let mut cloud = PrivateCloud::my_project();
+        let resp = cloud.handle(
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(
+                vec![(
+                    "auth",
+                    Json::object(vec![
+                        ("user", Json::Str("alice".into())),
+                        ("password", Json::Str("alice-pw".into())),
+                    ]),
+                )],
+            )),
+        );
+        assert_eq!(resp.status, StatusCode::CREATED);
+        let token = resp.body.unwrap();
+        let roles = token.get("token").unwrap().get("roles").unwrap();
+        assert_eq!(roles.at(0).unwrap().as_str(), Some("admin"));
+    }
+
+    #[test]
+    fn bad_credentials_rejected() {
+        let mut cloud = PrivateCloud::my_project();
+        let resp = cloud.handle(
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(
+                vec![(
+                    "auth",
+                    Json::object(vec![
+                        ("user", Json::Str("alice".into())),
+                        ("password", Json::Str("wrong".into())),
+                    ]),
+                )],
+            )),
+        );
+        assert_eq!(resp.status, StatusCode::UNAUTHORIZED);
+    }
+
+    #[test]
+    fn token_lookup_endpoint() {
+        let mut cloud = PrivateCloud::my_project();
+        let tok = authed(&mut cloud, "bob");
+        let resp = get(&mut cloud, &tok, &format!("/identity/tokens/{tok}"));
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(
+            resp.body
+                .unwrap()
+                .get("token")
+                .unwrap()
+                .get("user")
+                .unwrap()
+                .as_str(),
+            Some("bob")
+        );
+    }
+
+    #[test]
+    fn requests_without_token_are_401() {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let resp = cloud.handle(&RestRequest::new(HttpMethod::Get, format!("/v3/{pid}")));
+        assert_eq!(resp.status, StatusCode::UNAUTHORIZED);
+    }
+
+    #[test]
+    fn volume_lifecycle_as_admin() {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let tok = authed(&mut cloud, "alice");
+
+        // create
+        let resp = post(&mut cloud, &tok, &format!("/v3/{pid}/volumes"), volume_body("data", 10));
+        assert_eq!(resp.status, StatusCode::CREATED);
+        let vid = resp
+            .body
+            .unwrap()
+            .get("volume")
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_int()
+            .unwrap();
+
+        // list and get
+        let list = get(&mut cloud, &tok, &format!("/v3/{pid}/volumes"));
+        assert_eq!(list.body.unwrap().get("volumes").unwrap().as_array().unwrap().len(), 1);
+        let item = get(&mut cloud, &tok, &format!("/v3/{pid}/volumes/{vid}"));
+        assert_eq!(
+            item.body.unwrap().get("volume").unwrap().get("status").unwrap().as_str(),
+            Some("available")
+        );
+
+        // update
+        let upd = cloud.handle(
+            &RestRequest::new(HttpMethod::Put, format!("/v3/{pid}/volumes/{vid}"))
+                .auth_token(&tok)
+                .json(volume_body("renamed", 20)),
+        );
+        assert_eq!(upd.status, StatusCode::OK);
+
+        // delete
+        let del = delete(&mut cloud, &tok, &format!("/v3/{pid}/volumes/{vid}"));
+        assert_eq!(del.status, StatusCode::NO_CONTENT);
+        let gone = get(&mut cloud, &tok, &format!("/v3/{pid}/volumes/{vid}"));
+        assert_eq!(gone.status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn table1_authorization_enforced() {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let admin = authed(&mut cloud, "alice");
+        let member = authed(&mut cloud, "bob");
+        let user = authed(&mut cloud, "carol");
+
+        // SecReq 1.3: POST permitted for admin+member, denied for user.
+        assert_eq!(
+            post(&mut cloud, &member, &format!("/v3/{pid}/volumes"), volume_body("v", 1)).status,
+            StatusCode::CREATED
+        );
+        assert_eq!(
+            post(&mut cloud, &user, &format!("/v3/{pid}/volumes"), volume_body("v", 1)).status,
+            StatusCode::FORBIDDEN
+        );
+
+        // SecReq 1.1: GET permitted for all three roles.
+        for tok in [&admin, &member, &user] {
+            assert_eq!(
+                get(&mut cloud, tok, &format!("/v3/{pid}/volumes")).status,
+                StatusCode::OK
+            );
+        }
+
+        // SecReq 1.4: DELETE only for admin.
+        let vid = 1;
+        assert_eq!(
+            delete(&mut cloud, &member, &format!("/v3/{pid}/volumes/{vid}")).status,
+            StatusCode::FORBIDDEN
+        );
+        assert_eq!(
+            delete(&mut cloud, &user, &format!("/v3/{pid}/volumes/{vid}")).status,
+            StatusCode::FORBIDDEN
+        );
+        assert_eq!(
+            delete(&mut cloud, &admin, &format!("/v3/{pid}/volumes/{vid}")).status,
+            StatusCode::NO_CONTENT
+        );
+    }
+
+    #[test]
+    fn quota_enforced_and_fault_bypasses() {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let tok = authed(&mut cloud, "alice");
+        for i in 0..DEFAULT_VOLUME_QUOTA {
+            assert_eq!(
+                post(&mut cloud, &tok, &format!("/v3/{pid}/volumes"), volume_body(&format!("v{i}"), 1))
+                    .status,
+                StatusCode::CREATED
+            );
+        }
+        assert_eq!(
+            post(&mut cloud, &tok, &format!("/v3/{pid}/volumes"), volume_body("over", 1)).status,
+            StatusCode::OVER_LIMIT
+        );
+
+        // Same scenario on a quota-ignoring mutant succeeds (wrongly).
+        let mut mutant = PrivateCloud::my_project().with_faults(FaultPlan::single(Fault::IgnoreQuota));
+        let pid2 = mutant.project_id();
+        let tok2 = authed(&mut mutant, "alice");
+        for i in 0..=DEFAULT_VOLUME_QUOTA {
+            assert_eq!(
+                post(&mut mutant, &tok2, &format!("/v3/{pid2}/volumes"), volume_body(&format!("v{i}"), 1))
+                    .status,
+                StatusCode::CREATED
+            );
+        }
+    }
+
+    #[test]
+    fn delete_in_use_conflicts() {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let tok = authed(&mut cloud, "alice");
+        let resp = post(&mut cloud, &tok, &format!("/v3/{pid}/volumes"), volume_body("v", 1));
+        let vid =
+            resp.body.unwrap().get("volume").unwrap().get("id").unwrap().as_int().unwrap();
+        let server =
+            post(&mut cloud, &tok, &format!("/compute/{pid}/servers"), Json::object(vec![(
+                "server",
+                Json::object(vec![("name", Json::Str("s1".into()))]),
+            )]));
+        assert_eq!(server.status, StatusCode::CREATED);
+        let iid = server
+            .body
+            .unwrap()
+            .get("server")
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_int()
+            .unwrap() as u64;
+        let attach = post(
+            &mut cloud,
+            &tok,
+            &format!("/compute/{pid}/servers/{iid}/attach"),
+            Json::object(vec![("volume_id", Json::Int(vid))]),
+        );
+        assert_eq!(attach.status, StatusCode::ACCEPTED);
+        assert_eq!(
+            delete(&mut cloud, &tok, &format!("/v3/{pid}/volumes/{vid}")).status,
+            StatusCode::CONFLICT
+        );
+        // Detach, then delete succeeds.
+        let detach = post(
+            &mut cloud,
+            &tok,
+            &format!("/compute/{pid}/servers/{iid}/detach"),
+            Json::object(vec![("volume_id", Json::Int(vid))]),
+        );
+        assert_eq!(detach.status, StatusCode::ACCEPTED);
+        assert_eq!(
+            delete(&mut cloud, &tok, &format!("/v3/{pid}/volumes/{vid}")).status,
+            StatusCode::NO_CONTENT
+        );
+    }
+
+    #[test]
+    fn policy_override_fault_lets_member_delete() {
+        let plan = FaultPlan::single(Fault::PolicyOverride {
+            action: "volume:delete".into(),
+            rule: Rule::any_role(["admin", "member"]),
+        });
+        let mut mutant = PrivateCloud::my_project().with_faults(plan);
+        let pid = mutant.project_id();
+        let admin = authed(&mut mutant, "alice");
+        let member = authed(&mut mutant, "bob");
+        let resp = post(&mut mutant, &admin, &format!("/v3/{pid}/volumes"), volume_body("v", 1));
+        let vid =
+            resp.body.unwrap().get("volume").unwrap().get("id").unwrap().as_int().unwrap();
+        // The mutant wrongly allows member to delete — SecReq 1.4 violated.
+        assert_eq!(
+            delete(&mut mutant, &member, &format!("/v3/{pid}/volumes/{vid}")).status,
+            StatusCode::NO_CONTENT
+        );
+    }
+
+    #[test]
+    fn invert_auth_fault_flips_decisions() {
+        let plan = FaultPlan::single(Fault::InvertAuthCheck { action: "volume:get".into() });
+        let mut mutant = PrivateCloud::my_project().with_faults(plan);
+        let pid = mutant.project_id();
+        let admin = authed(&mut mutant, "alice");
+        assert_eq!(
+            get(&mut mutant, &admin, &format!("/v3/{pid}/volumes")).status,
+            StatusCode::FORBIDDEN
+        );
+    }
+
+    #[test]
+    fn wrong_status_fault_changes_success_code() {
+        let plan = FaultPlan::single(Fault::WrongStatusCode {
+            action: "volume:delete".into(),
+            code: 200,
+        });
+        let mut mutant = PrivateCloud::my_project().with_faults(plan);
+        let pid = mutant.project_id();
+        let tok = authed(&mut mutant, "alice");
+        let resp = post(&mut mutant, &tok, &format!("/v3/{pid}/volumes"), volume_body("v", 1));
+        let vid =
+            resp.body.unwrap().get("volume").unwrap().get("id").unwrap().as_int().unwrap();
+        assert_eq!(
+            delete(&mut mutant, &tok, &format!("/v3/{pid}/volumes/{vid}")).status,
+            StatusCode::OK // wrong: should be 204
+        );
+    }
+
+    #[test]
+    fn drop_state_change_fault_reports_false_success() {
+        let plan =
+            FaultPlan::single(Fault::DropStateChange { action: "volume:post".into() });
+        let mut mutant = PrivateCloud::my_project().with_faults(plan);
+        let pid = mutant.project_id();
+        let tok = authed(&mut mutant, "alice");
+        let resp = post(&mut mutant, &tok, &format!("/v3/{pid}/volumes"), volume_body("v", 1));
+        assert_eq!(resp.status, StatusCode::CREATED);
+        assert!(mutant.state().project(pid).unwrap().volumes.is_empty());
+    }
+
+    #[test]
+    fn cross_project_token_is_forbidden() {
+        let mut cloud = PrivateCloud::my_project();
+        let tok = authed(&mut cloud, "alice");
+        let resp = get(&mut cloud, &tok, "/v3/99/volumes");
+        assert_eq!(resp.status, StatusCode::FORBIDDEN);
+    }
+
+    #[test]
+    fn quota_sets_put_requires_admin() {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let member = authed(&mut cloud, "bob");
+        let admin = authed(&mut cloud, "alice");
+        let body = Json::object(vec![(
+            "quota_set",
+            Json::object(vec![("volume", Json::Int(10))]),
+        )]);
+        let denied = cloud.handle(
+            &RestRequest::new(HttpMethod::Put, format!("/v3/{pid}/quota_sets"))
+                .auth_token(&member)
+                .json(body.clone()),
+        );
+        assert_eq!(denied.status, StatusCode::FORBIDDEN);
+        let ok = cloud.handle(
+            &RestRequest::new(HttpMethod::Put, format!("/v3/{pid}/quota_sets"))
+                .auth_token(&admin)
+                .json(body),
+        );
+        assert_eq!(ok.status, StatusCode::OK);
+        assert_eq!(cloud.state().project(pid).unwrap().volume_quota, 10);
+    }
+
+    #[test]
+    fn unknown_paths_are_404() {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let tok = authed(&mut cloud, "alice");
+        assert_eq!(
+            get(&mut cloud, &tok, &format!("/v3/{pid}/servers")).status,
+            StatusCode::NOT_FOUND
+        );
+        assert_eq!(get(&mut cloud, &tok, "/v2/1").status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn post_on_volume_item_is_405() {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let tok = authed(&mut cloud, "alice");
+        let resp = post(&mut cloud, &tok, &format!("/v3/{pid}/volumes/1"), Json::Null);
+        assert_eq!(resp.status, StatusCode::METHOD_NOT_ALLOWED);
+    }
+
+    #[test]
+    fn usergroups_listed() {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let tok = authed(&mut cloud, "carol");
+        let resp = get(&mut cloud, &tok, &format!("/v3/{pid}/usergroup"));
+        let groups = resp.body.unwrap();
+        assert_eq!(groups.get("usergroups").unwrap().as_array().unwrap().len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod snapshot_endpoint_tests {
+    use super::*;
+
+    fn setup() -> (PrivateCloud, u64, String, String, u64) {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
+        let user = cloud.issue_token("carol", "carol-pw").unwrap().token;
+        let vid = cloud.state_mut().create_volume(pid, "v", 1, false).unwrap().id;
+        (cloud, pid, admin, user, vid)
+    }
+
+    fn snap_body(name: &str) -> Json {
+        Json::object(vec![(
+            "snapshot",
+            Json::object(vec![("name", Json::Str(name.into()))]),
+        )])
+    }
+
+    #[test]
+    fn snapshot_lifecycle() {
+        let (mut cloud, pid, admin, _, vid) = setup();
+        let create = cloud.handle(
+            &RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes/{vid}/snapshots"))
+                .auth_token(&admin)
+                .json(snap_body("s1")),
+        );
+        assert_eq!(create.status, StatusCode::CREATED);
+        let sid = create
+            .body
+            .unwrap()
+            .get("snapshot")
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_int()
+            .unwrap();
+
+        let list = cloud.handle(
+            &RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/{vid}/snapshots"))
+                .auth_token(&admin),
+        );
+        assert_eq!(
+            list.body.unwrap().get("snapshots").unwrap().as_array().unwrap().len(),
+            1
+        );
+
+        let item = cloud.handle(
+            &RestRequest::new(
+                HttpMethod::Get,
+                format!("/v3/{pid}/volumes/{vid}/snapshots/{sid}"),
+            )
+            .auth_token(&admin),
+        );
+        assert_eq!(item.status, StatusCode::OK);
+
+        // Volume with a snapshot cannot be deleted (409).
+        let vol_del = cloud.handle(
+            &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
+                .auth_token(&admin),
+        );
+        assert_eq!(vol_del.status, StatusCode::CONFLICT);
+
+        let del = cloud.handle(
+            &RestRequest::new(
+                HttpMethod::Delete,
+                format!("/v3/{pid}/volumes/{vid}/snapshots/{sid}"),
+            )
+            .auth_token(&admin),
+        );
+        assert_eq!(del.status, StatusCode::NO_CONTENT);
+        let gone = cloud.handle(
+            &RestRequest::new(
+                HttpMethod::Get,
+                format!("/v3/{pid}/volumes/{vid}/snapshots/{sid}"),
+            )
+            .auth_token(&admin),
+        );
+        assert_eq!(gone.status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn snapshot_authorization() {
+        let (mut cloud, pid, admin, user, vid) = setup();
+        // carol (role user) may list but not create or delete.
+        let list = cloud.handle(
+            &RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/{vid}/snapshots"))
+                .auth_token(&user),
+        );
+        assert_eq!(list.status, StatusCode::OK);
+        let denied_create = cloud.handle(
+            &RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes/{vid}/snapshots"))
+                .auth_token(&user)
+                .json(snap_body("x")),
+        );
+        assert_eq!(denied_create.status, StatusCode::FORBIDDEN);
+        let sid = {
+            let resp = cloud.handle(
+                &RestRequest::new(
+                    HttpMethod::Post,
+                    format!("/v3/{pid}/volumes/{vid}/snapshots"),
+                )
+                .auth_token(&admin)
+                .json(snap_body("s")),
+            );
+            resp.body.unwrap().get("snapshot").unwrap().get("id").unwrap().as_int().unwrap()
+        };
+        let denied_delete = cloud.handle(
+            &RestRequest::new(
+                HttpMethod::Delete,
+                format!("/v3/{pid}/volumes/{vid}/snapshots/{sid}"),
+            )
+            .auth_token(&user),
+        );
+        assert_eq!(denied_delete.status, StatusCode::FORBIDDEN);
+    }
+
+    #[test]
+    fn snapshot_of_wrong_volume_is_404() {
+        let (mut cloud, pid, admin, _, vid) = setup();
+        let vid2 = cloud.state_mut().create_volume(pid, "w", 1, false).unwrap().id;
+        let sid = cloud.state_mut().create_snapshot(pid, vid, "s").unwrap().id;
+        let wrong = cloud.handle(
+            &RestRequest::new(
+                HttpMethod::Get,
+                format!("/v3/{pid}/volumes/{vid2}/snapshots/{sid}"),
+            )
+            .auth_token(&admin),
+        );
+        assert_eq!(wrong.status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn put_on_snapshots_is_405() {
+        let (mut cloud, pid, admin, _, vid) = setup();
+        let resp = cloud.handle(
+            &RestRequest::new(HttpMethod::Put, format!("/v3/{pid}/volumes/{vid}/snapshots"))
+                .auth_token(&admin),
+        );
+        assert_eq!(resp.status, StatusCode::METHOD_NOT_ALLOWED);
+    }
+}
+
+#[cfg(test)]
+mod expiry_endpoint_tests {
+    use super::*;
+
+    #[test]
+    fn expired_tokens_get_401() {
+        let mut cloud = PrivateCloud::my_project().with_token_lifetime(10);
+        let pid = cloud.project_id();
+        let tok = cloud.issue_token("alice", "alice-pw").unwrap().token;
+        let ok = cloud.handle(
+            &RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes")).auth_token(&tok),
+        );
+        assert_eq!(ok.status, StatusCode::OK);
+        cloud.advance_time(10);
+        let expired = cloud.handle(
+            &RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes")).auth_token(&tok),
+        );
+        assert_eq!(expired.status, StatusCode::UNAUTHORIZED);
+        // Re-authentication recovers.
+        let fresh = cloud.issue_token("alice", "alice-pw").unwrap().token;
+        let again = cloud.handle(
+            &RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes")).auth_token(&fresh),
+        );
+        assert_eq!(again.status, StatusCode::OK);
+    }
+}
+
+#[cfg(test)]
+mod dispatch_edge_tests {
+    use super::*;
+
+    fn authed_cloud() -> (PrivateCloud, u64, String) {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let tok = cloud.issue_token("alice", "alice-pw").unwrap().token;
+        (cloud, pid, tok)
+    }
+
+    #[test]
+    fn bad_ids_are_400() {
+        let (mut cloud, pid, tok) = authed_cloud();
+        for path in [
+            "/v3/not-a-number/volumes".to_string(),
+            format!("/v3/{pid}/volumes/abc"),
+            format!("/v3/{pid}/volumes/1/snapshots/xyz"),
+        ] {
+            let resp =
+                cloud.handle(&RestRequest::new(HttpMethod::Get, path.clone()).auth_token(&tok));
+            assert_eq!(resp.status, StatusCode::BAD_REQUEST, "{path}");
+        }
+    }
+
+    #[test]
+    fn compute_requires_matching_project_scope() {
+        let (mut cloud, _pid, tok) = authed_cloud();
+        let resp = cloud.handle(
+            &RestRequest::new(HttpMethod::Post, "/compute/99/servers")
+                .auth_token(&tok)
+                .json(Json::object(vec![(
+                    "server",
+                    Json::object(vec![("name", Json::Str("s".into()))]),
+                )])),
+        );
+        assert_eq!(resp.status, StatusCode::FORBIDDEN);
+    }
+
+    #[test]
+    fn attach_missing_volume_id_is_400() {
+        let (mut cloud, pid, tok) = authed_cloud();
+        let iid = cloud.state_mut().create_instance(pid, "s").unwrap();
+        let resp = cloud.handle(
+            &RestRequest::new(HttpMethod::Post, format!("/compute/{pid}/servers/{iid}/attach"))
+                .auth_token(&tok)
+                .json(Json::object(vec![("nonsense", Json::Null)])),
+        );
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+    }
+
+    #[test]
+    fn detach_unattached_volume_is_404() {
+        let (mut cloud, pid, tok) = authed_cloud();
+        let vid = cloud.state_mut().create_volume(pid, "v", 1, false).unwrap().id;
+        let iid = cloud.state_mut().create_instance(pid, "s").unwrap();
+        let resp = cloud.handle(
+            &RestRequest::new(HttpMethod::Post, format!("/compute/{pid}/servers/{iid}/detach"))
+                .auth_token(&tok)
+                .json(Json::object(vec![("volume_id", Json::Int(vid as i64))])),
+        );
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn quota_put_rejects_garbage() {
+        let (mut cloud, pid, tok) = authed_cloud();
+        for body in [
+            Json::object(vec![("quota_set", Json::Null)]),
+            Json::object(vec![(
+                "quota_set",
+                Json::object(vec![("volume", Json::Int(-3))]),
+            )]),
+        ] {
+            let resp = cloud.handle(
+                &RestRequest::new(HttpMethod::Put, format!("/v3/{pid}/quota_sets"))
+                    .auth_token(&tok)
+                    .json(body),
+            );
+            assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        }
+    }
+
+    #[test]
+    fn auth_endpoint_rejects_malformed_bodies() {
+        let mut cloud = PrivateCloud::my_project();
+        let no_body =
+            cloud.handle(&RestRequest::new(HttpMethod::Post, "/identity/auth/tokens"));
+        assert_eq!(no_body.status, StatusCode::BAD_REQUEST);
+        let missing_fields = cloud.handle(
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens")
+                .json(Json::object(vec![("auth", Json::object(vec![("user", Json::Str("alice".into()))]))])),
+        );
+        assert_eq!(missing_fields.status, StatusCode::BAD_REQUEST);
+        let unknown_project = cloud.handle(
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(
+                vec![(
+                    "auth",
+                    Json::object(vec![
+                        ("user", Json::Str("alice".into())),
+                        ("password", Json::Str("alice-pw".into())),
+                        ("project_id", Json::Int(42)),
+                    ]),
+                )],
+            )),
+        );
+        assert_eq!(unknown_project.status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn unknown_identity_endpoint_is_404() {
+        let mut cloud = PrivateCloud::my_project();
+        let resp =
+            cloud.handle(&RestRequest::new(HttpMethod::Get, "/identity/users/alice"));
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+    }
+}

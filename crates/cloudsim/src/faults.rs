@@ -1,0 +1,230 @@
+//! Fault injection: the "mutants" of the paper's Section VI-D.
+//!
+//! The paper validates its monitor by systematically introducing errors
+//! "in the cloud implementation to detect wrong authorization on
+//! resources" — all three injected mutants were killed. A [`FaultPlan`]
+//! describes such an implementation error declaratively; the simulated
+//! cloud consults it on every request, so a mutant cloud is just
+//! `cloud.with_faults(plan)`. The `cm-mutation` crate enumerates plans as
+//! mutation operators and runs the kill campaign.
+
+use cm_rbac::Rule;
+use std::fmt;
+
+/// A single injected implementation fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Replace the policy rule for an action (e.g. `volume:delete`
+    /// suddenly permits `member` — the classic wrong-authorization bug).
+    PolicyOverride {
+        /// Action name, e.g. `volume:delete`.
+        action: String,
+        /// The (wrong) rule to enforce instead.
+        rule: Rule,
+    },
+    /// Skip the authorization check for an action entirely (developer
+    /// forgot the check).
+    SkipAuthCheck {
+        /// Action name.
+        action: String,
+    },
+    /// Invert the authorization decision for an action (classic negation
+    /// bug: `if allowed` vs `if !allowed`).
+    InvertAuthCheck {
+        /// Action name.
+        action: String,
+    },
+    /// Ignore the volume-quota functional check on create.
+    IgnoreQuota,
+    /// Ignore the `in-use` functional check on delete.
+    IgnoreInUse,
+    /// Respond with a wrong success status code for an action (e.g. 200
+    /// instead of 204 on DELETE).
+    WrongStatusCode {
+        /// Action name.
+        action: String,
+        /// Code to send instead of the correct one.
+        code: u16,
+    },
+    /// Report success for an action without actually performing the state
+    /// change (lost update).
+    DropStateChange {
+        /// Action name.
+        action: String,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::PolicyOverride { action, rule } => {
+                write!(f, "policy-override({action} := {rule})")
+            }
+            Fault::SkipAuthCheck { action } => write!(f, "skip-auth({action})"),
+            Fault::InvertAuthCheck { action } => write!(f, "invert-auth({action})"),
+            Fault::IgnoreQuota => write!(f, "ignore-quota"),
+            Fault::IgnoreInUse => write!(f, "ignore-in-use"),
+            Fault::WrongStatusCode { action, code } => {
+                write!(f, "wrong-status({action} -> {code})")
+            }
+            Fault::DropStateChange { action } => write!(f, "drop-state-change({action})"),
+        }
+    }
+}
+
+/// A set of injected faults (usually a single one per mutant).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a correct cloud.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with a single fault.
+    #[must_use]
+    pub fn single(fault: Fault) -> Self {
+        FaultPlan { faults: vec![fault] }
+    }
+
+    /// Add a fault (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// True when no faults are injected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// All faults.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The policy override for `action`, if any.
+    #[must_use]
+    pub fn policy_override(&self, action: &str) -> Option<&Rule> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::PolicyOverride { action: a, rule } if a == action => Some(rule),
+            _ => None,
+        })
+    }
+
+    /// Whether the auth check for `action` is skipped.
+    #[must_use]
+    pub fn skips_auth(&self, action: &str) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::SkipAuthCheck { action: a } if a == action))
+    }
+
+    /// Whether the auth decision for `action` is inverted.
+    #[must_use]
+    pub fn inverts_auth(&self, action: &str) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::InvertAuthCheck { action: a } if a == action))
+    }
+
+    /// Whether the quota check is disabled.
+    #[must_use]
+    pub fn ignores_quota(&self) -> bool {
+        self.faults.iter().any(|f| matches!(f, Fault::IgnoreQuota))
+    }
+
+    /// Whether the in-use check is disabled.
+    #[must_use]
+    pub fn ignores_in_use(&self) -> bool {
+        self.faults.iter().any(|f| matches!(f, Fault::IgnoreInUse))
+    }
+
+    /// The wrong status code configured for `action`, if any.
+    #[must_use]
+    pub fn wrong_status(&self, action: &str) -> Option<u16> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::WrongStatusCode { action: a, code } if a == action => Some(*code),
+            _ => None,
+        })
+    }
+
+    /// Whether state changes for `action` are silently dropped.
+    #[must_use]
+    pub fn drops_state_change(&self, action: &str) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::DropStateChange { action: a } if a == action))
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return write!(f, "no faults");
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_has_no_effects() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.skips_auth("volume:delete"));
+        assert!(!p.inverts_auth("volume:delete"));
+        assert!(!p.ignores_quota());
+        assert!(!p.ignores_in_use());
+        assert!(p.policy_override("volume:delete").is_none());
+        assert!(p.wrong_status("volume:delete").is_none());
+    }
+
+    #[test]
+    fn single_fault_queries() {
+        let p = FaultPlan::single(Fault::PolicyOverride {
+            action: "volume:delete".into(),
+            rule: Rule::role("member"),
+        });
+        assert_eq!(p.policy_override("volume:delete"), Some(&Rule::role("member")));
+        assert!(p.policy_override("volume:get").is_none());
+    }
+
+    #[test]
+    fn composite_plan() {
+        let p = FaultPlan::none()
+            .with(Fault::IgnoreQuota)
+            .with(Fault::SkipAuthCheck { action: "volume:post".into() });
+        assert!(p.ignores_quota());
+        assert!(p.skips_auth("volume:post"));
+        assert!(!p.skips_auth("volume:delete"));
+        assert_eq!(p.faults().len(), 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = FaultPlan::single(Fault::WrongStatusCode {
+            action: "volume:delete".into(),
+            code: 200,
+        });
+        assert!(p.to_string().contains("volume:delete"));
+        assert!(p.to_string().contains("200"));
+        assert_eq!(FaultPlan::none().to_string(), "no faults");
+    }
+}

@@ -1,0 +1,48 @@
+//! # cm-cloudsim — an OpenStack-like private cloud simulator
+//!
+//! The paper validates its monitor against a two-node OpenStack Newton
+//! deployment (Keystone + Cinder). This crate substitutes that testbed
+//! with an in-process simulator exposing the same observable surface —
+//! URIs, methods, status codes, JSON bodies and `policy.json` RBAC
+//! semantics — which is all the monitor ever sees:
+//!
+//! * [`CloudState`] — the data plane: volumes, instances, quotas
+//!   (create/delete/attach with the quota and `in-use` rules the paper's
+//!   guards talk about);
+//! * [`PrivateCloud`] — Keystone token endpoints, the Cinder-style
+//!   `/v3/{project_id}/volumes` API, `quota_sets`, `usergroup` and a
+//!   Nova-lite `/compute` API, all behind Table I authorization;
+//! * [`FaultPlan`]/[`Fault`] — declarative implementation errors (wrong
+//!   role in policy, missing/inverted checks, wrong status codes, lost
+//!   updates) reproducing and generalising the paper's three mutants.
+//!
+//! ## Example
+//!
+//! ```
+//! use cm_cloudsim::PrivateCloud;
+//! use cm_model::HttpMethod;
+//! use cm_rest::{RestRequest, RestService, StatusCode};
+//!
+//! let mut cloud = PrivateCloud::my_project();
+//! let token = cloud.issue_token("carol", "carol-pw")?; // role: user
+//! let pid = cloud.project_id();
+//!
+//! // Table I, SecReq 1.4: only admin may DELETE a volume.
+//! let resp = cloud.handle(
+//!     &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1"))
+//!         .auth_token(&token.token),
+//! );
+//! assert_eq!(resp.status, StatusCode::FORBIDDEN);
+//! # Ok::<(), cm_rbac::TokenError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cloud;
+pub mod faults;
+pub mod state;
+
+pub use cloud::{PrivateCloud, DEFAULT_VOLUME_QUOTA};
+pub use faults::{Fault, FaultPlan};
+pub use state::{CloudState, Instance, ProjectState, StateError, Volume, VolumeStatus};

@@ -1,0 +1,595 @@
+//! In-memory cloud state: volumes, instances and quotas per project.
+//!
+//! This is the data plane of the simulated private cloud. The semantics
+//! follow the paper's description of Cinder: "a volume can be created, if
+//! the project has not exceeded its quota of the permitted volumes", and
+//! "a volume can be deleted … if the volume is not attached to any
+//! instance, i.e., its status is not *in-use*".
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Lifecycle status of a volume, following Cinder's vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VolumeStatus {
+    /// Ready to be attached.
+    Available,
+    /// Attached to an instance; cannot be deleted.
+    InUse,
+    /// Failed state (used by error-injection scenarios).
+    Error,
+}
+
+impl VolumeStatus {
+    /// Cinder's string form, e.g. `in-use`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VolumeStatus::Available => "available",
+            VolumeStatus::InUse => "in-use",
+            VolumeStatus::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for VolumeStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A block-storage volume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Volume {
+    /// Unique volume id.
+    pub id: u64,
+    /// Display name.
+    pub name: String,
+    /// Size in GiB.
+    pub size: i64,
+    /// Lifecycle status.
+    pub status: VolumeStatus,
+    /// Instance the volume is attached to, if any.
+    pub attached_to: Option<u64>,
+}
+
+/// A point-in-time snapshot of a volume (Cinder's second central
+/// resource; used by the extended models to demonstrate nested-URI
+/// monitoring).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Unique snapshot id.
+    pub id: u64,
+    /// Display name.
+    pub name: String,
+    /// The volume this snapshot captures.
+    pub volume_id: u64,
+    /// Lifecycle status (snapshots reuse the volume vocabulary).
+    pub status: VolumeStatus,
+}
+
+/// A compute instance (Nova-lite); only exists to give volumes something
+/// to attach to, which drives the `in-use` status the DELETE guard checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Unique instance id.
+    pub id: u64,
+    /// Display name.
+    pub name: String,
+    /// Ids of attached volumes.
+    pub volumes: Vec<u64>,
+}
+
+/// Errors raised by state operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The referenced volume does not exist in the project.
+    NoSuchVolume(u64),
+    /// The referenced instance does not exist in the project.
+    NoSuchInstance(u64),
+    /// Creating the volume would exceed the project quota.
+    QuotaExceeded {
+        /// Current number of volumes.
+        current: usize,
+        /// The project's quota.
+        quota: u32,
+    },
+    /// The volume is attached (`in-use`) and cannot be deleted/attached.
+    VolumeInUse(u64),
+    /// The referenced snapshot does not exist in the project.
+    NoSuchSnapshot(u64),
+    /// The volume still has snapshots and cannot be deleted (Cinder
+    /// semantics: delete the snapshots first).
+    VolumeHasSnapshots(u64),
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::NoSuchVolume(id) => write!(f, "volume {id} not found"),
+            StateError::NoSuchInstance(id) => write!(f, "instance {id} not found"),
+            StateError::QuotaExceeded { current, quota } => {
+                write!(f, "volume quota exceeded ({current}/{quota})")
+            }
+            StateError::VolumeInUse(id) => write!(f, "volume {id} is in-use"),
+            StateError::NoSuchSnapshot(id) => write!(f, "snapshot {id} not found"),
+            StateError::VolumeHasSnapshots(id) => {
+                write!(f, "volume {id} still has snapshots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Per-project data plane of the simulated cloud.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProjectState {
+    /// Volumes, in creation order.
+    pub volumes: Vec<Volume>,
+    /// Snapshots, in creation order.
+    pub snapshots: Vec<Snapshot>,
+    /// Instances, in creation order.
+    pub instances: Vec<Instance>,
+    /// Volume-count quota (the paper's `quota_sets.volume`).
+    pub volume_quota: u32,
+}
+
+impl ProjectState {
+    /// Look up a volume.
+    #[must_use]
+    pub fn volume(&self, id: u64) -> Option<&Volume> {
+        self.volumes.iter().find(|v| v.id == id)
+    }
+
+    /// Look up an instance.
+    #[must_use]
+    pub fn instance(&self, id: u64) -> Option<&Instance> {
+        self.instances.iter().find(|i| i.id == id)
+    }
+
+    /// Look up a snapshot.
+    #[must_use]
+    pub fn snapshot(&self, id: u64) -> Option<&Snapshot> {
+        self.snapshots.iter().find(|s| s.id == id)
+    }
+
+    /// Snapshots of a specific volume, in creation order.
+    pub fn snapshots_of(&self, volume_id: u64) -> impl Iterator<Item = &Snapshot> {
+        self.snapshots.iter().filter(move |s| s.volume_id == volume_id)
+    }
+}
+
+/// The whole data plane: projects keyed by id, with id allocators.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CloudState {
+    projects: HashMap<u64, ProjectState>,
+    next_volume_id: u64,
+    next_instance_id: u64,
+    next_snapshot_id: u64,
+}
+
+impl CloudState {
+    /// Create an empty state.
+    #[must_use]
+    pub fn new() -> Self {
+        CloudState {
+            projects: HashMap::new(),
+            next_volume_id: 1,
+            next_instance_id: 1,
+            next_snapshot_id: 1,
+        }
+    }
+
+    /// Register a project with a volume quota.
+    pub fn add_project(&mut self, project_id: u64, volume_quota: u32) {
+        self.projects
+            .insert(project_id, ProjectState { volume_quota, ..ProjectState::default() });
+    }
+
+    /// Read access to a project's state.
+    #[must_use]
+    pub fn project(&self, project_id: u64) -> Option<&ProjectState> {
+        self.projects.get(&project_id)
+    }
+
+    /// Change a project's volume quota; returns false if the project is
+    /// unknown.
+    pub fn set_quota(&mut self, project_id: u64, quota: u32) -> bool {
+        match self.projects.get_mut(&project_id) {
+            Some(p) => {
+                p.volume_quota = quota;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Create a volume, enforcing the quota unless `ignore_quota` (fault
+    /// injection) is set.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::QuotaExceeded`] when the project is at quota.
+    pub fn create_volume(
+        &mut self,
+        project_id: u64,
+        name: impl Into<String>,
+        size: i64,
+        ignore_quota: bool,
+    ) -> Result<&Volume, StateError> {
+        let next_id = self.next_volume_id;
+        let project =
+            self.projects.get_mut(&project_id).ok_or(StateError::NoSuchVolume(0))?;
+        if !ignore_quota && project.volumes.len() >= project.volume_quota as usize {
+            return Err(StateError::QuotaExceeded {
+                current: project.volumes.len(),
+                quota: project.volume_quota,
+            });
+        }
+        self.next_volume_id += 1;
+        project.volumes.push(Volume {
+            id: next_id,
+            name: name.into(),
+            size,
+            status: VolumeStatus::Available,
+            attached_to: None,
+        });
+        Ok(project.volumes.last().expect("just pushed"))
+    }
+
+    /// Delete a volume, enforcing the in-use check unless `ignore_in_use`
+    /// (fault injection) is set.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::NoSuchVolume`] / [`StateError::VolumeInUse`].
+    pub fn delete_volume(
+        &mut self,
+        project_id: u64,
+        volume_id: u64,
+        ignore_in_use: bool,
+    ) -> Result<Volume, StateError> {
+        let project = self
+            .projects
+            .get_mut(&project_id)
+            .ok_or(StateError::NoSuchVolume(volume_id))?;
+        let idx = project
+            .volumes
+            .iter()
+            .position(|v| v.id == volume_id)
+            .ok_or(StateError::NoSuchVolume(volume_id))?;
+        if !ignore_in_use && project.volumes[idx].status == VolumeStatus::InUse {
+            return Err(StateError::VolumeInUse(volume_id));
+        }
+        if !ignore_in_use && project.snapshots.iter().any(|s| s.volume_id == volume_id) {
+            return Err(StateError::VolumeHasSnapshots(volume_id));
+        }
+        // If force-deleted while attached, detach from the instance too.
+        let vol = project.volumes.remove(idx);
+        if let Some(instance_id) = vol.attached_to {
+            if let Some(inst) = project.instances.iter_mut().find(|i| i.id == instance_id) {
+                inst.volumes.retain(|v| *v != volume_id);
+            }
+        }
+        Ok(vol)
+    }
+
+    /// Update a volume's name/size.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::NoSuchVolume`].
+    pub fn update_volume(
+        &mut self,
+        project_id: u64,
+        volume_id: u64,
+        name: Option<String>,
+        size: Option<i64>,
+    ) -> Result<&Volume, StateError> {
+        let project = self
+            .projects
+            .get_mut(&project_id)
+            .ok_or(StateError::NoSuchVolume(volume_id))?;
+        let vol = project
+            .volumes
+            .iter_mut()
+            .find(|v| v.id == volume_id)
+            .ok_or(StateError::NoSuchVolume(volume_id))?;
+        if let Some(n) = name {
+            vol.name = n;
+        }
+        if let Some(s) = size {
+            vol.size = s;
+        }
+        Ok(vol)
+    }
+
+    /// Create an instance.
+    pub fn create_instance(&mut self, project_id: u64, name: impl Into<String>) -> Option<u64> {
+        let id = self.next_instance_id;
+        let project = self.projects.get_mut(&project_id)?;
+        self.next_instance_id += 1;
+        project.instances.push(Instance { id, name: name.into(), volumes: Vec::new() });
+        Some(id)
+    }
+
+    /// Attach a volume to an instance, flipping its status to `in-use`.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] when either side is missing or the volume is already
+    /// attached.
+    pub fn attach(
+        &mut self,
+        project_id: u64,
+        instance_id: u64,
+        volume_id: u64,
+    ) -> Result<(), StateError> {
+        let project = self
+            .projects
+            .get_mut(&project_id)
+            .ok_or(StateError::NoSuchInstance(instance_id))?;
+        if project.instance(instance_id).is_none() {
+            return Err(StateError::NoSuchInstance(instance_id));
+        }
+        let vol = project
+            .volumes
+            .iter_mut()
+            .find(|v| v.id == volume_id)
+            .ok_or(StateError::NoSuchVolume(volume_id))?;
+        if vol.status == VolumeStatus::InUse {
+            return Err(StateError::VolumeInUse(volume_id));
+        }
+        vol.status = VolumeStatus::InUse;
+        vol.attached_to = Some(instance_id);
+        let inst = project
+            .instances
+            .iter_mut()
+            .find(|i| i.id == instance_id)
+            .expect("checked above");
+        inst.volumes.push(volume_id);
+        Ok(())
+    }
+
+    /// Create a snapshot of a volume.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::NoSuchVolume`] when the volume does not exist.
+    pub fn create_snapshot(
+        &mut self,
+        project_id: u64,
+        volume_id: u64,
+        name: impl Into<String>,
+    ) -> Result<&Snapshot, StateError> {
+        let next_id = self.next_snapshot_id;
+        let project = self
+            .projects
+            .get_mut(&project_id)
+            .ok_or(StateError::NoSuchVolume(volume_id))?;
+        if project.volumes.iter().all(|v| v.id != volume_id) {
+            return Err(StateError::NoSuchVolume(volume_id));
+        }
+        self.next_snapshot_id += 1;
+        project.snapshots.push(Snapshot {
+            id: next_id,
+            name: name.into(),
+            volume_id,
+            status: VolumeStatus::Available,
+        });
+        Ok(project.snapshots.last().expect("just pushed"))
+    }
+
+    /// Delete a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::NoSuchSnapshot`].
+    pub fn delete_snapshot(
+        &mut self,
+        project_id: u64,
+        snapshot_id: u64,
+    ) -> Result<Snapshot, StateError> {
+        let project = self
+            .projects
+            .get_mut(&project_id)
+            .ok_or(StateError::NoSuchSnapshot(snapshot_id))?;
+        let idx = project
+            .snapshots
+            .iter()
+            .position(|s| s.id == snapshot_id)
+            .ok_or(StateError::NoSuchSnapshot(snapshot_id))?;
+        Ok(project.snapshots.remove(idx))
+    }
+
+    /// Detach a volume from its instance, flipping status back to
+    /// `available`.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::NoSuchVolume`] when missing or not attached.
+    pub fn detach(&mut self, project_id: u64, volume_id: u64) -> Result<(), StateError> {
+        let project = self
+            .projects
+            .get_mut(&project_id)
+            .ok_or(StateError::NoSuchVolume(volume_id))?;
+        let vol = project
+            .volumes
+            .iter_mut()
+            .find(|v| v.id == volume_id)
+            .ok_or(StateError::NoSuchVolume(volume_id))?;
+        let Some(instance_id) = vol.attached_to.take() else {
+            return Err(StateError::NoSuchVolume(volume_id));
+        };
+        vol.status = VolumeStatus::Available;
+        if let Some(inst) = project.instances.iter_mut().find(|i| i.id == instance_id) {
+            inst.volumes.retain(|v| *v != volume_id);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_with_project() -> CloudState {
+        let mut s = CloudState::new();
+        s.add_project(1, 2);
+        s
+    }
+
+    #[test]
+    fn create_volume_respects_quota() {
+        let mut s = state_with_project();
+        s.create_volume(1, "v1", 10, false).unwrap();
+        s.create_volume(1, "v2", 10, false).unwrap();
+        let err = s.create_volume(1, "v3", 10, false).unwrap_err();
+        assert_eq!(err, StateError::QuotaExceeded { current: 2, quota: 2 });
+    }
+
+    #[test]
+    fn ignore_quota_fault_bypasses_check() {
+        let mut s = state_with_project();
+        s.create_volume(1, "v1", 10, false).unwrap();
+        s.create_volume(1, "v2", 10, false).unwrap();
+        assert!(s.create_volume(1, "v3", 10, true).is_ok());
+        assert_eq!(s.project(1).unwrap().volumes.len(), 3);
+    }
+
+    #[test]
+    fn delete_available_volume() {
+        let mut s = state_with_project();
+        let id = s.create_volume(1, "v", 10, false).unwrap().id;
+        let vol = s.delete_volume(1, id, false).unwrap();
+        assert_eq!(vol.id, id);
+        assert!(s.project(1).unwrap().volumes.is_empty());
+    }
+
+    #[test]
+    fn delete_in_use_volume_rejected() {
+        let mut s = state_with_project();
+        let vid = s.create_volume(1, "v", 10, false).unwrap().id;
+        let iid = s.create_instance(1, "server").unwrap();
+        s.attach(1, iid, vid).unwrap();
+        assert_eq!(s.delete_volume(1, vid, false), Err(StateError::VolumeInUse(vid)));
+        // Force-delete with fault injection works and detaches.
+        let vol = s.delete_volume(1, vid, true).unwrap();
+        assert_eq!(vol.status, VolumeStatus::InUse);
+        assert!(s.project(1).unwrap().instance(iid).unwrap().volumes.is_empty());
+    }
+
+    #[test]
+    fn attach_and_detach_cycle() {
+        let mut s = state_with_project();
+        let vid = s.create_volume(1, "v", 10, false).unwrap().id;
+        let iid = s.create_instance(1, "server").unwrap();
+        s.attach(1, iid, vid).unwrap();
+        assert_eq!(s.project(1).unwrap().volume(vid).unwrap().status, VolumeStatus::InUse);
+        // double-attach rejected
+        assert!(s.attach(1, iid, vid).is_err());
+        s.detach(1, vid).unwrap();
+        assert_eq!(
+            s.project(1).unwrap().volume(vid).unwrap().status,
+            VolumeStatus::Available
+        );
+        // detaching an unattached volume errors
+        assert!(s.detach(1, vid).is_err());
+    }
+
+    #[test]
+    fn update_volume_fields() {
+        let mut s = state_with_project();
+        let vid = s.create_volume(1, "v", 10, false).unwrap().id;
+        let v = s.update_volume(1, vid, Some("renamed".into()), Some(20)).unwrap();
+        assert_eq!(v.name, "renamed");
+        assert_eq!(v.size, 20);
+        assert!(s.update_volume(1, 999, None, None).is_err());
+    }
+
+    #[test]
+    fn volume_ids_are_globally_unique() {
+        let mut s = CloudState::new();
+        s.add_project(1, 5);
+        s.add_project(2, 5);
+        let a = s.create_volume(1, "a", 1, false).unwrap().id;
+        let b = s.create_volume(2, "b", 1, false).unwrap().id;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn set_quota() {
+        let mut s = state_with_project();
+        assert!(s.set_quota(1, 10));
+        assert!(!s.set_quota(99, 10));
+        assert_eq!(s.project(1).unwrap().volume_quota, 10);
+    }
+
+    #[test]
+    fn unknown_project_operations_fail() {
+        let mut s = CloudState::new();
+        assert!(s.create_volume(9, "v", 1, false).is_err());
+        assert!(s.delete_volume(9, 1, false).is_err());
+        assert!(s.create_instance(9, "i").is_none());
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    fn state() -> (CloudState, u64) {
+        let mut s = CloudState::new();
+        s.add_project(1, 5);
+        let vid = s.create_volume(1, "v", 1, false).unwrap().id;
+        (s, vid)
+    }
+
+    #[test]
+    fn create_list_delete_snapshot() {
+        let (mut s, vid) = state();
+        let sid = s.create_snapshot(1, vid, "snap1").unwrap().id;
+        s.create_snapshot(1, vid, "snap2").unwrap();
+        assert_eq!(s.project(1).unwrap().snapshots_of(vid).count(), 2);
+        let removed = s.delete_snapshot(1, sid).unwrap();
+        assert_eq!(removed.name, "snap1");
+        assert_eq!(s.project(1).unwrap().snapshots_of(vid).count(), 1);
+    }
+
+    #[test]
+    fn snapshot_of_missing_volume_fails() {
+        let (mut s, _) = state();
+        assert_eq!(s.create_snapshot(1, 999, "x"), Err(StateError::NoSuchVolume(999)));
+    }
+
+    #[test]
+    fn delete_missing_snapshot_fails() {
+        let (mut s, _) = state();
+        assert_eq!(s.delete_snapshot(1, 7), Err(StateError::NoSuchSnapshot(7)));
+    }
+
+    #[test]
+    fn volume_with_snapshots_cannot_be_deleted() {
+        let (mut s, vid) = state();
+        let sid = s.create_snapshot(1, vid, "snap").unwrap().id;
+        assert_eq!(
+            s.delete_volume(1, vid, false),
+            Err(StateError::VolumeHasSnapshots(vid))
+        );
+        s.delete_snapshot(1, sid).unwrap();
+        assert!(s.delete_volume(1, vid, false).is_ok());
+    }
+
+    #[test]
+    fn snapshot_ids_are_global() {
+        let mut s = CloudState::new();
+        s.add_project(1, 5);
+        s.add_project(2, 5);
+        let v1 = s.create_volume(1, "a", 1, false).unwrap().id;
+        let v2 = s.create_volume(2, "b", 1, false).unwrap().id;
+        let s1 = s.create_snapshot(1, v1, "x").unwrap().id;
+        let s2 = s.create_snapshot(2, v2, "y").unwrap().id;
+        assert_ne!(s1, s2);
+    }
+}

@@ -1,0 +1,342 @@
+//! The contract generator (the paper's Section V).
+//!
+//! For every distinct trigger of the behavioural model, the generator
+//! collects the transitions that trigger fires and combines them:
+//!
+//! ```text
+//! pre  (m) = ⋁_t  invariant(source(t)) ∧ guard(t)
+//! post (m) = ⋀_t  pre(pre_t)  ⇒  invariant(target(t)) ∧ effect(t)
+//! ```
+//!
+//! wrapping each antecedent in the old-state function `pre(...)` so the
+//! post-condition reads the snapshot taken before the method executed —
+//! the paper's stored `pre_*` variables. Optionally, the authorization
+//! guards synthesised from the Table I requirements table are woven into
+//! each clause (Section VI, `views.py` population step 3).
+
+use crate::contract::{ContractClause, ContractSet, MethodContract};
+use cm_model::{BehavioralModel, Transition};
+use cm_ocl::Expr;
+use cm_rbac::SecurityRequirementsTable;
+use std::fmt;
+
+/// Generation options.
+#[derive(Debug, Clone, Default)]
+pub struct GenerateOptions<'a> {
+    /// When set, weave the table's authorization guard for each
+    /// (resource, method) into the clause pre-conditions and attach the
+    /// table's requirement ids.
+    pub security: Option<&'a SecurityRequirementsTable>,
+    /// Run the conservative boolean simplifier over every generated
+    /// expression (`true and g` from invariant-free states, constant
+    /// comparisons from synthetic models). Semantics-preserving.
+    pub simplify: bool,
+}
+
+/// An error raised during generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerateError {
+    /// Description with the offending element names.
+    pub message: String,
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "contract generation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+/// Generate the contract set for a behavioural model.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] when a transition references an undeclared
+/// state (run the model validator first for richer diagnostics).
+pub fn generate(model: &BehavioralModel) -> Result<ContractSet, GenerateError> {
+    generate_with(model, &GenerateOptions::default())
+}
+
+/// Generate with explicit [`GenerateOptions`].
+///
+/// # Errors
+///
+/// As [`generate`].
+pub fn generate_with(
+    model: &BehavioralModel,
+    options: &GenerateOptions<'_>,
+) -> Result<ContractSet, GenerateError> {
+    let mut contracts = Vec::new();
+    for trigger in model.triggers() {
+        let transitions: Vec<&Transition> = model.transitions_for(&trigger).collect();
+        let mut clauses = Vec::with_capacity(transitions.len());
+        for t in &transitions {
+            let source_inv = model
+                .state_named(&t.source)
+                .ok_or_else(|| GenerateError {
+                    message: format!("transition `{}` leaves unknown state `{}`", t.id, t.source),
+                })?
+                .invariant
+                .clone();
+            let target_inv = model
+                .state_named(&t.target)
+                .ok_or_else(|| GenerateError {
+                    message: format!("transition `{}` enters unknown state `{}`", t.id, t.target),
+                })?
+                .invariant
+                .clone();
+
+            // pre_t = inv(source) ∧ guard [∧ table-guard]
+            let mut pre = match &t.guard {
+                Some(guard) => source_inv.and(guard.clone()),
+                None => source_inv,
+            };
+            let mut requirements = t.security_requirements.clone();
+            if let Some(table) = options.security {
+                if let Some(auth) = table.guard(&trigger.resource, trigger.method) {
+                    pre = pre.and(auth);
+                }
+                if let Some(req) = table.requirement_for(&trigger.resource, trigger.method) {
+                    if !requirements.contains(&req.id) {
+                        requirements.push(req.id.clone());
+                    }
+                }
+            }
+
+            // post_t = inv(target) ∧ effect
+            let post = match &t.effect {
+                Some(effect) => target_inv.and(effect.clone()),
+                None => target_inv,
+            };
+
+            clauses.push(ContractClause {
+                transition_id: t.id.clone(),
+                source: t.source.clone(),
+                target: t.target.clone(),
+                pre,
+                post,
+                security_requirements: requirements,
+            });
+        }
+
+        let mut pre = Expr::any_of(clauses.iter().map(|c| c.pre.clone()));
+        let mut post = Expr::all_of(clauses.iter().map(|c| {
+            // The antecedent reads the pre-state snapshot.
+            Expr::Pre(Box::new(c.pre.clone())).implies(c.post.clone())
+        }));
+        if options.simplify {
+            pre = cm_ocl::simplify(&pre);
+            post = cm_ocl::simplify(&post);
+            for c in &mut clauses {
+                c.pre = cm_ocl::simplify(&c.pre);
+                c.post = cm_ocl::simplify(&c.post);
+            }
+        }
+        let mut security_requirements: Vec<String> = Vec::new();
+        for c in &clauses {
+            for r in &c.security_requirements {
+                if !security_requirements.contains(r) {
+                    security_requirements.push(r.clone());
+                }
+            }
+        }
+        contracts.push(MethodContract { trigger, pre, post, clauses, security_requirements });
+    }
+    let states = model
+        .states
+        .iter()
+        .map(|s| {
+            let invariant = if options.simplify {
+                cm_ocl::simplify(&s.invariant)
+            } else {
+                s.invariant.clone()
+            };
+            (s.name.clone(), invariant)
+        })
+        .collect();
+    Ok(ContractSet { contracts, states })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_model::{cinder, HttpMethod, Trigger};
+    use cm_ocl::{BinOp, Expr};
+    use cm_rbac::cinder_table1;
+
+    fn cinder_contracts() -> ContractSet {
+        generate(&cinder::behavioral_model()).unwrap()
+    }
+
+    #[test]
+    fn one_contract_per_distinct_trigger() {
+        let set = cinder_contracts();
+        // POST, DELETE, GET, PUT on volume.
+        assert_eq!(set.contracts.len(), 4);
+    }
+
+    #[test]
+    fn delete_contract_has_three_clauses_as_in_listing1() {
+        let set = cinder_contracts();
+        let delete = set
+            .contract_for(&Trigger::new(HttpMethod::Delete, "volume"))
+            .unwrap();
+        assert_eq!(delete.clauses.len(), 3);
+        // The combined pre is a two-level `or`.
+        fn count_or(e: &Expr) -> usize {
+            match e {
+                Expr::Binary { op: BinOp::Or, lhs, rhs } => 1 + count_or(lhs) + count_or(rhs),
+                _ => 0,
+            }
+        }
+        assert_eq!(count_or(&delete.pre), 2, "3 disjuncts need 2 `or` nodes");
+    }
+
+    #[test]
+    fn delete_post_is_conjunction_of_implications_with_pre() {
+        let set = cinder_contracts();
+        let delete = set
+            .contract_for(&Trigger::new(HttpMethod::Delete, "volume"))
+            .unwrap();
+        fn implications(e: &Expr, out: &mut Vec<Expr>) {
+            match e {
+                Expr::Binary { op: BinOp::And, lhs, rhs } => {
+                    implications(lhs, out);
+                    implications(rhs, out);
+                }
+                other => out.push(other.clone()),
+            }
+        }
+        let mut imps = Vec::new();
+        implications(&delete.post, &mut imps);
+        assert_eq!(imps.len(), 3);
+        for imp in &imps {
+            match imp {
+                Expr::Binary { op: BinOp::Implies, lhs, .. } => {
+                    assert!(
+                        matches!(**lhs, Expr::Pre(_)),
+                        "antecedent must read the pre-state snapshot"
+                    );
+                }
+                other => panic!("expected implication, got {other:?}"),
+            }
+        }
+        assert!(delete.post.references_pre_state());
+    }
+
+    #[test]
+    fn security_requirements_flow_from_annotations() {
+        let set = cinder_contracts();
+        let delete = set
+            .contract_for(&Trigger::new(HttpMethod::Delete, "volume"))
+            .unwrap();
+        assert_eq!(delete.security_requirements, vec!["1.4"]);
+        assert_eq!(set.covered_requirements().len(), 4);
+    }
+
+    #[test]
+    fn weaving_table_guard_adds_auth_conjunct() {
+        let model = {
+            // A model whose guards do NOT carry authorization.
+            use cm_model::{BehavioralModel, State, TransitionBuilder, Trigger};
+            let mut m = BehavioralModel::new("b", "project", "s");
+            m.state(State::new("s", cm_ocl::parse("project.id->size() = 1").unwrap()));
+            m.transition(
+                TransitionBuilder::new(
+                    "t1",
+                    "s",
+                    Trigger::new(HttpMethod::Delete, "volume"),
+                    "s",
+                )
+                .guard(cm_ocl::parse("volume.status <> 'in-use'").unwrap())
+                .build(),
+            );
+            m
+        };
+        let table = cinder_table1();
+        let set =
+            generate_with(&model, &GenerateOptions { security: Some(&table), simplify: false }).unwrap();
+        let c = &set.contracts[0];
+        let printed = cm_ocl::to_string(&c.pre);
+        assert!(printed.contains("user.groups = 'admin'"), "{printed}");
+        assert_eq!(c.security_requirements, vec!["1.4"]);
+    }
+
+    #[test]
+    fn empty_model_yields_empty_set() {
+        let m = cm_model::BehavioralModel::new("empty", "x", "s0");
+        let set = generate(&m).unwrap();
+        assert!(set.contracts.is_empty());
+        assert_eq!(set.clause_count(), 0);
+    }
+
+    #[test]
+    fn dangling_state_is_an_error() {
+        use cm_model::{BehavioralModel, State, TransitionBuilder, Trigger};
+        let mut m = BehavioralModel::new("b", "p", "s");
+        m.state(State::new("s", Expr::Bool(true)));
+        m.transition(
+            TransitionBuilder::new("t", "s", Trigger::new(HttpMethod::Get, "volume"), "ghost")
+                .build(),
+        );
+        let err = generate(&m).unwrap_err();
+        assert!(err.message.contains("ghost"));
+    }
+
+    #[test]
+    fn transition_without_guard_or_effect() {
+        use cm_model::{BehavioralModel, State, TransitionBuilder, Trigger};
+        let mut m = BehavioralModel::new("b", "p", "s");
+        m.state(State::new("s", cm_ocl::parse("x = 1").unwrap()));
+        m.transition(
+            TransitionBuilder::new("t", "s", Trigger::new(HttpMethod::Get, "r"), "s").build(),
+        );
+        let set = generate(&m).unwrap();
+        let c = &set.contracts[0];
+        // pre is just the invariant; post is pre(inv) => inv.
+        assert_eq!(cm_ocl::to_string(&c.pre), "x = 1");
+        assert_eq!(cm_ocl::to_string(&c.post), "pre(x = 1) implies x = 1");
+    }
+
+    #[test]
+    fn clause_count_totals() {
+        let set = cinder_contracts();
+        // 4 POST + 3 DELETE + 2 GET + 2 PUT = 11 transitions.
+        assert_eq!(set.clause_count(), 11);
+    }
+}
+
+#[cfg(test)]
+mod simplify_tests {
+    use super::*;
+    use cm_model::{BehavioralModel, HttpMethod, State, TransitionBuilder, Trigger};
+    use cm_ocl::Expr;
+
+    #[test]
+    fn simplify_option_cleans_invariant_free_states() {
+        let mut m = BehavioralModel::new("b", "p", "s");
+        m.state(State::new("s", Expr::Bool(true)));
+        m.transition(
+            TransitionBuilder::new("t", "s", Trigger::new(HttpMethod::Get, "r"), "s")
+                .guard(cm_ocl::parse("user.groups = 'admin'").unwrap())
+                .build(),
+        );
+        let plain = generate(&m).unwrap();
+        let simplified = generate_with(
+            &m,
+            &GenerateOptions { security: None, simplify: true },
+        )
+        .unwrap();
+        assert_eq!(
+            cm_ocl::to_string(&plain.contracts[0].pre),
+            "true and user.groups = 'admin'"
+        );
+        assert_eq!(
+            cm_ocl::to_string(&simplified.contracts[0].pre),
+            "user.groups = 'admin'"
+        );
+        // Post: pre(true and g) implies (true) simplifies away entirely.
+        assert_eq!(cm_ocl::to_string(&simplified.contracts[0].post), "true");
+    }
+}

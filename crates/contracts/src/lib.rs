@@ -1,0 +1,41 @@
+//! # cm-contracts — contract generation from behavioural models
+//!
+//! The paper's Section V algorithm: turn a UML/OCL behavioural model (plus
+//! the Table I security-requirements table) into verifiable method
+//! contracts.
+//!
+//! * [`generate()`]/[`generate_with`] — combine, per trigger, every
+//!   transition it fires into one [`MethodContract`]:
+//!   `pre = ⋁ (invariant(source) ∧ guard)`,
+//!   `post = ⋀ (pre(pre_i) ⇒ invariant(target) ∧ effect)`;
+//! * [`MethodContract::evaluate_pre`]/[`MethodContract::evaluate_post`] —
+//!   run-time checking against pluggable state navigators with pre-state
+//!   snapshots;
+//! * [`TraceabilityMatrix`] — requirement → trigger/transition coverage;
+//! * [`render_listing`] — the paper's Listing 1 layout.
+//!
+//! ## Example
+//!
+//! ```
+//! use cm_contracts::generate;
+//! use cm_model::{cinder, HttpMethod, Trigger};
+//!
+//! let set = generate(&cinder::behavioral_model())?;
+//! let delete = set
+//!     .contract_for(&Trigger::new(HttpMethod::Delete, "volume"))
+//!     .expect("modelled");
+//! // Listing 1: DELETE(volume) combines three transitions.
+//! assert_eq!(delete.clauses.len(), 3);
+//! # Ok::<(), cm_contracts::GenerateError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod contract;
+pub mod generate;
+pub mod trace;
+
+pub use contract::{ContractClause, ContractSet, MethodContract};
+pub use generate::{generate, generate_with, GenerateError, GenerateOptions};
+pub use trace::{render_listing, TraceRow, TraceabilityMatrix};

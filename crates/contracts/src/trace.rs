@@ -1,0 +1,196 @@
+//! Requirement traceability and Listing 1 rendering.
+//!
+//! "When a state or transition with the requirement annotation is
+//! traversed, we get an indication which security requirement is met. This
+//! provides traceability of security requirements during the validation
+//! phase" (Section IV-C). The [`TraceabilityMatrix`] maps each requirement
+//! id to the triggers and transitions that exercise it; [`render_listing`]
+//! prints a generated contract in the paper's Listing 1 layout.
+
+use crate::contract::{ContractSet, MethodContract};
+use cm_model::Trigger;
+use cm_ocl::{render as render_ocl, PrintStyle};
+use std::fmt::Write as _;
+
+/// One row of the traceability matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRow {
+    /// Requirement id, e.g. `1.4`.
+    pub requirement: String,
+    /// Triggers whose contracts cover the requirement.
+    pub triggers: Vec<Trigger>,
+    /// Transition ids annotated with the requirement.
+    pub transitions: Vec<String>,
+}
+
+/// Requirement → coverage mapping derived from a contract set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceabilityMatrix {
+    /// Rows in requirement-id order.
+    pub rows: Vec<TraceRow>,
+}
+
+impl TraceabilityMatrix {
+    /// Build the matrix from a contract set.
+    #[must_use]
+    pub fn from_contracts(set: &ContractSet) -> Self {
+        let mut rows: Vec<TraceRow> = Vec::new();
+        for contract in &set.contracts {
+            for clause in &contract.clauses {
+                for req in &clause.security_requirements {
+                    let row = match rows.iter_mut().find(|r| &r.requirement == req) {
+                        Some(row) => row,
+                        None => {
+                            rows.push(TraceRow {
+                                requirement: req.clone(),
+                                triggers: Vec::new(),
+                                transitions: Vec::new(),
+                            });
+                            rows.last_mut().expect("just pushed")
+                        }
+                    };
+                    if !row.triggers.contains(&contract.trigger) {
+                        row.triggers.push(contract.trigger.clone());
+                    }
+                    if !row.transitions.contains(&clause.transition_id) {
+                        row.transitions.push(clause.transition_id.clone());
+                    }
+                }
+            }
+        }
+        rows.sort_by(|a, b| a.requirement.cmp(&b.requirement));
+        TraceabilityMatrix { rows }
+    }
+
+    /// The row for a requirement id.
+    #[must_use]
+    pub fn row(&self, requirement: &str) -> Option<&TraceRow> {
+        self.rows.iter().find(|r| r.requirement == requirement)
+    }
+
+    /// Requirement ids with no covering transition, given the full list of
+    /// ids that were specified (e.g. from Table I).
+    #[must_use]
+    pub fn uncovered<'a>(&self, specified: &'a [String]) -> Vec<&'a str> {
+        specified
+            .iter()
+            .filter(|id| self.row(id).is_none())
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Render as an ASCII table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {:<7} | {:<24} | {:<30} |", "SecReq", "Triggers", "Transitions");
+        let _ = writeln!(out, "|{}|{}|{}|", "-".repeat(9), "-".repeat(26), "-".repeat(32));
+        for row in &self.rows {
+            let triggers: Vec<String> = row.triggers.iter().map(Trigger::to_string).collect();
+            let _ = writeln!(
+                out,
+                "| {:<7} | {:<24} | {:<30} |",
+                row.requirement,
+                triggers.join(", "),
+                row.transitions.join(", ")
+            );
+        }
+        out
+    }
+}
+
+/// Render a contract in the paper's Listing 1 layout: a
+/// `PreCondition(METHOD(uri))` block with one parenthesised disjunct per
+/// clause, then a `PostCondition(...)` block with one implication per
+/// clause, in the paper's `=>` style.
+#[must_use]
+pub fn render_listing(contract: &MethodContract, uri: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "PreCondition({}({uri})):", contract.trigger.method);
+    out.push('[');
+    for (i, clause) in contract.clauses.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" or\n");
+        }
+        let _ = write!(out, "({})", render_ocl(&clause.pre, PrintStyle::Paper));
+    }
+    out.push_str("]\n\n");
+    let _ = writeln!(out, "PostCondition({}({uri})):", contract.trigger.method);
+    out.push('[');
+    for (i, clause) in contract.clauses.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" and\n");
+        }
+        let _ = write!(
+            out,
+            "(({}) => {})",
+            render_ocl(&clause.pre, PrintStyle::Paper),
+            render_ocl(&clause.post, PrintStyle::Paper)
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+    use cm_model::{cinder, HttpMethod};
+
+    fn matrix() -> TraceabilityMatrix {
+        TraceabilityMatrix::from_contracts(&generate(&cinder::behavioral_model()).unwrap())
+    }
+
+    #[test]
+    fn matrix_covers_all_four_requirements() {
+        let m = matrix();
+        assert_eq!(m.rows.len(), 4);
+        let ids: Vec<&str> = m.rows.iter().map(|r| r.requirement.as_str()).collect();
+        assert_eq!(ids, vec!["1.1", "1.2", "1.3", "1.4"]);
+    }
+
+    #[test]
+    fn requirement_1_4_traces_to_three_delete_transitions() {
+        let m = matrix();
+        let row = m.row("1.4").unwrap();
+        assert_eq!(row.triggers.len(), 1);
+        assert_eq!(row.triggers[0].method, HttpMethod::Delete);
+        assert_eq!(row.transitions.len(), 3);
+    }
+
+    #[test]
+    fn uncovered_detects_missing() {
+        let m = matrix();
+        let specified = vec!["1.1".to_string(), "1.4".to_string(), "9.9".to_string()];
+        assert_eq!(m.uncovered(&specified), vec!["9.9"]);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let text = matrix().render();
+        assert!(text.contains("1.4"));
+        assert!(text.contains("DELETE(volume)"));
+        assert!(text.contains("t_del_1"));
+    }
+
+    #[test]
+    fn listing_rendering_has_paper_shape() {
+        let set = generate(&cinder::behavioral_model()).unwrap();
+        let delete = set
+            .contract_for(&cm_model::Trigger::new(HttpMethod::Delete, "volume"))
+            .unwrap();
+        let text = render_listing(delete, ".../v3/{project_id}/volumes");
+        assert!(text.starts_with("PreCondition(DELETE(.../v3/{project_id}/volumes)):"));
+        assert!(text.contains("PostCondition(DELETE(.../v3/{project_id}/volumes)):"));
+        // Three disjuncts => two " or " separators in the pre block.
+        assert_eq!(text.matches(" or\n").count(), 2);
+        // Three implications in the post block.
+        assert_eq!(text.matches("=>").count(), 3);
+        // Paper style prints pre() function form.
+        assert!(text.contains("pre(project.volumes->size())"));
+        // Paper's guard vocabulary survives.
+        assert!(text.contains("volume.status <> 'in-use'"));
+        assert!(text.contains("user.groups = 'admin'"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Security-requirement coverage tracking.
+//!
+//! "This also allows the security experts to observe the coverage of the
+//! security requirements during the testing phase" (Section I). The
+//! tracker counts, per requirement id, how often the requirement was
+//! exercised and how often a violation verdict was recorded while it was
+//! in play.
+
+use crate::monitor::MonitorRecord;
+use std::fmt;
+
+/// Counters for one requirement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequirementCoverage {
+    /// Times a request exercised the requirement.
+    pub exercised: u64,
+    /// Times the verdict was a violation while this requirement was
+    /// exercised.
+    pub violations: u64,
+}
+
+/// Coverage across all specified requirements.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageTracker {
+    entries: Vec<(String, RequirementCoverage)>,
+    total_requests: u64,
+    total_violations: u64,
+}
+
+impl CoverageTracker {
+    /// Create a tracker pre-seeded with the specified requirement ids (so
+    /// never-exercised requirements still show up in the report).
+    #[must_use]
+    pub fn new(specified: &[String]) -> Self {
+        CoverageTracker {
+            entries: specified
+                .iter()
+                .map(|id| (id.clone(), RequirementCoverage::default()))
+                .collect(),
+            total_requests: 0,
+            total_violations: 0,
+        }
+    }
+
+    /// Record one monitor log entry.
+    pub fn record(&mut self, record: &MonitorRecord) {
+        self.total_requests += 1;
+        let violation = record.verdict.is_violation();
+        if violation {
+            self.total_violations += 1;
+        }
+        for req in &record.requirements {
+            let entry = match self.entries.iter_mut().find(|(id, _)| id == req) {
+                Some((_, e)) => e,
+                None => {
+                    self.entries.push((req.clone(), RequirementCoverage::default()));
+                    &mut self.entries.last_mut().expect("just pushed").1
+                }
+            };
+            entry.exercised += 1;
+            if violation {
+                entry.violations += 1;
+            }
+        }
+    }
+
+    /// Coverage for one requirement.
+    #[must_use]
+    pub fn requirement(&self, id: &str) -> Option<&RequirementCoverage> {
+        self.entries.iter().find(|(i, _)| i == id).map(|(_, e)| e)
+    }
+
+    /// Requirement ids never exercised so far.
+    #[must_use]
+    pub fn unexercised(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.exercised == 0)
+            .map(|(id, _)| id.as_str())
+            .collect()
+    }
+
+    /// Total requests seen.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests
+    }
+
+    /// Total violation verdicts seen.
+    #[must_use]
+    pub fn total_violations(&self) -> u64 {
+        self.total_violations
+    }
+
+    /// Fraction of specified requirements exercised at least once
+    /// (`1.0` when nothing is specified).
+    #[must_use]
+    pub fn coverage_ratio(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 1.0;
+        }
+        let hit = self.entries.iter().filter(|(_, e)| e.exercised > 0).count();
+        hit as f64 / self.entries.len() as f64
+    }
+}
+
+impl fmt::Display for CoverageTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requirement coverage: {:.0}% ({} requests, {} violations)",
+            self.coverage_ratio() * 100.0,
+            self.total_requests,
+            self.total_violations
+        )?;
+        for (id, e) in &self.entries {
+            writeln!(
+                f,
+                "  SecReq {id}: exercised {} time(s), {} violation(s)",
+                e.exercised, e.violations
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::Verdict;
+    use cm_model::{HttpMethod, Trigger};
+    use cm_rest::StatusCode;
+
+    fn record(reqs: &[&str], verdict: Verdict) -> MonitorRecord {
+        MonitorRecord {
+            method: HttpMethod::Delete,
+            path: "/v3/1/volumes/1".into(),
+            trigger: Some(Trigger::new(HttpMethod::Delete, "volume")),
+            verdict,
+            requirements: reqs.iter().map(|s| s.to_string()).collect(),
+            status: StatusCode::NO_CONTENT,
+            diagnostics: String::new(),
+        }
+    }
+
+    #[test]
+    fn tracks_exercised_and_violations() {
+        let mut t = CoverageTracker::new(&["1.1".into(), "1.4".into()]);
+        t.record(&record(&["1.4"], Verdict::Pass));
+        t.record(&record(&["1.4"], Verdict::WrongAcceptance));
+        assert_eq!(t.requirement("1.4").unwrap().exercised, 2);
+        assert_eq!(t.requirement("1.4").unwrap().violations, 1);
+        assert_eq!(t.total_requests(), 2);
+        assert_eq!(t.total_violations(), 1);
+        assert_eq!(t.unexercised(), vec!["1.1"]);
+        assert!((t.coverage_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_requirements_are_added() {
+        let mut t = CoverageTracker::new(&[]);
+        t.record(&record(&["9.9"], Verdict::Pass));
+        assert_eq!(t.requirement("9.9").unwrap().exercised, 1);
+        assert!((t.coverage_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_each_requirement() {
+        let mut t = CoverageTracker::new(&["1.1".into()]);
+        t.record(&record(&["1.1"], Verdict::PostViolation));
+        let text = t.to_string();
+        assert!(text.contains("SecReq 1.1"));
+        assert!(text.contains("1 violation"));
+    }
+}

@@ -1,0 +1,337 @@
+//! Model-driven state probing: derive the probe plan from the resource
+//! model instead of hand-coding it.
+//!
+//! The paper's generator creates `models.py` — "a local copy of the
+//! resource structures" — *from the class diagram*. [`ModelProber`] is the
+//! runtime analogue: given the resource model and its derived route table,
+//! it knows which GETs to issue and how to bind the JSON bodies into the
+//! OCL environment for **any** model of the supported shape, not just the
+//! canned Cinder one:
+//!
+//! * every *normal* resource definition whose route parameters are all
+//!   available from the request becomes a bound context variable, its
+//!   attributes read from the (conventionally wrapped) JSON body;
+//! * every association from a bound definition to a *collection* becomes
+//!   a set-valued property (`project.volumes`), each member's attributes
+//!   bound from the listing;
+//! * the `id` attribute is bound as a one-element set when the GET
+//!   returns 200 (the paper's `id->size() = 1` existence idiom) and as
+//!   the empty set otherwise;
+//! * the requester (`user`) is bound via token introspection exactly as
+//!   in the hand-written prober.
+//!
+//! JSON wrapping convention (matched by the simulator and by OpenStack
+//! itself): an item body is `{"<definition>": {…}}`, a collection body is
+//! `{"<role>": [{…}, …]}`.
+
+use cm_model::{HttpMethod, ResourceKind, ResourceModel};
+use cm_ocl::{MapNavigator, ObjRef, Value};
+use cm_rest::{Json, RestRequest, RestService, RouteTable, StatusCode};
+use std::collections::HashMap;
+
+/// A prober whose plan is derived from the resource model.
+#[derive(Debug, Clone)]
+pub struct ModelProber {
+    resources: ResourceModel,
+    routes: RouteTable,
+}
+
+impl ModelProber {
+    /// Build a prober for `resources`, deriving routes under `prefix`
+    /// (usually `/v3`).
+    #[must_use]
+    pub fn new(resources: &ResourceModel, prefix: &str) -> Self {
+        ModelProber {
+            resources: resources.clone(),
+            routes: RouteTable::derive(resources, prefix),
+        }
+    }
+
+    /// Probe the cloud with `monitor_token`, binding every resource whose
+    /// route can be rendered from `params` (the path parameters captured
+    /// from the monitored request, e.g. `project_id -> "1"`,
+    /// `volume_id -> "7"`). `user_token` is the requester's token for the
+    /// `user` binding.
+    pub fn snapshot(
+        &self,
+        cloud: &mut dyn RestService,
+        params: &HashMap<String, String>,
+        monitor_token: &str,
+        user_token: &str,
+    ) -> MapNavigator {
+        let mut nav = MapNavigator::new();
+
+        for def in &self.resources.definitions {
+            if def.kind != ResourceKind::Normal {
+                continue;
+            }
+            let Some(route) = self.routes.route_for(&def.name) else { continue };
+            let Ok(path) = route.template.render(params) else {
+                // Not addressable from this request (e.g. no volume_id on
+                // a project-level call): bind an attribute-free object so
+                // navigation stays defined.
+                let fallback = ObjRef::new(def.name.clone(), 0);
+                nav.set_variable(def.name.clone(), fallback);
+                continue;
+            };
+            let own_id: u64 = route
+                .template
+                .params()
+                .last()
+                .and_then(|p| params.get(p))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            let obj = ObjRef::new(def.name.clone(), own_id);
+            nav.set_variable(def.name.clone(), obj.clone());
+
+            let resp =
+                cloud.handle(&RestRequest::new(HttpMethod::Get, path).auth_token(monitor_token));
+            if resp.status == StatusCode::OK {
+                nav.set_attribute(
+                    obj.clone(),
+                    "id",
+                    Value::set(vec![Value::Int(own_id as i64)]),
+                );
+                if let Some(body) = resp.body.as_ref().and_then(|b| unwrap_item(b, &def.name)) {
+                    bind_attributes(&mut nav, &obj, body, &["id"]);
+                }
+            } else if def.attribute("id").is_some() {
+                nav.set_attribute(obj.clone(), "id", Value::set(vec![]));
+            }
+
+            // Collection-valued association ends of this definition.
+            for assoc in self.resources.outgoing(&def.name) {
+                let Some(target) = self.resources.definition(&assoc.target) else { continue };
+                if target.kind != ResourceKind::Collection {
+                    continue;
+                }
+                let Some(contained) = self.resources.contained_of(&target.name) else {
+                    continue;
+                };
+                let Some(coll_route) = self.routes.route_for(&target.name) else { continue };
+                let Ok(coll_path) = coll_route.template.render(params) else {
+                    nav.set_attribute(obj.clone(), assoc.role.clone(), Value::set(vec![]));
+                    continue;
+                };
+                let resp = cloud.handle(
+                    &RestRequest::new(HttpMethod::Get, coll_path).auth_token(monitor_token),
+                );
+                let mut members = Vec::new();
+                if resp.status == StatusCode::OK {
+                    if let Some(items) = resp
+                        .body
+                        .as_ref()
+                        .and_then(|b| b.get(&assoc.role))
+                        .and_then(Json::as_array)
+                    {
+                        for item in items {
+                            let id =
+                                item.get("id").and_then(Json::as_int).unwrap_or_default();
+                            let member = ObjRef::new(contained.name.clone(), id as u64);
+                            nav.set_attribute(
+                                member.clone(),
+                                "id",
+                                Value::set(vec![Value::Int(id)]),
+                            );
+                            bind_attributes(&mut nav, &member, item, &["id"]);
+                            members.push(Value::Obj(member));
+                        }
+                    }
+                }
+                nav.set_attribute(obj.clone(), assoc.role.clone(), Value::set(members));
+            }
+        }
+
+        // The requester, via token introspection (identity convention).
+        let resp = cloud.handle(
+            &RestRequest::new(HttpMethod::Get, format!("/identity/tokens/{user_token}"))
+                .auth_token(monitor_token),
+        );
+        if let Some(tok) = resp.body.as_ref().and_then(|b| b.get("token")) {
+            let uid = tok.get("user_id").and_then(Json::as_int).unwrap_or(0);
+            let user = ObjRef::new("user", uid as u64);
+            nav.set_variable("user", user.clone());
+            nav.set_attribute(user.clone(), "id", Value::set(vec![Value::Int(uid)]));
+            let roles: Vec<Value> = tok
+                .get("roles")
+                .and_then(Json::as_array)
+                .map(|rs| {
+                    rs.iter()
+                        .filter_map(Json::as_str)
+                        .map(|s| Value::Str(s.to_string()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            if let Some(Value::Str(primary)) = roles.first() {
+                nav.set_attribute(user.clone(), "groups", primary.clone());
+            }
+            nav.set_attribute(user, "roles", Value::set(roles));
+        } else {
+            nav.set_variable("user", ObjRef::new("user", 0));
+        }
+
+        nav
+    }
+}
+
+/// Unwrap the OpenStack-style item envelope: `{"<name>": {…}}`, a
+/// single-key envelope with any key (OpenStack uses singular forms like
+/// `quota_set` for the `quota_sets` path), or the bare object itself.
+fn unwrap_item<'a>(body: &'a Json, name: &str) -> Option<&'a Json> {
+    if let Some(inner) = body.get(name) {
+        return Some(inner);
+    }
+    if let Json::Object(members) = body {
+        if let [(_, inner @ Json::Object(_))] = members.as_slice() {
+            return Some(inner);
+        }
+    }
+    matches!(body, Json::Object(_)).then_some(body)
+}
+
+/// Bind the members of a JSON object as attributes on `obj`, skipping the
+/// names in `except` (already handled specially).
+fn bind_attributes(nav: &mut MapNavigator, obj: &ObjRef, body: &Json, except: &[&str]) {
+    let Json::Object(members) = body else { return };
+    for (key, value) in members {
+        if except.contains(&key.as_str()) {
+            continue;
+        }
+        let bound = match value {
+            Json::Str(s) => Value::Str(s.clone()),
+            Json::Int(v) => Value::Int(*v),
+            Json::Float(v) => Value::Real(*v),
+            Json::Bool(b) => Value::Bool(*b),
+            Json::Null | Json::Array(_) | Json::Object(_) => continue,
+        };
+        nav.set_attribute(obj.clone(), key.clone(), bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_cloudsim::PrivateCloud;
+    use cm_model::cinder;
+    use cm_ocl::{parse, EvalContext};
+
+    fn setup() -> (PrivateCloud, String, String, HashMap<String, String>) {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
+        let carol = cloud.issue_token("carol", "carol-pw").unwrap().token;
+        let vid = cloud.state_mut().create_volume(pid, "mv", 7, false).unwrap().id;
+        let mut params = HashMap::new();
+        params.insert("project_id".to_string(), pid.to_string());
+        params.insert("volume_id".to_string(), vid.to_string());
+        (cloud, admin, carol, params)
+    }
+
+    #[test]
+    fn derived_probe_satisfies_the_paper_invariants() {
+        let (mut cloud, admin, carol, params) = setup();
+        let prober = ModelProber::new(&cinder::resource_model(), "/v3");
+        let nav = prober.snapshot(&mut cloud, &params, &admin, &carol);
+        for check in [
+            "project.id->size() = 1",
+            "project.volumes->size() = 1",
+            "project.volumes->size() < quota_sets.volume",
+            "volume.status = 'available'",
+            "volume.size = 7",
+            "user.groups = 'user'",
+        ] {
+            let e = parse(check).unwrap();
+            assert!(
+                EvalContext::new(&nav).eval_bool(&e).unwrap(),
+                "failed: {check}"
+            );
+        }
+    }
+
+    #[test]
+    fn derived_probe_agrees_with_hand_written_prober_on_contracts() {
+        use crate::probe::{ProbeTarget, StateProber};
+        use cm_contracts::generate;
+        use cm_model::Trigger;
+
+        let (mut cloud, admin, carol, params) = setup();
+        let model_nav = ModelProber::new(&cinder::resource_model(), "/v3").snapshot(
+            &mut cloud,
+            &params,
+            &admin,
+            &carol,
+        );
+        let hand_nav = StateProber::default().snapshot(
+            &mut cloud,
+            &ProbeTarget {
+                project_id: params["project_id"].parse().unwrap(),
+                volume_id: Some(params["volume_id"].parse().unwrap()),
+                snapshot_id: None,
+                user_token: carol,
+                monitor_token: admin,
+            },
+        );
+        // Both environments give every Cinder contract the same verdict.
+        let set = generate(&cinder::behavioral_model()).unwrap();
+        for method in HttpMethod::ALL {
+            let Some(contract) = set.contract_for(&Trigger::new(method, "volume")) else {
+                continue;
+            };
+            assert_eq!(
+                contract.evaluate_pre(&model_nav).unwrap(),
+                contract.evaluate_pre(&hand_nav).unwrap(),
+                "{method} disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn derived_probe_handles_the_snapshot_extension_unchanged() {
+        // The point of model-driven probing: the snapshot resource works
+        // without writing any new probe code.
+        let (mut cloud, admin, carol, mut params) = setup();
+        let pid: u64 = params["project_id"].parse().unwrap();
+        let vid: u64 = params["volume_id"].parse().unwrap();
+        let sid = cloud.state_mut().create_snapshot(pid, vid, "ms").unwrap().id;
+        params.insert("snapshot_id".to_string(), sid.to_string());
+
+        let prober = ModelProber::new(&cinder::extended_resource_model(), "/v3");
+        let nav = prober.snapshot(&mut cloud, &params, &admin, &carol);
+        for check in [
+            "volume.snapshots->size() = 1",
+            "snapshot.id->size() = 1",
+            "snapshot.status = 'available'",
+            "volume.id->size() = 1",
+        ] {
+            let e = parse(check).unwrap();
+            assert!(
+                EvalContext::new(&nav).eval_bool(&e).unwrap(),
+                "failed: {check}"
+            );
+        }
+    }
+
+    #[test]
+    fn unaddressable_resources_are_bound_but_empty() {
+        let (mut cloud, admin, carol, mut params) = setup();
+        params.remove("volume_id");
+        let prober = ModelProber::new(&cinder::resource_model(), "/v3");
+        let nav = prober.snapshot(&mut cloud, &params, &admin, &carol);
+        // No volume_id: the variable exists, its attributes are undefined.
+        let e = parse("volume.status.oclIsUndefined()").unwrap();
+        assert!(EvalContext::new(&nav).eval_bool(&e).unwrap());
+        // The project side is unaffected.
+        let e2 = parse("project.volumes->size() = 1").unwrap();
+        assert!(EvalContext::new(&nav).eval_bool(&e2).unwrap());
+    }
+
+    #[test]
+    fn absent_resource_yields_empty_id_set() {
+        let (mut cloud, admin, carol, mut params) = setup();
+        params.insert("volume_id".to_string(), "999".to_string());
+        let prober = ModelProber::new(&cinder::resource_model(), "/v3");
+        let nav = prober.snapshot(&mut cloud, &params, &admin, &carol);
+        let e = parse("volume.id->size() = 0").unwrap();
+        assert!(EvalContext::new(&nav).eval_bool(&e).unwrap());
+    }
+}

@@ -1,0 +1,1251 @@
+//! The Cloud Monitor: a contract-checking proxy generated from models.
+//!
+//! Implements the paper's Figure 2 workflow. For each incoming request the
+//! monitor resolves the addressed resource against the model-derived route
+//! table, looks up the generated contract for the trigger, snapshots the
+//! relevant cloud state (the `pre_*` variables of Listing 2), checks the
+//! pre-condition, forwards the request, re-probes, interprets the response
+//! code, and checks the post-condition.
+//!
+//! Two modes cover the paper's user stories (Section III-B):
+//!
+//! * [`Mode::Enforce`] — the deployed-proxy workflow of Figure 2: a failed
+//!   pre-condition blocks the request (`412`); a failed post-condition
+//!   turns the response into an "invalid response specifying the faulty
+//!   behavior".
+//! * [`Mode::Observe`] — the *test-oracle* workflow (user story 4): every
+//!   request is forwarded and the monitor classifies the cloud's actual
+//!   behaviour against the contract, detecting both **wrong acceptances**
+//!   (privilege escalation: an unauthorized request succeeded) and **wrong
+//!   denials** (an authorized user was blocked). This is the mode that
+//!   kills the Section VI-D mutants.
+
+use crate::coverage::CoverageTracker;
+use crate::probe::{ProbeTarget, StateProber};
+use cm_contracts::{generate_with, ContractSet, GenerateOptions};
+use cm_model::{BehavioralModel, HttpMethod, ResourceModel, Trigger};
+use cm_rbac::SecurityRequirementsTable;
+use cm_rest::{Json, Resolution, RestRequest, RestResponse, RestService, RouteTable, StatusCode};
+use std::fmt;
+
+/// How much cloud state each snapshot probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotPolicy {
+    /// Probe every context root (project, volumes, volume, quota_sets,
+    /// user) on every snapshot. Simplest; default.
+    #[default]
+    Full,
+    /// Probe only the roots the active contract actually navigates — the
+    /// paper's "only the values that constitute the guards and
+    /// invariants". Saves one REST round-trip per unreferenced root.
+    Minimal,
+}
+
+/// Monitoring mode; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Block contract-violating requests (Figure 2 proxy).
+    #[default]
+    Enforce,
+    /// Forward everything and classify (test oracle).
+    Observe,
+}
+
+/// The monitor's judgement of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Contract satisfied (or correctly denied request).
+    Pass,
+    /// The URI/method is not part of the behavioural model; forwarded
+    /// unchecked.
+    NotModelled,
+    /// Enforce mode: pre-condition failed, request blocked before the
+    /// cloud saw it.
+    PreBlocked,
+    /// The pre-condition was false yet the cloud accepted — a wrong
+    /// authorization (privilege escalation) or missing functional check.
+    WrongAcceptance,
+    /// The pre-condition was true yet the cloud denied — an authorized
+    /// user was prevented from accessing the resource.
+    WrongDenial,
+    /// Pre passed and the cloud accepted, but the post-condition failed
+    /// (state not updated as specified).
+    PostViolation,
+    /// The cloud answered with an unexpected success code.
+    WrongStatus {
+        /// Code the uniform interface specifies for this method.
+        expected: u16,
+        /// Code the cloud actually sent.
+        actual: u16,
+    },
+    /// Contract evaluation itself failed (modelling/environment error).
+    ContractError,
+}
+
+impl Verdict {
+    /// True for verdicts that indicate a fault in the cloud implementation.
+    #[must_use]
+    pub fn is_violation(&self) -> bool {
+        matches!(
+            self,
+            Verdict::WrongAcceptance
+                | Verdict::WrongDenial
+                | Verdict::PostViolation
+                | Verdict::WrongStatus { .. }
+        )
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Pass => write!(f, "pass"),
+            Verdict::NotModelled => write!(f, "not-modelled"),
+            Verdict::PreBlocked => write!(f, "pre-blocked"),
+            Verdict::WrongAcceptance => write!(f, "wrong-acceptance"),
+            Verdict::WrongDenial => write!(f, "wrong-denial"),
+            Verdict::PostViolation => write!(f, "post-violation"),
+            Verdict::WrongStatus { expected, actual } => {
+                write!(f, "wrong-status(expected {expected}, got {actual})")
+            }
+            Verdict::ContractError => write!(f, "contract-error"),
+        }
+    }
+}
+
+/// One line of the monitor's log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorRecord {
+    /// Request method.
+    pub method: HttpMethod,
+    /// Request path.
+    pub path: String,
+    /// The trigger the request mapped to, if modelled.
+    pub trigger: Option<Trigger>,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Security requirements exercised by the enabled clauses.
+    pub requirements: Vec<String>,
+    /// Status code returned to the client.
+    pub status: StatusCode,
+    /// Free-form diagnostics (evaluation errors, which clause enabled …).
+    pub diagnostics: String,
+}
+
+/// The outcome handed back by [`CloudMonitor::process`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorOutcome {
+    /// The response to give the monitor's client.
+    pub response: RestResponse,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Requirements exercised.
+    pub requirements: Vec<String>,
+}
+
+/// An error raised while generating a monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorBuildError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for MonitorBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "monitor generation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for MonitorBuildError {}
+
+/// The generated cloud monitor, wrapping a cloud service `S`.
+#[derive(Debug)]
+pub struct CloudMonitor<S: RestService> {
+    cloud: S,
+    routes: RouteTable,
+    contracts: ContractSet,
+    prober: StateProber,
+    mode: Mode,
+    snapshot_policy: SnapshotPolicy,
+    monitor_token: String,
+    /// Project the monitor's probe token is scoped to (learned during
+    /// [`CloudMonitor::authenticate`]); probe denials outside this scope
+    /// are expected, not anomalous.
+    monitor_project: Option<u64>,
+    log: Vec<MonitorRecord>,
+    coverage: CoverageTracker,
+}
+
+impl<S: RestService> CloudMonitor<S> {
+    /// Generate a monitor from the design models, wrapping `cloud`.
+    ///
+    /// Routes are derived from the resource model (prefix `/v3`),
+    /// contracts from the behavioural model; when a security-requirements
+    /// table is supplied its authorization guards are woven into the
+    /// contracts (Section VI, step 3) — pass `None` when the model's
+    /// guards already carry authorization, as the paper's Figure 3 does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorBuildError`] when contract generation fails
+    /// (e.g. a transition references an undeclared state).
+    pub fn generate(
+        resources: &ResourceModel,
+        behavior: &BehavioralModel,
+        security: Option<&SecurityRequirementsTable>,
+        cloud: S,
+    ) -> Result<Self, MonitorBuildError> {
+        let contracts = generate_with(behavior, &GenerateOptions { security, simplify: false })
+            .map_err(|e| MonitorBuildError { message: e.message })?;
+        let coverage = CoverageTracker::new(&contracts.covered_requirements());
+        Ok(CloudMonitor {
+            cloud,
+            routes: RouteTable::derive(resources, "/v3"),
+            contracts,
+            prober: StateProber::default(),
+            mode: Mode::Enforce,
+            snapshot_policy: SnapshotPolicy::Full,
+            monitor_token: String::new(),
+            monitor_project: None,
+            log: Vec::new(),
+            coverage,
+        })
+    }
+
+    /// Generate a monitor from one resource model and *several*
+    /// behavioural state machines (e.g. the volume lifecycle and the
+    /// snapshot lifecycle). Contracts are merged; the machines must not
+    /// share triggers — a duplicate (method, resource) pair is an error
+    /// because the monitor could not tell which contract governs it.
+    ///
+    /// # Errors
+    ///
+    /// Contract-generation failures or overlapping triggers.
+    pub fn generate_multi(
+        resources: &ResourceModel,
+        behaviors: &[&BehavioralModel],
+        security: Option<&SecurityRequirementsTable>,
+        cloud: S,
+    ) -> Result<Self, MonitorBuildError> {
+        let mut merged = ContractSet::default();
+        for behavior in behaviors {
+            let set = generate_with(behavior, &GenerateOptions { security, simplify: false })
+                .map_err(|e| MonitorBuildError { message: e.message })?;
+            for contract in set.contracts {
+                if merged.contract_for(&contract.trigger).is_some() {
+                    return Err(MonitorBuildError {
+                        message: format!(
+                            "trigger {} is modelled by more than one state machine",
+                            contract.trigger
+                        ),
+                    });
+                }
+                merged.contracts.push(contract);
+            }
+            merged.states.extend(set.states);
+        }
+        let coverage = CoverageTracker::new(&merged.covered_requirements());
+        Ok(CloudMonitor {
+            cloud,
+            routes: RouteTable::derive(resources, "/v3"),
+            contracts: merged,
+            prober: StateProber::default(),
+            mode: Mode::Enforce,
+            snapshot_policy: SnapshotPolicy::Full,
+            monitor_token: String::new(),
+            monitor_project: None,
+            log: Vec::new(),
+            coverage,
+        })
+    }
+
+    /// Select the monitoring mode.
+    #[must_use]
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Select the snapshot policy.
+    #[must_use]
+    pub fn snapshot_policy(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshot_policy = policy;
+        self
+    }
+
+    /// Authenticate the monitor's own probing identity against the wrapped
+    /// cloud (POST `/identity/auth/tokens`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorBuildError`] when the cloud rejects the
+    /// credentials.
+    pub fn authenticate(
+        &mut self,
+        user: &str,
+        password: &str,
+    ) -> Result<(), MonitorBuildError> {
+        let resp = self.cloud.handle(
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(
+                vec![(
+                    "auth",
+                    Json::object(vec![
+                        ("user", Json::Str(user.to_string())),
+                        ("password", Json::Str(password.to_string())),
+                    ]),
+                )],
+            )),
+        );
+        let token = resp
+            .body
+            .as_ref()
+            .and_then(|b| b.get("token"))
+            .and_then(|t| t.get("id"))
+            .and_then(Json::as_str);
+        match token {
+            Some(t) if resp.status.is_success() => {
+                self.monitor_token = t.to_string();
+                self.monitor_project = resp
+                    .body
+                    .as_ref()
+                    .and_then(|b| b.get("token"))
+                    .and_then(|tok| tok.get("project_id"))
+                    .and_then(Json::as_int)
+                    .map(|v| v as u64);
+                Ok(())
+            }
+            _ => Err(MonitorBuildError {
+                message: format!("monitor authentication failed: {}", resp.status),
+            }),
+        }
+    }
+
+    /// The wrapped cloud (read access for assertions in tests).
+    #[must_use]
+    pub fn cloud(&self) -> &S {
+        &self.cloud
+    }
+
+    /// Mutable access to the wrapped cloud (scenario setup in tests).
+    pub fn cloud_mut(&mut self) -> &mut S {
+        &mut self.cloud
+    }
+
+    /// The monitor's log, in request order.
+    #[must_use]
+    pub fn log(&self) -> &[MonitorRecord] {
+        &self.log
+    }
+
+    /// Coverage of security requirements observed so far.
+    #[must_use]
+    pub fn coverage(&self) -> &CoverageTracker {
+        &self.coverage
+    }
+
+    /// The generated contracts (introspection / listing rendering).
+    #[must_use]
+    pub fn contracts(&self) -> &ContractSet {
+        &self.contracts
+    }
+
+    /// The derived route table.
+    #[must_use]
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    /// Process one request through the Figure 2 workflow.
+    pub fn process(&mut self, request: &RestRequest) -> MonitorOutcome {
+        let outcome = self.process_inner(request);
+        self.log.push(MonitorRecord {
+            method: request.method,
+            path: request.path.clone(),
+            trigger: outcome.1,
+            verdict: outcome.0.verdict.clone(),
+            requirements: outcome.0.requirements.clone(),
+            status: outcome.0.response.status,
+            diagnostics: outcome.2,
+        });
+        if let Some(record) = self.log.last() {
+            self.coverage.record(record);
+        }
+        outcome.0
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn process_inner(
+        &mut self,
+        request: &RestRequest,
+    ) -> (MonitorOutcome, Option<Trigger>, String) {
+        // 1. Resolve the URI against the model-derived routes.
+        let (route, params) = match self.routes.resolve(request.method, &request.path) {
+            Resolution::Matched { route, params } => (route.clone(), params),
+            Resolution::MethodNotAllowed { route } => {
+                // Listing 2: HttpResponseNotAllowed.
+                let allowed: Vec<&str> =
+                    route.methods.iter().map(|m| m.as_str()).collect();
+                if self.mode == Mode::Enforce {
+                    let resp = RestResponse::error(
+                        StatusCode::METHOD_NOT_ALLOWED,
+                        format!("method not allowed; allowed: {}", allowed.join(", ")),
+                    )
+                    .header("Allow", allowed.join(", "));
+                    return (
+                        MonitorOutcome {
+                            response: resp,
+                            verdict: Verdict::PreBlocked,
+                            requirements: Vec::new(),
+                        },
+                        None,
+                        "method not in model-derived interface".to_string(),
+                    );
+                }
+                let response = self.cloud.handle(request);
+                let verdict = if response.status.is_success() {
+                    Verdict::WrongAcceptance
+                } else {
+                    Verdict::Pass
+                };
+                return (
+                    MonitorOutcome { response, verdict, requirements: Vec::new() },
+                    None,
+                    "method outside the modelled interface".to_string(),
+                );
+            }
+            Resolution::NotFound => {
+                // Unknown to the model (e.g. /identity/…): transparent proxy.
+                let response = self.cloud.handle(request);
+                return (
+                    MonitorOutcome {
+                        response,
+                        verdict: Verdict::NotModelled,
+                        requirements: Vec::new(),
+                    },
+                    None,
+                    String::new(),
+                );
+            }
+        };
+
+        // 2. Map to the behavioural trigger and its contract.
+        let trigger =
+            Trigger::new(request.method, route.trigger_resource(request.method));
+        let Some(contract) = self.contracts.contract_for(&trigger).cloned() else {
+            let response = self.cloud.handle(request);
+            return (
+                MonitorOutcome {
+                    response,
+                    verdict: Verdict::NotModelled,
+                    requirements: Vec::new(),
+                },
+                Some(trigger),
+                "no contract for trigger".to_string(),
+            );
+        };
+
+        // 3. Identify the probe target from the captured URI parameters.
+        let Some(project_id) =
+            params.get("project_id").and_then(|s| s.parse::<u64>().ok())
+        else {
+            let response =
+                RestResponse::error(StatusCode::BAD_REQUEST, "bad or missing project id");
+            return (
+                MonitorOutcome {
+                    response,
+                    verdict: Verdict::ContractError,
+                    requirements: Vec::new(),
+                },
+                Some(trigger),
+                "project id did not parse".to_string(),
+            );
+        };
+        let volume_id = params.get("volume_id").and_then(|s| s.parse::<u64>().ok());
+        let snapshot_id = params.get("snapshot_id").and_then(|s| s.parse::<u64>().ok());
+        let target = ProbeTarget {
+            project_id,
+            volume_id,
+            snapshot_id,
+            user_token: request.token().unwrap_or("").to_string(),
+            monitor_token: self.monitor_token.clone(),
+        };
+
+        // 4. Snapshot the pre-state and check the pre-condition.
+        let scope = match self.snapshot_policy {
+            SnapshotPolicy::Full => None,
+            SnapshotPolicy::Minimal => Some(contract.referenced_roots()),
+        };
+        let (pre_state, probe_errors) = match &scope {
+            None => self.prober.snapshot_checked(&mut self.cloud, &target),
+            Some(roots) => self.prober.snapshot_scoped(&mut self.cloud, &target, roots),
+        };
+        // Probe denials are only meaningful where the monitor has probe
+        // authority: a request addressed to a foreign project is expected
+        // to be unobservable (and its pre-condition correctly fails on the
+        // empty view).
+        let probe_errors = match self.monitor_project {
+            Some(scope_pid) if scope_pid != project_id => Vec::new(),
+            _ => probe_errors,
+        };
+        let pre_ok = match contract.evaluate_pre(&pre_state) {
+            Ok(v) => v,
+            Err(e) => {
+                let diagnostics = format!("pre-condition evaluation failed: {e}");
+                let response = if self.mode == Mode::Enforce {
+                    RestResponse::error(StatusCode::INTERNAL_SERVER_ERROR, &diagnostics)
+                } else {
+                    self.cloud.handle(request)
+                };
+                return (
+                    MonitorOutcome {
+                        response,
+                        verdict: Verdict::ContractError,
+                        requirements: Vec::new(),
+                    },
+                    Some(trigger),
+                    diagnostics,
+                );
+            }
+        };
+        let requirements =
+            contract.exercised_requirements(&pre_state).unwrap_or_default();
+
+        if self.mode == Mode::Enforce && !pre_ok {
+            let response = RestResponse::error(
+                StatusCode::PRECONDITION_FAILED,
+                format!("pre-condition of {trigger} violated"),
+            );
+            return (
+                MonitorOutcome {
+                    response,
+                    verdict: Verdict::PreBlocked,
+                    requirements: contract.security_requirements.clone(),
+                },
+                Some(trigger),
+                "blocked before reaching the cloud".to_string(),
+            );
+        }
+
+        // 5. Forward to the cloud.
+        let response = self.cloud.handle(request);
+        let success = response.status.is_success();
+
+        // 6. Interpret the response code and check the post-condition.
+        let (verdict, diagnostics) = if pre_ok && success {
+            let expected = expected_success_status(request.method);
+            if response.status != expected {
+                (
+                    Verdict::WrongStatus {
+                        expected: expected.0,
+                        actual: response.status.0,
+                    },
+                    format!("expected {expected}, got {}", response.status),
+                )
+            } else {
+                let post_state = match &scope {
+                    None => self.prober.snapshot(&mut self.cloud, &target),
+                    Some(roots) => {
+                        self.prober.snapshot_scoped(&mut self.cloud, &target, roots).0
+                    }
+                };
+                match contract.evaluate_post(&post_state, &pre_state) {
+                    Ok(true) => {
+                        // The paper's stateful view: report which model
+                        // state the system is in after the call.
+                        let states = self
+                            .contracts
+                            .states_matching(&post_state)
+                            .unwrap_or_default();
+                        let diagnostics = if states.is_empty() {
+                            String::new()
+                        } else {
+                            format!("state: {}", states.join(", "))
+                        };
+                        (Verdict::Pass, diagnostics)
+                    }
+                    Ok(false) => (
+                        Verdict::PostViolation,
+                        format!("post-condition of {trigger} violated"),
+                    ),
+                    Err(e) => (
+                        Verdict::ContractError,
+                        format!("post-condition evaluation failed: {e}"),
+                    ),
+                }
+            }
+        } else if pre_ok {
+            (
+                Verdict::WrongDenial,
+                format!("authorized request denied with {}", response.status),
+            )
+        } else if success {
+            (
+                Verdict::WrongAcceptance,
+                format!("unauthorized/disallowed request succeeded with {}", response.status),
+            )
+        } else {
+            (Verdict::Pass, "correctly denied".to_string())
+        };
+
+        // A denied monitor probe means the cloud refused admin-authority
+        // reads — report it even when the request itself looked correctly
+        // handled (otherwise a read-denying mutant hides from the oracle).
+        let (verdict, diagnostics) = if verdict == Verdict::Pass && !probe_errors.is_empty() {
+            (
+                Verdict::WrongDenial,
+                format!("monitor probes denied: {}", probe_errors.join("; ")),
+            )
+        } else {
+            (verdict, diagnostics)
+        };
+
+        // 7. In enforce mode, violations become an invalid response that
+        //    names the faulty behaviour (Figure 2).
+        let response = if self.mode == Mode::Enforce && verdict.is_violation() {
+            RestResponse::error(
+                StatusCode::BAD_GATEWAY,
+                format!("cloud monitor verdict for {trigger}: {verdict}"),
+            )
+        } else {
+            response
+        };
+
+        (
+            MonitorOutcome { response, verdict, requirements },
+            Some(trigger),
+            diagnostics,
+        )
+    }
+}
+
+impl<S: RestService> RestService for CloudMonitor<S> {
+    fn handle(&mut self, request: &RestRequest) -> RestResponse {
+        self.process(request).response
+    }
+}
+
+/// The success status the uniform interface specifies per method
+/// (Listing 2 checks `response.code == 204` for DELETE).
+#[must_use]
+pub fn expected_success_status(method: HttpMethod) -> StatusCode {
+    match method {
+        HttpMethod::Get | HttpMethod::Put => StatusCode::OK,
+        HttpMethod::Post => StatusCode::CREATED,
+        HttpMethod::Delete => StatusCode::NO_CONTENT,
+    }
+}
+
+/// Convenience: generate the monitor for the paper's Cinder scenario
+/// (Figure 3 models, Figure 3 guards carrying Table I authorization).
+///
+/// # Errors
+///
+/// Propagates [`MonitorBuildError`] from [`CloudMonitor::generate`].
+pub fn cinder_monitor<S: RestService>(
+    cloud: S,
+) -> Result<CloudMonitor<S>, MonitorBuildError> {
+    CloudMonitor::generate(
+        &cm_model::cinder::resource_model(),
+        &cm_model::cinder::behavioral_model(),
+        None,
+        cloud,
+    )
+}
+
+/// Convenience: the extended Cinder scenario — volumes *and* snapshots,
+/// two behavioural state machines over one resource model.
+///
+/// # Errors
+///
+/// Propagates [`MonitorBuildError`] from [`CloudMonitor::generate_multi`].
+pub fn cinder_monitor_extended<S: RestService>(
+    cloud: S,
+) -> Result<CloudMonitor<S>, MonitorBuildError> {
+    CloudMonitor::generate_multi(
+        &cm_model::cinder::extended_resource_model(),
+        &[
+            &cm_model::cinder::extended_behavioral_model(),
+            &cm_model::cinder::snapshot_behavioral_model(),
+        ],
+        None,
+        cloud,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_cloudsim::{Fault, FaultPlan, PrivateCloud};
+    use cm_rbac::Rule;
+    use std::collections::HashMap;
+
+    struct Harness {
+        monitor: CloudMonitor<PrivateCloud>,
+        pid: u64,
+        tokens: HashMap<&'static str, String>,
+    }
+
+    fn harness(mode: Mode, faults: FaultPlan) -> Harness {
+        let mut cloud = PrivateCloud::my_project().with_faults(faults);
+        let pid = cloud.project_id();
+        let mut tokens = HashMap::new();
+        for user in ["alice", "bob", "carol"] {
+            let t = cloud.issue_token(user, &format!("{user}-pw")).unwrap();
+            tokens.insert(user, t.token);
+        }
+        let mut monitor = cinder_monitor(cloud).unwrap().mode(mode);
+        monitor.authenticate("alice", "alice-pw").unwrap();
+        Harness { monitor, pid, tokens }
+    }
+
+    fn volume_body() -> Json {
+        Json::object(vec![(
+            "volume",
+            Json::object(vec![("name", Json::Str("v".into())), ("size", Json::Int(1))]),
+        )])
+    }
+
+    impl Harness {
+        fn seed_volume(&mut self) -> u64 {
+            let pid = self.pid;
+            self.monitor
+                .cloud_mut()
+                .state_mut()
+                .create_volume(pid, "seed", 5, false)
+                .unwrap()
+                .id
+        }
+
+        fn send(&mut self, user: &str, method: HttpMethod, path: String) -> MonitorOutcome {
+            let req = RestRequest::new(method, path).auth_token(&self.tokens[user]);
+            let req = if method == HttpMethod::Post || method == HttpMethod::Put {
+                req.json(volume_body())
+            } else {
+                req
+            };
+            self.monitor.process(&req)
+        }
+    }
+
+    #[test]
+    fn enforce_blocks_unauthorized_delete_before_cloud() {
+        let mut h = harness(Mode::Enforce, FaultPlan::none());
+        let vid = h.seed_volume();
+        let pid = h.pid;
+        let outcome = h.send("carol", HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"));
+        assert_eq!(outcome.verdict, Verdict::PreBlocked);
+        assert_eq!(outcome.response.status, StatusCode::PRECONDITION_FAILED);
+        // The volume is still there: the cloud never saw the request.
+        assert_eq!(h.monitor.cloud().state().project(pid).unwrap().volumes.len(), 1);
+        // Requirement 1.4 was the one at stake.
+        assert!(outcome.requirements.contains(&"1.4".to_string()));
+    }
+
+    #[test]
+    fn enforce_passes_authorized_delete() {
+        let mut h = harness(Mode::Enforce, FaultPlan::none());
+        let vid = h.seed_volume();
+        let pid = h.pid;
+        let outcome = h.send("alice", HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"));
+        assert_eq!(outcome.verdict, Verdict::Pass);
+        assert_eq!(outcome.response.status, StatusCode::NO_CONTENT);
+        assert!(h.monitor.cloud().state().project(pid).unwrap().volumes.is_empty());
+    }
+
+    #[test]
+    fn authorized_post_and_get_pass() {
+        let mut h = harness(Mode::Enforce, FaultPlan::none());
+        let pid = h.pid;
+        let post = h.send("bob", HttpMethod::Post, format!("/v3/{pid}/volumes"));
+        assert_eq!(post.verdict, Verdict::Pass, "{:?}", h.monitor.log().last());
+        assert_eq!(post.response.status, StatusCode::CREATED);
+        let get = h.send("carol", HttpMethod::Get, format!("/v3/{pid}/volumes/1"));
+        assert_eq!(get.verdict, Verdict::Pass, "{:?}", h.monitor.log().last());
+        let put = h.send("bob", HttpMethod::Put, format!("/v3/{pid}/volumes/1"));
+        assert_eq!(put.verdict, Verdict::Pass, "{:?}", h.monitor.log().last());
+    }
+
+    #[test]
+    fn observe_detects_wrong_acceptance_on_policy_mutant() {
+        let plan = FaultPlan::single(Fault::PolicyOverride {
+            action: "volume:delete".into(),
+            rule: Rule::any_role(["admin", "member"]),
+        });
+        let mut h = harness(Mode::Observe, plan);
+        let vid = h.seed_volume();
+        let pid = h.pid;
+        let outcome = h.send("bob", HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"));
+        assert_eq!(outcome.verdict, Verdict::WrongAcceptance);
+    }
+
+    #[test]
+    fn observe_detects_wrong_denial_on_inverted_auth() {
+        let plan = FaultPlan::single(Fault::InvertAuthCheck { action: "volume:get".into() });
+        let mut h = harness(Mode::Observe, plan);
+        let vid = h.seed_volume();
+        let pid = h.pid;
+        let outcome = h.send("alice", HttpMethod::Get, format!("/v3/{pid}/volumes/{vid}"));
+        assert_eq!(outcome.verdict, Verdict::WrongDenial);
+    }
+
+    #[test]
+    fn observe_detects_post_violation_on_lost_update() {
+        let plan = FaultPlan::single(Fault::DropStateChange { action: "volume:post".into() });
+        let mut h = harness(Mode::Observe, plan);
+        let pid = h.pid;
+        let outcome = h.send("alice", HttpMethod::Post, format!("/v3/{pid}/volumes"));
+        assert_eq!(outcome.verdict, Verdict::PostViolation);
+    }
+
+    #[test]
+    fn observe_detects_wrong_status_code() {
+        let plan = FaultPlan::single(Fault::WrongStatusCode {
+            action: "volume:delete".into(),
+            code: 200,
+        });
+        let mut h = harness(Mode::Observe, plan);
+        let vid = h.seed_volume();
+        let pid = h.pid;
+        let outcome = h.send("alice", HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"));
+        assert_eq!(outcome.verdict, Verdict::WrongStatus { expected: 204, actual: 200 });
+    }
+
+    #[test]
+    fn enforce_wraps_violations_in_invalid_response() {
+        let plan = FaultPlan::single(Fault::DropStateChange { action: "volume:post".into() });
+        let mut h = harness(Mode::Enforce, plan);
+        let pid = h.pid;
+        let outcome = h.send("alice", HttpMethod::Post, format!("/v3/{pid}/volumes"));
+        assert_eq!(outcome.verdict, Verdict::PostViolation);
+        assert_eq!(outcome.response.status, StatusCode::BAD_GATEWAY);
+        assert!(outcome
+            .response
+            .error_message()
+            .unwrap()
+            .contains("post-violation"));
+    }
+
+    #[test]
+    fn identity_api_passes_through_unmodelled() {
+        let mut h = harness(Mode::Enforce, FaultPlan::none());
+        let outcome = h.monitor.process(
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(
+                vec![(
+                    "auth",
+                    Json::object(vec![
+                        ("user", Json::Str("carol".into())),
+                        ("password", Json::Str("carol-pw".into())),
+                    ]),
+                )],
+            )),
+        );
+        assert_eq!(outcome.verdict, Verdict::NotModelled);
+        assert_eq!(outcome.response.status, StatusCode::CREATED);
+    }
+
+    #[test]
+    fn method_not_in_interface_is_405_in_enforce() {
+        let mut h = harness(Mode::Enforce, FaultPlan::none());
+        let pid = h.pid;
+        // POST on a volume item is not part of the derived interface.
+        let outcome = h.send("alice", HttpMethod::Post, format!("/v3/{pid}/volumes/1"));
+        assert_eq!(outcome.response.status, StatusCode::METHOD_NOT_ALLOWED);
+        assert!(outcome.response.header_value("Allow").is_some());
+    }
+
+    #[test]
+    fn log_and_coverage_accumulate() {
+        let mut h = harness(Mode::Enforce, FaultPlan::none());
+        let vid = h.seed_volume();
+        let pid = h.pid;
+        h.send("alice", HttpMethod::Get, format!("/v3/{pid}/volumes/{vid}"));
+        h.send("carol", HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"));
+        assert_eq!(h.monitor.log().len(), 2);
+        let cov = h.monitor.coverage();
+        assert_eq!(cov.total_requests(), 2);
+        assert!(cov.requirement("1.1").unwrap().exercised >= 1);
+        // 1.2 and 1.3 not yet exercised.
+        assert!(cov.unexercised().contains(&"1.2"));
+    }
+
+    #[test]
+    fn missing_token_is_blocked_in_enforce() {
+        let mut h = harness(Mode::Enforce, FaultPlan::none());
+        let vid = h.seed_volume();
+        let pid = h.pid;
+        let outcome = h
+            .monitor
+            .process(&RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}")));
+        assert_eq!(outcome.verdict, Verdict::PreBlocked);
+    }
+
+    #[test]
+    fn expected_status_per_method() {
+        assert_eq!(expected_success_status(HttpMethod::Get), StatusCode::OK);
+        assert_eq!(expected_success_status(HttpMethod::Put), StatusCode::OK);
+        assert_eq!(expected_success_status(HttpMethod::Post), StatusCode::CREATED);
+        assert_eq!(expected_success_status(HttpMethod::Delete), StatusCode::NO_CONTENT);
+    }
+
+    #[test]
+    fn quota_overflow_attempt_is_blocked() {
+        let mut h = harness(Mode::Enforce, FaultPlan::none());
+        let pid = h.pid;
+        for _ in 0..cm_cloudsim::DEFAULT_VOLUME_QUOTA {
+            let ok = h.send("alice", HttpMethod::Post, format!("/v3/{pid}/volumes"));
+            assert_eq!(ok.verdict, Verdict::Pass, "{:?}", h.monitor.log().last());
+        }
+        let over = h.send("alice", HttpMethod::Post, format!("/v3/{pid}/volumes"));
+        assert_eq!(over.verdict, Verdict::PreBlocked);
+    }
+}
+
+#[cfg(test)]
+mod snapshot_policy_tests {
+    use super::*;
+    use cm_cloudsim::PrivateCloud;
+
+    #[test]
+    fn minimal_policy_gives_same_verdicts_on_cinder() {
+        // The Cinder contracts reference all four roots, so Minimal and
+        // Full must agree everywhere (Minimal just proves no regression).
+        for policy in [SnapshotPolicy::Full, SnapshotPolicy::Minimal] {
+            let mut cloud = PrivateCloud::my_project();
+            let pid = cloud.project_id();
+            let admin = cloud.issue_token("alice", "alice-pw").unwrap();
+            let carol = cloud.issue_token("carol", "carol-pw").unwrap();
+            let mut monitor = cinder_monitor(cloud)
+                .unwrap()
+                .mode(Mode::Enforce)
+                .snapshot_policy(policy);
+            monitor.authenticate("alice", "alice-pw").unwrap();
+
+            let create = monitor.process(
+                &RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes"))
+                    .auth_token(&admin.token)
+                    .json(Json::object(vec![(
+                        "volume",
+                        Json::object(vec![("name", Json::Str("v".into()))]),
+                    )])),
+            );
+            assert_eq!(create.verdict, Verdict::Pass, "{policy:?}");
+            let blocked = monitor.process(
+                &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1"))
+                    .auth_token(&carol.token),
+            );
+            assert_eq!(blocked.verdict, Verdict::PreBlocked, "{policy:?}");
+            let deleted = monitor.process(
+                &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1"))
+                    .auth_token(&admin.token),
+            );
+            assert_eq!(deleted.verdict, Verdict::Pass, "{policy:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod extended_model_tests {
+    use super::*;
+    use cm_cloudsim::PrivateCloud;
+
+    struct Ext {
+        monitor: CloudMonitor<PrivateCloud>,
+        pid: u64,
+        vid: u64,
+        admin: String,
+        carol: String,
+    }
+
+    fn ext() -> Ext {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
+        let carol = cloud.issue_token("carol", "carol-pw").unwrap().token;
+        let vid = cloud.state_mut().create_volume(pid, "v", 1, false).unwrap().id;
+        let mut monitor = cinder_monitor_extended(cloud).unwrap().mode(Mode::Enforce);
+        monitor.authenticate("alice", "alice-pw").unwrap();
+        Ext { monitor, pid, vid, admin, carol }
+    }
+
+    fn snap_body() -> Json {
+        Json::object(vec![(
+            "snapshot",
+            Json::object(vec![("name", Json::Str("s".into()))]),
+        )])
+    }
+
+    #[test]
+    fn extended_monitor_covers_both_machines() {
+        let e = ext();
+        assert_eq!(e.monitor.contracts().contracts.len(), 4 + 3);
+        let mut reqs = e.monitor.contracts().covered_requirements();
+        reqs.sort();
+        assert_eq!(reqs, vec!["1.1", "1.2", "1.3", "1.4", "2.1", "2.2", "2.3"]);
+    }
+
+    #[test]
+    fn snapshot_lifecycle_through_monitor() {
+        let mut e = ext();
+        let (pid, vid) = (e.pid, e.vid);
+
+        // admin creates a snapshot (SecReq 2.2) — volume_without_snapshot
+        // -> volume_with_snapshot.
+        let create = e.monitor.process(
+            &RestRequest::new(
+                HttpMethod::Post,
+                format!("/v3/{pid}/volumes/{vid}/snapshots"),
+            )
+            .auth_token(&e.admin)
+            .json(snap_body()),
+        );
+        assert_eq!(create.verdict, Verdict::Pass, "{:?}", e.monitor.log().last());
+        assert!(create.requirements.contains(&"2.2".to_string()));
+
+        // carol reads it (SecReq 2.1).
+        let get = e.monitor.process(
+            &RestRequest::new(
+                HttpMethod::Get,
+                format!("/v3/{pid}/volumes/{vid}/snapshots/1"),
+            )
+            .auth_token(&e.carol),
+        );
+        assert_eq!(get.verdict, Verdict::Pass, "{:?}", e.monitor.log().last());
+
+        // carol may not delete it (SecReq 2.3) — blocked pre-cloud.
+        let blocked = e.monitor.process(
+            &RestRequest::new(
+                HttpMethod::Delete,
+                format!("/v3/{pid}/volumes/{vid}/snapshots/1"),
+            )
+            .auth_token(&e.carol),
+        );
+        assert_eq!(blocked.verdict, Verdict::PreBlocked);
+
+        // admin deletes it — back to volume_without_snapshot.
+        let deleted = e.monitor.process(
+            &RestRequest::new(
+                HttpMethod::Delete,
+                format!("/v3/{pid}/volumes/{vid}/snapshots/1"),
+            )
+            .auth_token(&e.admin),
+        );
+        assert_eq!(deleted.verdict, Verdict::Pass, "{:?}", e.monitor.log().last());
+    }
+
+    #[test]
+    fn volume_contracts_still_enforced_in_extended_monitor() {
+        let mut e = ext();
+        let (pid, vid) = (e.pid, e.vid);
+        let blocked = e.monitor.process(
+            &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
+                .auth_token(&e.carol),
+        );
+        assert_eq!(blocked.verdict, Verdict::PreBlocked);
+        let deleted = e.monitor.process(
+            &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
+                .auth_token(&e.admin),
+        );
+        assert_eq!(deleted.verdict, Verdict::Pass, "{:?}", e.monitor.log().last());
+    }
+
+    #[test]
+    fn snapshot_mutant_is_detected_in_observe_mode() {
+        use cm_cloudsim::{Fault, FaultPlan};
+        let mut cloud = PrivateCloud::my_project().with_faults(FaultPlan::single(
+            Fault::SkipAuthCheck { action: "snapshot:delete".into() },
+        ));
+        let pid = cloud.project_id();
+        let carol = cloud.issue_token("carol", "carol-pw").unwrap().token;
+        let vid = cloud.state_mut().create_volume(pid, "v", 1, false).unwrap().id;
+        cloud.state_mut().create_snapshot(pid, vid, "s").unwrap();
+        let mut monitor = cinder_monitor_extended(cloud).unwrap().mode(Mode::Observe);
+        monitor.authenticate("alice", "alice-pw").unwrap();
+        let outcome = monitor.process(
+            &RestRequest::new(
+                HttpMethod::Delete,
+                format!("/v3/{pid}/volumes/{vid}/snapshots/1"),
+            )
+            .auth_token(&carol),
+        );
+        assert_eq!(outcome.verdict, Verdict::WrongAcceptance);
+    }
+
+    #[test]
+    fn duplicate_triggers_across_machines_rejected() {
+        let cloud = PrivateCloud::my_project();
+        let m = cm_model::cinder::behavioral_model();
+        let err = CloudMonitor::generate_multi(
+            &cm_model::cinder::resource_model(),
+            &[&m, &m],
+            None,
+            cloud,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("more than one state machine"));
+    }
+}
+
+impl<S: RestService> CloudMonitor<S> {
+    /// Export the monitor log as JSON — "the invocation results can be
+    /// logged for further fault localization" (Section III-B).
+    #[must_use]
+    pub fn log_json(&self) -> Json {
+        Json::Array(
+            self.log
+                .iter()
+                .map(|r| {
+                    Json::object(vec![
+                        ("method", Json::Str(r.method.to_string())),
+                        ("path", Json::Str(r.path.clone())),
+                        (
+                            "trigger",
+                            match &r.trigger {
+                                Some(t) => Json::Str(t.to_string()),
+                                None => Json::Null,
+                            },
+                        ),
+                        ("verdict", Json::Str(r.verdict.to_string())),
+                        ("status", Json::Int(i64::from(r.status.0))),
+                        (
+                            "requirements",
+                            Json::Array(
+                                r.requirements
+                                    .iter()
+                                    .map(|x| Json::Str(x.clone()))
+                                    .collect(),
+                            ),
+                        ),
+                        ("diagnostics", Json::Str(r.diagnostics.clone())),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod log_json_tests {
+    use super::*;
+    use cm_cloudsim::PrivateCloud;
+
+    #[test]
+    fn log_exports_as_json() {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let carol = cloud.issue_token("carol", "carol-pw").unwrap().token;
+        cloud.state_mut().create_volume(pid, "v", 1, false).unwrap();
+        let mut monitor = cinder_monitor(cloud).unwrap();
+        monitor.authenticate("alice", "alice-pw").unwrap();
+        monitor.process(
+            &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1"))
+                .auth_token(&carol),
+        );
+        let json = monitor.log_json();
+        let entries = json.as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.get("method").unwrap().as_str(), Some("DELETE"));
+        assert_eq!(e.get("verdict").unwrap().as_str(), Some("pre-blocked"));
+        assert_eq!(e.get("status").unwrap().as_int(), Some(412));
+        assert_eq!(e.get("trigger").unwrap().as_str(), Some("DELETE(volume)"));
+        // Round-trips through the JSON parser.
+        let text = json.to_compact_string();
+        assert_eq!(cm_rest::parse_json(&text).unwrap(), json);
+    }
+}
+
+#[cfg(test)]
+mod refined_delete_tests {
+    use super::*;
+    use cm_cloudsim::PrivateCloud;
+
+    #[test]
+    fn volume_delete_with_snapshots_is_blocked_not_misreported() {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
+        let vid = cloud.state_mut().create_volume(pid, "v", 1, false).unwrap().id;
+        cloud.state_mut().create_snapshot(pid, vid, "s").unwrap();
+        let mut monitor = cinder_monitor_extended(cloud).unwrap().mode(Mode::Enforce);
+        monitor.authenticate("alice", "alice-pw").unwrap();
+
+        // The refined guard requires snapshot-freedom: blocked pre-cloud.
+        let blocked = monitor.process(
+            &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
+                .auth_token(&admin),
+        );
+        assert_eq!(blocked.verdict, Verdict::PreBlocked);
+
+        // Remove the snapshot; the volume now deletes cleanly.
+        let snap_del = monitor.process(
+            &RestRequest::new(
+                HttpMethod::Delete,
+                format!("/v3/{pid}/volumes/{vid}/snapshots/1"),
+            )
+            .auth_token(&admin),
+        );
+        assert_eq!(snap_del.verdict, Verdict::Pass);
+        let vol_del = monitor.process(
+            &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
+                .auth_token(&admin),
+        );
+        assert_eq!(vol_del.verdict, Verdict::Pass, "{:?}", monitor.log().last());
+    }
+}
+
+#[cfg(test)]
+mod state_tracking_tests {
+    use super::*;
+    use cm_cloudsim::PrivateCloud;
+    use cm_model::cinder;
+
+    #[test]
+    fn monitor_reports_the_model_state_after_each_pass() {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
+        let mut monitor = cinder_monitor(cloud).unwrap();
+        monitor.authenticate("alice", "alice-pw").unwrap();
+
+        let body = Json::object(vec![(
+            "volume",
+            Json::object(vec![("name", Json::Str("v".into()))]),
+        )]);
+        monitor.process(
+            &RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes"))
+                .auth_token(&admin)
+                .json(body.clone()),
+        );
+        assert!(
+            monitor.log()[0]
+                .diagnostics
+                .contains(cinder::S_NOT_FULL),
+            "{:?}",
+            monitor.log()[0]
+        );
+
+        // Fill to quota: the monitor reports the full-quota state.
+        for _ in 1..cm_cloudsim::DEFAULT_VOLUME_QUOTA {
+            monitor.process(
+                &RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes"))
+                    .auth_token(&admin)
+                    .json(body.clone()),
+            );
+        }
+        assert!(
+            monitor.log().last().unwrap().diagnostics.contains(cinder::S_FULL),
+            "{:?}",
+            monitor.log().last()
+        );
+    }
+
+    #[test]
+    fn contract_set_states_survive_generate_multi() {
+        let monitor = cinder_monitor_extended(PrivateCloud::my_project()).unwrap();
+        let names: Vec<&str> =
+            monitor.contracts().states.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&cinder::S_NO_VOLUME));
+        assert!(names.contains(&cinder::S_VOL_NO_SNAPSHOT));
+        assert_eq!(names.len(), 5);
+    }
+}

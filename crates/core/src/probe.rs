@@ -1,0 +1,544 @@
+//! State probing: building the OCL evaluation environment through the
+//! cloud's own REST API.
+//!
+//! The paper's monitor keeps "a local copy of the resource structures"
+//! (models.py) and evaluates invariants whose atoms are defined in terms
+//! of REST observations — `project.id->size() = 1` *means* "GET on the
+//! project returned 200". The prober realises that semantics directly: it
+//! issues GETs against the monitored cloud and materialises a
+//! [`MapNavigator`] binding the context variables (`project`, `volume`,
+//! `quota_sets`, `user`) the generated contracts navigate. Probing before
+//! the monitored call produces the `pre(...)` snapshot; probing after it
+//! produces the post-state.
+
+use cm_ocl::{MapNavigator, ObjRef, Value};
+use cm_rest::{Json, RestRequest, RestResponse, RestService, StatusCode};
+use cm_model::HttpMethod;
+
+/// Identifies the slice of cloud state a contract evaluation needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeTarget {
+    /// Project the request is scoped to.
+    pub project_id: u64,
+    /// Specific volume addressed by the request, if any.
+    pub volume_id: Option<u64>,
+    /// Specific snapshot addressed by the request, if any.
+    pub snapshot_id: Option<u64>,
+    /// The requester's auth token (probes run with the requester's own
+    /// authority is *not* wanted — see `monitor_token`).
+    pub user_token: String,
+    /// Token the monitor itself uses for probing (an admin-ish identity so
+    /// probes are not rejected when the *requester* is unauthorized).
+    pub monitor_token: String,
+}
+
+/// The prober. `prefix` is the block-storage API prefix (usually `/v3`).
+#[derive(Debug, Clone)]
+pub struct StateProber {
+    /// API prefix for the block-storage service.
+    pub prefix: String,
+}
+
+impl Default for StateProber {
+    fn default() -> Self {
+        StateProber { prefix: "/v3".to_string() }
+    }
+}
+
+impl StateProber {
+    /// Create a prober with the given API prefix.
+    #[must_use]
+    pub fn new(prefix: impl Into<String>) -> Self {
+        StateProber { prefix: prefix.into() }
+    }
+
+    fn get(
+        &self,
+        cloud: &mut dyn RestService,
+        token: &str,
+        path: String,
+        errors: &mut Vec<String>,
+    ) -> RestResponse {
+        let resp = cloud.handle(&RestRequest::new(HttpMethod::Get, path.clone()).auth_token(token));
+        // The monitor probes with its own (admin-authority) token, so any
+        // denial other than a plain 404 is anomalous: either the monitor
+        // is misconfigured or the cloud wrongly denies authorized reads.
+        if !resp.status.is_success() && resp.status != StatusCode::NOT_FOUND {
+            errors.push(format!("probe GET {path} -> {}", resp.status));
+        }
+        resp
+    }
+
+    /// Probe the cloud and build the evaluation environment, also
+    /// returning the list of anomalous probe denials (non-404 failures of
+    /// the monitor's own GETs). A non-empty error list means the cloud
+    /// denied the monitor's admin-authority reads — itself a
+    /// wrong-authorization signal the monitor reports.
+    pub fn snapshot_checked(
+        &self,
+        cloud: &mut dyn RestService,
+        target: &ProbeTarget,
+    ) -> (MapNavigator, Vec<String>) {
+        let mut errors = Vec::new();
+        let nav = self.snapshot_impl(cloud, target, &mut errors, None);
+        (nav, errors)
+    }
+
+    /// Like [`StateProber::snapshot_checked`], but probes only the context
+    /// roots in `scope` — the minimal set a contract actually navigates
+    /// (see `MethodContract::referenced_roots`). The paper's monitor
+    /// stores "only the values that constitute the guards and invariants";
+    /// scoped probing realises that: a contract that never mentions
+    /// `quota_sets` costs one fewer REST round-trip per snapshot.
+    pub fn snapshot_scoped(
+        &self,
+        cloud: &mut dyn RestService,
+        target: &ProbeTarget,
+        scope: &[String],
+    ) -> (MapNavigator, Vec<String>) {
+        let mut errors = Vec::new();
+        let nav = self.snapshot_impl(cloud, target, &mut errors, Some(scope));
+        (nav, errors)
+    }
+
+    /// Probe the cloud and build the evaluation environment.
+    ///
+    /// Bindings follow the paper's addressable-resource semantics:
+    ///
+    /// * `project.id` — `Set{id}` when `GET {prefix}/{pid}` returns 200,
+    ///   otherwise the empty set (so `->size() = 1` captures existence);
+    /// * `project.volumes` — set of volume object refs from the volumes
+    ///   listing (empty when the listing fails);
+    /// * each listed volume's `id`, `name`, `size`, `status` attributes;
+    /// * `volume` — the specific volume addressed by the request (its
+    ///   attributes stay undefined when it does not exist);
+    /// * `quota_sets.volume` — the project's volume quota;
+    /// * `user.groups` — the requester's *role* (the paper's Figure 3
+    ///   guards use role names as group labels), `user.roles` — the full
+    ///   role set, `user.id` — the user id.
+    pub fn snapshot(
+        &self,
+        cloud: &mut dyn RestService,
+        target: &ProbeTarget,
+    ) -> MapNavigator {
+        self.snapshot_impl(cloud, target, &mut Vec::new(), None)
+    }
+
+    fn snapshot_impl(
+        &self,
+        cloud: &mut dyn RestService,
+        target: &ProbeTarget,
+        errors: &mut Vec<String>,
+        scope: Option<&[String]>,
+    ) -> MapNavigator {
+        let in_scope =
+            |root: &str| scope.is_none_or(|roots| roots.iter().any(|r| r == root));
+        let mut nav = MapNavigator::new();
+        let pid = target.project_id;
+        let project = ObjRef::new("project", pid);
+        let quota = ObjRef::new("quota_sets", pid);
+        nav.set_variable("project", project.clone());
+        nav.set_variable("quota_sets", quota.clone());
+
+        // project.id: Set{pid} iff GET project → 200.
+        if in_scope("project") {
+        let proj_resp =
+            self.get(cloud, &target.monitor_token, format!("{}/{pid}", self.prefix), errors);
+        if proj_resp.status == StatusCode::OK {
+            nav.set_attribute(project.clone(), "id", Value::set(vec![Value::Int(pid as i64)]));
+            if let Some(name) = proj_resp
+                .body
+                .as_ref()
+                .and_then(|b| b.get("project"))
+                .and_then(|p| p.get("name"))
+                .and_then(Json::as_str)
+            {
+                nav.set_attribute(project.clone(), "name", name);
+            }
+        } else {
+            nav.set_attribute(project.clone(), "id", Value::set(vec![]));
+        }
+
+        // project.volumes: refs from the listing; volume attributes.
+        let vols_resp =
+            self.get(cloud, &target.monitor_token, format!("{}/{pid}/volumes", self.prefix), errors);
+        let mut volume_refs = Vec::new();
+        if vols_resp.status == StatusCode::OK {
+            if let Some(volumes) =
+                vols_resp.body.as_ref().and_then(|b| b.get("volumes")).and_then(Json::as_array)
+            {
+                for v in volumes {
+                    let Some(id) = v.get("id").and_then(Json::as_int) else { continue };
+                    let obj = ObjRef::new("volume", id as u64);
+                    nav.set_attribute(obj.clone(), "id", Value::set(vec![Value::Int(id)]));
+                    if let Some(name) = v.get("name").and_then(Json::as_str) {
+                        nav.set_attribute(obj.clone(), "name", name);
+                    }
+                    if let Some(size) = v.get("size").and_then(Json::as_int) {
+                        nav.set_attribute(obj.clone(), "size", size);
+                    }
+                    if let Some(status) = v.get("status").and_then(Json::as_str) {
+                        nav.set_attribute(obj.clone(), "status", status);
+                    }
+                    volume_refs.push(Value::Obj(obj));
+                }
+            }
+        }
+        nav.set_attribute(project, "volumes", Value::set(volume_refs));
+        }
+
+        // The specific volume addressed by the request. Bind the variable
+        // even when absent: its attributes evaluate to OclUndefined and the
+        // `project.volumes->size() >= 1` invariants do the existence work.
+        let vid = target.volume_id.unwrap_or(0);
+        let volume = ObjRef::new("volume", vid);
+        nav.set_variable("volume", volume.clone());
+        if let Some(vid) = target.volume_id.filter(|_| in_scope("volume")) {
+            let v_resp = self.get(
+                cloud,
+                &target.monitor_token,
+                format!("{}/{pid}/volumes/{vid}", self.prefix),
+                errors,
+            );
+            if v_resp.status == StatusCode::OK {
+                if let Some(v) = v_resp.body.as_ref().and_then(|b| b.get("volume")) {
+                    nav.set_attribute(volume.clone(), "id", Value::set(vec![Value::Int(vid as i64)]));
+                    if let Some(status) = v.get("status").and_then(Json::as_str) {
+                        nav.set_attribute(volume.clone(), "status", status);
+                    }
+                    if let Some(size) = v.get("size").and_then(Json::as_int) {
+                        nav.set_attribute(volume.clone(), "size", size);
+                    }
+                    if let Some(name) = v.get("name").and_then(Json::as_str) {
+                        nav.set_attribute(volume.clone(), "name", name);
+                    }
+                }
+            }
+        }
+
+        // volume.snapshots + the addressed snapshot (extended model).
+        if let Some(vid) = target.volume_id.filter(|_| in_scope("volume")) {
+            let s_resp = self.get(
+                cloud,
+                &target.monitor_token,
+                format!("{}/{pid}/volumes/{vid}/snapshots", self.prefix),
+                // A cloud without the snapshots extension 404s here; that
+                // is not a probe anomaly.
+                &mut Vec::new(),
+            );
+            let mut snapshot_refs = Vec::new();
+            if s_resp.status == StatusCode::OK {
+                if let Some(snaps) = s_resp
+                    .body
+                    .as_ref()
+                    .and_then(|b| b.get("snapshots"))
+                    .and_then(Json::as_array)
+                {
+                    for snap in snaps {
+                        let Some(id) = snap.get("id").and_then(Json::as_int) else {
+                            continue;
+                        };
+                        let obj = ObjRef::new("snapshot", id as u64);
+                        nav.set_attribute(obj.clone(), "id", Value::set(vec![Value::Int(id)]));
+                        if let Some(name) = snap.get("name").and_then(Json::as_str) {
+                            nav.set_attribute(obj.clone(), "name", name);
+                        }
+                        if let Some(status) = snap.get("status").and_then(Json::as_str) {
+                            nav.set_attribute(obj.clone(), "status", status);
+                        }
+                        snapshot_refs.push(Value::Obj(obj));
+                    }
+                }
+            }
+            nav.set_attribute(volume.clone(), "snapshots", Value::set(snapshot_refs));
+        }
+
+        // The addressed snapshot variable (attribute-free when absent).
+        let snapshot = ObjRef::new("snapshot", target.snapshot_id.unwrap_or(0));
+        nav.set_variable("snapshot", snapshot.clone());
+        if let (Some(vid), Some(sid)) = (target.volume_id, target.snapshot_id) {
+            if in_scope("snapshot") {
+                let resp = self.get(
+                    cloud,
+                    &target.monitor_token,
+                    format!("{}/{pid}/volumes/{vid}/snapshots/{sid}", self.prefix),
+                    &mut Vec::new(),
+                );
+                if resp.status == StatusCode::OK {
+                    if let Some(snap) = resp.body.as_ref().and_then(|b| b.get("snapshot")) {
+                        nav.set_attribute(
+                            snapshot.clone(),
+                            "id",
+                            Value::set(vec![Value::Int(sid as i64)]),
+                        );
+                        if let Some(name) = snap.get("name").and_then(Json::as_str) {
+                            nav.set_attribute(snapshot.clone(), "name", name);
+                        }
+                        if let Some(status) = snap.get("status").and_then(Json::as_str) {
+                            nav.set_attribute(snapshot.clone(), "status", status);
+                        }
+                    }
+                }
+            }
+        }
+
+        // quota_sets.volume.
+        if in_scope("quota_sets") {
+            let q_resp = self.get(
+                cloud,
+                &target.monitor_token,
+                format!("{}/{pid}/quota_sets", self.prefix),
+                errors,
+            );
+            if let Some(q) = q_resp
+                .body
+                .as_ref()
+                .and_then(|b| b.get("quota_set"))
+                .and_then(|q| q.get("volume"))
+                .and_then(Json::as_int)
+            {
+                nav.set_attribute(quota, "volume", q);
+            }
+        }
+
+        // user: introspect the requester's token.
+        // Token introspection 404s for unauthenticated requesters; that is
+        // a legitimate outcome, not a probe anomaly.
+        if in_scope("user") {
+        let user_resp = self.get(
+            cloud,
+            &target.monitor_token,
+            format!("/identity/tokens/{}", target.user_token),
+            &mut Vec::new(),
+        );
+        if let Some(tok) = user_resp.body.as_ref().and_then(|b| b.get("token")) {
+            let uid = tok.get("user_id").and_then(Json::as_int).unwrap_or(0);
+            let user = ObjRef::new("user", uid as u64);
+            nav.set_variable("user", user.clone());
+            nav.set_attribute(user.clone(), "id", Value::set(vec![Value::Int(uid)]));
+            if let Some(name) = tok.get("user").and_then(Json::as_str) {
+                nav.set_attribute(user.clone(), "name", name);
+            }
+            let roles: Vec<Value> = tok
+                .get("roles")
+                .and_then(Json::as_array)
+                .map(|rs| {
+                    rs.iter()
+                        .filter_map(Json::as_str)
+                        .map(|s| Value::Str(s.to_string()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            // Figure 3 guard vocabulary: `user.groups = 'admin'` compares
+            // against the primary role label.
+            if let Some(Value::Str(primary)) = roles.first() {
+                nav.set_attribute(user.clone(), "groups", primary.clone());
+            }
+            nav.set_attribute(user, "roles", Value::set(roles));
+        } else {
+            // Unauthenticated requester: bind a user with no attributes so
+            // guards evaluate to false, not to an unknown-variable error.
+            nav.set_variable("user", ObjRef::new("user", 0));
+        }
+        } else {
+            nav.set_variable("user", ObjRef::new("user", 0));
+        }
+
+        nav
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_cloudsim::PrivateCloud;
+    use cm_ocl::{parse, EvalContext};
+
+    fn setup() -> (PrivateCloud, ProbeTarget) {
+        let mut cloud = PrivateCloud::my_project();
+        let admin = cloud.issue_token("alice", "alice-pw").unwrap();
+        let carol = cloud.issue_token("carol", "carol-pw").unwrap();
+        let pid = cloud.project_id();
+        (
+            cloud,
+            ProbeTarget {
+                project_id: pid,
+                volume_id: None,
+                snapshot_id: None,
+                user_token: carol.token,
+                monitor_token: admin.token,
+            },
+        )
+    }
+
+    #[test]
+    fn empty_project_matches_no_volume_invariant() {
+        let (mut cloud, target) = setup();
+        let nav = StateProber::default().snapshot(&mut cloud, &target);
+        let inv = parse("project.id->size()=1 and project.volumes->size()=0").unwrap();
+        assert!(EvalContext::new(&nav).eval_bool(&inv).unwrap());
+    }
+
+    #[test]
+    fn volumes_and_quota_are_visible() {
+        let (mut cloud, mut target) = setup();
+        let pid = target.project_id;
+        let vid = cloud.state_mut().create_volume(pid, "v1", 10, false).unwrap().id;
+        target.volume_id = Some(vid);
+        let nav = StateProber::default().snapshot(&mut cloud, &target);
+        let checks = [
+            "project.volumes->size() = 1",
+            "project.volumes->size() < quota_sets.volume",
+            "volume.status = 'available'",
+            "volume.size = 10",
+        ];
+        for c in checks {
+            let e = parse(c).unwrap();
+            assert!(
+                EvalContext::new(&nav).eval_bool(&e).unwrap(),
+                "check failed: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn user_view_reflects_roles() {
+        let (mut cloud, target) = setup();
+        let nav = StateProber::default().snapshot(&mut cloud, &target);
+        // carol is role `user`.
+        let e = parse("user.groups = 'user'").unwrap();
+        assert!(EvalContext::new(&nav).eval_bool(&e).unwrap());
+        let e2 = parse("user.roles->includes('user')").unwrap();
+        assert!(EvalContext::new(&nav).eval_bool(&e2).unwrap());
+        let e3 = parse("user.groups = 'admin'").unwrap();
+        assert!(!EvalContext::new(&nav).eval_bool(&e3).unwrap());
+    }
+
+    #[test]
+    fn missing_volume_attributes_are_undefined() {
+        let (mut cloud, mut target) = setup();
+        target.volume_id = Some(999);
+        let nav = StateProber::default().snapshot(&mut cloud, &target);
+        let e = parse("volume.status.oclIsUndefined()").unwrap();
+        assert!(EvalContext::new(&nav).eval_bool(&e).unwrap());
+    }
+
+    #[test]
+    fn nonexistent_project_has_empty_id_set() {
+        let (mut cloud, mut target) = setup();
+        target.project_id = 999;
+        // The admin token is scoped to project 1, so GET /v3/999 is 403 →
+        // the project is unobservable → id set empty.
+        let nav = StateProber::default().snapshot(&mut cloud, &target);
+        let e = parse("project.id->size() = 0").unwrap();
+        assert!(EvalContext::new(&nav).eval_bool(&e).unwrap());
+    }
+
+    #[test]
+    fn invalid_user_token_yields_attribute_free_user() {
+        let (mut cloud, mut target) = setup();
+        target.user_token = "tok-bogus".to_string();
+        let nav = StateProber::default().snapshot(&mut cloud, &target);
+        let e = parse("user.groups = 'admin'").unwrap();
+        // groups is undefined; equality with a string is false.
+        assert!(!EvalContext::new(&nav).eval_bool(&e).unwrap());
+    }
+
+    #[test]
+    fn pre_and_post_snapshots_differ_after_delete() {
+        let (mut cloud, mut target) = setup();
+        let pid = target.project_id;
+        let vid = cloud.state_mut().create_volume(pid, "v1", 10, false).unwrap().id;
+        target.volume_id = Some(vid);
+        let prober = StateProber::default();
+        let pre = prober.snapshot(&mut cloud, &target);
+        cloud.state_mut().delete_volume(pid, vid, false).unwrap();
+        let post = prober.snapshot(&mut cloud, &target);
+        let e = parse("project.volumes->size() < pre(project.volumes->size())").unwrap();
+        assert!(EvalContext::with_pre_state(&post, &pre).eval_bool(&e).unwrap());
+    }
+}
+
+#[cfg(test)]
+mod scoped_tests {
+    use super::*;
+    use cm_cloudsim::PrivateCloud;
+    use cm_ocl::{parse, EvalContext};
+
+    /// A counting wrapper so tests can assert how many probe requests a
+    /// snapshot issues.
+    struct Counting<S> {
+        inner: S,
+        requests: usize,
+    }
+
+    impl<S: RestService> RestService for Counting<S> {
+        fn handle(&mut self, request: &RestRequest) -> cm_rest::RestResponse {
+            self.requests += 1;
+            self.inner.handle(request)
+        }
+    }
+
+    fn setup() -> (Counting<PrivateCloud>, ProbeTarget) {
+        let mut cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let admin = cloud.issue_token("alice", "alice-pw").unwrap();
+        let vid = cloud.state_mut().create_volume(pid, "v", 1, false).unwrap().id;
+        let target = ProbeTarget {
+            project_id: pid,
+            volume_id: Some(vid),
+            snapshot_id: None,
+            user_token: admin.token.clone(),
+            monitor_token: admin.token,
+        };
+        (Counting { inner: cloud, requests: 0 }, target)
+    }
+
+    #[test]
+    fn full_snapshot_probes_all_roots() {
+        let (mut cloud, target) = setup();
+        let prober = StateProber::default();
+        let _ = prober.snapshot(&mut cloud, &target);
+        // project + volumes + volume item + snapshots listing + quota +
+        // token introspection.
+        assert_eq!(cloud.requests, 6);
+    }
+
+    #[test]
+    fn scoped_snapshot_skips_unreferenced_roots() {
+        let (mut cloud, target) = setup();
+        let prober = StateProber::default();
+        let (nav, errors) = prober.snapshot_scoped(
+            &mut cloud,
+            &target,
+            &["project".to_string()],
+        );
+        assert!(errors.is_empty());
+        // Only project + volumes listing.
+        assert_eq!(cloud.requests, 2);
+        let e = parse("project.volumes->size() = 1").unwrap();
+        assert!(EvalContext::new(&nav).eval_bool(&e).unwrap());
+        // Out-of-scope roots are still *bound* (variables resolve) but
+        // attribute-free, so guards over them evaluate, not error.
+        let q = parse("quota_sets.volume.oclIsUndefined()").unwrap();
+        assert!(EvalContext::new(&nav).eval_bool(&q).unwrap());
+    }
+
+    #[test]
+    fn scoped_snapshot_with_all_roots_equals_full() {
+        let (mut cloud, target) = setup();
+        let prober = StateProber::default();
+        let full = prober.snapshot(&mut cloud, &target);
+        let (scoped, _) = prober.snapshot_scoped(
+            &mut cloud,
+            &target,
+            &[
+                "project".to_string(),
+                "volume".to_string(),
+                "quota_sets".to_string(),
+                "user".to_string(),
+            ],
+        );
+        assert_eq!(full, scoped);
+    }
+}

@@ -1,0 +1,37 @@
+//! # cm-httpkit — a minimal HTTP/1.1 transport
+//!
+//! The wire layer that lets the generated cloud monitor run as a real
+//! network proxy (the paper drives its monitor with cURL): HTTP/1.1
+//! message framing over `std::net` TCP with one request per connection.
+//!
+//! * [`wire`] — request/response parsing and serialisation
+//!   (`Content-Length` framing, JSON bodies, size limits);
+//! * [`HttpServer`] — a threaded blocking server with graceful shutdown;
+//! * [`send`] — a one-shot client.
+//!
+//! ## Example
+//!
+//! ```
+//! use cm_httpkit::{send, HttpServer};
+//! use cm_model::HttpMethod;
+//! use cm_rest::{Json, RestRequest, RestResponse};
+//! use std::sync::Arc;
+//!
+//! let server = HttpServer::bind(
+//!     "127.0.0.1:0",
+//!     Arc::new(|_req| RestResponse::ok(Json::Str("hello".into()))),
+//! )?;
+//! let resp = send(server.local_addr(), &RestRequest::new(HttpMethod::Get, "/"))?;
+//! assert_eq!(resp.body, Some(Json::Str("hello".into())));
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod server;
+pub mod wire;
+
+pub use server::{send, Handler, HttpServer, RemoteService};
+pub use wire::{read_request, read_response, write_request, write_response, WireError};

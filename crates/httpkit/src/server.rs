@@ -1,0 +1,278 @@
+//! A small blocking HTTP server and client over `std::net`.
+//!
+//! One request per connection (`Connection: close`), one thread per
+//! connection, graceful shutdown via an atomic flag plus a wake-up
+//! connection. This is the transport under the monitor-as-network-proxy
+//! examples; unit and integration tests use the in-process
+//! [`cm_rest::RestService`] plumbing instead for determinism.
+
+use crate::wire::{read_request, write_request, write_response, WireError};
+use cm_rest::{RestRequest, RestResponse, StatusCode};
+use parking_lot::Mutex;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handler invoked for each incoming request.
+pub type Handler = dyn Fn(RestRequest) -> RestResponse + Send + Sync;
+
+/// A running HTTP server.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl HttpServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and start serving
+    /// `handler` on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding errors from the OS.
+    pub fn bind(addr: impl ToSocketAddrs, handler: Arc<Handler>) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let stop_accept = Arc::clone(&stop);
+        let workers_accept = Arc::clone(&workers);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let handler = Arc::clone(&handler);
+                let worker = std::thread::spawn(move || {
+                    serve_connection(stream, handler.as_ref());
+                });
+                workers_accept.lock().push(worker);
+            }
+        });
+
+        Ok(HttpServer { addr: local, stop, accept_thread: Some(accept_thread), workers })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.lock().drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, handler: &Handler) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let response = match read_request(&mut stream) {
+        Ok(request) => handler(request),
+        Err(WireError::UnexpectedEof) => return, // wake-up / probe connection
+        Err(e) => RestResponse::error(StatusCode::BAD_REQUEST, e.to_string()),
+    };
+    let _ = write_response(&mut stream, &response);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Drain until the peer closes so it never sees a reset before reading.
+    let mut sink = [0u8; 256];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+/// Send one request to an HTTP server and read the response.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on connection failure or malformed responses.
+pub fn send(addr: impl ToSocketAddrs, request: &RestRequest) -> Result<RestResponse, WireError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write_request(&mut stream, request)?;
+    stream.flush_write()?;
+    crate::wire::read_response(&mut stream)
+}
+
+trait FlushWrite {
+    fn flush_write(&mut self) -> std::io::Result<()>;
+}
+
+impl FlushWrite for TcpStream {
+    fn flush_write(&mut self) -> std::io::Result<()> {
+        use std::io::Write;
+        self.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_model::HttpMethod;
+    use cm_rest::Json;
+
+    fn echo_handler() -> Arc<Handler> {
+        Arc::new(|req: RestRequest| {
+            RestResponse::ok(Json::object(vec![
+                ("method", Json::Str(req.method.to_string())),
+                ("path", Json::Str(req.path.clone())),
+                ("token", match req.token() {
+                    Some(t) => Json::Str(t.to_string()),
+                    None => Json::Null,
+                }),
+                ("body", req.body.clone().unwrap_or(Json::Null)),
+            ]))
+        })
+    }
+
+    #[test]
+    fn serves_round_trips() {
+        let server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
+        let addr = server.local_addr();
+        let req = RestRequest::new(HttpMethod::Post, "/v3/4/volumes")
+            .auth_token("tok-7")
+            .json(Json::object(vec![("size", Json::Int(3))]));
+        let resp = send(addr, &req).unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        let body = resp.body.unwrap();
+        assert_eq!(body.get("method").unwrap().as_str(), Some("POST"));
+        assert_eq!(body.get("path").unwrap().as_str(), Some("/v3/4/volumes"));
+        assert_eq!(body.get("token").unwrap().as_str(), Some("tok-7"));
+        assert_eq!(
+            body.get("body").unwrap().get("size").unwrap().as_int(),
+            Some(3)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_multiple_sequential_requests() {
+        let server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
+        let addr = server.local_addr();
+        for i in 0..5 {
+            let req = RestRequest::new(HttpMethod::Get, format!("/item/{i}"));
+            let resp = send(addr, &req).unwrap();
+            assert_eq!(
+                resp.body.unwrap().get("path").unwrap().as_str(),
+                Some(format!("/item/{i}").as_str())
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_concurrent_requests() {
+        let server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
+        let addr = server.local_addr();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let req = RestRequest::new(HttpMethod::Get, format!("/t/{i}"));
+                    send(addr, &req).unwrap().status
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), StatusCode::OK);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_to_stopped_server_fails() {
+        let server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        let req = RestRequest::new(HttpMethod::Get, "/");
+        // Either the connect fails or the read does; both are errors.
+        assert!(send(addr, &req).is_err());
+    }
+}
+
+/// A [`cm_rest::RestService`] adapter that forwards every request to a
+/// remote HTTP server — this is how the monitor wraps a private cloud
+/// reachable only over the network (the paper's deployment, where the
+/// monitor runs on the laptop and OpenStack in VirtualBox).
+#[derive(Debug, Clone)]
+pub struct RemoteService {
+    addr: SocketAddr,
+}
+
+impl RemoteService {
+    /// Point the adapter at a server address.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        RemoteService { addr }
+    }
+}
+
+impl cm_rest::RestService for RemoteService {
+    fn handle(&mut self, request: &RestRequest) -> RestResponse {
+        match send(self.addr, request) {
+            Ok(resp) => resp,
+            Err(e) => RestResponse::error(StatusCode::BAD_GATEWAY, e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod remote_tests {
+    use super::*;
+    use cm_model::HttpMethod;
+    use cm_rest::{Json, RestService};
+
+    #[test]
+    fn remote_service_forwards() {
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|req: RestRequest| RestResponse::ok(Json::Str(req.path))),
+        )
+        .unwrap();
+        let mut remote = RemoteService::new(server.local_addr());
+        let resp = remote.handle(&RestRequest::new(HttpMethod::Get, "/ping"));
+        assert_eq!(resp.body, Some(Json::Str("/ping".into())));
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_service_reports_unreachable_as_bad_gateway() {
+        // Bind and immediately drop a listener to get a dead port.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut remote = RemoteService::new(addr);
+        let resp = remote.handle(&RestRequest::new(HttpMethod::Get, "/"));
+        assert_eq!(resp.status, StatusCode::BAD_GATEWAY);
+    }
+}

@@ -1,0 +1,340 @@
+//! HTTP/1.1 wire format: parsing and serialisation of requests and
+//! responses over byte streams.
+//!
+//! Supports the slice of HTTP the monitor and simulator need: one message
+//! per connection (`Connection: close`), `Content-Length`-delimited bodies,
+//! and JSON payloads. Chunked transfer encoding is not implemented — the
+//! peer is always our own client/server pair or cURL with small bodies.
+
+use cm_model::HttpMethod;
+use cm_rest::{parse_json, Json, RestRequest, RestResponse, StatusCode};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Maximum accepted header section size (DoS guard).
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Maximum accepted body size (DoS guard).
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A wire-level error.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed HTTP framing or header syntax.
+    Malformed(String),
+    /// The peer closed the connection before a full message arrived.
+    UnexpectedEof,
+    /// Header or body exceeded the size limits.
+    TooLarge(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "I/O error: {e}"),
+            WireError::Malformed(m) => write!(f, "malformed HTTP message: {m}"),
+            WireError::UnexpectedEof => write!(f, "unexpected end of stream"),
+            WireError::TooLarge(what) => write!(f, "HTTP {what} too large"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, WireError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                if line.is_empty() {
+                    return Err(WireError::UnexpectedEof);
+                }
+                break;
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if byte[0] != b'\r' {
+                    line.push(byte[0]);
+                }
+                if line.len() > *budget {
+                    return Err(WireError::TooLarge("header"));
+                }
+            }
+        }
+    }
+    *budget = budget.saturating_sub(line.len());
+    String::from_utf8(line).map_err(|_| WireError::Malformed("non-UTF-8 header".into()))
+}
+
+fn read_headers(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+) -> Result<Vec<(String, String)>, WireError> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, budget)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| WireError::Malformed(format!("header line `{line}`")))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+}
+
+fn content_length(headers: &[(String, String)]) -> Result<usize, WireError> {
+    for (n, v) in headers {
+        if n.eq_ignore_ascii_case("content-length") {
+            let len: usize = v
+                .parse()
+                .map_err(|_| WireError::Malformed(format!("content-length `{v}`")))?;
+            if len > MAX_BODY_BYTES {
+                return Err(WireError::TooLarge("body"));
+            }
+            return Ok(len);
+        }
+    }
+    Ok(0)
+}
+
+fn read_body(reader: &mut impl BufRead, len: usize) -> Result<Option<Json>, WireError> {
+    if len == 0 {
+        return Ok(None);
+    }
+    let mut buf = vec![0u8; len];
+    reader.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::UnexpectedEof
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    let text =
+        String::from_utf8(buf).map_err(|_| WireError::Malformed("non-UTF-8 body".into()))?;
+    let json =
+        parse_json(&text).map_err(|e| WireError::Malformed(format!("body JSON: {e}")))?;
+    Ok(Some(json))
+}
+
+/// Read one HTTP request from a stream.
+///
+/// # Errors
+///
+/// [`WireError`] on I/O failure, malformed framing, unsupported methods,
+/// or bodies that are not valid JSON.
+pub fn read_request(stream: &mut impl Read) -> Result<RestRequest, WireError> {
+    let mut reader = BufReader::new(stream);
+    let mut budget = MAX_HEADER_BYTES;
+    let request_line = read_line(&mut reader, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let method_str = parts
+        .next()
+        .ok_or_else(|| WireError::Malformed("empty request line".into()))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| WireError::Malformed("request line without path".into()))?
+        .to_string();
+    let method: HttpMethod = method_str
+        .parse()
+        .map_err(|e| WireError::Malformed(format!("{e}")))?;
+    let headers = read_headers(&mut reader, &mut budget)?;
+    let len = content_length(&headers)?;
+    let body = read_body(&mut reader, len)?;
+    Ok(RestRequest { method, path, headers, body })
+}
+
+/// Read one HTTP response from a stream.
+///
+/// # Errors
+///
+/// As [`read_request`].
+pub fn read_response(stream: &mut impl Read) -> Result<RestResponse, WireError> {
+    let mut reader = BufReader::new(stream);
+    let mut budget = MAX_HEADER_BYTES;
+    let status_line = read_line(&mut reader, &mut budget)?;
+    let mut parts = status_line.split_whitespace();
+    let _version = parts
+        .next()
+        .ok_or_else(|| WireError::Malformed("empty status line".into()))?;
+    let code: u16 = parts
+        .next()
+        .ok_or_else(|| WireError::Malformed("status line without code".into()))?
+        .parse()
+        .map_err(|_| WireError::Malformed("non-numeric status code".into()))?;
+    let headers = read_headers(&mut reader, &mut budget)?;
+    let len = content_length(&headers)?;
+    let body = read_body(&mut reader, len)?;
+    Ok(RestResponse { status: StatusCode(code), headers, body })
+}
+
+/// Write one HTTP request to a stream (`Connection: close` semantics).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_request(stream: &mut impl Write, request: &RestRequest) -> std::io::Result<()> {
+    let body_text = request.body.as_ref().map(Json::to_compact_string);
+    let mut out = format!("{} {} HTTP/1.1\r\n", request.method, request.path);
+    for (n, v) in &request.headers {
+        if n.eq_ignore_ascii_case("content-length") {
+            continue; // we compute it ourselves
+        }
+        out.push_str(&format!("{n}: {v}\r\n"));
+    }
+    if let Some(text) = &body_text {
+        out.push_str("Content-Type: application/json\r\n");
+        out.push_str(&format!("Content-Length: {}\r\n", text.len()));
+    } else {
+        out.push_str("Content-Length: 0\r\n");
+    }
+    out.push_str("Connection: close\r\n\r\n");
+    if let Some(text) = body_text {
+        out.push_str(&text);
+    }
+    stream.write_all(out.as_bytes())
+}
+
+/// Write one HTTP response to a stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_response(stream: &mut impl Write, response: &RestResponse) -> std::io::Result<()> {
+    let body_text = response.body.as_ref().map(Json::to_compact_string);
+    let mut out =
+        format!("HTTP/1.1 {} {}\r\n", response.status.0, response.status.reason());
+    for (n, v) in &response.headers {
+        if n.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        out.push_str(&format!("{n}: {v}\r\n"));
+    }
+    if let Some(text) = &body_text {
+        out.push_str("Content-Type: application/json\r\n");
+        out.push_str(&format!("Content-Length: {}\r\n", text.len()));
+    } else {
+        out.push_str("Content-Length: 0\r\n");
+    }
+    out.push_str("Connection: close\r\n\r\n");
+    if let Some(text) = body_text {
+        out.push_str(&text);
+    }
+    stream.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip_request(req: &RestRequest) -> RestRequest {
+        let mut buf = Vec::new();
+        write_request(&mut buf, req).unwrap();
+        read_request(&mut Cursor::new(buf)).unwrap()
+    }
+
+    fn roundtrip_response(resp: &RestResponse) -> RestResponse {
+        let mut buf = Vec::new();
+        write_response(&mut buf, resp).unwrap();
+        read_response(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip_with_body() {
+        let req = RestRequest::new(HttpMethod::Post, "/v3/4/volumes")
+            .auth_token("tok-1")
+            .json(Json::object(vec![("size", Json::Int(10))]));
+        let back = roundtrip_request(&req);
+        assert_eq!(back.method, HttpMethod::Post);
+        assert_eq!(back.path, "/v3/4/volumes");
+        assert_eq!(back.token(), Some("tok-1"));
+        assert_eq!(back.body, req.body);
+    }
+
+    #[test]
+    fn request_roundtrip_without_body() {
+        let req = RestRequest::new(HttpMethod::Delete, "/v3/4/volumes/7");
+        let back = roundtrip_request(&req);
+        assert_eq!(back.body, None);
+        assert_eq!(back.method, HttpMethod::Delete);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = RestResponse::error(StatusCode::FORBIDDEN, "no");
+        let back = roundtrip_response(&resp);
+        assert_eq!(back.status, StatusCode::FORBIDDEN);
+        assert_eq!(back.error_message(), Some("no"));
+        let no_content = roundtrip_response(&RestResponse::no_content());
+        assert_eq!(no_content.status, StatusCode::NO_CONTENT);
+        assert_eq!(no_content.body, None);
+    }
+
+    #[test]
+    fn parses_curl_style_request() {
+        // The paper's cURL invocation shape.
+        let raw = "DELETE /cmonitor/volumes/4 HTTP/1.1\r\nHost: 127.0.0.1:8000\r\nX-Auth-Token: tok-9\r\nContent-Length: 0\r\n\r\n";
+        let req = read_request(&mut Cursor::new(raw.as_bytes())).unwrap();
+        assert_eq!(req.method, HttpMethod::Delete);
+        assert_eq!(req.path, "/cmonitor/volumes/4");
+        assert_eq!(req.token(), Some("tok-9"));
+    }
+
+    #[test]
+    fn rejects_unknown_method() {
+        let raw = "BREW /pot HTTP/1.1\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut Cursor::new(raw.as_bytes())),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let raw = "GET / HTTP/1.1\r\nBadHeaderNoColon\r\n\r\n";
+        assert!(read_request(&mut Cursor::new(raw.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let raw = "GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\n{}";
+        assert!(matches!(
+            read_request(&mut Cursor::new(raw.as_bytes())),
+            Err(WireError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_json_body() {
+        let raw = "GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        assert!(read_request(&mut Cursor::new(raw.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_stream() {
+        assert!(matches!(
+            read_request(&mut Cursor::new(b"".as_slice())),
+            Err(WireError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_content_length() {
+        let raw = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX / 2);
+        assert!(matches!(
+            read_request(&mut Cursor::new(raw.as_bytes())),
+            Err(WireError::TooLarge(_))
+        ));
+    }
+}

@@ -1,0 +1,300 @@
+//! The behavioural model: a UML protocol-state-machine subset.
+//!
+//! Following the paper's Section IV-B, the behavioural interface of a REST
+//! API is a state machine whose states carry **OCL invariants** over the
+//! addressable resources (so REST statelessness is not compromised — the
+//! "state" is fully reconstructible from GETs on the resources), and whose
+//! transitions are triggered by HTTP methods on resources, guarded by
+//! functional + authorization conditions, and annotated with effects and
+//! security-requirement ids (the comments of Figure 3 that provide
+//! requirement traceability).
+
+use crate::http::HttpMethod;
+use cm_ocl::Expr;
+use std::fmt;
+
+/// A state of the behavioural model with its OCL invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    /// State name, e.g. `project_with_no_volume`.
+    pub name: String,
+    /// OCL invariant over addressable resources; `true` if unconstrained.
+    pub invariant: Expr,
+}
+
+impl State {
+    /// Create a state.
+    #[must_use]
+    pub fn new(name: impl Into<String>, invariant: Expr) -> Self {
+        State { name: name.into(), invariant }
+    }
+}
+
+/// The trigger of a transition: an HTTP method invoked on a resource
+/// definition, e.g. `POST(volume)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Trigger {
+    /// HTTP method.
+    pub method: HttpMethod,
+    /// Resource-definition name the method is invoked on.
+    pub resource: String,
+}
+
+impl Trigger {
+    /// Create a trigger.
+    #[must_use]
+    pub fn new(method: HttpMethod, resource: impl Into<String>) -> Self {
+        Trigger { method, resource: resource.into() }
+    }
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.method, self.resource)
+    }
+}
+
+/// A transition of the behavioural model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Unique transition id within the model (diagnostics / traceability).
+    pub id: String,
+    /// Source state name.
+    pub source: String,
+    /// Target state name.
+    pub target: String,
+    /// Trigger (method + resource).
+    pub trigger: Trigger,
+    /// Guard: functional + authorization condition; `None` means `true`.
+    pub guard: Option<Expr>,
+    /// Effect: condition on the post-state relating it to the pre-state
+    /// (may use `pre(...)`); `None` means `true`.
+    pub effect: Option<Expr>,
+    /// Security-requirement ids exercised by this transition (the
+    /// requirement-annotation comments of Figure 3), e.g. `["1.4"]`.
+    pub security_requirements: Vec<String>,
+}
+
+/// Builder for [`Transition`] (many optional parts).
+#[derive(Debug, Clone)]
+pub struct TransitionBuilder {
+    inner: Transition,
+}
+
+impl TransitionBuilder {
+    /// Start a transition `source --trigger--> target`.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        source: impl Into<String>,
+        trigger: Trigger,
+        target: impl Into<String>,
+    ) -> Self {
+        TransitionBuilder {
+            inner: Transition {
+                id: id.into(),
+                source: source.into(),
+                target: target.into(),
+                trigger,
+                guard: None,
+                effect: None,
+                security_requirements: Vec::new(),
+            },
+        }
+    }
+
+    /// Attach a guard expression.
+    #[must_use]
+    pub fn guard(mut self, guard: Expr) -> Self {
+        self.inner.guard = Some(guard);
+        self
+    }
+
+    /// Attach an effect expression.
+    #[must_use]
+    pub fn effect(mut self, effect: Expr) -> Self {
+        self.inner.effect = Some(effect);
+        self
+    }
+
+    /// Attach a security-requirement annotation.
+    #[must_use]
+    pub fn security_requirement(mut self, id: impl Into<String>) -> Self {
+        self.inner.security_requirements.push(id.into());
+        self
+    }
+
+    /// Finish building.
+    #[must_use]
+    pub fn build(self) -> Transition {
+        self.inner
+    }
+}
+
+/// A behavioural model: a protocol state machine for one context resource
+/// (the right side of the paper's Figure 3 models a `project`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BehavioralModel {
+    /// Model name, e.g. `CinderProject`.
+    pub name: String,
+    /// Context variable name the invariants speak about, e.g. `project`.
+    pub context: String,
+    /// Name of the initial state.
+    pub initial: String,
+    /// States.
+    pub states: Vec<State>,
+    /// Transitions.
+    pub transitions: Vec<Transition>,
+}
+
+impl BehavioralModel {
+    /// Create an empty behavioural model.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        context: impl Into<String>,
+        initial: impl Into<String>,
+    ) -> Self {
+        BehavioralModel {
+            name: name.into(),
+            context: context.into(),
+            initial: initial.into(),
+            states: Vec::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Add a state (builder style).
+    pub fn state(&mut self, state: State) -> &mut Self {
+        self.states.push(state);
+        self
+    }
+
+    /// Add a transition (builder style).
+    pub fn transition(&mut self, transition: Transition) -> &mut Self {
+        self.transitions.push(transition);
+        self
+    }
+
+    /// Look up a state by name.
+    #[must_use]
+    pub fn state_named(&self, name: &str) -> Option<&State> {
+        self.states.iter().find(|s| s.name == name)
+    }
+
+    /// All transitions triggered by `trigger` (the grouping step of the
+    /// paper's contract generation: one method may fire several
+    /// transitions, whose information must be combined into one contract).
+    pub fn transitions_for(&self, trigger: &Trigger) -> impl Iterator<Item = &Transition> {
+        let t = trigger.clone();
+        self.transitions.iter().filter(move |tr| tr.trigger == t)
+    }
+
+    /// The distinct triggers appearing in the model, in first-use order.
+    #[must_use]
+    pub fn triggers(&self) -> Vec<Trigger> {
+        let mut out: Vec<Trigger> = Vec::new();
+        for t in &self.transitions {
+            if !out.contains(&t.trigger) {
+                out.push(t.trigger.clone());
+            }
+        }
+        out
+    }
+
+    /// Transitions leaving `state`.
+    pub fn outgoing(&self, state: &str) -> impl Iterator<Item = &Transition> {
+        let s = state.to_string();
+        self.transitions.iter().filter(move |t| t.source == s)
+    }
+
+    /// All security-requirement ids annotated anywhere in the model.
+    #[must_use]
+    pub fn security_requirement_ids(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for t in &self.transitions {
+            for r in &t.security_requirements {
+                if !out.contains(r) {
+                    out.push(r.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_ocl::parse;
+
+    fn two_state_model() -> BehavioralModel {
+        let mut m = BehavioralModel::new("m", "project", "empty");
+        m.state(State::new("empty", parse("project.volumes->size()=0").unwrap()))
+            .state(State::new("nonempty", parse("project.volumes->size()>=1").unwrap()));
+        m.transition(
+            TransitionBuilder::new(
+                "t1",
+                "empty",
+                Trigger::new(HttpMethod::Post, "volume"),
+                "nonempty",
+            )
+            .guard(parse("user.groups = 'admin'").unwrap())
+            .security_requirement("1.3")
+            .build(),
+        );
+        m.transition(
+            TransitionBuilder::new(
+                "t2",
+                "nonempty",
+                Trigger::new(HttpMethod::Post, "volume"),
+                "nonempty",
+            )
+            .build(),
+        );
+        m
+    }
+
+    #[test]
+    fn groups_transitions_by_trigger() {
+        let m = two_state_model();
+        let trig = Trigger::new(HttpMethod::Post, "volume");
+        assert_eq!(m.transitions_for(&trig).count(), 2);
+        let other = Trigger::new(HttpMethod::Delete, "volume");
+        assert_eq!(m.transitions_for(&other).count(), 0);
+    }
+
+    #[test]
+    fn triggers_deduplicate_in_order() {
+        let m = two_state_model();
+        assert_eq!(m.triggers(), vec![Trigger::new(HttpMethod::Post, "volume")]);
+    }
+
+    #[test]
+    fn outgoing_transitions() {
+        let m = two_state_model();
+        assert_eq!(m.outgoing("empty").count(), 1);
+        assert_eq!(m.outgoing("nonempty").count(), 1);
+    }
+
+    #[test]
+    fn security_requirements_collected() {
+        let m = two_state_model();
+        assert_eq!(m.security_requirement_ids(), vec!["1.3".to_string()]);
+    }
+
+    #[test]
+    fn trigger_display() {
+        assert_eq!(
+            Trigger::new(HttpMethod::Delete, "volume").to_string(),
+            "DELETE(volume)"
+        );
+    }
+
+    #[test]
+    fn state_lookup() {
+        let m = two_state_model();
+        assert!(m.state_named("empty").is_some());
+        assert!(m.state_named("ghost").is_none());
+    }
+}

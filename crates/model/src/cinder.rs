@@ -1,0 +1,565 @@
+//! The paper's running example: the Cinder (OpenStack block storage)
+//! resource and behavioural models of Figure 3, plus the guard vocabulary
+//! of Table I.
+//!
+//! These canned models are used by the examples, the integration tests and
+//! the benchmark harness that regenerates the paper's artifacts
+//! (Table I, Figure 3, Listing 1).
+
+use crate::behavior::{BehavioralModel, State, TransitionBuilder, Trigger};
+use crate::http::HttpMethod;
+use crate::resource::{Association, AttrType, Attribute, Multiplicity, ResourceDef, ResourceModel};
+use cm_ocl::parse;
+
+/// State name: a project exists and has no volumes.
+pub const S_NO_VOLUME: &str = "project_with_no_volume";
+/// State name: a project has at least one volume and spare quota.
+pub const S_NOT_FULL: &str = "project_with_volume_and_not_full_quota";
+/// State name: a project has volumes and its quota is exhausted.
+pub const S_FULL: &str = "project_with_volume_and_full_quota";
+
+/// Build the Figure 3 (left) resource model extract for Cinder.
+///
+/// Collections `Projects` and `Volumes`; normal definitions `project`,
+/// `volume`, `quota_sets` and `usergroup`. Role names follow the
+/// Cinder API paths (`/{project_id}/volumes/{volume_id}`).
+#[must_use]
+pub fn resource_model() -> ResourceModel {
+    let mut m = ResourceModel::new("Cinder");
+    m.define(ResourceDef::collection("Projects"))
+        .define(ResourceDef::normal(
+            "project",
+            vec![
+                Attribute::new("id", AttrType::Int),
+                Attribute::new("name", AttrType::Str),
+            ],
+        ))
+        .define(ResourceDef::collection("Volumes"))
+        .define(ResourceDef::normal(
+            "volume",
+            vec![
+                Attribute::new("id", AttrType::Int),
+                Attribute::new("name", AttrType::Str),
+                Attribute::new("status", AttrType::Str),
+                Attribute::new("size", AttrType::Int),
+            ],
+        ))
+        .define(ResourceDef::normal(
+            "quota_sets",
+            vec![Attribute::new("volume", AttrType::Int)],
+        ))
+        .define(ResourceDef::normal(
+            "usergroup",
+            vec![
+                Attribute::new("name", AttrType::Str),
+                Attribute::new("role", AttrType::Str),
+            ],
+        ));
+    m.associate(Association::new("project", "Projects", "project", Multiplicity::ZERO_MANY))
+        .associate(Association::new("volumes", "project", "Volumes", Multiplicity::ONE))
+        .associate(Association::new("volume", "Volumes", "volume", Multiplicity::ZERO_MANY))
+        .associate(Association::new("quota_sets", "project", "quota_sets", Multiplicity::ONE))
+        .associate(Association::new(
+            "usergroup",
+            "project",
+            "usergroup",
+            Multiplicity::ZERO_MANY,
+        ));
+    m
+}
+
+/// Build the Figure 3 (right) behavioural model for a Cinder project.
+///
+/// Three states with OCL invariants; POST/DELETE transitions move between
+/// them under authorization guards; GET/PUT self-loops are read/update
+/// scenarios. Security-requirement annotations follow Table I:
+/// `1.1` GET, `1.2` PUT, `1.3` POST, `1.4` DELETE on `volume`.
+///
+/// # Panics
+///
+/// Never panics in practice: all embedded OCL strings are tested to parse.
+#[must_use]
+pub fn behavioral_model() -> BehavioralModel {
+    let inv_no_volume = parse("project.id->size()=1 and project.volumes->size()=0")
+        .expect("invariant parses");
+    let inv_not_full = parse(
+        "project.id->size()=1 and project.volumes->size()>=1 and \
+         project.volumes->size() < quota_sets.volume",
+    )
+    .expect("invariant parses");
+    let inv_full = parse(
+        "project.id->size()=1 and project.volumes->size()>=1 and \
+         project.volumes->size() = quota_sets.volume",
+    )
+    .expect("invariant parses");
+
+    let auth_write = "(user.groups = 'admin' or user.groups = 'member')";
+    let auth_read =
+        "(user.groups = 'admin' or user.groups = 'member' or user.groups = 'user')";
+    let auth_delete = "user.groups = 'admin'";
+
+    let post_effect = parse("project.volumes->size() = pre(project.volumes->size()) + 1")
+        .expect("effect parses");
+    let delete_effect = parse("project.volumes->size() < pre(project.volumes->size())")
+        .expect("effect parses");
+    let read_effect = parse("project.volumes->size() = pre(project.volumes->size())")
+        .expect("effect parses");
+
+    let mut m = BehavioralModel::new("CinderProject", "project", S_NO_VOLUME);
+    m.state(State::new(S_NO_VOLUME, inv_no_volume))
+        .state(State::new(S_NOT_FULL, inv_not_full))
+        .state(State::new(S_FULL, inv_full));
+
+    // POST(volume): create a volume.
+    m.transition(
+        TransitionBuilder::new(
+            "t_post_1",
+            S_NO_VOLUME,
+            Trigger::new(HttpMethod::Post, "volume"),
+            S_NOT_FULL,
+        )
+        .guard(
+            parse(&format!(
+                "{auth_write} and project.volumes->size() + 1 < quota_sets.volume"
+            ))
+            .expect("guard parses"),
+        )
+        .effect(post_effect.clone())
+        .security_requirement("1.3")
+        .build(),
+    );
+    m.transition(
+        TransitionBuilder::new(
+            "t_post_2",
+            S_NO_VOLUME,
+            Trigger::new(HttpMethod::Post, "volume"),
+            S_FULL,
+        )
+        .guard(
+            parse(&format!(
+                "{auth_write} and project.volumes->size() + 1 = quota_sets.volume"
+            ))
+            .expect("guard parses"),
+        )
+        .effect(post_effect.clone())
+        .security_requirement("1.3")
+        .build(),
+    );
+    m.transition(
+        TransitionBuilder::new(
+            "t_post_3",
+            S_NOT_FULL,
+            Trigger::new(HttpMethod::Post, "volume"),
+            S_NOT_FULL,
+        )
+        .guard(
+            parse(&format!(
+                "{auth_write} and project.volumes->size() + 1 < quota_sets.volume"
+            ))
+            .expect("guard parses"),
+        )
+        .effect(post_effect.clone())
+        .security_requirement("1.3")
+        .build(),
+    );
+    m.transition(
+        TransitionBuilder::new(
+            "t_post_4",
+            S_NOT_FULL,
+            Trigger::new(HttpMethod::Post, "volume"),
+            S_FULL,
+        )
+        .guard(
+            parse(&format!(
+                "{auth_write} and project.volumes->size() + 1 = quota_sets.volume"
+            ))
+            .expect("guard parses"),
+        )
+        .effect(post_effect)
+        .security_requirement("1.3")
+        .build(),
+    );
+
+    // DELETE(volume): the paper's example — three transitions.
+    // One from the not-full state back to no-volume (last volume removed):
+    m.transition(
+        TransitionBuilder::new(
+            "t_del_1",
+            S_NOT_FULL,
+            Trigger::new(HttpMethod::Delete, "volume"),
+            S_NO_VOLUME,
+        )
+        .guard(
+            parse(&format!(
+                "volume.id->size() = 1 and volume.status <> 'in-use' and {auth_delete} \
+                 and project.volumes->size() = 1"
+            ))
+            .expect("guard parses"),
+        )
+        .effect(delete_effect.clone())
+        .security_requirement("1.4")
+        .build(),
+    );
+    // One self-loop on the not-full state (more than one volume):
+    m.transition(
+        TransitionBuilder::new(
+            "t_del_2",
+            S_NOT_FULL,
+            Trigger::new(HttpMethod::Delete, "volume"),
+            S_NOT_FULL,
+        )
+        .guard(
+            parse(&format!(
+                "volume.id->size() = 1 and volume.status <> 'in-use' and {auth_delete} \
+                 and project.volumes->size() > 1"
+            ))
+            .expect("guard parses"),
+        )
+        .effect(delete_effect.clone())
+        .security_requirement("1.4")
+        .build(),
+    );
+    // One from the full state down to not-full:
+    m.transition(
+        TransitionBuilder::new(
+            "t_del_3",
+            S_FULL,
+            Trigger::new(HttpMethod::Delete, "volume"),
+            S_NOT_FULL,
+        )
+        .guard(
+            parse(&format!(
+                "volume.id->size() = 1 and volume.status <> 'in-use' and {auth_delete}"
+            ))
+            .expect("guard parses"),
+        )
+        .effect(delete_effect)
+        .security_requirement("1.4")
+        .build(),
+    );
+
+    // GET(volume): read scenarios — self-loops on the volume-bearing states.
+    for (id, state) in [("t_get_1", S_NOT_FULL), ("t_get_2", S_FULL)] {
+        m.transition(
+            TransitionBuilder::new(id, state, Trigger::new(HttpMethod::Get, "volume"), state)
+                .guard(
+                    parse(&format!("volume.id->size() = 1 and {auth_read}"))
+                        .expect("guard parses"),
+                )
+                .effect(read_effect.clone())
+                .security_requirement("1.1")
+                .build(),
+        );
+    }
+
+    // PUT(volume): update scenarios — self-loops on the volume-bearing states.
+    for (id, state) in [("t_put_1", S_NOT_FULL), ("t_put_2", S_FULL)] {
+        m.transition(
+            TransitionBuilder::new(id, state, Trigger::new(HttpMethod::Put, "volume"), state)
+                .guard(
+                    parse(&format!("volume.id->size() = 1 and {auth_write}"))
+                        .expect("guard parses"),
+                )
+                .effect(read_effect.clone())
+                .security_requirement("1.2")
+                .build(),
+        );
+    }
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{validate_behavioral_model, validate_resource_model};
+
+    #[test]
+    fn resource_model_is_well_formed() {
+        let r = validate_resource_model(&resource_model());
+        assert!(r.is_valid(), "{r}");
+    }
+
+    #[test]
+    fn behavioral_model_is_well_formed() {
+        let m = behavioral_model();
+        let r = validate_behavioral_model(&m, Some(&resource_model()));
+        assert!(r.is_valid(), "{r}");
+    }
+
+    #[test]
+    fn has_figure3_definitions() {
+        let m = resource_model();
+        for name in ["Projects", "project", "Volumes", "volume", "quota_sets", "usergroup"] {
+            assert!(m.definition(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn delete_triggers_exactly_three_transitions() {
+        // Matches the paper: "DELETE on volume invokes three transitions".
+        let m = behavioral_model();
+        let n = m
+            .transitions_for(&Trigger::new(HttpMethod::Delete, "volume"))
+            .count();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn three_states_as_in_figure3() {
+        let m = behavioral_model();
+        assert_eq!(m.states.len(), 3);
+        assert_eq!(m.initial, S_NO_VOLUME);
+    }
+
+    #[test]
+    fn all_four_methods_modelled() {
+        let m = behavioral_model();
+        let methods: Vec<HttpMethod> = m.triggers().iter().map(|t| t.method).collect();
+        for wanted in HttpMethod::ALL {
+            assert!(methods.contains(&wanted), "missing {wanted}");
+        }
+    }
+
+    #[test]
+    fn security_requirements_match_table1() {
+        let m = behavioral_model();
+        let mut ids = m.security_requirement_ids();
+        ids.sort();
+        assert_eq!(ids, vec!["1.1", "1.2", "1.3", "1.4"]);
+    }
+
+    #[test]
+    fn every_transition_with_guard_has_no_pre_reference_in_guard() {
+        let m = behavioral_model();
+        for t in &m.transitions {
+            if let Some(g) = &t.guard {
+                assert!(!g.references_pre_state(), "guard of {} uses pre()", t.id);
+            }
+        }
+    }
+
+    #[test]
+    fn effects_reference_pre_state() {
+        let m = behavioral_model();
+        for t in &m.transitions {
+            let e = t.effect.as_ref().expect("all cinder transitions have effects");
+            assert!(e.references_pre_state(), "effect of {} lacks pre()", t.id);
+        }
+    }
+}
+
+/// State name: the addressed volume exists and has no snapshots.
+pub const S_VOL_NO_SNAPSHOT: &str = "volume_without_snapshot";
+/// State name: the addressed volume has at least one snapshot.
+pub const S_VOL_SNAPSHOT: &str = "volume_with_snapshot";
+
+/// The Figure 3 resource model extended with Cinder's second central
+/// resource: snapshots, contained in a `Snapshots` collection under each
+/// volume (`/v3/{project_id}/volumes/{volume_id}/snapshots/{snapshot_id}`).
+#[must_use]
+pub fn extended_resource_model() -> ResourceModel {
+    let mut m = resource_model();
+    m.define(ResourceDef::collection("Snapshots")).define(ResourceDef::normal(
+        "snapshot",
+        vec![
+            Attribute::new("id", AttrType::Int),
+            Attribute::new("name", AttrType::Str),
+            Attribute::new("status", AttrType::Str),
+        ],
+    ));
+    m.associate(Association::new("snapshots", "volume", "Snapshots", Multiplicity::ONE))
+        .associate(Association::new(
+            "snapshot",
+            "Snapshots",
+            "snapshot",
+            Multiplicity::ZERO_MANY,
+        ));
+    m
+}
+
+/// A second behavioural state machine for the snapshot lifecycle of a
+/// volume (context `volume`), demonstrating multi-machine monitoring.
+///
+/// Security requirements extend Table I: `2.1` GET, `2.2` POST,
+/// `2.3` DELETE on `snapshot` (GET for all roles, POST for admin/member,
+/// DELETE for admin only).
+///
+/// # Panics
+///
+/// Never panics in practice: all embedded OCL strings are tested to parse.
+#[must_use]
+pub fn snapshot_behavioral_model() -> BehavioralModel {
+    let inv_no_snap = parse("volume.id->size()=1 and volume.snapshots->size()=0")
+        .expect("invariant parses");
+    let inv_snap = parse("volume.id->size()=1 and volume.snapshots->size()>=1")
+        .expect("invariant parses");
+
+    let auth_write = "(user.groups = 'admin' or user.groups = 'member')";
+    let auth_read =
+        "(user.groups = 'admin' or user.groups = 'member' or user.groups = 'user')";
+    let auth_delete = "user.groups = 'admin'";
+
+    let post_effect = parse("volume.snapshots->size() = pre(volume.snapshots->size()) + 1")
+        .expect("effect parses");
+    let delete_effect = parse("volume.snapshots->size() < pre(volume.snapshots->size())")
+        .expect("effect parses");
+    let read_effect = parse("volume.snapshots->size() = pre(volume.snapshots->size())")
+        .expect("effect parses");
+
+    let mut m = BehavioralModel::new("CinderSnapshots", "volume", S_VOL_NO_SNAPSHOT);
+    m.state(State::new(S_VOL_NO_SNAPSHOT, inv_no_snap))
+        .state(State::new(S_VOL_SNAPSHOT, inv_snap));
+
+    m.transition(
+        TransitionBuilder::new(
+            "t_snap_post_1",
+            S_VOL_NO_SNAPSHOT,
+            Trigger::new(HttpMethod::Post, "snapshot"),
+            S_VOL_SNAPSHOT,
+        )
+        .guard(parse(auth_write).expect("guard parses"))
+        .effect(post_effect.clone())
+        .security_requirement("2.2")
+        .build(),
+    );
+    m.transition(
+        TransitionBuilder::new(
+            "t_snap_post_2",
+            S_VOL_SNAPSHOT,
+            Trigger::new(HttpMethod::Post, "snapshot"),
+            S_VOL_SNAPSHOT,
+        )
+        .guard(parse(auth_write).expect("guard parses"))
+        .effect(post_effect)
+        .security_requirement("2.2")
+        .build(),
+    );
+    m.transition(
+        TransitionBuilder::new(
+            "t_snap_del_1",
+            S_VOL_SNAPSHOT,
+            Trigger::new(HttpMethod::Delete, "snapshot"),
+            S_VOL_NO_SNAPSHOT,
+        )
+        .guard(
+            parse(&format!(
+                "snapshot.id->size() = 1 and {auth_delete} and \
+                 volume.snapshots->size() = 1"
+            ))
+            .expect("guard parses"),
+        )
+        .effect(delete_effect.clone())
+        .security_requirement("2.3")
+        .build(),
+    );
+    m.transition(
+        TransitionBuilder::new(
+            "t_snap_del_2",
+            S_VOL_SNAPSHOT,
+            Trigger::new(HttpMethod::Delete, "snapshot"),
+            S_VOL_SNAPSHOT,
+        )
+        .guard(
+            parse(&format!(
+                "snapshot.id->size() = 1 and {auth_delete} and \
+                 volume.snapshots->size() > 1"
+            ))
+            .expect("guard parses"),
+        )
+        .effect(delete_effect)
+        .security_requirement("2.3")
+        .build(),
+    );
+    m.transition(
+        TransitionBuilder::new(
+            "t_snap_get_1",
+            S_VOL_SNAPSHOT,
+            Trigger::new(HttpMethod::Get, "snapshot"),
+            S_VOL_SNAPSHOT,
+        )
+        .guard(
+            parse(&format!("snapshot.id->size() = 1 and {auth_read}"))
+                .expect("guard parses"),
+        )
+        .effect(read_effect)
+        .security_requirement("2.1")
+        .build(),
+    );
+
+    m
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+    use crate::validate::{validate_behavioral_model, validate_resource_model};
+
+    #[test]
+    fn extended_resource_model_is_well_formed() {
+        let m = extended_resource_model();
+        assert!(validate_resource_model(&m).is_valid());
+        assert!(m.definition("Snapshots").is_some());
+        assert_eq!(m.contained_of("Snapshots").unwrap().name, "snapshot");
+    }
+
+    #[test]
+    fn snapshot_behavioral_model_is_well_formed() {
+        let m = snapshot_behavioral_model();
+        let r = validate_behavioral_model(&m, Some(&extended_resource_model()));
+        assert!(r.is_valid(), "{r}");
+        assert_eq!(m.states.len(), 2);
+        assert_eq!(m.transitions.len(), 5);
+        assert_eq!(m.context, "volume");
+    }
+
+    #[test]
+    fn snapshot_requirements_are_2x() {
+        let mut ids = snapshot_behavioral_model().security_requirement_ids();
+        ids.sort();
+        assert_eq!(ids, vec!["2.1", "2.2", "2.3"]);
+    }
+}
+
+/// The volume behavioural model *refined for the extended deployment*:
+/// identical to [`behavioral_model`] except that the DELETE guards also
+/// require `volume.snapshots->size() = 0` — Cinder refuses to delete a
+/// volume that still has snapshots, and a monitor built from the
+/// unrefined model would (correctly, per its model!) flag that refusal as
+/// a wrong denial. Extending the system means refining the models: this
+/// is the model-driven methodology's answer to feature interaction.
+#[must_use]
+pub fn extended_behavioral_model() -> BehavioralModel {
+    let mut m = behavioral_model();
+    let no_snapshots =
+        parse("volume.snapshots->size() = 0").expect("refinement conjunct parses");
+    for t in &mut m.transitions {
+        if t.trigger.method == HttpMethod::Delete {
+            let guard = t.guard.take().expect("cinder DELETE transitions have guards");
+            t.guard = Some(guard.and(no_snapshots.clone()));
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod refined_tests {
+    use super::*;
+    use crate::validate::validate_behavioral_model;
+
+    #[test]
+    fn refined_model_strengthens_only_delete_guards() {
+        let base = behavioral_model();
+        let refined = extended_behavioral_model();
+        assert!(validate_behavioral_model(&refined, Some(&extended_resource_model())).is_valid());
+        for (b, r) in base.transitions.iter().zip(&refined.transitions) {
+            assert_eq!(b.id, r.id);
+            if b.trigger.method == HttpMethod::Delete {
+                let printed = cm_ocl::to_string(r.guard.as_ref().unwrap());
+                assert!(printed.contains("volume.snapshots->size() = 0"), "{printed}");
+            } else {
+                assert_eq!(b.guard, r.guard);
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! HTTP method vocabulary of the modelling language.
+//!
+//! REST behavioural models trigger transitions with one of the four uniform
+//! interface methods the paper considers (GET, PUT, POST, DELETE); the
+//! monitor and simulator reuse this type so that triggers, routes and policy
+//! rules all share one vocabulary.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An HTTP request method of the uniform REST interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HttpMethod {
+    /// Safe read of a resource representation.
+    Get,
+    /// Full update / replacement of a resource.
+    Put,
+    /// Creation of a subordinate resource in a collection.
+    Post,
+    /// Removal of a resource.
+    Delete,
+}
+
+impl HttpMethod {
+    /// All methods, in the order the paper lists them.
+    pub const ALL: [HttpMethod; 4] =
+        [HttpMethod::Get, HttpMethod::Put, HttpMethod::Post, HttpMethod::Delete];
+
+    /// Canonical upper-case name, e.g. `"DELETE"`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HttpMethod::Get => "GET",
+            HttpMethod::Put => "PUT",
+            HttpMethod::Post => "POST",
+            HttpMethod::Delete => "DELETE",
+        }
+    }
+
+    /// True for methods that must not modify server state (only GET here).
+    #[must_use]
+    pub fn is_safe(self) -> bool {
+        matches!(self, HttpMethod::Get)
+    }
+
+    /// True for idempotent methods (GET, PUT, DELETE).
+    #[must_use]
+    pub fn is_idempotent(self) -> bool {
+        !matches!(self, HttpMethod::Post)
+    }
+}
+
+impl fmt::Display for HttpMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing an unknown HTTP method name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMethodError(pub String);
+
+impl fmt::Display for ParseMethodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown HTTP method `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseMethodError {}
+
+impl FromStr for HttpMethod {
+    type Err = ParseMethodError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "GET" => Ok(HttpMethod::Get),
+            "PUT" => Ok(HttpMethod::Put),
+            "POST" => Ok(HttpMethod::Post),
+            "DELETE" => Ok(HttpMethod::Delete),
+            other => Err(ParseMethodError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_case_insensitively() {
+        assert_eq!("delete".parse::<HttpMethod>().unwrap(), HttpMethod::Delete);
+        assert_eq!("GET".parse::<HttpMethod>().unwrap(), HttpMethod::Get);
+    }
+
+    #[test]
+    fn rejects_unknown_method() {
+        assert!("PATCH".parse::<HttpMethod>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_parse() {
+        for m in HttpMethod::ALL {
+            assert_eq!(m.as_str().parse::<HttpMethod>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn safety_and_idempotence() {
+        assert!(HttpMethod::Get.is_safe());
+        assert!(!HttpMethod::Post.is_safe());
+        assert!(HttpMethod::Put.is_idempotent());
+        assert!(HttpMethod::Delete.is_idempotent());
+        assert!(!HttpMethod::Post.is_idempotent());
+    }
+}

@@ -1,0 +1,54 @@
+//! # cm-model — UML models for REST behavioural interfaces
+//!
+//! The modelling layer of the DSN 2018 cloud-monitor reproduction. Two
+//! model kinds, mirroring the paper's Figure 3:
+//!
+//! * [`ResourceModel`] — a class-diagram subset: collection/normal
+//!   *resource definitions*, typed public attributes and associations with
+//!   role names and multiplicities (from which URIs are composed);
+//! * [`BehavioralModel`] — a protocol-state-machine subset: states carrying
+//!   OCL invariants over addressable resources, transitions triggered by
+//!   HTTP methods with guards, effects and security-requirement
+//!   annotations.
+//!
+//! [`validate_resource_model`]/[`validate_behavioral_model`] enforce the
+//! paper's well-formedness constraints; [`render`] regenerates Figure 3 as
+//! DOT or text; [`cinder`] ships the paper's running example.
+//!
+//! ## Example
+//!
+//! ```
+//! use cm_model::{cinder, validate_behavioral_model, validate_resource_model};
+//!
+//! let resources = cinder::resource_model();
+//! let behavior = cinder::behavioral_model();
+//! assert!(validate_resource_model(&resources).is_valid());
+//! assert!(validate_behavioral_model(&behavior, Some(&resources)).is_valid());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod behavior;
+pub mod cinder;
+pub mod http;
+pub mod render;
+pub mod resource;
+pub mod slice;
+pub mod typecheck;
+pub mod validate;
+
+pub use behavior::{BehavioralModel, State, Transition, TransitionBuilder, Trigger};
+pub use http::{HttpMethod, ParseMethodError};
+pub use render::{
+    behavioral_model_dot, behavioral_model_text, resource_model_dot, resource_model_text,
+};
+pub use resource::{
+    Association, AttrType, Attribute, Multiplicity, ResourceDef, ResourceKind, ResourceModel,
+    UpperBound,
+};
+pub use slice::{slice_behavioral_model, slice_resource_model, SliceCriterion};
+pub use typecheck::{type_env_for, typecheck_behavioral_model, TypeFinding};
+pub use validate::{
+    validate_behavioral_model, validate_resource_model, Finding, Severity, ValidationReport,
+};

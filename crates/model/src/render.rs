@@ -1,0 +1,179 @@
+//! Rendering of models as Graphviz DOT and plain text.
+//!
+//! These renderings regenerate the paper's Figure 3: the resource model as
+//! a class diagram and the behavioural model as a state machine. The text
+//! form is used by the `fig3_models` experiment binary; the DOT form can be
+//! fed to `dot -Tpng` for a graphical diagram.
+
+use crate::behavior::BehavioralModel;
+use crate::resource::{ResourceKind, ResourceModel};
+use cm_ocl::{render as render_ocl, PrintStyle};
+use std::fmt::Write as _;
+
+/// Render a resource model as Graphviz DOT (class-diagram style).
+#[must_use]
+pub fn resource_model_dot(model: &ResourceModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", model.name);
+    let _ = writeln!(out, "  graph [rankdir=LR];");
+    let _ = writeln!(out, "  node [shape=record, fontname=\"Helvetica\"];");
+    for d in &model.definitions {
+        let stereotype = match d.kind {
+            ResourceKind::Collection => "\\<\\<collection\\>\\>",
+            ResourceKind::Normal => "\\<\\<resource\\>\\>",
+        };
+        let attrs: Vec<String> =
+            d.attributes.iter().map(|a| format!("+ {} : {}", a.name, a.ty)).collect();
+        let _ = writeln!(
+            out,
+            "  \"{}\" [label=\"{{{stereotype}\\n{}|{}}}\"];",
+            d.name,
+            d.name,
+            attrs.join("\\l")
+        );
+    }
+    for a in &model.associations {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{} [{}]\"];",
+            a.source, a.target, a.role, a.multiplicity
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a behavioural model as Graphviz DOT (state-machine style).
+#[must_use]
+pub fn behavioral_model_dot(model: &BehavioralModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", model.name);
+    let _ = writeln!(out, "  node [shape=box, style=rounded, fontname=\"Helvetica\"];");
+    let _ = writeln!(out, "  \"__initial\" [shape=point];");
+    let _ = writeln!(out, "  \"__initial\" -> \"{}\";", model.initial);
+    for s in &model.states {
+        let inv = render_ocl(&s.invariant, PrintStyle::Canonical).replace('"', "\\\"");
+        let _ = writeln!(out, "  \"{}\" [label=\"{}\\n[{}]\"];", s.name, s.name, inv);
+    }
+    for t in &model.transitions {
+        let mut label = t.trigger.to_string();
+        if let Some(g) = &t.guard {
+            let _ = write!(
+                label,
+                "\\n[{}]",
+                render_ocl(g, PrintStyle::Canonical).replace('"', "\\\"")
+            );
+        }
+        if !t.security_requirements.is_empty() {
+            let _ = write!(label, "\\nSecReq {}", t.security_requirements.join(", "));
+        }
+        let _ = writeln!(out, "  \"{}\" -> \"{}\" [label=\"{label}\"];", t.source, t.target);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a resource model as indented plain text.
+#[must_use]
+pub fn resource_model_text(model: &ResourceModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Resource model `{}`", model.name);
+    for d in &model.definitions {
+        let _ = writeln!(out, "  {} {}", d.kind, d.name);
+        for a in &d.attributes {
+            let _ = writeln!(out, "    + {} : {}", a.name, a.ty);
+        }
+        for assoc in model.outgoing(&d.name) {
+            let _ = writeln!(
+                out,
+                "    --{}[{}]--> {}",
+                assoc.role, assoc.multiplicity, assoc.target
+            );
+        }
+    }
+    out
+}
+
+/// Render a behavioural model as indented plain text, paper style for
+/// the OCL (implication as `=>`).
+#[must_use]
+pub fn behavioral_model_text(model: &BehavioralModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Behavioral model `{}` (context {}, initial {})",
+        model.name, model.context, model.initial
+    );
+    for s in &model.states {
+        let _ = writeln!(out, "  state {}", s.name);
+        let _ = writeln!(
+            out,
+            "    inv: {}",
+            render_ocl(&s.invariant, PrintStyle::Paper)
+        );
+    }
+    for t in &model.transitions {
+        let _ = writeln!(out, "  {} --{}--> {}", t.source, t.trigger, t.target);
+        if let Some(g) = &t.guard {
+            let _ = writeln!(out, "    guard: {}", render_ocl(g, PrintStyle::Paper));
+        }
+        if let Some(e) = &t.effect {
+            let _ = writeln!(out, "    effect: {}", render_ocl(e, PrintStyle::Paper));
+        }
+        if !t.security_requirements.is_empty() {
+            let _ = writeln!(out, "    secreq: {}", t.security_requirements.join(", "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cinder;
+
+    #[test]
+    fn resource_dot_contains_all_definitions() {
+        let dot = resource_model_dot(&cinder::resource_model());
+        for name in ["Projects", "project", "Volumes", "volume", "quota_sets", "usergroup"] {
+            assert!(dot.contains(&format!("\"{name}\"")), "missing {name} in DOT");
+        }
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn resource_dot_labels_roles_and_multiplicities() {
+        let dot = resource_model_dot(&cinder::resource_model());
+        assert!(dot.contains("volume [0..*]"));
+        assert!(dot.contains("quota_sets [1..1]"));
+    }
+
+    #[test]
+    fn behavioral_dot_contains_states_and_triggers() {
+        let dot = behavioral_model_dot(&cinder::behavioral_model());
+        assert!(dot.contains(cinder::S_NO_VOLUME));
+        assert!(dot.contains(cinder::S_NOT_FULL));
+        assert!(dot.contains(cinder::S_FULL));
+        assert!(dot.contains("DELETE(volume)"));
+        assert!(dot.contains("SecReq 1.4"));
+        assert!(dot.contains("__initial"));
+    }
+
+    #[test]
+    fn text_rendering_shows_invariants_paper_style() {
+        let text = behavioral_model_text(&cinder::behavioral_model());
+        assert!(text.contains("project.id->size() = 1"));
+        assert!(text.contains("guard:"));
+        assert!(text.contains("effect:"));
+        assert!(text.contains("secreq: 1.4"));
+    }
+
+    #[test]
+    fn resource_text_lists_attributes() {
+        let text = resource_model_text(&cinder::resource_model());
+        assert!(text.contains("+ status : String"));
+        assert!(text.contains("collection Volumes"));
+        assert!(text.contains("--volume[0..*]--> volume"));
+    }
+}

@@ -1,0 +1,356 @@
+//! The resource model: a UML class-diagram subset for REST resources.
+//!
+//! Following the paper's Section IV-A, a *resource definition* is a class
+//! whose instances are resources. A **collection** resource definition has
+//! no attributes and merely contains other resources (e.g. `Volumes`); a
+//! **normal** resource definition has one or more typed public attributes
+//! (e.g. `volume` with `status`, `size`). Associations carry a *role name*
+//! (used to compose URIs) and minimum/maximum cardinalities.
+
+use std::fmt;
+
+/// Whether a resource definition is a collection or a normal resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// A container of other resources; has no attributes of its own.
+    Collection,
+    /// A resource with its own attributes representing a piece of
+    /// information.
+    Normal,
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Collection => write!(f, "collection"),
+            ResourceKind::Normal => write!(f, "normal"),
+        }
+    }
+}
+
+/// Attribute types available to resource representations. The paper requires
+/// each attribute to be public and typed, because the representation is a
+/// serialised document (JSON/XML).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// Text.
+    Str,
+    /// Integer.
+    Int,
+    /// Real number.
+    Real,
+    /// Boolean.
+    Bool,
+}
+
+impl AttrType {
+    /// OCL-facing type name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrType::Str => "String",
+            AttrType::Int => "Integer",
+            AttrType::Real => "Real",
+            AttrType::Bool => "Boolean",
+        }
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed public attribute of a normal resource definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, e.g. `status`.
+    pub name: String,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Create an attribute.
+    #[must_use]
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Attribute { name: name.into(), ty }
+    }
+}
+
+/// A resource definition (a class of the resource model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceDef {
+    /// Class name, e.g. `Volumes` or `volume`.
+    pub name: String,
+    /// Collection or normal.
+    pub kind: ResourceKind,
+    /// Attributes (empty iff `kind == Collection`).
+    pub attributes: Vec<Attribute>,
+}
+
+impl ResourceDef {
+    /// A collection resource definition (no attributes).
+    #[must_use]
+    pub fn collection(name: impl Into<String>) -> Self {
+        ResourceDef { name: name.into(), kind: ResourceKind::Collection, attributes: Vec::new() }
+    }
+
+    /// A normal resource definition with attributes.
+    #[must_use]
+    pub fn normal(name: impl Into<String>, attributes: Vec<Attribute>) -> Self {
+        ResourceDef { name: name.into(), kind: ResourceKind::Normal, attributes }
+    }
+
+    /// Look up an attribute by name.
+    #[must_use]
+    pub fn attribute(&self, name: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+}
+
+/// Upper bound of a multiplicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpperBound {
+    /// A finite maximum.
+    Finite(u32),
+    /// `*` — unbounded.
+    Many,
+}
+
+impl fmt::Display for UpperBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpperBound::Finite(n) => write!(f, "{n}"),
+            UpperBound::Many => write!(f, "*"),
+        }
+    }
+}
+
+/// Association multiplicity `lower..upper`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Multiplicity {
+    /// Minimum cardinality.
+    pub lower: u32,
+    /// Maximum cardinality.
+    pub upper: UpperBound,
+}
+
+impl Multiplicity {
+    /// `0..*` — the mandatory multiplicity from a collection to its
+    /// contained resource definition.
+    pub const ZERO_MANY: Multiplicity =
+        Multiplicity { lower: 0, upper: UpperBound::Many };
+    /// `1..1`.
+    pub const ONE: Multiplicity =
+        Multiplicity { lower: 1, upper: UpperBound::Finite(1) };
+    /// `0..1`.
+    pub const ZERO_ONE: Multiplicity =
+        Multiplicity { lower: 0, upper: UpperBound::Finite(1) };
+
+    /// Create a multiplicity; `upper = None` means `*`.
+    #[must_use]
+    pub fn new(lower: u32, upper: Option<u32>) -> Self {
+        Multiplicity {
+            lower,
+            upper: match upper {
+                Some(n) => UpperBound::Finite(n),
+                None => UpperBound::Many,
+            },
+        }
+    }
+
+    /// True when `count` resources satisfy the multiplicity.
+    #[must_use]
+    pub fn admits(&self, count: u32) -> bool {
+        count >= self.lower
+            && match self.upper {
+                UpperBound::Finite(n) => count <= n,
+                UpperBound::Many => true,
+            }
+    }
+}
+
+impl fmt::Display for Multiplicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lower, self.upper)
+    }
+}
+
+/// A directed association between two resource definitions.
+///
+/// The role name doubles as the URI segment; e.g. the association
+/// `project --volumes--> Volumes` yields paths `.../project_id/volumes`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Association {
+    /// Role name (URI segment). Must be non-empty and URI-safe.
+    pub role: String,
+    /// Source resource definition name.
+    pub source: String,
+    /// Target resource definition name.
+    pub target: String,
+    /// Cardinality of the target end.
+    pub multiplicity: Multiplicity,
+}
+
+impl Association {
+    /// Create an association.
+    #[must_use]
+    pub fn new(
+        role: impl Into<String>,
+        source: impl Into<String>,
+        target: impl Into<String>,
+        multiplicity: Multiplicity,
+    ) -> Self {
+        Association {
+            role: role.into(),
+            source: source.into(),
+            target: target.into(),
+            multiplicity,
+        }
+    }
+}
+
+/// A complete resource model (the left side of the paper's Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResourceModel {
+    /// Model name, e.g. `Cinder`.
+    pub name: String,
+    /// Resource definitions (classes).
+    pub definitions: Vec<ResourceDef>,
+    /// Associations between definitions.
+    pub associations: Vec<Association>,
+}
+
+impl ResourceModel {
+    /// Create an empty model.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ResourceModel { name: name.into(), definitions: Vec::new(), associations: Vec::new() }
+    }
+
+    /// Add a resource definition (builder style).
+    pub fn define(&mut self, def: ResourceDef) -> &mut Self {
+        self.definitions.push(def);
+        self
+    }
+
+    /// Add an association (builder style).
+    pub fn associate(&mut self, assoc: Association) -> &mut Self {
+        self.associations.push(assoc);
+        self
+    }
+
+    /// Look up a resource definition by name.
+    #[must_use]
+    pub fn definition(&self, name: &str) -> Option<&ResourceDef> {
+        self.definitions.iter().find(|d| d.name == name)
+    }
+
+    /// Outgoing associations of a definition.
+    pub fn outgoing<'a>(&'a self, source: &'a str) -> impl Iterator<Item = &'a Association> + 'a {
+        self.associations.iter().filter(move |a| a.source == source)
+    }
+
+    /// Incoming associations of a definition.
+    pub fn incoming<'a>(&'a self, target: &'a str) -> impl Iterator<Item = &'a Association> + 'a {
+        self.associations.iter().filter(move |a| a.target == target)
+    }
+
+    /// Root definitions: those with no incoming association. URI composition
+    /// starts from these.
+    pub fn roots(&self) -> impl Iterator<Item = &ResourceDef> {
+        self.definitions
+            .iter()
+            .filter(|d| !self.associations.iter().any(|a| a.target == d.name))
+    }
+
+    /// The *contained* definition of a collection (target of its mandatory
+    /// `0..*` association), if the model declares one.
+    #[must_use]
+    pub fn contained_of(&self, collection: &str) -> Option<&ResourceDef> {
+        let assoc = self
+            .outgoing(collection)
+            .find(|a| a.multiplicity == Multiplicity::ZERO_MANY)?;
+        self.definition(&assoc.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> ResourceModel {
+        let mut m = ResourceModel::new("tiny");
+        m.define(ResourceDef::collection("Volumes"))
+            .define(ResourceDef::normal(
+                "volume",
+                vec![
+                    Attribute::new("status", AttrType::Str),
+                    Attribute::new("size", AttrType::Int),
+                ],
+            ))
+            .associate(Association::new(
+                "volume",
+                "Volumes",
+                "volume",
+                Multiplicity::ZERO_MANY,
+            ));
+        m
+    }
+
+    #[test]
+    fn collection_has_no_attributes() {
+        let m = tiny_model();
+        assert!(m.definition("Volumes").unwrap().attributes.is_empty());
+        assert_eq!(m.definition("Volumes").unwrap().kind, ResourceKind::Collection);
+    }
+
+    #[test]
+    fn normal_resource_attributes_lookup() {
+        let m = tiny_model();
+        let vol = m.definition("volume").unwrap();
+        assert_eq!(vol.attribute("status").unwrap().ty, AttrType::Str);
+        assert!(vol.attribute("ghost").is_none());
+    }
+
+    #[test]
+    fn roots_have_no_incoming() {
+        let m = tiny_model();
+        let roots: Vec<&str> = m.roots().map(|d| d.name.as_str()).collect();
+        assert_eq!(roots, vec!["Volumes"]);
+    }
+
+    #[test]
+    fn contained_of_collection() {
+        let m = tiny_model();
+        assert_eq!(m.contained_of("Volumes").unwrap().name, "volume");
+        assert!(m.contained_of("volume").is_none());
+    }
+
+    #[test]
+    fn multiplicity_admits() {
+        assert!(Multiplicity::ZERO_MANY.admits(0));
+        assert!(Multiplicity::ZERO_MANY.admits(99));
+        assert!(Multiplicity::ONE.admits(1));
+        assert!(!Multiplicity::ONE.admits(0));
+        assert!(!Multiplicity::ONE.admits(2));
+        assert!(Multiplicity::new(2, Some(4)).admits(3));
+        assert!(!Multiplicity::new(2, Some(4)).admits(5));
+    }
+
+    #[test]
+    fn multiplicity_display() {
+        assert_eq!(Multiplicity::ZERO_MANY.to_string(), "0..*");
+        assert_eq!(Multiplicity::ONE.to_string(), "1..1");
+    }
+
+    #[test]
+    fn outgoing_and_incoming() {
+        let m = tiny_model();
+        assert_eq!(m.outgoing("Volumes").count(), 1);
+        assert_eq!(m.incoming("volume").count(), 1);
+        assert_eq!(m.incoming("Volumes").count(), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Model slicing — the paper's future-work item realised.
+//!
+//! "We are planning to address these limitations in our future work by
+//! proposing a support for splitting the models into several parts via
+//! slicing or aspect-oriented approaches" (Section VI-B). A slice keeps
+//! only the transitions relevant to a criterion (security requirements,
+//! methods, or trigger resources) plus the states they touch, so an
+//! analyst can monitor just the critical scenarios — e.g. a
+//! DELETE-only monitor for SecReq 1.4 — without carrying the whole model.
+
+use crate::behavior::BehavioralModel;
+use crate::http::HttpMethod;
+use crate::resource::ResourceModel;
+
+/// What to keep in a behavioural-model slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceCriterion {
+    /// Keep transitions annotated with any of these requirement ids.
+    Requirements(Vec<String>),
+    /// Keep transitions triggered by any of these methods.
+    Methods(Vec<HttpMethod>),
+    /// Keep transitions triggered on any of these resource definitions.
+    Resources(Vec<String>),
+}
+
+impl SliceCriterion {
+    fn keeps(&self, t: &crate::behavior::Transition) -> bool {
+        match self {
+            SliceCriterion::Requirements(ids) => {
+                t.security_requirements.iter().any(|r| ids.contains(r))
+            }
+            SliceCriterion::Methods(methods) => methods.contains(&t.trigger.method),
+            SliceCriterion::Resources(resources) => resources.contains(&t.trigger.resource),
+        }
+    }
+}
+
+/// Slice a behavioural model by a criterion.
+///
+/// The result contains exactly the matching transitions and the states
+/// they reference. The initial state is preserved when it survives the
+/// slice; otherwise the first kept transition's source becomes initial
+/// (the sliced scenario starts mid-protocol). An empty slice keeps the
+/// initial state so the model remains well-formed.
+///
+/// # Examples
+///
+/// ```
+/// use cm_model::{cinder, slice_behavioral_model, SliceCriterion};
+/// // A DELETE-only monitor for SecReq 1.4:
+/// let slice = slice_behavioral_model(
+///     &cinder::behavioral_model(),
+///     &SliceCriterion::Requirements(vec!["1.4".into()]),
+/// );
+/// assert_eq!(slice.transitions.len(), 3);
+/// ```
+#[must_use]
+pub fn slice_behavioral_model(
+    model: &BehavioralModel,
+    criterion: &SliceCriterion,
+) -> BehavioralModel {
+    let kept: Vec<_> =
+        model.transitions.iter().filter(|t| criterion.keeps(t)).cloned().collect();
+
+    let mut state_names: Vec<&str> = Vec::new();
+    for t in &kept {
+        for name in [t.source.as_str(), t.target.as_str()] {
+            if !state_names.contains(&name) {
+                state_names.push(name);
+            }
+        }
+    }
+
+    let initial = if state_names.contains(&model.initial.as_str()) {
+        model.initial.clone()
+    } else if let Some(first) = kept.first() {
+        first.source.clone()
+    } else {
+        model.initial.clone()
+    };
+    if !state_names.contains(&initial.as_str()) {
+        state_names.push(&initial);
+    }
+
+    let mut sliced = BehavioralModel::new(
+        format!("{}~slice", model.name),
+        model.context.clone(),
+        initial.clone(),
+    );
+    // Preserve original state order for determinism.
+    for s in &model.states {
+        if state_names.contains(&s.name.as_str()) {
+            sliced.state(s.clone());
+        }
+    }
+    for t in kept {
+        sliced.transition(t);
+    }
+    sliced
+}
+
+/// Slice a resource model down to the named definitions plus the
+/// associations connecting them (URI derivation still works for the kept
+/// part).
+#[must_use]
+pub fn slice_resource_model(model: &ResourceModel, keep: &[&str]) -> ResourceModel {
+    let mut sliced = ResourceModel::new(format!("{}~slice", model.name));
+    for d in &model.definitions {
+        if keep.contains(&d.name.as_str()) {
+            sliced.define(d.clone());
+        }
+    }
+    for a in &model.associations {
+        if keep.contains(&a.source.as_str()) && keep.contains(&a.target.as_str()) {
+            sliced.associate(a.clone());
+        }
+    }
+    sliced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cinder;
+    use crate::validate::{validate_behavioral_model, validate_resource_model};
+
+    #[test]
+    fn slice_by_requirement_keeps_delete_scenario() {
+        let model = cinder::behavioral_model();
+        let slice = slice_behavioral_model(
+            &model,
+            &SliceCriterion::Requirements(vec!["1.4".to_string()]),
+        );
+        assert_eq!(slice.transitions.len(), 3, "the three DELETE transitions");
+        assert!(slice
+            .transitions
+            .iter()
+            .all(|t| t.trigger.method == HttpMethod::Delete));
+        // States touched: no_volume (target), not_full, full.
+        assert_eq!(slice.states.len(), 3);
+        assert!(validate_behavioral_model(&slice, None).is_valid());
+        assert_eq!(slice.context, "project");
+    }
+
+    #[test]
+    fn slice_by_method() {
+        let model = cinder::behavioral_model();
+        let slice =
+            slice_behavioral_model(&model, &SliceCriterion::Methods(vec![HttpMethod::Get]));
+        assert_eq!(slice.transitions.len(), 2);
+        // GET self-loops never touch the initial no-volume state, so the
+        // slice re-bases its initial state.
+        assert_eq!(slice.initial, cinder::S_NOT_FULL);
+        assert!(validate_behavioral_model(&slice, None).is_valid());
+    }
+
+    #[test]
+    fn slice_preserves_initial_when_kept() {
+        let model = cinder::behavioral_model();
+        let slice =
+            slice_behavioral_model(&model, &SliceCriterion::Methods(vec![HttpMethod::Post]));
+        assert_eq!(slice.initial, cinder::S_NO_VOLUME);
+        assert_eq!(slice.transitions.len(), 4);
+    }
+
+    #[test]
+    fn empty_slice_is_still_well_formed() {
+        let model = cinder::behavioral_model();
+        let slice = slice_behavioral_model(
+            &model,
+            &SliceCriterion::Requirements(vec!["9.9".to_string()]),
+        );
+        assert!(slice.transitions.is_empty());
+        assert_eq!(slice.states.len(), 1);
+        assert!(validate_behavioral_model(&slice, None).is_valid());
+    }
+
+    #[test]
+    fn slice_by_resource() {
+        let model = cinder::behavioral_model();
+        let slice = slice_behavioral_model(
+            &model,
+            &SliceCriterion::Resources(vec!["volume".to_string()]),
+        );
+        // Everything in the cinder model triggers on `volume`.
+        assert_eq!(slice.transitions.len(), model.transitions.len());
+    }
+
+    #[test]
+    fn resource_model_slice_keeps_connecting_associations() {
+        let model = cinder::resource_model();
+        let slice = slice_resource_model(&model, &["Volumes", "volume"]);
+        assert_eq!(slice.definitions.len(), 2);
+        assert_eq!(slice.associations.len(), 1);
+        assert_eq!(slice.associations[0].role, "volume");
+        assert!(validate_resource_model(&slice).is_valid());
+    }
+}

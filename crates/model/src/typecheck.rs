@@ -1,0 +1,256 @@
+//! Static type checking of the behavioural model's OCL against the
+//! resource model.
+//!
+//! The resource model (class diagram) *is* the type environment of the
+//! behavioural model's invariants, guards and effects: attributes have
+//! declared types, association ends have collection types, and the
+//! context variables (`project`, `volume`, …) are instances of resource
+//! definitions. [`type_env_for`] derives a [`cm_ocl::MapTypeEnv`] from a
+//! resource model and [`typecheck_behavioral_model`] runs the gradual OCL
+//! checker over every expression in a behavioural model, reporting hard
+//! type errors and lenient-coercion warnings with their location.
+
+use crate::behavior::BehavioralModel;
+use crate::resource::{AttrType, Multiplicity, ResourceKind, ResourceModel, UpperBound};
+use cm_ocl::{check, CollectionKind, MapTypeEnv, Type};
+use std::fmt;
+
+/// Derive the OCL type environment from a resource model.
+///
+/// * Every **normal** resource definition's name is declared as a root
+///   variable of object type (`volume: volume`) — the behavioural models
+///   address resources by their definition name.
+/// * Attributes get their declared scalar types.
+/// * Association ends become properties of the source class: a to-one end
+///   has the target's object type; a to-many end (or an end through a
+///   collection) has `Set(target)`.
+/// * The implicit `user` principal is declared with `groups: String`,
+///   `roles: Set(String)`, `id: Set(Integer)` and `name: String`,
+///   matching the monitor's probe bindings.
+#[must_use]
+pub fn type_env_for(model: &ResourceModel) -> MapTypeEnv {
+    let mut env = MapTypeEnv::new();
+
+    for def in &model.definitions {
+        if def.kind == ResourceKind::Normal {
+            env.declare_variable(def.name.clone(), Type::Object(def.name.clone()));
+        }
+        for attr in &def.attributes {
+            let ty = match attr.ty {
+                AttrType::Str => Type::Str,
+                AttrType::Int => Type::Int,
+                AttrType::Real => Type::Real,
+                AttrType::Bool => Type::Bool,
+            };
+            // The `id` attribute is observed as a set — `id->size() = 1`
+            // means "GET returned 200" (paper Section IV-B).
+            let ty = if attr.name == "id" {
+                Type::Coll(CollectionKind::Set, Box::new(ty))
+            } else {
+                ty
+            };
+            env.declare_attribute(def.name.clone(), attr.name.clone(), ty);
+        }
+    }
+
+    for assoc in &model.associations {
+        let Some(target) = model.definition(&assoc.target) else { continue };
+        let end_type = match target.kind {
+            // Navigating to a collection definition yields the set of its
+            // contained resources (the collection itself carries no data).
+            ResourceKind::Collection => {
+                let contained = model
+                    .contained_of(&target.name)
+                    .map_or(Type::Unknown, |d| Type::Object(d.name.clone()));
+                Type::Coll(CollectionKind::Set, Box::new(contained))
+            }
+            ResourceKind::Normal => {
+                let is_many = assoc.multiplicity.upper == UpperBound::Many
+                    || matches!(assoc.multiplicity.upper, UpperBound::Finite(n) if n > 1)
+                    || assoc.multiplicity == Multiplicity::ZERO_MANY;
+                if is_many {
+                    Type::Coll(
+                        CollectionKind::Set,
+                        Box::new(Type::Object(target.name.clone())),
+                    )
+                } else {
+                    Type::Object(target.name.clone())
+                }
+            }
+        };
+        env.declare_attribute(assoc.source.clone(), assoc.role.clone(), end_type);
+    }
+
+    // The requesting principal, as bound by the monitor's prober.
+    env.declare_variable("user", Type::Object("user".to_string()));
+    env.declare_attribute("user", "groups", Type::Str);
+    env.declare_attribute(
+        "user",
+        "roles",
+        Type::Coll(CollectionKind::Set, Box::new(Type::Str)),
+    );
+    env.declare_attribute(
+        "user",
+        "id",
+        Type::Coll(CollectionKind::Set, Box::new(Type::Int)),
+    );
+    env.declare_attribute("user", "name", Type::Str);
+
+    env
+}
+
+/// A located type-checking finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeFinding {
+    /// Where the expression lives, e.g.
+    /// `invariant of state project_with_no_volume` or
+    /// `guard of transition t_del_1`.
+    pub location: String,
+    /// The OCL checker's message.
+    pub message: String,
+    /// Hard error (`true`) or lenient-coercion warning (`false`).
+    pub is_error: bool,
+}
+
+impl fmt::Display for TypeFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.is_error { "type error" } else { "type warning" };
+        write!(f, "{kind} in {}: {}", self.location, self.message)
+    }
+}
+
+/// Type-check every OCL expression of a behavioural model against the
+/// type environment derived from `resources`. Expressions must type as
+/// Boolean; non-Boolean invariants/guards/effects are reported as errors.
+#[must_use]
+pub fn typecheck_behavioral_model(
+    behavior: &BehavioralModel,
+    resources: &ResourceModel,
+) -> Vec<TypeFinding> {
+    let env = type_env_for(resources);
+    let mut findings = Vec::new();
+
+    let mut check_expr = |location: String, expr: &cm_ocl::Expr| {
+        let report = check(expr, &env);
+        if !report.ty.compatible(&Type::Bool) {
+            findings.push(TypeFinding {
+                location: location.clone(),
+                message: format!("expression has type {}, expected Boolean", report.ty),
+                is_error: true,
+            });
+        }
+        for issue in report.issues {
+            findings.push(TypeFinding {
+                location: location.clone(),
+                message: issue.message,
+                is_error: issue.is_error,
+            });
+        }
+    };
+
+    for state in &behavior.states {
+        check_expr(format!("invariant of state {}", state.name), &state.invariant);
+    }
+    for t in &behavior.transitions {
+        if let Some(guard) = &t.guard {
+            check_expr(format!("guard of transition {}", t.id), guard);
+        }
+        if let Some(effect) = &t.effect {
+            check_expr(format!("effect of transition {}", t.id), effect);
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{State, TransitionBuilder, Trigger};
+    use crate::cinder;
+    use crate::http::HttpMethod;
+
+    #[test]
+    fn cinder_models_typecheck_without_errors() {
+        let resources = cinder::resource_model();
+        let findings =
+            typecheck_behavioral_model(&cinder::behavioral_model(), &resources);
+        let errors: Vec<&TypeFinding> = findings.iter().filter(|f| f.is_error).collect();
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn extended_models_typecheck_without_errors() {
+        let resources = cinder::extended_resource_model();
+        for model in
+            [cinder::extended_behavioral_model(), cinder::snapshot_behavioral_model()]
+        {
+            let findings = typecheck_behavioral_model(&model, &resources);
+            let errors: Vec<&TypeFinding> =
+                findings.iter().filter(|f| f.is_error).collect();
+            assert!(errors.is_empty(), "{}: {errors:?}", model.name);
+        }
+    }
+
+    #[test]
+    fn env_types_association_ends() {
+        use cm_ocl::TypeEnv;
+        let env = type_env_for(&cinder::resource_model());
+        // project.volumes navigates through the Volumes collection to a
+        // set of volume objects.
+        let t = env.attribute_type("project", "volumes").unwrap();
+        assert_eq!(
+            t,
+            Type::Coll(CollectionKind::Set, Box::new(Type::Object("volume".into())))
+        );
+        // quota_sets is a to-one end.
+        assert_eq!(
+            env.attribute_type("project", "quota_sets").unwrap(),
+            Type::Object("quota_sets".into())
+        );
+        // id attributes are observed as sets.
+        assert_eq!(
+            env.attribute_type("volume", "id").unwrap(),
+            Type::Coll(CollectionKind::Set, Box::new(Type::Int))
+        );
+        assert_eq!(env.attribute_type("volume", "status").unwrap(), Type::Str);
+        assert_eq!(env.variable_type("volume").unwrap(), Type::Object("volume".into()));
+        // Collections are not addressable roots.
+        assert!(env.variable_type("Volumes").is_none());
+    }
+
+    #[test]
+    fn type_errors_are_located() {
+        let resources = cinder::resource_model();
+        let mut m = BehavioralModel::new("bad", "project", "s");
+        m.state(State::new(
+            "s",
+            cm_ocl::parse("volume.status + 1 = 2").unwrap(), // String + Int
+        ));
+        m.transition(
+            TransitionBuilder::new("t1", "s", Trigger::new(HttpMethod::Get, "volume"), "s")
+                .guard(cm_ocl::parse("volume.size").unwrap()) // Int, not Boolean
+                .build(),
+        );
+        let findings = typecheck_behavioral_model(&m, &resources);
+        assert!(findings
+            .iter()
+            .any(|f| f.is_error && f.location.contains("invariant of state s")));
+        assert!(findings.iter().any(|f| f.is_error
+            && f.location.contains("guard of transition t1")
+            && f.message.contains("expected Boolean")));
+    }
+
+    #[test]
+    fn lenient_coercions_reported_as_warnings() {
+        let resources = cinder::resource_model();
+        let mut m = BehavioralModel::new("lenient", "project", "s");
+        m.state(State::new(
+            "s",
+            // The paper's own idiom: collection compared with a number.
+            cm_ocl::parse("project.volumes < quota_sets.volume").unwrap(),
+        ));
+        let findings = typecheck_behavioral_model(&m, &resources);
+        assert!(findings.iter().any(|f| !f.is_error && f.message.contains("paper-compat")));
+        assert!(findings.iter().all(|f| !f.is_error));
+    }
+}

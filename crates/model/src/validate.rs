@@ -1,0 +1,471 @@
+//! Well-formedness validation of resource and behavioural models.
+//!
+//! The paper's design constraints (Section IV) are checked here:
+//! collection resource definitions have no attributes, normal ones have at
+//! least one typed attribute, every association carries a role name (needed
+//! for URI composition), behavioural models reference existing states, and
+//! contract expressions only speak about addressable resources.
+
+use crate::behavior::BehavioralModel;
+use crate::resource::{Multiplicity, ResourceKind, ResourceModel};
+use std::fmt;
+
+/// Severity of a validation finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style / suspicious construct; generation can proceed.
+    Warning,
+    /// Violation of a well-formedness rule; generation would misbehave.
+    Error,
+}
+
+/// A single validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Severity.
+    pub severity: Severity,
+    /// Which rule fired, e.g. `collection-has-attributes`.
+    pub rule: &'static str,
+    /// Human-readable description with element names.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{sev}[{}]: {}", self.rule, self.message)
+    }
+}
+
+/// Result of validating a model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// All findings, in detection order.
+    pub findings: Vec<Finding>,
+}
+
+impl ValidationReport {
+    /// True when no `Error`-severity findings exist.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.findings.iter().all(|f| f.severity != Severity::Error)
+    }
+
+    /// Only the errors.
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Error)
+    }
+
+    /// Only the warnings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Warning)
+    }
+
+    fn error(&mut self, rule: &'static str, message: String) {
+        self.findings.push(Finding { severity: Severity::Error, rule, message });
+    }
+
+    fn warn(&mut self, rule: &'static str, message: String) {
+        self.findings.push(Finding { severity: Severity::Warning, rule, message });
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: ValidationReport) {
+        self.findings.extend(other.findings);
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.findings.is_empty() {
+            return write!(f, "model is well-formed");
+        }
+        for (i, finding) in self.findings.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{finding}")?;
+        }
+        Ok(())
+    }
+}
+
+fn is_uri_safe(segment: &str) -> bool {
+    !segment.is_empty()
+        && segment
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+/// Validate a resource model against the paper's structural constraints.
+#[must_use]
+pub fn validate_resource_model(model: &ResourceModel) -> ValidationReport {
+    let mut report = ValidationReport::default();
+
+    // Unique definition names.
+    for (i, d) in model.definitions.iter().enumerate() {
+        if model.definitions[..i].iter().any(|e| e.name == d.name) {
+            report.error(
+                "duplicate-definition",
+                format!("resource definition `{}` is declared more than once", d.name),
+            );
+        }
+    }
+
+    for d in &model.definitions {
+        match d.kind {
+            ResourceKind::Collection => {
+                if !d.attributes.is_empty() {
+                    report.error(
+                        "collection-has-attributes",
+                        format!(
+                            "collection resource definition `{}` must not declare attributes \
+                             (found {})",
+                            d.name,
+                            d.attributes.len()
+                        ),
+                    );
+                }
+                // A collection should contain something via a 0..* association.
+                let has_contained = model
+                    .outgoing(&d.name)
+                    .any(|a| a.multiplicity == Multiplicity::ZERO_MANY);
+                if !has_contained {
+                    report.warn(
+                        "collection-without-contained",
+                        format!(
+                            "collection `{}` has no outgoing `0..*` association to a contained \
+                             resource definition",
+                            d.name
+                        ),
+                    );
+                }
+            }
+            ResourceKind::Normal => {
+                if d.attributes.is_empty() {
+                    report.error(
+                        "normal-without-attributes",
+                        format!(
+                            "normal resource definition `{}` must declare at least one typed \
+                             attribute",
+                            d.name
+                        ),
+                    );
+                }
+            }
+        }
+        // Attribute names unique within the definition.
+        for (i, a) in d.attributes.iter().enumerate() {
+            if d.attributes[..i].iter().any(|b| b.name == a.name) {
+                report.error(
+                    "duplicate-attribute",
+                    format!("attribute `{}` of `{}` is declared more than once", a.name, d.name),
+                );
+            }
+        }
+    }
+
+    for a in &model.associations {
+        if !is_uri_safe(&a.role) {
+            report.error(
+                "role-not-uri-safe",
+                format!(
+                    "association role `{}` ({} -> {}) is not a valid URI segment",
+                    a.role, a.source, a.target
+                ),
+            );
+        }
+        if model.definition(&a.source).is_none() {
+            report.error(
+                "unknown-association-source",
+                format!("association `{}` names unknown source `{}`", a.role, a.source),
+            );
+        }
+        if model.definition(&a.target).is_none() {
+            report.error(
+                "unknown-association-target",
+                format!("association `{}` names unknown target `{}`", a.role, a.target),
+            );
+        }
+    }
+
+    // (source, role) pairs must be unique, otherwise URIs are ambiguous.
+    for (i, a) in model.associations.iter().enumerate() {
+        if model.associations[..i]
+            .iter()
+            .any(|b| b.source == a.source && b.role == a.role)
+        {
+            report.error(
+                "ambiguous-role",
+                format!("source `{}` has two associations with role `{}`", a.source, a.role),
+            );
+        }
+    }
+
+    report
+}
+
+/// Validate a behavioural model, optionally cross-checking resource names
+/// against a resource model.
+#[must_use]
+pub fn validate_behavioral_model(
+    model: &BehavioralModel,
+    resources: Option<&ResourceModel>,
+) -> ValidationReport {
+    let mut report = ValidationReport::default();
+
+    for (i, s) in model.states.iter().enumerate() {
+        if model.states[..i].iter().any(|t| t.name == s.name) {
+            report.error(
+                "duplicate-state",
+                format!("state `{}` is declared more than once", s.name),
+            );
+        }
+    }
+
+    if model.state_named(&model.initial).is_none() {
+        report.error(
+            "unknown-initial-state",
+            format!("initial state `{}` is not declared", model.initial),
+        );
+    }
+
+    for (i, t) in model.transitions.iter().enumerate() {
+        if model.transitions[..i].iter().any(|u| u.id == t.id) {
+            report.error(
+                "duplicate-transition-id",
+                format!("transition id `{}` is used more than once", t.id),
+            );
+        }
+        if model.state_named(&t.source).is_none() {
+            report.error(
+                "unknown-source-state",
+                format!("transition `{}` leaves unknown state `{}`", t.id, t.source),
+            );
+        }
+        if model.state_named(&t.target).is_none() {
+            report.error(
+                "unknown-target-state",
+                format!("transition `{}` enters unknown state `{}`", t.id, t.target),
+            );
+        }
+        if let Some(res) = resources {
+            if res.definition(&t.trigger.resource).is_none() {
+                report.error(
+                    "unknown-trigger-resource",
+                    format!(
+                        "transition `{}` is triggered on `{}` which is not in resource model \
+                         `{}`",
+                        t.id, t.trigger.resource, res.name
+                    ),
+                );
+            }
+        }
+        // Effects referencing pre-state are fine; guards must not.
+        if let Some(g) = &t.guard {
+            if g.references_pre_state() {
+                report.error(
+                    "guard-references-pre",
+                    format!(
+                        "guard of transition `{}` references the pre-state; guards are \
+                         evaluated before the call",
+                        t.id
+                    ),
+                );
+            }
+        }
+    }
+
+    // States that can never be reached from the initial state.
+    let mut reached: Vec<&str> = vec![model.initial.as_str()];
+    let mut frontier = vec![model.initial.as_str()];
+    while let Some(s) = frontier.pop() {
+        for t in model.transitions.iter().filter(|t| t.source == s) {
+            if !reached.contains(&t.target.as_str()) {
+                reached.push(&t.target);
+                frontier.push(&t.target);
+            }
+        }
+    }
+    for s in &model.states {
+        if !reached.contains(&s.name.as_str()) {
+            report.warn(
+                "unreachable-state",
+                format!("state `{}` is unreachable from initial `{}`", s.name, model.initial),
+            );
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{State, Transition, TransitionBuilder, Trigger};
+    use crate::http::HttpMethod;
+    use crate::resource::{Association, Attribute, AttrType, ResourceDef};
+    use cm_ocl::parse;
+
+    fn ok_resource_model() -> ResourceModel {
+        let mut m = ResourceModel::new("m");
+        m.define(ResourceDef::collection("Volumes"))
+            .define(ResourceDef::normal(
+                "volume",
+                vec![Attribute::new("status", AttrType::Str)],
+            ))
+            .associate(Association::new("volume", "Volumes", "volume", Multiplicity::ZERO_MANY));
+        m
+    }
+
+    fn tr(id: &str, src: &str, dst: &str) -> Transition {
+        TransitionBuilder::new(id, src, Trigger::new(HttpMethod::Get, "volume"), dst).build()
+    }
+
+    #[test]
+    fn valid_resource_model_passes() {
+        let r = validate_resource_model(&ok_resource_model());
+        assert!(r.is_valid(), "{r}");
+        assert_eq!(r.findings.len(), 0);
+    }
+
+    #[test]
+    fn collection_with_attributes_is_error() {
+        let mut m = ok_resource_model();
+        m.definitions[0].attributes.push(Attribute::new("x", AttrType::Int));
+        let r = validate_resource_model(&m);
+        assert!(!r.is_valid());
+        assert!(r.errors().any(|f| f.rule == "collection-has-attributes"));
+    }
+
+    #[test]
+    fn normal_without_attributes_is_error() {
+        let mut m = ok_resource_model();
+        m.definitions[1].attributes.clear();
+        let r = validate_resource_model(&m);
+        assert!(r.errors().any(|f| f.rule == "normal-without-attributes"));
+    }
+
+    #[test]
+    fn duplicate_definition_is_error() {
+        let mut m = ok_resource_model();
+        m.define(ResourceDef::collection("Volumes"));
+        let r = validate_resource_model(&m);
+        assert!(r.errors().any(|f| f.rule == "duplicate-definition"));
+    }
+
+    #[test]
+    fn dangling_association_is_error() {
+        let mut m = ok_resource_model();
+        m.associate(Association::new("ghost", "Volumes", "nothing", Multiplicity::ONE));
+        let r = validate_resource_model(&m);
+        assert!(r.errors().any(|f| f.rule == "unknown-association-target"));
+    }
+
+    #[test]
+    fn bad_role_name_is_error() {
+        let mut m = ok_resource_model();
+        m.associate(Association::new("has space", "Volumes", "volume", Multiplicity::ONE));
+        let r = validate_resource_model(&m);
+        assert!(r.errors().any(|f| f.rule == "role-not-uri-safe"));
+    }
+
+    #[test]
+    fn ambiguous_role_is_error() {
+        let mut m = ok_resource_model();
+        m.associate(Association::new("volume", "Volumes", "volume", Multiplicity::ONE));
+        let r = validate_resource_model(&m);
+        assert!(r.errors().any(|f| f.rule == "ambiguous-role"));
+    }
+
+    #[test]
+    fn collection_without_contained_warns() {
+        let mut m = ResourceModel::new("m");
+        m.define(ResourceDef::collection("Empty"));
+        let r = validate_resource_model(&m);
+        assert!(r.is_valid());
+        assert!(r.warnings().any(|f| f.rule == "collection-without-contained"));
+    }
+
+    fn ok_behavioral_model() -> BehavioralModel {
+        let mut m = BehavioralModel::new("b", "project", "s0");
+        m.state(State::new("s0", parse("true").unwrap()))
+            .state(State::new("s1", parse("true").unwrap()));
+        m.transition(tr("t1", "s0", "s1"));
+        m
+    }
+
+    #[test]
+    fn valid_behavioral_model_passes() {
+        let r = validate_behavioral_model(&ok_behavioral_model(), None);
+        assert!(r.is_valid(), "{r}");
+    }
+
+    #[test]
+    fn unknown_initial_is_error() {
+        let mut m = ok_behavioral_model();
+        m.initial = "ghost".into();
+        let r = validate_behavioral_model(&m, None);
+        assert!(r.errors().any(|f| f.rule == "unknown-initial-state"));
+    }
+
+    #[test]
+    fn unknown_states_in_transition_are_errors() {
+        let mut m = ok_behavioral_model();
+        m.transition(tr("t2", "ghost", "s1"));
+        m.transition(tr("t3", "s0", "phantom"));
+        let r = validate_behavioral_model(&m, None);
+        assert!(r.errors().any(|f| f.rule == "unknown-source-state"));
+        assert!(r.errors().any(|f| f.rule == "unknown-target-state"));
+    }
+
+    #[test]
+    fn duplicate_transition_id_is_error() {
+        let mut m = ok_behavioral_model();
+        m.transition(tr("t1", "s0", "s1"));
+        let r = validate_behavioral_model(&m, None);
+        assert!(r.errors().any(|f| f.rule == "duplicate-transition-id"));
+    }
+
+    #[test]
+    fn cross_check_trigger_resource() {
+        let m = ok_behavioral_model();
+        let resources = ok_resource_model(); // has `volume`
+        let r = validate_behavioral_model(&m, Some(&resources));
+        assert!(r.is_valid(), "{r}");
+
+        let empty = ResourceModel::new("empty");
+        let r2 = validate_behavioral_model(&m, Some(&empty));
+        assert!(r2.errors().any(|f| f.rule == "unknown-trigger-resource"));
+    }
+
+    #[test]
+    fn guard_with_pre_is_error() {
+        let mut m = ok_behavioral_model();
+        m.transition(
+            TransitionBuilder::new("t9", "s0", Trigger::new(HttpMethod::Put, "volume"), "s1")
+                .guard(parse("pre(x) = 1").unwrap())
+                .build(),
+        );
+        let r = validate_behavioral_model(&m, None);
+        assert!(r.errors().any(|f| f.rule == "guard-references-pre"));
+    }
+
+    #[test]
+    fn unreachable_state_warns() {
+        let mut m = ok_behavioral_model();
+        m.state(State::new("island", parse("true").unwrap()));
+        let r = validate_behavioral_model(&m, None);
+        assert!(r.is_valid());
+        assert!(r.warnings().any(|f| f.rule == "unreachable-state"));
+    }
+
+    #[test]
+    fn report_display() {
+        let r = validate_resource_model(&ok_resource_model());
+        assert_eq!(r.to_string(), "model is well-formed");
+    }
+}

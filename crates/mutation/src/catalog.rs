@@ -1,0 +1,336 @@
+//! The mutant catalog: systematic implementation errors for the
+//! Section VI-D validation, generalising the paper's three hand-injected
+//! mutants into operator classes.
+
+use cm_cloudsim::{Fault, FaultPlan};
+use cm_rbac::Rule;
+use std::fmt;
+
+/// Classes of mutation operators over the cloud implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OperatorClass {
+    /// The policy rule for an action admits more roles than specified
+    /// (classic wrong-authorization: privilege escalation).
+    PolicyWiden,
+    /// The policy rule admits fewer roles than specified (authorized
+    /// users locked out).
+    PolicyNarrow,
+    /// The developer forgot the authorization check entirely.
+    MissingAuthCheck,
+    /// The authorization decision is inverted (negation bug).
+    InvertedAuthCheck,
+    /// The volume-quota functional check was dropped.
+    QuotaCheckRemoved,
+    /// The `in-use` functional check on delete was dropped.
+    InUseCheckRemoved,
+    /// A wrong success status code is returned.
+    WrongStatusCode,
+    /// Success is reported without performing the state change.
+    LostUpdate,
+}
+
+impl OperatorClass {
+    /// All classes, in report order.
+    pub const ALL: [OperatorClass; 8] = [
+        OperatorClass::PolicyWiden,
+        OperatorClass::PolicyNarrow,
+        OperatorClass::MissingAuthCheck,
+        OperatorClass::InvertedAuthCheck,
+        OperatorClass::QuotaCheckRemoved,
+        OperatorClass::InUseCheckRemoved,
+        OperatorClass::WrongStatusCode,
+        OperatorClass::LostUpdate,
+    ];
+
+    /// Short name for tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OperatorClass::PolicyWiden => "policy-widen",
+            OperatorClass::PolicyNarrow => "policy-narrow",
+            OperatorClass::MissingAuthCheck => "missing-auth-check",
+            OperatorClass::InvertedAuthCheck => "inverted-auth-check",
+            OperatorClass::QuotaCheckRemoved => "quota-check-removed",
+            OperatorClass::InUseCheckRemoved => "in-use-check-removed",
+            OperatorClass::WrongStatusCode => "wrong-status-code",
+            OperatorClass::LostUpdate => "lost-update",
+        }
+    }
+
+    /// True for operators that distort *authorization* (the paper's focus).
+    #[must_use]
+    pub fn is_authorization(self) -> bool {
+        matches!(
+            self,
+            OperatorClass::PolicyWiden
+                | OperatorClass::PolicyNarrow
+                | OperatorClass::MissingAuthCheck
+                | OperatorClass::InvertedAuthCheck
+        )
+    }
+}
+
+impl fmt::Display for OperatorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single mutant: a named, classed fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mutant {
+    /// Stable identifier, e.g. `M07-widen-volume:delete`.
+    pub id: String,
+    /// Operator class.
+    pub class: OperatorClass,
+    /// Human-readable description of the injected error.
+    pub description: String,
+    /// The fault plan realising the error.
+    pub plan: FaultPlan,
+}
+
+/// The paper's three mutants (Section VI-D: "we were able to kill all
+/// three mutants (errors) systematically introduced in the cloud
+/// implementation to detect wrong authorization on resources").
+#[must_use]
+pub fn paper_mutants() -> Vec<Mutant> {
+    vec![
+        Mutant {
+            id: "P1-delete-role-widened".to_string(),
+            class: OperatorClass::PolicyWiden,
+            description: "volume:delete wrongly permits role `member` in addition to `admin` \
+                          (violates SecReq 1.4)"
+                .to_string(),
+            plan: FaultPlan::single(Fault::PolicyOverride {
+                action: "volume:delete".to_string(),
+                rule: Rule::any_role(["admin", "member"]),
+            }),
+        },
+        Mutant {
+            id: "P2-post-check-missing".to_string(),
+            class: OperatorClass::MissingAuthCheck,
+            description: "the authorization check on volume:post was forgotten — any \
+                          authenticated user can create volumes (violates SecReq 1.3)"
+                .to_string(),
+            plan: FaultPlan::single(Fault::SkipAuthCheck { action: "volume:post".to_string() }),
+        },
+        Mutant {
+            id: "P3-get-check-inverted".to_string(),
+            class: OperatorClass::InvertedAuthCheck,
+            description: "the authorization decision on volume:get is inverted — authorized \
+                          users are denied, unauthorized ones admitted (violates SecReq 1.1)"
+                .to_string(),
+            plan: FaultPlan::single(Fault::InvertAuthCheck { action: "volume:get".to_string() }),
+        },
+    ]
+}
+
+/// Actions of the volume resource, with the roles Table I specifies.
+const VOLUME_ACTIONS: [(&str, &[&str]); 4] = [
+    ("volume:get", &["admin", "member", "user"]),
+    ("volume:put", &["admin", "member"]),
+    ("volume:post", &["admin", "member"]),
+    ("volume:delete", &["admin"]),
+];
+
+/// The full systematic catalog: every operator class applied to every
+/// applicable volume action.
+#[must_use]
+pub fn standard_catalog() -> Vec<Mutant> {
+    let mut mutants = Vec::new();
+    let mut n = 0usize;
+    let mut push = |class: OperatorClass, action: &str, description: String, plan: FaultPlan| {
+        n += 1;
+        mutants.push(Mutant {
+            id: format!("M{n:02}-{class}-{action}"),
+            class,
+            description,
+            plan,
+        });
+    };
+
+    for (action, roles) in VOLUME_ACTIONS {
+        // Widen: permit everything (any authenticated principal).
+        push(
+            OperatorClass::PolicyWiden,
+            action,
+            format!("{action} permits any authenticated user (specified: {roles:?})"),
+            FaultPlan::single(Fault::PolicyOverride {
+                action: action.to_string(),
+                rule: Rule::Always,
+            }),
+        );
+        // Narrow: deny everyone.
+        push(
+            OperatorClass::PolicyNarrow,
+            action,
+            format!("{action} denies every role (specified: {roles:?})"),
+            FaultPlan::single(Fault::PolicyOverride {
+                action: action.to_string(),
+                rule: Rule::Never,
+            }),
+        );
+        push(
+            OperatorClass::MissingAuthCheck,
+            action,
+            format!("authorization check for {action} skipped"),
+            FaultPlan::single(Fault::SkipAuthCheck { action: action.to_string() }),
+        );
+        push(
+            OperatorClass::InvertedAuthCheck,
+            action,
+            format!("authorization decision for {action} inverted"),
+            FaultPlan::single(Fault::InvertAuthCheck { action: action.to_string() }),
+        );
+    }
+
+    push(
+        OperatorClass::QuotaCheckRemoved,
+        "volume:post",
+        "volume creation no longer checks the project quota".to_string(),
+        FaultPlan::single(Fault::IgnoreQuota),
+    );
+    push(
+        OperatorClass::InUseCheckRemoved,
+        "volume:delete",
+        "volume deletion no longer checks the in-use status".to_string(),
+        FaultPlan::single(Fault::IgnoreInUse),
+    );
+
+    for (action, wrong) in
+        [("volume:get", 202u16), ("volume:put", 204), ("volume:post", 200), ("volume:delete", 200)]
+    {
+        push(
+            OperatorClass::WrongStatusCode,
+            action,
+            format!("{action} responds {wrong} instead of the specified success code"),
+            FaultPlan::single(Fault::WrongStatusCode {
+                action: action.to_string(),
+                code: wrong,
+            }),
+        );
+    }
+
+    for action in ["volume:post", "volume:delete", "volume:put"] {
+        push(
+            OperatorClass::LostUpdate,
+            action,
+            format!("{action} reports success without changing any state"),
+            FaultPlan::single(Fault::DropStateChange { action: action.to_string() }),
+        );
+    }
+
+    mutants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mutants_are_three_authorization_errors() {
+        let ms = paper_mutants();
+        assert_eq!(ms.len(), 3);
+        assert!(ms.iter().all(|m| m.class.is_authorization()));
+    }
+
+    #[test]
+    fn catalog_is_systematic() {
+        let ms = standard_catalog();
+        // 4 actions × 4 auth operators + quota + in-use + 4 status + 3 lost.
+        assert_eq!(ms.len(), 4 * 4 + 1 + 1 + 4 + 3);
+        // Ids are unique.
+        let mut ids: Vec<&str> = ms.iter().map(|m| m.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ms.len());
+        // Every class is represented.
+        for class in OperatorClass::ALL {
+            assert!(ms.iter().any(|m| m.class == class), "missing {class}");
+        }
+    }
+
+    #[test]
+    fn every_mutant_has_a_single_fault() {
+        for m in standard_catalog() {
+            assert_eq!(m.plan.faults().len(), 1, "{}", m.id);
+        }
+    }
+
+    #[test]
+    fn operator_class_names_are_distinct() {
+        let mut names: Vec<&str> = OperatorClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), OperatorClass::ALL.len());
+    }
+}
+
+/// Actions of the snapshot resource, with the extended-table roles.
+const SNAPSHOT_ACTIONS: [(&str, &[&str]); 3] = [
+    ("snapshot:get", &["admin", "member", "user"]),
+    ("snapshot:post", &["admin", "member"]),
+    ("snapshot:delete", &["admin"]),
+];
+
+/// Mutants over the snapshot resource (killed by the *extended* oracle
+/// suite; the volume-only suite cannot observe them).
+#[must_use]
+pub fn snapshot_catalog() -> Vec<Mutant> {
+    let mut mutants = Vec::new();
+    let mut n = 0usize;
+    for (action, roles) in SNAPSHOT_ACTIONS {
+        for (class, plan) in [
+            (
+                OperatorClass::PolicyWiden,
+                FaultPlan::single(Fault::PolicyOverride {
+                    action: action.to_string(),
+                    rule: Rule::Always,
+                }),
+            ),
+            (
+                OperatorClass::PolicyNarrow,
+                FaultPlan::single(Fault::PolicyOverride {
+                    action: action.to_string(),
+                    rule: Rule::Never,
+                }),
+            ),
+            (
+                OperatorClass::MissingAuthCheck,
+                FaultPlan::single(Fault::SkipAuthCheck { action: action.to_string() }),
+            ),
+            (
+                OperatorClass::InvertedAuthCheck,
+                FaultPlan::single(Fault::InvertAuthCheck { action: action.to_string() }),
+            ),
+        ] {
+            n += 1;
+            mutants.push(Mutant {
+                id: format!("S{n:02}-{class}-{action}"),
+                class,
+                description: format!(
+                    "{action}: {} (specified roles: {roles:?})",
+                    class.name()
+                ),
+                plan,
+            });
+        }
+    }
+    mutants
+}
+
+#[cfg(test)]
+mod snapshot_catalog_tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_catalog_is_authorization_only() {
+        let ms = snapshot_catalog();
+        assert_eq!(ms.len(), 12);
+        assert!(ms.iter().all(|m| m.class.is_authorization()));
+        let mut ids: Vec<&str> = ms.iter().map(|m| m.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12);
+    }
+}

@@ -1,0 +1,31 @@
+//! # cm-mutation — the Section VI-D mutation experiment, systematised
+//!
+//! The paper validates its cloud monitor by injecting three
+//! wrong-authorization errors into the OpenStack deployment and showing
+//! the monitor kills all three. This crate reproduces that experiment and
+//! generalises it:
+//!
+//! * [`paper_mutants`] — the three named mutants of Section VI-D;
+//! * [`standard_catalog`] — a systematic catalog over eight operator
+//!   classes (policy widening/narrowing, missing/inverted checks, dropped
+//!   functional checks, wrong status codes, lost updates);
+//! * [`run_campaign`] — runs the monitor-as-test-oracle suite over every
+//!   mutant cloud and reports a kill matrix with per-operator rates.
+//!
+//! ## Example
+//!
+//! ```
+//! use cm_mutation::{paper_mutants, run_campaign};
+//!
+//! let result = run_campaign(&paper_mutants());
+//! assert_eq!(result.killed(), 3); // the paper's 3/3
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod campaign;
+pub mod catalog;
+
+pub use campaign::{run_campaign, run_extended_campaign, CampaignResult, MutantResult};
+pub use catalog::{paper_mutants, snapshot_catalog, standard_catalog, Mutant, OperatorClass};

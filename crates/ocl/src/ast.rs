@@ -1,0 +1,607 @@
+//! Abstract syntax tree for the OCL subset.
+//!
+//! The AST is deliberately small and purely data: evaluation lives in
+//! [`crate::eval`], typing in [`crate::types`], and printing in
+//! [`crate::print`]. Every node is `Clone + PartialEq + Debug` so contracts
+//! can be synthesised, compared and stored freely.
+
+use std::fmt;
+
+/// Binary operators of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `=` value equality.
+    Eq,
+    /// `<>` value inequality.
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `and` (strictly evaluated except for false-short-circuit).
+    And,
+    /// `or`
+    Or,
+    /// `xor`
+    Xor,
+    /// `implies` / `=>`
+    Implies,
+}
+
+impl BinOp {
+    /// Surface syntax of the operator, as printed by the pretty-printer.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Implies => "implies",
+        }
+    }
+
+    /// Parser precedence; higher binds tighter.
+    #[must_use]
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Implies => 1,
+            BinOp::Or | BinOp::Xor => 2,
+            BinOp::And => 3,
+            BinOp::Eq | BinOp::Ne => 4,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 5,
+            BinOp::Add | BinOp::Sub => 6,
+            BinOp::Mul | BinOp::Div => 7,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Boolean negation `not`.
+    Not,
+    /// Arithmetic negation `-`.
+    Neg,
+}
+
+/// Collection iterator operations invoked with `->op(v | body)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IterOp {
+    /// `exists` — true if any element satisfies the body.
+    Exists,
+    /// `forAll` — true if every element satisfies the body.
+    ForAll,
+    /// `select` — sub-collection of elements satisfying the body.
+    Select,
+    /// `reject` — sub-collection of elements not satisfying the body.
+    Reject,
+    /// `collect` — collection of body values.
+    Collect,
+    /// `one` — true if exactly one element satisfies the body.
+    One,
+    /// `any` — some element satisfying the body (undefined if none).
+    Any,
+    /// `isUnique` — true if body values are pairwise distinct.
+    IsUnique,
+    /// `sortedBy` — sequence of elements ordered by their body values.
+    SortedBy,
+}
+
+impl IterOp {
+    /// Surface name of the operation.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IterOp::Exists => "exists",
+            IterOp::ForAll => "forAll",
+            IterOp::Select => "select",
+            IterOp::Reject => "reject",
+            IterOp::Collect => "collect",
+            IterOp::One => "one",
+            IterOp::Any => "any",
+            IterOp::IsUnique => "isUnique",
+            IterOp::SortedBy => "sortedBy",
+        }
+    }
+
+    /// Parse an iterator-operation name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "exists" => IterOp::Exists,
+            "forAll" => IterOp::ForAll,
+            "select" => IterOp::Select,
+            "reject" => IterOp::Reject,
+            "collect" => IterOp::Collect,
+            "one" => IterOp::One,
+            "any" => IterOp::Any,
+            "isUnique" => IterOp::IsUnique,
+            "sortedBy" => IterOp::SortedBy,
+            _ => return None,
+        })
+    }
+}
+
+/// An OCL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Boolean literal `true` / `false`.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal.
+    Str(String),
+    /// `null` / `OclUndefined`.
+    Null,
+    /// A variable reference (context root such as `project`, `user`,
+    /// `result`, or an iterator variable).
+    Var(String),
+    /// Attribute or association-end navigation: `object.property`.
+    ///
+    /// `at_pre` marks `property@pre`, i.e. the value in the pre-state.
+    Nav {
+        /// The navigated source expression.
+        source: Box<Expr>,
+        /// Property (attribute or association end) name.
+        property: String,
+        /// Whether the `@pre` marker is attached.
+        at_pre: bool,
+    },
+    /// Collection operation without an iterator variable:
+    /// `source->op(args…)`, e.g. `->size()`, `->includes(x)`.
+    CollOp {
+        /// The collection-valued source.
+        source: Box<Expr>,
+        /// Operation name, e.g. `size`, `includes`, `isEmpty`.
+        op: String,
+        /// Arguments inside the parentheses.
+        args: Vec<Expr>,
+    },
+    /// Iterator operation: `source->op(v | body)`.
+    Iterate {
+        /// The collection-valued source.
+        source: Box<Expr>,
+        /// Which iterator operation.
+        op: IterOp,
+        /// Iterator variable name (defaults to `self_` when elided).
+        var: String,
+        /// Body expression, evaluated with `var` bound to each element.
+        body: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// `if c then t else e endif`.
+    If {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then-branch.
+        then_branch: Box<Expr>,
+        /// Else-branch.
+        else_branch: Box<Expr>,
+    },
+    /// `let name = value in body`.
+    Let {
+        /// Bound variable name.
+        name: String,
+        /// Bound value.
+        value: Box<Expr>,
+        /// Body in which `name` is visible.
+        body: Box<Expr>,
+    },
+    /// `pre(expr)` — evaluate `expr` in the pre-state. This is the function
+    /// spelling used throughout the paper's Listing 1; it is equivalent to
+    /// distributing `@pre` over every navigation in `expr`.
+    Pre(Box<Expr>),
+    /// Literal collection `Set{...}` / `Sequence{...}` / `Bag{...}`.
+    CollectionLiteral {
+        /// Collection kind keyword.
+        kind: CollectionKind,
+        /// Element expressions.
+        elements: Vec<Expr>,
+    },
+    /// The general OCL fold: `source->iterate(v; acc = init | body)`.
+    Fold {
+        /// The collection-valued source.
+        source: Box<Expr>,
+        /// Iterator variable bound to each element.
+        var: String,
+        /// Accumulator variable name.
+        acc: String,
+        /// Accumulator's initial value.
+        init: Box<Expr>,
+        /// Body; its value becomes the accumulator for the next element.
+        body: Box<Expr>,
+    },
+    /// Method/operation call on an object or primitive: `x.op(args)`, e.g.
+    /// `s.concat(t)`, `n.abs()`, `x.oclIsUndefined()`.
+    Call {
+        /// Receiver.
+        source: Box<Expr>,
+        /// Operation name.
+        op: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// OCL collection kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectionKind {
+    /// Unordered, unique elements.
+    Set,
+    /// Unordered, duplicates allowed.
+    Bag,
+    /// Ordered, duplicates allowed.
+    Sequence,
+    /// Ordered, unique elements.
+    OrderedSet,
+}
+
+impl CollectionKind {
+    /// Keyword used in literals, e.g. `Set{1,2}`.
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            CollectionKind::Set => "Set",
+            CollectionKind::Bag => "Bag",
+            CollectionKind::Sequence => "Sequence",
+            CollectionKind::OrderedSet => "OrderedSet",
+        }
+    }
+
+    /// Parse a collection keyword.
+    #[must_use]
+    pub fn from_keyword(kw: &str) -> Option<Self> {
+        Some(match kw {
+            "Set" => CollectionKind::Set,
+            "Bag" => CollectionKind::Bag,
+            "Sequence" => CollectionKind::Sequence,
+            "OrderedSet" => CollectionKind::OrderedSet,
+            _ => return None,
+        })
+    }
+}
+
+impl Expr {
+    /// Convenience constructor: `lhs and rhs`.
+    #[must_use]
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::Binary { op: BinOp::And, lhs: Box::new(self), rhs: Box::new(rhs) }
+    }
+
+    /// Convenience constructor: `lhs or rhs`.
+    #[must_use]
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Binary { op: BinOp::Or, lhs: Box::new(self), rhs: Box::new(rhs) }
+    }
+
+    /// Convenience constructor: `lhs implies rhs`.
+    #[must_use]
+    pub fn implies(self, rhs: Expr) -> Expr {
+        Expr::Binary { op: BinOp::Implies, lhs: Box::new(self), rhs: Box::new(rhs) }
+    }
+
+    /// Convenience constructor: `not self`.
+    #[must_use]
+    pub fn negate(self) -> Expr {
+        Expr::Unary { op: UnOp::Not, operand: Box::new(self) }
+    }
+
+    /// Fold a non-empty iterator of expressions into a disjunction.
+    /// Returns `false` literal for an empty iterator (the identity of `or`).
+    pub fn any_of<I: IntoIterator<Item = Expr>>(exprs: I) -> Expr {
+        let mut it = exprs.into_iter();
+        match it.next() {
+            None => Expr::Bool(false),
+            Some(first) => it.fold(first, Expr::or),
+        }
+    }
+
+    /// Fold a non-empty iterator of expressions into a conjunction.
+    /// Returns `true` literal for an empty iterator (the identity of `and`).
+    pub fn all_of<I: IntoIterator<Item = Expr>>(exprs: I) -> Expr {
+        let mut it = exprs.into_iter();
+        match it.next() {
+            None => Expr::Bool(true),
+            Some(first) => it.fold(first, Expr::and),
+        }
+    }
+
+    /// Build a navigation chain from a root variable through properties:
+    /// `nav_path("project", ["volumes"])` is `project.volumes`.
+    #[must_use]
+    pub fn nav_path(root: &str, path: &[&str]) -> Expr {
+        let mut e = Expr::Var(root.to_string());
+        for p in path {
+            e = Expr::Nav { source: Box::new(e), property: (*p).to_string(), at_pre: false };
+        }
+        e
+    }
+
+    /// `self->size()` collection operation on this expression.
+    #[must_use]
+    pub fn size(self) -> Expr {
+        Expr::CollOp { source: Box::new(self), op: "size".to_string(), args: Vec::new() }
+    }
+
+    /// Count the syntactic nodes of the expression (used by the scalability
+    /// ablation to relate contract size to evaluation cost).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Bool(_) | Expr::Int(_) | Expr::Real(_) | Expr::Str(_) | Expr::Null
+            | Expr::Var(_) => 1,
+            Expr::Nav { source, .. } => 1 + source.node_count(),
+            Expr::CollOp { source, args, .. } => {
+                1 + source.node_count() + args.iter().map(Expr::node_count).sum::<usize>()
+            }
+            Expr::Iterate { source, body, .. } => 1 + source.node_count() + body.node_count(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
+            Expr::Unary { operand, .. } => 1 + operand.node_count(),
+            Expr::If { cond, then_branch, else_branch } => {
+                1 + cond.node_count() + then_branch.node_count() + else_branch.node_count()
+            }
+            Expr::Let { value, body, .. } => 1 + value.node_count() + body.node_count(),
+            Expr::Pre(inner) => 1 + inner.node_count(),
+            Expr::CollectionLiteral { elements, .. } => {
+                1 + elements.iter().map(Expr::node_count).sum::<usize>()
+            }
+            Expr::Fold { source, init, body, .. } => {
+                1 + source.node_count() + init.node_count() + body.node_count()
+            }
+            Expr::Call { source, args, .. } => {
+                1 + source.node_count() + args.iter().map(Expr::node_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// True if the expression syntactically references the pre-state
+    /// (either via `@pre` markers or the `pre(...)` function form).
+    #[must_use]
+    pub fn references_pre_state(&self) -> bool {
+        match self {
+            Expr::Pre(_) => true,
+            Expr::Nav { source, at_pre, .. } => *at_pre || source.references_pre_state(),
+            Expr::Bool(_) | Expr::Int(_) | Expr::Real(_) | Expr::Str(_) | Expr::Null
+            | Expr::Var(_) => false,
+            Expr::CollOp { source, args, .. } => {
+                source.references_pre_state() || args.iter().any(Expr::references_pre_state)
+            }
+            Expr::Iterate { source, body, .. } => {
+                source.references_pre_state() || body.references_pre_state()
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.references_pre_state() || rhs.references_pre_state()
+            }
+            Expr::Unary { operand, .. } => operand.references_pre_state(),
+            Expr::If { cond, then_branch, else_branch } => {
+                cond.references_pre_state()
+                    || then_branch.references_pre_state()
+                    || else_branch.references_pre_state()
+            }
+            Expr::Let { value, body, .. } => {
+                value.references_pre_state() || body.references_pre_state()
+            }
+            Expr::CollectionLiteral { elements, .. } => {
+                elements.iter().any(Expr::references_pre_state)
+            }
+            Expr::Fold { source, init, body, .. } => {
+                source.references_pre_state()
+                    || init.references_pre_state()
+                    || body.references_pre_state()
+            }
+            Expr::Call { source, args, .. } => {
+                source.references_pre_state() || args.iter().any(Expr::references_pre_state)
+            }
+        }
+    }
+
+    /// Collect the names of all free root variables referenced in the
+    /// expression, in first-occurrence order. Iterator/let-bound variables
+    /// are excluded.
+    #[must_use]
+    pub fn free_variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut bound = Vec::new();
+        self.collect_free(&mut bound, &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(name) => {
+                if !bound.iter().any(|b| b == name) && !out.iter().any(|o| o == name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Bool(_) | Expr::Int(_) | Expr::Real(_) | Expr::Str(_) | Expr::Null => {}
+            Expr::Nav { source, .. } => source.collect_free(bound, out),
+            Expr::CollOp { source, args, .. } => {
+                source.collect_free(bound, out);
+                for a in args {
+                    a.collect_free(bound, out);
+                }
+            }
+            Expr::Iterate { source, var, body, .. } => {
+                source.collect_free(bound, out);
+                bound.push(var.clone());
+                body.collect_free(bound, out);
+                bound.pop();
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_free(bound, out);
+                rhs.collect_free(bound, out);
+            }
+            Expr::Unary { operand, .. } => operand.collect_free(bound, out),
+            Expr::If { cond, then_branch, else_branch } => {
+                cond.collect_free(bound, out);
+                then_branch.collect_free(bound, out);
+                else_branch.collect_free(bound, out);
+            }
+            Expr::Let { name, value, body } => {
+                value.collect_free(bound, out);
+                bound.push(name.clone());
+                body.collect_free(bound, out);
+                bound.pop();
+            }
+            Expr::Pre(inner) => inner.collect_free(bound, out),
+            Expr::CollectionLiteral { elements, .. } => {
+                for e in elements {
+                    e.collect_free(bound, out);
+                }
+            }
+            Expr::Fold { source, var, acc, init, body } => {
+                source.collect_free(bound, out);
+                init.collect_free(bound, out);
+                bound.push(var.clone());
+                bound.push(acc.clone());
+                body.collect_free(bound, out);
+                bound.pop();
+                bound.pop();
+            }
+            Expr::Call { source, args, .. } => {
+                source.collect_free(bound, out);
+                for a in args {
+                    a.collect_free(bound, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_of_empty_is_false() {
+        assert_eq!(Expr::any_of(Vec::new()), Expr::Bool(false));
+    }
+
+    #[test]
+    fn all_of_empty_is_true() {
+        assert_eq!(Expr::all_of(Vec::new()), Expr::Bool(true));
+    }
+
+    #[test]
+    fn any_of_folds_left() {
+        let e = Expr::any_of(vec![Expr::Var("a".into()), Expr::Var("b".into())]);
+        assert_eq!(
+            e,
+            Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(Expr::Var("a".into())),
+                rhs: Box::new(Expr::Var("b".into())),
+            }
+        );
+    }
+
+    #[test]
+    fn nav_path_builds_chain() {
+        let e = Expr::nav_path("project", &["volumes"]);
+        match e {
+            Expr::Nav { source, property, at_pre } => {
+                assert_eq!(*source, Expr::Var("project".into()));
+                assert_eq!(property, "volumes");
+                assert!(!at_pre);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_count_counts_all_nodes() {
+        let e = Expr::nav_path("p", &["v"]).size(); // Var + Nav + CollOp
+        assert_eq!(e.node_count(), 3);
+    }
+
+    #[test]
+    fn references_pre_state_detects_function_form() {
+        let e = Expr::Pre(Box::new(Expr::Var("x".into())));
+        assert!(e.references_pre_state());
+        assert!(!Expr::Var("x".into()).references_pre_state());
+    }
+
+    #[test]
+    fn references_pre_state_detects_at_pre_marker() {
+        let e = Expr::Nav {
+            source: Box::new(Expr::Var("p".into())),
+            property: "volumes".into(),
+            at_pre: true,
+        };
+        assert!(e.references_pre_state());
+    }
+
+    #[test]
+    fn free_variables_skip_iterator_bindings() {
+        let e = Expr::Iterate {
+            source: Box::new(Expr::Var("volumes".into())),
+            op: IterOp::Exists,
+            var: "v".into(),
+            body: Box::new(Expr::Binary {
+                op: BinOp::Eq,
+                lhs: Box::new(Expr::Nav {
+                    source: Box::new(Expr::Var("v".into())),
+                    property: "status".into(),
+                    at_pre: false,
+                }),
+                rhs: Box::new(Expr::Var("wanted".into())),
+            }),
+        };
+        assert_eq!(e.free_variables(), vec!["volumes".to_string(), "wanted".to_string()]);
+    }
+
+    #[test]
+    fn binop_precedence_ordering() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Lt.precedence());
+        assert!(BinOp::Lt.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::Eq.precedence() > BinOp::And.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+        assert!(BinOp::Or.precedence() > BinOp::Implies.precedence());
+    }
+}

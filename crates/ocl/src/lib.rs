@@ -1,0 +1,61 @@
+//! # cm-ocl — an OCL subset for contract-based cloud monitoring
+//!
+//! This crate implements the Object Constraint Language subset used by the
+//! DSN 2018 paper *"Generating Cloud Monitors from Models to Secure
+//! Clouds"* (Rauf & Troubitsyna): the language in which state invariants,
+//! transition guards and generated method contracts are written.
+//!
+//! It provides:
+//!
+//! * a [`lexer`](token) and [`parser`](parse) for OCL expressions,
+//!   including the paper's `pre(...)` old-state function and the `=>`
+//!   implication spelling of Listing 1;
+//! * a typed [`AST`](Expr) with contract-synthesis helpers
+//!   ([`Expr::any_of`], [`Expr::all_of`], [`Expr::implies`]);
+//! * an [`evaluator`](EvalContext) over a pluggable object environment
+//!   ([`Navigator`]) with pre-state snapshots ([`MapNavigator`]), Kleene
+//!   three-valued boolean semantics and the paper-compatible lenient
+//!   collection/number coercion;
+//! * a gradual [`type checker`](check) that flags hard type errors and
+//!   paper-compat warnings;
+//! * a [`pretty-printer`](to_string) whose output round-trips, plus a
+//!   Listing 1 "paper style".
+//!
+//! ## Example
+//!
+//! ```
+//! use cm_ocl::{parse, EvalContext, MapNavigator, ObjRef, Value};
+//!
+//! // The Figure 3 invariant of state `project_with_no_volume`:
+//! let inv = parse("project.id->size()=1 and project.volumes->size()=0")?;
+//!
+//! let mut env = MapNavigator::new();
+//! let project = ObjRef::new("project", 4);
+//! env.set_variable("project", project.clone());
+//! env.set_attribute(project.clone(), "id", Value::set(vec![Value::Int(4)]));
+//! env.set_attribute(project, "volumes", Value::set(vec![]));
+//!
+//! assert_eq!(EvalContext::new(&env).eval_bool(&inv)?, true);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+pub mod print;
+pub mod simplify;
+pub mod token;
+pub mod types;
+pub mod value;
+
+pub use ast::{BinOp, CollectionKind, Expr, IterOp, UnOp};
+pub use eval::{CoercionMode, EvalContext, EvalError, MapNavigator, Navigator};
+pub use parser::{parse, ParseError};
+pub use print::{render, to_string, PrintStyle};
+pub use simplify::simplify;
+pub use token::{lex, LexError, Token, TokenKind};
+pub use types::{check, MapTypeEnv, PermissiveEnv, Type, TypeEnv, TypeIssue, TypeReport};
+pub use value::{ObjRef, Value};

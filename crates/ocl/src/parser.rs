@@ -1,0 +1,724 @@
+//! Recursive-descent parser for the OCL subset.
+//!
+//! Grammar (precedence climbing, loosest first):
+//!
+//! ```text
+//! expr        := implies
+//! implies     := or ( ("implies" | "=>" | "==>") or )*          (right-assoc)
+//! or          := and ( ("or" | "xor") and )*
+//! and         := equality ( "and" equality )*
+//! equality    := relational ( ("=" | "<>") relational )*
+//! relational  := additive ( ("<" | "<=" | ">" | ">=") additive )*
+//! additive    := multiplicative ( ("+" | "-") multiplicative )*
+//! multiplicative := unary ( ("*" | "/") unary )*
+//! unary       := ("not" | "-") unary | postfix
+//! postfix     := primary ( "." ident [ "@pre" ] [ "(" args ")" ]
+//!                        | "->" ident "(" [ iterVar "|" ] args ")" )*
+//! primary     := literal | ident | "(" expr ")" | ifExpr | letExpr
+//!              | "pre" "(" expr ")" | CollKind "{" args "}"
+//! ```
+
+use crate::ast::{BinOp, CollectionKind, Expr, IterOp, UnOp};
+use crate::token::{lex, LexError, Token, TokenKind};
+use std::fmt;
+
+/// An error produced while parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the offending token.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, offset: e.offset }
+    }
+}
+
+/// Parse an OCL source string into an expression.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when the input is not a well-formed expression of
+/// the subset, including trailing junk after a complete expression.
+///
+/// # Examples
+///
+/// ```
+/// use cm_ocl::parse;
+/// let e = parse("project.id->size()=1 and project.volumes->size()=0")?;
+/// assert_eq!(e.free_variables(), vec!["project".to_string()]);
+/// # Ok::<(), cm_ocl::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Maximum expression nesting accepted (recursive-descent DoS guard).
+const MAX_DEPTH: usize = 128;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kind}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error(format!("unexpected trailing input `{}`", self.peek())))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError { message, offset: self.offset() }
+    }
+
+    /// Is the current token the identifier `word`?
+    fn at_keyword(&self, word: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == word)
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.at_keyword(word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("expression nesting too deep".to_string()));
+        }
+        let out = self.implies();
+        self.depth -= 1;
+        out
+    }
+
+    fn implies(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.or()?;
+        if matches!(self.peek(), TokenKind::Implies) || self.at_keyword("implies") {
+            self.bump();
+            // right-associative: a implies b implies c == a implies (b implies c)
+            let rhs = self.implies()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and()?;
+        loop {
+            let op = if self.at_keyword("or") {
+                BinOp::Or
+            } else if self.at_keyword("xor") {
+                BinOp::Xor
+            } else {
+                break;
+            };
+            self.bump();
+            let rhs = self.and()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality()?;
+        while self.eat_keyword("and") {
+            let rhs = self.equality()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Eq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("expression nesting too deep".to_string()));
+        }
+        let out = self.unary_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_keyword("not") {
+            let operand = self.unary()?;
+            return Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(operand) });
+        }
+        if matches!(self.peek(), TokenKind::Minus) {
+            self.bump();
+            let operand = self.unary()?;
+            return Ok(Expr::Unary { op: UnOp::Neg, operand: Box::new(operand) });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    let at_pre = self.eat(&TokenKind::AtPre);
+                    if !at_pre && matches!(self.peek(), TokenKind::LParen) {
+                        // method call, e.g. s.concat(t), x.oclIsUndefined()
+                        self.bump();
+                        let args = self.arg_list()?;
+                        self.expect(&TokenKind::RParen)?;
+                        e = Expr::Call { source: Box::new(e), op: name, args };
+                    } else {
+                        e = Expr::Nav { source: Box::new(e), property: name, at_pre };
+                    }
+                }
+                TokenKind::AtPre => {
+                    // `@pre` directly on a variable or parenthesised
+                    // expression: equivalent to the `pre(...)` function form.
+                    self.bump();
+                    e = Expr::Pre(Box::new(e));
+                }
+                TokenKind::Arrow => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    self.expect(&TokenKind::LParen)?;
+                    if name == "iterate" {
+                        // `->iterate(v; acc = init | body)` — the general fold.
+                        let var = self.expect_ident()?;
+                        if self.eat(&TokenKind::Colon) {
+                            let _ty = self.expect_ident()?;
+                        }
+                        self.expect(&TokenKind::Semi)?;
+                        let acc = self.expect_ident()?;
+                        if self.eat(&TokenKind::Colon) {
+                            let _ty = self.expect_ident()?;
+                        }
+                        self.expect(&TokenKind::Eq)?;
+                        let init = self.expr()?;
+                        self.expect(&TokenKind::Pipe)?;
+                        let body = self.expr()?;
+                        self.expect(&TokenKind::RParen)?;
+                        e = Expr::Fold {
+                            source: Box::new(e),
+                            var,
+                            acc,
+                            init: Box::new(init),
+                            body: Box::new(body),
+                        };
+                        continue;
+                    }
+                    // Look ahead for `ident |` iterator form.
+                    let iter_var = self.try_iter_var();
+                    if let Some(var) = iter_var {
+                        let op = IterOp::from_name(&name).ok_or_else(|| {
+                            self.error(format!("`{name}` is not an iterator operation"))
+                        })?;
+                        let body = self.expr()?;
+                        self.expect(&TokenKind::RParen)?;
+                        e = Expr::Iterate { source: Box::new(e), op, var, body: Box::new(body) };
+                    } else if let Some(op) = IterOp::from_name(&name) {
+                        // Iterator op with elided variable: `->exists(body)`.
+                        // Bind the implicit variable `self_`; bodies may use
+                        // bare attribute names only via explicit variables,
+                        // so we require the body to reference `self_` or be
+                        // variable-free.
+                        if self.eat(&TokenKind::RParen) {
+                            return Err(
+                                self.error(format!("`{name}` requires a body expression"))
+                            );
+                        }
+                        let body = self.expr()?;
+                        self.expect(&TokenKind::RParen)?;
+                        e = Expr::Iterate {
+                            source: Box::new(e),
+                            op,
+                            var: "self_".to_string(),
+                            body: Box::new(body),
+                        };
+                    } else {
+                        let args = self.arg_list()?;
+                        self.expect(&TokenKind::RParen)?;
+                        e = Expr::CollOp { source: Box::new(e), op: name, args };
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    /// If the upcoming tokens are `ident |` or `ident : ident |`, consume
+    /// them and return the iterator variable name.
+    fn try_iter_var(&mut self) -> Option<String> {
+        let save = self.pos;
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            self.bump();
+            // optional `: Type`
+            if self.eat(&TokenKind::Colon) && self.expect_ident().is_err() {
+                self.pos = save;
+                return None;
+            }
+            if self.eat(&TokenKind::Pipe) {
+                return Some(name);
+            }
+        }
+        self.pos = save;
+        None
+    }
+
+    fn arg_list(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut args = Vec::new();
+        if matches!(self.peek(), TokenKind::RParen) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Real(v) => {
+                self.bump();
+                Ok(Expr::Real(v))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => match name.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Expr::Bool(true))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::Bool(false))
+                }
+                "null" | "OclUndefined" => {
+                    self.bump();
+                    Ok(Expr::Null)
+                }
+                "if" => self.if_expr(),
+                "let" => self.let_expr(),
+                "pre" => {
+                    // `pre(` is the old-state function; bare `pre` is a
+                    // plain variable reference.
+                    let save = self.pos;
+                    self.bump();
+                    if self.eat(&TokenKind::LParen) {
+                        let inner = self.expr()?;
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(Expr::Pre(Box::new(inner)))
+                    } else {
+                        self.pos = save;
+                        self.bump();
+                        Ok(Expr::Var(name))
+                    }
+                }
+                _ => {
+                    if let Some(kind) = CollectionKind::from_keyword(&name) {
+                        // Collection literal uses `{}`; our lexer has no
+                        // braces, so literals are spelled `Set(1,2)`.
+                        let save = self.pos;
+                        self.bump();
+                        if self.eat(&TokenKind::LParen) {
+                            let elements = self.arg_list()?;
+                            self.expect(&TokenKind::RParen)?;
+                            return Ok(Expr::CollectionLiteral { kind, elements });
+                        }
+                        self.pos = save;
+                    }
+                    self.bump();
+                    Ok(Expr::Var(name))
+                }
+            },
+            other => Err(self.error(format!("expected expression, found `{other}`"))),
+        }
+    }
+
+    fn if_expr(&mut self) -> Result<Expr, ParseError> {
+        // current token is `if`
+        self.bump();
+        let cond = self.expr()?;
+        if !self.eat_keyword("then") {
+            return Err(self.error("expected `then`".to_string()));
+        }
+        let then_branch = self.expr()?;
+        if !self.eat_keyword("else") {
+            return Err(self.error("expected `else`".to_string()));
+        }
+        let else_branch = self.expr()?;
+        if !self.eat_keyword("endif") {
+            return Err(self.error("expected `endif`".to_string()));
+        }
+        Ok(Expr::If {
+            cond: Box::new(cond),
+            then_branch: Box::new(then_branch),
+            else_branch: Box::new(else_branch),
+        })
+    }
+
+    fn let_expr(&mut self) -> Result<Expr, ParseError> {
+        // current token is `let`
+        self.bump();
+        let name = self.expect_ident()?;
+        // optional `: Type`
+        if self.eat(&TokenKind::Colon) {
+            let _ty = self.expect_ident()?;
+        }
+        self.expect(&TokenKind::Eq)?;
+        let value = self.expr()?;
+        if !self.eat_keyword("in") {
+            return Err(self.error("expected `in`".to_string()));
+        }
+        let body = self.expr()?;
+        Ok(Expr::Let { name, value: Box::new(value), body: Box::new(body) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Expr, IterOp};
+
+    #[test]
+    fn parses_paper_state_invariant() {
+        // Figure 3 invariant of project_with_no_volume.
+        let e = parse("project.id->size()=1 and project.volumes->size()=0").unwrap();
+        match &e {
+            Expr::Binary { op: BinOp::And, lhs, rhs } => {
+                assert!(matches!(**lhs, Expr::Binary { op: BinOp::Eq, .. }));
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::Eq, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_guard_with_string() {
+        let e = parse("volume.status <> 'in-use' and user.id.groups='admin'").unwrap();
+        assert_eq!(e.free_variables(), vec!["volume".to_string(), "user".to_string()]);
+    }
+
+    #[test]
+    fn parses_pre_function_form() {
+        let e = parse("project.volumes->size() < pre(project.volumes->size())").unwrap();
+        assert!(e.references_pre_state());
+    }
+
+    #[test]
+    fn parses_at_pre_marker() {
+        let e = parse("project.volumes@pre->size() > 0").unwrap();
+        assert!(e.references_pre_state());
+    }
+
+    #[test]
+    fn parses_both_implication_spellings_to_same_ast() {
+        let a = parse("a => b").unwrap();
+        let b = parse("a ==> b").unwrap();
+        let c = parse("a implies b").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let e = parse("a => b => c").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Implies, lhs, rhs } => {
+                assert_eq!(*lhs, Expr::Var("a".into()));
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Implies, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let e = parse("a or b and c").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Or, lhs, rhs } => {
+                assert_eq!(*lhs, Expr::Var("a".into()));
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_binds_tighter_than_and() {
+        let e = parse("x = 1 and y = 2").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_iterator_with_variable() {
+        let e = parse("project.volumes->exists(v | v.status = 'in-use')").unwrap();
+        match e {
+            Expr::Iterate { op: IterOp::Exists, var, .. } => assert_eq!(var, "v"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_iterator_with_typed_variable() {
+        let e = parse("vs->forAll(v : Volume | v.size > 0)").unwrap();
+        assert!(matches!(e, Expr::Iterate { op: IterOp::ForAll, .. }));
+    }
+
+    #[test]
+    fn parses_select_chain() {
+        let e =
+            parse("project.volumes->select(v | v.status = 'available')->size() >= 1").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Ge, .. }));
+    }
+
+    #[test]
+    fn parses_coll_ops_with_args() {
+        let e = parse("xs->includes(3)").unwrap();
+        assert!(matches!(e, Expr::CollOp { ref op, .. } if op == "includes"));
+    }
+
+    #[test]
+    fn parses_if_then_else() {
+        let e = parse("if x > 0 then 'pos' else 'neg' endif").unwrap();
+        assert!(matches!(e, Expr::If { .. }));
+    }
+
+    #[test]
+    fn parses_let() {
+        let e = parse("let n = xs->size() in n > 0 and n < 10").unwrap();
+        assert!(matches!(e, Expr::Let { .. }));
+    }
+
+    #[test]
+    fn parses_not() {
+        let e = parse("not x and y").unwrap();
+        // `not` binds tighter than `and`
+        assert!(matches!(e, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn parses_method_call() {
+        let e = parse("name.concat('-suffix') = 'a-suffix'").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Eq, .. }));
+    }
+
+    #[test]
+    fn parses_collection_literal() {
+        let e = parse("Set(1, 2, 3)->size() = 3").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Eq, .. }));
+    }
+
+    #[test]
+    fn pre_as_plain_variable_still_works() {
+        let e = parse("pre = 1").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Eq, .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_junk() {
+        assert!(parse("a = 1 b").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_endif() {
+        assert!(parse("if a then b else c").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens() {
+        assert!(parse("(a and b").is_err());
+    }
+
+    #[test]
+    fn parses_full_listing1_precondition() {
+        // The exact pre-condition text of Listing 1 (first disjunct chain),
+        // normalised whitespace.
+        let src = "(project.id->size()=1 and project.volumes->size()>=1 and \
+                    project.volumes->size() < quota_sets.volume and volume.status <> 'in-use' \
+                    and user.groups = 'admin') or \
+                   (project.id->size()=1 and project.volumes->size()>=1 and \
+                    project.volumes->size() = quota_sets.volume and volume.status <> 'in-use' \
+                    and user.groups = 'admin')";
+        let e = parse(src).unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Or, .. }));
+    }
+}
+
+#[cfg(test)]
+mod depth_tests {
+    use super::*;
+
+    #[test]
+    fn deep_parens_rejected_gracefully() {
+        let deep = format!("{}x{}", "(".repeat(100_000), ")".repeat(100_000));
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("too deep"));
+        let ok = format!("{}x{}", "(".repeat(40), ")".repeat(40));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn deep_not_chain_rejected_gracefully() {
+        let deep = format!("{} x", "not ".repeat(100_000));
+        assert!(parse(&deep).is_err());
+    }
+}

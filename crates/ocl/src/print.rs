@@ -1,0 +1,288 @@
+//! Pretty-printing of OCL expressions back to surface syntax.
+//!
+//! The printer produces text that re-parses to an equal AST (tested by a
+//! round-trip property test), and a *paper style* variant that prints
+//! implication as `=>` and the pre-state function as `pre(...)`, matching
+//! Listing 1 of the paper.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use std::fmt::Write as _;
+
+/// Rendering style for the printer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrintStyle {
+    /// Canonical OCL: `implies`, `@pre` markers kept as parsed.
+    #[default]
+    Canonical,
+    /// Paper's Listing 1 style: implication printed as `=>`.
+    Paper,
+}
+
+/// Render `expr` in the given style.
+#[must_use]
+pub fn render(expr: &Expr, style: PrintStyle) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, expr, 0, style);
+    out
+}
+
+/// Render `expr` in canonical style.
+///
+/// # Examples
+///
+/// ```
+/// use cm_ocl::{parse, to_string};
+/// let e = parse("a->size() = 1 and b > 2")?;
+/// assert_eq!(to_string(&e), "a->size() = 1 and b > 2");
+/// # Ok::<(), cm_ocl::ParseError>(())
+/// ```
+#[must_use]
+pub fn to_string(expr: &Expr) -> String {
+    render(expr, PrintStyle::Canonical)
+}
+
+fn write_expr(out: &mut String, expr: &Expr, parent_prec: u8, style: PrintStyle) {
+    match expr {
+        Expr::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Expr::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Real(v) => {
+            // Always keep a decimal point so the literal re-lexes as Real.
+            if v.fract() == 0.0 && v.is_finite() {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Expr::Str(s) => {
+            let _ = write!(out, "'{}'", s.replace('\'', "''"));
+        }
+        Expr::Null => out.push_str("null"),
+        Expr::Var(name) => out.push_str(name),
+        Expr::Nav { source, property, at_pre } => {
+            write_expr(out, source, 10, style);
+            let _ = write!(out, ".{property}");
+            if *at_pre {
+                out.push_str("@pre");
+            }
+        }
+        Expr::CollOp { source, op, args } => {
+            write_expr(out, source, 10, style);
+            let _ = write!(out, "->{op}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0, style);
+            }
+            out.push(')');
+        }
+        Expr::Iterate { source, op, var, body } => {
+            write_expr(out, source, 10, style);
+            let _ = write!(out, "->{}({var} | ", op.name());
+            write_expr(out, body, 0, style);
+            out.push(')');
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let prec = op.precedence();
+            let needs_parens = prec < parent_prec;
+            if needs_parens {
+                out.push('(');
+            }
+            write_expr(out, lhs, prec, style);
+            match (op, style) {
+                (BinOp::Implies, PrintStyle::Paper) => out.push_str(" => "),
+                (op, _) => {
+                    let _ = write!(out, " {} ", op.symbol());
+                }
+            }
+            // +1 on the right side keeps left-associativity unambiguous;
+            // implication is right-associative so it reuses its own level.
+            let rhs_prec = if *op == BinOp::Implies { prec } else { prec + 1 };
+            write_expr(out, rhs, rhs_prec, style);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        Expr::Unary { op, operand } => {
+            // Unary binds tighter than any binary operator but looser than
+            // postfix (`.`/`->`); parenthesise in postfix positions so
+            // `(not x)->size()` does not print as `not x->size()`.
+            let needs_parens = parent_prec > 8;
+            if needs_parens {
+                out.push('(');
+            }
+            match op {
+                UnOp::Not => out.push_str("not "),
+                UnOp::Neg => out.push('-'),
+            }
+            write_expr(out, operand, 9, style);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        Expr::If { cond, then_branch, else_branch } => {
+            out.push_str("if ");
+            write_expr(out, cond, 0, style);
+            out.push_str(" then ");
+            write_expr(out, then_branch, 0, style);
+            out.push_str(" else ");
+            write_expr(out, else_branch, 0, style);
+            out.push_str(" endif");
+        }
+        Expr::Let { name, value, body } => {
+            // `let … in body` extends as far right as possible; wrap it
+            // whenever it appears as an operand.
+            let needs_parens = parent_prec > 0;
+            if needs_parens {
+                out.push('(');
+            }
+            let _ = write!(out, "let {name} = ");
+            write_expr(out, value, 0, style);
+            out.push_str(" in ");
+            write_expr(out, body, 0, style);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        Expr::Pre(inner) => {
+            out.push_str("pre(");
+            write_expr(out, inner, 0, style);
+            out.push(')');
+        }
+        Expr::CollectionLiteral { kind, elements } => {
+            let _ = write!(out, "{}(", kind.keyword());
+            for (i, e) in elements.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, e, 0, style);
+            }
+            out.push(')');
+        }
+        Expr::Fold { source, var, acc, init, body } => {
+            write_expr(out, source, 10, style);
+            let _ = write!(out, "->iterate({var}; {acc} = ");
+            write_expr(out, init, 0, style);
+            out.push_str(" | ");
+            write_expr(out, body, 0, style);
+            out.push(')');
+        }
+        Expr::Call { source, op, args } => {
+            // Parenthesise non-atomic receivers: `(0 - 3).abs()`.
+            let atomic = matches!(
+                **source,
+                Expr::Var(_)
+                    | Expr::Nav { .. }
+                    | Expr::CollOp { .. }
+                    | Expr::Call { .. }
+                    | Expr::Str(_)
+                    | Expr::Int(_)
+            );
+            if atomic {
+                write_expr(out, source, 10, style);
+            } else {
+                out.push('(');
+                write_expr(out, source, 0, style);
+                out.push(')');
+            }
+            let _ = write!(out, ".{op}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0, style);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let e1 = parse(src).unwrap();
+        let printed = to_string(&e1);
+        let e2 = parse(&printed).unwrap_or_else(|err| {
+            panic!("re-parse of `{printed}` failed: {err}");
+        });
+        assert_eq!(e1, e2, "round-trip changed AST for `{src}` -> `{printed}`");
+    }
+
+    #[test]
+    fn roundtrips_paper_expressions() {
+        roundtrip("project.id->size()=1 and project.volumes->size()=0");
+        roundtrip("volume.status <> 'in-use' and user.groups = 'admin'");
+        roundtrip("project.volumes->size() < pre(project.volumes->size())");
+        roundtrip("(a and b) or (c and d) or (e and f)");
+        roundtrip("a => b and c");
+        roundtrip("a and (b or c)");
+        roundtrip("not a and b");
+        roundtrip("not (a and b)");
+        roundtrip("1 + 2 * 3 - 4 / 5");
+        roundtrip("(1 + 2) * 3");
+        roundtrip("xs->select(v | v.status = 'ok')->size() >= 1");
+        roundtrip("if x > 0 then 'p' else 'n' endif");
+        roundtrip("let n = xs->size() in n > 0");
+        roundtrip("x@pre > 1");
+        roundtrip("p.volumes@pre->size() = 0");
+        roundtrip("Set(1, 2, 3)->includes(2)");
+        roundtrip("'a'.concat('b') = 'ab'");
+        roundtrip("a - b - c");
+        roundtrip("a = b = c");
+    }
+
+    #[test]
+    fn paper_style_uses_arrow_implies() {
+        let e = parse("a implies b").unwrap();
+        assert_eq!(render(&e, PrintStyle::Paper), "a => b");
+        assert_eq!(render(&e, PrintStyle::Canonical), "a implies b");
+    }
+
+    #[test]
+    fn subtraction_is_left_associative_after_roundtrip() {
+        let e = parse("a - b - c").unwrap();
+        assert_eq!(to_string(&e), "a - b - c");
+        // (a - b) - c, not a - (b - c)
+        let explicit = parse("(a - b) - c").unwrap();
+        assert_eq!(e, explicit);
+    }
+
+    #[test]
+    fn string_escaping_roundtrips() {
+        roundtrip("'it''s' = x");
+    }
+
+    #[test]
+    fn real_literal_keeps_decimal_point() {
+        let e = parse("1.0 + 2.5").unwrap();
+        assert_eq!(to_string(&e), "1.0 + 2.5");
+    }
+}
+
+#[cfg(test)]
+mod operand_tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn let_as_operand_is_parenthesised() {
+        let e = parse("(let x = 1 in x + 1) * 2").unwrap();
+        let printed = to_string(&e);
+        assert_eq!(parse(&printed).unwrap(), e, "printed: {printed}");
+    }
+
+    #[test]
+    fn if_as_operand_roundtrips() {
+        let e = parse("if a then b else c endif + 1").unwrap();
+        assert_eq!(parse(&to_string(&e)).unwrap(), e);
+        let e2 = parse("1 + if a then b else c endif").unwrap();
+        assert_eq!(parse(&to_string(&e2)).unwrap(), e2);
+    }
+}

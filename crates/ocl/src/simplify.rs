@@ -1,0 +1,278 @@
+//! Boolean/constant simplification of OCL expressions.
+//!
+//! Generated contracts accumulate trivial structure — `true and g` when a
+//! state has no invariant, `false or d` when a clause can never fire,
+//! constant comparisons from synthetic models. The simplifier normalises
+//! these without changing semantics, which keeps the generated Listing 1
+//! output and the Django skeleton comments readable.
+//!
+//! Simplification is *conservative*: it only rewrites where OCL's
+//! three-valued semantics guarantees equivalence. In Kleene logic
+//! `false and x ≡ false` and `true or x ≡ true` hold even for undefined
+//! `x`, and `true and x ≡ x` / `false or x ≡ x` are exact; but
+//! `x and x ≡ x` style idempotence is *not* applied because evaluating
+//! `x` can fail (unknown variable) and duplicates keep error behaviour
+//! identical.
+
+use crate::ast::{BinOp, Expr, UnOp};
+
+/// Simplify an expression; returns a semantically equivalent expression.
+///
+/// # Examples
+///
+/// ```
+/// use cm_ocl::{parse, simplify, to_string};
+/// let e = parse("(true and user.groups = 'admin') or false")?;
+/// assert_eq!(to_string(&simplify(&e)), "user.groups = 'admin'");
+/// # Ok::<(), cm_ocl::ParseError>(())
+/// ```
+#[must_use]
+pub fn simplify(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Binary { op, lhs, rhs } => {
+            let l = simplify(lhs);
+            let r = simplify(rhs);
+            simplify_binary(*op, l, r)
+        }
+        Expr::Unary { op, operand } => {
+            let inner = simplify(operand);
+            match (op, &inner) {
+                (UnOp::Not, Expr::Bool(b)) => Expr::Bool(!b),
+                (UnOp::Not, Expr::Unary { op: UnOp::Not, operand }) => (**operand).clone(),
+                (UnOp::Neg, Expr::Int(v)) => Expr::Int(-v),
+                (UnOp::Neg, Expr::Real(v)) => Expr::Real(-v),
+                _ => Expr::Unary { op: *op, operand: Box::new(inner) },
+            }
+        }
+        Expr::If { cond, then_branch, else_branch } => {
+            let c = simplify(cond);
+            let t = simplify(then_branch);
+            let e = simplify(else_branch);
+            match c {
+                Expr::Bool(true) => t,
+                Expr::Bool(false) => e,
+                c => Expr::If {
+                    cond: Box::new(c),
+                    then_branch: Box::new(t),
+                    else_branch: Box::new(e),
+                },
+            }
+        }
+        Expr::Let { name, value, body } => Expr::Let {
+            name: name.clone(),
+            value: Box::new(simplify(value)),
+            body: Box::new(simplify(body)),
+        },
+        Expr::Nav { source, property, at_pre } => Expr::Nav {
+            source: Box::new(simplify(source)),
+            property: property.clone(),
+            at_pre: *at_pre,
+        },
+        Expr::CollOp { source, op, args } => Expr::CollOp {
+            source: Box::new(simplify(source)),
+            op: op.clone(),
+            args: args.iter().map(simplify).collect(),
+        },
+        Expr::Iterate { source, op, var, body } => Expr::Iterate {
+            source: Box::new(simplify(source)),
+            op: *op,
+            var: var.clone(),
+            body: Box::new(simplify(body)),
+        },
+        Expr::Pre(inner) => {
+            let s = simplify(inner);
+            // pre() of a constant is the constant.
+            match s {
+                Expr::Bool(_) | Expr::Int(_) | Expr::Real(_) | Expr::Str(_) | Expr::Null => s,
+                s => Expr::Pre(Box::new(s)),
+            }
+        }
+        Expr::CollectionLiteral { kind, elements } => Expr::CollectionLiteral {
+            kind: *kind,
+            elements: elements.iter().map(simplify).collect(),
+        },
+        Expr::Fold { source, var, acc, init, body } => Expr::Fold {
+            source: Box::new(simplify(source)),
+            var: var.clone(),
+            acc: acc.clone(),
+            init: Box::new(simplify(init)),
+            body: Box::new(simplify(body)),
+        },
+        Expr::Call { source, op, args } => Expr::Call {
+            source: Box::new(simplify(source)),
+            op: op.clone(),
+            args: args.iter().map(simplify).collect(),
+        },
+        leaf => leaf.clone(),
+    }
+}
+
+fn simplify_binary(op: BinOp, l: Expr, r: Expr) -> Expr {
+    use Expr::Bool;
+    match op {
+        BinOp::And => match (&l, &r) {
+            // Kleene-safe even for undefined operands.
+            (Bool(false), _) | (_, Bool(false)) => Bool(false),
+            (Bool(true), _) => r,
+            (_, Bool(true)) => l,
+            _ => Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+        },
+        BinOp::Or => match (&l, &r) {
+            (Bool(true), _) | (_, Bool(true)) => Bool(true),
+            (Bool(false), _) => r,
+            (_, Bool(false)) => l,
+            _ => Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+        },
+        BinOp::Implies => match (&l, &r) {
+            (Bool(false), _) => Bool(true),
+            (Bool(true), _) => r,
+            (_, Bool(true)) => Bool(true),
+            _ => Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+        },
+        BinOp::Xor => match (&l, &r) {
+            (Bool(a), Bool(b)) => Bool(a != b),
+            _ => Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+        },
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            if let Some(folded) = fold_comparison(op, &l, &r) {
+                return folded;
+            }
+            Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) }
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            if let (Expr::Int(a), Expr::Int(b)) = (&l, &r) {
+                match op {
+                    BinOp::Add => return Expr::Int(a + b),
+                    BinOp::Sub => return Expr::Int(a - b),
+                    BinOp::Mul => return Expr::Int(a * b),
+                    // Division is real-valued and may be undefined; leave it.
+                    BinOp::Div => {}
+                    _ => unreachable!(),
+                }
+            }
+            Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) }
+        }
+    }
+}
+
+fn fold_comparison(op: BinOp, l: &Expr, r: &Expr) -> Option<Expr> {
+    let ord = match (l, r) {
+        (Expr::Int(a), Expr::Int(b)) => a.partial_cmp(b),
+        (Expr::Str(a), Expr::Str(b)) => a.partial_cmp(b),
+        (Expr::Bool(a), Expr::Bool(b)) if matches!(op, BinOp::Eq | BinOp::Ne) => {
+            return Some(Expr::Bool(if op == BinOp::Eq { a == b } else { a != b }));
+        }
+        _ => None,
+    }?;
+    use std::cmp::Ordering;
+    Some(Expr::Bool(match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::Ne => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::Le => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::Ge => ord != Ordering::Less,
+        _ => return None,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{EvalContext, MapNavigator};
+    use crate::parser::parse;
+    use crate::print::to_string;
+
+    fn simp(src: &str) -> String {
+        to_string(&simplify(&parse(src).unwrap()))
+    }
+
+    #[test]
+    fn boolean_identities() {
+        assert_eq!(simp("true and x"), "x");
+        assert_eq!(simp("x and true"), "x");
+        assert_eq!(simp("false and x"), "false");
+        assert_eq!(simp("x and false"), "false");
+        assert_eq!(simp("true or x"), "true");
+        assert_eq!(simp("x or false"), "x");
+        assert_eq!(simp("false or x"), "x");
+    }
+
+    #[test]
+    fn implication_identities() {
+        assert_eq!(simp("false implies x"), "true");
+        assert_eq!(simp("true implies x"), "x");
+        assert_eq!(simp("x implies true"), "true");
+        // x implies false is NOT simplified to `not x`: undefined x maps
+        // to undefined in both, but we keep the conservative form anyway.
+        assert_eq!(simp("x implies false"), "x implies false");
+    }
+
+    #[test]
+    fn negation_identities() {
+        assert_eq!(simp("not true"), "false");
+        assert_eq!(simp("not not x"), "x");
+        assert_eq!(simp("not (1 = 2)"), "true");
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(simp("1 + 2 * 3"), "7");
+        assert_eq!(simp("1 < 2"), "true");
+        assert_eq!(simp("'a' = 'b'"), "false");
+        assert_eq!(simp("'in-use' <> 'in-use'"), "false");
+        // division stays (may be real/undefined)
+        assert_eq!(simp("4 / 2"), "4 / 2");
+    }
+
+    #[test]
+    fn if_folding() {
+        assert_eq!(simp("if 1 < 2 then a else b endif"), "a");
+        assert_eq!(simp("if 2 < 1 then a else b endif"), "b");
+    }
+
+    #[test]
+    fn simplifies_inside_structures() {
+        assert_eq!(simp("xs->select(v | true and v.ok)->size()"), "xs->select(v | v.ok)->size()");
+        assert_eq!(simp("pre(true and x)"), "pre(x)");
+        assert_eq!(simp("pre(3)"), "3");
+    }
+
+    #[test]
+    fn generated_contract_shape_cleans_up() {
+        // A clause from a state without invariant: `true and guard`.
+        assert_eq!(
+            simp("(true and user.groups = 'admin') or false"),
+            "user.groups = 'admin'"
+        );
+    }
+
+    #[test]
+    fn leaves_undefined_sensitive_forms_alone() {
+        // `x and x` is kept (x may error / be undefined).
+        assert_eq!(simp("x and x"), "x and x");
+        assert_eq!(simp("x or not x"), "x or not x");
+    }
+
+    #[test]
+    fn semantics_preserved_on_samples() {
+        // Evaluate original vs simplified on a small environment.
+        let mut nav = MapNavigator::new();
+        nav.set_variable("x", true).set_variable("y", false).set_variable("n", 5i64);
+        for src in [
+            "true and x",
+            "x or false",
+            "not not y",
+            "if 1 < 2 then x else y endif",
+            "(true and x) or (false and y)",
+            "n + 1 > 2 + 3",
+            "x implies (y or true)",
+        ] {
+            let original = parse(src).unwrap();
+            let simplified = simplify(&original);
+            let a = EvalContext::new(&nav).eval(&original).unwrap();
+            let b = EvalContext::new(&nav).eval(&simplified).unwrap();
+            assert_eq!(a, b, "simplification changed semantics of `{src}`");
+        }
+    }
+}

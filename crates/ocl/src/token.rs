@@ -1,0 +1,479 @@
+//! Lexical analysis for the OCL subset.
+//!
+//! The lexer turns an OCL source string into a sequence of [`Token`]s with
+//! source positions. It recognises the token vocabulary used by the paper's
+//! contracts (navigation, `->` collection calls, comparison operators,
+//! logical connectives including the `=>`/`==>` implication spellings that
+//! appear in Listing 1, string/integer/real/boolean literals and the `@pre`
+//! postfix marker).
+
+use std::fmt;
+
+/// A kind of lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword-candidate, e.g. `project`, `size`, `and`.
+    Ident(String),
+    /// Integer literal, e.g. `42`.
+    Int(i64),
+    /// Real literal, e.g. `3.5`.
+    Real(f64),
+    /// Single-quoted string literal, e.g. `'in-use'`.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;` — separates the iterator and accumulator of `iterate`.
+    Semi,
+    /// `.` — attribute / association navigation.
+    Dot,
+    /// `->` — collection operation arrow.
+    Arrow,
+    /// `:` — type ascription in iterator variables / let.
+    Colon,
+    /// `|` — iterator body separator.
+    Pipe,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=>` or `==>` — implication (paper spelling); the keyword `implies`
+    /// lexes as an identifier and is resolved by the parser.
+    Implies,
+    /// `@pre` — old-value marker on a property call.
+    AtPre,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Real(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Arrow => write!(f, "->"),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Pipe => write!(f, "|"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Implies => write!(f, "=>"),
+            TokenKind::AtPre => write!(f, "@pre"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+}
+
+/// An error produced during lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset at which the problem was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize an OCL source string.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated string literals, malformed numeric
+/// literals, a bare `@` not followed by `pre`, or any character outside the
+/// OCL subset alphabet.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semi, offset: start });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token { kind: TokenKind::Colon, offset: start });
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token { kind: TokenKind::Pipe, offset: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Arrow, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                    i += 1;
+                }
+            }
+            '=' => {
+                // `==>` and `=>` are implication, bare `=` is equality. The
+                // paper uses both implication spellings in Listing 1.
+                if bytes.get(i + 1) == Some(&b'=') && bytes.get(i + 2) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Implies, offset: start });
+                    i += 3;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Implies, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '@' => {
+                let rest = &src[i + 1..];
+                if rest.starts_with("pre") {
+                    tokens.push(Token { kind: TokenKind::AtPre, offset: start });
+                    i += 4;
+                } else {
+                    return Err(LexError {
+                        message: "expected `pre` after `@`".to_string(),
+                        offset: start,
+                    });
+                }
+            }
+            '\'' => {
+                let mut j = i + 1;
+                let mut buf = String::new();
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".to_string(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'\'') => {
+                            // doubled quote is an escaped quote
+                            if bytes.get(j + 1) == Some(&b'\'') {
+                                buf.push('\'');
+                                j += 2;
+                            } else {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            buf.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(buf), offset: start });
+                i = j;
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let mut is_real = false;
+                // A `.` followed by a digit continues a real literal; a `.`
+                // followed by an identifier is navigation (e.g. not valid
+                // after a number, but we must not consume it).
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && j + 1 < bytes.len()
+                    && bytes[j + 1].is_ascii_digit()
+                {
+                    is_real = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &src[i..j];
+                if is_real {
+                    let v: f64 = text.parse().map_err(|_| LexError {
+                        message: format!("malformed real literal `{text}`"),
+                        offset: start,
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Real(v), offset: start });
+                } else {
+                    let v: i64 = text.parse().map_err(|_| LexError {
+                        message: format!("malformed integer literal `{text}`"),
+                        offset: start,
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Int(v), offset: start });
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[i..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: start,
+                })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_navigation_and_arrow() {
+        assert_eq!(
+            kinds("project.volumes->size()"),
+            vec![
+                TokenKind::Ident("project".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("volumes".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("size".into()),
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comparison_operators() {
+        assert_eq!(
+            kinds("a = b <> c < d <= e > f >= g"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("c".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("d".into()),
+                TokenKind::Le,
+                TokenKind::Ident("e".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("f".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("g".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_both_implication_spellings() {
+        assert_eq!(
+            kinds("a => b ==> c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Implies,
+                TokenKind::Ident("b".into()),
+                TokenKind::Implies,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_literal_with_hyphen() {
+        assert_eq!(
+            kinds("volume.status <> 'in-use'"),
+            vec![
+                TokenKind::Ident("volume".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("status".into()),
+                TokenKind::Ne,
+                TokenKind::Str("in-use".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_escaped_quote_in_string() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("0 42 3.5"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::Int(42),
+                TokenKind::Real(3.5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn number_followed_by_dot_nav_is_not_real() {
+        // `1.abs` style input: the dot must remain a navigation dot.
+        assert_eq!(
+            kinds("1.max"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Dot,
+                TokenKind::Ident("max".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_at_pre() {
+        assert_eq!(
+            kinds("x@pre"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::AtPre,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        let err = lex("'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn rejects_bare_at() {
+        assert!(lex("x@post").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("a # b").is_err());
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let toks = lex("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+}

@@ -1,0 +1,629 @@
+//! A lightweight static type checker for the OCL subset.
+//!
+//! The checker infers a [`Type`] for an expression given a [`TypeEnv`]
+//! describing the root variables and the attribute types of model classes.
+//! It is deliberately *gradual*: `Type::Unknown` silences downstream
+//! complaints, so partially-typed models (common when only critical
+//! resources are modelled, per the paper's Section VI-B) still check.
+//!
+//! The checker also reports the paper-compat *warnings* that strict OCL
+//! would reject — e.g. comparing a collection with an integer — so a
+//! security analyst can see where contracts rely on lenient coercion.
+
+use crate::ast::{BinOp, CollectionKind, Expr, IterOp, UnOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Static types of the subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// Boolean.
+    Bool,
+    /// Integer.
+    Int,
+    /// Real.
+    Real,
+    /// String.
+    Str,
+    /// Instance of a model class (resource definition).
+    Object(String),
+    /// Collection with element type.
+    Coll(CollectionKind, Box<Type>),
+    /// Not statically known; compatible with everything.
+    Unknown,
+}
+
+impl Type {
+    /// True if `self` is compatible with `other` (either direction of
+    /// `Unknown`, `Int <: Real`, equal otherwise).
+    #[must_use]
+    pub fn compatible(&self, other: &Type) -> bool {
+        match (self, other) {
+            (Type::Unknown, _) | (_, Type::Unknown) => true,
+            (Type::Int, Type::Real) | (Type::Real, Type::Int) => true,
+            (Type::Coll(_, a), Type::Coll(_, b)) => a.compatible(b),
+            (a, b) => a == b,
+        }
+    }
+
+    /// True for `Int`/`Real`/`Unknown`.
+    #[must_use]
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Type::Int | Type::Real | Type::Unknown)
+    }
+
+    /// Element type if this is a collection; single values are their own
+    /// element type under `->` implicit conversion.
+    #[must_use]
+    pub fn element_type(&self) -> Type {
+        match self {
+            Type::Coll(_, elem) => (**elem).clone(),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Bool => write!(f, "Boolean"),
+            Type::Int => write!(f, "Integer"),
+            Type::Real => write!(f, "Real"),
+            Type::Str => write!(f, "String"),
+            Type::Object(c) => write!(f, "{c}"),
+            Type::Coll(k, e) => write!(f, "{}({e})", k.keyword()),
+            Type::Unknown => write!(f, "OclAny"),
+        }
+    }
+}
+
+/// Environment interface: variable and attribute types.
+pub trait TypeEnv {
+    /// Type of a root variable, or `None` if unknown to the environment.
+    fn variable_type(&self, name: &str) -> Option<Type>;
+    /// Type of `property` on instances of `class`, or `None` if unknown.
+    fn attribute_type(&self, class: &str, property: &str) -> Option<Type>;
+}
+
+/// A [`TypeEnv`] backed by hash maps.
+#[derive(Debug, Clone, Default)]
+pub struct MapTypeEnv {
+    variables: HashMap<String, Type>,
+    attributes: HashMap<(String, String), Type>,
+}
+
+impl MapTypeEnv {
+    /// Create an empty environment.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a root variable.
+    pub fn declare_variable(&mut self, name: impl Into<String>, ty: Type) -> &mut Self {
+        self.variables.insert(name.into(), ty);
+        self
+    }
+
+    /// Declare an attribute type on a class.
+    pub fn declare_attribute(
+        &mut self,
+        class: impl Into<String>,
+        property: impl Into<String>,
+        ty: Type,
+    ) -> &mut Self {
+        self.attributes.insert((class.into(), property.into()), ty);
+        self
+    }
+}
+
+impl TypeEnv for MapTypeEnv {
+    fn variable_type(&self, name: &str) -> Option<Type> {
+        self.variables.get(name).cloned()
+    }
+
+    fn attribute_type(&self, class: &str, property: &str) -> Option<Type> {
+        self.attributes.get(&(class.to_string(), property.to_string())).cloned()
+    }
+}
+
+/// A permissive environment that types everything as `Unknown`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PermissiveEnv;
+
+impl TypeEnv for PermissiveEnv {
+    fn variable_type(&self, _name: &str) -> Option<Type> {
+        Some(Type::Unknown)
+    }
+
+    fn attribute_type(&self, _class: &str, _property: &str) -> Option<Type> {
+        Some(Type::Unknown)
+    }
+}
+
+/// A type error or lenient-coercion warning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeIssue {
+    /// Description of the issue.
+    pub message: String,
+    /// `true` for hard errors, `false` for paper-compat warnings.
+    pub is_error: bool,
+}
+
+impl fmt::Display for TypeIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.is_error { "error" } else { "warning" };
+        write!(f, "type {kind}: {}", self.message)
+    }
+}
+
+/// Result of type checking: the inferred type and any issues found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeReport {
+    /// Inferred type of the whole expression.
+    pub ty: Type,
+    /// Issues found anywhere in the expression.
+    pub issues: Vec<TypeIssue>,
+}
+
+impl TypeReport {
+    /// True if no hard errors were found (warnings allowed).
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.issues.iter().all(|i| !i.is_error)
+    }
+
+    /// Only the hard errors.
+    pub fn errors(&self) -> impl Iterator<Item = &TypeIssue> {
+        self.issues.iter().filter(|i| i.is_error)
+    }
+}
+
+/// Type-check `expr` in `env`.
+#[must_use]
+pub fn check(expr: &Expr, env: &dyn TypeEnv) -> TypeReport {
+    let mut ck = Checker { env, issues: Vec::new(), locals: Vec::new() };
+    let ty = ck.infer(expr);
+    TypeReport { ty, issues: ck.issues }
+}
+
+struct Checker<'a> {
+    env: &'a dyn TypeEnv,
+    issues: Vec<TypeIssue>,
+    locals: Vec<(String, Type)>,
+}
+
+impl Checker<'_> {
+    fn error(&mut self, message: String) {
+        self.issues.push(TypeIssue { message, is_error: true });
+    }
+
+    fn warn(&mut self, message: String) {
+        self.issues.push(TypeIssue { message, is_error: false });
+    }
+
+    fn infer(&mut self, expr: &Expr) -> Type {
+        match expr {
+            Expr::Bool(_) => Type::Bool,
+            Expr::Int(_) => Type::Int,
+            Expr::Real(_) => Type::Real,
+            Expr::Str(_) => Type::Str,
+            Expr::Null => Type::Unknown,
+            Expr::Var(name) => {
+                if let Some((_, ty)) =
+                    self.locals.iter().rev().find(|(n, _)| n == name)
+                {
+                    return ty.clone();
+                }
+                match self.env.variable_type(name) {
+                    Some(ty) => ty,
+                    None => {
+                        self.error(format!("unknown variable `{name}`"));
+                        Type::Unknown
+                    }
+                }
+            }
+            Expr::Nav { source, property, .. } => {
+                let src_ty = self.infer(source);
+                self.navigate_type(&src_ty, property)
+            }
+            Expr::Pre(inner) => self.infer(inner),
+            Expr::CollOp { source, op, args } => {
+                let src_ty = self.infer(source);
+                let arg_tys: Vec<Type> = args.iter().map(|a| self.infer(a)).collect();
+                self.coll_op_type(&src_ty, op, &arg_tys)
+            }
+            Expr::Iterate { source, op, var, body } => {
+                let src_ty = self.infer(source);
+                let elem = src_ty.element_type();
+                self.locals.push((var.clone(), elem.clone()));
+                let body_ty = self.infer(body);
+                self.locals.pop();
+                match op {
+                    IterOp::Exists | IterOp::ForAll | IterOp::One | IterOp::IsUnique => {
+                        if matches!(op, IterOp::Exists | IterOp::ForAll | IterOp::One)
+                            && !body_ty.compatible(&Type::Bool)
+                        {
+                            self.error(format!(
+                                "`{}` body must be Boolean, found {body_ty}",
+                                op.name()
+                            ));
+                        }
+                        Type::Bool
+                    }
+                    IterOp::Select | IterOp::Reject => {
+                        if !body_ty.compatible(&Type::Bool) {
+                            self.error(format!(
+                                "`{}` body must be Boolean, found {body_ty}",
+                                op.name()
+                            ));
+                        }
+                        Type::Coll(CollectionKind::Set, Box::new(elem))
+                    }
+                    IterOp::Collect => Type::Coll(CollectionKind::Bag, Box::new(body_ty)),
+                    IterOp::SortedBy => {
+                        Type::Coll(CollectionKind::Sequence, Box::new(elem))
+                    }
+                    IterOp::Any => elem,
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lt = self.infer(lhs);
+                let rt = self.infer(rhs);
+                self.binary_type(*op, &lt, &rt)
+            }
+            Expr::Unary { op, operand } => {
+                let t = self.infer(operand);
+                match op {
+                    UnOp::Not => {
+                        if !t.compatible(&Type::Bool) {
+                            self.error(format!("`not` applied to {t}"));
+                        }
+                        Type::Bool
+                    }
+                    UnOp::Neg => {
+                        if !t.is_numeric() {
+                            self.error(format!("unary `-` applied to {t}"));
+                        }
+                        t
+                    }
+                }
+            }
+            Expr::If { cond, then_branch, else_branch } => {
+                let ct = self.infer(cond);
+                if !ct.compatible(&Type::Bool) {
+                    self.error(format!("`if` condition must be Boolean, found {ct}"));
+                }
+                let tt = self.infer(then_branch);
+                let et = self.infer(else_branch);
+                if tt.compatible(&et) {
+                    if tt == Type::Unknown { et } else { tt }
+                } else {
+                    self.warn(format!("`if` branches have different types: {tt} vs {et}"));
+                    Type::Unknown
+                }
+            }
+            Expr::Let { name, value, body } => {
+                let vt = self.infer(value);
+                self.locals.push((name.clone(), vt));
+                let bt = self.infer(body);
+                self.locals.pop();
+                bt
+            }
+            Expr::CollectionLiteral { kind, elements } => {
+                let mut elem_ty = Type::Unknown;
+                for e in elements {
+                    let t = self.infer(e);
+                    if elem_ty == Type::Unknown {
+                        elem_ty = t;
+                    } else if !elem_ty.compatible(&t) {
+                        self.warn(format!(
+                            "mixed element types in collection literal: {elem_ty} vs {t}"
+                        ));
+                        elem_ty = Type::Unknown;
+                    }
+                }
+                Type::Coll(*kind, Box::new(elem_ty))
+            }
+            Expr::Fold { source, var, acc, init, body } => {
+                let src_ty = self.infer(source);
+                let elem = src_ty.element_type();
+                let init_ty = self.infer(init);
+                self.locals.push((var.clone(), elem));
+                self.locals.push((acc.clone(), init_ty.clone()));
+                let body_ty = self.infer(body);
+                self.locals.pop();
+                self.locals.pop();
+                if !body_ty.compatible(&init_ty) {
+                    self.warn(format!(
+                        "`iterate` body type {body_ty} differs from accumulator type {init_ty}"
+                    ));
+                }
+                body_ty
+            }
+            Expr::Call { source, op, args } => {
+                let st = self.infer(source);
+                for a in args {
+                    self.infer(a);
+                }
+                match op.as_str() {
+                    "oclIsUndefined" | "oclIsDefined" | "oclIsTypeOf" | "oclIsKindOf"
+                    | "startsWith" | "endsWith" => Type::Bool,
+                    "concat" | "toUpper" | "toUpperCase" | "toLower" | "toLowerCase"
+                    | "substring" | "toString" => Type::Str,
+                    "abs" | "max" | "min" => st,
+                    "floor" | "round" | "div" | "mod" | "size" => Type::Int,
+                    _ => Type::Unknown,
+                }
+            }
+        }
+    }
+
+    fn navigate_type(&mut self, src: &Type, property: &str) -> Type {
+        match src {
+            Type::Object(class) => match self.env.attribute_type(class, property) {
+                Some(ty) => ty,
+                None => {
+                    self.warn(format!("class `{class}` has no declared property `{property}`"));
+                    Type::Unknown
+                }
+            },
+            Type::Coll(_, elem) => {
+                // implicit collect
+                let inner = self.navigate_type(&elem.clone(), property);
+                Type::Coll(CollectionKind::Bag, Box::new(inner.element_type()))
+            }
+            Type::Unknown => Type::Unknown,
+            other => {
+                self.error(format!("cannot navigate `.{property}` on {other}"));
+                Type::Unknown
+            }
+        }
+    }
+
+    fn coll_op_type(&mut self, src: &Type, op: &str, args: &[Type]) -> Type {
+        if matches!(src, Type::Bool | Type::Int | Type::Real | Type::Str) {
+            // Legal via the implicit Set{v} conversion, but worth surfacing.
+            self.warn(format!("`->{op}` applied to single value of type {src}"));
+        }
+        let elem = src.element_type();
+        match op {
+            "size" | "count" | "indexOf" => Type::Int,
+            "isEmpty" | "notEmpty" | "includes" | "excludes" | "includesAll"
+            | "excludesAll" => Type::Bool,
+            "sum" => {
+                if !elem.is_numeric() {
+                    self.error(format!("`->sum` over non-numeric elements of type {elem}"));
+                }
+                elem
+            }
+            "min" | "max" | "first" | "last" | "at" | "any" => elem,
+            "asSet" => Type::Coll(CollectionKind::Set, Box::new(elem)),
+            "asSequence" | "append" | "prepend" => {
+                Type::Coll(CollectionKind::Sequence, Box::new(elem))
+            }
+            "asBag" => Type::Coll(CollectionKind::Bag, Box::new(elem)),
+            "union" | "intersection" | "including" | "excluding" | "flatten" => {
+                if let Some(arg) = args.first() {
+                    if !arg.element_type().compatible(&elem) {
+                        self.warn(format!(
+                            "`->{op}` mixes element types {elem} and {}",
+                            arg.element_type()
+                        ));
+                    }
+                }
+                Type::Coll(CollectionKind::Set, Box::new(elem))
+            }
+            other => {
+                self.error(format!("unknown collection operation `->{other}`"));
+                Type::Unknown
+            }
+        }
+    }
+
+    fn binary_type(&mut self, op: BinOp, lt: &Type, rt: &Type) -> Type {
+        match op {
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Implies => {
+                for t in [lt, rt] {
+                    if !t.compatible(&Type::Bool) {
+                        self.error(format!("`{}` applied to {t}", op.symbol()));
+                    }
+                }
+                Type::Bool
+            }
+            BinOp::Eq | BinOp::Ne => {
+                if !lt.compatible(rt) {
+                    self.warn(format!(
+                        "`{}` compares incompatible types {lt} and {rt} (always {})",
+                        op.symbol(),
+                        op == BinOp::Ne
+                    ));
+                }
+                Type::Bool
+            }
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let coll_num = (matches!(lt, Type::Coll(..)) && rt.is_numeric())
+                    || (matches!(rt, Type::Coll(..)) && lt.is_numeric());
+                if coll_num {
+                    self.warn(format!(
+                        "ordering a collection against a number ({lt} vs {rt}); \
+                         lenient evaluation coerces to `->size()` (paper-compat)"
+                    ));
+                } else {
+                    let ordered = |t: &Type| {
+                        t.is_numeric() || matches!(t, Type::Str | Type::Unknown)
+                    };
+                    if !ordered(lt) || !ordered(rt) || !lt.compatible(rt) {
+                        self.error(format!(
+                            "`{}` cannot order {lt} and {rt}",
+                            op.symbol()
+                        ));
+                    }
+                }
+                Type::Bool
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                if *lt == Type::Str && *rt == Type::Str && op == BinOp::Add {
+                    return Type::Str;
+                }
+                let coll_num = (matches!(lt, Type::Coll(..)) && rt.is_numeric())
+                    || (matches!(rt, Type::Coll(..)) && lt.is_numeric());
+                if coll_num {
+                    self.warn(format!(
+                        "arithmetic mixing a collection and a number ({lt} vs {rt}); \
+                         lenient evaluation coerces to `->size()` (paper-compat)"
+                    ));
+                    return Type::Int;
+                }
+                if !lt.is_numeric() || !rt.is_numeric() {
+                    self.error(format!("arithmetic on {lt} and {rt}"));
+                    return Type::Unknown;
+                }
+                if op == BinOp::Div || *lt == Type::Real || *rt == Type::Real {
+                    Type::Real
+                } else if *lt == Type::Unknown || *rt == Type::Unknown {
+                    Type::Unknown
+                } else {
+                    Type::Int
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn cinder_types() -> MapTypeEnv {
+        let mut env = MapTypeEnv::new();
+        env.declare_variable("project", Type::Object("project".into()))
+            .declare_variable("volume", Type::Object("volume".into()))
+            .declare_variable("quota_sets", Type::Object("quota_sets".into()))
+            .declare_variable("user", Type::Object("user".into()));
+        env.declare_attribute(
+            "project",
+            "id",
+            Type::Coll(CollectionKind::Set, Box::new(Type::Int)),
+        )
+        .declare_attribute(
+            "project",
+            "volumes",
+            Type::Coll(CollectionKind::Set, Box::new(Type::Object("volume".into()))),
+        )
+        .declare_attribute("volume", "status", Type::Str)
+        .declare_attribute("volume", "size", Type::Int)
+        .declare_attribute("quota_sets", "volume", Type::Int)
+        .declare_attribute("user", "groups", Type::Str);
+        env
+    }
+
+    fn check_str(src: &str, env: &dyn TypeEnv) -> TypeReport {
+        check(&parse(src).unwrap(), env)
+    }
+
+    #[test]
+    fn paper_invariant_types_as_bool() {
+        let env = cinder_types();
+        let r = check_str("project.id->size()=1 and project.volumes->size()=0", &env);
+        assert_eq!(r.ty, Type::Bool);
+        assert!(r.is_ok(), "{:?}", r.issues);
+    }
+
+    #[test]
+    fn paper_lenient_comparison_warns_but_passes() {
+        let env = cinder_types();
+        let r = check_str("project.volumes < quota_sets.volume", &env);
+        assert_eq!(r.ty, Type::Bool);
+        assert!(r.is_ok());
+        assert_eq!(r.issues.len(), 1);
+        assert!(r.issues[0].message.contains("paper-compat"));
+    }
+
+    #[test]
+    fn unknown_variable_is_error() {
+        let env = cinder_types();
+        let r = check_str("ghost = 1", &env);
+        assert!(!r.is_ok());
+    }
+
+    #[test]
+    fn unknown_property_is_warning() {
+        let env = cinder_types();
+        let r = check_str("project.ghost = 1", &env);
+        assert!(r.is_ok());
+        assert_eq!(r.issues.len(), 1);
+    }
+
+    #[test]
+    fn boolean_connective_on_int_is_error() {
+        let env = cinder_types();
+        let r = check_str("1 and 2", &env);
+        assert!(!r.is_ok());
+    }
+
+    #[test]
+    fn incompatible_equality_warns() {
+        let env = cinder_types();
+        let r = check_str("volume.status = 1", &env);
+        assert!(r.is_ok());
+        assert!(!r.issues.is_empty());
+    }
+
+    #[test]
+    fn iterator_variable_gets_element_type() {
+        let env = cinder_types();
+        let r = check_str("project.volumes->forAll(v | v.size > 0)", &env);
+        assert_eq!(r.ty, Type::Bool);
+        assert!(r.is_ok(), "{:?}", r.issues);
+    }
+
+    #[test]
+    fn select_returns_collection() {
+        let env = cinder_types();
+        let r = check_str("project.volumes->select(v | v.status = 'ok')", &env);
+        assert!(matches!(r.ty, Type::Coll(_, _)));
+    }
+
+    #[test]
+    fn sum_over_strings_is_error() {
+        let env = cinder_types();
+        let r = check_str("project.volumes->collect(v | v.status)->sum()", &env);
+        assert!(!r.is_ok());
+    }
+
+    #[test]
+    fn permissive_env_accepts_anything_navigational() {
+        let r = check_str("anything.at.all->size() = 3", &PermissiveEnv);
+        assert!(r.is_ok(), "{:?}", r.issues);
+        assert_eq!(r.ty, Type::Bool);
+    }
+
+    #[test]
+    fn division_is_real() {
+        let r = check_str("4 / 2", &PermissiveEnv);
+        assert_eq!(r.ty, Type::Real);
+    }
+
+    #[test]
+    fn string_concat_with_plus() {
+        let r = check_str("'a' + 'b'", &PermissiveEnv);
+        assert_eq!(r.ty, Type::Str);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn arrow_on_scalar_warns() {
+        let env = cinder_types();
+        let r = check_str("user.groups->size()", &env);
+        assert!(r.is_ok());
+        assert!(r.issues.iter().any(|i| i.message.contains("single value")));
+    }
+
+    #[test]
+    fn if_condition_must_be_bool() {
+        let r = check_str("if 1 then 2 else 3 endif", &PermissiveEnv);
+        assert!(!r.is_ok());
+    }
+}

@@ -1,0 +1,327 @@
+//! Runtime values for OCL evaluation.
+
+use crate::ast::CollectionKind;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A reference to a model object (a *resource* in the paper's terminology).
+///
+/// Objects are identified by the class (resource definition) they instantiate
+/// and an opaque identifier assigned by the hosting environment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef {
+    /// Name of the resource definition / class.
+    pub class: String,
+    /// Environment-assigned object identifier.
+    pub id: u64,
+}
+
+impl ObjRef {
+    /// Create an object reference.
+    #[must_use]
+    pub fn new(class: impl Into<String>, id: u64) -> Self {
+        ObjRef { class: class.into(), id }
+    }
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.class, self.id)
+    }
+}
+
+/// An OCL runtime value.
+///
+/// `Undefined` models OCL's `OclUndefined`/`invalid`: navigations over
+/// missing objects yield it, and most operations propagate it, with the
+/// standard exceptions for boolean connectives (e.g. `false and undefined`
+/// is `false`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `OclUndefined` — absent or erroneous value.
+    Undefined,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Real.
+    Real(f64),
+    /// String.
+    Str(String),
+    /// Object reference.
+    Obj(ObjRef),
+    /// Collection of values.
+    Coll(CollectionKind, Vec<Value>),
+}
+
+impl Value {
+    /// A `Set` collection value, deduplicating elements (first occurrence
+    /// wins, preserving insertion order for determinism).
+    #[must_use]
+    pub fn set(elements: Vec<Value>) -> Value {
+        let mut out: Vec<Value> = Vec::with_capacity(elements.len());
+        for e in elements {
+            if !out.contains(&e) {
+                out.push(e);
+            }
+        }
+        Value::Coll(CollectionKind::Set, out)
+    }
+
+    /// A `Sequence` collection value.
+    #[must_use]
+    pub fn sequence(elements: Vec<Value>) -> Value {
+        Value::Coll(CollectionKind::Sequence, elements)
+    }
+
+    /// A `Bag` collection value.
+    #[must_use]
+    pub fn bag(elements: Vec<Value>) -> Value {
+        Value::Coll(CollectionKind::Bag, elements)
+    }
+
+    /// True if the value is `Undefined`.
+    #[must_use]
+    pub fn is_undefined(&self) -> bool {
+        matches!(self, Value::Undefined)
+    }
+
+    /// Boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer payload, if this is an integer.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64` (ints and reals).
+    #[must_use]
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Real(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Collection elements, if this is a collection.
+    #[must_use]
+    pub fn as_collection(&self) -> Option<&[Value]> {
+        match self {
+            Value::Coll(_, items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// OCL equality: `Undefined = x` is undefined-propagating at the
+    /// evaluator level; this method implements the *defined* comparison used
+    /// once both operands are known. Ints and reals compare numerically.
+    #[must_use]
+    pub fn ocl_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Real(b)) | (Value::Real(b), Value::Int(a)) => {
+                (*a as f64) == *b
+            }
+            (Value::Coll(ka, xs), Value::Coll(kb, ys)) => {
+                if ka != kb {
+                    return false;
+                }
+                match ka {
+                    CollectionKind::Sequence | CollectionKind::OrderedSet => xs == ys,
+                    CollectionKind::Set | CollectionKind::Bag => {
+                        // order-insensitive multiset comparison
+                        if xs.len() != ys.len() {
+                            return false;
+                        }
+                        let mut remaining: Vec<&Value> = ys.iter().collect();
+                        for x in xs {
+                            match remaining.iter().position(|y| x.ocl_eq(y)) {
+                                Some(i) => {
+                                    remaining.remove(i);
+                                }
+                                None => return false,
+                            }
+                        }
+                        true
+                    }
+                }
+            }
+            (a, b) => a == b,
+        }
+    }
+
+    /// Partial order used by `<`, `<=`, `>`, `>=`. Numbers compare
+    /// numerically, strings lexicographically; everything else is unordered.
+    #[must_use]
+    pub fn ocl_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_real()?, b.as_real()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// A short type name for diagnostics (`Integer`, `String`, …).
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Undefined => "OclUndefined",
+            Value::Bool(_) => "Boolean",
+            Value::Int(_) => "Integer",
+            Value::Real(_) => "Real",
+            Value::Str(_) => "String",
+            Value::Obj(_) => "Object",
+            Value::Coll(CollectionKind::Set, _) => "Set",
+            Value::Coll(CollectionKind::Bag, _) => "Bag",
+            Value::Coll(CollectionKind::Sequence, _) => "Sequence",
+            Value::Coll(CollectionKind::OrderedSet, _) => "OrderedSet",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Undefined => write!(f, "OclUndefined"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Real(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Obj(o) => write!(f, "{o}"),
+            Value::Coll(kind, items) => {
+                write!(f, "{}{{", kind.keyword())?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Real(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<ObjRef> for Value {
+    fn from(o: ObjRef) -> Self {
+        Value::Obj(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_constructor_deduplicates() {
+        let v = Value::set(vec![Value::Int(1), Value::Int(2), Value::Int(1)]);
+        assert_eq!(v.as_collection().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn int_real_numeric_equality() {
+        assert!(Value::Int(2).ocl_eq(&Value::Real(2.0)));
+        assert!(!Value::Int(2).ocl_eq(&Value::Real(2.5)));
+    }
+
+    #[test]
+    fn set_equality_is_order_insensitive() {
+        let a = Value::set(vec![Value::Int(1), Value::Int(2)]);
+        let b = Value::set(vec![Value::Int(2), Value::Int(1)]);
+        assert!(a.ocl_eq(&b));
+    }
+
+    #[test]
+    fn sequence_equality_is_order_sensitive() {
+        let a = Value::sequence(vec![Value::Int(1), Value::Int(2)]);
+        let b = Value::sequence(vec![Value::Int(2), Value::Int(1)]);
+        assert!(!a.ocl_eq(&b));
+    }
+
+    #[test]
+    fn bag_equality_counts_duplicates() {
+        let a = Value::bag(vec![Value::Int(1), Value::Int(1)]);
+        let b = Value::bag(vec![Value::Int(1)]);
+        assert!(!a.ocl_eq(&b));
+    }
+
+    #[test]
+    fn cmp_across_int_and_real() {
+        assert_eq!(Value::Int(1).ocl_cmp(&Value::Real(1.5)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn cmp_strings() {
+        assert_eq!(
+            Value::Str("a".into()).ocl_cmp(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn cmp_incomparable_is_none() {
+        assert_eq!(Value::Bool(true).ocl_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Str("in-use".into()).to_string(), "'in-use'");
+        assert_eq!(
+            Value::sequence(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "Sequence{1, 2}"
+        );
+        assert_eq!(ObjRef::new("volume", 4).to_string(), "volume#4");
+    }
+}

@@ -1,0 +1,360 @@
+//! Identity store: users, usergroups, roles and projects.
+//!
+//! Mirrors the slice of Keystone the paper relies on: "The projects are
+//! created by the cloud administrator using Keystone and users or
+//! usergroups are assigned the roles in these projects" (Section IV-B).
+//! Users belong to usergroups; a usergroup is assigned a *role* in a
+//! project; a user's effective roles in a project follow from its group
+//! memberships.
+
+use std::fmt;
+
+/// A role name (e.g. `admin`, `member`, `user`).
+pub type RoleName = String;
+
+/// A user of the private cloud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct User {
+    /// Unique user id.
+    pub id: u64,
+    /// Login name.
+    pub name: String,
+    /// Password for Keystone-style authentication (plaintext in the
+    /// simulator — this is a test substrate, not a production IdP).
+    pub password: String,
+    /// Names of the usergroups the user belongs to.
+    pub groups: Vec<String>,
+}
+
+/// A usergroup with its assigned role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserGroup {
+    /// Group name, e.g. `proj_administrator`.
+    pub name: String,
+    /// Role the group holds in its project, e.g. `admin`.
+    pub role: RoleName,
+}
+
+/// A project (tenant) of the private cloud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Project {
+    /// Unique project id.
+    pub id: u64,
+    /// Project name, e.g. `myProject`.
+    pub name: String,
+    /// Usergroups assigned to the project.
+    pub groups: Vec<UserGroup>,
+}
+
+impl Project {
+    /// Role of a group in this project, if assigned.
+    #[must_use]
+    pub fn role_of_group(&self, group: &str) -> Option<&str> {
+        self.groups.iter().find(|g| g.name == group).map(|g| g.role.as_str())
+    }
+}
+
+/// Errors raised by the identity store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdentityError {
+    /// Referenced user does not exist.
+    UnknownUser(String),
+    /// Referenced project does not exist.
+    UnknownProject(u64),
+    /// A uniqueness constraint was violated.
+    Duplicate(String),
+}
+
+impl fmt::Display for IdentityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdentityError::UnknownUser(name) => write!(f, "unknown user `{name}`"),
+            IdentityError::UnknownProject(id) => write!(f, "unknown project `{id}`"),
+            IdentityError::Duplicate(what) => write!(f, "duplicate {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IdentityError {}
+
+/// The identity store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IdentityStore {
+    users: Vec<User>,
+    projects: Vec<Project>,
+    next_user_id: u64,
+    next_project_id: u64,
+}
+
+impl IdentityStore {
+    /// Create an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        IdentityStore { users: Vec::new(), projects: Vec::new(), next_user_id: 1, next_project_id: 1 }
+    }
+
+    /// Create a project with the given usergroup/role assignments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdentityError::Duplicate`] when the project name or one of
+    /// its group names is already taken within the project.
+    pub fn create_project(
+        &mut self,
+        name: impl Into<String>,
+        groups: Vec<UserGroup>,
+    ) -> Result<u64, IdentityError> {
+        let name = name.into();
+        if self.projects.iter().any(|p| p.name == name) {
+            return Err(IdentityError::Duplicate(format!("project name `{name}`")));
+        }
+        for (i, g) in groups.iter().enumerate() {
+            if groups[..i].iter().any(|h| h.name == g.name) {
+                return Err(IdentityError::Duplicate(format!("group `{}`", g.name)));
+            }
+        }
+        let id = self.next_project_id;
+        self.next_project_id += 1;
+        self.projects.push(Project { id, name, groups });
+        Ok(id)
+    }
+
+    /// Create a user belonging to the given groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdentityError::Duplicate`] when the user name is taken.
+    pub fn create_user(
+        &mut self,
+        name: impl Into<String>,
+        password: impl Into<String>,
+        groups: Vec<String>,
+    ) -> Result<u64, IdentityError> {
+        let name = name.into();
+        if self.users.iter().any(|u| u.name == name) {
+            return Err(IdentityError::Duplicate(format!("user name `{name}`")));
+        }
+        let id = self.next_user_id;
+        self.next_user_id += 1;
+        self.users.push(User { id, name, password: password.into(), groups });
+        Ok(id)
+    }
+
+    /// Look up a user by name.
+    #[must_use]
+    pub fn user_by_name(&self, name: &str) -> Option<&User> {
+        self.users.iter().find(|u| u.name == name)
+    }
+
+    /// Look up a user by id.
+    #[must_use]
+    pub fn user_by_id(&self, id: u64) -> Option<&User> {
+        self.users.iter().find(|u| u.id == id)
+    }
+
+    /// Look up a project by id.
+    #[must_use]
+    pub fn project(&self, id: u64) -> Option<&Project> {
+        self.projects.iter().find(|p| p.id == id)
+    }
+
+    /// Look up a project by name.
+    #[must_use]
+    pub fn project_by_name(&self, name: &str) -> Option<&Project> {
+        self.projects.iter().find(|p| p.name == name)
+    }
+
+    /// All projects.
+    #[must_use]
+    pub fn projects(&self) -> &[Project] {
+        &self.projects
+    }
+
+    /// Effective roles of a user in a project (via group assignments),
+    /// in group order, deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the user or project does not exist.
+    pub fn roles_of(
+        &self,
+        user_name: &str,
+        project_id: u64,
+    ) -> Result<Vec<RoleName>, IdentityError> {
+        let user = self
+            .user_by_name(user_name)
+            .ok_or_else(|| IdentityError::UnknownUser(user_name.to_string()))?;
+        let project =
+            self.project(project_id).ok_or(IdentityError::UnknownProject(project_id))?;
+        let mut roles = Vec::new();
+        for g in &user.groups {
+            if let Some(role) = project.role_of_group(g) {
+                if !roles.iter().any(|r| r == role) {
+                    roles.push(role.to_string());
+                }
+            }
+        }
+        Ok(roles)
+    }
+
+    /// Verify a user's password; returns the user on success.
+    #[must_use]
+    pub fn authenticate(&self, user_name: &str, password: &str) -> Option<&User> {
+        self.user_by_name(user_name).filter(|u| u.password == password)
+    }
+
+    /// Reassign the role of a group within a project — used by the mutation
+    /// harness to inject wrong-authorization faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the project or group does not exist.
+    pub fn set_group_role(
+        &mut self,
+        project_id: u64,
+        group: &str,
+        role: impl Into<RoleName>,
+    ) -> Result<(), IdentityError> {
+        let project = self
+            .projects
+            .iter_mut()
+            .find(|p| p.id == project_id)
+            .ok_or(IdentityError::UnknownProject(project_id))?;
+        let g = project
+            .groups
+            .iter_mut()
+            .find(|g| g.name == group)
+            .ok_or_else(|| IdentityError::UnknownUser(group.to_string()))?;
+        g.role = role.into();
+        Ok(())
+    }
+}
+
+/// Build the paper's `myProject` setup: three usergroups mapped to the
+/// three roles of Table I, with one user in each group.
+///
+/// Users: `alice` (proj_administrator/admin), `bob`
+/// (service_architect/member), `carol` (business_analyst/user), and
+/// `mallory` (group `outsiders`, which holds **no role** in the project —
+/// an authenticated but unauthorized principal, used to observe
+/// policy-widening faults). All passwords equal the user name with the
+/// suffix `-pw`.
+#[must_use]
+pub fn my_project_fixture() -> (IdentityStore, u64) {
+    let mut store = IdentityStore::new();
+    let project_id = store
+        .create_project(
+            "myProject",
+            vec![
+                UserGroup { name: "proj_administrator".into(), role: "admin".into() },
+                UserGroup { name: "service_architect".into(), role: "member".into() },
+                UserGroup { name: "business_analyst".into(), role: "user".into() },
+            ],
+        )
+        .expect("fresh store has no duplicates");
+    store
+        .create_user("alice", "alice-pw", vec!["proj_administrator".into()])
+        .expect("fresh store");
+    store
+        .create_user("bob", "bob-pw", vec!["service_architect".into()])
+        .expect("fresh store");
+    store
+        .create_user("carol", "carol-pw", vec!["business_analyst".into()])
+        .expect("fresh store");
+    store
+        .create_user("mallory", "mallory-pw", vec!["outsiders".into()])
+        .expect("fresh store");
+    (store, project_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_has_three_users_with_roles() {
+        let (store, pid) = my_project_fixture();
+        assert_eq!(store.roles_of("alice", pid).unwrap(), vec!["admin"]);
+        assert_eq!(store.roles_of("bob", pid).unwrap(), vec!["member"]);
+        assert_eq!(store.roles_of("carol", pid).unwrap(), vec!["user"]);
+        assert!(store.roles_of("mallory", pid).unwrap().is_empty());
+    }
+
+    #[test]
+    fn authenticate_checks_password() {
+        let (store, _) = my_project_fixture();
+        assert!(store.authenticate("alice", "alice-pw").is_some());
+        assert!(store.authenticate("alice", "wrong").is_none());
+        assert!(store.authenticate("mallory", "x").is_none());
+    }
+
+    #[test]
+    fn duplicate_project_name_rejected() {
+        let (mut store, _) = my_project_fixture();
+        assert!(matches!(
+            store.create_project("myProject", vec![]),
+            Err(IdentityError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_user_rejected() {
+        let (mut store, _) = my_project_fixture();
+        assert!(store.create_user("alice", "x", vec![]).is_err());
+    }
+
+    #[test]
+    fn duplicate_group_in_project_rejected() {
+        let mut store = IdentityStore::new();
+        let groups = vec![
+            UserGroup { name: "g".into(), role: "admin".into() },
+            UserGroup { name: "g".into(), role: "member".into() },
+        ];
+        assert!(store.create_project("p", groups).is_err());
+    }
+
+    #[test]
+    fn roles_of_unknown_entities_error() {
+        let (store, pid) = my_project_fixture();
+        assert!(matches!(
+            store.roles_of("nobody", pid),
+            Err(IdentityError::UnknownUser(_))
+        ));
+        assert!(matches!(
+            store.roles_of("alice", 999),
+            Err(IdentityError::UnknownProject(_))
+        ));
+    }
+
+    #[test]
+    fn user_in_unassigned_group_has_no_role() {
+        let (mut store, pid) = my_project_fixture();
+        store.create_user("dave", "d", vec!["outsiders".into()]).unwrap();
+        assert!(store.roles_of("dave", pid).unwrap().is_empty());
+    }
+
+    #[test]
+    fn set_group_role_mutates() {
+        let (mut store, pid) = my_project_fixture();
+        store.set_group_role(pid, "business_analyst", "admin").unwrap();
+        assert_eq!(store.roles_of("carol", pid).unwrap(), vec!["admin"]);
+        assert!(store.set_group_role(999, "x", "y").is_err());
+        assert!(store.set_group_role(pid, "ghost", "y").is_err());
+    }
+
+    #[test]
+    fn multiple_groups_deduplicate_roles() {
+        let mut store = IdentityStore::new();
+        let pid = store
+            .create_project(
+                "p",
+                vec![
+                    UserGroup { name: "g1".into(), role: "admin".into() },
+                    UserGroup { name: "g2".into(), role: "admin".into() },
+                ],
+            )
+            .unwrap();
+        store.create_user("u", "pw", vec!["g1".into(), "g2".into()]).unwrap();
+        assert_eq!(store.roles_of("u", pid).unwrap(), vec!["admin"]);
+    }
+}

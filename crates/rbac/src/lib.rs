@@ -1,0 +1,44 @@
+//! # cm-rbac — role-based access control for the cloud monitor
+//!
+//! The authorization substrate of the DSN 2018 reproduction, covering the
+//! Keystone slice the paper relies on:
+//!
+//! * [`IdentityStore`] — users, usergroups, roles and projects
+//!   ([`my_project_fixture`] recreates the paper's `myProject` with its
+//!   three usergroups);
+//! * [`TokenService`] — Keystone-style scoped tokens
+//!   (authenticate → issue → validate on use);
+//! * [`PolicyFile`]/[`Rule`] — the `policy.json` rule language subset
+//!   (`role:`, `group:`, `user_id:`, `@`, `!`, `and`/`or`/`not`);
+//! * [`SecurityRequirementsTable`] — the paper's Table I, renderable in
+//!   the paper's layout, compilable to a policy file, and the source of
+//!   the OCL authorization guards woven into generated contracts.
+//!
+//! ## Example
+//!
+//! ```
+//! use cm_rbac::{cinder_table1, my_project_fixture, DefaultDecision, TokenService};
+//!
+//! let (store, project_id) = my_project_fixture();
+//! let mut keystone = TokenService::new();
+//! let token = keystone.issue(&store, "carol", "carol-pw", project_id)?;
+//!
+//! // carol is a `user`: she may GET volumes but not DELETE them (Table I).
+//! let policy = cinder_table1().to_policy();
+//! assert!(policy.check("volume:get", &token, DefaultDecision::Deny));
+//! assert!(!policy.check("volume:delete", &token, DefaultDecision::Deny));
+//! # Ok::<(), cm_rbac::TokenError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod identity;
+pub mod policy;
+pub mod requirements;
+pub mod token;
+
+pub use identity::{my_project_fixture, IdentityError, IdentityStore, Project, User, UserGroup};
+pub use policy::{parse_rule, DefaultDecision, PolicyFile, Rule, RuleParseError};
+pub use requirements::{cinder_table1, cinder_table_extended, SecurityRequirement, SecurityRequirementsTable};
+pub use token::{TokenError, TokenInfo, TokenService};

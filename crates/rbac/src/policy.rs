@@ -1,0 +1,438 @@
+//! `policy.json`-style access rules.
+//!
+//! "OpenStack services define the permitted requests based on the access
+//! rules introduced in their policy.json files, which follow the RBAC
+//! paradigm" (paper, Section IV). This module implements the rule language
+//! subset those files use: `role:<name>`, `group:<name>`,
+//! `user_id:<id>`, the constants `@` (always) and `!` (never), and the
+//! connectives `and`, `or`, `not` with parentheses.
+
+use crate::token::TokenInfo;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed policy rule expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rule {
+    /// `@` — always permitted.
+    Always,
+    /// `!` — never permitted.
+    Never,
+    /// `role:<name>` — requester holds the role in the scoped project.
+    Role(String),
+    /// `group:<name>` — requester belongs to the usergroup.
+    Group(String),
+    /// `user_id:<id>` — requester is exactly this user.
+    UserId(u64),
+    /// Negation.
+    Not(Box<Rule>),
+    /// Conjunction.
+    And(Box<Rule>, Box<Rule>),
+    /// Disjunction.
+    Or(Box<Rule>, Box<Rule>),
+}
+
+impl Rule {
+    /// Evaluate the rule against a validated token.
+    #[must_use]
+    pub fn check(&self, token: &TokenInfo) -> bool {
+        match self {
+            Rule::Always => true,
+            Rule::Never => false,
+            Rule::Role(r) => token.roles.iter().any(|x| x == r),
+            Rule::Group(g) => token.groups.iter().any(|x| x == g),
+            Rule::UserId(id) => token.user_id == *id,
+            Rule::Not(inner) => !inner.check(token),
+            Rule::And(a, b) => a.check(token) && b.check(token),
+            Rule::Or(a, b) => a.check(token) || b.check(token),
+        }
+    }
+
+    /// Convenience: `role:<name>`.
+    #[must_use]
+    pub fn role(name: impl Into<String>) -> Rule {
+        Rule::Role(name.into())
+    }
+
+    /// Disjunction of `role:` atoms, `Never` when empty.
+    #[must_use]
+    pub fn any_role<I: IntoIterator<Item = S>, S: Into<String>>(roles: I) -> Rule {
+        let mut it = roles.into_iter();
+        match it.next() {
+            None => Rule::Never,
+            Some(first) => it.fold(Rule::role(first), |acc, r| {
+                Rule::Or(Box::new(acc), Box::new(Rule::role(r)))
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rule::Always => write!(f, "@"),
+            Rule::Never => write!(f, "!"),
+            Rule::Role(r) => write!(f, "role:{r}"),
+            Rule::Group(g) => write!(f, "group:{g}"),
+            Rule::UserId(id) => write!(f, "user_id:{id}"),
+            Rule::Not(inner) => write!(f, "not ({inner})"),
+            Rule::And(a, b) => write!(f, "({a} and {b})"),
+            Rule::Or(a, b) => write!(f, "({a} or {b})"),
+        }
+    }
+}
+
+/// Error parsing a rule string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleParseError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for RuleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy rule parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RuleParseError {}
+
+/// Parse a rule string, e.g. `"role:admin or role:member"`.
+///
+/// # Errors
+///
+/// Returns [`RuleParseError`] on unknown atoms, unbalanced parentheses or
+/// trailing junk.
+pub fn parse_rule(src: &str) -> Result<Rule, RuleParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = RuleParser { tokens, pos: 0 };
+    let rule = p.or_expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(RuleParseError {
+            message: format!("trailing input near `{}`", p.tokens[p.pos]),
+        });
+    }
+    Ok(rule)
+}
+
+fn tokenize(src: &str) -> Result<Vec<String>, RuleParseError> {
+    let mut out = Vec::new();
+    let mut rest = src.trim();
+    while !rest.is_empty() {
+        let c = rest.chars().next().expect("non-empty");
+        match c {
+            '(' | ')' | '@' | '!' => {
+                out.push(c.to_string());
+                rest = rest[1..].trim_start();
+            }
+            _ => {
+                let end = rest
+                    .find(|ch: char| ch.is_whitespace() || ch == '(' || ch == ')')
+                    .unwrap_or(rest.len());
+                if end == 0 {
+                    return Err(RuleParseError {
+                        message: format!("unexpected character `{c}`"),
+                    });
+                }
+                out.push(rest[..end].to_string());
+                rest = rest[end..].trim_start();
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct RuleParser {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl RuleParser {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn or_expr(&mut self) -> Result<Rule, RuleParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some("or") {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = Rule::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Rule, RuleParseError> {
+        let mut lhs = self.unary()?;
+        while self.peek() == Some("and") {
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Rule::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Rule, RuleParseError> {
+        match self.peek() {
+            Some("not") => {
+                self.pos += 1;
+                Ok(Rule::Not(Box::new(self.unary()?)))
+            }
+            Some("(") => {
+                self.pos += 1;
+                let inner = self.or_expr()?;
+                if self.peek() != Some(")") {
+                    return Err(RuleParseError { message: "expected `)`".to_string() });
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some("@") => {
+                self.pos += 1;
+                Ok(Rule::Always)
+            }
+            Some("!") => {
+                self.pos += 1;
+                Ok(Rule::Never)
+            }
+            Some(atom) => {
+                let rule = if let Some(role) = atom.strip_prefix("role:") {
+                    Rule::Role(role.to_string())
+                } else if let Some(group) = atom.strip_prefix("group:") {
+                    Rule::Group(group.to_string())
+                } else if let Some(uid) = atom.strip_prefix("user_id:") {
+                    Rule::UserId(uid.parse().map_err(|_| RuleParseError {
+                        message: format!("bad user id in `{atom}`"),
+                    })?)
+                } else {
+                    return Err(RuleParseError {
+                        message: format!("unknown atom `{atom}`"),
+                    });
+                };
+                self.pos += 1;
+                Ok(rule)
+            }
+            None => Err(RuleParseError { message: "unexpected end of rule".to_string() }),
+        }
+    }
+}
+
+/// A policy file: a map from action names (e.g. `volume:delete`) to rules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PolicyFile {
+    rules: Vec<(String, Rule)>,
+}
+
+/// Decision when an action has no explicit rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DefaultDecision {
+    /// Deny unlisted actions (fail closed; default).
+    #[default]
+    Deny,
+    /// Allow unlisted actions (OpenStack's historical default-open).
+    Allow,
+}
+
+impl PolicyFile {
+    /// Create an empty policy file.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the rule for an action, replacing any existing rule.
+    pub fn set(&mut self, action: impl Into<String>, rule: Rule) -> &mut Self {
+        let action = action.into();
+        if let Some(entry) = self.rules.iter_mut().find(|(a, _)| *a == action) {
+            entry.1 = rule;
+        } else {
+            self.rules.push((action, rule));
+        }
+        self
+    }
+
+    /// The rule for an action, if present.
+    #[must_use]
+    pub fn rule(&self, action: &str) -> Option<&Rule> {
+        self.rules.iter().find(|(a, _)| a == action).map(|(_, r)| r)
+    }
+
+    /// Check whether `token` may perform `action`.
+    #[must_use]
+    pub fn check(&self, action: &str, token: &TokenInfo, default: DefaultDecision) -> bool {
+        match self.rule(action) {
+            Some(rule) => rule.check(token),
+            None => default == DefaultDecision::Allow,
+        }
+    }
+
+    /// All actions, in insertion order.
+    pub fn actions(&self) -> impl Iterator<Item = &str> {
+        self.rules.iter().map(|(a, _)| a.as_str())
+    }
+
+    /// Parse a minimal JSON-ish policy map `{"action": "rule", ...}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleParseError`] for malformed rule strings; the outer
+    /// JSON must be an object of string values.
+    pub fn from_entries<'a, I>(entries: I) -> Result<Self, RuleParseError>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut pf = PolicyFile::new();
+        for (action, rule_src) in entries {
+            pf.set(action, parse_rule(rule_src)?);
+        }
+        Ok(pf)
+    }
+
+    /// Render in policy.json style.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (a, r)) in self.rules.iter().enumerate() {
+            out.push_str(&format!("  \"{a}\": \"{r}\""));
+            if i + 1 < self.rules.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push('}');
+        out
+    }
+
+    /// A map view of the rules (for diffing in tests).
+    #[must_use]
+    pub fn as_map(&self) -> HashMap<&str, &Rule> {
+        self.rules.iter().map(|(a, r)| (a.as_str(), r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token(roles: &[&str], groups: &[&str]) -> TokenInfo {
+        TokenInfo {
+            token: "tok-x".into(),
+            user_id: 7,
+            user_name: "u".into(),
+            project_id: 1,
+            roles: roles.iter().map(|s| s.to_string()).collect(),
+            groups: groups.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn parses_simple_role_rule() {
+        let r = parse_rule("role:admin").unwrap();
+        assert!(r.check(&token(&["admin"], &[])));
+        assert!(!r.check(&token(&["member"], &[])));
+    }
+
+    #[test]
+    fn parses_or_chain() {
+        let r = parse_rule("role:admin or role:member").unwrap();
+        assert!(r.check(&token(&["member"], &[])));
+        assert!(!r.check(&token(&["user"], &[])));
+    }
+
+    #[test]
+    fn parses_and_with_group() {
+        let r = parse_rule("role:admin and group:proj_administrator").unwrap();
+        assert!(r.check(&token(&["admin"], &["proj_administrator"])));
+        assert!(!r.check(&token(&["admin"], &["other"])));
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let r = parse_rule("role:a or role:b and role:c").unwrap();
+        // a | (b & c)
+        assert!(r.check(&token(&["a"], &[])));
+        assert!(r.check(&token(&["b", "c"], &[])));
+        assert!(!r.check(&token(&["b"], &[])));
+    }
+
+    #[test]
+    fn parentheses_and_not() {
+        let r = parse_rule("not (role:a or role:b)").unwrap();
+        assert!(r.check(&token(&["c"], &[])));
+        assert!(!r.check(&token(&["a"], &[])));
+    }
+
+    #[test]
+    fn constants() {
+        assert!(parse_rule("@").unwrap().check(&token(&[], &[])));
+        assert!(!parse_rule("!").unwrap().check(&token(&["admin"], &[])));
+    }
+
+    #[test]
+    fn user_id_atom() {
+        let r = parse_rule("user_id:7").unwrap();
+        assert!(r.check(&token(&[], &[])));
+        let r2 = parse_rule("user_id:8").unwrap();
+        assert!(!r2.check(&token(&[], &[])));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_rule("").is_err());
+        assert!(parse_rule("role:").map(|r| r.check(&token(&[""], &[]))).unwrap_or(true));
+        assert!(parse_rule("badatom").is_err());
+        assert!(parse_rule("(role:a").is_err());
+        assert!(parse_rule("role:a role:b").is_err());
+        assert!(parse_rule("user_id:xyz").is_err());
+    }
+
+    #[test]
+    fn display_reparses() {
+        for src in ["role:admin or role:member", "not (role:a and group:g)", "@", "!"] {
+            let r = parse_rule(src).unwrap();
+            let printed = r.to_string();
+            let r2 = parse_rule(&printed).unwrap();
+            assert_eq!(r, r2, "{src} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn policy_file_check_with_defaults() {
+        let mut pf = PolicyFile::new();
+        pf.set("volume:delete", parse_rule("role:admin").unwrap());
+        let admin = token(&["admin"], &[]);
+        let member = token(&["member"], &[]);
+        assert!(pf.check("volume:delete", &admin, DefaultDecision::Deny));
+        assert!(!pf.check("volume:delete", &member, DefaultDecision::Deny));
+        assert!(!pf.check("volume:ghost", &admin, DefaultDecision::Deny));
+        assert!(pf.check("volume:ghost", &admin, DefaultDecision::Allow));
+    }
+
+    #[test]
+    fn policy_set_replaces() {
+        let mut pf = PolicyFile::new();
+        pf.set("a", Rule::Always);
+        pf.set("a", Rule::Never);
+        assert_eq!(pf.rule("a"), Some(&Rule::Never));
+        assert_eq!(pf.actions().count(), 1);
+    }
+
+    #[test]
+    fn from_entries_and_render() {
+        let pf = PolicyFile::from_entries([
+            ("volume:get", "role:admin or role:member or role:user"),
+            ("volume:delete", "role:admin"),
+        ])
+        .unwrap();
+        let text = pf.render();
+        assert!(text.contains("\"volume:delete\""));
+        assert!(text.starts_with('{') && text.ends_with('}'));
+    }
+
+    #[test]
+    fn any_role_builder() {
+        let r = Rule::any_role(["admin", "member"]);
+        assert!(r.check(&token(&["member"], &[])));
+        assert_eq!(Rule::any_role(Vec::<String>::new()), Rule::Never);
+    }
+}

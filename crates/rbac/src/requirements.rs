@@ -1,0 +1,339 @@
+//! The tabular security-requirements specification (the paper's Table I).
+//!
+//! "In the current industrial practice, this information is usually given
+//! in a tabular format. We specify this information as the guards in the
+//! OCL format, which makes it amenable to an automated translation into
+//! the method contracts" (Section IV-C). This module holds the table,
+//! renders it in the paper's layout, compiles it into a
+//! [`PolicyFile`] and synthesises the OCL
+//! authorization guards that the contract generator weaves into
+//! pre-conditions.
+
+use crate::policy::{PolicyFile, Rule};
+use cm_model::HttpMethod;
+use cm_ocl::{BinOp, Expr};
+use std::fmt::Write as _;
+
+/// One requirement row-group of the table: a (resource, method) pair with
+/// its requirement id and permitted role/usergroup pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecurityRequirement {
+    /// Resource-definition name, e.g. `Volume`.
+    pub resource: String,
+    /// Requirement id, e.g. `1.4` (the traceability key).
+    pub id: String,
+    /// HTTP method the requirement governs.
+    pub method: HttpMethod,
+    /// Permitted (role, usergroup) pairs.
+    pub permitted: Vec<(String, String)>,
+}
+
+impl SecurityRequirement {
+    /// Roles permitted by this requirement, in table order.
+    #[must_use]
+    pub fn roles(&self) -> Vec<&str> {
+        self.permitted.iter().map(|(r, _)| r.as_str()).collect()
+    }
+
+    /// Usergroups permitted by this requirement, in table order.
+    #[must_use]
+    pub fn usergroups(&self) -> Vec<&str> {
+        self.permitted.iter().map(|(_, g)| g.as_str()).collect()
+    }
+}
+
+/// The full requirements table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SecurityRequirementsTable {
+    /// Requirement row-groups, in table order.
+    pub requirements: Vec<SecurityRequirement>,
+}
+
+impl SecurityRequirementsTable {
+    /// Create an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a requirement (builder style).
+    pub fn add(&mut self, req: SecurityRequirement) -> &mut Self {
+        self.requirements.push(req);
+        self
+    }
+
+    /// The requirement for a (resource, method) pair, case-insensitive on
+    /// the resource name (the paper's table says `Volume`, the model says
+    /// `volume`).
+    #[must_use]
+    pub fn requirement_for(
+        &self,
+        resource: &str,
+        method: HttpMethod,
+    ) -> Option<&SecurityRequirement> {
+        self.requirements
+            .iter()
+            .find(|r| r.resource.eq_ignore_ascii_case(resource) && r.method == method)
+    }
+
+    /// The requirement with the given id.
+    #[must_use]
+    pub fn by_id(&self, id: &str) -> Option<&SecurityRequirement> {
+        self.requirements.iter().find(|r| r.id == id)
+    }
+
+    /// Compile into a policy file with `resource:method` action names
+    /// (lowercase), e.g. `volume:delete -> role:admin`.
+    #[must_use]
+    pub fn to_policy(&self) -> PolicyFile {
+        let mut pf = PolicyFile::new();
+        for req in &self.requirements {
+            let action = format!(
+                "{}:{}",
+                req.resource.to_ascii_lowercase(),
+                req.method.as_str().to_ascii_lowercase()
+            );
+            pf.set(action, Rule::any_role(req.roles()));
+        }
+        pf
+    }
+
+    /// Synthesise the OCL authorization guard for a (resource, method)
+    /// pair: a disjunction `user.groups = 'r1' or user.groups = 'r2' …`
+    /// over the permitted *roles* — the paper's guard vocabulary
+    /// (Figure 3 uses the role names `admin`, `member` as group labels).
+    ///
+    /// Returns `None` when the table has no entry for the pair, meaning
+    /// the method must be rejected outright.
+    #[must_use]
+    pub fn guard(&self, resource: &str, method: HttpMethod) -> Option<Expr> {
+        let req = self.requirement_for(resource, method)?;
+        let disjuncts: Vec<Expr> = req
+            .roles()
+            .iter()
+            .map(|role| Expr::Binary {
+                op: BinOp::Eq,
+                lhs: Box::new(Expr::nav_path("user", &["groups"])),
+                rhs: Box::new(Expr::Str((*role).to_string())),
+            })
+            .collect();
+        Some(Expr::any_of(disjuncts))
+    }
+
+    /// Render the table in the paper's Table I layout.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| {:<8} | {:<6} | {:<7} | {:<6} | {:<18} |",
+            "Resource", "SecReq", "Request", "Role", "UserGroup"
+        );
+        let _ = writeln!(out, "|{}|{}|{}|{}|{}|", "-".repeat(10), "-".repeat(8), "-".repeat(9), "-".repeat(8), "-".repeat(20));
+        let mut last_resource = String::new();
+        for req in &self.requirements {
+            let mut first_row = true;
+            for (role, group) in &req.permitted {
+                let resource_cell = if req.resource != last_resource && first_row {
+                    req.resource.clone()
+                } else {
+                    String::new()
+                };
+                let (id_cell, method_cell) = if first_row {
+                    (req.id.clone(), req.method.to_string())
+                } else {
+                    (String::new(), String::new())
+                };
+                let _ = writeln!(
+                    out,
+                    "| {:<8} | {:<6} | {:<7} | {:<6} | {:<18} |",
+                    resource_cell, id_cell, method_cell, role, group
+                );
+                first_row = false;
+                last_resource = req.resource.clone();
+            }
+        }
+        out
+    }
+}
+
+/// The paper's Table I: security requirements for the Cinder API excerpt.
+#[must_use]
+pub fn cinder_table1() -> SecurityRequirementsTable {
+    let mut t = SecurityRequirementsTable::new();
+    t.add(SecurityRequirement {
+        resource: "Volume".into(),
+        id: "1.1".into(),
+        method: HttpMethod::Get,
+        permitted: vec![
+            ("admin".into(), "proj_administrator".into()),
+            ("member".into(), "service_architect".into()),
+            ("user".into(), "business_analyst".into()),
+        ],
+    });
+    t.add(SecurityRequirement {
+        resource: "Volume".into(),
+        id: "1.2".into(),
+        method: HttpMethod::Put,
+        permitted: vec![
+            ("admin".into(), "proj_administrator".into()),
+            ("member".into(), "service_architect".into()),
+        ],
+    });
+    t.add(SecurityRequirement {
+        resource: "Volume".into(),
+        id: "1.3".into(),
+        method: HttpMethod::Post,
+        permitted: vec![
+            ("admin".into(), "proj_administrator".into()),
+            ("member".into(), "service_architect".into()),
+        ],
+    });
+    t.add(SecurityRequirement {
+        resource: "Volume".into(),
+        id: "1.4".into(),
+        method: HttpMethod::Delete,
+        permitted: vec![("admin".into(), "proj_administrator".into())],
+    });
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_ocl::to_string as ocl_to_string;
+
+    #[test]
+    fn table1_has_four_requirements() {
+        let t = cinder_table1();
+        assert_eq!(t.requirements.len(), 4);
+        assert_eq!(t.by_id("1.4").unwrap().method, HttpMethod::Delete);
+    }
+
+    #[test]
+    fn requirement_lookup_is_case_insensitive() {
+        let t = cinder_table1();
+        assert!(t.requirement_for("volume", HttpMethod::Get).is_some());
+        assert!(t.requirement_for("Volume", HttpMethod::Get).is_some());
+        assert!(t.requirement_for("server", HttpMethod::Get).is_none());
+    }
+
+    #[test]
+    fn delete_permits_only_admin() {
+        let t = cinder_table1();
+        let req = t.requirement_for("volume", HttpMethod::Delete).unwrap();
+        assert_eq!(req.roles(), vec!["admin"]);
+        assert_eq!(req.usergroups(), vec!["proj_administrator"]);
+    }
+
+    #[test]
+    fn get_permits_all_three_roles() {
+        let t = cinder_table1();
+        let req = t.requirement_for("volume", HttpMethod::Get).unwrap();
+        assert_eq!(req.roles(), vec!["admin", "member", "user"]);
+    }
+
+    #[test]
+    fn to_policy_builds_role_disjunctions() {
+        use crate::token::TokenInfo;
+        let pf = cinder_table1().to_policy();
+        let admin = TokenInfo {
+            token: "t".into(),
+            user_id: 1,
+            user_name: "a".into(),
+            project_id: 1,
+            roles: vec!["admin".into()],
+            groups: vec![],
+        };
+        let user = TokenInfo { roles: vec!["user".into()], ..admin.clone() };
+        use crate::policy::DefaultDecision;
+        assert!(pf.check("volume:delete", &admin, DefaultDecision::Deny));
+        assert!(!pf.check("volume:delete", &user, DefaultDecision::Deny));
+        assert!(pf.check("volume:get", &user, DefaultDecision::Deny));
+        assert!(pf.check("volume:post", &admin, DefaultDecision::Deny));
+    }
+
+    #[test]
+    fn guard_synthesises_role_disjunction() {
+        let t = cinder_table1();
+        let g = t.guard("volume", HttpMethod::Put).unwrap();
+        assert_eq!(
+            ocl_to_string(&g),
+            "user.groups = 'admin' or user.groups = 'member'"
+        );
+        let g_del = t.guard("volume", HttpMethod::Delete).unwrap();
+        assert_eq!(ocl_to_string(&g_del), "user.groups = 'admin'");
+        assert!(t.guard("server", HttpMethod::Get).is_none());
+    }
+
+    #[test]
+    fn render_matches_paper_layout() {
+        let text = cinder_table1().render();
+        assert!(text.contains("Resource"), "{text}");
+        assert!(text.contains("1.4"));
+        assert!(text.contains("DELETE"));
+        assert!(text.contains("proj_administrator"));
+        assert!(text.contains("business_analyst"));
+        // Resource name appears once (grouped rows).
+        assert_eq!(text.matches("Volume").count(), 1, "{text}");
+    }
+}
+
+/// The extended requirements table: Table I plus the snapshot resource
+/// (SecReq 2.1–2.3), matching the extended Cinder models.
+#[must_use]
+pub fn cinder_table_extended() -> SecurityRequirementsTable {
+    let mut t = cinder_table1();
+    t.add(SecurityRequirement {
+        resource: "Snapshot".into(),
+        id: "2.1".into(),
+        method: HttpMethod::Get,
+        permitted: vec![
+            ("admin".into(), "proj_administrator".into()),
+            ("member".into(), "service_architect".into()),
+            ("user".into(), "business_analyst".into()),
+        ],
+    });
+    t.add(SecurityRequirement {
+        resource: "Snapshot".into(),
+        id: "2.2".into(),
+        method: HttpMethod::Post,
+        permitted: vec![
+            ("admin".into(), "proj_administrator".into()),
+            ("member".into(), "service_architect".into()),
+        ],
+    });
+    t.add(SecurityRequirement {
+        resource: "Snapshot".into(),
+        id: "2.3".into(),
+        method: HttpMethod::Delete,
+        permitted: vec![("admin".into(), "proj_administrator".into())],
+    });
+    t
+}
+
+#[cfg(test)]
+mod extended_table_tests {
+    use super::*;
+
+    #[test]
+    fn extended_table_adds_snapshot_rows() {
+        let t = cinder_table_extended();
+        assert_eq!(t.requirements.len(), 7);
+        assert_eq!(
+            t.requirement_for("snapshot", HttpMethod::Delete).unwrap().roles(),
+            vec!["admin"]
+        );
+        let policy = t.to_policy();
+        assert!(policy.rule("snapshot:post").is_some());
+        assert!(policy.rule("volume:delete").is_some());
+    }
+
+    #[test]
+    fn extended_render_groups_by_resource() {
+        let text = cinder_table_extended().render();
+        assert_eq!(text.matches("Volume").count(), 1);
+        assert_eq!(text.matches("Snapshot").count(), 1);
+        assert!(text.contains("2.3"));
+    }
+}

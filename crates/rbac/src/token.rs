@@ -1,0 +1,295 @@
+//! Keystone-style token service.
+//!
+//! "Cinder uses Keystone service to validate the user's credentials and
+//! authorization requests" (paper, Section IV). The token service issues
+//! scoped tokens (user × project) after password authentication and
+//! validates them on each request, returning the user's effective roles
+//! and groups in the scoped project.
+
+use crate::identity::{IdentityStore, RoleName};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Data bound to a validated token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenInfo {
+    /// The token string itself.
+    pub token: String,
+    /// User id.
+    pub user_id: u64,
+    /// User name.
+    pub user_name: String,
+    /// Project the token is scoped to.
+    pub project_id: u64,
+    /// Effective roles in the project.
+    pub roles: Vec<RoleName>,
+    /// Usergroups of the user.
+    pub groups: Vec<String>,
+}
+
+impl TokenInfo {
+    /// True if the token holds `role` in its project.
+    #[must_use]
+    pub fn has_role(&self, role: &str) -> bool {
+        self.roles.iter().any(|r| r == role)
+    }
+}
+
+/// Errors raised when issuing or validating tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenError {
+    /// Bad user name or password.
+    InvalidCredentials,
+    /// The project does not exist.
+    UnknownProject(u64),
+    /// The token is unknown, expired or revoked.
+    InvalidToken,
+}
+
+impl fmt::Display for TokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenError::InvalidCredentials => write!(f, "invalid credentials"),
+            TokenError::UnknownProject(id) => write!(f, "unknown project `{id}`"),
+            TokenError::InvalidToken => write!(f, "invalid token"),
+        }
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+/// The token service. Owns no identity data; it is given an
+/// [`IdentityStore`] reference per call so identity mutations (e.g. fault
+/// injection) take effect immediately, as they would in a live Keystone.
+///
+/// Tokens expire after a configurable number of logical *ticks*
+/// ([`TokenService::advance_time`]); the default lifetime is effectively
+/// unlimited so tests that don't care about expiry never see it.
+#[derive(Debug, Clone)]
+pub struct TokenService {
+    tokens: HashMap<String, TokenInfo>,
+    issued_at: HashMap<String, u64>,
+    counter: u64,
+    now: u64,
+    lifetime: u64,
+}
+
+impl Default for TokenService {
+    fn default() -> Self {
+        TokenService {
+            tokens: HashMap::new(),
+            issued_at: HashMap::new(),
+            counter: 0,
+            now: 0,
+            lifetime: u64::MAX,
+        }
+    }
+}
+
+impl TokenService {
+    /// Create an empty token service.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the token lifetime in logical ticks (Keystone's
+    /// `[token] expiration`). Tokens older than this fail validation.
+    #[must_use]
+    pub fn with_lifetime(mut self, ticks: u64) -> Self {
+        self.lifetime = ticks;
+        self
+    }
+
+    /// Advance the logical clock (the simulator has no wall clock — time
+    /// is a test input, as it should be).
+    pub fn advance_time(&mut self, ticks: u64) {
+        self.now = self.now.saturating_add(ticks);
+    }
+
+    /// Authenticate and issue a token scoped to `project_id`.
+    ///
+    /// # Errors
+    ///
+    /// [`TokenError::InvalidCredentials`] on bad user/password,
+    /// [`TokenError::UnknownProject`] when the project does not exist.
+    pub fn issue(
+        &mut self,
+        store: &IdentityStore,
+        user_name: &str,
+        password: &str,
+        project_id: u64,
+    ) -> Result<TokenInfo, TokenError> {
+        let user = store
+            .authenticate(user_name, password)
+            .ok_or(TokenError::InvalidCredentials)?;
+        if store.project(project_id).is_none() {
+            return Err(TokenError::UnknownProject(project_id));
+        }
+        let roles = store
+            .roles_of(user_name, project_id)
+            .map_err(|_| TokenError::InvalidCredentials)?;
+        self.counter += 1;
+        let token = format!("tok-{:08}", self.counter);
+        self.issued_at.insert(token.clone(), self.now);
+        let info = TokenInfo {
+            token: token.clone(),
+            user_id: user.id,
+            user_name: user.name.clone(),
+            project_id,
+            roles,
+            groups: user.groups.clone(),
+        };
+        self.tokens.insert(token, info.clone());
+        Ok(info)
+    }
+
+    /// Validate a token, refreshing its role view from the current
+    /// identity store (so a role reassignment is visible without
+    /// re-authentication — matching Keystone's validate-on-use model).
+    ///
+    /// # Errors
+    ///
+    /// [`TokenError::InvalidToken`] when the token is unknown or revoked.
+    pub fn validate(
+        &self,
+        store: &IdentityStore,
+        token: &str,
+    ) -> Result<TokenInfo, TokenError> {
+        let cached = self.tokens.get(token).ok_or(TokenError::InvalidToken)?;
+        let issued = self.issued_at.get(token).copied().unwrap_or(0);
+        if self.now.saturating_sub(issued) >= self.lifetime {
+            return Err(TokenError::InvalidToken);
+        }
+        let roles = store
+            .roles_of(&cached.user_name, cached.project_id)
+            .map_err(|_| TokenError::InvalidToken)?;
+        Ok(TokenInfo { roles, ..cached.clone() })
+    }
+
+    /// Revoke a token; returns whether it existed.
+    pub fn revoke(&mut self, token: &str) -> bool {
+        self.issued_at.remove(token);
+        self.tokens.remove(token).is_some()
+    }
+
+    /// Number of live tokens.
+    #[must_use]
+    pub fn live_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::my_project_fixture;
+
+    #[test]
+    fn issue_and_validate() {
+        let (store, pid) = my_project_fixture();
+        let mut svc = TokenService::new();
+        let info = svc.issue(&store, "alice", "alice-pw", pid).unwrap();
+        assert!(info.has_role("admin"));
+        let validated = svc.validate(&store, &info.token).unwrap();
+        assert_eq!(validated.user_name, "alice");
+        assert_eq!(validated.project_id, pid);
+        assert_eq!(validated.groups, vec!["proj_administrator"]);
+    }
+
+    #[test]
+    fn bad_password_rejected() {
+        let (store, pid) = my_project_fixture();
+        let mut svc = TokenService::new();
+        assert_eq!(
+            svc.issue(&store, "alice", "nope", pid),
+            Err(TokenError::InvalidCredentials)
+        );
+    }
+
+    #[test]
+    fn unknown_project_rejected() {
+        let (store, _) = my_project_fixture();
+        let mut svc = TokenService::new();
+        assert_eq!(
+            svc.issue(&store, "alice", "alice-pw", 999),
+            Err(TokenError::UnknownProject(999))
+        );
+    }
+
+    #[test]
+    fn unknown_token_rejected() {
+        let (store, _) = my_project_fixture();
+        let svc = TokenService::new();
+        assert_eq!(svc.validate(&store, "tok-zzz"), Err(TokenError::InvalidToken));
+    }
+
+    #[test]
+    fn revoked_token_rejected() {
+        let (store, pid) = my_project_fixture();
+        let mut svc = TokenService::new();
+        let info = svc.issue(&store, "bob", "bob-pw", pid).unwrap();
+        assert!(svc.revoke(&info.token));
+        assert!(!svc.revoke(&info.token));
+        assert_eq!(svc.validate(&store, &info.token), Err(TokenError::InvalidToken));
+    }
+
+    #[test]
+    fn validation_sees_role_reassignment() {
+        let (mut store, pid) = my_project_fixture();
+        let mut svc = TokenService::new();
+        let info = svc.issue(&store, "carol", "carol-pw", pid).unwrap();
+        assert_eq!(info.roles, vec!["user"]);
+        store.set_group_role(pid, "business_analyst", "admin").unwrap();
+        let refreshed = svc.validate(&store, &info.token).unwrap();
+        assert_eq!(refreshed.roles, vec!["admin"]);
+    }
+
+    #[test]
+    fn tokens_are_unique() {
+        let (store, pid) = my_project_fixture();
+        let mut svc = TokenService::new();
+        let a = svc.issue(&store, "alice", "alice-pw", pid).unwrap();
+        let b = svc.issue(&store, "alice", "alice-pw", pid).unwrap();
+        assert_ne!(a.token, b.token);
+        assert_eq!(svc.live_tokens(), 2);
+    }
+}
+
+#[cfg(test)]
+mod expiry_tests {
+    use super::*;
+    use crate::identity::my_project_fixture;
+
+    #[test]
+    fn tokens_expire_after_lifetime() {
+        let (store, pid) = my_project_fixture();
+        let mut svc = TokenService::new().with_lifetime(10);
+        let info = svc.issue(&store, "alice", "alice-pw", pid).unwrap();
+        assert!(svc.validate(&store, &info.token).is_ok());
+        svc.advance_time(9);
+        assert!(svc.validate(&store, &info.token).is_ok());
+        svc.advance_time(1);
+        assert_eq!(svc.validate(&store, &info.token), Err(TokenError::InvalidToken));
+    }
+
+    #[test]
+    fn fresh_tokens_outlive_expired_ones() {
+        let (store, pid) = my_project_fixture();
+        let mut svc = TokenService::new().with_lifetime(5);
+        let old = svc.issue(&store, "bob", "bob-pw", pid).unwrap();
+        svc.advance_time(5);
+        let fresh = svc.issue(&store, "bob", "bob-pw", pid).unwrap();
+        assert!(svc.validate(&store, &old.token).is_err());
+        assert!(svc.validate(&store, &fresh.token).is_ok());
+    }
+
+    #[test]
+    fn default_lifetime_never_expires() {
+        let (store, pid) = my_project_fixture();
+        let mut svc = TokenService::new();
+        let info = svc.issue(&store, "carol", "carol-pw", pid).unwrap();
+        svc.advance_time(u64::MAX / 2);
+        assert!(svc.validate(&store, &info.token).is_ok());
+    }
+}

@@ -1,0 +1,46 @@
+//! # cm-rest — REST plumbing for the cloud monitor
+//!
+//! The REST layer shared by the monitor, the cloud simulator and the code
+//! generator:
+//!
+//! * [`Json`] — a hand-written JSON value type with parser/serializer
+//!   (object member order preserved);
+//! * [`StatusCode`] — the response-code vocabulary the monitor interprets;
+//! * [`UriTemplate`] — literal/parameter path templates with matching and
+//!   rendering;
+//! * [`RouteTable`] — route derivation from a [`cm_model::ResourceModel`]
+//!   by traversing association role names (the paper's `urls.py` step);
+//! * [`RestRequest`]/[`RestResponse`]/[`RestService`] — the abstract
+//!   messages exchanged between monitor and cloud, independent of the wire
+//!   transport in [`cm_httpkit`](https://docs.rs/cm-httpkit).
+//!
+//! ## Example
+//!
+//! ```
+//! use cm_model::{cinder, HttpMethod};
+//! use cm_rest::{Resolution, RouteTable};
+//!
+//! let table = RouteTable::derive(&cinder::resource_model(), "/v3");
+//! match table.resolve(HttpMethod::Delete, "/v3/4/volumes/7") {
+//!     Resolution::Matched { route, params } => {
+//!         assert_eq!(route.resource, "volume");
+//!         assert_eq!(params["volume_id"], "7");
+//!     }
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+pub mod message;
+pub mod route;
+pub mod status;
+pub mod uri;
+
+pub use json::{parse_json, Json, JsonError};
+pub use message::{RestRequest, RestResponse, RestService, AUTH_TOKEN_HEADER};
+pub use route::{Resolution, Route, RouteTable};
+pub use status::StatusCode;
+pub use uri::{Segment, UriTemplate};

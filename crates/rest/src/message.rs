@@ -1,0 +1,203 @@
+//! Abstract REST request/response messages.
+//!
+//! These transport-independent messages are what the monitor, the cloud
+//! simulator and the HTTP layer exchange: a method + path + headers + JSON
+//! body, and a status + headers + JSON body back. The `X-Auth-Token`
+//! header carries the Keystone-style token, as in OpenStack.
+
+use crate::json::Json;
+use crate::status::StatusCode;
+use cm_model::HttpMethod;
+use std::fmt;
+
+/// Name of the authentication token header (OpenStack convention).
+pub const AUTH_TOKEN_HEADER: &str = "X-Auth-Token";
+
+/// An abstract REST request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestRequest {
+    /// HTTP method.
+    pub method: HttpMethod,
+    /// Request path, e.g. `/v3/4/volumes/7`.
+    pub path: String,
+    /// Headers as name/value pairs; names are case-insensitive on lookup.
+    pub headers: Vec<(String, String)>,
+    /// Optional JSON body.
+    pub body: Option<Json>,
+}
+
+impl RestRequest {
+    /// Create a request with no headers or body.
+    #[must_use]
+    pub fn new(method: HttpMethod, path: impl Into<String>) -> Self {
+        RestRequest { method, path: path.into(), headers: Vec::new(), body: None }
+    }
+
+    /// Builder: set a header.
+    #[must_use]
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Builder: set the auth token header.
+    #[must_use]
+    pub fn auth_token(self, token: impl Into<String>) -> Self {
+        self.header(AUTH_TOKEN_HEADER, token)
+    }
+
+    /// Builder: set the JSON body.
+    #[must_use]
+    pub fn json(mut self, body: Json) -> Self {
+        self.body = Some(body);
+        self
+    }
+
+    /// Case-insensitive header lookup.
+    #[must_use]
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The auth token, if present.
+    #[must_use]
+    pub fn token(&self) -> Option<&str> {
+        self.header_value(AUTH_TOKEN_HEADER)
+    }
+}
+
+impl fmt::Display for RestRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.method, self.path)
+    }
+}
+
+/// An abstract REST response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestResponse {
+    /// Status code.
+    pub status: StatusCode,
+    /// Headers.
+    pub headers: Vec<(String, String)>,
+    /// Optional JSON body.
+    pub body: Option<Json>,
+}
+
+impl RestResponse {
+    /// A response with the given status and no body.
+    #[must_use]
+    pub fn status(status: StatusCode) -> Self {
+        RestResponse { status, headers: Vec::new(), body: None }
+    }
+
+    /// A 200 OK response with a JSON body.
+    #[must_use]
+    pub fn ok(body: Json) -> Self {
+        RestResponse { status: StatusCode::OK, headers: Vec::new(), body: Some(body) }
+    }
+
+    /// A 201 Created response with a JSON body.
+    #[must_use]
+    pub fn created(body: Json) -> Self {
+        RestResponse { status: StatusCode::CREATED, headers: Vec::new(), body: Some(body) }
+    }
+
+    /// A 204 No Content response.
+    #[must_use]
+    pub fn no_content() -> Self {
+        RestResponse::status(StatusCode::NO_CONTENT)
+    }
+
+    /// An error response carrying a JSON `{"error": {"code", "message"}}`
+    /// body in the OpenStack style.
+    #[must_use]
+    pub fn error(status: StatusCode, message: impl Into<String>) -> Self {
+        let body = Json::object(vec![(
+            "error",
+            Json::object(vec![
+                ("code", Json::Int(i64::from(status.0))),
+                ("message", Json::Str(message.into())),
+            ]),
+        )]);
+        RestResponse { status, headers: Vec::new(), body: Some(body) }
+    }
+
+    /// Builder: add a header.
+    #[must_use]
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Case-insensitive header lookup.
+    #[must_use]
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The error message from an OpenStack-style error body, if present.
+    #[must_use]
+    pub fn error_message(&self) -> Option<&str> {
+        self.body.as_ref()?.get("error")?.get("message")?.as_str()
+    }
+}
+
+impl fmt::Display for RestResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.status)
+    }
+}
+
+/// Anything that can serve abstract REST requests: the cloud simulator, the
+/// monitor wrapper, or a remote HTTP client adapter.
+pub trait RestService {
+    /// Handle one request.
+    fn handle(&mut self, request: &RestRequest) -> RestResponse;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder_and_lookup() {
+        let r = RestRequest::new(HttpMethod::Delete, "/v3/4/volumes/7")
+            .auth_token("tok-123")
+            .header("Accept", "application/json");
+        assert_eq!(r.token(), Some("tok-123"));
+        assert_eq!(r.header_value("accept"), Some("application/json"));
+        assert_eq!(r.header_value("x-auth-token"), Some("tok-123"));
+        assert_eq!(r.to_string(), "DELETE /v3/4/volumes/7");
+    }
+
+    #[test]
+    fn response_constructors() {
+        assert_eq!(RestResponse::no_content().status, StatusCode::NO_CONTENT);
+        let ok = RestResponse::ok(Json::Int(1));
+        assert_eq!(ok.status, StatusCode::OK);
+        assert_eq!(ok.body, Some(Json::Int(1)));
+    }
+
+    #[test]
+    fn error_body_shape() {
+        let e = RestResponse::error(StatusCode::FORBIDDEN, "not allowed");
+        assert_eq!(e.error_message(), Some("not allowed"));
+        assert_eq!(
+            e.body.unwrap().get("error").unwrap().get("code").unwrap().as_int(),
+            Some(403)
+        );
+    }
+
+    #[test]
+    fn missing_headers_are_none() {
+        let r = RestRequest::new(HttpMethod::Get, "/");
+        assert!(r.token().is_none());
+        assert!(r.header_value("anything").is_none());
+    }
+}

@@ -1,0 +1,408 @@
+//! Route derivation from the resource model.
+//!
+//! Implements the paper's `urls.py` step: "By traversing the tags on the
+//! associations between the resources, we compose the paths of each
+//! resource. We always start from the corresponding collection, especially
+//! if we are referencing an item in the collection."
+//!
+//! Derivation starts from the root resource definitions (those with no
+//! incoming association). A collection target contributes its role name as
+//! a literal segment and its contained resource adds an `{<name>_id}`
+//! parameter; a to-one association contributes just its role name; a
+//! to-many association to a normal resource contributes the role plus an id
+//! parameter.
+
+use crate::uri::UriTemplate;
+use cm_model::{HttpMethod, Multiplicity, ResourceKind, ResourceModel, UpperBound};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A derived route: a resource definition reachable at a URI template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Resource-definition name served at this route.
+    pub resource: String,
+    /// Whether the definition is a collection.
+    pub kind: ResourceKind,
+    /// The URI template.
+    pub template: UriTemplate,
+    /// Methods permitted at this route.
+    pub methods: Vec<HttpMethod>,
+    /// Name of the contained resource definition (collections only).
+    pub contained: Option<String>,
+}
+
+impl Route {
+    /// The resource-definition name that a `method` request to this route
+    /// acts upon — POST to a collection creates an instance of the
+    /// *contained* definition, so the behavioural trigger is on that name.
+    #[must_use]
+    pub fn trigger_resource(&self, method: HttpMethod) -> &str {
+        match (&self.contained, method) {
+            (Some(contained), HttpMethod::Post) => contained,
+            _ => &self.resource,
+        }
+    }
+}
+
+/// Outcome of resolving a request against a [`RouteTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution<'a> {
+    /// No route matches the path.
+    NotFound,
+    /// A route matches but does not permit the method; carries the
+    /// permitted methods for the `Allow` header.
+    MethodNotAllowed {
+        /// The matched route.
+        route: &'a Route,
+    },
+    /// Route matched; parameters captured from the path.
+    Matched {
+        /// The matched route.
+        route: &'a Route,
+        /// Captured path parameters, e.g. `volume_id -> "7"`.
+        params: HashMap<String, String>,
+    },
+}
+
+/// A table of derived routes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RouteTable {
+    routes: Vec<Route>,
+}
+
+impl RouteTable {
+    /// Derive the route table from a resource model.
+    ///
+    /// `prefix` is prepended to every template (e.g. `/v3`). Root
+    /// *collections* contribute no literal segment — matching the Cinder
+    /// paths `/v3/{project_id}/volumes/{volume_id}` where the `Projects`
+    /// collection is implicit; root *normal* definitions contribute their
+    /// name.
+    #[must_use]
+    pub fn derive(model: &ResourceModel, prefix: &str) -> RouteTable {
+        let mut table = RouteTable::default();
+        let base = UriTemplate::parse(prefix);
+        let roots: Vec<String> = model.roots().map(|d| d.name.clone()).collect();
+        for root in roots {
+            let mut visited = Vec::new();
+            table.derive_into(model, &root, base.clone(), true, &mut visited);
+        }
+        table
+    }
+
+    fn derive_into(
+        &mut self,
+        model: &ResourceModel,
+        def_name: &str,
+        path_so_far: UriTemplate,
+        is_root: bool,
+        visited: &mut Vec<String>,
+    ) {
+        if visited.iter().any(|v| v == def_name) {
+            return; // cycle guard
+        }
+        visited.push(def_name.to_string());
+
+        let Some(def) = model.definition(def_name) else {
+            visited.pop();
+            return;
+        };
+
+        match def.kind {
+            ResourceKind::Collection => {
+                // Root collections are implicit; nested ones already got
+                // their role segment from the caller.
+                let collection_path = path_so_far;
+                let contained = model
+                    .outgoing(&def.name)
+                    .find(|a| a.multiplicity == Multiplicity::ZERO_MANY)
+                    .map(|a| a.target.clone());
+                if !is_root {
+                    self.routes.push(Route {
+                        resource: def.name.clone(),
+                        kind: ResourceKind::Collection,
+                        template: collection_path.clone(),
+                        methods: vec![HttpMethod::Get, HttpMethod::Post],
+                        contained: contained.clone(),
+                    });
+                }
+                if let Some(contained_name) = contained {
+                    let item_path =
+                        collection_path.param(format!("{contained_name}_id"));
+                    self.routes.push(Route {
+                        resource: contained_name.clone(),
+                        kind: ResourceKind::Normal,
+                        template: item_path.clone(),
+                        methods: vec![HttpMethod::Get, HttpMethod::Put, HttpMethod::Delete],
+                        contained: None,
+                    });
+                    // Recurse into the contained resource's associations.
+                    self.derive_children(model, &contained_name, item_path, visited);
+                }
+            }
+            ResourceKind::Normal => {
+                let path = if is_root {
+                    path_so_far.literal(def.name.clone())
+                } else {
+                    path_so_far
+                };
+                self.routes.push(Route {
+                    resource: def.name.clone(),
+                    kind: ResourceKind::Normal,
+                    template: path.clone(),
+                    methods: vec![HttpMethod::Get, HttpMethod::Put, HttpMethod::Delete],
+                    contained: None,
+                });
+                self.derive_children(model, &def.name, path, visited);
+            }
+        }
+        visited.pop();
+    }
+
+    fn derive_children(
+        &mut self,
+        model: &ResourceModel,
+        def_name: &str,
+        base: UriTemplate,
+        visited: &mut Vec<String>,
+    ) {
+        let assocs: Vec<_> = model.outgoing(def_name).cloned().collect();
+        for a in assocs {
+            let Some(target) = model.definition(&a.target) else { continue };
+            match target.kind {
+                ResourceKind::Collection => {
+                    let collection_path = base.clone().literal(a.role.clone());
+                    // Route for the collection itself, then its items.
+                    let contained = model
+                        .outgoing(&target.name)
+                        .find(|x| x.multiplicity == Multiplicity::ZERO_MANY)
+                        .map(|x| x.target.clone());
+                    self.routes.push(Route {
+                        resource: target.name.clone(),
+                        kind: ResourceKind::Collection,
+                        template: collection_path.clone(),
+                        methods: vec![HttpMethod::Get, HttpMethod::Post],
+                        contained: contained.clone(),
+                    });
+                    if let Some(contained_name) = contained {
+                        if visited.iter().any(|v| v == &contained_name) {
+                            continue;
+                        }
+                        visited.push(contained_name.clone());
+                        let item_path =
+                            collection_path.param(format!("{contained_name}_id"));
+                        self.routes.push(Route {
+                            resource: contained_name.clone(),
+                            kind: ResourceKind::Normal,
+                            template: item_path.clone(),
+                            methods: vec![
+                                HttpMethod::Get,
+                                HttpMethod::Put,
+                                HttpMethod::Delete,
+                            ],
+                            contained: None,
+                        });
+                        self.derive_children(model, &contained_name, item_path, visited);
+                        visited.pop();
+                    }
+                }
+                ResourceKind::Normal => {
+                    if visited.iter().any(|v| v == &target.name) {
+                        continue;
+                    }
+                    let to_many = matches!(a.multiplicity.upper, UpperBound::Many)
+                        || matches!(a.multiplicity.upper, UpperBound::Finite(n) if n > 1);
+                    let path = if to_many {
+                        base.clone()
+                            .literal(a.role.clone())
+                            .param(format!("{}_id", target.name))
+                    } else {
+                        base.clone().literal(a.role.clone())
+                    };
+                    visited.push(target.name.clone());
+                    self.routes.push(Route {
+                        resource: target.name.clone(),
+                        kind: ResourceKind::Normal,
+                        template: path.clone(),
+                        methods: vec![HttpMethod::Get, HttpMethod::Put, HttpMethod::Delete],
+                        contained: None,
+                    });
+                    self.derive_children(model, &target.name, path, visited);
+                    visited.pop();
+                }
+            }
+        }
+    }
+
+    /// All routes, in derivation order.
+    #[must_use]
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// First route serving the given resource definition.
+    #[must_use]
+    pub fn route_for(&self, resource: &str) -> Option<&Route> {
+        self.routes.iter().find(|r| r.resource == resource)
+    }
+
+    /// The route on which a behavioural trigger is exercised: the route
+    /// that permits the method *and* whose acted-on resource matches —
+    /// e.g. `POST(volume)` resolves to the `Volumes` collection route,
+    /// `DELETE(volume)` to the volume item route.
+    #[must_use]
+    pub fn route_for_trigger(&self, method: HttpMethod, resource: &str) -> Option<&Route> {
+        self.routes
+            .iter()
+            .find(|r| r.methods.contains(&method) && r.trigger_resource(method) == resource)
+    }
+
+    /// Resolve a method + path against the table.
+    #[must_use]
+    pub fn resolve(&self, method: HttpMethod, path: &str) -> Resolution<'_> {
+        for route in &self.routes {
+            if let Some(params) = route.template.match_path(path) {
+                if route.methods.contains(&method) {
+                    return Resolution::Matched { route, params };
+                }
+                return Resolution::MethodNotAllowed { route };
+            }
+        }
+        Resolution::NotFound
+    }
+}
+
+impl fmt::Display for RouteTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.routes.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            let methods: Vec<&str> = r.methods.iter().map(|m| m.as_str()).collect();
+            write!(f, "{} [{}] -> {}", r.template, methods.join(", "), r.resource)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_model::cinder;
+
+    fn cinder_table() -> RouteTable {
+        RouteTable::derive(&cinder::resource_model(), "/v3")
+    }
+
+    #[test]
+    fn derives_cinder_paths() {
+        let table = cinder_table();
+        let templates: Vec<String> =
+            table.routes().iter().map(|r| r.template.to_string()).collect();
+        assert!(templates.contains(&"/v3/{project_id}".to_string()), "{templates:?}");
+        assert!(templates.contains(&"/v3/{project_id}/volumes".to_string()));
+        assert!(
+            templates.contains(&"/v3/{project_id}/volumes/{volume_id}".to_string()),
+            "{templates:?}"
+        );
+        assert!(templates.contains(&"/v3/{project_id}/quota_sets".to_string()));
+        assert!(templates
+            .contains(&"/v3/{project_id}/usergroup/{usergroup_id}".to_string()));
+    }
+
+    #[test]
+    fn volume_route_permits_paper_methods() {
+        let table = cinder_table();
+        let volume = table.route_for("volume").unwrap();
+        assert_eq!(
+            volume.methods,
+            vec![HttpMethod::Get, HttpMethod::Put, HttpMethod::Delete]
+        );
+        let volumes = table.route_for("Volumes").unwrap();
+        assert_eq!(volumes.methods, vec![HttpMethod::Get, HttpMethod::Post]);
+    }
+
+    #[test]
+    fn resolve_matches_volume_item() {
+        let table = cinder_table();
+        match table.resolve(HttpMethod::Delete, "/v3/4/volumes/7") {
+            Resolution::Matched { route, params } => {
+                assert_eq!(route.resource, "volume");
+                assert_eq!(params["project_id"], "4");
+                assert_eq!(params["volume_id"], "7");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolve_method_not_allowed() {
+        let table = cinder_table();
+        match table.resolve(HttpMethod::Delete, "/v3/4/volumes") {
+            Resolution::MethodNotAllowed { route } => {
+                assert_eq!(route.resource, "Volumes");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolve_not_found() {
+        let table = cinder_table();
+        assert_eq!(
+            table.resolve(HttpMethod::Get, "/v3/4/servers/1"),
+            Resolution::NotFound
+        );
+    }
+
+    #[test]
+    fn post_on_collection_triggers_contained_resource() {
+        let table = cinder_table();
+        let volumes = table.route_for("Volumes").unwrap();
+        assert_eq!(volumes.trigger_resource(HttpMethod::Post), "volume");
+        assert_eq!(volumes.trigger_resource(HttpMethod::Get), "Volumes");
+        let volume = table.route_for("volume").unwrap();
+        assert_eq!(volume.trigger_resource(HttpMethod::Delete), "volume");
+    }
+
+    #[test]
+    fn display_lists_routes() {
+        let table = cinder_table();
+        let text = table.to_string();
+        assert!(text.contains("/v3/{project_id}/volumes/{volume_id} [GET, PUT, DELETE] -> volume"));
+    }
+
+    #[test]
+    fn cyclic_models_terminate() {
+        use cm_model::{Association, AttrType, Attribute, ResourceDef, ResourceModel};
+        let mut m = ResourceModel::new("cyclic");
+        m.define(ResourceDef::normal("a", vec![Attribute::new("x", AttrType::Int)]))
+            .define(ResourceDef::normal("b", vec![Attribute::new("y", AttrType::Int)]))
+            .associate(Association::new("b", "a", "b", Multiplicity::ONE))
+            .associate(Association::new("a", "b", "a", Multiplicity::ONE));
+        // must not loop forever; `a` is a root (no incoming? both have incoming)
+        let table = RouteTable::derive(&m, "/api");
+        // Fully cyclic model has no roots, so no routes — fine, just terminate.
+        assert!(table.routes().len() < 10);
+    }
+}
+
+#[cfg(test)]
+mod trigger_route_tests {
+    use super::*;
+    use cm_model::cinder;
+
+    #[test]
+    fn trigger_routes_pick_collection_for_post() {
+        let table = RouteTable::derive(&cinder::resource_model(), "/v3");
+        let post = table.route_for_trigger(HttpMethod::Post, "volume").unwrap();
+        assert_eq!(post.template.to_string(), "/v3/{project_id}/volumes");
+        let delete = table.route_for_trigger(HttpMethod::Delete, "volume").unwrap();
+        assert_eq!(
+            delete.template.to_string(),
+            "/v3/{project_id}/volumes/{volume_id}"
+        );
+        assert!(table.route_for_trigger(HttpMethod::Delete, "Volumes").is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! HTTP status codes as interpreted by the cloud monitor.
+//!
+//! The monitor "interprets the response codes of different resources to
+//! analyse how the request went" (paper, Section III-A). This newtype
+//! carries the codes the paper names (200, 403, 404, …) plus the rest of
+//! the common vocabulary the simulator emits.
+
+use std::fmt;
+
+/// An HTTP response status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200 OK — "the request was successful".
+    pub const OK: StatusCode = StatusCode(200);
+    /// 201 Created — resource created by POST.
+    pub const CREATED: StatusCode = StatusCode(201);
+    /// 202 Accepted — request accepted for asynchronous processing.
+    pub const ACCEPTED: StatusCode = StatusCode(202);
+    /// 204 No Content — e.g. successful DELETE (Listing 2 checks this).
+    pub const NO_CONTENT: StatusCode = StatusCode(204);
+    /// 400 Bad Request.
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// 401 Unauthorized — missing/invalid credentials.
+    pub const UNAUTHORIZED: StatusCode = StatusCode(401);
+    /// 403 Forbidden — "it is forbidden to make this request".
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
+    /// 404 Not Found — "the resource was not found".
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 405 Method Not Allowed.
+    pub const METHOD_NOT_ALLOWED: StatusCode = StatusCode(405);
+    /// 409 Conflict — e.g. deleting an attached volume.
+    pub const CONFLICT: StatusCode = StatusCode(409);
+    /// 412 Precondition Failed — the monitor's pre-condition verdict.
+    pub const PRECONDITION_FAILED: StatusCode = StatusCode(412);
+    /// 413 Request Entity Too Large — quota exceeded (OpenStack uses 413).
+    pub const OVER_LIMIT: StatusCode = StatusCode(413);
+    /// 500 Internal Server Error.
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    /// 502 Bad Gateway — the monitor could not reach the cloud.
+    pub const BAD_GATEWAY: StatusCode = StatusCode(502);
+
+    /// True for 2xx codes.
+    #[must_use]
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// True for 4xx codes.
+    #[must_use]
+    pub fn is_client_error(self) -> bool {
+        (400..500).contains(&self.0)
+    }
+
+    /// True for 5xx codes.
+    #[must_use]
+    pub fn is_server_error(self) -> bool {
+        (500..600).contains(&self.0)
+    }
+
+    /// Canonical reason phrase.
+    #[must_use]
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            201 => "Created",
+            202 => "Accepted",
+            204 => "No Content",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            412 => "Precondition Failed",
+            413 => "Request Entity Too Large",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+impl From<u16> for StatusCode {
+    fn from(code: u16) -> Self {
+        StatusCode(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_codes() {
+        assert!(StatusCode::OK.is_success());
+        assert!(StatusCode::NO_CONTENT.is_success());
+        assert!(StatusCode::FORBIDDEN.is_client_error());
+        assert!(StatusCode::INTERNAL_SERVER_ERROR.is_server_error());
+        assert!(!StatusCode::OK.is_client_error());
+    }
+
+    #[test]
+    fn reason_phrases() {
+        assert_eq!(StatusCode::NOT_FOUND.to_string(), "404 Not Found");
+        assert_eq!(StatusCode(599).reason(), "Unknown");
+    }
+
+    #[test]
+    fn from_u16() {
+        assert_eq!(StatusCode::from(204), StatusCode::NO_CONTENT);
+    }
+}

@@ -1,0 +1,218 @@
+//! URI templates and path matching.
+//!
+//! The paper composes each resource's URI "by traversing the tags on the
+//! associations between the resources … always starting from the
+//! corresponding collection" (Section VI). A [`UriTemplate`] is a sequence
+//! of literal and parameter segments (`/v3/{project_id}/volumes/{volume_id}`)
+//! that can be rendered with concrete identifiers or matched against an
+//! incoming request path, capturing the parameters.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One segment of a URI template.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Segment {
+    /// A fixed path segment, e.g. `volumes`.
+    Literal(String),
+    /// A captured parameter, e.g. `{volume_id}` with name `volume_id`.
+    Param(String),
+}
+
+/// A URI template: an ordered list of segments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct UriTemplate {
+    segments: Vec<Segment>,
+}
+
+impl UriTemplate {
+    /// The empty template (renders as `/`).
+    #[must_use]
+    pub fn root() -> Self {
+        UriTemplate::default()
+    }
+
+    /// Parse a template string such as `/v3/{project_id}/volumes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `{` segment is not closed; templates are
+    /// developer-provided constants, so this is a programming error.
+    #[must_use]
+    pub fn parse(template: &str) -> Self {
+        let mut t = UriTemplate::default();
+        for seg in template.split('/').filter(|s| !s.is_empty()) {
+            if let Some(inner) = seg.strip_prefix('{') {
+                let name = inner
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("unclosed parameter segment `{seg}`"));
+                t.segments.push(Segment::Param(name.to_string()));
+            } else {
+                t.segments.push(Segment::Literal(seg.to_string()));
+            }
+        }
+        t
+    }
+
+    /// Append a literal segment.
+    #[must_use]
+    pub fn literal(mut self, seg: impl Into<String>) -> Self {
+        self.segments.push(Segment::Literal(seg.into()));
+        self
+    }
+
+    /// Append a parameter segment.
+    #[must_use]
+    pub fn param(mut self, name: impl Into<String>) -> Self {
+        self.segments.push(Segment::Param(name.into()));
+        self
+    }
+
+    /// The segments.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Parameter names, in order.
+    pub fn params(&self) -> impl Iterator<Item = &str> {
+        self.segments.iter().filter_map(|s| match s {
+            Segment::Param(p) => Some(p.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Match a concrete path, capturing parameters. Trailing slashes on the
+    /// path are ignored. Returns `None` when the path does not match.
+    #[must_use]
+    pub fn match_path(&self, path: &str) -> Option<HashMap<String, String>> {
+        let parts: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        if parts.len() != self.segments.len() {
+            return None;
+        }
+        let mut captures = HashMap::new();
+        for (seg, part) in self.segments.iter().zip(&parts) {
+            match seg {
+                Segment::Literal(lit) => {
+                    if lit != part {
+                        return None;
+                    }
+                }
+                Segment::Param(name) => {
+                    captures.insert(name.clone(), (*part).to_string());
+                }
+            }
+        }
+        Some(captures)
+    }
+
+    /// Render the template with concrete parameter values.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first missing parameter.
+    pub fn render(&self, params: &HashMap<String, String>) -> Result<String, String> {
+        let mut out = String::new();
+        for seg in &self.segments {
+            out.push('/');
+            match seg {
+                Segment::Literal(lit) => out.push_str(lit),
+                Segment::Param(name) => match params.get(name) {
+                    Some(v) => out.push_str(v),
+                    None => return Err(name.clone()),
+                },
+            }
+        }
+        if out.is_empty() {
+            out.push('/');
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for UriTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.segments.is_empty() {
+            return write!(f, "/");
+        }
+        for seg in &self.segments {
+            match seg {
+                Segment::Literal(lit) => write!(f, "/{lit}")?,
+                Segment::Param(name) => write!(f, "/{{{name}}}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let t = UriTemplate::parse("/v3/{project_id}/volumes/{volume_id}");
+        assert_eq!(t.to_string(), "/v3/{project_id}/volumes/{volume_id}");
+    }
+
+    #[test]
+    fn matches_and_captures() {
+        let t = UriTemplate::parse("/v3/{project_id}/volumes/{volume_id}");
+        let caps = t.match_path("/v3/4/volumes/7").unwrap();
+        assert_eq!(caps["project_id"], "4");
+        assert_eq!(caps["volume_id"], "7");
+    }
+
+    #[test]
+    fn trailing_slash_is_ignored() {
+        let t = UriTemplate::parse("/v3/{project_id}/volumes");
+        assert!(t.match_path("/v3/4/volumes/").is_some());
+    }
+
+    #[test]
+    fn mismatched_paths_do_not_match() {
+        let t = UriTemplate::parse("/v3/{project_id}/volumes");
+        assert!(t.match_path("/v3/4").is_none());
+        assert!(t.match_path("/v3/4/servers").is_none());
+        assert!(t.match_path("/v3/4/volumes/7").is_none());
+    }
+
+    #[test]
+    fn renders_with_params() {
+        let t = UriTemplate::parse("/v3/{project_id}/volumes/{volume_id}");
+        let mut p = HashMap::new();
+        p.insert("project_id".to_string(), "4".to_string());
+        p.insert("volume_id".to_string(), "7".to_string());
+        assert_eq!(t.render(&p).unwrap(), "/v3/4/volumes/7");
+    }
+
+    #[test]
+    fn render_reports_missing_param() {
+        let t = UriTemplate::parse("/{a}/{b}");
+        let mut p = HashMap::new();
+        p.insert("a".to_string(), "1".to_string());
+        assert_eq!(t.render(&p).unwrap_err(), "b");
+    }
+
+    #[test]
+    fn root_template() {
+        let t = UriTemplate::root();
+        assert_eq!(t.to_string(), "/");
+        assert!(t.match_path("/").is_some());
+        assert!(t.match_path("/x").is_none());
+        assert_eq!(t.render(&HashMap::new()).unwrap(), "/");
+    }
+
+    #[test]
+    fn builder_api() {
+        let t = UriTemplate::root().literal("v3").param("project_id").literal("volumes");
+        assert_eq!(t.to_string(), "/v3/{project_id}/volumes");
+        assert_eq!(t.params().collect::<Vec<_>>(), vec!["project_id"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed parameter")]
+    fn unclosed_param_panics() {
+        let _ = UriTemplate::parse("/{oops");
+    }
+}

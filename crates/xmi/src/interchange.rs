@@ -1,0 +1,462 @@
+//! XMI import/export for resource and behavioural models.
+//!
+//! The paper's toolchain exports MagicDraw models as XMI and feeds the file
+//! to the generator (Figure 4). This module defines the XMI subset we
+//! interchange: a `xmi:XMI` root wrapping a `uml:Model`, with
+//! `packagedElement` entries of `xmi:type` `uml:Class`, `uml:Association`
+//! and `uml:StateMachine`. OCL (invariants, guards, effects) is embedded as
+//! element text; security-requirement annotations travel as `ownedComment`
+//! elements, exactly as they appear as comments in the paper's diagrams.
+
+use crate::xml::{parse_document, Element, XmlError};
+use cm_model::{
+    Association, AttrType, Attribute, BehavioralModel, HttpMethod, Multiplicity, ResourceDef,
+    ResourceModel, State, Transition, TransitionBuilder, Trigger, UpperBound,
+};
+use cm_ocl::{parse as parse_ocl, to_string as ocl_to_string, Expr};
+use std::fmt;
+
+/// Namespace attributes stamped on exported documents.
+const XMI_NS: &str = "http://www.omg.org/XMI";
+const UML_NS: &str = "http://www.omg.org/spec/UML";
+
+/// An error raised while importing an XMI document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XmiError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl XmiError {
+    fn new(message: impl Into<String>) -> Self {
+        XmiError { message: message.into() }
+    }
+}
+
+impl fmt::Display for XmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XMI error: {}", self.message)
+    }
+}
+
+impl std::error::Error for XmiError {}
+
+impl From<XmlError> for XmiError {
+    fn from(e: XmlError) -> Self {
+        XmiError::new(e.to_string())
+    }
+}
+
+impl From<cm_ocl::ParseError> for XmiError {
+    fn from(e: cm_ocl::ParseError) -> Self {
+        XmiError::new(format!("embedded OCL does not parse: {e}"))
+    }
+}
+
+/// A pair of models as interchanged in one XMI document. Either part may be
+/// absent (the analyst may model only the critical viewpoint).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct XmiDocument {
+    /// The resource model, if present.
+    pub resources: Option<ResourceModel>,
+    /// The behavioural models, in document order.
+    pub behaviors: Vec<BehavioralModel>,
+}
+
+/// Export a resource model and any number of behavioural models into one
+/// XMI document string.
+#[must_use]
+pub fn export(resources: Option<&ResourceModel>, behaviors: &[&BehavioralModel]) -> String {
+    let mut model_el = Element::new("uml:Model");
+    if let Some(r) = resources {
+        model_el.attributes.push(("name".into(), r.name.clone()));
+        for d in &r.definitions {
+            model_el.children.push(crate::xml::Node::Element(export_class(d)));
+        }
+        for a in &r.associations {
+            model_el.children.push(crate::xml::Node::Element(export_association(a)));
+        }
+    } else {
+        model_el.attributes.push(("name".into(), "model".into()));
+    }
+    for b in behaviors {
+        model_el.children.push(crate::xml::Node::Element(export_state_machine(b)));
+    }
+    Element::new("xmi:XMI")
+        .attr("xmi:version", "2.1")
+        .attr("xmlns:xmi", XMI_NS)
+        .attr("xmlns:uml", UML_NS)
+        .child(model_el)
+        .to_xml()
+}
+
+fn export_class(d: &ResourceDef) -> Element {
+    let mut e = Element::new("packagedElement")
+        .attr("xmi:type", "uml:Class")
+        .attr("name", &d.name)
+        .attr(
+            "stereotype",
+            match d.kind {
+                cm_model::ResourceKind::Collection => "collection",
+                cm_model::ResourceKind::Normal => "resource",
+            },
+        );
+    for a in &d.attributes {
+        e = e.child(
+            Element::new("ownedAttribute")
+                .attr("name", &a.name)
+                .attr("type", a.ty.name())
+                .attr("visibility", "public"),
+        );
+    }
+    e
+}
+
+fn export_association(a: &Association) -> Element {
+    let upper = match a.multiplicity.upper {
+        UpperBound::Finite(n) => n.to_string(),
+        UpperBound::Many => "*".to_string(),
+    };
+    Element::new("packagedElement")
+        .attr("xmi:type", "uml:Association")
+        .attr("name", &a.role)
+        .attr("source", &a.source)
+        .attr("target", &a.target)
+        .attr("lower", a.multiplicity.lower.to_string())
+        .attr("upper", upper)
+}
+
+fn export_state_machine(b: &BehavioralModel) -> Element {
+    let mut e = Element::new("packagedElement")
+        .attr("xmi:type", "uml:StateMachine")
+        .attr("name", &b.name)
+        .attr("context", &b.context)
+        .attr("initial", &b.initial);
+    for s in &b.states {
+        e = e.child(
+            Element::new("subvertex")
+                .attr("xmi:type", "uml:State")
+                .attr("name", &s.name)
+                .child(Element::new("invariant").text(ocl_to_string(&s.invariant))),
+        );
+    }
+    for t in &b.transitions {
+        let mut tr = Element::new("transition")
+            .attr("xmi:id", &t.id)
+            .attr("source", &t.source)
+            .attr("target", &t.target)
+            .child(
+                Element::new("trigger")
+                    .attr("method", t.trigger.method.as_str())
+                    .attr("resource", &t.trigger.resource),
+            );
+        if let Some(g) = &t.guard {
+            tr = tr.child(Element::new("guard").text(ocl_to_string(g)));
+        }
+        if let Some(eff) = &t.effect {
+            tr = tr.child(Element::new("effect").text(ocl_to_string(eff)));
+        }
+        for req in &t.security_requirements {
+            tr = tr.child(Element::new("ownedComment").attr("body", format!("SecReq {req}")));
+        }
+        e = e.child(tr);
+    }
+    e
+}
+
+/// Import an XMI document string.
+///
+/// # Errors
+///
+/// Returns [`XmiError`] on malformed XML, missing `uml:Model`, unknown
+/// `xmi:type`s, unparsable embedded OCL, or structurally invalid elements
+/// (e.g. a transition without a trigger).
+pub fn import(src: &str) -> Result<XmiDocument, XmiError> {
+    let root = parse_document(src)?;
+    if root.name != "xmi:XMI" {
+        return Err(XmiError::new(format!("expected root `xmi:XMI`, found `{}`", root.name)));
+    }
+    let model = root
+        .first_child("uml:Model")
+        .ok_or_else(|| XmiError::new("missing `uml:Model` element"))?;
+
+    let mut resources = ResourceModel::new(model.attribute("name").unwrap_or("model"));
+    let mut has_resources = false;
+    let mut behaviors = Vec::new();
+
+    for pe in model.children_named("packagedElement") {
+        match pe.attribute("xmi:type") {
+            Some("uml:Class") => {
+                has_resources = true;
+                resources.define(import_class(pe)?);
+            }
+            Some("uml:Association") => {
+                has_resources = true;
+                resources.associate(import_association(pe)?);
+            }
+            Some("uml:StateMachine") => behaviors.push(import_state_machine(pe)?),
+            Some(other) => {
+                return Err(XmiError::new(format!("unsupported xmi:type `{other}`")));
+            }
+            None => return Err(XmiError::new("packagedElement without xmi:type")),
+        }
+    }
+
+    Ok(XmiDocument { resources: has_resources.then_some(resources), behaviors })
+}
+
+fn import_class(e: &Element) -> Result<ResourceDef, XmiError> {
+    let name = e
+        .attribute("name")
+        .ok_or_else(|| XmiError::new("uml:Class without name"))?
+        .to_string();
+    let kind = match e.attribute("stereotype") {
+        Some("collection") => cm_model::ResourceKind::Collection,
+        Some("resource") | None => cm_model::ResourceKind::Normal,
+        Some(other) => {
+            return Err(XmiError::new(format!("unknown class stereotype `{other}`")))
+        }
+    };
+    let mut attributes = Vec::new();
+    for oa in e.children_named("ownedAttribute") {
+        let aname = oa
+            .attribute("name")
+            .ok_or_else(|| XmiError::new(format!("attribute of `{name}` without name")))?;
+        let ty = match oa.attribute("type") {
+            Some("String") | None => AttrType::Str,
+            Some("Integer") => AttrType::Int,
+            Some("Real") => AttrType::Real,
+            Some("Boolean") => AttrType::Bool,
+            Some(other) => {
+                return Err(XmiError::new(format!("unknown attribute type `{other}`")))
+            }
+        };
+        attributes.push(Attribute::new(aname, ty));
+    }
+    Ok(ResourceDef { name, kind, attributes })
+}
+
+fn import_association(e: &Element) -> Result<Association, XmiError> {
+    let get = |attr: &str| -> Result<&str, XmiError> {
+        e.attribute(attr)
+            .ok_or_else(|| XmiError::new(format!("uml:Association without `{attr}`")))
+    };
+    let lower: u32 = get("lower")?
+        .parse()
+        .map_err(|_| XmiError::new("association `lower` is not a number"))?;
+    let upper = match get("upper")? {
+        "*" => None,
+        n => Some(
+            n.parse::<u32>()
+                .map_err(|_| XmiError::new("association `upper` is not a number or `*`"))?,
+        ),
+    };
+    Ok(Association::new(
+        get("name")?,
+        get("source")?,
+        get("target")?,
+        Multiplicity::new(lower, upper),
+    ))
+}
+
+fn import_ocl_child(e: &Element, tag: &str) -> Result<Option<Expr>, XmiError> {
+    match e.first_child(tag) {
+        None => Ok(None),
+        Some(child) => {
+            let text = child.text_content();
+            if text.is_empty() {
+                return Err(XmiError::new(format!("`{tag}` element with empty OCL body")));
+            }
+            Ok(Some(parse_ocl(&text)?))
+        }
+    }
+}
+
+fn import_state_machine(e: &Element) -> Result<BehavioralModel, XmiError> {
+    let name = e
+        .attribute("name")
+        .ok_or_else(|| XmiError::new("uml:StateMachine without name"))?;
+    let context = e
+        .attribute("context")
+        .ok_or_else(|| XmiError::new("uml:StateMachine without context"))?;
+    let initial = e
+        .attribute("initial")
+        .ok_or_else(|| XmiError::new("uml:StateMachine without initial state"))?;
+    let mut model = BehavioralModel::new(name, context, initial);
+
+    for sv in e.children_named("subvertex") {
+        let sname = sv
+            .attribute("name")
+            .ok_or_else(|| XmiError::new("subvertex without name"))?;
+        let invariant = import_ocl_child(sv, "invariant")?
+            .unwrap_or(Expr::Bool(true));
+        model.state(State::new(sname, invariant));
+    }
+
+    for (i, tr) in e.children_named("transition").enumerate() {
+        model.transition(import_transition(tr, i)?);
+    }
+    Ok(model)
+}
+
+fn import_transition(tr: &Element, index: usize) -> Result<Transition, XmiError> {
+    let id = tr
+        .attribute("xmi:id")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("t{index}"));
+    let source = tr
+        .attribute("source")
+        .ok_or_else(|| XmiError::new(format!("transition `{id}` without source")))?;
+    let target = tr
+        .attribute("target")
+        .ok_or_else(|| XmiError::new(format!("transition `{id}` without target")))?;
+    let trig_el = tr
+        .first_child("trigger")
+        .ok_or_else(|| XmiError::new(format!("transition `{id}` without trigger")))?;
+    let method: HttpMethod = trig_el
+        .attribute("method")
+        .ok_or_else(|| XmiError::new(format!("trigger of `{id}` without method")))?
+        .parse()
+        .map_err(|e| XmiError::new(format!("trigger of `{id}`: {e}")))?;
+    let resource = trig_el
+        .attribute("resource")
+        .ok_or_else(|| XmiError::new(format!("trigger of `{id}` without resource")))?;
+
+    let mut builder =
+        TransitionBuilder::new(&id, source, Trigger::new(method, resource), target);
+    if let Some(g) = import_ocl_child(tr, "guard")? {
+        builder = builder.guard(g);
+    }
+    if let Some(eff) = import_ocl_child(tr, "effect")? {
+        builder = builder.effect(eff);
+    }
+    for c in tr.children_named("ownedComment") {
+        if let Some(body) = c.attribute("body") {
+            if let Some(req) = body.strip_prefix("SecReq ") {
+                builder = builder.security_requirement(req.trim());
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_model::cinder;
+
+    #[test]
+    fn cinder_models_roundtrip() {
+        let resources = cinder::resource_model();
+        let behavior = cinder::behavioral_model();
+        let xml = export(Some(&resources), &[&behavior]);
+        let doc = import(&xml).unwrap();
+        assert_eq!(doc.resources.as_ref(), Some(&resources));
+        assert_eq!(doc.behaviors.len(), 1);
+        assert_eq!(doc.behaviors[0], behavior);
+    }
+
+    #[test]
+    fn resource_only_roundtrip() {
+        let resources = cinder::resource_model();
+        let xml = export(Some(&resources), &[]);
+        let doc = import(&xml).unwrap();
+        assert_eq!(doc.resources, Some(resources));
+        assert!(doc.behaviors.is_empty());
+    }
+
+    #[test]
+    fn behavior_only_roundtrip() {
+        let behavior = cinder::behavioral_model();
+        let xml = export(None, &[&behavior]);
+        let doc = import(&xml).unwrap();
+        assert!(doc.resources.is_none());
+        assert_eq!(doc.behaviors, vec![behavior]);
+    }
+
+    #[test]
+    fn security_requirements_survive_roundtrip() {
+        let behavior = cinder::behavioral_model();
+        let xml = export(None, &[&behavior]);
+        assert!(xml.contains("SecReq 1.4"));
+        let doc = import(&xml).unwrap();
+        let ids = doc.behaviors[0].security_requirement_ids();
+        assert!(ids.contains(&"1.4".to_string()));
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        assert!(import("<uml:Model/>").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_model() {
+        assert!(import("<xmi:XMI/>").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_packaged_element() {
+        let xml = r#"<xmi:XMI><uml:Model name="m">
+            <packagedElement xmi:type="uml:Actor" name="x"/>
+        </uml:Model></xmi:XMI>"#;
+        let err = import(xml).unwrap_err();
+        assert!(err.message.contains("uml:Actor"));
+    }
+
+    #[test]
+    fn rejects_bad_embedded_ocl() {
+        let xml = r#"<xmi:XMI><uml:Model name="m">
+            <packagedElement xmi:type="uml:StateMachine" name="b" context="p" initial="s">
+              <subvertex xmi:type="uml:State" name="s">
+                <invariant>this is (not OCL</invariant>
+              </subvertex>
+            </packagedElement>
+        </uml:Model></xmi:XMI>"#;
+        let err = import(xml).unwrap_err();
+        assert!(err.message.contains("OCL"));
+    }
+
+    #[test]
+    fn rejects_transition_without_trigger() {
+        let xml = r#"<xmi:XMI><uml:Model name="m">
+            <packagedElement xmi:type="uml:StateMachine" name="b" context="p" initial="s">
+              <subvertex xmi:type="uml:State" name="s"><invariant>true</invariant></subvertex>
+              <transition xmi:id="t1" source="s" target="s"/>
+            </packagedElement>
+        </uml:Model></xmi:XMI>"#;
+        let err = import(xml).unwrap_err();
+        assert!(err.message.contains("trigger"));
+    }
+
+    #[test]
+    fn transition_without_id_gets_indexed_id() {
+        let xml = r#"<xmi:XMI><uml:Model name="m">
+            <packagedElement xmi:type="uml:StateMachine" name="b" context="p" initial="s">
+              <subvertex xmi:type="uml:State" name="s"><invariant>true</invariant></subvertex>
+              <transition source="s" target="s">
+                <trigger method="GET" resource="volume"/>
+              </transition>
+            </packagedElement>
+        </uml:Model></xmi:XMI>"#;
+        let doc = import(xml).unwrap();
+        assert_eq!(doc.behaviors[0].transitions[0].id, "t0");
+    }
+
+    #[test]
+    fn state_without_invariant_defaults_to_true() {
+        let xml = r#"<xmi:XMI><uml:Model name="m">
+            <packagedElement xmi:type="uml:StateMachine" name="b" context="p" initial="s">
+              <subvertex xmi:type="uml:State" name="s"/>
+            </packagedElement>
+        </uml:Model></xmi:XMI>"#;
+        let doc = import(xml).unwrap();
+        assert_eq!(doc.behaviors[0].states[0].invariant, Expr::Bool(true));
+    }
+
+    #[test]
+    fn exported_document_declares_namespaces() {
+        let xml = export(Some(&cinder::resource_model()), &[]);
+        assert!(xml.contains("xmlns:xmi"));
+        assert!(xml.contains("xmi:version=\"2.1\""));
+    }
+}

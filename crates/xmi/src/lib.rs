@@ -1,0 +1,38 @@
+//! # cm-xmi — XMI interchange for cloud-monitor models
+//!
+//! The paper's toolchain (Figure 4) starts from MagicDraw UML models
+//! exported as XMI. This crate provides the interchange layer of the Rust
+//! reproduction:
+//!
+//! * [`xml`] — a minimal, dependency-free XML parser and writer (elements,
+//!   attributes, text, CDATA, comments, the predefined entities and numeric
+//!   character references; DTDs are rejected);
+//! * [`import`]/[`export`] — an XMI 2.1 subset mapping `uml:Class`,
+//!   `uml:Association` and `uml:StateMachine` packaged elements to
+//!   [`cm_model::ResourceModel`] and [`cm_model::BehavioralModel`], with
+//!   OCL embedded as element text and security-requirement annotations as
+//!   `ownedComment`s.
+//!
+//! Export → import is lossless for every model the metamodel can express
+//! (round-trip tested on the paper's Cinder models).
+//!
+//! ## Example
+//!
+//! ```
+//! use cm_model::cinder;
+//! use cm_xmi::{export, import};
+//!
+//! let xml = export(Some(&cinder::resource_model()), &[&cinder::behavioral_model()]);
+//! let doc = import(&xml)?;
+//! assert_eq!(doc.behaviors.len(), 1);
+//! # Ok::<(), cm_xmi::XmiError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod interchange;
+pub mod xml;
+
+pub use interchange::{export, import, XmiDocument, XmiError};
+pub use xml::{parse_document, Element, Node, XmlError};

@@ -1,0 +1,583 @@
+//! A minimal, dependency-free XML parser and writer.
+//!
+//! Hand-written so the workspace stays within its approved dependency set
+//! (see DESIGN.md). The subset implemented is what XMI interchange files
+//! need: elements, attributes (single- or double-quoted), character data,
+//! comments, processing instructions / XML declarations, CDATA sections and
+//! the five predefined entities plus numeric character references.
+//! DTDs and external entities are intentionally rejected.
+
+use std::fmt;
+
+/// A parsed XML element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name, possibly namespace-prefixed (`uml:Model`).
+    pub name: String,
+    /// Attributes, in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes, in document order.
+    pub children: Vec<Node>,
+}
+
+/// A node of the XML tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Character data (entity references already resolved).
+    Text(String),
+}
+
+impl Element {
+    /// Create an element with no attributes or children.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder: add an attribute.
+    #[must_use]
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Builder: add a child element.
+    #[must_use]
+    pub fn child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder: add a text child.
+    #[must_use]
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Value of the attribute `name`, if present.
+    #[must_use]
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements with the given tag name.
+    pub fn children_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter_map(move |n| match n {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// First child element with the given tag name.
+    #[must_use]
+    pub fn first_child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// All child elements regardless of name.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Concatenated text content of direct text children, trimmed.
+    #[must_use]
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// Serialise to a string with an XML declaration and 2-space
+    /// indentation.
+    #[must_use]
+    pub fn to_xml(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.write_indented(&mut out, 0);
+        out
+    }
+
+    fn write_indented(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (n, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(n);
+            out.push_str("=\"");
+            out.push_str(&escape_attr(v));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        // Pure-text elements render inline; mixed/element content indents.
+        let only_text = self.children.iter().all(|c| matches!(c, Node::Text(_)));
+        if only_text {
+            out.push('>');
+            for c in &self.children {
+                if let Node::Text(t) = c {
+                    out.push_str(&escape_text(t));
+                }
+            }
+            out.push_str("</");
+            out.push_str(&self.name);
+            out.push_str(">\n");
+            return;
+        }
+        out.push_str(">\n");
+        for c in &self.children {
+            match c {
+                Node::Element(e) => e.write_indented(out, depth + 1),
+                Node::Text(t) => {
+                    let trimmed = t.trim();
+                    if !trimmed.is_empty() {
+                        out.push_str(&"  ".repeat(depth + 1));
+                        out.push_str(&escape_text(trimmed));
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out.push_str(&pad);
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+/// Escape text content (`&`, `<`, `>`).
+#[must_use]
+pub fn escape_text(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Escape an attribute value (`&`, `<`, `>`, `"`).
+#[must_use]
+pub fn escape_attr(s: &str) -> String {
+    escape_text(s).replace('"', "&quot;")
+}
+
+/// An XML parsing error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parse an XML document into its root element.
+///
+/// # Errors
+///
+/// Returns [`XmlError`] on malformed markup, mismatched tags, DTDs
+/// (`<!DOCTYPE …>` is rejected for safety), unknown entities, or trailing
+/// content after the root element.
+pub fn parse_document(src: &str) -> Result<Element, XmlError> {
+    let mut p = XmlParser { src: src.as_bytes(), pos: 0, depth: 0 };
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if p.pos < p.src.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+/// Maximum element nesting accepted (recursive-descent DoS guard).
+const MAX_DEPTH: usize = 256;
+
+struct XmlParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl XmlParser<'_> {
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError { message: message.into(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip the XML declaration, comments, PIs and whitespace before the
+    /// root element. Rejects DOCTYPE.
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                return Err(self.err("DTDs are not supported"));
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skip trailing comments/PIs/whitespace after the root element.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), XmlError> {
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            if self.starts_with(end) {
+                self.pos += end.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        self.pos = start;
+        Err(self.err(format!("unterminated construct (expected `{end}`)")))
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ch = c as char;
+            if ch.is_ascii_alphanumeric() || matches!(ch, ':' | '_' | '-' | '.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, XmlError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("element nesting too deep"));
+        }
+        let out = self.parse_element_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_element_inner(&mut self) -> Result<Element, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected `<`"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name.clone());
+
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected `>` after `/`"));
+                    }
+                    self.pos += 1;
+                    return Ok(element); // self-closing
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err(format!("expected `=` after attribute `{attr_name}`")));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let vstart = self.pos;
+                    while self.peek() != Some(quote) {
+                        if self.peek().is_none() {
+                            return Err(self.err("unterminated attribute value"));
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.src[vstart..self.pos]).into_owned();
+                    self.pos += 1;
+                    let value = self.unescape(&raw)?;
+                    element.attributes.push((attr_name, value));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+
+        // Content until the matching close tag.
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(
+                        self.err(format!("mismatched close tag `{close}` (expected `{name}`)"))
+                    );
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected `>` in close tag"));
+                }
+                self.pos += 1;
+                return Ok(element);
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let start = self.pos;
+                while self.pos < self.src.len() && !self.starts_with("]]>") {
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return Err(self.err("unterminated CDATA section"));
+                }
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.pos += 3;
+                element.children.push(Node::Text(text));
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element()?;
+                element.children.push(Node::Element(child));
+            } else if self.peek().is_none() {
+                return Err(self.err(format!("unexpected end of input inside `{name}`")));
+            } else {
+                let start = self.pos;
+                while self.peek().is_some() && self.peek() != Some(b'<') {
+                    self.pos += 1;
+                }
+                let raw = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                let text = self.unescape(&raw)?;
+                if !text.trim().is_empty() {
+                    element.children.push(Node::Text(text));
+                }
+            }
+        }
+    }
+
+    fn unescape(&self, s: &str) -> Result<String, XmlError> {
+        if !s.contains('&') {
+            return Ok(s.to_string());
+        }
+        let mut out = String::with_capacity(s.len());
+        let mut rest = s;
+        while let Some(amp) = rest.find('&') {
+            out.push_str(&rest[..amp]);
+            rest = &rest[amp..];
+            let semi = rest
+                .find(';')
+                .ok_or_else(|| self.err("unterminated entity reference"))?;
+            let entity = &rest[1..semi];
+            match entity {
+                "amp" => out.push('&'),
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "quot" => out.push('"'),
+                "apos" => out.push('\''),
+                _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                    let code = u32::from_str_radix(&entity[2..], 16)
+                        .map_err(|_| self.err(format!("bad character reference `{entity}`")))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| self.err("invalid character reference"))?,
+                    );
+                }
+                _ if entity.starts_with('#') => {
+                    let code: u32 = entity[1..]
+                        .parse()
+                        .map_err(|_| self.err(format!("bad character reference `{entity}`")))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| self.err("invalid character reference"))?,
+                    );
+                }
+                other => {
+                    return Err(self.err(format!("unknown entity `&{other};`")));
+                }
+            }
+            rest = &rest[semi + 1..];
+        }
+        out.push_str(rest);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = parse_document(r#"<?xml version="1.0"?><a x="1"><b/>text</a>"#).unwrap();
+        assert_eq!(doc.name, "a");
+        assert_eq!(doc.attribute("x"), Some("1"));
+        assert_eq!(doc.children.len(), 2);
+        assert_eq!(doc.text_content(), "text");
+    }
+
+    #[test]
+    fn parses_nested_elements() {
+        let doc = parse_document("<a><b><c k='v'/></b></a>").unwrap();
+        let b = doc.first_child("b").unwrap();
+        let c = b.first_child("c").unwrap();
+        assert_eq!(c.attribute("k"), Some("v"));
+    }
+
+    #[test]
+    fn resolves_entities() {
+        let doc = parse_document("<a t=\"&lt;x&gt; &amp; &quot;y&quot;\">&apos;&#65;&#x42;</a>")
+            .unwrap();
+        assert_eq!(doc.attribute("t"), Some("<x> & \"y\""));
+        assert_eq!(doc.text_content(), "'AB");
+    }
+
+    #[test]
+    fn parses_cdata() {
+        let doc = parse_document("<a><![CDATA[x < y && z]]></a>").unwrap();
+        assert_eq!(doc.text_content(), "x < y && z");
+    }
+
+    #[test]
+    fn skips_comments_and_pis() {
+        let doc =
+            parse_document("<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><b/><?pi d?></a>")
+                .unwrap();
+        assert_eq!(doc.child_elements().count(), 1);
+    }
+
+    #[test]
+    fn rejects_doctype() {
+        assert!(parse_document("<!DOCTYPE html><a/>").is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        assert!(parse_document("<a>&nbsp;</a>").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        assert!(parse_document("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_input() {
+        assert!(parse_document("<a><b>").is_err());
+        assert!(parse_document("<a attr=>").is_err());
+        assert!(parse_document("<a attr='x>").is_err());
+    }
+
+    #[test]
+    fn namespaced_names_parse() {
+        let doc = parse_document(r#"<xmi:XMI xmlns:xmi="http://www.omg.org/XMI"/>"#).unwrap();
+        assert_eq!(doc.name, "xmi:XMI");
+        assert_eq!(doc.attribute("xmlns:xmi"), Some("http://www.omg.org/XMI"));
+    }
+
+    #[test]
+    fn writer_roundtrips() {
+        let e = Element::new("root")
+            .attr("a", "1 < 2 & \"q\"")
+            .child(Element::new("child").text("x & y"))
+            .child(Element::new("empty"));
+        let xml = e.to_xml();
+        let parsed = parse_document(&xml).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn writer_escapes() {
+        let e = Element::new("r").attr("a", "\"<>&");
+        let xml = e.to_xml();
+        assert!(xml.contains("&quot;&lt;&gt;&amp;"));
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let doc = parse_document("<a x='y'/>").unwrap();
+        assert_eq!(doc.attribute("x"), Some("y"));
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let doc = parse_document("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(doc.children.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod depth_tests {
+    use super::*;
+
+    #[test]
+    fn deep_nesting_rejected_gracefully() {
+        let mut doc = String::new();
+        for _ in 0..100_000 {
+            doc.push_str("<a>");
+        }
+        let err = parse_document(&doc).unwrap_err();
+        assert!(err.message.contains("too deep"));
+        // Moderate nesting is fine.
+        let ok = format!("{}{}", "<a>".repeat(50), "</a>".repeat(50));
+        assert!(parse_document(&ok).is_ok());
+    }
+}

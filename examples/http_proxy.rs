@@ -1,0 +1,113 @@
+//! Network proxy deployment — the paper's actual topology: the private
+//! cloud runs in one place (OpenStack in VirtualBox), the cloud monitor in
+//! another (the laptop), and clients drive it with cURL-style HTTP.
+//!
+//! Here both ends are real TCP servers on localhost: the simulated cloud
+//! is served over HTTP, the monitor wraps it through a remote-service
+//! adapter and is itself served over HTTP, and the client uses the
+//! `cm-httpkit` one-shot HTTP client.
+//!
+//! Run with: `cargo run --example http_proxy`
+
+use cm_cloudsim::PrivateCloud;
+use cm_core::CloudMonitor;
+use cm_httpkit::{send, HttpServer, RemoteService};
+use cm_model::{cinder, HttpMethod};
+use cm_rest::{Json, RestRequest, RestService};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The private cloud, served over HTTP (the "VirtualBox VM").
+    let cloud = Arc::new(Mutex::new(PrivateCloud::my_project()));
+    let pid = cloud.lock().project_id();
+    let cloud_for_server = Arc::clone(&cloud);
+    let cloud_server = HttpServer::bind(
+        "127.0.0.1:0",
+        Arc::new(move |req| cloud_for_server.lock().handle(&req)),
+    )?;
+    println!("private cloud listening on http://{}", cloud_server.local_addr());
+
+    // 2. The generated monitor, wrapping the cloud over the network and
+    //    itself served over HTTP (the paper's port 8000).
+    let remote_cloud = RemoteService::new(cloud_server.local_addr());
+    let mut monitor = CloudMonitor::generate(
+        &cinder::resource_model(),
+        &cinder::behavioral_model(),
+        None,
+        remote_cloud,
+    )?;
+    monitor.authenticate("alice", "alice-pw")?;
+    let monitor = Arc::new(Mutex::new(monitor));
+    let monitor_for_server = Arc::clone(&monitor);
+    let monitor_server = HttpServer::bind(
+        "127.0.0.1:0",
+        Arc::new(move |req| monitor_for_server.lock().handle(&req)),
+    )?;
+    let cm = monitor_server.local_addr();
+    println!("cloud monitor listening on http://{cm}\n");
+
+    // 3. Clients authenticate *through* the monitor…
+    let auth = send(
+        cm,
+        &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![(
+            "auth",
+            Json::object(vec![
+                ("user", Json::Str("alice".into())),
+                ("password", Json::Str("alice-pw".into())),
+            ]),
+        )])),
+    )?;
+    let alice = auth.body.as_ref().unwrap().get("token").unwrap().get("id").unwrap();
+    let alice = alice.as_str().unwrap().to_string();
+    let carol_auth = send(
+        cm,
+        &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![(
+            "auth",
+            Json::object(vec![
+                ("user", Json::Str("carol".into())),
+                ("password", Json::Str("carol-pw".into())),
+            ]),
+        )])),
+    )?;
+    let carol = carol_auth.body.as_ref().unwrap().get("token").unwrap().get("id").unwrap();
+    let carol = carol.as_str().unwrap().to_string();
+
+    // …and drive the volume API, e.g. the paper's
+    //   curl -X DELETE -d id=4 http://127.0.0.1:8000/cmonitor/volumes/4
+    let create = send(
+        cm,
+        &RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes"))
+            .auth_token(&alice)
+            .json(Json::object(vec![(
+                "volume",
+                Json::object(vec![("name", Json::Str("net-vol".into()))]),
+            )])),
+    )?;
+    println!("alice POST /v3/{pid}/volumes          -> {}", create.status);
+
+    let denied = send(
+        cm,
+        &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1")).auth_token(&carol),
+    )?;
+    println!(
+        "carol DELETE /v3/{pid}/volumes/1      -> {} ({})",
+        denied.status,
+        denied.error_message().unwrap_or("-")
+    );
+
+    let deleted = send(
+        cm,
+        &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1")).auth_token(&alice),
+    )?;
+    println!("alice DELETE /v3/{pid}/volumes/1      -> {}", deleted.status);
+
+    println!("\nmonitor verdicts:");
+    for r in monitor.lock().log() {
+        println!("  {} {:<20} -> {} [{}]", r.method, r.path, r.status, r.verdict);
+    }
+
+    monitor_server.shutdown();
+    cloud_server.shutdown();
+    Ok(())
+}

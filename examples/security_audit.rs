@@ -1,0 +1,49 @@
+//! Security audit — the *security expert* and *automated testing script*
+//! user stories (Section III-B, users 3–4): use the monitor as a test
+//! oracle to audit a cloud implementation, then reproduce the paper's
+//! Section VI-D mutation validation.
+//!
+//! Run with: `cargo run --example security_audit`
+
+use cm_cloudsim::PrivateCloud;
+use cm_core::TestOracle;
+use cm_mutation::{paper_mutants, run_campaign, standard_catalog};
+
+fn main() {
+    // 1. Audit the correct implementation: the oracle suite must be clean.
+    println!("== auditing the correct cloud implementation ==\n");
+    let baseline = TestOracle.run(PrivateCloud::my_project);
+    print!("{baseline}");
+    assert!(!baseline.killed(), "false positives on the correct cloud");
+
+    // 2. The paper's experiment: three wrong-authorization mutants.
+    println!("\n== Section VI-D: the paper's three mutants ==\n");
+    let paper = run_campaign(&paper_mutants());
+    for row in &paper.rows {
+        println!(
+            "{}: {} — {}",
+            row.mutant.id,
+            if row.killed { "KILLED" } else { "survived" },
+            row.mutant.description
+        );
+        if let Some(first) = row.killing_scenarios.first() {
+            println!("    detected by: {first}");
+        }
+    }
+    println!("\nresult: {}/{} killed (paper reports 3/3)", paper.killed(), paper.total());
+
+    // 3. Extended campaign with per-operator kill rates.
+    println!("\n== extended systematic campaign ==\n");
+    let extended = run_campaign(&standard_catalog());
+    for (class, killed, total) in extended.by_class() {
+        println!("  {:<22} {killed}/{total}", class.name());
+    }
+    println!(
+        "\noverall mutation score: {:.0}%  (authorization operators: {:.0}%)",
+        extended.score() * 100.0,
+        extended.authorization_score() * 100.0
+    );
+    for s in extended.survivors() {
+        println!("survivor: {} — {}", s.mutant.id, s.mutant.description);
+    }
+}

@@ -1,0 +1,37 @@
+//! # cloud-monitors — model-driven cloud security monitors
+//!
+//! A Rust reproduction of *"Generating Cloud Monitors from Models to
+//! Secure Clouds"* (Rauf & Troubitsyna, DSN 2018): UML/OCL design models
+//! of a REST cloud API are compiled into runtime **cloud monitors** —
+//! contract-checking proxies that validate the functional and security
+//! (RBAC) behaviour of a private cloud implementation.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`ocl`] | `cm-ocl` | the OCL subset (parser, evaluator, types) |
+//! | [`model`] | `cm-model` | resource + behavioural UML models |
+//! | [`xmi`] | `cm-xmi` | XMI interchange (hand-written XML layer) |
+//! | [`rest`] | `cm-rest` | JSON, URIs, routes, abstract REST messages |
+//! | [`rbac`] | `cm-rbac` | identity, tokens, policy.json, Table I |
+//! | [`cloudsim`] | `cm-cloudsim` | the OpenStack-like private cloud |
+//! | [`httpkit`] | `cm-httpkit` | HTTP/1.1 transport |
+//! | [`contracts`] | `cm-contracts` | contract generation (Listing 1) |
+//! | [`monitor`] | `cm-core` | **the cloud monitor** (Figure 2) |
+//! | [`codegen`] | `cm-codegen` | `uml2django` code generation |
+//! | [`mutation`] | `cm-mutation` | the Section VI-D mutation experiment |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use cm_cloudsim as cloudsim;
+pub use cm_codegen as codegen;
+pub use cm_contracts as contracts;
+pub use cm_core as monitor;
+pub use cm_httpkit as httpkit;
+pub use cm_model as model;
+pub use cm_mutation as mutation;
+pub use cm_ocl as ocl;
+pub use cm_rbac as rbac;
+pub use cm_rest as rest;
+pub use cm_xmi as xmi;

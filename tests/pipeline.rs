@@ -1,0 +1,150 @@
+//! Experiment F1 — the full Figure 1/Figure 4 architecture, end to end:
+//! design models → validation → XMI interchange → code generation →
+//! generated runtime monitor → monitored requests against the simulated
+//! private cloud.
+
+use cm_cloudsim::PrivateCloud;
+use cm_codegen::{uml2django, Uml2DjangoOptions};
+use cm_contracts::{generate, render_listing, TraceabilityMatrix};
+use cm_core::{CloudMonitor, Mode, Verdict};
+use cm_model::{
+    cinder, validate_behavioral_model, validate_resource_model, HttpMethod, Trigger,
+};
+use cm_rbac::cinder_table1;
+use cm_rest::{Json, RestRequest};
+use cm_xmi::{export, import};
+
+#[test]
+fn full_pipeline_from_models_to_monitored_requests() {
+    // Step 1: the analyst's models validate.
+    let resources = cinder::resource_model();
+    let behavior = cinder::behavioral_model();
+    assert!(validate_resource_model(&resources).is_valid());
+    assert!(validate_behavioral_model(&behavior, Some(&resources)).is_valid());
+
+    // Step 2: XMI interchange is lossless.
+    let xmi = export(Some(&resources), &[&behavior]);
+    let doc = import(&xmi).expect("exported XMI imports");
+    assert_eq!(doc.resources.as_ref(), Some(&resources));
+    assert_eq!(doc.behaviors.as_slice(), std::slice::from_ref(&behavior));
+
+    // Step 3: code generation emits the Django artifacts of Listings 2–3.
+    let project = uml2django("CMonitor", &xmi, &Uml2DjangoOptions::default())
+        .expect("pipeline generates");
+    let views = project.file("cmonitor/views.py").expect("views.py generated");
+    assert!(views.contains("def volume_delete"));
+    assert!(views.contains("HttpResponseNotAllowed"));
+
+    // Step 4: the same models drive the native monitor over the cloud.
+    let mut cloud = PrivateCloud::my_project();
+    let pid = cloud.project_id();
+    let admin = cloud.issue_token("alice", "alice-pw").expect("fixture");
+    let user = cloud.issue_token("carol", "carol-pw").expect("fixture");
+    let mut monitor =
+        CloudMonitor::generate(&doc.resources.expect("resources imported"), &doc.behaviors[0], None, cloud)
+            .expect("monitor generates from imported models")
+            .mode(Mode::Enforce);
+    monitor.authenticate("alice", "alice-pw").expect("fixture");
+
+    let created = monitor.process(
+        &RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes"))
+            .auth_token(&admin.token)
+            .json(Json::object(vec![(
+                "volume",
+                Json::object(vec![("name", Json::Str("e2e".into()))]),
+            )])),
+    );
+    assert_eq!(created.verdict, Verdict::Pass);
+
+    let blocked = monitor.process(
+        &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1"))
+            .auth_token(&user.token),
+    );
+    assert_eq!(blocked.verdict, Verdict::PreBlocked);
+
+    let deleted = monitor.process(
+        &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1"))
+            .auth_token(&admin.token),
+    );
+    assert_eq!(deleted.verdict, Verdict::Pass);
+}
+
+#[test]
+fn contracts_match_listing1_shape_after_xmi_roundtrip() {
+    let behavior = cinder::behavioral_model();
+    let xmi = export(None, &[&behavior]);
+    let doc = import(&xmi).expect("imports");
+    let set = generate(&doc.behaviors[0]).expect("generates");
+    let delete = set
+        .contract_for(&Trigger::new(HttpMethod::Delete, "volume"))
+        .expect("DELETE modelled");
+    assert_eq!(delete.clauses.len(), 3);
+    let listing = render_listing(delete, ".../v3/{project_id}/volumes");
+    assert!(listing.contains("pre(project.volumes->size())"));
+    assert!(listing.contains("user.groups = 'admin'"));
+}
+
+#[test]
+fn traceability_covers_every_table1_requirement() {
+    let set = generate(&cinder::behavioral_model()).expect("generates");
+    let matrix = TraceabilityMatrix::from_contracts(&set);
+    let table = cinder_table1();
+    let specified: Vec<String> = table.requirements.iter().map(|r| r.id.clone()).collect();
+    assert!(matrix.uncovered(&specified).is_empty(), "{}", matrix.render());
+}
+
+#[test]
+fn table1_policy_and_model_guards_agree() {
+    // The authorization encoded in the Figure 3 guards must match the
+    // Table I policy: generate contracts twice — once from the model's own
+    // guards, once with the table woven in — and check both accept/reject
+    // the same role vectors.
+    use cm_ocl::{EvalContext, MapNavigator, ObjRef, Value};
+
+    let table = cinder_table1();
+    let set = generate(&cinder::behavioral_model()).expect("generates");
+
+    for (method, roles_allowed) in [
+        (HttpMethod::Get, vec!["admin", "member", "user"]),
+        (HttpMethod::Put, vec!["admin", "member"]),
+        (HttpMethod::Post, vec!["admin", "member"]),
+        (HttpMethod::Delete, vec!["admin"]),
+    ] {
+        let req = table.requirement_for("volume", method).expect("table row");
+        assert_eq!(req.roles(), roles_allowed, "{method}");
+
+        // Build a state where the functional side of the pre-condition
+        // holds, then vary the role.
+        let contract = set
+            .contract_for(&Trigger::new(method, "volume"))
+            .expect("modelled");
+        for role in ["admin", "member", "user", "intruder"] {
+            let mut nav = MapNavigator::new();
+            let project = ObjRef::new("project", 1);
+            let volume = ObjRef::new("volume", 1);
+            let quota = ObjRef::new("quota_sets", 1);
+            let user_obj = ObjRef::new("user", 1);
+            nav.set_variable("project", project.clone());
+            nav.set_variable("volume", volume.clone());
+            nav.set_variable("quota_sets", quota.clone());
+            nav.set_variable("user", user_obj.clone());
+            nav.set_attribute(project.clone(), "id", Value::set(vec![Value::Int(1)]));
+            nav.set_attribute(
+                project,
+                "volumes",
+                Value::set(vec![Value::Obj(volume.clone())]),
+            );
+            nav.set_attribute(volume.clone(), "id", Value::set(vec![Value::Int(1)]));
+            nav.set_attribute(volume, "status", "available");
+            nav.set_attribute(quota, "volume", 10i64);
+            nav.set_attribute(user_obj, "groups", role);
+
+            let model_allows = EvalContext::new(&nav).eval_bool(&contract.pre).unwrap();
+            let table_allows = roles_allowed.contains(&role);
+            assert_eq!(
+                model_allows, table_allows,
+                "role `{role}` on {method}(volume): model guard and Table I disagree"
+            );
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! Property-based tests over the core data structures and invariants:
+//! OCL printer/parser round-trips, evaluator laws, JSON and policy-rule
+//! round-trips, URI template duality, and XMI interchange losslessness.
+
+use cm_ocl::{
+    parse as parse_ocl, to_string as ocl_to_string, BinOp, CollectionKind, EvalContext, Expr,
+    IterOp, MapNavigator, UnOp, Value,
+};
+use cm_rest::{parse_json, Json, UriTemplate};
+use proptest::prelude::*;
+
+// ---------- strategies -------------------------------------------------
+
+/// Identifiers that are not keywords of the OCL subset.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "and" | "or" | "xor" | "not" | "implies" | "true" | "false" | "null" | "if"
+                | "then" | "else" | "endif" | "let" | "in" | "pre"
+        )
+    })
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        any::<bool>().prop_map(Expr::Bool),
+        (0i64..1000).prop_map(Expr::Int),
+        (0u32..8000).prop_map(|i| Expr::Real(f64::from(i) / 8.0)),
+        "[a-z ]{0,8}".prop_map(Expr::Str),
+        Just(Expr::Null),
+        ident().prop_map(Expr::Var),
+    ]
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Implies),
+    ]
+}
+
+fn iter_op() -> impl Strategy<Value = IterOp> {
+    prop_oneof![
+        Just(IterOp::Exists),
+        Just(IterOp::ForAll),
+        Just(IterOp::Select),
+        Just(IterOp::Reject),
+        Just(IterOp::Collect),
+        Just(IterOp::One),
+        Just(IterOp::Any),
+        Just(IterOp::IsUnique),
+        Just(IterOp::SortedBy),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            (binop(), inner.clone(), inner.clone()).prop_map(|(op, lhs, rhs)| Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            }),
+            (inner.clone(), prop_oneof![Just(UnOp::Not), Just(UnOp::Neg)])
+                .prop_map(|(e, op)| Expr::Unary { op, operand: Box::new(e) }),
+            (inner.clone(), ident(), any::<bool>()).prop_map(|(src, prop, at_pre)| {
+                Expr::Nav { source: Box::new(src), property: prop, at_pre }
+            }),
+            (inner.clone()).prop_map(|src| Expr::CollOp {
+                source: Box::new(src),
+                op: "size".to_string(),
+                args: Vec::new(),
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(src, arg)| Expr::CollOp {
+                source: Box::new(src),
+                op: "includes".to_string(),
+                args: vec![arg],
+            }),
+            (inner.clone(), iter_op(), ident(), inner.clone()).prop_map(
+                |(src, op, var, body)| Expr::Iterate {
+                    source: Box::new(src),
+                    op,
+                    var,
+                    body: Box::new(body),
+                }
+            ),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::If {
+                cond: Box::new(c),
+                then_branch: Box::new(t),
+                else_branch: Box::new(e),
+            }),
+            (ident(), inner.clone(), inner.clone()).prop_map(|(name, value, body)| Expr::Let {
+                name,
+                value: Box::new(value),
+                body: Box::new(body),
+            }),
+            inner.clone().prop_map(|e| Expr::Pre(Box::new(e))),
+            (inner.clone(), ident(), ident(), inner.clone(), inner.clone()).prop_map(
+                |(src, var, acc, init, body)| Expr::Fold {
+                    source: Box::new(src),
+                    var,
+                    acc,
+                    init: Box::new(init),
+                    body: Box::new(body),
+                }
+            ),
+            (
+                prop_oneof![
+                    Just(CollectionKind::Set),
+                    Just(CollectionKind::Bag),
+                    Just(CollectionKind::Sequence)
+                ],
+                prop::collection::vec(inner, 0..4)
+            )
+                .prop_map(|(kind, elements)| Expr::CollectionLiteral { kind, elements }),
+        ]
+    })
+}
+
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i64>().prop_map(Json::Int),
+        (-1_000_000i64..1_000_000).prop_map(|i| Json::Float(i as f64 / 64.0)),
+        "[\\x20-\\x7e]{0,12}".prop_map(Json::Str),
+        "\\PC{0,6}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::vec(("[a-zA-Z0-9_]{0,8}", inner), 0..6).prop_map(|members| {
+                Json::Object(members)
+            }),
+        ]
+    })
+}
+
+// ---------- properties -------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The OCL printer's output re-parses to the identical AST.
+    #[test]
+    fn ocl_print_parse_roundtrip(expr in arb_expr()) {
+        let printed = ocl_to_string(&expr);
+        let reparsed = parse_ocl(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed for `{printed}`: {e}"));
+        prop_assert_eq!(reparsed, expr, "printed: {}", printed);
+    }
+
+    /// Lexing never panics on arbitrary input.
+    #[test]
+    fn ocl_lexer_total(input in "\\PC{0,64}") {
+        let _ = cm_ocl::lex(&input);
+    }
+
+    /// node_count is positive and stable across print/parse.
+    #[test]
+    fn ocl_node_count_stable(expr in arb_expr()) {
+        prop_assert!(expr.node_count() >= 1);
+        let reparsed = parse_ocl(&ocl_to_string(&expr)).unwrap();
+        prop_assert_eq!(reparsed.node_count(), expr.node_count());
+    }
+
+    /// Kleene laws on the evaluator: commutativity of and/or over the
+    /// three-valued domain, and De Morgan.
+    #[test]
+    fn ocl_kleene_laws(a in 0u8..3, b in 0u8..3) {
+        fn lit(v: u8) -> Expr {
+            match v {
+                0 => Expr::Bool(false),
+                1 => Expr::Bool(true),
+                _ => Expr::Null,
+            }
+        }
+        let nav = MapNavigator::new();
+        let eval = |e: &Expr| EvalContext::new(&nav).eval(e).unwrap();
+
+        let ab = lit(a).and(lit(b));
+        let ba = lit(b).and(lit(a));
+        prop_assert_eq!(eval(&ab), eval(&ba));
+
+        let ab_or = lit(a).or(lit(b));
+        let ba_or = lit(b).or(lit(a));
+        prop_assert_eq!(eval(&ab_or), eval(&ba_or));
+
+        // not (a and b) == (not a) or (not b)
+        let lhs = lit(a).and(lit(b)).negate();
+        let rhs = lit(a).negate().or(lit(b).negate());
+        prop_assert_eq!(eval(&lhs), eval(&rhs));
+
+        // a implies b == (not a) or b
+        let imp = lit(a).implies(lit(b));
+        let disj = lit(a).negate().or(lit(b));
+        prop_assert_eq!(eval(&imp), eval(&disj));
+    }
+
+    /// any_of/all_of agree with element-wise evaluation.
+    #[test]
+    fn ocl_any_all_of(bits in prop::collection::vec(any::<bool>(), 0..8)) {
+        let nav = MapNavigator::new();
+        let exprs: Vec<Expr> = bits.iter().map(|b| Expr::Bool(*b)).collect();
+        let any = EvalContext::new(&nav).eval(&Expr::any_of(exprs.clone())).unwrap();
+        let all = EvalContext::new(&nav).eval(&Expr::all_of(exprs)).unwrap();
+        prop_assert_eq!(any, Value::Bool(bits.iter().any(|b| *b)));
+        prop_assert_eq!(all, Value::Bool(bits.iter().all(|b| *b)));
+    }
+
+    /// Set semantics: the constructor deduplicates, and ->includes agrees
+    /// with membership.
+    #[test]
+    fn ocl_set_dedup(values in prop::collection::vec(0i64..20, 0..16), probe in 0i64..20) {
+        let set = Value::set(values.iter().map(|v| Value::Int(*v)).collect());
+        let items = set.as_collection().unwrap();
+        // No duplicates.
+        for (i, a) in items.iter().enumerate() {
+            for b in &items[i + 1..] {
+                prop_assert!(!a.ocl_eq(b));
+            }
+        }
+        // Membership preserved.
+        let expected = values.contains(&probe);
+        prop_assert_eq!(
+            items.iter().any(|v| v.ocl_eq(&Value::Int(probe))),
+            expected
+        );
+    }
+
+    /// JSON serialisation round-trips.
+    #[test]
+    fn json_roundtrip(value in arb_json()) {
+        let text = value.to_compact_string();
+        let reparsed = parse_json(&text)
+            .unwrap_or_else(|e| panic!("re-parse failed for `{text}`: {e}"));
+        prop_assert_eq!(reparsed, value);
+    }
+
+    /// The JSON parser never panics on arbitrary input.
+    #[test]
+    fn json_parser_total(input in "\\PC{0,64}") {
+        let _ = parse_json(&input);
+    }
+
+    /// Policy rules display/parse round-trip.
+    #[test]
+    fn policy_rule_roundtrip(
+        roles in prop::collection::vec("[a-z]{1,8}", 1..5),
+        negate in any::<bool>(),
+    ) {
+        use cm_rbac::{parse_rule, Rule};
+        let mut rule = Rule::any_role(roles);
+        if negate {
+            rule = Rule::Not(Box::new(rule));
+        }
+        let printed = rule.to_string();
+        let reparsed = parse_rule(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed for `{printed}`: {e}"));
+        prop_assert_eq!(reparsed, rule);
+    }
+
+    /// URI templates: render then match recovers the parameters.
+    #[test]
+    fn uri_render_match_duality(
+        literals in prop::collection::vec("[a-z]{1,8}", 1..4),
+        params in prop::collection::vec(("[a-z_]{1,8}", "[a-zA-Z0-9]{1,8}"), 0..3),
+    ) {
+        let mut template = UriTemplate::root();
+        let mut expected = std::collections::HashMap::new();
+        for (i, lit) in literals.iter().enumerate() {
+            template = template.literal(lit.clone());
+            if let Some((name, value)) = params.get(i) {
+                // parameter names must be unique for exact recovery
+                let unique = format!("{name}_{i}");
+                template = template.param(unique.clone());
+                expected.insert(unique, value.clone());
+            }
+        }
+        let rendered = template.render(&expected).unwrap();
+        let captured = template.match_path(&rendered).expect("own rendering matches");
+        prop_assert_eq!(captured, expected);
+    }
+
+    /// XMI export/import is lossless for arbitrary well-formed resource
+    /// models.
+    #[test]
+    fn xmi_resource_model_roundtrip(
+        class_names in prop::collection::hash_set("[a-z][a-z0-9]{0,6}", 1..6),
+        seed in any::<u64>(),
+    ) {
+        use cm_model::{Association, AttrType, Attribute, Multiplicity, ResourceDef, ResourceModel};
+        let names: Vec<String> = class_names.into_iter().collect();
+        let mut model = ResourceModel::new("prop");
+        for (i, name) in names.iter().enumerate() {
+            let ty = match i % 4 {
+                0 => AttrType::Str,
+                1 => AttrType::Int,
+                2 => AttrType::Real,
+                _ => AttrType::Bool,
+            };
+            model.define(ResourceDef::normal(name.clone(), vec![Attribute::new("a", ty)]));
+        }
+        // A few deterministic associations derived from the seed.
+        for i in 0..names.len().saturating_sub(1) {
+            let src = &names[i];
+            let dst = &names[(i + 1 + (seed as usize % names.len())) % names.len()];
+            model.associate(Association::new(
+                format!("r{i}"),
+                src.clone(),
+                dst.clone(),
+                if seed.wrapping_shr(i as u32) & 1 == 0 {
+                    Multiplicity::ONE
+                } else {
+                    Multiplicity::ZERO_MANY
+                },
+            ));
+        }
+        let xml = cm_xmi::export(Some(&model), &[]);
+        let doc = cm_xmi::import(&xml).expect("exported XMI imports");
+        prop_assert_eq!(doc.resources, Some(model));
+    }
+
+    /// XML text content with arbitrary characters survives escaping.
+    #[test]
+    fn xml_escaping_roundtrip(text in "\\PC{0,32}", attr in "\\PC{0,32}") {
+        use cm_xmi::Element;
+        let e = Element::new("root").attr("a", attr.clone()).text(text.clone());
+        let xml = e.to_xml();
+        let parsed = cm_xmi::parse_document(&xml).expect("own output parses");
+        prop_assert_eq!(parsed.attribute("a"), Some(attr.as_str()));
+        // Leading/trailing whitespace is not significant in our tree model.
+        prop_assert_eq!(parsed.text_content(), text.trim());
+    }
+
+    /// Multiplicity::admits is consistent with its bounds.
+    #[test]
+    fn multiplicity_admits_consistent(lower in 0u32..5, extra in 0u32..5, count in 0u32..12) {
+        use cm_model::Multiplicity;
+        let m = Multiplicity::new(lower, Some(lower + extra));
+        prop_assert_eq!(m.admits(count), count >= lower && count <= lower + extra);
+        let unbounded = Multiplicity::new(lower, None);
+        prop_assert_eq!(unbounded.admits(count), count >= lower);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Simplification preserves semantics: whenever the original
+    /// expression evaluates successfully, the simplified one evaluates to
+    /// the same value. (The simplified form may *additionally* succeed
+    /// where the original errors — constant folding can bypass an
+    /// unknown variable behind a short-circuit — which is fine.)
+    #[test]
+    fn ocl_simplify_preserves_semantics(expr in arb_expr()) {
+        let simplified = cm_ocl::simplify(&expr);
+        let nav = MapNavigator::new();
+        if let Ok(value) = EvalContext::new(&nav).eval(&expr) {
+            let simplified_value = EvalContext::new(&nav)
+                .eval(&simplified)
+                .expect("simplified form must not introduce errors");
+            prop_assert!(
+                value.ocl_eq(&simplified_value) || (value.is_undefined() && simplified_value.is_undefined()),
+                "original {:?} != simplified {:?} for {}",
+                value, simplified_value, cm_ocl::to_string(&expr)
+            );
+        }
+        // Simplification is idempotent.
+        prop_assert_eq!(cm_ocl::simplify(&simplified), simplified);
+    }
+
+    /// The simplifier never grows the expression.
+    #[test]
+    fn ocl_simplify_never_grows(expr in arb_expr()) {
+        prop_assert!(cm_ocl::simplify(&expr).node_count() <= expr.node_count());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Route resolution is total: arbitrary method/path never panics, and
+    /// a `Matched` resolution's captured params re-render to a path that
+    /// matches the same route.
+    #[test]
+    fn route_resolution_total(
+        path in "/{0,1}[a-zA-Z0-9/._-]{0,40}",
+        method_idx in 0usize..4,
+    ) {
+        use cm_model::cinder;
+        use cm_rest::{Resolution, RouteTable};
+        let table = RouteTable::derive(&cinder::extended_resource_model(), "/v3");
+        let method = cm_model::HttpMethod::ALL[method_idx];
+        match table.resolve(method, &path) {
+            Resolution::Matched { route, params } => {
+                let rendered = route.template.render(&params).expect("params complete");
+                prop_assert!(route.template.match_path(&rendered).is_some());
+            }
+            Resolution::MethodNotAllowed { .. } | Resolution::NotFound => {}
+        }
+    }
+
+    /// Slicing is sound: the slice's transitions are a subset of the
+    /// original's, every slice state exists in the original, the slice is
+    /// well-formed, and slicing is idempotent.
+    #[test]
+    fn slice_soundness(selector in prop::collection::vec(any::<bool>(), 4)) {
+        use cm_model::{
+            cinder, slice_behavioral_model, validate_behavioral_model, HttpMethod,
+            SliceCriterion,
+        };
+        let methods: Vec<HttpMethod> = HttpMethod::ALL
+            .iter()
+            .zip(&selector)
+            .filter(|(_, keep)| **keep)
+            .map(|(m, _)| *m)
+            .collect();
+        let criterion = SliceCriterion::Methods(methods);
+        let original = cinder::behavioral_model();
+        let slice = slice_behavioral_model(&original, &criterion);
+
+        for t in &slice.transitions {
+            prop_assert!(original.transitions.contains(t));
+        }
+        for s in &slice.states {
+            prop_assert!(original.states.contains(s));
+        }
+        prop_assert!(validate_behavioral_model(&slice, None).is_valid());
+        let twice = slice_behavioral_model(&slice, &criterion);
+        prop_assert_eq!(twice.transitions, slice.transitions);
+    }
+
+    /// The policy rule checker is monotone in the role set for
+    /// negation-free rules: adding roles can only turn deny into allow.
+    #[test]
+    fn policy_monotonicity(
+        rule_roles in prop::collection::vec("[a-c]", 1..4),
+        held in prop::collection::vec("[a-c]", 0..3),
+        extra in "[a-c]",
+    ) {
+        use cm_rbac::{Rule, TokenInfo};
+        let rule = Rule::any_role(rule_roles);
+        let token = |roles: Vec<String>| TokenInfo {
+            token: "t".into(),
+            user_id: 1,
+            user_name: "u".into(),
+            project_id: 1,
+            roles,
+            groups: vec![],
+        };
+        let before = rule.check(&token(held.clone()));
+        let mut larger = held;
+        larger.push(extra);
+        let after = rule.check(&token(larger));
+        prop_assert!(!before || after, "adding a role revoked access");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// XMI round-trips arbitrary well-formed behavioural models (states
+    /// with generated invariants, transitions with guards/effects/SecReq
+    /// annotations).
+    #[test]
+    fn xmi_behavioral_model_roundtrip(
+        n_states in 1usize..5,
+        edges in prop::collection::vec((0usize..5, 0usize..5, 0usize..4, any::<bool>()), 0..8),
+    ) {
+        use cm_model::{BehavioralModel, HttpMethod, State, TransitionBuilder, Trigger};
+        let mut model = BehavioralModel::new("prop", "project", "s0");
+        for i in 0..n_states {
+            model.state(State::new(
+                format!("s{i}"),
+                parse_ocl(&format!("project.volumes->size() >= {i}")).unwrap(),
+            ));
+        }
+        for (k, (src, dst, m, with_guard)) in edges.iter().enumerate() {
+            let src = format!("s{}", src % n_states);
+            let dst = format!("s{}", dst % n_states);
+            let method = cm_model::HttpMethod::ALL[m % 4];
+            let mut b = TransitionBuilder::new(
+                format!("t{k}"),
+                src,
+                Trigger::new(method, "volume"),
+                dst,
+            )
+            .security_requirement(format!("{}.{}", k % 3 + 1, k % 4 + 1));
+            if *with_guard {
+                b = b
+                    .guard(parse_ocl("user.groups = 'admin'").unwrap())
+                    .effect(
+                        parse_ocl(
+                            "project.volumes->size() <= pre(project.volumes->size()) + 1",
+                        )
+                        .unwrap(),
+                    );
+            }
+            model.transition(b.build());
+            let _ = HttpMethod::ALL; // silence unused in some configurations
+        }
+        let xml = cm_xmi::export(None, &[&model]);
+        let doc = cm_xmi::import(&xml).expect("exported XMI imports");
+        prop_assert_eq!(doc.behaviors, vec![model]);
+    }
+}

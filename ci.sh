@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Hermetic CI for the cloud-monitor reproduction. Every step runs with
+# --offline: the workspace must build from the checkout alone (vendored
+# shims under vendor/, no registry access). Run locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+step "cargo build --release"
+cargo build --offline --release --workspace
+
+step "cargo test"
+cargo test --offline --workspace -q
+
+step "cargo doc"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
+
+step "feature check: proptest suite compiles"
+cargo test --offline --features proptest --test proptests --no-run -q
+
+step "feature check: criterion benches compile"
+cargo build --offline -p cm-bench --benches --features bench-criterion -q
+
+printf '\nci: all checks passed\n'

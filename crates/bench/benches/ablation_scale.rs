@@ -16,9 +16,13 @@ fn eval_env() -> MapNavigator {
     nav.set_variable("project", project.clone())
         .set_variable("volume", volume.clone())
         .set_variable("user", user.clone());
-    nav.set_attribute(project, "volumes", Value::set(vec![Value::Obj(volume.clone())]))
-        .set_attribute(volume, "status", "available")
-        .set_attribute(user, "groups", "admin");
+    nav.set_attribute(
+        project,
+        "volumes",
+        Value::set(vec![Value::Obj(volume.clone())]),
+    )
+    .set_attribute(volume, "status", "available")
+    .set_attribute(user, "groups", "admin");
     nav
 }
 
@@ -78,5 +82,10 @@ fn invariant_size_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, generation_scaling, evaluation_scaling, invariant_size_scaling);
+criterion_group!(
+    benches,
+    generation_scaling,
+    evaluation_scaling,
+    invariant_size_scaling
+);
 criterion_main!(benches);

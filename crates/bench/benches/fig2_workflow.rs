@@ -7,7 +7,7 @@ use cm_contracts::generate;
 use cm_core::{Mode, ProbeTarget, StateProber};
 use cm_model::{cinder, HttpMethod, Trigger};
 use cm_rest::{RestRequest, RestService};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 fn direct_vs_monitored(c: &mut Criterion) {
@@ -59,8 +59,7 @@ fn direct_vs_monitored(c: &mut Criterion) {
         let path = format!("/v3/{}/volumes/{}", h.project_id, h.volume_id);
         group.bench_function("DELETE_blocked", |b| {
             b.iter(|| {
-                let req =
-                    RestRequest::new(HttpMethod::Delete, path.clone()).auth_token(&carol);
+                let req = RestRequest::new(HttpMethod::Delete, path.clone()).auth_token(&carol);
                 black_box(h.monitor.handle(&req))
             });
         });
@@ -137,25 +136,25 @@ fn snapshot_policy_costs(c: &mut Criterion) {
                 Trigger::new(HttpMethod::Get, "project"),
                 "exists",
             )
-            .effect(
-                cm_ocl::parse("project.id->size() = pre(project.id->size())")
-                    .expect("parses"),
-            )
+            .effect(cm_ocl::parse("project.id->size() = pre(project.id->size())").expect("parses"))
             .build(),
         );
         m
     }
 
     let mut group = c.benchmark_group("snapshot_policy_full_vs_minimal");
-    for (name, policy) in
-        [("full", SnapshotPolicy::Full), ("minimal", SnapshotPolicy::Minimal)]
-    {
+    for (name, policy) in [
+        ("full", SnapshotPolicy::Full),
+        ("minimal", SnapshotPolicy::Minimal),
+    ] {
         let mut base = baseline_harness();
         let token = base.tokens[0].1.clone();
         let pid = base.project_id;
         // issue_token needs &mut; grab an extra admin token for the monitor.
         let monitor_cloud = {
-            base.cloud.issue_token("alice", "alice-pw").expect("fixture");
+            base.cloud
+                .issue_token("alice", "alice-pw")
+                .expect("fixture");
             base.cloud
         };
         let mut monitor = CloudMonitor::generate(
@@ -179,4 +178,12 @@ fn snapshot_policy_costs(c: &mut Criterion) {
 }
 
 criterion_group!(policy_benches, snapshot_policy_costs);
-criterion_main!(benches, policy_benches);
+
+fn main() {
+    benches();
+    policy_benches();
+    // The observability complement to the timing numbers above: the same
+    // phase split, but measured by the monitor's own metrics registry.
+    println!();
+    println!("{}", cm_bench::phase_latency_report(Mode::Enforce, 50));
+}

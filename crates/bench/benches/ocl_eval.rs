@@ -8,8 +8,7 @@ use std::hint::black_box;
 const INVARIANT: &str = "project.id->size()=1 and project.volumes->size()>=1 and \
                          project.volumes->size() < quota_sets.volume";
 const GUARD: &str = "volume.status <> 'in-use' and user.groups = 'admin'";
-const LISTING1_DISJUNCT: &str =
-    "(project.id->size()=1 and project.volumes->size()>=1 and \
+const LISTING1_DISJUNCT: &str = "(project.id->size()=1 and project.volumes->size()>=1 and \
       project.volumes->size() < quota_sets.volume and volume.status <> 'in-use' and \
       user.groups = 'admin') or \
      (project.id->size()=1 and project.volumes->size()>=1 and \
@@ -27,7 +26,11 @@ fn cinder_env() -> MapNavigator {
         .set_variable("quota_sets", quota.clone())
         .set_variable("user", user.clone());
     nav.set_attribute(project.clone(), "id", Value::set(vec![Value::Int(4)]))
-        .set_attribute(project, "volumes", Value::set(vec![Value::Obj(volume.clone())]))
+        .set_attribute(
+            project,
+            "volumes",
+            Value::set(vec![Value::Obj(volume.clone())]),
+        )
         .set_attribute(volume, "status", "available")
         .set_attribute(quota, "volume", 10i64)
         .set_attribute(user, "groups", "admin");
@@ -36,7 +39,9 @@ fn cinder_env() -> MapNavigator {
 
 fn parse_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ocl_parse");
-    group.bench_function("invariant", |b| b.iter(|| black_box(parse(INVARIANT).unwrap())));
+    group.bench_function("invariant", |b| {
+        b.iter(|| black_box(parse(INVARIANT).unwrap()))
+    });
     group.bench_function("guard", |b| b.iter(|| black_box(parse(GUARD).unwrap())));
     group.bench_function("listing1_pre", |b| {
         b.iter(|| black_box(parse(LISTING1_DISJUNCT).unwrap()));
@@ -54,22 +59,25 @@ fn typecheck_bench(c: &mut Criterion) {
 fn eval_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ocl_eval");
     let nav = cinder_env();
-    for (name, src) in
-        [("invariant", INVARIANT), ("guard", GUARD), ("listing1_pre", LISTING1_DISJUNCT)]
-    {
+    for (name, src) in [
+        ("invariant", INVARIANT),
+        ("guard", GUARD),
+        ("listing1_pre", LISTING1_DISJUNCT),
+    ] {
         let expr = parse(src).unwrap();
         group.bench_function(name, |b| {
             b.iter(|| black_box(EvalContext::new(&nav).eval_bool(&expr).unwrap()));
         });
     }
     // Post-condition with pre-state snapshot.
-    let post =
-        parse("pre(project.volumes->size()) >= project.volumes->size()").unwrap();
+    let post = parse("pre(project.volumes->size()) >= project.volumes->size()").unwrap();
     let pre_nav = cinder_env();
     group.bench_function("post_with_snapshot", |b| {
         b.iter(|| {
             black_box(
-                EvalContext::with_pre_state(&nav, &pre_nav).eval_bool(&post).unwrap(),
+                EvalContext::with_pre_state(&nav, &pre_nav)
+                    .eval_bool(&post)
+                    .unwrap(),
             )
         });
     });

@@ -22,7 +22,9 @@ fn main() {
             ((*u).to_string(), t.token)
         })
         .collect();
-    let mut monitor = cinder_monitor(cloud).expect("generates").mode(Mode::Enforce);
+    let mut monitor = cinder_monitor(cloud)
+        .expect("generates")
+        .mode(Mode::Enforce);
     monitor.authenticate("alice", "alice-pw").expect("fixture");
 
     let alice = tokens[0].1.clone();
@@ -41,12 +43,10 @@ fn main() {
         &RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/1")).auth_token(&carol),
     );
     monitor.handle(
-        &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1"))
-            .auth_token(&carol),
+        &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1")).auth_token(&carol),
     );
     monitor.handle(
-        &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1"))
-            .auth_token(&alice),
+        &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1")).auth_token(&alice),
     );
 
     println!("after a 4-request exploration session (PUT never exercised):");
@@ -57,10 +57,7 @@ fn main() {
     for r in monitor.log() {
         println!(
             "  {} {:<28} -> {} [{}]",
-            r.method,
-            r.path,
-            r.status,
-            r.verdict
+            r.method, r.path, r.status, r.verdict
         );
     }
     println!();

@@ -2,9 +2,13 @@
 //!
 //! First the paper's three wrong-authorization mutants (expected result:
 //! 3/3 killed, matching "we were able to kill all three mutants"), then
-//! the extended systematic campaign with per-operator kill rates.
+//! the extended systematic campaign with per-operator kill rates, and
+//! finally a phase-latency breakdown of the monitor doing that work.
 
-use cm_mutation::{paper_mutants, run_campaign, run_extended_campaign, snapshot_catalog, standard_catalog};
+use cm_core::Mode;
+use cm_mutation::{
+    paper_mutants, run_campaign, run_extended_campaign, snapshot_catalog, standard_catalog,
+};
 
 fn main() {
     println!("EXPERIMENT VI-D: MONITORING OPENSTACK — MUTANT VALIDATION");
@@ -43,4 +47,9 @@ fn main() {
     println!();
     let snapshots = run_extended_campaign(&snapshot_catalog());
     print!("{snapshots}");
+    println!();
+
+    println!("MONITOR PHASE-LATENCY BREAKDOWN");
+    println!();
+    println!("{}", cm_bench::phase_latency_report(Mode::Enforce, 50));
 }

@@ -42,10 +42,8 @@ fn main() {
     );
 
     for req in ["1.1", "1.2", "1.3", "1.4"] {
-        let slice = slice_behavioral_model(
-            &full,
-            &SliceCriterion::Requirements(vec![req.to_string()]),
-        );
+        let slice =
+            slice_behavioral_model(&full, &SliceCriterion::Requirements(vec![req.to_string()]));
         let contracts = generate(&slice).expect("slice generates");
         let delete_verdict = probe_mutant(
             &slice,
@@ -57,7 +55,9 @@ fn main() {
         );
         let get_verdict = probe_mutant(
             &slice,
-            FaultPlan::single(Fault::InvertAuthCheck { action: "volume:get".into() }),
+            FaultPlan::single(Fault::InvertAuthCheck {
+                action: "volume:get".into(),
+            }),
             HttpMethod::Get,
         );
         println!(
@@ -80,11 +80,7 @@ fn main() {
 
 /// Build a monitor from `slice` over a mutant cloud, fire one
 /// characteristic request, and describe the verdict.
-fn probe_mutant(
-    slice: &cm_model::BehavioralModel,
-    plan: FaultPlan,
-    method: HttpMethod,
-) -> String {
+fn probe_mutant(slice: &cm_model::BehavioralModel, plan: FaultPlan, method: HttpMethod) -> String {
     let mut cloud = PrivateCloud::my_project().with_faults(plan);
     let pid = cloud.project_id();
     let vid = cloud
@@ -98,13 +94,11 @@ fn probe_mutant(
         _ => ("alice", "alice-pw"),
     };
     let token = cloud.issue_token(user, password).expect("fixture").token;
-    let mut monitor =
-        CloudMonitor::generate(&cinder::resource_model(), slice, None, cloud)
-            .expect("slice monitor generates")
-            .mode(Mode::Observe);
+    let mut monitor = CloudMonitor::generate(&cinder::resource_model(), slice, None, cloud)
+        .expect("slice monitor generates")
+        .mode(Mode::Observe);
     monitor.authenticate("alice", "alice-pw").expect("fixture");
-    let mut req =
-        RestRequest::new(method, format!("/v3/{pid}/volumes/{vid}")).auth_token(&token);
+    let mut req = RestRequest::new(method, format!("/v3/{pid}/volumes/{vid}")).auth_token(&token);
     if method == HttpMethod::Put {
         req = req.json(Json::object(vec![(
             "volume",

@@ -3,8 +3,8 @@
 //! and as Graphviz DOT.
 
 use cm_model::{
-    behavioral_model_dot, behavioral_model_text, cinder, resource_model_dot,
-    resource_model_text, validate_behavioral_model, validate_resource_model,
+    behavioral_model_dot, behavioral_model_text, cinder, resource_model_dot, resource_model_text,
+    validate_behavioral_model, validate_resource_model,
 };
 
 fn main() {

@@ -29,10 +29,17 @@ fn main() {
     let project = uml2django(
         "CMonitor",
         &xmi,
-        &Uml2DjangoOptions { cloud_base_url: "http://130.232.85.9".to_string(), security: None },
+        &Uml2DjangoOptions {
+            cloud_base_url: "http://130.232.85.9".to_string(),
+            security: None,
+        },
     )
     .expect("pipeline generates");
-    println!("step 3: uml2django             {} files, {} bytes total", project.files.len(), project.total_bytes());
+    println!(
+        "step 3: uml2django             {} files, {} bytes total",
+        project.files.len(),
+        project.total_bytes()
+    );
     for (path, content) in &project.files {
         println!("        {:<24} {:>6} bytes", path, content.len());
     }

@@ -105,9 +105,18 @@ pub fn bench_harness(mode: Mode) -> BenchHarness {
             .expect("fixture credentials");
         tokens.push((user.to_string(), t.token));
     }
-    let mut monitor = cinder_monitor(cloud).expect("fixture models generate").mode(mode);
-    monitor.authenticate("alice", "alice-pw").expect("fixture admin");
-    BenchHarness { monitor, project_id, volume_id, tokens }
+    let mut monitor = cinder_monitor(cloud)
+        .expect("fixture models generate")
+        .mode(mode);
+    monitor
+        .authenticate("alice", "alice-pw")
+        .expect("fixture admin");
+    BenchHarness {
+        monitor,
+        project_id,
+        volume_id,
+        tokens,
+    }
 }
 
 /// An *unmonitored* cloud baseline with the same seeded state and tokens,
@@ -145,7 +154,49 @@ pub fn baseline_harness() -> BaselineHarness {
             .expect("fixture credentials");
         tokens.push((user.to_string(), t.token));
     }
-    BaselineHarness { cloud, project_id, volume_id, tokens }
+    BaselineHarness {
+        cloud,
+        project_id,
+        volume_id,
+        tokens,
+    }
+}
+
+/// Drive `rounds` mixed request triples (authorized GET / forbidden
+/// DELETE / unmodelled path) through a fresh monitored harness and
+/// render the per-phase latency breakdown the monitor's metrics
+/// registry collected — the observability complement to the Figure 2
+/// overhead numbers.
+///
+/// # Panics
+///
+/// Panics when the fixture cannot be constructed (harness bug).
+#[must_use]
+pub fn phase_latency_report(mode: Mode, rounds: usize) -> String {
+    use cm_rest::{RestRequest, RestService};
+    let mut h = bench_harness(mode);
+    let pid = h.project_id;
+    let vid = h.volume_id;
+    let alice = h.tokens[0].1.clone();
+    let carol = h.tokens[2].1.clone();
+    for _ in 0..rounds.max(1) {
+        let _ = h.monitor.handle(
+            &RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/{vid}"))
+                .auth_token(&alice),
+        );
+        let _ = h.monitor.handle(
+            &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
+                .auth_token(&carol),
+        );
+        let _ = h
+            .monitor
+            .handle(&RestRequest::new(HttpMethod::Get, "/unmodelled/path"));
+    }
+    format!(
+        "phase-latency breakdown ({} rounds x 3 requests, mode {mode:?}):\n{}",
+        rounds.max(1),
+        h.monitor.metrics().render_text()
+    )
 }
 
 #[cfg(test)]
@@ -157,9 +208,21 @@ mod tests {
     #[test]
     fn synthetic_models_are_well_formed() {
         for spec in [
-            SyntheticSpec { states: 1, transitions_per_trigger: 1, invariant_conjuncts: 1 },
-            SyntheticSpec { states: 3, transitions_per_trigger: 8, invariant_conjuncts: 4 },
-            SyntheticSpec { states: 10, transitions_per_trigger: 64, invariant_conjuncts: 8 },
+            SyntheticSpec {
+                states: 1,
+                transitions_per_trigger: 1,
+                invariant_conjuncts: 1,
+            },
+            SyntheticSpec {
+                states: 3,
+                transitions_per_trigger: 8,
+                invariant_conjuncts: 4,
+            },
+            SyntheticSpec {
+                states: 10,
+                transitions_per_trigger: 64,
+                invariant_conjuncts: 8,
+            },
         ] {
             let m = synthetic_model(spec);
             let report = validate_behavioral_model(&m, None);
@@ -199,6 +262,17 @@ mod tests {
             .auth_token(token),
         );
         assert!(resp.status.is_success(), "{resp:?}");
+    }
+
+    #[test]
+    fn phase_latency_report_covers_all_phases() {
+        let report = phase_latency_report(Mode::Enforce, 2);
+        assert!(report.contains("2 rounds x 3 requests"), "{report}");
+        for phase in ["pre_check", "forward", "snapshot", "post_check", "total"] {
+            assert!(report.contains(phase), "missing {phase} in:\n{report}");
+        }
+        // 2 rounds x 3 requests = 6 observations per histogram.
+        assert!(report.contains("count=6"), "{report}");
     }
 
     #[test]

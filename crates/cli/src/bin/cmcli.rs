@@ -1,7 +1,7 @@
 //! `cmcli` — the cloud-monitor toolbox; see `cmcli --help`.
 
 use cm_cli::{
-    cmd_audit, cmd_codegen, cmd_contracts, cmd_export_cinder, cmd_models, cmd_slice,
+    cmd_audit, cmd_codegen, cmd_contracts, cmd_export_cinder, cmd_metrics, cmd_models, cmd_slice,
     cmd_table1, cmd_validate, parse_criterion, usage, CliError,
 };
 use std::path::Path;
@@ -31,10 +31,13 @@ fn run(args: &[String]) -> Result<String, CliError> {
     match it.next() {
         None | Some("--help" | "-h" | "help") => Ok(usage().to_string()),
         Some("export-cinder") => {
-            let first = it.next().ok_or(CliError("export-cinder needs <out.xmi>".into()))?;
+            let first = it
+                .next()
+                .ok_or(CliError("export-cinder needs <out.xmi>".into()))?;
             if first == "--extended" {
-                let out =
-                    it.next().ok_or(CliError("export-cinder needs <out.xmi>".into()))?;
+                let out = it
+                    .next()
+                    .ok_or(CliError("export-cinder needs <out.xmi>".into()))?;
                 cm_cli::cmd_export_cinder_extended(Path::new(out))
             } else {
                 cmd_export_cinder(Path::new(first))
@@ -60,7 +63,9 @@ fn run(args: &[String]) -> Result<String, CliError> {
         }
         Some("slice") => {
             let xmi = it.next().ok_or(CliError("slice needs <xmi>".into()))?;
-            let kind = it.next().ok_or(CliError("slice needs a criterion flag".into()))?;
+            let kind = it
+                .next()
+                .ok_or(CliError("slice needs a criterion flag".into()))?;
             let values = it.next().ok_or(CliError("criterion needs values".into()))?;
             let out = it.next().ok_or(CliError("slice needs <out.xmi>".into()))?;
             let criterion = parse_criterion(kind, values)?;
@@ -68,9 +73,13 @@ fn run(args: &[String]) -> Result<String, CliError> {
         }
         Some("table1") => Ok(cmd_table1()),
         Some("codegen") => {
-            let name = it.next().ok_or(CliError("codegen needs <project>".into()))?;
+            let name = it
+                .next()
+                .ok_or(CliError("codegen needs <project>".into()))?;
             let xmi = it.next().ok_or(CliError("codegen needs <xmi>".into()))?;
-            let dir = it.next().ok_or(CliError("codegen needs <out-dir>".into()))?;
+            let dir = it
+                .next()
+                .ok_or(CliError("codegen needs <out-dir>".into()))?;
             let mut cloud_url = "http://127.0.0.1:8776".to_string();
             let rest: Vec<&str> = it.collect();
             if let Some(pos) = rest.iter().position(|a| *a == "--cloud-url") {
@@ -93,6 +102,19 @@ fn run(args: &[String]) -> Result<String, CliError> {
             }
             serve(port, rest.contains(&"--extended"))
         }
+        Some("metrics") => {
+            let addr = it.next().ok_or(CliError("metrics needs <addr>".into()))?;
+            let rest: Vec<&str> = it.collect();
+            let mut events_tail = None;
+            if let Some(pos) = rest.iter().position(|a| *a == "--events") {
+                events_tail = Some(
+                    rest.get(pos + 1)
+                        .and_then(|n| n.parse().ok())
+                        .ok_or(CliError("--events needs a number".into()))?,
+                );
+            }
+            cmd_metrics(addr, events_tail)
+        }
         Some(other) => Err(CliError(format!("unknown command `{other}`"))),
     }
 }
@@ -102,17 +124,19 @@ fn run(args: &[String]) -> Result<String, CliError> {
 fn serve(port: u16, extended: bool) -> Result<String, CliError> {
     use cm_cloudsim::PrivateCloud;
     use cm_core::CloudMonitor;
-    use cm_httpkit::{HttpServer, RemoteService};
+    use cm_httpkit::{AdminRoutes, HttpServer, RemoteService};
     use cm_model::cinder;
     use cm_rest::RestService;
-    use parking_lot::Mutex;
     use std::sync::Arc;
+    use std::sync::Mutex;
 
     let cloud = Arc::new(Mutex::new(PrivateCloud::my_project()));
     let cloud_handle = Arc::clone(&cloud);
-    let cloud_server =
-        HttpServer::bind("127.0.0.1:0", Arc::new(move |req| cloud_handle.lock().handle(&req)))
-            .map_err(|e| CliError(e.to_string()))?;
+    let cloud_server = HttpServer::bind(
+        "127.0.0.1:0",
+        Arc::new(move |req| cloud_handle.lock().unwrap().handle(&req)),
+    )
+    .map_err(|e| CliError(e.to_string()))?;
 
     let remote = RemoteService::new(cloud_server.local_addr());
     let mut monitor = if extended {
@@ -138,18 +162,24 @@ fn serve(port: u16, extended: bool) -> Result<String, CliError> {
     monitor
         .authenticate("alice", "alice-pw")
         .map_err(|e| CliError(e.message))?;
+    let admin = AdminRoutes::new(monitor.metrics(), monitor.events());
     let monitor = Arc::new(Mutex::new(monitor));
     let monitor_handle = Arc::clone(&monitor);
     let monitor_server = HttpServer::bind(
         ("127.0.0.1", port),
-        Arc::new(move |req| monitor_handle.lock().handle(&req)),
+        admin.wrap(Arc::new(move |req| {
+            monitor_handle.lock().unwrap().handle(&req)
+        })),
     )
     .map_err(|e| CliError(e.to_string()))?;
 
     println!("private cloud   : http://{}", cloud_server.local_addr());
     println!("cloud monitor   : http://{}", monitor_server.local_addr());
+    println!("observability   : GET /-/metrics and /-/events?tail=N (or `cmcli metrics`)");
     println!("fixture users   : alice/alice-pw (admin), bob (member), carol (user)");
-    println!("authenticate    : POST /identity/auth/tokens {{\"auth\":{{\"user\":…,\"password\":…}}}}");
+    println!(
+        "authenticate    : POST /identity/auth/tokens {{\"auth\":{{\"user\":…,\"password\":…}}}}"
+    );
     println!("volumes API     : /v3/1/volumes[/{{id}}] with X-Auth-Token");
     println!("press Ctrl+C to stop");
     loop {

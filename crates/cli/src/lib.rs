@@ -20,8 +20,7 @@ use cm_codegen::{uml2django, Uml2DjangoOptions};
 use cm_contracts::{generate_with, render_listing, GenerateOptions, TraceabilityMatrix};
 use cm_model::{
     behavioral_model_dot, behavioral_model_text, resource_model_dot, resource_model_text,
-    slice_behavioral_model, validate_behavioral_model, validate_resource_model,
-    SliceCriterion,
+    slice_behavioral_model, validate_behavioral_model, validate_resource_model, SliceCriterion,
 };
 use cm_rest::RouteTable;
 use cm_xmi::{export, import};
@@ -62,7 +61,11 @@ pub fn cmd_export_cinder(out_path: &Path) -> Result<String, CliError> {
         &[&cm_model::cinder::behavioral_model()],
     );
     std::fs::write(out_path, &xmi)?;
-    Ok(format!("wrote {} bytes to {}", xmi.len(), out_path.display()))
+    Ok(format!(
+        "wrote {} bytes to {}",
+        xmi.len(),
+        out_path.display()
+    ))
 }
 
 /// `cmcli export-cinder --extended <out.xmi>` — the extended models:
@@ -80,7 +83,11 @@ pub fn cmd_export_cinder_extended(out_path: &Path) -> Result<String, CliError> {
         ],
     );
     std::fs::write(out_path, &xmi)?;
-    Ok(format!("wrote {} bytes to {}", xmi.len(), out_path.display()))
+    Ok(format!(
+        "wrote {} bytes to {}",
+        xmi.len(),
+        out_path.display()
+    ))
 }
 
 /// `cmcli validate <xmi>` — well-formedness report for both model kinds.
@@ -131,11 +138,19 @@ pub fn cmd_models(xmi_path: &Path, dot: bool) -> Result<String, CliError> {
     let doc = import(&text).map_err(|e| fail(e.to_string()))?;
     let mut out = String::new();
     if let Some(r) = &doc.resources {
-        out.push_str(&if dot { resource_model_dot(r) } else { resource_model_text(r) });
+        out.push_str(&if dot {
+            resource_model_dot(r)
+        } else {
+            resource_model_text(r)
+        });
         out.push('\n');
     }
     for b in &doc.behaviors {
-        out.push_str(&if dot { behavioral_model_dot(b) } else { behavioral_model_text(b) });
+        out.push_str(&if dot {
+            behavioral_model_dot(b)
+        } else {
+            behavioral_model_text(b)
+        });
         out.push('\n');
     }
     Ok(out)
@@ -162,10 +177,7 @@ pub fn cmd_contracts(
         security: weave_table1.then_some(&table),
         simplify,
     };
-    let routes = doc
-        .resources
-        .as_ref()
-        .map(|r| RouteTable::derive(r, "/v3"));
+    let routes = doc.resources.as_ref().map(|r| RouteTable::derive(r, "/v3"));
     let mut out = String::new();
     for behavior in &doc.behaviors {
         let set = generate_with(behavior, &options).map_err(|e| fail(e.message))?;
@@ -244,7 +256,10 @@ pub fn cmd_codegen(
     let generated = uml2django(
         project,
         &text,
-        &Uml2DjangoOptions { cloud_base_url: cloud_url.to_string(), security: None },
+        &Uml2DjangoOptions {
+            cloud_base_url: cloud_url.to_string(),
+            security: None,
+        },
     )
     .map_err(|e| fail(e.message))?;
     generated.write_to(out_dir)?;
@@ -279,7 +294,12 @@ pub fn cmd_audit() -> String {
         if baseline.killed() { "FAULTY" } else { "clean" }
     );
     let paper = run_campaign(&paper_mutants());
-    let _ = writeln!(out, "paper mutants: {}/{} killed", paper.killed(), paper.total());
+    let _ = writeln!(
+        out,
+        "paper mutants: {}/{} killed",
+        paper.killed(),
+        paper.total()
+    );
     let extended = run_campaign(&standard_catalog());
     out.push_str(&extended.render());
     let snapshots = run_extended_campaign(&snapshot_catalog());
@@ -290,6 +310,32 @@ pub fn cmd_audit() -> String {
         snapshots.total()
     );
     out
+}
+
+/// `cmcli metrics <addr> [--events N]` — fetch and pretty-print the
+/// observability endpoints of a running monitor proxy (`cmcli serve`):
+/// `GET /-/metrics` by default, `GET /-/events?tail=N` with `--events`.
+///
+/// # Errors
+///
+/// Connection failures, non-success responses, or a body-less reply.
+pub fn cmd_metrics(addr: &str, events_tail: Option<usize>) -> Result<String, CliError> {
+    use cm_model::HttpMethod;
+    use cm_rest::RestRequest;
+    let path = match events_tail {
+        Some(n) => format!("/-/events?tail={n}"),
+        None => "/-/metrics".to_string(),
+    };
+    let addr = addr.trim_start_matches("http://").trim_end_matches('/');
+    let response = cm_httpkit::send(addr, &RestRequest::new(HttpMethod::Get, path))
+        .map_err(|e| fail(format!("could not reach {addr}: {e}")))?;
+    if !response.status.is_success() {
+        return Err(fail(format!("monitor answered {}", response.status)));
+    }
+    response
+        .body
+        .map(|body| body.to_pretty_string())
+        .ok_or_else(|| fail("monitor sent an empty body"))
 }
 
 /// Parse a slice criterion from CLI-ish arguments.
@@ -330,7 +376,9 @@ pub fn usage() -> &'static str {
        cmcli codegen <name> <xmi> <dir> [--cloud-url URL]\n\
                                               generate the Django monitor\n\
        cmcli audit                            oracle + mutation campaigns\n\
-       cmcli serve [--port P] [--extended]    run a live monitored cloud\n"
+       cmcli serve [--port P] [--extended]    run a live monitored cloud\n\
+       cmcli metrics <addr> [--events N]      query /-/metrics or /-/events\n\
+                                              of a running monitor\n"
 }
 
 #[cfg(test)]
@@ -349,7 +397,10 @@ mod tests {
         let report = cmd_validate(&path).unwrap();
         assert!(report.contains("resource model `Cinder`: model is well-formed"));
         assert!(report.contains("behavioral model `CinderProject`"));
-        assert!(report.contains("paper-compat") || report.contains("OCL types"), "{report}");
+        assert!(
+            report.contains("paper-compat") || report.contains("OCL types"),
+            "{report}"
+        );
         let text = cmd_models(&path, false).unwrap();
         assert!(text.contains("collection Volumes"));
         let dot = cmd_models(&path, true).unwrap();
@@ -442,9 +493,60 @@ mod tests {
     }
 
     #[test]
+    fn metrics_command_queries_a_live_admin_endpoint() {
+        use cm_httpkit::{AdminRoutes, HttpServer};
+        use cm_obs::{EventSink, MetricsRegistry, MonitorEvent, RingBufferSink};
+        use cm_rest::{parse_json, Json, RestRequest, RestResponse};
+        use std::sync::Arc;
+
+        let metrics = Arc::new(MetricsRegistry::new());
+        let sink = Arc::new(RingBufferSink::new(8));
+        for _ in 0..2 {
+            let event = MonitorEvent {
+                method: "GET".into(),
+                path: "/v3/1/volumes".into(),
+                verdict: "pass".into(),
+                status: 200,
+                ..MonitorEvent::default()
+            };
+            metrics.observe(&event);
+            sink.emit(event);
+        }
+        let admin = AdminRoutes::new(metrics, sink);
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            admin.wrap(Arc::new(|_req: RestRequest| RestResponse::ok(Json::Null))),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        let metrics_out = cmd_metrics(&addr, None).unwrap();
+        let parsed = parse_json(&metrics_out).unwrap();
+        assert_eq!(parsed.get("requests").unwrap().as_int(), Some(2));
+
+        let events_out = cmd_metrics(&format!("http://{addr}"), Some(1)).unwrap();
+        let parsed = parse_json(&events_out).unwrap();
+        assert_eq!(parsed.get("events").unwrap().as_array().unwrap().len(), 1);
+
+        server.shutdown();
+        assert!(cmd_metrics(&addr, None).is_err());
+    }
+
+    #[test]
     fn usage_mentions_every_command() {
         let u = usage();
-        for cmd in ["export-cinder", "validate", "models", "contracts", "slice", "table1", "codegen", "audit", "serve"] {
+        for cmd in [
+            "export-cinder",
+            "validate",
+            "models",
+            "contracts",
+            "slice",
+            "table1",
+            "codegen",
+            "audit",
+            "serve",
+            "metrics",
+        ] {
             assert!(u.contains(cmd), "usage missing {cmd}");
         }
     }
@@ -456,16 +558,17 @@ mod extended_cli_tests {
 
     #[test]
     fn extended_export_carries_both_machines() {
-        let path = std::env::temp_dir()
-            .join(format!("cmcli-ext-{}.xmi", std::process::id()));
+        let path = std::env::temp_dir().join(format!("cmcli-ext-{}.xmi", std::process::id()));
         cmd_export_cinder_extended(&path).unwrap();
         let report = cmd_validate(&path).unwrap();
         assert!(report.contains("behavioral model `CinderProject`"));
         assert!(report.contains("behavioral model `CinderSnapshots`"));
         let contracts = cmd_contracts(&path, true, false).unwrap();
-        assert!(contracts.contains(
-            "PreCondition(POST(/v3/{project_id}/volumes/{volume_id}/snapshots)):"
-        ), "{contracts}");
+        assert!(
+            contracts
+                .contains("PreCondition(POST(/v3/{project_id}/volumes/{volume_id}/snapshots)):"),
+            "{contracts}"
+        );
         assert!(contracts.contains(
             "PreCondition(DELETE(/v3/{project_id}/volumes/{volume_id}/snapshots/{snapshot_id})):"
         ));

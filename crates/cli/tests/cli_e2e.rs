@@ -53,9 +53,21 @@ fn slice_and_codegen_via_binaries() {
     let xmi = tmp("s.xmi");
     let sliced = tmp("s-del.xmi");
     let outdir = tmp("s-out");
-    assert!(cmcli().arg("export-cinder").arg(&xmi).output().unwrap().status.success());
+    assert!(cmcli()
+        .arg("export-cinder")
+        .arg(&xmi)
+        .output()
+        .unwrap()
+        .status
+        .success());
     let slice = cmcli()
-        .args(["slice", xmi.to_str().unwrap(), "--method", "DELETE", sliced.to_str().unwrap()])
+        .args([
+            "slice",
+            xmi.to_str().unwrap(),
+            "--method",
+            "DELETE",
+            sliced.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(slice.status.success(), "{slice:?}");
@@ -71,7 +83,12 @@ fn slice_and_codegen_via_binaries() {
     assert!(gen_dir.join("gendemo/views.py").exists());
 
     let codegen = cmcli()
-        .args(["codegen", "CgDemo", xmi.to_str().unwrap(), outdir.to_str().unwrap()])
+        .args([
+            "codegen",
+            "CgDemo",
+            xmi.to_str().unwrap(),
+            outdir.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(codegen.status.success(), "{codegen:?}");

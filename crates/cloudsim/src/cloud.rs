@@ -12,8 +12,8 @@ use crate::faults::FaultPlan;
 use crate::state::{CloudState, StateError, Volume};
 use cm_model::HttpMethod;
 use cm_rbac::{
-    cinder_table1, my_project_fixture, DefaultDecision, IdentityStore, PolicyFile, Rule,
-    TokenInfo, TokenService,
+    cinder_table1, my_project_fixture, DefaultDecision, IdentityStore, PolicyFile, Rule, TokenInfo,
+    TokenService,
 };
 use cm_rest::{Json, RestRequest, RestResponse, RestService, StatusCode};
 
@@ -127,7 +127,8 @@ impl PrivateCloud {
         user: &str,
         password: &str,
     ) -> Result<TokenInfo, cm_rbac::TokenError> {
-        self.keystone.issue(&self.identity, user, password, self.project_id)
+        self.keystone
+            .issue(&self.identity, user, password, self.project_id)
     }
 
     /// Authorization decision for `action` under the fault plan.
@@ -147,12 +148,12 @@ impl PrivateCloud {
     }
 
     fn validate_token(&self, request: &RestRequest) -> Result<TokenInfo, RestResponse> {
-        let token = request.token().ok_or_else(|| {
-            RestResponse::error(StatusCode::UNAUTHORIZED, "missing X-Auth-Token")
-        })?;
-        self.keystone.validate(&self.identity, token).map_err(|_| {
-            RestResponse::error(StatusCode::UNAUTHORIZED, "invalid token")
-        })
+        let token = request
+            .token()
+            .ok_or_else(|| RestResponse::error(StatusCode::UNAUTHORIZED, "missing X-Auth-Token"))?;
+        self.keystone
+            .validate(&self.identity, token)
+            .map_err(|_| RestResponse::error(StatusCode::UNAUTHORIZED, "invalid token"))
     }
 
     fn volume_json(volume: &Volume) -> Json {
@@ -175,7 +176,10 @@ impl PrivateCloud {
     fn finish(&self, action: &str, response: RestResponse) -> RestResponse {
         if response.status.is_success() {
             if let Some(code) = self.faults.wrong_status(action) {
-                return RestResponse { status: StatusCode(code), ..response };
+                return RestResponse {
+                    status: StatusCode(code),
+                    ..response
+                };
             }
         }
         response
@@ -198,7 +202,10 @@ impl PrivateCloud {
             .get("project_id")
             .and_then(Json::as_int)
             .map_or(self.project_id, |v| v as u64);
-        match self.keystone.issue(&self.identity, user, password, project_id) {
+        match self
+            .keystone
+            .issue(&self.identity, user, password, project_id)
+        {
             Ok(info) => RestResponse::created(Self::token_json(&info)),
             Err(cm_rbac::TokenError::UnknownProject(_)) => {
                 RestResponse::error(StatusCode::NOT_FOUND, "unknown project")
@@ -260,10 +267,12 @@ impl PrivateCloud {
     }
 
     fn handle_volume_get(&self, project_id: u64, volume_id: u64) -> RestResponse {
-        match self.state.project(project_id).and_then(|p| p.volume(volume_id)) {
-            Some(v) => {
-                RestResponse::ok(Json::object(vec![("volume", Self::volume_json(v))]))
-            }
+        match self
+            .state
+            .project(project_id)
+            .and_then(|p| p.volume(volume_id))
+        {
+            Some(v) => RestResponse::ok(Json::object(vec![("volume", Self::volume_json(v))])),
             None => RestResponse::error(StatusCode::NOT_FOUND, "no such volume"),
         }
     }
@@ -275,7 +284,10 @@ impl PrivateCloud {
             .and_then(Json::as_str)
             .unwrap_or("volume")
             .to_string();
-        let size = spec.and_then(|v| v.get("size")).and_then(Json::as_int).unwrap_or(1);
+        let size = spec
+            .and_then(|v| v.get("size"))
+            .and_then(Json::as_int)
+            .unwrap_or(1);
         if self.faults.drops_state_change("volume:post") {
             // Lost update: report success without creating anything.
             return RestResponse::created(Json::object(vec![(
@@ -283,7 +295,10 @@ impl PrivateCloud {
                 Json::object(vec![("id", Json::Null), ("name", Json::Str(name))]),
             )]));
         }
-        match self.state.create_volume(project_id, name, size, self.faults.ignores_quota()) {
+        match self
+            .state
+            .create_volume(project_id, name, size, self.faults.ignores_quota())
+        {
             Ok(v) => RestResponse::created(Json::object(vec![("volume", Self::volume_json(v))])),
             Err(StateError::QuotaExceeded { current, quota }) => RestResponse::error(
                 StatusCode::OVER_LIMIT,
@@ -318,7 +333,10 @@ impl PrivateCloud {
         if self.faults.drops_state_change("volume:delete") {
             return RestResponse::no_content();
         }
-        match self.state.delete_volume(project_id, volume_id, self.faults.ignores_in_use()) {
+        match self
+            .state
+            .delete_volume(project_id, volume_id, self.faults.ignores_in_use())
+        {
             Ok(_) => RestResponse::no_content(),
             Err(StateError::VolumeInUse(id)) => {
                 RestResponse::error(StatusCode::CONFLICT, format!("volume {id} is in-use"))
@@ -342,12 +360,10 @@ impl PrivateCloud {
 
     fn handle_snapshots_list(&self, project_id: u64, volume_id: u64) -> RestResponse {
         match self.state.project(project_id) {
-            Some(p) if p.volume(volume_id).is_some() => {
-                RestResponse::ok(Json::object(vec![(
-                    "snapshots",
-                    Json::Array(p.snapshots_of(volume_id).map(Self::snapshot_json).collect()),
-                )]))
-            }
+            Some(p) if p.volume(volume_id).is_some() => RestResponse::ok(Json::object(vec![(
+                "snapshots",
+                Json::Array(p.snapshots_of(volume_id).map(Self::snapshot_json).collect()),
+            )])),
             _ => RestResponse::error(StatusCode::NOT_FOUND, "no such volume"),
         }
     }
@@ -524,16 +540,13 @@ impl PrivateCloud {
     /// Dispatch one request (the [`RestService`] entry point).
     #[allow(clippy::too_many_lines)]
     fn dispatch(&mut self, request: &RestRequest) -> RestResponse {
-        let segments: Vec<&str> =
-            request.path.split('/').filter(|s| !s.is_empty()).collect();
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
 
         // Identity endpoints.
         if segments.first() == Some(&"identity") {
             return match (request.method, segments.as_slice()) {
                 (HttpMethod::Post, ["identity", "auth", "tokens"]) => self.handle_auth(request),
-                (HttpMethod::Get, ["identity", "tokens", token]) => {
-                    self.handle_token_lookup(token)
-                }
+                (HttpMethod::Get, ["identity", "tokens", token]) => self.handle_token_lookup(token),
                 _ => RestResponse::error(StatusCode::NOT_FOUND, "no such identity endpoint"),
             };
         }
@@ -546,8 +559,7 @@ impl PrivateCloud {
 
         // Compute endpoints: /compute/{project_id}/servers…
         if segments.first() == Some(&"compute") {
-            let Some(project_id) = segments.get(1).and_then(|s| s.parse::<u64>().ok())
-            else {
+            let Some(project_id) = segments.get(1).and_then(|s| s.parse::<u64>().ok()) else {
                 return RestResponse::error(StatusCode::BAD_REQUEST, "bad project id");
             };
             if token.project_id != project_id {
@@ -636,7 +648,10 @@ impl PrivateCloud {
                                 "snapshot:post denied",
                             );
                         }
-                        (action, self.handle_snapshot_create(project_id, volume_id, request))
+                        (
+                            action,
+                            self.handle_snapshot_create(project_id, volume_id, request),
+                        )
                     }
                     _ => {
                         return RestResponse::error(
@@ -647,8 +662,7 @@ impl PrivateCloud {
                 }
             }
             (method, ["volumes", vid, "snapshots", sid]) => {
-                let (Ok(volume_id), Ok(snapshot_id)) =
-                    (vid.parse::<u64>(), sid.parse::<u64>())
+                let (Ok(volume_id), Ok(snapshot_id)) = (vid.parse::<u64>(), sid.parse::<u64>())
                 else {
                     return RestResponse::error(StatusCode::BAD_REQUEST, "bad id");
                 };
@@ -661,7 +675,10 @@ impl PrivateCloud {
                                 "snapshot:get denied",
                             );
                         }
-                        (action, self.handle_snapshot_get(project_id, volume_id, snapshot_id))
+                        (
+                            action,
+                            self.handle_snapshot_get(project_id, volume_id, snapshot_id),
+                        )
                     }
                     HttpMethod::Delete => {
                         let action = "snapshot:delete";
@@ -692,22 +709,19 @@ impl PrivateCloud {
                     HttpMethod::Get => {
                         let action = "volume:get";
                         if !self.authorize(action, &token) {
-                            return RestResponse::error(
-                                StatusCode::FORBIDDEN,
-                                "volume:get denied",
-                            );
+                            return RestResponse::error(StatusCode::FORBIDDEN, "volume:get denied");
                         }
                         (action, self.handle_volume_get(project_id, volume_id))
                     }
                     HttpMethod::Put => {
                         let action = "volume:put";
                         if !self.authorize(action, &token) {
-                            return RestResponse::error(
-                                StatusCode::FORBIDDEN,
-                                "volume:put denied",
-                            );
+                            return RestResponse::error(StatusCode::FORBIDDEN, "volume:put denied");
                         }
-                        (action, self.handle_volume_update(project_id, volume_id, request))
+                        (
+                            action,
+                            self.handle_volume_update(project_id, volume_id, request),
+                        )
                     }
                     HttpMethod::Delete => {
                         let action = "volume:delete";
@@ -752,7 +766,6 @@ impl PrivateCloud {
         };
         self.finish(action, response)
     }
-
 }
 
 impl RestService for PrivateCloud {
@@ -767,7 +780,10 @@ mod tests {
     use crate::faults::Fault;
 
     fn authed(cloud: &mut PrivateCloud, user: &str) -> String {
-        cloud.issue_token(user, &format!("{user}-pw")).unwrap().token
+        cloud
+            .issue_token(user, &format!("{user}-pw"))
+            .unwrap()
+            .token
     }
 
     fn get(cloud: &mut PrivateCloud, token: &str, path: &str) -> RestResponse {
@@ -775,7 +791,11 @@ mod tests {
     }
 
     fn post(cloud: &mut PrivateCloud, token: &str, path: &str, body: Json) -> RestResponse {
-        cloud.handle(&RestRequest::new(HttpMethod::Post, path).auth_token(token).json(body))
+        cloud.handle(
+            &RestRequest::new(HttpMethod::Post, path)
+                .auth_token(token)
+                .json(body),
+        )
     }
 
     fn delete(cloud: &mut PrivateCloud, token: &str, path: &str) -> RestResponse {
@@ -785,7 +805,10 @@ mod tests {
     fn volume_body(name: &str, size: i64) -> Json {
         Json::object(vec![(
             "volume",
-            Json::object(vec![("name", Json::Str(name.into())), ("size", Json::Int(size))]),
+            Json::object(vec![
+                ("name", Json::Str(name.into())),
+                ("size", Json::Int(size)),
+            ]),
         )])
     }
 
@@ -793,15 +816,15 @@ mod tests {
     fn auth_endpoint_issues_tokens() {
         let mut cloud = PrivateCloud::my_project();
         let resp = cloud.handle(
-            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(
-                vec![(
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![
+                (
                     "auth",
                     Json::object(vec![
                         ("user", Json::Str("alice".into())),
                         ("password", Json::Str("alice-pw".into())),
                     ]),
-                )],
-            )),
+                ),
+            ])),
         );
         assert_eq!(resp.status, StatusCode::CREATED);
         let token = resp.body.unwrap();
@@ -813,15 +836,15 @@ mod tests {
     fn bad_credentials_rejected() {
         let mut cloud = PrivateCloud::my_project();
         let resp = cloud.handle(
-            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(
-                vec![(
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![
+                (
                     "auth",
                     Json::object(vec![
                         ("user", Json::Str("alice".into())),
                         ("password", Json::Str("wrong".into())),
                     ]),
-                )],
-            )),
+                ),
+            ])),
         );
         assert_eq!(resp.status, StatusCode::UNAUTHORIZED);
     }
@@ -859,7 +882,12 @@ mod tests {
         let tok = authed(&mut cloud, "alice");
 
         // create
-        let resp = post(&mut cloud, &tok, &format!("/v3/{pid}/volumes"), volume_body("data", 10));
+        let resp = post(
+            &mut cloud,
+            &tok,
+            &format!("/v3/{pid}/volumes"),
+            volume_body("data", 10),
+        );
         assert_eq!(resp.status, StatusCode::CREATED);
         let vid = resp
             .body
@@ -873,10 +901,25 @@ mod tests {
 
         // list and get
         let list = get(&mut cloud, &tok, &format!("/v3/{pid}/volumes"));
-        assert_eq!(list.body.unwrap().get("volumes").unwrap().as_array().unwrap().len(), 1);
+        assert_eq!(
+            list.body
+                .unwrap()
+                .get("volumes")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            1
+        );
         let item = get(&mut cloud, &tok, &format!("/v3/{pid}/volumes/{vid}"));
         assert_eq!(
-            item.body.unwrap().get("volume").unwrap().get("status").unwrap().as_str(),
+            item.body
+                .unwrap()
+                .get("volume")
+                .unwrap()
+                .get("status")
+                .unwrap()
+                .as_str(),
             Some("available")
         );
 
@@ -905,11 +948,23 @@ mod tests {
 
         // SecReq 1.3: POST permitted for admin+member, denied for user.
         assert_eq!(
-            post(&mut cloud, &member, &format!("/v3/{pid}/volumes"), volume_body("v", 1)).status,
+            post(
+                &mut cloud,
+                &member,
+                &format!("/v3/{pid}/volumes"),
+                volume_body("v", 1)
+            )
+            .status,
             StatusCode::CREATED
         );
         assert_eq!(
-            post(&mut cloud, &user, &format!("/v3/{pid}/volumes"), volume_body("v", 1)).status,
+            post(
+                &mut cloud,
+                &user,
+                &format!("/v3/{pid}/volumes"),
+                volume_body("v", 1)
+            )
+            .status,
             StatusCode::FORBIDDEN
         );
 
@@ -944,24 +999,41 @@ mod tests {
         let tok = authed(&mut cloud, "alice");
         for i in 0..DEFAULT_VOLUME_QUOTA {
             assert_eq!(
-                post(&mut cloud, &tok, &format!("/v3/{pid}/volumes"), volume_body(&format!("v{i}"), 1))
-                    .status,
+                post(
+                    &mut cloud,
+                    &tok,
+                    &format!("/v3/{pid}/volumes"),
+                    volume_body(&format!("v{i}"), 1)
+                )
+                .status,
                 StatusCode::CREATED
             );
         }
         assert_eq!(
-            post(&mut cloud, &tok, &format!("/v3/{pid}/volumes"), volume_body("over", 1)).status,
+            post(
+                &mut cloud,
+                &tok,
+                &format!("/v3/{pid}/volumes"),
+                volume_body("over", 1)
+            )
+            .status,
             StatusCode::OVER_LIMIT
         );
 
         // Same scenario on a quota-ignoring mutant succeeds (wrongly).
-        let mut mutant = PrivateCloud::my_project().with_faults(FaultPlan::single(Fault::IgnoreQuota));
+        let mut mutant =
+            PrivateCloud::my_project().with_faults(FaultPlan::single(Fault::IgnoreQuota));
         let pid2 = mutant.project_id();
         let tok2 = authed(&mut mutant, "alice");
         for i in 0..=DEFAULT_VOLUME_QUOTA {
             assert_eq!(
-                post(&mut mutant, &tok2, &format!("/v3/{pid2}/volumes"), volume_body(&format!("v{i}"), 1))
-                    .status,
+                post(
+                    &mut mutant,
+                    &tok2,
+                    &format!("/v3/{pid2}/volumes"),
+                    volume_body(&format!("v{i}"), 1)
+                )
+                .status,
                 StatusCode::CREATED
             );
         }
@@ -972,14 +1044,30 @@ mod tests {
         let mut cloud = PrivateCloud::my_project();
         let pid = cloud.project_id();
         let tok = authed(&mut cloud, "alice");
-        let resp = post(&mut cloud, &tok, &format!("/v3/{pid}/volumes"), volume_body("v", 1));
-        let vid =
-            resp.body.unwrap().get("volume").unwrap().get("id").unwrap().as_int().unwrap();
-        let server =
-            post(&mut cloud, &tok, &format!("/compute/{pid}/servers"), Json::object(vec![(
+        let resp = post(
+            &mut cloud,
+            &tok,
+            &format!("/v3/{pid}/volumes"),
+            volume_body("v", 1),
+        );
+        let vid = resp
+            .body
+            .unwrap()
+            .get("volume")
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_int()
+            .unwrap();
+        let server = post(
+            &mut cloud,
+            &tok,
+            &format!("/compute/{pid}/servers"),
+            Json::object(vec![(
                 "server",
                 Json::object(vec![("name", Json::Str("s1".into()))]),
-            )]));
+            )]),
+        );
         assert_eq!(server.status, StatusCode::CREATED);
         let iid = server
             .body
@@ -1025,9 +1113,21 @@ mod tests {
         let pid = mutant.project_id();
         let admin = authed(&mut mutant, "alice");
         let member = authed(&mut mutant, "bob");
-        let resp = post(&mut mutant, &admin, &format!("/v3/{pid}/volumes"), volume_body("v", 1));
-        let vid =
-            resp.body.unwrap().get("volume").unwrap().get("id").unwrap().as_int().unwrap();
+        let resp = post(
+            &mut mutant,
+            &admin,
+            &format!("/v3/{pid}/volumes"),
+            volume_body("v", 1),
+        );
+        let vid = resp
+            .body
+            .unwrap()
+            .get("volume")
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_int()
+            .unwrap();
         // The mutant wrongly allows member to delete — SecReq 1.4 violated.
         assert_eq!(
             delete(&mut mutant, &member, &format!("/v3/{pid}/volumes/{vid}")).status,
@@ -1037,7 +1137,9 @@ mod tests {
 
     #[test]
     fn invert_auth_fault_flips_decisions() {
-        let plan = FaultPlan::single(Fault::InvertAuthCheck { action: "volume:get".into() });
+        let plan = FaultPlan::single(Fault::InvertAuthCheck {
+            action: "volume:get".into(),
+        });
         let mut mutant = PrivateCloud::my_project().with_faults(plan);
         let pid = mutant.project_id();
         let admin = authed(&mut mutant, "alice");
@@ -1056,9 +1158,21 @@ mod tests {
         let mut mutant = PrivateCloud::my_project().with_faults(plan);
         let pid = mutant.project_id();
         let tok = authed(&mut mutant, "alice");
-        let resp = post(&mut mutant, &tok, &format!("/v3/{pid}/volumes"), volume_body("v", 1));
-        let vid =
-            resp.body.unwrap().get("volume").unwrap().get("id").unwrap().as_int().unwrap();
+        let resp = post(
+            &mut mutant,
+            &tok,
+            &format!("/v3/{pid}/volumes"),
+            volume_body("v", 1),
+        );
+        let vid = resp
+            .body
+            .unwrap()
+            .get("volume")
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_int()
+            .unwrap();
         assert_eq!(
             delete(&mut mutant, &tok, &format!("/v3/{pid}/volumes/{vid}")).status,
             StatusCode::OK // wrong: should be 204
@@ -1067,12 +1181,18 @@ mod tests {
 
     #[test]
     fn drop_state_change_fault_reports_false_success() {
-        let plan =
-            FaultPlan::single(Fault::DropStateChange { action: "volume:post".into() });
+        let plan = FaultPlan::single(Fault::DropStateChange {
+            action: "volume:post".into(),
+        });
         let mut mutant = PrivateCloud::my_project().with_faults(plan);
         let pid = mutant.project_id();
         let tok = authed(&mut mutant, "alice");
-        let resp = post(&mut mutant, &tok, &format!("/v3/{pid}/volumes"), volume_body("v", 1));
+        let resp = post(
+            &mut mutant,
+            &tok,
+            &format!("/v3/{pid}/volumes"),
+            volume_body("v", 1),
+        );
         assert_eq!(resp.status, StatusCode::CREATED);
         assert!(mutant.state().project(pid).unwrap().volumes.is_empty());
     }
@@ -1127,7 +1247,12 @@ mod tests {
         let mut cloud = PrivateCloud::my_project();
         let pid = cloud.project_id();
         let tok = authed(&mut cloud, "alice");
-        let resp = post(&mut cloud, &tok, &format!("/v3/{pid}/volumes/1"), Json::Null);
+        let resp = post(
+            &mut cloud,
+            &tok,
+            &format!("/v3/{pid}/volumes/1"),
+            Json::Null,
+        );
         assert_eq!(resp.status, StatusCode::METHOD_NOT_ALLOWED);
     }
 
@@ -1138,7 +1263,10 @@ mod tests {
         let tok = authed(&mut cloud, "carol");
         let resp = get(&mut cloud, &tok, &format!("/v3/{pid}/usergroup"));
         let groups = resp.body.unwrap();
-        assert_eq!(groups.get("usergroups").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            groups.get("usergroups").unwrap().as_array().unwrap().len(),
+            3
+        );
     }
 }
 
@@ -1151,7 +1279,11 @@ mod snapshot_endpoint_tests {
         let pid = cloud.project_id();
         let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
         let user = cloud.issue_token("carol", "carol-pw").unwrap().token;
-        let vid = cloud.state_mut().create_volume(pid, "v", 1, false).unwrap().id;
+        let vid = cloud
+            .state_mut()
+            .create_volume(pid, "v", 1, false)
+            .unwrap()
+            .id;
         (cloud, pid, admin, user, vid)
     }
 
@@ -1166,9 +1298,12 @@ mod snapshot_endpoint_tests {
     fn snapshot_lifecycle() {
         let (mut cloud, pid, admin, _, vid) = setup();
         let create = cloud.handle(
-            &RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes/{vid}/snapshots"))
-                .auth_token(&admin)
-                .json(snap_body("s1")),
+            &RestRequest::new(
+                HttpMethod::Post,
+                format!("/v3/{pid}/volumes/{vid}/snapshots"),
+            )
+            .auth_token(&admin)
+            .json(snap_body("s1")),
         );
         assert_eq!(create.status, StatusCode::CREATED);
         let sid = create
@@ -1182,11 +1317,20 @@ mod snapshot_endpoint_tests {
             .unwrap();
 
         let list = cloud.handle(
-            &RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/{vid}/snapshots"))
-                .auth_token(&admin),
+            &RestRequest::new(
+                HttpMethod::Get,
+                format!("/v3/{pid}/volumes/{vid}/snapshots"),
+            )
+            .auth_token(&admin),
         );
         assert_eq!(
-            list.body.unwrap().get("snapshots").unwrap().as_array().unwrap().len(),
+            list.body
+                .unwrap()
+                .get("snapshots")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
             1
         );
 
@@ -1229,14 +1373,20 @@ mod snapshot_endpoint_tests {
         let (mut cloud, pid, admin, user, vid) = setup();
         // carol (role user) may list but not create or delete.
         let list = cloud.handle(
-            &RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/{vid}/snapshots"))
-                .auth_token(&user),
+            &RestRequest::new(
+                HttpMethod::Get,
+                format!("/v3/{pid}/volumes/{vid}/snapshots"),
+            )
+            .auth_token(&user),
         );
         assert_eq!(list.status, StatusCode::OK);
         let denied_create = cloud.handle(
-            &RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes/{vid}/snapshots"))
-                .auth_token(&user)
-                .json(snap_body("x")),
+            &RestRequest::new(
+                HttpMethod::Post,
+                format!("/v3/{pid}/volumes/{vid}/snapshots"),
+            )
+            .auth_token(&user)
+            .json(snap_body("x")),
         );
         assert_eq!(denied_create.status, StatusCode::FORBIDDEN);
         let sid = {
@@ -1248,7 +1398,14 @@ mod snapshot_endpoint_tests {
                 .auth_token(&admin)
                 .json(snap_body("s")),
             );
-            resp.body.unwrap().get("snapshot").unwrap().get("id").unwrap().as_int().unwrap()
+            resp.body
+                .unwrap()
+                .get("snapshot")
+                .unwrap()
+                .get("id")
+                .unwrap()
+                .as_int()
+                .unwrap()
         };
         let denied_delete = cloud.handle(
             &RestRequest::new(
@@ -1263,7 +1420,11 @@ mod snapshot_endpoint_tests {
     #[test]
     fn snapshot_of_wrong_volume_is_404() {
         let (mut cloud, pid, admin, _, vid) = setup();
-        let vid2 = cloud.state_mut().create_volume(pid, "w", 1, false).unwrap().id;
+        let vid2 = cloud
+            .state_mut()
+            .create_volume(pid, "w", 1, false)
+            .unwrap()
+            .id;
         let sid = cloud.state_mut().create_snapshot(pid, vid, "s").unwrap().id;
         let wrong = cloud.handle(
             &RestRequest::new(
@@ -1279,8 +1440,11 @@ mod snapshot_endpoint_tests {
     fn put_on_snapshots_is_405() {
         let (mut cloud, pid, admin, _, vid) = setup();
         let resp = cloud.handle(
-            &RestRequest::new(HttpMethod::Put, format!("/v3/{pid}/volumes/{vid}/snapshots"))
-                .auth_token(&admin),
+            &RestRequest::new(
+                HttpMethod::Put,
+                format!("/v3/{pid}/volumes/{vid}/snapshots"),
+            )
+            .auth_token(&admin),
         );
         assert_eq!(resp.status, StatusCode::METHOD_NOT_ALLOWED);
     }
@@ -1357,9 +1521,12 @@ mod dispatch_edge_tests {
         let (mut cloud, pid, tok) = authed_cloud();
         let iid = cloud.state_mut().create_instance(pid, "s").unwrap();
         let resp = cloud.handle(
-            &RestRequest::new(HttpMethod::Post, format!("/compute/{pid}/servers/{iid}/attach"))
-                .auth_token(&tok)
-                .json(Json::object(vec![("nonsense", Json::Null)])),
+            &RestRequest::new(
+                HttpMethod::Post,
+                format!("/compute/{pid}/servers/{iid}/attach"),
+            )
+            .auth_token(&tok)
+            .json(Json::object(vec![("nonsense", Json::Null)])),
         );
         assert_eq!(resp.status, StatusCode::BAD_REQUEST);
     }
@@ -1367,12 +1534,19 @@ mod dispatch_edge_tests {
     #[test]
     fn detach_unattached_volume_is_404() {
         let (mut cloud, pid, tok) = authed_cloud();
-        let vid = cloud.state_mut().create_volume(pid, "v", 1, false).unwrap().id;
+        let vid = cloud
+            .state_mut()
+            .create_volume(pid, "v", 1, false)
+            .unwrap()
+            .id;
         let iid = cloud.state_mut().create_instance(pid, "s").unwrap();
         let resp = cloud.handle(
-            &RestRequest::new(HttpMethod::Post, format!("/compute/{pid}/servers/{iid}/detach"))
-                .auth_token(&tok)
-                .json(Json::object(vec![("volume_id", Json::Int(vid as i64))])),
+            &RestRequest::new(
+                HttpMethod::Post,
+                format!("/compute/{pid}/servers/{iid}/detach"),
+            )
+            .auth_token(&tok)
+            .json(Json::object(vec![("volume_id", Json::Int(vid as i64))])),
         );
         assert_eq!(resp.status, StatusCode::NOT_FOUND);
     }
@@ -1399,25 +1573,28 @@ mod dispatch_edge_tests {
     #[test]
     fn auth_endpoint_rejects_malformed_bodies() {
         let mut cloud = PrivateCloud::my_project();
-        let no_body =
-            cloud.handle(&RestRequest::new(HttpMethod::Post, "/identity/auth/tokens"));
+        let no_body = cloud.handle(&RestRequest::new(HttpMethod::Post, "/identity/auth/tokens"));
         assert_eq!(no_body.status, StatusCode::BAD_REQUEST);
         let missing_fields = cloud.handle(
-            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens")
-                .json(Json::object(vec![("auth", Json::object(vec![("user", Json::Str("alice".into()))]))])),
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![
+                (
+                    "auth",
+                    Json::object(vec![("user", Json::Str("alice".into()))]),
+                ),
+            ])),
         );
         assert_eq!(missing_fields.status, StatusCode::BAD_REQUEST);
         let unknown_project = cloud.handle(
-            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(
-                vec![(
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![
+                (
                     "auth",
                     Json::object(vec![
                         ("user", Json::Str("alice".into())),
                         ("password", Json::Str("alice-pw".into())),
                         ("project_id", Json::Int(42)),
                     ]),
-                )],
-            )),
+                ),
+            ])),
         );
         assert_eq!(unknown_project.status, StatusCode::NOT_FOUND);
     }
@@ -1425,8 +1602,7 @@ mod dispatch_edge_tests {
     #[test]
     fn unknown_identity_endpoint_is_404() {
         let mut cloud = PrivateCloud::my_project();
-        let resp =
-            cloud.handle(&RestRequest::new(HttpMethod::Get, "/identity/users/alice"));
+        let resp = cloud.handle(&RestRequest::new(HttpMethod::Get, "/identity/users/alice"));
         assert_eq!(resp.status, StatusCode::NOT_FOUND);
     }
 }

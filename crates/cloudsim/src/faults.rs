@@ -88,7 +88,9 @@ impl FaultPlan {
     /// A plan with a single fault.
     #[must_use]
     pub fn single(fault: Fault) -> Self {
-        FaultPlan { faults: vec![fault] }
+        FaultPlan {
+            faults: vec![fault],
+        }
     }
 
     /// Add a fault (builder style).
@@ -202,7 +204,10 @@ mod tests {
             action: "volume:delete".into(),
             rule: Rule::role("member"),
         });
-        assert_eq!(p.policy_override("volume:delete"), Some(&Rule::role("member")));
+        assert_eq!(
+            p.policy_override("volume:delete"),
+            Some(&Rule::role("member"))
+        );
         assert!(p.policy_override("volume:get").is_none());
     }
 
@@ -210,7 +215,9 @@ mod tests {
     fn composite_plan() {
         let p = FaultPlan::none()
             .with(Fault::IgnoreQuota)
-            .with(Fault::SkipAuthCheck { action: "volume:post".into() });
+            .with(Fault::SkipAuthCheck {
+                action: "volume:post".into(),
+            });
         assert!(p.ignores_quota());
         assert!(p.skips_auth("volume:post"));
         assert!(!p.skips_auth("volume:delete"));

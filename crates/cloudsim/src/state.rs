@@ -156,7 +156,9 @@ impl ProjectState {
 
     /// Snapshots of a specific volume, in creation order.
     pub fn snapshots_of(&self, volume_id: u64) -> impl Iterator<Item = &Snapshot> {
-        self.snapshots.iter().filter(move |s| s.volume_id == volume_id)
+        self.snapshots
+            .iter()
+            .filter(move |s| s.volume_id == volume_id)
     }
 }
 
@@ -183,8 +185,13 @@ impl CloudState {
 
     /// Register a project with a volume quota.
     pub fn add_project(&mut self, project_id: u64, volume_quota: u32) {
-        self.projects
-            .insert(project_id, ProjectState { volume_quota, ..ProjectState::default() });
+        self.projects.insert(
+            project_id,
+            ProjectState {
+                volume_quota,
+                ..ProjectState::default()
+            },
+        );
     }
 
     /// Read access to a project's state.
@@ -219,8 +226,10 @@ impl CloudState {
         ignore_quota: bool,
     ) -> Result<&Volume, StateError> {
         let next_id = self.next_volume_id;
-        let project =
-            self.projects.get_mut(&project_id).ok_or(StateError::NoSuchVolume(0))?;
+        let project = self
+            .projects
+            .get_mut(&project_id)
+            .ok_or(StateError::NoSuchVolume(0))?;
         if !ignore_quota && project.volumes.len() >= project.volume_quota as usize {
             return Err(StateError::QuotaExceeded {
                 current: project.volumes.len(),
@@ -310,7 +319,11 @@ impl CloudState {
         let id = self.next_instance_id;
         let project = self.projects.get_mut(&project_id)?;
         self.next_instance_id += 1;
-        project.instances.push(Instance { id, name: name.into(), volumes: Vec::new() });
+        project.instances.push(Instance {
+            id,
+            name: name.into(),
+            volumes: Vec::new(),
+        });
         Some(id)
     }
 
@@ -446,7 +459,13 @@ mod tests {
         s.create_volume(1, "v1", 10, false).unwrap();
         s.create_volume(1, "v2", 10, false).unwrap();
         let err = s.create_volume(1, "v3", 10, false).unwrap_err();
-        assert_eq!(err, StateError::QuotaExceeded { current: 2, quota: 2 });
+        assert_eq!(
+            err,
+            StateError::QuotaExceeded {
+                current: 2,
+                quota: 2
+            }
+        );
     }
 
     #[test]
@@ -473,11 +492,20 @@ mod tests {
         let vid = s.create_volume(1, "v", 10, false).unwrap().id;
         let iid = s.create_instance(1, "server").unwrap();
         s.attach(1, iid, vid).unwrap();
-        assert_eq!(s.delete_volume(1, vid, false), Err(StateError::VolumeInUse(vid)));
+        assert_eq!(
+            s.delete_volume(1, vid, false),
+            Err(StateError::VolumeInUse(vid))
+        );
         // Force-delete with fault injection works and detaches.
         let vol = s.delete_volume(1, vid, true).unwrap();
         assert_eq!(vol.status, VolumeStatus::InUse);
-        assert!(s.project(1).unwrap().instance(iid).unwrap().volumes.is_empty());
+        assert!(s
+            .project(1)
+            .unwrap()
+            .instance(iid)
+            .unwrap()
+            .volumes
+            .is_empty());
     }
 
     #[test]
@@ -486,7 +514,10 @@ mod tests {
         let vid = s.create_volume(1, "v", 10, false).unwrap().id;
         let iid = s.create_instance(1, "server").unwrap();
         s.attach(1, iid, vid).unwrap();
-        assert_eq!(s.project(1).unwrap().volume(vid).unwrap().status, VolumeStatus::InUse);
+        assert_eq!(
+            s.project(1).unwrap().volume(vid).unwrap().status,
+            VolumeStatus::InUse
+        );
         // double-attach rejected
         assert!(s.attach(1, iid, vid).is_err());
         s.detach(1, vid).unwrap();
@@ -502,7 +533,9 @@ mod tests {
     fn update_volume_fields() {
         let mut s = state_with_project();
         let vid = s.create_volume(1, "v", 10, false).unwrap().id;
-        let v = s.update_volume(1, vid, Some("renamed".into()), Some(20)).unwrap();
+        let v = s
+            .update_volume(1, vid, Some("renamed".into()), Some(20))
+            .unwrap();
         assert_eq!(v.name, "renamed");
         assert_eq!(v.size, 20);
         assert!(s.update_volume(1, 999, None, None).is_err());
@@ -560,7 +593,10 @@ mod snapshot_tests {
     #[test]
     fn snapshot_of_missing_volume_fails() {
         let (mut s, _) = state();
-        assert_eq!(s.create_snapshot(1, 999, "x"), Err(StateError::NoSuchVolume(999)));
+        assert_eq!(
+            s.create_snapshot(1, 999, "x"),
+            Err(StateError::NoSuchVolume(999))
+        );
     }
 
     #[test]

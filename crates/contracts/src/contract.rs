@@ -101,10 +101,7 @@ impl MethodContract {
     /// # Errors
     ///
     /// Propagates the first evaluation error.
-    pub fn exercised_requirements(
-        &self,
-        state: &dyn Navigator,
-    ) -> Result<Vec<String>, EvalError> {
+    pub fn exercised_requirements(&self, state: &dyn Navigator) -> Result<Vec<String>, EvalError> {
         let mut out: Vec<String> = Vec::new();
         for clause in self.enabled_clauses(state)? {
             for r in &clause.security_requirements {
@@ -160,10 +157,7 @@ impl ContractSet {
     /// # Errors
     ///
     /// Propagates the first evaluation error.
-    pub fn states_matching(
-        &self,
-        state: &dyn Navigator,
-    ) -> Result<Vec<String>, EvalError> {
+    pub fn states_matching(&self, state: &dyn Navigator) -> Result<Vec<String>, EvalError> {
         let mut out = Vec::new();
         for (name, invariant) in &self.states {
             if EvalContext::new(state).eval_bool(invariant)? {
@@ -225,10 +219,12 @@ mod roots_tests {
     fn minimal_model_references_fewer_roots() {
         use cm_model::{BehavioralModel, State, TransitionBuilder, Trigger};
         let mut m = BehavioralModel::new("b", "project", "s");
-        m.state(State::new("s", cm_ocl::parse("project.id->size() = 1").unwrap()));
+        m.state(State::new(
+            "s",
+            cm_ocl::parse("project.id->size() = 1").unwrap(),
+        ));
         m.transition(
-            TransitionBuilder::new("t", "s", Trigger::new(HttpMethod::Get, "project"), "s")
-                .build(),
+            TransitionBuilder::new("t", "s", Trigger::new(HttpMethod::Get, "project"), "s").build(),
         );
         let set = generate(&m).unwrap();
         assert_eq!(set.contracts[0].referenced_roots(), vec!["project"]);
@@ -297,7 +293,10 @@ mod eval_tests {
         assert_eq!(enabled1.len(), 1);
         assert_eq!(enabled1[0].transition_id, "t_del_1");
         // Unauthorized: nothing enabled.
-        assert!(c.enabled_clauses(&env(2, "user", "available")).unwrap().is_empty());
+        assert!(c
+            .enabled_clauses(&env(2, "user", "available"))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -326,7 +325,8 @@ mod eval_tests {
     fn exercised_requirements_follow_enabled_clauses() {
         let c = delete_contract();
         assert_eq!(
-            c.exercised_requirements(&env(2, "admin", "available")).unwrap(),
+            c.exercised_requirements(&env(2, "admin", "available"))
+                .unwrap(),
             vec!["1.4"]
         );
         assert!(c

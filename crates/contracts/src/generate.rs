@@ -141,7 +141,13 @@ pub fn generate_with(
                 }
             }
         }
-        contracts.push(MethodContract { trigger, pre, post, clauses, security_requirements });
+        contracts.push(MethodContract {
+            trigger,
+            pre,
+            post,
+            clauses,
+            security_requirements,
+        });
     }
     let states = model
         .states
@@ -186,7 +192,11 @@ mod tests {
         // The combined pre is a two-level `or`.
         fn count_or(e: &Expr) -> usize {
             match e {
-                Expr::Binary { op: BinOp::Or, lhs, rhs } => 1 + count_or(lhs) + count_or(rhs),
+                Expr::Binary {
+                    op: BinOp::Or,
+                    lhs,
+                    rhs,
+                } => 1 + count_or(lhs) + count_or(rhs),
                 _ => 0,
             }
         }
@@ -201,7 +211,11 @@ mod tests {
             .unwrap();
         fn implications(e: &Expr, out: &mut Vec<Expr>) {
             match e {
-                Expr::Binary { op: BinOp::And, lhs, rhs } => {
+                Expr::Binary {
+                    op: BinOp::And,
+                    lhs,
+                    rhs,
+                } => {
                     implications(lhs, out);
                     implications(rhs, out);
                 }
@@ -213,7 +227,11 @@ mod tests {
         assert_eq!(imps.len(), 3);
         for imp in &imps {
             match imp {
-                Expr::Binary { op: BinOp::Implies, lhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Implies,
+                    lhs,
+                    ..
+                } => {
                     assert!(
                         matches!(**lhs, Expr::Pre(_)),
                         "antecedent must read the pre-state snapshot"
@@ -241,22 +259,26 @@ mod tests {
             // A model whose guards do NOT carry authorization.
             use cm_model::{BehavioralModel, State, TransitionBuilder, Trigger};
             let mut m = BehavioralModel::new("b", "project", "s");
-            m.state(State::new("s", cm_ocl::parse("project.id->size() = 1").unwrap()));
+            m.state(State::new(
+                "s",
+                cm_ocl::parse("project.id->size() = 1").unwrap(),
+            ));
             m.transition(
-                TransitionBuilder::new(
-                    "t1",
-                    "s",
-                    Trigger::new(HttpMethod::Delete, "volume"),
-                    "s",
-                )
-                .guard(cm_ocl::parse("volume.status <> 'in-use'").unwrap())
-                .build(),
+                TransitionBuilder::new("t1", "s", Trigger::new(HttpMethod::Delete, "volume"), "s")
+                    .guard(cm_ocl::parse("volume.status <> 'in-use'").unwrap())
+                    .build(),
             );
             m
         };
         let table = cinder_table1();
-        let set =
-            generate_with(&model, &GenerateOptions { security: Some(&table), simplify: false }).unwrap();
+        let set = generate_with(
+            &model,
+            &GenerateOptions {
+                security: Some(&table),
+                simplify: false,
+            },
+        )
+        .unwrap();
         let c = &set.contracts[0];
         let printed = cm_ocl::to_string(&c.pre);
         assert!(printed.contains("user.groups = 'admin'"), "{printed}");
@@ -325,7 +347,10 @@ mod simplify_tests {
         let plain = generate(&m).unwrap();
         let simplified = generate_with(
             &m,
-            &GenerateOptions { security: None, simplify: true },
+            &GenerateOptions {
+                security: None,
+                simplify: true,
+            },
         )
         .unwrap();
         assert_eq!(

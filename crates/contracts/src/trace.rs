@@ -83,8 +83,18 @@ impl TraceabilityMatrix {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "| {:<7} | {:<24} | {:<30} |", "SecReq", "Triggers", "Transitions");
-        let _ = writeln!(out, "|{}|{}|{}|", "-".repeat(9), "-".repeat(26), "-".repeat(32));
+        let _ = writeln!(
+            out,
+            "| {:<7} | {:<24} | {:<30} |",
+            "SecReq", "Triggers", "Transitions"
+        );
+        let _ = writeln!(
+            out,
+            "|{}|{}|{}|",
+            "-".repeat(9),
+            "-".repeat(26),
+            "-".repeat(32)
+        );
         for row in &self.rows {
             let triggers: Vec<String> = row.triggers.iter().map(Trigger::to_string).collect();
             let _ = writeln!(

@@ -53,7 +53,8 @@ impl CoverageTracker {
             let entry = match self.entries.iter_mut().find(|(id, _)| id == req) {
                 Some((_, e)) => e,
                 None => {
-                    self.entries.push((req.clone(), RequirementCoverage::default()));
+                    self.entries
+                        .push((req.clone(), RequirementCoverage::default()));
                     &mut self.entries.last_mut().expect("just pushed").1
                 }
             };

@@ -54,10 +54,11 @@ pub mod oracle;
 pub mod probe;
 
 pub use coverage::{CoverageTracker, RequirementCoverage};
+pub use model_probe::ModelProber;
 pub use monitor::{
-    cinder_monitor, cinder_monitor_extended, expected_success_status, CloudMonitor, Mode, MonitorBuildError,
-    MonitorOutcome, MonitorRecord, SnapshotPolicy, Verdict,
+    cinder_monitor, cinder_monitor_extended, expected_success_status, CloudMonitor, Mode,
+    MonitorBuildError, MonitorOutcome, MonitorRecord, SnapshotPolicy, Verdict,
+    DEFAULT_EVENT_CAPACITY,
 };
 pub use oracle::{OracleReport, ScenarioResult, TestOracle};
-pub use model_probe::ModelProber;
 pub use probe::{ProbeTarget, StateProber};

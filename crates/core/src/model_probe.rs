@@ -65,7 +65,9 @@ impl ModelProber {
             if def.kind != ResourceKind::Normal {
                 continue;
             }
-            let Some(route) = self.routes.route_for(&def.name) else { continue };
+            let Some(route) = self.routes.route_for(&def.name) else {
+                continue;
+            };
             let Ok(path) = route.template.render(params) else {
                 // Not addressable from this request (e.g. no volume_id on
                 // a project-level call): bind an attribute-free object so
@@ -101,14 +103,18 @@ impl ModelProber {
 
             // Collection-valued association ends of this definition.
             for assoc in self.resources.outgoing(&def.name) {
-                let Some(target) = self.resources.definition(&assoc.target) else { continue };
+                let Some(target) = self.resources.definition(&assoc.target) else {
+                    continue;
+                };
                 if target.kind != ResourceKind::Collection {
                     continue;
                 }
                 let Some(contained) = self.resources.contained_of(&target.name) else {
                     continue;
                 };
-                let Some(coll_route) = self.routes.route_for(&target.name) else { continue };
+                let Some(coll_route) = self.routes.route_for(&target.name) else {
+                    continue;
+                };
                 let Ok(coll_path) = coll_route.template.render(params) else {
                     nav.set_attribute(obj.clone(), assoc.role.clone(), Value::set(vec![]));
                     continue;
@@ -125,8 +131,7 @@ impl ModelProber {
                         .and_then(Json::as_array)
                     {
                         for item in items {
-                            let id =
-                                item.get("id").and_then(Json::as_int).unwrap_or_default();
+                            let id = item.get("id").and_then(Json::as_int).unwrap_or_default();
                             let member = ObjRef::new(contained.name.clone(), id as u64);
                             nav.set_attribute(
                                 member.clone(),
@@ -220,7 +225,11 @@ mod tests {
         let pid = cloud.project_id();
         let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
         let carol = cloud.issue_token("carol", "carol-pw").unwrap().token;
-        let vid = cloud.state_mut().create_volume(pid, "mv", 7, false).unwrap().id;
+        let vid = cloud
+            .state_mut()
+            .create_volume(pid, "mv", 7, false)
+            .unwrap()
+            .id;
         let mut params = HashMap::new();
         params.insert("project_id".to_string(), pid.to_string());
         params.insert("volume_id".to_string(), vid.to_string());
@@ -255,12 +264,8 @@ mod tests {
         use cm_model::Trigger;
 
         let (mut cloud, admin, carol, params) = setup();
-        let model_nav = ModelProber::new(&cinder::resource_model(), "/v3").snapshot(
-            &mut cloud,
-            &params,
-            &admin,
-            &carol,
-        );
+        let model_nav = ModelProber::new(&cinder::resource_model(), "/v3")
+            .snapshot(&mut cloud, &params, &admin, &carol);
         let hand_nav = StateProber::default().snapshot(
             &mut cloud,
             &ProbeTarget {
@@ -292,7 +297,11 @@ mod tests {
         let (mut cloud, admin, carol, mut params) = setup();
         let pid: u64 = params["project_id"].parse().unwrap();
         let vid: u64 = params["volume_id"].parse().unwrap();
-        let sid = cloud.state_mut().create_snapshot(pid, vid, "ms").unwrap().id;
+        let sid = cloud
+            .state_mut()
+            .create_snapshot(pid, vid, "ms")
+            .unwrap()
+            .id;
         params.insert("snapshot_id".to_string(), sid.to_string());
 
         let prober = ModelProber::new(&cinder::extended_resource_model(), "/v3");

@@ -24,9 +24,32 @@ use crate::coverage::CoverageTracker;
 use crate::probe::{ProbeTarget, StateProber};
 use cm_contracts::{generate_with, ContractSet, GenerateOptions};
 use cm_model::{BehavioralModel, HttpMethod, ResourceModel, Trigger};
+use cm_obs::{EventSink, MetricsRegistry, MonitorEvent, PhaseTimings, RingBufferSink};
 use cm_rbac::SecurityRequirementsTable;
 use cm_rest::{Json, Resolution, RestRequest, RestResponse, RestService, RouteTable, StatusCode};
 use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Events retained by the default ring-buffer sink.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// Accumulates observability facts while a request moves through
+/// [`CloudMonitor::process`]; folded into a [`MonitorEvent`] at the end.
+#[derive(Debug, Default)]
+struct ObsScratch {
+    timings: PhaseTimings,
+    route: Option<String>,
+    contract: Option<String>,
+}
+
+/// Run `f`, adding its wall-clock duration to `slot`.
+fn timed<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    *slot += start.elapsed();
+    out
+}
 
 /// How much cloud state each snapshot probes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -174,6 +197,8 @@ pub struct CloudMonitor<S: RestService> {
     monitor_project: Option<u64>,
     log: Vec<MonitorRecord>,
     coverage: CoverageTracker,
+    metrics: Arc<MetricsRegistry>,
+    events: Arc<dyn EventSink>,
 }
 
 impl<S: RestService> CloudMonitor<S> {
@@ -195,8 +220,14 @@ impl<S: RestService> CloudMonitor<S> {
         security: Option<&SecurityRequirementsTable>,
         cloud: S,
     ) -> Result<Self, MonitorBuildError> {
-        let contracts = generate_with(behavior, &GenerateOptions { security, simplify: false })
-            .map_err(|e| MonitorBuildError { message: e.message })?;
+        let contracts = generate_with(
+            behavior,
+            &GenerateOptions {
+                security,
+                simplify: false,
+            },
+        )
+        .map_err(|e| MonitorBuildError { message: e.message })?;
         let coverage = CoverageTracker::new(&contracts.covered_requirements());
         Ok(CloudMonitor {
             cloud,
@@ -209,6 +240,8 @@ impl<S: RestService> CloudMonitor<S> {
             monitor_project: None,
             log: Vec::new(),
             coverage,
+            metrics: Arc::new(MetricsRegistry::new()),
+            events: Arc::new(RingBufferSink::new(DEFAULT_EVENT_CAPACITY)),
         })
     }
 
@@ -229,8 +262,14 @@ impl<S: RestService> CloudMonitor<S> {
     ) -> Result<Self, MonitorBuildError> {
         let mut merged = ContractSet::default();
         for behavior in behaviors {
-            let set = generate_with(behavior, &GenerateOptions { security, simplify: false })
-                .map_err(|e| MonitorBuildError { message: e.message })?;
+            let set = generate_with(
+                behavior,
+                &GenerateOptions {
+                    security,
+                    simplify: false,
+                },
+            )
+            .map_err(|e| MonitorBuildError { message: e.message })?;
             for contract in set.contracts {
                 if merged.contract_for(&contract.trigger).is_some() {
                     return Err(MonitorBuildError {
@@ -256,6 +295,8 @@ impl<S: RestService> CloudMonitor<S> {
             monitor_project: None,
             log: Vec::new(),
             coverage,
+            metrics: Arc::new(MetricsRegistry::new()),
+            events: Arc::new(RingBufferSink::new(DEFAULT_EVENT_CAPACITY)),
         })
     }
 
@@ -273,6 +314,28 @@ impl<S: RestService> CloudMonitor<S> {
         self
     }
 
+    /// Replace the event sink (builder style). The default is a
+    /// [`RingBufferSink`] retaining the last [`DEFAULT_EVENT_CAPACITY`]
+    /// events.
+    #[must_use]
+    pub fn event_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.events = sink;
+        self
+    }
+
+    /// The metrics registry. The `Arc` is shared with the monitor, so a
+    /// clone handed to an admin endpoint sees live counts.
+    #[must_use]
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The event sink (shared, like [`CloudMonitor::metrics`]).
+    #[must_use]
+    pub fn events(&self) -> Arc<dyn EventSink> {
+        Arc::clone(&self.events)
+    }
+
     /// Authenticate the monitor's own probing identity against the wrapped
     /// cloud (POST `/identity/auth/tokens`).
     ///
@@ -280,21 +343,17 @@ impl<S: RestService> CloudMonitor<S> {
     ///
     /// Returns [`MonitorBuildError`] when the cloud rejects the
     /// credentials.
-    pub fn authenticate(
-        &mut self,
-        user: &str,
-        password: &str,
-    ) -> Result<(), MonitorBuildError> {
+    pub fn authenticate(&mut self, user: &str, password: &str) -> Result<(), MonitorBuildError> {
         let resp = self.cloud.handle(
-            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(
-                vec![(
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![
+                (
                     "auth",
                     Json::object(vec![
                         ("user", Json::Str(user.to_string())),
                         ("password", Json::Str(password.to_string())),
                     ]),
-                )],
-            )),
+                ),
+            ])),
         );
         let token = resp
             .body
@@ -357,34 +416,55 @@ impl<S: RestService> CloudMonitor<S> {
 
     /// Process one request through the Figure 2 workflow.
     pub fn process(&mut self, request: &RestRequest) -> MonitorOutcome {
-        let outcome = self.process_inner(request);
+        let started = Instant::now();
+        let mut obs = ObsScratch::default();
+        let (outcome, trigger, diagnostics) = self.process_inner(request, &mut obs);
+        obs.timings.total = started.elapsed();
+        let event = MonitorEvent {
+            seq: 0, // assigned by the sink
+            method: request.method.as_str().to_string(),
+            path: request.path.clone(),
+            route: obs.route,
+            verdict: outcome.verdict.to_string(),
+            violation: outcome.verdict.is_violation(),
+            status: outcome.response.status.0,
+            requirements: outcome.requirements.clone(),
+            contract: obs.contract,
+            timings: obs.timings,
+            diagnostics: diagnostics.clone(),
+        };
+        self.metrics.observe(&event);
+        self.events.emit(event);
         self.log.push(MonitorRecord {
             method: request.method,
             path: request.path.clone(),
-            trigger: outcome.1,
-            verdict: outcome.0.verdict.clone(),
-            requirements: outcome.0.requirements.clone(),
-            status: outcome.0.response.status,
-            diagnostics: outcome.2,
+            trigger,
+            verdict: outcome.verdict.clone(),
+            requirements: outcome.requirements.clone(),
+            status: outcome.response.status,
+            diagnostics,
         });
         if let Some(record) = self.log.last() {
             self.coverage.record(record);
         }
-        outcome.0
+        outcome
     }
 
     #[allow(clippy::too_many_lines)]
     fn process_inner(
         &mut self,
         request: &RestRequest,
+        obs: &mut ObsScratch,
     ) -> (MonitorOutcome, Option<Trigger>, String) {
         // 1. Resolve the URI against the model-derived routes.
         let (route, params) = match self.routes.resolve(request.method, &request.path) {
-            Resolution::Matched { route, params } => (route.clone(), params),
+            Resolution::Matched { route, params } => {
+                obs.route = Some(route.template.to_string());
+                (route.clone(), params)
+            }
             Resolution::MethodNotAllowed { route } => {
                 // Listing 2: HttpResponseNotAllowed.
-                let allowed: Vec<&str> =
-                    route.methods.iter().map(|m| m.as_str()).collect();
+                let allowed: Vec<&str> = route.methods.iter().map(|m| m.as_str()).collect();
                 if self.mode == Mode::Enforce {
                     let resp = RestResponse::error(
                         StatusCode::METHOD_NOT_ALLOWED,
@@ -401,21 +481,25 @@ impl<S: RestService> CloudMonitor<S> {
                         "method not in model-derived interface".to_string(),
                     );
                 }
-                let response = self.cloud.handle(request);
+                let response = timed(&mut obs.timings.forward, || self.cloud.handle(request));
                 let verdict = if response.status.is_success() {
                     Verdict::WrongAcceptance
                 } else {
                     Verdict::Pass
                 };
                 return (
-                    MonitorOutcome { response, verdict, requirements: Vec::new() },
+                    MonitorOutcome {
+                        response,
+                        verdict,
+                        requirements: Vec::new(),
+                    },
                     None,
                     "method outside the modelled interface".to_string(),
                 );
             }
             Resolution::NotFound => {
                 // Unknown to the model (e.g. /identity/…): transparent proxy.
-                let response = self.cloud.handle(request);
+                let response = timed(&mut obs.timings.forward, || self.cloud.handle(request));
                 return (
                     MonitorOutcome {
                         response,
@@ -429,10 +513,9 @@ impl<S: RestService> CloudMonitor<S> {
         };
 
         // 2. Map to the behavioural trigger and its contract.
-        let trigger =
-            Trigger::new(request.method, route.trigger_resource(request.method));
+        let trigger = Trigger::new(request.method, route.trigger_resource(request.method));
         let Some(contract) = self.contracts.contract_for(&trigger).cloned() else {
-            let response = self.cloud.handle(request);
+            let response = timed(&mut obs.timings.forward, || self.cloud.handle(request));
             return (
                 MonitorOutcome {
                     response,
@@ -445,9 +528,7 @@ impl<S: RestService> CloudMonitor<S> {
         };
 
         // 3. Identify the probe target from the captured URI parameters.
-        let Some(project_id) =
-            params.get("project_id").and_then(|s| s.parse::<u64>().ok())
-        else {
+        let Some(project_id) = params.get("project_id").and_then(|s| s.parse::<u64>().ok()) else {
             let response =
                 RestResponse::error(StatusCode::BAD_REQUEST, "bad or missing project id");
             return (
@@ -461,7 +542,9 @@ impl<S: RestService> CloudMonitor<S> {
             );
         };
         let volume_id = params.get("volume_id").and_then(|s| s.parse::<u64>().ok());
-        let snapshot_id = params.get("snapshot_id").and_then(|s| s.parse::<u64>().ok());
+        let snapshot_id = params
+            .get("snapshot_id")
+            .and_then(|s| s.parse::<u64>().ok());
         let target = ProbeTarget {
             project_id,
             volume_id,
@@ -475,10 +558,10 @@ impl<S: RestService> CloudMonitor<S> {
             SnapshotPolicy::Full => None,
             SnapshotPolicy::Minimal => Some(contract.referenced_roots()),
         };
-        let (pre_state, probe_errors) = match &scope {
+        let (pre_state, probe_errors) = timed(&mut obs.timings.snapshot, || match &scope {
             None => self.prober.snapshot_checked(&mut self.cloud, &target),
             Some(roots) => self.prober.snapshot_scoped(&mut self.cloud, &target, roots),
-        };
+        });
         // Probe denials are only meaningful where the monitor has probe
         // authority: a request addressed to a foreign project is expected
         // to be unobservable (and its pre-condition correctly fails on the
@@ -487,14 +570,17 @@ impl<S: RestService> CloudMonitor<S> {
             Some(scope_pid) if scope_pid != project_id => Vec::new(),
             _ => probe_errors,
         };
-        let pre_ok = match contract.evaluate_pre(&pre_state) {
+        let pre_ok = match timed(&mut obs.timings.pre_check, || {
+            obs.contract = Some(contract.trigger.to_string());
+            contract.evaluate_pre(&pre_state)
+        }) {
             Ok(v) => v,
             Err(e) => {
                 let diagnostics = format!("pre-condition evaluation failed: {e}");
                 let response = if self.mode == Mode::Enforce {
                     RestResponse::error(StatusCode::INTERNAL_SERVER_ERROR, &diagnostics)
                 } else {
-                    self.cloud.handle(request)
+                    timed(&mut obs.timings.forward, || self.cloud.handle(request))
                 };
                 return (
                     MonitorOutcome {
@@ -507,8 +593,11 @@ impl<S: RestService> CloudMonitor<S> {
                 );
             }
         };
-        let requirements =
-            contract.exercised_requirements(&pre_state).unwrap_or_default();
+        let requirements = timed(&mut obs.timings.pre_check, || {
+            contract
+                .exercised_requirements(&pre_state)
+                .unwrap_or_default()
+        });
 
         if self.mode == Mode::Enforce && !pre_ok {
             let response = RestResponse::error(
@@ -527,7 +616,7 @@ impl<S: RestService> CloudMonitor<S> {
         }
 
         // 5. Forward to the cloud.
-        let response = self.cloud.handle(request);
+        let response = timed(&mut obs.timings.forward, || self.cloud.handle(request));
         let success = response.status.is_success();
 
         // 6. Interpret the response code and check the post-condition.
@@ -542,20 +631,25 @@ impl<S: RestService> CloudMonitor<S> {
                     format!("expected {expected}, got {}", response.status),
                 )
             } else {
-                let post_state = match &scope {
+                let post_state = timed(&mut obs.timings.snapshot, || match &scope {
                     None => self.prober.snapshot(&mut self.cloud, &target),
                     Some(roots) => {
-                        self.prober.snapshot_scoped(&mut self.cloud, &target, roots).0
+                        self.prober
+                            .snapshot_scoped(&mut self.cloud, &target, roots)
+                            .0
                     }
-                };
-                match contract.evaluate_post(&post_state, &pre_state) {
+                });
+                match timed(&mut obs.timings.post_check, || {
+                    contract.evaluate_post(&post_state, &pre_state)
+                }) {
                     Ok(true) => {
                         // The paper's stateful view: report which model
                         // state the system is in after the call.
-                        let states = self
-                            .contracts
-                            .states_matching(&post_state)
-                            .unwrap_or_default();
+                        let states = timed(&mut obs.timings.post_check, || {
+                            self.contracts
+                                .states_matching(&post_state)
+                                .unwrap_or_default()
+                        });
                         let diagnostics = if states.is_empty() {
                             String::new()
                         } else {
@@ -581,7 +675,10 @@ impl<S: RestService> CloudMonitor<S> {
         } else if success {
             (
                 Verdict::WrongAcceptance,
-                format!("unauthorized/disallowed request succeeded with {}", response.status),
+                format!(
+                    "unauthorized/disallowed request succeeded with {}",
+                    response.status
+                ),
             )
         } else {
             (Verdict::Pass, "correctly denied".to_string())
@@ -611,7 +708,11 @@ impl<S: RestService> CloudMonitor<S> {
         };
 
         (
-            MonitorOutcome { response, verdict, requirements },
+            MonitorOutcome {
+                response,
+                verdict,
+                requirements,
+            },
             Some(trigger),
             diagnostics,
         )
@@ -641,9 +742,7 @@ pub fn expected_success_status(method: HttpMethod) -> StatusCode {
 /// # Errors
 ///
 /// Propagates [`MonitorBuildError`] from [`CloudMonitor::generate`].
-pub fn cinder_monitor<S: RestService>(
-    cloud: S,
-) -> Result<CloudMonitor<S>, MonitorBuildError> {
+pub fn cinder_monitor<S: RestService>(cloud: S) -> Result<CloudMonitor<S>, MonitorBuildError> {
     CloudMonitor::generate(
         &cm_model::cinder::resource_model(),
         &cm_model::cinder::behavioral_model(),
@@ -695,13 +794,20 @@ mod tests {
         }
         let mut monitor = cinder_monitor(cloud).unwrap().mode(mode);
         monitor.authenticate("alice", "alice-pw").unwrap();
-        Harness { monitor, pid, tokens }
+        Harness {
+            monitor,
+            pid,
+            tokens,
+        }
     }
 
     fn volume_body() -> Json {
         Json::object(vec![(
             "volume",
-            Json::object(vec![("name", Json::Str("v".into())), ("size", Json::Int(1))]),
+            Json::object(vec![
+                ("name", Json::Str("v".into())),
+                ("size", Json::Int(1)),
+            ]),
         )])
     }
 
@@ -732,11 +838,24 @@ mod tests {
         let mut h = harness(Mode::Enforce, FaultPlan::none());
         let vid = h.seed_volume();
         let pid = h.pid;
-        let outcome = h.send("carol", HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"));
+        let outcome = h.send(
+            "carol",
+            HttpMethod::Delete,
+            format!("/v3/{pid}/volumes/{vid}"),
+        );
         assert_eq!(outcome.verdict, Verdict::PreBlocked);
         assert_eq!(outcome.response.status, StatusCode::PRECONDITION_FAILED);
         // The volume is still there: the cloud never saw the request.
-        assert_eq!(h.monitor.cloud().state().project(pid).unwrap().volumes.len(), 1);
+        assert_eq!(
+            h.monitor
+                .cloud()
+                .state()
+                .project(pid)
+                .unwrap()
+                .volumes
+                .len(),
+            1
+        );
         // Requirement 1.4 was the one at stake.
         assert!(outcome.requirements.contains(&"1.4".to_string()));
     }
@@ -746,10 +865,21 @@ mod tests {
         let mut h = harness(Mode::Enforce, FaultPlan::none());
         let vid = h.seed_volume();
         let pid = h.pid;
-        let outcome = h.send("alice", HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"));
+        let outcome = h.send(
+            "alice",
+            HttpMethod::Delete,
+            format!("/v3/{pid}/volumes/{vid}"),
+        );
         assert_eq!(outcome.verdict, Verdict::Pass);
         assert_eq!(outcome.response.status, StatusCode::NO_CONTENT);
-        assert!(h.monitor.cloud().state().project(pid).unwrap().volumes.is_empty());
+        assert!(h
+            .monitor
+            .cloud()
+            .state()
+            .project(pid)
+            .unwrap()
+            .volumes
+            .is_empty());
     }
 
     #[test]
@@ -774,13 +904,19 @@ mod tests {
         let mut h = harness(Mode::Observe, plan);
         let vid = h.seed_volume();
         let pid = h.pid;
-        let outcome = h.send("bob", HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"));
+        let outcome = h.send(
+            "bob",
+            HttpMethod::Delete,
+            format!("/v3/{pid}/volumes/{vid}"),
+        );
         assert_eq!(outcome.verdict, Verdict::WrongAcceptance);
     }
 
     #[test]
     fn observe_detects_wrong_denial_on_inverted_auth() {
-        let plan = FaultPlan::single(Fault::InvertAuthCheck { action: "volume:get".into() });
+        let plan = FaultPlan::single(Fault::InvertAuthCheck {
+            action: "volume:get".into(),
+        });
         let mut h = harness(Mode::Observe, plan);
         let vid = h.seed_volume();
         let pid = h.pid;
@@ -790,7 +926,9 @@ mod tests {
 
     #[test]
     fn observe_detects_post_violation_on_lost_update() {
-        let plan = FaultPlan::single(Fault::DropStateChange { action: "volume:post".into() });
+        let plan = FaultPlan::single(Fault::DropStateChange {
+            action: "volume:post".into(),
+        });
         let mut h = harness(Mode::Observe, plan);
         let pid = h.pid;
         let outcome = h.send("alice", HttpMethod::Post, format!("/v3/{pid}/volumes"));
@@ -806,13 +944,25 @@ mod tests {
         let mut h = harness(Mode::Observe, plan);
         let vid = h.seed_volume();
         let pid = h.pid;
-        let outcome = h.send("alice", HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"));
-        assert_eq!(outcome.verdict, Verdict::WrongStatus { expected: 204, actual: 200 });
+        let outcome = h.send(
+            "alice",
+            HttpMethod::Delete,
+            format!("/v3/{pid}/volumes/{vid}"),
+        );
+        assert_eq!(
+            outcome.verdict,
+            Verdict::WrongStatus {
+                expected: 204,
+                actual: 200
+            }
+        );
     }
 
     #[test]
     fn enforce_wraps_violations_in_invalid_response() {
-        let plan = FaultPlan::single(Fault::DropStateChange { action: "volume:post".into() });
+        let plan = FaultPlan::single(Fault::DropStateChange {
+            action: "volume:post".into(),
+        });
         let mut h = harness(Mode::Enforce, plan);
         let pid = h.pid;
         let outcome = h.send("alice", HttpMethod::Post, format!("/v3/{pid}/volumes"));
@@ -829,15 +979,15 @@ mod tests {
     fn identity_api_passes_through_unmodelled() {
         let mut h = harness(Mode::Enforce, FaultPlan::none());
         let outcome = h.monitor.process(
-            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(
-                vec![(
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![
+                (
                     "auth",
                     Json::object(vec![
                         ("user", Json::Str("carol".into())),
                         ("password", Json::Str("carol-pw".into())),
                     ]),
-                )],
-            )),
+                ),
+            ])),
         );
         assert_eq!(outcome.verdict, Verdict::NotModelled);
         assert_eq!(outcome.response.status, StatusCode::CREATED);
@@ -859,7 +1009,11 @@ mod tests {
         let vid = h.seed_volume();
         let pid = h.pid;
         h.send("alice", HttpMethod::Get, format!("/v3/{pid}/volumes/{vid}"));
-        h.send("carol", HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"));
+        h.send(
+            "carol",
+            HttpMethod::Delete,
+            format!("/v3/{pid}/volumes/{vid}"),
+        );
         assert_eq!(h.monitor.log().len(), 2);
         let cov = h.monitor.coverage();
         assert_eq!(cov.total_requests(), 2);
@@ -873,9 +1027,10 @@ mod tests {
         let mut h = harness(Mode::Enforce, FaultPlan::none());
         let vid = h.seed_volume();
         let pid = h.pid;
-        let outcome = h
-            .monitor
-            .process(&RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}")));
+        let outcome = h.monitor.process(&RestRequest::new(
+            HttpMethod::Delete,
+            format!("/v3/{pid}/volumes/{vid}"),
+        ));
         assert_eq!(outcome.verdict, Verdict::PreBlocked);
     }
 
@@ -883,8 +1038,14 @@ mod tests {
     fn expected_status_per_method() {
         assert_eq!(expected_success_status(HttpMethod::Get), StatusCode::OK);
         assert_eq!(expected_success_status(HttpMethod::Put), StatusCode::OK);
-        assert_eq!(expected_success_status(HttpMethod::Post), StatusCode::CREATED);
-        assert_eq!(expected_success_status(HttpMethod::Delete), StatusCode::NO_CONTENT);
+        assert_eq!(
+            expected_success_status(HttpMethod::Post),
+            StatusCode::CREATED
+        );
+        assert_eq!(
+            expected_success_status(HttpMethod::Delete),
+            StatusCode::NO_CONTENT
+        );
     }
 
     #[test]
@@ -961,10 +1122,20 @@ mod extended_model_tests {
         let pid = cloud.project_id();
         let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
         let carol = cloud.issue_token("carol", "carol-pw").unwrap().token;
-        let vid = cloud.state_mut().create_volume(pid, "v", 1, false).unwrap().id;
+        let vid = cloud
+            .state_mut()
+            .create_volume(pid, "v", 1, false)
+            .unwrap()
+            .id;
         let mut monitor = cinder_monitor_extended(cloud).unwrap().mode(Mode::Enforce);
         monitor.authenticate("alice", "alice-pw").unwrap();
-        Ext { monitor, pid, vid, admin, carol }
+        Ext {
+            monitor,
+            pid,
+            vid,
+            admin,
+            carol,
+        }
     }
 
     fn snap_body() -> Json {
@@ -998,7 +1169,12 @@ mod extended_model_tests {
             .auth_token(&e.admin)
             .json(snap_body()),
         );
-        assert_eq!(create.verdict, Verdict::Pass, "{:?}", e.monitor.log().last());
+        assert_eq!(
+            create.verdict,
+            Verdict::Pass,
+            "{:?}",
+            e.monitor.log().last()
+        );
         assert!(create.requirements.contains(&"2.2".to_string()));
 
         // carol reads it (SecReq 2.1).
@@ -1029,7 +1205,12 @@ mod extended_model_tests {
             )
             .auth_token(&e.admin),
         );
-        assert_eq!(deleted.verdict, Verdict::Pass, "{:?}", e.monitor.log().last());
+        assert_eq!(
+            deleted.verdict,
+            Verdict::Pass,
+            "{:?}",
+            e.monitor.log().last()
+        );
     }
 
     #[test]
@@ -1045,18 +1226,28 @@ mod extended_model_tests {
             &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
                 .auth_token(&e.admin),
         );
-        assert_eq!(deleted.verdict, Verdict::Pass, "{:?}", e.monitor.log().last());
+        assert_eq!(
+            deleted.verdict,
+            Verdict::Pass,
+            "{:?}",
+            e.monitor.log().last()
+        );
     }
 
     #[test]
     fn snapshot_mutant_is_detected_in_observe_mode() {
         use cm_cloudsim::{Fault, FaultPlan};
-        let mut cloud = PrivateCloud::my_project().with_faults(FaultPlan::single(
-            Fault::SkipAuthCheck { action: "snapshot:delete".into() },
-        ));
+        let mut cloud =
+            PrivateCloud::my_project().with_faults(FaultPlan::single(Fault::SkipAuthCheck {
+                action: "snapshot:delete".into(),
+            }));
         let pid = cloud.project_id();
         let carol = cloud.issue_token("carol", "carol-pw").unwrap().token;
-        let vid = cloud.state_mut().create_volume(pid, "v", 1, false).unwrap().id;
+        let vid = cloud
+            .state_mut()
+            .create_volume(pid, "v", 1, false)
+            .unwrap()
+            .id;
         cloud.state_mut().create_snapshot(pid, vid, "s").unwrap();
         let mut monitor = cinder_monitor_extended(cloud).unwrap().mode(Mode::Observe);
         monitor.authenticate("alice", "alice-pw").unwrap();
@@ -1164,7 +1355,11 @@ mod refined_delete_tests {
         let mut cloud = PrivateCloud::my_project();
         let pid = cloud.project_id();
         let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
-        let vid = cloud.state_mut().create_volume(pid, "v", 1, false).unwrap().id;
+        let vid = cloud
+            .state_mut()
+            .create_volume(pid, "v", 1, false)
+            .unwrap()
+            .id;
         cloud.state_mut().create_snapshot(pid, vid, "s").unwrap();
         let mut monitor = cinder_monitor_extended(cloud).unwrap().mode(Mode::Enforce);
         monitor.authenticate("alice", "alice-pw").unwrap();
@@ -1217,9 +1412,7 @@ mod state_tracking_tests {
                 .json(body.clone()),
         );
         assert!(
-            monitor.log()[0]
-                .diagnostics
-                .contains(cinder::S_NOT_FULL),
+            monitor.log()[0].diagnostics.contains(cinder::S_NOT_FULL),
             "{:?}",
             monitor.log()[0]
         );
@@ -1233,7 +1426,12 @@ mod state_tracking_tests {
             );
         }
         assert!(
-            monitor.log().last().unwrap().diagnostics.contains(cinder::S_FULL),
+            monitor
+                .log()
+                .last()
+                .unwrap()
+                .diagnostics
+                .contains(cinder::S_FULL),
             "{:?}",
             monitor.log().last()
         );
@@ -1242,8 +1440,12 @@ mod state_tracking_tests {
     #[test]
     fn contract_set_states_survive_generate_multi() {
         let monitor = cinder_monitor_extended(PrivateCloud::my_project()).unwrap();
-        let names: Vec<&str> =
-            monitor.contracts().states.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = monitor
+            .contracts()
+            .states
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
         assert!(names.contains(&cinder::S_NO_VOLUME));
         assert!(names.contains(&cinder::S_VOL_NO_SNAPSHOT));
         assert_eq!(names.len(), 5);

@@ -42,7 +42,10 @@ impl OracleReport {
     /// Scenarios whose verdict indicates a cloud fault.
     #[must_use]
     pub fn violations(&self) -> Vec<&ScenarioResult> {
-        self.scenarios.iter().filter(|s| s.verdict.is_violation()).collect()
+        self.scenarios
+            .iter()
+            .filter(|s| s.verdict.is_violation())
+            .collect()
     }
 
     /// True when at least one scenario detected a fault — the
@@ -86,8 +89,12 @@ pub struct TestOracle;
 
 /// The fixture users with their Table I roles; `mallory` is authenticated
 /// but holds no role (observes policy-widening faults).
-const USERS: [(&str, &str); 4] =
-    [("alice", "admin"), ("bob", "member"), ("carol", "user"), ("mallory", "no role")];
+const USERS: [(&str, &str); 4] = [
+    ("alice", "admin"),
+    ("bob", "member"),
+    ("carol", "user"),
+    ("mallory", "no role"),
+];
 
 impl TestOracle {
     /// Run the suite; `factory` builds a fresh cloud-under-test per
@@ -106,8 +113,11 @@ impl TestOracle {
                 let name = format!("{method} volume as {user} ({role})");
                 let result = Self::scenario(&factory, &name, |cloud| {
                     let pid = cloud.project_id();
-                    let vid =
-                        cloud.state_mut().create_volume(pid, "seed", 5, false).unwrap().id;
+                    let vid = cloud
+                        .state_mut()
+                        .create_volume(pid, "seed", 5, false)
+                        .unwrap()
+                        .id;
                     let path = match method {
                         HttpMethod::Post => format!("/v3/{pid}/volumes"),
                         _ => format!("/v3/{pid}/volumes/{vid}"),
@@ -164,7 +174,11 @@ impl TestOracle {
             "DELETE in-use volume as alice (admin)",
             |cloud| {
                 let pid = cloud.project_id();
-                let vid = cloud.state_mut().create_volume(pid, "busy", 1, false).unwrap().id;
+                let vid = cloud
+                    .state_mut()
+                    .create_volume(pid, "busy", 1, false)
+                    .unwrap()
+                    .id;
                 let iid = cloud.state_mut().create_instance(pid, "srv").unwrap();
                 cloud.state_mut().attach(pid, iid, vid).unwrap();
                 (
@@ -180,7 +194,11 @@ impl TestOracle {
             "DELETE last volume as alice (admin)",
             |cloud| {
                 let pid = cloud.project_id();
-                let vid = cloud.state_mut().create_volume(pid, "only", 1, false).unwrap().id;
+                let vid = cloud
+                    .state_mut()
+                    .create_volume(pid, "only", 1, false)
+                    .unwrap()
+                    .id;
                 (
                     "alice".to_string(),
                     RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}")),
@@ -194,7 +212,10 @@ impl TestOracle {
             "DELETE nonexistent volume as alice (admin)",
             |cloud| {
                 let pid = cloud.project_id();
-                cloud.state_mut().create_volume(pid, "other", 1, false).unwrap();
+                cloud
+                    .state_mut()
+                    .create_volume(pid, "other", 1, false)
+                    .unwrap();
                 (
                     "alice".to_string(),
                     RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/999")),
@@ -226,15 +247,15 @@ impl TestOracle {
         // The acting user authenticates *through* the monitor (transparent
         // pass-through of the unmodelled identity API).
         let auth = monitor.handle(
-            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(
-                vec![(
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![
+                (
                     "auth",
                     Json::object(vec![
                         ("user", Json::Str(user.clone())),
                         ("password", Json::Str(format!("{user}-pw"))),
                     ]),
-                )],
-            )),
+                ),
+            ])),
         );
         let token = auth
             .body
@@ -263,7 +284,10 @@ impl TestOracle {
 fn volume_body(name: &str, size: i64) -> Json {
     Json::object(vec![(
         "volume",
-        Json::object(vec![("name", Json::Str(name.into())), ("size", Json::Int(size))]),
+        Json::object(vec![
+            ("name", Json::Str(name.into())),
+            ("size", Json::Int(size)),
+        ]),
     )])
 }
 
@@ -342,9 +366,16 @@ impl TestOracle {
                 let name = format!("{method} {name_suffix} as {user} ({role})");
                 let result = Self::scenario_extended(&factory, &name, |cloud| {
                     let pid = cloud.project_id();
-                    let vid =
-                        cloud.state_mut().create_volume(pid, "vol", 1, false).unwrap().id;
-                    let sid = cloud.state_mut().create_snapshot(pid, vid, "seed").unwrap().id;
+                    let vid = cloud
+                        .state_mut()
+                        .create_volume(pid, "vol", 1, false)
+                        .unwrap()
+                        .id;
+                    let sid = cloud
+                        .state_mut()
+                        .create_snapshot(pid, vid, "seed")
+                        .unwrap()
+                        .id;
                     let path = match method {
                         HttpMethod::Post => {
                             format!("/v3/{pid}/volumes/{vid}/snapshots")
@@ -370,7 +401,11 @@ impl TestOracle {
             "POST first snapshot as alice (admin)",
             |cloud| {
                 let pid = cloud.project_id();
-                let vid = cloud.state_mut().create_volume(pid, "vol", 1, false).unwrap().id;
+                let vid = cloud
+                    .state_mut()
+                    .create_volume(pid, "vol", 1, false)
+                    .unwrap()
+                    .id;
                 (
                     "alice".to_string(),
                     RestRequest::new(
@@ -391,7 +426,11 @@ impl TestOracle {
             "DELETE nonexistent snapshot as alice (admin)",
             |cloud| {
                 let pid = cloud.project_id();
-                let vid = cloud.state_mut().create_volume(pid, "vol", 1, false).unwrap().id;
+                let vid = cloud
+                    .state_mut()
+                    .create_volume(pid, "vol", 1, false)
+                    .unwrap()
+                    .id;
                 (
                     "alice".to_string(),
                     RestRequest::new(
@@ -421,15 +460,15 @@ impl TestOracle {
             .authenticate("alice", "alice-pw")
             .expect("fixture admin credentials");
         let auth = monitor.handle(
-            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(
-                vec![(
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![
+                (
                     "auth",
                     Json::object(vec![
                         ("user", Json::Str(user.clone())),
                         ("password", Json::Str(format!("{user}-pw"))),
                     ]),
-                )],
-            )),
+                ),
+            ])),
         );
         let token = auth
             .body

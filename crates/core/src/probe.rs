@@ -11,9 +11,9 @@
 //! the monitored call produces the `pre(...)` snapshot; probing after it
 //! produces the post-state.
 
+use cm_model::HttpMethod;
 use cm_ocl::{MapNavigator, ObjRef, Value};
 use cm_rest::{Json, RestRequest, RestResponse, RestService, StatusCode};
-use cm_model::HttpMethod;
 
 /// Identifies the slice of cloud state a contract evaluation needs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,7 +41,9 @@ pub struct StateProber {
 
 impl Default for StateProber {
     fn default() -> Self {
-        StateProber { prefix: "/v3".to_string() }
+        StateProber {
+            prefix: "/v3".to_string(),
+        }
     }
 }
 
@@ -49,7 +51,9 @@ impl StateProber {
     /// Create a prober with the given API prefix.
     #[must_use]
     pub fn new(prefix: impl Into<String>) -> Self {
-        StateProber { prefix: prefix.into() }
+        StateProber {
+            prefix: prefix.into(),
+        }
     }
 
     fn get(
@@ -116,11 +120,7 @@ impl StateProber {
     /// * `user.groups` — the requester's *role* (the paper's Figure 3
     ///   guards use role names as group labels), `user.roles` — the full
     ///   role set, `user.id` — the user id.
-    pub fn snapshot(
-        &self,
-        cloud: &mut dyn RestService,
-        target: &ProbeTarget,
-    ) -> MapNavigator {
+    pub fn snapshot(&self, cloud: &mut dyn RestService, target: &ProbeTarget) -> MapNavigator {
         self.snapshot_impl(cloud, target, &mut Vec::new(), None)
     }
 
@@ -131,8 +131,7 @@ impl StateProber {
         errors: &mut Vec<String>,
         scope: Option<&[String]>,
     ) -> MapNavigator {
-        let in_scope =
-            |root: &str| scope.is_none_or(|roots| roots.iter().any(|r| r == root));
+        let in_scope = |root: &str| scope.is_none_or(|roots| roots.iter().any(|r| r == root));
         let mut nav = MapNavigator::new();
         let pid = target.project_id;
         let project = ObjRef::new("project", pid);
@@ -142,49 +141,66 @@ impl StateProber {
 
         // project.id: Set{pid} iff GET project → 200.
         if in_scope("project") {
-        let proj_resp =
-            self.get(cloud, &target.monitor_token, format!("{}/{pid}", self.prefix), errors);
-        if proj_resp.status == StatusCode::OK {
-            nav.set_attribute(project.clone(), "id", Value::set(vec![Value::Int(pid as i64)]));
-            if let Some(name) = proj_resp
-                .body
-                .as_ref()
-                .and_then(|b| b.get("project"))
-                .and_then(|p| p.get("name"))
-                .and_then(Json::as_str)
-            {
-                nav.set_attribute(project.clone(), "name", name);
+            let proj_resp = self.get(
+                cloud,
+                &target.monitor_token,
+                format!("{}/{pid}", self.prefix),
+                errors,
+            );
+            if proj_resp.status == StatusCode::OK {
+                nav.set_attribute(
+                    project.clone(),
+                    "id",
+                    Value::set(vec![Value::Int(pid as i64)]),
+                );
+                if let Some(name) = proj_resp
+                    .body
+                    .as_ref()
+                    .and_then(|b| b.get("project"))
+                    .and_then(|p| p.get("name"))
+                    .and_then(Json::as_str)
+                {
+                    nav.set_attribute(project.clone(), "name", name);
+                }
+            } else {
+                nav.set_attribute(project.clone(), "id", Value::set(vec![]));
             }
-        } else {
-            nav.set_attribute(project.clone(), "id", Value::set(vec![]));
-        }
 
-        // project.volumes: refs from the listing; volume attributes.
-        let vols_resp =
-            self.get(cloud, &target.monitor_token, format!("{}/{pid}/volumes", self.prefix), errors);
-        let mut volume_refs = Vec::new();
-        if vols_resp.status == StatusCode::OK {
-            if let Some(volumes) =
-                vols_resp.body.as_ref().and_then(|b| b.get("volumes")).and_then(Json::as_array)
-            {
-                for v in volumes {
-                    let Some(id) = v.get("id").and_then(Json::as_int) else { continue };
-                    let obj = ObjRef::new("volume", id as u64);
-                    nav.set_attribute(obj.clone(), "id", Value::set(vec![Value::Int(id)]));
-                    if let Some(name) = v.get("name").and_then(Json::as_str) {
-                        nav.set_attribute(obj.clone(), "name", name);
+            // project.volumes: refs from the listing; volume attributes.
+            let vols_resp = self.get(
+                cloud,
+                &target.monitor_token,
+                format!("{}/{pid}/volumes", self.prefix),
+                errors,
+            );
+            let mut volume_refs = Vec::new();
+            if vols_resp.status == StatusCode::OK {
+                if let Some(volumes) = vols_resp
+                    .body
+                    .as_ref()
+                    .and_then(|b| b.get("volumes"))
+                    .and_then(Json::as_array)
+                {
+                    for v in volumes {
+                        let Some(id) = v.get("id").and_then(Json::as_int) else {
+                            continue;
+                        };
+                        let obj = ObjRef::new("volume", id as u64);
+                        nav.set_attribute(obj.clone(), "id", Value::set(vec![Value::Int(id)]));
+                        if let Some(name) = v.get("name").and_then(Json::as_str) {
+                            nav.set_attribute(obj.clone(), "name", name);
+                        }
+                        if let Some(size) = v.get("size").and_then(Json::as_int) {
+                            nav.set_attribute(obj.clone(), "size", size);
+                        }
+                        if let Some(status) = v.get("status").and_then(Json::as_str) {
+                            nav.set_attribute(obj.clone(), "status", status);
+                        }
+                        volume_refs.push(Value::Obj(obj));
                     }
-                    if let Some(size) = v.get("size").and_then(Json::as_int) {
-                        nav.set_attribute(obj.clone(), "size", size);
-                    }
-                    if let Some(status) = v.get("status").and_then(Json::as_str) {
-                        nav.set_attribute(obj.clone(), "status", status);
-                    }
-                    volume_refs.push(Value::Obj(obj));
                 }
             }
-        }
-        nav.set_attribute(project, "volumes", Value::set(volume_refs));
+            nav.set_attribute(project, "volumes", Value::set(volume_refs));
         }
 
         // The specific volume addressed by the request. Bind the variable
@@ -202,7 +218,11 @@ impl StateProber {
             );
             if v_resp.status == StatusCode::OK {
                 if let Some(v) = v_resp.body.as_ref().and_then(|b| b.get("volume")) {
-                    nav.set_attribute(volume.clone(), "id", Value::set(vec![Value::Int(vid as i64)]));
+                    nav.set_attribute(
+                        volume.clone(),
+                        "id",
+                        Value::set(vec![Value::Int(vid as i64)]),
+                    );
                     if let Some(status) = v.get("status").and_then(Json::as_str) {
                         nav.set_attribute(volume.clone(), "status", status);
                     }
@@ -305,41 +325,41 @@ impl StateProber {
         // Token introspection 404s for unauthenticated requesters; that is
         // a legitimate outcome, not a probe anomaly.
         if in_scope("user") {
-        let user_resp = self.get(
-            cloud,
-            &target.monitor_token,
-            format!("/identity/tokens/{}", target.user_token),
-            &mut Vec::new(),
-        );
-        if let Some(tok) = user_resp.body.as_ref().and_then(|b| b.get("token")) {
-            let uid = tok.get("user_id").and_then(Json::as_int).unwrap_or(0);
-            let user = ObjRef::new("user", uid as u64);
-            nav.set_variable("user", user.clone());
-            nav.set_attribute(user.clone(), "id", Value::set(vec![Value::Int(uid)]));
-            if let Some(name) = tok.get("user").and_then(Json::as_str) {
-                nav.set_attribute(user.clone(), "name", name);
+            let user_resp = self.get(
+                cloud,
+                &target.monitor_token,
+                format!("/identity/tokens/{}", target.user_token),
+                &mut Vec::new(),
+            );
+            if let Some(tok) = user_resp.body.as_ref().and_then(|b| b.get("token")) {
+                let uid = tok.get("user_id").and_then(Json::as_int).unwrap_or(0);
+                let user = ObjRef::new("user", uid as u64);
+                nav.set_variable("user", user.clone());
+                nav.set_attribute(user.clone(), "id", Value::set(vec![Value::Int(uid)]));
+                if let Some(name) = tok.get("user").and_then(Json::as_str) {
+                    nav.set_attribute(user.clone(), "name", name);
+                }
+                let roles: Vec<Value> = tok
+                    .get("roles")
+                    .and_then(Json::as_array)
+                    .map(|rs| {
+                        rs.iter()
+                            .filter_map(Json::as_str)
+                            .map(|s| Value::Str(s.to_string()))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                // Figure 3 guard vocabulary: `user.groups = 'admin'` compares
+                // against the primary role label.
+                if let Some(Value::Str(primary)) = roles.first() {
+                    nav.set_attribute(user.clone(), "groups", primary.clone());
+                }
+                nav.set_attribute(user, "roles", Value::set(roles));
+            } else {
+                // Unauthenticated requester: bind a user with no attributes so
+                // guards evaluate to false, not to an unknown-variable error.
+                nav.set_variable("user", ObjRef::new("user", 0));
             }
-            let roles: Vec<Value> = tok
-                .get("roles")
-                .and_then(Json::as_array)
-                .map(|rs| {
-                    rs.iter()
-                        .filter_map(Json::as_str)
-                        .map(|s| Value::Str(s.to_string()))
-                        .collect()
-                })
-                .unwrap_or_default();
-            // Figure 3 guard vocabulary: `user.groups = 'admin'` compares
-            // against the primary role label.
-            if let Some(Value::Str(primary)) = roles.first() {
-                nav.set_attribute(user.clone(), "groups", primary.clone());
-            }
-            nav.set_attribute(user, "roles", Value::set(roles));
-        } else {
-            // Unauthenticated requester: bind a user with no attributes so
-            // guards evaluate to false, not to an unknown-variable error.
-            nav.set_variable("user", ObjRef::new("user", 0));
-        }
         } else {
             nav.set_variable("user", ObjRef::new("user", 0));
         }
@@ -383,7 +403,11 @@ mod tests {
     fn volumes_and_quota_are_visible() {
         let (mut cloud, mut target) = setup();
         let pid = target.project_id;
-        let vid = cloud.state_mut().create_volume(pid, "v1", 10, false).unwrap().id;
+        let vid = cloud
+            .state_mut()
+            .create_volume(pid, "v1", 10, false)
+            .unwrap()
+            .id;
         target.volume_id = Some(vid);
         let nav = StateProber::default().snapshot(&mut cloud, &target);
         let checks = [
@@ -448,14 +472,20 @@ mod tests {
     fn pre_and_post_snapshots_differ_after_delete() {
         let (mut cloud, mut target) = setup();
         let pid = target.project_id;
-        let vid = cloud.state_mut().create_volume(pid, "v1", 10, false).unwrap().id;
+        let vid = cloud
+            .state_mut()
+            .create_volume(pid, "v1", 10, false)
+            .unwrap()
+            .id;
         target.volume_id = Some(vid);
         let prober = StateProber::default();
         let pre = prober.snapshot(&mut cloud, &target);
         cloud.state_mut().delete_volume(pid, vid, false).unwrap();
         let post = prober.snapshot(&mut cloud, &target);
         let e = parse("project.volumes->size() < pre(project.volumes->size())").unwrap();
-        assert!(EvalContext::with_pre_state(&post, &pre).eval_bool(&e).unwrap());
+        assert!(EvalContext::with_pre_state(&post, &pre)
+            .eval_bool(&e)
+            .unwrap());
     }
 }
 
@@ -483,7 +513,11 @@ mod scoped_tests {
         let mut cloud = PrivateCloud::my_project();
         let pid = cloud.project_id();
         let admin = cloud.issue_token("alice", "alice-pw").unwrap();
-        let vid = cloud.state_mut().create_volume(pid, "v", 1, false).unwrap().id;
+        let vid = cloud
+            .state_mut()
+            .create_volume(pid, "v", 1, false)
+            .unwrap()
+            .id;
         let target = ProbeTarget {
             project_id: pid,
             volume_id: Some(vid),
@@ -491,7 +525,13 @@ mod scoped_tests {
             user_token: admin.token.clone(),
             monitor_token: admin.token,
         };
-        (Counting { inner: cloud, requests: 0 }, target)
+        (
+            Counting {
+                inner: cloud,
+                requests: 0,
+            },
+            target,
+        )
     }
 
     #[test]
@@ -508,11 +548,7 @@ mod scoped_tests {
     fn scoped_snapshot_skips_unreferenced_roots() {
         let (mut cloud, target) = setup();
         let prober = StateProber::default();
-        let (nav, errors) = prober.snapshot_scoped(
-            &mut cloud,
-            &target,
-            &["project".to_string()],
-        );
+        let (nav, errors) = prober.snapshot_scoped(&mut cloud, &target, &["project".to_string()]);
         assert!(errors.is_empty());
         // Only project + volumes listing.
         assert_eq!(cloud.requests, 2);

@@ -1,0 +1,206 @@
+//! Admin observability endpoints for a monitor proxy.
+//!
+//! [`AdminRoutes`] intercepts the reserved `/-/` path space in front of
+//! an application handler:
+//!
+//! * `GET /-/metrics` — the monitor's [`cm_obs::MetricsRegistry`] as
+//!   JSON (verdict / requirement / route counters, phase latency
+//!   histograms with p50/p95/p99);
+//! * `GET /-/events?tail=N` — the most recent `N` structured
+//!   [`cm_obs::MonitorEvent`]s from the event sink (default 32), oldest
+//!   first, plus the count of events dropped by the bounded buffer.
+//!
+//! Every other request falls through to the wrapped handler, so the
+//! endpoints add no cost to the monitored path beyond one prefix check.
+
+use crate::server::Handler;
+use cm_obs::{EventSink, MetricsRegistry};
+use cm_rest::{Json, RestRequest, RestResponse, StatusCode};
+use std::sync::Arc;
+
+/// Events returned by `GET /-/events` when no `tail` is given.
+pub const DEFAULT_EVENT_TAIL: usize = 32;
+
+/// The reserved admin path prefix.
+pub const ADMIN_PREFIX: &str = "/-/";
+
+/// Serves `/-/metrics` and `/-/events` from a monitor's observability
+/// handles.
+#[derive(Debug, Clone)]
+pub struct AdminRoutes {
+    metrics: Arc<MetricsRegistry>,
+    events: Arc<dyn EventSink>,
+}
+
+impl AdminRoutes {
+    /// Admin routes over the given registry and sink (clone the `Arc`s
+    /// out of `CloudMonitor::metrics()` / `CloudMonitor::events()`).
+    #[must_use]
+    pub fn new(metrics: Arc<MetricsRegistry>, events: Arc<dyn EventSink>) -> Self {
+        AdminRoutes { metrics, events }
+    }
+
+    /// Handle `request` if it addresses the admin path space; `None`
+    /// means the request belongs to the application.
+    #[must_use]
+    pub fn try_handle(&self, request: &RestRequest) -> Option<RestResponse> {
+        // Query strings travel inside `path`; split them off before
+        // matching (the wire layer does no query parsing).
+        let (path, query) = match request.path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (request.path.as_str(), ""),
+        };
+        if !path.starts_with(ADMIN_PREFIX) {
+            return None;
+        }
+        if request.method != cm_model::HttpMethod::Get {
+            return Some(RestResponse::error(
+                StatusCode::METHOD_NOT_ALLOWED,
+                "admin endpoints are read-only",
+            ));
+        }
+        match path {
+            "/-/metrics" => Some(RestResponse::ok(self.metrics.render_json())),
+            "/-/events" => {
+                let tail = query_param(query, "tail")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(DEFAULT_EVENT_TAIL);
+                let events = self.events.tail(tail);
+                Some(RestResponse::ok(Json::object(vec![
+                    (
+                        "events",
+                        Json::Array(events.iter().map(cm_obs::MonitorEvent::to_json).collect()),
+                    ),
+                    (
+                        "dropped",
+                        Json::Int(i64::try_from(self.events.dropped()).unwrap_or(i64::MAX)),
+                    ),
+                ])))
+            }
+            _ => Some(RestResponse::error(
+                StatusCode::NOT_FOUND,
+                format!("unknown admin endpoint {path}"),
+            )),
+        }
+    }
+
+    /// Compose with an application handler: admin paths are answered
+    /// here, everything else goes to `inner`.
+    #[must_use]
+    pub fn wrap(self, inner: Arc<Handler>) -> Arc<Handler> {
+        Arc::new(
+            move |request: RestRequest| match self.try_handle(&request) {
+                Some(response) => response,
+                None => inner(request),
+            },
+        )
+    }
+}
+
+/// Value of `name` in an (already split off) query string.
+fn query_param<'a>(query: &'a str, name: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (key, value) = pair.split_once('=')?;
+        (key == name).then_some(value)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_model::HttpMethod;
+    use cm_obs::{MonitorEvent, RingBufferSink};
+
+    fn routes_with(events: usize) -> AdminRoutes {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let sink = Arc::new(RingBufferSink::new(16));
+        for i in 0..events {
+            let event = MonitorEvent {
+                method: "GET".into(),
+                path: format!("/v3/1/volumes/{i}"),
+                verdict: "pass".into(),
+                status: 200,
+                ..MonitorEvent::default()
+            };
+            metrics.observe(&event);
+            sink.emit(event);
+        }
+        AdminRoutes::new(metrics, sink)
+    }
+
+    #[test]
+    fn non_admin_paths_fall_through() {
+        let routes = routes_with(0);
+        let req = RestRequest::new(HttpMethod::Get, "/v3/1/volumes");
+        assert!(routes.try_handle(&req).is_none());
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_counts() {
+        let routes = routes_with(3);
+        let resp = routes
+            .try_handle(&RestRequest::new(HttpMethod::Get, "/-/metrics"))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        let body = resp.body.unwrap();
+        assert_eq!(body.get("requests").unwrap().as_int(), Some(3));
+        assert_eq!(
+            body.get("verdicts").unwrap().get("pass").unwrap().as_int(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn events_endpoint_honours_tail() {
+        let routes = routes_with(5);
+        let resp = routes
+            .try_handle(&RestRequest::new(HttpMethod::Get, "/-/events?tail=2"))
+            .unwrap();
+        let body = resp.body.unwrap();
+        let events = body.get("events").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[1].get("path").unwrap().as_str(),
+            Some("/v3/1/volumes/4")
+        );
+        assert_eq!(body.get("dropped").unwrap().as_int(), Some(0));
+    }
+
+    #[test]
+    fn events_endpoint_defaults_tail() {
+        let routes = routes_with(4);
+        let resp = routes
+            .try_handle(&RestRequest::new(HttpMethod::Get, "/-/events"))
+            .unwrap();
+        let events = resp.body.unwrap();
+        assert_eq!(events.get("events").unwrap().as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn unknown_admin_path_is_404_and_writes_are_405() {
+        let routes = routes_with(0);
+        let resp = routes
+            .try_handle(&RestRequest::new(HttpMethod::Get, "/-/nope"))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        let resp = routes
+            .try_handle(&RestRequest::new(HttpMethod::Post, "/-/metrics"))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::METHOD_NOT_ALLOWED);
+    }
+
+    #[test]
+    fn wrap_composes_with_an_application_handler() {
+        let routes = routes_with(1);
+        let handler = routes.wrap(Arc::new(|req: RestRequest| {
+            RestResponse::ok(Json::Str(req.path))
+        }));
+        let app = handler(RestRequest::new(HttpMethod::Get, "/app"));
+        assert_eq!(app.body, Some(Json::Str("/app".into())));
+        let admin = handler(RestRequest::new(HttpMethod::Get, "/-/metrics"));
+        assert_eq!(
+            admin.body.unwrap().get("requests").unwrap().as_int(),
+            Some(1)
+        );
+    }
+}

@@ -7,7 +7,9 @@
 //! * [`wire`] — request/response parsing and serialisation
 //!   (`Content-Length` framing, JSON bodies, size limits);
 //! * [`HttpServer`] — a threaded blocking server with graceful shutdown;
-//! * [`send`] — a one-shot client.
+//! * [`send`] — a one-shot client;
+//! * [`AdminRoutes`] — the `/-/metrics` and `/-/events` observability
+//!   endpoints served in front of an application handler.
 //!
 //! ## Example
 //!
@@ -30,8 +32,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admin;
 pub mod server;
 pub mod wire;
 
+pub use admin::{AdminRoutes, ADMIN_PREFIX, DEFAULT_EVENT_TAIL};
 pub use server::{send, Handler, HttpServer, RemoteService};
 pub use wire::{read_request, read_response, write_request, write_response, WireError};

@@ -8,11 +8,11 @@
 
 use crate::wire::{read_request, write_request, write_response, WireError};
 use cm_rest::{RestRequest, RestResponse, StatusCode};
-use parking_lot::Mutex;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -29,7 +29,9 @@ pub struct HttpServer {
 
 impl std::fmt::Debug for HttpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HttpServer").field("addr", &self.addr).finish()
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -58,11 +60,16 @@ impl HttpServer {
                 let worker = std::thread::spawn(move || {
                     serve_connection(stream, handler.as_ref());
                 });
-                workers_accept.lock().push(worker);
+                workers_accept.lock().unwrap().push(worker);
             }
         });
 
-        Ok(HttpServer { addr: local, stop, accept_thread: Some(accept_thread), workers })
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -83,7 +90,7 @@ impl HttpServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for w in self.workers.lock().drain(..) {
+        for w in self.workers.lock().unwrap().drain(..) {
             let _ = w.join();
         }
     }
@@ -146,10 +153,13 @@ mod tests {
             RestResponse::ok(Json::object(vec![
                 ("method", Json::Str(req.method.to_string())),
                 ("path", Json::Str(req.path.clone())),
-                ("token", match req.token() {
-                    Some(t) => Json::Str(t.to_string()),
-                    None => Json::Null,
-                }),
+                (
+                    "token",
+                    match req.token() {
+                        Some(t) => Json::Str(t.to_string()),
+                        None => Json::Null,
+                    },
+                ),
                 ("body", req.body.clone().unwrap_or(Json::Null)),
             ]))
         })

@@ -120,10 +120,8 @@ fn read_body(reader: &mut impl BufRead, len: usize) -> Result<Option<Json>, Wire
             WireError::Io(e)
         }
     })?;
-    let text =
-        String::from_utf8(buf).map_err(|_| WireError::Malformed("non-UTF-8 body".into()))?;
-    let json =
-        parse_json(&text).map_err(|e| WireError::Malformed(format!("body JSON: {e}")))?;
+    let text = String::from_utf8(buf).map_err(|_| WireError::Malformed("non-UTF-8 body".into()))?;
+    let json = parse_json(&text).map_err(|e| WireError::Malformed(format!("body JSON: {e}")))?;
     Ok(Some(json))
 }
 
@@ -151,7 +149,12 @@ pub fn read_request(stream: &mut impl Read) -> Result<RestRequest, WireError> {
     let headers = read_headers(&mut reader, &mut budget)?;
     let len = content_length(&headers)?;
     let body = read_body(&mut reader, len)?;
-    Ok(RestRequest { method, path, headers, body })
+    Ok(RestRequest {
+        method,
+        path,
+        headers,
+        body,
+    })
 }
 
 /// Read one HTTP response from a stream.
@@ -175,7 +178,11 @@ pub fn read_response(stream: &mut impl Read) -> Result<RestResponse, WireError> 
     let headers = read_headers(&mut reader, &mut budget)?;
     let len = content_length(&headers)?;
     let body = read_body(&mut reader, len)?;
-    Ok(RestResponse { status: StatusCode(code), headers, body })
+    Ok(RestResponse {
+        status: StatusCode(code),
+        headers,
+        body,
+    })
 }
 
 /// Write one HTTP request to a stream (`Connection: close` semantics).
@@ -212,8 +219,11 @@ pub fn write_request(stream: &mut impl Write, request: &RestRequest) -> std::io:
 /// Propagates I/O errors from the underlying writer.
 pub fn write_response(stream: &mut impl Write, response: &RestResponse) -> std::io::Result<()> {
     let body_text = response.body.as_ref().map(Json::to_compact_string);
-    let mut out =
-        format!("HTTP/1.1 {} {}\r\n", response.status.0, response.status.reason());
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\n",
+        response.status.0,
+        response.status.reason()
+    );
     for (n, v) in &response.headers {
         if n.eq_ignore_ascii_case("content-length") {
             continue;
@@ -331,7 +341,10 @@ mod tests {
 
     #[test]
     fn rejects_oversized_content_length() {
-        let raw = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX / 2);
+        let raw = format!(
+            "GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            usize::MAX / 2
+        );
         assert!(matches!(
             read_request(&mut Cursor::new(raw.as_bytes())),
             Err(WireError::TooLarge(_))

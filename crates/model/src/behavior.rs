@@ -26,7 +26,10 @@ impl State {
     /// Create a state.
     #[must_use]
     pub fn new(name: impl Into<String>, invariant: Expr) -> Self {
-        State { name: name.into(), invariant }
+        State {
+            name: name.into(),
+            invariant,
+        }
     }
 }
 
@@ -44,7 +47,10 @@ impl Trigger {
     /// Create a trigger.
     #[must_use]
     pub fn new(method: HttpMethod, resource: impl Into<String>) -> Self {
-        Trigger { method, resource: resource.into() }
+        Trigger {
+            method,
+            resource: resource.into(),
+        }
     }
 }
 
@@ -230,8 +236,14 @@ mod tests {
 
     fn two_state_model() -> BehavioralModel {
         let mut m = BehavioralModel::new("m", "project", "empty");
-        m.state(State::new("empty", parse("project.volumes->size()=0").unwrap()))
-            .state(State::new("nonempty", parse("project.volumes->size()>=1").unwrap()));
+        m.state(State::new(
+            "empty",
+            parse("project.volumes->size()=0").unwrap(),
+        ))
+        .state(State::new(
+            "nonempty",
+            parse("project.volumes->size()>=1").unwrap(),
+        ));
         m.transition(
             TransitionBuilder::new(
                 "t1",

@@ -55,16 +55,36 @@ pub fn resource_model() -> ResourceModel {
                 Attribute::new("role", AttrType::Str),
             ],
         ));
-    m.associate(Association::new("project", "Projects", "project", Multiplicity::ZERO_MANY))
-        .associate(Association::new("volumes", "project", "Volumes", Multiplicity::ONE))
-        .associate(Association::new("volume", "Volumes", "volume", Multiplicity::ZERO_MANY))
-        .associate(Association::new("quota_sets", "project", "quota_sets", Multiplicity::ONE))
-        .associate(Association::new(
-            "usergroup",
-            "project",
-            "usergroup",
-            Multiplicity::ZERO_MANY,
-        ));
+    m.associate(Association::new(
+        "project",
+        "Projects",
+        "project",
+        Multiplicity::ZERO_MANY,
+    ))
+    .associate(Association::new(
+        "volumes",
+        "project",
+        "Volumes",
+        Multiplicity::ONE,
+    ))
+    .associate(Association::new(
+        "volume",
+        "Volumes",
+        "volume",
+        Multiplicity::ZERO_MANY,
+    ))
+    .associate(Association::new(
+        "quota_sets",
+        "project",
+        "quota_sets",
+        Multiplicity::ONE,
+    ))
+    .associate(Association::new(
+        "usergroup",
+        "project",
+        "usergroup",
+        Multiplicity::ZERO_MANY,
+    ));
     m
 }
 
@@ -80,8 +100,8 @@ pub fn resource_model() -> ResourceModel {
 /// Never panics in practice: all embedded OCL strings are tested to parse.
 #[must_use]
 pub fn behavioral_model() -> BehavioralModel {
-    let inv_no_volume = parse("project.id->size()=1 and project.volumes->size()=0")
-        .expect("invariant parses");
+    let inv_no_volume =
+        parse("project.id->size()=1 and project.volumes->size()=0").expect("invariant parses");
     let inv_not_full = parse(
         "project.id->size()=1 and project.volumes->size()>=1 and \
          project.volumes->size() < quota_sets.volume",
@@ -94,16 +114,15 @@ pub fn behavioral_model() -> BehavioralModel {
     .expect("invariant parses");
 
     let auth_write = "(user.groups = 'admin' or user.groups = 'member')";
-    let auth_read =
-        "(user.groups = 'admin' or user.groups = 'member' or user.groups = 'user')";
+    let auth_read = "(user.groups = 'admin' or user.groups = 'member' or user.groups = 'user')";
     let auth_delete = "user.groups = 'admin'";
 
-    let post_effect = parse("project.volumes->size() = pre(project.volumes->size()) + 1")
-        .expect("effect parses");
-    let delete_effect = parse("project.volumes->size() < pre(project.volumes->size())")
-        .expect("effect parses");
-    let read_effect = parse("project.volumes->size() = pre(project.volumes->size())")
-        .expect("effect parses");
+    let post_effect =
+        parse("project.volumes->size() = pre(project.volumes->size()) + 1").expect("effect parses");
+    let delete_effect =
+        parse("project.volumes->size() < pre(project.volumes->size())").expect("effect parses");
+    let read_effect =
+        parse("project.volumes->size() = pre(project.volumes->size())").expect("effect parses");
 
     let mut m = BehavioralModel::new("CinderProject", "project", S_NO_VOLUME);
     m.state(State::new(S_NO_VOLUME, inv_no_volume))
@@ -243,8 +262,7 @@ pub fn behavioral_model() -> BehavioralModel {
         m.transition(
             TransitionBuilder::new(id, state, Trigger::new(HttpMethod::Get, "volume"), state)
                 .guard(
-                    parse(&format!("volume.id->size() = 1 and {auth_read}"))
-                        .expect("guard parses"),
+                    parse(&format!("volume.id->size() = 1 and {auth_read}")).expect("guard parses"),
                 )
                 .effect(read_effect.clone())
                 .security_requirement("1.1")
@@ -290,7 +308,14 @@ mod tests {
     #[test]
     fn has_figure3_definitions() {
         let m = resource_model();
-        for name in ["Projects", "project", "Volumes", "volume", "quota_sets", "usergroup"] {
+        for name in [
+            "Projects",
+            "project",
+            "Volumes",
+            "volume",
+            "quota_sets",
+            "usergroup",
+        ] {
             assert!(m.definition(name).is_some(), "missing {name}");
         }
     }
@@ -343,7 +368,10 @@ mod tests {
     fn effects_reference_pre_state() {
         let m = behavioral_model();
         for t in &m.transitions {
-            let e = t.effect.as_ref().expect("all cinder transitions have effects");
+            let e = t
+                .effect
+                .as_ref()
+                .expect("all cinder transitions have effects");
             assert!(e.references_pre_state(), "effect of {} lacks pre()", t.id);
         }
     }
@@ -360,21 +388,27 @@ pub const S_VOL_SNAPSHOT: &str = "volume_with_snapshot";
 #[must_use]
 pub fn extended_resource_model() -> ResourceModel {
     let mut m = resource_model();
-    m.define(ResourceDef::collection("Snapshots")).define(ResourceDef::normal(
-        "snapshot",
-        vec![
-            Attribute::new("id", AttrType::Int),
-            Attribute::new("name", AttrType::Str),
-            Attribute::new("status", AttrType::Str),
-        ],
-    ));
-    m.associate(Association::new("snapshots", "volume", "Snapshots", Multiplicity::ONE))
-        .associate(Association::new(
+    m.define(ResourceDef::collection("Snapshots"))
+        .define(ResourceDef::normal(
             "snapshot",
-            "Snapshots",
-            "snapshot",
-            Multiplicity::ZERO_MANY,
+            vec![
+                Attribute::new("id", AttrType::Int),
+                Attribute::new("name", AttrType::Str),
+                Attribute::new("status", AttrType::Str),
+            ],
         ));
+    m.associate(Association::new(
+        "snapshots",
+        "volume",
+        "Snapshots",
+        Multiplicity::ONE,
+    ))
+    .associate(Association::new(
+        "snapshot",
+        "Snapshots",
+        "snapshot",
+        Multiplicity::ZERO_MANY,
+    ));
     m
 }
 
@@ -390,22 +424,21 @@ pub fn extended_resource_model() -> ResourceModel {
 /// Never panics in practice: all embedded OCL strings are tested to parse.
 #[must_use]
 pub fn snapshot_behavioral_model() -> BehavioralModel {
-    let inv_no_snap = parse("volume.id->size()=1 and volume.snapshots->size()=0")
-        .expect("invariant parses");
-    let inv_snap = parse("volume.id->size()=1 and volume.snapshots->size()>=1")
-        .expect("invariant parses");
+    let inv_no_snap =
+        parse("volume.id->size()=1 and volume.snapshots->size()=0").expect("invariant parses");
+    let inv_snap =
+        parse("volume.id->size()=1 and volume.snapshots->size()>=1").expect("invariant parses");
 
     let auth_write = "(user.groups = 'admin' or user.groups = 'member')";
-    let auth_read =
-        "(user.groups = 'admin' or user.groups = 'member' or user.groups = 'user')";
+    let auth_read = "(user.groups = 'admin' or user.groups = 'member' or user.groups = 'user')";
     let auth_delete = "user.groups = 'admin'";
 
     let post_effect = parse("volume.snapshots->size() = pre(volume.snapshots->size()) + 1")
         .expect("effect parses");
-    let delete_effect = parse("volume.snapshots->size() < pre(volume.snapshots->size())")
-        .expect("effect parses");
-    let read_effect = parse("volume.snapshots->size() = pre(volume.snapshots->size())")
-        .expect("effect parses");
+    let delete_effect =
+        parse("volume.snapshots->size() < pre(volume.snapshots->size())").expect("effect parses");
+    let read_effect =
+        parse("volume.snapshots->size() = pre(volume.snapshots->size())").expect("effect parses");
 
     let mut m = BehavioralModel::new("CinderSnapshots", "volume", S_VOL_NO_SNAPSHOT);
     m.state(State::new(S_VOL_NO_SNAPSHOT, inv_no_snap))
@@ -478,10 +511,7 @@ pub fn snapshot_behavioral_model() -> BehavioralModel {
             Trigger::new(HttpMethod::Get, "snapshot"),
             S_VOL_SNAPSHOT,
         )
-        .guard(
-            parse(&format!("snapshot.id->size() = 1 and {auth_read}"))
-                .expect("guard parses"),
-        )
+        .guard(parse(&format!("snapshot.id->size() = 1 and {auth_read}")).expect("guard parses"))
         .effect(read_effect)
         .security_requirement("2.1")
         .build(),
@@ -531,11 +561,13 @@ mod extended_tests {
 #[must_use]
 pub fn extended_behavioral_model() -> BehavioralModel {
     let mut m = behavioral_model();
-    let no_snapshots =
-        parse("volume.snapshots->size() = 0").expect("refinement conjunct parses");
+    let no_snapshots = parse("volume.snapshots->size() = 0").expect("refinement conjunct parses");
     for t in &mut m.transitions {
         if t.trigger.method == HttpMethod::Delete {
-            let guard = t.guard.take().expect("cinder DELETE transitions have guards");
+            let guard = t
+                .guard
+                .take()
+                .expect("cinder DELETE transitions have guards");
             t.guard = Some(guard.and(no_snapshots.clone()));
         }
     }
@@ -556,7 +588,10 @@ mod refined_tests {
             assert_eq!(b.id, r.id);
             if b.trigger.method == HttpMethod::Delete {
                 let printed = cm_ocl::to_string(r.guard.as_ref().unwrap());
-                assert!(printed.contains("volume.snapshots->size() = 0"), "{printed}");
+                assert!(
+                    printed.contains("volume.snapshots->size() = 0"),
+                    "{printed}"
+                );
             } else {
                 assert_eq!(b.guard, r.guard);
             }

@@ -23,8 +23,12 @@ pub enum HttpMethod {
 
 impl HttpMethod {
     /// All methods, in the order the paper lists them.
-    pub const ALL: [HttpMethod; 4] =
-        [HttpMethod::Get, HttpMethod::Put, HttpMethod::Post, HttpMethod::Delete];
+    pub const ALL: [HttpMethod; 4] = [
+        HttpMethod::Get,
+        HttpMethod::Put,
+        HttpMethod::Post,
+        HttpMethod::Delete,
+    ];
 
     /// Canonical upper-case name, e.g. `"DELETE"`.
     #[must_use]

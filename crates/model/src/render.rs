@@ -22,8 +22,11 @@ pub fn resource_model_dot(model: &ResourceModel) -> String {
             ResourceKind::Collection => "\\<\\<collection\\>\\>",
             ResourceKind::Normal => "\\<\\<resource\\>\\>",
         };
-        let attrs: Vec<String> =
-            d.attributes.iter().map(|a| format!("+ {} : {}", a.name, a.ty)).collect();
+        let attrs: Vec<String> = d
+            .attributes
+            .iter()
+            .map(|a| format!("+ {} : {}", a.name, a.ty))
+            .collect();
         let _ = writeln!(
             out,
             "  \"{}\" [label=\"{{{stereotype}\\n{}|{}}}\"];",
@@ -48,7 +51,10 @@ pub fn resource_model_dot(model: &ResourceModel) -> String {
 pub fn behavioral_model_dot(model: &BehavioralModel) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", model.name);
-    let _ = writeln!(out, "  node [shape=box, style=rounded, fontname=\"Helvetica\"];");
+    let _ = writeln!(
+        out,
+        "  node [shape=box, style=rounded, fontname=\"Helvetica\"];"
+    );
     let _ = writeln!(out, "  \"__initial\" [shape=point];");
     let _ = writeln!(out, "  \"__initial\" -> \"{}\";", model.initial);
     for s in &model.states {
@@ -67,7 +73,11 @@ pub fn behavioral_model_dot(model: &BehavioralModel) -> String {
         if !t.security_requirements.is_empty() {
             let _ = write!(label, "\\nSecReq {}", t.security_requirements.join(", "));
         }
-        let _ = writeln!(out, "  \"{}\" -> \"{}\" [label=\"{label}\"];", t.source, t.target);
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{label}\"];",
+            t.source, t.target
+        );
     }
     out.push_str("}\n");
     out
@@ -135,8 +145,18 @@ mod tests {
     #[test]
     fn resource_dot_contains_all_definitions() {
         let dot = resource_model_dot(&cinder::resource_model());
-        for name in ["Projects", "project", "Volumes", "volume", "quota_sets", "usergroup"] {
-            assert!(dot.contains(&format!("\"{name}\"")), "missing {name} in DOT");
+        for name in [
+            "Projects",
+            "project",
+            "Volumes",
+            "volume",
+            "quota_sets",
+            "usergroup",
+        ] {
+            assert!(
+                dot.contains(&format!("\"{name}\"")),
+                "missing {name} in DOT"
+            );
         }
         assert!(dot.starts_with("digraph"));
         assert!(dot.trim_end().ends_with('}'));

@@ -75,7 +75,10 @@ impl Attribute {
     /// Create an attribute.
     #[must_use]
     pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
-        Attribute { name: name.into(), ty }
+        Attribute {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -94,13 +97,21 @@ impl ResourceDef {
     /// A collection resource definition (no attributes).
     #[must_use]
     pub fn collection(name: impl Into<String>) -> Self {
-        ResourceDef { name: name.into(), kind: ResourceKind::Collection, attributes: Vec::new() }
+        ResourceDef {
+            name: name.into(),
+            kind: ResourceKind::Collection,
+            attributes: Vec::new(),
+        }
     }
 
     /// A normal resource definition with attributes.
     #[must_use]
     pub fn normal(name: impl Into<String>, attributes: Vec<Attribute>) -> Self {
-        ResourceDef { name: name.into(), kind: ResourceKind::Normal, attributes }
+        ResourceDef {
+            name: name.into(),
+            kind: ResourceKind::Normal,
+            attributes,
+        }
     }
 
     /// Look up an attribute by name.
@@ -140,14 +151,20 @@ pub struct Multiplicity {
 impl Multiplicity {
     /// `0..*` — the mandatory multiplicity from a collection to its
     /// contained resource definition.
-    pub const ZERO_MANY: Multiplicity =
-        Multiplicity { lower: 0, upper: UpperBound::Many };
+    pub const ZERO_MANY: Multiplicity = Multiplicity {
+        lower: 0,
+        upper: UpperBound::Many,
+    };
     /// `1..1`.
-    pub const ONE: Multiplicity =
-        Multiplicity { lower: 1, upper: UpperBound::Finite(1) };
+    pub const ONE: Multiplicity = Multiplicity {
+        lower: 1,
+        upper: UpperBound::Finite(1),
+    };
     /// `0..1`.
-    pub const ZERO_ONE: Multiplicity =
-        Multiplicity { lower: 0, upper: UpperBound::Finite(1) };
+    pub const ZERO_ONE: Multiplicity = Multiplicity {
+        lower: 0,
+        upper: UpperBound::Finite(1),
+    };
 
     /// Create a multiplicity; `upper = None` means `*`.
     #[must_use]
@@ -227,7 +244,11 @@ impl ResourceModel {
     /// Create an empty model.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        ResourceModel { name: name.into(), definitions: Vec::new(), associations: Vec::new() }
+        ResourceModel {
+            name: name.into(),
+            definitions: Vec::new(),
+            associations: Vec::new(),
+        }
     }
 
     /// Add a resource definition (builder style).
@@ -304,7 +325,10 @@ mod tests {
     fn collection_has_no_attributes() {
         let m = tiny_model();
         assert!(m.definition("Volumes").unwrap().attributes.is_empty());
-        assert_eq!(m.definition("Volumes").unwrap().kind, ResourceKind::Collection);
+        assert_eq!(
+            m.definition("Volumes").unwrap().kind,
+            ResourceKind::Collection
+        );
     }
 
     #[test]

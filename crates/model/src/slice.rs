@@ -59,8 +59,12 @@ pub fn slice_behavioral_model(
     model: &BehavioralModel,
     criterion: &SliceCriterion,
 ) -> BehavioralModel {
-    let kept: Vec<_> =
-        model.transitions.iter().filter(|t| criterion.keeps(t)).cloned().collect();
+    let kept: Vec<_> = model
+        .transitions
+        .iter()
+        .filter(|t| criterion.keeps(t))
+        .cloned()
+        .collect();
 
     let mut state_names: Vec<&str> = Vec::new();
     for t in &kept {
@@ -145,8 +149,7 @@ mod tests {
     #[test]
     fn slice_by_method() {
         let model = cinder::behavioral_model();
-        let slice =
-            slice_behavioral_model(&model, &SliceCriterion::Methods(vec![HttpMethod::Get]));
+        let slice = slice_behavioral_model(&model, &SliceCriterion::Methods(vec![HttpMethod::Get]));
         assert_eq!(slice.transitions.len(), 2);
         // GET self-loops never touch the initial no-volume state, so the
         // slice re-bases its initial state.

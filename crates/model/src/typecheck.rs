@@ -54,7 +54,9 @@ pub fn type_env_for(model: &ResourceModel) -> MapTypeEnv {
     }
 
     for assoc in &model.associations {
-        let Some(target) = model.definition(&assoc.target) else { continue };
+        let Some(target) = model.definition(&assoc.target) else {
+            continue;
+        };
         let end_type = match target.kind {
             // Navigating to a collection definition yields the set of its
             // contained resources (the collection itself carries no data).
@@ -114,7 +116,11 @@ pub struct TypeFinding {
 
 impl fmt::Display for TypeFinding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let kind = if self.is_error { "type error" } else { "type warning" };
+        let kind = if self.is_error {
+            "type error"
+        } else {
+            "type warning"
+        };
         write!(f, "{kind} in {}: {}", self.location, self.message)
     }
 }
@@ -149,7 +155,10 @@ pub fn typecheck_behavioral_model(
     };
 
     for state in &behavior.states {
-        check_expr(format!("invariant of state {}", state.name), &state.invariant);
+        check_expr(
+            format!("invariant of state {}", state.name),
+            &state.invariant,
+        );
     }
     for t in &behavior.transitions {
         if let Some(guard) = &t.guard {
@@ -172,8 +181,7 @@ mod tests {
     #[test]
     fn cinder_models_typecheck_without_errors() {
         let resources = cinder::resource_model();
-        let findings =
-            typecheck_behavioral_model(&cinder::behavioral_model(), &resources);
+        let findings = typecheck_behavioral_model(&cinder::behavioral_model(), &resources);
         let errors: Vec<&TypeFinding> = findings.iter().filter(|f| f.is_error).collect();
         assert!(errors.is_empty(), "{errors:?}");
     }
@@ -181,12 +189,12 @@ mod tests {
     #[test]
     fn extended_models_typecheck_without_errors() {
         let resources = cinder::extended_resource_model();
-        for model in
-            [cinder::extended_behavioral_model(), cinder::snapshot_behavioral_model()]
-        {
+        for model in [
+            cinder::extended_behavioral_model(),
+            cinder::snapshot_behavioral_model(),
+        ] {
             let findings = typecheck_behavioral_model(&model, &resources);
-            let errors: Vec<&TypeFinding> =
-                findings.iter().filter(|f| f.is_error).collect();
+            let errors: Vec<&TypeFinding> = findings.iter().filter(|f| f.is_error).collect();
             assert!(errors.is_empty(), "{}: {errors:?}", model.name);
         }
     }
@@ -213,7 +221,10 @@ mod tests {
             Type::Coll(CollectionKind::Set, Box::new(Type::Int))
         );
         assert_eq!(env.attribute_type("volume", "status").unwrap(), Type::Str);
-        assert_eq!(env.variable_type("volume").unwrap(), Type::Object("volume".into()));
+        assert_eq!(
+            env.variable_type("volume").unwrap(),
+            Type::Object("volume".into())
+        );
         // Collections are not addressable roots.
         assert!(env.variable_type("Volumes").is_none());
     }
@@ -250,7 +261,9 @@ mod tests {
             cm_ocl::parse("project.volumes < quota_sets.volume").unwrap(),
         ));
         let findings = typecheck_behavioral_model(&m, &resources);
-        assert!(findings.iter().any(|f| !f.is_error && f.message.contains("paper-compat")));
+        assert!(findings
+            .iter()
+            .any(|f| !f.is_error && f.message.contains("paper-compat")));
         assert!(findings.iter().all(|f| !f.is_error));
     }
 }

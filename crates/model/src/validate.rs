@@ -56,20 +56,32 @@ impl ValidationReport {
 
     /// Only the errors.
     pub fn errors(&self) -> impl Iterator<Item = &Finding> {
-        self.findings.iter().filter(|f| f.severity == Severity::Error)
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
     }
 
     /// Only the warnings.
     pub fn warnings(&self) -> impl Iterator<Item = &Finding> {
-        self.findings.iter().filter(|f| f.severity == Severity::Warning)
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
     }
 
     fn error(&mut self, rule: &'static str, message: String) {
-        self.findings.push(Finding { severity: Severity::Error, rule, message });
+        self.findings.push(Finding {
+            severity: Severity::Error,
+            rule,
+            message,
+        });
     }
 
     fn warn(&mut self, rule: &'static str, message: String) {
-        self.findings.push(Finding { severity: Severity::Warning, rule, message });
+        self.findings.push(Finding {
+            severity: Severity::Warning,
+            rule,
+            message,
+        });
     }
 
     /// Merge another report into this one.
@@ -110,7 +122,10 @@ pub fn validate_resource_model(model: &ResourceModel) -> ValidationReport {
         if model.definitions[..i].iter().any(|e| e.name == d.name) {
             report.error(
                 "duplicate-definition",
-                format!("resource definition `{}` is declared more than once", d.name),
+                format!(
+                    "resource definition `{}` is declared more than once",
+                    d.name
+                ),
             );
         }
     }
@@ -162,7 +177,10 @@ pub fn validate_resource_model(model: &ResourceModel) -> ValidationReport {
             if d.attributes[..i].iter().any(|b| b.name == a.name) {
                 report.error(
                     "duplicate-attribute",
-                    format!("attribute `{}` of `{}` is declared more than once", a.name, d.name),
+                    format!(
+                        "attribute `{}` of `{}` is declared more than once",
+                        a.name, d.name
+                    ),
                 );
             }
         }
@@ -181,13 +199,19 @@ pub fn validate_resource_model(model: &ResourceModel) -> ValidationReport {
         if model.definition(&a.source).is_none() {
             report.error(
                 "unknown-association-source",
-                format!("association `{}` names unknown source `{}`", a.role, a.source),
+                format!(
+                    "association `{}` names unknown source `{}`",
+                    a.role, a.source
+                ),
             );
         }
         if model.definition(&a.target).is_none() {
             report.error(
                 "unknown-association-target",
-                format!("association `{}` names unknown target `{}`", a.role, a.target),
+                format!(
+                    "association `{}` names unknown target `{}`",
+                    a.role, a.target
+                ),
             );
         }
     }
@@ -200,7 +224,10 @@ pub fn validate_resource_model(model: &ResourceModel) -> ValidationReport {
         {
             report.error(
                 "ambiguous-role",
-                format!("source `{}` has two associations with role `{}`", a.source, a.role),
+                format!(
+                    "source `{}` has two associations with role `{}`",
+                    a.source, a.role
+                ),
             );
         }
     }
@@ -294,7 +321,10 @@ pub fn validate_behavioral_model(
         if !reached.contains(&s.name.as_str()) {
             report.warn(
                 "unreachable-state",
-                format!("state `{}` is unreachable from initial `{}`", s.name, model.initial),
+                format!(
+                    "state `{}` is unreachable from initial `{}`",
+                    s.name, model.initial
+                ),
             );
         }
     }
@@ -307,7 +337,7 @@ mod tests {
     use super::*;
     use crate::behavior::{State, Transition, TransitionBuilder, Trigger};
     use crate::http::HttpMethod;
-    use crate::resource::{Association, Attribute, AttrType, ResourceDef};
+    use crate::resource::{Association, AttrType, Attribute, ResourceDef};
     use cm_ocl::parse;
 
     fn ok_resource_model() -> ResourceModel {
@@ -317,7 +347,12 @@ mod tests {
                 "volume",
                 vec![Attribute::new("status", AttrType::Str)],
             ))
-            .associate(Association::new("volume", "Volumes", "volume", Multiplicity::ZERO_MANY));
+            .associate(Association::new(
+                "volume",
+                "Volumes",
+                "volume",
+                Multiplicity::ZERO_MANY,
+            ));
         m
     }
 
@@ -335,7 +370,9 @@ mod tests {
     #[test]
     fn collection_with_attributes_is_error() {
         let mut m = ok_resource_model();
-        m.definitions[0].attributes.push(Attribute::new("x", AttrType::Int));
+        m.definitions[0]
+            .attributes
+            .push(Attribute::new("x", AttrType::Int));
         let r = validate_resource_model(&m);
         assert!(!r.is_valid());
         assert!(r.errors().any(|f| f.rule == "collection-has-attributes"));
@@ -360,7 +397,12 @@ mod tests {
     #[test]
     fn dangling_association_is_error() {
         let mut m = ok_resource_model();
-        m.associate(Association::new("ghost", "Volumes", "nothing", Multiplicity::ONE));
+        m.associate(Association::new(
+            "ghost",
+            "Volumes",
+            "nothing",
+            Multiplicity::ONE,
+        ));
         let r = validate_resource_model(&m);
         assert!(r.errors().any(|f| f.rule == "unknown-association-target"));
     }
@@ -368,7 +410,12 @@ mod tests {
     #[test]
     fn bad_role_name_is_error() {
         let mut m = ok_resource_model();
-        m.associate(Association::new("has space", "Volumes", "volume", Multiplicity::ONE));
+        m.associate(Association::new(
+            "has space",
+            "Volumes",
+            "volume",
+            Multiplicity::ONE,
+        ));
         let r = validate_resource_model(&m);
         assert!(r.errors().any(|f| f.rule == "role-not-uri-safe"));
     }
@@ -376,7 +423,12 @@ mod tests {
     #[test]
     fn ambiguous_role_is_error() {
         let mut m = ok_resource_model();
-        m.associate(Association::new("volume", "Volumes", "volume", Multiplicity::ONE));
+        m.associate(Association::new(
+            "volume",
+            "Volumes",
+            "volume",
+            Multiplicity::ONE,
+        ));
         let r = validate_resource_model(&m);
         assert!(r.errors().any(|f| f.rule == "ambiguous-role"));
     }
@@ -387,7 +439,9 @@ mod tests {
         m.define(ResourceDef::collection("Empty"));
         let r = validate_resource_model(&m);
         assert!(r.is_valid());
-        assert!(r.warnings().any(|f| f.rule == "collection-without-contained"));
+        assert!(r
+            .warnings()
+            .any(|f| f.rule == "collection-without-contained"));
     }
 
     fn ok_behavioral_model() -> BehavioralModel {

@@ -68,8 +68,11 @@ impl CampaignResult {
         OperatorClass::ALL
             .iter()
             .filter_map(|class| {
-                let rows: Vec<&MutantResult> =
-                    self.rows.iter().filter(|r| r.mutant.class == *class).collect();
+                let rows: Vec<&MutantResult> = self
+                    .rows
+                    .iter()
+                    .filter(|r| r.mutant.class == *class)
+                    .collect();
                 if rows.is_empty() {
                     return None;
                 }
@@ -82,8 +85,11 @@ impl CampaignResult {
     /// Score over authorization operators only (the paper's focus).
     #[must_use]
     pub fn authorization_score(&self) -> f64 {
-        let rows: Vec<&MutantResult> =
-            self.rows.iter().filter(|r| r.mutant.class.is_authorization()).collect();
+        let rows: Vec<&MutantResult> = self
+            .rows
+            .iter()
+            .filter(|r| r.mutant.class.is_authorization())
+            .collect();
         if rows.is_empty() {
             return 1.0;
         }
@@ -251,8 +257,7 @@ pub fn run_extended_campaign(mutants: &[Mutant]) -> CampaignResult {
     let mut result = CampaignResult::default();
     for mutant in mutants {
         let plan = mutant.plan.clone();
-        let report =
-            oracle.run_extended(|| PrivateCloud::my_project().with_faults(plan.clone()));
+        let report = oracle.run_extended(|| PrivateCloud::my_project().with_faults(plan.clone()));
         let killing: Vec<(String, String)> = report
             .violations()
             .iter()

@@ -112,7 +112,9 @@ pub fn paper_mutants() -> Vec<Mutant> {
             description: "the authorization check on volume:post was forgotten — any \
                           authenticated user can create volumes (violates SecReq 1.3)"
                 .to_string(),
-            plan: FaultPlan::single(Fault::SkipAuthCheck { action: "volume:post".to_string() }),
+            plan: FaultPlan::single(Fault::SkipAuthCheck {
+                action: "volume:post".to_string(),
+            }),
         },
         Mutant {
             id: "P3-get-check-inverted".to_string(),
@@ -120,7 +122,9 @@ pub fn paper_mutants() -> Vec<Mutant> {
             description: "the authorization decision on volume:get is inverted — authorized \
                           users are denied, unauthorized ones admitted (violates SecReq 1.1)"
                 .to_string(),
-            plan: FaultPlan::single(Fault::InvertAuthCheck { action: "volume:get".to_string() }),
+            plan: FaultPlan::single(Fault::InvertAuthCheck {
+                action: "volume:get".to_string(),
+            }),
         },
     ]
 }
@@ -174,13 +178,17 @@ pub fn standard_catalog() -> Vec<Mutant> {
             OperatorClass::MissingAuthCheck,
             action,
             format!("authorization check for {action} skipped"),
-            FaultPlan::single(Fault::SkipAuthCheck { action: action.to_string() }),
+            FaultPlan::single(Fault::SkipAuthCheck {
+                action: action.to_string(),
+            }),
         );
         push(
             OperatorClass::InvertedAuthCheck,
             action,
             format!("authorization decision for {action} inverted"),
-            FaultPlan::single(Fault::InvertAuthCheck { action: action.to_string() }),
+            FaultPlan::single(Fault::InvertAuthCheck {
+                action: action.to_string(),
+            }),
         );
     }
 
@@ -197,9 +205,12 @@ pub fn standard_catalog() -> Vec<Mutant> {
         FaultPlan::single(Fault::IgnoreInUse),
     );
 
-    for (action, wrong) in
-        [("volume:get", 202u16), ("volume:put", 204), ("volume:post", 200), ("volume:delete", 200)]
-    {
+    for (action, wrong) in [
+        ("volume:get", 202u16),
+        ("volume:put", 204),
+        ("volume:post", 200),
+        ("volume:delete", 200),
+    ] {
         push(
             OperatorClass::WrongStatusCode,
             action,
@@ -216,7 +227,9 @@ pub fn standard_catalog() -> Vec<Mutant> {
             OperatorClass::LostUpdate,
             action,
             format!("{action} reports success without changing any state"),
-            FaultPlan::single(Fault::DropStateChange { action: action.to_string() }),
+            FaultPlan::single(Fault::DropStateChange {
+                action: action.to_string(),
+            }),
         );
     }
 
@@ -297,21 +310,22 @@ pub fn snapshot_catalog() -> Vec<Mutant> {
             ),
             (
                 OperatorClass::MissingAuthCheck,
-                FaultPlan::single(Fault::SkipAuthCheck { action: action.to_string() }),
+                FaultPlan::single(Fault::SkipAuthCheck {
+                    action: action.to_string(),
+                }),
             ),
             (
                 OperatorClass::InvertedAuthCheck,
-                FaultPlan::single(Fault::InvertAuthCheck { action: action.to_string() }),
+                FaultPlan::single(Fault::InvertAuthCheck {
+                    action: action.to_string(),
+                }),
             ),
         ] {
             n += 1;
             mutants.push(Mutant {
                 id: format!("S{n:02}-{class}-{action}"),
                 class,
-                description: format!(
-                    "{action}: {} (specified roles: {roles:?})",
-                    class.name()
-                ),
+                description: format!("{action}: {} (specified roles: {roles:?})", class.name()),
                 plan,
             });
         }

@@ -1,0 +1,299 @@
+//! Structured monitor events and pluggable event sinks.
+//!
+//! Every request that passes through `CloudMonitor::process` produces
+//! one [`MonitorEvent`]: the request line, the verdict label, the
+//! exercised security-requirement ids, the contract id, and the
+//! wall-clock duration of each workflow phase. Events are delivered to
+//! an [`EventSink`]; the default [`RingBufferSink`] keeps the last N in
+//! a bounded buffer (drop-oldest) so a long-running proxy never grows
+//! without bound.
+
+use cm_rest::Json;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Wall-clock duration of each phase of the Figure-2 monitor workflow.
+///
+/// `snapshot` combines the pre- and post-state probe calls; `forward`
+/// covers the proxied call into the cloud service under monitoring;
+/// `total` spans the whole of `process` and is therefore ≥ the sum of
+/// the phases (it also includes routing and contract lookup).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Time evaluating the contract's pre-condition.
+    pub pre_check: Duration,
+    /// Time forwarding the request to the cloud service.
+    pub forward: Duration,
+    /// Time probing cloud state (pre + post snapshots combined).
+    pub snapshot: Duration,
+    /// Time evaluating the contract's post-condition.
+    pub post_check: Duration,
+    /// End-to-end time of the whole `process` call.
+    pub total: Duration,
+}
+
+impl PhaseTimings {
+    /// JSON object of per-phase nanosecond durations.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let ns = |d: Duration| Json::Int(i64::try_from(d.as_nanos()).unwrap_or(i64::MAX));
+        Json::object(vec![
+            ("pre_check_ns", ns(self.pre_check)),
+            ("forward_ns", ns(self.forward)),
+            ("snapshot_ns", ns(self.snapshot)),
+            ("post_check_ns", ns(self.post_check)),
+            ("total_ns", ns(self.total)),
+        ])
+    }
+}
+
+/// One structured record of a monitored request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MonitorEvent {
+    /// Monotonic sequence number, assigned by the sink (0 until then).
+    pub seq: u64,
+    /// HTTP method of the monitored request.
+    pub method: String,
+    /// Request path (including any query string).
+    pub path: String,
+    /// Resolved route pattern, if the request matched the model.
+    pub route: Option<String>,
+    /// Verdict label exactly as `Verdict::Display` renders it
+    /// (e.g. `"pass"`, `"pre-blocked"`, `"post-violation"`).
+    pub verdict: String,
+    /// Whether the verdict counts as a violation.
+    pub violation: bool,
+    /// Status code returned to the caller.
+    pub status: u16,
+    /// Security-requirement ids exercised by this request.
+    pub requirements: Vec<String>,
+    /// Id of the contract that was evaluated, if any.
+    pub contract: Option<String>,
+    /// Wall-clock phase breakdown.
+    pub timings: PhaseTimings,
+    /// Free-form diagnostics from the monitor.
+    pub diagnostics: String,
+}
+
+impl MonitorEvent {
+    /// JSON rendering used by `GET /-/events`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            (
+                "seq",
+                Json::Int(i64::try_from(self.seq).unwrap_or(i64::MAX)),
+            ),
+            ("method", Json::Str(self.method.clone())),
+            ("path", Json::Str(self.path.clone())),
+            ("route", self.route.clone().map_or(Json::Null, Json::Str)),
+            ("verdict", Json::Str(self.verdict.clone())),
+            ("violation", Json::Bool(self.violation)),
+            ("status", Json::Int(i64::from(self.status))),
+            (
+                "requirements",
+                Json::Array(self.requirements.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "contract",
+                self.contract.clone().map_or(Json::Null, Json::Str),
+            ),
+            ("timings", self.timings.to_json()),
+            ("diagnostics", Json::Str(self.diagnostics.clone())),
+        ])
+    }
+}
+
+/// Destination for monitor events.
+///
+/// Implementations must be cheap and non-blocking from the caller's
+/// perspective — `emit` sits on the request path.
+pub trait EventSink: Send + Sync + std::fmt::Debug {
+    /// Deliver one event. The sink assigns `seq` if it retains events.
+    fn emit(&self, event: MonitorEvent);
+
+    /// The most recent `n` events, oldest first. Sinks that do not
+    /// retain events return an empty vector (the default).
+    fn tail(&self, n: usize) -> Vec<MonitorEvent> {
+        let _ = n;
+        Vec::new()
+    }
+
+    /// Number of events dropped due to capacity (0 for unbounded or
+    /// non-retaining sinks).
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Sink that discards every event.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: MonitorEvent) {}
+}
+
+/// Bounded in-memory sink: keeps the most recent `capacity` events,
+/// dropping the oldest on overflow and counting the drops.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    next_seq: AtomicU64,
+    dropped: AtomicU64,
+    events: Mutex<VecDeque<MonitorEvent>>,
+}
+
+impl RingBufferSink {
+    /// A sink retaining at most `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBufferSink {
+            capacity,
+            next_seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            events: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Retained event count (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn emit(&self, mut event: MonitorEvent) {
+        event.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut events = self.events.lock().unwrap();
+        if events.len() == self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
+    }
+
+    fn tail(&self, n: usize) -> Vec<MonitorEvent> {
+        let events = self.events.lock().unwrap();
+        let skip = events.len().saturating_sub(n);
+        events.iter().skip(skip).cloned().collect()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(path: &str) -> MonitorEvent {
+        MonitorEvent {
+            method: "GET".into(),
+            path: path.into(),
+            verdict: "pass".into(),
+            status: 200,
+            ..MonitorEvent::default()
+        }
+    }
+
+    #[test]
+    fn ring_buffer_assigns_monotonic_seq() {
+        let sink = RingBufferSink::new(8);
+        sink.emit(event("/a"));
+        sink.emit(event("/b"));
+        let tail = sink.tail(10);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 0);
+        assert_eq!(tail[1].seq, 1);
+        assert_eq!(tail[0].path, "/a");
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        let sink = RingBufferSink::new(3);
+        for i in 0..5 {
+            sink.emit(event(&format!("/{i}")));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let tail = sink.tail(10);
+        let paths: Vec<&str> = tail.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(paths, ["/2", "/3", "/4"]);
+        // Sequence numbers survive the drop: they index emission order.
+        assert_eq!(tail[0].seq, 2);
+    }
+
+    #[test]
+    fn tail_returns_most_recent_oldest_first() {
+        let sink = RingBufferSink::new(10);
+        for i in 0..6 {
+            sink.emit(event(&format!("/{i}")));
+        }
+        let tail = sink.tail(2);
+        let paths: Vec<&str> = tail.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(paths, ["/4", "/5"]);
+    }
+
+    #[test]
+    fn null_sink_retains_nothing() {
+        let sink = NullSink;
+        sink.emit(event("/x"));
+        assert!(sink.tail(10).is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let sink = RingBufferSink::new(0);
+        sink.emit(event("/only"));
+        sink.emit(event("/newer"));
+        assert_eq!(sink.capacity(), 1);
+        assert_eq!(sink.tail(5).len(), 1);
+        assert_eq!(sink.tail(5)[0].path, "/newer");
+    }
+
+    #[test]
+    fn event_json_round_trips_key_fields() {
+        let mut e = event("/v3/volumes?limit=5");
+        e.requirements = vec!["SR1".into(), "SR4".into()];
+        e.contract = Some("create_volume".into());
+        e.route = Some("/v3/{project_id}/volumes".into());
+        e.timings.total = Duration::from_nanos(1500);
+        let json = e.to_json();
+        assert_eq!(json.get("method").unwrap().as_str(), Some("GET"));
+        assert_eq!(json.get("verdict").unwrap().as_str(), Some("pass"));
+        assert_eq!(json.get("status").unwrap().as_int(), Some(200));
+        let reqs = json.get("requirements").unwrap().as_array().unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].as_str(), Some("SR1"));
+        assert_eq!(
+            json.get("timings")
+                .unwrap()
+                .get("total_ns")
+                .unwrap()
+                .as_int(),
+            Some(1500)
+        );
+        // The rendering is parseable JSON.
+        let text = json.to_compact_string();
+        assert!(cm_rest::parse_json(&text).is_ok());
+    }
+}

@@ -1,0 +1,318 @@
+//! Fixed-bucket log2 latency histograms over `std::sync::atomic`.
+//!
+//! Bucket `0` holds the value `0`; bucket `b ≥ 1` holds values in
+//! `[2^(b-1), 2^b − 1]` nanoseconds — i.e. a value lands in the bucket
+//! indexed by its bit length. Recording is one `fetch_add` per sample
+//! (plus two for count/sum), so a histogram can sit on the proxy's hot
+//! path. Percentiles are resolved to the **inclusive upper bound** of
+//! the bucket containing the target rank, which makes the math exact at
+//! bucket boundaries (a property the unit tests pin down).
+
+use cm_rest::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets: bit lengths 0..=63 cover every `u64` nanosecond
+/// value (584 years of latency in the last bucket).
+pub const BUCKETS: usize = 64;
+
+/// A concurrent log2-bucket histogram of nanosecond durations.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the bucket holding `nanos`: its bit length, clamped.
+#[must_use]
+pub fn bucket_index(nanos: u64) -> usize {
+    ((u64::BITS - nanos.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `index` (the percentile resolution).
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration.
+    pub fn record(&self, duration: Duration) {
+        self.record_nanos(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Record one duration given in nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded nanoseconds.
+    #[must_use]
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Mean nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum_nanos().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds, resolved to the
+    /// inclusive upper bound of the bucket holding the target rank;
+    /// `None` when the histogram is empty.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        // ceil(q * count), clamped to [1, count]: the rank of the sample
+        // the quantile falls on under the nearest-rank definition.
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Some(bucket_upper_bound(index));
+            }
+        }
+        Some(bucket_upper_bound(BUCKETS - 1))
+    }
+
+    /// p50 in nanoseconds (`None` when empty).
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(0.50)
+    }
+
+    /// p95 in nanoseconds (`None` when empty).
+    #[must_use]
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile(0.95)
+    }
+
+    /// p99 in nanoseconds (`None` when empty).
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(0.99)
+    }
+
+    /// Non-empty buckets as `(upper_bound_nanos, count)` pairs.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(index, bucket)| {
+                let n = bucket.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_upper_bound(index), n))
+            })
+            .collect()
+    }
+
+    /// JSON summary: count, sum, mean, p50/p95/p99 and the sparse
+    /// bucket table.
+    #[must_use]
+    pub fn render_json(&self) -> Json {
+        Json::object(vec![
+            (
+                "count",
+                Json::Int(i64::try_from(self.count()).unwrap_or(i64::MAX)),
+            ),
+            (
+                "sum_ns",
+                Json::Int(i64::try_from(self.sum_nanos()).unwrap_or(i64::MAX)),
+            ),
+            (
+                "mean_ns",
+                Json::Int(i64::try_from(self.mean_nanos()).unwrap_or(i64::MAX)),
+            ),
+            ("p50_ns", json_opt_nanos(self.p50())),
+            ("p95_ns", json_opt_nanos(self.p95())),
+            ("p99_ns", json_opt_nanos(self.p99())),
+            (
+                "buckets",
+                Json::Array(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(le, n)| {
+                            Json::object(vec![
+                                ("le_ns", Json::Int(i64::try_from(le).unwrap_or(i64::MAX))),
+                                ("count", Json::Int(i64::try_from(n).unwrap_or(i64::MAX))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn json_opt_nanos(v: Option<u64>) -> Json {
+    match v {
+        Some(n) => Json::Int(i64::try_from(n).unwrap_or(i64::MAX)),
+        None => Json::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(255), 8);
+        assert_eq!(bucket_index(256), 9);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_are_inclusive_powers_of_two_minus_one() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+        // Every value's bucket bound is >= the value, and the previous
+        // bound is < the value (the bucketing is exact at boundaries).
+        for v in [1u64, 2, 3, 4, 7, 8, 1023, 1024, 1025, 1 << 40] {
+            let b = bucket_index(v);
+            assert!(bucket_upper_bound(b) >= v, "{v}");
+            assert!(bucket_upper_bound(b - 1) < v, "{v}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_exact_at_bucket_boundaries() {
+        let h = LatencyHistogram::new();
+        // 100 samples of exactly 1023 ns — every percentile is the
+        // bucket's upper bound, 1023.
+        for _ in 0..100 {
+            h.record_nanos(1023);
+        }
+        assert_eq!(h.p50(), Some(1023));
+        assert_eq!(h.p95(), Some(1023));
+        assert_eq!(h.p99(), Some(1023));
+        assert_eq!(h.percentile(1.0), Some(1023));
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum_nanos(), 102_300);
+        assert_eq!(h.mean_nanos(), 1023);
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank_across_buckets() {
+        let h = LatencyHistogram::new();
+        // 50 samples in bucket ≤1023, 45 in ≤2047, 5 in ≤4095.
+        for _ in 0..50 {
+            h.record_nanos(1000);
+        }
+        for _ in 0..45 {
+            h.record_nanos(2000);
+        }
+        for _ in 0..5 {
+            h.record_nanos(4000);
+        }
+        // rank(0.50 * 100) = 50 → still in the first bucket.
+        assert_eq!(h.p50(), Some(1023));
+        // rank 95 → second bucket.
+        assert_eq!(h.p95(), Some(2047));
+        // rank 99 → third bucket.
+        assert_eq!(h.p99(), Some(4095));
+        // The min quantile clamps to rank 1.
+        assert_eq!(h.percentile(0.0), Some(1023));
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record_nanos(0);
+        assert_eq!(h.p50(), Some(0));
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.mean_nanos(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn render_json_carries_summary_and_buckets() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(700));
+        h.record(Duration::from_nanos(900));
+        let json = h.render_json();
+        assert_eq!(json.get("count").unwrap().as_int(), Some(2));
+        assert_eq!(json.get("sum_ns").unwrap().as_int(), Some(1600));
+        assert_eq!(json.get("p50_ns").unwrap().as_int(), Some(1023));
+        let buckets = json.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].get("le_ns").unwrap().as_int(), Some(1023));
+        assert_eq!(buckets[0].get("count").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_nanos(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 8000);
+        let bucket_total: u64 = h.nonzero_buckets().iter().map(|(_, n)| n).sum();
+        assert_eq!(bucket_total, 8000);
+    }
+}

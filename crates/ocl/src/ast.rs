@@ -310,25 +310,40 @@ impl Expr {
     /// Convenience constructor: `lhs and rhs`.
     #[must_use]
     pub fn and(self, rhs: Expr) -> Expr {
-        Expr::Binary { op: BinOp::And, lhs: Box::new(self), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Convenience constructor: `lhs or rhs`.
     #[must_use]
     pub fn or(self, rhs: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Or, lhs: Box::new(self), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op: BinOp::Or,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Convenience constructor: `lhs implies rhs`.
     #[must_use]
     pub fn implies(self, rhs: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Implies, lhs: Box::new(self), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op: BinOp::Implies,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Convenience constructor: `not self`.
     #[must_use]
     pub fn negate(self) -> Expr {
-        Expr::Unary { op: UnOp::Not, operand: Box::new(self) }
+        Expr::Unary {
+            op: UnOp::Not,
+            operand: Box::new(self),
+        }
     }
 
     /// Fold a non-empty iterator of expressions into a disjunction.
@@ -357,7 +372,11 @@ impl Expr {
     pub fn nav_path(root: &str, path: &[&str]) -> Expr {
         let mut e = Expr::Var(root.to_string());
         for p in path {
-            e = Expr::Nav { source: Box::new(e), property: (*p).to_string(), at_pre: false };
+            e = Expr::Nav {
+                source: Box::new(e),
+                property: (*p).to_string(),
+                at_pre: false,
+            };
         }
         e
     }
@@ -365,7 +384,11 @@ impl Expr {
     /// `self->size()` collection operation on this expression.
     #[must_use]
     pub fn size(self) -> Expr {
-        Expr::CollOp { source: Box::new(self), op: "size".to_string(), args: Vec::new() }
+        Expr::CollOp {
+            source: Box::new(self),
+            op: "size".to_string(),
+            args: Vec::new(),
+        }
     }
 
     /// Count the syntactic nodes of the expression (used by the scalability
@@ -373,7 +396,11 @@ impl Expr {
     #[must_use]
     pub fn node_count(&self) -> usize {
         match self {
-            Expr::Bool(_) | Expr::Int(_) | Expr::Real(_) | Expr::Str(_) | Expr::Null
+            Expr::Bool(_)
+            | Expr::Int(_)
+            | Expr::Real(_)
+            | Expr::Str(_)
+            | Expr::Null
             | Expr::Var(_) => 1,
             Expr::Nav { source, .. } => 1 + source.node_count(),
             Expr::CollOp { source, args, .. } => {
@@ -382,17 +409,19 @@ impl Expr {
             Expr::Iterate { source, body, .. } => 1 + source.node_count() + body.node_count(),
             Expr::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
             Expr::Unary { operand, .. } => 1 + operand.node_count(),
-            Expr::If { cond, then_branch, else_branch } => {
-                1 + cond.node_count() + then_branch.node_count() + else_branch.node_count()
-            }
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => 1 + cond.node_count() + then_branch.node_count() + else_branch.node_count(),
             Expr::Let { value, body, .. } => 1 + value.node_count() + body.node_count(),
             Expr::Pre(inner) => 1 + inner.node_count(),
             Expr::CollectionLiteral { elements, .. } => {
                 1 + elements.iter().map(Expr::node_count).sum::<usize>()
             }
-            Expr::Fold { source, init, body, .. } => {
-                1 + source.node_count() + init.node_count() + body.node_count()
-            }
+            Expr::Fold {
+                source, init, body, ..
+            } => 1 + source.node_count() + init.node_count() + body.node_count(),
             Expr::Call { source, args, .. } => {
                 1 + source.node_count() + args.iter().map(Expr::node_count).sum::<usize>()
             }
@@ -406,7 +435,11 @@ impl Expr {
         match self {
             Expr::Pre(_) => true,
             Expr::Nav { source, at_pre, .. } => *at_pre || source.references_pre_state(),
-            Expr::Bool(_) | Expr::Int(_) | Expr::Real(_) | Expr::Str(_) | Expr::Null
+            Expr::Bool(_)
+            | Expr::Int(_)
+            | Expr::Real(_)
+            | Expr::Str(_)
+            | Expr::Null
             | Expr::Var(_) => false,
             Expr::CollOp { source, args, .. } => {
                 source.references_pre_state() || args.iter().any(Expr::references_pre_state)
@@ -418,7 +451,11 @@ impl Expr {
                 lhs.references_pre_state() || rhs.references_pre_state()
             }
             Expr::Unary { operand, .. } => operand.references_pre_state(),
-            Expr::If { cond, then_branch, else_branch } => {
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 cond.references_pre_state()
                     || then_branch.references_pre_state()
                     || else_branch.references_pre_state()
@@ -429,7 +466,9 @@ impl Expr {
             Expr::CollectionLiteral { elements, .. } => {
                 elements.iter().any(Expr::references_pre_state)
             }
-            Expr::Fold { source, init, body, .. } => {
+            Expr::Fold {
+                source, init, body, ..
+            } => {
                 source.references_pre_state()
                     || init.references_pre_state()
                     || body.references_pre_state()
@@ -466,7 +505,9 @@ impl Expr {
                     a.collect_free(bound, out);
                 }
             }
-            Expr::Iterate { source, var, body, .. } => {
+            Expr::Iterate {
+                source, var, body, ..
+            } => {
                 source.collect_free(bound, out);
                 bound.push(var.clone());
                 body.collect_free(bound, out);
@@ -477,7 +518,11 @@ impl Expr {
                 rhs.collect_free(bound, out);
             }
             Expr::Unary { operand, .. } => operand.collect_free(bound, out),
-            Expr::If { cond, then_branch, else_branch } => {
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 cond.collect_free(bound, out);
                 then_branch.collect_free(bound, out);
                 else_branch.collect_free(bound, out);
@@ -494,7 +539,13 @@ impl Expr {
                     e.collect_free(bound, out);
                 }
             }
-            Expr::Fold { source, var, acc, init, body } => {
+            Expr::Fold {
+                source,
+                var,
+                acc,
+                init,
+                body,
+            } => {
                 source.collect_free(bound, out);
                 init.collect_free(bound, out);
                 bound.push(var.clone());
@@ -544,7 +595,11 @@ mod tests {
     fn nav_path_builds_chain() {
         let e = Expr::nav_path("project", &["volumes"]);
         match e {
-            Expr::Nav { source, property, at_pre } => {
+            Expr::Nav {
+                source,
+                property,
+                at_pre,
+            } => {
                 assert_eq!(*source, Expr::Var("project".into()));
                 assert_eq!(property, "volumes");
                 assert!(!at_pre);
@@ -592,7 +647,10 @@ mod tests {
                 rhs: Box::new(Expr::Var("wanted".into())),
             }),
         };
-        assert_eq!(e.free_variables(), vec!["volumes".to_string(), "wanted".to_string()]);
+        assert_eq!(
+            e.free_variables(),
+            vec!["volumes".to_string(), "wanted".to_string()]
+        );
     }
 
     #[test]

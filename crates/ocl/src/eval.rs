@@ -98,7 +98,9 @@ impl Navigator for MapNavigator {
     }
 
     fn attribute(&self, obj: &ObjRef, property: &str) -> Option<Value> {
-        self.attributes.get(&(obj.clone(), property.to_string())).cloned()
+        self.attributes
+            .get(&(obj.clone(), property.to_string()))
+            .cloned()
     }
 }
 
@@ -111,7 +113,9 @@ pub struct EvalError {
 
 impl EvalError {
     fn new(message: impl Into<String>) -> Self {
-        EvalError { message: message.into() }
+        EvalError {
+            message: message.into(),
+        }
     }
 }
 
@@ -157,13 +161,23 @@ impl<'a> EvalContext<'a> {
     /// Context with only a current state (pre-condition evaluation).
     #[must_use]
     pub fn new(current: &'a dyn Navigator) -> Self {
-        EvalContext { current, pre: None, mode: CoercionMode::Lenient, locals: Vec::new() }
+        EvalContext {
+            current,
+            pre: None,
+            mode: CoercionMode::Lenient,
+            locals: Vec::new(),
+        }
     }
 
     /// Context with a pre-state snapshot (post-condition evaluation).
     #[must_use]
     pub fn with_pre_state(current: &'a dyn Navigator, pre: &'a dyn Navigator) -> Self {
-        EvalContext { current, pre: Some(pre), mode: CoercionMode::Lenient, locals: Vec::new() }
+        EvalContext {
+            current,
+            pre: Some(pre),
+            mode: CoercionMode::Lenient,
+            locals: Vec::new(),
+        }
     }
 
     /// Select strict or lenient numeric coercion.
@@ -204,7 +218,11 @@ impl<'a> EvalContext<'a> {
     }
 
     fn lookup_local(&self, name: &str) -> Option<Value> {
-        self.locals.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.clone())
+        self.locals
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
     }
 
     fn navigator(&self, pre_state: bool) -> Result<&'a dyn Navigator, EvalError> {
@@ -232,7 +250,11 @@ impl<'a> EvalContext<'a> {
                     .variable(name)
                     .ok_or_else(|| EvalError::new(format!("unknown variable `{name}`")))
             }
-            Expr::Nav { source, property, at_pre } => {
+            Expr::Nav {
+                source,
+                property,
+                at_pre,
+            } => {
                 let src = self.eval_in(source, pre_state)?;
                 let nav_pre = pre_state || *at_pre;
                 self.navigate(&src, property, nav_pre)
@@ -254,7 +276,12 @@ impl<'a> EvalContext<'a> {
                 }
                 self.collection_op(&src, op, &argv)
             }
-            Expr::Iterate { source, op, var, body } => {
+            Expr::Iterate {
+                source,
+                op,
+                var,
+                body,
+            } => {
                 let src = self.eval_in(source, pre_state)?;
                 let items = as_arrow_collection(&src);
                 self.iterate(*op, var, body, &items, pre_state)
@@ -282,17 +309,19 @@ impl<'a> EvalContext<'a> {
                     },
                 }
             }
-            Expr::If { cond, then_branch, else_branch } => {
-                match self.eval_in(cond, pre_state)? {
-                    Value::Bool(true) => self.eval_in(then_branch, pre_state),
-                    Value::Bool(false) => self.eval_in(else_branch, pre_state),
-                    Value::Undefined => Ok(Value::Undefined),
-                    other => Err(EvalError::new(format!(
-                        "`if` condition must be Boolean, got {}",
-                        other.type_name()
-                    ))),
-                }
-            }
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => match self.eval_in(cond, pre_state)? {
+                Value::Bool(true) => self.eval_in(then_branch, pre_state),
+                Value::Bool(false) => self.eval_in(else_branch, pre_state),
+                Value::Undefined => Ok(Value::Undefined),
+                other => Err(EvalError::new(format!(
+                    "`if` condition must be Boolean, got {}",
+                    other.type_name()
+                ))),
+            },
             Expr::Let { name, value, body } => {
                 let v = self.eval_in(value, pre_state)?;
                 self.locals.push((name.clone(), v));
@@ -306,16 +335,20 @@ impl<'a> EvalContext<'a> {
                     items.push(self.eval_in(e, pre_state)?);
                 }
                 Ok(match kind {
-                    CollectionKind::Set | CollectionKind::OrderedSet => {
-                        match Value::set(items) {
-                            Value::Coll(_, deduped) => Value::Coll(*kind, deduped),
-                            _ => unreachable!("Value::set returns a collection"),
-                        }
-                    }
+                    CollectionKind::Set | CollectionKind::OrderedSet => match Value::set(items) {
+                        Value::Coll(_, deduped) => Value::Coll(*kind, deduped),
+                        _ => unreachable!("Value::set returns a collection"),
+                    },
                     _ => Value::Coll(*kind, items),
                 })
             }
-            Expr::Fold { source, var, acc, init, body } => {
+            Expr::Fold {
+                source,
+                var,
+                acc,
+                init,
+                body,
+            } => {
                 let src = self.eval_in(source, pre_state)?;
                 let items = as_arrow_collection(&src);
                 let mut acc_val = self.eval_in(init, pre_state)?;
@@ -494,12 +527,7 @@ impl<'a> EvalContext<'a> {
         Ok((l2, r2))
     }
 
-    fn collection_op(
-        &mut self,
-        src: &Value,
-        op: &str,
-        args: &[Value],
-    ) -> Result<Value, EvalError> {
+    fn collection_op(&mut self, src: &Value, op: &str, args: &[Value]) -> Result<Value, EvalError> {
         // `->` implicitly converts a single value to a Set{v}; undefined
         // converts to the empty set (OCL 2.x semantics).
         let items = as_arrow_collection(src);
@@ -554,7 +582,9 @@ impl<'a> EvalContext<'a> {
             }
             "count" => {
                 arity(1)?;
-                Ok(Value::Int(items.iter().filter(|v| v.ocl_eq(&args[0])).count() as i64))
+                Ok(Value::Int(
+                    items.iter().filter(|v| v.ocl_eq(&args[0])).count() as i64,
+                ))
             }
             "sum" => {
                 arity(0)?;
@@ -590,9 +620,9 @@ impl<'a> EvalContext<'a> {
                 }
                 let mut best = items[0].clone();
                 for v in &items[1..] {
-                    let ord = v.ocl_cmp(&best).ok_or_else(|| {
-                        EvalError::new(format!("`->{op}` over unordered values"))
-                    })?;
+                    let ord = v
+                        .ocl_cmp(&best)
+                        .ok_or_else(|| EvalError::new(format!("`->{op}` over unordered values")))?;
                     let take = if op == "min" {
                         ord == Ordering::Less
                     } else {
@@ -672,8 +702,7 @@ impl<'a> EvalContext<'a> {
             }
             "excluding" => {
                 arity(1)?;
-                let out: Vec<Value> =
-                    items.into_iter().filter(|v| !v.ocl_eq(&args[0])).collect();
+                let out: Vec<Value> = items.into_iter().filter(|v| !v.ocl_eq(&args[0])).collect();
                 Ok(Value::Coll(kind, out))
             }
             "append" => {
@@ -699,7 +728,9 @@ impl<'a> EvalContext<'a> {
                 }
                 Ok(Value::Coll(kind, out))
             }
-            other => Err(EvalError::new(format!("unknown collection operation `->{other}`"))),
+            other => Err(EvalError::new(format!(
+                "unknown collection operation `->{other}`"
+            ))),
         }
     }
 
@@ -733,7 +764,11 @@ impl<'a> EvalContext<'a> {
                         }
                     }
                 }
-                Ok(if saw_undef { Value::Undefined } else { Value::Bool(false) })
+                Ok(if saw_undef {
+                    Value::Undefined
+                } else {
+                    Value::Bool(false)
+                })
             }
             IterOp::ForAll => {
                 let mut saw_undef = false;
@@ -750,7 +785,11 @@ impl<'a> EvalContext<'a> {
                         }
                     }
                 }
-                Ok(if saw_undef { Value::Undefined } else { Value::Bool(true) })
+                Ok(if saw_undef {
+                    Value::Undefined
+                } else {
+                    Value::Bool(true)
+                })
             }
             IterOp::Select | IterOp::Reject => {
                 let keep_on = op == IterOp::Select;
@@ -837,7 +876,9 @@ impl<'a> EvalContext<'a> {
                     }
                     sorted.insert(at, (key, item));
                 }
-                Ok(Value::sequence(sorted.into_iter().map(|(_, v)| v).collect()))
+                Ok(Value::sequence(
+                    sorted.into_iter().map(|(_, v)| v).collect(),
+                ))
             }
         }
     }
@@ -913,7 +954,11 @@ impl<'a> EvalContext<'a> {
                 } else {
                     ord != Ordering::Greater
                 };
-                Ok(if take_src { src.clone() } else { args[0].clone() })
+                Ok(if take_src {
+                    src.clone()
+                } else {
+                    args[0].clone()
+                })
             }
             "div" | "mod" => {
                 arity(1)?;
@@ -965,7 +1010,9 @@ impl<'a> EvalContext<'a> {
                 if i < 1 || j < i || j as usize > chars.len() {
                     return Ok(Value::Undefined);
                 }
-                Ok(Value::Str(chars[(i as usize - 1)..(j as usize)].iter().collect()))
+                Ok(Value::Str(
+                    chars[(i as usize - 1)..(j as usize)].iter().collect(),
+                ))
             }
             "startsWith" => {
                 arity(1)?;
@@ -1134,10 +1181,7 @@ mod tests {
     fn evaluates_paper_guard() {
         let nav = cinder_env();
         assert_eq!(
-            eval_str(
-                "volume.status <> 'in-use' and user.groups = 'admin'",
-                &nav
-            ),
+            eval_str("volume.status <> 'in-use' and user.groups = 'admin'", &nav),
             Value::Bool(true)
         );
     }
@@ -1203,7 +1247,10 @@ mod tests {
     fn false_implies_anything_is_true() {
         let mut nav = MapNavigator::new();
         nav.set_variable("p", ObjRef::new("p", 1));
-        assert_eq!(eval_str("1 = 2 implies p.missing.more = 3", &nav), Value::Bool(true));
+        assert_eq!(
+            eval_str("1 = 2 implies p.missing.more = 3", &nav),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -1229,7 +1276,9 @@ mod tests {
             ]),
         );
         let e = parse("project.volumes->size() < pre(project.volumes->size())").unwrap();
-        let v = EvalContext::with_pre_state(&current, &pre).eval(&e).unwrap();
+        let v = EvalContext::with_pre_state(&current, &pre)
+            .eval(&e)
+            .unwrap();
         assert_eq!(v, Value::Bool(true));
     }
 
@@ -1240,7 +1289,9 @@ mod tests {
         let volume = ObjRef::new("volume", 7);
         pre.set_attribute(volume, "status", "in-use");
         let e = parse("volume.status@pre = 'in-use' and volume.status = 'available'").unwrap();
-        let v = EvalContext::with_pre_state(&current, &pre).eval(&e).unwrap();
+        let v = EvalContext::with_pre_state(&current, &pre)
+            .eval(&e)
+            .unwrap();
         assert_eq!(v, Value::Bool(true));
     }
 
@@ -1294,14 +1345,20 @@ mod tests {
     fn implicit_collect_shorthand() {
         let nav = cinder_env();
         // project.volumes.size navigates `size` over each volume.
-        assert_eq!(eval_str("project.volumes.size->sum()", &nav), Value::Int(100));
+        assert_eq!(
+            eval_str("project.volumes.size->sum()", &nav),
+            Value::Int(100)
+        );
     }
 
     #[test]
     fn arrow_on_single_value_wraps_in_set() {
         let nav = cinder_env();
         assert_eq!(eval_str("user.groups->size()", &nav), Value::Int(1));
-        assert_eq!(eval_str("user.groups->includes('admin')", &nav), Value::Bool(true));
+        assert_eq!(
+            eval_str("user.groups->includes('admin')", &nav),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -1316,13 +1373,22 @@ mod tests {
         assert_eq!(eval_str("Sequence(3,1,2)->last()", &nav), Value::Int(2));
         assert_eq!(eval_str("Sequence(3,1,2)->at(2)", &nav), Value::Int(1));
         assert_eq!(eval_str("Sequence(3,1,2)->indexOf(2)", &nav), Value::Int(3));
-        assert_eq!(eval_str("Set(1,2)->union(Set(2,3))->size()", &nav), Value::Int(3));
+        assert_eq!(
+            eval_str("Set(1,2)->union(Set(2,3))->size()", &nav),
+            Value::Int(3)
+        );
         assert_eq!(
             eval_str("Set(1,2)->intersection(Set(2,3))->size()", &nav),
             Value::Int(1)
         );
-        assert_eq!(eval_str("Set(1,2)->including(3)->size()", &nav), Value::Int(3));
-        assert_eq!(eval_str("Set(1,2)->excluding(1)->size()", &nav), Value::Int(1));
+        assert_eq!(
+            eval_str("Set(1,2)->including(3)->size()", &nav),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_str("Set(1,2)->excluding(1)->size()", &nav),
+            Value::Int(1)
+        );
         assert_eq!(eval_str("Set()->isEmpty()", &nav), Value::Bool(true));
         assert_eq!(eval_str("Set(1)->notEmpty()", &nav), Value::Bool(true));
         assert_eq!(
@@ -1334,12 +1400,18 @@ mod tests {
     #[test]
     fn iterate_one_any_isunique() {
         let nav = MapNavigator::new();
-        assert_eq!(eval_str("Sequence(1,2,3)->one(x | x = 2)", &nav), Value::Bool(true));
+        assert_eq!(
+            eval_str("Sequence(1,2,3)->one(x | x = 2)", &nav),
+            Value::Bool(true)
+        );
         assert_eq!(
             eval_str("Sequence(1,2,2)->one(x | x = 2)", &nav),
             Value::Bool(false)
         );
-        assert_eq!(eval_str("Sequence(1,2,3)->any(x | x > 1)", &nav), Value::Int(2));
+        assert_eq!(
+            eval_str("Sequence(1,2,3)->any(x | x > 1)", &nav),
+            Value::Int(2)
+        );
         assert_eq!(
             eval_str("Sequence(1,2,3)->isUnique(x | x)", &nav),
             Value::Bool(true)
@@ -1353,13 +1425,25 @@ mod tests {
     #[test]
     fn string_operations() {
         let nav = MapNavigator::new();
-        assert_eq!(eval_str("'ab'.concat('cd')", &nav), Value::Str("abcd".into()));
+        assert_eq!(
+            eval_str("'ab'.concat('cd')", &nav),
+            Value::Str("abcd".into())
+        );
         assert_eq!(eval_str("'ab'.toUpper()", &nav), Value::Str("AB".into()));
         assert_eq!(eval_str("'AB'.toLower()", &nav), Value::Str("ab".into()));
-        assert_eq!(eval_str("'hello'.substring(2, 4)", &nav), Value::Str("ell".into()));
+        assert_eq!(
+            eval_str("'hello'.substring(2, 4)", &nav),
+            Value::Str("ell".into())
+        );
         assert_eq!(eval_str("'hello'.size()", &nav), Value::Int(5));
-        assert_eq!(eval_str("'hello'.startsWith('he')", &nav), Value::Bool(true));
-        assert_eq!(eval_str("'in-use' + '!'", &nav), Value::Str("in-use!".into()));
+        assert_eq!(
+            eval_str("'hello'.startsWith('he')", &nav),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_str("'in-use' + '!'", &nav),
+            Value::Str("in-use!".into())
+        );
     }
 
     #[test]
@@ -1401,7 +1485,10 @@ mod tests {
     fn ocl_is_undefined_calls() {
         let mut nav = MapNavigator::new();
         nav.set_variable("p", ObjRef::new("p", 1));
-        assert_eq!(eval_str("p.missing.oclIsUndefined()", &nav), Value::Bool(true));
+        assert_eq!(
+            eval_str("p.missing.oclIsUndefined()", &nav),
+            Value::Bool(true)
+        );
         assert_eq!(eval_str("p.oclIsDefined()", &nav), Value::Bool(true));
         assert_eq!(eval_str("p.oclIsTypeOf('p')", &nav), Value::Bool(true));
     }
@@ -1491,10 +1578,8 @@ mod error_path_tests {
     #[test]
     fn nested_iterator_shadowing() {
         let nav = MapNavigator::new();
-        let e = parse(
-            "Sequence(1,2)->forAll(x | Sequence(1,2)->exists(x | x = 2) and x >= 1)",
-        )
-        .unwrap();
+        let e = parse("Sequence(1,2)->forAll(x | Sequence(1,2)->exists(x | x = 2) and x >= 1)")
+            .unwrap();
         assert_eq!(EvalContext::new(&nav).eval(&e).unwrap(), Value::Bool(true));
     }
 
@@ -1554,15 +1639,16 @@ mod fold_tests {
 
     #[test]
     fn iterate_over_empty_returns_init() {
-        assert_eq!(eval_str("Sequence()->iterate(v; acc = 42 | acc + 1)"), Value::Int(42));
+        assert_eq!(
+            eval_str("Sequence()->iterate(v; acc = 42 | acc + 1)"),
+            Value::Int(42)
+        );
     }
 
     #[test]
     fn iterate_expresses_count() {
         assert_eq!(
-            eval_str(
-                "Sequence(1,5,2,8)->iterate(v; n = 0 | if v > 3 then n + 1 else n endif)"
-            ),
+            eval_str("Sequence(1,5,2,8)->iterate(v; n = 0 | if v > 3 then n + 1 else n endif)"),
             Value::Int(2)
         );
     }
@@ -1665,6 +1751,9 @@ mod sorted_by_tests {
 
     #[test]
     fn empty_sorts_to_empty() {
-        assert_eq!(eval_str("Sequence()->sortedBy(x | x)->size()"), Value::Int(0));
+        assert_eq!(
+            eval_str("Sequence()->sortedBy(x | x)->size()"),
+            Value::Int(0)
+        );
     }
 }

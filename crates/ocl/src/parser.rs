@@ -41,7 +41,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, offset: e.offset }
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
     }
 }
 
@@ -62,7 +65,11 @@ impl From<LexError> for ParseError {
 /// ```
 pub fn parse(src: &str) -> Result<Expr, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, depth: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.expr()?;
     p.expect_eof()?;
     Ok(e)
@@ -120,7 +127,10 @@ impl Parser {
     }
 
     fn error(&self, message: String) -> ParseError {
-        ParseError { message, offset: self.offset() }
+        ParseError {
+            message,
+            offset: self.offset(),
+        }
     }
 
     /// Is the current token the identifier `word`?
@@ -181,7 +191,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.and()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -205,7 +219,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.relational()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -222,7 +240,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.additive()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -237,7 +259,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.multiplicative()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -252,7 +278,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.unary()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -270,12 +300,18 @@ impl Parser {
     fn unary_inner(&mut self) -> Result<Expr, ParseError> {
         if self.eat_keyword("not") {
             let operand = self.unary()?;
-            return Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+            });
         }
         if matches!(self.peek(), TokenKind::Minus) {
             self.bump();
             let operand = self.unary()?;
-            return Ok(Expr::Unary { op: UnOp::Neg, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+            });
         }
         self.postfix()
     }
@@ -293,9 +329,17 @@ impl Parser {
                         self.bump();
                         let args = self.arg_list()?;
                         self.expect(&TokenKind::RParen)?;
-                        e = Expr::Call { source: Box::new(e), op: name, args };
+                        e = Expr::Call {
+                            source: Box::new(e),
+                            op: name,
+                            args,
+                        };
                     } else {
-                        e = Expr::Nav { source: Box::new(e), property: name, at_pre };
+                        e = Expr::Nav {
+                            source: Box::new(e),
+                            property: name,
+                            at_pre,
+                        };
                     }
                 }
                 TokenKind::AtPre => {
@@ -341,7 +385,12 @@ impl Parser {
                         })?;
                         let body = self.expr()?;
                         self.expect(&TokenKind::RParen)?;
-                        e = Expr::Iterate { source: Box::new(e), op, var, body: Box::new(body) };
+                        e = Expr::Iterate {
+                            source: Box::new(e),
+                            op,
+                            var,
+                            body: Box::new(body),
+                        };
                     } else if let Some(op) = IterOp::from_name(&name) {
                         // Iterator op with elided variable: `->exists(body)`.
                         // Bind the implicit variable `self_`; bodies may use
@@ -349,9 +398,7 @@ impl Parser {
                         // so we require the body to reference `self_` or be
                         // variable-free.
                         if self.eat(&TokenKind::RParen) {
-                            return Err(
-                                self.error(format!("`{name}` requires a body expression"))
-                            );
+                            return Err(self.error(format!("`{name}` requires a body expression")));
                         }
                         let body = self.expr()?;
                         self.expect(&TokenKind::RParen)?;
@@ -364,7 +411,11 @@ impl Parser {
                     } else {
                         let args = self.arg_list()?;
                         self.expect(&TokenKind::RParen)?;
-                        e = Expr::CollOp { source: Box::new(e), op: name, args };
+                        e = Expr::CollOp {
+                            source: Box::new(e),
+                            op: name,
+                            args,
+                        };
                     }
                 }
                 _ => break,
@@ -513,7 +564,11 @@ impl Parser {
             return Err(self.error("expected `in`".to_string()));
         }
         let body = self.expr()?;
-        Ok(Expr::Let { name, value: Box::new(value), body: Box::new(body) })
+        Ok(Expr::Let {
+            name,
+            value: Box::new(value),
+            body: Box::new(body),
+        })
     }
 }
 
@@ -527,7 +582,11 @@ mod tests {
         // Figure 3 invariant of project_with_no_volume.
         let e = parse("project.id->size()=1 and project.volumes->size()=0").unwrap();
         match &e {
-            Expr::Binary { op: BinOp::And, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
                 assert!(matches!(**lhs, Expr::Binary { op: BinOp::Eq, .. }));
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Eq, .. }));
             }
@@ -538,7 +597,10 @@ mod tests {
     #[test]
     fn parses_paper_guard_with_string() {
         let e = parse("volume.status <> 'in-use' and user.id.groups='admin'").unwrap();
-        assert_eq!(e.free_variables(), vec!["volume".to_string(), "user".to_string()]);
+        assert_eq!(
+            e.free_variables(),
+            vec!["volume".to_string(), "user".to_string()]
+        );
     }
 
     #[test]
@@ -566,9 +628,19 @@ mod tests {
     fn implication_is_right_associative() {
         let e = parse("a => b => c").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Implies, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::Implies,
+                lhs,
+                rhs,
+            } => {
                 assert_eq!(*lhs, Expr::Var("a".into()));
-                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Implies, .. }));
+                assert!(matches!(
+                    *rhs,
+                    Expr::Binary {
+                        op: BinOp::Implies,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -578,7 +650,11 @@ mod tests {
     fn and_binds_tighter_than_or() {
         let e = parse("a or b and c").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Or, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+            } => {
                 assert_eq!(*lhs, Expr::Var("a".into()));
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::And, .. }));
             }
@@ -596,7 +672,11 @@ mod tests {
     fn arithmetic_precedence() {
         let e = parse("1 + 2 * 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -607,7 +687,11 @@ mod tests {
     fn parses_iterator_with_variable() {
         let e = parse("project.volumes->exists(v | v.status = 'in-use')").unwrap();
         match e {
-            Expr::Iterate { op: IterOp::Exists, var, .. } => assert_eq!(var, "v"),
+            Expr::Iterate {
+                op: IterOp::Exists,
+                var,
+                ..
+            } => assert_eq!(var, "v"),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -615,13 +699,18 @@ mod tests {
     #[test]
     fn parses_iterator_with_typed_variable() {
         let e = parse("vs->forAll(v : Volume | v.size > 0)").unwrap();
-        assert!(matches!(e, Expr::Iterate { op: IterOp::ForAll, .. }));
+        assert!(matches!(
+            e,
+            Expr::Iterate {
+                op: IterOp::ForAll,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parses_select_chain() {
-        let e =
-            parse("project.volumes->select(v | v.status = 'available')->size() >= 1").unwrap();
+        let e = parse("project.volumes->select(v | v.status = 'available')->size() >= 1").unwrap();
         assert!(matches!(e, Expr::Binary { op: BinOp::Ge, .. }));
     }
 

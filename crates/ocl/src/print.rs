@@ -62,7 +62,11 @@ fn write_expr(out: &mut String, expr: &Expr, parent_prec: u8, style: PrintStyle)
         }
         Expr::Null => out.push_str("null"),
         Expr::Var(name) => out.push_str(name),
-        Expr::Nav { source, property, at_pre } => {
+        Expr::Nav {
+            source,
+            property,
+            at_pre,
+        } => {
             write_expr(out, source, 10, style);
             let _ = write!(out, ".{property}");
             if *at_pre {
@@ -80,7 +84,12 @@ fn write_expr(out: &mut String, expr: &Expr, parent_prec: u8, style: PrintStyle)
             }
             out.push(')');
         }
-        Expr::Iterate { source, op, var, body } => {
+        Expr::Iterate {
+            source,
+            op,
+            var,
+            body,
+        } => {
             write_expr(out, source, 10, style);
             let _ = write!(out, "->{}({var} | ", op.name());
             write_expr(out, body, 0, style);
@@ -101,7 +110,11 @@ fn write_expr(out: &mut String, expr: &Expr, parent_prec: u8, style: PrintStyle)
             }
             // +1 on the right side keeps left-associativity unambiguous;
             // implication is right-associative so it reuses its own level.
-            let rhs_prec = if *op == BinOp::Implies { prec } else { prec + 1 };
+            let rhs_prec = if *op == BinOp::Implies {
+                prec
+            } else {
+                prec + 1
+            };
             write_expr(out, rhs, rhs_prec, style);
             if needs_parens {
                 out.push(')');
@@ -124,7 +137,11 @@ fn write_expr(out: &mut String, expr: &Expr, parent_prec: u8, style: PrintStyle)
                 out.push(')');
             }
         }
-        Expr::If { cond, then_branch, else_branch } => {
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             out.push_str("if ");
             write_expr(out, cond, 0, style);
             out.push_str(" then ");
@@ -163,7 +180,13 @@ fn write_expr(out: &mut String, expr: &Expr, parent_prec: u8, style: PrintStyle)
             }
             out.push(')');
         }
-        Expr::Fold { source, var, acc, init, body } => {
+        Expr::Fold {
+            source,
+            var,
+            acc,
+            init,
+            body,
+        } => {
             write_expr(out, source, 10, style);
             let _ = write!(out, "->iterate({var}; {acc} = ");
             write_expr(out, init, 0, style);

@@ -38,13 +38,26 @@ pub fn simplify(expr: &Expr) -> Expr {
             let inner = simplify(operand);
             match (op, &inner) {
                 (UnOp::Not, Expr::Bool(b)) => Expr::Bool(!b),
-                (UnOp::Not, Expr::Unary { op: UnOp::Not, operand }) => (**operand).clone(),
+                (
+                    UnOp::Not,
+                    Expr::Unary {
+                        op: UnOp::Not,
+                        operand,
+                    },
+                ) => (**operand).clone(),
                 (UnOp::Neg, Expr::Int(v)) => Expr::Int(-v),
                 (UnOp::Neg, Expr::Real(v)) => Expr::Real(-v),
-                _ => Expr::Unary { op: *op, operand: Box::new(inner) },
+                _ => Expr::Unary {
+                    op: *op,
+                    operand: Box::new(inner),
+                },
             }
         }
-        Expr::If { cond, then_branch, else_branch } => {
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             let c = simplify(cond);
             let t = simplify(then_branch);
             let e = simplify(else_branch);
@@ -63,7 +76,11 @@ pub fn simplify(expr: &Expr) -> Expr {
             value: Box::new(simplify(value)),
             body: Box::new(simplify(body)),
         },
-        Expr::Nav { source, property, at_pre } => Expr::Nav {
+        Expr::Nav {
+            source,
+            property,
+            at_pre,
+        } => Expr::Nav {
             source: Box::new(simplify(source)),
             property: property.clone(),
             at_pre: *at_pre,
@@ -73,7 +90,12 @@ pub fn simplify(expr: &Expr) -> Expr {
             op: op.clone(),
             args: args.iter().map(simplify).collect(),
         },
-        Expr::Iterate { source, op, var, body } => Expr::Iterate {
+        Expr::Iterate {
+            source,
+            op,
+            var,
+            body,
+        } => Expr::Iterate {
             source: Box::new(simplify(source)),
             op: *op,
             var: var.clone(),
@@ -91,7 +113,13 @@ pub fn simplify(expr: &Expr) -> Expr {
             kind: *kind,
             elements: elements.iter().map(simplify).collect(),
         },
-        Expr::Fold { source, var, acc, init, body } => Expr::Fold {
+        Expr::Fold {
+            source,
+            var,
+            acc,
+            init,
+            body,
+        } => Expr::Fold {
             source: Box::new(simplify(source)),
             var: var.clone(),
             acc: acc.clone(),
@@ -115,29 +143,49 @@ fn simplify_binary(op: BinOp, l: Expr, r: Expr) -> Expr {
             (Bool(false), _) | (_, Bool(false)) => Bool(false),
             (Bool(true), _) => r,
             (_, Bool(true)) => l,
-            _ => Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+            _ => Expr::Binary {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            },
         },
         BinOp::Or => match (&l, &r) {
             (Bool(true), _) | (_, Bool(true)) => Bool(true),
             (Bool(false), _) => r,
             (_, Bool(false)) => l,
-            _ => Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+            _ => Expr::Binary {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            },
         },
         BinOp::Implies => match (&l, &r) {
             (Bool(false), _) => Bool(true),
             (Bool(true), _) => r,
             (_, Bool(true)) => Bool(true),
-            _ => Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+            _ => Expr::Binary {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            },
         },
         BinOp::Xor => match (&l, &r) {
             (Bool(a), Bool(b)) => Bool(a != b),
-            _ => Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+            _ => Expr::Binary {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            },
         },
         BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
             if let Some(folded) = fold_comparison(op, &l, &r) {
                 return folded;
             }
-            Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) }
+            Expr::Binary {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }
         }
         BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
             if let (Expr::Int(a), Expr::Int(b)) = (&l, &r) {
@@ -150,7 +198,11 @@ fn simplify_binary(op: BinOp, l: Expr, r: Expr) -> Expr {
                     _ => unreachable!(),
                 }
             }
-            Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) }
+            Expr::Binary {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }
         }
     }
 }
@@ -233,7 +285,10 @@ mod tests {
 
     #[test]
     fn simplifies_inside_structures() {
-        assert_eq!(simp("xs->select(v | true and v.ok)->size()"), "xs->select(v | v.ok)->size()");
+        assert_eq!(
+            simp("xs->select(v | true and v.ok)->size()"),
+            "xs->select(v | v.ok)->size()"
+        );
         assert_eq!(simp("pre(true and x)"), "pre(x)");
         assert_eq!(simp("pre(3)"), "3");
     }
@@ -258,7 +313,9 @@ mod tests {
     fn semantics_preserved_on_samples() {
         // Evaluate original vs simplified on a small environment.
         let mut nav = MapNavigator::new();
-        nav.set_variable("x", true).set_variable("y", false).set_variable("n", 5i64);
+        nav.set_variable("x", true)
+            .set_variable("y", false)
+            .set_variable("n", 5i64);
         for src in [
             "true and x",
             "x or false",

@@ -142,51 +142,87 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semi, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    offset: start,
+                });
                 i += 1;
             }
             ':' => {
-                tokens.push(Token { kind: TokenKind::Colon, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    offset: start,
+                });
                 i += 1;
             }
             '|' => {
-                tokens.push(Token { kind: TokenKind::Pipe, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Pipe,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Arrow, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Minus,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -194,41 +230,68 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 // `==>` and `=>` are implication, bare `=` is equality. The
                 // paper uses both implication spellings in Listing 1.
                 if bytes.get(i + 1) == Some(&b'=') && bytes.get(i + 2) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Implies, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Implies,
+                        offset: start,
+                    });
                     i += 3;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Implies, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Implies,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Eq,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '@' => {
                 let rest = &src[i + 1..];
                 if rest.starts_with("pre") {
-                    tokens.push(Token { kind: TokenKind::AtPre, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::AtPre,
+                        offset: start,
+                    });
                     i += 4;
                 } else {
                     return Err(LexError {
@@ -264,7 +327,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(buf), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(buf),
+                    offset: start,
+                });
                 i = j;
             }
             '0'..='9' => {
@@ -293,13 +359,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         message: format!("malformed real literal `{text}`"),
                         offset: start,
                     })?;
-                    tokens.push(Token { kind: TokenKind::Real(v), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Real(v),
+                        offset: start,
+                    });
                 } else {
                     let v: i64 = text.parse().map_err(|_| LexError {
                         message: format!("malformed integer literal `{text}`"),
                         offset: start,
                     })?;
-                    tokens.push(Token { kind: TokenKind::Int(v), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Int(v),
+                        offset: start,
+                    });
                 }
                 i = j;
             }
@@ -324,7 +396,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
     Ok(tokens)
 }
 

@@ -123,7 +123,9 @@ impl TypeEnv for MapTypeEnv {
     }
 
     fn attribute_type(&self, class: &str, property: &str) -> Option<Type> {
-        self.attributes.get(&(class.to_string(), property.to_string())).cloned()
+        self.attributes
+            .get(&(class.to_string(), property.to_string()))
+            .cloned()
     }
 }
 
@@ -182,9 +184,16 @@ impl TypeReport {
 /// Type-check `expr` in `env`.
 #[must_use]
 pub fn check(expr: &Expr, env: &dyn TypeEnv) -> TypeReport {
-    let mut ck = Checker { env, issues: Vec::new(), locals: Vec::new() };
+    let mut ck = Checker {
+        env,
+        issues: Vec::new(),
+        locals: Vec::new(),
+    };
     let ty = ck.infer(expr);
-    TypeReport { ty, issues: ck.issues }
+    TypeReport {
+        ty,
+        issues: ck.issues,
+    }
 }
 
 struct Checker<'a> {
@@ -195,11 +204,17 @@ struct Checker<'a> {
 
 impl Checker<'_> {
     fn error(&mut self, message: String) {
-        self.issues.push(TypeIssue { message, is_error: true });
+        self.issues.push(TypeIssue {
+            message,
+            is_error: true,
+        });
     }
 
     fn warn(&mut self, message: String) {
-        self.issues.push(TypeIssue { message, is_error: false });
+        self.issues.push(TypeIssue {
+            message,
+            is_error: false,
+        });
     }
 
     fn infer(&mut self, expr: &Expr) -> Type {
@@ -210,9 +225,7 @@ impl Checker<'_> {
             Expr::Str(_) => Type::Str,
             Expr::Null => Type::Unknown,
             Expr::Var(name) => {
-                if let Some((_, ty)) =
-                    self.locals.iter().rev().find(|(n, _)| n == name)
-                {
+                if let Some((_, ty)) = self.locals.iter().rev().find(|(n, _)| n == name) {
                     return ty.clone();
                 }
                 match self.env.variable_type(name) {
@@ -223,7 +236,9 @@ impl Checker<'_> {
                     }
                 }
             }
-            Expr::Nav { source, property, .. } => {
+            Expr::Nav {
+                source, property, ..
+            } => {
                 let src_ty = self.infer(source);
                 self.navigate_type(&src_ty, property)
             }
@@ -233,7 +248,12 @@ impl Checker<'_> {
                 let arg_tys: Vec<Type> = args.iter().map(|a| self.infer(a)).collect();
                 self.coll_op_type(&src_ty, op, &arg_tys)
             }
-            Expr::Iterate { source, op, var, body } => {
+            Expr::Iterate {
+                source,
+                op,
+                var,
+                body,
+            } => {
                 let src_ty = self.infer(source);
                 let elem = src_ty.element_type();
                 self.locals.push((var.clone(), elem.clone()));
@@ -261,9 +281,7 @@ impl Checker<'_> {
                         Type::Coll(CollectionKind::Set, Box::new(elem))
                     }
                     IterOp::Collect => Type::Coll(CollectionKind::Bag, Box::new(body_ty)),
-                    IterOp::SortedBy => {
-                        Type::Coll(CollectionKind::Sequence, Box::new(elem))
-                    }
+                    IterOp::SortedBy => Type::Coll(CollectionKind::Sequence, Box::new(elem)),
                     IterOp::Any => elem,
                 }
             }
@@ -289,7 +307,11 @@ impl Checker<'_> {
                     }
                 }
             }
-            Expr::If { cond, then_branch, else_branch } => {
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let ct = self.infer(cond);
                 if !ct.compatible(&Type::Bool) {
                     self.error(format!("`if` condition must be Boolean, found {ct}"));
@@ -297,7 +319,11 @@ impl Checker<'_> {
                 let tt = self.infer(then_branch);
                 let et = self.infer(else_branch);
                 if tt.compatible(&et) {
-                    if tt == Type::Unknown { et } else { tt }
+                    if tt == Type::Unknown {
+                        et
+                    } else {
+                        tt
+                    }
                 } else {
                     self.warn(format!("`if` branches have different types: {tt} vs {et}"));
                     Type::Unknown
@@ -325,7 +351,13 @@ impl Checker<'_> {
                 }
                 Type::Coll(*kind, Box::new(elem_ty))
             }
-            Expr::Fold { source, var, acc, init, body } => {
+            Expr::Fold {
+                source,
+                var,
+                acc,
+                init,
+                body,
+            } => {
                 let src_ty = self.infer(source);
                 let elem = src_ty.element_type();
                 let init_ty = self.infer(init);
@@ -364,7 +396,9 @@ impl Checker<'_> {
             Type::Object(class) => match self.env.attribute_type(class, property) {
                 Some(ty) => ty,
                 None => {
-                    self.warn(format!("class `{class}` has no declared property `{property}`"));
+                    self.warn(format!(
+                        "class `{class}` has no declared property `{property}`"
+                    ));
                     Type::Unknown
                 }
             },
@@ -389,8 +423,9 @@ impl Checker<'_> {
         let elem = src.element_type();
         match op {
             "size" | "count" | "indexOf" => Type::Int,
-            "isEmpty" | "notEmpty" | "includes" | "excludes" | "includesAll"
-            | "excludesAll" => Type::Bool,
+            "isEmpty" | "notEmpty" | "includes" | "excludes" | "includesAll" | "excludesAll" => {
+                Type::Bool
+            }
             "sum" => {
                 if !elem.is_numeric() {
                     self.error(format!("`->sum` over non-numeric elements of type {elem}"));
@@ -450,14 +485,10 @@ impl Checker<'_> {
                          lenient evaluation coerces to `->size()` (paper-compat)"
                     ));
                 } else {
-                    let ordered = |t: &Type| {
-                        t.is_numeric() || matches!(t, Type::Str | Type::Unknown)
-                    };
+                    let ordered =
+                        |t: &Type| t.is_numeric() || matches!(t, Type::Str | Type::Unknown);
                     if !ordered(lt) || !ordered(rt) || !lt.compatible(rt) {
-                        self.error(format!(
-                            "`{}` cannot order {lt} and {rt}",
-                            op.symbol()
-                        ));
+                        self.error(format!("`{}` cannot order {lt} and {rt}", op.symbol()));
                     }
                 }
                 Type::Bool

@@ -20,7 +20,10 @@ impl ObjRef {
     /// Create an object reference.
     #[must_use]
     pub fn new(class: impl Into<String>, id: u64) -> Self {
-        ObjRef { class: class.into(), id }
+        ObjRef {
+            class: class.into(),
+            id,
+        }
     }
 }
 
@@ -138,9 +141,7 @@ impl Value {
     #[must_use]
     pub fn ocl_eq(&self, other: &Value) -> bool {
         match (self, other) {
-            (Value::Int(a), Value::Real(b)) | (Value::Real(b), Value::Int(a)) => {
-                (*a as f64) == *b
-            }
+            (Value::Int(a), Value::Real(b)) | (Value::Real(b), Value::Int(a)) => (*a as f64) == *b,
             (Value::Coll(ka, xs), Value::Coll(kb, ys)) => {
                 if ka != kb {
                     return false;
@@ -299,7 +300,10 @@ mod tests {
 
     #[test]
     fn cmp_across_int_and_real() {
-        assert_eq!(Value::Int(1).ocl_cmp(&Value::Real(1.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(1).ocl_cmp(&Value::Real(1.5)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl Project {
     /// Role of a group in this project, if assigned.
     #[must_use]
     pub fn role_of_group(&self, group: &str) -> Option<&str> {
-        self.groups.iter().find(|g| g.name == group).map(|g| g.role.as_str())
+        self.groups
+            .iter()
+            .find(|g| g.name == group)
+            .map(|g| g.role.as_str())
     }
 }
 
@@ -90,7 +93,12 @@ impl IdentityStore {
     /// Create an empty store.
     #[must_use]
     pub fn new() -> Self {
-        IdentityStore { users: Vec::new(), projects: Vec::new(), next_user_id: 1, next_project_id: 1 }
+        IdentityStore {
+            users: Vec::new(),
+            projects: Vec::new(),
+            next_user_id: 1,
+            next_project_id: 1,
+        }
     }
 
     /// Create a project with the given usergroup/role assignments.
@@ -136,7 +144,12 @@ impl IdentityStore {
         }
         let id = self.next_user_id;
         self.next_user_id += 1;
-        self.users.push(User { id, name, password: password.into(), groups });
+        self.users.push(User {
+            id,
+            name,
+            password: password.into(),
+            groups,
+        });
         Ok(id)
     }
 
@@ -184,8 +197,9 @@ impl IdentityStore {
         let user = self
             .user_by_name(user_name)
             .ok_or_else(|| IdentityError::UnknownUser(user_name.to_string()))?;
-        let project =
-            self.project(project_id).ok_or(IdentityError::UnknownProject(project_id))?;
+        let project = self
+            .project(project_id)
+            .ok_or(IdentityError::UnknownProject(project_id))?;
         let mut roles = Vec::new();
         for g in &user.groups {
             if let Some(role) = project.role_of_group(g) {
@@ -200,7 +214,8 @@ impl IdentityStore {
     /// Verify a user's password; returns the user on success.
     #[must_use]
     pub fn authenticate(&self, user_name: &str, password: &str) -> Option<&User> {
-        self.user_by_name(user_name).filter(|u| u.password == password)
+        self.user_by_name(user_name)
+            .filter(|u| u.password == password)
     }
 
     /// Reassign the role of a group within a project — used by the mutation
@@ -246,9 +261,18 @@ pub fn my_project_fixture() -> (IdentityStore, u64) {
         .create_project(
             "myProject",
             vec![
-                UserGroup { name: "proj_administrator".into(), role: "admin".into() },
-                UserGroup { name: "service_architect".into(), role: "member".into() },
-                UserGroup { name: "business_analyst".into(), role: "user".into() },
+                UserGroup {
+                    name: "proj_administrator".into(),
+                    role: "admin".into(),
+                },
+                UserGroup {
+                    name: "service_architect".into(),
+                    role: "member".into(),
+                },
+                UserGroup {
+                    name: "business_analyst".into(),
+                    role: "user".into(),
+                },
             ],
         )
         .expect("fresh store has no duplicates");
@@ -307,8 +331,14 @@ mod tests {
     fn duplicate_group_in_project_rejected() {
         let mut store = IdentityStore::new();
         let groups = vec![
-            UserGroup { name: "g".into(), role: "admin".into() },
-            UserGroup { name: "g".into(), role: "member".into() },
+            UserGroup {
+                name: "g".into(),
+                role: "admin".into(),
+            },
+            UserGroup {
+                name: "g".into(),
+                role: "member".into(),
+            },
         ];
         assert!(store.create_project("p", groups).is_err());
     }
@@ -329,14 +359,18 @@ mod tests {
     #[test]
     fn user_in_unassigned_group_has_no_role() {
         let (mut store, pid) = my_project_fixture();
-        store.create_user("dave", "d", vec!["outsiders".into()]).unwrap();
+        store
+            .create_user("dave", "d", vec!["outsiders".into()])
+            .unwrap();
         assert!(store.roles_of("dave", pid).unwrap().is_empty());
     }
 
     #[test]
     fn set_group_role_mutates() {
         let (mut store, pid) = my_project_fixture();
-        store.set_group_role(pid, "business_analyst", "admin").unwrap();
+        store
+            .set_group_role(pid, "business_analyst", "admin")
+            .unwrap();
         assert_eq!(store.roles_of("carol", pid).unwrap(), vec!["admin"]);
         assert!(store.set_group_role(999, "x", "y").is_err());
         assert!(store.set_group_role(pid, "ghost", "y").is_err());
@@ -349,12 +383,20 @@ mod tests {
             .create_project(
                 "p",
                 vec![
-                    UserGroup { name: "g1".into(), role: "admin".into() },
-                    UserGroup { name: "g2".into(), role: "admin".into() },
+                    UserGroup {
+                        name: "g1".into(),
+                        role: "admin".into(),
+                    },
+                    UserGroup {
+                        name: "g2".into(),
+                        role: "admin".into(),
+                    },
                 ],
             )
             .unwrap();
-        store.create_user("u", "pw", vec!["g1".into(), "g2".into()]).unwrap();
+        store
+            .create_user("u", "pw", vec!["g1".into(), "g2".into()])
+            .unwrap();
         assert_eq!(store.roles_of("u", pid).unwrap(), vec!["admin"]);
     }
 }

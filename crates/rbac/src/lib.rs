@@ -40,5 +40,7 @@ pub mod token;
 
 pub use identity::{my_project_fixture, IdentityError, IdentityStore, Project, User, UserGroup};
 pub use policy::{parse_rule, DefaultDecision, PolicyFile, Rule, RuleParseError};
-pub use requirements::{cinder_table1, cinder_table_extended, SecurityRequirement, SecurityRequirementsTable};
+pub use requirements::{
+    cinder_table1, cinder_table_extended, SecurityRequirement, SecurityRequirementsTable,
+};
 pub use token::{TokenError, TokenInfo, TokenService};

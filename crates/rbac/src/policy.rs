@@ -182,7 +182,9 @@ impl RuleParser {
                 self.pos += 1;
                 let inner = self.or_expr()?;
                 if self.peek() != Some(")") {
-                    return Err(RuleParseError { message: "expected `)`".to_string() });
+                    return Err(RuleParseError {
+                        message: "expected `)`".to_string(),
+                    });
                 }
                 self.pos += 1;
                 Ok(inner)
@@ -212,7 +214,9 @@ impl RuleParser {
                 self.pos += 1;
                 Ok(rule)
             }
-            None => Err(RuleParseError { message: "unexpected end of rule".to_string() }),
+            None => Err(RuleParseError {
+                message: "unexpected end of rule".to_string(),
+            }),
         }
     }
 }
@@ -379,7 +383,9 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(parse_rule("").is_err());
-        assert!(parse_rule("role:").map(|r| r.check(&token(&[""], &[]))).unwrap_or(true));
+        assert!(parse_rule("role:")
+            .map(|r| r.check(&token(&[""], &[])))
+            .unwrap_or(true));
         assert!(parse_rule("badatom").is_err());
         assert!(parse_rule("(role:a").is_err());
         assert!(parse_rule("role:a role:b").is_err());
@@ -388,7 +394,12 @@ mod tests {
 
     #[test]
     fn display_reparses() {
-        for src in ["role:admin or role:member", "not (role:a and group:g)", "@", "!"] {
+        for src in [
+            "role:admin or role:member",
+            "not (role:a and group:g)",
+            "@",
+            "!",
+        ] {
             let r = parse_rule(src).unwrap();
             let printed = r.to_string();
             let r2 = parse_rule(&printed).unwrap();

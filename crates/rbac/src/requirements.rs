@@ -129,7 +129,15 @@ impl SecurityRequirementsTable {
             "| {:<8} | {:<6} | {:<7} | {:<6} | {:<18} |",
             "Resource", "SecReq", "Request", "Role", "UserGroup"
         );
-        let _ = writeln!(out, "|{}|{}|{}|{}|{}|", "-".repeat(10), "-".repeat(8), "-".repeat(9), "-".repeat(8), "-".repeat(20));
+        let _ = writeln!(
+            out,
+            "|{}|{}|{}|{}|{}|",
+            "-".repeat(10),
+            "-".repeat(8),
+            "-".repeat(9),
+            "-".repeat(8),
+            "-".repeat(20)
+        );
         let mut last_resource = String::new();
         for req in &self.requirements {
             let mut first_row = true;
@@ -245,7 +253,10 @@ mod tests {
             roles: vec!["admin".into()],
             groups: vec![],
         };
-        let user = TokenInfo { roles: vec!["user".into()], ..admin.clone() };
+        let user = TokenInfo {
+            roles: vec!["user".into()],
+            ..admin.clone()
+        };
         use crate::policy::DefaultDecision;
         assert!(pf.check("volume:delete", &admin, DefaultDecision::Deny));
         assert!(!pf.check("volume:delete", &user, DefaultDecision::Deny));
@@ -321,7 +332,9 @@ mod extended_table_tests {
         let t = cinder_table_extended();
         assert_eq!(t.requirements.len(), 7);
         assert_eq!(
-            t.requirement_for("snapshot", HttpMethod::Delete).unwrap().roles(),
+            t.requirement_for("snapshot", HttpMethod::Delete)
+                .unwrap()
+                .roles(),
             vec!["admin"]
         );
         let policy = t.to_policy();

@@ -151,11 +151,7 @@ impl TokenService {
     /// # Errors
     ///
     /// [`TokenError::InvalidToken`] when the token is unknown or revoked.
-    pub fn validate(
-        &self,
-        store: &IdentityStore,
-        token: &str,
-    ) -> Result<TokenInfo, TokenError> {
+    pub fn validate(&self, store: &IdentityStore, token: &str) -> Result<TokenInfo, TokenError> {
         let cached = self.tokens.get(token).ok_or(TokenError::InvalidToken)?;
         let issued = self.issued_at.get(token).copied().unwrap_or(0);
         if self.now.saturating_sub(issued) >= self.lifetime {
@@ -164,7 +160,10 @@ impl TokenService {
         let roles = store
             .roles_of(&cached.user_name, cached.project_id)
             .map_err(|_| TokenError::InvalidToken)?;
-        Ok(TokenInfo { roles, ..cached.clone() })
+        Ok(TokenInfo {
+            roles,
+            ..cached.clone()
+        })
     }
 
     /// Revoke a token; returns whether it existed.
@@ -221,7 +220,10 @@ mod tests {
     fn unknown_token_rejected() {
         let (store, _) = my_project_fixture();
         let svc = TokenService::new();
-        assert_eq!(svc.validate(&store, "tok-zzz"), Err(TokenError::InvalidToken));
+        assert_eq!(
+            svc.validate(&store, "tok-zzz"),
+            Err(TokenError::InvalidToken)
+        );
     }
 
     #[test]
@@ -231,7 +233,10 @@ mod tests {
         let info = svc.issue(&store, "bob", "bob-pw", pid).unwrap();
         assert!(svc.revoke(&info.token));
         assert!(!svc.revoke(&info.token));
-        assert_eq!(svc.validate(&store, &info.token), Err(TokenError::InvalidToken));
+        assert_eq!(
+            svc.validate(&store, &info.token),
+            Err(TokenError::InvalidToken)
+        );
     }
 
     #[test]
@@ -240,7 +245,9 @@ mod tests {
         let mut svc = TokenService::new();
         let info = svc.issue(&store, "carol", "carol-pw", pid).unwrap();
         assert_eq!(info.roles, vec!["user"]);
-        store.set_group_role(pid, "business_analyst", "admin").unwrap();
+        store
+            .set_group_role(pid, "business_analyst", "admin")
+            .unwrap();
         let refreshed = svc.validate(&store, &info.token).unwrap();
         assert_eq!(refreshed.roles, vec!["admin"]);
     }
@@ -270,7 +277,10 @@ mod expiry_tests {
         svc.advance_time(9);
         assert!(svc.validate(&store, &info.token).is_ok());
         svc.advance_time(1);
-        assert_eq!(svc.validate(&store, &info.token), Err(TokenError::InvalidToken));
+        assert_eq!(
+            svc.validate(&store, &info.token),
+            Err(TokenError::InvalidToken)
+        );
     }
 
     #[test]

@@ -39,9 +39,7 @@ impl Json {
     #[must_use]
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
-            Json::Object(members) => {
-                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -237,7 +235,11 @@ impl std::error::Error for JsonError {}
 ///
 /// Returns [`JsonError`] on malformed input or trailing content.
 pub fn parse_json(src: &str) -> Result<Json, JsonError> {
-    let mut p = JsonParser { src: src.as_bytes(), pos: 0, depth: 0 };
+    let mut p = JsonParser {
+        src: src.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -255,7 +257,10 @@ struct JsonParser<'a> {
 
 impl JsonParser<'_> {
     fn err(&self, message: impl Into<String>) -> JsonError {
-        JsonError { message: message.into(), offset: self.pos }
+        JsonError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -381,9 +386,8 @@ impl JsonParser<'_> {
                             if self.pos + 5 > self.src.len() {
                                 return Err(self.err("truncated \\u escape"));
                             }
-                            let hex =
-                                std::str::from_utf8(&self.src[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| self.err("bad \\u escape"))?;
+                            let hex = std::str::from_utf8(&self.src[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             out.push(
@@ -470,8 +474,7 @@ mod tests {
 
     #[test]
     fn parses_nested_structure() {
-        let v = parse_json(r#"{"volume": {"id": 4, "status": "in-use", "tags": [1, 2]}}"#)
-            .unwrap();
+        let v = parse_json(r#"{"volume": {"id": 4, "status": "in-use", "tags": [1, 2]}}"#).unwrap();
         let vol = v.get("volume").unwrap();
         assert_eq!(vol.get("id").unwrap().as_int(), Some(4));
         assert_eq!(vol.get("status").unwrap().as_str(), Some("in-use"));

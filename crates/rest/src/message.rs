@@ -30,7 +30,12 @@ impl RestRequest {
     /// Create a request with no headers or body.
     #[must_use]
     pub fn new(method: HttpMethod, path: impl Into<String>) -> Self {
-        RestRequest { method, path: path.into(), headers: Vec::new(), body: None }
+        RestRequest {
+            method,
+            path: path.into(),
+            headers: Vec::new(),
+            body: None,
+        }
     }
 
     /// Builder: set a header.
@@ -90,19 +95,31 @@ impl RestResponse {
     /// A response with the given status and no body.
     #[must_use]
     pub fn status(status: StatusCode) -> Self {
-        RestResponse { status, headers: Vec::new(), body: None }
+        RestResponse {
+            status,
+            headers: Vec::new(),
+            body: None,
+        }
     }
 
     /// A 200 OK response with a JSON body.
     #[must_use]
     pub fn ok(body: Json) -> Self {
-        RestResponse { status: StatusCode::OK, headers: Vec::new(), body: Some(body) }
+        RestResponse {
+            status: StatusCode::OK,
+            headers: Vec::new(),
+            body: Some(body),
+        }
     }
 
     /// A 201 Created response with a JSON body.
     #[must_use]
     pub fn created(body: Json) -> Self {
-        RestResponse { status: StatusCode::CREATED, headers: Vec::new(), body: Some(body) }
+        RestResponse {
+            status: StatusCode::CREATED,
+            headers: Vec::new(),
+            body: Some(body),
+        }
     }
 
     /// A 204 No Content response.
@@ -122,7 +139,11 @@ impl RestResponse {
                 ("message", Json::Str(message.into())),
             ]),
         )]);
-        RestResponse { status, headers: Vec::new(), body: Some(body) }
+        RestResponse {
+            status,
+            headers: Vec::new(),
+            body: Some(body),
+        }
     }
 
     /// Builder: add a header.
@@ -189,7 +210,13 @@ mod tests {
         let e = RestResponse::error(StatusCode::FORBIDDEN, "not allowed");
         assert_eq!(e.error_message(), Some("not allowed"));
         assert_eq!(
-            e.body.unwrap().get("error").unwrap().get("code").unwrap().as_int(),
+            e.body
+                .unwrap()
+                .get("error")
+                .unwrap()
+                .get("code")
+                .unwrap()
+                .as_int(),
             Some(403)
         );
     }

@@ -128,8 +128,7 @@ impl RouteTable {
                     });
                 }
                 if let Some(contained_name) = contained {
-                    let item_path =
-                        collection_path.param(format!("{contained_name}_id"));
+                    let item_path = collection_path.param(format!("{contained_name}_id"));
                     self.routes.push(Route {
                         resource: contained_name.clone(),
                         kind: ResourceKind::Normal,
@@ -169,7 +168,9 @@ impl RouteTable {
     ) {
         let assocs: Vec<_> = model.outgoing(def_name).cloned().collect();
         for a in assocs {
-            let Some(target) = model.definition(&a.target) else { continue };
+            let Some(target) = model.definition(&a.target) else {
+                continue;
+            };
             match target.kind {
                 ResourceKind::Collection => {
                     let collection_path = base.clone().literal(a.role.clone());
@@ -190,17 +191,12 @@ impl RouteTable {
                             continue;
                         }
                         visited.push(contained_name.clone());
-                        let item_path =
-                            collection_path.param(format!("{contained_name}_id"));
+                        let item_path = collection_path.param(format!("{contained_name}_id"));
                         self.routes.push(Route {
                             resource: contained_name.clone(),
                             kind: ResourceKind::Normal,
                             template: item_path.clone(),
-                            methods: vec![
-                                HttpMethod::Get,
-                                HttpMethod::Put,
-                                HttpMethod::Delete,
-                            ],
+                            methods: vec![HttpMethod::Get, HttpMethod::Put, HttpMethod::Delete],
                             contained: None,
                         });
                         self.derive_children(model, &contained_name, item_path, visited);
@@ -280,7 +276,13 @@ impl fmt::Display for RouteTable {
                 writeln!(f)?;
             }
             let methods: Vec<&str> = r.methods.iter().map(|m| m.as_str()).collect();
-            write!(f, "{} [{}] -> {}", r.template, methods.join(", "), r.resource)?;
+            write!(
+                f,
+                "{} [{}] -> {}",
+                r.template,
+                methods.join(", "),
+                r.resource
+            )?;
         }
         Ok(())
     }
@@ -298,17 +300,22 @@ mod tests {
     #[test]
     fn derives_cinder_paths() {
         let table = cinder_table();
-        let templates: Vec<String> =
-            table.routes().iter().map(|r| r.template.to_string()).collect();
-        assert!(templates.contains(&"/v3/{project_id}".to_string()), "{templates:?}");
+        let templates: Vec<String> = table
+            .routes()
+            .iter()
+            .map(|r| r.template.to_string())
+            .collect();
+        assert!(
+            templates.contains(&"/v3/{project_id}".to_string()),
+            "{templates:?}"
+        );
         assert!(templates.contains(&"/v3/{project_id}/volumes".to_string()));
         assert!(
             templates.contains(&"/v3/{project_id}/volumes/{volume_id}".to_string()),
             "{templates:?}"
         );
         assert!(templates.contains(&"/v3/{project_id}/quota_sets".to_string()));
-        assert!(templates
-            .contains(&"/v3/{project_id}/usergroup/{usergroup_id}".to_string()));
+        assert!(templates.contains(&"/v3/{project_id}/usergroup/{usergroup_id}".to_string()));
     }
 
     #[test]
@@ -377,10 +384,16 @@ mod tests {
     fn cyclic_models_terminate() {
         use cm_model::{Association, AttrType, Attribute, ResourceDef, ResourceModel};
         let mut m = ResourceModel::new("cyclic");
-        m.define(ResourceDef::normal("a", vec![Attribute::new("x", AttrType::Int)]))
-            .define(ResourceDef::normal("b", vec![Attribute::new("y", AttrType::Int)]))
-            .associate(Association::new("b", "a", "b", Multiplicity::ONE))
-            .associate(Association::new("a", "b", "a", Multiplicity::ONE));
+        m.define(ResourceDef::normal(
+            "a",
+            vec![Attribute::new("x", AttrType::Int)],
+        ))
+        .define(ResourceDef::normal(
+            "b",
+            vec![Attribute::new("y", AttrType::Int)],
+        ))
+        .associate(Association::new("b", "a", "b", Multiplicity::ONE))
+        .associate(Association::new("a", "b", "a", Multiplicity::ONE));
         // must not loop forever; `a` is a root (no incoming? both have incoming)
         let table = RouteTable::derive(&m, "/api");
         // Fully cyclic model has no roots, so no routes — fine, just terminate.
@@ -398,11 +411,15 @@ mod trigger_route_tests {
         let table = RouteTable::derive(&cinder::resource_model(), "/v3");
         let post = table.route_for_trigger(HttpMethod::Post, "volume").unwrap();
         assert_eq!(post.template.to_string(), "/v3/{project_id}/volumes");
-        let delete = table.route_for_trigger(HttpMethod::Delete, "volume").unwrap();
+        let delete = table
+            .route_for_trigger(HttpMethod::Delete, "volume")
+            .unwrap();
         assert_eq!(
             delete.template.to_string(),
             "/v3/{project_id}/volumes/{volume_id}"
         );
-        assert!(table.route_for_trigger(HttpMethod::Delete, "Volumes").is_none());
+        assert!(table
+            .route_for_trigger(HttpMethod::Delete, "Volumes")
+            .is_none());
     }
 }

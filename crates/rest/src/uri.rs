@@ -205,7 +205,10 @@ mod tests {
 
     #[test]
     fn builder_api() {
-        let t = UriTemplate::root().literal("v3").param("project_id").literal("volumes");
+        let t = UriTemplate::root()
+            .literal("v3")
+            .param("project_id")
+            .literal("volumes");
         assert_eq!(t.to_string(), "/v3/{project_id}/volumes");
         assert_eq!(t.params().collect::<Vec<_>>(), vec!["project_id"]);
     }

@@ -29,7 +29,9 @@ pub struct XmiError {
 
 impl XmiError {
     fn new(message: impl Into<String>) -> Self {
-        XmiError { message: message.into() }
+        XmiError {
+            message: message.into(),
+        }
     }
 }
 
@@ -71,16 +73,22 @@ pub fn export(resources: Option<&ResourceModel>, behaviors: &[&BehavioralModel])
     if let Some(r) = resources {
         model_el.attributes.push(("name".into(), r.name.clone()));
         for d in &r.definitions {
-            model_el.children.push(crate::xml::Node::Element(export_class(d)));
+            model_el
+                .children
+                .push(crate::xml::Node::Element(export_class(d)));
         }
         for a in &r.associations {
-            model_el.children.push(crate::xml::Node::Element(export_association(a)));
+            model_el
+                .children
+                .push(crate::xml::Node::Element(export_association(a)));
         }
     } else {
         model_el.attributes.push(("name".into(), "model".into()));
     }
     for b in behaviors {
-        model_el.children.push(crate::xml::Node::Element(export_state_machine(b)));
+        model_el
+            .children
+            .push(crate::xml::Node::Element(export_state_machine(b)));
     }
     Element::new("xmi:XMI")
         .attr("xmi:version", "2.1")
@@ -174,7 +182,10 @@ fn export_state_machine(b: &BehavioralModel) -> Element {
 pub fn import(src: &str) -> Result<XmiDocument, XmiError> {
     let root = parse_document(src)?;
     if root.name != "xmi:XMI" {
-        return Err(XmiError::new(format!("expected root `xmi:XMI`, found `{}`", root.name)));
+        return Err(XmiError::new(format!(
+            "expected root `xmi:XMI`, found `{}`",
+            root.name
+        )));
     }
     let model = root
         .first_child("uml:Model")
@@ -202,7 +213,10 @@ pub fn import(src: &str) -> Result<XmiDocument, XmiError> {
         }
     }
 
-    Ok(XmiDocument { resources: has_resources.then_some(resources), behaviors })
+    Ok(XmiDocument {
+        resources: has_resources.then_some(resources),
+        behaviors,
+    })
 }
 
 fn import_class(e: &Element) -> Result<ResourceDef, XmiError> {
@@ -213,9 +227,7 @@ fn import_class(e: &Element) -> Result<ResourceDef, XmiError> {
     let kind = match e.attribute("stereotype") {
         Some("collection") => cm_model::ResourceKind::Collection,
         Some("resource") | None => cm_model::ResourceKind::Normal,
-        Some(other) => {
-            return Err(XmiError::new(format!("unknown class stereotype `{other}`")))
-        }
+        Some(other) => return Err(XmiError::new(format!("unknown class stereotype `{other}`"))),
     };
     let mut attributes = Vec::new();
     for oa in e.children_named("ownedAttribute") {
@@ -227,13 +239,15 @@ fn import_class(e: &Element) -> Result<ResourceDef, XmiError> {
             Some("Integer") => AttrType::Int,
             Some("Real") => AttrType::Real,
             Some("Boolean") => AttrType::Bool,
-            Some(other) => {
-                return Err(XmiError::new(format!("unknown attribute type `{other}`")))
-            }
+            Some(other) => return Err(XmiError::new(format!("unknown attribute type `{other}`"))),
         };
         attributes.push(Attribute::new(aname, ty));
     }
-    Ok(ResourceDef { name, kind, attributes })
+    Ok(ResourceDef {
+        name,
+        kind,
+        attributes,
+    })
 }
 
 fn import_association(e: &Element) -> Result<Association, XmiError> {
@@ -265,7 +279,9 @@ fn import_ocl_child(e: &Element, tag: &str) -> Result<Option<Expr>, XmiError> {
         Some(child) => {
             let text = child.text_content();
             if text.is_empty() {
-                return Err(XmiError::new(format!("`{tag}` element with empty OCL body")));
+                return Err(XmiError::new(format!(
+                    "`{tag}` element with empty OCL body"
+                )));
             }
             Ok(Some(parse_ocl(&text)?))
         }
@@ -288,8 +304,7 @@ fn import_state_machine(e: &Element) -> Result<BehavioralModel, XmiError> {
         let sname = sv
             .attribute("name")
             .ok_or_else(|| XmiError::new("subvertex without name"))?;
-        let invariant = import_ocl_child(sv, "invariant")?
-            .unwrap_or(Expr::Bool(true));
+        let invariant = import_ocl_child(sv, "invariant")?.unwrap_or(Expr::Bool(true));
         model.state(State::new(sname, invariant));
     }
 
@@ -322,8 +337,7 @@ fn import_transition(tr: &Element, index: usize) -> Result<Transition, XmiError>
         .attribute("resource")
         .ok_or_else(|| XmiError::new(format!("trigger of `{id}` without resource")))?;
 
-    let mut builder =
-        TransitionBuilder::new(&id, source, Trigger::new(method, resource), target);
+    let mut builder = TransitionBuilder::new(&id, source, Trigger::new(method, resource), target);
     if let Some(g) = import_ocl_child(tr, "guard")? {
         builder = builder.guard(g);
     }

@@ -33,7 +33,11 @@ impl Element {
     /// Create an element with no attributes or children.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Builder: add an attribute.
@@ -60,14 +64,14 @@ impl Element {
     /// Value of the attribute `name`, if present.
     #[must_use]
     pub fn attribute(&self, name: &str) -> Option<&str> {
-        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Child elements with the given tag name.
-    pub fn children_named<'a>(
-        &'a self,
-        name: &'a str,
-    ) -> impl Iterator<Item = &'a Element> + 'a {
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
         self.children.iter().filter_map(move |n| match n {
             Node::Element(e) if e.name == name => Some(e),
             _ => None,
@@ -163,7 +167,9 @@ impl Element {
 /// Escape text content (`&`, `<`, `>`).
 #[must_use]
 pub fn escape_text(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Escape an attribute value (`&`, `<`, `>`, `"`).
@@ -197,7 +203,11 @@ impl std::error::Error for XmlError {}
 /// (`<!DOCTYPE …>` is rejected for safety), unknown entities, or trailing
 /// content after the root element.
 pub fn parse_document(src: &str) -> Result<Element, XmlError> {
-    let mut p = XmlParser { src: src.as_bytes(), pos: 0, depth: 0 };
+    let mut p = XmlParser {
+        src: src.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
     p.skip_prolog()?;
     let root = p.parse_element()?;
     p.skip_misc()?;
@@ -218,7 +228,10 @@ struct XmlParser<'a> {
 
 impl XmlParser<'_> {
     fn err(&self, message: impl Into<String>) -> XmlError {
-        XmlError { message: message.into(), offset: self.pos }
+        XmlError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -363,9 +376,9 @@ impl XmlParser<'_> {
                 self.pos += 2;
                 let close = self.parse_name()?;
                 if close != name {
-                    return Err(
-                        self.err(format!("mismatched close tag `{close}` (expected `{name}`)"))
-                    );
+                    return Err(self.err(format!(
+                        "mismatched close tag `{close}` (expected `{name}`)"
+                    )));
                 }
                 self.skip_ws();
                 if self.peek() != Some(b'>') {
@@ -478,8 +491,8 @@ mod tests {
 
     #[test]
     fn resolves_entities() {
-        let doc = parse_document("<a t=\"&lt;x&gt; &amp; &quot;y&quot;\">&apos;&#65;&#x42;</a>")
-            .unwrap();
+        let doc =
+            parse_document("<a t=\"&lt;x&gt; &amp; &quot;y&quot;\">&apos;&#65;&#x42;</a>").unwrap();
         assert_eq!(doc.attribute("t"), Some("<x> & \"y\""));
         assert_eq!(doc.text_content(), "'AB");
     }

@@ -12,7 +12,10 @@ use cm_rest::{Json, RestRequest};
 fn volume_body(name: &str, size: i64) -> Json {
     Json::object(vec![(
         "volume",
-        Json::object(vec![("name", Json::Str(name.into())), ("size", Json::Int(size))]),
+        Json::object(vec![
+            ("name", Json::Str(name.into())),
+            ("size", Json::Int(size)),
+        ]),
     )])
 }
 
@@ -30,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // project_with_no_volume --POST--> not_full --POST--> ... --POST--> full
     for i in 1..=DEFAULT_VOLUME_QUOTA {
-        let token = if i % 2 == 0 { &member.token } else { &admin.token };
+        let token = if i % 2 == 0 {
+            &member.token
+        } else {
+            &admin.token
+        };
         let outcome = monitor.process(
             &RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes"))
                 .auth_token(token)
@@ -54,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .auth_token(&admin.token)
             .json(volume_body("overflow", 1)),
     );
-    println!("POST over quota: {} [{}]", over.response.status, over.verdict);
+    println!(
+        "POST over quota: {} [{}]",
+        over.response.status, over.verdict
+    );
 
     // Reads and updates on the full state (SecReq 1.1, 1.2).
     let get = monitor.process(
@@ -75,7 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
                 .auth_token(&admin.token),
         );
-        println!("DELETE volume {vid}: {} [{}]", outcome.response.status, outcome.verdict);
+        println!(
+            "DELETE volume {vid}: {} [{}]",
+            outcome.response.status, outcome.verdict
+        );
     }
 
     println!("\nmonitor log ({} requests):", monitor.log().len());

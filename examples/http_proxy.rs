@@ -11,22 +11,25 @@
 
 use cm_cloudsim::PrivateCloud;
 use cm_core::CloudMonitor;
-use cm_httpkit::{send, HttpServer, RemoteService};
+use cm_httpkit::{send, AdminRoutes, HttpServer, RemoteService};
 use cm_model::{cinder, HttpMethod};
 use cm_rest::{Json, RestRequest, RestService};
-use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The private cloud, served over HTTP (the "VirtualBox VM").
     let cloud = Arc::new(Mutex::new(PrivateCloud::my_project()));
-    let pid = cloud.lock().project_id();
+    let pid = cloud.lock().unwrap().project_id();
     let cloud_for_server = Arc::clone(&cloud);
     let cloud_server = HttpServer::bind(
         "127.0.0.1:0",
-        Arc::new(move |req| cloud_for_server.lock().handle(&req)),
+        Arc::new(move |req| cloud_for_server.lock().unwrap().handle(&req)),
     )?;
-    println!("private cloud listening on http://{}", cloud_server.local_addr());
+    println!(
+        "private cloud listening on http://{}",
+        cloud_server.local_addr()
+    );
 
     // 2. The generated monitor, wrapping the cloud over the network and
     //    itself served over HTTP (the paper's port 8000).
@@ -38,11 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         remote_cloud,
     )?;
     monitor.authenticate("alice", "alice-pw")?;
+    let admin = AdminRoutes::new(monitor.metrics(), monitor.events());
     let monitor = Arc::new(Mutex::new(monitor));
     let monitor_for_server = Arc::clone(&monitor);
     let monitor_server = HttpServer::bind(
         "127.0.0.1:0",
-        Arc::new(move |req| monitor_for_server.lock().handle(&req)),
+        admin.wrap(Arc::new(move |req| {
+            monitor_for_server.lock().unwrap().handle(&req)
+        })),
     )?;
     let cm = monitor_server.local_addr();
     println!("cloud monitor listening on http://{cm}\n");
@@ -58,7 +64,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ]),
         )])),
     )?;
-    let alice = auth.body.as_ref().unwrap().get("token").unwrap().get("id").unwrap();
+    let alice = auth
+        .body
+        .as_ref()
+        .unwrap()
+        .get("token")
+        .unwrap()
+        .get("id")
+        .unwrap();
     let alice = alice.as_str().unwrap().to_string();
     let carol_auth = send(
         cm,
@@ -70,7 +83,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ]),
         )])),
     )?;
-    let carol = carol_auth.body.as_ref().unwrap().get("token").unwrap().get("id").unwrap();
+    let carol = carol_auth
+        .body
+        .as_ref()
+        .unwrap()
+        .get("token")
+        .unwrap()
+        .get("id")
+        .unwrap();
     let carol = carol.as_str().unwrap().to_string();
 
     // …and drive the volume API, e.g. the paper's
@@ -100,12 +120,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cm,
         &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1")).auth_token(&alice),
     )?;
-    println!("alice DELETE /v3/{pid}/volumes/1      -> {}", deleted.status);
+    println!(
+        "alice DELETE /v3/{pid}/volumes/1      -> {}",
+        deleted.status
+    );
 
     println!("\nmonitor verdicts:");
-    for r in monitor.lock().log() {
-        println!("  {} {:<20} -> {} [{}]", r.method, r.path, r.status, r.verdict);
+    for r in monitor.lock().unwrap().log() {
+        println!(
+            "  {} {:<20} -> {} [{}]",
+            r.method, r.path, r.status, r.verdict
+        );
     }
+
+    // 4. The same numbers, as any operator would fetch them: the admin
+    //    endpoints in front of the monitor server.
+    let metrics = send(cm, &RestRequest::new(HttpMethod::Get, "/-/metrics"))?;
+    println!("\nGET /-/metrics:");
+    println!("{}", metrics.body.as_ref().unwrap().to_pretty_string());
+    let events = send(cm, &RestRequest::new(HttpMethod::Get, "/-/events?tail=3"))?;
+    let shown = events
+        .body
+        .as_ref()
+        .unwrap()
+        .get("events")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .len();
+    println!("GET /-/events?tail=3 returned {shown} events");
 
     monitor_server.shutdown();
     cloud_server.shutdown();

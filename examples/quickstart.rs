@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ]),
             )])),
     );
-    println!("alice POST /volumes  -> {} [{}]", create.response.status, create.verdict);
+    println!(
+        "alice POST /volumes  -> {} [{}]",
+        create.response.status, create.verdict
+    );
     assert_eq!(create.verdict, Verdict::Pass);
 
     // 4. carol (role `user`) tries to DELETE it — SecReq 1.4 only permits
@@ -43,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1"))
             .auth_token(&carol.token),
     );
-    println!("carol DELETE /volumes/1 -> {} [{}]", blocked.response.status, blocked.verdict);
+    println!(
+        "carol DELETE /volumes/1 -> {} [{}]",
+        blocked.response.status, blocked.verdict
+    );
     assert_eq!(blocked.verdict, Verdict::PreBlocked);
 
     // 5. alice deletes it — permitted, contract checked end to end.
@@ -51,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1"))
             .auth_token(&alice.token),
     );
-    println!("alice DELETE /volumes/1 -> {} [{}]", deleted.response.status, deleted.verdict);
+    println!(
+        "alice DELETE /volumes/1 -> {} [{}]",
+        deleted.response.status, deleted.verdict
+    );
     assert_eq!(deleted.verdict, Verdict::Pass);
 
     println!("\ncoverage so far:\n{}", monitor.coverage());

@@ -30,7 +30,11 @@ fn main() {
             println!("    detected by: {first}");
         }
     }
-    println!("\nresult: {}/{} killed (paper reports 3/3)", paper.killed(), paper.total());
+    println!(
+        "\nresult: {}/{} killed (paper reports 3/3)",
+        paper.killed(),
+        paper.total()
+    );
 
     // 3. Extended campaign with per-operator kill rates.
     println!("\n== extended systematic campaign ==\n");

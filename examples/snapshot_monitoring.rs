@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Json::object(vec![("name", Json::Str("data".into()))]),
             )])),
     );
-    println!("POST volume                    -> {} [{}]", create_vol.response.status, create_vol.verdict);
+    println!(
+        "POST volume                    -> {} [{}]",
+        create_vol.response.status, create_vol.verdict
+    );
 
     let create_snap = monitor.process(
         &RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes/1/snapshots"))
@@ -54,14 +57,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/1/snapshots/1"))
             .auth_token(&carol.token),
     );
-    println!("GET snapshot as carol          -> {} [{}]", get.response.status, get.verdict);
+    println!(
+        "GET snapshot as carol          -> {} [{}]",
+        get.response.status, get.verdict
+    );
 
     // …but not delete them (SecReq 2.3) — blocked before the cloud.
     let blocked = monitor.process(
-        &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1/snapshots/1"))
-            .auth_token(&carol.token),
+        &RestRequest::new(
+            HttpMethod::Delete,
+            format!("/v3/{pid}/volumes/1/snapshots/1"),
+        )
+        .auth_token(&carol.token),
     );
-    println!("DELETE snapshot as carol       -> {} [{}]", blocked.response.status, blocked.verdict);
+    println!(
+        "DELETE snapshot as carol       -> {} [{}]",
+        blocked.response.status, blocked.verdict
+    );
 
     // A volume with snapshots cannot be deleted (Cinder semantics). The
     // extended volume model carries the refinement conjunct
@@ -79,15 +91,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Clean up the snapshot, then the volume deletes cleanly.
     let snap_del = monitor.process(
-        &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1/snapshots/1"))
-            .auth_token(&admin.token),
+        &RestRequest::new(
+            HttpMethod::Delete,
+            format!("/v3/{pid}/volumes/1/snapshots/1"),
+        )
+        .auth_token(&admin.token),
     );
-    println!("DELETE snapshot as alice       -> {} [{}]", snap_del.response.status, snap_del.verdict);
+    println!(
+        "DELETE snapshot as alice       -> {} [{}]",
+        snap_del.response.status, snap_del.verdict
+    );
     let vol_del2 = monitor.process(
         &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1"))
             .auth_token(&admin.token),
     );
-    println!("DELETE volume (no snapshots)   -> {} [{}]", vol_del2.response.status, vol_del2.verdict);
+    println!(
+        "DELETE volume (no snapshots)   -> {} [{}]",
+        vol_del2.response.status, vol_del2.verdict
+    );
 
     println!("\ninvocation log as JSON (fault-localization export):");
     println!("{}", monitor.log_json().to_compact_string());

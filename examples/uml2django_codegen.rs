@@ -11,11 +11,18 @@ use cm_xmi::export;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The analyst's models (Figure 3), exported as an XMI interchange file
     // — in the paper this file comes from MagicDraw.
-    let xmi = export(Some(&cinder::resource_model()), &[&cinder::behavioral_model()]);
+    let xmi = export(
+        Some(&cinder::resource_model()),
+        &[&cinder::behavioral_model()],
+    );
     let xmi_path = std::path::Path::new("target/cinder-models.xmi");
     std::fs::create_dir_all("target")?;
     std::fs::write(xmi_path, &xmi)?;
-    println!("wrote design models to {} ({} bytes)", xmi_path.display(), xmi.len());
+    println!(
+        "wrote design models to {} ({} bytes)",
+        xmi_path.display(),
+        xmi.len()
+    );
 
     // uml2django CMonitor target/cinder-models.xmi
     let project = uml2django(
@@ -37,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Show the Listing 2 excerpt.
     let views = project.file("cmonitor/views.py").expect("views generated");
     println!("\nexcerpt of cmonitor/views.py (Listing 2):\n");
-    for line in views.lines().skip_while(|l| !l.starts_with("def volume_delete")).take(14) {
+    for line in views
+        .lines()
+        .skip_while(|l| !l.starts_with("def volume_delete"))
+        .take(14)
+    {
         println!("{line}");
     }
     Ok(())

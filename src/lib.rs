@@ -19,6 +19,7 @@
 //! | [`httpkit`] | `cm-httpkit` | HTTP/1.1 transport |
 //! | [`contracts`] | `cm-contracts` | contract generation (Listing 1) |
 //! | [`monitor`] | `cm-core` | **the cloud monitor** (Figure 2) |
+//! | [`obs`] | `cm-obs` | observability: events, metrics, histograms |
 //! | [`codegen`] | `cm-codegen` | `uml2django` code generation |
 //! | [`mutation`] | `cm-mutation` | the Section VI-D mutation experiment |
 //!
@@ -31,6 +32,7 @@ pub use cm_core as monitor;
 pub use cm_httpkit as httpkit;
 pub use cm_model as model;
 pub use cm_mutation as mutation;
+pub use cm_obs as obs;
 pub use cm_ocl as ocl;
 pub use cm_rbac as rbac;
 pub use cm_rest as rest;

@@ -7,42 +7,41 @@
 use cm_cloudsim::PrivateCloud;
 use cm_core::{cinder_monitor_extended, Mode, Verdict};
 use cm_model::HttpMethod;
+use cm_obs::XorShift64Star;
 use cm_rest::{Json, RestRequest};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-fn random_path(rng: &mut StdRng, pid: u64) -> String {
+fn random_path(rng: &mut XorShift64Star, pid: u64) -> String {
     let templates = [
         format!("/v3/{pid}"),
         format!("/v3/{pid}/volumes"),
-        format!("/v3/{pid}/volumes/{}", rng.gen_range(0..6)),
-        format!("/v3/{pid}/volumes/{}/snapshots", rng.gen_range(0..6)),
+        format!("/v3/{pid}/volumes/{}", rng.gen_usize(0..6)),
+        format!("/v3/{pid}/volumes/{}/snapshots", rng.gen_usize(0..6)),
         format!(
             "/v3/{pid}/volumes/{}/snapshots/{}",
-            rng.gen_range(0..6),
-            rng.gen_range(0..6)
+            rng.gen_usize(0..6),
+            rng.gen_usize(0..6)
         ),
         format!("/v3/{pid}/quota_sets"),
         format!("/v3/{pid}/usergroup"),
-        format!("/v3/{}/volumes", rng.gen_range(0..4)),
+        format!("/v3/{}/volumes", rng.gen_usize(0..4)),
         "/v3/not-a-number/volumes".to_string(),
         "/identity/tokens/tok-00000001".to_string(),
-        format!("/totally/unknown/{}", rng.gen_range(0..100)),
+        format!("/totally/unknown/{}", rng.gen_usize(0..100)),
         "/".to_string(),
         "/v3".to_string(),
         format!("/v3/{pid}/volumes/999999999999999999999"),
     ];
-    templates[rng.gen_range(0..templates.len())].clone()
+    templates[rng.gen_usize(0..templates.len())].clone()
 }
 
-fn random_body(rng: &mut StdRng) -> Option<Json> {
-    match rng.gen_range(0..4) {
+fn random_body(rng: &mut XorShift64Star) -> Option<Json> {
+    match rng.gen_usize(0..4) {
         0 => None,
         1 => Some(Json::object(vec![(
             "volume",
             Json::object(vec![
-                ("name", Json::Str(format!("v{}", rng.gen_range(0..100)))),
-                ("size", Json::Int(rng.gen_range(-5..50))),
+                ("name", Json::Str(format!("v{}", rng.gen_usize(0..100)))),
+                ("size", Json::Int(rng.gen_i64(-5..50))),
             ]),
         )])),
         2 => Some(Json::object(vec![(
@@ -55,7 +54,7 @@ fn random_body(rng: &mut StdRng) -> Option<Json> {
 
 #[test]
 fn monitor_survives_random_traffic_without_false_positives() {
-    let mut rng = StdRng::seed_from_u64(0xC10D_2018);
+    let mut rng = XorShift64Star::new(0xC10D_2018);
     let mut cloud = PrivateCloud::my_project();
     let pid = cloud.project_id();
     let tokens: Vec<String> = ["alice", "bob", "carol", "mallory"]
@@ -67,13 +66,13 @@ fn monitor_survives_random_traffic_without_false_positives() {
 
     const ROUNDS: usize = 600;
     for i in 0..ROUNDS {
-        let method = HttpMethod::ALL[rng.gen_range(0..4)];
+        let method = HttpMethod::ALL[rng.gen_usize(0..4)];
         let path = random_path(&mut rng, pid);
         let mut req = RestRequest::new(method, path);
-        match rng.gen_range(0..4) {
+        match rng.gen_usize(0..4) {
             0 => {} // no token
             1 => req = req.auth_token("tok-bogus"),
-            _ => req = req.auth_token(&tokens[rng.gen_range(0..tokens.len())]),
+            _ => req = req.auth_token(&tokens[rng.gen_usize(0..tokens.len())]),
         }
         if let Some(body) = random_body(&mut rng) {
             req = req.json(body);
@@ -93,9 +92,16 @@ fn monitor_survives_random_traffic_without_false_positives() {
     }
     assert_eq!(monitor.log().len(), ROUNDS);
     // The soak exercised a healthy mix of verdict classes.
-    let passes = monitor.log().iter().filter(|r| r.verdict == Verdict::Pass).count();
-    let unmodelled =
-        monitor.log().iter().filter(|r| r.verdict == Verdict::NotModelled).count();
+    let passes = monitor
+        .log()
+        .iter()
+        .filter(|r| r.verdict == Verdict::Pass)
+        .count();
+    let unmodelled = monitor
+        .log()
+        .iter()
+        .filter(|r| r.verdict == Verdict::NotModelled)
+        .count();
     assert!(passes > 50, "only {passes} passes");
     assert!(unmodelled > 20, "only {unmodelled} unmodelled");
 }

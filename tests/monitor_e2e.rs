@@ -8,13 +8,16 @@ use cm_httpkit::{send, HttpServer, RemoteService};
 use cm_model::{cinder, HttpMethod};
 use cm_mutation::{paper_mutants, run_campaign};
 use cm_rest::{Json, RestRequest, RestService, StatusCode};
-use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 fn volume_body(name: &str) -> Json {
     Json::object(vec![(
         "volume",
-        Json::object(vec![("name", Json::Str(name.into())), ("size", Json::Int(1))]),
+        Json::object(vec![
+            ("name", Json::Str(name.into())),
+            ("size", Json::Int(1)),
+        ]),
     )])
 }
 
@@ -32,25 +35,35 @@ fn oracle_is_clean_on_correct_cloud_and_detects_composite_faults() {
     // A composite mutant: two simultaneous faults.
     let plan = FaultPlan::none()
         .with(Fault::IgnoreQuota)
-        .with(Fault::SkipAuthCheck { action: "volume:delete".into() });
+        .with(Fault::SkipAuthCheck {
+            action: "volume:delete".into(),
+        });
     let composite = TestOracle.run(move || PrivateCloud::my_project().with_faults(plan.clone()));
     assert!(composite.killed(), "{composite}");
     // Both faults are visible through different scenarios.
-    let names: Vec<&str> =
-        composite.violations().iter().map(|s| s.name.as_str()).collect();
+    let names: Vec<&str> = composite
+        .violations()
+        .iter()
+        .map(|s| s.name.as_str())
+        .collect();
     assert!(names.iter().any(|n| n.contains("full quota")), "{names:?}");
-    assert!(names.iter().any(|n| n.contains("DELETE volume as")), "{names:?}");
+    assert!(
+        names.iter().any(|n| n.contains("DELETE volume as")),
+        "{names:?}"
+    );
 }
 
 #[test]
 fn monitored_network_deployment_end_to_end() {
     // Cloud behind HTTP.
     let cloud = Arc::new(Mutex::new(PrivateCloud::my_project()));
-    let pid = cloud.lock().project_id();
+    let pid = cloud.lock().unwrap().project_id();
     let cloud_handle = Arc::clone(&cloud);
-    let cloud_server =
-        HttpServer::bind("127.0.0.1:0", Arc::new(move |req| cloud_handle.lock().handle(&req)))
-            .expect("bind cloud");
+    let cloud_server = HttpServer::bind(
+        "127.0.0.1:0",
+        Arc::new(move |req| cloud_handle.lock().unwrap().handle(&req)),
+    )
+    .expect("bind cloud");
 
     // Monitor wrapping the cloud over TCP, itself behind HTTP.
     let mut monitor = CloudMonitor::generate(
@@ -61,12 +74,14 @@ fn monitored_network_deployment_end_to_end() {
     )
     .expect("generates")
     .mode(Mode::Enforce);
-    monitor.authenticate("alice", "alice-pw").expect("admin credentials over TCP");
+    monitor
+        .authenticate("alice", "alice-pw")
+        .expect("admin credentials over TCP");
     let monitor = Arc::new(Mutex::new(monitor));
     let monitor_handle = Arc::clone(&monitor);
     let monitor_server = HttpServer::bind(
         "127.0.0.1:0",
-        Arc::new(move |req| monitor_handle.lock().handle(&req)),
+        Arc::new(move |req| monitor_handle.lock().unwrap().handle(&req)),
     )
     .expect("bind monitor");
     let cm = monitor_server.local_addr();
@@ -141,7 +156,7 @@ fn monitored_network_deployment_end_to_end() {
     assert_eq!(deleted.status, StatusCode::NO_CONTENT);
 
     // Monitor saw exactly these modelled requests.
-    let log = monitor.lock().log().to_vec();
+    let log = monitor.lock().unwrap().log().to_vec();
     let verdicts: Vec<Verdict> = log.iter().map(|r| r.verdict.clone()).collect();
     assert!(verdicts.contains(&Verdict::PreBlocked));
     assert_eq!(verdicts.iter().filter(|v| **v == Verdict::Pass).count(), 2);
@@ -224,9 +239,8 @@ fn unreachable_cloud_is_reported_not_silently_passed() {
     // Authentication against the dead cloud fails loudly.
     assert!(monitor.authenticate("alice", "alice-pw").is_err());
 
-    let outcome = monitor.process(
-        &RestRequest::new(HttpMethod::Delete, "/v3/1/volumes/1").auth_token("tok-x"),
-    );
+    let outcome = monitor
+        .process(&RestRequest::new(HttpMethod::Delete, "/v3/1/volumes/1").auth_token("tok-x"));
     assert_eq!(outcome.verdict, Verdict::WrongDenial, "{:?}", outcome);
 }
 
@@ -234,16 +248,22 @@ fn unreachable_cloud_is_reported_not_silently_passed() {
 fn extended_monitor_over_the_network() {
     // The snapshot extension also works across a real TCP hop.
     let cloud = Arc::new(Mutex::new(PrivateCloud::my_project()));
-    let pid = cloud.lock().project_id();
+    let pid = cloud.lock().unwrap().project_id();
     {
-        let mut guard = cloud.lock();
-        let vid = guard.state_mut().create_volume(pid, "v", 1, false).unwrap().id;
+        let mut guard = cloud.lock().unwrap();
+        let vid = guard
+            .state_mut()
+            .create_volume(pid, "v", 1, false)
+            .unwrap()
+            .id;
         assert_eq!(vid, 1);
     }
     let cloud_handle = Arc::clone(&cloud);
-    let server =
-        HttpServer::bind("127.0.0.1:0", Arc::new(move |req| cloud_handle.lock().handle(&req)))
-            .unwrap();
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        Arc::new(move |req| cloud_handle.lock().unwrap().handle(&req)),
+    )
+    .unwrap();
     let mut monitor = cm_core::cinder_monitor_extended(RemoteService::new(server.local_addr()))
         .unwrap()
         .mode(Mode::Enforce);

@@ -7,9 +7,7 @@ use cm_cloudsim::PrivateCloud;
 use cm_codegen::{uml2django, Uml2DjangoOptions};
 use cm_contracts::{generate, render_listing, TraceabilityMatrix};
 use cm_core::{CloudMonitor, Mode, Verdict};
-use cm_model::{
-    cinder, validate_behavioral_model, validate_resource_model, HttpMethod, Trigger,
-};
+use cm_model::{cinder, validate_behavioral_model, validate_resource_model, HttpMethod, Trigger};
 use cm_rbac::cinder_table1;
 use cm_rest::{Json, RestRequest};
 use cm_xmi::{export, import};
@@ -29,9 +27,11 @@ fn full_pipeline_from_models_to_monitored_requests() {
     assert_eq!(doc.behaviors.as_slice(), std::slice::from_ref(&behavior));
 
     // Step 3: code generation emits the Django artifacts of Listings 2–3.
-    let project = uml2django("CMonitor", &xmi, &Uml2DjangoOptions::default())
-        .expect("pipeline generates");
-    let views = project.file("cmonitor/views.py").expect("views.py generated");
+    let project =
+        uml2django("CMonitor", &xmi, &Uml2DjangoOptions::default()).expect("pipeline generates");
+    let views = project
+        .file("cmonitor/views.py")
+        .expect("views.py generated");
     assert!(views.contains("def volume_delete"));
     assert!(views.contains("HttpResponseNotAllowed"));
 
@@ -40,10 +40,14 @@ fn full_pipeline_from_models_to_monitored_requests() {
     let pid = cloud.project_id();
     let admin = cloud.issue_token("alice", "alice-pw").expect("fixture");
     let user = cloud.issue_token("carol", "carol-pw").expect("fixture");
-    let mut monitor =
-        CloudMonitor::generate(&doc.resources.expect("resources imported"), &doc.behaviors[0], None, cloud)
-            .expect("monitor generates from imported models")
-            .mode(Mode::Enforce);
+    let mut monitor = CloudMonitor::generate(
+        &doc.resources.expect("resources imported"),
+        &doc.behaviors[0],
+        None,
+        cloud,
+    )
+    .expect("monitor generates from imported models")
+    .mode(Mode::Enforce);
     monitor.authenticate("alice", "alice-pw").expect("fixture");
 
     let created = monitor.process(
@@ -90,7 +94,11 @@ fn traceability_covers_every_table1_requirement() {
     let matrix = TraceabilityMatrix::from_contracts(&set);
     let table = cinder_table1();
     let specified: Vec<String> = table.requirements.iter().map(|r| r.id.clone()).collect();
-    assert!(matrix.uncovered(&specified).is_empty(), "{}", matrix.render());
+    assert!(
+        matrix.uncovered(&specified).is_empty(),
+        "{}",
+        matrix.render()
+    );
 }
 
 #[test]

@@ -1,3 +1,7 @@
+//! Enabled with `cargo test --features proptest`; a hermetic default
+//! build skips these.
+#![cfg(feature = "proptest")]
+
 //! Property-based tests over the core data structures and invariants:
 //! OCL printer/parser round-trips, evaluator laws, JSON and policy-rule
 //! round-trips, URI template duality, and XMI interchange losslessness.
@@ -16,8 +20,21 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| {
         !matches!(
             s.as_str(),
-            "and" | "or" | "xor" | "not" | "implies" | "true" | "false" | "null" | "if"
-                | "then" | "else" | "endif" | "let" | "in" | "pre"
+            "and"
+                | "or"
+                | "xor"
+                | "not"
+                | "implies"
+                | "true"
+                | "false"
+                | "null"
+                | "if"
+                | "then"
+                | "else"
+                | "endif"
+                | "let"
+                | "in"
+                | "pre"
         )
     })
 }
@@ -74,10 +91,18 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 lhs: Box::new(lhs),
                 rhs: Box::new(rhs),
             }),
-            (inner.clone(), prop_oneof![Just(UnOp::Not), Just(UnOp::Neg)])
-                .prop_map(|(e, op)| Expr::Unary { op, operand: Box::new(e) }),
+            (inner.clone(), prop_oneof![Just(UnOp::Not), Just(UnOp::Neg)]).prop_map(|(e, op)| {
+                Expr::Unary {
+                    op,
+                    operand: Box::new(e),
+                }
+            }),
             (inner.clone(), ident(), any::<bool>()).prop_map(|(src, prop, at_pre)| {
-                Expr::Nav { source: Box::new(src), property: prop, at_pre }
+                Expr::Nav {
+                    source: Box::new(src),
+                    property: prop,
+                    at_pre,
+                }
             }),
             (inner.clone()).prop_map(|src| Expr::CollOp {
                 source: Box::new(src),
@@ -89,14 +114,14 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 op: "includes".to_string(),
                 args: vec![arg],
             }),
-            (inner.clone(), iter_op(), ident(), inner.clone()).prop_map(
-                |(src, op, var, body)| Expr::Iterate {
+            (inner.clone(), iter_op(), ident(), inner.clone()).prop_map(|(src, op, var, body)| {
+                Expr::Iterate {
                     source: Box::new(src),
                     op,
                     var,
                     body: Box::new(body),
                 }
-            ),
+            }),
             (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::If {
                 cond: Box::new(c),
                 then_branch: Box::new(t),
@@ -108,15 +133,20 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 body: Box::new(body),
             }),
             inner.clone().prop_map(|e| Expr::Pre(Box::new(e))),
-            (inner.clone(), ident(), ident(), inner.clone(), inner.clone()).prop_map(
-                |(src, var, acc, init, body)| Expr::Fold {
+            (
+                inner.clone(),
+                ident(),
+                ident(),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(src, var, acc, init, body)| Expr::Fold {
                     source: Box::new(src),
                     var,
                     acc,
                     init: Box::new(init),
                     body: Box::new(body),
-                }
-            ),
+                }),
             (
                 prop_oneof![
                     Just(CollectionKind::Set),
@@ -142,9 +172,8 @@ fn arb_json() -> impl Strategy<Value = Json> {
     leaf.prop_recursive(4, 64, 6, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
-            prop::collection::vec(("[a-zA-Z0-9_]{0,8}", inner), 0..6).prop_map(|members| {
-                Json::Object(members)
-            }),
+            prop::collection::vec(("[a-zA-Z0-9_]{0,8}", inner), 0..6)
+                .prop_map(|members| { Json::Object(members) }),
         ]
     })
 }

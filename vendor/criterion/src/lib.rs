@@ -1,0 +1,232 @@
+//! Offline, dependency-free subset of the `criterion` API.
+//!
+//! See `vendor/README.md`. Each benchmark runs a short warm-up, then a
+//! timed measurement window, and prints mean ns/iter to stdout — enough
+//! to compare the relative cost of code paths without any registry
+//! dependency. Statistical machinery (outlier analysis, HTML reports)
+//! is intentionally absent.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement entry point; handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirror of criterion's CLI bootstrap; accepts and ignores args.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", id, None, f);
+        self
+    }
+}
+
+/// A named benchmark group.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.to_string(), self.throughput, f);
+        self
+    }
+
+    /// Benchmark a closure with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.0, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a benchmark by its parameter value alone.
+    #[must_use]
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// Identify a benchmark by function name and parameter.
+    #[must_use]
+    pub fn new(function: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{param}"))
+    }
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Runs the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over a warm-up then a measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: up to 20 iterations or 20 ms, whichever first.
+        let warm_start = Instant::now();
+        for _ in 0..20 {
+            std::hint::black_box(f());
+            if warm_start.elapsed() > Duration::from_millis(20) {
+                break;
+            }
+        }
+        // Measurement: until 100 ms or 100k iterations.
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while iters < 100_000 {
+            std::hint::black_box(f());
+            iters += 1;
+            if start.elapsed() > Duration::from_millis(100) {
+                break;
+            }
+        }
+        self.iters_done = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if bencher.iters_done == 0 {
+        println!("{label:<52} (no iterations)");
+        return;
+    }
+    let ns_per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters_done);
+    let mut line = format!(
+        "{label:<52} {ns_per_iter:>10} ns/iter ({} iters)",
+        bencher.iters_done
+    );
+    if let Some(tp) = throughput {
+        let (units, what) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if units > 0 && ns_per_iter > 0 {
+            let per_unit = ns_per_iter / u128::from(units);
+            line.push_str(&format!(", {per_unit} ns/{what}"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Group benchmark functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_compiles_and_runs() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("add", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, n| {
+            b.iter(|| std::hint::black_box(n * 2))
+        });
+        group.finish();
+        c.bench_function("top-level", |b| b.iter(|| ()));
+    }
+
+    criterion_group!(smoke_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn group_macro_works() {
+        smoke_group();
+    }
+}

@@ -1,0 +1,715 @@
+//! Offline, dependency-free subset of the `proptest` API.
+//!
+//! See `vendor/README.md` for why this exists. The subset is exactly
+//! what `tests/proptests.rs` uses: deterministic pseudo-random value
+//! generation through a [`Strategy`] trait with `prop_map`,
+//! `prop_filter` and `prop_recursive` combinators, `prop_oneof!`,
+//! `any::<T>()`, `Just`, integer-range and regex-lite string
+//! strategies, `prop::collection::{vec, hash_set}`, and the
+//! [`proptest!`] macro. No shrinking: a failing case panics with the
+//! generated inputs in the assertion message.
+
+use std::rc::Rc;
+
+pub mod prelude {
+    //! The usual glob-import surface.
+    pub use crate::{any, prop, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+// ---------- deterministic RNG ------------------------------------------
+
+/// xorshift64* generator; deterministic per test name.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from an arbitrary label (the test function name).
+    #[must_use]
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a, never zero.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform-ish value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+// ---------- Strategy ----------------------------------------------------
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::from_fn(move |rng| f(inner.generate(rng)))
+    }
+
+    /// Keep only values passing `pred` (rejection sampling).
+    fn prop_filter<R, F>(self, _reason: R, pred: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::from_fn(move |rng| {
+            for _ in 0..1000 {
+                let v = inner.generate(rng);
+                if pred(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates in a row");
+        })
+    }
+
+    /// Build recursive values: `self` is the leaf strategy, `f` lifts a
+    /// strategy for depth `d` into one for depth `d + 1`.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = f(strat.clone()).boxed();
+        }
+        strat
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::from_fn(move |rng| inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy (`Rc`-shared, cheaply clonable).
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always produce a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Integer ranges.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                ((self.start as i128) + off) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// `any::<T>()`.
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// Tuples of strategies.
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+// ---------- regex-lite string strategies --------------------------------
+
+/// `&str` is a strategy: the string is a regex-lite pattern — a sequence
+/// of char classes `[a-z0-9_]`, escapes (`\x41`, `\PC` for printable),
+/// and literal chars, each optionally repeated `{m}` / `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min_rep
+                + usize::try_from(
+                    rng.below(u64::try_from(atom.max_rep - atom.min_rep + 1).unwrap()),
+                )
+                .unwrap();
+            for _ in 0..n {
+                out.push(atom.class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let leaked: &str = self.as_str();
+        // Same generation as `&str`, without requiring 'static.
+        let atoms = parse_pattern(leaked);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min_rep
+                + usize::try_from(
+                    rng.below(u64::try_from(atom.max_rep - atom.min_rep + 1).unwrap()),
+                )
+                .unwrap();
+            for _ in 0..n {
+                out.push(atom.class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CharClass {
+    /// Inclusive `(lo, hi)` char ranges.
+    ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    fn single(c: char) -> Self {
+        CharClass {
+            ranges: vec![(c, c)],
+        }
+    }
+    fn printable() -> Self {
+        // `\PC` in proptest is "not a control character"; ASCII printable
+        // is a safe deterministic subset.
+        CharClass {
+            ranges: vec![(' ', '~')],
+        }
+    }
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let total: u64 = self
+            .ranges
+            .iter()
+            .map(|(lo, hi)| u64::from(*hi) - u64::from(*lo) + 1)
+            .sum();
+        let mut pick = rng.below(total.max(1));
+        for (lo, hi) in &self.ranges {
+            let span = u64::from(*hi) - u64::from(*lo) + 1;
+            if pick < span {
+                return char::from_u32(*lo as u32 + u32::try_from(pick).unwrap()).unwrap();
+            }
+            pick -= span;
+        }
+        self.ranges[0].0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    class: CharClass,
+    min_rep: usize,
+    max_rep: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class = match chars[i] {
+            '[' => {
+                let end = chars[i..]
+                    .iter()
+                    .position(|c| *c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated class in `{pat}`"));
+                let class = parse_class(&chars[i + 1..end], pat);
+                i = end + 1;
+                class
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in `{pat}`"));
+                i += 2;
+                match c {
+                    'P' | 'p' => {
+                        // Unicode category escape, e.g. `\PC`; one more char.
+                        i += 1;
+                        CharClass::printable()
+                    }
+                    'x' => {
+                        let hex: String = chars[i..i + 2].iter().collect();
+                        i += 2;
+                        let v = u32::from_str_radix(&hex, 16).expect("hex escape");
+                        CharClass::single(char::from_u32(v).expect("valid char"))
+                    }
+                    other => CharClass::single(other),
+                }
+            }
+            '.' => {
+                i += 1;
+                CharClass::printable()
+            }
+            c => {
+                i += 1;
+                CharClass::single(c)
+            }
+        };
+        // Optional `{m}` / `{m,n}` quantifier.
+        let (min_rep, max_rep) = if chars.get(i) == Some(&'{') {
+            let end = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in `{pat}`"));
+            let body: String = chars[i + 1..end].iter().collect();
+            i = end + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom {
+            class,
+            min_rep,
+            max_rep,
+        });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pat: &str) -> CharClass {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let lo = if body[i] == '\\' {
+            let c = *body
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("dangling escape in `{pat}`"));
+            if c == 'x' {
+                let hex: String = body[i + 2..i + 4].iter().collect();
+                i += 4;
+                char::from_u32(u32::from_str_radix(&hex, 16).expect("hex escape")).expect("char")
+            } else {
+                i += 2;
+                c
+            }
+        } else {
+            let c = body[i];
+            i += 1;
+            c
+        };
+        if body.get(i) == Some(&'-') && i + 1 < body.len() {
+            let hi = if body[i + 1] == '\\' && body.get(i + 2) == Some(&'x') {
+                let hex: String = body[i + 3..i + 5].iter().collect();
+                i += 5 + 1;
+                char::from_u32(u32::from_str_radix(&hex, 16).expect("hex escape")).expect("char")
+            } else {
+                let c = body[i + 1];
+                i += 2;
+                c
+            };
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(!ranges.is_empty(), "empty char class in `{pat}`");
+    CharClass { ranges }
+}
+
+// ---------- collections -------------------------------------------------
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection`, `prop::oneof` lives in
+    //! the macro).
+    pub mod collection {
+        //! Collection strategies.
+        use crate::{Strategy, TestRng};
+        use std::collections::HashSet;
+        use std::hash::Hash;
+        use std::ops::Range;
+
+        /// Accepted size specifications: a fixed `usize` or a `Range`.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            min: usize,
+            max: usize,
+        }
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { min: n, max: n }
+            }
+        }
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    min: r.start,
+                    max: r.end - 1,
+                }
+            }
+        }
+
+        /// Vectors of `element`-generated values.
+        pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy for `Vec<T>`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = self.size.max - self.size.min + 1;
+                let n = self.size.min
+                    + usize::try_from(rng.below(u64::try_from(span).unwrap())).unwrap();
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Hash sets of `element`-generated values (distinct).
+        pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
+            HashSetStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy for `HashSet<T>`.
+        #[derive(Debug, Clone)]
+        pub struct HashSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for HashSetStrategy<S>
+        where
+            S::Value: Hash + Eq,
+        {
+            type Value = HashSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+                let span = self.size.max - self.size.min + 1;
+                let n = self.size.min
+                    + usize::try_from(rng.below(u64::try_from(span).unwrap())).unwrap();
+                let mut out = HashSet::new();
+                let mut attempts = 0;
+                while out.len() < n && attempts < 1000 {
+                    out.insert(self.element.generate(rng));
+                    attempts += 1;
+                }
+                assert!(
+                    out.len() >= self.size.min,
+                    "hash_set strategy could not reach the minimum size"
+                );
+                out
+            }
+        }
+    }
+}
+
+// ---------- config + macros ---------------------------------------------
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Choose uniformly between the given strategies (all must generate the
+/// same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let arms = vec![$($crate::Strategy::boxed($strat)),+];
+        $crate::one_of(arms)
+    }};
+}
+
+/// Runtime support for [`prop_oneof!`].
+#[must_use]
+pub fn one_of<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty());
+    BoxedStrategy::from_fn(move |rng| {
+        let idx = usize::try_from(rng.below(arms.len() as u64)).unwrap();
+        arms[idx].generate(rng)
+    })
+}
+
+/// Assert inside a property (panics with the message on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running `config.cases` cases with a
+/// deterministic per-test RNG. Attributes (including `#[test]`) are
+/// passed through.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr;) => {};
+    (config = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = (10i64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let u = (0usize..3).generate(&mut rng);
+            assert!(u < 3);
+            let n = (-5i64..50).generate(&mut rng);
+            assert!((-5..50).contains(&n));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::deterministic("strings");
+        for _ in 0..500 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let p = "\\PC{0,6}".generate(&mut rng);
+            assert!(p.len() <= 6);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)), "{p:?}");
+            let hex = "[\\x20-\\x7e]{0,12}".generate(&mut rng);
+            assert!(hex.chars().all(|c| (' '..='~').contains(&c)), "{hex:?}");
+            let path = "/{0,1}[a-z]{1,3}".generate(&mut rng);
+            assert!(path.len() <= 4, "{path:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_filter_map_recursive_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let strat = prop_oneof![Just(1i64), (5i64..10), Just(42i64)]
+            .prop_filter("nonzero", |v| *v != 42)
+            .prop_map(|v| v * 2);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 2 || (10..20).contains(&v), "{v}");
+        }
+        // Recursive nesting terminates.
+        let nested = Just(0u32).prop_recursive(3, 8, 2, |inner| {
+            (inner, Just(1u32)).prop_map(|(a, b)| a + b)
+        });
+        for _ in 0..50 {
+            assert!(nested.generate(&mut rng) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(v in 0i64..100, flag in any::<bool>()) {
+            prop_assert!(v >= 0);
+            prop_assert_eq!(flag || !flag, true);
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::deterministic("coll");
+        for _ in 0..200 {
+            let v = prop::collection::vec(any::<bool>(), 4).generate(&mut rng);
+            assert_eq!(v.len(), 4);
+            let r = prop::collection::vec(0i64..5, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&r.len()));
+            let s = prop::collection::hash_set("[a-z]{1,8}", 1..6).generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 5);
+        }
+    }
+}

@@ -2,8 +2,20 @@
 # Hermetic CI for the cloud-monitor reproduction. Every step runs with
 # --offline: the workspace must build from the checkout alone (vendored
 # shims under vendor/, no registry access). Run locally before pushing.
+#
+# `./ci.sh --stress` additionally runs the concurrency soak battery in
+# both profiles: debug (shard invariants live via debug_assert!) and
+# release (the timing-sensitive profile the servers actually run in).
 set -euo pipefail
 cd "$(dirname "$0")"
+
+STRESS=0
+for arg in "$@"; do
+  case "$arg" in
+    --stress) STRESS=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 step() { printf '\n==> %s\n' "$*"; }
 
@@ -27,5 +39,17 @@ cargo test --offline --features proptest --test proptests --no-run -q
 
 step "feature check: criterion benches compile"
 cargo build --offline -p cm-bench --benches --features bench-criterion -q
+
+if [ "$STRESS" = 1 ]; then
+  step "stress: concurrency soak (debug, shard debug_asserts active)"
+  cargo test --offline --test concurrent_monitor -q
+
+  step "stress: concurrency soak (release)"
+  cargo test --offline --release --test concurrent_monitor -q
+
+  step "stress: determinism property (disjoint projects)"
+  cargo test --offline --features proptest --test proptests -q \
+    concurrent_disjoint_projects_match_serial
+fi
 
 printf '\nci: all checks passed\n'

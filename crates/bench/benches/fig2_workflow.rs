@@ -147,16 +147,10 @@ fn snapshot_policy_costs(c: &mut Criterion) {
         ("full", SnapshotPolicy::Full),
         ("minimal", SnapshotPolicy::Minimal),
     ] {
-        let mut base = baseline_harness();
+        let base = baseline_harness();
         let token = base.tokens[0].1.clone();
         let pid = base.project_id;
-        // issue_token needs &mut; grab an extra admin token for the monitor.
-        let monitor_cloud = {
-            base.cloud
-                .issue_token("alice", "alice-pw")
-                .expect("fixture");
-            base.cloud
-        };
+        let monitor_cloud = base.cloud;
         let mut monitor = CloudMonitor::generate(
             &cinder::resource_model(),
             &project_only_model(),

@@ -1,0 +1,171 @@
+//! Concurrent-throughput experiment — the payoff of `process(&self)`.
+//!
+//! Eight client threads drive eight *disjoint* projects through the
+//! monitor over live TCP, against a cloud whose every modelled action
+//! carries a 1 ms injected service delay (so throughput is bounded by
+//! backend latency, exactly the regime the paper's proxy deployment
+//! lives in — not by CPU, which matters on single-core CI runners).
+//!
+//! Two monitor deployments are compared on identical fixtures:
+//!
+//! * **baseline** — the pre-refactor shape: one `Arc<Mutex<CloudMonitor>>`
+//!   in front of the server, every request serialized through the lock;
+//! * **sharded**  — the current shape: a bare `Arc<CloudMonitor>` whose
+//!   `process(&self)` serializes per resource shard only, so disjoint
+//!   projects proceed in parallel.
+//!
+//! Results land in `BENCH_concurrent_throughput.json` at the repo root.
+//! The run fails if the sharded monitor is not at least 3x faster.
+
+use cm_cloudsim::{Fault, FaultPlan, PrivateCloud};
+use cm_core::{CloudMonitor, Mode};
+use cm_httpkit::{send, HttpServer, RemoteService};
+use cm_model::{cinder, HttpMethod};
+use cm_rest::{RestRequest, RestService, SharedRestService};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const THREADS: usize = 8;
+const REQUESTS_PER_THREAD: usize = 20;
+
+/// A monitored multi-project cloud over live TCP: the cloud server, the
+/// monitor wrapping it remotely (authenticated into every project), and
+/// one scoped client token per project.
+struct Fixture {
+    cloud_server: HttpServer,
+    monitor: CloudMonitor<RemoteService>,
+    tokens: Vec<String>,
+}
+
+fn fixture() -> Fixture {
+    let plan = FaultPlan::single(Fault::Delay {
+        action: "*".into(),
+        millis: 1,
+    });
+    let cloud = PrivateCloud::multi_project(THREADS).with_faults(plan);
+    let mut tokens = Vec::new();
+    for pid in 1..=THREADS as u64 {
+        // Strided id allocation makes the seeded volume's id equal the
+        // project id.
+        cloud
+            .state_of(pid)
+            .create_volume(pid, "bench", 1, false)
+            .expect("seed volume");
+        tokens.push(
+            cloud
+                .issue_token_scoped("alice", "alice-pw", pid)
+                .expect("fixture credentials")
+                .token,
+        );
+    }
+    let cloud = Arc::new(cloud);
+    let cloud_handle = Arc::clone(&cloud);
+    let cloud_server =
+        HttpServer::bind("127.0.0.1:0", Arc::new(move |req| cloud_handle.call(&req)))
+            .expect("bind cloud server");
+    let remote = RemoteService::new(cloud_server.local_addr());
+    let mut monitor = CloudMonitor::generate(
+        &cinder::resource_model(),
+        &cinder::behavioral_model(),
+        None,
+        remote,
+    )
+    .expect("fixture models generate")
+    .mode(Mode::Enforce);
+    for pid in 1..=THREADS as u64 {
+        monitor
+            .authenticate_scoped("alice", "alice-pw", pid)
+            .expect("fixture admin");
+    }
+    Fixture {
+        cloud_server,
+        monitor,
+        tokens,
+    }
+}
+
+/// Drive `THREADS x REQUESTS_PER_THREAD` authorized volume reads, one
+/// thread per project, against a monitor served at `addr`. Returns the
+/// wall-clock seconds for the whole batch.
+fn drive(addr: std::net::SocketAddr, tokens: &[String]) -> f64 {
+    let start = Instant::now();
+    let clients: Vec<_> = tokens
+        .iter()
+        .enumerate()
+        .map(|(i, token)| {
+            let pid = i as u64 + 1;
+            let token = token.clone();
+            std::thread::spawn(move || {
+                for _ in 0..REQUESTS_PER_THREAD {
+                    let resp = send(
+                        addr,
+                        &RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/{pid}"))
+                            .auth_token(&token),
+                    )
+                    .expect("live response");
+                    assert!(resp.status.is_success(), "{resp:?}");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let total = (THREADS * REQUESTS_PER_THREAD) as f64;
+
+    // Baseline: the whole monitor behind one mutex, as `cmcli serve`
+    // shipped before the sharded-locking refactor.
+    let f = fixture();
+    let baseline = Arc::new(Mutex::new(f.monitor));
+    let handle = Arc::clone(&baseline);
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        Arc::new(move |req| handle.lock().unwrap().handle(&req)),
+    )
+    .expect("bind monitor server");
+    let baseline_secs = drive(server.local_addr(), &f.tokens);
+    server.shutdown();
+    f.cloud_server.shutdown();
+    let baseline_rps = total / baseline_secs;
+
+    // Sharded: the same monitor shared without any outer lock.
+    let f = fixture();
+    let monitor = Arc::new(f.monitor);
+    let handle = Arc::clone(&monitor);
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(move |req| handle.call(&req)))
+        .expect("bind monitor server");
+    let sharded_secs = drive(server.local_addr(), &f.tokens);
+    server.shutdown();
+    f.cloud_server.shutdown();
+    let sharded_rps = total / sharded_secs;
+
+    let speedup = sharded_rps / baseline_rps;
+    println!("CONCURRENT THROUGHPUT ({THREADS} threads x {REQUESTS_PER_THREAD} requests, disjoint projects, 1ms backend delay)");
+    println!();
+    println!("  single-mutex baseline : {baseline_rps:8.1} req/s  ({baseline_secs:.3}s)");
+    println!("  sharded &self monitor : {sharded_rps:8.1} req/s  ({sharded_secs:.3}s)");
+    println!("  speedup               : {speedup:8.2}x");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"concurrent_throughput\",\n  \"threads\": {THREADS},\n  \
+         \"requests_per_thread\": {REQUESTS_PER_THREAD},\n  \"backend_delay_ms\": 1,\n  \
+         \"baseline_rps\": {baseline_rps:.1},\n  \"sharded_rps\": {sharded_rps:.1},\n  \
+         \"speedup\": {speedup:.2}\n}}\n"
+    );
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_concurrent_throughput.json"
+    );
+    std::fs::write(out, json).expect("write benchmark artifact");
+    println!();
+    println!("wrote {out}");
+
+    assert!(
+        speedup >= 3.0,
+        "sharded monitor must be at least 3x the mutexed baseline, got {speedup:.2}x"
+    );
+}

@@ -13,7 +13,7 @@ fn main() {
 
     // A single long-lived monitor accumulating coverage over a manual
     // exploration session.
-    let mut cloud = PrivateCloud::my_project();
+    let cloud = PrivateCloud::my_project();
     let pid = cloud.project_id();
     let tokens: Vec<(String, String)> = ["alice", "bob", "carol"]
         .iter()

@@ -81,7 +81,7 @@ fn main() {
 /// Build a monitor from `slice` over a mutant cloud, fire one
 /// characteristic request, and describe the verdict.
 fn probe_mutant(slice: &cm_model::BehavioralModel, plan: FaultPlan, method: HttpMethod) -> String {
-    let mut cloud = PrivateCloud::my_project().with_faults(plan);
+    let cloud = PrivateCloud::my_project().with_faults(plan);
     let pid = cloud.project_id();
     let vid = cloud
         .state_mut()

@@ -91,7 +91,7 @@ pub struct BenchHarness {
 /// Panics when the fixture cannot be constructed (harness bug).
 #[must_use]
 pub fn bench_harness(mode: Mode) -> BenchHarness {
-    let mut cloud = PrivateCloud::my_project();
+    let cloud = PrivateCloud::my_project();
     let project_id = cloud.project_id();
     let volume_id = cloud
         .state_mut()
@@ -140,7 +140,7 @@ pub struct BaselineHarness {
 /// Panics when the fixture cannot be constructed (harness bug).
 #[must_use]
 pub fn baseline_harness() -> BaselineHarness {
-    let mut cloud = PrivateCloud::my_project();
+    let cloud = PrivateCloud::my_project();
     let project_id = cloud.project_id();
     let volume_id = cloud
         .state_mut()

@@ -126,17 +126,16 @@ fn serve(port: u16, extended: bool) -> Result<String, CliError> {
     use cm_core::CloudMonitor;
     use cm_httpkit::{AdminRoutes, HttpServer, RemoteService};
     use cm_model::cinder;
-    use cm_rest::RestService;
+    use cm_rest::SharedRestService;
     use std::sync::Arc;
-    use std::sync::Mutex;
 
-    let cloud = Arc::new(Mutex::new(PrivateCloud::my_project()));
+    // No outer Mutex: the cloud and the monitor both serve concurrent
+    // requests through `&self`, synchronizing internally per shard.
+    let cloud = Arc::new(PrivateCloud::my_project());
     let cloud_handle = Arc::clone(&cloud);
-    let cloud_server = HttpServer::bind(
-        "127.0.0.1:0",
-        Arc::new(move |req| cloud_handle.lock().unwrap().handle(&req)),
-    )
-    .map_err(|e| CliError(e.to_string()))?;
+    let cloud_server =
+        HttpServer::bind("127.0.0.1:0", Arc::new(move |req| cloud_handle.call(&req)))
+            .map_err(|e| CliError(e.to_string()))?;
 
     let remote = RemoteService::new(cloud_server.local_addr());
     let mut monitor = if extended {
@@ -163,13 +162,11 @@ fn serve(port: u16, extended: bool) -> Result<String, CliError> {
         .authenticate("alice", "alice-pw")
         .map_err(|e| CliError(e.message))?;
     let admin = AdminRoutes::new(monitor.metrics(), monitor.events());
-    let monitor = Arc::new(Mutex::new(monitor));
+    let monitor = Arc::new(monitor);
     let monitor_handle = Arc::clone(&monitor);
     let monitor_server = HttpServer::bind(
         ("127.0.0.1", port),
-        admin.wrap(Arc::new(move |req| {
-            monitor_handle.lock().unwrap().handle(&req)
-        })),
+        admin.wrap(Arc::new(move |req| monitor_handle.call(&req))),
     )
     .map_err(|e| CliError(e.to_string()))?;
 

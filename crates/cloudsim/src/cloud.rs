@@ -1,35 +1,101 @@
 //! The simulated private cloud: Keystone + Cinder + Nova-lite behind one
 //! REST surface.
 //!
-//! [`PrivateCloud`] implements [`RestService`]; the cloud monitor wraps it
-//! exactly as it would wrap a live OpenStack deployment, observing only
-//! URIs, methods, status codes and JSON bodies. Authorization follows the
-//! `policy.json` rules compiled from the paper's Table I; an injected
-//! [`FaultPlan`] distorts the implementation to reproduce the mutation
-//! experiment of Section VI-D.
+//! [`PrivateCloud`] implements [`SharedRestService`]; the cloud monitor
+//! wraps it exactly as it would wrap a live OpenStack deployment,
+//! observing only URIs, methods, status codes and JSON bodies.
+//! Authorization follows the `policy.json` rules compiled from the
+//! paper's Table I; an injected [`FaultPlan`] distorts the implementation
+//! to reproduce the mutation experiment of Section VI-D.
+//!
+//! ## Concurrency
+//!
+//! The cloud is callable from many threads through a shared reference.
+//! The data plane is sharded by project id (`shard(pid) = (pid - 1) mod
+//! n`): each [`CloudState`] shard sits behind its own mutex, so requests
+//! against different projects proceed in parallel while requests against
+//! the same project serialize — exactly the per-resource atomicity the
+//! monitor's snapshot/post-check protocol assumes. Identity sits behind a
+//! read-write lock (reads dominate), the token service behind one mutex.
+//! Lock order is always keystone → identity; shard locks never nest.
 
 use crate::faults::FaultPlan;
 use crate::state::{CloudState, StateError, Volume};
 use cm_model::HttpMethod;
 use cm_rbac::{
     cinder_table1, my_project_fixture, DefaultDecision, IdentityStore, PolicyFile, Rule, TokenInfo,
-    TokenService,
+    TokenService, UserGroup,
 };
-use cm_rest::{Json, RestRequest, RestResponse, RestService, StatusCode};
+use cm_rest::{Json, RestRequest, RestResponse, SharedRestService, StatusCode};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
 
 /// Default volume quota for the fixture project (small, so the paper's
 /// full-quota state is reachable in tests).
 pub const DEFAULT_VOLUME_QUOTA: u32 = 3;
 
 /// The simulated private cloud.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PrivateCloud {
-    identity: IdentityStore,
-    keystone: TokenService,
-    state: CloudState,
+    identity: RwLock<IdentityStore>,
+    keystone: Mutex<TokenService>,
+    shards: Box<[Mutex<CloudState>]>,
     policy: PolicyFile,
     faults: FaultPlan,
     project_id: u64,
+}
+
+impl Clone for PrivateCloud {
+    fn clone(&self) -> Self {
+        PrivateCloud {
+            identity: RwLock::new(self.identity.read().unwrap().clone()),
+            keystone: Mutex::new(self.keystone.lock().unwrap().clone()),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| Mutex::new(s.lock().unwrap().clone()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            policy: self.policy.clone(),
+            faults: self.faults.clone(),
+            project_id: self.project_id,
+        }
+    }
+}
+
+/// The Table I policy plus the extra endpoints the simulator serves.
+fn fixture_policy() -> PolicyFile {
+    let mut policy = cinder_table1().to_policy();
+    policy
+        .set("project:get", Rule::Always)
+        .set("quota_sets:get", Rule::Always)
+        .set("quota_sets:put", Rule::role("admin"))
+        .set("usergroup:get", Rule::Always)
+        .set("server:post", Rule::any_role(["admin", "member"]))
+        .set("server:attach", Rule::any_role(["admin", "member"]))
+        .set("server:detach", Rule::any_role(["admin", "member"]))
+        .set("snapshot:get", Rule::any_role(["admin", "member", "user"]))
+        .set("snapshot:post", Rule::any_role(["admin", "member"]))
+        .set("snapshot:delete", Rule::role("admin"));
+    policy
+}
+
+/// The three Table I usergroups.
+fn table1_groups() -> Vec<UserGroup> {
+    vec![
+        UserGroup {
+            name: "proj_administrator".into(),
+            role: "admin".into(),
+        },
+        UserGroup {
+            name: "service_architect".into(),
+            role: "member".into(),
+        },
+        UserGroup {
+            name: "business_analyst".into(),
+            role: "user".into(),
+        },
+    ]
 }
 
 impl PrivateCloud {
@@ -41,25 +107,58 @@ impl PrivateCloud {
         let (identity, project_id) = my_project_fixture();
         let mut state = CloudState::new();
         state.add_project(project_id, DEFAULT_VOLUME_QUOTA);
-        let mut policy = cinder_table1().to_policy();
-        policy
-            .set("project:get", Rule::Always)
-            .set("quota_sets:get", Rule::Always)
-            .set("quota_sets:put", Rule::role("admin"))
-            .set("usergroup:get", Rule::Always)
-            .set("server:post", Rule::any_role(["admin", "member"]))
-            .set("server:attach", Rule::any_role(["admin", "member"]))
-            .set("server:detach", Rule::any_role(["admin", "member"]))
-            .set("snapshot:get", Rule::any_role(["admin", "member", "user"]))
-            .set("snapshot:post", Rule::any_role(["admin", "member"]))
-            .set("snapshot:delete", Rule::role("admin"));
         PrivateCloud {
-            identity,
-            keystone: TokenService::new(),
-            state,
-            policy,
+            identity: RwLock::new(identity),
+            keystone: Mutex::new(TokenService::new()),
+            shards: vec![Mutex::new(state)].into_boxed_slice(),
+            policy: fixture_policy(),
             faults: FaultPlan::none(),
             project_id,
+        }
+    }
+
+    /// Build a deployment with `n` projects (`project1` … `projectN`, ids
+    /// `1..=n`), each on its own data-plane shard. The fixture users hold
+    /// their Table I roles in every project, so a token can be scoped to
+    /// any of them. Shard id allocators are strided so volume, snapshot
+    /// and instance ids stay globally unique without coordination.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on an internal fixture bug (duplicate names).
+    #[must_use]
+    pub fn multi_project(n: usize) -> PrivateCloud {
+        let n = n.max(1);
+        let mut identity = IdentityStore::new();
+        for k in 1..=n {
+            identity
+                .create_project(format!("project{k}"), table1_groups())
+                .expect("fixture project names are unique");
+        }
+        for (user, group) in [
+            ("alice", "proj_administrator"),
+            ("bob", "service_architect"),
+            ("carol", "business_analyst"),
+            ("mallory", "outsiders"),
+        ] {
+            identity
+                .create_user(user, format!("{user}-pw"), vec![group.into()])
+                .expect("fixture user names are unique");
+        }
+        let shards: Vec<Mutex<CloudState>> = (0..n)
+            .map(|k| {
+                let mut state = CloudState::with_ids(k as u64 + 1, n as u64);
+                state.add_project(k as u64 + 1, DEFAULT_VOLUME_QUOTA);
+                Mutex::new(state)
+            })
+            .collect();
+        PrivateCloud {
+            identity: RwLock::new(identity),
+            keystone: Mutex::new(TokenService::new()),
+            shards: shards.into_boxed_slice(),
+            policy: fixture_policy(),
+            faults: FaultPlan::none(),
+            project_id: 1,
         }
     }
 
@@ -76,26 +175,47 @@ impl PrivateCloud {
         self.project_id
     }
 
-    /// Read access to the data plane (tests and state probes).
+    /// Number of data-plane shards.
     #[must_use]
-    pub fn state(&self) -> &CloudState {
-        &self.state
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Mutable access to the data plane (scenario setup in tests).
-    pub fn state_mut(&mut self) -> &mut CloudState {
-        &mut self.state
+    /// The shard holding `project_id`'s data plane.
+    fn shard(&self, project_id: u64) -> &Mutex<CloudState> {
+        let idx = (project_id as usize).wrapping_sub(1) % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Locked access to the fixture project's data-plane shard (tests and
+    /// state probes). The guard derefs to [`CloudState`]; do not hold two
+    /// shard guards from one expression — the shard mutex is not
+    /// reentrant.
+    pub fn state(&self) -> MutexGuard<'_, CloudState> {
+        self.shard(self.project_id).lock().unwrap()
+    }
+
+    /// Locked mutable access to the fixture shard (scenario setup in
+    /// tests). Identical to [`PrivateCloud::state`] — the guard is always
+    /// writable — but kept as a separate name so intent stays visible at
+    /// call sites.
+    pub fn state_mut(&self) -> MutexGuard<'_, CloudState> {
+        self.state()
+    }
+
+    /// Locked access to the shard holding `project_id`.
+    pub fn state_of(&self, project_id: u64) -> MutexGuard<'_, CloudState> {
+        self.shard(project_id).lock().unwrap()
     }
 
     /// Read access to the identity store.
-    #[must_use]
-    pub fn identity(&self) -> &IdentityStore {
-        &self.identity
+    pub fn identity(&self) -> RwLockReadGuard<'_, IdentityStore> {
+        self.identity.read().unwrap()
     }
 
-    /// Mutable access to the identity store (fault injection).
-    pub fn identity_mut(&mut self) -> &mut IdentityStore {
-        &mut self.identity
+    /// Write access to the identity store (fault injection).
+    pub fn identity_mut(&self) -> RwLockWriteGuard<'_, IdentityStore> {
+        self.identity.write().unwrap()
     }
 
     /// Read access to the active policy.
@@ -105,14 +225,14 @@ impl PrivateCloud {
     }
 
     /// Advance the Keystone logical clock (token-expiry scenarios).
-    pub fn advance_time(&mut self, ticks: u64) {
-        self.keystone.advance_time(ticks);
+    pub fn advance_time(&self, ticks: u64) {
+        self.keystone.lock().unwrap().advance_time(ticks);
     }
 
     /// Replace the Keystone token lifetime (in logical ticks).
     #[must_use]
     pub fn with_token_lifetime(mut self, ticks: u64) -> PrivateCloud {
-        self.keystone = TokenService::new().with_lifetime(ticks);
+        self.keystone = Mutex::new(TokenService::new().with_lifetime(ticks));
         self
     }
 
@@ -123,12 +243,32 @@ impl PrivateCloud {
     ///
     /// Propagates [`cm_rbac::TokenError`] for bad credentials.
     pub fn issue_token(
-        &mut self,
+        &self,
         user: &str,
         password: &str,
     ) -> Result<TokenInfo, cm_rbac::TokenError> {
-        self.keystone
-            .issue(&self.identity, user, password, self.project_id)
+        self.issue_token_scoped(user, password, self.project_id)
+    }
+
+    /// Authenticate and return a token scoped to an arbitrary project
+    /// (multi-project deployments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`cm_rbac::TokenError`] for bad credentials or an
+    /// unknown project.
+    pub fn issue_token_scoped(
+        &self,
+        user: &str,
+        password: &str,
+        project_id: u64,
+    ) -> Result<TokenInfo, cm_rbac::TokenError> {
+        self.keystone.lock().unwrap().issue(
+            &self.identity.read().unwrap(),
+            user,
+            password,
+            project_id,
+        )
     }
 
     /// Authorization decision for `action` under the fault plan.
@@ -152,7 +292,9 @@ impl PrivateCloud {
             .token()
             .ok_or_else(|| RestResponse::error(StatusCode::UNAUTHORIZED, "missing X-Auth-Token"))?;
         self.keystone
-            .validate(&self.identity, token)
+            .lock()
+            .unwrap()
+            .validate(&self.identity.read().unwrap(), token)
             .map_err(|_| RestResponse::error(StatusCode::UNAUTHORIZED, "invalid token"))
     }
 
@@ -172,8 +314,14 @@ impl PrivateCloud {
         ])
     }
 
-    /// Apply the wrong-status-code fault to a success response.
+    /// Apply latency and wrong-status-code faults to a response. Called
+    /// while the project's shard lock is held, so an injected delay
+    /// serializes same-project requests (a slow backend slows *that*
+    /// project) while other shards proceed.
     fn finish(&self, action: &str, response: RestResponse) -> RestResponse {
+        if let Some(millis) = self.faults.delay_ms(action) {
+            std::thread::sleep(Duration::from_millis(millis));
+        }
         if response.status.is_success() {
             if let Some(code) = self.faults.wrong_status(action) {
                 return RestResponse {
@@ -187,7 +335,7 @@ impl PrivateCloud {
 
     // ----- identity endpoints -------------------------------------------
 
-    fn handle_auth(&mut self, request: &RestRequest) -> RestResponse {
+    fn handle_auth(&self, request: &RestRequest) -> RestResponse {
         let Some(body) = &request.body else {
             return RestResponse::error(StatusCode::BAD_REQUEST, "missing auth body");
         };
@@ -202,10 +350,12 @@ impl PrivateCloud {
             .get("project_id")
             .and_then(Json::as_int)
             .map_or(self.project_id, |v| v as u64);
-        match self
-            .keystone
-            .issue(&self.identity, user, password, project_id)
-        {
+        match self.keystone.lock().unwrap().issue(
+            &self.identity.read().unwrap(),
+            user,
+            password,
+            project_id,
+        ) {
             Ok(info) => RestResponse::created(Self::token_json(&info)),
             Err(cm_rbac::TokenError::UnknownProject(_)) => {
                 RestResponse::error(StatusCode::NOT_FOUND, "unknown project")
@@ -235,7 +385,12 @@ impl PrivateCloud {
     }
 
     fn handle_token_lookup(&self, token: &str) -> RestResponse {
-        match self.keystone.validate(&self.identity, token) {
+        match self
+            .keystone
+            .lock()
+            .unwrap()
+            .validate(&self.identity.read().unwrap(), token)
+        {
             Ok(info) => RestResponse::ok(Self::token_json(&info)),
             Err(_) => RestResponse::error(StatusCode::NOT_FOUND, "unknown token"),
         }
@@ -244,7 +399,8 @@ impl PrivateCloud {
     // ----- block-storage endpoints --------------------------------------
 
     fn handle_project_get(&self, project_id: u64) -> RestResponse {
-        match self.identity.project(project_id) {
+        let identity = self.identity.read().unwrap();
+        match identity.project(project_id) {
             Some(p) => RestResponse::ok(Json::object(vec![(
                 "project",
                 Json::object(vec![
@@ -256,8 +412,8 @@ impl PrivateCloud {
         }
     }
 
-    fn handle_volumes_list(&self, project_id: u64) -> RestResponse {
-        match self.state.project(project_id) {
+    fn handle_volumes_list(&self, state: &CloudState, project_id: u64) -> RestResponse {
+        match state.project(project_id) {
             Some(p) => RestResponse::ok(Json::object(vec![(
                 "volumes",
                 Json::Array(p.volumes.iter().map(Self::volume_json).collect()),
@@ -266,18 +422,24 @@ impl PrivateCloud {
         }
     }
 
-    fn handle_volume_get(&self, project_id: u64, volume_id: u64) -> RestResponse {
-        match self
-            .state
-            .project(project_id)
-            .and_then(|p| p.volume(volume_id))
-        {
+    fn handle_volume_get(
+        &self,
+        state: &CloudState,
+        project_id: u64,
+        volume_id: u64,
+    ) -> RestResponse {
+        match state.project(project_id).and_then(|p| p.volume(volume_id)) {
             Some(v) => RestResponse::ok(Json::object(vec![("volume", Self::volume_json(v))])),
             None => RestResponse::error(StatusCode::NOT_FOUND, "no such volume"),
         }
     }
 
-    fn handle_volume_create(&mut self, project_id: u64, request: &RestRequest) -> RestResponse {
+    fn handle_volume_create(
+        &self,
+        state: &mut CloudState,
+        project_id: u64,
+        request: &RestRequest,
+    ) -> RestResponse {
         let spec = request.body.as_ref().and_then(|b| b.get("volume"));
         let name = spec
             .and_then(|v| v.get("name"))
@@ -295,10 +457,7 @@ impl PrivateCloud {
                 Json::object(vec![("id", Json::Null), ("name", Json::Str(name))]),
             )]));
         }
-        match self
-            .state
-            .create_volume(project_id, name, size, self.faults.ignores_quota())
-        {
+        match state.create_volume(project_id, name, size, self.faults.ignores_quota()) {
             Ok(v) => RestResponse::created(Json::object(vec![("volume", Self::volume_json(v))])),
             Err(StateError::QuotaExceeded { current, quota }) => RestResponse::error(
                 StatusCode::OVER_LIMIT,
@@ -309,7 +468,8 @@ impl PrivateCloud {
     }
 
     fn handle_volume_update(
-        &mut self,
+        &self,
+        state: &mut CloudState,
         project_id: u64,
         volume_id: u64,
         request: &RestRequest,
@@ -321,22 +481,24 @@ impl PrivateCloud {
             .map(str::to_string);
         let size = spec.and_then(|v| v.get("size")).and_then(Json::as_int);
         if self.faults.drops_state_change("volume:put") {
-            return self.handle_volume_get(project_id, volume_id);
+            return self.handle_volume_get(state, project_id, volume_id);
         }
-        match self.state.update_volume(project_id, volume_id, name, size) {
+        match state.update_volume(project_id, volume_id, name, size) {
             Ok(v) => RestResponse::ok(Json::object(vec![("volume", Self::volume_json(v))])),
             Err(e) => RestResponse::error(StatusCode::NOT_FOUND, e.to_string()),
         }
     }
 
-    fn handle_volume_delete(&mut self, project_id: u64, volume_id: u64) -> RestResponse {
+    fn handle_volume_delete(
+        &self,
+        state: &mut CloudState,
+        project_id: u64,
+        volume_id: u64,
+    ) -> RestResponse {
         if self.faults.drops_state_change("volume:delete") {
             return RestResponse::no_content();
         }
-        match self
-            .state
-            .delete_volume(project_id, volume_id, self.faults.ignores_in_use())
-        {
+        match state.delete_volume(project_id, volume_id, self.faults.ignores_in_use()) {
             Ok(_) => RestResponse::no_content(),
             Err(StateError::VolumeInUse(id)) => {
                 RestResponse::error(StatusCode::CONFLICT, format!("volume {id} is in-use"))
@@ -358,8 +520,13 @@ impl PrivateCloud {
         ])
     }
 
-    fn handle_snapshots_list(&self, project_id: u64, volume_id: u64) -> RestResponse {
-        match self.state.project(project_id) {
+    fn handle_snapshots_list(
+        &self,
+        state: &CloudState,
+        project_id: u64,
+        volume_id: u64,
+    ) -> RestResponse {
+        match state.project(project_id) {
             Some(p) if p.volume(volume_id).is_some() => RestResponse::ok(Json::object(vec![(
                 "snapshots",
                 Json::Array(p.snapshots_of(volume_id).map(Self::snapshot_json).collect()),
@@ -370,12 +537,12 @@ impl PrivateCloud {
 
     fn handle_snapshot_get(
         &self,
+        state: &CloudState,
         project_id: u64,
         volume_id: u64,
         snapshot_id: u64,
     ) -> RestResponse {
-        match self
-            .state
+        match state
             .project(project_id)
             .and_then(|p| p.snapshot(snapshot_id))
             .filter(|s| s.volume_id == volume_id)
@@ -388,7 +555,8 @@ impl PrivateCloud {
     }
 
     fn handle_snapshot_create(
-        &mut self,
+        &self,
+        state: &mut CloudState,
         project_id: u64,
         volume_id: u64,
         request: &RestRequest,
@@ -407,7 +575,7 @@ impl PrivateCloud {
                 Json::object(vec![("id", Json::Null), ("name", Json::Str(name))]),
             )]));
         }
-        match self.state.create_snapshot(project_id, volume_id, name) {
+        match state.create_snapshot(project_id, volume_id, name) {
             Ok(snap) => {
                 RestResponse::created(Json::object(vec![("snapshot", Self::snapshot_json(snap))]))
             }
@@ -416,7 +584,8 @@ impl PrivateCloud {
     }
 
     fn handle_snapshot_delete(
-        &mut self,
+        &self,
+        state: &mut CloudState,
         project_id: u64,
         volume_id: u64,
         snapshot_id: u64,
@@ -424,22 +593,21 @@ impl PrivateCloud {
         if self.faults.drops_state_change("snapshot:delete") {
             return RestResponse::no_content();
         }
-        let belongs = self
-            .state
+        let belongs = state
             .project(project_id)
             .and_then(|p| p.snapshot(snapshot_id))
             .is_some_and(|s| s.volume_id == volume_id);
         if !belongs {
             return RestResponse::error(StatusCode::NOT_FOUND, "no such snapshot");
         }
-        match self.state.delete_snapshot(project_id, snapshot_id) {
+        match state.delete_snapshot(project_id, snapshot_id) {
             Ok(_) => RestResponse::no_content(),
             Err(e) => RestResponse::error(StatusCode::NOT_FOUND, e.to_string()),
         }
     }
 
-    fn handle_quota_get(&self, project_id: u64) -> RestResponse {
-        match self.state.project(project_id) {
+    fn handle_quota_get(&self, state: &CloudState, project_id: u64) -> RestResponse {
+        match state.project(project_id) {
             Some(p) => RestResponse::ok(Json::object(vec![(
                 "quota_set",
                 Json::object(vec![("volume", Json::Int(i64::from(p.volume_quota)))]),
@@ -448,7 +616,12 @@ impl PrivateCloud {
         }
     }
 
-    fn handle_quota_put(&mut self, project_id: u64, request: &RestRequest) -> RestResponse {
+    fn handle_quota_put(
+        &self,
+        state: &mut CloudState,
+        project_id: u64,
+        request: &RestRequest,
+    ) -> RestResponse {
         let quota = request
             .body
             .as_ref()
@@ -461,15 +634,16 @@ impl PrivateCloud {
         if quota < 0 {
             return RestResponse::error(StatusCode::BAD_REQUEST, "negative quota");
         }
-        if self.state.set_quota(project_id, quota as u32) {
-            self.handle_quota_get(project_id)
+        if state.set_quota(project_id, quota as u32) {
+            self.handle_quota_get(state, project_id)
         } else {
             RestResponse::error(StatusCode::NOT_FOUND, "no such project")
         }
     }
 
     fn handle_usergroups_get(&self, project_id: u64) -> RestResponse {
-        match self.identity.project(project_id) {
+        let identity = self.identity.read().unwrap();
+        match identity.project(project_id) {
             Some(p) => RestResponse::ok(Json::object(vec![(
                 "usergroups",
                 Json::Array(
@@ -490,7 +664,12 @@ impl PrivateCloud {
 
     // ----- compute endpoints --------------------------------------------
 
-    fn handle_server_create(&mut self, project_id: u64, request: &RestRequest) -> RestResponse {
+    fn handle_server_create(
+        &self,
+        state: &mut CloudState,
+        project_id: u64,
+        request: &RestRequest,
+    ) -> RestResponse {
         let name = request
             .body
             .as_ref()
@@ -499,7 +678,7 @@ impl PrivateCloud {
             .and_then(Json::as_str)
             .unwrap_or("server")
             .to_string();
-        match self.state.create_instance(project_id, name) {
+        match state.create_instance(project_id, name) {
             Some(id) => RestResponse::created(Json::object(vec![(
                 "server",
                 Json::object(vec![("id", Json::Int(id as i64))]),
@@ -509,7 +688,8 @@ impl PrivateCloud {
     }
 
     fn handle_attach(
-        &mut self,
+        &self,
+        state: &mut CloudState,
         project_id: u64,
         server_id: u64,
         request: &RestRequest,
@@ -524,9 +704,9 @@ impl PrivateCloud {
             return RestResponse::error(StatusCode::BAD_REQUEST, "missing volume_id");
         };
         let result = if detach {
-            self.state.detach(project_id, volume_id as u64)
+            state.detach(project_id, volume_id as u64)
         } else {
-            self.state.attach(project_id, server_id, volume_id as u64)
+            state.attach(project_id, server_id, volume_id as u64)
         };
         match result {
             Ok(()) => RestResponse::status(StatusCode::ACCEPTED),
@@ -537,9 +717,15 @@ impl PrivateCloud {
         }
     }
 
-    /// Dispatch one request (the [`RestService`] entry point).
+    /// Dispatch one request (the [`SharedRestService`] entry point).
+    ///
+    /// Identity endpoints never touch the data plane. Everything else
+    /// resolves the project id from the path and takes that project's
+    /// shard lock exactly once, for the whole request — handlers receive
+    /// the locked [`CloudState`] as a parameter and never re-lock (the
+    /// shard mutex is not reentrant).
     #[allow(clippy::too_many_lines)]
-    fn dispatch(&mut self, request: &RestRequest) -> RestResponse {
+    fn dispatch(&self, request: &RestRequest) -> RestResponse {
         let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
 
         // Identity endpoints.
@@ -565,12 +751,13 @@ impl PrivateCloud {
             if token.project_id != project_id {
                 return RestResponse::error(StatusCode::FORBIDDEN, "token not scoped to project");
             }
+            let mut state = self.shard(project_id).lock().unwrap();
             return match (request.method, &segments[2..]) {
                 (HttpMethod::Post, ["servers"]) => {
                     if !self.authorize("server:post", &token) {
                         return RestResponse::error(StatusCode::FORBIDDEN, "server:post denied");
                     }
-                    let resp = self.handle_server_create(project_id, request);
+                    let resp = self.handle_server_create(&mut state, project_id, request);
                     self.finish("server:post", resp)
                 }
                 (HttpMethod::Post, ["servers", sid, verb @ ("attach" | "detach")]) => {
@@ -585,7 +772,8 @@ impl PrivateCloud {
                         return RestResponse::error(StatusCode::BAD_REQUEST, "bad server id");
                     };
                     let detach = *verb == "detach";
-                    let resp = self.handle_attach(project_id, server_id, request, detach);
+                    let resp =
+                        self.handle_attach(&mut state, project_id, server_id, request, detach);
                     self.finish(&action, resp)
                 }
                 _ => RestResponse::error(StatusCode::NOT_FOUND, "no such compute endpoint"),
@@ -603,6 +791,7 @@ impl PrivateCloud {
             return RestResponse::error(StatusCode::FORBIDDEN, "token not scoped to project");
         }
 
+        let mut state = self.shard(project_id).lock().unwrap();
         let (action, response) = match (request.method, &segments[2..]) {
             (HttpMethod::Get, []) => {
                 let action = "project:get";
@@ -616,14 +805,17 @@ impl PrivateCloud {
                 if !self.authorize(action, &token) {
                     return RestResponse::error(StatusCode::FORBIDDEN, "volume:get denied");
                 }
-                (action, self.handle_volumes_list(project_id))
+                (action, self.handle_volumes_list(&state, project_id))
             }
             (HttpMethod::Post, ["volumes"]) => {
                 let action = "volume:post";
                 if !self.authorize(action, &token) {
                     return RestResponse::error(StatusCode::FORBIDDEN, "volume:post denied");
                 }
-                (action, self.handle_volume_create(project_id, request))
+                (
+                    action,
+                    self.handle_volume_create(&mut state, project_id, request),
+                )
             }
             (method, ["volumes", vid, "snapshots"]) => {
                 let Ok(volume_id) = vid.parse::<u64>() else {
@@ -638,7 +830,10 @@ impl PrivateCloud {
                                 "snapshot:get denied",
                             );
                         }
-                        (action, self.handle_snapshots_list(project_id, volume_id))
+                        (
+                            action,
+                            self.handle_snapshots_list(&state, project_id, volume_id),
+                        )
                     }
                     HttpMethod::Post => {
                         let action = "snapshot:post";
@@ -650,7 +845,7 @@ impl PrivateCloud {
                         }
                         (
                             action,
-                            self.handle_snapshot_create(project_id, volume_id, request),
+                            self.handle_snapshot_create(&mut state, project_id, volume_id, request),
                         )
                     }
                     _ => {
@@ -677,7 +872,7 @@ impl PrivateCloud {
                         }
                         (
                             action,
-                            self.handle_snapshot_get(project_id, volume_id, snapshot_id),
+                            self.handle_snapshot_get(&state, project_id, volume_id, snapshot_id),
                         )
                     }
                     HttpMethod::Delete => {
@@ -690,7 +885,12 @@ impl PrivateCloud {
                         }
                         (
                             action,
-                            self.handle_snapshot_delete(project_id, volume_id, snapshot_id),
+                            self.handle_snapshot_delete(
+                                &mut state,
+                                project_id,
+                                volume_id,
+                                snapshot_id,
+                            ),
                         )
                     }
                     _ => {
@@ -711,7 +911,10 @@ impl PrivateCloud {
                         if !self.authorize(action, &token) {
                             return RestResponse::error(StatusCode::FORBIDDEN, "volume:get denied");
                         }
-                        (action, self.handle_volume_get(project_id, volume_id))
+                        (
+                            action,
+                            self.handle_volume_get(&state, project_id, volume_id),
+                        )
                     }
                     HttpMethod::Put => {
                         let action = "volume:put";
@@ -720,7 +923,7 @@ impl PrivateCloud {
                         }
                         (
                             action,
-                            self.handle_volume_update(project_id, volume_id, request),
+                            self.handle_volume_update(&mut state, project_id, volume_id, request),
                         )
                     }
                     HttpMethod::Delete => {
@@ -731,7 +934,10 @@ impl PrivateCloud {
                                 "volume:delete denied",
                             );
                         }
-                        (action, self.handle_volume_delete(project_id, volume_id))
+                        (
+                            action,
+                            self.handle_volume_delete(&mut state, project_id, volume_id),
+                        )
                     }
                     HttpMethod::Post => {
                         return RestResponse::error(
@@ -746,14 +952,17 @@ impl PrivateCloud {
                 if !self.authorize(action, &token) {
                     return RestResponse::error(StatusCode::FORBIDDEN, "quota_sets:get denied");
                 }
-                (action, self.handle_quota_get(project_id))
+                (action, self.handle_quota_get(&state, project_id))
             }
             (HttpMethod::Put, ["quota_sets"]) => {
                 let action = "quota_sets:put";
                 if !self.authorize(action, &token) {
                     return RestResponse::error(StatusCode::FORBIDDEN, "quota_sets:put denied");
                 }
-                (action, self.handle_quota_put(project_id, request))
+                (
+                    action,
+                    self.handle_quota_put(&mut state, project_id, request),
+                )
             }
             (HttpMethod::Get, ["usergroup"]) => {
                 let action = "usergroup:get";
@@ -768,8 +977,8 @@ impl PrivateCloud {
     }
 }
 
-impl RestService for PrivateCloud {
-    fn handle(&mut self, request: &RestRequest) -> RestResponse {
+impl SharedRestService for PrivateCloud {
+    fn call(&self, request: &RestRequest) -> RestResponse {
         self.dispatch(request)
     }
 }
@@ -778,6 +987,7 @@ impl RestService for PrivateCloud {
 mod tests {
     use super::*;
     use crate::faults::Fault;
+    use cm_rest::RestService;
 
     fn authed(cloud: &mut PrivateCloud, user: &str) -> String {
         cloud
@@ -1257,6 +1467,52 @@ mod tests {
     }
 
     #[test]
+    fn multi_project_shards_are_isolated() {
+        let cloud = PrivateCloud::multi_project(3);
+        assert_eq!(cloud.shard_count(), 3);
+        let t1 = cloud.issue_token_scoped("alice", "alice-pw", 1).unwrap();
+        let t2 = cloud.issue_token_scoped("alice", "alice-pw", 2).unwrap();
+        assert_eq!(t1.project_id, 1);
+        assert_eq!(t2.project_id, 2);
+        // A token scoped to project 2 cannot touch project 1.
+        let denied =
+            cloud.call(&RestRequest::new(HttpMethod::Get, "/v3/1/volumes").auth_token(&t2.token));
+        assert_eq!(denied.status, StatusCode::FORBIDDEN);
+        // Volumes created in different projects get globally unique ids.
+        let v1 = cloud.call(
+            &RestRequest::new(HttpMethod::Post, "/v3/1/volumes")
+                .auth_token(&t1.token)
+                .json(volume_body("a", 1)),
+        );
+        let v2 = cloud.call(
+            &RestRequest::new(HttpMethod::Post, "/v3/2/volumes")
+                .auth_token(&t2.token)
+                .json(volume_body("b", 1)),
+        );
+        let id1 = v1
+            .body
+            .unwrap()
+            .get("volume")
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_int();
+        let id2 = v2
+            .body
+            .unwrap()
+            .get("volume")
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_int();
+        assert_ne!(id1, id2);
+        // Each shard sees only its own volume.
+        assert_eq!(cloud.state_of(1).project(1).unwrap().volumes.len(), 1);
+        assert_eq!(cloud.state_of(2).project(2).unwrap().volumes.len(), 1);
+        assert!(cloud.state_of(3).project(3).unwrap().volumes.is_empty());
+    }
+
+    #[test]
     fn usergroups_listed() {
         let mut cloud = PrivateCloud::my_project();
         let pid = cloud.project_id();
@@ -1273,9 +1529,10 @@ mod tests {
 #[cfg(test)]
 mod snapshot_endpoint_tests {
     use super::*;
+    use cm_rest::RestService;
 
     fn setup() -> (PrivateCloud, u64, String, String, u64) {
-        let mut cloud = PrivateCloud::my_project();
+        let cloud = PrivateCloud::my_project();
         let pid = cloud.project_id();
         let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
         let user = cloud.issue_token("carol", "carol-pw").unwrap().token;
@@ -1453,6 +1710,7 @@ mod snapshot_endpoint_tests {
 #[cfg(test)]
 mod expiry_endpoint_tests {
     use super::*;
+    use cm_rest::RestService;
 
     #[test]
     fn expired_tokens_get_401() {
@@ -1480,9 +1738,10 @@ mod expiry_endpoint_tests {
 #[cfg(test)]
 mod dispatch_edge_tests {
     use super::*;
+    use cm_rest::RestService;
 
     fn authed_cloud() -> (PrivateCloud, u64, String) {
-        let mut cloud = PrivateCloud::my_project();
+        let cloud = PrivateCloud::my_project();
         let pid = cloud.project_id();
         let tok = cloud.issue_token("alice", "alice-pw").unwrap().token;
         (cloud, pid, tok)

@@ -52,6 +52,15 @@ pub enum Fault {
         /// Action name.
         action: String,
     },
+    /// Sleep before completing an action — a slow backend. `"*"` delays
+    /// every action. Used by concurrency tests and benches to model the
+    /// millisecond-scale latencies of a real cloud API.
+    Delay {
+        /// Action name, or `"*"` for all actions.
+        action: String,
+        /// Added latency in milliseconds.
+        millis: u64,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -68,6 +77,7 @@ impl fmt::Display for Fault {
                 write!(f, "wrong-status({action} -> {code})")
             }
             Fault::DropStateChange { action } => write!(f, "drop-state-change({action})"),
+            Fault::Delay { action, millis } => write!(f, "delay({action} += {millis}ms)"),
         }
     }
 }
@@ -165,6 +175,16 @@ impl FaultPlan {
             .iter()
             .any(|f| matches!(f, Fault::DropStateChange { action: a } if a == action))
     }
+
+    /// The injected latency for `action` in milliseconds, if any
+    /// (exact action name or the `"*"` wildcard).
+    #[must_use]
+    pub fn delay_ms(&self, action: &str) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::Delay { action: a, millis } if a == action || a == "*" => Some(*millis),
+            _ => None,
+        })
+    }
 }
 
 impl fmt::Display for FaultPlan {
@@ -222,6 +242,22 @@ mod tests {
         assert!(p.skips_auth("volume:post"));
         assert!(!p.skips_auth("volume:delete"));
         assert_eq!(p.faults().len(), 2);
+    }
+
+    #[test]
+    fn delay_matches_exact_action_or_wildcard() {
+        let p = FaultPlan::single(Fault::Delay {
+            action: "volume:get".into(),
+            millis: 3,
+        });
+        assert_eq!(p.delay_ms("volume:get"), Some(3));
+        assert_eq!(p.delay_ms("volume:delete"), None);
+        let all = FaultPlan::single(Fault::Delay {
+            action: "*".into(),
+            millis: 1,
+        });
+        assert_eq!(all.delay_ms("anything"), Some(1));
+        assert_eq!(FaultPlan::none().delay_ms("volume:get"), None);
     }
 
     #[test]

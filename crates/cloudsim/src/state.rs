@@ -163,23 +163,40 @@ impl ProjectState {
 }
 
 /// The whole data plane: projects keyed by id, with id allocators.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CloudState {
     projects: HashMap<u64, ProjectState>,
     next_volume_id: u64,
     next_instance_id: u64,
     next_snapshot_id: u64,
+    id_stride: u64,
+}
+
+impl Default for CloudState {
+    fn default() -> Self {
+        CloudState::new()
+    }
 }
 
 impl CloudState {
     /// Create an empty state.
     #[must_use]
     pub fn new() -> Self {
+        CloudState::with_ids(1, 1)
+    }
+
+    /// Create an empty state whose id allocators start at `start` and
+    /// advance by `stride`. Sharded clouds give each shard a distinct
+    /// start and a common stride so resource ids stay globally unique
+    /// without cross-shard coordination.
+    #[must_use]
+    pub fn with_ids(start: u64, stride: u64) -> Self {
         CloudState {
             projects: HashMap::new(),
-            next_volume_id: 1,
-            next_instance_id: 1,
-            next_snapshot_id: 1,
+            next_volume_id: start,
+            next_instance_id: start,
+            next_snapshot_id: start,
+            id_stride: stride.max(1),
         }
     }
 
@@ -236,7 +253,7 @@ impl CloudState {
                 quota: project.volume_quota,
             });
         }
-        self.next_volume_id += 1;
+        self.next_volume_id += self.id_stride;
         project.volumes.push(Volume {
             id: next_id,
             name: name.into(),
@@ -318,7 +335,7 @@ impl CloudState {
     pub fn create_instance(&mut self, project_id: u64, name: impl Into<String>) -> Option<u64> {
         let id = self.next_instance_id;
         let project = self.projects.get_mut(&project_id)?;
-        self.next_instance_id += 1;
+        self.next_instance_id += self.id_stride;
         project.instances.push(Instance {
             id,
             name: name.into(),
@@ -384,7 +401,7 @@ impl CloudState {
         if project.volumes.iter().all(|v| v.id != volume_id) {
             return Err(StateError::NoSuchVolume(volume_id));
         }
-        self.next_snapshot_id += 1;
+        self.next_snapshot_id += self.id_stride;
         project.snapshots.push(Snapshot {
             id: next_id,
             name: name.into(),
@@ -557,6 +574,22 @@ mod tests {
         assert!(s.set_quota(1, 10));
         assert!(!s.set_quota(99, 10));
         assert_eq!(s.project(1).unwrap().volume_quota, 10);
+    }
+
+    #[test]
+    fn strided_allocators_never_collide() {
+        let mut a = CloudState::with_ids(1, 2);
+        let mut b = CloudState::with_ids(2, 2);
+        a.add_project(1, 5);
+        b.add_project(2, 5);
+        let a_ids: Vec<u64> = (0..3)
+            .map(|_| a.create_volume(1, "a", 1, false).unwrap().id)
+            .collect();
+        let b_ids: Vec<u64> = (0..3)
+            .map(|_| b.create_volume(2, "b", 1, false).unwrap().id)
+            .collect();
+        assert_eq!(a_ids, vec![1, 3, 5]);
+        assert_eq!(b_ids, vec![2, 4, 6]);
     }
 
     #[test]

@@ -8,8 +8,11 @@
 
 use crate::monitor::MonitorRecord;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
-/// Counters for one requirement.
+/// Counters for one requirement (a point-in-time snapshot of the
+/// tracker's live atomic cells).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RequirementCoverage {
     /// Times a request exercised the requirement.
@@ -19,12 +22,60 @@ pub struct RequirementCoverage {
     pub violations: u64,
 }
 
+/// Live counters for one requirement.
+#[derive(Debug, Default)]
+struct CovCell {
+    exercised: AtomicU64,
+    violations: AtomicU64,
+}
+
+impl CovCell {
+    fn snapshot(&self) -> RequirementCoverage {
+        RequirementCoverage {
+            exercised: self.exercised.load(Ordering::Relaxed),
+            violations: self.violations.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Coverage across all specified requirements.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Recording is lock-free in the common case: each requirement's counters
+/// are atomics, and the cell list is behind a read-write lock taken for
+/// writing only when a request exercises a requirement id never seen
+/// before. Many monitor shards can therefore record concurrently through
+/// a shared reference.
+#[derive(Debug, Default)]
 pub struct CoverageTracker {
-    entries: Vec<(String, RequirementCoverage)>,
-    total_requests: u64,
-    total_violations: u64,
+    cells: RwLock<Vec<(String, Arc<CovCell>)>>,
+    total_requests: AtomicU64,
+    total_violations: AtomicU64,
+}
+
+impl Clone for CoverageTracker {
+    fn clone(&self) -> Self {
+        let cells = self
+            .cells
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(id, cell)| {
+                let snap = cell.snapshot();
+                (
+                    id.clone(),
+                    Arc::new(CovCell {
+                        exercised: AtomicU64::new(snap.exercised),
+                        violations: AtomicU64::new(snap.violations),
+                    }),
+                )
+            })
+            .collect();
+        CoverageTracker {
+            cells: RwLock::new(cells),
+            total_requests: AtomicU64::new(self.total_requests.load(Ordering::Relaxed)),
+            total_violations: AtomicU64::new(self.total_violations.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl CoverageTracker {
@@ -33,75 +84,107 @@ impl CoverageTracker {
     #[must_use]
     pub fn new(specified: &[String]) -> Self {
         CoverageTracker {
-            entries: specified
-                .iter()
-                .map(|id| (id.clone(), RequirementCoverage::default()))
-                .collect(),
-            total_requests: 0,
-            total_violations: 0,
+            cells: RwLock::new(
+                specified
+                    .iter()
+                    .map(|id| (id.clone(), Arc::new(CovCell::default())))
+                    .collect(),
+            ),
+            total_requests: AtomicU64::new(0),
+            total_violations: AtomicU64::new(0),
         }
     }
 
+    /// The live cell for `req`, creating it when first exercised.
+    fn cell(&self, req: &str) -> Arc<CovCell> {
+        if let Some(cell) = self
+            .cells
+            .read()
+            .unwrap()
+            .iter()
+            .find(|(id, _)| id == req)
+            .map(|(_, c)| Arc::clone(c))
+        {
+            return cell;
+        }
+        let mut cells = self.cells.write().unwrap();
+        // Another thread may have inserted it between our read and write.
+        if let Some(cell) = cells
+            .iter()
+            .find(|(id, _)| id == req)
+            .map(|(_, c)| Arc::clone(c))
+        {
+            return cell;
+        }
+        let cell = Arc::new(CovCell::default());
+        cells.push((req.to_string(), Arc::clone(&cell)));
+        cell
+    }
+
     /// Record one monitor log entry.
-    pub fn record(&mut self, record: &MonitorRecord) {
-        self.total_requests += 1;
+    pub fn record(&self, record: &MonitorRecord) {
+        self.total_requests.fetch_add(1, Ordering::Relaxed);
         let violation = record.verdict.is_violation();
         if violation {
-            self.total_violations += 1;
+            self.total_violations.fetch_add(1, Ordering::Relaxed);
         }
         for req in &record.requirements {
-            let entry = match self.entries.iter_mut().find(|(id, _)| id == req) {
-                Some((_, e)) => e,
-                None => {
-                    self.entries
-                        .push((req.clone(), RequirementCoverage::default()));
-                    &mut self.entries.last_mut().expect("just pushed").1
-                }
-            };
-            entry.exercised += 1;
+            let cell = self.cell(req);
+            cell.exercised.fetch_add(1, Ordering::Relaxed);
             if violation {
-                entry.violations += 1;
+                cell.violations.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
-    /// Coverage for one requirement.
+    /// Coverage for one requirement (a snapshot of its counters).
     #[must_use]
-    pub fn requirement(&self, id: &str) -> Option<&RequirementCoverage> {
-        self.entries.iter().find(|(i, _)| i == id).map(|(_, e)| e)
+    pub fn requirement(&self, id: &str) -> Option<RequirementCoverage> {
+        self.cells
+            .read()
+            .unwrap()
+            .iter()
+            .find(|(i, _)| i == id)
+            .map(|(_, c)| c.snapshot())
     }
 
     /// Requirement ids never exercised so far.
     #[must_use]
-    pub fn unexercised(&self) -> Vec<&str> {
-        self.entries
+    pub fn unexercised(&self) -> Vec<String> {
+        self.cells
+            .read()
+            .unwrap()
             .iter()
-            .filter(|(_, e)| e.exercised == 0)
-            .map(|(id, _)| id.as_str())
+            .filter(|(_, c)| c.exercised.load(Ordering::Relaxed) == 0)
+            .map(|(id, _)| id.clone())
             .collect()
     }
 
     /// Total requests seen.
     #[must_use]
     pub fn total_requests(&self) -> u64 {
-        self.total_requests
+        self.total_requests.load(Ordering::Relaxed)
     }
 
     /// Total violation verdicts seen.
     #[must_use]
     pub fn total_violations(&self) -> u64 {
-        self.total_violations
+        self.total_violations.load(Ordering::Relaxed)
     }
 
     /// Fraction of specified requirements exercised at least once
     /// (`1.0` when nothing is specified).
     #[must_use]
     pub fn coverage_ratio(&self) -> f64 {
-        if self.entries.is_empty() {
+        let cells = self.cells.read().unwrap();
+        if cells.is_empty() {
             return 1.0;
         }
-        let hit = self.entries.iter().filter(|(_, e)| e.exercised > 0).count();
-        hit as f64 / self.entries.len() as f64
+        let hit = cells
+            .iter()
+            .filter(|(_, c)| c.exercised.load(Ordering::Relaxed) > 0)
+            .count();
+        hit as f64 / cells.len() as f64
     }
 }
 
@@ -111,10 +194,11 @@ impl fmt::Display for CoverageTracker {
             f,
             "requirement coverage: {:.0}% ({} requests, {} violations)",
             self.coverage_ratio() * 100.0,
-            self.total_requests,
-            self.total_violations
+            self.total_requests(),
+            self.total_violations()
         )?;
-        for (id, e) in &self.entries {
+        for (id, cell) in self.cells.read().unwrap().iter() {
+            let e = cell.snapshot();
             writeln!(
                 f,
                 "  SecReq {id}: exercised {} time(s), {} violation(s)",
@@ -134,6 +218,7 @@ mod tests {
 
     fn record(reqs: &[&str], verdict: Verdict) -> MonitorRecord {
         MonitorRecord {
+            seq: 0,
             method: HttpMethod::Delete,
             path: "/v3/1/volumes/1".into(),
             trigger: Some(Trigger::new(HttpMethod::Delete, "volume")),
@@ -146,7 +231,7 @@ mod tests {
 
     #[test]
     fn tracks_exercised_and_violations() {
-        let mut t = CoverageTracker::new(&["1.1".into(), "1.4".into()]);
+        let t = CoverageTracker::new(&["1.1".into(), "1.4".into()]);
         t.record(&record(&["1.4"], Verdict::Pass));
         t.record(&record(&["1.4"], Verdict::WrongAcceptance));
         assert_eq!(t.requirement("1.4").unwrap().exercised, 2);
@@ -159,7 +244,7 @@ mod tests {
 
     #[test]
     fn unknown_requirements_are_added() {
-        let mut t = CoverageTracker::new(&[]);
+        let t = CoverageTracker::new(&[]);
         t.record(&record(&["9.9"], Verdict::Pass));
         assert_eq!(t.requirement("9.9").unwrap().exercised, 1);
         assert!((t.coverage_ratio() - 1.0).abs() < 1e-9);
@@ -167,7 +252,7 @@ mod tests {
 
     #[test]
     fn display_mentions_each_requirement() {
-        let mut t = CoverageTracker::new(&["1.1".into()]);
+        let t = CoverageTracker::new(&["1.1".into()]);
         t.record(&record(&["1.1"], Verdict::PostViolation));
         let text = t.to_string();
         assert!(text.contains("SecReq 1.1"));

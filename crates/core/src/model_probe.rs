@@ -26,7 +26,7 @@
 
 use cm_model::{HttpMethod, ResourceKind, ResourceModel};
 use cm_ocl::{MapNavigator, ObjRef, Value};
-use cm_rest::{Json, RestRequest, RestService, RouteTable, StatusCode};
+use cm_rest::{Json, RestRequest, RouteTable, SharedRestService, StatusCode};
 use std::collections::HashMap;
 
 /// A prober whose plan is derived from the resource model.
@@ -54,7 +54,7 @@ impl ModelProber {
     /// `user` binding.
     pub fn snapshot(
         &self,
-        cloud: &mut dyn RestService,
+        cloud: &dyn SharedRestService,
         params: &HashMap<String, String>,
         monitor_token: &str,
         user_token: &str,
@@ -87,7 +87,7 @@ impl ModelProber {
             nav.set_variable(def.name.clone(), obj.clone());
 
             let resp =
-                cloud.handle(&RestRequest::new(HttpMethod::Get, path).auth_token(monitor_token));
+                cloud.call(&RestRequest::new(HttpMethod::Get, path).auth_token(monitor_token));
             if resp.status == StatusCode::OK {
                 nav.set_attribute(
                     obj.clone(),
@@ -119,9 +119,8 @@ impl ModelProber {
                     nav.set_attribute(obj.clone(), assoc.role.clone(), Value::set(vec![]));
                     continue;
                 };
-                let resp = cloud.handle(
-                    &RestRequest::new(HttpMethod::Get, coll_path).auth_token(monitor_token),
-                );
+                let resp = cloud
+                    .call(&RestRequest::new(HttpMethod::Get, coll_path).auth_token(monitor_token));
                 let mut members = Vec::new();
                 if resp.status == StatusCode::OK {
                     if let Some(items) = resp
@@ -148,7 +147,7 @@ impl ModelProber {
         }
 
         // The requester, via token introspection (identity convention).
-        let resp = cloud.handle(
+        let resp = cloud.call(
             &RestRequest::new(HttpMethod::Get, format!("/identity/tokens/{user_token}"))
                 .auth_token(monitor_token),
         );
@@ -221,7 +220,7 @@ mod tests {
     use cm_ocl::{parse, EvalContext};
 
     fn setup() -> (PrivateCloud, String, String, HashMap<String, String>) {
-        let mut cloud = PrivateCloud::my_project();
+        let cloud = PrivateCloud::my_project();
         let pid = cloud.project_id();
         let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
         let carol = cloud.issue_token("carol", "carol-pw").unwrap().token;
@@ -238,9 +237,9 @@ mod tests {
 
     #[test]
     fn derived_probe_satisfies_the_paper_invariants() {
-        let (mut cloud, admin, carol, params) = setup();
+        let (cloud, admin, carol, params) = setup();
         let prober = ModelProber::new(&cinder::resource_model(), "/v3");
-        let nav = prober.snapshot(&mut cloud, &params, &admin, &carol);
+        let nav = prober.snapshot(&cloud, &params, &admin, &carol);
         for check in [
             "project.id->size() = 1",
             "project.volumes->size() = 1",
@@ -263,11 +262,11 @@ mod tests {
         use cm_contracts::generate;
         use cm_model::Trigger;
 
-        let (mut cloud, admin, carol, params) = setup();
+        let (cloud, admin, carol, params) = setup();
         let model_nav = ModelProber::new(&cinder::resource_model(), "/v3")
-            .snapshot(&mut cloud, &params, &admin, &carol);
+            .snapshot(&cloud, &params, &admin, &carol);
         let hand_nav = StateProber::default().snapshot(
-            &mut cloud,
+            &cloud,
             &ProbeTarget {
                 project_id: params["project_id"].parse().unwrap(),
                 volume_id: Some(params["volume_id"].parse().unwrap()),
@@ -294,7 +293,7 @@ mod tests {
     fn derived_probe_handles_the_snapshot_extension_unchanged() {
         // The point of model-driven probing: the snapshot resource works
         // without writing any new probe code.
-        let (mut cloud, admin, carol, mut params) = setup();
+        let (cloud, admin, carol, mut params) = setup();
         let pid: u64 = params["project_id"].parse().unwrap();
         let vid: u64 = params["volume_id"].parse().unwrap();
         let sid = cloud
@@ -305,7 +304,7 @@ mod tests {
         params.insert("snapshot_id".to_string(), sid.to_string());
 
         let prober = ModelProber::new(&cinder::extended_resource_model(), "/v3");
-        let nav = prober.snapshot(&mut cloud, &params, &admin, &carol);
+        let nav = prober.snapshot(&cloud, &params, &admin, &carol);
         for check in [
             "volume.snapshots->size() = 1",
             "snapshot.id->size() = 1",
@@ -322,10 +321,10 @@ mod tests {
 
     #[test]
     fn unaddressable_resources_are_bound_but_empty() {
-        let (mut cloud, admin, carol, mut params) = setup();
+        let (cloud, admin, carol, mut params) = setup();
         params.remove("volume_id");
         let prober = ModelProber::new(&cinder::resource_model(), "/v3");
-        let nav = prober.snapshot(&mut cloud, &params, &admin, &carol);
+        let nav = prober.snapshot(&cloud, &params, &admin, &carol);
         // No volume_id: the variable exists, its attributes are undefined.
         let e = parse("volume.status.oclIsUndefined()").unwrap();
         assert!(EvalContext::new(&nav).eval_bool(&e).unwrap());
@@ -336,10 +335,10 @@ mod tests {
 
     #[test]
     fn absent_resource_yields_empty_id_set() {
-        let (mut cloud, admin, carol, mut params) = setup();
+        let (cloud, admin, carol, mut params) = setup();
         params.insert("volume_id".to_string(), "999".to_string());
         let prober = ModelProber::new(&cinder::resource_model(), "/v3");
-        let nav = prober.snapshot(&mut cloud, &params, &admin, &carol);
+        let nav = prober.snapshot(&cloud, &params, &admin, &carol);
         let e = parse("volume.id->size() = 0").unwrap();
         assert!(EvalContext::new(&nav).eval_bool(&e).unwrap());
     }

@@ -26,13 +26,24 @@ use cm_contracts::{generate_with, ContractSet, GenerateOptions};
 use cm_model::{BehavioralModel, HttpMethod, ResourceModel, Trigger};
 use cm_obs::{EventSink, MetricsRegistry, MonitorEvent, PhaseTimings, RingBufferSink};
 use cm_rbac::SecurityRequirementsTable;
-use cm_rest::{Json, Resolution, RestRequest, RestResponse, RestService, RouteTable, StatusCode};
+use cm_rest::{
+    Json, Resolution, RestRequest, RestResponse, RouteTable, SharedRestService, StatusCode,
+};
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Events retained by the default ring-buffer sink.
 pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// Log shards. Requests for the same project always land on the same
+/// shard (serializing the snapshot→forward→snapshot protocol per
+/// resource); requests for different projects almost always land on
+/// different shards and proceed in parallel.
+const MONITOR_SHARDS: usize = 16;
 
 /// Accumulates observability facts while a request moves through
 /// [`CloudMonitor::process`]; folded into a [`MonitorEvent`] at the end.
@@ -139,6 +150,12 @@ impl fmt::Display for Verdict {
 /// One line of the monitor's log.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MonitorRecord {
+    /// Global sequence number, assigned when the request is admitted to
+    /// its log shard (i.e. at snapshot time, while the shard lock is
+    /// held) — not when the record is appended. Within a shard, seq order
+    /// is processing order, so sorting the merged log by `seq` replays
+    /// causally.
+    pub seq: u64,
     /// Request method.
     pub method: HttpMethod,
     /// Request path.
@@ -182,8 +199,15 @@ impl fmt::Display for MonitorBuildError {
 impl std::error::Error for MonitorBuildError {}
 
 /// The generated cloud monitor, wrapping a cloud service `S`.
+///
+/// The monitor is built and authenticated through `&mut self` methods,
+/// then shared: [`CloudMonitor::process`] takes `&self`, so an
+/// `Arc<CloudMonitor<_>>` serves many client threads concurrently. The
+/// read side (routes, contracts, compiled OCL, tokens) is immutable
+/// after setup; the mutable side (the log) is sharded by resource, and
+/// coverage/metrics/events are atomics underneath.
 #[derive(Debug)]
-pub struct CloudMonitor<S: RestService> {
+pub struct CloudMonitor<S: SharedRestService> {
     cloud: S,
     routes: RouteTable,
     contracts: ContractSet,
@@ -195,13 +219,27 @@ pub struct CloudMonitor<S: RestService> {
     /// [`CloudMonitor::authenticate`]); probe denials outside this scope
     /// are expected, not anomalous.
     monitor_project: Option<u64>,
-    log: Vec<MonitorRecord>,
+    /// Additional probe tokens per project, from
+    /// [`CloudMonitor::authenticate_scoped`].
+    project_tokens: HashMap<u64, String>,
+    /// Per-resource log shards; a request locks exactly one for the whole
+    /// snapshot→forward→snapshot protocol, giving per-resource atomicity.
+    log_shards: Box<[Mutex<Vec<MonitorRecord>>]>,
+    /// Global sequence counter; see [`MonitorRecord::seq`].
+    seq: AtomicU64,
     coverage: CoverageTracker,
     metrics: Arc<MetricsRegistry>,
     events: Arc<dyn EventSink>,
 }
 
-impl<S: RestService> CloudMonitor<S> {
+/// Freshly allocated, empty log shards.
+fn new_log_shards() -> Box<[Mutex<Vec<MonitorRecord>>]> {
+    (0..MONITOR_SHARDS)
+        .map(|_| Mutex::new(Vec::new()))
+        .collect()
+}
+
+impl<S: SharedRestService> CloudMonitor<S> {
     /// Generate a monitor from the design models, wrapping `cloud`.
     ///
     /// Routes are derived from the resource model (prefix `/v3`),
@@ -238,7 +276,9 @@ impl<S: RestService> CloudMonitor<S> {
             snapshot_policy: SnapshotPolicy::Full,
             monitor_token: String::new(),
             monitor_project: None,
-            log: Vec::new(),
+            project_tokens: HashMap::new(),
+            log_shards: new_log_shards(),
+            seq: AtomicU64::new(0),
             coverage,
             metrics: Arc::new(MetricsRegistry::new()),
             events: Arc::new(RingBufferSink::new(DEFAULT_EVENT_CAPACITY)),
@@ -293,7 +333,9 @@ impl<S: RestService> CloudMonitor<S> {
             snapshot_policy: SnapshotPolicy::Full,
             monitor_token: String::new(),
             monitor_project: None,
-            log: Vec::new(),
+            project_tokens: HashMap::new(),
+            log_shards: new_log_shards(),
+            seq: AtomicU64::new(0),
             coverage,
             metrics: Arc::new(MetricsRegistry::new()),
             events: Arc::new(RingBufferSink::new(DEFAULT_EVENT_CAPACITY)),
@@ -344,7 +386,7 @@ impl<S: RestService> CloudMonitor<S> {
     /// Returns [`MonitorBuildError`] when the cloud rejects the
     /// credentials.
     pub fn authenticate(&mut self, user: &str, password: &str) -> Result<(), MonitorBuildError> {
-        let resp = self.cloud.handle(
+        let resp = self.cloud.call(
             &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![
                 (
                     "auth",
@@ -379,6 +421,59 @@ impl<S: RestService> CloudMonitor<S> {
         }
     }
 
+    /// Authenticate an additional probing identity scoped to `project_id`
+    /// (multi-project clouds). Probes against that project then use the
+    /// scoped token instead of the default one from
+    /// [`CloudMonitor::authenticate`]. Call once per project before
+    /// sharing the monitor; like `authenticate`, this is a setup-time
+    /// `&mut self` operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorBuildError`] when the cloud rejects the
+    /// credentials or the scope.
+    pub fn authenticate_scoped(
+        &mut self,
+        user: &str,
+        password: &str,
+        project_id: u64,
+    ) -> Result<(), MonitorBuildError> {
+        let resp = self.cloud.call(
+            &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![
+                (
+                    "auth",
+                    Json::object(vec![
+                        ("user", Json::Str(user.to_string())),
+                        ("password", Json::Str(password.to_string())),
+                        ("project_id", Json::Int(project_id as i64)),
+                    ]),
+                ),
+            ])),
+        );
+        let token = resp
+            .body
+            .as_ref()
+            .and_then(|b| b.get("token"))
+            .and_then(|t| t.get("id"))
+            .and_then(Json::as_str);
+        match token {
+            Some(t) if resp.status.is_success() => {
+                if self.monitor_token.is_empty() {
+                    self.monitor_token = t.to_string();
+                    self.monitor_project = Some(project_id);
+                }
+                self.project_tokens.insert(project_id, t.to_string());
+                Ok(())
+            }
+            _ => Err(MonitorBuildError {
+                message: format!(
+                    "monitor authentication failed for project {project_id}: {}",
+                    resp.status
+                ),
+            }),
+        }
+    }
+
     /// The wrapped cloud (read access for assertions in tests).
     #[must_use]
     pub fn cloud(&self) -> &S {
@@ -390,10 +485,17 @@ impl<S: RestService> CloudMonitor<S> {
         &mut self.cloud
     }
 
-    /// The monitor's log, in request order.
+    /// The monitor's log: all shards merged, sorted by the global
+    /// sequence number — i.e. in causal (per-resource processing) order.
     #[must_use]
-    pub fn log(&self) -> &[MonitorRecord] {
-        &self.log
+    pub fn log(&self) -> Vec<MonitorRecord> {
+        let mut all: Vec<MonitorRecord> = self
+            .log_shards
+            .iter()
+            .flat_map(|shard| shard.lock().unwrap().clone())
+            .collect();
+        all.sort_by_key(|r| r.seq);
+        all
     }
 
     /// Coverage of security requirements observed so far.
@@ -414,9 +516,40 @@ impl<S: RestService> CloudMonitor<S> {
         &self.routes
     }
 
+    /// The log shard responsible for `path`. Modelled paths
+    /// (`/v3/{project_id}/…`) shard by project id, so all requests
+    /// touching one project's resources serialize on one lock; anything
+    /// else (identity, unmodelled paths) shards by path hash.
+    fn shard_index(&self, path: &str) -> usize {
+        let mut segments = path.split('/').filter(|s| !s.is_empty());
+        let project = match (segments.next(), segments.next()) {
+            (Some("v3" | "compute"), Some(pid)) => pid.parse::<u64>().ok(),
+            _ => None,
+        };
+        let key = project.unwrap_or_else(|| {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            path.hash(&mut hasher);
+            hasher.finish()
+        });
+        (key as usize) % self.log_shards.len()
+    }
+
     /// Process one request through the Figure 2 workflow.
-    pub fn process(&mut self, request: &RestRequest) -> MonitorOutcome {
+    ///
+    /// Takes `&self`: many threads may call this concurrently on a shared
+    /// monitor. The request's resource shard is locked for the whole
+    /// pre-snapshot → forward → post-snapshot protocol, so the two
+    /// snapshots of one request never interleave with another request for
+    /// the same resource (shard-local snapshot isolation); requests for
+    /// different resources run in parallel.
+    pub fn process(&self, request: &RestRequest) -> MonitorOutcome {
         let started = Instant::now();
+        let shard = &self.log_shards[self.shard_index(&request.path)];
+        let mut shard_log = shard.lock().unwrap();
+        // The global sequence number is taken at admission (snapshot
+        // time), under the shard lock — not at log-append time — so that
+        // sorting the merged log by seq replays per-resource causal order.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut obs = ObsScratch::default();
         let (outcome, trigger, diagnostics) = self.process_inner(request, &mut obs);
         obs.timings.total = started.elapsed();
@@ -435,7 +568,8 @@ impl<S: RestService> CloudMonitor<S> {
         };
         self.metrics.observe(&event);
         self.events.emit(event);
-        self.log.push(MonitorRecord {
+        let record = MonitorRecord {
+            seq,
             method: request.method,
             path: request.path.clone(),
             trigger,
@@ -443,16 +577,19 @@ impl<S: RestService> CloudMonitor<S> {
             requirements: outcome.requirements.clone(),
             status: outcome.response.status,
             diagnostics,
-        });
-        if let Some(record) = self.log.last() {
-            self.coverage.record(record);
-        }
+        };
+        self.coverage.record(&record);
+        debug_assert!(
+            shard_log.last().is_none_or(|prev| prev.seq < seq),
+            "per-shard log must stay seq-ordered"
+        );
+        shard_log.push(record);
         outcome
     }
 
     #[allow(clippy::too_many_lines)]
     fn process_inner(
-        &mut self,
+        &self,
         request: &RestRequest,
         obs: &mut ObsScratch,
     ) -> (MonitorOutcome, Option<Trigger>, String) {
@@ -481,7 +618,7 @@ impl<S: RestService> CloudMonitor<S> {
                         "method not in model-derived interface".to_string(),
                     );
                 }
-                let response = timed(&mut obs.timings.forward, || self.cloud.handle(request));
+                let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
                 let verdict = if response.status.is_success() {
                     Verdict::WrongAcceptance
                 } else {
@@ -499,7 +636,7 @@ impl<S: RestService> CloudMonitor<S> {
             }
             Resolution::NotFound => {
                 // Unknown to the model (e.g. /identity/…): transparent proxy.
-                let response = timed(&mut obs.timings.forward, || self.cloud.handle(request));
+                let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
                 return (
                     MonitorOutcome {
                         response,
@@ -515,7 +652,7 @@ impl<S: RestService> CloudMonitor<S> {
         // 2. Map to the behavioural trigger and its contract.
         let trigger = Trigger::new(request.method, route.trigger_resource(request.method));
         let Some(contract) = self.contracts.contract_for(&trigger).cloned() else {
-            let response = timed(&mut obs.timings.forward, || self.cloud.handle(request));
+            let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
             return (
                 MonitorOutcome {
                     response,
@@ -550,7 +687,11 @@ impl<S: RestService> CloudMonitor<S> {
             volume_id,
             snapshot_id,
             user_token: request.token().unwrap_or("").to_string(),
-            monitor_token: self.monitor_token.clone(),
+            monitor_token: self
+                .project_tokens
+                .get(&project_id)
+                .cloned()
+                .unwrap_or_else(|| self.monitor_token.clone()),
         };
 
         // 4. Snapshot the pre-state and check the pre-condition.
@@ -559,15 +700,19 @@ impl<S: RestService> CloudMonitor<S> {
             SnapshotPolicy::Minimal => Some(contract.referenced_roots()),
         };
         let (pre_state, probe_errors) = timed(&mut obs.timings.snapshot, || match &scope {
-            None => self.prober.snapshot_checked(&mut self.cloud, &target),
-            Some(roots) => self.prober.snapshot_scoped(&mut self.cloud, &target, roots),
+            None => self.prober.snapshot_checked(&self.cloud, &target),
+            Some(roots) => self.prober.snapshot_scoped(&self.cloud, &target, roots),
         });
         // Probe denials are only meaningful where the monitor has probe
         // authority: a request addressed to a foreign project is expected
         // to be unobservable (and its pre-condition correctly fails on the
         // empty view).
         let probe_errors = match self.monitor_project {
-            Some(scope_pid) if scope_pid != project_id => Vec::new(),
+            Some(scope_pid)
+                if scope_pid != project_id && !self.project_tokens.contains_key(&project_id) =>
+            {
+                Vec::new()
+            }
             _ => probe_errors,
         };
         let pre_ok = match timed(&mut obs.timings.pre_check, || {
@@ -580,7 +725,7 @@ impl<S: RestService> CloudMonitor<S> {
                 let response = if self.mode == Mode::Enforce {
                     RestResponse::error(StatusCode::INTERNAL_SERVER_ERROR, &diagnostics)
                 } else {
-                    timed(&mut obs.timings.forward, || self.cloud.handle(request))
+                    timed(&mut obs.timings.forward, || self.cloud.call(request))
                 };
                 return (
                     MonitorOutcome {
@@ -616,7 +761,7 @@ impl<S: RestService> CloudMonitor<S> {
         }
 
         // 5. Forward to the cloud.
-        let response = timed(&mut obs.timings.forward, || self.cloud.handle(request));
+        let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
         let success = response.status.is_success();
 
         // 6. Interpret the response code and check the post-condition.
@@ -632,12 +777,8 @@ impl<S: RestService> CloudMonitor<S> {
                 )
             } else {
                 let post_state = timed(&mut obs.timings.snapshot, || match &scope {
-                    None => self.prober.snapshot(&mut self.cloud, &target),
-                    Some(roots) => {
-                        self.prober
-                            .snapshot_scoped(&mut self.cloud, &target, roots)
-                            .0
-                    }
+                    None => self.prober.snapshot(&self.cloud, &target),
+                    Some(roots) => self.prober.snapshot_scoped(&self.cloud, &target, roots).0,
                 });
                 match timed(&mut obs.timings.post_check, || {
                     contract.evaluate_post(&post_state, &pre_state)
@@ -719,8 +860,8 @@ impl<S: RestService> CloudMonitor<S> {
     }
 }
 
-impl<S: RestService> RestService for CloudMonitor<S> {
-    fn handle(&mut self, request: &RestRequest) -> RestResponse {
+impl<S: SharedRestService> SharedRestService for CloudMonitor<S> {
+    fn call(&self, request: &RestRequest) -> RestResponse {
         self.process(request).response
     }
 }
@@ -742,7 +883,9 @@ pub fn expected_success_status(method: HttpMethod) -> StatusCode {
 /// # Errors
 ///
 /// Propagates [`MonitorBuildError`] from [`CloudMonitor::generate`].
-pub fn cinder_monitor<S: RestService>(cloud: S) -> Result<CloudMonitor<S>, MonitorBuildError> {
+pub fn cinder_monitor<S: SharedRestService>(
+    cloud: S,
+) -> Result<CloudMonitor<S>, MonitorBuildError> {
     CloudMonitor::generate(
         &cm_model::cinder::resource_model(),
         &cm_model::cinder::behavioral_model(),
@@ -757,7 +900,7 @@ pub fn cinder_monitor<S: RestService>(cloud: S) -> Result<CloudMonitor<S>, Monit
 /// # Errors
 ///
 /// Propagates [`MonitorBuildError`] from [`CloudMonitor::generate_multi`].
-pub fn cinder_monitor_extended<S: RestService>(
+pub fn cinder_monitor_extended<S: SharedRestService>(
     cloud: S,
 ) -> Result<CloudMonitor<S>, MonitorBuildError> {
     CloudMonitor::generate_multi(
@@ -785,7 +928,7 @@ mod tests {
     }
 
     fn harness(mode: Mode, faults: FaultPlan) -> Harness {
-        let mut cloud = PrivateCloud::my_project().with_faults(faults);
+        let cloud = PrivateCloud::my_project().with_faults(faults);
         let pid = cloud.project_id();
         let mut tokens = HashMap::new();
         for user in ["alice", "bob", "carol"] {
@@ -977,7 +1120,7 @@ mod tests {
 
     #[test]
     fn identity_api_passes_through_unmodelled() {
-        let mut h = harness(Mode::Enforce, FaultPlan::none());
+        let h = harness(Mode::Enforce, FaultPlan::none());
         let outcome = h.monitor.process(
             &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![
                 (
@@ -1019,7 +1162,7 @@ mod tests {
         assert_eq!(cov.total_requests(), 2);
         assert!(cov.requirement("1.1").unwrap().exercised >= 1);
         // 1.2 and 1.3 not yet exercised.
-        assert!(cov.unexercised().contains(&"1.2"));
+        assert!(cov.unexercised().iter().any(|r| r == "1.2"));
     }
 
     #[test]
@@ -1071,7 +1214,7 @@ mod snapshot_policy_tests {
         // The Cinder contracts reference all four roots, so Minimal and
         // Full must agree everywhere (Minimal just proves no regression).
         for policy in [SnapshotPolicy::Full, SnapshotPolicy::Minimal] {
-            let mut cloud = PrivateCloud::my_project();
+            let cloud = PrivateCloud::my_project();
             let pid = cloud.project_id();
             let admin = cloud.issue_token("alice", "alice-pw").unwrap();
             let carol = cloud.issue_token("carol", "carol-pw").unwrap();
@@ -1118,7 +1261,7 @@ mod extended_model_tests {
     }
 
     fn ext() -> Ext {
-        let mut cloud = PrivateCloud::my_project();
+        let cloud = PrivateCloud::my_project();
         let pid = cloud.project_id();
         let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
         let carol = cloud.issue_token("carol", "carol-pw").unwrap().token;
@@ -1156,7 +1299,7 @@ mod extended_model_tests {
 
     #[test]
     fn snapshot_lifecycle_through_monitor() {
-        let mut e = ext();
+        let e = ext();
         let (pid, vid) = (e.pid, e.vid);
 
         // admin creates a snapshot (SecReq 2.2) — volume_without_snapshot
@@ -1215,7 +1358,7 @@ mod extended_model_tests {
 
     #[test]
     fn volume_contracts_still_enforced_in_extended_monitor() {
-        let mut e = ext();
+        let e = ext();
         let (pid, vid) = (e.pid, e.vid);
         let blocked = e.monitor.process(
             &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
@@ -1237,7 +1380,7 @@ mod extended_model_tests {
     #[test]
     fn snapshot_mutant_is_detected_in_observe_mode() {
         use cm_cloudsim::{Fault, FaultPlan};
-        let mut cloud =
+        let cloud =
             PrivateCloud::my_project().with_faults(FaultPlan::single(Fault::SkipAuthCheck {
                 action: "snapshot:delete".into(),
             }));
@@ -1276,16 +1419,19 @@ mod extended_model_tests {
     }
 }
 
-impl<S: RestService> CloudMonitor<S> {
+impl<S: SharedRestService> CloudMonitor<S> {
     /// Export the monitor log as JSON — "the invocation results can be
-    /// logged for further fault localization" (Section III-B).
+    /// logged for further fault localization" (Section III-B). Entries
+    /// are in causal order (sorted by `seq`), so the export replays a
+    /// concurrent run deterministically per resource.
     #[must_use]
     pub fn log_json(&self) -> Json {
         Json::Array(
-            self.log
+            self.log()
                 .iter()
                 .map(|r| {
                     Json::object(vec![
+                        ("seq", Json::Int(r.seq as i64)),
                         ("method", Json::Str(r.method.to_string())),
                         ("path", Json::Str(r.path.clone())),
                         (
@@ -1321,7 +1467,7 @@ mod log_json_tests {
 
     #[test]
     fn log_exports_as_json() {
-        let mut cloud = PrivateCloud::my_project();
+        let cloud = PrivateCloud::my_project();
         let pid = cloud.project_id();
         let carol = cloud.issue_token("carol", "carol-pw").unwrap().token;
         cloud.state_mut().create_volume(pid, "v", 1, false).unwrap();
@@ -1352,7 +1498,7 @@ mod refined_delete_tests {
 
     #[test]
     fn volume_delete_with_snapshots_is_blocked_not_misreported() {
-        let mut cloud = PrivateCloud::my_project();
+        let cloud = PrivateCloud::my_project();
         let pid = cloud.project_id();
         let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
         let vid = cloud
@@ -1396,7 +1542,7 @@ mod state_tracking_tests {
 
     #[test]
     fn monitor_reports_the_model_state_after_each_pass() {
-        let mut cloud = PrivateCloud::my_project();
+        let cloud = PrivateCloud::my_project();
         let pid = cloud.project_id();
         let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
         let mut monitor = cinder_monitor(cloud).unwrap();

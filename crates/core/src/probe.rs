@@ -13,7 +13,7 @@
 
 use cm_model::HttpMethod;
 use cm_ocl::{MapNavigator, ObjRef, Value};
-use cm_rest::{Json, RestRequest, RestResponse, RestService, StatusCode};
+use cm_rest::{Json, RestRequest, RestResponse, SharedRestService, StatusCode};
 
 /// Identifies the slice of cloud state a contract evaluation needs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,12 +58,12 @@ impl StateProber {
 
     fn get(
         &self,
-        cloud: &mut dyn RestService,
+        cloud: &dyn SharedRestService,
         token: &str,
         path: String,
         errors: &mut Vec<String>,
     ) -> RestResponse {
-        let resp = cloud.handle(&RestRequest::new(HttpMethod::Get, path.clone()).auth_token(token));
+        let resp = cloud.call(&RestRequest::new(HttpMethod::Get, path.clone()).auth_token(token));
         // The monitor probes with its own (admin-authority) token, so any
         // denial other than a plain 404 is anomalous: either the monitor
         // is misconfigured or the cloud wrongly denies authorized reads.
@@ -80,7 +80,7 @@ impl StateProber {
     /// wrong-authorization signal the monitor reports.
     pub fn snapshot_checked(
         &self,
-        cloud: &mut dyn RestService,
+        cloud: &dyn SharedRestService,
         target: &ProbeTarget,
     ) -> (MapNavigator, Vec<String>) {
         let mut errors = Vec::new();
@@ -96,7 +96,7 @@ impl StateProber {
     /// `quota_sets` costs one fewer REST round-trip per snapshot.
     pub fn snapshot_scoped(
         &self,
-        cloud: &mut dyn RestService,
+        cloud: &dyn SharedRestService,
         target: &ProbeTarget,
         scope: &[String],
     ) -> (MapNavigator, Vec<String>) {
@@ -120,13 +120,13 @@ impl StateProber {
     /// * `user.groups` — the requester's *role* (the paper's Figure 3
     ///   guards use role names as group labels), `user.roles` — the full
     ///   role set, `user.id` — the user id.
-    pub fn snapshot(&self, cloud: &mut dyn RestService, target: &ProbeTarget) -> MapNavigator {
+    pub fn snapshot(&self, cloud: &dyn SharedRestService, target: &ProbeTarget) -> MapNavigator {
         self.snapshot_impl(cloud, target, &mut Vec::new(), None)
     }
 
     fn snapshot_impl(
         &self,
-        cloud: &mut dyn RestService,
+        cloud: &dyn SharedRestService,
         target: &ProbeTarget,
         errors: &mut Vec<String>,
         scope: Option<&[String]>,
@@ -375,7 +375,7 @@ mod tests {
     use cm_ocl::{parse, EvalContext};
 
     fn setup() -> (PrivateCloud, ProbeTarget) {
-        let mut cloud = PrivateCloud::my_project();
+        let cloud = PrivateCloud::my_project();
         let admin = cloud.issue_token("alice", "alice-pw").unwrap();
         let carol = cloud.issue_token("carol", "carol-pw").unwrap();
         let pid = cloud.project_id();
@@ -393,15 +393,15 @@ mod tests {
 
     #[test]
     fn empty_project_matches_no_volume_invariant() {
-        let (mut cloud, target) = setup();
-        let nav = StateProber::default().snapshot(&mut cloud, &target);
+        let (cloud, target) = setup();
+        let nav = StateProber::default().snapshot(&cloud, &target);
         let inv = parse("project.id->size()=1 and project.volumes->size()=0").unwrap();
         assert!(EvalContext::new(&nav).eval_bool(&inv).unwrap());
     }
 
     #[test]
     fn volumes_and_quota_are_visible() {
-        let (mut cloud, mut target) = setup();
+        let (cloud, mut target) = setup();
         let pid = target.project_id;
         let vid = cloud
             .state_mut()
@@ -409,7 +409,7 @@ mod tests {
             .unwrap()
             .id;
         target.volume_id = Some(vid);
-        let nav = StateProber::default().snapshot(&mut cloud, &target);
+        let nav = StateProber::default().snapshot(&cloud, &target);
         let checks = [
             "project.volumes->size() = 1",
             "project.volumes->size() < quota_sets.volume",
@@ -427,8 +427,8 @@ mod tests {
 
     #[test]
     fn user_view_reflects_roles() {
-        let (mut cloud, target) = setup();
-        let nav = StateProber::default().snapshot(&mut cloud, &target);
+        let (cloud, target) = setup();
+        let nav = StateProber::default().snapshot(&cloud, &target);
         // carol is role `user`.
         let e = parse("user.groups = 'user'").unwrap();
         assert!(EvalContext::new(&nav).eval_bool(&e).unwrap());
@@ -440,29 +440,29 @@ mod tests {
 
     #[test]
     fn missing_volume_attributes_are_undefined() {
-        let (mut cloud, mut target) = setup();
+        let (cloud, mut target) = setup();
         target.volume_id = Some(999);
-        let nav = StateProber::default().snapshot(&mut cloud, &target);
+        let nav = StateProber::default().snapshot(&cloud, &target);
         let e = parse("volume.status.oclIsUndefined()").unwrap();
         assert!(EvalContext::new(&nav).eval_bool(&e).unwrap());
     }
 
     #[test]
     fn nonexistent_project_has_empty_id_set() {
-        let (mut cloud, mut target) = setup();
+        let (cloud, mut target) = setup();
         target.project_id = 999;
         // The admin token is scoped to project 1, so GET /v3/999 is 403 →
         // the project is unobservable → id set empty.
-        let nav = StateProber::default().snapshot(&mut cloud, &target);
+        let nav = StateProber::default().snapshot(&cloud, &target);
         let e = parse("project.id->size() = 0").unwrap();
         assert!(EvalContext::new(&nav).eval_bool(&e).unwrap());
     }
 
     #[test]
     fn invalid_user_token_yields_attribute_free_user() {
-        let (mut cloud, mut target) = setup();
+        let (cloud, mut target) = setup();
         target.user_token = "tok-bogus".to_string();
-        let nav = StateProber::default().snapshot(&mut cloud, &target);
+        let nav = StateProber::default().snapshot(&cloud, &target);
         let e = parse("user.groups = 'admin'").unwrap();
         // groups is undefined; equality with a string is false.
         assert!(!EvalContext::new(&nav).eval_bool(&e).unwrap());
@@ -470,7 +470,7 @@ mod tests {
 
     #[test]
     fn pre_and_post_snapshots_differ_after_delete() {
-        let (mut cloud, mut target) = setup();
+        let (cloud, mut target) = setup();
         let pid = target.project_id;
         let vid = cloud
             .state_mut()
@@ -479,9 +479,9 @@ mod tests {
             .id;
         target.volume_id = Some(vid);
         let prober = StateProber::default();
-        let pre = prober.snapshot(&mut cloud, &target);
+        let pre = prober.snapshot(&cloud, &target);
         cloud.state_mut().delete_volume(pid, vid, false).unwrap();
-        let post = prober.snapshot(&mut cloud, &target);
+        let post = prober.snapshot(&cloud, &target);
         let e = parse("project.volumes->size() < pre(project.volumes->size())").unwrap();
         assert!(EvalContext::with_pre_state(&post, &pre)
             .eval_bool(&e)
@@ -496,21 +496,23 @@ mod scoped_tests {
     use cm_ocl::{parse, EvalContext};
 
     /// A counting wrapper so tests can assert how many probe requests a
-    /// snapshot issues.
+    /// snapshot issues. Counts atomically — the prober only sees a shared
+    /// reference.
     struct Counting<S> {
         inner: S,
-        requests: usize,
+        requests: std::sync::atomic::AtomicUsize,
     }
 
-    impl<S: RestService> RestService for Counting<S> {
-        fn handle(&mut self, request: &RestRequest) -> cm_rest::RestResponse {
-            self.requests += 1;
-            self.inner.handle(request)
+    impl<S: SharedRestService> SharedRestService for Counting<S> {
+        fn call(&self, request: &RestRequest) -> cm_rest::RestResponse {
+            self.requests
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.call(request)
         }
     }
 
     fn setup() -> (Counting<PrivateCloud>, ProbeTarget) {
-        let mut cloud = PrivateCloud::my_project();
+        let cloud = PrivateCloud::my_project();
         let pid = cloud.project_id();
         let admin = cloud.issue_token("alice", "alice-pw").unwrap();
         let vid = cloud
@@ -528,7 +530,7 @@ mod scoped_tests {
         (
             Counting {
                 inner: cloud,
-                requests: 0,
+                requests: std::sync::atomic::AtomicUsize::new(0),
             },
             target,
         )
@@ -536,22 +538,22 @@ mod scoped_tests {
 
     #[test]
     fn full_snapshot_probes_all_roots() {
-        let (mut cloud, target) = setup();
+        let (cloud, target) = setup();
         let prober = StateProber::default();
-        let _ = prober.snapshot(&mut cloud, &target);
+        let _ = prober.snapshot(&cloud, &target);
         // project + volumes + volume item + snapshots listing + quota +
         // token introspection.
-        assert_eq!(cloud.requests, 6);
+        assert_eq!(cloud.requests.load(std::sync::atomic::Ordering::Relaxed), 6);
     }
 
     #[test]
     fn scoped_snapshot_skips_unreferenced_roots() {
-        let (mut cloud, target) = setup();
+        let (cloud, target) = setup();
         let prober = StateProber::default();
-        let (nav, errors) = prober.snapshot_scoped(&mut cloud, &target, &["project".to_string()]);
+        let (nav, errors) = prober.snapshot_scoped(&cloud, &target, &["project".to_string()]);
         assert!(errors.is_empty());
         // Only project + volumes listing.
-        assert_eq!(cloud.requests, 2);
+        assert_eq!(cloud.requests.load(std::sync::atomic::Ordering::Relaxed), 2);
         let e = parse("project.volumes->size() = 1").unwrap();
         assert!(EvalContext::new(&nav).eval_bool(&e).unwrap());
         // Out-of-scope roots are still *bound* (variables resolve) but
@@ -562,11 +564,11 @@ mod scoped_tests {
 
     #[test]
     fn scoped_snapshot_with_all_roots_equals_full() {
-        let (mut cloud, target) = setup();
+        let (cloud, target) = setup();
         let prober = StateProber::default();
-        let full = prober.snapshot(&mut cloud, &target);
+        let full = prober.snapshot(&cloud, &target);
         let (scoped, _) = prober.snapshot_scoped(
-            &mut cloud,
+            &cloud,
             &target,
             &[
                 "project".to_string(),

@@ -246,8 +246,8 @@ impl RemoteService {
     }
 }
 
-impl cm_rest::RestService for RemoteService {
-    fn handle(&mut self, request: &RestRequest) -> RestResponse {
+impl cm_rest::SharedRestService for RemoteService {
+    fn call(&self, request: &RestRequest) -> RestResponse {
         match send(self.addr, request) {
             Ok(resp) => resp,
             Err(e) => RestResponse::error(StatusCode::BAD_GATEWAY, e.to_string()),

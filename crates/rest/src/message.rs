@@ -177,9 +177,31 @@ impl fmt::Display for RestResponse {
 
 /// Anything that can serve abstract REST requests: the cloud simulator, the
 /// monitor wrapper, or a remote HTTP client adapter.
+///
+/// Concurrently callable services implement [`SharedRestService`] instead
+/// and get this trait for free through a blanket impl, so single-threaded
+/// call sites (`&mut service`) keep working unchanged.
 pub trait RestService {
     /// Handle one request.
     fn handle(&mut self, request: &RestRequest) -> RestResponse;
+}
+
+/// A REST service that can be called concurrently from many threads
+/// through a shared reference.
+///
+/// This is the contract the thread-per-connection HTTP server needs: one
+/// `Arc<S>` shared by all connection handlers, no external lock. Services
+/// manage their own interior synchronization (sharded locks, atomics).
+/// Every `SharedRestService` is also a [`RestService`] via a blanket impl.
+pub trait SharedRestService: Send + Sync {
+    /// Handle one request through a shared reference.
+    fn call(&self, request: &RestRequest) -> RestResponse;
+}
+
+impl<T: SharedRestService> RestService for T {
+    fn handle(&mut self, request: &RestRequest) -> RestResponse {
+        self.call(request)
+    }
 }
 
 #[cfg(test)]

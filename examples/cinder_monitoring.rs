@@ -20,7 +20,7 @@ fn volume_body(name: &str, size: i64) -> Json {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut cloud = PrivateCloud::my_project();
+    let cloud = PrivateCloud::my_project();
     let pid = cloud.project_id();
     let admin = cloud.issue_token("alice", "alice-pw")?;
     let member = cloud.issue_token("bob", "bob-pw")?;

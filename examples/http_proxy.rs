@@ -13,18 +13,19 @@ use cm_cloudsim::PrivateCloud;
 use cm_core::CloudMonitor;
 use cm_httpkit::{send, AdminRoutes, HttpServer, RemoteService};
 use cm_model::{cinder, HttpMethod};
-use cm_rest::{Json, RestRequest, RestService};
+use cm_rest::{Json, RestRequest, SharedRestService};
 use std::sync::Arc;
-use std::sync::Mutex;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The private cloud, served over HTTP (the "VirtualBox VM").
-    let cloud = Arc::new(Mutex::new(PrivateCloud::my_project()));
-    let pid = cloud.lock().unwrap().project_id();
+    // No Mutex around it: `PrivateCloud` synchronizes internally per
+    // project shard, so connection threads proceed in parallel.
+    let cloud = Arc::new(PrivateCloud::my_project());
+    let pid = cloud.project_id();
     let cloud_for_server = Arc::clone(&cloud);
     let cloud_server = HttpServer::bind(
         "127.0.0.1:0",
-        Arc::new(move |req| cloud_for_server.lock().unwrap().handle(&req)),
+        Arc::new(move |req| cloud_for_server.call(&req)),
     )?;
     println!(
         "private cloud listening on http://{}",
@@ -42,13 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     monitor.authenticate("alice", "alice-pw")?;
     let admin = AdminRoutes::new(monitor.metrics(), monitor.events());
-    let monitor = Arc::new(Mutex::new(monitor));
+    // Shared, not locked: `process(&self)` is concurrently callable.
+    let monitor = Arc::new(monitor);
     let monitor_for_server = Arc::clone(&monitor);
     let monitor_server = HttpServer::bind(
         "127.0.0.1:0",
-        admin.wrap(Arc::new(move |req| {
-            monitor_for_server.lock().unwrap().handle(&req)
-        })),
+        admin.wrap(Arc::new(move |req| monitor_for_server.call(&req))),
     )?;
     let cm = monitor_server.local_addr();
     println!("cloud monitor listening on http://{cm}\n");
@@ -126,7 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\nmonitor verdicts:");
-    for r in monitor.lock().unwrap().log() {
+    for r in monitor.log() {
         println!(
             "  {} {:<20} -> {} [{}]",
             r.method, r.path, r.status, r.verdict

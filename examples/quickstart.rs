@@ -12,7 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A private cloud with the paper's `myProject` setup: three
     //    usergroups (proj_administrator/admin, service_architect/member,
     //    business_analyst/user) and a volume quota.
-    let mut cloud = PrivateCloud::my_project();
+    let cloud = PrivateCloud::my_project();
     let pid = cloud.project_id();
     let alice = cloud.issue_token("alice", "alice-pw")?; // admin
     let carol = cloud.issue_token("carol", "carol-pw")?; // user

@@ -11,7 +11,7 @@ use cm_model::HttpMethod;
 use cm_rest::{Json, RestRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut cloud = PrivateCloud::my_project();
+    let cloud = PrivateCloud::my_project();
     let pid = cloud.project_id();
     let admin = cloud.issue_token("alice", "alice-pw")?;
     let carol = cloud.issue_token("carol", "carol-pw")?;

@@ -55,7 +55,7 @@ fn random_body(rng: &mut XorShift64Star) -> Option<Json> {
 #[test]
 fn monitor_survives_random_traffic_without_false_positives() {
     let mut rng = XorShift64Star::new(0xC10D_2018);
-    let mut cloud = PrivateCloud::my_project();
+    let cloud = PrivateCloud::my_project();
     let pid = cloud.project_id();
     let tokens: Vec<String> = ["alice", "bob", "carol", "mallory"]
         .iter()

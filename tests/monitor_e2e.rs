@@ -7,9 +7,8 @@ use cm_core::{cinder_monitor, CloudMonitor, Mode, TestOracle, Verdict};
 use cm_httpkit::{send, HttpServer, RemoteService};
 use cm_model::{cinder, HttpMethod};
 use cm_mutation::{paper_mutants, run_campaign};
-use cm_rest::{Json, RestRequest, RestService, StatusCode};
+use cm_rest::{Json, RestRequest, SharedRestService, StatusCode};
 use std::sync::Arc;
-use std::sync::Mutex;
 
 fn volume_body(name: &str) -> Json {
     Json::object(vec![(
@@ -56,14 +55,12 @@ fn oracle_is_clean_on_correct_cloud_and_detects_composite_faults() {
 #[test]
 fn monitored_network_deployment_end_to_end() {
     // Cloud behind HTTP.
-    let cloud = Arc::new(Mutex::new(PrivateCloud::my_project()));
-    let pid = cloud.lock().unwrap().project_id();
+    let cloud = Arc::new(PrivateCloud::my_project());
+    let pid = cloud.project_id();
     let cloud_handle = Arc::clone(&cloud);
-    let cloud_server = HttpServer::bind(
-        "127.0.0.1:0",
-        Arc::new(move |req| cloud_handle.lock().unwrap().handle(&req)),
-    )
-    .expect("bind cloud");
+    let cloud_server =
+        HttpServer::bind("127.0.0.1:0", Arc::new(move |req| cloud_handle.call(&req)))
+            .expect("bind cloud");
 
     // Monitor wrapping the cloud over TCP, itself behind HTTP.
     let mut monitor = CloudMonitor::generate(
@@ -77,11 +74,11 @@ fn monitored_network_deployment_end_to_end() {
     monitor
         .authenticate("alice", "alice-pw")
         .expect("admin credentials over TCP");
-    let monitor = Arc::new(Mutex::new(monitor));
+    let monitor = Arc::new(monitor);
     let monitor_handle = Arc::clone(&monitor);
     let monitor_server = HttpServer::bind(
         "127.0.0.1:0",
-        Arc::new(move |req| monitor_handle.lock().unwrap().handle(&req)),
+        Arc::new(move |req| monitor_handle.call(&req)),
     )
     .expect("bind monitor");
     let cm = monitor_server.local_addr();
@@ -156,7 +153,7 @@ fn monitored_network_deployment_end_to_end() {
     assert_eq!(deleted.status, StatusCode::NO_CONTENT);
 
     // Monitor saw exactly these modelled requests.
-    let log = monitor.lock().unwrap().log().to_vec();
+    let log = monitor.log();
     let verdicts: Vec<Verdict> = log.iter().map(|r| r.verdict.clone()).collect();
     assert!(verdicts.contains(&Verdict::PreBlocked));
     assert_eq!(verdicts.iter().filter(|v| **v == Verdict::Pass).count(), 2);
@@ -173,7 +170,7 @@ fn observe_mode_is_transparent_to_clients() {
         action: "volume:delete".into(),
         rule: cm_rbac::Rule::Always,
     });
-    let mut cloud = PrivateCloud::my_project().with_faults(plan);
+    let cloud = PrivateCloud::my_project().with_faults(plan);
     let pid = cloud.project_id();
     let carol = cloud.issue_token("carol", "carol-pw").unwrap();
     cloud.state_mut().create_volume(pid, "v", 1, false).unwrap();
@@ -194,7 +191,7 @@ fn observe_mode_is_transparent_to_clients() {
 fn monitor_detects_externally_injected_role_change() {
     // Fault injected through the identity store (not the policy): the
     // business_analyst group is wrongly granted the admin role.
-    let mut cloud = PrivateCloud::my_project();
+    let cloud = PrivateCloud::my_project();
     let pid = cloud.project_id();
     cloud
         .identity_mut()
@@ -247,28 +244,22 @@ fn unreachable_cloud_is_reported_not_silently_passed() {
 #[test]
 fn extended_monitor_over_the_network() {
     // The snapshot extension also works across a real TCP hop.
-    let cloud = Arc::new(Mutex::new(PrivateCloud::my_project()));
-    let pid = cloud.lock().unwrap().project_id();
-    {
-        let mut guard = cloud.lock().unwrap();
-        let vid = guard
-            .state_mut()
-            .create_volume(pid, "v", 1, false)
-            .unwrap()
-            .id;
-        assert_eq!(vid, 1);
-    }
+    let cloud = Arc::new(PrivateCloud::my_project());
+    let pid = cloud.project_id();
+    let vid = cloud
+        .state_mut()
+        .create_volume(pid, "v", 1, false)
+        .unwrap()
+        .id;
+    assert_eq!(vid, 1);
     let cloud_handle = Arc::clone(&cloud);
-    let server = HttpServer::bind(
-        "127.0.0.1:0",
-        Arc::new(move |req| cloud_handle.lock().unwrap().handle(&req)),
-    )
-    .unwrap();
+    let server =
+        HttpServer::bind("127.0.0.1:0", Arc::new(move |req| cloud_handle.call(&req))).unwrap();
     let mut monitor = cm_core::cinder_monitor_extended(RemoteService::new(server.local_addr()))
         .unwrap()
         .mode(Mode::Enforce);
     monitor.authenticate("alice", "alice-pw").unwrap();
-    let admin_auth = monitor.handle(
+    let admin_auth = monitor.call(
         &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![(
             "auth",
             Json::object(vec![

@@ -8,10 +8,9 @@ use cm_cloudsim::{Fault, FaultPlan, PrivateCloud};
 use cm_core::{cinder_monitor, CloudMonitor, Mode, MonitorRecord, Verdict};
 use cm_httpkit::{send, AdminRoutes, HttpServer, RemoteService};
 use cm_model::{cinder, HttpMethod};
-use cm_rest::{Json, RestRequest, RestService, StatusCode};
+use cm_rest::{Json, RestRequest, SharedRestService, StatusCode};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::sync::Mutex;
 
 fn volume_body(name: &str) -> Json {
     Json::object(vec![(
@@ -44,7 +43,7 @@ fn mixed_scenario_monitor() -> (CloudMonitor<PrivateCloud>, u64) {
     let plan = FaultPlan::single(Fault::DropStateChange {
         action: "volume:post".into(),
     });
-    let mut cloud = PrivateCloud::my_project().with_faults(plan);
+    let cloud = PrivateCloud::my_project().with_faults(plan);
     let pid = cloud.project_id();
     let alice = cloud.issue_token("alice", "alice-pw").unwrap();
     let carol = cloud.issue_token("carol", "carol-pw").unwrap();
@@ -94,7 +93,7 @@ fn metrics_equal_an_independent_recount_of_the_log() {
     let log = monitor.log();
     assert_eq!(log.len(), 4);
 
-    let (verdicts, requirements) = recount(log);
+    let (verdicts, requirements) = recount(&log);
     assert_eq!(
         metrics.requests(),
         log.len() as u64,
@@ -139,7 +138,7 @@ fn event_tail_mirrors_the_log_in_order() {
     let events = monitor.events().tail(100);
     let log = monitor.log();
     assert_eq!(events.len(), log.len());
-    for (event, record) in events.iter().zip(log) {
+    for (event, record) in events.iter().zip(&log) {
         assert_eq!(event.path, record.path);
         assert_eq!(event.verdict, record.verdict.to_string());
         assert_eq!(event.requirements, record.requirements);
@@ -170,14 +169,12 @@ fn event_tail_mirrors_the_log_in_order() {
 #[test]
 fn admin_endpoints_serve_live_metrics_over_http() {
     // Cloud behind HTTP, monitor proxy with admin routes in front.
-    let cloud = Arc::new(Mutex::new(PrivateCloud::my_project()));
-    let pid = cloud.lock().unwrap().project_id();
+    let cloud = Arc::new(PrivateCloud::my_project());
+    let pid = cloud.project_id();
     let cloud_handle = Arc::clone(&cloud);
-    let cloud_server = HttpServer::bind(
-        "127.0.0.1:0",
-        Arc::new(move |req| cloud_handle.lock().unwrap().handle(&req)),
-    )
-    .expect("bind cloud");
+    let cloud_server =
+        HttpServer::bind("127.0.0.1:0", Arc::new(move |req| cloud_handle.call(&req)))
+            .expect("bind cloud");
 
     let mut monitor = CloudMonitor::generate(
         &cinder::resource_model(),
@@ -191,13 +188,11 @@ fn admin_endpoints_serve_live_metrics_over_http() {
         .authenticate("alice", "alice-pw")
         .expect("authenticates");
     let admin = AdminRoutes::new(monitor.metrics(), monitor.events());
-    let monitor = Arc::new(Mutex::new(monitor));
+    let monitor = Arc::new(monitor);
     let monitor_handle = Arc::clone(&monitor);
     let monitor_server = HttpServer::bind(
         "127.0.0.1:0",
-        admin.wrap(Arc::new(move |req| {
-            monitor_handle.lock().unwrap().handle(&req)
-        })),
+        admin.wrap(Arc::new(move |req| monitor_handle.call(&req))),
     )
     .expect("bind monitor");
     let cm = monitor_server.local_addr();
@@ -266,7 +261,7 @@ fn admin_endpoints_serve_live_metrics_over_http() {
         send(cm, &RestRequest::new(HttpMethod::Get, "/-/metrics")).expect("metrics over TCP");
     assert_eq!(metrics_response.status, StatusCode::OK);
     let body = metrics_response.body.expect("metrics body");
-    let log = monitor.lock().unwrap().log().to_vec();
+    let log = monitor.log();
     let (verdicts, requirements) = recount(&log);
     assert_eq!(
         body.get("requests").unwrap().as_int(),
@@ -337,10 +332,10 @@ fn admin_endpoints_serve_live_metrics_over_http() {
     assert_eq!(events_body.get("dropped").unwrap().as_int(), Some(0));
 
     // Unknown admin paths 404 without reaching the monitor.
-    let before = monitor.lock().unwrap().log().len();
+    let before = monitor.log().len();
     let missing = send(cm, &RestRequest::new(HttpMethod::Get, "/-/nope")).expect("404 over TCP");
     assert_eq!(missing.status, StatusCode::NOT_FOUND);
-    assert_eq!(monitor.lock().unwrap().log().len(), before);
+    assert_eq!(monitor.log().len(), before);
 
     monitor_server.shutdown();
     cloud_server.shutdown();

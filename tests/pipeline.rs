@@ -36,7 +36,7 @@ fn full_pipeline_from_models_to_monitored_requests() {
     assert!(views.contains("HttpResponseNotAllowed"));
 
     // Step 4: the same models drive the native monitor over the cloud.
-    let mut cloud = PrivateCloud::my_project();
+    let cloud = PrivateCloud::my_project();
     let pid = cloud.project_id();
     let admin = cloud.issue_token("alice", "alice-pw").expect("fixture");
     let user = cloud.issue_token("carol", "carol-pw").expect("fixture");

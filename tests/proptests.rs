@@ -500,6 +500,129 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Concurrency determinism: requests over *disjoint* projects yield
+    /// the same multiset of (method, path, verdict, requirements) whether
+    /// the projects are driven round-robin from one thread or from one
+    /// thread each, and within a project the threaded log — ordered by
+    /// global sequence number — matches the serial submission order
+    /// exactly.
+    #[test]
+    fn concurrent_disjoint_projects_match_serial(
+        plans in prop::collection::vec(prop::collection::vec(0usize..3, 1..8), 3),
+    ) {
+        use cm_cloudsim::PrivateCloud;
+        use cm_core::{cinder_monitor, CloudMonitor, Mode};
+        use cm_model::HttpMethod;
+        use cm_rest::{Json, RestRequest};
+        use std::sync::Arc;
+
+        const PROJECTS: usize = 3;
+
+        fn fixture() -> (CloudMonitor<PrivateCloud>, Vec<String>) {
+            let cloud = PrivateCloud::multi_project(PROJECTS);
+            let mut tokens = Vec::new();
+            for pid in 1..=PROJECTS as u64 {
+                // Strided ids: the seeded volume's id equals the project id.
+                cloud.state_of(pid).create_volume(pid, "seed", 1, false).unwrap();
+                tokens.push(cloud.issue_token_scoped("alice", "alice-pw", pid).unwrap().token);
+            }
+            let mut monitor = cinder_monitor(cloud).unwrap().mode(Mode::Enforce);
+            for pid in 1..=PROJECTS as u64 {
+                monitor.authenticate_scoped("alice", "alice-pw", pid).unwrap();
+            }
+            (monitor, tokens)
+        }
+
+        fn request(op: usize, pid: u64, token: &str) -> RestRequest {
+            match op {
+                0 => RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes"))
+                    .auth_token(token)
+                    .json(Json::object(vec![(
+                        "volume",
+                        Json::object(vec![
+                            ("name", Json::Str("prop".into())),
+                            ("size", Json::Int(1)),
+                        ]),
+                    )])),
+                1 => RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/{pid}"))
+                    .auth_token(token),
+                _ => RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{pid}"))
+                    .auth_token(token),
+            }
+        }
+
+        type Obs = (String, String, String, Vec<String>);
+        fn observations(monitor: &CloudMonitor<PrivateCloud>) -> Vec<Obs> {
+            monitor
+                .log()
+                .iter()
+                .map(|r| {
+                    (
+                        r.method.to_string(),
+                        r.path.clone(),
+                        r.verdict.to_string(),
+                        r.requirements.clone(),
+                    )
+                })
+                .collect()
+        }
+
+        // Serial reference: round-robin the projects in one thread.
+        let (serial, tokens) = fixture();
+        let longest = plans.iter().map(Vec::len).max().unwrap_or(0);
+        for step in 0..longest {
+            for (i, plan) in plans.iter().enumerate() {
+                if let Some(op) = plan.get(step) {
+                    let _ = serial.process(&request(*op, i as u64 + 1, &tokens[i]));
+                }
+            }
+        }
+        let serial_log = observations(&serial);
+
+        // Concurrent run on an identical fixture: one thread per project.
+        let (threaded, tokens) = fixture();
+        let threaded = Arc::new(threaded);
+        let workers: Vec<_> = plans
+            .iter()
+            .enumerate()
+            .map(|(i, plan)| {
+                let monitor = Arc::clone(&threaded);
+                let token = tokens[i].clone();
+                let plan = plan.clone();
+                std::thread::spawn(move || {
+                    for op in plan {
+                        let _ = monitor.process(&request(op, i as u64 + 1, &token));
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let threaded_log = observations(&threaded);
+
+        // Same multiset of observations regardless of interleaving…
+        let mut serial_sorted = serial_log.clone();
+        let mut threaded_sorted = threaded_log.clone();
+        serial_sorted.sort();
+        threaded_sorted.sort();
+        prop_assert_eq!(&serial_sorted, &threaded_sorted);
+
+        // …and per project the seq-ordered threaded log replays the
+        // serial submission order exactly.
+        for pid in 1..=PROJECTS as u64 {
+            let prefix = format!("/v3/{pid}/");
+            let by_project = |log: &[Obs]| -> Vec<Obs> {
+                log.iter().filter(|o| o.1.starts_with(&prefix)).cloned().collect()
+            };
+            prop_assert_eq!(by_project(&serial_log), by_project(&threaded_log));
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// XMI round-trips arbitrary well-formed behavioural models (states

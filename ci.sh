@@ -40,6 +40,9 @@ cargo test --offline --features proptest --test proptests --no-run -q
 step "feature check: criterion benches compile"
 cargo build --offline -p cm-bench --benches --features bench-criterion -q
 
+step "bench smoke: contract_eval (parity assertions, no artifact)"
+cargo run --offline --release -p cm-bench --bin contract_eval -q -- --smoke
+
 if [ "$STRESS" = 1 ]; then
   step "stress: concurrency soak (debug, shard debug_asserts active)"
   cargo test --offline --test concurrent_monitor -q

@@ -1,0 +1,236 @@
+//! Contract-evaluation experiment — the payoff of the compile pipeline.
+//!
+//! Two comparisons on the extended Cinder scenario (volumes + snapshots,
+//! seven method contracts):
+//!
+//! * **interpreter vs compiled** — one "request's worth" of contract
+//!   work per iteration (pre-condition, exercised requirements,
+//!   post-condition) for every contract, through the tree-walking
+//!   [`cm_contracts::MethodContract`] interpreter and through the interned
+//!   [`cm_contracts::CompiledContractSet`] programs with a reused
+//!   [`cm_ocl::EvalScratch`];
+//! * **full vs scoped snapshot** — the probe round-trips and wall-clock
+//!   of [`StateProber::snapshot_checked`] against
+//!   [`StateProber::snapshot_attrs`] driven by the compiled
+//!   `DELETE(volume)` pre-scope.
+//!
+//! Results land in `BENCH_contract_eval.json` at the repo root. The run
+//! fails if the compiled pipeline is not at least 2x the interpreter.
+//! `--smoke` runs a handful of iterations, skips the artifact and the
+//! speedup assertion (used by `ci.sh` to keep CI fast and load-tolerant).
+
+use cm_cloudsim::PrivateCloud;
+use cm_core::{cinder_monitor_extended, ProbeTarget, StateProber};
+use cm_ocl::{EnvView, EvalScratch};
+use cm_rest::SharedRestService;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts the probe round-trips a snapshot costs.
+struct CountingCloud {
+    inner: PrivateCloud,
+    hits: AtomicU64,
+}
+
+impl SharedRestService for CountingCloud {
+    fn call(&self, request: &cm_rest::RestRequest) -> cm_rest::RestResponse {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.inner.call(request)
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let eval_iters: u32 = if smoke { 5 } else { 2_000 };
+    let snap_iters: u32 = if smoke { 5 } else { 500 };
+
+    // The monitor is only borrowed for its generated artefacts: the
+    // merged interpreter contract set and its compiled counterpart.
+    let monitor = cinder_monitor_extended(PrivateCloud::my_project()).expect("models generate");
+    let contracts = monitor.contracts();
+    let compiled = monitor.compiled_contracts();
+    let syms = compiled.symbols();
+
+    // A second, identical cloud provides the evaluation environments:
+    // one seeded volume carrying one snapshot, probed with admin
+    // authority exactly as the monitor would.
+    let cloud = PrivateCloud::my_project();
+    let pid = cloud.project_id();
+    let vid = cloud
+        .state_mut()
+        .create_volume(pid, "bench", 1, false)
+        .expect("seed volume")
+        .id;
+    let sid = cloud
+        .state_mut()
+        .create_snapshot(pid, vid, "bench-snap")
+        .expect("seed snapshot")
+        .id;
+    let admin = cloud
+        .issue_token("alice", "alice-pw")
+        .expect("fixture credentials")
+        .token;
+    let target = ProbeTarget {
+        project_id: pid,
+        volume_id: Some(vid),
+        snapshot_id: Some(sid),
+        user_token: admin.clone(),
+        monitor_token: admin,
+    };
+    let prober = StateProber::default();
+    let pre_state = prober.snapshot(&cloud, &target);
+    let post_state = prober.snapshot(&cloud, &target);
+
+    // Parity first: on this environment, the compiled programs must give
+    // the interpreter's verdicts contract for contract.
+    let mut scratch = EvalScratch::new();
+    for (c, cc) in contracts.contracts.iter().zip(compiled.contracts()) {
+        let pre_view = EnvView::from_navigator(&pre_state, syms);
+        let post_view = EnvView::from_navigator(&post_state, syms);
+        cc.begin_pre(&mut scratch);
+        assert_eq!(
+            c.evaluate_pre(&pre_state).ok(),
+            cc.evaluate_pre(syms, &pre_view, &mut scratch).ok(),
+            "pre parity for {}",
+            c.trigger
+        );
+        cc.begin_post(&mut scratch);
+        assert_eq!(
+            c.evaluate_post(&post_state, &pre_state).ok(),
+            cc.evaluate_post(syms, &post_view, &pre_view, &mut scratch)
+                .ok(),
+            "post parity for {}",
+            c.trigger
+        );
+    }
+
+    // One "request's worth" of interpreter work: tree-walk every
+    // contract's pre, requirements, post.
+    let interp_pass = |n: u32| {
+        for _ in 0..n {
+            for c in &contracts.contracts {
+                black_box(c.evaluate_pre(&pre_state).ok());
+                black_box(c.exercised_requirements(&pre_state).ok());
+                black_box(c.evaluate_post(&post_state, &pre_state).ok());
+            }
+        }
+    };
+    // The same work through the interned programs. View construction is
+    // inside the loop — the monitor rebuilds views per request too.
+    let mut compiled_pass = |n: u32| {
+        for _ in 0..n {
+            let pre_view = EnvView::from_navigator(&pre_state, syms);
+            let post_view = EnvView::from_navigator(&post_state, syms);
+            for cc in compiled.contracts() {
+                cc.begin_pre(&mut scratch);
+                black_box(cc.evaluate_pre(syms, &pre_view, &mut scratch).ok());
+                black_box(
+                    cc.enabled_clause_indices(syms, &pre_view, &mut scratch)
+                        .ok(),
+                );
+                cc.begin_post(&mut scratch);
+                black_box(
+                    cc.evaluate_post(syms, &post_view, &pre_view, &mut scratch)
+                        .ok(),
+                );
+            }
+        }
+    };
+
+    // Interleave timed chunks (after a warmup of each) so frequency
+    // scaling and cache drift hit both pipelines equally.
+    let chunks = 10;
+    let per_chunk = (eval_iters / chunks).max(1);
+    interp_pass(per_chunk);
+    compiled_pass(per_chunk);
+    let mut interp_secs = 0.0;
+    let mut compiled_secs = 0.0;
+    for _ in 0..chunks {
+        let start = Instant::now();
+        interp_pass(per_chunk);
+        interp_secs += start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        compiled_pass(per_chunk);
+        compiled_secs += start.elapsed().as_secs_f64();
+    }
+    let eval_iters = per_chunk * chunks;
+
+    let per_iter_contracts = contracts.contracts.len() as f64;
+    let interp_us = interp_secs * 1e6 / f64::from(eval_iters) / per_iter_contracts;
+    let compiled_us = compiled_secs * 1e6 / f64::from(eval_iters) / per_iter_contracts;
+    let eval_speedup = interp_secs / compiled_secs;
+
+    // Snapshot comparison: full probing vs the DELETE(volume) pre-scope.
+    let counting = CountingCloud {
+        inner: cloud,
+        hits: AtomicU64::new(0),
+    };
+    let delete_volume = compiled
+        .contracts()
+        .iter()
+        .find(|c| c.trigger.to_string() == "DELETE(volume)")
+        .expect("modelled trigger");
+    let scope = delete_volume.pre_scope();
+
+    counting.hits.store(0, Ordering::Relaxed);
+    let start = Instant::now();
+    for _ in 0..snap_iters {
+        black_box(prober.snapshot_checked(&counting, &target));
+    }
+    let full_secs = start.elapsed().as_secs_f64();
+    let full_probes = counting.hits.load(Ordering::Relaxed) / u64::from(snap_iters);
+
+    counting.hits.store(0, Ordering::Relaxed);
+    let start = Instant::now();
+    for _ in 0..snap_iters {
+        black_box(prober.snapshot_attrs(&counting, &target, scope));
+    }
+    let scoped_secs = start.elapsed().as_secs_f64();
+    let scoped_probes = counting.hits.load(Ordering::Relaxed) / u64::from(snap_iters);
+    let snap_speedup = full_secs / scoped_secs;
+
+    println!("CONTRACT EVALUATION ({eval_iters} iters x {per_iter_contracts} contracts: pre + requirements + post)");
+    println!();
+    println!("  interpreter : {interp_us:8.2} us/contract");
+    println!("  compiled    : {compiled_us:8.2} us/contract");
+    println!("  speedup     : {eval_speedup:8.2}x");
+    println!();
+    println!("SNAPSHOT ({snap_iters} iters, DELETE(volume) pre-scope)");
+    println!();
+    println!(
+        "  full   : {:8.2} us, {full_probes} probe requests",
+        full_secs * 1e6 / f64::from(snap_iters)
+    );
+    println!(
+        "  scoped : {:8.2} us, {scoped_probes} probe requests",
+        scoped_secs * 1e6 / f64::from(snap_iters)
+    );
+    println!("  speedup: {snap_speedup:8.2}x");
+
+    if smoke {
+        println!();
+        println!("smoke mode: skipping artifact and speedup assertion");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"contract_eval\",\n  \"eval_iters\": {eval_iters},\n  \
+         \"contracts\": {per_iter_contracts},\n  \"interpreter_us_per_contract\": {interp_us:.2},\n  \
+         \"compiled_us_per_contract\": {compiled_us:.2},\n  \"eval_speedup\": {eval_speedup:.2},\n  \
+         \"snapshot_iters\": {snap_iters},\n  \"full_snapshot_probes\": {full_probes},\n  \
+         \"scoped_snapshot_probes\": {scoped_probes},\n  \"snapshot_speedup\": {snap_speedup:.2}\n}}\n"
+    );
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_contract_eval.json"
+    );
+    std::fs::write(out, json).expect("write benchmark artifact");
+    println!();
+    println!("wrote {out}");
+
+    assert!(
+        eval_speedup >= 2.0,
+        "compiled pipeline must be at least 2x the interpreter, got {eval_speedup:.2}x"
+    );
+}

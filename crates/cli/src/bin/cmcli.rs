@@ -59,6 +59,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 Path::new(xmi),
                 rest.contains(&"--simplify"),
                 rest.contains(&"--weave-table1"),
+                rest.contains(&"--stats"),
             )
         }
         Some("slice") => {

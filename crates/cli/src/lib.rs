@@ -17,7 +17,9 @@
 #![warn(missing_debug_implementations)]
 
 use cm_codegen::{uml2django, Uml2DjangoOptions};
-use cm_contracts::{generate_with, render_listing, GenerateOptions, TraceabilityMatrix};
+use cm_contracts::{
+    generate_with, render_listing, CompiledContractSet, GenerateOptions, TraceabilityMatrix,
+};
 use cm_model::{
     behavioral_model_dot, behavioral_model_text, resource_model_dot, resource_model_text,
     slice_behavioral_model, validate_behavioral_model, validate_resource_model, SliceCriterion,
@@ -156,8 +158,10 @@ pub fn cmd_models(xmi_path: &Path, dot: bool) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `cmcli contracts <xmi> [--simplify] [--weave-table1]` — print the
-/// generated contracts for every trigger, Listing 1 style.
+/// `cmcli contracts <xmi> [--simplify] [--weave-table1] [--stats]` —
+/// print the generated contracts for every trigger, Listing 1 style.
+/// With `stats`, also compile each set and report the per-contract
+/// program sizes, memo-slot counts, and snapshot scopes.
 ///
 /// # Errors
 ///
@@ -166,6 +170,7 @@ pub fn cmd_contracts(
     xmi_path: &Path,
     simplify: bool,
     weave_table1: bool,
+    stats: bool,
 ) -> Result<String, CliError> {
     let text = std::fs::read_to_string(xmi_path)?;
     let doc = import(&text).map_err(|e| fail(e.to_string()))?;
@@ -198,8 +203,54 @@ pub fn cmd_contracts(
         let _ = writeln!(out, "Traceability ({}):", behavior.name);
         out.push_str(&matrix.render());
         out.push('\n');
+        if stats {
+            let compiled = CompiledContractSet::compile(&set);
+            let _ = writeln!(out, "Compiled stats ({}):", behavior.name);
+            for cc in compiled.contracts() {
+                let pre = cc.pre_program();
+                let post = cc.post_program();
+                let _ = writeln!(
+                    out,
+                    "  {}: pre {} nodes / {} memo slots, post {} nodes / {} memo slots",
+                    cc.trigger,
+                    pre.node_count(),
+                    pre.memo_slot_count(),
+                    post.node_count(),
+                    post.memo_slot_count()
+                );
+                let _ = writeln!(
+                    out,
+                    "    pre snapshot scope : {}",
+                    scope_line(cc.pre_scope())
+                );
+                let _ = writeln!(
+                    out,
+                    "    post snapshot scope: {}",
+                    scope_line(cc.post_scope())
+                );
+            }
+            let _ = writeln!(out, "  symbols interned: {}", compiled.symbols().len());
+            out.push('\n');
+        }
     }
     Ok(out)
+}
+
+/// Render an attribute scope as `root.attr, root.attr` plus an
+/// exactness marker for the wildcard fallback.
+fn scope_line(scope: &cm_ocl::AttrScope) -> String {
+    let pairs = scope
+        .pairs()
+        .iter()
+        .map(|(root, attr)| format!("{root}.{attr}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let body = if pairs.is_empty() { "(empty)" } else { &pairs };
+    if scope.is_exact() {
+        body.to_string()
+    } else {
+        format!("{body} [inexact]")
+    }
 }
 
 /// `cmcli slice <xmi> (--secreq IDS | --method METHODS) <out.xmi>` —
@@ -368,8 +419,10 @@ pub fn usage() -> &'static str {
        cmcli export-cinder [--extended] <out.xmi>  write the Figure 3 models\n\
        cmcli validate <xmi>                   well-formedness report\n\
        cmcli models <xmi> [--dot]             render models as text or Graphviz\n\
-       cmcli contracts <xmi> [--simplify] [--weave-table1]\n\
-                                              print generated contracts (Listing 1)\n\
+       cmcli contracts <xmi> [--simplify] [--weave-table1] [--stats]\n\
+                                              print generated contracts (Listing 1);\n\
+                                              --stats adds compiled program sizes,\n\
+                                              memo slots, and snapshot scopes\n\
        cmcli slice <xmi> --secreq 1.4 <out>   slice by requirement ids\n\
        cmcli slice <xmi> --method DELETE <out> slice by trigger methods\n\
        cmcli table1                           print Table I + policy.json\n\
@@ -412,11 +465,28 @@ mod tests {
     fn contracts_command_prints_listings() {
         let path = tmp("b.xmi");
         cmd_export_cinder(&path).unwrap();
-        let out = cmd_contracts(&path, false, false).unwrap();
+        let out = cmd_contracts(&path, false, false, false).unwrap();
         assert!(out.contains("PreCondition(DELETE(/v3/{project_id}/volumes/{volume_id})):"));
         assert!(out.contains("Traceability (CinderProject):"));
-        let simplified = cmd_contracts(&path, true, true).unwrap();
+        let simplified = cmd_contracts(&path, true, true, false).unwrap();
         assert!(simplified.contains("PostCondition"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn contracts_stats_reports_compiled_programs() {
+        let path = tmp("b-stats.xmi");
+        cmd_export_cinder(&path).unwrap();
+        let out = cmd_contracts(&path, false, false, true).unwrap();
+        assert!(out.contains("Compiled stats (CinderProject):"), "{out}");
+        assert!(out.contains("DELETE(volume): pre "), "{out}");
+        assert!(out.contains("memo slots"), "{out}");
+        assert!(out.contains("pre snapshot scope : "), "{out}");
+        assert!(out.contains("volume.status"), "{out}");
+        assert!(out.contains("symbols interned: "), "{out}");
+        // Without the flag, no stats section.
+        let plain = cmd_contracts(&path, false, false, false).unwrap();
+        assert!(!plain.contains("Compiled stats"));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -435,7 +505,7 @@ mod tests {
         // The sliced file validates and regenerates contracts.
         let report = cmd_validate(&output).unwrap();
         assert!(report.contains("well-formed"), "{report}");
-        let contracts = cmd_contracts(&output, false, false).unwrap();
+        let contracts = cmd_contracts(&output, false, false, false).unwrap();
         assert!(contracts.contains("DELETE"));
         assert!(!contracts.contains("PreCondition(POST"));
         std::fs::remove_file(&input).unwrap();
@@ -563,7 +633,7 @@ mod extended_cli_tests {
         let report = cmd_validate(&path).unwrap();
         assert!(report.contains("behavioral model `CinderProject`"));
         assert!(report.contains("behavioral model `CinderSnapshots`"));
-        let contracts = cmd_contracts(&path, true, false).unwrap();
+        let contracts = cmd_contracts(&path, true, false, false).unwrap();
         assert!(
             contracts
                 .contains("PreCondition(POST(/v3/{project_id}/volumes/{volume_id}/snapshots)):"),

@@ -32,10 +32,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod compiled;
 pub mod contract;
 pub mod generate;
 pub mod trace;
 
+pub use compiled::{CompiledContract, CompiledContractSet};
 pub use contract::{ContractClause, ContractSet, MethodContract};
 pub use generate::{generate, generate_with, GenerateError, GenerateOptions};
 pub use trace::{render_listing, TraceRow, TraceabilityMatrix};

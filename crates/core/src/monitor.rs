@@ -22,9 +22,10 @@
 
 use crate::coverage::CoverageTracker;
 use crate::probe::{ProbeTarget, StateProber};
-use cm_contracts::{generate_with, ContractSet, GenerateOptions};
+use cm_contracts::{generate_with, CompiledContractSet, ContractSet, GenerateOptions};
 use cm_model::{BehavioralModel, HttpMethod, ResourceModel, Trigger};
 use cm_obs::{EventSink, MetricsRegistry, MonitorEvent, PhaseTimings, RingBufferSink};
+use cm_ocl::{EnvView, EvalScratch};
 use cm_rbac::SecurityRequirementsTable;
 use cm_rest::{
     Json, Resolution, RestRequest, RestResponse, RouteTable, SharedRestService, StatusCode,
@@ -73,6 +74,25 @@ pub enum SnapshotPolicy {
     /// paper's "only the values that constitute the guards and
     /// invariants". Saves one REST round-trip per unreferenced root.
     Minimal,
+    /// Probe only the individual `(root, attribute)` pairs the compiled
+    /// contract's `pre()`/invariant analysis recorded, per phase: the
+    /// pre-phase snapshot additionally covers the post-condition's
+    /// `pre()` reads, since it doubles as the post's pre-state. Falls
+    /// back to whole-root probing when the analysis is inexact (`let`
+    /// aliasing).
+    Scoped,
+}
+
+/// Which contract-evaluation pipeline runs on the wire path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalStrategy {
+    /// Compiled programs: interned symbols, hash-consed nodes, memoized
+    /// invariants, reusable per-shard scratch. Default.
+    #[default]
+    Compiled,
+    /// The tree-walking interpreter — kept as the reference oracle for
+    /// differential tests and A/B benchmarks.
+    Interpreter,
 }
 
 /// Monitoring mode; see the module docs.
@@ -211,8 +231,12 @@ pub struct CloudMonitor<S: SharedRestService> {
     cloud: S,
     routes: RouteTable,
     contracts: ContractSet,
+    /// The contracts lowered to compiled programs (parallel to
+    /// `contracts.contracts`), built once at generate time.
+    compiled: CompiledContractSet,
     prober: StateProber,
     mode: Mode,
+    eval_strategy: EvalStrategy,
     snapshot_policy: SnapshotPolicy,
     monitor_token: String,
     /// Project the monitor's probe token is scoped to (learned during
@@ -224,7 +248,9 @@ pub struct CloudMonitor<S: SharedRestService> {
     project_tokens: HashMap<u64, String>,
     /// Per-resource log shards; a request locks exactly one for the whole
     /// snapshot→forward→snapshot protocol, giving per-resource atomicity.
-    log_shards: Box<[Mutex<Vec<MonitorRecord>>]>,
+    /// Each shard also owns the reusable evaluation scratch for requests
+    /// processed under its lock.
+    log_shards: Box<[Mutex<LogShard>]>,
     /// Global sequence counter; see [`MonitorRecord::seq`].
     seq: AtomicU64,
     coverage: CoverageTracker,
@@ -232,10 +258,20 @@ pub struct CloudMonitor<S: SharedRestService> {
     events: Arc<dyn EventSink>,
 }
 
+/// Per-shard mutable state: the log records plus the reusable evaluation
+/// scratch (interned locals stack + memo slots). The scratch lives with
+/// the shard so steady-state contract checking reuses its allocations
+/// request after request instead of reallocating per call.
+#[derive(Debug, Default)]
+struct LogShard {
+    records: Vec<MonitorRecord>,
+    scratch: EvalScratch,
+}
+
 /// Freshly allocated, empty log shards.
-fn new_log_shards() -> Box<[Mutex<Vec<MonitorRecord>>]> {
+fn new_log_shards() -> Box<[Mutex<LogShard>]> {
     (0..MONITOR_SHARDS)
-        .map(|_| Mutex::new(Vec::new()))
+        .map(|_| Mutex::new(LogShard::default()))
         .collect()
 }
 
@@ -267,12 +303,15 @@ impl<S: SharedRestService> CloudMonitor<S> {
         )
         .map_err(|e| MonitorBuildError { message: e.message })?;
         let coverage = CoverageTracker::new(&contracts.covered_requirements());
+        let compiled = CompiledContractSet::compile(&contracts);
         Ok(CloudMonitor {
             cloud,
             routes: RouteTable::derive(resources, "/v3"),
             contracts,
+            compiled,
             prober: StateProber::default(),
             mode: Mode::Enforce,
+            eval_strategy: EvalStrategy::Compiled,
             snapshot_policy: SnapshotPolicy::Full,
             monitor_token: String::new(),
             monitor_project: None,
@@ -324,12 +363,15 @@ impl<S: SharedRestService> CloudMonitor<S> {
             merged.states.extend(set.states);
         }
         let coverage = CoverageTracker::new(&merged.covered_requirements());
+        let compiled = CompiledContractSet::compile(&merged);
         Ok(CloudMonitor {
             cloud,
             routes: RouteTable::derive(resources, "/v3"),
             contracts: merged,
+            compiled,
             prober: StateProber::default(),
             mode: Mode::Enforce,
+            eval_strategy: EvalStrategy::Compiled,
             snapshot_policy: SnapshotPolicy::Full,
             monitor_token: String::new(),
             monitor_project: None,
@@ -353,6 +395,14 @@ impl<S: SharedRestService> CloudMonitor<S> {
     #[must_use]
     pub fn snapshot_policy(mut self, policy: SnapshotPolicy) -> Self {
         self.snapshot_policy = policy;
+        self
+    }
+
+    /// Select the evaluation strategy (compiled by default; the
+    /// interpreter is kept for differential testing and benchmarks).
+    #[must_use]
+    pub fn eval_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.eval_strategy = strategy;
         self
     }
 
@@ -492,7 +542,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
         let mut all: Vec<MonitorRecord> = self
             .log_shards
             .iter()
-            .flat_map(|shard| shard.lock().unwrap().clone())
+            .flat_map(|shard| shard.lock().unwrap().records.clone())
             .collect();
         all.sort_by_key(|r| r.seq);
         all
@@ -508,6 +558,12 @@ impl<S: SharedRestService> CloudMonitor<S> {
     #[must_use]
     pub fn contracts(&self) -> &ContractSet {
         &self.contracts
+    }
+
+    /// The compiled form of the contracts (stats / audit introspection).
+    #[must_use]
+    pub fn compiled_contracts(&self) -> &CompiledContractSet {
+        &self.compiled
     }
 
     /// The derived route table.
@@ -545,13 +601,14 @@ impl<S: SharedRestService> CloudMonitor<S> {
     pub fn process(&self, request: &RestRequest) -> MonitorOutcome {
         let started = Instant::now();
         let shard = &self.log_shards[self.shard_index(&request.path)];
-        let mut shard_log = shard.lock().unwrap();
+        let mut shard = shard.lock().unwrap();
         // The global sequence number is taken at admission (snapshot
         // time), under the shard lock — not at log-append time — so that
         // sorting the merged log by seq replays per-resource causal order.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut obs = ObsScratch::default();
-        let (outcome, trigger, diagnostics) = self.process_inner(request, &mut obs);
+        let (outcome, trigger, diagnostics) =
+            self.process_inner(request, &mut obs, &mut shard.scratch);
         obs.timings.total = started.elapsed();
         let event = MonitorEvent {
             seq: 0, // assigned by the sink
@@ -580,10 +637,10 @@ impl<S: SharedRestService> CloudMonitor<S> {
         };
         self.coverage.record(&record);
         debug_assert!(
-            shard_log.last().is_none_or(|prev| prev.seq < seq),
+            shard.records.last().is_none_or(|prev| prev.seq < seq),
             "per-shard log must stay seq-ordered"
         );
-        shard_log.push(record);
+        shard.records.push(record);
         outcome
     }
 
@@ -592,6 +649,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
         &self,
         request: &RestRequest,
         obs: &mut ObsScratch,
+        scratch: &mut EvalScratch,
     ) -> (MonitorOutcome, Option<Trigger>, String) {
         // 1. Resolve the URI against the model-derived routes.
         let (route, params) = match self.routes.resolve(request.method, &request.path) {
@@ -600,14 +658,14 @@ impl<S: SharedRestService> CloudMonitor<S> {
                 (route.clone(), params)
             }
             Resolution::MethodNotAllowed { route } => {
-                // Listing 2: HttpResponseNotAllowed.
-                let allowed: Vec<&str> = route.methods.iter().map(|m| m.as_str()).collect();
+                // Listing 2: HttpResponseNotAllowed. `route.allow` is the
+                // method list pre-joined at derivation time.
                 if self.mode == Mode::Enforce {
                     let resp = RestResponse::error(
                         StatusCode::METHOD_NOT_ALLOWED,
-                        format!("method not allowed; allowed: {}", allowed.join(", ")),
+                        format!("method not allowed; allowed: {}", route.allow),
                     )
-                    .header("Allow", allowed.join(", "));
+                    .header("Allow", route.allow.clone());
                     return (
                         MonitorOutcome {
                             response: resp,
@@ -649,9 +707,10 @@ impl<S: SharedRestService> CloudMonitor<S> {
             }
         };
 
-        // 2. Map to the behavioural trigger and its contract.
+        // 2. Map to the behavioural trigger and its contract (borrowed —
+        //    the read side is immutable, nothing needs cloning).
         let trigger = Trigger::new(request.method, route.trigger_resource(request.method));
-        let Some(contract) = self.contracts.contract_for(&trigger).cloned() else {
+        let Some(contract_idx) = self.compiled.index_for(&trigger) else {
             let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
             return (
                 MonitorOutcome {
@@ -663,6 +722,9 @@ impl<S: SharedRestService> CloudMonitor<S> {
                 "no contract for trigger".to_string(),
             );
         };
+        let contract = &self.contracts.contracts[contract_idx];
+        let compiled = &self.compiled.contracts()[contract_idx];
+        let syms = self.compiled.symbols();
 
         // 3. Identify the probe target from the captured URI parameters.
         let Some(project_id) = params.get("project_id").and_then(|s| s.parse::<u64>().ok()) else {
@@ -694,15 +756,26 @@ impl<S: SharedRestService> CloudMonitor<S> {
                 .unwrap_or_else(|| self.monitor_token.clone()),
         };
 
-        // 4. Snapshot the pre-state and check the pre-condition.
-        let scope = match self.snapshot_policy {
-            SnapshotPolicy::Full => None,
-            SnapshotPolicy::Minimal => Some(contract.referenced_roots()),
+        // 4. Snapshot the pre-state and check the pre-condition. The
+        //    pre-phase attribute scope includes the post-condition's
+        //    `pre()` reads — this snapshot doubles as the post's
+        //    pre-state.
+        let minimal_roots = match self.snapshot_policy {
+            SnapshotPolicy::Minimal => contract.referenced_roots(),
+            _ => Vec::new(),
         };
-        let (pre_state, probe_errors) = timed(&mut obs.timings.snapshot, || match &scope {
-            None => self.prober.snapshot_checked(&self.cloud, &target),
-            Some(roots) => self.prober.snapshot_scoped(&self.cloud, &target, roots),
-        });
+        let (pre_state, probe_errors) =
+            timed(&mut obs.timings.snapshot, || match self.snapshot_policy {
+                SnapshotPolicy::Full => self.prober.snapshot_checked(&self.cloud, &target),
+                SnapshotPolicy::Minimal => {
+                    self.prober
+                        .snapshot_scoped(&self.cloud, &target, &minimal_roots)
+                }
+                SnapshotPolicy::Scoped => {
+                    self.prober
+                        .snapshot_attrs(&self.cloud, &target, compiled.pre_scope())
+                }
+            });
         // Probe denials are only meaningful where the monitor has probe
         // authority: a request addressed to a foreign project is expected
         // to be unobservable (and its pre-condition correctly fails on the
@@ -715,9 +788,19 @@ impl<S: SharedRestService> CloudMonitor<S> {
             }
             _ => probe_errors,
         };
+        // The interned view of the pre-state snapshot serves the
+        // pre-check, requirement attribution, and later the post phase's
+        // pre-state environment.
+        let pre_view = EnvView::from_navigator(&pre_state, syms);
         let pre_ok = match timed(&mut obs.timings.pre_check, || {
             obs.contract = Some(contract.trigger.to_string());
-            contract.evaluate_pre(&pre_state)
+            match self.eval_strategy {
+                EvalStrategy::Compiled => {
+                    compiled.begin_pre(scratch);
+                    compiled.evaluate_pre(syms, &pre_view, scratch)
+                }
+                EvalStrategy::Interpreter => contract.evaluate_pre(&pre_state),
+            }
         }) {
             Ok(v) => v,
             Err(e) => {
@@ -738,10 +821,27 @@ impl<S: SharedRestService> CloudMonitor<S> {
                 );
             }
         };
-        let requirements = timed(&mut obs.timings.pre_check, || {
-            contract
+        let requirements = timed(&mut obs.timings.pre_check, || match self.eval_strategy {
+            // The clause roots are shared subtrees of the combined pre
+            // (hash-consing), so with the memo table still warm from
+            // `evaluate_pre` this is nearly free.
+            EvalStrategy::Compiled => compiled
+                .enabled_clause_indices(syms, &pre_view, scratch)
+                .map(|idxs| {
+                    let mut out: Vec<String> = Vec::new();
+                    for i in idxs {
+                        for r in &contract.clauses[i].security_requirements {
+                            if !out.contains(r) {
+                                out.push(r.clone());
+                            }
+                        }
+                    }
+                    out
+                })
+                .unwrap_or_default(),
+            EvalStrategy::Interpreter => contract
                 .exercised_requirements(&pre_state)
-                .unwrap_or_default()
+                .unwrap_or_default(),
         });
 
         if self.mode == Mode::Enforce && !pre_ok {
@@ -776,20 +876,50 @@ impl<S: SharedRestService> CloudMonitor<S> {
                     format!("expected {expected}, got {}", response.status),
                 )
             } else {
-                let post_state = timed(&mut obs.timings.snapshot, || match &scope {
-                    None => self.prober.snapshot(&self.cloud, &target),
-                    Some(roots) => self.prober.snapshot_scoped(&self.cloud, &target, roots).0,
+                let post_state = timed(&mut obs.timings.snapshot, || match self.snapshot_policy {
+                    SnapshotPolicy::Full => self.prober.snapshot(&self.cloud, &target),
+                    SnapshotPolicy::Minimal => {
+                        self.prober
+                            .snapshot_scoped(&self.cloud, &target, &minimal_roots)
+                            .0
+                    }
+                    SnapshotPolicy::Scoped => {
+                        self.prober
+                            .snapshot_attrs(&self.cloud, &target, compiled.post_scope())
+                            .0
+                    }
                 });
+                let post_view = match self.eval_strategy {
+                    EvalStrategy::Compiled => Some(EnvView::from_navigator(&post_state, syms)),
+                    EvalStrategy::Interpreter => None,
+                };
                 match timed(&mut obs.timings.post_check, || {
-                    contract.evaluate_post(&post_state, &pre_state)
+                    match (self.eval_strategy, &post_view) {
+                        (EvalStrategy::Compiled, Some(view)) => {
+                            compiled.begin_post(scratch);
+                            compiled.evaluate_post(syms, view, &pre_view, scratch)
+                        }
+                        _ => contract.evaluate_post(&post_state, &pre_state),
+                    }
                 }) {
                     Ok(true) => {
                         // The paper's stateful view: report which model
                         // state the system is in after the call.
                         let states = timed(&mut obs.timings.post_check, || {
-                            self.contracts
-                                .states_matching(&post_state)
-                                .unwrap_or_default()
+                            match (self.eval_strategy, &post_view) {
+                                (EvalStrategy::Compiled, Some(view)) => compiled
+                                    .matching_state_indices_post(syms, view, &pre_view, scratch)
+                                    .map(|idxs| {
+                                        idxs.iter()
+                                            .map(|&i| self.compiled.state_names()[i].clone())
+                                            .collect::<Vec<_>>()
+                                    })
+                                    .unwrap_or_default(),
+                                _ => self
+                                    .contracts
+                                    .states_matching(&post_state)
+                                    .unwrap_or_default(),
+                            }
                         });
                         let diagnostics = if states.is_empty() {
                             String::new()
@@ -1213,7 +1343,14 @@ mod snapshot_policy_tests {
     fn minimal_policy_gives_same_verdicts_on_cinder() {
         // The Cinder contracts reference all four roots, so Minimal and
         // Full must agree everywhere (Minimal just proves no regression).
-        for policy in [SnapshotPolicy::Full, SnapshotPolicy::Minimal] {
+        // Scoped prunes further — to attribute level — and must still
+        // agree because the compiler records every attribute a contract
+        // can read.
+        for policy in [
+            SnapshotPolicy::Full,
+            SnapshotPolicy::Minimal,
+            SnapshotPolicy::Scoped,
+        ] {
             let cloud = PrivateCloud::my_project();
             let pid = cloud.project_id();
             let admin = cloud.issue_token("alice", "alice-pw").unwrap();
@@ -1243,6 +1380,121 @@ mod snapshot_policy_tests {
                     .auth_token(&admin.token),
             );
             assert_eq!(deleted.verdict, Verdict::Pass, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn scoped_snapshot_still_catches_mutated_attributes() {
+        // The pre()-reference analysis must keep every attribute a
+        // post-condition reads inside the scoped snapshot: a cloud that
+        // reports DELETE success but silently keeps the volume
+        // (DropStateChange) mutates `project.volumes` relative to the
+        // claimed transition, and the Scoped policy has to notice it
+        // exactly like Full does.
+        use cm_cloudsim::{Fault, FaultPlan};
+        for policy in [SnapshotPolicy::Full, SnapshotPolicy::Scoped] {
+            let cloud =
+                PrivateCloud::my_project().with_faults(FaultPlan::single(Fault::DropStateChange {
+                    action: "volume:delete".into(),
+                }));
+            let pid = cloud.project_id();
+            let vid = cloud
+                .state_mut()
+                .create_volume(pid, "v", 1, false)
+                .unwrap()
+                .id;
+            let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
+            let mut monitor = cinder_monitor(cloud)
+                .unwrap()
+                .mode(Mode::Observe)
+                .snapshot_policy(policy);
+            monitor.authenticate("alice", "alice-pw").unwrap();
+            let outcome = monitor.process(
+                &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
+                    .auth_token(&admin),
+            );
+            assert_eq!(outcome.verdict, Verdict::PostViolation, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn scoped_snapshot_still_catches_quota_overflow() {
+        // `quota_sets.volume` is only read by the CREATE guard; the
+        // attribute-level scope must still probe it so an over-quota
+        // create is blocked under Scoped just as under Full.
+        for policy in [SnapshotPolicy::Full, SnapshotPolicy::Scoped] {
+            let cloud = PrivateCloud::my_project();
+            let pid = cloud.project_id();
+            let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
+            let mut monitor = cinder_monitor(cloud)
+                .unwrap()
+                .mode(Mode::Enforce)
+                .snapshot_policy(policy);
+            monitor.authenticate("alice", "alice-pw").unwrap();
+            let create = |name: &str| {
+                RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes"))
+                    .auth_token(&admin)
+                    .json(Json::object(vec![(
+                        "volume",
+                        Json::object(vec![("name", Json::Str(name.into()))]),
+                    )]))
+            };
+            for i in 0..cm_cloudsim::DEFAULT_VOLUME_QUOTA {
+                let ok = monitor.process(&create(&format!("v{i}")));
+                assert_eq!(ok.verdict, Verdict::Pass, "{policy:?}");
+            }
+            let over = monitor.process(&create("overflow"));
+            assert_eq!(over.verdict, Verdict::PreBlocked, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn compiled_and_interpreter_strategies_agree_step_by_step() {
+        // Run the same request script through two monitors that differ
+        // only in evaluation strategy, comparing every outcome field the
+        // interpreter acts as the differential oracle for the compiler.
+        let build = |strategy: EvalStrategy| {
+            let cloud = PrivateCloud::my_project();
+            let pid = cloud.project_id();
+            let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
+            let carol = cloud.issue_token("carol", "carol-pw").unwrap().token;
+            let mut monitor = cinder_monitor(cloud)
+                .unwrap()
+                .mode(Mode::Observe)
+                .eval_strategy(strategy);
+            monitor.authenticate("alice", "alice-pw").unwrap();
+            (monitor, pid, admin, carol)
+        };
+        let (compiled, pid, admin, carol) = build(EvalStrategy::Compiled);
+        let (interp, _, _, _) = build(EvalStrategy::Interpreter);
+        let script: Vec<RestRequest> = vec![
+            RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes"))
+                .auth_token(&admin)
+                .json(Json::object(vec![(
+                    "volume",
+                    Json::object(vec![("name", Json::Str("v".into()))]),
+                )])),
+            RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/1")).auth_token(&admin),
+            RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1")).auth_token(&carol),
+            RestRequest::new(HttpMethod::Put, format!("/v3/{pid}/volumes/1"))
+                .auth_token(&admin)
+                .json(Json::object(vec![(
+                    "volume",
+                    Json::object(vec![("name", Json::Str("v2".into()))]),
+                )])),
+            RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1")).auth_token(&admin),
+            RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/999"))
+                .auth_token(&admin),
+        ];
+        for req in &script {
+            let a = compiled.process(req);
+            let b = interp.process(req);
+            assert_eq!(a.verdict, b.verdict, "{req:?}");
+            assert_eq!(a.requirements, b.requirements, "{req:?}");
+            assert_eq!(a.response.status, b.response.status, "{req:?}");
+            let da = compiled.log().last().unwrap().diagnostics.clone();
+            let db = interp.log().last().unwrap().diagnostics.clone();
+            assert_eq!(da, db, "{req:?}");
         }
     }
 }

@@ -12,8 +12,45 @@
 //! produces the post-state.
 
 use cm_model::HttpMethod;
-use cm_ocl::{MapNavigator, ObjRef, Value};
+use cm_ocl::{AttrScope, MapNavigator, ObjRef, Value};
 use cm_rest::{Json, RestRequest, RestResponse, SharedRestService, StatusCode};
+
+/// How much of the evaluation environment a snapshot materialises.
+#[derive(Debug, Clone, Copy)]
+enum ProbeScope<'a> {
+    /// Every probe request.
+    Full,
+    /// Whole context roots (the `SnapshotPolicy::Minimal` granularity).
+    Roots(&'a [String]),
+    /// Individual `(root, attribute)` pairs from the compile-time
+    /// analysis (the `SnapshotPolicy::Scoped` granularity).
+    Attrs(&'a AttrScope),
+}
+
+impl ProbeScope<'_> {
+    /// Does the contract read `root.attr`?
+    fn needs(self, root: &str, attr: &str) -> bool {
+        match self {
+            ProbeScope::Full => true,
+            ProbeScope::Roots(roots) => roots.iter().any(|r| r == root),
+            ProbeScope::Attrs(s) => s.contains(root, attr),
+        }
+    }
+
+    /// Does the contract read any attribute of `root` besides `excluded`?
+    fn needs_other_than(self, root: &str, excluded: &str) -> bool {
+        match self {
+            ProbeScope::Full => true,
+            ProbeScope::Roots(roots) => roots.iter().any(|r| r == root),
+            ProbeScope::Attrs(s) => s.pairs().iter().any(|(r, a)| r == root && a != excluded),
+        }
+    }
+
+    /// Does the contract read any attribute of `root` at all?
+    fn needs_any(self, root: &str) -> bool {
+        self.needs_other_than(root, "")
+    }
+}
 
 /// Identifies the slice of cloud state a contract evaluation needs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,7 +121,7 @@ impl StateProber {
         target: &ProbeTarget,
     ) -> (MapNavigator, Vec<String>) {
         let mut errors = Vec::new();
-        let nav = self.snapshot_impl(cloud, target, &mut errors, None);
+        let nav = self.snapshot_impl(cloud, target, &mut errors, ProbeScope::Full);
         (nav, errors)
     }
 
@@ -101,7 +138,26 @@ impl StateProber {
         scope: &[String],
     ) -> (MapNavigator, Vec<String>) {
         let mut errors = Vec::new();
-        let nav = self.snapshot_impl(cloud, target, &mut errors, Some(scope));
+        let nav = self.snapshot_impl(cloud, target, &mut errors, ProbeScope::Roots(scope));
+        (nav, errors)
+    }
+
+    /// Like [`StateProber::snapshot_scoped`], but at *attribute*
+    /// granularity: probe requests are issued only when some
+    /// `(root, attribute)` pair they would bind is in `scope` — the pairs
+    /// the compiled contract's `pre()`/invariant analysis recorded. A
+    /// contract that reads `project.volumes` but never `project.id` skips
+    /// the project GET entirely; one that never mentions
+    /// `volume.snapshots` skips the snapshots listing even though it
+    /// reads the volume item.
+    pub fn snapshot_attrs(
+        &self,
+        cloud: &dyn SharedRestService,
+        target: &ProbeTarget,
+        scope: &AttrScope,
+    ) -> (MapNavigator, Vec<String>) {
+        let mut errors = Vec::new();
+        let nav = self.snapshot_impl(cloud, target, &mut errors, ProbeScope::Attrs(scope));
         (nav, errors)
     }
 
@@ -121,7 +177,7 @@ impl StateProber {
     ///   guards use role names as group labels), `user.roles` — the full
     ///   role set, `user.id` — the user id.
     pub fn snapshot(&self, cloud: &dyn SharedRestService, target: &ProbeTarget) -> MapNavigator {
-        self.snapshot_impl(cloud, target, &mut Vec::new(), None)
+        self.snapshot_impl(cloud, target, &mut Vec::new(), ProbeScope::Full)
     }
 
     fn snapshot_impl(
@@ -129,9 +185,8 @@ impl StateProber {
         cloud: &dyn SharedRestService,
         target: &ProbeTarget,
         errors: &mut Vec<String>,
-        scope: Option<&[String]>,
+        scope: ProbeScope<'_>,
     ) -> MapNavigator {
-        let in_scope = |root: &str| scope.is_none_or(|roots| roots.iter().any(|r| r == root));
         let mut nav = MapNavigator::new();
         let pid = target.project_id;
         let project = ObjRef::new("project", pid);
@@ -140,7 +195,7 @@ impl StateProber {
         nav.set_variable("quota_sets", quota.clone());
 
         // project.id: Set{pid} iff GET project → 200.
-        if in_scope("project") {
+        if scope.needs("project", "id") || scope.needs("project", "name") {
             let proj_resp = self.get(
                 cloud,
                 &target.monitor_token,
@@ -165,8 +220,12 @@ impl StateProber {
             } else {
                 nav.set_attribute(project.clone(), "id", Value::set(vec![]));
             }
+        }
 
-            // project.volumes: refs from the listing; volume attributes.
+        // project.volumes: refs from the listing; volume attributes (the
+        // listing binds the element attributes too, so a contract reading
+        // `project.volumes->forAll(v | v.status …)` needs only this pair).
+        if scope.needs("project", "volumes") {
             let vols_resp = self.get(
                 cloud,
                 &target.monitor_token,
@@ -209,7 +268,10 @@ impl StateProber {
         let vid = target.volume_id.unwrap_or(0);
         let volume = ObjRef::new("volume", vid);
         nav.set_variable("volume", volume.clone());
-        if let Some(vid) = target.volume_id.filter(|_| in_scope("volume")) {
+        if let Some(vid) = target
+            .volume_id
+            .filter(|_| scope.needs_other_than("volume", "snapshots"))
+        {
             let v_resp = self.get(
                 cloud,
                 &target.monitor_token,
@@ -237,7 +299,10 @@ impl StateProber {
         }
 
         // volume.snapshots + the addressed snapshot (extended model).
-        if let Some(vid) = target.volume_id.filter(|_| in_scope("volume")) {
+        if let Some(vid) = target
+            .volume_id
+            .filter(|_| scope.needs("volume", "snapshots"))
+        {
             let s_resp = self.get(
                 cloud,
                 &target.monitor_token,
@@ -277,7 +342,7 @@ impl StateProber {
         let snapshot = ObjRef::new("snapshot", target.snapshot_id.unwrap_or(0));
         nav.set_variable("snapshot", snapshot.clone());
         if let (Some(vid), Some(sid)) = (target.volume_id, target.snapshot_id) {
-            if in_scope("snapshot") {
+            if scope.needs_any("snapshot") {
                 let resp = self.get(
                     cloud,
                     &target.monitor_token,
@@ -303,7 +368,7 @@ impl StateProber {
         }
 
         // quota_sets.volume.
-        if in_scope("quota_sets") {
+        if scope.needs_any("quota_sets") {
             let q_resp = self.get(
                 cloud,
                 &target.monitor_token,
@@ -324,7 +389,7 @@ impl StateProber {
         // user: introspect the requester's token.
         // Token introspection 404s for unauthenticated requesters; that is
         // a legitimate outcome, not a probe anomaly.
-        if in_scope("user") {
+        if scope.needs_any("user") {
             let user_resp = self.get(
                 cloud,
                 &target.monitor_token,
@@ -560,6 +625,63 @@ mod scoped_tests {
         // attribute-free, so guards over them evaluate, not error.
         let q = parse("quota_sets.volume.oclIsUndefined()").unwrap();
         assert!(EvalContext::new(&nav).eval_bool(&q).unwrap());
+    }
+
+    #[test]
+    fn attr_scoped_snapshot_skips_unreferenced_attributes() {
+        let (cloud, target) = setup();
+        let prober = StateProber::default();
+        let scope = cm_ocl::AttrScope::new(
+            vec![
+                ("project".to_string(), "volumes".to_string()),
+                ("user".to_string(), "groups".to_string()),
+            ],
+            true,
+        );
+        let (nav, errors) = prober.snapshot_attrs(&cloud, &target, &scope);
+        assert!(errors.is_empty());
+        // Volumes listing + token introspection only: no project GET, no
+        // volume item (the target names one!), no snapshots, no quota.
+        assert_eq!(cloud.requests.load(std::sync::atomic::Ordering::Relaxed), 2);
+        let e = parse("project.volumes->size() = 1 and user.groups = 'admin'").unwrap();
+        assert!(EvalContext::new(&nav).eval_bool(&e).unwrap());
+        // Unprobed attributes are undefined, not errors.
+        let q = parse("quota_sets.volume.oclIsUndefined()").unwrap();
+        assert!(EvalContext::new(&nav).eval_bool(&q).unwrap());
+    }
+
+    #[test]
+    fn attr_scope_on_volume_splits_item_from_snapshots_listing() {
+        let (cloud, target) = setup();
+        let prober = StateProber::default();
+        // Only volume.status: the volume item GET runs, the snapshots
+        // listing does not.
+        let scope =
+            cm_ocl::AttrScope::new(vec![("volume".to_string(), "status".to_string())], true);
+        let _ = prober.snapshot_attrs(&cloud, &target, &scope);
+        assert_eq!(cloud.requests.load(std::sync::atomic::Ordering::Relaxed), 1);
+
+        // Only volume.snapshots: the listing runs, the item GET does not.
+        let (cloud2, target2) = setup();
+        let scope2 =
+            cm_ocl::AttrScope::new(vec![("volume".to_string(), "snapshots".to_string())], true);
+        let (nav, _) = prober.snapshot_attrs(&cloud2, &target2, &scope2);
+        assert_eq!(
+            cloud2.requests.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        let e = parse("volume.snapshots->size() = 0").unwrap();
+        assert!(EvalContext::new(&nav).eval_bool(&e).unwrap());
+    }
+
+    #[test]
+    fn attr_wildcard_scope_probes_the_whole_root() {
+        let (cloud, target) = setup();
+        let prober = StateProber::default();
+        let scope = cm_ocl::AttrScope::wildcard(&["volume".to_string()]);
+        let _ = prober.snapshot_attrs(&cloud, &target, &scope);
+        // Wildcard volume = item GET + snapshots listing, like Roots.
+        assert_eq!(cloud.requests.load(std::sync::atomic::Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use crate::ast::{BinOp, CollectionKind, Expr, IterOp, UnOp};
 use crate::value::{ObjRef, Value};
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
@@ -90,6 +91,13 @@ impl MapNavigator {
     pub fn variables(&self) -> impl Iterator<Item = (&str, &Value)> {
         self.variables.iter().map(|(k, v)| (k.as_str(), v))
     }
+
+    /// Iterate over attribute bindings as `(object, property, value)`.
+    pub fn attributes(&self) -> impl Iterator<Item = (&ObjRef, &str, &Value)> {
+        self.attributes
+            .iter()
+            .map(|((obj, prop), v)| (obj, prop.as_str(), v))
+    }
 }
 
 impl Navigator for MapNavigator {
@@ -112,7 +120,7 @@ pub struct EvalError {
 }
 
 impl EvalError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         EvalError {
             message: message.into(),
         }
@@ -274,7 +282,7 @@ impl<'a> EvalContext<'a> {
                 for a in args {
                     argv.push(self.eval_in(a, pre_state)?);
                 }
-                self.collection_op(&src, op, &argv)
+                collection_op(&src, op, &argv)
             }
             Expr::Iterate {
                 source,
@@ -283,31 +291,13 @@ impl<'a> EvalContext<'a> {
                 body,
             } => {
                 let src = self.eval_in(source, pre_state)?;
-                let items = as_arrow_collection(&src);
+                let items = arrow_items(&src);
                 self.iterate(*op, var, body, &items, pre_state)
             }
             Expr::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs, pre_state),
             Expr::Unary { op, operand } => {
                 let v = self.eval_in(operand, pre_state)?;
-                match op {
-                    UnOp::Not => match v {
-                        Value::Bool(b) => Ok(Value::Bool(!b)),
-                        Value::Undefined => Ok(Value::Undefined),
-                        other => Err(EvalError::new(format!(
-                            "`not` applied to {}",
-                            other.type_name()
-                        ))),
-                    },
-                    UnOp::Neg => match v {
-                        Value::Int(n) => Ok(Value::Int(-n)),
-                        Value::Real(r) => Ok(Value::Real(-r)),
-                        Value::Undefined => Ok(Value::Undefined),
-                        other => Err(EvalError::new(format!(
-                            "unary `-` applied to {}",
-                            other.type_name()
-                        ))),
-                    },
-                }
+                unary_value(*op, &v)
             }
             Expr::If {
                 cond,
@@ -350,10 +340,10 @@ impl<'a> EvalContext<'a> {
                 body,
             } => {
                 let src = self.eval_in(source, pre_state)?;
-                let items = as_arrow_collection(&src);
+                let items = arrow_items(&src);
                 let mut acc_val = self.eval_in(init, pre_state)?;
-                for item in items {
-                    self.locals.push((var.clone(), item));
+                for item in items.iter() {
+                    self.locals.push((var.clone(), item.clone()));
                     self.locals.push((acc.clone(), acc_val));
                     let out = self.eval_in(body, pre_state);
                     self.locals.pop();
@@ -368,7 +358,7 @@ impl<'a> EvalContext<'a> {
                 for a in args {
                     argv.push(self.eval_in(a, pre_state)?);
                 }
-                self.method_call(&src, op, &argv)
+                method_call(&src, op, &argv)
             }
         }
     }
@@ -413,327 +403,358 @@ impl<'a> EvalContext<'a> {
         rhs: &Expr,
         pre_state: bool,
     ) -> Result<Value, EvalError> {
-        // Boolean connectives need short-circuit / Kleene handling.
+        // Boolean connectives need short-circuit / Kleene handling; the
+        // combination of two evaluated operands is shared with the compiled
+        // evaluator via [`binary_values`].
+        let l = self.eval_in(lhs, pre_state)?;
         match op {
-            BinOp::And => {
-                let l = self.eval_in(lhs, pre_state)?;
-                if l == Value::Bool(false) {
-                    return Ok(Value::Bool(false));
-                }
-                let r = self.eval_in(rhs, pre_state)?;
-                return kleene_and(&l, &r);
-            }
-            BinOp::Or => {
-                let l = self.eval_in(lhs, pre_state)?;
-                if l == Value::Bool(true) {
-                    return Ok(Value::Bool(true));
-                }
-                let r = self.eval_in(rhs, pre_state)?;
-                return kleene_or(&l, &r);
-            }
-            BinOp::Implies => {
-                let l = self.eval_in(lhs, pre_state)?;
-                if l == Value::Bool(false) {
-                    return Ok(Value::Bool(true));
-                }
-                let r = self.eval_in(rhs, pre_state)?;
-                return match (l, r) {
-                    (Value::Bool(true), Value::Bool(b)) => Ok(Value::Bool(b)),
-                    (Value::Undefined, Value::Bool(true)) => Ok(Value::Bool(true)),
-                    (Value::Undefined, _) => Ok(Value::Undefined),
-                    (Value::Bool(true), Value::Undefined) => Ok(Value::Undefined),
-                    (l, r) => Err(EvalError::new(format!(
-                        "`implies` applied to {} and {}",
-                        l.type_name(),
-                        r.type_name()
-                    ))),
-                };
-            }
-            BinOp::Xor => {
-                let l = self.eval_in(lhs, pre_state)?;
-                let r = self.eval_in(rhs, pre_state)?;
-                return match (l, r) {
-                    (Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(a != b)),
-                    (Value::Undefined, _) | (_, Value::Undefined) => Ok(Value::Undefined),
-                    (l, r) => Err(EvalError::new(format!(
-                        "`xor` applied to {} and {}",
-                        l.type_name(),
-                        r.type_name()
-                    ))),
-                };
-            }
+            BinOp::And if l == Value::Bool(false) => return Ok(Value::Bool(false)),
+            BinOp::Or if l == Value::Bool(true) => return Ok(Value::Bool(true)),
+            BinOp::Implies if l == Value::Bool(false) => return Ok(Value::Bool(true)),
             _ => {}
         }
-
-        let l = self.eval_in(lhs, pre_state)?;
         let r = self.eval_in(rhs, pre_state)?;
-        match op {
-            BinOp::Eq => Ok(Value::Bool(l.ocl_eq(&r))),
-            BinOp::Ne => Ok(Value::Bool(!l.ocl_eq(&r))),
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                if l.is_undefined() || r.is_undefined() {
-                    return Ok(Value::Undefined);
-                }
-                let (l, r) = self.coerce_pair(l, r)?;
-                let ord = l.ocl_cmp(&r).ok_or_else(|| {
-                    EvalError::new(format!(
-                        "cannot order {} and {}",
-                        l.type_name(),
-                        r.type_name()
-                    ))
-                })?;
-                Ok(Value::Bool(match op {
-                    BinOp::Lt => ord == Ordering::Less,
-                    BinOp::Le => ord != Ordering::Greater,
-                    BinOp::Gt => ord == Ordering::Greater,
-                    BinOp::Ge => ord != Ordering::Less,
-                    _ => unreachable!(),
-                }))
-            }
-            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
-                if l.is_undefined() || r.is_undefined() {
-                    return Ok(Value::Undefined);
-                }
-                if op == BinOp::Add {
-                    if let (Value::Str(a), Value::Str(b)) = (&l, &r) {
-                        return Ok(Value::Str(format!("{a}{b}")));
-                    }
-                }
-                let (l, r) = self.coerce_pair(l, r)?;
-                arith(op, &l, &r)
-            }
-            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Implies => unreachable!(),
-        }
+        binary_values(self.mode, op, &l, &r)
     }
+}
 
-    /// Apply paper-compat coercion: a collection mixed with a number becomes
-    /// its size (lenient mode only).
-    fn coerce_pair(&self, l: Value, r: Value) -> Result<(Value, Value), EvalError> {
-        let coerce = |v: Value, other_is_num: bool| -> Result<Value, EvalError> {
-            match (&v, other_is_num, self.mode) {
-                (Value::Coll(_, items), true, CoercionMode::Lenient) => {
-                    Ok(Value::Int(items.len() as i64))
-                }
-                (Value::Coll(_, _), true, CoercionMode::Strict) => Err(EvalError::new(
-                    "collection compared with a number (strict mode); use `->size()`",
-                )),
-                _ => Ok(v),
-            }
-        };
-        let l_num = l.as_real().is_some();
-        let r_num = r.as_real().is_some();
-        let l2 = coerce(l, r_num)?;
-        let r2 = coerce(r, l_num)?;
-        Ok((l2, r2))
-    }
-
-    fn collection_op(&mut self, src: &Value, op: &str, args: &[Value]) -> Result<Value, EvalError> {
-        // `->` implicitly converts a single value to a Set{v}; undefined
-        // converts to the empty set (OCL 2.x semantics).
-        let items = as_arrow_collection(src);
-        let kind = match src {
-            Value::Coll(k, _) => *k,
-            _ => CollectionKind::Set,
-        };
-        let arity = |n: usize| -> Result<(), EvalError> {
-            if args.len() == n {
-                Ok(())
-            } else {
-                Err(EvalError::new(format!(
-                    "`->{op}` expects {n} argument(s), got {}",
-                    args.len()
-                )))
-            }
-        };
-        match op {
-            "size" => {
-                arity(0)?;
-                Ok(Value::Int(items.len() as i64))
-            }
-            "isEmpty" => {
-                arity(0)?;
-                Ok(Value::Bool(items.is_empty()))
-            }
-            "notEmpty" => {
-                arity(0)?;
-                Ok(Value::Bool(!items.is_empty()))
-            }
-            "includes" => {
-                arity(1)?;
-                Ok(Value::Bool(items.iter().any(|v| v.ocl_eq(&args[0]))))
-            }
-            "excludes" => {
-                arity(1)?;
-                Ok(Value::Bool(!items.iter().any(|v| v.ocl_eq(&args[0]))))
-            }
-            "includesAll" => {
-                arity(1)?;
-                let needles = as_arrow_collection(&args[0]);
-                Ok(Value::Bool(
-                    needles.iter().all(|n| items.iter().any(|v| v.ocl_eq(n))),
-                ))
-            }
-            "excludesAll" => {
-                arity(1)?;
-                let needles = as_arrow_collection(&args[0]);
-                Ok(Value::Bool(
-                    needles.iter().all(|n| !items.iter().any(|v| v.ocl_eq(n))),
-                ))
-            }
-            "count" => {
-                arity(1)?;
-                Ok(Value::Int(
-                    items.iter().filter(|v| v.ocl_eq(&args[0])).count() as i64,
-                ))
-            }
-            "sum" => {
-                arity(0)?;
-                let mut int_sum: i64 = 0;
-                let mut real_sum: f64 = 0.0;
-                let mut any_real = false;
-                for v in &items {
-                    match v {
-                        Value::Int(n) => int_sum += n,
-                        Value::Real(r) => {
-                            any_real = true;
-                            real_sum += r;
-                        }
-                        Value::Undefined => return Ok(Value::Undefined),
-                        other => {
-                            return Err(EvalError::new(format!(
-                                "`->sum` over non-numeric {}",
-                                other.type_name()
-                            )))
-                        }
-                    }
-                }
-                Ok(if any_real {
-                    Value::Real(real_sum + int_sum as f64)
-                } else {
-                    Value::Int(int_sum)
-                })
-            }
-            "min" | "max" => {
-                arity(0)?;
-                if items.is_empty() {
-                    return Ok(Value::Undefined);
-                }
-                let mut best = items[0].clone();
-                for v in &items[1..] {
-                    let ord = v
-                        .ocl_cmp(&best)
-                        .ok_or_else(|| EvalError::new(format!("`->{op}` over unordered values")))?;
-                    let take = if op == "min" {
-                        ord == Ordering::Less
-                    } else {
-                        ord == Ordering::Greater
-                    };
-                    if take {
-                        best = v.clone();
-                    }
-                }
-                Ok(best)
-            }
-            "first" => {
-                arity(0)?;
-                Ok(items.first().cloned().unwrap_or(Value::Undefined))
-            }
-            "last" => {
-                arity(0)?;
-                Ok(items.last().cloned().unwrap_or(Value::Undefined))
-            }
-            "at" => {
-                arity(1)?;
-                let idx = args[0]
-                    .as_int()
-                    .ok_or_else(|| EvalError::new("`->at` index must be an Integer"))?;
-                // OCL indices are 1-based.
-                if idx < 1 || idx as usize > items.len() {
-                    Ok(Value::Undefined)
-                } else {
-                    Ok(items[idx as usize - 1].clone())
-                }
-            }
-            "indexOf" => {
-                arity(1)?;
-                match items.iter().position(|v| v.ocl_eq(&args[0])) {
-                    Some(i) => Ok(Value::Int(i as i64 + 1)),
-                    None => Ok(Value::Undefined),
-                }
-            }
-            "asSet" => {
-                arity(0)?;
-                Ok(Value::set(items))
-            }
-            "asSequence" => {
-                arity(0)?;
-                Ok(Value::sequence(items))
-            }
-            "asBag" => {
-                arity(0)?;
-                Ok(Value::bag(items))
-            }
-            "union" => {
-                arity(1)?;
-                let mut out = items;
-                out.extend(as_arrow_collection(&args[0]));
-                Ok(match kind {
-                    CollectionKind::Set | CollectionKind::OrderedSet => Value::set(out),
-                    _ => Value::Coll(kind, out),
-                })
-            }
-            "intersection" => {
-                arity(1)?;
-                let other = as_arrow_collection(&args[0]);
-                let out: Vec<Value> = items
-                    .into_iter()
-                    .filter(|v| other.iter().any(|o| o.ocl_eq(v)))
-                    .collect();
-                Ok(Value::set(out))
-            }
-            "including" => {
-                arity(1)?;
-                let mut out = items;
-                out.push(args[0].clone());
-                Ok(match kind {
-                    CollectionKind::Set | CollectionKind::OrderedSet => Value::set(out),
-                    _ => Value::Coll(kind, out),
-                })
-            }
-            "excluding" => {
-                arity(1)?;
-                let out: Vec<Value> = items.into_iter().filter(|v| !v.ocl_eq(&args[0])).collect();
-                Ok(Value::Coll(kind, out))
-            }
-            "append" => {
-                arity(1)?;
-                let mut out = items;
-                out.push(args[0].clone());
-                Ok(Value::sequence(out))
-            }
-            "prepend" => {
-                arity(1)?;
-                let mut out = vec![args[0].clone()];
-                out.extend(items);
-                Ok(Value::sequence(out))
-            }
-            "flatten" => {
-                arity(0)?;
-                let mut out = Vec::new();
-                for v in items {
-                    match v {
-                        Value::Coll(_, inner) => out.extend(inner),
-                        other => out.push(other),
-                    }
-                }
-                Ok(Value::Coll(kind, out))
-            }
-            other => Err(EvalError::new(format!(
-                "unknown collection operation `->{other}`"
+/// Combine two fully evaluated operands under `op`.
+///
+/// Short-circuiting happens at the call sites (interpreter and compiled
+/// evaluator alike) *before* the right operand is evaluated; this function
+/// only sees operand values, so both evaluation pipelines share one
+/// definition of the operator semantics.
+pub(crate) fn binary_values(
+    mode: CoercionMode,
+    op: BinOp,
+    l: &Value,
+    r: &Value,
+) -> Result<Value, EvalError> {
+    match op {
+        BinOp::And => kleene_and(l, r),
+        BinOp::Or => kleene_or(l, r),
+        BinOp::Implies => match (l, r) {
+            (Value::Bool(false), _) => Ok(Value::Bool(true)),
+            (Value::Bool(true), Value::Bool(b)) => Ok(Value::Bool(*b)),
+            (Value::Undefined, Value::Bool(true)) => Ok(Value::Bool(true)),
+            (Value::Undefined, _) => Ok(Value::Undefined),
+            (Value::Bool(true), Value::Undefined) => Ok(Value::Undefined),
+            (l, r) => Err(EvalError::new(format!(
+                "`implies` applied to {} and {}",
+                l.type_name(),
+                r.type_name()
             ))),
+        },
+        BinOp::Xor => match (l, r) {
+            (Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(a != b)),
+            (Value::Undefined, _) | (_, Value::Undefined) => Ok(Value::Undefined),
+            (l, r) => Err(EvalError::new(format!(
+                "`xor` applied to {} and {}",
+                l.type_name(),
+                r.type_name()
+            ))),
+        },
+        BinOp::Eq => Ok(Value::Bool(l.ocl_eq(r))),
+        BinOp::Ne => Ok(Value::Bool(!l.ocl_eq(r))),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            if l.is_undefined() || r.is_undefined() {
+                return Ok(Value::Undefined);
+            }
+            let (l, r) = coerce_pair(mode, l, r)?;
+            let ord = l.ocl_cmp(&r).ok_or_else(|| {
+                EvalError::new(format!(
+                    "cannot order {} and {}",
+                    l.type_name(),
+                    r.type_name()
+                ))
+            })?;
+            Ok(Value::Bool(match op {
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::Le => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                BinOp::Ge => ord != Ordering::Less,
+                _ => unreachable!(),
+            }))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            if l.is_undefined() || r.is_undefined() {
+                return Ok(Value::Undefined);
+            }
+            if op == BinOp::Add {
+                if let (Value::Str(a), Value::Str(b)) = (l, r) {
+                    return Ok(Value::Str(format!("{a}{b}")));
+                }
+            }
+            let (l, r) = coerce_pair(mode, l, r)?;
+            arith(op, &l, &r)
         }
     }
+}
 
+/// Evaluate a unary operator over an evaluated operand.
+pub(crate) fn unary_value(op: UnOp, v: &Value) -> Result<Value, EvalError> {
+    match op {
+        UnOp::Not => match v {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            Value::Undefined => Ok(Value::Undefined),
+            other => Err(EvalError::new(format!(
+                "`not` applied to {}",
+                other.type_name()
+            ))),
+        },
+        UnOp::Neg => match v {
+            Value::Int(n) => Ok(Value::Int(-n)),
+            Value::Real(r) => Ok(Value::Real(-r)),
+            Value::Undefined => Ok(Value::Undefined),
+            other => Err(EvalError::new(format!(
+                "unary `-` applied to {}",
+                other.type_name()
+            ))),
+        },
+    }
+}
+
+/// Apply paper-compat coercion: a collection mixed with a number becomes
+/// its size (lenient mode only). Borrowed operands stay borrowed unless a
+/// coercion materializes a size.
+fn coerce_pair<'a>(
+    mode: CoercionMode,
+    l: &'a Value,
+    r: &'a Value,
+) -> Result<(Cow<'a, Value>, Cow<'a, Value>), EvalError> {
+    let coerce = |v: &'a Value, other_is_num: bool| -> Result<Cow<'a, Value>, EvalError> {
+        match (v, other_is_num, mode) {
+            (Value::Coll(_, items), true, CoercionMode::Lenient) => {
+                Ok(Cow::Owned(Value::Int(items.len() as i64)))
+            }
+            (Value::Coll(_, _), true, CoercionMode::Strict) => Err(EvalError::new(
+                "collection compared with a number (strict mode); use `->size()`",
+            )),
+            _ => Ok(Cow::Borrowed(v)),
+        }
+    };
+    let l_num = l.as_real().is_some();
+    let r_num = r.as_real().is_some();
+    Ok((coerce(l, r_num)?, coerce(r, l_num)?))
+}
+
+/// Evaluate `src->op(args…)` over fully evaluated operands; shared between
+/// the interpreter and the compiled evaluator.
+pub(crate) fn collection_op(src: &Value, op: &str, args: &[Value]) -> Result<Value, EvalError> {
+    // `->` implicitly converts a single value to a Set{v}; undefined
+    // converts to the empty set (OCL 2.x semantics). Items stay borrowed
+    // from the source collection; only ops that build a new collection
+    // clone them.
+    let items = arrow_items(src);
+    let kind = match src {
+        Value::Coll(k, _) => *k,
+        _ => CollectionKind::Set,
+    };
+    let arity = |n: usize| -> Result<(), EvalError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(EvalError::new(format!(
+                "`->{op}` expects {n} argument(s), got {}",
+                args.len()
+            )))
+        }
+    };
+    match op {
+        "size" => {
+            arity(0)?;
+            Ok(Value::Int(items.len() as i64))
+        }
+        "isEmpty" => {
+            arity(0)?;
+            Ok(Value::Bool(items.is_empty()))
+        }
+        "notEmpty" => {
+            arity(0)?;
+            Ok(Value::Bool(!items.is_empty()))
+        }
+        "includes" => {
+            arity(1)?;
+            Ok(Value::Bool(items.iter().any(|v| v.ocl_eq(&args[0]))))
+        }
+        "excludes" => {
+            arity(1)?;
+            Ok(Value::Bool(!items.iter().any(|v| v.ocl_eq(&args[0]))))
+        }
+        "includesAll" => {
+            arity(1)?;
+            let needles = arrow_items(&args[0]);
+            Ok(Value::Bool(
+                needles.iter().all(|n| items.iter().any(|v| v.ocl_eq(n))),
+            ))
+        }
+        "excludesAll" => {
+            arity(1)?;
+            let needles = arrow_items(&args[0]);
+            Ok(Value::Bool(
+                needles.iter().all(|n| !items.iter().any(|v| v.ocl_eq(n))),
+            ))
+        }
+        "count" => {
+            arity(1)?;
+            Ok(Value::Int(
+                items.iter().filter(|v| v.ocl_eq(&args[0])).count() as i64,
+            ))
+        }
+        "sum" => {
+            arity(0)?;
+            let mut int_sum: i64 = 0;
+            let mut real_sum: f64 = 0.0;
+            let mut any_real = false;
+            for v in items.iter() {
+                match v {
+                    Value::Int(n) => int_sum += n,
+                    Value::Real(r) => {
+                        any_real = true;
+                        real_sum += r;
+                    }
+                    Value::Undefined => return Ok(Value::Undefined),
+                    other => {
+                        return Err(EvalError::new(format!(
+                            "`->sum` over non-numeric {}",
+                            other.type_name()
+                        )))
+                    }
+                }
+            }
+            Ok(if any_real {
+                Value::Real(real_sum + int_sum as f64)
+            } else {
+                Value::Int(int_sum)
+            })
+        }
+        "min" | "max" => {
+            arity(0)?;
+            if items.is_empty() {
+                return Ok(Value::Undefined);
+            }
+            let mut best = items[0].clone();
+            for v in &items[1..] {
+                let ord = v
+                    .ocl_cmp(&best)
+                    .ok_or_else(|| EvalError::new(format!("`->{op}` over unordered values")))?;
+                let take = if op == "min" {
+                    ord == Ordering::Less
+                } else {
+                    ord == Ordering::Greater
+                };
+                if take {
+                    best = v.clone();
+                }
+            }
+            Ok(best)
+        }
+        "first" => {
+            arity(0)?;
+            Ok(items.first().cloned().unwrap_or(Value::Undefined))
+        }
+        "last" => {
+            arity(0)?;
+            Ok(items.last().cloned().unwrap_or(Value::Undefined))
+        }
+        "at" => {
+            arity(1)?;
+            let idx = args[0]
+                .as_int()
+                .ok_or_else(|| EvalError::new("`->at` index must be an Integer"))?;
+            // OCL indices are 1-based.
+            if idx < 1 || idx as usize > items.len() {
+                Ok(Value::Undefined)
+            } else {
+                Ok(items[idx as usize - 1].clone())
+            }
+        }
+        "indexOf" => {
+            arity(1)?;
+            match items.iter().position(|v| v.ocl_eq(&args[0])) {
+                Some(i) => Ok(Value::Int(i as i64 + 1)),
+                None => Ok(Value::Undefined),
+            }
+        }
+        "asSet" => {
+            arity(0)?;
+            Ok(Value::set(items.into_owned()))
+        }
+        "asSequence" => {
+            arity(0)?;
+            Ok(Value::sequence(items.into_owned()))
+        }
+        "asBag" => {
+            arity(0)?;
+            Ok(Value::bag(items.into_owned()))
+        }
+        "union" => {
+            arity(1)?;
+            let mut out = items.into_owned();
+            out.extend(arrow_items(&args[0]).into_owned());
+            Ok(match kind {
+                CollectionKind::Set | CollectionKind::OrderedSet => Value::set(out),
+                _ => Value::Coll(kind, out),
+            })
+        }
+        "intersection" => {
+            arity(1)?;
+            let other = arrow_items(&args[0]);
+            let out: Vec<Value> = items
+                .iter()
+                .filter(|v| other.iter().any(|o| o.ocl_eq(v)))
+                .cloned()
+                .collect();
+            Ok(Value::set(out))
+        }
+        "including" => {
+            arity(1)?;
+            let mut out = items.into_owned();
+            out.push(args[0].clone());
+            Ok(match kind {
+                CollectionKind::Set | CollectionKind::OrderedSet => Value::set(out),
+                _ => Value::Coll(kind, out),
+            })
+        }
+        "excluding" => {
+            arity(1)?;
+            let out: Vec<Value> = items
+                .iter()
+                .filter(|v| !v.ocl_eq(&args[0]))
+                .cloned()
+                .collect();
+            Ok(Value::Coll(kind, out))
+        }
+        "append" => {
+            arity(1)?;
+            let mut out = items.into_owned();
+            out.push(args[0].clone());
+            Ok(Value::sequence(out))
+        }
+        "prepend" => {
+            arity(1)?;
+            let mut out = vec![args[0].clone()];
+            out.extend(items.into_owned());
+            Ok(Value::sequence(out))
+        }
+        "flatten" => {
+            arity(0)?;
+            let mut out = Vec::new();
+            for v in items.iter() {
+                match v {
+                    Value::Coll(_, inner) => out.extend(inner.iter().cloned()),
+                    other => out.push(other.clone()),
+                }
+            }
+            Ok(Value::Coll(kind, out))
+        }
+        other => Err(EvalError::new(format!(
+            "unknown collection operation `->{other}`"
+        ))),
+    }
+}
+
+impl EvalContext<'_> {
     fn iterate(
         &mut self,
         op: IterOp,
@@ -742,326 +763,341 @@ impl<'a> EvalContext<'a> {
         items: &[Value],
         pre_state: bool,
     ) -> Result<Value, EvalError> {
-        let eval_body = |this: &mut Self, item: &Value| -> Result<Value, EvalError> {
-            this.locals.push((var.to_string(), item.clone()));
-            let out = this.eval_in(body, pre_state);
-            this.locals.pop();
+        iterate_values(op, items, |item| {
+            self.locals.push((var.to_string(), item.clone()));
+            let out = self.eval_in(body, pre_state);
+            self.locals.pop();
             out
-        };
-        match op {
-            IterOp::Exists => {
-                let mut saw_undef = false;
-                for item in items {
-                    match eval_body(self, item)? {
-                        Value::Bool(true) => return Ok(Value::Bool(true)),
-                        Value::Bool(false) => {}
-                        Value::Undefined => saw_undef = true,
-                        other => {
-                            return Err(EvalError::new(format!(
-                                "`exists` body must be Boolean, got {}",
-                                other.type_name()
-                            )))
+        })
+    }
+}
+
+/// Run iterator operation `op` over `items`, evaluating each element's body
+/// through `eval_body`; shared between the interpreter (which binds the
+/// iteration variable on its locals stack) and the compiled evaluator
+/// (which binds an interned symbol on the scratch stack).
+pub(crate) fn iterate_values(
+    op: IterOp,
+    items: &[Value],
+    mut eval_body: impl FnMut(&Value) -> Result<Value, EvalError>,
+) -> Result<Value, EvalError> {
+    match op {
+        IterOp::Exists => {
+            let mut saw_undef = false;
+            for item in items {
+                match eval_body(item)? {
+                    Value::Bool(true) => return Ok(Value::Bool(true)),
+                    Value::Bool(false) => {}
+                    Value::Undefined => saw_undef = true,
+                    other => {
+                        return Err(EvalError::new(format!(
+                            "`exists` body must be Boolean, got {}",
+                            other.type_name()
+                        )))
+                    }
+                }
+            }
+            Ok(if saw_undef {
+                Value::Undefined
+            } else {
+                Value::Bool(false)
+            })
+        }
+        IterOp::ForAll => {
+            let mut saw_undef = false;
+            for item in items {
+                match eval_body(item)? {
+                    Value::Bool(false) => return Ok(Value::Bool(false)),
+                    Value::Bool(true) => {}
+                    Value::Undefined => saw_undef = true,
+                    other => {
+                        return Err(EvalError::new(format!(
+                            "`forAll` body must be Boolean, got {}",
+                            other.type_name()
+                        )))
+                    }
+                }
+            }
+            Ok(if saw_undef {
+                Value::Undefined
+            } else {
+                Value::Bool(true)
+            })
+        }
+        IterOp::Select | IterOp::Reject => {
+            let keep_on = op == IterOp::Select;
+            let mut out = Vec::new();
+            for item in items {
+                match eval_body(item)? {
+                    Value::Bool(b) => {
+                        if b == keep_on {
+                            out.push(item.clone());
                         }
                     }
-                }
-                Ok(if saw_undef {
-                    Value::Undefined
-                } else {
-                    Value::Bool(false)
-                })
-            }
-            IterOp::ForAll => {
-                let mut saw_undef = false;
-                for item in items {
-                    match eval_body(self, item)? {
-                        Value::Bool(false) => return Ok(Value::Bool(false)),
-                        Value::Bool(true) => {}
-                        Value::Undefined => saw_undef = true,
-                        other => {
-                            return Err(EvalError::new(format!(
-                                "`forAll` body must be Boolean, got {}",
-                                other.type_name()
-                            )))
-                        }
+                    Value::Undefined => {}
+                    other => {
+                        return Err(EvalError::new(format!(
+                            "`{}` body must be Boolean, got {}",
+                            op.name(),
+                            other.type_name()
+                        )))
                     }
                 }
-                Ok(if saw_undef {
-                    Value::Undefined
-                } else {
-                    Value::Bool(true)
-                })
             }
-            IterOp::Select | IterOp::Reject => {
-                let keep_on = op == IterOp::Select;
-                let mut out = Vec::new();
-                for item in items {
-                    match eval_body(self, item)? {
-                        Value::Bool(b) => {
-                            if b == keep_on {
-                                out.push(item.clone());
-                            }
-                        }
-                        Value::Undefined => {}
-                        other => {
-                            return Err(EvalError::new(format!(
-                                "`{}` body must be Boolean, got {}",
-                                op.name(),
-                                other.type_name()
-                            )))
-                        }
-                    }
+            Ok(Value::Coll(CollectionKind::Set, out))
+        }
+        IterOp::Collect => {
+            let mut out = Vec::new();
+            for item in items {
+                match eval_body(item)? {
+                    Value::Coll(_, inner) => out.extend(inner),
+                    v => out.push(v),
                 }
-                Ok(Value::Coll(CollectionKind::Set, out))
             }
-            IterOp::Collect => {
-                let mut out = Vec::new();
-                for item in items {
-                    match eval_body(self, item)? {
-                        Value::Coll(_, inner) => out.extend(inner),
-                        v => out.push(v),
-                    }
-                }
-                Ok(Value::bag(out))
-            }
-            IterOp::One => {
-                let mut n = 0usize;
-                for item in items {
-                    if eval_body(self, item)? == Value::Bool(true) {
-                        n += 1;
-                        if n > 1 {
-                            return Ok(Value::Bool(false));
-                        }
-                    }
-                }
-                Ok(Value::Bool(n == 1))
-            }
-            IterOp::Any => {
-                for item in items {
-                    if eval_body(self, item)? == Value::Bool(true) {
-                        return Ok(item.clone());
-                    }
-                }
-                Ok(Value::Undefined)
-            }
-            IterOp::IsUnique => {
-                let mut seen: Vec<Value> = Vec::new();
-                for item in items {
-                    let v = eval_body(self, item)?;
-                    if seen.iter().any(|s| s.ocl_eq(&v)) {
+            Ok(Value::bag(out))
+        }
+        IterOp::One => {
+            let mut n = 0usize;
+            for item in items {
+                if eval_body(item)? == Value::Bool(true) {
+                    n += 1;
+                    if n > 1 {
                         return Ok(Value::Bool(false));
                     }
-                    seen.push(v);
                 }
-                Ok(Value::Bool(true))
             }
-            IterOp::SortedBy => {
-                let mut keyed: Vec<(Value, Value)> = Vec::with_capacity(items.len());
-                for item in items {
-                    let key = eval_body(self, item)?;
-                    keyed.push((key, item.clone()));
+            Ok(Value::Bool(n == 1))
+        }
+        IterOp::Any => {
+            for item in items {
+                if eval_body(item)? == Value::Bool(true) {
+                    return Ok(item.clone());
                 }
-                // Insertion sort keeps the comparison fallible and the
-                // sort stable without unwinding through sort_by.
-                let mut sorted: Vec<(Value, Value)> = Vec::with_capacity(keyed.len());
-                for (key, item) in keyed {
-                    let mut at = sorted.len();
-                    for (i, (other, _)) in sorted.iter().enumerate() {
-                        let ord = key.ocl_cmp(other).ok_or_else(|| {
-                            EvalError::new("`sortedBy` keys are not totally ordered")
-                        })?;
-                        if ord == Ordering::Less {
-                            at = i;
-                            break;
-                        }
+            }
+            Ok(Value::Undefined)
+        }
+        IterOp::IsUnique => {
+            let mut seen: Vec<Value> = Vec::new();
+            for item in items {
+                let v = eval_body(item)?;
+                if seen.iter().any(|s| s.ocl_eq(&v)) {
+                    return Ok(Value::Bool(false));
+                }
+                seen.push(v);
+            }
+            Ok(Value::Bool(true))
+        }
+        IterOp::SortedBy => {
+            let mut keyed: Vec<(Value, Value)> = Vec::with_capacity(items.len());
+            for item in items {
+                let key = eval_body(item)?;
+                keyed.push((key, item.clone()));
+            }
+            // Insertion sort keeps the comparison fallible and the
+            // sort stable without unwinding through sort_by.
+            let mut sorted: Vec<(Value, Value)> = Vec::with_capacity(keyed.len());
+            for (key, item) in keyed {
+                let mut at = sorted.len();
+                for (i, (other, _)) in sorted.iter().enumerate() {
+                    let ord = key
+                        .ocl_cmp(other)
+                        .ok_or_else(|| EvalError::new("`sortedBy` keys are not totally ordered"))?;
+                    if ord == Ordering::Less {
+                        at = i;
+                        break;
                     }
-                    sorted.insert(at, (key, item));
                 }
-                Ok(Value::sequence(
-                    sorted.into_iter().map(|(_, v)| v).collect(),
-                ))
+                sorted.insert(at, (key, item));
             }
+            Ok(Value::sequence(
+                sorted.into_iter().map(|(_, v)| v).collect(),
+            ))
         }
     }
+}
 
-    fn method_call(&mut self, src: &Value, op: &str, args: &[Value]) -> Result<Value, EvalError> {
-        let arity = |n: usize| -> Result<(), EvalError> {
-            if args.len() == n {
-                Ok(())
-            } else {
-                Err(EvalError::new(format!(
-                    "`.{op}` expects {n} argument(s), got {}",
-                    args.len()
-                )))
-            }
-        };
-        match op {
-            "oclIsUndefined" => {
-                arity(0)?;
-                Ok(Value::Bool(src.is_undefined()))
-            }
-            "oclIsDefined" => {
-                arity(0)?;
-                Ok(Value::Bool(!src.is_undefined()))
-            }
-            "toString" => {
-                arity(0)?;
-                Ok(Value::Str(match src {
-                    Value::Str(s) => s.clone(),
-                    other => other.to_string(),
-                }))
-            }
-            "abs" => {
-                arity(0)?;
-                match src {
-                    Value::Int(n) => Ok(Value::Int(n.abs())),
-                    Value::Real(r) => Ok(Value::Real(r.abs())),
-                    Value::Undefined => Ok(Value::Undefined),
-                    other => Err(EvalError::new(format!(".abs on {}", other.type_name()))),
-                }
-            }
-            "floor" => {
-                arity(0)?;
-                match src {
-                    Value::Int(n) => Ok(Value::Int(*n)),
-                    Value::Real(r) => Ok(Value::Int(r.floor() as i64)),
-                    Value::Undefined => Ok(Value::Undefined),
-                    other => Err(EvalError::new(format!(".floor on {}", other.type_name()))),
-                }
-            }
-            "round" => {
-                arity(0)?;
-                match src {
-                    Value::Int(n) => Ok(Value::Int(*n)),
-                    Value::Real(r) => Ok(Value::Int(r.round() as i64)),
-                    Value::Undefined => Ok(Value::Undefined),
-                    other => Err(EvalError::new(format!(".round on {}", other.type_name()))),
-                }
-            }
-            "max" | "min" => {
-                arity(1)?;
-                if src.is_undefined() || args[0].is_undefined() {
-                    return Ok(Value::Undefined);
-                }
-                let ord = src.ocl_cmp(&args[0]).ok_or_else(|| {
-                    EvalError::new(format!(
-                        ".{op} between {} and {}",
-                        src.type_name(),
-                        args[0].type_name()
-                    ))
-                })?;
-                let take_src = if op == "max" {
-                    ord != Ordering::Less
-                } else {
-                    ord != Ordering::Greater
-                };
-                Ok(if take_src {
-                    src.clone()
-                } else {
-                    args[0].clone()
-                })
-            }
-            "div" | "mod" => {
-                arity(1)?;
-                match (src.as_int(), args[0].as_int()) {
-                    (Some(a), Some(b)) => {
-                        if b == 0 {
-                            Ok(Value::Undefined)
-                        } else if op == "div" {
-                            Ok(Value::Int(a.div_euclid(b)))
-                        } else {
-                            Ok(Value::Int(a.rem_euclid(b)))
-                        }
-                    }
-                    _ => Err(EvalError::new(format!(".{op} requires Integers"))),
-                }
-            }
-            "concat" => {
-                arity(1)?;
-                match (src.as_str(), args[0].as_str()) {
-                    (Some(a), Some(b)) => Ok(Value::Str(format!("{a}{b}"))),
-                    _ => Err(EvalError::new(".concat requires Strings")),
-                }
-            }
-            "toUpper" | "toUpperCase" => {
-                arity(0)?;
-                match src.as_str() {
-                    Some(s) => Ok(Value::Str(s.to_uppercase())),
-                    None => Err(EvalError::new(".toUpper requires a String")),
-                }
-            }
-            "toLower" | "toLowerCase" => {
-                arity(0)?;
-                match src.as_str() {
-                    Some(s) => Ok(Value::Str(s.to_lowercase())),
-                    None => Err(EvalError::new(".toLower requires a String")),
-                }
-            }
-            "substring" => {
-                arity(2)?;
-                let s = src
-                    .as_str()
-                    .ok_or_else(|| EvalError::new(".substring requires a String"))?;
-                let (i, j) = match (args[0].as_int(), args[1].as_int()) {
-                    (Some(i), Some(j)) => (i, j),
-                    _ => return Err(EvalError::new(".substring indices must be Integers")),
-                };
-                // OCL substring is 1-based and inclusive on both ends.
-                let chars: Vec<char> = s.chars().collect();
-                if i < 1 || j < i || j as usize > chars.len() {
-                    return Ok(Value::Undefined);
-                }
-                Ok(Value::Str(
-                    chars[(i as usize - 1)..(j as usize)].iter().collect(),
-                ))
-            }
-            "startsWith" => {
-                arity(1)?;
-                match (src.as_str(), args[0].as_str()) {
-                    (Some(a), Some(b)) => Ok(Value::Bool(a.starts_with(b))),
-                    _ => Err(EvalError::new(".startsWith requires Strings")),
-                }
-            }
-            "endsWith" => {
-                arity(1)?;
-                match (src.as_str(), args[0].as_str()) {
-                    (Some(a), Some(b)) => Ok(Value::Bool(a.ends_with(b))),
-                    _ => Err(EvalError::new(".endsWith requires Strings")),
-                }
-            }
-            "size" => {
-                // String size; collections use `->size()`.
-                arity(0)?;
-                match src.as_str() {
-                    Some(s) => Ok(Value::Int(s.chars().count() as i64)),
-                    None => Err(EvalError::new(".size requires a String (use ->size())")),
-                }
-            }
-            "oclIsTypeOf" | "oclIsKindOf" => {
-                arity(1)?;
-                let wanted = args[0]
-                    .as_str()
-                    .ok_or_else(|| EvalError::new(format!(".{op} requires a type name string")))?;
-                match src {
-                    Value::Obj(o) => Ok(Value::Bool(o.class == wanted)),
-                    other => Ok(Value::Bool(other.type_name() == wanted)),
-                }
-            }
-            other => Err(EvalError::new(format!("unknown operation `.{other}()`"))),
+/// Evaluate `src.op(args…)` over fully evaluated operands; shared between
+/// the interpreter and the compiled evaluator.
+pub(crate) fn method_call(src: &Value, op: &str, args: &[Value]) -> Result<Value, EvalError> {
+    let arity = |n: usize| -> Result<(), EvalError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(EvalError::new(format!(
+                "`.{op}` expects {n} argument(s), got {}",
+                args.len()
+            )))
         }
+    };
+    match op {
+        "oclIsUndefined" => {
+            arity(0)?;
+            Ok(Value::Bool(src.is_undefined()))
+        }
+        "oclIsDefined" => {
+            arity(0)?;
+            Ok(Value::Bool(!src.is_undefined()))
+        }
+        "toString" => {
+            arity(0)?;
+            Ok(Value::Str(match src {
+                Value::Str(s) => s.clone(),
+                other => other.to_string(),
+            }))
+        }
+        "abs" => {
+            arity(0)?;
+            match src {
+                Value::Int(n) => Ok(Value::Int(n.abs())),
+                Value::Real(r) => Ok(Value::Real(r.abs())),
+                Value::Undefined => Ok(Value::Undefined),
+                other => Err(EvalError::new(format!(".abs on {}", other.type_name()))),
+            }
+        }
+        "floor" => {
+            arity(0)?;
+            match src {
+                Value::Int(n) => Ok(Value::Int(*n)),
+                Value::Real(r) => Ok(Value::Int(r.floor() as i64)),
+                Value::Undefined => Ok(Value::Undefined),
+                other => Err(EvalError::new(format!(".floor on {}", other.type_name()))),
+            }
+        }
+        "round" => {
+            arity(0)?;
+            match src {
+                Value::Int(n) => Ok(Value::Int(*n)),
+                Value::Real(r) => Ok(Value::Int(r.round() as i64)),
+                Value::Undefined => Ok(Value::Undefined),
+                other => Err(EvalError::new(format!(".round on {}", other.type_name()))),
+            }
+        }
+        "max" | "min" => {
+            arity(1)?;
+            if src.is_undefined() || args[0].is_undefined() {
+                return Ok(Value::Undefined);
+            }
+            let ord = src.ocl_cmp(&args[0]).ok_or_else(|| {
+                EvalError::new(format!(
+                    ".{op} between {} and {}",
+                    src.type_name(),
+                    args[0].type_name()
+                ))
+            })?;
+            let take_src = if op == "max" {
+                ord != Ordering::Less
+            } else {
+                ord != Ordering::Greater
+            };
+            Ok(if take_src {
+                src.clone()
+            } else {
+                args[0].clone()
+            })
+        }
+        "div" | "mod" => {
+            arity(1)?;
+            match (src.as_int(), args[0].as_int()) {
+                (Some(a), Some(b)) => {
+                    if b == 0 {
+                        Ok(Value::Undefined)
+                    } else if op == "div" {
+                        Ok(Value::Int(a.div_euclid(b)))
+                    } else {
+                        Ok(Value::Int(a.rem_euclid(b)))
+                    }
+                }
+                _ => Err(EvalError::new(format!(".{op} requires Integers"))),
+            }
+        }
+        "concat" => {
+            arity(1)?;
+            match (src.as_str(), args[0].as_str()) {
+                (Some(a), Some(b)) => Ok(Value::Str(format!("{a}{b}"))),
+                _ => Err(EvalError::new(".concat requires Strings")),
+            }
+        }
+        "toUpper" | "toUpperCase" => {
+            arity(0)?;
+            match src.as_str() {
+                Some(s) => Ok(Value::Str(s.to_uppercase())),
+                None => Err(EvalError::new(".toUpper requires a String")),
+            }
+        }
+        "toLower" | "toLowerCase" => {
+            arity(0)?;
+            match src.as_str() {
+                Some(s) => Ok(Value::Str(s.to_lowercase())),
+                None => Err(EvalError::new(".toLower requires a String")),
+            }
+        }
+        "substring" => {
+            arity(2)?;
+            let s = src
+                .as_str()
+                .ok_or_else(|| EvalError::new(".substring requires a String"))?;
+            let (i, j) = match (args[0].as_int(), args[1].as_int()) {
+                (Some(i), Some(j)) => (i, j),
+                _ => return Err(EvalError::new(".substring indices must be Integers")),
+            };
+            // OCL substring is 1-based and inclusive on both ends.
+            let chars: Vec<char> = s.chars().collect();
+            if i < 1 || j < i || j as usize > chars.len() {
+                return Ok(Value::Undefined);
+            }
+            Ok(Value::Str(
+                chars[(i as usize - 1)..(j as usize)].iter().collect(),
+            ))
+        }
+        "startsWith" => {
+            arity(1)?;
+            match (src.as_str(), args[0].as_str()) {
+                (Some(a), Some(b)) => Ok(Value::Bool(a.starts_with(b))),
+                _ => Err(EvalError::new(".startsWith requires Strings")),
+            }
+        }
+        "endsWith" => {
+            arity(1)?;
+            match (src.as_str(), args[0].as_str()) {
+                (Some(a), Some(b)) => Ok(Value::Bool(a.ends_with(b))),
+                _ => Err(EvalError::new(".endsWith requires Strings")),
+            }
+        }
+        "size" => {
+            // String size; collections use `->size()`.
+            arity(0)?;
+            match src.as_str() {
+                Some(s) => Ok(Value::Int(s.chars().count() as i64)),
+                None => Err(EvalError::new(".size requires a String (use ->size())")),
+            }
+        }
+        "oclIsTypeOf" | "oclIsKindOf" => {
+            arity(1)?;
+            let wanted = args[0]
+                .as_str()
+                .ok_or_else(|| EvalError::new(format!(".{op} requires a type name string")))?;
+            match src {
+                Value::Obj(o) => Ok(Value::Bool(o.class == wanted)),
+                other => Ok(Value::Bool(other.type_name() == wanted)),
+            }
+        }
+        other => Err(EvalError::new(format!("unknown operation `.{other}()`"))),
     }
 }
 
 /// `->` semantics: a collection stays as is; `Undefined` becomes the empty
-/// set; any single value becomes a one-element set.
-fn as_arrow_collection(v: &Value) -> Vec<Value> {
+/// set; any single value becomes a one-element set. Collections are
+/// *borrowed*, not cloned — the big win for `flatten`/`asSet`-style chains
+/// and for every read-only op (`size`, `includes`, …).
+pub(crate) fn arrow_items(v: &Value) -> Cow<'_, [Value]> {
     match v {
-        Value::Coll(_, items) => items.clone(),
-        Value::Undefined => Vec::new(),
-        single => vec![single.clone()],
+        Value::Coll(_, items) => Cow::Borrowed(items.as_slice()),
+        Value::Undefined => Cow::Owned(Vec::new()),
+        single => Cow::Owned(vec![single.clone()]),
     }
 }
 
-fn kleene_and(l: &Value, r: &Value) -> Result<Value, EvalError> {
+pub(crate) fn kleene_and(l: &Value, r: &Value) -> Result<Value, EvalError> {
     match (l, r) {
         (Value::Bool(false), _) | (_, Value::Bool(false)) => Ok(Value::Bool(false)),
         (Value::Bool(true), Value::Bool(true)) => Ok(Value::Bool(true)),
@@ -1075,7 +1111,7 @@ fn kleene_and(l: &Value, r: &Value) -> Result<Value, EvalError> {
     }
 }
 
-fn kleene_or(l: &Value, r: &Value) -> Result<Value, EvalError> {
+pub(crate) fn kleene_or(l: &Value, r: &Value) -> Result<Value, EvalError> {
     match (l, r) {
         (Value::Bool(true), _) | (_, Value::Bool(true)) => Ok(Value::Bool(true)),
         (Value::Bool(false), Value::Bool(false)) => Ok(Value::Bool(false)),
@@ -1089,7 +1125,7 @@ fn kleene_or(l: &Value, r: &Value) -> Result<Value, EvalError> {
     }
 }
 
-fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+pub(crate) fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
     match (l, r) {
         (Value::Int(a), Value::Int(b)) => Ok(match op {
             BinOp::Add => Value::Int(a + b),

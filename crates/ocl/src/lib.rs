@@ -43,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ast;
+pub mod compile;
 pub mod eval;
 pub mod parser;
 pub mod print;
@@ -52,6 +53,9 @@ pub mod types;
 pub mod value;
 
 pub use ast::{BinOp, CollectionKind, Expr, IterOp, UnOp};
+pub use compile::{
+    AttrScope, EnvView, EvalScratch, NodeId, Program, ProgramBuilder, Sym, SymbolTable,
+};
 pub use eval::{CoercionMode, EvalContext, EvalError, MapNavigator, Navigator};
 pub use parser::{parse, ParseError};
 pub use print::{render, to_string, PrintStyle};

@@ -12,7 +12,7 @@
 //! to-many association to a normal resource contributes the role plus an id
 //! parameter.
 
-use crate::uri::UriTemplate;
+use crate::uri::{Segment, UriTemplate};
 use cm_model::{HttpMethod, Multiplicity, ResourceKind, ResourceModel, UpperBound};
 use std::collections::HashMap;
 use std::fmt;
@@ -30,9 +30,37 @@ pub struct Route {
     pub methods: Vec<HttpMethod>,
     /// Name of the contained resource definition (collections only).
     pub contained: Option<String>,
+    /// The permitted methods pre-joined for the `Allow` header (e.g.
+    /// `"GET, PUT, DELETE"`) so a 405 response allocates nothing per
+    /// mismatch.
+    pub allow: String,
 }
 
 impl Route {
+    /// Build a route, precomputing the `Allow`-header rendering of
+    /// `methods`.
+    fn derived(
+        resource: String,
+        kind: ResourceKind,
+        template: UriTemplate,
+        methods: Vec<HttpMethod>,
+        contained: Option<String>,
+    ) -> Route {
+        let allow = methods
+            .iter()
+            .map(|m| m.as_str())
+            .collect::<Vec<_>>()
+            .join(", ");
+        Route {
+            resource,
+            kind,
+            template,
+            methods,
+            contained,
+            allow,
+        }
+    }
+
     /// The resource-definition name that a `method` request to this route
     /// acts upon — POST to a collection creates an instance of the
     /// *contained* definition, so the behavioural trigger is on that name.
@@ -65,10 +93,24 @@ pub enum Resolution<'a> {
     },
 }
 
+/// Per-segment-count dispatch bucket: route indices keyed by their
+/// leading literal segment, plus the routes whose first segment is a
+/// parameter (which can match any leading segment).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct LenBucket {
+    by_literal: HashMap<String, Vec<usize>>,
+    wildcard: Vec<usize>,
+}
+
 /// A table of derived routes.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RouteTable {
     routes: Vec<Route>,
+    /// Dispatch index built once at derivation time: segment count →
+    /// bucket. [`RouteTable::resolve`] only probes routes whose template
+    /// has the request's segment count and a compatible leading segment,
+    /// replacing the former linear scan over every template.
+    dispatch: HashMap<usize, LenBucket>,
 }
 
 impl RouteTable {
@@ -88,7 +130,25 @@ impl RouteTable {
             let mut visited = Vec::new();
             table.derive_into(model, &root, base.clone(), true, &mut visited);
         }
+        table.build_dispatch();
         table
+    }
+
+    /// Index every route by (segment count, leading literal). Buckets
+    /// hold indices in derivation order, so merged iteration preserves
+    /// the first-match semantics of the old linear scan.
+    fn build_dispatch(&mut self) {
+        self.dispatch.clear();
+        for (i, route) in self.routes.iter().enumerate() {
+            let segments = route.template.segments();
+            let bucket = self.dispatch.entry(segments.len()).or_default();
+            match segments.first() {
+                Some(Segment::Literal(lit)) => {
+                    bucket.by_literal.entry(lit.clone()).or_default().push(i);
+                }
+                _ => bucket.wildcard.push(i),
+            }
+        }
     }
 
     fn derive_into(
@@ -119,23 +179,23 @@ impl RouteTable {
                     .find(|a| a.multiplicity == Multiplicity::ZERO_MANY)
                     .map(|a| a.target.clone());
                 if !is_root {
-                    self.routes.push(Route {
-                        resource: def.name.clone(),
-                        kind: ResourceKind::Collection,
-                        template: collection_path.clone(),
-                        methods: vec![HttpMethod::Get, HttpMethod::Post],
-                        contained: contained.clone(),
-                    });
+                    self.routes.push(Route::derived(
+                        def.name.clone(),
+                        ResourceKind::Collection,
+                        collection_path.clone(),
+                        vec![HttpMethod::Get, HttpMethod::Post],
+                        contained.clone(),
+                    ));
                 }
                 if let Some(contained_name) = contained {
                     let item_path = collection_path.param(format!("{contained_name}_id"));
-                    self.routes.push(Route {
-                        resource: contained_name.clone(),
-                        kind: ResourceKind::Normal,
-                        template: item_path.clone(),
-                        methods: vec![HttpMethod::Get, HttpMethod::Put, HttpMethod::Delete],
-                        contained: None,
-                    });
+                    self.routes.push(Route::derived(
+                        contained_name.clone(),
+                        ResourceKind::Normal,
+                        item_path.clone(),
+                        vec![HttpMethod::Get, HttpMethod::Put, HttpMethod::Delete],
+                        None,
+                    ));
                     // Recurse into the contained resource's associations.
                     self.derive_children(model, &contained_name, item_path, visited);
                 }
@@ -146,13 +206,13 @@ impl RouteTable {
                 } else {
                     path_so_far
                 };
-                self.routes.push(Route {
-                    resource: def.name.clone(),
-                    kind: ResourceKind::Normal,
-                    template: path.clone(),
-                    methods: vec![HttpMethod::Get, HttpMethod::Put, HttpMethod::Delete],
-                    contained: None,
-                });
+                self.routes.push(Route::derived(
+                    def.name.clone(),
+                    ResourceKind::Normal,
+                    path.clone(),
+                    vec![HttpMethod::Get, HttpMethod::Put, HttpMethod::Delete],
+                    None,
+                ));
                 self.derive_children(model, &def.name, path, visited);
             }
         }
@@ -179,26 +239,26 @@ impl RouteTable {
                         .outgoing(&target.name)
                         .find(|x| x.multiplicity == Multiplicity::ZERO_MANY)
                         .map(|x| x.target.clone());
-                    self.routes.push(Route {
-                        resource: target.name.clone(),
-                        kind: ResourceKind::Collection,
-                        template: collection_path.clone(),
-                        methods: vec![HttpMethod::Get, HttpMethod::Post],
-                        contained: contained.clone(),
-                    });
+                    self.routes.push(Route::derived(
+                        target.name.clone(),
+                        ResourceKind::Collection,
+                        collection_path.clone(),
+                        vec![HttpMethod::Get, HttpMethod::Post],
+                        contained.clone(),
+                    ));
                     if let Some(contained_name) = contained {
                         if visited.iter().any(|v| v == &contained_name) {
                             continue;
                         }
                         visited.push(contained_name.clone());
                         let item_path = collection_path.param(format!("{contained_name}_id"));
-                        self.routes.push(Route {
-                            resource: contained_name.clone(),
-                            kind: ResourceKind::Normal,
-                            template: item_path.clone(),
-                            methods: vec![HttpMethod::Get, HttpMethod::Put, HttpMethod::Delete],
-                            contained: None,
-                        });
+                        self.routes.push(Route::derived(
+                            contained_name.clone(),
+                            ResourceKind::Normal,
+                            item_path.clone(),
+                            vec![HttpMethod::Get, HttpMethod::Put, HttpMethod::Delete],
+                            None,
+                        ));
                         self.derive_children(model, &contained_name, item_path, visited);
                         visited.pop();
                     }
@@ -217,13 +277,13 @@ impl RouteTable {
                         base.clone().literal(a.role.clone())
                     };
                     visited.push(target.name.clone());
-                    self.routes.push(Route {
-                        resource: target.name.clone(),
-                        kind: ResourceKind::Normal,
-                        template: path.clone(),
-                        methods: vec![HttpMethod::Get, HttpMethod::Put, HttpMethod::Delete],
-                        contained: None,
-                    });
+                    self.routes.push(Route::derived(
+                        target.name.clone(),
+                        ResourceKind::Normal,
+                        path.clone(),
+                        vec![HttpMethod::Get, HttpMethod::Put, HttpMethod::Delete],
+                        None,
+                    ));
                     self.derive_children(model, &target.name, path, visited);
                     visited.pop();
                 }
@@ -255,10 +315,45 @@ impl RouteTable {
     }
 
     /// Resolve a method + path against the table.
+    ///
+    /// The path is split once; only routes in the matching dispatch
+    /// bucket (same segment count, compatible leading segment) are
+    /// probed, in derivation order.
     #[must_use]
     pub fn resolve(&self, method: HttpMethod, path: &str) -> Resolution<'_> {
-        for route in &self.routes {
-            if let Some(params) = route.template.match_path(path) {
+        let parts: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        let Some(bucket) = self.dispatch.get(&parts.len()) else {
+            return Resolution::NotFound;
+        };
+        let by_literal: &[usize] = parts
+            .first()
+            .and_then(|first| bucket.by_literal.get(*first))
+            .map_or(&[], Vec::as_slice);
+        // Merge the two ascending index lists so candidates are visited
+        // in derivation order, exactly like the old full scan.
+        let (mut i, mut j) = (0, 0);
+        while i < by_literal.len() || j < bucket.wildcard.len() {
+            let idx = match (by_literal.get(i), bucket.wildcard.get(j)) {
+                (Some(&a), Some(&b)) if a < b => {
+                    i += 1;
+                    a
+                }
+                (Some(_), Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => unreachable!(),
+            };
+            let route = &self.routes[idx];
+            if let Some(params) = route.template.match_segments(&parts) {
                 if route.methods.contains(&method) {
                     return Resolution::Matched { route, params };
                 }
@@ -275,14 +370,7 @@ impl fmt::Display for RouteTable {
             if i > 0 {
                 writeln!(f)?;
             }
-            let methods: Vec<&str> = r.methods.iter().map(|m| m.as_str()).collect();
-            write!(
-                f,
-                "{} [{}] -> {}",
-                r.template,
-                methods.join(", "),
-                r.resource
-            )?;
+            write!(f, "{} [{}] -> {}", r.template, r.allow, r.resource)?;
         }
         Ok(())
     }
@@ -378,6 +466,64 @@ mod tests {
         let table = cinder_table();
         let text = table.to_string();
         assert!(text.contains("/v3/{project_id}/volumes/{volume_id} [GET, PUT, DELETE] -> volume"));
+    }
+
+    #[test]
+    fn allow_header_is_precomputed_per_route() {
+        let table = cinder_table();
+        for route in table.routes() {
+            let joined = route
+                .methods
+                .iter()
+                .map(|m| m.as_str())
+                .collect::<Vec<_>>()
+                .join(", ");
+            assert_eq!(route.allow, joined, "{}", route.template);
+        }
+        assert_eq!(table.route_for("volume").unwrap().allow, "GET, PUT, DELETE");
+    }
+
+    #[test]
+    fn dispatch_agrees_with_linear_scan() {
+        // The dispatch index must give the same resolution (route AND
+        // verdict) as scanning every template in derivation order.
+        let table = cinder_table();
+        let paths = [
+            "/v3/4",
+            "/v3/4/volumes",
+            "/v3/4/volumes/7",
+            "/v3/4/volumes/7/snapshots",
+            "/v3/4/quota_sets",
+            "/v3/4/usergroup/2",
+            "/v4/4/volumes",
+            "/v3/4/servers/1",
+            "/v3",
+            "/",
+            "/v3/4/volumes/7/snapshots/9/extra",
+        ];
+        for method in [
+            HttpMethod::Get,
+            HttpMethod::Post,
+            HttpMethod::Put,
+            HttpMethod::Delete,
+        ] {
+            for path in paths {
+                let linear = table
+                    .routes()
+                    .iter()
+                    .find_map(|route| {
+                        route.template.match_path(path).map(|params| {
+                            if route.methods.contains(&method) {
+                                Resolution::Matched { route, params }
+                            } else {
+                                Resolution::MethodNotAllowed { route }
+                            }
+                        })
+                    })
+                    .unwrap_or(Resolution::NotFound);
+                assert_eq!(table.resolve(method, path), linear, "{method:?} {path}");
+            }
+        }
     }
 
     #[test]

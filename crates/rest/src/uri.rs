@@ -87,20 +87,31 @@ impl UriTemplate {
     #[must_use]
     pub fn match_path(&self, path: &str) -> Option<HashMap<String, String>> {
         let parts: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        self.match_segments(&parts)
+    }
+
+    /// Match a pre-split path against the template. Literal segments are
+    /// verified before the capture map is allocated, so a mismatch costs
+    /// no heap work — this is the hot path for
+    /// [`RouteTable::resolve`](crate::RouteTable::resolve), which splits
+    /// the request path once and probes several candidate templates
+    /// with it.
+    #[must_use]
+    pub fn match_segments(&self, parts: &[&str]) -> Option<HashMap<String, String>> {
         if parts.len() != self.segments.len() {
             return None;
         }
+        for (seg, part) in self.segments.iter().zip(parts) {
+            if let Segment::Literal(lit) = seg {
+                if lit != part {
+                    return None;
+                }
+            }
+        }
         let mut captures = HashMap::new();
-        for (seg, part) in self.segments.iter().zip(&parts) {
-            match seg {
-                Segment::Literal(lit) => {
-                    if lit != part {
-                        return None;
-                    }
-                }
-                Segment::Param(name) => {
-                    captures.insert(name.clone(), (*part).to_string());
-                }
+        for (seg, part) in self.segments.iter().zip(parts) {
+            if let Segment::Param(name) = seg {
+                captures.insert(name.clone(), (*part).to_string());
             }
         }
         Some(captures)

@@ -623,6 +623,95 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Differential oracle for the compile pipeline: on arbitrary request
+    /// scripts against the extended Cinder scenario (volume + snapshot
+    /// state machines), a monitor evaluating the interned compiled
+    /// programs and one tree-walking the contract ASTs must produce
+    /// identical verdicts, exercised requirement ids, statuses, and
+    /// diagnostics at every step.
+    #[test]
+    fn compiled_pipeline_matches_interpreter(
+        plan in prop::collection::vec((0usize..6, any::<bool>()), 1..12),
+    ) {
+        use cm_cloudsim::PrivateCloud;
+        use cm_core::{cinder_monitor_extended, CloudMonitor, EvalStrategy, Mode};
+        use cm_model::HttpMethod;
+        use cm_rest::RestRequest;
+
+        fn fixture(
+            strategy: EvalStrategy,
+        ) -> (CloudMonitor<PrivateCloud>, u64, u64, u64, String, String) {
+            let cloud = PrivateCloud::my_project();
+            let pid = cloud.project_id();
+            let vid = cloud
+                .state_mut()
+                .create_volume(pid, "seed", 1, false)
+                .unwrap()
+                .id;
+            let sid = cloud.state_mut().create_snapshot(pid, vid, "s").unwrap().id;
+            let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
+            let carol = cloud.issue_token("carol", "carol-pw").unwrap().token;
+            let mut monitor = cinder_monitor_extended(cloud)
+                .unwrap()
+                .mode(Mode::Observe)
+                .eval_strategy(strategy);
+            monitor.authenticate("alice", "alice-pw").unwrap();
+            (monitor, pid, vid, sid, admin, carol)
+        }
+
+        fn request(op: usize, pid: u64, vid: u64, sid: u64, token: &str) -> RestRequest {
+            let base = match op {
+                0 => RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes")).json(
+                    Json::object(vec![(
+                        "volume",
+                        Json::object(vec![("name", Json::Str("prop".into()))]),
+                    )]),
+                ),
+                1 => RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/{vid}")),
+                2 => RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}")),
+                3 => RestRequest::new(
+                    HttpMethod::Post,
+                    format!("/v3/{pid}/volumes/{vid}/snapshots"),
+                )
+                .json(Json::object(vec![(
+                    "snapshot",
+                    Json::object(vec![("name", Json::Str("prop".into()))]),
+                )])),
+                4 => RestRequest::new(
+                    HttpMethod::Get,
+                    format!("/v3/{pid}/volumes/{vid}/snapshots/{sid}"),
+                ),
+                _ => RestRequest::new(
+                    HttpMethod::Delete,
+                    format!("/v3/{pid}/volumes/{vid}/snapshots/{sid}"),
+                ),
+            };
+            base.auth_token(token)
+        }
+
+        let (compiled, pid, vid, sid, admin, carol) = fixture(EvalStrategy::Compiled);
+        let (interp, _, _, _, _, _) = fixture(EvalStrategy::Interpreter);
+        for (op, as_admin) in plan {
+            let token = if as_admin { &admin } else { &carol };
+            let req = request(op, pid, vid, sid, token);
+            let a = compiled.process(&req);
+            let b = interp.process(&req);
+            prop_assert_eq!(a.verdict, b.verdict, "verdict diverged on {:?}", &req);
+            prop_assert_eq!(
+                &a.requirements, &b.requirements,
+                "requirements diverged on {:?}", &req
+            );
+            prop_assert_eq!(a.response.status, b.response.status);
+            let da = compiled.log().last().unwrap().diagnostics.clone();
+            let db = interp.log().last().unwrap().diagnostics.clone();
+            prop_assert_eq!(da, db, "diagnostics diverged on {:?}", &req);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// XMI round-trips arbitrary well-formed behavioural models (states

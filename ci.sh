@@ -43,6 +43,9 @@ cargo build --offline -p cm-bench --benches --features bench-criterion -q
 step "bench smoke: contract_eval (parity assertions, no artifact)"
 cargo run --offline --release -p cm-bench --bin contract_eval -q -- --smoke
 
+step "bench smoke: proxy_throughput (response parity over live TCP, no artifact)"
+cargo run --offline --release -p cm-bench --bin proxy_throughput -q -- --smoke
+
 if [ "$STRESS" = 1 ]; then
   step "stress: concurrency soak (debug, shard debug_asserts active)"
   cargo test --offline --test concurrent_monitor -q

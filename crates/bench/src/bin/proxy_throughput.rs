@@ -1,0 +1,206 @@
+//! Proxy-throughput experiment — the payoff of the persistent-connection
+//! transport.
+//!
+//! The full network topology of the paper's deployment is stood up twice
+//! on loopback TCP — private cloud served over HTTP, generated monitor
+//! wrapping it through a remote-service adapter, monitor itself served
+//! over HTTP — and hammered by 8 concurrent client threads with a
+//! deterministic request mix (authorized read / forbidden delete /
+//! unmodelled passthrough):
+//!
+//! * **baseline** — the historical transport: `Connection: close`
+//!   everywhere, a fresh TCP connect per client request *and* per probe
+//!   round-trip the monitor makes against the cloud;
+//! * **pooled** — HTTP/1.1 keep-alive at both hops: clients reuse
+//!   per-thread pooled connections, the monitor's backend adapter rides
+//!   a pooled connection and batches each snapshot's probes over it.
+//!
+//! Every response is recorded per thread and must match byte-for-verdict
+//! across the two modes — the transport may only change how fast the
+//! answers arrive, never the answers.
+//!
+//! Results land in `BENCH_proxy_throughput.json` at the repo root. The
+//! run fails if the pooled transport is not at least 3x the baseline.
+//! `--smoke` runs a handful of requests and skips the artifact and the
+//! speedup assertion (used by `ci.sh`).
+
+use cm_cloudsim::PrivateCloud;
+use cm_core::{cinder_monitor, Mode};
+use cm_httpkit::{send, HttpServer, PooledClient, RemoteService, ServerConfig};
+use cm_model::HttpMethod;
+use cm_rest::{RestRequest, SharedRestService};
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREADS: usize = 8;
+
+/// The deterministic request mix, same as the concurrency battery's.
+fn request_for(pid: u64, t: usize, i: usize, alice: &str, carol: &str) -> RestRequest {
+    match (t + i) % 3 {
+        0 => RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/1")).auth_token(alice),
+        1 => RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1")).auth_token(carol),
+        _ => RestRequest::new(HttpMethod::Get, format!("/unmodelled/{t}/{i}")),
+    }
+}
+
+struct ModeResult {
+    /// Status codes per thread, in issue order — the parity fingerprint.
+    statuses: Vec<Vec<u16>>,
+    rps: f64,
+    client_connections: u64,
+}
+
+/// Stand the two-hop topology up and drive it with `THREADS` client
+/// threads of `per_thread` requests each.
+fn run_mode(pooled: bool, per_thread: usize) -> ModeResult {
+    let cloud = PrivateCloud::my_project();
+    let pid = cloud.project_id();
+    let alice = cloud
+        .issue_token("alice", "alice-pw")
+        .expect("fixture")
+        .token;
+    let carol = cloud
+        .issue_token("carol", "carol-pw")
+        .expect("fixture")
+        .token;
+    cloud
+        .state_mut()
+        .create_volume(pid, "seed", 1, false)
+        .expect("seed volume");
+
+    let transport = ServerConfig {
+        keep_alive: pooled,
+        ..ServerConfig::default()
+    };
+    let cloud = Arc::new(cloud);
+    let cloud_handle = Arc::clone(&cloud);
+    let cloud_server = HttpServer::bind_with(
+        "127.0.0.1:0",
+        Arc::new(move |req| cloud_handle.call(&req)),
+        transport.clone(),
+    )
+    .expect("bind cloud server");
+
+    let remote = if pooled {
+        RemoteService::new(cloud_server.local_addr())
+    } else {
+        RemoteService::connection_per_request(cloud_server.local_addr())
+    };
+    let mut monitor = cinder_monitor(remote)
+        .expect("models generate")
+        .mode(Mode::Enforce);
+    monitor
+        .authenticate("alice", "alice-pw")
+        .expect("admin authority");
+    let monitor = Arc::new(monitor);
+    let monitor_handle = Arc::clone(&monitor);
+    let monitor_server = HttpServer::bind_with(
+        "127.0.0.1:0",
+        Arc::new(move |req| monitor_handle.call(&req)),
+        transport,
+    )
+    .expect("bind monitor server");
+    let addr = monitor_server.local_addr();
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let alice = alice.clone();
+            let carol = carol.clone();
+            std::thread::spawn(move || {
+                // One pooled client per thread: one live connection each.
+                let client = PooledClient::default();
+                let mut statuses = Vec::with_capacity(per_thread);
+                for i in 0..per_thread {
+                    let req = request_for(pid, t, i, &alice, &carol);
+                    let resp = if pooled {
+                        client.request(addr, &req).expect("pooled response")
+                    } else {
+                        send(addr, &req).expect("one-shot response")
+                    };
+                    statuses.push(resp.status.0);
+                }
+                statuses
+            })
+        })
+        .collect();
+    let statuses: Vec<Vec<u16>> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = (THREADS * per_thread) as f64;
+
+    let client_connections = monitor_server.connections_accepted();
+    monitor_server.shutdown();
+    cloud_server.shutdown();
+
+    ModeResult {
+        statuses,
+        rps: total / elapsed,
+        client_connections,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let per_thread: usize = if smoke { 5 } else { 150 };
+
+    println!(
+        "PROXY THROUGHPUT ({THREADS} client threads x {per_thread} requests, two-hop topology)"
+    );
+    println!();
+    let baseline = run_mode(false, per_thread);
+    println!(
+        "  baseline (connection-per-request) : {:8.0} req/s, {} client connections",
+        baseline.rps, baseline.client_connections
+    );
+    let pooled = run_mode(true, per_thread);
+    println!(
+        "  pooled   (keep-alive + batching)  : {:8.0} req/s, {} client connections",
+        pooled.rps, pooled.client_connections
+    );
+    let speedup = pooled.rps / baseline.rps;
+    println!("  speedup                           : {speedup:8.2}x");
+
+    // Response parity: the transport must not change a single verdict.
+    assert_eq!(
+        baseline.statuses, pooled.statuses,
+        "transport changed responses"
+    );
+    // The pooled run must actually have pooled: at most one client
+    // connection per thread (plus slack for the shutdown wake-up).
+    assert!(
+        pooled.client_connections <= (THREADS as u64) + 1,
+        "pooled mode leaked connections: {}",
+        pooled.client_connections
+    );
+
+    if smoke {
+        println!();
+        println!("smoke mode: skipping artifact and speedup assertion");
+        return;
+    }
+
+    let total = THREADS * per_thread;
+    let json = format!(
+        "{{\n  \"benchmark\": \"proxy_throughput\",\n  \"threads\": {THREADS},\n  \
+         \"requests_per_thread\": {per_thread},\n  \"total_requests\": {total},\n  \
+         \"baseline_rps\": {:.0},\n  \"baseline_client_connections\": {},\n  \
+         \"pooled_rps\": {:.0},\n  \"pooled_client_connections\": {},\n  \
+         \"speedup\": {speedup:.2},\n  \"response_parity\": true\n}}\n",
+        baseline.rps, baseline.client_connections, pooled.rps, pooled.client_connections
+    );
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_proxy_throughput.json"
+    );
+    std::fs::write(out, json).expect("write benchmark artifact");
+    println!();
+    println!("wrote {out}");
+
+    assert!(
+        speedup >= 3.0,
+        "pooled transport must be at least 3x the baseline, got {speedup:.2}x"
+    );
+}

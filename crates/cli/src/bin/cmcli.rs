@@ -101,7 +101,23 @@ fn run(args: &[String]) -> Result<String, CliError> {
                     .and_then(|p| p.parse().ok())
                     .ok_or(CliError("--port needs a number".into()))?;
             }
-            serve(port, rest.contains(&"--extended"))
+            let mut workers = cm_httpkit::ServerConfig::default().workers;
+            if let Some(pos) = rest.iter().position(|a| *a == "--workers") {
+                workers = rest
+                    .get(pos + 1)
+                    .and_then(|n| n.parse().ok())
+                    .filter(|n| *n > 0)
+                    .ok_or(CliError("--workers needs a positive number".into()))?;
+            }
+            let mut keep_alive = true;
+            if let Some(pos) = rest.iter().position(|a| *a == "--keep-alive") {
+                keep_alive = match rest.get(pos + 1) {
+                    Some(&"on") => true,
+                    Some(&"off") => false,
+                    _ => return Err(CliError("--keep-alive needs on|off".into())),
+                };
+            }
+            serve(port, rest.contains(&"--extended"), workers, keep_alive)
         }
         Some("metrics") => {
             let addr = it.next().ok_or(CliError("metrics needs <addr>".into()))?;
@@ -122,21 +138,38 @@ fn run(args: &[String]) -> Result<String, CliError> {
 
 /// Run the simulated private cloud with a generated monitor proxy in
 /// front, both over HTTP, until the process is killed.
-fn serve(port: u16, extended: bool) -> Result<String, CliError> {
+fn serve(port: u16, extended: bool, workers: usize, keep_alive: bool) -> Result<String, CliError> {
     use cm_cloudsim::PrivateCloud;
     use cm_core::CloudMonitor;
-    use cm_httpkit::{AdminRoutes, HttpServer, RemoteService};
+    use cm_httpkit::{AdminRoutes, HttpServer, RemoteService, ServerConfig};
     use cm_model::cinder;
     use cm_rest::SharedRestService;
     use std::sync::Arc;
+
+    let monitor_config = ServerConfig {
+        workers,
+        keep_alive,
+        ..ServerConfig::default()
+    };
+    // Every monitor worker may pin one pooled backend connection for the
+    // duration of a probe batch, so the cloud side needs at least as many
+    // workers as the monitor side to avoid self-inflicted queueing.
+    let cloud_config = ServerConfig {
+        workers: workers.max(ServerConfig::default().workers),
+        keep_alive: true,
+        ..ServerConfig::default()
+    };
 
     // No outer Mutex: the cloud and the monitor both serve concurrent
     // requests through `&self`, synchronizing internally per shard.
     let cloud = Arc::new(PrivateCloud::my_project());
     let cloud_handle = Arc::clone(&cloud);
-    let cloud_server =
-        HttpServer::bind("127.0.0.1:0", Arc::new(move |req| cloud_handle.call(&req)))
-            .map_err(|e| CliError(e.to_string()))?;
+    let cloud_server = HttpServer::bind_with(
+        "127.0.0.1:0",
+        Arc::new(move |req| cloud_handle.call(&req)),
+        cloud_config,
+    )
+    .map_err(|e| CliError(e.to_string()))?;
 
     let remote = RemoteService::new(cloud_server.local_addr());
     let mut monitor = if extended {
@@ -165,14 +198,20 @@ fn serve(port: u16, extended: bool) -> Result<String, CliError> {
     let admin = AdminRoutes::new(monitor.metrics(), monitor.events());
     let monitor = Arc::new(monitor);
     let monitor_handle = Arc::clone(&monitor);
-    let monitor_server = HttpServer::bind(
+    let monitor_server = HttpServer::bind_with(
         ("127.0.0.1", port),
         admin.wrap(Arc::new(move |req| monitor_handle.call(&req))),
+        monitor_config,
     )
     .map_err(|e| CliError(e.to_string()))?;
 
     println!("private cloud   : http://{}", cloud_server.local_addr());
     println!("cloud monitor   : http://{}", monitor_server.local_addr());
+    println!(
+        "transport       : {} workers, keep-alive {}",
+        workers,
+        if keep_alive { "on" } else { "off" }
+    );
     println!("observability   : GET /-/metrics and /-/events?tail=N (or `cmcli metrics`)");
     println!("fixture users   : alice/alice-pw (admin), bob (member), carol (user)");
     println!(

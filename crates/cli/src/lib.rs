@@ -430,6 +430,9 @@ pub fn usage() -> &'static str {
                                               generate the Django monitor\n\
        cmcli audit                            oracle + mutation campaigns\n\
        cmcli serve [--port P] [--extended]    run a live monitored cloud\n\
+             [--workers N] [--keep-alive on|off]\n\
+                                              size the worker pool and toggle\n\
+                                              persistent connections\n\
        cmcli metrics <addr> [--events N]      query /-/metrics or /-/events\n\
                                               of a running monitor\n"
 }

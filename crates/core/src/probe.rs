@@ -42,13 +42,59 @@ impl ProbeScope<'_> {
         match self {
             ProbeScope::Full => true,
             ProbeScope::Roots(roots) => roots.iter().any(|r| r == root),
-            ProbeScope::Attrs(s) => s.pairs().iter().any(|(r, a)| r == root && a != excluded),
+            ProbeScope::Attrs(s) => s.contains_other_than(root, excluded),
         }
     }
 
     /// Does the contract read any attribute of `root` at all?
     fn needs_any(self, root: &str) -> bool {
-        self.needs_other_than(root, "")
+        match self {
+            ProbeScope::Full => true,
+            ProbeScope::Roots(roots) => roots.iter().any(|r| r == root),
+            ProbeScope::Attrs(s) => s.mentions_root(root),
+        }
+    }
+}
+
+/// Which REST probes one snapshot issues, resolved from the scope in a
+/// single pass *before* any request goes out. Two jobs: the scope
+/// queries (indexed, but still not free) run once per snapshot instead
+/// of once per attribute, and the full probe list is known up front so
+/// it can be issued as **one batch** over a single pooled backend
+/// connection ([`SharedRestService::call_batch`]).
+#[derive(Debug, Clone, Copy)]
+struct ProbePlan {
+    /// `GET {prefix}/{pid}` — binds `project.id` / `project.name`.
+    project: bool,
+    /// `GET {prefix}/{pid}/volumes` — binds `project.volumes` and the
+    /// listed volumes' attributes.
+    volumes: bool,
+    /// `GET {prefix}/{pid}/volumes/{vid}` — binds the addressed volume.
+    volume_item: bool,
+    /// `GET …/volumes/{vid}/snapshots` — binds `volume.snapshots`.
+    snapshots: bool,
+    /// `GET …/snapshots/{sid}` — binds the addressed snapshot.
+    snapshot_item: bool,
+    /// `GET {prefix}/{pid}/quota_sets` — binds `quota_sets.volume`.
+    quota: bool,
+    /// `GET /identity/tokens/{token}` — binds the `user` context.
+    user: bool,
+}
+
+impl ProbePlan {
+    fn new(scope: ProbeScope<'_>, target: &ProbeTarget) -> ProbePlan {
+        ProbePlan {
+            project: scope.needs("project", "id") || scope.needs("project", "name"),
+            volumes: scope.needs("project", "volumes"),
+            volume_item: target.volume_id.is_some()
+                && scope.needs_other_than("volume", "snapshots"),
+            snapshots: target.volume_id.is_some() && scope.needs("volume", "snapshots"),
+            snapshot_item: target.volume_id.is_some()
+                && target.snapshot_id.is_some()
+                && scope.needs_any("snapshot"),
+            quota: scope.needs_any("quota_sets"),
+            user: scope.needs_any("user"),
+        }
     }
 }
 
@@ -91,23 +137,6 @@ impl StateProber {
         StateProber {
             prefix: prefix.into(),
         }
-    }
-
-    fn get(
-        &self,
-        cloud: &dyn SharedRestService,
-        token: &str,
-        path: String,
-        errors: &mut Vec<String>,
-    ) -> RestResponse {
-        let resp = cloud.call(&RestRequest::new(HttpMethod::Get, path.clone()).auth_token(token));
-        // The monitor probes with its own (admin-authority) token, so any
-        // denial other than a plain 404 is anomalous: either the monitor
-        // is misconfigured or the cloud wrongly denies authorized reads.
-        if !resp.status.is_success() && resp.status != StatusCode::NOT_FOUND {
-            errors.push(format!("probe GET {path} -> {}", resp.status));
-        }
-        resp
     }
 
     /// Probe the cloud and build the evaluation environment, also
@@ -187,249 +216,320 @@ impl StateProber {
         errors: &mut Vec<String>,
         scope: ProbeScope<'_>,
     ) -> MapNavigator {
-        let mut nav = MapNavigator::new();
+        let plan = ProbePlan::new(scope, target);
         let pid = target.project_id;
+
+        // Assemble every probe GET up front and issue them as one batch:
+        // a network-backed cloud serves the whole snapshot over a single
+        // pooled keep-alive connection instead of one TCP connect per
+        // probe.
+        let mut kinds: Vec<Probe> = Vec::with_capacity(7);
+        let mut requests: Vec<RestRequest> = Vec::with_capacity(7);
+        let add =
+            |kinds: &mut Vec<Probe>, requests: &mut Vec<RestRequest>, kind: Probe, path: String| {
+                kinds.push(kind);
+                requests.push(
+                    RestRequest::new(HttpMethod::Get, path).auth_token(&target.monitor_token),
+                );
+            };
+        if plan.project {
+            add(
+                &mut kinds,
+                &mut requests,
+                Probe::Project,
+                format!("{}/{pid}", self.prefix),
+            );
+        }
+        if plan.volumes {
+            add(
+                &mut kinds,
+                &mut requests,
+                Probe::Volumes,
+                format!("{}/{pid}/volumes", self.prefix),
+            );
+        }
+        if let Some(vid) = target.volume_id {
+            if plan.volume_item {
+                add(
+                    &mut kinds,
+                    &mut requests,
+                    Probe::VolumeItem,
+                    format!("{}/{pid}/volumes/{vid}", self.prefix),
+                );
+            }
+            if plan.snapshots {
+                add(
+                    &mut kinds,
+                    &mut requests,
+                    Probe::Snapshots,
+                    format!("{}/{pid}/volumes/{vid}/snapshots", self.prefix),
+                );
+            }
+            if let Some(sid) = target.snapshot_id.filter(|_| plan.snapshot_item) {
+                add(
+                    &mut kinds,
+                    &mut requests,
+                    Probe::SnapshotItem,
+                    format!("{}/{pid}/volumes/{vid}/snapshots/{sid}", self.prefix),
+                );
+            }
+        }
+        if plan.quota {
+            add(
+                &mut kinds,
+                &mut requests,
+                Probe::Quota,
+                format!("{}/{pid}/quota_sets", self.prefix),
+            );
+        }
+        if plan.user {
+            add(
+                &mut kinds,
+                &mut requests,
+                Probe::User,
+                format!("/identity/tokens/{}", target.user_token),
+            );
+        }
+        let responses = cloud.call_batch(&requests);
+        debug_assert_eq!(responses.len(), requests.len());
+
+        // Bind the context variables first; probes fill in attributes.
+        let mut nav = MapNavigator::new();
         let project = ObjRef::new("project", pid);
         let quota = ObjRef::new("quota_sets", pid);
         nav.set_variable("project", project.clone());
         nav.set_variable("quota_sets", quota.clone());
-
-        // project.id: Set{pid} iff GET project → 200.
-        if scope.needs("project", "id") || scope.needs("project", "name") {
-            let proj_resp = self.get(
-                cloud,
-                &target.monitor_token,
-                format!("{}/{pid}", self.prefix),
-                errors,
-            );
-            if proj_resp.status == StatusCode::OK {
-                nav.set_attribute(
-                    project.clone(),
-                    "id",
-                    Value::set(vec![Value::Int(pid as i64)]),
-                );
-                if let Some(name) = proj_resp
-                    .body
-                    .as_ref()
-                    .and_then(|b| b.get("project"))
-                    .and_then(|p| p.get("name"))
-                    .and_then(Json::as_str)
-                {
-                    nav.set_attribute(project.clone(), "name", name);
-                }
-            } else {
-                nav.set_attribute(project.clone(), "id", Value::set(vec![]));
-            }
-        }
-
-        // project.volumes: refs from the listing; volume attributes (the
-        // listing binds the element attributes too, so a contract reading
-        // `project.volumes->forAll(v | v.status …)` needs only this pair).
-        if scope.needs("project", "volumes") {
-            let vols_resp = self.get(
-                cloud,
-                &target.monitor_token,
-                format!("{}/{pid}/volumes", self.prefix),
-                errors,
-            );
-            let mut volume_refs = Vec::new();
-            if vols_resp.status == StatusCode::OK {
-                if let Some(volumes) = vols_resp
-                    .body
-                    .as_ref()
-                    .and_then(|b| b.get("volumes"))
-                    .and_then(Json::as_array)
-                {
-                    for v in volumes {
-                        let Some(id) = v.get("id").and_then(Json::as_int) else {
-                            continue;
-                        };
-                        let obj = ObjRef::new("volume", id as u64);
-                        nav.set_attribute(obj.clone(), "id", Value::set(vec![Value::Int(id)]));
-                        if let Some(name) = v.get("name").and_then(Json::as_str) {
-                            nav.set_attribute(obj.clone(), "name", name);
-                        }
-                        if let Some(size) = v.get("size").and_then(Json::as_int) {
-                            nav.set_attribute(obj.clone(), "size", size);
-                        }
-                        if let Some(status) = v.get("status").and_then(Json::as_str) {
-                            nav.set_attribute(obj.clone(), "status", status);
-                        }
-                        volume_refs.push(Value::Obj(obj));
-                    }
-                }
-            }
-            nav.set_attribute(project, "volumes", Value::set(volume_refs));
-        }
-
-        // The specific volume addressed by the request. Bind the variable
-        // even when absent: its attributes evaluate to OclUndefined and the
-        // `project.volumes->size() >= 1` invariants do the existence work.
-        let vid = target.volume_id.unwrap_or(0);
-        let volume = ObjRef::new("volume", vid);
+        let volume = ObjRef::new("volume", target.volume_id.unwrap_or(0));
         nav.set_variable("volume", volume.clone());
-        if let Some(vid) = target
-            .volume_id
-            .filter(|_| scope.needs_other_than("volume", "snapshots"))
-        {
-            let v_resp = self.get(
-                cloud,
-                &target.monitor_token,
-                format!("{}/{pid}/volumes/{vid}", self.prefix),
-                errors,
-            );
-            if v_resp.status == StatusCode::OK {
-                if let Some(v) = v_resp.body.as_ref().and_then(|b| b.get("volume")) {
-                    nav.set_attribute(
-                        volume.clone(),
-                        "id",
-                        Value::set(vec![Value::Int(vid as i64)]),
-                    );
-                    if let Some(status) = v.get("status").and_then(Json::as_str) {
-                        nav.set_attribute(volume.clone(), "status", status);
-                    }
-                    if let Some(size) = v.get("size").and_then(Json::as_int) {
-                        nav.set_attribute(volume.clone(), "size", size);
-                    }
-                    if let Some(name) = v.get("name").and_then(Json::as_str) {
-                        nav.set_attribute(volume.clone(), "name", name);
-                    }
-                }
-            }
-        }
-
-        // volume.snapshots + the addressed snapshot (extended model).
-        if let Some(vid) = target
-            .volume_id
-            .filter(|_| scope.needs("volume", "snapshots"))
-        {
-            let s_resp = self.get(
-                cloud,
-                &target.monitor_token,
-                format!("{}/{pid}/volumes/{vid}/snapshots", self.prefix),
-                // A cloud without the snapshots extension 404s here; that
-                // is not a probe anomaly.
-                &mut Vec::new(),
-            );
-            let mut snapshot_refs = Vec::new();
-            if s_resp.status == StatusCode::OK {
-                if let Some(snaps) = s_resp
-                    .body
-                    .as_ref()
-                    .and_then(|b| b.get("snapshots"))
-                    .and_then(Json::as_array)
-                {
-                    for snap in snaps {
-                        let Some(id) = snap.get("id").and_then(Json::as_int) else {
-                            continue;
-                        };
-                        let obj = ObjRef::new("snapshot", id as u64);
-                        nav.set_attribute(obj.clone(), "id", Value::set(vec![Value::Int(id)]));
-                        if let Some(name) = snap.get("name").and_then(Json::as_str) {
-                            nav.set_attribute(obj.clone(), "name", name);
-                        }
-                        if let Some(status) = snap.get("status").and_then(Json::as_str) {
-                            nav.set_attribute(obj.clone(), "status", status);
-                        }
-                        snapshot_refs.push(Value::Obj(obj));
-                    }
-                }
-            }
-            nav.set_attribute(volume.clone(), "snapshots", Value::set(snapshot_refs));
-        }
-
-        // The addressed snapshot variable (attribute-free when absent).
         let snapshot = ObjRef::new("snapshot", target.snapshot_id.unwrap_or(0));
         nav.set_variable("snapshot", snapshot.clone());
-        if let (Some(vid), Some(sid)) = (target.volume_id, target.snapshot_id) {
-            if scope.needs_any("snapshot") {
-                let resp = self.get(
-                    cloud,
-                    &target.monitor_token,
-                    format!("{}/{pid}/volumes/{vid}/snapshots/{sid}", self.prefix),
-                    &mut Vec::new(),
-                );
-                if resp.status == StatusCode::OK {
-                    if let Some(snap) = resp.body.as_ref().and_then(|b| b.get("snapshot")) {
-                        nav.set_attribute(
-                            snapshot.clone(),
-                            "id",
-                            Value::set(vec![Value::Int(sid as i64)]),
-                        );
-                        if let Some(name) = snap.get("name").and_then(Json::as_str) {
-                            nav.set_attribute(snapshot.clone(), "name", name);
-                        }
-                        if let Some(status) = snap.get("status").and_then(Json::as_str) {
-                            nav.set_attribute(snapshot.clone(), "status", status);
-                        }
-                    }
-                }
-            }
-        }
-
-        // quota_sets.volume.
-        if scope.needs_any("quota_sets") {
-            let q_resp = self.get(
-                cloud,
-                &target.monitor_token,
-                format!("{}/{pid}/quota_sets", self.prefix),
-                errors,
-            );
-            if let Some(q) = q_resp
-                .body
-                .as_ref()
-                .and_then(|b| b.get("quota_set"))
-                .and_then(|q| q.get("volume"))
-                .and_then(Json::as_int)
-            {
-                nav.set_attribute(quota, "volume", q);
-            }
-        }
-
-        // user: introspect the requester's token.
-        // Token introspection 404s for unauthenticated requesters; that is
-        // a legitimate outcome, not a probe anomaly.
-        if scope.needs_any("user") {
-            let user_resp = self.get(
-                cloud,
-                &target.monitor_token,
-                format!("/identity/tokens/{}", target.user_token),
-                &mut Vec::new(),
-            );
-            if let Some(tok) = user_resp.body.as_ref().and_then(|b| b.get("token")) {
-                let uid = tok.get("user_id").and_then(Json::as_int).unwrap_or(0);
-                let user = ObjRef::new("user", uid as u64);
-                nav.set_variable("user", user.clone());
-                nav.set_attribute(user.clone(), "id", Value::set(vec![Value::Int(uid)]));
-                if let Some(name) = tok.get("user").and_then(Json::as_str) {
-                    nav.set_attribute(user.clone(), "name", name);
-                }
-                let roles: Vec<Value> = tok
-                    .get("roles")
-                    .and_then(Json::as_array)
-                    .map(|rs| {
-                        rs.iter()
-                            .filter_map(Json::as_str)
-                            .map(|s| Value::Str(s.to_string()))
-                            .collect()
-                    })
-                    .unwrap_or_default();
-                // Figure 3 guard vocabulary: `user.groups = 'admin'` compares
-                // against the primary role label.
-                if let Some(Value::Str(primary)) = roles.first() {
-                    nav.set_attribute(user.clone(), "groups", primary.clone());
-                }
-                nav.set_attribute(user, "roles", Value::set(roles));
-            } else {
-                // Unauthenticated requester: bind a user with no attributes so
-                // guards evaluate to false, not to an unknown-variable error.
-                nav.set_variable("user", ObjRef::new("user", 0));
-            }
-        } else {
+        if !plan.user {
             nav.set_variable("user", ObjRef::new("user", 0));
         }
 
+        for ((kind, request), resp) in kinds.iter().zip(&requests).zip(responses) {
+            // The monitor probes with its own (admin-authority) token, so
+            // any denial other than a plain 404 is anomalous: either the
+            // monitor is misconfigured or the cloud wrongly denies
+            // authorized reads. Snapshot and token probes are exempt — a
+            // cloud without the snapshots extension 404s there, and token
+            // introspection legitimately fails for unauthenticated
+            // requesters.
+            if kind.tracks_errors()
+                && !resp.status.is_success()
+                && resp.status != StatusCode::NOT_FOUND
+            {
+                errors.push(format!("probe GET {} -> {}", request.path, resp.status));
+            }
+            match kind {
+                Probe::Project => bind_project(&mut nav, &project, pid, &resp),
+                Probe::Volumes => bind_volumes(&mut nav, project.clone(), &resp),
+                Probe::VolumeItem => bind_volume_item(&mut nav, &volume, &resp),
+                Probe::Snapshots => bind_snapshots(&mut nav, volume.clone(), &resp),
+                Probe::SnapshotItem => bind_snapshot_item(&mut nav, &snapshot, &resp),
+                Probe::Quota => bind_quota(&mut nav, quota.clone(), &resp),
+                Probe::User => bind_user(&mut nav, &resp),
+            }
+        }
+
         nav
+    }
+}
+
+/// One probe request kind within a snapshot batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Probe {
+    Project,
+    Volumes,
+    VolumeItem,
+    Snapshots,
+    SnapshotItem,
+    Quota,
+    User,
+}
+
+impl Probe {
+    /// Probes whose non-404 failures count as anomalous denials.
+    fn tracks_errors(self) -> bool {
+        !matches!(self, Probe::Snapshots | Probe::SnapshotItem | Probe::User)
+    }
+}
+
+/// `project.id`: `Set{pid}` iff GET project → 200 (plus `project.name`).
+fn bind_project(nav: &mut MapNavigator, project: &ObjRef, pid: u64, resp: &RestResponse) {
+    if resp.status == StatusCode::OK {
+        nav.set_attribute(
+            project.clone(),
+            "id",
+            Value::set(vec![Value::Int(pid as i64)]),
+        );
+        if let Some(name) = resp
+            .body
+            .as_ref()
+            .and_then(|b| b.get("project"))
+            .and_then(|p| p.get("name"))
+            .and_then(Json::as_str)
+        {
+            nav.set_attribute(project.clone(), "name", name);
+        }
+    } else {
+        nav.set_attribute(project.clone(), "id", Value::set(vec![]));
+    }
+}
+
+/// `project.volumes`: refs from the listing; volume attributes (the
+/// listing binds the element attributes too, so a contract reading
+/// `project.volumes->forAll(v | v.status …)` needs only this pair).
+fn bind_volumes(nav: &mut MapNavigator, project: ObjRef, resp: &RestResponse) {
+    let mut volume_refs = Vec::new();
+    if resp.status == StatusCode::OK {
+        if let Some(volumes) = resp
+            .body
+            .as_ref()
+            .and_then(|b| b.get("volumes"))
+            .and_then(Json::as_array)
+        {
+            for v in volumes {
+                let Some(id) = v.get("id").and_then(Json::as_int) else {
+                    continue;
+                };
+                let obj = ObjRef::new("volume", id as u64);
+                nav.set_attribute(obj.clone(), "id", Value::set(vec![Value::Int(id)]));
+                if let Some(name) = v.get("name").and_then(Json::as_str) {
+                    nav.set_attribute(obj.clone(), "name", name);
+                }
+                if let Some(size) = v.get("size").and_then(Json::as_int) {
+                    nav.set_attribute(obj.clone(), "size", size);
+                }
+                if let Some(status) = v.get("status").and_then(Json::as_str) {
+                    nav.set_attribute(obj.clone(), "status", status);
+                }
+                volume_refs.push(Value::Obj(obj));
+            }
+        }
+    }
+    nav.set_attribute(project, "volumes", Value::set(volume_refs));
+}
+
+/// The specific volume addressed by the request. The variable is bound
+/// regardless (see `snapshot_impl`); attributes appear only on a 200.
+fn bind_volume_item(nav: &mut MapNavigator, volume: &ObjRef, resp: &RestResponse) {
+    if resp.status != StatusCode::OK {
+        return;
+    }
+    let Some(v) = resp.body.as_ref().and_then(|b| b.get("volume")) else {
+        return;
+    };
+    nav.set_attribute(
+        volume.clone(),
+        "id",
+        Value::set(vec![Value::Int(volume.id as i64)]),
+    );
+    if let Some(status) = v.get("status").and_then(Json::as_str) {
+        nav.set_attribute(volume.clone(), "status", status);
+    }
+    if let Some(size) = v.get("size").and_then(Json::as_int) {
+        nav.set_attribute(volume.clone(), "size", size);
+    }
+    if let Some(name) = v.get("name").and_then(Json::as_str) {
+        nav.set_attribute(volume.clone(), "name", name);
+    }
+}
+
+/// `volume.snapshots` + the listed snapshots' attributes (extended model).
+fn bind_snapshots(nav: &mut MapNavigator, volume: ObjRef, resp: &RestResponse) {
+    let mut snapshot_refs = Vec::new();
+    if resp.status == StatusCode::OK {
+        if let Some(snaps) = resp
+            .body
+            .as_ref()
+            .and_then(|b| b.get("snapshots"))
+            .and_then(Json::as_array)
+        {
+            for snap in snaps {
+                let Some(id) = snap.get("id").and_then(Json::as_int) else {
+                    continue;
+                };
+                let obj = ObjRef::new("snapshot", id as u64);
+                nav.set_attribute(obj.clone(), "id", Value::set(vec![Value::Int(id)]));
+                if let Some(name) = snap.get("name").and_then(Json::as_str) {
+                    nav.set_attribute(obj.clone(), "name", name);
+                }
+                if let Some(status) = snap.get("status").and_then(Json::as_str) {
+                    nav.set_attribute(obj.clone(), "status", status);
+                }
+                snapshot_refs.push(Value::Obj(obj));
+            }
+        }
+    }
+    nav.set_attribute(volume, "snapshots", Value::set(snapshot_refs));
+}
+
+/// The addressed snapshot (attribute-free when absent).
+fn bind_snapshot_item(nav: &mut MapNavigator, snapshot: &ObjRef, resp: &RestResponse) {
+    if resp.status != StatusCode::OK {
+        return;
+    }
+    let Some(snap) = resp.body.as_ref().and_then(|b| b.get("snapshot")) else {
+        return;
+    };
+    nav.set_attribute(
+        snapshot.clone(),
+        "id",
+        Value::set(vec![Value::Int(snapshot.id as i64)]),
+    );
+    if let Some(name) = snap.get("name").and_then(Json::as_str) {
+        nav.set_attribute(snapshot.clone(), "name", name);
+    }
+    if let Some(status) = snap.get("status").and_then(Json::as_str) {
+        nav.set_attribute(snapshot.clone(), "status", status);
+    }
+}
+
+/// `quota_sets.volume`.
+fn bind_quota(nav: &mut MapNavigator, quota: ObjRef, resp: &RestResponse) {
+    if let Some(q) = resp
+        .body
+        .as_ref()
+        .and_then(|b| b.get("quota_set"))
+        .and_then(|q| q.get("volume"))
+        .and_then(Json::as_int)
+    {
+        nav.set_attribute(quota, "volume", q);
+    }
+}
+
+/// The `user` context from token introspection. Introspection 404s for
+/// unauthenticated requesters; that is a legitimate outcome, and the
+/// `user` variable is bound attribute-free so guards evaluate to false
+/// rather than erroring on an unknown variable.
+fn bind_user(nav: &mut MapNavigator, resp: &RestResponse) {
+    if let Some(tok) = resp.body.as_ref().and_then(|b| b.get("token")) {
+        let uid = tok.get("user_id").and_then(Json::as_int).unwrap_or(0);
+        let user = ObjRef::new("user", uid as u64);
+        nav.set_variable("user", user.clone());
+        nav.set_attribute(user.clone(), "id", Value::set(vec![Value::Int(uid)]));
+        if let Some(name) = tok.get("user").and_then(Json::as_str) {
+            nav.set_attribute(user.clone(), "name", name);
+        }
+        let roles: Vec<Value> = tok
+            .get("roles")
+            .and_then(Json::as_array)
+            .map(|rs| {
+                rs.iter()
+                    .filter_map(Json::as_str)
+                    .map(|s| Value::Str(s.to_string()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        // Figure 3 guard vocabulary: `user.groups = 'admin'` compares
+        // against the primary role label.
+        if let Some(Value::Str(primary)) = roles.first() {
+            nav.set_attribute(user.clone(), "groups", primary.clone());
+        }
+        nav.set_attribute(user, "roles", Value::set(roles));
+    } else {
+        nav.set_variable("user", ObjRef::new("user", 0));
     }
 }
 

@@ -1,0 +1,400 @@
+//! Persistent-connection HTTP client: a per-address pool of keep-alive
+//! connections, and the [`RemoteService`] adapter the monitor uses to
+//! reach a backend cloud over the network.
+//!
+//! Every monitored call used to pay one TCP connect/teardown per hop
+//! *and* one more per snapshot probe (~12 backend connections for a
+//! single pre+post cycle). [`PooledClient`] amortises all of that: it
+//! keeps a bounded stack of idle keep-alive connections per address,
+//! health-checks them on checkout, reconnects exactly once when a pooled
+//! connection turns out to be stale (the backend restarted or timed the
+//! connection out), and offers [`PooledClient::batch`] to issue a whole
+//! snapshot's probe GETs back-to-back over a single connection.
+
+use crate::wire::{read_response_buf, serialize_request, wants_close, ConnectionMode, WireError};
+use cm_rest::{RestRequest, RestResponse, SharedRestService, StatusCode};
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tuning knobs for [`PooledClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Idle connections retained per address (default 8); checkins
+    /// beyond this close the connection instead.
+    pub max_idle_per_addr: usize,
+    /// Socket read timeout while waiting for a response (default 10s).
+    pub read_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_idle_per_addr: 8,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One pooled connection: a persistent buffered reader over the stream
+/// plus a reusable request-serialisation buffer.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    fn connect(addr: SocketAddr, cfg: &ClientConfig) -> Result<Conn, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(cfg.read_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            reader: BufReader::with_capacity(8 * 1024, stream),
+            buf: Vec::with_capacity(1024),
+        })
+    }
+
+    /// One request/response exchange over this connection. Returns the
+    /// response and whether the server asked for the connection to close.
+    fn roundtrip(&mut self, request: &RestRequest) -> Result<(RestResponse, bool), WireError> {
+        self.buf.clear();
+        serialize_request(&mut self.buf, request, ConnectionMode::KeepAlive);
+        let stream = self.reader.get_mut();
+        stream.write_all(&self.buf)?;
+        stream.flush()?;
+        let response = read_response_buf(&mut self.reader)?;
+        let close = wants_close(&response.headers);
+        Ok((response, close))
+    }
+
+    /// Is this idle connection still usable? A healthy idle keep-alive
+    /// connection has nothing to read (the peek would block); readable
+    /// EOF means the server closed it, stray bytes mean a desynchronised
+    /// exchange — both are discarded.
+    fn healthy(&self) -> bool {
+        if !self.reader.buffer().is_empty() {
+            return false;
+        }
+        let stream = self.reader.get_ref();
+        if stream.set_nonblocking(true).is_err() {
+            return false;
+        }
+        let mut probe = [0u8; 1];
+        let verdict = match stream.peek(&mut probe) {
+            Ok(0) => false,                                               // peer closed
+            Ok(_) => false,                                               // stray bytes
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => true, // quiet = healthy
+            Err(_) => false,
+        };
+        stream.set_nonblocking(false).is_ok() && verdict
+    }
+}
+
+/// A thread-safe pool of keep-alive connections, keyed by address.
+pub struct PooledClient {
+    config: ClientConfig,
+    pools: Mutex<HashMap<SocketAddr, Vec<Conn>>>,
+    opened: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl std::fmt::Debug for PooledClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledClient")
+            .field("opened", &self.opened.load(Ordering::Relaxed))
+            .field("reused", &self.reused.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for PooledClient {
+    fn default() -> Self {
+        PooledClient::new(ClientConfig::default())
+    }
+}
+
+impl PooledClient {
+    /// A pool with the given configuration.
+    #[must_use]
+    pub fn new(config: ClientConfig) -> Self {
+        PooledClient {
+            config,
+            pools: Mutex::new(HashMap::new()),
+            opened: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+        }
+    }
+
+    /// TCP connections this client has opened so far — keep-alive tests
+    /// assert reuse through this counter.
+    #[must_use]
+    pub fn connections_opened(&self) -> u64 {
+        self.opened.load(Ordering::Relaxed)
+    }
+
+    /// Exchanges served by a pooled (reused) connection.
+    #[must_use]
+    pub fn connections_reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Idle connections currently pooled for `addr`.
+    #[must_use]
+    pub fn idle_count(&self, addr: SocketAddr) -> usize {
+        self.pools.lock().unwrap().get(&addr).map_or(0, Vec::len)
+    }
+
+    /// Check out a healthy pooled connection (`reused = true`) or open a
+    /// fresh one.
+    fn checkout(&self, addr: SocketAddr) -> Result<(Conn, bool), WireError> {
+        loop {
+            let candidate = self.pools.lock().unwrap().get_mut(&addr).and_then(Vec::pop);
+            match candidate {
+                Some(conn) if conn.healthy() => {
+                    self.reused.fetch_add(1, Ordering::Relaxed);
+                    return Ok((conn, true));
+                }
+                Some(_) => continue, // stale: drop and try the next one
+                None => {
+                    self.opened.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Conn::connect(addr, &self.config)?, false));
+                }
+            }
+        }
+    }
+
+    fn checkin(&self, addr: SocketAddr, conn: Conn) {
+        let mut pools = self.pools.lock().unwrap();
+        let pool = pools.entry(addr).or_default();
+        if pool.len() < self.config.max_idle_per_addr {
+            pool.push(conn);
+        }
+    }
+
+    /// Send one request, reusing a pooled connection when possible.
+    ///
+    /// A stale pooled connection (closed by the server since checkin)
+    /// surfaces as *reconnect-once*, not as an error: the exchange is
+    /// retried on a single fresh connection before any failure
+    /// propagates.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] when a fresh connection cannot be established or
+    /// the exchange fails on it.
+    pub fn request(
+        &self,
+        addr: SocketAddr,
+        request: &RestRequest,
+    ) -> Result<RestResponse, WireError> {
+        loop {
+            let (mut conn, reused) = self.checkout(addr)?;
+            match conn.roundtrip(request) {
+                Ok((response, close)) => {
+                    if !close {
+                        self.checkin(addr, conn);
+                    }
+                    return Ok(response);
+                }
+                // The pool's health check is a point-in-time peek: a
+                // connection can still die between checkout and write.
+                // Retry exactly once, on a connection we know is fresh.
+                Err(_) if reused => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Issue `requests` back-to-back over a **single** connection — the
+    /// snapshot-probe fast path: one monitored call's pre+post probe
+    /// cycle reuses one backend connection instead of opening one per
+    /// GET. Responses come back in request order. If the server closes
+    /// the connection mid-batch (`max_requests_per_conn`), the remainder
+    /// continues on one fresh connection.
+    ///
+    /// # Errors
+    ///
+    /// As [`PooledClient::request`]; a stale pooled connection is retried
+    /// once from the top of the batch before the first response commits.
+    pub fn batch(
+        &self,
+        addr: SocketAddr,
+        requests: &[RestRequest],
+    ) -> Result<Vec<RestResponse>, WireError> {
+        let mut responses = Vec::with_capacity(requests.len());
+        let (mut conn, mut reused) = self.checkout(addr)?;
+        let mut alive = true;
+        for request in requests {
+            if !alive {
+                conn = self.checkout(addr)?.0;
+                reused = false;
+            }
+            match conn.roundtrip(request) {
+                Ok((response, close)) => {
+                    responses.push(response);
+                    alive = !close;
+                }
+                Err(e) => {
+                    // Reconnect-once applies only before any response
+                    // committed — afterwards a retry would re-issue a
+                    // probe the server already answered.
+                    if reused && responses.is_empty() {
+                        self.opened.fetch_add(1, Ordering::Relaxed);
+                        conn = Conn::connect(addr, &self.config)?;
+                        reused = false;
+                        let (response, close) = conn.roundtrip(request)?;
+                        responses.push(response);
+                        alive = !close;
+                    } else {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        if alive {
+            self.checkin(addr, conn);
+        }
+        Ok(responses)
+    }
+}
+
+/// A [`cm_rest::SharedRestService`] adapter that forwards every request
+/// to a remote HTTP server — this is how the monitor wraps a private
+/// cloud reachable only over the network (the paper's deployment, where
+/// the monitor runs on the laptop and OpenStack in VirtualBox).
+///
+/// By default the adapter holds a shared [`PooledClient`], so forwards
+/// and snapshot probes reuse keep-alive connections; a stale pooled
+/// connection surfaces as a silent reconnect-once, and only a failure on
+/// a *fresh* connection becomes `502 BAD_GATEWAY`.
+/// [`RemoteService::connection_per_request`] restores the historical
+/// one-connection-per-call transport (the benchmark baseline).
+#[derive(Debug, Clone)]
+pub struct RemoteService {
+    addr: SocketAddr,
+    client: Option<Arc<PooledClient>>,
+}
+
+impl RemoteService {
+    /// Point the adapter at a server address, pooling connections.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        RemoteService {
+            addr,
+            client: Some(Arc::new(PooledClient::default())),
+        }
+    }
+
+    /// Pooled adapter sharing an existing client (so several services —
+    /// or several clones across worker threads — draw from one pool).
+    #[must_use]
+    pub fn with_client(addr: SocketAddr, client: Arc<PooledClient>) -> Self {
+        RemoteService {
+            addr,
+            client: Some(client),
+        }
+    }
+
+    /// The historical transport: one fresh TCP connection per call.
+    #[must_use]
+    pub fn connection_per_request(addr: SocketAddr) -> Self {
+        RemoteService { addr, client: None }
+    }
+
+    /// The connection pool, when this adapter pools.
+    #[must_use]
+    pub fn client(&self) -> Option<&Arc<PooledClient>> {
+        self.client.as_ref()
+    }
+}
+
+impl SharedRestService for RemoteService {
+    fn call(&self, request: &RestRequest) -> RestResponse {
+        let result = match &self.client {
+            Some(client) => client.request(self.addr, request),
+            None => crate::server::send(self.addr, request),
+        };
+        match result {
+            Ok(resp) => resp,
+            Err(e) => RestResponse::error(StatusCode::BAD_GATEWAY, e.to_string()),
+        }
+    }
+
+    fn call_batch(&self, requests: &[RestRequest]) -> Vec<RestResponse> {
+        let Some(client) = &self.client else {
+            return requests.iter().map(|r| self.call(r)).collect();
+        };
+        match client.batch(self.addr, requests) {
+            Ok(responses) => responses,
+            // Mid-batch transport failure: fall back to per-request
+            // calls, which carry their own retry-once and BAD_GATEWAY
+            // mapping, so a partial batch never loses probe responses.
+            Err(_) => requests.iter().map(|r| self.call(r)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Handler, HttpServer};
+    use cm_model::HttpMethod;
+    use cm_rest::{Json, RestService};
+
+    fn path_echo() -> Arc<Handler> {
+        Arc::new(|req: RestRequest| RestResponse::ok(Json::Str(req.path)))
+    }
+
+    #[test]
+    fn remote_service_forwards() {
+        let server = HttpServer::bind("127.0.0.1:0", path_echo()).unwrap();
+        let mut remote = RemoteService::new(server.local_addr());
+        let resp = remote.handle(&RestRequest::new(HttpMethod::Get, "/ping"));
+        assert_eq!(resp.body, Some(Json::Str("/ping".into())));
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_service_reports_unreachable_as_bad_gateway() {
+        // Bind and immediately drop a listener to get a dead port.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut remote = RemoteService::new(addr);
+        let resp = remote.handle(&RestRequest::new(HttpMethod::Get, "/"));
+        assert_eq!(resp.status, StatusCode::BAD_GATEWAY);
+    }
+
+    #[test]
+    fn remote_service_reuses_one_connection() {
+        let server = HttpServer::bind("127.0.0.1:0", path_echo()).unwrap();
+        let remote = RemoteService::new(server.local_addr());
+        for i in 0..5 {
+            let resp = remote.call(&RestRequest::new(HttpMethod::Get, format!("/{i}")));
+            assert_eq!(resp.status, StatusCode::OK);
+        }
+        assert_eq!(server.connections_accepted(), 1);
+        assert_eq!(remote.client().unwrap().connections_opened(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn call_batch_runs_over_one_connection() {
+        let server = HttpServer::bind("127.0.0.1:0", path_echo()).unwrap();
+        let remote = RemoteService::new(server.local_addr());
+        let requests: Vec<RestRequest> = (0..6)
+            .map(|i| RestRequest::new(HttpMethod::Get, format!("/probe/{i}")))
+            .collect();
+        let responses = remote.call_batch(&requests);
+        assert_eq!(responses.len(), 6);
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(resp.body, Some(Json::Str(format!("/probe/{i}"))));
+        }
+        assert_eq!(server.connections_accepted(), 1);
+        server.shutdown();
+    }
+}

@@ -2,12 +2,20 @@
 //!
 //! The wire layer that lets the generated cloud monitor run as a real
 //! network proxy (the paper drives its monitor with cURL): HTTP/1.1
-//! message framing over `std::net` TCP with one request per connection.
+//! message framing over `std::net` TCP with persistent (keep-alive)
+//! connections on both sides of the proxy.
 //!
 //! * [`wire`] — request/response parsing and serialisation
-//!   (`Content-Length` framing, JSON bodies, size limits);
-//! * [`HttpServer`] — a threaded blocking server with graceful shutdown;
-//! * [`send`] — a one-shot client;
+//!   (`Content-Length` framing, JSON bodies, size limits, reusable
+//!   serialisation buffers);
+//! * [`HttpServer`] — a blocking keep-alive server over a **bounded
+//!   worker pool** (constant thread count, graceful shutdown);
+//! * [`PooledClient`] — a per-address pool of keep-alive client
+//!   connections with health-checked checkout, reconnect-once on stale
+//!   connections, and a batched probe path;
+//! * [`send`] — the one-shot (`Connection: close`) client;
+//! * [`RemoteService`] — the pooled backend adapter the monitor proxies
+//!   through;
 //! * [`AdminRoutes`] — the `/-/metrics` and `/-/events` observability
 //!   endpoints served in front of an application handler.
 //!
@@ -33,9 +41,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod admin;
+pub mod client;
 pub mod server;
 pub mod wire;
 
 pub use admin::{AdminRoutes, ADMIN_PREFIX, DEFAULT_EVENT_TAIL};
-pub use server::{send, Handler, HttpServer, RemoteService};
-pub use wire::{read_request, read_response, write_request, write_response, WireError};
+pub use client::{ClientConfig, PooledClient, RemoteService};
+pub use server::{send, Handler, HttpServer, ServerConfig};
+pub use wire::{
+    read_request, read_request_buf, read_response, read_response_buf, serialize_request,
+    serialize_response, wants_close, write_request, write_response, ConnectionMode, WireError,
+};

@@ -1,74 +1,227 @@
-//! A small blocking HTTP server and client over `std::net`.
+//! A small blocking HTTP server over `std::net` with persistent
+//! connections and a bounded worker pool.
 //!
-//! One request per connection (`Connection: close`), one thread per
-//! connection, graceful shutdown via an atomic flag plus a wake-up
-//! connection. This is the transport under the monitor-as-network-proxy
-//! examples; unit and integration tests use the in-process
-//! [`cm_rest::RestService`] plumbing instead for determinism.
+//! The transport under the monitor-as-network-proxy deployment. Each
+//! accepted connection is served by one of `N` long-lived worker threads
+//! (no per-connection `thread::spawn`, no unbounded `JoinHandle`
+//! collection): the accept loop pushes connections onto a bounded queue
+//! and blocks when it is full, so the thread count is constant under any
+//! load. Workers run an HTTP/1.1 keep-alive loop per connection — they
+//! honour `Connection: close` / `keep-alive` from the client, cap the
+//! requests served per connection, and close connections idle past a
+//! configurable timeout — and serialise responses into one reusable
+//! per-worker buffer ([`crate::wire::serialize_response`]).
+//!
+//! Graceful shutdown sets an atomic flag, wakes the accept loop with a
+//! dummy connection, drains the queue, and joins exactly the live
+//! workers deterministically.
 
-use crate::wire::{read_request, write_request, write_response, WireError};
+use crate::wire::{
+    read_request_buf, serialize_response, wants_close, write_request, ConnectionMode, WireError,
+};
 use cm_rest::{RestRequest, RestResponse, StatusCode};
-use std::io::Read;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Handler invoked for each incoming request.
 pub type Handler = dyn Fn(RestRequest) -> RestResponse + Send + Sync;
+
+/// Tuning knobs for [`HttpServer`]; see the field docs for defaults.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads dispatching connections (default 8). This — plus
+    /// the accept thread — is the server's *entire* thread budget,
+    /// regardless of how many connections arrive.
+    pub workers: usize,
+    /// Serve multiple requests per connection (default `true`). When
+    /// `false` every response carries `Connection: close`, restoring the
+    /// historical connection-per-request transport (the benchmark
+    /// baseline).
+    pub keep_alive: bool,
+    /// Requests served on one connection before the server closes it
+    /// (default 1024). Bounds how long one client can monopolise a
+    /// worker.
+    pub max_requests_per_conn: usize,
+    /// How long a connection may sit idle between requests before the
+    /// server closes it (default 5s).
+    pub idle_timeout: Duration,
+    /// Socket read timeout while parsing a request — the slow-client
+    /// guard (default 10s, matching the historical per-connection
+    /// timeout).
+    pub read_timeout: Duration,
+    /// Accepted connections queued for dispatch before the accept loop
+    /// applies backpressure (default 128).
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            keep_alive: true,
+            max_requests_per_conn: 1024,
+            idle_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(10),
+            queue_depth: 128,
+        }
+    }
+}
+
+/// Bounded handoff queue between the accept loop and the workers.
+struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    stop: AtomicBool,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        ConnQueue {
+            inner: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueue a connection, blocking while the queue is full. Dropped
+    /// (connection refused semantics) when the server is stopping.
+    fn push(&self, stream: TcpStream) {
+        let mut q = self.inner.lock().unwrap();
+        while q.len() >= self.capacity {
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            q = self.not_full.wait(q).unwrap();
+        }
+        if self.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        q.push_back(stream);
+        drop(q);
+        self.not_empty.notify_one();
+    }
+
+    /// Dequeue a connection; `None` once the server is stopping and the
+    /// queue has drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.inner.lock().unwrap();
+        loop {
+            if let Some(stream) = q.pop_front() {
+                drop(q);
+                self.not_full.notify_one();
+                return Some(stream);
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.not_empty.wait(q).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _guard = self.inner.lock().unwrap();
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
 
 /// A running HTTP server.
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
     accept_thread: Option<JoinHandle<()>>,
-    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+    connections: Arc<AtomicU64>,
+    config: ServerConfig,
 }
 
 impl std::fmt::Debug for HttpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HttpServer")
             .field("addr", &self.addr)
+            .field("workers", &self.config.workers)
+            .field("keep_alive", &self.config.keep_alive)
             .finish()
     }
 }
 
 impl HttpServer {
     /// Bind to `addr` (use port 0 for an ephemeral port) and start serving
-    /// `handler` on a background thread.
+    /// `handler` with the default [`ServerConfig`].
     ///
     /// # Errors
     ///
     /// Propagates binding errors from the OS.
     pub fn bind(addr: impl ToSocketAddrs, handler: Arc<Handler>) -> std::io::Result<HttpServer> {
+        HttpServer::bind_with(addr, handler, ServerConfig::default())
+    }
+
+    /// Bind with an explicit [`ServerConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding errors from the OS.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        handler: Arc<Handler>,
+        config: ServerConfig,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let queue = Arc::new(ConnQueue::new(config.queue_depth));
+        let connections = Arc::new(AtomicU64::new(0));
+
+        let worker_count = config.workers.max(1);
+        let mut workers = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let queue = Arc::clone(&queue);
+            let handler = Arc::clone(&handler);
+            let stop = Arc::clone(&stop);
+            let cfg = config.clone();
+            workers.push(std::thread::spawn(move || {
+                // One response buffer per worker, reused across every
+                // request of every connection this worker serves.
+                let mut resp_buf: Vec<u8> = Vec::with_capacity(4096);
+                while let Some(stream) = queue.pop() {
+                    serve_connection(stream, handler.as_ref(), &cfg, &stop, &mut resp_buf);
+                }
+            }));
+        }
 
         let stop_accept = Arc::clone(&stop);
-        let workers_accept = Arc::clone(&workers);
+        let queue_accept = Arc::clone(&queue);
+        let connections_accept = Arc::clone(&connections);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop_accept.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                let handler = Arc::clone(&handler);
-                let worker = std::thread::spawn(move || {
-                    serve_connection(stream, handler.as_ref());
-                });
-                workers_accept.lock().unwrap().push(worker);
+                connections_accept.fetch_add(1, Ordering::Relaxed);
+                queue_accept.push(stream);
             }
         });
 
         Ok(HttpServer {
             addr: local,
             stop,
+            queue,
             accept_thread: Some(accept_thread),
             workers,
+            connections,
+            config,
         })
     }
 
@@ -76,6 +229,20 @@ impl HttpServer {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Connections accepted so far (excluding the shutdown wake-up).
+    /// Keep-alive tests assert reuse through this counter.
+    #[must_use]
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Number of dispatch workers — the server's constant thread budget
+    /// (plus one accept thread), independent of connection count.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
     }
 
     /// Stop accepting connections and join all threads.
@@ -90,7 +257,10 @@ impl HttpServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for w in self.workers.lock().unwrap().drain(..) {
+        // Unblock idle workers; busy ones observe the stop flag at their
+        // next idle poll tick and finish their in-flight request first.
+        self.queue.close();
+        for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
@@ -104,21 +274,136 @@ impl Drop for HttpServer {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, handler: &Handler) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let response = match read_request(&mut stream) {
-        Ok(request) => handler(request),
-        Err(WireError::UnexpectedEof) => return, // wake-up / probe connection
-        Err(e) => RestResponse::error(StatusCode::BAD_REQUEST, e.to_string()),
-    };
-    let _ = write_response(&mut stream, &response);
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    // Drain until the peer closes so it never sees a reset before reading.
-    let mut sink = [0u8; 256];
-    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+/// Granularity at which parked workers re-check the stop flag and the
+/// idle deadline while waiting for the next request on a connection.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
-/// Send one request to an HTTP server and read the response.
+/// Outcome of waiting for the next request on a kept-alive connection.
+enum IdleWait {
+    /// Bytes are available; parse a request.
+    Ready,
+    /// EOF, idle timeout, stop flag, or socket error: close.
+    Close,
+}
+
+/// Wait — politely, in short polls — until the client sends the first
+/// byte of its next request, the idle timeout elapses, the peer closes,
+/// or the server begins shutting down.
+fn await_next_request(
+    stream: &TcpStream,
+    reader: &mut impl BufRead,
+    idle_timeout: Duration,
+    stop: &AtomicBool,
+) -> IdleWait {
+    let _ = stream.set_read_timeout(Some(
+        IDLE_POLL.min(idle_timeout).max(Duration::from_millis(1)),
+    ));
+    let deadline = Instant::now() + idle_timeout;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return IdleWait::Close;
+        }
+        match reader.fill_buf() {
+            Ok([]) => return IdleWait::Close, // clean EOF between requests
+            Ok(_) => return IdleWait::Ready,
+            Err(e) if is_timeout(&e) || e.kind() == std::io::ErrorKind::Interrupted => {
+                if Instant::now() >= deadline {
+                    return IdleWait::Close;
+                }
+            }
+            Err(_) => return IdleWait::Close,
+        }
+    }
+}
+
+/// Serve one connection: a keep-alive loop when the config allows it,
+/// a single request otherwise.
+fn serve_connection(
+    stream: TcpStream,
+    handler: &Handler,
+    cfg: &ServerConfig,
+    stop: &AtomicBool,
+    resp_buf: &mut Vec<u8>,
+) {
+    // Read through a persistent buffered reader over a shared borrow of
+    // the stream (writes go through another shared borrow), so buffered
+    // bytes of a pipelined next request are never lost between messages.
+    let mut reader = BufReader::with_capacity(8 * 1024, &stream);
+    let mut served = 0usize;
+    while let IdleWait::Ready = await_next_request(&stream, &mut reader, cfg.idle_timeout, stop) {
+        // Slow-client guard: each read syscall while parsing must make
+        // progress within `read_timeout`.
+        let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+        let request = match read_request_buf(&mut reader) {
+            Ok(request) => request,
+            Err(WireError::UnexpectedEof) => break,
+            Err(e) => {
+                // Malformed framing / oversized message / stalled read:
+                // answer 400 and close.
+                resp_buf.clear();
+                serialize_response(
+                    resp_buf,
+                    &RestResponse::error(StatusCode::BAD_REQUEST, e.to_string()),
+                    ConnectionMode::Close,
+                );
+                let _ = (&stream).write_all(resp_buf);
+                break;
+            }
+        };
+        served += 1;
+        let client_close = wants_close(&request.headers);
+        let response = handler(request);
+        let close = !cfg.keep_alive
+            || client_close
+            || served >= cfg.max_requests_per_conn
+            || stop.load(Ordering::SeqCst);
+        resp_buf.clear();
+        serialize_response(
+            resp_buf,
+            &response,
+            if close {
+                ConnectionMode::Close
+            } else {
+                ConnectionMode::KeepAlive
+            },
+        );
+        if (&stream).write_all(resp_buf).is_err() {
+            return; // peer gone; nothing to drain
+        }
+        if close {
+            break;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Drain briefly until the peer closes so it never sees a reset
+    // before reading the final response.
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let deadline = Instant::now() + Duration::from_secs(1);
+    let mut sink = [0u8; 256];
+    loop {
+        match (&stream).read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                if Instant::now() >= deadline {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Send one request to an HTTP server over a fresh connection and read
+/// the response (`Connection: close` — the one-shot client). Persistent
+/// callers use [`crate::PooledClient`] instead.
 ///
 /// # Errors
 ///
@@ -127,19 +412,8 @@ pub fn send(addr: impl ToSocketAddrs, request: &RestRequest) -> Result<RestRespo
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     write_request(&mut stream, request)?;
-    stream.flush_write()?;
+    stream.flush()?;
     crate::wire::read_response(&mut stream)
-}
-
-trait FlushWrite {
-    fn flush_write(&mut self) -> std::io::Result<()>;
-}
-
-impl FlushWrite for TcpStream {
-    fn flush_write(&mut self) -> std::io::Result<()> {
-        use std::io::Write;
-        self.flush()
-    }
 }
 
 #[cfg(test)]
@@ -227,62 +501,46 @@ mod tests {
         // Either the connect fails or the read does; both are errors.
         assert!(send(addr, &req).is_err());
     }
-}
-
-/// A [`cm_rest::RestService`] adapter that forwards every request to a
-/// remote HTTP server — this is how the monitor wraps a private cloud
-/// reachable only over the network (the paper's deployment, where the
-/// monitor runs on the laptop and OpenStack in VirtualBox).
-#[derive(Debug, Clone)]
-pub struct RemoteService {
-    addr: SocketAddr,
-}
-
-impl RemoteService {
-    /// Point the adapter at a server address.
-    #[must_use]
-    pub fn new(addr: SocketAddr) -> Self {
-        RemoteService { addr }
-    }
-}
-
-impl cm_rest::SharedRestService for RemoteService {
-    fn call(&self, request: &RestRequest) -> RestResponse {
-        match send(self.addr, request) {
-            Ok(resp) => resp,
-            Err(e) => RestResponse::error(StatusCode::BAD_GATEWAY, e.to_string()),
-        }
-    }
-}
-
-#[cfg(test)]
-mod remote_tests {
-    use super::*;
-    use cm_model::HttpMethod;
-    use cm_rest::{Json, RestService};
 
     #[test]
-    fn remote_service_forwards() {
-        let server = HttpServer::bind(
-            "127.0.0.1:0",
-            Arc::new(|req: RestRequest| RestResponse::ok(Json::Str(req.path))),
-        )
-        .unwrap();
-        let mut remote = RemoteService::new(server.local_addr());
-        let resp = remote.handle(&RestRequest::new(HttpMethod::Get, "/ping"));
-        assert_eq!(resp.body, Some(Json::Str("/ping".into())));
+    fn one_shot_clients_get_connection_close() {
+        // `send` still speaks `Connection: close`; the server honours it
+        // and each request costs one accepted connection.
+        let server = HttpServer::bind("127.0.0.1:0", echo_handler()).unwrap();
+        let addr = server.local_addr();
+        for _ in 0..3 {
+            let resp = send(addr, &RestRequest::new(HttpMethod::Get, "/x")).unwrap();
+            assert_eq!(resp.status, StatusCode::OK);
+            assert!(crate::wire::wants_close(&resp.headers));
+        }
+        assert_eq!(server.connections_accepted(), 3);
         server.shutdown();
     }
 
     #[test]
-    fn remote_service_reports_unreachable_as_bad_gateway() {
-        // Bind and immediately drop a listener to get a dead port.
-        let addr = {
-            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-            l.local_addr().unwrap()
+    fn worker_pool_is_bounded_and_joined() {
+        let config = ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
         };
-        let mut remote = RemoteService::new(addr);
-        let resp = remote.handle(&RestRequest::new(HttpMethod::Get, "/"));
-        assert_eq!(resp.status, StatusCode::BAD_GATEWAY);
+        let server = HttpServer::bind_with("127.0.0.1:0", echo_handler(), config).unwrap();
+        assert_eq!(server.worker_count(), 3);
+        let addr = server.local_addr();
+        // More concurrent one-shot connections than workers: all served,
+        // worker count unchanged.
+        let threads: Vec<_> = (0..12)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    send(addr, &RestRequest::new(HttpMethod::Get, format!("/{i}")))
+                        .unwrap()
+                        .status
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), StatusCode::OK);
+        }
+        assert_eq!(server.worker_count(), 3);
+        server.shutdown();
     }
 }

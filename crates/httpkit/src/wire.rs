@@ -1,15 +1,50 @@
 //! HTTP/1.1 wire format: parsing and serialisation of requests and
 //! responses over byte streams.
 //!
-//! Supports the slice of HTTP the monitor and simulator need: one message
-//! per connection (`Connection: close`), `Content-Length`-delimited bodies,
-//! and JSON payloads. Chunked transfer encoding is not implemented — the
-//! peer is always our own client/server pair or cURL with small bodies.
+//! Supports the slice of HTTP the monitor and simulator need: keep-alive
+//! or close connection semantics, `Content-Length`-delimited bodies, and
+//! JSON payloads. Chunked transfer encoding is not implemented — the peer
+//! is always our own client/server pair or cURL with small bodies.
+//!
+//! Serialisation goes through [`serialize_request`] / [`serialize_response`]
+//! into a caller-provided byte buffer, so persistent connections reuse one
+//! buffer per worker instead of allocating a fresh `String` per message and
+//! per header line. The stream-writing [`write_request`] /
+//! [`write_response`] wrappers keep the historical one-shot
+//! (`Connection: close`) behaviour byte for byte.
 
 use cm_model::HttpMethod;
 use cm_rest::{parse_json, Json, RestRequest, RestResponse, StatusCode};
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
+
+/// The connection directive a serialised message carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionMode {
+    /// `Connection: keep-alive` — the sender intends to reuse the
+    /// connection for further messages.
+    KeepAlive,
+    /// `Connection: close` — the sender closes after this message.
+    Close,
+}
+
+impl ConnectionMode {
+    fn header_value(self) -> &'static str {
+        match self {
+            ConnectionMode::KeepAlive => "keep-alive",
+            ConnectionMode::Close => "close",
+        }
+    }
+}
+
+/// Does this header list ask for the connection to be closed after the
+/// current message (`Connection: close`)?
+#[must_use]
+pub fn wants_close(headers: &[(String, String)]) -> bool {
+    headers.iter().any(|(n, v)| {
+        n.eq_ignore_ascii_case("connection") && v.trim().eq_ignore_ascii_case("close")
+    })
+}
 
 /// Maximum accepted header section size (DoS guard).
 const MAX_HEADER_BYTES: usize = 64 * 1024;
@@ -133,8 +168,21 @@ fn read_body(reader: &mut impl BufRead, len: usize) -> Result<Option<Json>, Wire
 /// or bodies that are not valid JSON.
 pub fn read_request(stream: &mut impl Read) -> Result<RestRequest, WireError> {
     let mut reader = BufReader::new(stream);
+    read_request_buf(&mut reader)
+}
+
+/// Read one HTTP request from an existing buffered reader.
+///
+/// Keep-alive connections must parse every message through the *same*
+/// buffered reader: the buffer may already hold the first bytes of the
+/// next pipelined message, which a fresh [`BufReader`] would lose.
+///
+/// # Errors
+///
+/// As [`read_request`].
+pub fn read_request_buf(reader: &mut impl BufRead) -> Result<RestRequest, WireError> {
     let mut budget = MAX_HEADER_BYTES;
-    let request_line = read_line(&mut reader, &mut budget)?;
+    let request_line = read_line(reader, &mut budget)?;
     let mut parts = request_line.split_whitespace();
     let method_str = parts
         .next()
@@ -146,9 +194,9 @@ pub fn read_request(stream: &mut impl Read) -> Result<RestRequest, WireError> {
     let method: HttpMethod = method_str
         .parse()
         .map_err(|e| WireError::Malformed(format!("{e}")))?;
-    let headers = read_headers(&mut reader, &mut budget)?;
+    let headers = read_headers(reader, &mut budget)?;
     let len = content_length(&headers)?;
-    let body = read_body(&mut reader, len)?;
+    let body = read_body(reader, len)?;
     Ok(RestRequest {
         method,
         path,
@@ -164,8 +212,18 @@ pub fn read_request(stream: &mut impl Read) -> Result<RestRequest, WireError> {
 /// As [`read_request`].
 pub fn read_response(stream: &mut impl Read) -> Result<RestResponse, WireError> {
     let mut reader = BufReader::new(stream);
+    read_response_buf(&mut reader)
+}
+
+/// Read one HTTP response from an existing buffered reader (the
+/// keep-alive counterpart of [`read_response`]; see [`read_request_buf`]).
+///
+/// # Errors
+///
+/// As [`read_request`].
+pub fn read_response_buf(reader: &mut impl BufRead) -> Result<RestResponse, WireError> {
     let mut budget = MAX_HEADER_BYTES;
-    let status_line = read_line(&mut reader, &mut budget)?;
+    let status_line = read_line(reader, &mut budget)?;
     let mut parts = status_line.split_whitespace();
     let _version = parts
         .next()
@@ -175,14 +233,66 @@ pub fn read_response(stream: &mut impl Read) -> Result<RestResponse, WireError> 
         .ok_or_else(|| WireError::Malformed("status line without code".into()))?
         .parse()
         .map_err(|_| WireError::Malformed("non-numeric status code".into()))?;
-    let headers = read_headers(&mut reader, &mut budget)?;
+    let headers = read_headers(reader, &mut budget)?;
     let len = content_length(&headers)?;
-    let body = read_body(&mut reader, len)?;
+    let body = read_body(reader, len)?;
     Ok(RestResponse {
         status: StatusCode(code),
         headers,
         body,
     })
+}
+
+/// Append the headers + body common to requests and responses: the
+/// caller's header list (minus any `Content-Length`, which is computed
+/// here), the JSON content headers, the connection directive, and the
+/// body itself.
+fn serialize_tail(
+    out: &mut Vec<u8>,
+    headers: &[(String, String)],
+    body: Option<&Json>,
+    mode: ConnectionMode,
+) {
+    // `write!` into a `Vec<u8>` is infallible, so the results below are
+    // safely discarded; nothing here allocates beyond the body rendering.
+    let body_text = body.map(Json::to_compact_string);
+    for (n, v) in headers {
+        if n.eq_ignore_ascii_case("content-length") {
+            continue; // we compute it ourselves
+        }
+        let _ = write!(out, "{n}: {v}\r\n");
+    }
+    if let Some(body_text) = &body_text {
+        out.extend_from_slice(b"Content-Type: application/json\r\n");
+        let _ = write!(out, "Content-Length: {}\r\n", body_text.len());
+    } else {
+        out.extend_from_slice(b"Content-Length: 0\r\n");
+    }
+    out.extend_from_slice(b"Connection: ");
+    out.extend_from_slice(mode.header_value().as_bytes());
+    out.extend_from_slice(b"\r\n\r\n");
+    if let Some(body_text) = body_text {
+        out.extend_from_slice(body_text.as_bytes());
+    }
+}
+
+/// Serialise one HTTP request into `out` (appending; callers reusing a
+/// buffer clear it first). `mode` selects the `Connection` directive.
+pub fn serialize_request(out: &mut Vec<u8>, request: &RestRequest, mode: ConnectionMode) {
+    let _ = write!(out, "{} {} HTTP/1.1\r\n", request.method, request.path);
+    serialize_tail(out, &request.headers, request.body.as_ref(), mode);
+}
+
+/// Serialise one HTTP response into `out` (appending; callers reusing a
+/// buffer clear it first). `mode` selects the `Connection` directive.
+pub fn serialize_response(out: &mut Vec<u8>, response: &RestResponse, mode: ConnectionMode) {
+    let _ = write!(
+        out,
+        "HTTP/1.1 {} {}\r\n",
+        response.status.0,
+        response.status.reason()
+    );
+    serialize_tail(out, &response.headers, response.body.as_ref(), mode);
 }
 
 /// Write one HTTP request to a stream (`Connection: close` semantics).
@@ -191,56 +301,20 @@ pub fn read_response(stream: &mut impl Read) -> Result<RestResponse, WireError> 
 ///
 /// Propagates I/O errors from the underlying writer.
 pub fn write_request(stream: &mut impl Write, request: &RestRequest) -> std::io::Result<()> {
-    let body_text = request.body.as_ref().map(Json::to_compact_string);
-    let mut out = format!("{} {} HTTP/1.1\r\n", request.method, request.path);
-    for (n, v) in &request.headers {
-        if n.eq_ignore_ascii_case("content-length") {
-            continue; // we compute it ourselves
-        }
-        out.push_str(&format!("{n}: {v}\r\n"));
-    }
-    if let Some(text) = &body_text {
-        out.push_str("Content-Type: application/json\r\n");
-        out.push_str(&format!("Content-Length: {}\r\n", text.len()));
-    } else {
-        out.push_str("Content-Length: 0\r\n");
-    }
-    out.push_str("Connection: close\r\n\r\n");
-    if let Some(text) = body_text {
-        out.push_str(&text);
-    }
-    stream.write_all(out.as_bytes())
+    let mut out = Vec::new();
+    serialize_request(&mut out, request, ConnectionMode::Close);
+    stream.write_all(&out)
 }
 
-/// Write one HTTP response to a stream.
+/// Write one HTTP response to a stream (`Connection: close` semantics).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the underlying writer.
 pub fn write_response(stream: &mut impl Write, response: &RestResponse) -> std::io::Result<()> {
-    let body_text = response.body.as_ref().map(Json::to_compact_string);
-    let mut out = format!(
-        "HTTP/1.1 {} {}\r\n",
-        response.status.0,
-        response.status.reason()
-    );
-    for (n, v) in &response.headers {
-        if n.eq_ignore_ascii_case("content-length") {
-            continue;
-        }
-        out.push_str(&format!("{n}: {v}\r\n"));
-    }
-    if let Some(text) = &body_text {
-        out.push_str("Content-Type: application/json\r\n");
-        out.push_str(&format!("Content-Length: {}\r\n", text.len()));
-    } else {
-        out.push_str("Content-Length: 0\r\n");
-    }
-    out.push_str("Connection: close\r\n\r\n");
-    if let Some(text) = body_text {
-        out.push_str(&text);
-    }
-    stream.write_all(out.as_bytes())
+    let mut out = Vec::new();
+    serialize_response(&mut out, response, ConnectionMode::Close);
+    stream.write_all(&out)
 }
 
 #[cfg(test)]
@@ -337,6 +411,137 @@ mod tests {
             read_request(&mut Cursor::new(b"".as_slice())),
             Err(WireError::UnexpectedEof)
         ));
+    }
+
+    /// The pre-pooling response writer, verbatim: one fresh `String` per
+    /// message with per-header `format!` appends, `Connection: close`.
+    /// The buffer serialiser must reproduce it byte for byte.
+    fn legacy_write_response(response: &RestResponse) -> Vec<u8> {
+        let body_text = response.body.as_ref().map(Json::to_compact_string);
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\n",
+            response.status.0,
+            response.status.reason()
+        );
+        for (n, v) in &response.headers {
+            if n.eq_ignore_ascii_case("content-length") {
+                continue;
+            }
+            out.push_str(&format!("{n}: {v}\r\n"));
+        }
+        if let Some(text) = &body_text {
+            out.push_str("Content-Type: application/json\r\n");
+            out.push_str(&format!("Content-Length: {}\r\n", text.len()));
+        } else {
+            out.push_str("Content-Length: 0\r\n");
+        }
+        out.push_str("Connection: close\r\n\r\n");
+        if let Some(text) = body_text {
+            out.push_str(&text);
+        }
+        out.into_bytes()
+    }
+
+    fn legacy_write_request(request: &RestRequest) -> Vec<u8> {
+        let body_text = request.body.as_ref().map(Json::to_compact_string);
+        let mut out = format!("{} {} HTTP/1.1\r\n", request.method, request.path);
+        for (n, v) in &request.headers {
+            if n.eq_ignore_ascii_case("content-length") {
+                continue;
+            }
+            out.push_str(&format!("{n}: {v}\r\n"));
+        }
+        if let Some(text) = &body_text {
+            out.push_str("Content-Type: application/json\r\n");
+            out.push_str(&format!("Content-Length: {}\r\n", text.len()));
+        } else {
+            out.push_str("Content-Length: 0\r\n");
+        }
+        out.push_str("Connection: close\r\n\r\n");
+        if let Some(text) = body_text {
+            out.push_str(&text);
+        }
+        out.into_bytes()
+    }
+
+    #[test]
+    fn buffer_serialiser_is_byte_identical_to_legacy_writer() {
+        let responses = [
+            RestResponse::ok(Json::object(vec![
+                ("id", Json::Int(7)),
+                ("name", Json::Str("vol".into())),
+            ])),
+            RestResponse::error(StatusCode::FORBIDDEN, "no"),
+            RestResponse::no_content(),
+            RestResponse {
+                status: StatusCode::OK,
+                headers: vec![
+                    ("X-Custom".into(), "yes".into()),
+                    ("Content-Length".into(), "999".into()),
+                ],
+                body: Some(Json::Array(vec![Json::Int(1), Json::Int(2)])),
+            },
+        ];
+        let mut buf = Vec::new();
+        for resp in &responses {
+            buf.clear();
+            serialize_response(&mut buf, resp, ConnectionMode::Close);
+            assert_eq!(buf, legacy_write_response(resp), "response {resp:?}");
+        }
+        let requests = [
+            RestRequest::new(HttpMethod::Post, "/v3/4/volumes")
+                .auth_token("tok-1")
+                .json(Json::object(vec![("size", Json::Int(10))])),
+            RestRequest::new(HttpMethod::Delete, "/v3/4/volumes/7"),
+        ];
+        for req in &requests {
+            buf.clear();
+            serialize_request(&mut buf, req, ConnectionMode::Close);
+            assert_eq!(buf, legacy_write_request(req), "request {req:?}");
+        }
+    }
+
+    #[test]
+    fn keep_alive_mode_marks_the_connection_reusable() {
+        let mut buf = Vec::new();
+        serialize_response(
+            &mut buf,
+            &RestResponse::no_content(),
+            ConnectionMode::KeepAlive,
+        );
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        let parsed = read_response(&mut Cursor::new(&buf[..])).unwrap();
+        assert!(!wants_close(&parsed.headers));
+
+        buf.clear();
+        serialize_response(&mut buf, &RestResponse::no_content(), ConnectionMode::Close);
+        let parsed = read_response(&mut Cursor::new(&buf[..])).unwrap();
+        assert!(wants_close(&parsed.headers));
+    }
+
+    #[test]
+    fn buffered_reader_preserves_pipelined_messages() {
+        // Two serialised requests back to back on one "connection": the
+        // same buffered reader must yield both.
+        let mut buf = Vec::new();
+        serialize_request(
+            &mut buf,
+            &RestRequest::new(HttpMethod::Get, "/a"),
+            ConnectionMode::KeepAlive,
+        );
+        serialize_request(
+            &mut buf,
+            &RestRequest::new(HttpMethod::Get, "/b"),
+            ConnectionMode::Close,
+        );
+        let mut reader = std::io::BufReader::new(Cursor::new(buf));
+        let first = read_request_buf(&mut reader).unwrap();
+        let second = read_request_buf(&mut reader).unwrap();
+        assert_eq!(first.path, "/a");
+        assert_eq!(second.path, "/b");
+        assert!(!wants_close(&first.headers));
+        assert!(wants_close(&second.headers));
     }
 
     #[test]

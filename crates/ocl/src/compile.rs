@@ -741,6 +741,21 @@ impl<'a> EnvView<'a> {
 pub struct AttrScope {
     pairs: Vec<(String, String)>,
     exact: bool,
+    /// Per-root index precomputed at construction (i.e. at contract
+    /// compile time): sorted by root name, each entry carrying the
+    /// root's wildcard flag and its sorted attribute list. Scope queries
+    /// on the probe hot path binary-search this instead of scanning the
+    /// full pair list per attribute.
+    roots: Vec<RootAttrs>,
+}
+
+/// One root's slice of an [`AttrScope`]: its sorted attributes and
+/// whether the wildcard `"*"` marked the whole root as needed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct RootAttrs {
+    root: String,
+    wildcard: bool,
+    attrs: Vec<String>,
 }
 
 impl AttrScope {
@@ -750,7 +765,36 @@ impl AttrScope {
     pub fn new(mut pairs: Vec<(String, String)>, exact: bool) -> Self {
         pairs.sort();
         pairs.dedup();
-        AttrScope { pairs, exact }
+        let mut roots: Vec<RootAttrs> = Vec::new();
+        for (root, attr) in &pairs {
+            // `pairs` is sorted by root, so each root's entry is built
+            // contiguously and `roots` stays sorted by root name.
+            if roots.last().map(|e| e.root.as_str()) != Some(root.as_str()) {
+                roots.push(RootAttrs {
+                    root: root.clone(),
+                    wildcard: false,
+                    attrs: Vec::new(),
+                });
+            }
+            let entry = roots.last_mut().expect("entry just pushed");
+            if attr == "*" {
+                entry.wildcard = true;
+            } else {
+                entry.attrs.push(attr.clone());
+            }
+        }
+        AttrScope {
+            pairs,
+            exact,
+            roots,
+        }
+    }
+
+    fn root_entry(&self, root: &str) -> Option<&RootAttrs> {
+        self.roots
+            .binary_search_by(|e| e.root.as_str().cmp(root))
+            .ok()
+            .map(|i| &self.roots[i])
     }
 
     /// Whole-root wildcard scope (used when the analysis is inexact).
@@ -765,15 +809,25 @@ impl AttrScope {
     /// Does the scope require `root.attr`?
     #[must_use]
     pub fn contains(&self, root: &str, attr: &str) -> bool {
-        self.pairs
-            .iter()
-            .any(|(r, a)| r == root && (a == "*" || a == attr))
+        self.root_entry(root).is_some_and(|e| {
+            e.wildcard || e.attrs.binary_search_by(|a| a.as_str().cmp(attr)).is_ok()
+        })
     }
 
     /// Does the scope require any attribute of `root`?
     #[must_use]
     pub fn mentions_root(&self, root: &str) -> bool {
-        self.pairs.iter().any(|(r, _)| r == root)
+        self.root_entry(root).is_some()
+    }
+
+    /// Does the scope require any attribute of `root` besides
+    /// `excluded`? (The probe layer asks this to split a root whose
+    /// attributes come from different REST requests, e.g. the volume
+    /// item GET vs. the snapshots listing.)
+    #[must_use]
+    pub fn contains_other_than(&self, root: &str, excluded: &str) -> bool {
+        self.root_entry(root)
+            .is_some_and(|e| e.wildcard || e.attrs.iter().any(|a| a != excluded))
     }
 
     /// The sorted `(root, attribute)` pairs.

@@ -196,6 +196,18 @@ pub trait RestService {
 pub trait SharedRestService: Send + Sync {
     /// Handle one request through a shared reference.
     fn call(&self, request: &RestRequest) -> RestResponse;
+
+    /// Handle a batch of independent requests, returning responses in
+    /// request order.
+    ///
+    /// The default forwards each request through [`call`](Self::call).
+    /// Network-backed services override this to issue the whole batch
+    /// over a single pooled connection — the state prober sends every
+    /// snapshot's GETs through here, so one monitored call's pre+post
+    /// probe cycle costs one backend connection, not one per probe.
+    fn call_batch(&self, requests: &[RestRequest]) -> Vec<RestResponse> {
+        requests.iter().map(|r| self.call(r)).collect()
+    }
 }
 
 impl<T: SharedRestService> RestService for T {

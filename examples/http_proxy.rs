@@ -3,15 +3,16 @@
 //! another (the laptop), and clients drive it with cURL-style HTTP.
 //!
 //! Here both ends are real TCP servers on localhost: the simulated cloud
-//! is served over HTTP, the monitor wraps it through a remote-service
-//! adapter and is itself served over HTTP, and the client uses the
-//! `cm-httpkit` one-shot HTTP client.
+//! is served over HTTP, the monitor wraps it through a pooled
+//! keep-alive remote-service adapter and is itself served over HTTP,
+//! and the client drives it through a persistent `PooledClient`
+//! connection.
 //!
 //! Run with: `cargo run --example http_proxy`
 
 use cm_cloudsim::PrivateCloud;
 use cm_core::CloudMonitor;
-use cm_httpkit::{send, AdminRoutes, HttpServer, RemoteService};
+use cm_httpkit::{AdminRoutes, HttpServer, PooledClient, RemoteService, ServerConfig};
 use cm_model::{cinder, HttpMethod};
 use cm_rest::{Json, RestRequest, SharedRestService};
 use std::sync::Arc;
@@ -23,9 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cloud = Arc::new(PrivateCloud::my_project());
     let pid = cloud.project_id();
     let cloud_for_server = Arc::clone(&cloud);
-    let cloud_server = HttpServer::bind(
+    let cloud_server = HttpServer::bind_with(
         "127.0.0.1:0",
         Arc::new(move |req| cloud_for_server.call(&req)),
+        ServerConfig::default(),
     )?;
     println!(
         "private cloud listening on http://{}",
@@ -53,9 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cm = monitor_server.local_addr();
     println!("cloud monitor listening on http://{cm}\n");
 
-    // 3. Clients authenticate *through* the monitor…
+    // 3. Clients authenticate *through* the monitor. The client keeps one
+    //    TCP connection alive across all of these requests.
+    let client = PooledClient::default();
+    let send = |req: &RestRequest| client.request(cm, req);
     let auth = send(
-        cm,
         &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![(
             "auth",
             Json::object(vec![
@@ -74,7 +78,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap();
     let alice = alice.as_str().unwrap().to_string();
     let carol_auth = send(
-        cm,
         &RestRequest::new(HttpMethod::Post, "/identity/auth/tokens").json(Json::object(vec![(
             "auth",
             Json::object(vec![
@@ -96,7 +99,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // …and drive the volume API, e.g. the paper's
     //   curl -X DELETE -d id=4 http://127.0.0.1:8000/cmonitor/volumes/4
     let create = send(
-        cm,
         &RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes"))
             .auth_token(&alice)
             .json(Json::object(vec![(
@@ -107,7 +109,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("alice POST /v3/{pid}/volumes          -> {}", create.status);
 
     let denied = send(
-        cm,
         &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1")).auth_token(&carol),
     )?;
     println!(
@@ -117,7 +118,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let deleted = send(
-        cm,
         &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1")).auth_token(&alice),
     )?;
     println!(
@@ -135,10 +135,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. The same numbers, as any operator would fetch them: the admin
     //    endpoints in front of the monitor server.
-    let metrics = send(cm, &RestRequest::new(HttpMethod::Get, "/-/metrics"))?;
+    let metrics = send(&RestRequest::new(HttpMethod::Get, "/-/metrics"))?;
     println!("\nGET /-/metrics:");
     println!("{}", metrics.body.as_ref().unwrap().to_pretty_string());
-    let events = send(cm, &RestRequest::new(HttpMethod::Get, "/-/events?tail=3"))?;
+    let events = send(&RestRequest::new(HttpMethod::Get, "/-/events?tail=3"))?;
     let shown = events
         .body
         .as_ref()
@@ -149,6 +149,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap()
         .len();
     println!("GET /-/events?tail=3 returned {shown} events");
+    println!(
+        "client transport: {} connection(s) opened, {} request(s) reused an idle one",
+        client.connections_opened(),
+        client.connections_reused()
+    );
 
     monitor_server.shutdown();
     cloud_server.shutdown();

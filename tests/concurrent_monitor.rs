@@ -9,7 +9,7 @@
 
 use cm_cloudsim::{Fault, FaultPlan, PrivateCloud};
 use cm_core::{cinder_monitor, CloudMonitor, Mode, Verdict};
-use cm_httpkit::{send, HttpServer};
+use cm_httpkit::{HttpServer, PooledClient, ServerConfig};
 use cm_model::{cinder, HttpMethod};
 use cm_rest::{Json, RestRequest, SharedRestService};
 use std::sync::Arc;
@@ -29,6 +29,10 @@ fn volume_body(name: &str) -> Json {
 /// well-formed, and the monitor's own accounting — log, per-verdict
 /// metrics, event sink including its `dropped` counter — must sum to
 /// exactly the 1600 requests sent.
+///
+/// The clients share one `PooledClient`, so the whole soak must ride on
+/// a handful of keep-alive connections and the server's bounded worker
+/// pool — not 1600 connects or 1600 threads.
 #[test]
 fn soak_eight_threads_against_live_server() {
     const THREADS: usize = 8;
@@ -55,11 +59,13 @@ fn soak_eight_threads_against_live_server() {
     let server = HttpServer::bind("127.0.0.1:0", Arc::new(move |req| handler.call(&req)))
         .expect("bind monitor server");
     let addr = server.local_addr();
+    let client = Arc::new(PooledClient::default());
 
     let workers: Vec<_> = (0..THREADS)
         .map(|t| {
             let alice = alice.clone();
             let carol = carol.clone();
+            let client = Arc::clone(&client);
             std::thread::spawn(move || {
                 for i in 0..REQUESTS_PER_THREAD {
                     let req = match (t + i) % 3 {
@@ -72,7 +78,7 @@ fn soak_eight_threads_against_live_server() {
                         // Outside the model: transparent proxying.
                         _ => RestRequest::new(HttpMethod::Get, format!("/unmodelled/{t}/{i}")),
                     };
-                    let resp = send(addr, &req).expect("live response");
+                    let resp = client.request(addr, &req).expect("live response");
                     assert!(resp.status.0 >= 100, "malformed status: {resp:?}");
                 }
             })
@@ -81,6 +87,16 @@ fn soak_eight_threads_against_live_server() {
     for w in workers {
         w.join().expect("no client thread panicked");
     }
+
+    // Keep-alive transport: 1600 requests must not mean 1600 connects,
+    // and the server's worker pool stays at its configured bound instead
+    // of spawning a thread per connection.
+    assert!(
+        server.connections_accepted() <= (THREADS as u64) + 2,
+        "soak should ride on at most one connection per client thread, got {}",
+        server.connections_accepted()
+    );
+    assert_eq!(server.worker_count(), ServerConfig::default().workers);
     server.shutdown();
 
     // Exactly one log record and one metrics observation per request.

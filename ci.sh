@@ -6,13 +6,21 @@
 # `./ci.sh --stress` additionally runs the concurrency soak battery in
 # both profiles: debug (shard invariants live via debug_assert!) and
 # release (the timing-sensitive profile the servers actually run in).
+#
+# `./ci.sh --chaos` runs the transport-chaos battery: the seeded
+# fault-injection soak (no injected wire fault may surface as a contract
+# verdict, no semantic mutant may hide as Degraded) plus the
+# chaos-recovery bench smoke (breaker flap: shed, then recover through
+# one half-open probe).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 STRESS=0
+CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --stress) STRESS=1 ;;
+    --chaos) CHAOS=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -56,6 +64,18 @@ if [ "$STRESS" = 1 ]; then
   step "stress: determinism property (disjoint projects)"
   cargo test --offline --features proptest --test proptests -q \
     concurrent_disjoint_projects_match_serial
+fi
+
+if [ "$CHAOS" = 1 ]; then
+  step "chaos: seeded transport fault-injection soak (release)"
+  cargo test --offline --release --test chaos_transport -q
+
+  step "chaos: backend-flap ledger (release)"
+  cargo test --offline --release --test concurrent_monitor -q \
+    backend_flap_yields_exact_degraded_and_pass_counts
+
+  step "bench smoke: chaos_recovery (breaker flap, no artifact)"
+  cargo run --offline --release -p cm-bench --bin chaos_recovery -q -- --smoke
 fi
 
 printf '\nci: all checks passed\n'

@@ -1,0 +1,173 @@
+//! Chaos-recovery experiment — the payoff of the resilience layer.
+//!
+//! The monitor-over-TCP topology is driven through a backend flap:
+//!
+//! 1. **healthy** — sequential authorized reads against a live cloud,
+//!    establishing the round-trip baseline;
+//! 2. **outage** — the cloud server is shut down mid-run. The first few
+//!    requests pay connect failures until the circuit breaker trips;
+//!    everything after is shed in microseconds. The metric that matters:
+//!    the *average* cost of an outage request must stay below one
+//!    request-deadline budget — a monitor without the breaker pays the
+//!    full connect/read timeout on every single request;
+//! 3. **recovery** — the cloud comes back on the same address. After one
+//!    breaker cooldown, the *first* request must already pass: recovery
+//!    happens within a single half-open probe, not a slow re-warm.
+//!
+//! Every outage request must come out `Verdict::Degraded` — the flap
+//! must never produce a contract-violation verdict.
+//!
+//! Results land in `BENCH_chaos_recovery.json` at the repo root.
+//! `--smoke` runs a reduced flap and skips the artifact and assertions
+//! (used by `ci.sh`).
+
+use cm_cloudsim::PrivateCloud;
+use cm_core::{cinder_monitor, Mode, Verdict};
+use cm_httpkit::{ClientConfig, HttpServer, PooledClient, RemoteService};
+use cm_model::HttpMethod;
+use cm_rest::{RestRequest, SharedRestService};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The deadline budget each logical backend request gets — the "1 RTT
+/// budget" the shed-cost assertion is phrased against.
+const REQUEST_DEADLINE: Duration = Duration::from_millis(500);
+const BREAKER_COOLDOWN: Duration = Duration::from_millis(100);
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let healthy_n: usize = if smoke { 10 } else { 200 };
+    let outage_n: usize = if smoke { 10 } else { 200 };
+
+    let cloud = Arc::new(PrivateCloud::my_project());
+    let pid = cloud.project_id();
+    let alice = cloud
+        .issue_token("alice", "alice-pw")
+        .expect("fixture")
+        .token;
+    cloud
+        .state_mut()
+        .create_volume(pid, "seed", 1, false)
+        .expect("seed volume");
+
+    let handle = Arc::clone(&cloud);
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(move |req| handle.call(&req)))
+        .expect("bind cloud server");
+    let addr = server.local_addr();
+
+    let client = Arc::new(PooledClient::new(ClientConfig {
+        read_timeout: Duration::from_millis(200),
+        request_deadline: REQUEST_DEADLINE,
+        max_retries: 0,
+        breaker_threshold: 3,
+        breaker_cooldown: BREAKER_COOLDOWN,
+        ..ClientConfig::default()
+    }));
+    let mut monitor = cinder_monitor(RemoteService::with_client(addr, Arc::clone(&client)))
+        .expect("models generate")
+        .mode(Mode::Enforce);
+    monitor
+        .authenticate("alice", "alice-pw")
+        .expect("admin authority");
+
+    let read = RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/1")).auth_token(&alice);
+
+    println!("CHAOS RECOVERY ({healthy_n} healthy + {outage_n} outage requests, backend flap)");
+    println!();
+
+    // Phase 1 — healthy baseline.
+    let start = Instant::now();
+    for _ in 0..healthy_n {
+        let outcome = monitor.process(&read);
+        assert_eq!(outcome.verdict, Verdict::Pass, "healthy phase: {outcome:?}");
+    }
+    let healthy_avg_us = start.elapsed().as_micros() as f64 / healthy_n as f64;
+    println!("  healthy   : {healthy_avg_us:9.0} us/request (monitored read, pre+post snapshots)");
+
+    // Phase 2 — outage: the backend dies. The breaker turns timeouts
+    // into microsecond sheds.
+    server.shutdown();
+    let start = Instant::now();
+    for _ in 0..outage_n {
+        let outcome = monitor.process(&read);
+        assert_eq!(
+            outcome.verdict,
+            Verdict::Degraded,
+            "outage must degrade, never produce a contract verdict: {outcome:?}"
+        );
+    }
+    let outage_elapsed = start.elapsed();
+    let outage_avg_us = outage_elapsed.as_micros() as f64 / outage_n as f64;
+    let sheds = client
+        .stats()
+        .sheds
+        .load(std::sync::atomic::Ordering::Relaxed);
+    println!("  outage    : {outage_avg_us:9.0} us/request ({sheds} requests shed by the breaker)");
+
+    // Phase 3 — recovery on the same address after one cooldown.
+    let handle = Arc::clone(&cloud);
+    let revived = match HttpServer::bind(addr, Arc::new(move |req| handle.call(&req))) {
+        Ok(s) => s,
+        Err(e) => {
+            // The OS reassigned the port meanwhile; the flap cannot be
+            // completed, but the shed measurements above still stand.
+            println!("  recovery  : skipped (could not rebind {addr}: {e})");
+            return;
+        }
+    };
+    std::thread::sleep(BREAKER_COOLDOWN + Duration::from_millis(50));
+    let start = Instant::now();
+    let recovery = monitor.process(&read);
+    let recovery_us = start.elapsed().as_micros();
+    let recovered_first_try = recovery.verdict == Verdict::Pass;
+    println!(
+        "  recovery  : {recovery_us:9} us to first {} after cooldown",
+        if recovered_first_try {
+            "pass"
+        } else {
+            "NON-PASS"
+        }
+    );
+    let snapshot = client.stats().snapshot();
+    println!("  transport : {snapshot:?}");
+    revived.shutdown();
+
+    if smoke {
+        println!();
+        println!("smoke mode: skipping artifact and assertions");
+        return;
+    }
+
+    // One request-deadline budget is what a breaker-less client pays per
+    // outage request; shedding must make the *average* far cheaper.
+    let budget_us = REQUEST_DEADLINE.as_micros() as f64;
+    assert!(
+        outage_avg_us < budget_us,
+        "average outage request ({outage_avg_us:.0} us) must cost less than one \
+         deadline budget ({budget_us:.0} us)"
+    );
+    assert!(
+        recovered_first_try,
+        "recovery must complete within one half-open probe: {recovery:?}"
+    );
+
+    let stats: Vec<String> = snapshot
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"chaos_recovery\",\n  \"healthy_requests\": {healthy_n},\n  \
+         \"outage_requests\": {outage_n},\n  \"healthy_avg_us\": {healthy_avg_us:.0},\n  \
+         \"outage_avg_us\": {outage_avg_us:.0},\n  \"deadline_budget_us\": {budget_us:.0},\n  \
+         \"recovery_us\": {recovery_us},\n  \"recovered_within_one_probe\": {recovered_first_try},\n  \
+         \"transport\": {{\n{}\n  }}\n}}\n",
+        stats.join(",\n")
+    );
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_chaos_recovery.json"
+    );
+    std::fs::write(out, json).expect("write benchmark artifact");
+    println!();
+    println!("wrote {out}");
+}

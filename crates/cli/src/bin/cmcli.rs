@@ -117,7 +117,38 @@ fn run(args: &[String]) -> Result<String, CliError> {
                     _ => return Err(CliError("--keep-alive needs on|off".into())),
                 };
             }
-            serve(port, rest.contains(&"--extended"), workers, keep_alive)
+            let mut policy = cm_core::DegradedPolicy::FailClosed;
+            if let Some(pos) = rest.iter().position(|a| *a == "--degraded-policy") {
+                policy = cm_cli::parse_degraded_policy(
+                    rest.get(pos + 1)
+                        .ok_or(CliError("--degraded-policy needs a value".into()))?,
+                )?;
+            }
+            let mut client_config = cm_httpkit::ClientConfig::default();
+            if let Some(pos) = rest.iter().position(|a| *a == "--request-deadline-ms") {
+                let ms: u64 = rest
+                    .get(pos + 1)
+                    .and_then(|n| n.parse().ok())
+                    .filter(|n| *n > 0)
+                    .ok_or(CliError(
+                        "--request-deadline-ms needs a positive number".into(),
+                    ))?;
+                client_config.request_deadline = std::time::Duration::from_millis(ms);
+            }
+            if let Some(pos) = rest.iter().position(|a| *a == "--breaker-threshold") {
+                client_config.breaker_threshold = rest
+                    .get(pos + 1)
+                    .and_then(|n| n.parse().ok())
+                    .ok_or(CliError("--breaker-threshold needs a number".into()))?;
+            }
+            serve(
+                port,
+                rest.contains(&"--extended"),
+                workers,
+                keep_alive,
+                policy,
+                client_config,
+            )
         }
         Some("metrics") => {
             let addr = it.next().ok_or(CliError("metrics needs <addr>".into()))?;
@@ -130,7 +161,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                         .ok_or(CliError("--events needs a number".into()))?,
                 );
             }
-            cmd_metrics(addr, events_tail)
+            cmd_metrics(addr, events_tail, rest.contains(&"--health"))
         }
         Some(other) => Err(CliError(format!("unknown command `{other}`"))),
     }
@@ -138,10 +169,17 @@ fn run(args: &[String]) -> Result<String, CliError> {
 
 /// Run the simulated private cloud with a generated monitor proxy in
 /// front, both over HTTP, until the process is killed.
-fn serve(port: u16, extended: bool, workers: usize, keep_alive: bool) -> Result<String, CliError> {
+fn serve(
+    port: u16,
+    extended: bool,
+    workers: usize,
+    keep_alive: bool,
+    policy: cm_core::DegradedPolicy,
+    client_config: cm_httpkit::ClientConfig,
+) -> Result<String, CliError> {
     use cm_cloudsim::PrivateCloud;
     use cm_core::CloudMonitor;
-    use cm_httpkit::{AdminRoutes, HttpServer, RemoteService, ServerConfig};
+    use cm_httpkit::{AdminRoutes, HttpServer, PooledClient, RemoteService, ServerConfig};
     use cm_model::cinder;
     use cm_rest::SharedRestService;
     use std::sync::Arc;
@@ -171,8 +209,9 @@ fn serve(port: u16, extended: bool, workers: usize, keep_alive: bool) -> Result<
     )
     .map_err(|e| CliError(e.to_string()))?;
 
-    let remote = RemoteService::new(cloud_server.local_addr());
-    let mut monitor = if extended {
+    let client = Arc::new(PooledClient::new(client_config));
+    let remote = RemoteService::with_client(cloud_server.local_addr(), Arc::clone(&client));
+    let monitor = if extended {
         CloudMonitor::generate_multi(
             &cinder::extended_resource_model(),
             &[
@@ -192,10 +231,12 @@ fn serve(port: u16, extended: bool, workers: usize, keep_alive: bool) -> Result<
         )
         .map_err(|e| CliError(e.message))?
     };
+    let mut monitor = monitor.degraded_policy(policy);
     monitor
         .authenticate("alice", "alice-pw")
         .map_err(|e| CliError(e.message))?;
-    let admin = AdminRoutes::new(monitor.metrics(), monitor.events());
+    let admin =
+        AdminRoutes::new(monitor.metrics(), monitor.events()).with_transport(Arc::clone(&client));
     let monitor = Arc::new(monitor);
     let monitor_handle = Arc::clone(&monitor);
     let monitor_server = HttpServer::bind_with(
@@ -212,7 +253,12 @@ fn serve(port: u16, extended: bool, workers: usize, keep_alive: bool) -> Result<
         workers,
         if keep_alive { "on" } else { "off" }
     );
-    println!("observability   : GET /-/metrics and /-/events?tail=N (or `cmcli metrics`)");
+    println!(
+        "resilience      : {policy:?}, deadline {:?}, breaker threshold {}",
+        client.config().request_deadline,
+        client.config().breaker_threshold
+    );
+    println!("observability   : GET /-/metrics, /-/events?tail=N, /-/health (or `cmcli metrics`)");
     println!("fixture users   : alice/alice-pw (admin), bob (member), carol (user)");
     println!(
         "authenticate    : POST /identity/auth/tokens {{\"auth\":{{\"user\":…,\"password\":…}}}}"

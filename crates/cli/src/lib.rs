@@ -363,19 +363,31 @@ pub fn cmd_audit() -> String {
     out
 }
 
-/// `cmcli metrics <addr> [--events N]` — fetch and pretty-print the
-/// observability endpoints of a running monitor proxy (`cmcli serve`):
-/// `GET /-/metrics` by default, `GET /-/events?tail=N` with `--events`.
+/// `cmcli metrics <addr> [--events N] [--health]` — fetch and
+/// pretty-print the observability endpoints of a running monitor proxy
+/// (`cmcli serve`): `GET /-/metrics` by default (which includes the
+/// transport's retry/shed/breaker-transition counters when the monitor
+/// runs over a pooled client), `GET /-/events?tail=N` with `--events`,
+/// and `GET /-/health` — per-backend circuit-breaker state — with
+/// `--health`.
 ///
 /// # Errors
 ///
 /// Connection failures, non-success responses, or a body-less reply.
-pub fn cmd_metrics(addr: &str, events_tail: Option<usize>) -> Result<String, CliError> {
+pub fn cmd_metrics(
+    addr: &str,
+    events_tail: Option<usize>,
+    health: bool,
+) -> Result<String, CliError> {
     use cm_model::HttpMethod;
     use cm_rest::RestRequest;
-    let path = match events_tail {
-        Some(n) => format!("/-/events?tail={n}"),
-        None => "/-/metrics".to_string(),
+    let path = if health {
+        "/-/health".to_string()
+    } else {
+        match events_tail {
+            Some(n) => format!("/-/events?tail={n}"),
+            None => "/-/metrics".to_string(),
+        }
     };
     let addr = addr.trim_start_matches("http://").trim_end_matches('/');
     let response = cm_httpkit::send(addr, &RestRequest::new(HttpMethod::Get, path))
@@ -387,6 +399,32 @@ pub fn cmd_metrics(addr: &str, events_tail: Option<usize>) -> Result<String, Cli
         .body
         .map(|body| body.to_pretty_string())
         .ok_or_else(|| fail("monitor sent an empty body"))
+}
+
+/// Parse a `--degraded-policy` value: `fail-closed`, `fail-open`
+/// (uncapped), or `fail-open:N` (at most `N` unchecked forwards before
+/// failing closed).
+///
+/// # Errors
+///
+/// Unknown policy names or an unparsable cap.
+pub fn parse_degraded_policy(value: &str) -> Result<cm_core::DegradedPolicy, CliError> {
+    use cm_core::DegradedPolicy;
+    match value {
+        "fail-closed" => Ok(DegradedPolicy::FailClosed),
+        "fail-open" => Ok(DegradedPolicy::FailOpen {
+            max_unchecked: u64::MAX,
+        }),
+        other => match other.strip_prefix("fail-open:") {
+            Some(cap) => cap
+                .parse()
+                .map(|max_unchecked| DegradedPolicy::FailOpen { max_unchecked })
+                .map_err(|_| fail(format!("fail-open cap must be a number, got `{cap}`"))),
+            None => Err(fail(format!(
+                "unknown degraded policy `{other}` (expected fail-closed | fail-open[:N])"
+            ))),
+        },
+    }
 }
 
 /// Parse a slice criterion from CLI-ish arguments.
@@ -433,8 +471,21 @@ pub fn usage() -> &'static str {
              [--workers N] [--keep-alive on|off]\n\
                                               size the worker pool and toggle\n\
                                               persistent connections\n\
-       cmcli metrics <addr> [--events N]      query /-/metrics or /-/events\n\
-                                              of a running monitor\n"
+             [--degraded-policy fail-closed|fail-open[:N]]\n\
+                                              what Enforce does when the cloud\n\
+                                              cannot be snapshotted (default\n\
+                                              fail-closed; fail-open:N allows\n\
+                                              at most N unchecked forwards)\n\
+             [--request-deadline-ms MS] [--breaker-threshold N]\n\
+                                              total per-request budget across\n\
+                                              retries, and consecutive fresh-\n\
+                                              connection failures before the\n\
+                                              circuit breaker opens (0 = off)\n\
+       cmcli metrics <addr> [--events N] [--health]\n\
+                                              query /-/metrics (incl. transport\n\
+                                              retry/shed/breaker counters),\n\
+                                              /-/events, or /-/health breaker\n\
+                                              state of a running monitor\n"
 }
 
 #[cfg(test)]
@@ -593,16 +644,41 @@ mod tests {
         .unwrap();
         let addr = server.local_addr().to_string();
 
-        let metrics_out = cmd_metrics(&addr, None).unwrap();
+        let metrics_out = cmd_metrics(&addr, None, false).unwrap();
         let parsed = parse_json(&metrics_out).unwrap();
         assert_eq!(parsed.get("requests").unwrap().as_int(), Some(2));
 
-        let events_out = cmd_metrics(&format!("http://{addr}"), Some(1)).unwrap();
+        let events_out = cmd_metrics(&format!("http://{addr}"), Some(1), false).unwrap();
         let parsed = parse_json(&events_out).unwrap();
         assert_eq!(parsed.get("events").unwrap().as_array().unwrap().len(), 1);
 
+        let health_out = cmd_metrics(&addr, None, true).unwrap();
+        let parsed = parse_json(&health_out).unwrap();
+        assert_eq!(parsed.get("status").unwrap().as_str(), Some("ok"));
+
         server.shutdown();
-        assert!(cmd_metrics(&addr, None).is_err());
+        assert!(cmd_metrics(&addr, None, false).is_err());
+    }
+
+    #[test]
+    fn degraded_policy_parsing() {
+        use cm_core::DegradedPolicy;
+        assert_eq!(
+            parse_degraded_policy("fail-closed").unwrap(),
+            DegradedPolicy::FailClosed
+        );
+        assert_eq!(
+            parse_degraded_policy("fail-open").unwrap(),
+            DegradedPolicy::FailOpen {
+                max_unchecked: u64::MAX
+            }
+        );
+        assert_eq!(
+            parse_degraded_policy("fail-open:7").unwrap(),
+            DegradedPolicy::FailOpen { max_unchecked: 7 }
+        );
+        assert!(parse_degraded_policy("fail-open:many").is_err());
+        assert!(parse_degraded_policy("shrug").is_err());
     }
 
     #[test]
@@ -619,6 +695,10 @@ mod tests {
             "audit",
             "serve",
             "metrics",
+            "--degraded-policy",
+            "--request-deadline-ms",
+            "--breaker-threshold",
+            "--health",
         ] {
             assert!(u.contains(cmd), "usage missing {cmd}");
         }

@@ -1,0 +1,465 @@
+//! Transport chaos harness: a fault-injecting TCP proxy between the
+//! monitor and its cloud.
+//!
+//! Where [`crate::faults`] mutates the cloud's *semantics* (wrong
+//! authorization, skipped checks — the paper's Section VI-D mutants),
+//! this module mutates the *wire*: connections die mid-response, bytes
+//! arrive garbled, reads stall past their timeout, gateways answer 5xx.
+//! The two fault families must stay distinguishable end to end — a
+//! transport fault must never surface as a contract-violation verdict,
+//! and a semantic mutant must never hide behind a degraded one. The
+//! chaos soak test in the workspace root asserts exactly that.
+//!
+//! [`ChaosListener`] is a real TCP proxy: it accepts HTTP/1.1
+//! connections, parses each request, and consults a deterministic
+//! [`ChaosPlan`] — indexed by a global request counter, so the schedule
+//! does not depend on connection reuse or thread interleaving — to
+//! decide whether to forward the request upstream or inject a
+//! [`ChaosAction`].
+
+use cm_httpkit::{read_request_buf, send, serialize_response, ConnectionMode};
+use cm_obs::XorShift64Star;
+use cm_rest::{RestResponse, StatusCode};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One scheduled behaviour for one proxied request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Proxy the request upstream and relay the real response.
+    Forward,
+    /// Abruptly close the connection before answering (the client sees
+    /// a reset/EOF mid-exchange).
+    Reset,
+    /// Send the first half of a valid response, then close.
+    Truncate,
+    /// Send bytes that are not HTTP, then close.
+    Garbage,
+    /// Go silent past the client's read timeout, then close. The stall
+    /// length comes from [`ChaosPlan::stall`].
+    Stall,
+    /// Answer `503 Service Unavailable` (marked as a transport fault)
+    /// without consulting upstream — a gateway-style 5xx burst.
+    Error503,
+}
+
+impl ChaosAction {
+    /// Stable label used by the per-action counters.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChaosAction::Forward => "forward",
+            ChaosAction::Reset => "reset",
+            ChaosAction::Truncate => "truncate",
+            ChaosAction::Garbage => "garbage",
+            ChaosAction::Stall => "stall",
+            ChaosAction::Error503 => "error503",
+        }
+    }
+}
+
+/// A deterministic schedule of [`ChaosAction`]s, consumed one entry per
+/// proxied request (cycling when exhausted).
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    actions: Vec<ChaosAction>,
+    /// How long a [`ChaosAction::Stall`] goes silent before closing.
+    /// Default 300ms — pair it with a client read timeout below that.
+    pub stall: Duration,
+}
+
+impl ChaosPlan {
+    /// A plan that repeats the given action sequence forever.
+    #[must_use]
+    pub fn cycle(actions: Vec<ChaosAction>) -> Self {
+        ChaosPlan {
+            actions,
+            stall: Duration::from_millis(300),
+        }
+    }
+
+    /// A reproducible randomized plan: `len` entries, each a fault with
+    /// probability `fault_rate` (uniformly one of the five fault kinds),
+    /// otherwise a clean forward. The same seed always yields the same
+    /// schedule — chaos soaks are replayable. The first four entries are
+    /// forced to [`ChaosAction::Forward`] so session setup (authenticate,
+    /// first probe) succeeds before the weather turns.
+    #[must_use]
+    pub fn seeded(seed: u64, len: usize, fault_rate: f64) -> Self {
+        let mut rng = XorShift64Star::new(seed);
+        let mut actions = Vec::with_capacity(len);
+        for i in 0..len {
+            if i < 4 || rng.gen_f64() >= fault_rate {
+                actions.push(ChaosAction::Forward);
+            } else {
+                actions.push(match rng.gen_usize(0..5) {
+                    0 => ChaosAction::Reset,
+                    1 => ChaosAction::Truncate,
+                    2 => ChaosAction::Garbage,
+                    3 => ChaosAction::Stall,
+                    _ => ChaosAction::Error503,
+                });
+            }
+        }
+        ChaosPlan {
+            actions,
+            stall: Duration::from_millis(300),
+        }
+    }
+
+    /// The action scheduled for the `i`-th proxied request.
+    #[must_use]
+    pub fn action_at(&self, i: usize) -> ChaosAction {
+        if self.actions.is_empty() {
+            return ChaosAction::Forward;
+        }
+        self.actions[i % self.actions.len()]
+    }
+
+    /// Number of entries before the plan cycles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the plan has no entries (all requests forward cleanly).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+/// Per-action injection counters, filled as the proxy serves traffic.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Requests relayed upstream untouched.
+    pub forwarded: AtomicU64,
+    /// Connections reset before a response.
+    pub resets: AtomicU64,
+    /// Responses cut off mid-body.
+    pub truncated: AtomicU64,
+    /// Non-HTTP byte salads served.
+    pub garbage: AtomicU64,
+    /// Reads stalled past the client timeout.
+    pub stalls: AtomicU64,
+    /// Injected 503 answers.
+    pub errors: AtomicU64,
+}
+
+impl ChaosStats {
+    fn count(&self, action: ChaosAction) {
+        let counter = match action {
+            ChaosAction::Forward => &self.forwarded,
+            ChaosAction::Reset => &self.resets,
+            ChaosAction::Truncate => &self.truncated,
+            ChaosAction::Garbage => &self.garbage,
+            ChaosAction::Stall => &self.stalls,
+            ChaosAction::Error503 => &self.errors,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// All counters in a fixed order, for assertions and reports.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("forward", self.forwarded.load(Ordering::Relaxed)),
+            ("reset", self.resets.load(Ordering::Relaxed)),
+            ("truncate", self.truncated.load(Ordering::Relaxed)),
+            ("garbage", self.garbage.load(Ordering::Relaxed)),
+            ("stall", self.stalls.load(Ordering::Relaxed)),
+            ("error503", self.errors.load(Ordering::Relaxed)),
+        ]
+    }
+
+    /// Total non-Forward injections so far.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.snapshot()
+            .iter()
+            .filter(|(k, _)| *k != "forward")
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+/// Shared state between the listener handle and its service threads.
+struct ChaosShared {
+    upstream: SocketAddr,
+    plan: ChaosPlan,
+    cursor: AtomicUsize,
+    stats: ChaosStats,
+    stop: AtomicBool,
+}
+
+/// A fault-injecting HTTP/1.1 proxy listening on an ephemeral local
+/// port. Point a `PooledClient`/`RemoteService` at [`local_addr`]
+/// (instead of the real cloud server) and the [`ChaosPlan`] decides the
+/// fate of every request.
+///
+/// [`local_addr`]: ChaosListener::local_addr
+#[derive(Debug)]
+pub struct ChaosListener {
+    addr: SocketAddr,
+    shared: Arc<ChaosShared>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for ChaosShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosShared")
+            .field("upstream", &self.upstream)
+            .field("cursor", &self.cursor)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChaosListener {
+    /// Bind an ephemeral local port and start proxying to `upstream`
+    /// under the given plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the listener socket cannot be bound.
+    pub fn spawn(upstream: SocketAddr, plan: ChaosPlan) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ChaosShared {
+            upstream,
+            plan,
+            cursor: AtomicUsize::new(0),
+            stats: ChaosStats::default(),
+            stop: AtomicBool::new(false),
+        });
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conn_threads);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_shared = Arc::clone(&accept_shared);
+                let handle = std::thread::spawn(move || serve_chaos_conn(stream, &conn_shared));
+                accept_conns.lock().unwrap().push(handle);
+            }
+        });
+
+        Ok(ChaosListener {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+        })
+    }
+
+    /// The proxy's bound address — hand this to the client under test.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The injection counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &ChaosStats {
+        &self.shared.stats
+    }
+
+    /// How many requests have consumed a schedule slot.
+    #[must_use]
+    pub fn requests_seen(&self) -> usize {
+        self.shared.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, wake the accept loop, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let handles: Vec<_> = self.conn_threads.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosListener {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Serve one proxied connection: parse requests in a keep-alive loop,
+/// consume one schedule slot per request, inject or forward.
+fn serve_chaos_conn(stream: TcpStream, shared: &ChaosShared) {
+    let _ = stream.set_nodelay(true);
+    // One persistent buffered reader per connection (over a shared borrow
+    // of the stream; writes go through another) so buffered bytes of a
+    // pipelined next request are never lost between messages.
+    let mut reader = std::io::BufReader::with_capacity(8 * 1024, &stream);
+    let mut stream = &stream;
+    let mut resp_buf = Vec::with_capacity(1024);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let Ok(request) = read_request_buf(&mut reader) else {
+            return; // EOF, timeout, or framing error: client is done
+        };
+        let slot = shared.cursor.fetch_add(1, Ordering::Relaxed);
+        let action = shared.plan.action_at(slot);
+        shared.stats.count(action);
+        match action {
+            ChaosAction::Forward => {
+                let response = match send(shared.upstream, &request) {
+                    Ok(resp) => resp,
+                    Err(e) => RestResponse::transport_fault(
+                        StatusCode::BAD_GATEWAY,
+                        format!("chaos proxy upstream error: {e}"),
+                    ),
+                };
+                resp_buf.clear();
+                serialize_response(&mut resp_buf, &response, ConnectionMode::KeepAlive);
+                if stream.write_all(&resp_buf).is_err() {
+                    return;
+                }
+            }
+            ChaosAction::Error503 => {
+                let response = RestResponse::transport_fault(
+                    StatusCode::SERVICE_UNAVAILABLE,
+                    "chaos: injected gateway 503",
+                );
+                resp_buf.clear();
+                serialize_response(&mut resp_buf, &response, ConnectionMode::KeepAlive);
+                if stream.write_all(&resp_buf).is_err() {
+                    return;
+                }
+            }
+            ChaosAction::Reset => return, // drop without a byte of answer
+            ChaosAction::Truncate => {
+                resp_buf.clear();
+                serialize_response(
+                    &mut resp_buf,
+                    &RestResponse::ok(cm_rest::Json::Str(
+                        "this response will never fully arrive".into(),
+                    )),
+                    ConnectionMode::KeepAlive,
+                );
+                let half = resp_buf.len() / 2;
+                let _ = stream.write_all(&resp_buf[..half]);
+                return;
+            }
+            ChaosAction::Garbage => {
+                let _ = stream.write_all(b"\x16\x03\x01 utter nonsense, not HTTP\r\n\r\n");
+                return;
+            }
+            ChaosAction::Stall => {
+                // Go silent in short polls so shutdown stays responsive,
+                // then hang up without answering.
+                let deadline = Instant::now() + shared.plan.stall;
+                while Instant::now() < deadline {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_httpkit::HttpServer;
+    use cm_model::HttpMethod;
+    use cm_rest::{Json, RestRequest};
+
+    fn upstream() -> HttpServer {
+        HttpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|_req: RestRequest| RestResponse::ok(Json::Str("upstream".into()))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_start_clean() {
+        let a = ChaosPlan::seeded(42, 64, 0.5);
+        let b = ChaosPlan::seeded(42, 64, 0.5);
+        let c = ChaosPlan::seeded(43, 64, 0.5);
+        let actions: Vec<_> = (0..64).map(|i| a.action_at(i)).collect();
+        assert_eq!(actions, (0..64).map(|i| b.action_at(i)).collect::<Vec<_>>());
+        assert_ne!(actions, (0..64).map(|i| c.action_at(i)).collect::<Vec<_>>());
+        // Setup grace: the first four slots always forward.
+        assert!(actions[..4].iter().all(|a| *a == ChaosAction::Forward));
+        // A 50% rate over 60 remaining slots injects *something*.
+        assert!(actions[4..].iter().any(|a| *a != ChaosAction::Forward));
+    }
+
+    #[test]
+    fn forwards_cleanly_and_injects_on_schedule() {
+        let server = upstream();
+        let plan = ChaosPlan::cycle(vec![
+            ChaosAction::Forward,
+            ChaosAction::Error503,
+            ChaosAction::Reset,
+        ]);
+        let proxy = ChaosListener::spawn(server.local_addr(), plan).unwrap();
+        let req = RestRequest::new(HttpMethod::Get, "/anything");
+
+        // Slot 0: clean forward relays the upstream body.
+        let ok = send(proxy.local_addr(), &req).unwrap();
+        assert_eq!(ok.status, StatusCode::OK);
+        assert_eq!(ok.body, Some(Json::Str("upstream".into())));
+
+        // Slot 1: injected 503, marked as a transport fault, upstream
+        // never consulted.
+        let injected = send(proxy.local_addr(), &req).unwrap();
+        assert_eq!(injected.status, StatusCode::SERVICE_UNAVAILABLE);
+        assert!(injected.is_transport_fault());
+
+        // Slot 2: the connection dies without an answer.
+        assert!(send(proxy.local_addr(), &req).is_err());
+
+        assert_eq!(proxy.requests_seen(), 3);
+        assert_eq!(proxy.stats().forwarded.load(Ordering::Relaxed), 1);
+        assert_eq!(proxy.stats().errors.load(Ordering::Relaxed), 1);
+        assert_eq!(proxy.stats().resets.load(Ordering::Relaxed), 1);
+        assert_eq!(proxy.stats().faults_injected(), 2);
+        proxy.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn truncated_and_garbage_responses_are_wire_errors() {
+        let server = upstream();
+        let plan = ChaosPlan::cycle(vec![ChaosAction::Truncate, ChaosAction::Garbage]);
+        let proxy = ChaosListener::spawn(server.local_addr(), plan).unwrap();
+        let req = RestRequest::new(HttpMethod::Get, "/anything");
+        assert!(send(proxy.local_addr(), &req).is_err());
+        assert!(send(proxy.local_addr(), &req).is_err());
+        assert_eq!(proxy.stats().truncated.load(Ordering::Relaxed), 1);
+        assert_eq!(proxy.stats().garbage.load(Ordering::Relaxed), 1);
+        proxy.shutdown();
+        server.shutdown();
+    }
+}

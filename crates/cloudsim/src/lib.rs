@@ -39,10 +39,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod cloud;
 pub mod faults;
 pub mod state;
 
+pub use chaos::{ChaosAction, ChaosListener, ChaosPlan, ChaosStats};
 pub use cloud::{PrivateCloud, DEFAULT_VOLUME_QUOTA};
 pub use faults::{Fault, FaultPlan};
 pub use state::{CloudState, Instance, ProjectState, StateError, Volume, VolumeStatus};

@@ -56,9 +56,9 @@ pub mod probe;
 pub use coverage::{CoverageTracker, RequirementCoverage};
 pub use model_probe::ModelProber;
 pub use monitor::{
-    cinder_monitor, cinder_monitor_extended, expected_success_status, CloudMonitor, EvalStrategy,
-    Mode, MonitorBuildError, MonitorOutcome, MonitorRecord, SnapshotPolicy, Verdict,
+    cinder_monitor, cinder_monitor_extended, expected_success_status, CloudMonitor, DegradedPolicy,
+    EvalStrategy, Mode, MonitorBuildError, MonitorOutcome, MonitorRecord, SnapshotPolicy, Verdict,
     DEFAULT_EVENT_CAPACITY,
 };
 pub use oracle::{OracleReport, ScenarioResult, TestOracle};
-pub use probe::{ProbeTarget, StateProber};
+pub use probe::{ProbeFault, ProbeTarget, Snapshot, StateProber};

@@ -34,8 +34,17 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Lock a shard mutex, recovering from poisoning: one panicking request
+/// (e.g. a handler bug surfaced mid-`process`) must not wedge every
+/// later request that hashes to the same shard. The shard state a
+/// panicked request leaves behind is append-only records plus reusable
+/// scratch that every evaluation re-initialises, so recovery is safe.
+fn plock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Events retained by the default ring-buffer sink.
 pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
@@ -134,6 +143,13 @@ pub enum Verdict {
     },
     /// Contract evaluation itself failed (modelling/environment error).
     ContractError,
+    /// The monitor could not *check* the request: the transport to the
+    /// cloud failed (snapshot probes undeliverable, or the forward
+    /// itself came back as a marked gateway fault). Explicitly not a
+    /// violation — the cloud's contract compliance was never observed.
+    /// The untestable security-requirement ids travel in the outcome's
+    /// `requirements`, preserving Table-I traceability.
+    Degraded,
 }
 
 impl Verdict {
@@ -163,8 +179,35 @@ impl fmt::Display for Verdict {
                 write!(f, "wrong-status(expected {expected}, got {actual})")
             }
             Verdict::ContractError => write!(f, "contract-error"),
+            Verdict::Degraded => write!(f, "degraded"),
         }
     }
+}
+
+/// What the monitor does when it cannot take a checked decision because
+/// the path to the cloud is sick (pre-snapshot probes undeliverable
+/// within budget).
+///
+/// The policy only matters in [`Mode::Enforce`]: in [`Mode::Observe`]
+/// the monitor never blocks, so a degraded request is forwarded and
+/// recorded as [`Verdict::Degraded`]. Fail-open passes are counted and
+/// surfaced through the `resilience` metrics family (`fail_open_pass`)
+/// — the audit trail CloudSec-style engines demand for any unchecked
+/// admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradedPolicy {
+    /// Refuse the request (`503`, marked as a transport fault) rather
+    /// than let it through unchecked. The availability-conservative
+    /// default: a monitor that silently fails open is a security hole.
+    #[default]
+    FailClosed,
+    /// Forward up to `max_unchecked` requests without a pre-check, then
+    /// fail closed. Every such pass increments the `fail_open_pass`
+    /// alarm counter visible at `/-/metrics`.
+    FailOpen {
+        /// Lifetime cap on unchecked forwards.
+        max_unchecked: u64,
+    },
 }
 
 /// One line of the monitor's log.
@@ -238,6 +281,9 @@ pub struct CloudMonitor<S: SharedRestService> {
     mode: Mode,
     eval_strategy: EvalStrategy,
     snapshot_policy: SnapshotPolicy,
+    degraded_policy: DegradedPolicy,
+    /// Unchecked forwards admitted so far under `FailOpen`.
+    fail_open_used: AtomicU64,
     monitor_token: String,
     /// Project the monitor's probe token is scoped to (learned during
     /// [`CloudMonitor::authenticate`]); probe denials outside this scope
@@ -313,6 +359,8 @@ impl<S: SharedRestService> CloudMonitor<S> {
             mode: Mode::Enforce,
             eval_strategy: EvalStrategy::Compiled,
             snapshot_policy: SnapshotPolicy::Full,
+            degraded_policy: DegradedPolicy::FailClosed,
+            fail_open_used: AtomicU64::new(0),
             monitor_token: String::new(),
             monitor_project: None,
             project_tokens: HashMap::new(),
@@ -373,6 +421,8 @@ impl<S: SharedRestService> CloudMonitor<S> {
             mode: Mode::Enforce,
             eval_strategy: EvalStrategy::Compiled,
             snapshot_policy: SnapshotPolicy::Full,
+            degraded_policy: DegradedPolicy::FailClosed,
+            fail_open_used: AtomicU64::new(0),
             monitor_token: String::new(),
             monitor_project: None,
             project_tokens: HashMap::new(),
@@ -404,6 +454,21 @@ impl<S: SharedRestService> CloudMonitor<S> {
     pub fn eval_strategy(mut self, strategy: EvalStrategy) -> Self {
         self.eval_strategy = strategy;
         self
+    }
+
+    /// Select what happens when the transport prevents a pre-check
+    /// (default [`DegradedPolicy::FailClosed`]).
+    #[must_use]
+    pub fn degraded_policy(mut self, policy: DegradedPolicy) -> Self {
+        self.degraded_policy = policy;
+        self
+    }
+
+    /// Unchecked forwards admitted so far under
+    /// [`DegradedPolicy::FailOpen`].
+    #[must_use]
+    pub fn fail_open_used(&self) -> u64 {
+        self.fail_open_used.load(Ordering::Relaxed)
     }
 
     /// Replace the event sink (builder style). The default is a
@@ -542,7 +607,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
         let mut all: Vec<MonitorRecord> = self
             .log_shards
             .iter()
-            .flat_map(|shard| shard.lock().unwrap().records.clone())
+            .flat_map(|shard| plock(shard).records.clone())
             .collect();
         all.sort_by_key(|r| r.seq);
         all
@@ -601,7 +666,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
     pub fn process(&self, request: &RestRequest) -> MonitorOutcome {
         let started = Instant::now();
         let shard = &self.log_shards[self.shard_index(&request.path)];
-        let mut shard = shard.lock().unwrap();
+        let mut shard = plock(shard);
         // The global sequence number is taken at admission (snapshot
         // time), under the shard lock — not at log-append time — so that
         // sorting the merged log by seq replays per-resource causal order.
@@ -642,6 +707,71 @@ impl<S: SharedRestService> CloudMonitor<S> {
         );
         shard.records.push(record);
         outcome
+    }
+
+    /// Decide a request whose pre-state could not be observed (transport
+    /// faults during the pre-snapshot). Observe mode always forwards;
+    /// Enforce mode consults the [`DegradedPolicy`]. All paths return
+    /// [`Verdict::Degraded`] carrying the contract's full
+    /// security-requirement set — the ids that went untested.
+    fn degrade_pre(
+        &self,
+        request: &RestRequest,
+        obs: &mut ObsScratch,
+        trigger: &Trigger,
+        contract: &cm_contracts::MethodContract,
+        faults: &[crate::probe::ProbeFault],
+    ) -> (MonitorOutcome, Option<Trigger>, String) {
+        self.metrics.resilience.increment("degraded_pre");
+        let fault_list = faults
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("; ");
+        let requirements = contract.security_requirements.clone();
+        let forward_unchecked = match (self.mode, self.degraded_policy) {
+            (Mode::Observe, _) => true,
+            (Mode::Enforce, DegradedPolicy::FailClosed) => false,
+            (Mode::Enforce, DegradedPolicy::FailOpen { max_unchecked }) => {
+                // Reserve a fail-open slot atomically; once the cap is
+                // spent the monitor falls back to failing closed.
+                let admitted = self
+                    .fail_open_used
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                        (used < max_unchecked).then_some(used + 1)
+                    })
+                    .is_ok();
+                if admitted {
+                    self.metrics.resilience.increment("fail_open_pass");
+                }
+                admitted
+            }
+        };
+        let (response, diagnostics) = if forward_unchecked {
+            let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
+            (
+                response,
+                format!("forwarded unchecked (pre-snapshot faults: {fault_list})"),
+            )
+        } else {
+            self.metrics.resilience.increment("fail_closed");
+            (
+                RestResponse::transport_fault(
+                    StatusCode::SERVICE_UNAVAILABLE,
+                    format!("monitor degraded, failing closed: {fault_list}"),
+                ),
+                format!("failed closed (pre-snapshot faults: {fault_list})"),
+            )
+        };
+        (
+            MonitorOutcome {
+                response,
+                verdict: Verdict::Degraded,
+                requirements,
+            },
+            Some(trigger.clone()),
+            diagnostics,
+        )
     }
 
     #[allow(clippy::too_many_lines)]
@@ -764,18 +894,25 @@ impl<S: SharedRestService> CloudMonitor<S> {
             SnapshotPolicy::Minimal => contract.referenced_roots(),
             _ => Vec::new(),
         };
-        let (pre_state, probe_errors) =
-            timed(&mut obs.timings.snapshot, || match self.snapshot_policy {
-                SnapshotPolicy::Full => self.prober.snapshot_checked(&self.cloud, &target),
-                SnapshotPolicy::Minimal => {
-                    self.prober
-                        .snapshot_scoped(&self.cloud, &target, &minimal_roots)
-                }
-                SnapshotPolicy::Scoped => {
-                    self.prober
-                        .snapshot_attrs(&self.cloud, &target, compiled.pre_scope())
-                }
-            });
+        let pre_snapshot = timed(&mut obs.timings.snapshot, || match self.snapshot_policy {
+            SnapshotPolicy::Full => self.prober.snapshot_checked(&self.cloud, &target),
+            SnapshotPolicy::Minimal => {
+                self.prober
+                    .snapshot_scoped(&self.cloud, &target, &minimal_roots)
+            }
+            SnapshotPolicy::Scoped => {
+                self.prober
+                    .snapshot_attrs(&self.cloud, &target, compiled.pre_scope())
+            }
+        });
+        // A partial snapshot (transport faults) means the pre-condition
+        // is *untestable*: judging the request on half-observed state
+        // would attribute transport weather to the cloud's contract.
+        // The degraded policy decides what to do instead.
+        if pre_snapshot.is_partial() {
+            return self.degrade_pre(request, obs, &trigger, contract, &pre_snapshot.faults);
+        }
+        let pre_state = pre_snapshot.nav;
         // Probe denials are only meaningful where the monitor has probe
         // authority: a request addressed to a foreign project is expected
         // to be unobservable (and its pre-condition correctly fails on the
@@ -786,7 +923,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
             {
                 Vec::new()
             }
-            _ => probe_errors,
+            _ => pre_snapshot.denials,
         };
         // The interned view of the pre-state snapshot serves the
         // pre-check, requirement attribution, and later the post phase's
@@ -862,6 +999,23 @@ impl<S: SharedRestService> CloudMonitor<S> {
 
         // 5. Forward to the cloud.
         let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
+        // A marked transport fault (or bare gateway status) means the
+        // backend never answered this forward: there is no cloud
+        // behaviour to classify, only a sick path. Without this check a
+        // backend outage would masquerade as a wrong-denial.
+        if response.is_transport_fault() || response.status.is_gateway_error() {
+            self.metrics.resilience.increment("degraded_forward");
+            let diagnostics = format!("forward failed in transport: {}", response.status);
+            return (
+                MonitorOutcome {
+                    response,
+                    verdict: Verdict::Degraded,
+                    requirements: contract.security_requirements.clone(),
+                },
+                Some(trigger),
+                diagnostics,
+            );
+        }
         let success = response.status.is_success();
 
         // 6. Interpret the response code and check the post-condition.
@@ -876,19 +1030,40 @@ impl<S: SharedRestService> CloudMonitor<S> {
                     format!("expected {expected}, got {}", response.status),
                 )
             } else {
-                let post_state = timed(&mut obs.timings.snapshot, || match self.snapshot_policy {
-                    SnapshotPolicy::Full => self.prober.snapshot(&self.cloud, &target),
-                    SnapshotPolicy::Minimal => {
-                        self.prober
-                            .snapshot_scoped(&self.cloud, &target, &minimal_roots)
-                            .0
-                    }
-                    SnapshotPolicy::Scoped => {
-                        self.prober
-                            .snapshot_attrs(&self.cloud, &target, compiled.post_scope())
-                            .0
-                    }
-                });
+                let post_snapshot =
+                    timed(&mut obs.timings.snapshot, || match self.snapshot_policy {
+                        SnapshotPolicy::Full => self.prober.snapshot_checked(&self.cloud, &target),
+                        SnapshotPolicy::Minimal => {
+                            self.prober
+                                .snapshot_scoped(&self.cloud, &target, &minimal_roots)
+                        }
+                        SnapshotPolicy::Scoped => {
+                            self.prober
+                                .snapshot_attrs(&self.cloud, &target, compiled.post_scope())
+                        }
+                    });
+                // The call already executed; only its *verification* is
+                // lost. Report the post-condition as untestable rather
+                // than judging a half-observed post-state.
+                if post_snapshot.is_partial() {
+                    self.metrics.resilience.increment("degraded_post");
+                    let fault_list = post_snapshot
+                        .faults
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    return (
+                        MonitorOutcome {
+                            response,
+                            verdict: Verdict::Degraded,
+                            requirements: contract.security_requirements.clone(),
+                        },
+                        Some(trigger),
+                        format!("post-snapshot faults: {fault_list}"),
+                    );
+                }
+                let post_state = post_snapshot.nav;
                 let post_view = match self.eval_strategy {
                     EvalStrategy::Compiled => Some(EnvView::from_navigator(&post_state, syms)),
                     EvalStrategy::Interpreter => None,
@@ -1740,6 +1915,252 @@ mod log_json_tests {
         // Round-trips through the JSON parser.
         let text = json.to_compact_string();
         assert_eq!(cm_rest::parse_json(&text).unwrap(), json);
+    }
+
+    /// A cloud wrapper that injects transport faults into model-state
+    /// probes (GETs under `/v3`) once armed; everything else passes
+    /// through to the real simulated cloud.
+    struct FaultyProbes {
+        inner: PrivateCloud,
+        armed: std::sync::atomic::AtomicBool,
+    }
+
+    impl SharedRestService for FaultyProbes {
+        fn call(&self, request: &RestRequest) -> RestResponse {
+            if self.armed.load(Ordering::Relaxed)
+                && request.method == HttpMethod::Get
+                && request.path.starts_with("/v3")
+            {
+                return RestResponse::transport_fault(
+                    StatusCode::BAD_GATEWAY,
+                    "injected probe fault",
+                );
+            }
+            self.inner.call(request)
+        }
+    }
+
+    /// An Enforce-mode monitor over [`FaultyProbes`] with one seeded
+    /// volume, armed so every model-state probe faults from here on.
+    fn degraded_fixture() -> (CloudMonitor<FaultyProbes>, u64, u64, String) {
+        let cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
+        let vid = cloud
+            .state_mut()
+            .create_volume(pid, "v", 1, false)
+            .unwrap()
+            .id;
+        let wrapped = FaultyProbes {
+            inner: cloud,
+            armed: std::sync::atomic::AtomicBool::new(false),
+        };
+        let mut monitor = cinder_monitor(wrapped).unwrap().mode(Mode::Enforce);
+        monitor.authenticate("alice", "alice-pw").unwrap();
+        monitor.cloud().armed.store(true, Ordering::Relaxed);
+        (monitor, pid, vid, admin)
+    }
+
+    #[test]
+    fn degraded_pre_fails_closed_by_default() {
+        let (monitor, pid, vid, admin) = degraded_fixture();
+        let outcome = monitor.process(
+            &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
+                .auth_token(&admin),
+        );
+        assert_eq!(outcome.verdict, Verdict::Degraded);
+        assert!(!outcome.verdict.is_violation());
+        assert_eq!(outcome.response.status, StatusCode::SERVICE_UNAVAILABLE);
+        assert!(outcome.response.is_transport_fault());
+        // Table I traceability: the untested requirement rides along.
+        assert!(outcome.requirements.contains(&"1.4".to_string()));
+        // Fail-closed: the cloud never saw the DELETE.
+        assert_eq!(
+            monitor
+                .cloud()
+                .inner
+                .state()
+                .project(pid)
+                .unwrap()
+                .volumes
+                .len(),
+            1
+        );
+        assert_eq!(monitor.metrics().resilience.get("degraded_pre"), 1);
+        assert_eq!(monitor.metrics().resilience.get("fail_closed"), 1);
+    }
+
+    #[test]
+    fn degraded_pre_fail_open_forwards_until_the_cap() {
+        let (monitor, pid, vid, admin) = degraded_fixture();
+        let monitor = monitor.degraded_policy(DegradedPolicy::FailOpen { max_unchecked: 1 });
+        let delete = RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
+            .auth_token(&admin);
+
+        // First degraded request fits the fail-open budget: forwarded
+        // unchecked, and the cloud really deleted the volume.
+        let first = monitor.process(&delete);
+        assert_eq!(first.verdict, Verdict::Degraded);
+        assert_eq!(first.response.status, StatusCode::NO_CONTENT);
+        assert!(monitor
+            .cloud()
+            .inner
+            .state()
+            .project(pid)
+            .unwrap()
+            .volumes
+            .is_empty());
+        assert_eq!(monitor.fail_open_used(), 1);
+        assert_eq!(monitor.metrics().resilience.get("fail_open_pass"), 1);
+
+        // The budget is spent: the next degraded request fails closed.
+        let second = monitor.process(&delete);
+        assert_eq!(second.verdict, Verdict::Degraded);
+        assert_eq!(second.response.status, StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(monitor.metrics().resilience.get("fail_closed"), 1);
+        assert_eq!(monitor.fail_open_used(), 1);
+    }
+
+    /// Healthy probes, but the forwarded call itself dies in transport.
+    struct FaultyForward {
+        inner: PrivateCloud,
+    }
+
+    impl SharedRestService for FaultyForward {
+        fn call(&self, request: &RestRequest) -> RestResponse {
+            if request.method == HttpMethod::Delete {
+                return RestResponse::transport_fault(
+                    StatusCode::GATEWAY_TIMEOUT,
+                    "upstream timed out",
+                );
+            }
+            self.inner.call(request)
+        }
+    }
+
+    #[test]
+    fn degraded_forward_is_not_a_wrong_denial() {
+        let cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
+        let vid = cloud
+            .state_mut()
+            .create_volume(pid, "v", 1, false)
+            .unwrap()
+            .id;
+        let mut monitor = cinder_monitor(FaultyForward { inner: cloud })
+            .unwrap()
+            .mode(Mode::Observe);
+        monitor.authenticate("alice", "alice-pw").unwrap();
+        let outcome = monitor.process(
+            &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
+                .auth_token(&admin),
+        );
+        // A 504 from the wire is transport weather, not the cloud denying
+        // an authorized request: Degraded, never WrongDenial.
+        assert_eq!(outcome.verdict, Verdict::Degraded);
+        assert_eq!(outcome.response.status, StatusCode::GATEWAY_TIMEOUT);
+        assert!(outcome.requirements.contains(&"1.4".to_string()));
+        assert_eq!(monitor.metrics().resilience.get("degraded_forward"), 1);
+    }
+
+    /// Passes the forwarded call through, then blinds the post-snapshot:
+    /// every model-state probe after the first DELETE faults.
+    struct PostBlind {
+        inner: PrivateCloud,
+        tripped: std::sync::atomic::AtomicBool,
+    }
+
+    impl SharedRestService for PostBlind {
+        fn call(&self, request: &RestRequest) -> RestResponse {
+            if request.method == HttpMethod::Delete {
+                let response = self.inner.call(request);
+                self.tripped.store(true, Ordering::Relaxed);
+                return response;
+            }
+            if self.tripped.load(Ordering::Relaxed)
+                && request.method == HttpMethod::Get
+                && request.path.starts_with("/v3")
+            {
+                return RestResponse::transport_fault(
+                    StatusCode::BAD_GATEWAY,
+                    "post-state unreachable",
+                );
+            }
+            self.inner.call(request)
+        }
+    }
+
+    #[test]
+    fn degraded_post_returns_the_clouds_real_response() {
+        let cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
+        let vid = cloud
+            .state_mut()
+            .create_volume(pid, "v", 1, false)
+            .unwrap()
+            .id;
+        let wrapped = PostBlind {
+            inner: cloud,
+            tripped: std::sync::atomic::AtomicBool::new(false),
+        };
+        let mut monitor = cinder_monitor(wrapped).unwrap().mode(Mode::Enforce);
+        monitor.authenticate("alice", "alice-pw").unwrap();
+        let outcome = monitor.process(
+            &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
+                .auth_token(&admin),
+        );
+        // The call already executed: the client gets the cloud's actual
+        // 204, labelled Degraded because the post-state went unobserved.
+        assert_eq!(outcome.verdict, Verdict::Degraded);
+        assert_eq!(outcome.response.status, StatusCode::NO_CONTENT);
+        assert!(monitor
+            .cloud()
+            .inner
+            .state()
+            .project(pid)
+            .unwrap()
+            .volumes
+            .is_empty());
+        assert_eq!(monitor.metrics().resilience.get("degraded_post"), 1);
+    }
+
+    /// Panics on the first call to one specific unmodelled path,
+    /// poisoning whatever lock the monitor holds around the forward.
+    struct PanicOnce {
+        inner: PrivateCloud,
+        armed: std::sync::atomic::AtomicBool,
+    }
+
+    impl SharedRestService for PanicOnce {
+        fn call(&self, request: &RestRequest) -> RestResponse {
+            if request.path == "/identity/boom" && self.armed.swap(false, Ordering::Relaxed) {
+                panic!("injected backend panic");
+            }
+            self.inner.call(request)
+        }
+    }
+
+    #[test]
+    fn poisoned_shard_does_not_wedge_later_requests() {
+        let monitor = cinder_monitor(PanicOnce {
+            inner: PrivateCloud::my_project(),
+            armed: std::sync::atomic::AtomicBool::new(true),
+        })
+        .unwrap();
+        let req = RestRequest::new(HttpMethod::Get, "/identity/boom");
+        // The first request panics mid-forward while holding its log
+        // shard, poisoning that shard's mutex.
+        let poisoned =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| monitor.process(&req)));
+        assert!(poisoned.is_err());
+        // The same shard still serves requests: the lock recovered.
+        let outcome = monitor.process(&req);
+        assert_eq!(outcome.verdict, Verdict::NotModelled);
+        // The panicked request never appended its record; the retry did.
+        // Merging the log also walks the recovered shard.
+        assert_eq!(monitor.log().len(), 1);
     }
 }
 

@@ -98,6 +98,55 @@ impl ProbePlan {
     }
 }
 
+/// One probe GET that the *transport* failed to deliver: the response
+/// was synthesised by the client layer (marked with
+/// `X-CM-Transport-Fault`) or carries a gateway status (502/503/504).
+///
+/// A fault is categorically different from a probe *denial* (403/409
+/// from the cloud itself): a denial is an observation about the cloud's
+/// authorization behaviour, while a fault means the snapshot is simply
+/// missing data — any contract evaluated over it would be judging the
+/// transport, not the cloud. Faults therefore route to
+/// `Verdict::Degraded`, never to a violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeFault {
+    /// The probe request that failed, e.g. `GET /v3/1/volumes`.
+    pub probe: String,
+    /// The synthesised gateway status (502, 503 or 504).
+    pub status: u16,
+    /// The transport's error message, when one was attached.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ProbeFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {} ({})", self.probe, self.status, self.reason)
+    }
+}
+
+/// The outcome of one snapshot: the evaluation environment plus the
+/// anomalies encountered while building it.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The evaluation environment (partially filled when faults occurred).
+    pub nav: MapNavigator,
+    /// Anomalous probe denials: non-404 failures of the monitor's own
+    /// admin-authority GETs, answered by the *cloud itself*.
+    pub denials: Vec<String>,
+    /// Probes the transport failed to deliver — the snapshot is partial
+    /// and must not be evaluated against a contract.
+    pub faults: Vec<ProbeFault>,
+}
+
+impl Snapshot {
+    /// True when at least one probe never reached the cloud: the
+    /// environment is missing bindings through no fault of the cloud.
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        !self.faults.is_empty()
+    }
+}
+
 /// Identifies the slice of cloud state a contract evaluation needs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProbeTarget {
@@ -139,19 +188,18 @@ impl StateProber {
         }
     }
 
-    /// Probe the cloud and build the evaluation environment, also
-    /// returning the list of anomalous probe denials (non-404 failures of
-    /// the monitor's own GETs). A non-empty error list means the cloud
-    /// denied the monitor's admin-authority reads — itself a
-    /// wrong-authorization signal the monitor reports.
+    /// Probe the cloud and build the evaluation environment as a
+    /// [`Snapshot`]: the navigator plus anomalous probe denials
+    /// (non-404 failures of the monitor's own GETs, answered by the
+    /// cloud — a wrong-authorization signal the monitor reports) plus
+    /// transport faults (probes the path to the cloud failed to
+    /// deliver, making the snapshot partial).
     pub fn snapshot_checked(
         &self,
         cloud: &dyn SharedRestService,
         target: &ProbeTarget,
-    ) -> (MapNavigator, Vec<String>) {
-        let mut errors = Vec::new();
-        let nav = self.snapshot_impl(cloud, target, &mut errors, ProbeScope::Full);
-        (nav, errors)
+    ) -> Snapshot {
+        self.snapshot_impl(cloud, target, ProbeScope::Full)
     }
 
     /// Like [`StateProber::snapshot_checked`], but probes only the context
@@ -165,10 +213,8 @@ impl StateProber {
         cloud: &dyn SharedRestService,
         target: &ProbeTarget,
         scope: &[String],
-    ) -> (MapNavigator, Vec<String>) {
-        let mut errors = Vec::new();
-        let nav = self.snapshot_impl(cloud, target, &mut errors, ProbeScope::Roots(scope));
-        (nav, errors)
+    ) -> Snapshot {
+        self.snapshot_impl(cloud, target, ProbeScope::Roots(scope))
     }
 
     /// Like [`StateProber::snapshot_scoped`], but at *attribute*
@@ -184,10 +230,8 @@ impl StateProber {
         cloud: &dyn SharedRestService,
         target: &ProbeTarget,
         scope: &AttrScope,
-    ) -> (MapNavigator, Vec<String>) {
-        let mut errors = Vec::new();
-        let nav = self.snapshot_impl(cloud, target, &mut errors, ProbeScope::Attrs(scope));
-        (nav, errors)
+    ) -> Snapshot {
+        self.snapshot_impl(cloud, target, ProbeScope::Attrs(scope))
     }
 
     /// Probe the cloud and build the evaluation environment.
@@ -206,16 +250,17 @@ impl StateProber {
     ///   guards use role names as group labels), `user.roles` — the full
     ///   role set, `user.id` — the user id.
     pub fn snapshot(&self, cloud: &dyn SharedRestService, target: &ProbeTarget) -> MapNavigator {
-        self.snapshot_impl(cloud, target, &mut Vec::new(), ProbeScope::Full)
+        self.snapshot_impl(cloud, target, ProbeScope::Full).nav
     }
 
     fn snapshot_impl(
         &self,
         cloud: &dyn SharedRestService,
         target: &ProbeTarget,
-        errors: &mut Vec<String>,
         scope: ProbeScope<'_>,
-    ) -> MapNavigator {
+    ) -> Snapshot {
+        let mut denials = Vec::new();
+        let mut faults = Vec::new();
         let plan = ProbePlan::new(scope, target);
         let pid = target.project_id;
 
@@ -308,6 +353,23 @@ impl StateProber {
         }
 
         for ((kind, request), resp) in kinds.iter().zip(&requests).zip(responses) {
+            // A response the transport synthesised (or a gateway status)
+            // means this probe never reached the cloud: record the fault
+            // and skip binding — a half-bound root would let a contract
+            // "observe" state that was never actually read. All probe
+            // kinds count, including the denial-exempt ones: a missing
+            // user binding is just as much a hole in the environment.
+            if resp.is_transport_fault() || resp.status.is_gateway_error() {
+                faults.push(ProbeFault {
+                    probe: format!("GET {}", request.path),
+                    status: resp.status.0,
+                    reason: resp
+                        .error_message()
+                        .unwrap_or("transport fault")
+                        .to_string(),
+                });
+                continue;
+            }
             // The monitor probes with its own (admin-authority) token, so
             // any denial other than a plain 404 is anomalous: either the
             // monitor is misconfigured or the cloud wrongly denies
@@ -319,7 +381,7 @@ impl StateProber {
                 && !resp.status.is_success()
                 && resp.status != StatusCode::NOT_FOUND
             {
-                errors.push(format!("probe GET {} -> {}", request.path, resp.status));
+                denials.push(format!("probe GET {} -> {}", request.path, resp.status));
             }
             match kind {
                 Probe::Project => bind_project(&mut nav, &project, pid, &resp),
@@ -332,7 +394,11 @@ impl StateProber {
             }
         }
 
-        nav
+        Snapshot {
+            nav,
+            denials,
+            faults,
+        }
     }
 }
 
@@ -634,6 +700,63 @@ mod tests {
     }
 
     #[test]
+    fn transport_faults_are_reported_not_bound() {
+        // A "cloud" whose volume listing is answered by the transport
+        // layer (marked fault): the snapshot must record the hole and
+        // must not bind `project.volumes` to a phantom empty set.
+        struct FlakyListing {
+            inner: PrivateCloud,
+        }
+        impl SharedRestService for FlakyListing {
+            fn call(&self, request: &RestRequest) -> RestResponse {
+                if request.path.ends_with("/volumes") {
+                    RestResponse::transport_fault(
+                        StatusCode::BAD_GATEWAY,
+                        "connection reset by peer",
+                    )
+                } else {
+                    self.inner.call(request)
+                }
+            }
+        }
+        let (cloud, target) = setup();
+        let flaky = FlakyListing { inner: cloud };
+        let snap = StateProber::default().snapshot_checked(&flaky, &target);
+        assert!(snap.is_partial());
+        assert_eq!(snap.faults.len(), 1);
+        let fault = &snap.faults[0];
+        assert!(fault.probe.contains("/volumes"), "{fault}");
+        assert_eq!(fault.status, 502);
+        assert_eq!(fault.reason, "connection reset by peer");
+        // The fault is not a denial, and the unreachable binding stays
+        // undefined instead of masquerading as an empty listing.
+        assert!(snap.denials.is_empty());
+        let e = parse("project.volumes.oclIsUndefined()").unwrap();
+        assert!(EvalContext::new(&snap.nav).eval_bool(&e).unwrap());
+    }
+
+    #[test]
+    fn unmarked_gateway_statuses_also_count_as_faults() {
+        struct Gateway504 {
+            inner: PrivateCloud,
+        }
+        impl SharedRestService for Gateway504 {
+            fn call(&self, request: &RestRequest) -> RestResponse {
+                if request.path.contains("quota_sets") {
+                    RestResponse::error(StatusCode::GATEWAY_TIMEOUT, "upstream timed out")
+                } else {
+                    self.inner.call(request)
+                }
+            }
+        }
+        let (cloud, target) = setup();
+        let snap = StateProber::default().snapshot_checked(&Gateway504 { inner: cloud }, &target);
+        assert_eq!(snap.faults.len(), 1);
+        assert_eq!(snap.faults[0].status, 504);
+        assert!(snap.denials.is_empty());
+    }
+
+    #[test]
     fn pre_and_post_snapshots_differ_after_delete() {
         let (cloud, mut target) = setup();
         let pid = target.project_id;
@@ -715,8 +838,10 @@ mod scoped_tests {
     fn scoped_snapshot_skips_unreferenced_roots() {
         let (cloud, target) = setup();
         let prober = StateProber::default();
-        let (nav, errors) = prober.snapshot_scoped(&cloud, &target, &["project".to_string()]);
-        assert!(errors.is_empty());
+        let snap = prober.snapshot_scoped(&cloud, &target, &["project".to_string()]);
+        assert!(snap.denials.is_empty());
+        assert!(!snap.is_partial());
+        let nav = snap.nav;
         // Only project + volumes listing.
         assert_eq!(cloud.requests.load(std::sync::atomic::Ordering::Relaxed), 2);
         let e = parse("project.volumes->size() = 1").unwrap();
@@ -738,8 +863,9 @@ mod scoped_tests {
             ],
             true,
         );
-        let (nav, errors) = prober.snapshot_attrs(&cloud, &target, &scope);
-        assert!(errors.is_empty());
+        let snap = prober.snapshot_attrs(&cloud, &target, &scope);
+        assert!(snap.denials.is_empty());
+        let nav = snap.nav;
         // Volumes listing + token introspection only: no project GET, no
         // volume item (the target names one!), no snapshots, no quota.
         assert_eq!(cloud.requests.load(std::sync::atomic::Ordering::Relaxed), 2);
@@ -765,7 +891,7 @@ mod scoped_tests {
         let (cloud2, target2) = setup();
         let scope2 =
             cm_ocl::AttrScope::new(vec![("volume".to_string(), "snapshots".to_string())], true);
-        let (nav, _) = prober.snapshot_attrs(&cloud2, &target2, &scope2);
+        let nav = prober.snapshot_attrs(&cloud2, &target2, &scope2).nav;
         assert_eq!(
             cloud2.requests.load(std::sync::atomic::Ordering::Relaxed),
             1
@@ -789,7 +915,7 @@ mod scoped_tests {
         let (cloud, target) = setup();
         let prober = StateProber::default();
         let full = prober.snapshot(&cloud, &target);
-        let (scoped, _) = prober.snapshot_scoped(
+        let scoped = prober.snapshot_scoped(
             &cloud,
             &target,
             &[
@@ -799,6 +925,6 @@ mod scoped_tests {
                 "user".to_string(),
             ],
         );
-        assert_eq!(full, scoped);
+        assert_eq!(full, scoped.nav);
     }
 }

@@ -8,11 +8,17 @@
 //!   histograms with p50/p95/p99);
 //! * `GET /-/events?tail=N` — the most recent `N` structured
 //!   [`cm_obs::MonitorEvent`]s from the event sink (default 32), oldest
-//!   first, plus the count of events dropped by the bounded buffer.
+//!   first, plus the count of events dropped by the bounded buffer;
+//! * `GET /-/health` — liveness plus the transport's resilience state
+//!   (circuit-breaker state per backend, retry/shed/transition
+//!   counters), when a [`PooledClient`] is attached via
+//!   [`AdminRoutes::with_transport`].
 //!
 //! Every other request falls through to the wrapped handler, so the
 //! endpoints add no cost to the monitored path beyond one prefix check.
 
+use crate::client::PooledClient;
+use crate::resilience::BreakerState;
 use crate::server::Handler;
 use cm_obs::{EventSink, MetricsRegistry};
 use cm_rest::{Json, RestRequest, RestResponse, StatusCode};
@@ -24,12 +30,13 @@ pub const DEFAULT_EVENT_TAIL: usize = 32;
 /// The reserved admin path prefix.
 pub const ADMIN_PREFIX: &str = "/-/";
 
-/// Serves `/-/metrics` and `/-/events` from a monitor's observability
-/// handles.
+/// Serves `/-/metrics`, `/-/events` and `/-/health` from a monitor's
+/// observability handles.
 #[derive(Debug, Clone)]
 pub struct AdminRoutes {
     metrics: Arc<MetricsRegistry>,
     events: Arc<dyn EventSink>,
+    transport: Option<Arc<PooledClient>>,
 }
 
 impl AdminRoutes {
@@ -37,7 +44,61 @@ impl AdminRoutes {
     /// out of `CloudMonitor::metrics()` / `CloudMonitor::events()`).
     #[must_use]
     pub fn new(metrics: Arc<MetricsRegistry>, events: Arc<dyn EventSink>) -> Self {
-        AdminRoutes { metrics, events }
+        AdminRoutes {
+            metrics,
+            events,
+            transport: None,
+        }
+    }
+
+    /// Builder: attach the backend transport so `/-/health` can report
+    /// per-backend breaker state and `/-/metrics` gains a `transport`
+    /// section with retry/shed/breaker-transition counters.
+    #[must_use]
+    pub fn with_transport(mut self, transport: Arc<PooledClient>) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// The transport's resilience counters as a JSON object.
+    fn transport_json(client: &PooledClient) -> Json {
+        Json::object(
+            client
+                .stats()
+                .snapshot()
+                .into_iter()
+                .map(|(k, v)| (k, Json::Int(i64::try_from(v).unwrap_or(i64::MAX))))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The `/-/health` body: overall status is `"ok"` while every known
+    /// backend breaker is closed, `"degraded"` otherwise.
+    fn health_json(&self) -> Json {
+        let Some(client) = &self.transport else {
+            return Json::object(vec![("status", Json::Str("ok".into()))]);
+        };
+        let breakers = client.breaker_snapshot();
+        let degraded = breakers
+            .iter()
+            .any(|(_, state)| *state != BreakerState::Closed);
+        let backends = breakers
+            .into_iter()
+            .map(|(addr, state)| {
+                Json::object(vec![
+                    ("addr", Json::Str(addr.to_string())),
+                    ("breaker", Json::Str(state.as_str().into())),
+                ])
+            })
+            .collect();
+        Json::object(vec![
+            (
+                "status",
+                Json::Str(if degraded { "degraded" } else { "ok" }.into()),
+            ),
+            ("backends", Json::Array(backends)),
+            ("transport", Self::transport_json(client)),
+        ])
     }
 
     /// Handle `request` if it addresses the admin path space; `None`
@@ -60,7 +121,14 @@ impl AdminRoutes {
             ));
         }
         match path {
-            "/-/metrics" => Some(RestResponse::ok(self.metrics.render_json())),
+            "/-/metrics" => {
+                let mut body = self.metrics.render_json();
+                if let (Some(client), Json::Object(members)) = (&self.transport, &mut body) {
+                    members.push(("transport".into(), Self::transport_json(client)));
+                }
+                Some(RestResponse::ok(body))
+            }
+            "/-/health" => Some(RestResponse::ok(self.health_json())),
             "/-/events" => {
                 let tail = query_param(query, "tail")
                     .and_then(|v| v.parse::<usize>().ok())
@@ -174,6 +242,41 @@ mod tests {
             .unwrap();
         let events = resp.body.unwrap();
         assert_eq!(events.get("events").unwrap().as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn health_endpoint_reports_breaker_state_and_transport_counters() {
+        let routes = routes_with(0).with_transport(Arc::new(PooledClient::default()));
+        let resp = routes
+            .try_handle(&RestRequest::new(HttpMethod::Get, "/-/health"))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        let body = resp.body.unwrap();
+        assert_eq!(body.get("status").unwrap().as_str(), Some("ok"));
+        assert!(body.get("backends").unwrap().as_array().unwrap().is_empty());
+        assert_eq!(
+            body.get("transport")
+                .unwrap()
+                .get("sheds")
+                .unwrap()
+                .as_int(),
+            Some(0)
+        );
+        let metrics = routes
+            .try_handle(&RestRequest::new(HttpMethod::Get, "/-/metrics"))
+            .unwrap();
+        assert!(metrics.body.unwrap().get("transport").is_some());
+    }
+
+    #[test]
+    fn health_endpoint_without_transport_is_plain_ok() {
+        let routes = routes_with(0);
+        let resp = routes
+            .try_handle(&RestRequest::new(HttpMethod::Get, "/-/health"))
+            .unwrap();
+        let body = resp.body.unwrap();
+        assert_eq!(body.get("status").unwrap().as_str(), Some("ok"));
+        assert!(body.get("backends").is_none());
     }
 
     #[test]

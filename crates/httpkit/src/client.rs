@@ -10,15 +10,34 @@
 //! connection turns out to be stale (the backend restarted or timed the
 //! connection out), and offers [`PooledClient::batch`] to issue a whole
 //! snapshot's probe GETs back-to-back over a single connection.
+//!
+//! On top of the pool sits the resilience layer ([`crate::resilience`]):
+//! every logical request carries a **deadline budget** that caps connect
+//! and read timeouts across all attempts, idempotent (GET) requests are
+//! retried with **capped, seeded-jitter exponential backoff**, and each
+//! backend address has a **circuit breaker** so a down cloud sheds
+//! requests in microseconds instead of burning a connect timeout per
+//! call.
 
+use crate::resilience::{
+    Admission, BackoffSchedule, BreakerState, CircuitBreaker, DeadlineBudget, TransportError,
+    TransportStats,
+};
 use crate::wire::{read_response_buf, serialize_request, wants_close, ConnectionMode, WireError};
+use cm_model::HttpMethod;
 use cm_rest::{RestRequest, RestResponse, SharedRestService, StatusCode};
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Lock a mutex, recovering from poisoning: a panic in one requester
+/// must not wedge the shared pool/breaker state for every later caller.
+fn plock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tuning knobs for [`PooledClient`].
 #[derive(Debug, Clone)]
@@ -27,7 +46,27 @@ pub struct ClientConfig {
     /// beyond this close the connection instead.
     pub max_idle_per_addr: usize,
     /// Socket read timeout while waiting for a response (default 10s).
+    /// Each attempt's effective timeout is additionally capped by the
+    /// request's remaining deadline budget.
     pub read_timeout: Duration,
+    /// Wall-clock budget for one logical request including all retries
+    /// and backoff sleeps (default 10s).
+    pub request_deadline: Duration,
+    /// Retries after the first failed attempt, idempotent (GET)
+    /// requests only (default 2; 0 disables retries).
+    pub max_retries: u32,
+    /// Base delay of the exponential backoff (default 25ms).
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff delay (default 1s).
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+    /// Consecutive fresh-connection failures that trip a backend's
+    /// circuit breaker (default 5; 0 disables the breaker).
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before admitting one
+    /// half-open probe (default 500ms).
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ClientConfig {
@@ -35,6 +74,13 @@ impl Default for ClientConfig {
         ClientConfig {
             max_idle_per_addr: 8,
             read_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(10),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            jitter_seed: 0xC10D_F00D,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_millis(500),
         }
     }
 }
@@ -44,16 +90,23 @@ impl Default for ClientConfig {
 struct Conn {
     reader: BufReader<TcpStream>,
     buf: Vec<u8>,
+    /// The read timeout currently programmed into the socket, tracked
+    /// so per-attempt re-capping only pays a syscall when it changes.
+    read_timeout: Duration,
 }
 
 impl Conn {
-    fn connect(addr: SocketAddr, cfg: &ClientConfig) -> Result<Conn, WireError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(cfg.read_timeout))?;
+    /// Open a fresh connection, capping both the connect and the read
+    /// timeout by `limit` (the request's remaining deadline budget).
+    fn connect(addr: SocketAddr, cfg: &ClientConfig, limit: Duration) -> Result<Conn, WireError> {
+        let timeout = effective_timeout(cfg.read_timeout, limit);
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         Ok(Conn {
             reader: BufReader::with_capacity(8 * 1024, stream),
             buf: Vec::with_capacity(1024),
+            read_timeout: timeout,
         })
     }
 
@@ -93,10 +146,39 @@ impl Conn {
     }
 }
 
-/// A thread-safe pool of keep-alive connections, keyed by address.
+/// A per-attempt socket timeout: the configured read timeout capped by
+/// the remaining deadline budget, floored so the OS accepts it.
+fn effective_timeout(read_timeout: Duration, remaining: Duration) -> Duration {
+    read_timeout.min(remaining).max(Duration::from_millis(1))
+}
+
+/// How one attempt on one connection ended.
+enum AttemptError {
+    /// A *reused* pooled connection died between checkout and exchange —
+    /// a staleness artefact, not a backend-health signal. Retried free.
+    Stale,
+    /// The deadline budget ran out before the attempt could start.
+    Deadline,
+    /// A fresh connection failed: the backend is genuinely unwell.
+    Fresh(WireError),
+}
+
+/// A thread-safe pool of keep-alive connections, keyed by address, with
+/// per-address circuit breakers and deadline-budgeted retries.
 pub struct PooledClient {
     config: ClientConfig,
     pools: Mutex<HashMap<SocketAddr, Vec<Conn>>>,
+    breakers: Mutex<HashMap<SocketAddr, CircuitBreaker>>,
+    /// Number of breakers currently *not* pristine (closed with zero
+    /// failures). While this is zero — the overwhelmingly common case —
+    /// admission and success bookkeeping skip the breaker map entirely,
+    /// keeping the per-request hot path lock-free. The count is advisory:
+    /// a momentarily stale read only delays breaker bookkeeping by one
+    /// in-flight request, never corrupts it, because all state changes
+    /// still happen under the map lock.
+    turbulence: AtomicU64,
+    backoff: Mutex<BackoffSchedule>,
+    stats: TransportStats,
     opened: AtomicU64,
     reused: AtomicU64,
 }
@@ -120,12 +202,24 @@ impl PooledClient {
     /// A pool with the given configuration.
     #[must_use]
     pub fn new(config: ClientConfig) -> Self {
+        let backoff =
+            BackoffSchedule::new(config.backoff_base, config.backoff_cap, config.jitter_seed);
         PooledClient {
             config,
             pools: Mutex::new(HashMap::new()),
+            breakers: Mutex::new(HashMap::new()),
+            turbulence: AtomicU64::new(0),
+            backoff: Mutex::new(backoff),
+            stats: TransportStats::default(),
             opened: AtomicU64::new(0),
             reused: AtomicU64::new(0),
         }
+    }
+
+    /// The configuration this pool runs with.
+    #[must_use]
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
     }
 
     /// TCP connections this client has opened so far — keep-alive tests
@@ -144,14 +238,96 @@ impl PooledClient {
     /// Idle connections currently pooled for `addr`.
     #[must_use]
     pub fn idle_count(&self, addr: SocketAddr) -> usize {
-        self.pools.lock().unwrap().get(&addr).map_or(0, Vec::len)
+        plock(&self.pools).get(&addr).map_or(0, Vec::len)
+    }
+
+    /// Resilience counters (retries, sheds, breaker transitions).
+    #[must_use]
+    pub fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+
+    /// Current breaker state per backend this client has talked to,
+    /// sorted by address for stable output.
+    #[must_use]
+    pub fn breaker_snapshot(&self) -> Vec<(SocketAddr, BreakerState)> {
+        let breakers = plock(&self.breakers);
+        let mut states: Vec<_> = breakers.iter().map(|(a, b)| (*a, b.state())).collect();
+        states.sort_by_key(|(a, _)| a.to_string());
+        states
+    }
+
+    /// Ask `addr`'s breaker whether this request may proceed.
+    fn admit(&self, addr: SocketAddr) -> Admission {
+        if self.config.breaker_threshold == 0 || self.turbulence.load(Ordering::Relaxed) == 0 {
+            // Every breaker is pristine, so admission cannot be anything
+            // but Allow — skip the map lock. Entries are created lazily
+            // by `record_failure`; admitting Open→HalfOpen keeps a
+            // breaker turbulent, so the slow path below stays reachable
+            // whenever it could matter.
+            return Admission::Allow;
+        }
+        let mut breakers = plock(&self.breakers);
+        let breaker = breakers.entry(addr).or_insert_with(|| {
+            CircuitBreaker::new(self.config.breaker_threshold, self.config.breaker_cooldown)
+        });
+        let admission = breaker.admit(Instant::now());
+        match admission {
+            Admission::Probe => {
+                self.stats
+                    .breaker_half_opened
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Admission::Shed => {
+                self.stats.sheds.fetch_add(1, Ordering::Relaxed);
+            }
+            Admission::Allow => {}
+        }
+        admission
+    }
+
+    /// Record a successful exchange with `addr`'s breaker.
+    fn record_success(&self, addr: SocketAddr) {
+        if self.config.breaker_threshold == 0 || self.turbulence.load(Ordering::Relaxed) == 0 {
+            // A pristine breaker is a fixpoint under success; nothing to
+            // record, no lock to take.
+            return;
+        }
+        let mut breakers = plock(&self.breakers);
+        if let Some(breaker) = breakers.get_mut(&addr) {
+            let was_turbulent = !breaker.is_pristine();
+            if breaker.on_success() {
+                self.stats.breaker_closed.fetch_add(1, Ordering::Relaxed);
+            }
+            if was_turbulent {
+                self.turbulence.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Record a fresh-connection failure with `addr`'s breaker.
+    fn record_failure(&self, addr: SocketAddr) {
+        if self.config.breaker_threshold == 0 {
+            return;
+        }
+        let mut breakers = plock(&self.breakers);
+        let breaker = breakers.entry(addr).or_insert_with(|| {
+            CircuitBreaker::new(self.config.breaker_threshold, self.config.breaker_cooldown)
+        });
+        let was_pristine = breaker.is_pristine();
+        if breaker.on_failure(Instant::now()) {
+            self.stats.breaker_opened.fetch_add(1, Ordering::Relaxed);
+        }
+        if was_pristine {
+            self.turbulence.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Check out a healthy pooled connection (`reused = true`) or open a
-    /// fresh one.
-    fn checkout(&self, addr: SocketAddr) -> Result<(Conn, bool), WireError> {
+    /// fresh one, capping connect/read timeouts by `limit`.
+    fn checkout(&self, addr: SocketAddr, limit: Duration) -> Result<(Conn, bool), WireError> {
         loop {
-            let candidate = self.pools.lock().unwrap().get_mut(&addr).and_then(Vec::pop);
+            let candidate = plock(&self.pools).get_mut(&addr).and_then(Vec::pop);
             match candidate {
                 Some(conn) if conn.healthy() => {
                     self.reused.fetch_add(1, Ordering::Relaxed);
@@ -160,50 +336,137 @@ impl PooledClient {
                 Some(_) => continue, // stale: drop and try the next one
                 None => {
                     self.opened.fetch_add(1, Ordering::Relaxed);
-                    return Ok((Conn::connect(addr, &self.config)?, false));
+                    return Ok((Conn::connect(addr, &self.config, limit)?, false));
                 }
             }
         }
     }
 
     fn checkin(&self, addr: SocketAddr, conn: Conn) {
-        let mut pools = self.pools.lock().unwrap();
+        let mut pools = plock(&self.pools);
         let pool = pools.entry(addr).or_default();
         if pool.len() < self.config.max_idle_per_addr {
             pool.push(conn);
         }
     }
 
+    /// One attempt: check out (or open) a connection within the budget
+    /// and run a single exchange on it.
+    fn attempt_once(
+        &self,
+        addr: SocketAddr,
+        request: &RestRequest,
+        budget: &DeadlineBudget,
+    ) -> Result<RestResponse, AttemptError> {
+        let Some(remaining) = budget.remaining() else {
+            return Err(AttemptError::Deadline);
+        };
+        let (mut conn, reused) = match self.checkout(addr, remaining) {
+            Ok(pair) => pair,
+            Err(e) => return Err(AttemptError::Fresh(e)),
+        };
+        // A reused connection may have been programmed under an earlier
+        // budget; re-cap its read timeout to what this request can still
+        // afford, paying the syscall only when the value changes.
+        let timeout = effective_timeout(self.config.read_timeout, remaining);
+        if timeout != conn.read_timeout
+            && conn
+                .reader
+                .get_ref()
+                .set_read_timeout(Some(timeout))
+                .is_ok()
+        {
+            conn.read_timeout = timeout;
+        }
+        match conn.roundtrip(request) {
+            Ok((response, close)) => {
+                if !close {
+                    self.checkin(addr, conn);
+                }
+                Ok(response)
+            }
+            // The pool's health check is a point-in-time peek: a
+            // connection can still die between checkout and write.
+            // Retry exactly once, on a connection we know is fresh.
+            Err(_) if reused => Err(AttemptError::Stale),
+            Err(e) => Err(AttemptError::Fresh(e)),
+        }
+    }
+
     /// Send one request, reusing a pooled connection when possible.
     ///
-    /// A stale pooled connection (closed by the server since checkin)
-    /// surfaces as *reconnect-once*, not as an error: the exchange is
-    /// retried on a single fresh connection before any failure
-    /// propagates.
+    /// The exchange runs under the configured per-request deadline
+    /// budget. Idempotent (GET) requests that fail on a fresh connection
+    /// are retried up to `max_retries` times with capped exponential
+    /// backoff and deterministic jitter, re-consulting the breaker
+    /// before each retry; non-GET requests are never re-sent once a
+    /// fresh connection has failed. A stale *pooled* connection still
+    /// surfaces as reconnect-once for any method — the request provably
+    /// never reached the backend.
     ///
     /// # Errors
     ///
-    /// [`WireError`] when a fresh connection cannot be established or
-    /// the exchange fails on it.
+    /// [`TransportError::Wire`] when a fresh connection fails and no
+    /// retry is permitted; [`TransportError::CircuitOpen`] when the
+    /// backend's breaker sheds the request; and
+    /// [`TransportError::DeadlineExceeded`] when the budget runs out
+    /// (possibly mid-retry, before an affordable backoff remains).
     pub fn request(
         &self,
         addr: SocketAddr,
         request: &RestRequest,
-    ) -> Result<RestResponse, WireError> {
+    ) -> Result<RestResponse, TransportError> {
+        let budget = DeadlineBudget::new(self.config.request_deadline);
+        let retryable = request.method == HttpMethod::Get;
+        let mut attempt: u32 = 0;
+        let mut need_admission = true;
+        let mut probe = false;
         loop {
-            let (mut conn, reused) = self.checkout(addr)?;
-            match conn.roundtrip(request) {
-                Ok((response, close)) => {
-                    if !close {
-                        self.checkin(addr, conn);
-                    }
+            if need_admission {
+                probe = match self.admit(addr) {
+                    Admission::Allow => false,
+                    Admission::Probe => true,
+                    Admission::Shed => return Err(TransportError::CircuitOpen { addr }),
+                };
+                need_admission = false;
+            }
+            match self.attempt_once(addr, request, &budget) {
+                Ok(response) => {
+                    self.record_success(addr);
                     return Ok(response);
                 }
-                // The pool's health check is a point-in-time peek: a
-                // connection can still die between checkout and write.
-                // Retry exactly once, on a connection we know is fresh.
-                Err(_) if reused => continue,
-                Err(e) => return Err(e),
+                // Keep the current admission: the stale retry is part of
+                // the same attempt (the backend never saw the request).
+                Err(AttemptError::Stale) => continue,
+                Err(AttemptError::Deadline) => {
+                    self.stats
+                        .deadline_exhausted
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(TransportError::DeadlineExceeded {
+                        budget: budget.budget(),
+                    });
+                }
+                Err(AttemptError::Fresh(e)) => {
+                    self.record_failure(addr);
+                    if probe || !retryable || attempt >= self.config.max_retries {
+                        return Err(e.into());
+                    }
+                    let delay = plock(&self.backoff).delay(attempt);
+                    if !budget.affords(delay) {
+                        self.stats
+                            .deadline_exhausted
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(TransportError::DeadlineExceeded {
+                            budget: budget.budget(),
+                        });
+                    }
+                    std::thread::sleep(delay);
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                    // The breaker may have opened (or entered half-open)
+                    // while we slept — re-admit before retrying.
+                    need_admission = true;
+                }
             }
         }
     }
@@ -215,6 +478,9 @@ impl PooledClient {
     /// the connection mid-batch (`max_requests_per_conn`), the remainder
     /// continues on one fresh connection.
     ///
+    /// The whole batch shares one deadline budget and one breaker
+    /// admission; a failed batch counts one fresh-connection failure.
+    ///
     /// # Errors
     ///
     /// As [`PooledClient::request`]; a stale pooled connection is retried
@@ -223,13 +489,45 @@ impl PooledClient {
         &self,
         addr: SocketAddr,
         requests: &[RestRequest],
-    ) -> Result<Vec<RestResponse>, WireError> {
+    ) -> Result<Vec<RestResponse>, TransportError> {
+        let budget = DeadlineBudget::new(self.config.request_deadline);
+        if self.admit(addr) == Admission::Shed {
+            return Err(TransportError::CircuitOpen { addr });
+        }
+        match self.batch_on_budget(addr, requests, &budget) {
+            Ok(responses) => {
+                self.record_success(addr);
+                Ok(responses)
+            }
+            Err(e) => {
+                self.record_failure(addr);
+                Err(e)
+            }
+        }
+    }
+
+    fn batch_on_budget(
+        &self,
+        addr: SocketAddr,
+        requests: &[RestRequest],
+        budget: &DeadlineBudget,
+    ) -> Result<Vec<RestResponse>, TransportError> {
+        let remaining = || {
+            budget.remaining().ok_or_else(|| {
+                self.stats
+                    .deadline_exhausted
+                    .fetch_add(1, Ordering::Relaxed);
+                TransportError::DeadlineExceeded {
+                    budget: budget.budget(),
+                }
+            })
+        };
         let mut responses = Vec::with_capacity(requests.len());
-        let (mut conn, mut reused) = self.checkout(addr)?;
+        let (mut conn, mut reused) = self.checkout(addr, remaining()?)?;
         let mut alive = true;
         for request in requests {
             if !alive {
-                conn = self.checkout(addr)?.0;
+                conn = self.checkout(addr, remaining()?)?.0;
                 reused = false;
             }
             match conn.roundtrip(request) {
@@ -243,13 +541,13 @@ impl PooledClient {
                     // probe the server already answered.
                     if reused && responses.is_empty() {
                         self.opened.fetch_add(1, Ordering::Relaxed);
-                        conn = Conn::connect(addr, &self.config)?;
+                        conn = Conn::connect(addr, &self.config, remaining()?)?;
                         reused = false;
                         let (response, close) = conn.roundtrip(request)?;
                         responses.push(response);
                         alive = !close;
                     } else {
-                        return Err(e);
+                        return Err(e.into());
                     }
                 }
             }
@@ -269,7 +567,12 @@ impl PooledClient {
 /// By default the adapter holds a shared [`PooledClient`], so forwards
 /// and snapshot probes reuse keep-alive connections; a stale pooled
 /// connection surfaces as a silent reconnect-once, and only a failure on
-/// a *fresh* connection becomes `502 BAD_GATEWAY`.
+/// a *fresh* connection becomes an error response. Transport failures
+/// are synthesised as **marked** gateway responses
+/// ([`RestResponse::transport_fault`]): `502` for a wire failure, `503`
+/// for a request shed by an open circuit breaker, `504` for an
+/// exhausted deadline budget — so the monitor can tell "the path is
+/// sick" apart from "the cloud denied the request".
 /// [`RemoteService::connection_per_request`] restores the historical
 /// one-connection-per-call transport (the benchmark baseline).
 #[derive(Debug, Clone)]
@@ -309,17 +612,27 @@ impl RemoteService {
     pub fn client(&self) -> Option<&Arc<PooledClient>> {
         self.client.as_ref()
     }
+
+    /// Map a transport error to its marked gateway response.
+    fn fault_response(error: &TransportError) -> RestResponse {
+        let status = match error {
+            TransportError::Wire(_) => StatusCode::BAD_GATEWAY,
+            TransportError::CircuitOpen { .. } => StatusCode::SERVICE_UNAVAILABLE,
+            TransportError::DeadlineExceeded { .. } => StatusCode::GATEWAY_TIMEOUT,
+        };
+        RestResponse::transport_fault(status, error.to_string())
+    }
 }
 
 impl SharedRestService for RemoteService {
     fn call(&self, request: &RestRequest) -> RestResponse {
         let result = match &self.client {
             Some(client) => client.request(self.addr, request),
-            None => crate::server::send(self.addr, request),
+            None => crate::server::send(self.addr, request).map_err(TransportError::from),
         };
         match result {
             Ok(resp) => resp,
-            Err(e) => RestResponse::error(StatusCode::BAD_GATEWAY, e.to_string()),
+            Err(e) => Self::fault_response(&e),
         }
     }
 
@@ -330,8 +643,8 @@ impl SharedRestService for RemoteService {
         match client.batch(self.addr, requests) {
             Ok(responses) => responses,
             // Mid-batch transport failure: fall back to per-request
-            // calls, which carry their own retry-once and BAD_GATEWAY
-            // mapping, so a partial batch never loses probe responses.
+            // calls, which carry their own retry/shed/deadline mapping,
+            // so a partial batch never loses probe responses.
             Err(_) => requests.iter().map(|r| self.call(r)).collect(),
         }
     }
@@ -348,25 +661,43 @@ mod tests {
         Arc::new(|req: RestRequest| RestResponse::ok(Json::Str(req.path)))
     }
 
+    /// A dead-but-valid local address: bind, read the port, drop the
+    /// listener.
+    fn dead_addr() -> SocketAddr {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    }
+
+    /// A fast-failing config for dead-backend tests.
+    fn snappy(threshold: u32) -> ClientConfig {
+        ClientConfig {
+            read_timeout: Duration::from_millis(500),
+            request_deadline: Duration::from_millis(500),
+            max_retries: 0,
+            backoff_base: Duration::from_millis(1),
+            breaker_threshold: threshold,
+            breaker_cooldown: Duration::from_millis(100),
+            ..ClientConfig::default()
+        }
+    }
+
     #[test]
     fn remote_service_forwards() {
         let server = HttpServer::bind("127.0.0.1:0", path_echo()).unwrap();
         let mut remote = RemoteService::new(server.local_addr());
         let resp = remote.handle(&RestRequest::new(HttpMethod::Get, "/ping"));
         assert_eq!(resp.body, Some(Json::Str("/ping".into())));
+        assert!(!resp.is_transport_fault());
         server.shutdown();
     }
 
     #[test]
     fn remote_service_reports_unreachable_as_bad_gateway() {
-        // Bind and immediately drop a listener to get a dead port.
-        let addr = {
-            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-            l.local_addr().unwrap()
-        };
-        let mut remote = RemoteService::new(addr);
-        let resp = remote.handle(&RestRequest::new(HttpMethod::Get, "/"));
+        let remote =
+            RemoteService::with_client(dead_addr(), Arc::new(PooledClient::new(snappy(0))));
+        let resp = remote.call(&RestRequest::new(HttpMethod::Get, "/"));
         assert_eq!(resp.status, StatusCode::BAD_GATEWAY);
+        assert!(resp.is_transport_fault());
     }
 
     #[test]
@@ -396,5 +727,110 @@ mod tests {
         }
         assert_eq!(server.connections_accepted(), 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn breaker_trips_then_sheds_then_recovers_through_one_probe() {
+        let addr = dead_addr();
+        let client = PooledClient::new(snappy(2));
+        let req = RestRequest::new(HttpMethod::Get, "/");
+        // Two fresh-connection failures trip the breaker...
+        for _ in 0..2 {
+            assert!(matches!(
+                client.request(addr, &req),
+                Err(TransportError::Wire(_))
+            ));
+        }
+        // ...after which requests shed without touching the socket.
+        assert!(matches!(
+            client.request(addr, &req),
+            Err(TransportError::CircuitOpen { .. })
+        ));
+        let opened_while_shedding = client.connections_opened();
+        assert!(matches!(
+            client.request(addr, &req),
+            Err(TransportError::CircuitOpen { .. })
+        ));
+        assert_eq!(client.connections_opened(), opened_while_shedding);
+        assert_eq!(client.breaker_snapshot(), vec![(addr, BreakerState::Open)]);
+        // Backend comes back on the same port after the cooldown: the
+        // single half-open probe succeeds and closes the breaker.
+        std::thread::sleep(Duration::from_millis(150));
+        let server = HttpServer::bind(addr, path_echo());
+        let Ok(server) = server else {
+            // The OS may reassign the port; the breaker unit tests cover
+            // the recovery transition deterministically.
+            return;
+        };
+        let resp = client.request(addr, &req).expect("probe succeeds");
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(
+            client.breaker_snapshot(),
+            vec![(addr, BreakerState::Closed)]
+        );
+        let stats: std::collections::HashMap<_, _> =
+            client.stats().snapshot().into_iter().collect();
+        assert_eq!(stats["breaker_opened"], 1);
+        assert_eq!(stats["breaker_half_opened"], 1);
+        assert_eq!(stats["breaker_closed"], 1);
+        assert!(stats["sheds"] >= 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_idempotent_requests_are_never_retried() {
+        let addr = dead_addr();
+        let mut cfg = snappy(0);
+        cfg.max_retries = 3;
+        let client = PooledClient::new(cfg);
+        let post = RestRequest::new(HttpMethod::Post, "/volumes");
+        assert!(matches!(
+            client.request(addr, &post),
+            Err(TransportError::Wire(_))
+        ));
+        assert_eq!(client.stats().snapshot()[0], ("retries", 0));
+        // The same failure on a GET is retried.
+        let get = RestRequest::new(HttpMethod::Get, "/volumes");
+        assert!(client.request(addr, &get).is_err());
+        assert_eq!(client.stats().snapshot()[0], ("retries", 3));
+    }
+
+    #[test]
+    fn deadline_exhausts_mid_retry() {
+        let addr = dead_addr();
+        let mut cfg = snappy(0);
+        // First attempt fails fast (connection refused); the first
+        // backoff delay alone exceeds what remains of the budget.
+        cfg.max_retries = 5;
+        cfg.request_deadline = Duration::from_millis(200);
+        cfg.backoff_base = Duration::from_millis(400);
+        cfg.backoff_cap = Duration::from_millis(400);
+        let client = PooledClient::new(cfg);
+        let started = Instant::now();
+        let result = client.request(addr, &RestRequest::new(HttpMethod::Get, "/"));
+        assert!(matches!(
+            result,
+            Err(TransportError::DeadlineExceeded { .. })
+        ));
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "must give up without sleeping an unaffordable backoff"
+        );
+        let stats: std::collections::HashMap<_, _> =
+            client.stats().snapshot().into_iter().collect();
+        assert_eq!(stats["deadline_exhausted"], 1);
+        assert_eq!(stats["retries"], 0);
+    }
+
+    #[test]
+    fn shed_batch_surfaces_circuit_open() {
+        let addr = dead_addr();
+        let client = PooledClient::new(snappy(1));
+        let req = RestRequest::new(HttpMethod::Get, "/");
+        assert!(client.request(addr, &req).is_err()); // trips (threshold 1)
+        assert!(matches!(
+            client.batch(addr, std::slice::from_ref(&req)),
+            Err(TransportError::CircuitOpen { .. })
+        ));
     }
 }

@@ -13,11 +13,13 @@
 //! * [`PooledClient`] — a per-address pool of keep-alive client
 //!   connections with health-checked checkout, reconnect-once on stale
 //!   connections, and a batched probe path;
+//! * [`resilience`] — deadline budgets, capped seeded-jitter backoff,
+//!   and per-backend circuit breakers threaded through the client;
 //! * [`send`] — the one-shot (`Connection: close`) client;
 //! * [`RemoteService`] — the pooled backend adapter the monitor proxies
 //!   through;
-//! * [`AdminRoutes`] — the `/-/metrics` and `/-/events` observability
-//!   endpoints served in front of an application handler.
+//! * [`AdminRoutes`] — the `/-/metrics`, `/-/events` and `/-/health`
+//!   observability endpoints served in front of an application handler.
 //!
 //! ## Example
 //!
@@ -42,11 +44,16 @@
 
 pub mod admin;
 pub mod client;
+pub mod resilience;
 pub mod server;
 pub mod wire;
 
 pub use admin::{AdminRoutes, ADMIN_PREFIX, DEFAULT_EVENT_TAIL};
 pub use client::{ClientConfig, PooledClient, RemoteService};
+pub use resilience::{
+    Admission, BackoffSchedule, BreakerState, CircuitBreaker, DeadlineBudget, TransportError,
+    TransportStats,
+};
 pub use server::{send, Handler, HttpServer, ServerConfig};
 pub use wire::{
     read_request, read_request_buf, read_response, read_response_buf, serialize_request,

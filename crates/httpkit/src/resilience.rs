@@ -1,0 +1,450 @@
+//! Resilience primitives for the monitor↔cloud path: per-request
+//! deadline budgets, capped exponential backoff with deterministic
+//! jitter, and a per-backend circuit breaker.
+//!
+//! The monitor is only as trustworthy as its transport semantics. A
+//! backend hiccup must neither burn the worker pool on connect timeouts
+//! (hence the breaker sheds fast once a backend is known-down) nor hang
+//! a monitored request forever (hence every request carries a deadline
+//! budget that retries and backoff sleeps are paid out of). All
+//! randomness is a seeded [`XorShift64Star`], so retry schedules — and
+//! the chaos tests that exercise them — are reproducible.
+
+use crate::wire::WireError;
+use cm_obs::XorShift64Star;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// An error from the resilient client path. Extends [`WireError`] with
+/// the two outcomes the resilience layer itself produces: a shed
+/// request (open breaker) and an exhausted deadline budget.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The underlying exchange failed (connect, write, read, parse).
+    Wire(WireError),
+    /// The per-backend circuit breaker is open: the request was shed
+    /// without touching the socket.
+    CircuitOpen {
+        /// The backend whose breaker shed the request.
+        addr: SocketAddr,
+    },
+    /// The per-request deadline budget ran out before a response
+    /// arrived (possibly mid-retry).
+    DeadlineExceeded {
+        /// The budget the request started with.
+        budget: Duration,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Wire(e) => write!(f, "{e}"),
+            TransportError::CircuitOpen { addr } => {
+                write!(f, "circuit breaker open for {addr}: request shed")
+            }
+            TransportError::DeadlineExceeded { budget } => {
+                write!(f, "request deadline of {}ms exhausted", budget.as_millis())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
+/// The wall-clock budget of one logical request, shared by every
+/// attempt (connects, exchanges, backoff sleeps) made on its behalf.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineBudget {
+    started: Instant,
+    budget: Duration,
+}
+
+impl DeadlineBudget {
+    /// Start a budget of `budget` from now.
+    #[must_use]
+    pub fn new(budget: Duration) -> Self {
+        DeadlineBudget {
+            started: Instant::now(),
+            budget,
+        }
+    }
+
+    /// The budget this request started with.
+    #[must_use]
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+
+    /// Time left, or `None` once the budget is exhausted.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        let spent = self.started.elapsed();
+        (spent < self.budget).then(|| self.budget - spent)
+    }
+
+    /// Is there room for `cost` (e.g. a backoff sleep plus a minimal
+    /// attempt) inside the remaining budget?
+    #[must_use]
+    pub fn affords(&self, cost: Duration) -> bool {
+        self.remaining().is_some_and(|left| left > cost)
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// Delay for attempt `n` (0-based) is `min(cap, base * 2^n)` scaled by
+/// a jitter factor in `[0.5, 1.0)` drawn from a seeded xorshift64* —
+/// two schedules built from the same seed produce identical delays.
+#[derive(Debug, Clone)]
+pub struct BackoffSchedule {
+    base: Duration,
+    cap: Duration,
+    rng: XorShift64Star,
+}
+
+impl BackoffSchedule {
+    /// A schedule with the given base delay, cap, and jitter seed.
+    #[must_use]
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        BackoffSchedule {
+            base,
+            cap,
+            rng: XorShift64Star::new(seed),
+        }
+    }
+
+    /// The jittered delay before retry attempt `attempt` (0-based).
+    pub fn delay(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.cap);
+        exp.mul_f64(0.5 + 0.5 * self.rng.gen_f64())
+    }
+
+    /// The first `n` delays, for schedule introspection in tests.
+    #[must_use]
+    pub fn take(mut self, n: u32) -> Vec<Duration> {
+        (0..n).map(|i| self.delay(i)).collect()
+    }
+}
+
+/// Observable breaker state, for `/-/health` and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive fresh-connection failures are counted.
+    Closed,
+    /// The backend is considered down; requests are shed until the
+    /// cooldown elapses.
+    Open,
+    /// One probe request is in flight; its outcome decides between
+    /// `Closed` and re-tripping to `Open`.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lower-case label (`"closed"`, `"open"`, `"half-open"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// What the breaker decided about an arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: proceed normally.
+    Allow,
+    /// Breaker was open and the cooldown elapsed: proceed, but this
+    /// request is the half-open probe — its failure re-trips the
+    /// breaker immediately and it must not retry.
+    Probe,
+    /// Breaker open (or a probe already in flight): shed without
+    /// touching the socket.
+    Shed,
+}
+
+enum State {
+    Closed { failures: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+/// The closed→open→half-open circuit breaker for one backend address.
+///
+/// Only failures on *fresh* connections count toward tripping: a stale
+/// pooled connection says nothing about backend health. A `threshold`
+/// of 0 disables the breaker entirely (it always admits).
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: State,
+}
+
+impl std::fmt::Debug for CircuitBreaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitBreaker")
+            .field("state", &self.state().as_str())
+            .field("threshold", &self.threshold)
+            .finish()
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive
+    /// fresh-connection failures, staying open for `cooldown`.
+    #[must_use]
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold,
+            cooldown,
+            state: State::Closed { failures: 0 },
+        }
+    }
+
+    /// The observable state (an elapsed-cooldown `Open` still reports
+    /// `Open` until the next admission converts it to the probe).
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        match self.state {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Consecutive fresh-connection failures while closed.
+    #[must_use]
+    pub fn consecutive_failures(&self) -> u32 {
+        match self.state {
+            State::Closed { failures } => failures,
+            _ => 0,
+        }
+    }
+
+    /// Admit, shed, or probe an arriving request.
+    pub fn admit(&mut self, now: Instant) -> Admission {
+        if self.threshold == 0 {
+            return Admission::Allow;
+        }
+        match self.state {
+            State::Closed { .. } => Admission::Allow,
+            State::Open { until } if now >= until => {
+                self.state = State::HalfOpen;
+                Admission::Probe
+            }
+            State::Open { .. } => Admission::Shed,
+            // While the probe is in flight every other request sheds:
+            // one canary is enough to learn whether the backend is back.
+            State::HalfOpen => Admission::Shed,
+        }
+    }
+
+    /// Whether the breaker is in its rest state — closed with no
+    /// consecutive failures on record. A pristine breaker needs no
+    /// bookkeeping on success, which callers may exploit as a fast path.
+    #[must_use]
+    pub fn is_pristine(&self) -> bool {
+        matches!(self.state, State::Closed { failures: 0 })
+    }
+
+    /// Record a successful exchange. Returns `true` when this closed a
+    /// previously open/half-open breaker (a state transition).
+    pub fn on_success(&mut self) -> bool {
+        let reopened = !matches!(self.state, State::Closed { .. });
+        self.state = State::Closed { failures: 0 };
+        reopened
+    }
+
+    /// Record a fresh-connection failure. Returns `true` when this
+    /// tripped the breaker open (including a half-open re-trip).
+    pub fn on_failure(&mut self, now: Instant) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        match &mut self.state {
+            State::Closed { failures } => {
+                *failures += 1;
+                if *failures >= self.threshold {
+                    self.state = State::Open {
+                        until: now + self.cooldown,
+                    };
+                    return true;
+                }
+                false
+            }
+            // The half-open probe failed: re-trip for a full cooldown.
+            State::HalfOpen => {
+                self.state = State::Open {
+                    until: now + self.cooldown,
+                };
+                true
+            }
+            State::Open { .. } => false,
+        }
+    }
+}
+
+/// Counters the resilient client maintains, shared with `/-/health`.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Idempotent attempts re-issued after a fresh-connection failure.
+    pub retries: AtomicU64,
+    /// Requests shed by an open breaker without touching the socket.
+    pub sheds: AtomicU64,
+    /// closed→open transitions (including half-open re-trips).
+    pub breaker_opened: AtomicU64,
+    /// open→half-open transitions (probe admissions).
+    pub breaker_half_opened: AtomicU64,
+    /// half-open→closed transitions (successful probes).
+    pub breaker_closed: AtomicU64,
+    /// Requests abandoned because the deadline budget ran out.
+    pub deadline_exhausted: AtomicU64,
+}
+
+impl TransportStats {
+    /// All counters as `(label, value)` pairs, in a fixed order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("retries", self.retries.load(Ordering::Relaxed)),
+            ("sheds", self.sheds.load(Ordering::Relaxed)),
+            (
+                "breaker_opened",
+                self.breaker_opened.load(Ordering::Relaxed),
+            ),
+            (
+                "breaker_half_opened",
+                self.breaker_half_opened.load(Ordering::Relaxed),
+            ),
+            (
+                "breaker_closed",
+                self.breaker_closed.load(Ordering::Relaxed),
+            ),
+            (
+                "deadline_exhausted",
+                self.deadline_exhausted.load(Ordering::Relaxed),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_for_equal_seeds() {
+        let a = BackoffSchedule::new(Duration::from_millis(50), Duration::from_secs(1), 42);
+        let b = BackoffSchedule::new(Duration::from_millis(50), Duration::from_secs(1), 42);
+        assert_eq!(a.take(8), b.take(8));
+        let c = BackoffSchedule::new(Duration::from_millis(50), Duration::from_secs(1), 43);
+        assert_ne!(
+            BackoffSchedule::new(Duration::from_millis(50), Duration::from_secs(1), 42).take(8),
+            c.take(8),
+            "different seeds must jitter differently"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_respects_the_cap() {
+        let mut s = BackoffSchedule::new(Duration::from_millis(10), Duration::from_millis(100), 7);
+        for attempt in 0..32 {
+            let d = s.delay(attempt);
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+                .min(Duration::from_millis(100));
+            // Jitter keeps the delay within [exp/2, exp).
+            assert!(d >= exp / 2, "attempt {attempt}: {d:?} < {:?}", exp / 2);
+            assert!(d < exp, "attempt {attempt}: {d:?} >= {exp:?}");
+            assert!(d <= Duration::from_millis(100));
+        }
+    }
+
+    #[test]
+    fn deadline_budget_exhausts_and_refuses_unaffordable_costs() {
+        let b = DeadlineBudget::new(Duration::from_secs(60));
+        assert!(b.remaining().is_some());
+        assert!(b.affords(Duration::from_secs(1)));
+        assert!(!b.affords(Duration::from_secs(120)));
+        let tiny = DeadlineBudget::new(Duration::from_nanos(1));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(tiny.remaining().is_none());
+        assert!(!tiny.affords(Duration::ZERO));
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_sheds_while_open() {
+        let mut b = CircuitBreaker::new(3, Duration::from_secs(10));
+        let t0 = Instant::now();
+        assert_eq!(b.admit(t0), Admission::Allow);
+        assert!(!b.on_failure(t0));
+        assert!(!b.on_failure(t0));
+        assert_eq!(b.consecutive_failures(), 2);
+        assert!(b.on_failure(t0), "third failure trips the breaker");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(t0 + Duration::from_secs(1)), Admission::Shed);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_closes_on_success() {
+        let mut b = CircuitBreaker::new(1, Duration::from_millis(100));
+        let t0 = Instant::now();
+        assert!(b.on_failure(t0));
+        // Cooldown elapsed: exactly one probe, everyone else sheds.
+        let t1 = t0 + Duration::from_millis(150);
+        assert_eq!(b.admit(t1), Admission::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(t1), Admission::Shed);
+        assert!(b.on_success(), "probe success closes the breaker");
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(t1), Admission::Allow);
+    }
+
+    #[test]
+    fn breaker_half_open_re_trips_on_probe_failure() {
+        let mut b = CircuitBreaker::new(1, Duration::from_millis(100));
+        let t0 = Instant::now();
+        assert!(b.on_failure(t0));
+        let t1 = t0 + Duration::from_millis(150);
+        assert_eq!(b.admit(t1), Admission::Probe);
+        assert!(b.on_failure(t1), "probe failure re-trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        // A full new cooldown applies from the re-trip.
+        assert_eq!(b.admit(t1 + Duration::from_millis(50)), Admission::Shed);
+        assert_eq!(b.admit(t1 + Duration::from_millis(150)), Admission::Probe);
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let mut b = CircuitBreaker::new(0, Duration::from_secs(1));
+        let t0 = Instant::now();
+        for _ in 0..50 {
+            assert!(!b.on_failure(t0));
+        }
+        assert_eq!(b.admit(t0), Admission::Allow);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn closing_after_success_resets_failure_count() {
+        let mut b = CircuitBreaker::new(3, Duration::from_secs(1));
+        let t0 = Instant::now();
+        assert!(!b.on_failure(t0));
+        assert!(!b.on_failure(t0));
+        assert!(!b.on_success(), "closed stays closed");
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+}

@@ -5,7 +5,13 @@ use crate::histogram::LatencyHistogram;
 use cm_rest::Json;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Lock a mutex, recovering from poisoning: metrics are observational —
+/// a panic elsewhere must never wedge counting for later requests.
+fn plock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A family of named `u64` counters (e.g. one per verdict label).
 ///
@@ -27,7 +33,7 @@ impl CounterFamily {
     /// The counter named `name`, created at zero on first use.
     #[must_use]
     pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
-        let mut counters = self.counters.lock().unwrap();
+        let mut counters = plock(&self.counters);
         if let Some(counter) = counters.get(name) {
             return Arc::clone(counter);
         }
@@ -44,9 +50,7 @@ impl CounterFamily {
     /// Current value of `name` (0 if never incremented).
     #[must_use]
     pub fn get(&self, name: &str) -> u64 {
-        self.counters
-            .lock()
-            .unwrap()
+        plock(&self.counters)
             .get(name)
             .map_or(0, |c| c.load(Ordering::Relaxed))
     }
@@ -54,10 +58,7 @@ impl CounterFamily {
     /// All counters as `(name, value)` pairs, sorted by name.
     #[must_use]
     pub fn snapshot(&self) -> Vec<(String, u64)> {
-        let mut entries: Vec<(String, u64)> = self
-            .counters
-            .lock()
-            .unwrap()
+        let mut entries: Vec<(String, u64)> = plock(&self.counters)
             .iter()
             .map(|(name, counter)| (name.clone(), counter.load(Ordering::Relaxed)))
             .collect();
@@ -90,6 +91,11 @@ pub struct MetricsRegistry {
     /// Counts per resolved route (unmatched requests count under
     /// `"(unmodelled)"`).
     pub routes: CounterFamily,
+    /// Resilience counters: degraded verdicts by cause
+    /// (`"degraded_pre"`, `"degraded_forward"`, `"degraded_post"`),
+    /// fail-open passes (`"fail_open_pass"`), and fail-closed
+    /// rejections (`"fail_closed"`).
+    pub resilience: CounterFamily,
     /// Pre-condition evaluation latency.
     pub pre_check: LatencyHistogram,
     /// Forwarding latency (the cloud call).
@@ -159,6 +165,7 @@ impl MetricsRegistry {
             ("verdicts", self.verdicts.render_json()),
             ("requirements", self.requirements.render_json()),
             ("routes", self.routes.render_json()),
+            ("resilience", self.resilience.render_json()),
             (
                 "phases",
                 Json::object(vec![
@@ -192,6 +199,13 @@ impl MetricsRegistry {
         out.push_str("routes:\n");
         for (name, value) in self.routes.snapshot() {
             out.push_str(&format!("  {name:<40} {value}\n"));
+        }
+        let resilience = self.resilience.snapshot();
+        if !resilience.is_empty() {
+            out.push_str("resilience:\n");
+            for (name, value) in resilience {
+                out.push_str(&format!("  {name:<20} {value}\n"));
+            }
         }
         out.push_str("phase latency (ns):\n");
         for (label, histogram) in [
@@ -255,6 +269,39 @@ mod tests {
         );
         let json = family.render_json();
         assert_eq!(json.get("b").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn counter_family_recovers_from_a_poisoned_lock() {
+        let family = CounterFamily::new();
+        family.increment("a");
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = family.counters.lock().unwrap();
+            panic!("poison the counters lock");
+        }));
+        assert!(poison.is_err());
+        family.increment("a");
+        assert_eq!(family.get("a"), 2);
+        assert_eq!(family.snapshot(), vec![("a".to_string(), 2)]);
+    }
+
+    #[test]
+    fn resilience_family_shows_up_in_renders() {
+        let registry = MetricsRegistry::new();
+        registry.resilience.increment("degraded_pre");
+        registry.resilience.increment("fail_open_pass");
+        let json = registry.render_json();
+        assert_eq!(
+            json.get("resilience")
+                .unwrap()
+                .get("degraded_pre")
+                .unwrap()
+                .as_int(),
+            Some(1)
+        );
+        let text = registry.render_text();
+        assert!(text.contains("resilience:"));
+        assert!(text.contains("fail_open_pass"));
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub mod status;
 pub mod uri;
 
 pub use json::{parse_json, Json, JsonError};
-pub use message::{RestRequest, RestResponse, RestService, SharedRestService, AUTH_TOKEN_HEADER};
+pub use message::{
+    RestRequest, RestResponse, RestService, SharedRestService, AUTH_TOKEN_HEADER,
+    TRANSPORT_FAULT_HEADER,
+};
 pub use route::{Resolution, Route, RouteTable};
 pub use status::StatusCode;
 pub use uri::{Segment, UriTemplate};

@@ -13,6 +13,13 @@ use std::fmt;
 /// Name of the authentication token header (OpenStack convention).
 pub const AUTH_TOKEN_HEADER: &str = "X-Auth-Token";
 
+/// Header marking a response as synthesised by the *transport* layer —
+/// the backend never answered (connect failure, deadline exhaustion, an
+/// open circuit breaker). The monitor uses it to tell a transport fault
+/// apart from a genuine denial by the cloud, so backend outages become
+/// `Degraded` verdicts instead of fake contract violations.
+pub const TRANSPORT_FAULT_HEADER: &str = "X-CM-Transport-Fault";
+
 /// An abstract REST request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RestRequest {
@@ -144,6 +151,21 @@ impl RestResponse {
             headers: Vec::new(),
             body: Some(body),
         }
+    }
+
+    /// An error response synthesised by the transport layer (marked with
+    /// [`TRANSPORT_FAULT_HEADER`]): the backend never actually answered.
+    #[must_use]
+    pub fn transport_fault(status: StatusCode, message: impl Into<String>) -> Self {
+        let message = message.into();
+        RestResponse::error(status, message.clone()).header(TRANSPORT_FAULT_HEADER, message)
+    }
+
+    /// Was this response synthesised by the transport layer rather than
+    /// sent by the service itself?
+    #[must_use]
+    pub fn is_transport_fault(&self) -> bool {
+        self.header_value(TRANSPORT_FAULT_HEADER).is_some()
     }
 
     /// Builder: add a header.

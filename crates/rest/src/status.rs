@@ -40,6 +40,11 @@ impl StatusCode {
     pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
     /// 502 Bad Gateway — the monitor could not reach the cloud.
     pub const BAD_GATEWAY: StatusCode = StatusCode(502);
+    /// 503 Service Unavailable — the transport shed the request (e.g.
+    /// an open circuit breaker, or the monitor failing closed).
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+    /// 504 Gateway Timeout — the request's deadline budget ran out.
+    pub const GATEWAY_TIMEOUT: StatusCode = StatusCode(504);
 
     /// True for 2xx codes.
     #[must_use]
@@ -57,6 +62,15 @@ impl StatusCode {
     #[must_use]
     pub fn is_server_error(self) -> bool {
         (500..600).contains(&self.0)
+    }
+
+    /// True for the gateway/infrastructure error codes (502, 503, 504):
+    /// the path *to* the service failed, which says nothing about the
+    /// service's own contract compliance. The monitor maps these to
+    /// `Verdict::Degraded` rather than to a wrong-denial.
+    #[must_use]
+    pub fn is_gateway_error(self) -> bool {
+        matches!(self.0, 502..=504)
     }
 
     /// Canonical reason phrase.
@@ -77,6 +91,8 @@ impl StatusCode {
             413 => "Request Entity Too Large",
             500 => "Internal Server Error",
             502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         }
     }

@@ -9,10 +9,11 @@
 
 use cm_cloudsim::{Fault, FaultPlan, PrivateCloud};
 use cm_core::{cinder_monitor, CloudMonitor, Mode, Verdict};
-use cm_httpkit::{HttpServer, PooledClient, ServerConfig};
+use cm_httpkit::{ClientConfig, HttpServer, PooledClient, RemoteService, ServerConfig};
 use cm_model::{cinder, HttpMethod};
 use cm_rest::{Json, RestRequest, SharedRestService};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn volume_body(name: &str) -> Json {
     Json::object(vec![(
@@ -257,4 +258,142 @@ fn fault_verdicts_stay_attributed_under_concurrency() {
             "project {pid} log out of order: {seqs:?}"
         );
     }
+}
+
+/// Backend flap under concurrency: the cloud dies mid-soak and comes
+/// back. While it is down every request must come out `Degraded` —
+/// never a violation, never a false pass — and once it is back the very
+/// first request must recover through a single half-open breaker probe.
+/// The verdict ledger is exact: healthy passes + degraded outage
+/// requests + recovery + post-recovery passes account for every request.
+#[test]
+fn backend_flap_yields_exact_degraded_and_pass_counts() {
+    const THREADS: usize = 4;
+    const HEALTHY: usize = 3; // requests per thread, phase 1
+    const OUTAGE: usize = 3; // requests per thread, phase 2
+    const RECOVERED: usize = 3; // requests per thread, phase 4
+
+    let cloud = Arc::new(PrivateCloud::my_project());
+    let pid = cloud.project_id();
+    let alice = cloud.issue_token("alice", "alice-pw").unwrap().token;
+    cloud
+        .state_mut()
+        .create_volume(pid, "seed", 1, false)
+        .unwrap();
+
+    let handle = Arc::clone(&cloud);
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(move |req| handle.call(&req)))
+        .expect("bind cloud server");
+    let addr = server.local_addr();
+
+    // Fail fast during the outage: no retries, tight deadline, breaker
+    // trips after 2 fresh failures and probes again after 150ms.
+    let client = Arc::new(PooledClient::new(ClientConfig {
+        read_timeout: Duration::from_millis(200),
+        request_deadline: Duration::from_millis(500),
+        max_retries: 0,
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_millis(150),
+        ..ClientConfig::default()
+    }));
+    let mut monitor = cinder_monitor(RemoteService::with_client(addr, Arc::clone(&client)))
+        .unwrap()
+        .mode(Mode::Enforce);
+    monitor.authenticate("alice", "alice-pw").unwrap();
+    let monitor = Arc::new(monitor);
+
+    fn read_req(pid: u64, token: &str) -> RestRequest {
+        RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/1")).auth_token(token)
+    }
+    let run_phase = |per_thread: usize| {
+        let workers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let monitor = Arc::clone(&monitor);
+                let token = alice.clone();
+                std::thread::spawn(move || {
+                    (0..per_thread)
+                        .map(|_| monitor.process(&read_req(pid, &token)).verdict)
+                        .collect::<Vec<Verdict>>()
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("no worker panicked"))
+            .collect::<Vec<Verdict>>()
+    };
+
+    // Phase 1 — healthy backend: every authorized read passes.
+    let healthy = run_phase(HEALTHY);
+    assert!(
+        healthy.iter().all(|v| *v == Verdict::Pass),
+        "healthy phase: {healthy:?}"
+    );
+
+    // Phase 2 — the backend dies. Every request degrades; none may be
+    // classified as a contract violation and none may falsely pass.
+    server.shutdown();
+    let outage = run_phase(OUTAGE);
+    assert!(
+        outage.iter().all(|v| *v == Verdict::Degraded),
+        "outage phase must be uniformly degraded: {outage:?}"
+    );
+    assert!(
+        client
+            .stats()
+            .breaker_opened
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
+        "the outage must trip the breaker: {:?}",
+        client.stats().snapshot()
+    );
+
+    // Phase 3 — the backend comes back on the same address. The OS may
+    // have reassigned the port meanwhile; bail out gracefully if so.
+    let handle = Arc::clone(&cloud);
+    let Ok(revived) = HttpServer::bind(addr, Arc::new(move |req| handle.call(&req))) else {
+        eprintln!("skipping recovery phases: could not rebind {addr}");
+        return;
+    };
+    std::thread::sleep(Duration::from_millis(300)); // past the cooldown
+
+    // Recovery happens within ONE half-open probe: the first sequential
+    // request after the cooldown must already pass.
+    let recovery = monitor.process(&read_req(pid, &alice));
+    assert_eq!(recovery.verdict, Verdict::Pass, "{recovery:?}");
+    assert!(
+        client
+            .stats()
+            .breaker_half_opened
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+            && client
+                .stats()
+                .breaker_closed
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1,
+        "recovery must go through a half-open probe: {:?}",
+        client.stats().snapshot()
+    );
+
+    // Phase 4 — recovered: concurrent reads all pass again.
+    let recovered = run_phase(RECOVERED);
+    assert!(
+        recovered.iter().all(|v| *v == Verdict::Pass),
+        "recovered phase: {recovered:?}"
+    );
+
+    // Exact ledger: every request is accounted for in the expected bucket.
+    let log = monitor.log();
+    let total = THREADS * (HEALTHY + OUTAGE + RECOVERED) + 1;
+    assert_eq!(log.len(), total);
+    let degraded = log
+        .iter()
+        .filter(|r| r.verdict == Verdict::Degraded)
+        .count();
+    let passes = log.iter().filter(|r| r.verdict == Verdict::Pass).count();
+    assert_eq!(degraded, THREADS * OUTAGE);
+    assert_eq!(passes, THREADS * (HEALTHY + RECOVERED) + 1);
+    assert!(log.iter().all(|r| !r.verdict.is_violation()));
+    revived.shutdown();
 }

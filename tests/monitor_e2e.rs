@@ -217,10 +217,12 @@ fn monitor_detects_externally_injected_role_change() {
 }
 
 #[test]
-fn unreachable_cloud_is_reported_not_silently_passed() {
+fn unreachable_cloud_is_degraded_not_a_contract_verdict() {
     // Wrap a dead endpoint: every request (including the monitor's own
-    // probes) fails with 502. The monitor must not classify this as a
-    // correct denial — the probe-anomaly channel reports it.
+    // probes) fails in transport. The monitor must not attribute this to
+    // the cloud's contract (a wrong denial); the pre-state is simply
+    // untestable, so the verdict is Degraded with the affected
+    // requirement ids attached.
     let dead_addr = {
         let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         l.local_addr().unwrap()
@@ -238,7 +240,11 @@ fn unreachable_cloud_is_reported_not_silently_passed() {
 
     let outcome = monitor
         .process(&RestRequest::new(HttpMethod::Delete, "/v3/1/volumes/1").auth_token("tok-x"));
-    assert_eq!(outcome.verdict, Verdict::WrongDenial, "{:?}", outcome);
+    assert_eq!(outcome.verdict, Verdict::Degraded, "{:?}", outcome);
+    assert!(!outcome.verdict.is_violation());
+    assert!(outcome.response.is_transport_fault(), "{:?}", outcome);
+    // Table I traceability: the untested requirement rides along.
+    assert!(outcome.requirements.contains(&"1.4".to_string()));
 }
 
 #[test]

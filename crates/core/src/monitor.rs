@@ -999,11 +999,17 @@ impl<S: SharedRestService> CloudMonitor<S> {
 
         // 5. Forward to the cloud.
         let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
-        // A marked transport fault (or bare gateway status) means the
-        // backend never answered this forward: there is no cloud
-        // behaviour to classify, only a sick path. Without this check a
-        // backend outage would masquerade as a wrong-denial.
-        if response.is_transport_fault() || response.status.is_gateway_error() {
+        // A *marked* transport fault means the monitor's own client
+        // synthesised this response (wire failure, shed, exhausted
+        // budget): the backend never answered, so there is no cloud
+        // behaviour to classify, only a sick path. The marker is
+        // trustworthy because `RemoteService` strips it from everything
+        // that actually arrives over the wire. Bare gateway statuses
+        // (502/503/504) are NOT taken at face value here — a misbehaving
+        // cloud could answer 503 itself to dodge its post-condition
+        // check — they fall through to the classification below, which
+        // disambiguates against the post-state.
+        if response.is_transport_fault() {
             self.metrics.resilience.increment("degraded_forward");
             let diagnostics = format!("forward failed in transport: {}", response.status);
             return (
@@ -1018,6 +1024,20 @@ impl<S: SharedRestService> CloudMonitor<S> {
         }
         let success = response.status.is_success();
 
+        // Both the success arm (post-condition check) and the gateway
+        // disambiguation below observe the post-state the same way.
+        let take_post_snapshot = || match self.snapshot_policy {
+            SnapshotPolicy::Full => self.prober.snapshot_checked(&self.cloud, &target),
+            SnapshotPolicy::Minimal => {
+                self.prober
+                    .snapshot_scoped(&self.cloud, &target, &minimal_roots)
+            }
+            SnapshotPolicy::Scoped => {
+                self.prober
+                    .snapshot_attrs(&self.cloud, &target, compiled.post_scope())
+            }
+        };
+
         // 6. Interpret the response code and check the post-condition.
         let (verdict, diagnostics) = if pre_ok && success {
             let expected = expected_success_status(request.method);
@@ -1030,18 +1050,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
                     format!("expected {expected}, got {}", response.status),
                 )
             } else {
-                let post_snapshot =
-                    timed(&mut obs.timings.snapshot, || match self.snapshot_policy {
-                        SnapshotPolicy::Full => self.prober.snapshot_checked(&self.cloud, &target),
-                        SnapshotPolicy::Minimal => {
-                            self.prober
-                                .snapshot_scoped(&self.cloud, &target, &minimal_roots)
-                        }
-                        SnapshotPolicy::Scoped => {
-                            self.prober
-                                .snapshot_attrs(&self.cloud, &target, compiled.post_scope())
-                        }
-                    });
+                let post_snapshot = timed(&mut obs.timings.snapshot, take_post_snapshot);
                 // The call already executed; only its *verification* is
                 // lost. Report the post-condition as untestable rather
                 // than judging a half-observed post-state.
@@ -1112,6 +1121,68 @@ impl<S: SharedRestService> CloudMonitor<S> {
                         format!("post-condition evaluation failed: {e}"),
                     ),
                 }
+            }
+        } else if pre_ok && response.status.is_gateway_error() {
+            // An authorized request came back with a bare 502/503/504
+            // from the wire. Two indistinguishable-by-status stories:
+            // an intermediary answered for a sick backend (transport
+            // weather), or the cloud itself masked an executed call
+            // behind a 5xx to dodge its post-condition check. The
+            // post-state disambiguates: a post-condition that HOLDS
+            // means the call ran — a status-lying cloud, a violation.
+            // Anything else is indistinguishable from weather and
+            // degrades (counted, never a false violation).
+            let post_snapshot = timed(&mut obs.timings.snapshot, take_post_snapshot);
+            let executed = if post_snapshot.is_partial() {
+                None
+            } else {
+                let post_state = post_snapshot.nav;
+                let holds = timed(&mut obs.timings.post_check, || match self.eval_strategy {
+                    EvalStrategy::Compiled => {
+                        let post_view = EnvView::from_navigator(&post_state, syms);
+                        compiled.begin_post(scratch);
+                        compiled.evaluate_post(syms, &post_view, &pre_view, scratch)
+                    }
+                    EvalStrategy::Interpreter => contract.evaluate_post(&post_state, &pre_state),
+                });
+                // An evaluation error cannot convict the cloud: treat
+                // it as not-proven-executed and degrade below.
+                Some(holds.unwrap_or(false))
+            };
+            if executed == Some(true) {
+                (
+                    Verdict::WrongStatus {
+                        expected: expected_success_status(request.method).0,
+                        actual: response.status.0,
+                    },
+                    format!(
+                        "cloud answered {} yet the post-condition holds: \
+                         an executed call behind a masking gateway status",
+                        response.status
+                    ),
+                )
+            } else {
+                self.metrics.resilience.increment("degraded_forward");
+                let diagnostics = if executed.is_none() {
+                    format!(
+                        "forward answered {} and the post-state is unobservable",
+                        response.status
+                    )
+                } else {
+                    format!(
+                        "forward answered gateway status {}; post-state consistent with no execution",
+                        response.status
+                    )
+                };
+                return (
+                    MonitorOutcome {
+                        response,
+                        verdict: Verdict::Degraded,
+                        requirements: contract.security_requirements.clone(),
+                    },
+                    Some(trigger),
+                    diagnostics,
+                );
             }
         } else if pre_ok {
             (
@@ -1404,6 +1475,35 @@ mod tests {
                 actual: 200
             }
         );
+    }
+
+    #[test]
+    fn status_masking_gateway_code_is_a_violation_when_the_call_executed() {
+        // The evasion header-scrubbing alone cannot stop: the cloud
+        // *executes* the DELETE but answers a bare 503, hoping to be
+        // written off as transport weather. The post-snapshot betrays
+        // it — the volume is gone, so the post-condition holds and the
+        // verdict is a WrongStatus violation, never Degraded.
+        let plan = FaultPlan::single(Fault::WrongStatusCode {
+            action: "volume:delete".into(),
+            code: 503,
+        });
+        let mut h = harness(Mode::Observe, plan);
+        let vid = h.seed_volume();
+        let pid = h.pid;
+        let outcome = h.send(
+            "alice",
+            HttpMethod::Delete,
+            format!("/v3/{pid}/volumes/{vid}"),
+        );
+        assert_eq!(
+            outcome.verdict,
+            Verdict::WrongStatus {
+                expected: 204,
+                actual: 503
+            }
+        );
+        assert!(outcome.verdict.is_violation());
     }
 
     #[test]
@@ -2061,6 +2161,62 @@ mod log_json_tests {
         assert_eq!(outcome.verdict, Verdict::Degraded);
         assert_eq!(outcome.response.status, StatusCode::GATEWAY_TIMEOUT);
         assert!(outcome.requirements.contains(&"1.4".to_string()));
+        assert_eq!(monitor.metrics().resilience.get("degraded_forward"), 1);
+    }
+
+    /// Answers every DELETE with a bare (unmarked) 503 without touching
+    /// the cloud — indistinguishable by status from an intermediary
+    /// shedding the request.
+    struct SpoofedRefusal {
+        inner: PrivateCloud,
+    }
+
+    impl SharedRestService for SpoofedRefusal {
+        fn call(&self, request: &RestRequest) -> RestResponse {
+            if request.method == HttpMethod::Delete {
+                return RestResponse::error(StatusCode::SERVICE_UNAVAILABLE, "unavailable");
+            }
+            self.inner.call(request)
+        }
+    }
+
+    #[test]
+    fn bare_gateway_code_without_execution_stays_degraded() {
+        // The converse of the masking test: a bare 503 where the call
+        // genuinely did NOT run (post-state unchanged) is transport
+        // weather as far as the monitor can prove — Degraded, counted,
+        // never a false violation.
+        let cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
+        let vid = cloud
+            .state_mut()
+            .create_volume(pid, "v", 1, false)
+            .unwrap()
+            .id;
+        let mut monitor = cinder_monitor(SpoofedRefusal { inner: cloud })
+            .unwrap()
+            .mode(Mode::Observe);
+        monitor.authenticate("alice", "alice-pw").unwrap();
+        let outcome = monitor.process(
+            &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
+                .auth_token(&admin),
+        );
+        assert_eq!(outcome.verdict, Verdict::Degraded);
+        assert!(!outcome.verdict.is_violation());
+        assert_eq!(outcome.response.status, StatusCode::SERVICE_UNAVAILABLE);
+        // The refused DELETE really did nothing.
+        assert_eq!(
+            monitor
+                .cloud()
+                .inner
+                .state()
+                .project(pid)
+                .unwrap()
+                .volumes
+                .len(),
+            1
+        );
         assert_eq!(monitor.metrics().resilience.get("degraded_forward"), 1);
     }
 

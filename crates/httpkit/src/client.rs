@@ -25,7 +25,7 @@ use crate::resilience::{
 };
 use crate::wire::{read_response_buf, serialize_request, wants_close, ConnectionMode, WireError};
 use cm_model::HttpMethod;
-use cm_rest::{RestRequest, RestResponse, SharedRestService, StatusCode};
+use cm_rest::{RestRequest, RestResponse, SharedRestService, StatusCode, TRANSPORT_FAULT_HEADER};
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -325,11 +325,31 @@ impl PooledClient {
 
     /// Check out a healthy pooled connection (`reused = true`) or open a
     /// fresh one, capping connect/read timeouts by `limit`.
+    ///
+    /// A pooled connection may have been programmed under an earlier
+    /// request's budget, so its read timeout is re-capped here to what
+    /// *this* request can still afford — otherwise a stalling backend
+    /// could hold a reused connection for the previous caller's full
+    /// `read_timeout`, blowing straight through `limit`.
     fn checkout(&self, addr: SocketAddr, limit: Duration) -> Result<(Conn, bool), WireError> {
         loop {
             let candidate = plock(&self.pools).get_mut(&addr).and_then(Vec::pop);
             match candidate {
-                Some(conn) if conn.healthy() => {
+                Some(mut conn) if conn.healthy() => {
+                    let timeout = effective_timeout(self.config.read_timeout, limit);
+                    if timeout != conn.read_timeout {
+                        // Pay the syscall only when the value changes; a
+                        // socket we cannot re-arm is not safe to reuse.
+                        if conn
+                            .reader
+                            .get_ref()
+                            .set_read_timeout(Some(timeout))
+                            .is_err()
+                        {
+                            continue;
+                        }
+                        conn.read_timeout = timeout;
+                    }
                     self.reused.fetch_add(1, Ordering::Relaxed);
                     return Ok((conn, true));
                 }
@@ -365,19 +385,6 @@ impl PooledClient {
             Ok(pair) => pair,
             Err(e) => return Err(AttemptError::Fresh(e)),
         };
-        // A reused connection may have been programmed under an earlier
-        // budget; re-cap its read timeout to what this request can still
-        // afford, paying the syscall only when the value changes.
-        let timeout = effective_timeout(self.config.read_timeout, remaining);
-        if timeout != conn.read_timeout
-            && conn
-                .reader
-                .get_ref()
-                .set_read_timeout(Some(timeout))
-                .is_ok()
-        {
-            conn.read_timeout = timeout;
-        }
         match conn.roundtrip(request) {
             Ok((response, close)) => {
                 if !close {
@@ -416,7 +423,28 @@ impl PooledClient {
         addr: SocketAddr,
         request: &RestRequest,
     ) -> Result<RestResponse, TransportError> {
-        let budget = DeadlineBudget::new(self.config.request_deadline);
+        self.request_on_budget(
+            addr,
+            request,
+            &DeadlineBudget::new(self.config.request_deadline),
+        )
+    }
+
+    /// As [`PooledClient::request`], but drawing on a caller-supplied
+    /// deadline budget instead of starting a fresh one — this is how a
+    /// batch's per-request fallback keeps a whole snapshot inside one
+    /// logical deadline instead of granting every re-issued probe its
+    /// own full budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`PooledClient::request`].
+    pub fn request_on_budget(
+        &self,
+        addr: SocketAddr,
+        request: &RestRequest,
+        budget: &DeadlineBudget,
+    ) -> Result<RestResponse, TransportError> {
         let retryable = request.method == HttpMethod::Get;
         let mut attempt: u32 = 0;
         let mut need_admission = true;
@@ -430,7 +458,7 @@ impl PooledClient {
                 };
                 need_admission = false;
             }
-            match self.attempt_once(addr, request, &budget) {
+            match self.attempt_once(addr, request, budget) {
                 Ok(response) => {
                     self.record_success(addr);
                     return Ok(response);
@@ -442,6 +470,15 @@ impl PooledClient {
                     self.stats
                         .deadline_exhausted
                         .fetch_add(1, Ordering::Relaxed);
+                    // An exhausted budget says nothing about backend
+                    // health, so it normally leaves the breaker alone —
+                    // but an in-flight half-open probe MUST resolve, or
+                    // the breaker would stay HalfOpen and shed every
+                    // later request. A probe that could not finish
+                    // within budget re-trips the breaker to Open.
+                    if probe {
+                        self.record_failure(addr);
+                    }
                     return Err(TransportError::DeadlineExceeded {
                         budget: budget.budget(),
                     });
@@ -479,7 +516,9 @@ impl PooledClient {
     /// continues on one fresh connection.
     ///
     /// The whole batch shares one deadline budget and one breaker
-    /// admission; a failed batch counts one fresh-connection failure.
+    /// admission; only a *fresh-connection* failure counts against the
+    /// breaker — a reused connection dying mid-batch or an exhausted
+    /// budget is no evidence of backend ill health.
     ///
     /// # Errors
     ///
@@ -491,43 +530,107 @@ impl PooledClient {
         requests: &[RestRequest],
     ) -> Result<Vec<RestResponse>, TransportError> {
         let budget = DeadlineBudget::new(self.config.request_deadline);
-        if self.admit(addr) == Admission::Shed {
-            return Err(TransportError::CircuitOpen { addr });
-        }
-        match self.batch_on_budget(addr, requests, &budget) {
-            Ok(responses) => {
+        let probe = match self.admit(addr) {
+            Admission::Shed => return Err(TransportError::CircuitOpen { addr }),
+            Admission::Probe => true,
+            Admission::Allow => false,
+        };
+        let mut responses = Vec::with_capacity(requests.len());
+        match self.batch_on_budget(addr, requests, &budget, &mut responses) {
+            Ok(()) => {
                 self.record_success(addr);
                 Ok(responses)
             }
             Err(e) => {
-                self.record_failure(addr);
-                Err(e)
+                self.settle_batch_failure(addr, probe, &e);
+                Err(e.into_transport())
             }
         }
     }
 
+    /// [`PooledClient::batch`] with a per-request fallback: always
+    /// returns exactly one entry per request, in request order. Committed
+    /// batch responses are kept; after a mid-batch failure only the
+    /// *unanswered tail* is re-issued, each request drawing on what is
+    /// left of the **same** deadline budget — so one logical snapshot
+    /// costs at most one `request_deadline` of wall clock, never
+    /// `batch + N × request_deadline`. Requests the transport could not
+    /// answer carry their [`TransportError`] instead of a response.
+    pub fn batch_settled(
+        &self,
+        addr: SocketAddr,
+        requests: &[RestRequest],
+    ) -> Vec<Result<RestResponse, TransportError>> {
+        let budget = DeadlineBudget::new(self.config.request_deadline);
+        let probe = match self.admit(addr) {
+            Admission::Shed => {
+                return requests
+                    .iter()
+                    .map(|_| Err(TransportError::CircuitOpen { addr }))
+                    .collect();
+            }
+            Admission::Probe => true,
+            Admission::Allow => false,
+        };
+        let mut committed = Vec::with_capacity(requests.len());
+        let outcome = self.batch_on_budget(addr, requests, &budget, &mut committed);
+        let mut settled: Vec<Result<RestResponse, TransportError>> =
+            committed.into_iter().map(Ok).collect();
+        match outcome {
+            Ok(()) => self.record_success(addr),
+            Err(e) => {
+                self.settle_batch_failure(addr, probe, &e);
+                // Re-issue only the unanswered tail on the shared budget.
+                // Once the budget (or the breaker, after the recorded
+                // failure) gives out, the remaining entries fail fast
+                // without touching the network.
+                for request in &requests[settled.len()..] {
+                    settled.push(self.request_on_budget(addr, request, &budget));
+                }
+            }
+        }
+        settled
+    }
+
+    /// Feed a failed batch's outcome to the breaker: only fresh-
+    /// connection failures indict the backend. A soft failure (exhausted
+    /// budget, reused connection dying mid-batch) records nothing —
+    /// unless this batch was the half-open probe, which must resolve
+    /// one way or the other lest the breaker shed forever.
+    fn settle_batch_failure(&self, addr: SocketAddr, probe: bool, error: &BatchError) {
+        match error {
+            BatchError::Fresh(_) => self.record_failure(addr),
+            BatchError::Soft(_) if probe => self.record_failure(addr),
+            BatchError::Soft(_) => {}
+        }
+    }
+
+    /// Run the batch, pushing each committed response into `responses`
+    /// (so callers keep the answered prefix even when the batch dies
+    /// mid-flight).
     fn batch_on_budget(
         &self,
         addr: SocketAddr,
         requests: &[RestRequest],
         budget: &DeadlineBudget,
-    ) -> Result<Vec<RestResponse>, TransportError> {
+        responses: &mut Vec<RestResponse>,
+    ) -> Result<(), BatchError> {
         let remaining = || {
             budget.remaining().ok_or_else(|| {
                 self.stats
                     .deadline_exhausted
                     .fetch_add(1, Ordering::Relaxed);
-                TransportError::DeadlineExceeded {
+                BatchError::Soft(TransportError::DeadlineExceeded {
                     budget: budget.budget(),
-                }
+                })
             })
         };
-        let mut responses = Vec::with_capacity(requests.len());
-        let (mut conn, mut reused) = self.checkout(addr, remaining()?)?;
+        let fresh = |e: WireError| BatchError::Fresh(e.into());
+        let (mut conn, mut reused) = self.checkout(addr, remaining()?).map_err(fresh)?;
         let mut alive = true;
         for request in requests {
             if !alive {
-                conn = self.checkout(addr, remaining()?)?.0;
+                conn = self.checkout(addr, remaining()?).map_err(fresh)?.0;
                 reused = false;
             }
             match conn.roundtrip(request) {
@@ -541,13 +644,18 @@ impl PooledClient {
                     // probe the server already answered.
                     if reused && responses.is_empty() {
                         self.opened.fetch_add(1, Ordering::Relaxed);
-                        conn = Conn::connect(addr, &self.config, remaining()?)?;
+                        conn = Conn::connect(addr, &self.config, remaining()?).map_err(fresh)?;
                         reused = false;
-                        let (response, close) = conn.roundtrip(request)?;
+                        let (response, close) = conn.roundtrip(request).map_err(fresh)?;
                         responses.push(response);
                         alive = !close;
+                    } else if reused {
+                        // A reused keep-alive connection died after
+                        // committing responses: a staleness artefact of
+                        // the pool, not a backend-health signal.
+                        return Err(BatchError::Soft(e.into()));
                     } else {
-                        return Err(e.into());
+                        return Err(fresh(e));
                     }
                 }
             }
@@ -555,7 +663,25 @@ impl PooledClient {
         if alive {
             self.checkin(addr, conn);
         }
-        Ok(responses)
+        Ok(())
+    }
+}
+
+/// How a batch attempt failed — split so the breaker only ever hears
+/// about failures that actually indict the backend.
+enum BatchError {
+    /// A fresh-connection failure: the backend is genuinely unwell.
+    Fresh(TransportError),
+    /// An exhausted deadline budget or a reused connection dying
+    /// mid-batch: says nothing about backend health.
+    Soft(TransportError),
+}
+
+impl BatchError {
+    fn into_transport(self) -> TransportError {
+        match self {
+            BatchError::Fresh(e) | BatchError::Soft(e) => e,
+        }
     }
 }
 
@@ -573,6 +699,13 @@ impl PooledClient {
 /// for a request shed by an open circuit breaker, `504` for an
 /// exhausted deadline budget — so the monitor can tell "the path is
 /// sick" apart from "the cloud denied the request".
+///
+/// The marker is a *trust boundary*: this adapter strips
+/// [`TRANSPORT_FAULT_HEADER`] from every response that actually arrived
+/// over the wire, so only responses synthesised by the monitor's own
+/// client ever carry it. A misbehaving backend cannot set the header
+/// itself to masquerade as transport weather and dodge the monitor's
+/// post-condition checks.
 /// [`RemoteService::connection_per_request`] restores the historical
 /// one-connection-per-call transport (the benchmark baseline).
 #[derive(Debug, Clone)]
@@ -622,6 +755,18 @@ impl RemoteService {
         };
         RestResponse::transport_fault(status, error.to_string())
     }
+
+    /// Enforce the transport-fault trust boundary on a response that
+    /// actually arrived over the wire: whatever the peer claims, it
+    /// *did* answer, so it must not carry the synthesised-by-transport
+    /// marker. Without this scrub a malicious cloud could set the header
+    /// itself and have every misdeed written off as transport weather.
+    fn scrub(mut response: RestResponse) -> RestResponse {
+        response
+            .headers
+            .retain(|(name, _)| !name.eq_ignore_ascii_case(TRANSPORT_FAULT_HEADER));
+        response
+    }
 }
 
 impl SharedRestService for RemoteService {
@@ -631,7 +776,7 @@ impl SharedRestService for RemoteService {
             None => crate::server::send(self.addr, request).map_err(TransportError::from),
         };
         match result {
-            Ok(resp) => resp,
+            Ok(resp) => Self::scrub(resp),
             Err(e) => Self::fault_response(&e),
         }
     }
@@ -640,13 +785,18 @@ impl SharedRestService for RemoteService {
         let Some(client) = &self.client else {
             return requests.iter().map(|r| self.call(r)).collect();
         };
-        match client.batch(self.addr, requests) {
-            Ok(responses) => responses,
-            // Mid-batch transport failure: fall back to per-request
-            // calls, which carry their own retry/shed/deadline mapping,
-            // so a partial batch never loses probe responses.
-            Err(_) => requests.iter().map(|r| self.call(r)).collect(),
-        }
+        // One shared deadline budget covers the batch AND any per-request
+        // fallback after a mid-batch failure: committed responses are
+        // kept, only the unanswered tail is re-issued, and the whole
+        // snapshot stays inside one logical request deadline.
+        client
+            .batch_settled(self.addr, requests)
+            .into_iter()
+            .map(|result| match result {
+                Ok(resp) => Self::scrub(resp),
+                Err(e) => Self::fault_response(&e),
+            })
+            .collect()
     }
 }
 
@@ -832,5 +982,228 @@ mod tests {
             client.batch(addr, std::slice::from_ref(&req)),
             Err(TransportError::CircuitOpen { .. })
         ));
+    }
+
+    /// A server that accepts connections and then never answers: reads
+    /// stall until the peer's timeout fires. Accepted sockets are parked
+    /// (not dropped) so the client sees silence rather than EOF.
+    fn stall_server() -> SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut parked = Vec::new();
+            while let Ok((sock, _)) = listener.accept() {
+                parked.push(sock);
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn stalled_half_open_probe_re_trips_instead_of_wedging() {
+        let addr = stall_server();
+        let cfg = ClientConfig {
+            // Socket timeout longer than the budget: under a stall it is
+            // the deadline budget that expires, not the read timeout.
+            read_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_millis(120),
+            max_retries: 0,
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(60),
+            ..ClientConfig::default()
+        };
+        let client = PooledClient::new(cfg);
+        // Trip the breaker, then park a connection that passes the
+        // checkout health peek but will never answer.
+        client.record_failure(addr);
+        assert_eq!(client.breaker_snapshot(), vec![(addr, BreakerState::Open)]);
+        let conn = Conn::connect(addr, client.config(), Duration::from_secs(1)).unwrap();
+        client.checkin(addr, conn);
+        std::thread::sleep(Duration::from_millis(80));
+        // The half-open probe checks out the stalling connection, burns
+        // the whole budget, and its stale retry lands in the Deadline
+        // arm. That must RESOLVE the probe by re-tripping to Open...
+        let req = RestRequest::new(HttpMethod::Get, "/");
+        assert!(matches!(
+            client.request(addr, &req),
+            Err(TransportError::DeadlineExceeded { .. })
+        ));
+        assert_eq!(client.breaker_snapshot(), vec![(addr, BreakerState::Open)]);
+        // ...so the backend sheds while open...
+        assert!(matches!(
+            client.request(addr, &req),
+            Err(TransportError::CircuitOpen { .. })
+        ));
+        // ...and is probed again after the cooldown, instead of being
+        // shed until process restart.
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(
+            !matches!(
+                client.request(addr, &req),
+                Err(TransportError::CircuitOpen { .. })
+            ),
+            "a new probe must reach the network after the cooldown"
+        );
+    }
+
+    #[test]
+    fn call_batch_fallback_shares_one_deadline_budget() {
+        let addr = stall_server();
+        let client = Arc::new(PooledClient::new(ClientConfig {
+            read_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_millis(300),
+            max_retries: 0,
+            breaker_threshold: 0,
+            ..ClientConfig::default()
+        }));
+        let remote = RemoteService::with_client(addr, client);
+        let requests: Vec<RestRequest> = (0..6)
+            .map(|i| RestRequest::new(HttpMethod::Get, format!("/probe/{i}")))
+            .collect();
+        let started = Instant::now();
+        let responses = remote.call_batch(&requests);
+        let elapsed = started.elapsed();
+        assert_eq!(responses.len(), 6);
+        for resp in &responses {
+            assert!(resp.is_transport_fault());
+        }
+        // One shared budget bounds the whole snapshot. The old fallback
+        // granted each re-issued request a fresh full deadline — with 6
+        // probes against this stalling backend that would be ~2.1s of
+        // wall clock; the shared budget keeps it to one deadline.
+        assert!(
+            elapsed < Duration::from_millis(900),
+            "batch + fallback must share one deadline, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn batch_deadline_exhaustion_leaves_the_breaker_alone() {
+        let addr = stall_server();
+        let cfg = ClientConfig {
+            read_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_millis(120),
+            max_retries: 0,
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(100),
+            ..ClientConfig::default()
+        };
+        let client = PooledClient::new(cfg);
+        // A pooled connection the server holds open but never answers.
+        let conn = Conn::connect(addr, client.config(), Duration::from_secs(1)).unwrap();
+        client.checkin(addr, conn);
+        let req = RestRequest::new(HttpMethod::Get, "/");
+        // The reused connection stalls the budget away; the reconnect-
+        // once then finds the deadline exhausted. Neither says anything
+        // about backend health, so a threshold-1 breaker must NOT trip.
+        assert!(matches!(
+            client.batch(addr, std::slice::from_ref(&req)),
+            Err(TransportError::DeadlineExceeded { .. })
+        ));
+        assert!(client.breaker_snapshot().is_empty());
+        let stats: std::collections::HashMap<_, _> =
+            client.stats().snapshot().into_iter().collect();
+        assert_eq!(stats["breaker_opened"], 0);
+        assert!(stats["deadline_exhausted"] >= 1);
+    }
+
+    /// Read one HTTP request's header block (probe GETs carry no body).
+    fn read_header_block(reader: &mut impl std::io::BufRead) -> bool {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return false,
+                Ok(_) if line == "\r\n" || line == "\n" => return true,
+                Ok(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn batch_fallback_reissues_only_the_unanswered_tail() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let served = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&served);
+        std::thread::spawn(move || {
+            let mut first = true;
+            while let Ok((mut sock, _)) = listener.accept() {
+                // First connection: answer exactly one request, then
+                // drop the socket mid-batch. Later connections: answer
+                // everything.
+                let quota = if first { 1 } else { u64::MAX };
+                first = false;
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(sock.try_clone().unwrap());
+                    for _ in 0..quota {
+                        if !read_header_block(&mut reader) {
+                            return;
+                        }
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        let body = "{}";
+                        let resp = format!(
+                            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                             Content-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+                            body.len(),
+                        );
+                        if sock.write_all(resp.as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        let cfg = ClientConfig {
+            request_deadline: Duration::from_secs(5),
+            max_retries: 0,
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(100),
+            ..ClientConfig::default()
+        };
+        let client = PooledClient::new(cfg);
+        // Prime the pool so the batch starts on a *reused* connection.
+        let conn = Conn::connect(addr, client.config(), Duration::from_secs(1)).unwrap();
+        client.checkin(addr, conn);
+        let requests: Vec<RestRequest> = (0..3)
+            .map(|i| RestRequest::new(HttpMethod::Get, format!("/probe/{i}")))
+            .collect();
+        let settled = client.batch_settled(addr, &requests);
+        assert_eq!(settled.len(), 3);
+        for result in &settled {
+            assert_eq!(result.as_ref().unwrap().status, StatusCode::OK);
+        }
+        // The answered prefix was kept: the server saw each probe
+        // exactly once. (The old fallback re-issued the whole batch,
+        // answering the first probe twice.)
+        assert_eq!(served.load(Ordering::SeqCst), 3);
+        // A reused connection dying after a committed response is pool
+        // staleness, not backend ill health: threshold-1 must not trip.
+        assert!(client.breaker_snapshot().is_empty());
+    }
+
+    #[test]
+    fn wire_responses_cannot_spoof_the_transport_fault_marker() {
+        // A misbehaving backend that marks its own answers as transport
+        // faults, hoping the monitor writes its misdeeds off as weather.
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|_req: RestRequest| {
+                RestResponse::error(StatusCode::SERVICE_UNAVAILABLE, "spoofed")
+                    .header(TRANSPORT_FAULT_HEADER, "spoofed")
+            }),
+        )
+        .unwrap();
+        let remote = RemoteService::new(server.local_addr());
+        let resp = remote.call(&RestRequest::new(HttpMethod::Get, "/"));
+        assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
+        assert!(
+            !resp.is_transport_fault(),
+            "a wire response must never carry the transport-fault marker"
+        );
+        let batch = remote.call_batch(&[RestRequest::new(HttpMethod::Get, "/a")]);
+        assert!(batch.iter().all(|r| !r.is_transport_fault()));
+        server.shutdown();
     }
 }

@@ -146,7 +146,9 @@ pub enum BreakerState {
     /// cooldown elapses.
     Open,
     /// One probe request is in flight; its outcome decides between
-    /// `Closed` and re-tripping to `Open`.
+    /// `Closed` and re-tripping to `Open`. A probe that never reports
+    /// back expires after one cooldown, at which point the next
+    /// admission becomes a fresh probe — `HalfOpen` is never a trap.
     HalfOpen,
 }
 
@@ -179,7 +181,7 @@ pub enum Admission {
 enum State {
     Closed { failures: u32 },
     Open { until: Instant },
-    HalfOpen,
+    HalfOpen { since: Instant },
 }
 
 /// The closed→open→half-open circuit breaker for one backend address.
@@ -221,7 +223,7 @@ impl CircuitBreaker {
         match self.state {
             State::Closed { .. } => BreakerState::Closed,
             State::Open { .. } => BreakerState::Open,
-            State::HalfOpen => BreakerState::HalfOpen,
+            State::HalfOpen { .. } => BreakerState::HalfOpen,
         }
     }
 
@@ -242,13 +244,21 @@ impl CircuitBreaker {
         match self.state {
             State::Closed { .. } => Admission::Allow,
             State::Open { until } if now >= until => {
-                self.state = State::HalfOpen;
+                self.state = State::HalfOpen { since: now };
                 Admission::Probe
             }
             State::Open { .. } => Admission::Shed,
+            // A probe that has gone unreported for a whole cooldown is
+            // presumed dead (its thread panicked, or it was abandoned
+            // before resolving): re-admit a fresh probe rather than
+            // shedding forever — HalfOpen must not be a trap state.
+            State::HalfOpen { since } if now >= since + self.cooldown => {
+                self.state = State::HalfOpen { since: now };
+                Admission::Probe
+            }
             // While the probe is in flight every other request sheds:
             // one canary is enough to learn whether the backend is back.
-            State::HalfOpen => Admission::Shed,
+            State::HalfOpen { .. } => Admission::Shed,
         }
     }
 
@@ -286,7 +296,7 @@ impl CircuitBreaker {
                 false
             }
             // The half-open probe failed: re-trip for a full cooldown.
-            State::HalfOpen => {
+            State::HalfOpen { .. } => {
                 self.state = State::Open {
                     until: now + self.cooldown,
                 };
@@ -425,6 +435,27 @@ mod tests {
         // A full new cooldown applies from the re-trip.
         assert_eq!(b.admit(t1 + Duration::from_millis(50)), Admission::Shed);
         assert_eq!(b.admit(t1 + Duration::from_millis(150)), Admission::Probe);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_that_never_reports_expires_into_a_new_probe() {
+        let mut b = CircuitBreaker::new(1, Duration::from_millis(100));
+        let t0 = Instant::now();
+        assert!(b.on_failure(t0));
+        let t1 = t0 + Duration::from_millis(150);
+        assert_eq!(b.admit(t1), Admission::Probe);
+        // While the probe could still report back, everyone else sheds…
+        assert_eq!(b.admit(t1 + Duration::from_millis(50)), Admission::Shed);
+        // …but once it has gone unresolved for a full cooldown it is
+        // presumed dead: a new probe is admitted instead of shedding
+        // forever (HalfOpen must have a time-based escape).
+        assert_eq!(b.admit(t1 + Duration::from_millis(100)), Admission::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // The replacement probe gets its own grace period…
+        assert_eq!(b.admit(t1 + Duration::from_millis(120)), Admission::Shed);
+        // …and its success closes the breaker as usual.
+        assert!(b.on_success());
+        assert_eq!(b.state(), BreakerState::Closed);
     }
 
     #[test]

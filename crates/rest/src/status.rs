@@ -65,9 +65,12 @@ impl StatusCode {
     }
 
     /// True for the gateway/infrastructure error codes (502, 503, 504):
-    /// the path *to* the service failed, which says nothing about the
-    /// service's own contract compliance. The monitor maps these to
-    /// `Verdict::Degraded` rather than to a wrong-denial.
+    /// usually the path *to* the service failed, which says nothing
+    /// about the service's own contract compliance. Since a misbehaving
+    /// service could also answer these itself, the monitor does not take
+    /// them at face value: probes treat them as unobservable state, and
+    /// a forwarded call that comes back 5xx-gateway is checked against
+    /// the post-state before being written off as `Verdict::Degraded`.
     #[must_use]
     pub fn is_gateway_error(self) -> bool {
         matches!(self.0, 502..=504)

@@ -3,58 +3,122 @@
 # --offline: the workspace must build from the checkout alone (vendored
 # shims under vendor/, no registry access). Run locally before pushing.
 #
-# `./ci.sh --stress` additionally runs the concurrency soak battery in
-# both profiles: debug (shard invariants live via debug_assert!) and
-# release (the timing-sensitive profile the servers actually run in).
+# Stages are individually addressable: `./ci.sh test`, `./ci.sh chaos`,
+# `./ci.sh campaign` run exactly that stage. With no arguments the core
+# battery runs (fmt clippy build test docs features smoke). The legacy
+# flag spellings remain as aliases for core-plus-stage:
 #
-# `./ci.sh --chaos` runs the transport-chaos battery: the seeded
-# fault-injection soak (no injected wire fault may surface as a contract
-# verdict, no semantic mutant may hide as Degraded) plus the
-# chaos-recovery bench smoke (breaker flap: shed, then recover through
-# one half-open probe).
+#   ./ci.sh --stress     core + concurrency soak battery (debug: shard
+#                        invariants live via debug_assert!; release: the
+#                        timing-sensitive profile the servers run in)
+#   ./ci.sh --chaos      core + transport-chaos battery (seeded fault
+#                        injection, breaker-flap ledger, recovery smoke)
+#   ./ci.sh --campaign   core + the kill-matrix campaign: full mutant
+#                        catalog vs the committed KILL_MATRIX_BASELINE.json
+#                        (any baseline-detected mutant now missed fails
+#                        the build) plus the static RBAC policy lint
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STRESS=0
-CHAOS=0
+CORE_STAGES="fmt clippy build test docs features smoke"
+
+usage() {
+  cat <<EOF
+usage: ./ci.sh [STAGE ...] [--stress] [--chaos] [--campaign] [--help]
+
+stages (run exactly what is named, in the order given, deduplicated):
+  core       all of: $CORE_STAGES
+  fmt        cargo fmt --check
+  clippy     cargo clippy, warnings denied
+  build      cargo build --release, whole workspace
+  test       cargo test, whole workspace
+  docs       cargo doc, warnings denied
+  features   feature-gated targets compile (proptest suite, criterion benches)
+  smoke      bench binaries in --smoke mode (writes BENCH_*.smoke.json)
+  stress     concurrency soak battery (debug + release + determinism property)
+  chaos      transport-chaos battery (fault soak, flap ledger, recovery smoke)
+  campaign   kill-matrix campaign vs committed baseline + static RBAC lint
+
+flags (aliases kept for compatibility; each means core + that stage):
+  --stress --chaos --campaign
+
+With no arguments, core runs. Repeated stages and flags are deduplicated.
+EOF
+}
+
+WANT=""
+
+add_stage() {
+  local s
+  for s in $WANT; do
+    [ "$s" = "$1" ] && return 0
+  done
+  WANT="$WANT $1"
+}
+
+add_core() {
+  local s
+  for s in $CORE_STAGES; do add_stage "$s"; done
+}
+
 for arg in "$@"; do
   case "$arg" in
-    --stress) STRESS=1 ;;
-    --chaos) CHAOS=1 ;;
-    *) echo "unknown option: $arg" >&2; exit 2 ;;
+    --help|-h|help) usage; exit 0 ;;
+    --stress) add_core; add_stage stress ;;
+    --chaos) add_core; add_stage chaos ;;
+    --campaign) add_core; add_stage campaign ;;
+    core) add_core ;;
+    fmt|clippy|build|test|docs|features|smoke|stress|chaos|campaign)
+      add_stage "$arg" ;;
+    *) echo "unknown option: $arg" >&2; echo >&2; usage >&2; exit 2 ;;
   esac
 done
+[ -n "$WANT" ] || add_core
 
 step() { printf '\n==> %s\n' "$*"; }
 
-step "cargo fmt --check"
-cargo fmt --all -- --check
+stage_fmt() {
+  step "cargo fmt --check"
+  cargo fmt --all -- --check
+}
 
-step "cargo clippy (deny warnings)"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+stage_clippy() {
+  step "cargo clippy (deny warnings)"
+  cargo clippy --offline --workspace --all-targets -- -D warnings
+}
 
-step "cargo build --release"
-cargo build --offline --release --workspace
+stage_build() {
+  step "cargo build --release"
+  cargo build --offline --release --workspace
+}
 
-step "cargo test"
-cargo test --offline --workspace -q
+stage_test() {
+  step "cargo test"
+  cargo test --offline --workspace -q
+}
 
-step "cargo doc"
-RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
+stage_docs() {
+  step "cargo doc"
+  RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
+}
 
-step "feature check: proptest suite compiles"
-cargo test --offline --features proptest --test proptests --no-run -q
+stage_features() {
+  step "feature check: proptest suite compiles"
+  cargo test --offline --features proptest --test proptests --no-run -q
 
-step "feature check: criterion benches compile"
-cargo build --offline -p cm-bench --benches --features bench-criterion -q
+  step "feature check: criterion benches compile"
+  cargo build --offline -p cm-bench --benches --features bench-criterion -q
+}
 
-step "bench smoke: contract_eval (parity assertions, no artifact)"
-cargo run --offline --release -p cm-bench --bin contract_eval -q -- --smoke
+stage_smoke() {
+  step "bench smoke: contract_eval (parity assertions, smoke artifact)"
+  cargo run --offline --release -p cm-bench --bin contract_eval -q -- --smoke
 
-step "bench smoke: proxy_throughput (response parity over live TCP, no artifact)"
-cargo run --offline --release -p cm-bench --bin proxy_throughput -q -- --smoke
+  step "bench smoke: proxy_throughput (response parity over live TCP, smoke artifact)"
+  cargo run --offline --release -p cm-bench --bin proxy_throughput -q -- --smoke
+}
 
-if [ "$STRESS" = 1 ]; then
+stage_stress() {
   step "stress: concurrency soak (debug, shard debug_asserts active)"
   cargo test --offline --test concurrent_monitor -q
 
@@ -64,9 +128,9 @@ if [ "$STRESS" = 1 ]; then
   step "stress: determinism property (disjoint projects)"
   cargo test --offline --features proptest --test proptests -q \
     concurrent_disjoint_projects_match_serial
-fi
+}
 
-if [ "$CHAOS" = 1 ]; then
+stage_chaos() {
   step "chaos: seeded transport fault-injection soak (release)"
   cargo test --offline --release --test chaos_transport -q
 
@@ -74,8 +138,32 @@ if [ "$CHAOS" = 1 ]; then
   cargo test --offline --release --test concurrent_monitor -q \
     backend_flap_yields_exact_degraded_and_pass_counts
 
-  step "bench smoke: chaos_recovery (breaker flap, no artifact)"
+  step "bench smoke: chaos_recovery (breaker flap, smoke artifact)"
   cargo run --offline --release -p cm-bench --bin chaos_recovery -q -- --smoke
-fi
+}
 
-printf '\nci: all checks passed\n'
+stage_campaign() {
+  step "campaign: kill matrix vs committed baseline"
+  cargo run --offline --release -p cm-cli --bin cmcli -q -- \
+    mutate campaign --out KILL_MATRIX.json --baseline KILL_MATRIX_BASELINE.json
+
+  step "campaign: static RBAC policy lint (built-in Table I policy)"
+  cargo run --offline --release -p cm-cli --bin cmcli -q -- rbac lint
+
+  step "campaign: mutation + rbac suites (release)"
+  cargo test --offline --release -q -p cm-mutation -p cm-rbac
+
+  step "campaign: static-analysis/runtime agreement property"
+  cargo test --offline --features proptest --test proptests -q rbac_
+}
+
+SUMMARY=""
+for stage in $WANT; do
+  stage_start=$SECONDS
+  "stage_$stage"
+  SUMMARY="$SUMMARY$(printf '  %-10s %4ds' "$stage" $((SECONDS - stage_start)))
+"
+done
+
+printf '\nci: all requested stages passed\n'
+printf 'stage wall-clock:\n%s' "$SUMMARY"

@@ -18,8 +18,9 @@
 //! must never produce a contract-violation verdict.
 //!
 //! Results land in `BENCH_chaos_recovery.json` at the repo root.
-//! `--smoke` runs a reduced flap and skips the artifact and assertions
-//! (used by `ci.sh`).
+//! `--smoke` runs a reduced flap, writes the artifact to
+//! `BENCH_chaos_recovery.smoke.json` instead, and skips the timing
+//! assertions (used by `ci.sh`).
 
 use cm_cloudsim::PrivateCloud;
 use cm_core::{cinder_monitor, Mode, Verdict};
@@ -132,15 +133,43 @@ fn main() {
     println!("  transport : {snapshot:?}");
     revived.shutdown();
 
+    let budget_us = REQUEST_DEADLINE.as_micros() as f64;
+    let stats: Vec<String> = snapshot
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"chaos_recovery\",\n  \"smoke\": {smoke},\n  \"healthy_requests\": {healthy_n},\n  \
+         \"outage_requests\": {outage_n},\n  \"healthy_avg_us\": {healthy_avg_us:.0},\n  \
+         \"outage_avg_us\": {outage_avg_us:.0},\n  \"deadline_budget_us\": {budget_us:.0},\n  \
+         \"recovery_us\": {recovery_us},\n  \"recovered_within_one_probe\": {recovered_first_try},\n  \
+         \"transport\": {{\n{}\n  }}\n}}\n",
+        stats.join(",\n")
+    );
+    // Smoke runs land in *.smoke.json (uploaded by CI, gitignored) so
+    // shared-runner numbers never shadow the committed artifact.
+    let out = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_chaos_recovery.smoke.json"
+        )
+    } else {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_chaos_recovery.json"
+        )
+    };
+    std::fs::write(out, json).expect("write benchmark artifact");
+    println!();
+    println!("wrote {out}");
+
     if smoke {
-        println!();
-        println!("smoke mode: skipping artifact and assertions");
+        println!("smoke mode: skipping timing assertions");
         return;
     }
 
     // One request-deadline budget is what a breaker-less client pays per
     // outage request; shedding must make the *average* far cheaper.
-    let budget_us = REQUEST_DEADLINE.as_micros() as f64;
     assert!(
         outage_avg_us < budget_us,
         "average outage request ({outage_avg_us:.0} us) must cost less than one \
@@ -150,24 +179,4 @@ fn main() {
         recovered_first_try,
         "recovery must complete within one half-open probe: {recovery:?}"
     );
-
-    let stats: Vec<String> = snapshot
-        .iter()
-        .map(|(k, v)| format!("    \"{k}\": {v}"))
-        .collect();
-    let json = format!(
-        "{{\n  \"benchmark\": \"chaos_recovery\",\n  \"healthy_requests\": {healthy_n},\n  \
-         \"outage_requests\": {outage_n},\n  \"healthy_avg_us\": {healthy_avg_us:.0},\n  \
-         \"outage_avg_us\": {outage_avg_us:.0},\n  \"deadline_budget_us\": {budget_us:.0},\n  \
-         \"recovery_us\": {recovery_us},\n  \"recovered_within_one_probe\": {recovered_first_try},\n  \
-         \"transport\": {{\n{}\n  }}\n}}\n",
-        stats.join(",\n")
-    );
-    let out = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_chaos_recovery.json"
-    );
-    std::fs::write(out, json).expect("write benchmark artifact");
-    println!();
-    println!("wrote {out}");
 }

@@ -16,8 +16,9 @@
 //!
 //! Results land in `BENCH_contract_eval.json` at the repo root. The run
 //! fails if the compiled pipeline is not at least 2x the interpreter.
-//! `--smoke` runs a handful of iterations, skips the artifact and the
-//! speedup assertion (used by `ci.sh` to keep CI fast and load-tolerant).
+//! `--smoke` runs a handful of iterations, writes the artifact to
+//! `BENCH_contract_eval.smoke.json` instead, and skips the speedup
+//! assertion (used by `ci.sh` to keep CI fast and load-tolerant).
 
 use cm_cloudsim::PrivateCloud;
 use cm_core::{cinder_monitor_extended, ProbeTarget, StateProber};
@@ -208,26 +209,35 @@ fn main() {
     );
     println!("  speedup: {snap_speedup:8.2}x");
 
-    if smoke {
-        println!();
-        println!("smoke mode: skipping artifact and speedup assertion");
-        return;
-    }
-
     let json = format!(
-        "{{\n  \"benchmark\": \"contract_eval\",\n  \"eval_iters\": {eval_iters},\n  \
+        "{{\n  \"benchmark\": \"contract_eval\",\n  \"smoke\": {smoke},\n  \"eval_iters\": {eval_iters},\n  \
          \"contracts\": {per_iter_contracts},\n  \"interpreter_us_per_contract\": {interp_us:.2},\n  \
          \"compiled_us_per_contract\": {compiled_us:.2},\n  \"eval_speedup\": {eval_speedup:.2},\n  \
          \"snapshot_iters\": {snap_iters},\n  \"full_snapshot_probes\": {full_probes},\n  \
          \"scoped_snapshot_probes\": {scoped_probes},\n  \"snapshot_speedup\": {snap_speedup:.2}\n}}\n"
     );
-    let out = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_contract_eval.json"
-    );
+    // Smoke runs (CI) keep their numbers out of the committed-artifact
+    // namespace — they land in *.smoke.json, which the workflow uploads
+    // and .gitignore hides.
+    let out = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_contract_eval.smoke.json"
+        )
+    } else {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_contract_eval.json"
+        )
+    };
     std::fs::write(out, json).expect("write benchmark artifact");
     println!();
     println!("wrote {out}");
+
+    if smoke {
+        println!("smoke mode: skipping speedup assertion");
+        return;
+    }
 
     assert!(
         eval_speedup >= 2.0,

@@ -21,8 +21,9 @@
 //!
 //! Results land in `BENCH_proxy_throughput.json` at the repo root. The
 //! run fails if the pooled transport is not at least 3x the baseline.
-//! `--smoke` runs a handful of requests and skips the artifact and the
-//! speedup assertion (used by `ci.sh`).
+//! `--smoke` runs a handful of requests, writes the artifact to
+//! `BENCH_proxy_throughput.smoke.json` instead, and skips the speedup
+//! assertion (used by `ci.sh`).
 
 use cm_cloudsim::PrivateCloud;
 use cm_core::{cinder_monitor, Mode};
@@ -176,28 +177,36 @@ fn main() {
         pooled.client_connections
     );
 
-    if smoke {
-        println!();
-        println!("smoke mode: skipping artifact and speedup assertion");
-        return;
-    }
-
     let total = THREADS * per_thread;
     let json = format!(
-        "{{\n  \"benchmark\": \"proxy_throughput\",\n  \"threads\": {THREADS},\n  \
+        "{{\n  \"benchmark\": \"proxy_throughput\",\n  \"smoke\": {smoke},\n  \"threads\": {THREADS},\n  \
          \"requests_per_thread\": {per_thread},\n  \"total_requests\": {total},\n  \
          \"baseline_rps\": {:.0},\n  \"baseline_client_connections\": {},\n  \
          \"pooled_rps\": {:.0},\n  \"pooled_client_connections\": {},\n  \
          \"speedup\": {speedup:.2},\n  \"response_parity\": true\n}}\n",
         baseline.rps, baseline.client_connections, pooled.rps, pooled.client_connections
     );
-    let out = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_proxy_throughput.json"
-    );
+    // Smoke runs land in *.smoke.json (uploaded by CI, gitignored) so
+    // shared-runner numbers never shadow the committed artifact.
+    let out = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_proxy_throughput.smoke.json"
+        )
+    } else {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_proxy_throughput.json"
+        )
+    };
     std::fs::write(out, json).expect("write benchmark artifact");
     println!();
     println!("wrote {out}");
+
+    if smoke {
+        println!("smoke mode: skipping speedup assertion");
+        return;
+    }
 
     assert!(
         speedup >= 3.0,

@@ -1,8 +1,9 @@
 //! `cmcli` — the cloud-monitor toolbox; see `cmcli --help`.
 
 use cm_cli::{
-    cmd_audit, cmd_codegen, cmd_contracts, cmd_export_cinder, cmd_metrics, cmd_models, cmd_slice,
-    cmd_table1, cmd_validate, parse_criterion, usage, CliError,
+    cmd_audit, cmd_codegen, cmd_contracts, cmd_export_cinder, cmd_metrics, cmd_models,
+    cmd_mutate_campaign, cmd_rbac_lint, cmd_slice, cmd_table1, cmd_validate, parse_criterion,
+    usage, CliError,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -10,12 +11,18 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(output) => {
+        Ok((output, ok)) => {
             print!("{output}");
             if !output.ends_with('\n') {
                 println!();
             }
-            ExitCode::SUCCESS
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                // A gate failed (kill-matrix regression, lint finding):
+                // the report above says why — no usage dump.
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -26,7 +33,42 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<String, CliError> {
+/// Flag value lookup for `--flag VALUE` style arguments.
+fn flag_value<'a>(rest: &[&'a str], flag: &str) -> Result<Option<&'a str>, CliError> {
+    match rest.iter().position(|a| *a == flag) {
+        None => Ok(None),
+        Some(pos) => rest
+            .get(pos + 1)
+            .copied()
+            .filter(|v| !v.starts_with("--"))
+            .map(Some)
+            .ok_or(CliError(format!("{flag} needs a value"))),
+    }
+}
+
+fn run(args: &[String]) -> Result<(String, bool), CliError> {
+    let rest: Vec<&str> = args.iter().skip(1).map(String::as_str).collect();
+    match args.first().map(String::as_str) {
+        // The gated commands: their reports decide the exit code.
+        Some("mutate") => {
+            if rest.first() != Some(&"campaign") {
+                return Err(CliError("mutate needs the `campaign` subcommand".into()));
+            }
+            let out = flag_value(&rest, "--out")?.map(Path::new);
+            let baseline = flag_value(&rest, "--baseline")?.map(Path::new);
+            cmd_mutate_campaign(out, baseline)
+        }
+        Some("rbac") => {
+            if rest.first() != Some(&"lint") {
+                return Err(CliError("rbac needs the `lint` subcommand".into()));
+            }
+            cmd_rbac_lint(rest.get(1).map(Path::new))
+        }
+        _ => run_inner(args).map(|text| (text, true)),
+    }
+}
+
+fn run_inner(args: &[String]) -> Result<String, CliError> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         None | Some("--help" | "-h" | "help") => Ok(usage().to_string()),

@@ -363,6 +363,90 @@ pub fn cmd_audit() -> String {
     out
 }
 
+/// `cmcli mutate campaign [--out FILE] [--baseline FILE]` — run the
+/// full kill-matrix campaign: every mutant in the standard and snapshot
+/// catalogs against the extended oracle suite, reported as a
+/// requirement × mutant matrix. With `--out` the machine-readable
+/// matrix is written as JSON; with `--baseline` the run is diffed
+/// against a committed baseline and the returned flag is `false` when
+/// any baseline-detected mutant is no longer killed (the CI gate).
+///
+/// # Errors
+///
+/// I/O failures, or a baseline file that is not a kill-matrix JSON
+/// document.
+pub fn cmd_mutate_campaign(
+    out: Option<&Path>,
+    baseline: Option<&Path>,
+) -> Result<(String, bool), CliError> {
+    use cm_mutation::{full_catalog, run_kill_matrix, KillMatrix};
+    let matrix = run_kill_matrix(&full_catalog());
+    let mut report = matrix.render();
+    let mut ok = true;
+    if let Some(path) = out {
+        std::fs::write(path, matrix.to_json().to_pretty_string())?;
+        let _ = writeln!(report, "wrote kill matrix to {}", path.display());
+    }
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| fail(format!("baseline {}: {e}", path.display())))?;
+        let json = cm_rest::parse_json(&text)
+            .map_err(|e| fail(format!("baseline {}: {e}", path.display())))?;
+        let base = KillMatrix::from_json(&json)
+            .map_err(|e| fail(format!("baseline {}: {e}", path.display())))?;
+        let diff = matrix.diff(&base);
+        report.push('\n');
+        report.push_str(&diff.render());
+        ok = !diff.is_regression();
+    }
+    Ok((report, ok))
+}
+
+/// `cmcli rbac lint [policy.json]` — static policy analysis:
+/// contradictory rules, shadowed (unreachable) disjuncts, vacuous
+/// grants, and roles that can reach no operation. Without a file the
+/// built-in extended Table I policy is linted (it must be clean). The
+/// returned flag is `false` when any diagnostic fires.
+///
+/// # Errors
+///
+/// I/O failures, or a policy file that is not a JSON object of rule
+/// strings in the `policy.json` rule language.
+pub fn cmd_rbac_lint(policy_path: Option<&Path>) -> Result<(String, bool), CliError> {
+    use cm_rest::Json;
+    let policy = match policy_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            let json =
+                cm_rest::parse_json(&text).map_err(|e| fail(format!("{}: {e}", path.display())))?;
+            let Json::Object(members) = &json else {
+                return Err(fail(format!(
+                    "{}: policy file must be a JSON object of rule strings",
+                    path.display()
+                )));
+            };
+            let entries = members
+                .iter()
+                .map(|(action, rule)| {
+                    rule.as_str().map(|r| (action.as_str(), r)).ok_or_else(|| {
+                        fail(format!(
+                            "{}: rule for `{action}` must be a string",
+                            path.display()
+                        ))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            cm_rbac::PolicyFile::from_entries(entries)
+                .map_err(|e| fail(format!("{}: {e}", path.display())))?
+        }
+        None => cm_rbac::cinder_table_extended().to_policy(),
+    };
+    // The roles of the paper's `myProject` fixture; roles the policy
+    // mentions beyond these are added to the universe by the analyzer.
+    let analysis = cm_rbac::analyze_policy(&policy, &["admin", "member", "user"]);
+    Ok((analysis.render(), analysis.is_clean()))
+}
+
 /// `cmcli metrics <addr> [--events N] [--health]` — fetch and
 /// pretty-print the observability endpoints of a running monitor proxy
 /// (`cmcli serve`): `GET /-/metrics` by default (which includes the
@@ -467,6 +551,16 @@ pub fn usage() -> &'static str {
        cmcli codegen <name> <xmi> <dir> [--cloud-url URL]\n\
                                               generate the Django monitor\n\
        cmcli audit                            oracle + mutation campaigns\n\
+       cmcli mutate campaign [--out FILE] [--baseline FILE]\n\
+                                              full kill-matrix campaign; --out\n\
+                                              writes KILL_MATRIX.json, --baseline\n\
+                                              diffs against a committed matrix\n\
+                                              and exits 1 on any regression\n\
+       cmcli rbac lint [policy.json]          static policy analysis: contra-\n\
+                                              dictions, shadowed rules, roles\n\
+                                              with no reachable operation; exits\n\
+                                              1 when a diagnostic fires (default:\n\
+                                              the built-in Table I policy)\n\
        cmcli serve [--port P] [--extended]    run a live monitored cloud\n\
              [--workers N] [--keep-alive on|off]\n\
                                               size the worker pool and toggle\n\
@@ -609,6 +703,63 @@ mod tests {
     }
 
     #[test]
+    fn mutate_campaign_writes_matrix_and_gates_on_baseline() {
+        let out = tmp("matrix.json");
+        let (report, ok) = cmd_mutate_campaign(Some(&out), None).unwrap();
+        assert!(ok, "{report}");
+        assert!(report.contains("Overall: "), "{report}");
+        assert!(out.exists());
+
+        // The matrix it just wrote is, by construction, a clean baseline.
+        let (report, ok) = cmd_mutate_campaign(None, Some(&out)).unwrap();
+        assert!(ok, "{report}");
+        assert!(
+            report.contains("kill matrix matches the baseline"),
+            "{report}"
+        );
+
+        // Doctor the baseline: claim a mutant we actually miss was
+        // detected, so the rerun must flag a regression.
+        let text = std::fs::read_to_string(&out).unwrap();
+        let doctored = text.replacen("\"missed\"", "\"detected\"", 1);
+        assert_ne!(text, doctored, "expected at least one missed mutant");
+        std::fs::write(&out, &doctored).unwrap();
+        let (report, ok) = cmd_mutate_campaign(None, Some(&out)).unwrap();
+        assert!(!ok, "{report}");
+        assert!(report.contains("REGRESSION"), "{report}");
+
+        // A garbage baseline is an error, not a pass.
+        std::fs::write(&out, "[]").unwrap();
+        assert!(cmd_mutate_campaign(None, Some(&out)).is_err());
+        std::fs::remove_file(&out).unwrap();
+    }
+
+    #[test]
+    fn rbac_lint_passes_builtin_policy_and_flags_seeded_contradiction() {
+        let (report, ok) = cmd_rbac_lint(None).unwrap();
+        assert!(ok, "{report}");
+        assert!(report.contains("clean"), "{report}");
+
+        let path = tmp("bad-policy.json");
+        std::fs::write(
+            &path,
+            r#"{"volume:get": "role:admin or role:member or role:user",
+                "volume:delete": "role:admin and not role:admin"}"#,
+        )
+        .unwrap();
+        let (report, ok) = cmd_rbac_lint(Some(&path)).unwrap();
+        assert!(!ok, "{report}");
+        assert!(report.contains("contradiction"), "{report}");
+        assert!(report.contains("volume:delete"), "{report}");
+
+        std::fs::write(&path, r#"{"volume:get": 7}"#).unwrap();
+        assert!(cmd_rbac_lint(Some(&path)).is_err());
+        std::fs::write(&path, "not json").unwrap();
+        assert!(cmd_rbac_lint(Some(&path)).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn validate_rejects_garbage() {
         let path = tmp("e.xmi");
         std::fs::write(&path, "not xml at all").unwrap();
@@ -693,6 +844,9 @@ mod tests {
             "table1",
             "codegen",
             "audit",
+            "mutate campaign",
+            "--baseline",
+            "rbac lint",
             "serve",
             "metrics",
             "--degraded-policy",

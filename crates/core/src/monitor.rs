@@ -1213,6 +1213,17 @@ impl<S: SharedRestService> CloudMonitor<S> {
             (verdict, diagnostics)
         };
 
+        // A violation with no enabled pre clause (e.g. WrongAcceptance:
+        // the request should have been denied outright) would otherwise
+        // carry no requirement ids at all. Attribute the trigger
+        // contract's requirements so the verdict stays traceable to
+        // Table I — the kill matrix keys its cells on exactly this.
+        let requirements = if verdict.is_violation() && requirements.is_empty() {
+            contract.security_requirements.clone()
+        } else {
+            requirements
+        };
+
         // 7. In enforce mode, violations become an invalid response that
         //    names the faulty behaviour (Figure 2).
         let response = if self.mode == Mode::Enforce && verdict.is_violation() {

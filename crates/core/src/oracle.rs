@@ -23,6 +23,9 @@ use std::fmt;
 pub struct ScenarioResult {
     /// Scenario name, e.g. `DELETE volume as bob`.
     pub name: String,
+    /// RBAC role of the acting user (`no role` for the unprivileged
+    /// principal, `admin` for the boundary scenarios run as alice).
+    pub role: String,
     /// The monitor's verdict.
     pub verdict: Verdict,
     /// Security requirements exercised.
@@ -53,6 +56,18 @@ impl OracleReport {
     #[must_use]
     pub fn killed(&self) -> bool {
         !self.violations().is_empty()
+    }
+
+    /// Scenarios the monitor could not check (transport faults surfaced
+    /// as [`Verdict::Degraded`]) — explicitly *not* violations, but the
+    /// kill matrix accounts for them separately so a detection that
+    /// silently turns into a degraded non-verdict is visible.
+    #[must_use]
+    pub fn degraded(&self) -> Vec<&ScenarioResult> {
+        self.scenarios
+            .iter()
+            .filter(|s| s.verdict == Verdict::Degraded)
+            .collect()
     }
 
     /// Number of scenarios run.
@@ -111,7 +126,7 @@ impl TestOracle {
         for (user, role) in USERS {
             for method in HttpMethod::ALL {
                 let name = format!("{method} volume as {user} ({role})");
-                let result = Self::scenario(&factory, &name, |cloud| {
+                let result = Self::scenario(&factory, &name, role, |cloud| {
                     let pid = cloud.project_id();
                     let vid = cloud
                         .state_mut()
@@ -138,6 +153,7 @@ impl TestOracle {
         report.scenarios.push(Self::scenario(
             &factory,
             "POST first volume as alice (admin)",
+            "admin",
             |cloud| {
                 let pid = cloud.project_id();
                 (
@@ -152,6 +168,7 @@ impl TestOracle {
         report.scenarios.push(Self::scenario(
             &factory,
             "POST volume at full quota as alice (admin)",
+            "admin",
             |cloud| {
                 let pid = cloud.project_id();
                 for i in 0..DEFAULT_VOLUME_QUOTA {
@@ -172,6 +189,7 @@ impl TestOracle {
         report.scenarios.push(Self::scenario(
             &factory,
             "DELETE in-use volume as alice (admin)",
+            "admin",
             |cloud| {
                 let pid = cloud.project_id();
                 let vid = cloud
@@ -192,6 +210,7 @@ impl TestOracle {
         report.scenarios.push(Self::scenario(
             &factory,
             "DELETE last volume as alice (admin)",
+            "admin",
             |cloud| {
                 let pid = cloud.project_id();
                 let vid = cloud
@@ -210,6 +229,7 @@ impl TestOracle {
         report.scenarios.push(Self::scenario(
             &factory,
             "DELETE nonexistent volume as alice (admin)",
+            "admin",
             |cloud| {
                 let pid = cloud.project_id();
                 cloud
@@ -233,6 +253,7 @@ impl TestOracle {
     fn scenario<F: Fn() -> PrivateCloud>(
         factory: &F,
         name: &str,
+        role: &str,
         setup: impl FnOnce(&mut PrivateCloud) -> (String, RestRequest),
     ) -> ScenarioResult {
         let mut cloud = factory();
@@ -274,6 +295,7 @@ impl TestOracle {
             .unwrap_or_default();
         ScenarioResult {
             name: name.to_string(),
+            role: role.to_string(),
             verdict: outcome.verdict,
             requirements: outcome.requirements,
             diagnostics,
@@ -364,7 +386,7 @@ impl TestOracle {
                 (HttpMethod::Delete, "snapshot"),
             ] {
                 let name = format!("{method} {name_suffix} as {user} ({role})");
-                let result = Self::scenario_extended(&factory, &name, |cloud| {
+                let result = Self::scenario_extended(&factory, &name, role, |cloud| {
                     let pid = cloud.project_id();
                     let vid = cloud
                         .state_mut()
@@ -399,6 +421,7 @@ impl TestOracle {
         report.scenarios.push(Self::scenario_extended(
             &factory,
             "POST first snapshot as alice (admin)",
+            "admin",
             |cloud| {
                 let pid = cloud.project_id();
                 let vid = cloud
@@ -424,6 +447,7 @@ impl TestOracle {
         report.scenarios.push(Self::scenario_extended(
             &factory,
             "DELETE nonexistent snapshot as alice (admin)",
+            "admin",
             |cloud| {
                 let pid = cloud.project_id();
                 let vid = cloud
@@ -448,6 +472,7 @@ impl TestOracle {
     fn scenario_extended<F: Fn() -> PrivateCloud>(
         factory: &F,
         name: &str,
+        role: &str,
         setup: impl FnOnce(&mut PrivateCloud) -> (String, RestRequest),
     ) -> ScenarioResult {
         use crate::monitor::cinder_monitor_extended;
@@ -486,6 +511,7 @@ impl TestOracle {
             .unwrap_or_default();
         ScenarioResult {
             name: name.to_string(),
+            role: role.to_string(),
             verdict: outcome.verdict,
             requirements: outcome.requirements,
             diagnostics,

@@ -57,6 +57,12 @@ impl OperatorClass {
         }
     }
 
+    /// Inverse of [`OperatorClass::name`] (kill-matrix JSON round-trip).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<OperatorClass> {
+        OperatorClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+
     /// True for operators that distort *authorization* (the paper's focus).
     #[must_use]
     pub fn is_authorization(self) -> bool {

@@ -10,7 +10,10 @@
 //!   classes (policy widening/narrowing, missing/inverted checks, dropped
 //!   functional checks, wrong status codes, lost updates);
 //! * [`run_campaign`] — runs the monitor-as-test-oracle suite over every
-//!   mutant cloud and reports a kill matrix with per-operator rates.
+//!   mutant cloud and reports a kill matrix with per-operator rates;
+//! * [`run_kill_matrix`] — the full campaign: the entire catalog across
+//!   every RBAC role, producing a requirement × mutant kill matrix with
+//!   a `KILL_MATRIX.json` artifact and baseline diffing for CI gating.
 //!
 //! ## Example
 //!
@@ -26,6 +29,8 @@
 
 pub mod campaign;
 pub mod catalog;
+pub mod matrix;
 
 pub use campaign::{run_campaign, run_extended_campaign, CampaignResult, MutantResult};
 pub use catalog::{paper_mutants, snapshot_catalog, standard_catalog, Mutant, OperatorClass};
+pub use matrix::{full_catalog, run_kill_matrix, Detection, KillMatrix, MatrixDiff, MatrixRow};

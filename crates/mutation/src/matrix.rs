@@ -1,0 +1,635 @@
+//! The kill matrix: requirement id × mutant detection accounting, with a
+//! machine-readable artifact and baseline diffing for CI gating.
+//!
+//! [`run_kill_matrix`] scales the paper's Section VI-D experiment from
+//! three hand-made mutants to the **entire** catalog
+//! ([`full_catalog`] = [`crate::standard_catalog`] +
+//! [`crate::snapshot_catalog`]), executed across every RBAC role of the
+//! fixture (`admin`, `member`, `user` and the role-less principal)
+//! against live in-process cloudsim instances through the extended
+//! monitor-as-test-oracle suite. The result is a matrix
+//!
+//! > requirement id × mutant → detected / degraded / missed
+//!
+//! plus per-operator-class kill rates. [`KillMatrix::to_json`] emits the
+//! `KILL_MATRIX.json` artifact; [`KillMatrix::diff`] compares a fresh run
+//! against the committed baseline so any mutant that used to be detected
+//! and no longer is fails the build (`ci.sh campaign`).
+
+use crate::catalog::{snapshot_catalog, standard_catalog, Mutant, OperatorClass};
+use cm_cloudsim::PrivateCloud;
+use cm_core::TestOracle;
+use cm_rest::Json;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Detection status of one mutant under the oracle suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detection {
+    /// At least one scenario produced a violation verdict.
+    Detected,
+    /// No violation, but at least one scenario came back
+    /// `Verdict::Degraded` — the monitor could not check the very
+    /// request that might have caught the mutant. Counted as *not*
+    /// killed: a degraded non-verdict must never masquerade as a kill.
+    Degraded,
+    /// Every scenario passed — the mutant survived.
+    Missed,
+}
+
+impl Detection {
+    /// Stable lowercase name (JSON payload).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Detection::Detected => "detected",
+            Detection::Degraded => "degraded",
+            Detection::Missed => "missed",
+        }
+    }
+
+    /// Inverse of [`Detection::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Detection> {
+        match name {
+            "detected" => Some(Detection::Detected),
+            "degraded" => Some(Detection::Degraded),
+            "missed" => Some(Detection::Missed),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Detection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One kill-matrix row: a mutant with its per-requirement detections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixRow {
+    /// Mutant id (stable catalog key, e.g. `M07-inverted-auth-check-…`).
+    pub mutant_id: String,
+    /// Operator class of the mutant.
+    pub class: OperatorClass,
+    /// Overall detection status.
+    pub status: Detection,
+    /// Requirement ids under which a violation verdict was recorded.
+    pub detected_by: Vec<String>,
+    /// Requirement ids that were only reachable through degraded
+    /// (uncheckable) scenarios for this mutant.
+    pub degraded_on: Vec<String>,
+    /// Roles whose scenarios detected the mutant, in suite order.
+    pub killed_by_roles: Vec<String>,
+    /// Names of the detecting scenarios.
+    pub killing_scenarios: Vec<String>,
+}
+
+/// The campaign's kill matrix.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KillMatrix {
+    /// Requirement-id columns, sorted.
+    pub requirements: Vec<String>,
+    /// RBAC roles the suite acted under, in suite order.
+    pub roles: Vec<String>,
+    /// Per-mutant rows, in catalog order.
+    pub rows: Vec<MatrixRow>,
+}
+
+/// The full campaign catalog: every volume mutant plus every snapshot
+/// mutant, in catalog order.
+#[must_use]
+pub fn full_catalog() -> Vec<Mutant> {
+    let mut mutants = standard_catalog();
+    mutants.extend(snapshot_catalog());
+    mutants
+}
+
+/// Run the extended oracle suite over each mutant cloud and assemble the
+/// kill matrix.
+///
+/// The fault-free cloud is run first: it must be clean (a harness with
+/// false positives makes every kill meaningless) and it defines the
+/// requirement columns and role set of the matrix.
+///
+/// # Panics
+///
+/// Panics if the fault-free cloud produces violation verdicts.
+#[must_use]
+pub fn run_kill_matrix(mutants: &[Mutant]) -> KillMatrix {
+    let oracle = TestOracle;
+    let clean = oracle.run_extended(PrivateCloud::my_project);
+    assert!(
+        !clean.killed(),
+        "oracle produced false positives on the correct cloud:\n{clean}"
+    );
+
+    let requirements: Vec<String> = clean
+        .scenarios
+        .iter()
+        .flat_map(|s| s.requirements.iter().cloned())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let mut roles: Vec<String> = Vec::new();
+    for s in &clean.scenarios {
+        if !roles.contains(&s.role) {
+            roles.push(s.role.clone());
+        }
+    }
+
+    let mut matrix = KillMatrix {
+        requirements,
+        roles,
+        rows: Vec::new(),
+    };
+    for mutant in mutants {
+        let plan = mutant.plan.clone();
+        let report = oracle.run_extended(|| PrivateCloud::my_project().with_faults(plan.clone()));
+
+        let mut detected_by = BTreeSet::new();
+        let mut killed_by_roles = Vec::new();
+        let mut killing_scenarios = Vec::new();
+        for s in report.violations() {
+            detected_by.extend(s.requirements.iter().cloned());
+            if !killed_by_roles.contains(&s.role) {
+                killed_by_roles.push(s.role.clone());
+            }
+            killing_scenarios.push(s.name.clone());
+        }
+        let degraded_on: BTreeSet<String> = report
+            .degraded()
+            .iter()
+            .flat_map(|s| s.requirements.iter().cloned())
+            .collect();
+
+        let status = if !killing_scenarios.is_empty() {
+            Detection::Detected
+        } else if !degraded_on.is_empty() {
+            Detection::Degraded
+        } else {
+            Detection::Missed
+        };
+        matrix.rows.push(MatrixRow {
+            mutant_id: mutant.id.clone(),
+            class: mutant.class,
+            status,
+            detected_by: detected_by.into_iter().collect(),
+            degraded_on: degraded_on.into_iter().collect(),
+            killed_by_roles,
+            killing_scenarios,
+        });
+    }
+    matrix
+}
+
+impl KillMatrix {
+    /// Number of mutants in the matrix.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of detected (killed) mutants.
+    #[must_use]
+    pub fn killed(&self) -> usize {
+        self.count(Detection::Detected)
+    }
+
+    /// Rows with the given status.
+    #[must_use]
+    pub fn count(&self, status: Detection) -> usize {
+        self.rows.iter().filter(|r| r.status == status).count()
+    }
+
+    /// Mutation score (`killed / total`, `1.0` when empty).
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        self.killed() as f64 / self.total() as f64
+    }
+
+    /// `(class, killed, total)` per operator class, in
+    /// [`OperatorClass::ALL`] order, skipping absent classes.
+    #[must_use]
+    pub fn by_class(&self) -> Vec<(OperatorClass, usize, usize)> {
+        OperatorClass::ALL
+            .iter()
+            .filter_map(|class| {
+                let total = self.rows.iter().filter(|r| r.class == *class).count();
+                if total == 0 {
+                    return None;
+                }
+                let killed = self
+                    .rows
+                    .iter()
+                    .filter(|r| r.class == *class && r.status == Detection::Detected)
+                    .count();
+                Some((*class, killed, total))
+            })
+            .collect()
+    }
+
+    /// The row for a mutant id.
+    #[must_use]
+    pub fn row(&self, mutant_id: &str) -> Option<&MatrixRow> {
+        self.rows.iter().find(|r| r.mutant_id == mutant_id)
+    }
+
+    /// Render the matrix as a human table: one column per requirement id
+    /// (`X` detected under that requirement, `~` degraded, `.` clean),
+    /// plus status, detecting roles and per-class kill rates.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "| {:<34} | {:<8} |", "Mutant", "Status");
+        for req in &self.requirements {
+            let _ = write!(out, " {req:<3} |");
+        }
+        let _ = writeln!(out, " {:<18} |", "Killed by roles");
+        let _ = write!(out, "|{}|{}|", "-".repeat(36), "-".repeat(10));
+        for req in &self.requirements {
+            let _ = write!(out, "{}|", "-".repeat(req.len().max(3) + 2));
+        }
+        let _ = writeln!(out, "{}|", "-".repeat(20));
+        for row in &self.rows {
+            let _ = write!(out, "| {:<34} | {:<8} |", row.mutant_id, row.status);
+            for req in &self.requirements {
+                let cell = if row.detected_by.contains(req) {
+                    "X"
+                } else if row.degraded_on.contains(req) {
+                    "~"
+                } else {
+                    "."
+                };
+                let _ = write!(out, " {cell:<3} |");
+            }
+            let _ = writeln!(out, " {:<18} |", row.killed_by_roles.join(","));
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "Per-operator kill rates:");
+        for (class, killed, total) in self.by_class() {
+            let _ = writeln!(
+                out,
+                "  {:<22} {killed}/{total} ({:.0}%)",
+                class.name(),
+                100.0 * killed as f64 / total as f64
+            );
+        }
+        let _ = writeln!(
+            out,
+            "Overall: {}/{} detected ({:.0}%), {} degraded, {} missed; roles: {}",
+            self.killed(),
+            self.total(),
+            self.score() * 100.0,
+            self.count(Detection::Degraded),
+            self.count(Detection::Missed),
+            self.roles.join(", ")
+        );
+        out
+    }
+
+    /// Serialise as the `KILL_MATRIX.json` artifact.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let str_array =
+            |items: &[String]| Json::Array(items.iter().map(|s| Json::Str(s.clone())).collect());
+        let mutants = self
+            .rows
+            .iter()
+            .map(|row| {
+                Json::object(vec![
+                    ("id", Json::Str(row.mutant_id.clone())),
+                    ("class", Json::Str(row.class.name().to_string())),
+                    ("status", Json::Str(row.status.name().to_string())),
+                    ("detected_by", str_array(&row.detected_by)),
+                    ("degraded_on", str_array(&row.degraded_on)),
+                    ("killed_by_roles", str_array(&row.killed_by_roles)),
+                    ("killing_scenarios", str_array(&row.killing_scenarios)),
+                ])
+            })
+            .collect();
+        let by_class = self
+            .by_class()
+            .into_iter()
+            .map(|(class, killed, total)| {
+                Json::object(vec![
+                    ("class", Json::Str(class.name().to_string())),
+                    ("killed", Json::Int(killed as i64)),
+                    ("total", Json::Int(total as i64)),
+                ])
+            })
+            .collect();
+        Json::object(vec![
+            ("version", Json::Int(1)),
+            ("suite", Json::Str("extended".to_string())),
+            ("requirements", str_array(&self.requirements)),
+            ("roles", str_array(&self.roles)),
+            ("mutants", Json::Array(mutants)),
+            ("by_class", Json::Array(by_class)),
+            (
+                "summary",
+                Json::object(vec![
+                    ("total", Json::Int(self.total() as i64)),
+                    ("detected", Json::Int(self.killed() as i64)),
+                    (
+                        "degraded",
+                        Json::Int(self.count(Detection::Degraded) as i64),
+                    ),
+                    ("missed", Json::Int(self.count(Detection::Missed) as i64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Deserialise a matrix previously written by [`KillMatrix::to_json`]
+    /// (derived sections like `by_class` are recomputed, not trusted).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(json: &Json) -> Result<KillMatrix, String> {
+        let str_list = |value: &Json, what: &str| -> Result<Vec<String>, String> {
+            value
+                .as_array()
+                .ok_or_else(|| format!("{what} is not an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("{what} holds a non-string"))
+                })
+                .collect()
+        };
+        let requirements = str_list(
+            json.get("requirements")
+                .ok_or("missing `requirements` field")?,
+            "requirements",
+        )?;
+        let roles = str_list(json.get("roles").ok_or("missing `roles` field")?, "roles")?;
+        let mut rows = Vec::new();
+        for (i, m) in json
+            .get("mutants")
+            .and_then(Json::as_array)
+            .ok_or("missing `mutants` array")?
+            .iter()
+            .enumerate()
+        {
+            let field = |key: &str| -> Result<&Json, String> {
+                m.get(key)
+                    .ok_or_else(|| format!("mutant #{i} missing `{key}`"))
+            };
+            let class_name = field("class")?
+                .as_str()
+                .ok_or_else(|| format!("mutant #{i} class is not a string"))?;
+            let status_name = field("status")?
+                .as_str()
+                .ok_or_else(|| format!("mutant #{i} status is not a string"))?;
+            rows.push(MatrixRow {
+                mutant_id: field("id")?
+                    .as_str()
+                    .ok_or_else(|| format!("mutant #{i} id is not a string"))?
+                    .to_string(),
+                class: OperatorClass::from_name(class_name)
+                    .ok_or_else(|| format!("unknown operator class `{class_name}`"))?,
+                status: Detection::from_name(status_name)
+                    .ok_or_else(|| format!("unknown detection status `{status_name}`"))?,
+                detected_by: str_list(field("detected_by")?, "detected_by")?,
+                degraded_on: str_list(field("degraded_on")?, "degraded_on")?,
+                killed_by_roles: str_list(field("killed_by_roles")?, "killed_by_roles")?,
+                killing_scenarios: str_list(field("killing_scenarios")?, "killing_scenarios")?,
+            });
+        }
+        Ok(KillMatrix {
+            requirements,
+            roles,
+            rows,
+        })
+    }
+
+    /// Compare this (fresh) matrix against a committed baseline.
+    #[must_use]
+    pub fn diff(&self, baseline: &KillMatrix) -> MatrixDiff {
+        let mut diff = MatrixDiff::default();
+        for base in &baseline.rows {
+            match self.row(&base.mutant_id) {
+                None => {
+                    if base.status == Detection::Detected {
+                        diff.regressions.push(format!(
+                            "mutant `{}` was detected in the baseline but is no longer \
+                             in the catalog",
+                            base.mutant_id
+                        ));
+                    } else {
+                        diff.drift
+                            .push(format!("mutant `{}` left the catalog", base.mutant_id));
+                    }
+                }
+                Some(cur) => match (base.status, cur.status) {
+                    (Detection::Detected, Detection::Detected)
+                        if base.detected_by != cur.detected_by =>
+                    {
+                        diff.drift.push(format!(
+                            "mutant `{}` detection moved: [{}] -> [{}]",
+                            base.mutant_id,
+                            base.detected_by.join(","),
+                            cur.detected_by.join(",")
+                        ));
+                    }
+                    (Detection::Detected, Detection::Detected) => {}
+                    (Detection::Detected, now) => diff.regressions.push(format!(
+                        "mutant `{}` was detected in the baseline but is now {now}",
+                        base.mutant_id
+                    )),
+                    (was, Detection::Detected) => diff.improvements.push(format!(
+                        "mutant `{}` was {was} in the baseline and is now detected \
+                             (refresh the baseline)",
+                        base.mutant_id
+                    )),
+                    (was, now) if was != now => diff
+                        .drift
+                        .push(format!("mutant `{}` moved {was} -> {now}", base.mutant_id)),
+                    _ => {}
+                },
+            }
+        }
+        for cur in &self.rows {
+            if baseline.row(&cur.mutant_id).is_none() {
+                diff.improvements.push(format!(
+                    "new mutant `{}` ({}) — refresh the baseline",
+                    cur.mutant_id, cur.status
+                ));
+            }
+        }
+        diff
+    }
+}
+
+impl fmt::Display for KillMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Outcome of diffing a fresh kill matrix against the baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatrixDiff {
+    /// Lost detection power — any entry here fails the build.
+    pub regressions: Vec<String>,
+    /// Gained detection power or new mutants (baseline refresh hints).
+    pub improvements: Vec<String>,
+    /// Neutral changes worth reporting (detection moved between
+    /// requirements, catalog churn of never-detected mutants).
+    pub drift: Vec<String>,
+}
+
+impl MatrixDiff {
+    /// True when detection power regressed — the CI gate.
+    #[must_use]
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// True when nothing at all changed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty() && self.improvements.is_empty() && self.drift.is_empty()
+    }
+
+    /// Human-readable summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            return "kill matrix matches the baseline\n".to_string();
+        }
+        let mut out = String::new();
+        for r in &self.regressions {
+            let _ = writeln!(out, "REGRESSION: {r}");
+        }
+        for d in &self.drift {
+            let _ = writeln!(out, "drift: {d}");
+        }
+        for i in &self.improvements {
+            let _ = writeln!(out, "improvement: {i}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::paper_mutants;
+    use cm_rest::parse_json;
+
+    #[test]
+    fn paper_mutants_fill_the_matrix() {
+        let matrix = run_kill_matrix(&paper_mutants());
+        assert_eq!(matrix.total(), 3);
+        assert_eq!(matrix.killed(), 3, "{matrix}");
+        // The extended suite defines all seven requirement columns.
+        assert_eq!(
+            matrix.requirements,
+            vec!["1.1", "1.2", "1.3", "1.4", "2.1", "2.2", "2.3"]
+        );
+        // All four fixture roles act in the suite.
+        assert_eq!(matrix.roles.len(), 4, "{:?}", matrix.roles);
+        // The widened-delete mutant is caught under SecReq 1.4 by a
+        // non-admin principal.
+        let row = matrix.row("P1-delete-role-widened").unwrap();
+        assert!(row.detected_by.contains(&"1.4".to_string()), "{row:?}");
+        assert!(row.killed_by_roles.iter().any(|r| r != "admin"), "{row:?}");
+    }
+
+    #[test]
+    fn full_catalog_detects_every_authorization_mutant() {
+        let matrix = run_kill_matrix(&full_catalog());
+        assert_eq!(matrix.total(), 37);
+        for row in &matrix.rows {
+            if row.class.is_authorization() {
+                assert_eq!(
+                    row.status,
+                    Detection::Detected,
+                    "authorization mutant survived: {}",
+                    row.mutant_id
+                );
+            }
+            // Nothing in-process can go degraded.
+            assert_ne!(row.status, Detection::Degraded, "{}", row.mutant_id);
+        }
+        assert!(matrix.score() >= 0.85, "{matrix}");
+        // Every class appears in the per-class rates.
+        assert_eq!(matrix.by_class().len(), OperatorClass::ALL.len());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_rows() {
+        let matrix = run_kill_matrix(&paper_mutants());
+        let text = matrix.to_json().to_pretty_string();
+        let parsed = KillMatrix::from_json(&parse_json(&text).unwrap()).unwrap();
+        assert_eq!(parsed, matrix);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_payloads() {
+        assert!(KillMatrix::from_json(&Json::Null).is_err());
+        let missing_mutants = Json::object(vec![
+            ("requirements", Json::Array(vec![])),
+            ("roles", Json::Array(vec![])),
+        ]);
+        assert!(KillMatrix::from_json(&missing_mutants).is_err());
+        let bad_class = parse_json(
+            r#"{"requirements":[],"roles":[],"mutants":[{"id":"m","class":"nope",
+                "status":"missed","detected_by":[],"degraded_on":[],
+                "killed_by_roles":[],"killing_scenarios":[]}]}"#,
+        )
+        .unwrap();
+        assert!(KillMatrix::from_json(&bad_class)
+            .unwrap_err()
+            .contains("unknown operator class"));
+    }
+
+    #[test]
+    fn diff_flags_lost_detection_as_regression() {
+        let baseline = run_kill_matrix(&paper_mutants());
+        let mut current = baseline.clone();
+        assert!(current.diff(&baseline).is_clean());
+
+        current.rows[0].status = Detection::Missed;
+        current.rows[0].detected_by.clear();
+        let diff = current.diff(&baseline);
+        assert!(diff.is_regression());
+        assert!(diff.render().contains("REGRESSION"), "{}", diff.render());
+
+        // The opposite direction is an improvement, not a regression.
+        let diff_back = baseline.diff(&current);
+        assert!(!diff_back.is_regression());
+        assert!(!diff_back.improvements.is_empty());
+
+        // A vanished detected mutant is a regression too.
+        let mut shrunk = baseline.clone();
+        shrunk.rows.remove(0);
+        let diff_shrunk = shrunk.diff(&baseline);
+        assert!(diff_shrunk.is_regression());
+
+        // A degraded mutant is not a kill.
+        let mut degraded = baseline.clone();
+        degraded.rows[1].status = Detection::Degraded;
+        degraded.rows[1].detected_by.clear();
+        assert!(degraded.diff(&baseline).is_regression());
+    }
+
+    #[test]
+    fn render_draws_requirement_columns() {
+        let matrix = run_kill_matrix(&paper_mutants());
+        let text = matrix.render();
+        assert!(text.contains("| 1.4 |"), "{text}");
+        assert!(text.contains("detected"), "{text}");
+        assert!(text.contains("Per-operator kill rates"), "{text}");
+        assert!(text.contains("Overall: 3/3"), "{text}");
+    }
+}

@@ -1,0 +1,570 @@
+//! Static analysis over `policy.json` rules — automated reasoning about
+//! the access policy *before* any request is served, in the spirit of
+//! CloudSec-style policy analysis.
+//!
+//! [`analyze_policy`] model-checks every rule over the finite universe of
+//! atoms it mentions (roles, usergroups, user ids) plus a caller-supplied
+//! role universe, and reports structured [`PolicyDiagnostic`]s:
+//!
+//! * **contradictions** — a rule that is not the explicit deny `!` yet
+//!   can never grant (e.g. `role:admin and not role:admin`): the action
+//!   is unreachable and the mistake is invisible at runtime until an
+//!   authorized user is locked out;
+//! * **shadowed rules** — a disjunct that can never fire (unsatisfiable)
+//!   or is entirely covered by earlier disjuncts, and conjuncts implied
+//!   by the rest of their conjunction (dead weight that hides intent);
+//! * **vacuous rules** — a rule that grants *everyone* without being the
+//!   explicit `@` (e.g. `role:a or not role:a`): almost always a widened
+//!   policy written by accident;
+//! * **unreachable roles** — a role in the universe that cannot perform
+//!   a single action under the policy (deny-by-default assumed).
+//!
+//! The analysis is exact for rules with at most [`MAX_ATOMS`] distinct
+//! atoms (exhaustive truth-table over the atoms); larger rules are
+//! reported as [`DiagnosticKind::Unanalyzable`] rather than silently
+//! skipped.
+
+use crate::policy::{PolicyFile, Rule};
+use crate::token::TokenInfo;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Exhaustive-enumeration cap: rules mentioning more distinct role/group
+/// atoms than this are reported as unanalyzable instead of analyzed.
+pub const MAX_ATOMS: usize = 14;
+
+/// What a diagnostic is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagnosticKind {
+    /// The rule can never grant although it is not the explicit `!`.
+    Contradiction,
+    /// A disjunct or conjunct that cannot affect the decision.
+    ShadowedRule,
+    /// The rule grants every authenticated principal although it is not
+    /// the explicit `@`.
+    VacuousGrant,
+    /// A role in the universe with no reachable operation.
+    UnreachableRole,
+    /// The rule exceeds [`MAX_ATOMS`] and was not analyzed.
+    Unanalyzable,
+}
+
+impl DiagnosticKind {
+    /// Stable lowercase name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagnosticKind::Contradiction => "contradiction",
+            DiagnosticKind::ShadowedRule => "shadowed-rule",
+            DiagnosticKind::VacuousGrant => "vacuous-grant",
+            DiagnosticKind::UnreachableRole => "unreachable-role",
+            DiagnosticKind::Unanalyzable => "unanalyzable",
+        }
+    }
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding of the static pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyDiagnostic {
+    /// What kind of defect this is.
+    pub kind: DiagnosticKind,
+    /// The action whose rule is at fault (`None` for role-level
+    /// findings, which span the whole file).
+    pub action: Option<String>,
+    /// The rule or sub-rule text the finding points at.
+    pub subject: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for PolicyDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.action {
+            Some(action) => write!(f, "{}: `{action}`: {}", self.kind, self.message),
+            None => write!(f, "{}: {}", self.kind, self.message),
+        }
+    }
+}
+
+/// Result of [`analyze_policy`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyAnalysis {
+    /// All findings, in policy order (role-level findings last).
+    pub diagnostics: Vec<PolicyDiagnostic>,
+}
+
+impl PolicyAnalysis {
+    /// True when the policy is clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings of one kind.
+    #[must_use]
+    pub fn of_kind(&self, kind: DiagnosticKind) -> Vec<&PolicyDiagnostic> {
+        self.diagnostics.iter().filter(|d| d.kind == kind).collect()
+    }
+
+    /// Render the findings one per line (`clean` when empty).
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.diagnostics.is_empty() {
+            return "policy analysis: clean\n".to_string();
+        }
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for PolicyAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// The atoms a rule (or rule set) mentions.
+#[derive(Debug, Clone, Default)]
+struct Atoms {
+    roles: Vec<String>,
+    groups: Vec<String>,
+    user_ids: Vec<u64>,
+}
+
+impl Atoms {
+    fn collect(&mut self, rule: &Rule) {
+        match rule {
+            Rule::Always | Rule::Never => {}
+            Rule::Role(r) => {
+                if !self.roles.contains(r) {
+                    self.roles.push(r.clone());
+                }
+            }
+            Rule::Group(g) => {
+                if !self.groups.contains(g) {
+                    self.groups.push(g.clone());
+                }
+            }
+            Rule::UserId(id) => {
+                if !self.user_ids.contains(id) {
+                    self.user_ids.push(*id);
+                }
+            }
+            Rule::Not(inner) => self.collect(inner),
+            Rule::And(a, b) | Rule::Or(a, b) => {
+                self.collect(a);
+                self.collect(b);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.roles.len() + self.groups.len()
+    }
+
+    /// A user id no rule mentions (the "anonymous" principal).
+    fn fresh_user_id(&self) -> u64 {
+        (1..).find(|id| !self.user_ids.contains(id)).expect("ℕ")
+    }
+
+    /// Every token shape distinguishable by these atoms: all subsets of
+    /// the mentioned roles × subsets of the mentioned groups × each
+    /// mentioned user id plus one fresh id.
+    fn tokens(&self) -> Vec<TokenInfo> {
+        let mut ids = self.user_ids.clone();
+        ids.push(self.fresh_user_id());
+        let mut out = Vec::new();
+        for role_bits in 0..(1u32 << self.roles.len()) {
+            for group_bits in 0..(1u32 << self.groups.len()) {
+                for &user_id in &ids {
+                    out.push(token(
+                        pick(&self.roles, role_bits),
+                        pick(&self.groups, group_bits),
+                        user_id,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// As [`Atoms::tokens`], but with the role set pinned to exactly
+    /// `role` (groups and user id still free).
+    fn tokens_with_role(&self, role: &str) -> Vec<TokenInfo> {
+        let mut ids = self.user_ids.clone();
+        ids.push(self.fresh_user_id());
+        let mut out = Vec::new();
+        for group_bits in 0..(1u32 << self.groups.len()) {
+            for &user_id in &ids {
+                out.push(token(
+                    vec![role.to_string()],
+                    pick(&self.groups, group_bits),
+                    user_id,
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn pick(atoms: &[String], bits: u32) -> Vec<String> {
+    atoms
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| bits & (1 << i) != 0)
+        .map(|(_, a)| a.clone())
+        .collect()
+}
+
+fn token(roles: Vec<String>, groups: Vec<String>, user_id: u64) -> TokenInfo {
+    TokenInfo {
+        token: String::new(),
+        user_id,
+        user_name: String::new(),
+        project_id: 0,
+        roles,
+        groups,
+    }
+}
+
+/// Flatten a top-level `or` chain into its disjuncts, left to right.
+fn disjuncts(rule: &Rule) -> Vec<&Rule> {
+    match rule {
+        Rule::Or(a, b) => {
+            let mut out = disjuncts(a);
+            out.extend(disjuncts(b));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Flatten a top-level `and` chain into its conjuncts, left to right.
+fn conjuncts(rule: &Rule) -> Vec<&Rule> {
+    match rule {
+        Rule::And(a, b) => {
+            let mut out = conjuncts(a);
+            out.extend(conjuncts(b));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Rebuild an `and` chain from conjuncts (`@` for the empty chain).
+fn and_all(parts: &[&Rule]) -> Rule {
+    parts.iter().fold(Rule::Always, |acc, part| match acc {
+        Rule::Always => (*part).clone(),
+        acc => Rule::And(Box::new(acc), Box::new((*part).clone())),
+    })
+}
+
+/// Statically analyze a policy over a role universe.
+///
+/// `role_universe` lists the roles that exist in the deployment (the
+/// identity store's role vocabulary); roles mentioned by rules are added
+/// automatically. Deny-by-default is assumed: an action is reachable for
+/// a role exactly when some rule grants one of its token shapes.
+#[must_use]
+pub fn analyze_policy(policy: &PolicyFile, role_universe: &[&str]) -> PolicyAnalysis {
+    let mut analysis = PolicyAnalysis::default();
+
+    for action in policy.actions() {
+        let rule = policy.rule(action).expect("listed action has a rule");
+        let mut atoms = Atoms::default();
+        atoms.collect(rule);
+        if atoms.len() > MAX_ATOMS {
+            analysis.diagnostics.push(PolicyDiagnostic {
+                kind: DiagnosticKind::Unanalyzable,
+                action: Some(action.to_string()),
+                subject: rule.to_string(),
+                message: format!(
+                    "rule mentions {} atoms (limit {MAX_ATOMS}); not analyzed",
+                    atoms.len()
+                ),
+            });
+            continue;
+        }
+        let tokens = atoms.tokens();
+        let granting: Vec<&TokenInfo> = tokens.iter().filter(|t| rule.check(t)).collect();
+
+        // Contradiction: never grants, but is not the explicit deny.
+        if granting.is_empty() && *rule != Rule::Never {
+            analysis.diagnostics.push(PolicyDiagnostic {
+                kind: DiagnosticKind::Contradiction,
+                action: Some(action.to_string()),
+                subject: rule.to_string(),
+                message: format!(
+                    "rule `{rule}` can never grant — contradictory grant/deny \
+                     (write `!` if the action is meant to be disabled)"
+                ),
+            });
+            continue; // Shadowing inside a dead rule is noise.
+        }
+
+        // Vacuous grant: always grants, but is not the explicit allow.
+        if granting.len() == tokens.len() && *rule != Rule::Always {
+            analysis.diagnostics.push(PolicyDiagnostic {
+                kind: DiagnosticKind::VacuousGrant,
+                action: Some(action.to_string()),
+                subject: rule.to_string(),
+                message: format!(
+                    "rule `{rule}` grants every authenticated principal — \
+                     equivalent to `@`"
+                ),
+            });
+        }
+
+        // Shadowed disjuncts: dead or fully covered by earlier ones.
+        let parts = disjuncts(rule);
+        if parts.len() > 1 {
+            for (i, part) in parts.iter().enumerate() {
+                let alone: Vec<&TokenInfo> = tokens.iter().filter(|t| part.check(t)).collect();
+                if alone.is_empty() {
+                    analysis.diagnostics.push(PolicyDiagnostic {
+                        kind: DiagnosticKind::ShadowedRule,
+                        action: Some(action.to_string()),
+                        subject: part.to_string(),
+                        message: format!("disjunct `{part}` can never match"),
+                    });
+                    continue;
+                }
+                if i > 0 {
+                    let earlier = &parts[..i];
+                    let covered = alone.iter().all(|t| earlier.iter().any(|e| e.check(t)));
+                    if covered {
+                        analysis.diagnostics.push(PolicyDiagnostic {
+                            kind: DiagnosticKind::ShadowedRule,
+                            action: Some(action.to_string()),
+                            subject: part.to_string(),
+                            message: format!(
+                                "disjunct `{part}` is shadowed by the disjuncts before it"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Redundant conjuncts: implied by the rest of their conjunction.
+        let con = conjuncts(rule);
+        if con.len() > 1 {
+            for (i, part) in con.iter().enumerate() {
+                let rest: Vec<&Rule> = con
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, p)| *p)
+                    .collect();
+                let rest_rule = and_all(&rest);
+                let implied = tokens.iter().all(|t| !rest_rule.check(t) || part.check(t));
+                if implied {
+                    analysis.diagnostics.push(PolicyDiagnostic {
+                        kind: DiagnosticKind::ShadowedRule,
+                        action: Some(action.to_string()),
+                        subject: part.to_string(),
+                        message: format!("conjunct `{part}` is implied by the rest of the rule"),
+                    });
+                }
+            }
+        }
+    }
+
+    // Roles with no reachable operation (deny-by-default).
+    let mut roles: BTreeSet<String> = role_universe.iter().map(|r| (*r).to_string()).collect();
+    for action in policy.actions() {
+        let mut atoms = Atoms::default();
+        atoms.collect(policy.rule(action).expect("listed action has a rule"));
+        roles.extend(atoms.roles);
+    }
+    for role in roles {
+        let reachable = policy.actions().any(|action| {
+            let rule = policy.rule(action).expect("listed action has a rule");
+            let mut atoms = Atoms::default();
+            atoms.collect(rule);
+            if atoms.len() > MAX_ATOMS {
+                // Unanalyzable rules are conservatively assumed to grant
+                // (they already carry their own diagnostic; piling
+                // unreachable-role noise on top helps nobody).
+                return true;
+            }
+            atoms.tokens_with_role(&role).iter().any(|t| rule.check(t))
+        });
+        if !reachable {
+            analysis.diagnostics.push(PolicyDiagnostic {
+                kind: DiagnosticKind::UnreachableRole,
+                action: None,
+                subject: role.clone(),
+                message: format!("role `{role}` cannot perform any action under this policy"),
+            });
+        }
+    }
+
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::parse_rule;
+    use crate::requirements::{cinder_table1, cinder_table_extended};
+
+    const UNIVERSE: [&str; 3] = ["admin", "member", "user"];
+
+    fn policy(entries: &[(&str, &str)]) -> PolicyFile {
+        PolicyFile::from_entries(entries.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn table_policies_are_clean() {
+        for table in [cinder_table1(), cinder_table_extended()] {
+            let analysis = analyze_policy(&table.to_policy(), &UNIVERSE);
+            assert!(analysis.is_clean(), "{analysis}");
+        }
+    }
+
+    #[test]
+    fn contradictory_rule_is_flagged_at_rule_level() {
+        let pf = policy(&[
+            ("volume:get", "role:admin or role:member or role:user"),
+            ("volume:delete", "role:admin and not role:admin"),
+        ]);
+        let analysis = analyze_policy(&pf, &UNIVERSE);
+        let findings = analysis.of_kind(DiagnosticKind::Contradiction);
+        assert_eq!(findings.len(), 1, "{analysis}");
+        assert_eq!(findings[0].action.as_deref(), Some("volume:delete"));
+        assert!(findings[0].subject.contains("role:admin"));
+        assert!(findings[0].to_string().contains("volume:delete"));
+    }
+
+    #[test]
+    fn explicit_deny_is_not_a_contradiction() {
+        let pf = policy(&[("volume:get", "@"), ("volume:wipe", "!")]);
+        let analysis = analyze_policy(&pf, &[]);
+        assert!(analysis.of_kind(DiagnosticKind::Contradiction).is_empty());
+    }
+
+    #[test]
+    fn conjoined_deny_is_a_contradiction() {
+        let pf = policy(&[("volume:get", "@"), ("volume:put", "role:admin and !")]);
+        let analysis = analyze_policy(&pf, &[]);
+        assert_eq!(analysis.of_kind(DiagnosticKind::Contradiction).len(), 1);
+    }
+
+    #[test]
+    fn shadowed_disjuncts_are_flagged() {
+        // Duplicate disjunct.
+        let pf = policy(&[("a:get", "role:admin or role:admin")]);
+        let analysis = analyze_policy(&pf, &UNIVERSE);
+        assert_eq!(analysis.of_kind(DiagnosticKind::ShadowedRule).len(), 1);
+
+        // `@` swallows everything after it (also a vacuous grant).
+        let pf = policy(&[("a:get", "@ or role:member")]);
+        let analysis = analyze_policy(&pf, &UNIVERSE);
+        assert_eq!(analysis.of_kind(DiagnosticKind::ShadowedRule).len(), 1);
+        assert_eq!(analysis.of_kind(DiagnosticKind::VacuousGrant).len(), 1);
+
+        // A dead disjunct never matches.
+        let pf = policy(&[("a:get", "role:admin or (role:member and !)")]);
+        let analysis = analyze_policy(&pf, &UNIVERSE);
+        let shadowed = analysis.of_kind(DiagnosticKind::ShadowedRule);
+        assert_eq!(shadowed.len(), 1, "{analysis}");
+        assert!(shadowed[0].message.contains("never match"));
+
+        // A broader earlier disjunct covers a narrower later one.
+        let pf = policy(&[("a:get", "role:admin or (role:admin and group:ops)")]);
+        let analysis = analyze_policy(&pf, &UNIVERSE);
+        assert_eq!(analysis.of_kind(DiagnosticKind::ShadowedRule).len(), 1);
+    }
+
+    #[test]
+    fn redundant_conjunct_is_flagged() {
+        let pf = policy(&[("a:get", "role:admin and role:admin")]);
+        let analysis = analyze_policy(&pf, &UNIVERSE);
+        // Both copies imply each other.
+        assert_eq!(analysis.of_kind(DiagnosticKind::ShadowedRule).len(), 2);
+    }
+
+    #[test]
+    fn vacuous_grant_is_flagged() {
+        let pf = policy(&[("a:get", "role:admin or not role:admin")]);
+        let analysis = analyze_policy(&pf, &UNIVERSE);
+        assert_eq!(analysis.of_kind(DiagnosticKind::VacuousGrant).len(), 1);
+    }
+
+    #[test]
+    fn role_with_no_reachable_operation_is_flagged() {
+        let pf = policy(&[
+            ("volume:get", "role:admin or role:member"),
+            ("volume:delete", "role:admin"),
+        ]);
+        let analysis = analyze_policy(&pf, &["admin", "member", "auditor"]);
+        let findings = analysis.of_kind(DiagnosticKind::UnreachableRole);
+        assert_eq!(findings.len(), 1, "{analysis}");
+        assert_eq!(findings[0].subject, "auditor");
+    }
+
+    #[test]
+    fn empty_policy_makes_every_role_unreachable() {
+        let analysis = analyze_policy(&PolicyFile::new(), &["admin"]);
+        assert_eq!(analysis.of_kind(DiagnosticKind::UnreachableRole).len(), 1);
+    }
+
+    #[test]
+    fn negated_role_reachability_is_exact() {
+        // `not role:admin` admits member but locks admin out; with a
+        // second admin-only action both roles are reachable.
+        let pf = policy(&[("a:get", "not role:admin")]);
+        let analysis = analyze_policy(&pf, &["admin", "member"]);
+        let unreachable = analysis.of_kind(DiagnosticKind::UnreachableRole);
+        assert_eq!(unreachable.len(), 1);
+        assert_eq!(unreachable[0].subject, "admin");
+
+        let pf = policy(&[("a:get", "not role:admin"), ("a:put", "role:admin")]);
+        let analysis = analyze_policy(&pf, &["admin", "member"]);
+        assert!(analysis.of_kind(DiagnosticKind::UnreachableRole).is_empty());
+    }
+
+    #[test]
+    fn group_and_user_id_atoms_participate() {
+        // Satisfiable only through the group atom — not a contradiction.
+        let pf = policy(&[("a:get", "role:admin and group:ops")]);
+        let analysis = analyze_policy(&pf, &["admin"]);
+        assert!(analysis.of_kind(DiagnosticKind::Contradiction).is_empty());
+
+        // user_id pinning: `user_id:7 and not user_id:7` is dead.
+        let pf = policy(&[("a:get", "@"), ("a:put", "user_id:7 and not user_id:7")]);
+        let analysis = analyze_policy(&pf, &[]);
+        assert_eq!(analysis.of_kind(DiagnosticKind::Contradiction).len(), 1);
+    }
+
+    #[test]
+    fn oversized_rule_is_reported_not_skipped() {
+        let atoms: Vec<String> = (0..=MAX_ATOMS).map(|i| format!("role:r{i}")).collect();
+        let rule = atoms.join(" or ");
+        let mut pf = PolicyFile::new();
+        pf.set("a:get", parse_rule(&rule).unwrap());
+        let analysis = analyze_policy(&pf, &[]);
+        assert_eq!(analysis.of_kind(DiagnosticKind::Unanalyzable).len(), 1);
+    }
+
+    #[test]
+    fn render_lists_findings_or_clean() {
+        let clean = analyze_policy(&cinder_table1().to_policy(), &UNIVERSE);
+        assert!(clean.render().contains("clean"));
+        let dirty = analyze_policy(&policy(&[("x:get", "role:a and not role:a")]), &["a"]);
+        let text = dirty.render();
+        assert!(text.contains("contradiction"), "{text}");
+        assert!(text.contains("x:get"), "{text}");
+    }
+}

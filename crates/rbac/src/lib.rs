@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analyze;
 pub mod identity;
 pub mod policy;
 pub mod requirements;
 pub mod token;
 
+pub use analyze::{analyze_policy, DiagnosticKind, PolicyAnalysis, PolicyDiagnostic};
 pub use identity::{my_project_fixture, IdentityError, IdentityStore, Project, User, UserGroup};
 pub use policy::{parse_rule, DefaultDecision, PolicyFile, Rule, RuleParseError};
 pub use requirements::{

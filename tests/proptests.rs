@@ -711,6 +711,124 @@ proptest! {
     }
 }
 
+/// Arbitrary policy rules over a tiny fixed vocabulary (roles a–c,
+/// groups g–h, user ids 1–2) so runtime behaviour can be checked by
+/// exhaustive token enumeration.
+fn arb_policy_rule() -> impl Strategy<Value = cm_rbac::Rule> {
+    use cm_rbac::Rule;
+    let leaf = prop_oneof![
+        Just(Rule::Always),
+        Just(Rule::Never),
+        "[a-c]".prop_map(Rule::Role),
+        "[gh]".prop_map(Rule::Group),
+        (1u64..3).prop_map(Rule::UserId),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|r| Rule::Not(Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rule::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Rule::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The static policy analyzer agrees with the runtime checker, both
+    /// ways: an action is flagged contradictory exactly when no possible
+    /// token is granted at runtime (unless the deny is the explicit `!`),
+    /// and a role is flagged unreachable exactly when no action admits a
+    /// token holding just that role. In particular a diagnostics-clean
+    /// policy never produces a runtime RBAC denial the analysis should
+    /// have predicted.
+    #[test]
+    fn rbac_static_analysis_agrees_with_runtime(
+        rules in prop::collection::vec(arb_policy_rule(), 1..4),
+    ) {
+        use cm_rbac::{analyze_policy, DiagnosticKind, PolicyFile, Rule, TokenInfo};
+
+        let actions: Vec<String> =
+            (0..rules.len()).map(|i| format!("res{i}:op")).collect();
+        let mut policy = PolicyFile::new();
+        for (action, rule) in actions.iter().zip(&rules) {
+            policy.set(action.clone(), rule.clone());
+        }
+        let universe = ["a", "b", "c"];
+        let analysis = analyze_policy(&policy, &universe);
+
+        // Exhaustive token pool over the rule vocabulary: every subset of
+        // roles x every subset of groups x {mentioned ids, one fresh id}.
+        let mut pool = Vec::new();
+        for rmask in 0u32..8 {
+            for gmask in 0u32..4 {
+                for id in [1u64, 2, 99] {
+                    pool.push(TokenInfo {
+                        token: "t".into(),
+                        user_id: id,
+                        user_name: "u".into(),
+                        project_id: 1,
+                        roles: ["a", "b", "c"]
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| rmask >> i & 1 == 1)
+                            .map(|(_, r)| (*r).to_string())
+                            .collect(),
+                        groups: ["g", "h"]
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| gmask >> i & 1 == 1)
+                            .map(|(_, g)| (*g).to_string())
+                            .collect(),
+                    });
+                }
+            }
+        }
+
+        // Contradiction <=> runtime denies every possible token (and the
+        // deny was not spelled `!`, which is intentional).
+        for (action, rule) in actions.iter().zip(&rules) {
+            let grants_someone = pool.iter().any(|t| rule.check(t));
+            let flagged = analysis
+                .of_kind(DiagnosticKind::Contradiction)
+                .iter()
+                .any(|d| d.action.as_deref() == Some(action.as_str()));
+            prop_assert_eq!(
+                flagged,
+                !grants_someone && *rule != Rule::Never,
+                "action {}: rule {}", action, rule
+            );
+        }
+
+        // UnreachableRole <=> no action grants a token holding exactly
+        // that role.
+        for role in universe {
+            let reachable = rules.iter().any(|rule| {
+                pool.iter()
+                    .filter(|t| t.roles == [role.to_string()])
+                    .any(|t| rule.check(t))
+            });
+            let flagged = analysis
+                .of_kind(DiagnosticKind::UnreachableRole)
+                .iter()
+                .any(|d| d.subject == role);
+            prop_assert_eq!(flagged, !reachable, "role {}", role);
+        }
+
+        // And therefore: clean analysis => every role reaches something.
+        if analysis.is_clean() {
+            for role in universe {
+                let reachable = rules.iter().any(|rule| {
+                    pool.iter()
+                        .filter(|t| t.roles == [role.to_string()])
+                        .any(|t| rule.check(t))
+                });
+                prop_assert!(reachable, "clean policy strands role {}", role);
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -38,6 +38,8 @@ stages (run exactly what is named, in the order given, deduplicated):
   stress     concurrency soak battery (debug + release + determinism property)
   chaos      transport-chaos battery (fault soak, flap ledger, recovery smoke)
   campaign   kill-matrix campaign vs committed baseline + static RBAC lint
+  audit      durable-log battery (SIGKILL crash recovery, proptest framing
+             corruption, differential replay, streaming tail)
 
 flags (aliases kept for compatibility; each means core + that stage):
   --stress --chaos --campaign
@@ -68,7 +70,7 @@ for arg in "$@"; do
     --chaos) add_core; add_stage chaos ;;
     --campaign) add_core; add_stage campaign ;;
     core) add_core ;;
-    fmt|clippy|build|test|docs|features|smoke|stress|chaos|campaign)
+    fmt|clippy|build|test|docs|features|smoke|stress|chaos|campaign|audit)
       add_stage "$arg" ;;
     *) echo "unknown option: $arg" >&2; echo >&2; usage >&2; exit 2 ;;
   esac
@@ -155,6 +157,23 @@ stage_campaign() {
 
   step "campaign: static-analysis/runtime agreement property"
   cargo test --offline --features proptest --test proptests -q rbac_
+}
+
+stage_audit() {
+  step "audit: SIGKILL crash-injection recovery battery (release)"
+  cargo test --offline --release --test audit_recovery -q
+
+  step "audit: framing corruption battery (proptest)"
+  cargo test --offline --features proptest --test audit_corruption -q
+
+  step "audit: differential replay against current and mutated contracts"
+  cargo test --offline --test audit_replay -q
+
+  step "audit: streaming tail (bounded lag, resume cursor)"
+  cargo test --offline --test audit_stream -q
+
+  step "audit: cm-audit unit suite"
+  cargo test --offline -p cm-audit -q
 }
 
 SUMMARY=""

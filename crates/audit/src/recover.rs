@@ -1,0 +1,483 @@
+//! Startup recovery: scan segments, verify every frame, truncate the
+//! torn tail, and report what (if anything) was lost.
+//!
+//! ## Invariants
+//!
+//! * Recovery never refuses to start on corruption: the log is
+//!   truncated at the last byte that parses and checksums cleanly.
+//! * Every record before the truncation point is returned exactly once,
+//!   in commit order — no duplicates, no gaps.
+//! * Corruption in a *non-final* segment quarantines every later
+//!   segment (renamed `*.corrupt`, never deleted): commit order cannot
+//!   be trusted past the first bad byte.
+//! * The checkpoint file is a loss *detector*, not a recovery
+//!   dependency: if it records more committed records than the scan
+//!   recovers, the difference is surfaced as `lost_committed` and the
+//!   log still opens.
+
+use crate::crc::crc32;
+use crate::record::{decode_record, next_frame, AuditRecord, FrameEnd};
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic leading every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"CMAUDSEG";
+
+/// Segment format version.
+pub const SEGMENT_VERSION: u32 = 1;
+
+/// Segment header: magic + version + first record offset.
+pub const SEGMENT_HEADER: usize = 8 + 4 + 8;
+
+/// Magic leading the checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"CMAUDCKP";
+
+/// Name of the checkpoint file inside the log directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint";
+
+/// Build a segment file name from its first record offset. Zero-padded
+/// so lexicographic order is commit order.
+#[must_use]
+pub fn segment_file_name(first_offset: u64) -> String {
+    format!("segment-{first_offset:020}.log")
+}
+
+/// Serialize a segment header.
+#[must_use]
+pub fn segment_header(first_offset: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEGMENT_HEADER);
+    out.extend_from_slice(SEGMENT_MAGIC);
+    out.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    out.extend_from_slice(&first_offset.to_le_bytes());
+    out
+}
+
+/// What recovery found and did. All fields are advisory except
+/// `next_offset`, which seeds the writer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Segments that survived the scan.
+    pub segments: usize,
+    /// Records recovered across all surviving segments.
+    pub records: u64,
+    /// Offset the next committed record will take.
+    pub next_offset: u64,
+    /// Bytes cut from the tail of the last surviving segment.
+    pub truncated_bytes: u64,
+    /// Segments quarantined (renamed `*.corrupt`) because an earlier
+    /// segment was corrupt, plus corrupt headers themselves.
+    pub quarantined_segments: usize,
+    /// Records the checkpoint says were committed but the scan could
+    /// not recover (0 when the durability contract held).
+    pub lost_committed: u64,
+    /// Committed count the checkpoint recorded, if one was readable.
+    pub checkpoint: Option<u64>,
+}
+
+/// One surviving segment after recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Absolute path of the segment file.
+    pub path: PathBuf,
+    /// Offset of the segment's first record.
+    pub first_offset: u64,
+    /// Records in this segment after truncation.
+    pub records: u64,
+    /// Byte length after truncation (header included).
+    pub len: u64,
+}
+
+/// Full result of [`recover`].
+#[derive(Debug)]
+pub struct Recovered {
+    /// Summary of the scan.
+    pub report: RecoveryReport,
+    /// Surviving segments in commit order.
+    pub segments: Vec<SegmentInfo>,
+}
+
+fn is_segment_name(name: &str) -> bool {
+    name.starts_with("segment-") && name.ends_with(".log")
+}
+
+fn list_segments(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(name) = entry.file_name().to_str() {
+            if is_segment_name(name) {
+                segments.push(entry.path());
+            }
+        }
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+fn quarantine(path: &Path) -> io::Result<()> {
+    let mut corrupt = path.as_os_str().to_owned();
+    corrupt.push(".corrupt");
+    fs::rename(path, PathBuf::from(corrupt))
+}
+
+/// Scan one segment: verify the header, walk the frames, and decode
+/// each record with `visit`. Returns
+/// `(header_first_offset, records, valid_len, clean)`; `clean` is
+/// false when the scan stopped early (corruption / torn tail).
+/// `expected_first = None` accepts any header offset — retention may
+/// have deleted older segments, so the first surviving segment defines
+/// the base offset.
+fn scan_segment(
+    bytes: &[u8],
+    expected_first: Option<u64>,
+    mut visit: impl FnMut(&AuditRecord),
+) -> Option<(u64, u64, u64, bool)> {
+    if bytes.len() < SEGMENT_HEADER
+        || &bytes[0..8] != SEGMENT_MAGIC
+        || u32::from_le_bytes(bytes[8..12].try_into().unwrap()) != SEGMENT_VERSION
+    {
+        return None;
+    }
+    let first = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    if expected_first.is_some_and(|expected| expected != first) {
+        return None;
+    }
+    let mut offset = SEGMENT_HEADER;
+    let mut records = 0u64;
+    loop {
+        match next_frame(bytes, offset) {
+            Ok((payload, next)) => match decode_record(payload) {
+                Ok(record) => {
+                    visit(&record);
+                    records += 1;
+                    offset = next;
+                }
+                // CRC-valid but undecodable payload: treat exactly like
+                // a torn tail — stop, do not skip forward.
+                Err(_) => return Some((first, records, offset as u64, false)),
+            },
+            Err(FrameEnd::Clean) => return Some((first, records, offset as u64, true)),
+            Err(FrameEnd::Torn | FrameEnd::BadLength | FrameEnd::BadChecksum) => {
+                return Some((first, records, offset as u64, false));
+            }
+        }
+    }
+}
+
+/// Read the checkpoint file: committed record count at last write.
+#[must_use]
+pub fn read_checkpoint(dir: &Path) -> Option<u64> {
+    let bytes = fs::read(dir.join(CHECKPOINT_FILE)).ok()?;
+    if bytes.len() != 8 + 8 + 4 || &bytes[0..8] != CHECKPOINT_MAGIC {
+        return None;
+    }
+    let committed = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let crc = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    (crc32(&bytes[0..16]) == crc).then_some(committed)
+}
+
+/// Atomically write the checkpoint file (`committed` records durable).
+pub fn write_checkpoint(dir: &Path, committed: u64) -> io::Result<()> {
+    let mut bytes = Vec::with_capacity(20);
+    bytes.extend_from_slice(CHECKPOINT_MAGIC);
+    bytes.extend_from_slice(&committed.to_le_bytes());
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    let tmp = dir.join("checkpoint.tmp");
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_data()?;
+    }
+    fs::rename(&tmp, dir.join(CHECKPOINT_FILE))?;
+    sync_dir(dir)
+}
+
+/// fsync a directory so renames/creations within it are durable.
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    fs::File::open(dir)?.sync_all()
+}
+
+/// Recover the log directory in place: truncate the torn tail of the
+/// last trustworthy segment, quarantine anything after a corrupt one,
+/// and report. Calls `visit` once per surviving record in commit order.
+///
+/// # Errors
+///
+/// Only genuine I/O failures (permission, disk) — corruption is
+/// handled, not propagated.
+pub fn recover_with(dir: &Path, mut visit: impl FnMut(&AuditRecord)) -> io::Result<Recovered> {
+    fs::create_dir_all(dir)?;
+    let mut report = RecoveryReport {
+        checkpoint: read_checkpoint(dir),
+        ..RecoveryReport::default()
+    };
+    let mut segments = Vec::new();
+    let mut next_offset: Option<u64> = None;
+    let mut poisoned = false;
+
+    for path in list_segments(dir)? {
+        if poisoned {
+            quarantine(&path)?;
+            report.quarantined_segments += 1;
+            continue;
+        }
+        let mut bytes = Vec::new();
+        fs::File::open(&path)?.read_to_end(&mut bytes)?;
+        match scan_segment(&bytes, next_offset, &mut visit) {
+            None => {
+                // Header unreadable or out of sequence: this segment
+                // and everything after cannot be ordered.
+                quarantine(&path)?;
+                report.quarantined_segments += 1;
+                poisoned = true;
+            }
+            Some((first, records, valid_len, clean)) => {
+                if !clean {
+                    report.truncated_bytes += bytes.len() as u64 - valid_len;
+                    let file = fs::OpenOptions::new().write(true).open(&path)?;
+                    file.set_len(valid_len)?;
+                    file.sync_data()?;
+                    // Later segments postdate the torn write; their
+                    // records would leave a gap in commit order.
+                    poisoned = true;
+                }
+                segments.push(SegmentInfo {
+                    path,
+                    first_offset: first,
+                    records,
+                    len: valid_len,
+                });
+                next_offset = Some(first + records);
+                report.records += records;
+            }
+        }
+    }
+
+    report.segments = segments.len();
+    report.next_offset = next_offset.unwrap_or(0);
+    report.lost_committed = report
+        .checkpoint
+        .map_or(0, |c| c.saturating_sub(report.next_offset));
+    Ok(Recovered { report, segments })
+}
+
+/// Recover and also collect every surviving record.
+///
+/// # Errors
+///
+/// Propagates only genuine I/O failures, as [`recover_with`].
+pub fn recover(dir: &Path) -> io::Result<(Vec<AuditRecord>, Recovered)> {
+    let mut records = Vec::new();
+    let recovered = recover_with(dir, |record| records.push(record.clone()))?;
+    Ok((records, recovered))
+}
+
+/// Read every record from a recovered (or live, after [`recover`]) log
+/// directory without mutating anything. Scan stops silently at the
+/// first invalid byte, mirroring recovery semantics.
+///
+/// # Errors
+///
+/// Genuine I/O failures only.
+pub fn read_records(dir: &Path) -> io::Result<Vec<AuditRecord>> {
+    let mut records = Vec::new();
+    let mut next_offset: Option<u64> = None;
+    for path in list_segments(dir)? {
+        let mut bytes = Vec::new();
+        fs::File::open(&path)?.read_to_end(&mut bytes)?;
+        match scan_segment(&bytes, next_offset, |record| records.push(record.clone())) {
+            None => break,
+            Some((first, count, _, clean)) => {
+                next_offset = Some(first + count);
+                if !clean {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{
+        encode_frame, encode_record, EnvSnapshot, MonitorMode, ReplayContext, VerdictCode,
+    };
+
+    fn record(i: u64) -> AuditRecord {
+        AuditRecord {
+            seq: i,
+            ts_nanos: i * 1000,
+            method: "GET".into(),
+            path: format!("/v3/{i}"),
+            route: None,
+            trigger: None,
+            mode: MonitorMode::Enforce,
+            degraded_policy: "fail-closed".into(),
+            verdict: VerdictCode::Pass,
+            requirements: vec![],
+            status: 200,
+            diagnostics: String::new(),
+            context: ReplayContext::Checked {
+                pre_env: EnvSnapshot::default(),
+                post_env: None,
+                post_partial: false,
+                probe_denials: vec![],
+                forwarded: true,
+                cloud_status: Some(200),
+            },
+        }
+    }
+
+    fn write_segment(dir: &Path, first: u64, count: u64) -> PathBuf {
+        let mut bytes = segment_header(first);
+        for i in 0..count {
+            encode_frame(&encode_record(&record(first + i)), &mut bytes);
+        }
+        let path = dir.join(segment_file_name(first));
+        fs::write(&path, &bytes).unwrap();
+        path
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cm-audit-recover-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn clean_multi_segment_log_recovers_everything() {
+        let dir = tmp("clean");
+        write_segment(&dir, 0, 3);
+        write_segment(&dir, 3, 2);
+        let (records, recovered) = recover(&dir).unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(recovered.report.next_offset, 5);
+        assert_eq!(recovered.report.truncated_bytes, 0);
+        assert_eq!(recovered.segments.len(), 2);
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmp("torn");
+        let path = write_segment(&dir, 0, 4);
+        let full = fs::metadata(&path).unwrap().len();
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(full - 3)
+            .unwrap();
+        let (records, recovered) = recover(&dir).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(recovered.report.next_offset, 3);
+        assert!(recovered.report.truncated_bytes > 0);
+        // Idempotent: a second recovery finds a clean log.
+        let (again, r2) = recover(&dir).unwrap();
+        assert_eq!(again.len(), 3);
+        assert_eq!(r2.report.truncated_bytes, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_middle_segment_quarantines_later_ones() {
+        let dir = tmp("middle");
+        write_segment(&dir, 0, 2);
+        let middle = write_segment(&dir, 2, 2);
+        write_segment(&dir, 4, 2);
+        // Flip a payload byte in the middle segment's first record.
+        let mut bytes = fs::read(&middle).unwrap();
+        let hit = SEGMENT_HEADER + 8 + 4;
+        bytes[hit] ^= 0x10;
+        fs::write(&middle, &bytes).unwrap();
+
+        let (records, recovered) = recover(&dir).unwrap();
+        assert_eq!(records.len(), 2, "only the first segment survives");
+        assert_eq!(recovered.report.quarantined_segments, 1);
+        assert_eq!(recovered.report.next_offset, 2);
+        // The middle segment was truncated to its header; the later
+        // segment is quarantined, not silently replayed out of order.
+        assert!(dir
+            .read_dir()
+            .unwrap()
+            .filter_map(Result::ok)
+            .any(|e| e.file_name().to_string_lossy().ends_with(".corrupt")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_header_quarantines_segment() {
+        let dir = tmp("header");
+        write_segment(&dir, 0, 2);
+        let bogus = dir.join(segment_file_name(2));
+        fs::write(&bogus, b"NOTASEGMENT").unwrap();
+        let (records, recovered) = recover(&dir).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(recovered.report.quarantined_segments, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_detects_lost_commits() {
+        let dir = tmp("ckpt");
+        write_segment(&dir, 0, 2);
+        write_checkpoint(&dir, 5).unwrap();
+        let (_, recovered) = recover(&dir).unwrap();
+        assert_eq!(recovered.report.checkpoint, Some(5));
+        assert_eq!(recovered.report.lost_committed, 3);
+        // A stale (smaller) checkpoint reports no loss.
+        write_checkpoint(&dir, 1).unwrap();
+        let (_, recovered) = recover(&dir).unwrap();
+        assert_eq!(recovered.report.lost_committed, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_ignored() {
+        let dir = tmp("badckpt");
+        write_segment(&dir, 0, 1);
+        fs::write(dir.join(CHECKPOINT_FILE), b"garbage").unwrap();
+        let (_, recovered) = recover(&dir).unwrap();
+        assert_eq!(recovered.report.checkpoint, None);
+        assert_eq!(recovered.report.lost_committed, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retained_suffix_starting_past_zero_recovers() {
+        // Retention may have deleted segment-0: the base offset comes
+        // from the first surviving segment's header.
+        let dir = tmp("suffix");
+        write_segment(&dir, 7, 2);
+        write_segment(&dir, 9, 3);
+        let (records, recovered) = recover(&dir).unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(recovered.report.next_offset, 12);
+        assert_eq!(recovered.segments[0].first_offset, 7);
+        // A gap between segments is corruption, not tolerated.
+        write_segment(&dir, 13, 1);
+        let (records, recovered) = recover(&dir).unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(recovered.report.quarantined_segments, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_recovers_to_empty_log() {
+        let dir = tmp("empty");
+        let (records, recovered) = recover(&dir).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(recovered.report.next_offset, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

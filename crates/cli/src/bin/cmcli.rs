@@ -64,6 +64,19 @@ fn run(args: &[String]) -> Result<(String, bool), CliError> {
             }
             cmd_rbac_lint(rest.get(1).map(Path::new))
         }
+        Some("audit") if rest.first() == Some(&"replay") => {
+            let dir = rest
+                .get(1)
+                .filter(|v| !v.starts_with("--"))
+                .ok_or(CliError("audit replay needs <log-dir>".into()))?;
+            cm_cli::cmd_audit_replay(Path::new(dir), rest.contains(&"--extended"))
+        }
+        Some("audit") if rest.first() == Some(&"verify") => {
+            let dir = rest
+                .get(1)
+                .ok_or(CliError("audit verify needs <log-dir>".into()))?;
+            cm_cli::cmd_audit_verify(Path::new(dir))
+        }
         _ => run_inner(args).map(|text| (text, true)),
     }
 }
@@ -183,6 +196,7 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
                     .and_then(|n| n.parse().ok())
                     .ok_or(CliError("--breaker-threshold needs a number".into()))?;
             }
+            let audit_dir = flag_value(&rest, "--audit-dir")?.map(Path::new);
             serve(
                 port,
                 rest.contains(&"--extended"),
@@ -190,6 +204,7 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
                 keep_alive,
                 policy,
                 client_config,
+                audit_dir,
             )
         }
         Some("metrics") => {
@@ -218,6 +233,7 @@ fn serve(
     keep_alive: bool,
     policy: cm_core::DegradedPolicy,
     client_config: cm_httpkit::ClientConfig,
+    audit_dir: Option<&Path>,
 ) -> Result<String, CliError> {
     use cm_cloudsim::PrivateCloud;
     use cm_core::CloudMonitor;
@@ -274,11 +290,42 @@ fn serve(
         .map_err(|e| CliError(e.message))?
     };
     let mut monitor = monitor.degraded_policy(policy);
+    // The durable audit log shares the monitor's metrics registry so
+    // group-commit latency and drop counts land in /-/metrics.
+    let audit_log = match audit_dir {
+        Some(dir) => {
+            let (log, report) = cm_audit::AuditLog::open(
+                dir,
+                cm_audit::AuditLogOptions::default(),
+                Some(monitor.metrics()),
+            )
+            .map_err(|e| CliError(format!("open audit log {}: {e}", dir.display())))?;
+            println!(
+                "audit log       : {} ({} records recovered, next offset {}{})",
+                dir.display(),
+                report.records,
+                report.next_offset,
+                if report.truncated_bytes > 0 {
+                    format!(", truncated {} torn bytes", report.truncated_bytes)
+                } else {
+                    String::new()
+                }
+            );
+            Some(Arc::new(log))
+        }
+        None => None,
+    };
+    if let Some(log) = &audit_log {
+        monitor = monitor.audit_recorder(Arc::clone(log) as Arc<dyn cm_audit::AuditRecorder>);
+    }
     monitor
         .authenticate("alice", "alice-pw")
         .map_err(|e| CliError(e.message))?;
-    let admin =
+    let mut admin =
         AdminRoutes::new(monitor.metrics(), monitor.events()).with_transport(Arc::clone(&client));
+    if let Some(log) = &audit_log {
+        admin = admin.with_stream(Arc::clone(log) as Arc<dyn cm_obs::TailStream>);
+    }
     let monitor = Arc::new(monitor);
     let monitor_handle = Arc::clone(&monitor);
     let monitor_server = HttpServer::bind_with(
@@ -301,6 +348,11 @@ fn serve(
         client.config().breaker_threshold
     );
     println!("observability   : GET /-/metrics, /-/events?tail=N, /-/health (or `cmcli metrics`)");
+    if audit_log.is_some() {
+        println!(
+            "audit stream    : GET /-/events/stream?from=N&max=M&wait_ms=T (resume from `next`)"
+        );
+    }
     println!("fixture users   : alice/alice-pw (admin), bob (member), carol (user)");
     println!(
         "authenticate    : POST /identity/auth/tokens {{\"auth\":{{\"user\":…,\"password\":…}}}}"

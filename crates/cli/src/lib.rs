@@ -363,6 +363,119 @@ pub fn cmd_audit() -> String {
     out
 }
 
+/// `cmcli audit replay <log-dir> [--extended]` — re-evaluate a durable
+/// audit trace against the current contract set and diff the verdicts.
+/// A contract set identical to the recording monitor's reproduces every
+/// verdict (including Degraded and requirement attribution); an updated
+/// set surfaces *diffs*, never errors. The returned flag is `false`
+/// when any record diffs, so CI can gate on unexplained drift.
+///
+/// # Errors
+///
+/// I/O failures reading the log, or contract-generation failures.
+pub fn cmd_audit_replay(dir: &Path, extended: bool) -> Result<(String, bool), CliError> {
+    use cm_core::{ReplayEngine, ReplayOutcome};
+    use cm_model::cinder;
+    let records = cm_audit::read_records(dir)
+        .map_err(|e| fail(format!("read audit log {}: {e}", dir.display())))?;
+    let mut engine = if extended {
+        ReplayEngine::from_behaviors(
+            &[
+                &cinder::extended_behavioral_model(),
+                &cinder::snapshot_behavioral_model(),
+            ],
+            None,
+        )
+    } else {
+        ReplayEngine::from_behaviors(&[&cinder::behavioral_model()], None)
+    }
+    .map_err(|e| fail(e.message))?;
+    let report = engine.replay(&records);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replayed {} records against the current contract set: {} matched, {} diffs",
+        report.entries.len(),
+        report.matched(),
+        report.diff_count()
+    );
+    for entry in report.diffs() {
+        let replayed = match &entry.replayed {
+            ReplayOutcome::Verdict { verdict, .. } => verdict.label(),
+            ReplayOutcome::Indeterminate(reason) => format!("indeterminate ({reason})"),
+        };
+        let _ = writeln!(
+            out,
+            "  seq {:>6} {} {}: recorded {}, replayed {}",
+            entry.seq, entry.method, entry.path, entry.recorded, replayed
+        );
+    }
+    if report.is_clean() {
+        let _ = writeln!(out, "verdict sequence reproduced exactly");
+    }
+    Ok((out, report.is_clean()))
+}
+
+/// `cmcli audit verify <log-dir>` — integrity-check a durable audit
+/// log by running the same recovery a monitor restart would: scan every
+/// segment frame by frame, truncate any torn tail, quarantine corrupt
+/// segments, and compare the result against the checkpoint. The
+/// returned flag is `false` when committed records are missing or
+/// segments were quarantined.
+///
+/// # Errors
+///
+/// I/O failures reading the log directory.
+pub fn cmd_audit_verify(dir: &Path) -> Result<(String, bool), CliError> {
+    let (records, recovered) = cm_audit::recover(dir)
+        .map_err(|e| fail(format!("scan audit log {}: {e}", dir.display())))?;
+    let report = &recovered.report;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} segments, {} records, next offset {}",
+        dir.display(),
+        report.segments,
+        report.records,
+        report.next_offset
+    );
+    if report.truncated_bytes > 0 {
+        let _ = writeln!(
+            out,
+            "  truncated {} bytes of torn tail (uncommitted group)",
+            report.truncated_bytes
+        );
+    }
+    if report.quarantined_segments > 0 {
+        let _ = writeln!(
+            out,
+            "  quarantined {} corrupt segment(s)",
+            report.quarantined_segments
+        );
+    }
+    match report.checkpoint {
+        Some(committed) => {
+            let _ = writeln!(
+                out,
+                "  checkpoint: {committed} committed, {} lost",
+                report.lost_committed
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  checkpoint: none");
+        }
+    }
+    let violations: u64 = records.iter().filter(|r| r.verdict.is_violation()).count() as u64;
+    let _ = writeln!(out, "  violations on record: {violations}");
+    let ok = report.lost_committed == 0 && report.quarantined_segments == 0;
+    let _ = writeln!(
+        out,
+        "durability contract {}",
+        if ok { "held" } else { "VIOLATED" }
+    );
+    Ok((out, ok))
+}
+
 /// `cmcli mutate campaign [--out FILE] [--baseline FILE]` — run the
 /// full kill-matrix campaign: every mutant in the standard and snapshot
 /// catalogs against the extended oracle suite, reported as a
@@ -551,6 +664,16 @@ pub fn usage() -> &'static str {
        cmcli codegen <name> <xmi> <dir> [--cloud-url URL]\n\
                                               generate the Django monitor\n\
        cmcli audit                            oracle + mutation campaigns\n\
+       cmcli audit replay <log-dir> [--extended]\n\
+                                              re-evaluate a durable audit trace\n\
+                                              against the current contract set\n\
+                                              and diff the verdicts; exits 1 on\n\
+                                              any diff\n\
+       cmcli audit verify <log-dir>           recovery-scan a durable audit log:\n\
+                                              truncate torn tails, quarantine\n\
+                                              corruption, check the checkpoint;\n\
+                                              exits 1 when committed records\n\
+                                              are missing\n\
        cmcli mutate campaign [--out FILE] [--baseline FILE]\n\
                                               full kill-matrix campaign; --out\n\
                                               writes KILL_MATRIX.json, --baseline\n\
@@ -562,6 +685,8 @@ pub fn usage() -> &'static str {
                                               1 when a diagnostic fires (default:\n\
                                               the built-in Table I policy)\n\
        cmcli serve [--port P] [--extended]    run a live monitored cloud\n\
+             [--audit-dir DIR]                durable crash-safe audit log; also\n\
+                                              enables GET /-/events/stream\n\
              [--workers N] [--keep-alive on|off]\n\
                                               size the worker pool and toggle\n\
                                               persistent connections\n\

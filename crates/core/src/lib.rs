@@ -52,6 +52,7 @@ pub mod model_probe;
 pub mod monitor;
 pub mod oracle;
 pub mod probe;
+pub mod replay;
 
 pub use coverage::{CoverageTracker, RequirementCoverage};
 pub use model_probe::ModelProber;
@@ -62,3 +63,4 @@ pub use monitor::{
 };
 pub use oracle::{OracleReport, ScenarioResult, TestOracle};
 pub use probe::{ProbeFault, ProbeTarget, Snapshot, StateProber};
+pub use replay::{ReplayEngine, ReplayEntry, ReplayOutcome, ReplayReport};

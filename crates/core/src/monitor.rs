@@ -22,6 +22,7 @@
 
 use crate::coverage::CoverageTracker;
 use crate::probe::{ProbeTarget, StateProber};
+use cm_audit::{AuditRecord, AuditRecorder, EnvSnapshot, MonitorMode, ReplayContext, VerdictCode};
 use cm_contracts::{generate_with, CompiledContractSet, ContractSet, GenerateOptions};
 use cm_model::{BehavioralModel, HttpMethod, ResourceModel, Trigger};
 use cm_obs::{EventSink, MetricsRegistry, MonitorEvent, PhaseTimings, RingBufferSink};
@@ -35,7 +36,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Lock a shard mutex, recovering from poisoning: one panicking request
 /// (e.g. a handler bug surfaced mid-`process`) must not wedge every
@@ -56,12 +57,47 @@ pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
 const MONITOR_SHARDS: usize = 16;
 
 /// Accumulates observability facts while a request moves through
-/// [`CloudMonitor::process`]; folded into a [`MonitorEvent`] at the end.
+/// [`CloudMonitor::process`]; folded into a [`MonitorEvent`] (and, when
+/// an audit recorder is attached, an [`AuditRecord`]) at the end.
 #[derive(Debug, Default)]
 struct ObsScratch {
     timings: PhaseTimings,
     route: Option<String>,
     contract: Option<String>,
+    /// Capture replay environments? Set iff an audit recorder is
+    /// attached — snapshot serialization is not free.
+    audit: bool,
+    /// Branch taken, for the non-contract-checked paths.
+    ctx: Option<CtxSpecial>,
+    /// Serialized pre-state (contract-checked path, audit only).
+    pre_env: Option<EnvSnapshot>,
+    /// Serialized post-state, when one was observed completely.
+    post_env: Option<EnvSnapshot>,
+    /// A post snapshot was attempted but came back partial.
+    post_partial: bool,
+    /// Gated probe denials (post scope filtering).
+    probe_denials: Vec<String>,
+    /// Whether the request reached the cloud.
+    forwarded: bool,
+    /// Status the cloud answered, before any enforce-mode rewrite.
+    cloud_status: Option<u16>,
+}
+
+/// The non-contract-checked branches of `process_inner`, recorded for
+/// replay; the contract-checked path is reconstructed from the
+/// environment captures instead.
+#[derive(Debug)]
+enum CtxSpecial {
+    Unmodelled,
+    MethodNotAllowed {
+        enforced: bool,
+    },
+    BadTarget,
+    DegradedPre {
+        forwarded: bool,
+        faults: Vec<String>,
+    },
+    DegradedForward,
 }
 
 /// Run `f`, adding its wall-clock duration to `slot`.
@@ -184,6 +220,25 @@ impl fmt::Display for Verdict {
     }
 }
 
+impl From<&Verdict> for VerdictCode {
+    fn from(verdict: &Verdict) -> VerdictCode {
+        match verdict {
+            Verdict::Pass => VerdictCode::Pass,
+            Verdict::NotModelled => VerdictCode::NotModelled,
+            Verdict::PreBlocked => VerdictCode::PreBlocked,
+            Verdict::WrongAcceptance => VerdictCode::WrongAcceptance,
+            Verdict::WrongDenial => VerdictCode::WrongDenial,
+            Verdict::PostViolation => VerdictCode::PostViolation,
+            Verdict::WrongStatus { expected, actual } => VerdictCode::WrongStatus {
+                expected: *expected,
+                actual: *actual,
+            },
+            Verdict::ContractError => VerdictCode::ContractError,
+            Verdict::Degraded => VerdictCode::Degraded,
+        }
+    }
+}
+
 /// What the monitor does when it cannot take a checked decision because
 /// the path to the cloud is sick (pre-snapshot probes undeliverable
 /// within budget).
@@ -208,6 +263,18 @@ pub enum DegradedPolicy {
         /// Lifetime cap on unchecked forwards.
         max_unchecked: u64,
     },
+}
+
+impl DegradedPolicy {
+    /// Stable textual form recorded into audit records
+    /// (`"fail-closed"`, `"fail-open:N"`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            DegradedPolicy::FailClosed => "fail-closed".to_string(),
+            DegradedPolicy::FailOpen { max_unchecked } => format!("fail-open:{max_unchecked}"),
+        }
+    }
 }
 
 /// One line of the monitor's log.
@@ -302,6 +369,9 @@ pub struct CloudMonitor<S: SharedRestService> {
     coverage: CoverageTracker,
     metrics: Arc<MetricsRegistry>,
     events: Arc<dyn EventSink>,
+    /// Optional durable audit recorder; when attached, every processed
+    /// request also emits a replayable [`AuditRecord`].
+    audit: Option<Arc<dyn AuditRecorder>>,
 }
 
 /// Per-shard mutable state: the log records plus the reusable evaluation
@@ -369,6 +439,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
             coverage,
             metrics: Arc::new(MetricsRegistry::new()),
             events: Arc::new(RingBufferSink::new(DEFAULT_EVENT_CAPACITY)),
+            audit: None,
         })
     }
 
@@ -431,6 +502,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
             coverage,
             metrics: Arc::new(MetricsRegistry::new()),
             events: Arc::new(RingBufferSink::new(DEFAULT_EVENT_CAPACITY)),
+            audit: None,
         })
     }
 
@@ -477,6 +549,17 @@ impl<S: SharedRestService> CloudMonitor<S> {
     #[must_use]
     pub fn event_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
         self.events = sink;
+        self
+    }
+
+    /// Attach a durable audit recorder (builder style). Every processed
+    /// request then also emits a self-contained [`AuditRecord`] carrying
+    /// the observed pre/post environments, requirement ids, and
+    /// degraded-policy context — enough to re-evaluate the trace later
+    /// against an updated contract set (`cmcli audit replay`).
+    #[must_use]
+    pub fn audit_recorder(mut self, recorder: Arc<dyn AuditRecorder>) -> Self {
+        self.audit = Some(recorder);
         self
     }
 
@@ -671,10 +754,23 @@ impl<S: SharedRestService> CloudMonitor<S> {
         // time), under the shard lock — not at log-append time — so that
         // sorting the merged log by seq replays per-resource causal order.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let mut obs = ObsScratch::default();
+        let mut obs = ObsScratch {
+            audit: self.audit.is_some(),
+            ..ObsScratch::default()
+        };
         let (outcome, trigger, diagnostics) =
             self.process_inner(request, &mut obs, &mut shard.scratch);
         obs.timings.total = started.elapsed();
+        if let Some(recorder) = &self.audit {
+            recorder.record(self.audit_record(
+                seq,
+                request,
+                &mut obs,
+                &outcome,
+                &trigger,
+                &diagnostics,
+            ));
+        }
         let event = MonitorEvent {
             seq: 0, // assigned by the sink
             method: request.method.as_str().to_string(),
@@ -707,6 +803,67 @@ impl<S: SharedRestService> CloudMonitor<S> {
         );
         shard.records.push(record);
         outcome
+    }
+
+    /// Fold the observation scratch into a durable, replayable record.
+    fn audit_record(
+        &self,
+        seq: u64,
+        request: &RestRequest,
+        obs: &mut ObsScratch,
+        outcome: &MonitorOutcome,
+        trigger: &Option<Trigger>,
+        diagnostics: &str,
+    ) -> AuditRecord {
+        let context = match obs.ctx.take() {
+            Some(CtxSpecial::Unmodelled) => ReplayContext::Unmodelled,
+            Some(CtxSpecial::MethodNotAllowed { enforced }) => ReplayContext::MethodNotAllowed {
+                enforced,
+                cloud_status: obs.cloud_status,
+            },
+            Some(CtxSpecial::BadTarget) => ReplayContext::BadTarget,
+            Some(CtxSpecial::DegradedPre { forwarded, faults }) => {
+                ReplayContext::DegradedPre { forwarded, faults }
+            }
+            Some(CtxSpecial::DegradedForward) => ReplayContext::DegradedForward,
+            None => match obs.pre_env.take() {
+                Some(pre_env) => ReplayContext::Checked {
+                    pre_env,
+                    post_env: obs.post_env.take(),
+                    post_partial: obs.post_partial,
+                    probe_denials: std::mem::take(&mut obs.probe_denials),
+                    forwarded: obs.forwarded,
+                    cloud_status: obs.cloud_status,
+                },
+                // Every checked branch captures a pre-state; reaching
+                // here means an unmapped branch — record the least
+                // claiming context rather than invent one.
+                None => ReplayContext::Unmodelled,
+            },
+        };
+        AuditRecord {
+            seq,
+            ts_nanos: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+                .unwrap_or(0),
+            method: request.method.as_str().to_string(),
+            path: request.path.clone(),
+            route: obs.route.clone(),
+            trigger: trigger
+                .as_ref()
+                .map(|t| (t.method.as_str().to_string(), t.resource.clone())),
+            mode: match self.mode {
+                Mode::Enforce => MonitorMode::Enforce,
+                Mode::Observe => MonitorMode::Observe,
+            },
+            degraded_policy: self.degraded_policy.label(),
+            verdict: VerdictCode::from(&outcome.verdict),
+            requirements: outcome.requirements.clone(),
+            status: outcome.response.status.0,
+            diagnostics: diagnostics.to_string(),
+            context,
+        }
     }
 
     /// Decide a request whose pre-state could not be observed (transport
@@ -747,8 +904,13 @@ impl<S: SharedRestService> CloudMonitor<S> {
                 admitted
             }
         };
+        obs.ctx = Some(CtxSpecial::DegradedPre {
+            forwarded: forward_unchecked,
+            faults: faults.iter().map(ToString::to_string).collect(),
+        });
         let (response, diagnostics) = if forward_unchecked {
             let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
+            obs.forwarded = true;
             (
                 response,
                 format!("forwarded unchecked (pre-snapshot faults: {fault_list})"),
@@ -791,6 +953,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
                 // Listing 2: HttpResponseNotAllowed. `route.allow` is the
                 // method list pre-joined at derivation time.
                 if self.mode == Mode::Enforce {
+                    obs.ctx = Some(CtxSpecial::MethodNotAllowed { enforced: true });
                     let resp = RestResponse::error(
                         StatusCode::METHOD_NOT_ALLOWED,
                         format!("method not allowed; allowed: {}", route.allow),
@@ -807,6 +970,9 @@ impl<S: SharedRestService> CloudMonitor<S> {
                     );
                 }
                 let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
+                obs.ctx = Some(CtxSpecial::MethodNotAllowed { enforced: false });
+                obs.forwarded = true;
+                obs.cloud_status = Some(response.status.0);
                 let verdict = if response.status.is_success() {
                     Verdict::WrongAcceptance
                 } else {
@@ -825,6 +991,9 @@ impl<S: SharedRestService> CloudMonitor<S> {
             Resolution::NotFound => {
                 // Unknown to the model (e.g. /identity/…): transparent proxy.
                 let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
+                obs.ctx = Some(CtxSpecial::Unmodelled);
+                obs.forwarded = true;
+                obs.cloud_status = Some(response.status.0);
                 return (
                     MonitorOutcome {
                         response,
@@ -842,6 +1011,9 @@ impl<S: SharedRestService> CloudMonitor<S> {
         let trigger = Trigger::new(request.method, route.trigger_resource(request.method));
         let Some(contract_idx) = self.compiled.index_for(&trigger) else {
             let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
+            obs.ctx = Some(CtxSpecial::Unmodelled);
+            obs.forwarded = true;
+            obs.cloud_status = Some(response.status.0);
             return (
                 MonitorOutcome {
                     response,
@@ -858,6 +1030,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
 
         // 3. Identify the probe target from the captured URI parameters.
         let Some(project_id) = params.get("project_id").and_then(|s| s.parse::<u64>().ok()) else {
+            obs.ctx = Some(CtxSpecial::BadTarget);
             let response =
                 RestResponse::error(StatusCode::BAD_REQUEST, "bad or missing project id");
             return (
@@ -925,6 +1098,10 @@ impl<S: SharedRestService> CloudMonitor<S> {
             }
             _ => pre_snapshot.denials,
         };
+        if obs.audit {
+            obs.pre_env = Some(EnvSnapshot::capture(&pre_state));
+            obs.probe_denials = probe_errors.clone();
+        }
         // The interned view of the pre-state snapshot serves the
         // pre-check, requirement attribution, and later the post phase's
         // pre-state environment.
@@ -945,7 +1122,10 @@ impl<S: SharedRestService> CloudMonitor<S> {
                 let response = if self.mode == Mode::Enforce {
                     RestResponse::error(StatusCode::INTERNAL_SERVER_ERROR, &diagnostics)
                 } else {
-                    timed(&mut obs.timings.forward, || self.cloud.call(request))
+                    let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
+                    obs.forwarded = true;
+                    obs.cloud_status = Some(response.status.0);
+                    response
                 };
                 return (
                     MonitorOutcome {
@@ -1011,6 +1191,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
         // disambiguates against the post-state.
         if response.is_transport_fault() {
             self.metrics.resilience.increment("degraded_forward");
+            obs.ctx = Some(CtxSpecial::DegradedForward);
             let diagnostics = format!("forward failed in transport: {}", response.status);
             return (
                 MonitorOutcome {
@@ -1022,6 +1203,8 @@ impl<S: SharedRestService> CloudMonitor<S> {
                 diagnostics,
             );
         }
+        obs.forwarded = true;
+        obs.cloud_status = Some(response.status.0);
         let success = response.status.is_success();
 
         // Both the success arm (post-condition check) and the gateway
@@ -1056,6 +1239,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
                 // than judging a half-observed post-state.
                 if post_snapshot.is_partial() {
                     self.metrics.resilience.increment("degraded_post");
+                    obs.post_partial = true;
                     let fault_list = post_snapshot
                         .faults
                         .iter()
@@ -1073,6 +1257,9 @@ impl<S: SharedRestService> CloudMonitor<S> {
                     );
                 }
                 let post_state = post_snapshot.nav;
+                if obs.audit {
+                    obs.post_env = Some(EnvSnapshot::capture(&post_state));
+                }
                 let post_view = match self.eval_strategy {
                     EvalStrategy::Compiled => Some(EnvView::from_navigator(&post_state, syms)),
                     EvalStrategy::Interpreter => None,
@@ -1134,9 +1321,13 @@ impl<S: SharedRestService> CloudMonitor<S> {
             // degrades (counted, never a false violation).
             let post_snapshot = timed(&mut obs.timings.snapshot, take_post_snapshot);
             let executed = if post_snapshot.is_partial() {
+                obs.post_partial = true;
                 None
             } else {
                 let post_state = post_snapshot.nav;
+                if obs.audit {
+                    obs.post_env = Some(EnvSnapshot::capture(&post_state));
+                }
                 let holds = timed(&mut obs.timings.post_check, || match self.eval_strategy {
                     EvalStrategy::Compiled => {
                         let post_view = EnvView::from_navigator(&post_state, syms);

@@ -12,7 +12,13 @@
 //! * `GET /-/health` — liveness plus the transport's resilience state
 //!   (circuit-breaker state per backend, retry/shed/transition
 //!   counters), when a [`PooledClient`] is attached via
-//!   [`AdminRoutes::with_transport`].
+//!   [`AdminRoutes::with_transport`];
+//! * `GET /-/events/stream?from=N&max=M&wait_ms=T` — long-poll tail of
+//!   the durable audit log, when a [`cm_obs::TailStream`] is attached
+//!   via [`AdminRoutes::with_stream`]. Each batch reports the resume
+//!   cursor (`next`) and how many records a lagging consumer missed
+//!   (`lagged`), so reconnects resume from the last acked offset and a
+//!   slow reader never blocks the writer.
 //!
 //! Every other request falls through to the wrapped handler, so the
 //! endpoints add no cost to the monitored path beyond one prefix check.
@@ -20,12 +26,20 @@
 use crate::client::PooledClient;
 use crate::resilience::BreakerState;
 use crate::server::Handler;
-use cm_obs::{EventSink, MetricsRegistry};
+use cm_obs::{EventSink, MetricsRegistry, TailStream};
 use cm_rest::{Json, RestRequest, RestResponse, StatusCode};
 use std::sync::Arc;
 
 /// Events returned by `GET /-/events` when no `tail` is given.
 pub const DEFAULT_EVENT_TAIL: usize = 32;
+
+/// Records returned per `GET /-/events/stream` batch when no `max` is
+/// given.
+pub const DEFAULT_STREAM_BATCH: usize = 64;
+
+/// Upper bound on `wait_ms` for `/-/events/stream` long-polls, so a
+/// client cannot pin a server worker indefinitely.
+pub const MAX_STREAM_WAIT_MS: u64 = 30_000;
 
 /// The reserved admin path prefix.
 pub const ADMIN_PREFIX: &str = "/-/";
@@ -37,6 +51,7 @@ pub struct AdminRoutes {
     metrics: Arc<MetricsRegistry>,
     events: Arc<dyn EventSink>,
     transport: Option<Arc<PooledClient>>,
+    stream: Option<Arc<dyn TailStream>>,
 }
 
 impl AdminRoutes {
@@ -48,7 +63,16 @@ impl AdminRoutes {
             metrics,
             events,
             transport: None,
+            stream: None,
         }
+    }
+
+    /// Builder: attach a durable-log tail (e.g. `cm_audit::AuditLog`) so
+    /// `GET /-/events/stream` serves committed audit records.
+    #[must_use]
+    pub fn with_stream(mut self, stream: Arc<dyn TailStream>) -> Self {
+        self.stream = Some(stream);
+        self
     }
 
     /// Builder: attach the backend transport so `/-/health` can report
@@ -129,6 +153,33 @@ impl AdminRoutes {
                 Some(RestResponse::ok(body))
             }
             "/-/health" => Some(RestResponse::ok(self.health_json())),
+            "/-/events/stream" => {
+                let Some(stream) = &self.stream else {
+                    return Some(RestResponse::error(
+                        StatusCode::NOT_FOUND,
+                        "no durable audit log attached; start with --audit-dir",
+                    ));
+                };
+                let from = query_param(query, "from")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0);
+                let max = query_param(query, "max")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(DEFAULT_STREAM_BATCH);
+                let wait_ms = query_param(query, "wait_ms")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0)
+                    .min(MAX_STREAM_WAIT_MS);
+                let batch = stream.tail_from(from, max, wait_ms);
+                let int = |v: u64| Json::Int(i64::try_from(v).unwrap_or(i64::MAX));
+                Some(RestResponse::ok(Json::object(vec![
+                    ("start", int(batch.start)),
+                    ("next", int(batch.next)),
+                    ("lagged", int(batch.lagged)),
+                    ("end", int(batch.end)),
+                    ("records", Json::Array(batch.records)),
+                ])))
+            }
             "/-/events" => {
                 let tail = query_param(query, "tail")
                     .and_then(|v| v.parse::<usize>().ok())
@@ -290,6 +341,54 @@ mod tests {
             .try_handle(&RestRequest::new(HttpMethod::Post, "/-/metrics"))
             .unwrap();
         assert_eq!(resp.status, StatusCode::METHOD_NOT_ALLOWED);
+    }
+
+    #[test]
+    fn stream_endpoint_without_log_is_404() {
+        let routes = routes_with(0);
+        let resp = routes
+            .try_handle(&RestRequest::new(HttpMethod::Get, "/-/events/stream"))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+    }
+
+    #[derive(Debug)]
+    struct CannedTail;
+
+    impl cm_obs::TailStream for CannedTail {
+        fn tail_from(&self, from: u64, max: usize, _wait_ms: u64) -> cm_obs::StreamBatch {
+            // Ten committed records, offsets 0..10; serve what the
+            // cursor and batch size allow.
+            let end = 10;
+            let start = from.min(end);
+            let next = (start + max as u64).min(end);
+            cm_obs::StreamBatch {
+                start,
+                next,
+                lagged: 0,
+                end,
+                records: (start..next)
+                    .map(|o| Json::object(vec![("offset", Json::Int(o as i64))]))
+                    .collect(),
+            }
+        }
+    }
+
+    #[test]
+    fn stream_endpoint_pages_with_resume_cursor() {
+        let routes = routes_with(0).with_stream(Arc::new(CannedTail));
+        let resp = routes
+            .try_handle(&RestRequest::new(
+                HttpMethod::Get,
+                "/-/events/stream?from=4&max=3",
+            ))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        let body = resp.body.unwrap();
+        assert_eq!(body.get("start").unwrap().as_int(), Some(4));
+        assert_eq!(body.get("next").unwrap().as_int(), Some(7));
+        assert_eq!(body.get("end").unwrap().as_int(), Some(10));
+        assert_eq!(body.get("records").unwrap().as_array().unwrap().len(), 3);
     }
 
     #[test]

@@ -136,6 +136,49 @@ impl EventSink for NullSink {
     fn emit(&self, _event: MonitorEvent) {}
 }
 
+/// Sink that tees every event into two downstream sinks — the idiom
+/// for keeping the in-memory `/-/events` ring while also feeding a
+/// durable audit recorder. `seq` assignment stays with the primary
+/// sink; `tail` and `dropped` are answered by the primary only.
+#[derive(Debug)]
+pub struct TeeSink<A, B> {
+    primary: A,
+    secondary: B,
+}
+
+impl<A: EventSink, B: EventSink> TeeSink<A, B> {
+    /// Tee into `primary` (authoritative for `tail`/`dropped`) and
+    /// `secondary`.
+    pub fn new(primary: A, secondary: B) -> Self {
+        TeeSink { primary, secondary }
+    }
+
+    /// The primary sink.
+    pub fn primary(&self) -> &A {
+        &self.primary
+    }
+
+    /// The secondary sink.
+    pub fn secondary(&self) -> &B {
+        &self.secondary
+    }
+}
+
+impl<A: EventSink, B: EventSink> EventSink for TeeSink<A, B> {
+    fn emit(&self, event: MonitorEvent) {
+        self.secondary.emit(event.clone());
+        self.primary.emit(event);
+    }
+
+    fn tail(&self, n: usize) -> Vec<MonitorEvent> {
+        self.primary.tail(n)
+    }
+
+    fn dropped(&self) -> u64 {
+        self.primary.dropped()
+    }
+}
+
 /// Bounded in-memory sink: keeps the most recent `capacity` events,
 /// dropping the oldest on overflow and counting the drops.
 #[derive(Debug)]
@@ -268,6 +311,19 @@ mod tests {
         assert_eq!(sink.capacity(), 1);
         assert_eq!(sink.tail(5).len(), 1);
         assert_eq!(sink.tail(5)[0].path, "/newer");
+    }
+
+    #[test]
+    fn tee_sink_delivers_to_both_and_answers_from_primary() {
+        let tee = TeeSink::new(RingBufferSink::new(2), RingBufferSink::new(8));
+        for i in 0..4 {
+            tee.emit(event(&format!("/{i}")));
+        }
+        // Primary (capacity 2) answers tail/dropped.
+        assert_eq!(tee.tail(10).len(), 2);
+        assert_eq!(tee.dropped(), 2);
+        // Secondary saw every event regardless.
+        assert_eq!(tee.secondary().tail(10).len(), 4);
     }
 
     #[test]

@@ -33,8 +33,10 @@ pub mod event;
 pub mod histogram;
 pub mod metrics;
 pub mod rng;
+pub mod stream;
 
-pub use event::{EventSink, MonitorEvent, NullSink, PhaseTimings, RingBufferSink};
+pub use event::{EventSink, MonitorEvent, NullSink, PhaseTimings, RingBufferSink, TeeSink};
 pub use histogram::LatencyHistogram;
 pub use metrics::{CounterFamily, MetricsRegistry};
 pub use rng::XorShift64Star;
+pub use stream::{StreamBatch, TailStream};

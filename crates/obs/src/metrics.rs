@@ -96,6 +96,12 @@ pub struct MetricsRegistry {
     /// fail-open passes (`"fail_open_pass"`), and fail-closed
     /// rejections (`"fail_closed"`).
     pub resilience: CounterFamily,
+    /// Durable-audit counters: records appended (`"appended"`),
+    /// group commits (`"commits"`), records dropped at the bounded
+    /// channel (`"dropped"`), segment rotations (`"rotations"`),
+    /// write errors (`"write_errors"`), and streaming-tail lag
+    /// (`"stream_lagged"`).
+    pub audit: CounterFamily,
     /// Pre-condition evaluation latency.
     pub pre_check: LatencyHistogram,
     /// Forwarding latency (the cloud call).
@@ -106,6 +112,9 @@ pub struct MetricsRegistry {
     pub post_check: LatencyHistogram,
     /// End-to-end `process` latency.
     pub total: LatencyHistogram,
+    /// Durable-log group-commit latency (serialize + write + fsync per
+    /// group, recorded by the audit writer thread).
+    pub audit_commit: LatencyHistogram,
 }
 
 /// Route label used when a request matches no modelled route.
@@ -166,6 +175,7 @@ impl MetricsRegistry {
             ("requirements", self.requirements.render_json()),
             ("routes", self.routes.render_json()),
             ("resilience", self.resilience.render_json()),
+            ("audit", self.audit.render_json()),
             (
                 "phases",
                 Json::object(vec![
@@ -174,6 +184,7 @@ impl MetricsRegistry {
                     ("snapshot", self.snapshot.render_json()),
                     ("post_check", self.post_check.render_json()),
                     ("total", self.total.render_json()),
+                    ("audit_commit", self.audit_commit.render_json()),
                 ]),
             ),
         ])
@@ -207,6 +218,13 @@ impl MetricsRegistry {
                 out.push_str(&format!("  {name:<20} {value}\n"));
             }
         }
+        let audit = self.audit.snapshot();
+        if !audit.is_empty() {
+            out.push_str("audit:\n");
+            for (name, value) in audit {
+                out.push_str(&format!("  {name:<20} {value}\n"));
+            }
+        }
         out.push_str("phase latency (ns):\n");
         for (label, histogram) in [
             ("pre_check", &self.pre_check),
@@ -214,6 +232,7 @@ impl MetricsRegistry {
             ("snapshot", &self.snapshot),
             ("post_check", &self.post_check),
             ("total", &self.total),
+            ("audit_commit", &self.audit_commit),
         ] {
             out.push_str(&format!(
                 "  {label:<10} count={:<8} mean={:<10} p50={:<10} p95={:<10} p99={}\n",
@@ -305,6 +324,32 @@ mod tests {
     }
 
     #[test]
+    fn audit_family_shows_up_in_renders() {
+        let registry = MetricsRegistry::new();
+        registry.audit.increment("appended");
+        registry.audit.increment("dropped");
+        registry.audit_commit.record(Duration::from_micros(120));
+        let json = registry.render_json();
+        assert_eq!(
+            json.get("audit").unwrap().get("appended").unwrap().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("phases")
+                .unwrap()
+                .get("audit_commit")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_int(),
+            Some(1)
+        );
+        let text = registry.render_text();
+        assert!(text.contains("audit:"));
+        assert!(text.contains("audit_commit"));
+    }
+
+    #[test]
     fn observe_folds_all_dimensions() {
         let registry = MetricsRegistry::new();
         registry.observe(&event(
@@ -357,6 +402,10 @@ mod tests {
             assert_eq!(h.get("count").unwrap().as_int(), Some(1), "{phase}");
             assert!(h.get("p50_ns").unwrap().as_int().is_some(), "{phase}");
         }
+        // The audit-commit histogram is exposed alongside the phases
+        // even before any durable log is attached.
+        let audit_commit = phases.get("audit_commit").unwrap();
+        assert_eq!(audit_commit.get("count").unwrap().as_int(), Some(0));
         assert!(cm_rest::parse_json(&json.to_compact_string()).is_ok());
     }
 

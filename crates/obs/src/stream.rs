@@ -1,0 +1,84 @@
+//! Streaming-tail abstraction for durable event logs.
+//!
+//! The httpkit admin router serves `/-/events/stream` against anything
+//! implementing [`TailStream`]; the durable audit log in `cm-audit`
+//! provides the implementation. Keeping the trait here (below both
+//! crates) means the transport layer never depends on the storage
+//! layer.
+//!
+//! The contract is deliberately poll-shaped rather than push-shaped: a
+//! consumer asks for "records from offset N, up to `max`, waiting at
+//! most `wait_ms`", and the producer answers from a bounded in-memory
+//! tail without ever blocking its own writers. A consumer that falls
+//! behind the bounded tail is *lagged* — it skips forward and is told
+//! how many records it missed — instead of exerting backpressure on the
+//! serve path.
+
+use cm_rest::Json;
+
+/// One batch of tail records answered to a streaming consumer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamBatch {
+    /// Offset of the first record in `records` (commit order).
+    pub start: u64,
+    /// Offset the consumer should ask for next.
+    pub next: u64,
+    /// Records the consumer missed because the bounded tail had already
+    /// evicted them (`start - requested_from` when skipping forward).
+    pub lagged: u64,
+    /// One past the newest committed offset at answer time.
+    pub end: u64,
+    /// Compact JSON summaries, one per record.
+    pub records: Vec<Json>,
+}
+
+/// A source of committed records that can be tailed from an offset.
+pub trait TailStream: Send + Sync + std::fmt::Debug {
+    /// Answer records starting at `from` (commit-order offset), up to
+    /// `max`, blocking the *caller* at most `wait_ms` milliseconds for
+    /// new data. Must never block the producer side.
+    fn tail_from(&self, from: u64, max: usize, wait_ms: u64) -> StreamBatch;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Debug)]
+    struct FixedTail {
+        records: Mutex<Vec<Json>>,
+        base: u64,
+    }
+
+    impl TailStream for FixedTail {
+        fn tail_from(&self, from: u64, max: usize, _wait_ms: u64) -> StreamBatch {
+            let records = self.records.lock().unwrap_or_else(|e| e.into_inner());
+            let end = self.base + records.len() as u64;
+            let start = from.max(self.base).min(end);
+            let take = usize::try_from(end - start).unwrap_or(usize::MAX).min(max);
+            let skip = usize::try_from(start - self.base).unwrap_or(usize::MAX);
+            StreamBatch {
+                start,
+                next: start + take as u64,
+                lagged: start.saturating_sub(from),
+                end,
+                records: records.iter().skip(skip).take(take).cloned().collect(),
+            }
+        }
+    }
+
+    #[test]
+    fn lag_is_reported_when_tail_evicted() {
+        let tail = FixedTail {
+            records: Mutex::new(vec![Json::Int(7), Json::Int(8)]),
+            base: 7,
+        };
+        let batch = tail.tail_from(2, 10, 0);
+        assert_eq!(batch.start, 7);
+        assert_eq!(batch.lagged, 5);
+        assert_eq!(batch.next, 9);
+        assert_eq!(batch.end, 9);
+        assert_eq!(batch.records.len(), 2);
+    }
+}

@@ -1,0 +1,358 @@
+//! Property-based corruption battery for the durable audit log
+//! (`cargo test --features proptest`; the hermetic default build skips
+//! these — deterministic variants live in `cm-audit`'s unit tests).
+//!
+//! Invariants under test:
+//!
+//! * the record codec round-trips and re-encodes **byte-identically**
+//!   (decode is a left inverse of encode, encode of the decoded value
+//!   reproduces the input bytes);
+//! * a frame scan over a corrupted stream yields a byte-identical
+//!   *prefix* of the original frames — bit flips, truncated length
+//!   headers, and torn tails are detected by the CRC/length checks,
+//!   never silently decoded;
+//! * directory-level recovery of a torn segment returns exactly the
+//!   committed prefix and physically truncates the tail, so a
+//!   subsequent scan is clean.
+#![cfg(feature = "proptest")]
+
+use cm_audit::recover::{segment_file_name, segment_header};
+use cm_audit::{
+    decode_record, encode_frame, encode_record, next_frame, read_records, recover, AuditRecord,
+    EnvSnapshot, FrameEnd, MonitorMode, ReplayContext, VerdictCode, FRAME_HEADER,
+};
+use cm_ocl::{CollectionKind, MapNavigator, ObjRef, Value};
+use proptest::prelude::*;
+use proptest::BoxedStrategy;
+
+// ---------- strategies -------------------------------------------------
+
+/// `Option<T>` strategy (the vendored shim has no `proptest::option`).
+fn option_of<S>(s: S) -> BoxedStrategy<Option<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Clone + 'static,
+{
+    prop_oneof![Just(None), s.prop_map(Some)]
+}
+
+/// One of a fixed set of literal strings (the shim's patterns have no
+/// `|` alternation).
+fn literal(choices: &'static [&'static str]) -> BoxedStrategy<String> {
+    (0..choices.len() as u64)
+        .prop_map(move |i| choices[i as usize].to_string())
+        .boxed()
+}
+
+fn scalar_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Undefined),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (0u32..8000).prop_map(|i| Value::Real(f64::from(i) / 8.0)),
+        "[a-z0-9 _-]{0,12}".prop_map(Value::Str),
+        ("[a-z]{1,8}", 0u64..64).prop_map(|(class, id)| Value::Obj(ObjRef::new(class, id))),
+    ]
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        scalar_value().boxed(),
+        (
+            prop_oneof![
+                Just(CollectionKind::Set),
+                Just(CollectionKind::Bag),
+                Just(CollectionKind::Sequence),
+                Just(CollectionKind::OrderedSet),
+            ],
+            prop::collection::vec(scalar_value(), 0..5),
+        )
+            .prop_map(|(kind, elements)| Value::Coll(kind, elements))
+            .boxed(),
+    ]
+}
+
+fn env_snapshot() -> impl Strategy<Value = EnvSnapshot> {
+    (
+        prop::collection::vec(("[a-z]{1,8}", value()), 0..4),
+        prop::collection::vec((("[a-z]{1,6}", 0u64..32), "[a-z]{1,8}", value()), 0..6),
+    )
+        .prop_map(|(vars, attrs)| {
+            let mut nav = MapNavigator::new();
+            for (name, v) in vars {
+                nav.set_variable(name, v);
+            }
+            for ((class, id), prop, v) in attrs {
+                nav.set_attribute(ObjRef::new(class, id), prop, v);
+            }
+            EnvSnapshot::capture(&nav)
+        })
+}
+
+fn verdict() -> impl Strategy<Value = VerdictCode> {
+    prop_oneof![
+        Just(VerdictCode::Pass),
+        Just(VerdictCode::NotModelled),
+        Just(VerdictCode::PreBlocked),
+        Just(VerdictCode::WrongAcceptance),
+        Just(VerdictCode::WrongDenial),
+        Just(VerdictCode::PostViolation),
+        (100u16..600, 100u16..600)
+            .prop_map(|(expected, actual)| VerdictCode::WrongStatus { expected, actual }),
+        Just(VerdictCode::ContractError),
+        Just(VerdictCode::Degraded),
+    ]
+}
+
+fn context() -> impl Strategy<Value = ReplayContext> {
+    prop_oneof![
+        Just(ReplayContext::Unmodelled),
+        (any::<bool>(), option_of(100u16..600)).prop_map(|(enforced, cloud_status)| {
+            ReplayContext::MethodNotAllowed {
+                enforced,
+                cloud_status,
+            }
+        }),
+        Just(ReplayContext::BadTarget),
+        (
+            any::<bool>(),
+            prop::collection::vec("[a-z :/0-9]{0,16}", 0..3),
+        )
+            .prop_map(|(forwarded, faults)| ReplayContext::DegradedPre { forwarded, faults }),
+        Just(ReplayContext::DegradedForward),
+        (
+            (env_snapshot(), option_of(env_snapshot()), any::<bool>()),
+            (
+                prop::collection::vec("[a-z :/0-9]{0,16}", 0..3),
+                any::<bool>(),
+                option_of(100u16..600),
+            ),
+        )
+            .prop_map(
+                |((pre_env, post_env, post_partial), (probe_denials, forwarded, cloud_status))| {
+                    ReplayContext::Checked {
+                        pre_env,
+                        post_env,
+                        post_partial,
+                        probe_denials,
+                        forwarded,
+                        cloud_status,
+                    }
+                },
+            ),
+    ]
+}
+
+fn record() -> impl Strategy<Value = AuditRecord> {
+    (
+        (
+            any::<u64>(),
+            any::<u64>(),
+            literal(&["GET", "PUT", "POST", "DELETE", "PATCH"]),
+            "/[a-z0-9/]{0,20}",
+        ),
+        (
+            option_of("/[a-z/]{0,20}"),
+            option_of((literal(&["GET", "DELETE"]), "[a-z]{1,8}".boxed())),
+            any::<bool>(),
+            literal(&["fail-closed", "fail-open:3"]),
+        ),
+        (
+            verdict(),
+            prop::collection::vec("[0-9]\\.[0-9]", 0..4),
+            100u16..600,
+            "[a-z :/0-9]{0,24}",
+            context(),
+        ),
+    )
+        .prop_map(
+            |(
+                (seq, ts_nanos, method, path),
+                (route, trigger, observe, degraded_policy),
+                (verdict, requirements, status, diagnostics, context),
+            )| AuditRecord {
+                seq,
+                ts_nanos,
+                method,
+                path,
+                route,
+                trigger,
+                mode: if observe {
+                    MonitorMode::Observe
+                } else {
+                    MonitorMode::Enforce
+                },
+                degraded_policy,
+                verdict,
+                requirements,
+                status,
+                diagnostics,
+                context,
+            },
+        )
+}
+
+// ---------- helpers ----------------------------------------------------
+
+/// Scan every clean frame from `bytes`, returning the payloads.
+fn scan_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, FrameEnd) {
+    let mut offset = 0;
+    let mut payloads = Vec::new();
+    loop {
+        match next_frame(bytes, offset) {
+            Ok((payload, consumed)) => {
+                payloads.push(payload.to_vec());
+                offset = consumed;
+            }
+            Err(end) => return (payloads, end),
+        }
+    }
+}
+
+fn tmp_dir(tag: &str, case: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cm-audit-corruption-{tag}-{}-{case}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+// ---------- properties -------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    /// decode(encode(r)) == r, and re-encoding the decoded record
+    /// reproduces the payload byte for byte (the determinism the
+    /// differential-replay trail depends on).
+    fn codec_round_trips_byte_identically(r in record()) {
+        let payload = encode_record(&r);
+        let decoded = decode_record(&payload).expect("decode of fresh encode");
+        prop_assert_eq!(&decoded, &r);
+        prop_assert_eq!(encode_record(&decoded), payload);
+    }
+
+    /// Framing round-trips: a stream of frames scans back to exactly
+    /// the payloads written, ending Clean.
+    #[test]
+    fn frame_stream_round_trips(records in prop::collection::vec(record(), 1..6)) {
+        let mut stream = Vec::new();
+        let mut payloads = Vec::new();
+        for r in &records {
+            let payload = encode_record(r);
+            encode_frame(&payload, &mut stream);
+            payloads.push(payload);
+        }
+        let (scanned, end) = scan_frames(&stream);
+        prop_assert_eq!(scanned, payloads);
+        prop_assert_eq!(end, FrameEnd::Clean);
+    }
+
+    /// A truncated stream yields exactly the frames wholly before the
+    /// cut — never a partial or invented frame.
+    #[test]
+    fn truncation_yields_exact_prefix(
+        records in prop::collection::vec(record(), 1..6),
+        cut_fraction in 0u32..1000,
+    ) {
+        let mut stream = Vec::new();
+        let mut boundaries = Vec::new(); // frame end offsets
+        for r in &records {
+            let payload = encode_record(r);
+            encode_frame(&payload, &mut stream);
+            boundaries.push(stream.len());
+        }
+        let cut = (stream.len() as u64 * u64::from(cut_fraction) / 1000) as usize;
+        let (scanned, end) = scan_frames(&stream[..cut]);
+        let expected = boundaries.iter().filter(|&&b| b <= cut).count();
+        prop_assert_eq!(scanned.len(), expected);
+        if boundaries.contains(&cut) || cut == 0 {
+            prop_assert_eq!(end, FrameEnd::Clean);
+        } else {
+            prop_assert!(end == FrameEnd::Torn || end == FrameEnd::BadLength);
+        }
+    }
+
+    /// A single flipped bit anywhere in the stream is detected: the
+    /// scan still yields only byte-identical original frames (a prefix),
+    /// and every frame before the flip survives.
+    #[test]
+    fn bit_flip_never_silently_decodes(
+        records in prop::collection::vec(record(), 1..5),
+        flip_fraction in 0u32..1000,
+        bit in 0u8..8,
+    ) {
+        let mut stream = Vec::new();
+        let mut payloads = Vec::new();
+        for r in &records {
+            let payload = encode_record(r);
+            encode_frame(&payload, &mut stream);
+            payloads.push(payload);
+        }
+        let pos = (stream.len() as u64 * u64::from(flip_fraction) / 1000) as usize;
+        let pos = pos.min(stream.len() - 1);
+        stream[pos] ^= 1 << bit;
+
+        let (scanned, _end) = scan_frames(&stream);
+        // The scan result must be a prefix of the original payloads:
+        // corruption truncates, it never fabricates or alters.
+        prop_assert!(scanned.len() <= payloads.len());
+        // Find which frame the flip landed in; everything before it
+        // must be intact.
+        let mut offset = 0;
+        let mut flipped_frame = payloads.len();
+        for (i, payload) in payloads.iter().enumerate() {
+            let end = offset + FRAME_HEADER + payload.len();
+            if pos < end {
+                flipped_frame = i;
+                break;
+            }
+            offset = end;
+        }
+        prop_assert!(scanned.len() >= flipped_frame);
+        for (i, scanned_payload) in scanned.iter().enumerate() {
+            prop_assert_eq!(scanned_payload, &payloads[i]);
+        }
+    }
+
+    /// Directory-level recovery: a segment torn at an arbitrary byte
+    /// recovers exactly the committed prefix, truncates the tail on
+    /// disk, and a second scan is clean with the same records.
+    #[test]
+    fn torn_segment_recovers_committed_prefix(
+        records in prop::collection::vec(record(), 1..5),
+        cut_fraction in 0u32..1000,
+        case in any::<u64>(),
+    ) {
+        let dir = tmp_dir("torn", case);
+        let mut bytes = segment_header(0);
+        let header_len = bytes.len();
+        let mut boundaries = Vec::new();
+        for r in &records {
+            encode_frame(&encode_record(r), &mut bytes);
+            boundaries.push(bytes.len());
+        }
+        let body = bytes.len() - header_len;
+        let cut = header_len + (body as u64 * u64::from(cut_fraction) / 1000) as usize;
+        std::fs::write(dir.join(segment_file_name(0)), &bytes[..cut]).unwrap();
+
+        let (recovered, outcome) = recover(&dir).unwrap();
+        let expected = boundaries.iter().filter(|&&b| b <= cut).count();
+        prop_assert_eq!(recovered.len(), expected);
+        for (r, original) in recovered.iter().zip(records.iter()) {
+            prop_assert_eq!(r, original);
+        }
+        prop_assert_eq!(outcome.report.next_offset, expected as u64);
+        // The torn tail is physically gone: a plain read now sees the
+        // same committed prefix with nothing to truncate.
+        let reread = read_records(&dir).unwrap();
+        prop_assert_eq!(reread.len(), expected);
+        let (again, second) = recover(&dir).unwrap();
+        prop_assert_eq!(again.len(), expected);
+        prop_assert_eq!(second.report.truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

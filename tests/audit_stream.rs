@@ -1,0 +1,220 @@
+//! Streaming-tail integration: `/-/events/stream` over a real
+//! [`cm_audit::AuditLog`] wired through [`cm_httpkit::AdminRoutes`].
+//!
+//! The contract under test: a slow or disconnected consumer never
+//! blocks the writer or the serve path — the in-memory tail is bounded,
+//! overruns are reported as `lagged` (and counted under
+//! `audit.stream_lagged` in `/-/metrics`), and a reconnecting consumer
+//! resumes from its last acked `next` cursor without gaps or
+//! duplicates.
+
+use cm_audit::{
+    AuditLog, AuditLogOptions, AuditRecord, EnvSnapshot, MonitorMode, ReplayContext, VerdictCode,
+};
+use cm_httpkit::AdminRoutes;
+use cm_model::HttpMethod;
+use cm_obs::{MetricsRegistry, NullSink, TailStream};
+use cm_rest::{Json, RestRequest, RestResponse, StatusCode};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn record(i: u64) -> AuditRecord {
+    AuditRecord {
+        seq: i,
+        ts_nanos: i,
+        method: "PUT".into(),
+        path: format!("/v3/1/volumes/{i}"),
+        route: None,
+        trigger: Some(("PUT".into(), "volume".into())),
+        mode: MonitorMode::Enforce,
+        degraded_policy: "fail-closed".into(),
+        verdict: VerdictCode::Pass,
+        requirements: vec!["1.1".into()],
+        status: 200,
+        diagnostics: String::new(),
+        context: ReplayContext::Checked {
+            pre_env: EnvSnapshot::default(),
+            post_env: None,
+            post_partial: false,
+            probe_denials: vec![],
+            forwarded: true,
+            cloud_status: Some(200),
+        },
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cm-audit-stream-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn options(tail_capacity: usize) -> AuditLogOptions {
+    AuditLogOptions {
+        segment_max_bytes: 1024 * 1024,
+        max_segments: 4,
+        channel_capacity: 1024,
+        group_max: 16,
+        tail_capacity,
+        fsync: false, // logic-only tests; durability is covered elsewhere
+    }
+}
+
+/// A monitor-shaped admin stack: metrics + events + the audit stream.
+fn stack(tag: &str, tail_capacity: usize) -> (Arc<AuditLog>, Arc<MetricsRegistry>, AdminRoutes) {
+    let metrics = Arc::new(MetricsRegistry::new());
+    let (log, _report) = AuditLog::open(
+        &tmp_dir(tag),
+        options(tail_capacity),
+        Some(Arc::clone(&metrics)),
+    )
+    .expect("open log");
+    let log = Arc::new(log);
+    let routes = AdminRoutes::new(Arc::clone(&metrics), Arc::new(NullSink))
+        .with_stream(Arc::clone(&log) as Arc<dyn TailStream>);
+    (log, metrics, routes)
+}
+
+fn get(routes: &AdminRoutes, path: &str) -> RestResponse {
+    routes
+        .try_handle(&RestRequest::new(HttpMethod::Get, path))
+        .expect("admin route handled")
+}
+
+fn batch_field(body: &Json, field: &str) -> i64 {
+    body.get(field)
+        .and_then(Json::as_int)
+        .unwrap_or_else(|| panic!("missing {field} in {body:?}"))
+}
+
+fn batch_offsets(body: &Json) -> Vec<i64> {
+    body.get("records")
+        .and_then(Json::as_array)
+        .expect("records array")
+        .iter()
+        .map(|r| r.get("offset").and_then(Json::as_int).expect("offset"))
+        .collect()
+}
+
+#[test]
+fn slow_consumer_sees_bounded_lag_and_metrics_count_it() {
+    let (log, _metrics, routes) = stack("lag", 8);
+    for i in 0..50 {
+        log.append(record(i));
+    }
+    log.flush().unwrap();
+    assert_eq!(log.committed(), 50);
+
+    // A consumer that never kept up asks from 0: the ring only holds
+    // the last 8, so the gap is reported as `lagged`, never served as
+    // stale or invented data.
+    let resp = get(&routes, "/-/events/stream?from=0&max=100");
+    assert_eq!(resp.status, StatusCode::OK);
+    let body = resp.body.unwrap();
+    assert_eq!(batch_field(&body, "end"), 50);
+    assert_eq!(batch_field(&body, "start"), 42);
+    assert_eq!(batch_field(&body, "lagged"), 42);
+    assert_eq!(batch_field(&body, "next"), 50);
+    let offsets = batch_offsets(&body);
+    assert_eq!(offsets, (42..50).collect::<Vec<i64>>());
+
+    // The overrun is visible to operators in /-/metrics.
+    let metrics_body = get(&routes, "/-/metrics").body.unwrap();
+    let audit = metrics_body.get("audit").expect("audit family");
+    assert_eq!(
+        audit.get("stream_lagged").and_then(Json::as_int),
+        Some(42),
+        "dropped stream records must be counted: {audit:?}"
+    );
+    assert_eq!(audit.get("appended").and_then(Json::as_int), Some(50));
+}
+
+#[test]
+fn parked_long_poll_never_blocks_the_writer() {
+    let (log, _metrics, routes) = stack("park", 64);
+    for i in 0..3 {
+        log.append(record(i));
+    }
+    log.flush().unwrap();
+
+    // Park a consumer at the head with a generous wait budget.
+    let routes = Arc::new(routes);
+    let parked_routes = Arc::clone(&routes);
+    let parked = std::thread::spawn(move || {
+        get(
+            &parked_routes,
+            "/-/events/stream?from=3&max=10&wait_ms=10000",
+        )
+    });
+    // Give the long-poll a moment to actually park.
+    std::thread::sleep(Duration::from_millis(50));
+
+    // The writer must proceed at full speed while the consumer waits.
+    let started = Instant::now();
+    for i in 3..20 {
+        log.append(record(i));
+    }
+    log.flush().unwrap();
+    assert_eq!(log.committed(), 20);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "writer stalled behind a parked long-poll"
+    );
+
+    // The parked consumer wakes on commit with the new records — it
+    // did not time out and it resumes exactly at its cursor.
+    let resp = parked.join().expect("long-poll thread");
+    let body = resp.body.unwrap();
+    assert_eq!(batch_field(&body, "start"), 3);
+    assert_eq!(batch_field(&body, "lagged"), 0);
+    let offsets = batch_offsets(&body);
+    assert!(!offsets.is_empty(), "long-poll woke with no records");
+    assert_eq!(offsets[0], 3);
+}
+
+#[test]
+fn reconnect_resumes_from_last_acked_cursor() {
+    let (log, _metrics, routes) = stack("resume", 64);
+    for i in 0..10 {
+        log.append(record(i));
+    }
+    log.flush().unwrap();
+
+    // Page through with a small window, acking `next` each time —
+    // exactly what a reconnecting consumer persists.
+    let mut cursor = 0i64;
+    let mut seen = Vec::new();
+    loop {
+        let resp = get(&routes, &format!("/-/events/stream?from={cursor}&max=4"));
+        let body = resp.body.unwrap();
+        let offsets = batch_offsets(&body);
+        if offsets.is_empty() {
+            break;
+        }
+        assert_eq!(offsets[0], cursor, "resume must continue at the cursor");
+        seen.extend(offsets);
+        cursor = batch_field(&body, "next");
+    }
+    assert_eq!(seen, (0..10).collect::<Vec<i64>>(), "gaps or duplicates");
+
+    // "Disconnect", commit more, reconnect from the acked cursor: only
+    // the new records arrive, in order, with no replays of old ones.
+    for i in 10..15 {
+        log.append(record(i));
+    }
+    log.flush().unwrap();
+    let resp = get(&routes, &format!("/-/events/stream?from={cursor}&max=100"));
+    let body = resp.body.unwrap();
+    assert_eq!(batch_field(&body, "lagged"), 0);
+    assert_eq!(batch_offsets(&body), (10..15).collect::<Vec<i64>>());
+    assert_eq!(batch_field(&body, "next"), 15);
+
+    // A cursor past the head (e.g. acked just before a crash that lost
+    // an uncommitted group) clamps cleanly instead of erroring.
+    let resp = get(&routes, "/-/events/stream?from=999&max=10");
+    let body = resp.body.unwrap();
+    assert_eq!(batch_field(&body, "next"), 15);
+    assert!(batch_offsets(&body).is_empty());
+}

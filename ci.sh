@@ -36,6 +36,8 @@ stages (run exactly what is named, in the order given, deduplicated):
   features   feature-gated targets compile (proptest suite, criterion benches)
   smoke      bench binaries in --smoke mode (writes BENCH_*.smoke.json)
   stress     concurrency soak battery (debug + release + determinism property)
+  transport  reactor lifecycle/pipelining battery, speculative-read parity,
+             proxy smoke with response parity across both engines
   chaos      transport-chaos battery (fault soak, flap ledger, recovery smoke)
   campaign   kill-matrix campaign vs committed baseline + static RBAC lint
   audit      durable-log battery (SIGKILL crash recovery, proptest framing
@@ -70,7 +72,7 @@ for arg in "$@"; do
     --chaos) add_core; add_stage chaos ;;
     --campaign) add_core; add_stage campaign ;;
     core) add_core ;;
-    fmt|clippy|build|test|docs|features|smoke|stress|chaos|campaign|audit)
+    fmt|clippy|build|test|docs|features|smoke|stress|transport|chaos|campaign|audit)
       add_stage "$arg" ;;
     *) echo "unknown option: $arg" >&2; echo >&2; usage >&2; exit 2 ;;
   esac
@@ -130,6 +132,20 @@ stage_stress() {
   step "stress: determinism property (disjoint projects)"
   cargo test --offline --features proptest --test proptests -q \
     concurrent_disjoint_projects_match_serial
+}
+
+stage_transport() {
+  step "transport: reactor lifecycle + pipelining battery (release)"
+  cargo test --offline --release -p cm-httpkit --test reactor -q
+
+  step "transport: engine-agnostic transport battery + unit suite"
+  cargo test --offline -p cm-httpkit -q
+
+  step "transport: speculative-read parity (cm-core)"
+  cargo test --offline --release -p cm-core -q speculative
+
+  step "bench smoke: proxy_throughput (parity across worker pool and reactor)"
+  cargo run --offline --release -p cm-bench --bin proxy_throughput -q -- --smoke
 }
 
 stage_chaos() {

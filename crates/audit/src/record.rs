@@ -885,7 +885,7 @@ mod tests {
         nav.set_attribute(ObjRef::new("A", 9), "x", Value::Undefined);
         let env = EnvSnapshot::capture(&nav);
         assert_eq!(env.vars[0].0, "alpha");
-        assert_eq!(env.attrs[0].0.class, "A");
+        assert_eq!(&*env.attrs[0].0.class, "A");
         let rebuilt = env.to_navigator();
         assert_eq!(rebuilt, nav);
         // Deterministic: capturing twice encodes identically.

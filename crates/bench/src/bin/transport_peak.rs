@@ -1,0 +1,237 @@
+//! Transport-peak probe: isolates where each microsecond of the proxy
+//! topology goes. Three rungs, fastest first:
+//!
+//! 1. `echo` — a trivial handler on the reactor, pipelined clients: the
+//!    raw transport ceiling.
+//! 2. `deny` — the generated monitor, all-forbidden mix (no cloud hop):
+//!    transport + contract evaluation.
+//! 3. `proxy` — the full two-hop mix: adds the monitor→cloud probes.
+//!
+//! Prints req/s per rung; no artifact. Used to attribute regressions.
+
+use cm_cloudsim::PrivateCloud;
+use cm_core::{cinder_monitor, Mode, SnapshotPolicy};
+use cm_httpkit::{
+    read_response_buf, serialize_request, ConnectionMode, HttpServer, RemoteService, ServerConfig,
+    Transport,
+};
+use cm_model::HttpMethod;
+use cm_rest::{Json, RestRequest, RestResponse, SharedRestService};
+use std::io::{BufReader, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const THREADS: usize = 8;
+const BATCH: usize = 32;
+
+fn hammer(
+    addr: SocketAddr,
+    per_thread: usize,
+    make: impl Fn(usize, usize) -> RestRequest + Send + Sync + 'static,
+) -> f64 {
+    let make = Arc::new(make);
+    let start = Instant::now();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let make = Arc::clone(&make);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .expect("timeout");
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let mut wire = Vec::new();
+                let mut issued = 0;
+                while issued < per_thread {
+                    let batch = BATCH.min(per_thread - issued);
+                    wire.clear();
+                    for i in issued..issued + batch {
+                        serialize_request(&mut wire, &make(t, i), ConnectionMode::KeepAlive);
+                    }
+                    writer.write_all(&wire).expect("write");
+                    for _ in 0..batch {
+                        read_response_buf(&mut reader).expect("response");
+                    }
+                    issued += batch;
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("thread");
+    }
+    (THREADS * per_thread) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        transport: Transport::Reactor,
+        max_requests_per_conn: 1 << 20,
+        ..ServerConfig::default()
+    }
+}
+
+fn main() {
+    let per_thread: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4000);
+    // Optional rung filter: run only rungs whose label contains the
+    // second argument (e.g. `transport_peak 6000 read`).
+    let only: Option<String> = std::env::args().nth(2);
+    let want = |label: &str| only.as_deref().is_none_or(|o| label.contains(o));
+
+    // Rung 1: echo.
+    let echo = HttpServer::bind_with(
+        "127.0.0.1:0",
+        Arc::new(|_req| RestResponse::ok(Json::Bool(true))),
+        config(),
+    )
+    .expect("bind echo");
+    if want("echo") {
+        let rps = hammer(echo.local_addr(), per_thread, |t, i| {
+            RestRequest::new(HttpMethod::Get, format!("/echo/{t}/{i}"))
+        });
+        echo.shutdown();
+        println!("echo  (reactor transport ceiling) : {rps:8.0} req/s");
+    }
+
+    // Shared fixture for the monitor rungs.
+    let cloud = PrivateCloud::my_project();
+    let pid = cloud.project_id();
+    let alice = cloud.issue_token("alice", "alice-pw").expect("tok").token;
+    let carol = cloud.issue_token("carol", "carol-pw").expect("tok").token;
+    cloud
+        .state_mut()
+        .create_volume(pid, "seed", 1, false)
+        .expect("seed");
+    let cloud = Arc::new(cloud);
+    let cloud_handle = Arc::clone(&cloud);
+    let cloud_server = HttpServer::bind_with(
+        "127.0.0.1:0",
+        Arc::new(move |req| cloud_handle.call(&req)),
+        config(),
+    )
+    .expect("bind cloud");
+    let mut monitor = cinder_monitor(RemoteService::new(cloud_server.local_addr()))
+        .expect("models")
+        .mode(Mode::Enforce)
+        .snapshot_policy(SnapshotPolicy::Scoped)
+        .report_states(false)
+        .speculative_reads(true);
+    monitor.authenticate("alice", "alice-pw").expect("auth");
+    let monitor = Arc::new(monitor);
+    let monitor_handle = Arc::clone(&monitor);
+    let monitor_server = HttpServer::bind_with(
+        "127.0.0.1:0",
+        Arc::new(move |req| monitor_handle.call(&req)),
+        config(),
+    )
+    .expect("bind monitor");
+    let addr = monitor_server.local_addr();
+
+    // Rung 1b: the cloud-sim itself over the reactor — what each probe
+    // GET costs the backend.
+    let cloud_addr = cloud_server.local_addr();
+    if want("cloud") {
+        let alice3 = alice.clone();
+        let rps = hammer(cloud_addr, per_thread, move |_t, _i| {
+            RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/1")).auth_token(&alice3)
+        });
+        println!("cloud (probe GET on cloud-sim)    : {rps:8.0} req/s");
+        let alice4 = alice.clone();
+        let rps = hammer(cloud_addr, per_thread, move |_t, _i| {
+            RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes")).auth_token(&alice4)
+        });
+        println!("cloud (volumes listing)           : {rps:8.0} req/s");
+        let alice5 = alice.clone();
+        let rps = hammer(cloud_addr, per_thread, move |_t, _i| {
+            RestRequest::new(HttpMethod::Get, format!("/identity/tokens/{alice5}"))
+        });
+        println!("cloud (token introspection)       : {rps:8.0} req/s");
+    }
+
+    // Rung 0: monitor over an *in-process* cloud — no backend network
+    // hop at all; isolates contract evaluation + snapshot compute.
+    let local_cloud = PrivateCloud::my_project();
+    let lpid = local_cloud.project_id();
+    let lalice = local_cloud
+        .issue_token("alice", "alice-pw")
+        .expect("tok")
+        .token;
+    local_cloud
+        .state_mut()
+        .create_volume(lpid, "seed", 1, false)
+        .expect("seed");
+    let mut local_monitor = cinder_monitor(local_cloud)
+        .expect("models")
+        .mode(Mode::Enforce)
+        .snapshot_policy(SnapshotPolicy::Scoped)
+        .report_states(false)
+        .speculative_reads(true);
+    local_monitor
+        .authenticate("alice", "alice-pw")
+        .expect("auth");
+    let local_monitor = Arc::new(local_monitor);
+    let lm = Arc::clone(&local_monitor);
+    let local_server =
+        HttpServer::bind_with("127.0.0.1:0", Arc::new(move |req| lm.call(&req)), config())
+            .expect("bind local monitor");
+    if want("local") {
+        let rps = hammer(local_server.local_addr(), per_thread, move |_t, _i| {
+            RestRequest::new(HttpMethod::Get, format!("/v3/{lpid}/volumes/1")).auth_token(&lalice)
+        });
+        local_server.shutdown();
+        println!("local (monitor, in-process cloud) : {rps:8.0} req/s");
+    }
+
+    // Rung 2: all requests denied locally — no cloud hop.
+    if want("deny") {
+        let carol2 = carol.clone();
+        let rps = hammer(addr, per_thread, move |_t, _i| {
+            RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1")).auth_token(&carol2)
+        });
+        println!("deny  (monitor, no cloud hop)     : {rps:8.0} req/s");
+    }
+
+    // Rung 2b: authorized read — cloud probe path only.
+    if want("read") {
+        let alice2 = alice.clone();
+        let rps = hammer(addr, per_thread, move |_t, _i| {
+            RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/1")).auth_token(&alice2)
+        });
+        println!("read  (monitor + cloud probe)     : {rps:8.0} req/s");
+    }
+
+    // Rung 2c: unmodelled passthrough — pure proxy hop.
+    if want("pass") {
+        let rps = hammer(addr, per_thread, |t, i| {
+            RestRequest::new(HttpMethod::Get, format!("/unmodelled/{t}/{i}"))
+        });
+        println!("pass  (unmodelled passthrough)    : {rps:8.0} req/s");
+    }
+
+    // Rung 3: the full bench mix.
+    if want("mix") {
+        let rps = hammer(addr, per_thread, move |t, i| match (t + i) % 3 {
+            0 => {
+                RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/1")).auth_token(&alice)
+            }
+            1 => RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/1"))
+                .auth_token(&carol),
+            _ => RestRequest::new(HttpMethod::Get, format!("/unmodelled/{t}/{i}")),
+        });
+        println!("mix   (full bench mix)            : {rps:8.0} req/s");
+    }
+
+    for line in monitor.metrics().render_text().lines() {
+        if line.contains("p50") || line.contains("us") || line.contains("latency") {
+            println!("  {line}");
+        }
+    }
+
+    monitor_server.shutdown();
+    cloud_server.shutdown();
+}

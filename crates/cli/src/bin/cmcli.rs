@@ -172,6 +172,22 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
                     _ => return Err(CliError("--keep-alive needs on|off".into())),
                 };
             }
+            let mut transport = cm_httpkit::ServerConfig::default().transport;
+            if let Some(pos) = rest.iter().position(|a| *a == "--transport") {
+                transport = match rest.get(pos + 1) {
+                    Some(&"reactor") => cm_httpkit::Transport::Reactor,
+                    Some(&"worker-pool") => cm_httpkit::Transport::WorkerPool,
+                    _ => return Err(CliError("--transport needs reactor|worker-pool".into())),
+                };
+            }
+            let mut speculative_reads = false;
+            if let Some(pos) = rest.iter().position(|a| *a == "--speculative-reads") {
+                speculative_reads = match rest.get(pos + 1) {
+                    Some(&"on") => true,
+                    Some(&"off") => false,
+                    _ => return Err(CliError("--speculative-reads needs on|off".into())),
+                };
+            }
             let mut policy = cm_core::DegradedPolicy::FailClosed;
             if let Some(pos) = rest.iter().position(|a| *a == "--degraded-policy") {
                 policy = cm_cli::parse_degraded_policy(
@@ -202,6 +218,8 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
                 rest.contains(&"--extended"),
                 workers,
                 keep_alive,
+                transport,
+                speculative_reads,
                 policy,
                 client_config,
                 audit_dir,
@@ -226,11 +244,14 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
 
 /// Run the simulated private cloud with a generated monitor proxy in
 /// front, both over HTTP, until the process is killed.
+#[allow(clippy::too_many_arguments)]
 fn serve(
     port: u16,
     extended: bool,
     workers: usize,
     keep_alive: bool,
+    transport: cm_httpkit::Transport,
+    speculative_reads: bool,
     policy: cm_core::DegradedPolicy,
     client_config: cm_httpkit::ClientConfig,
     audit_dir: Option<&Path>,
@@ -245,6 +266,7 @@ fn serve(
     let monitor_config = ServerConfig {
         workers,
         keep_alive,
+        transport,
         ..ServerConfig::default()
     };
     // Every monitor worker may pin one pooled backend connection for the
@@ -253,6 +275,7 @@ fn serve(
     let cloud_config = ServerConfig {
         workers: workers.max(ServerConfig::default().workers),
         keep_alive: true,
+        transport,
         ..ServerConfig::default()
     };
 
@@ -289,7 +312,9 @@ fn serve(
         )
         .map_err(|e| CliError(e.message))?
     };
-    let mut monitor = monitor.degraded_policy(policy);
+    let mut monitor = monitor
+        .degraded_policy(policy)
+        .speculative_reads(speculative_reads);
     // The durable audit log shares the monitor's metrics registry so
     // group-commit latency and drop counts land in /-/metrics.
     let audit_log = match audit_dir {
@@ -338,9 +363,14 @@ fn serve(
     println!("private cloud   : http://{}", cloud_server.local_addr());
     println!("cloud monitor   : http://{}", monitor_server.local_addr());
     println!(
-        "transport       : {} workers, keep-alive {}",
+        "transport       : {}, {} workers, keep-alive {}, speculative reads {}",
+        match transport {
+            cm_httpkit::Transport::Reactor => "reactor (epoll)",
+            cm_httpkit::Transport::WorkerPool => "worker pool",
+        },
         workers,
-        if keep_alive { "on" } else { "off" }
+        if keep_alive { "on" } else { "off" },
+        if speculative_reads { "on" } else { "off" }
     );
     println!(
         "resilience      : {policy:?}, deadline {:?}, breaker threshold {}",

@@ -690,6 +690,15 @@ pub fn usage() -> &'static str {
              [--workers N] [--keep-alive on|off]\n\
                                               size the worker pool and toggle\n\
                                               persistent connections\n\
+             [--transport reactor|worker-pool]\n\
+                                              serving engine for both hops:\n\
+                                              readiness-polled epoll reactor\n\
+                                              (default) or thread-per-connection\n\
+                                              worker pool\n\
+             [--speculative-reads on|off]     pipeline safe GETs with their\n\
+                                              probes in one backend batch\n\
+                                              (default off; verdicts and\n\
+                                              responses are unchanged)\n\
              [--degraded-policy fail-closed|fail-open[:N]]\n\
                                               what Enforce does when the cloud\n\
                                               cannot be snapshotted (default\n\

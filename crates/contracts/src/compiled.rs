@@ -51,6 +51,8 @@ pub struct CompiledContract {
     post_state_roots: Vec<NodeId>,
     pre_scope: AttrScope,
     post_scope: AttrScope,
+    pre_scope_lean: AttrScope,
+    post_scope_lean: AttrScope,
 }
 
 impl CompiledContract {
@@ -177,6 +179,27 @@ impl CompiledContract {
         &self.post_scope
     }
 
+    /// Like [`CompiledContract::pre_scope`], but *without* the state
+    /// invariants' reads: exactly what the pre-condition, clause
+    /// enablement and the post side's `pre()` reads touch. Sufficient
+    /// for verdicts; the state diagnostics
+    /// ([`CompiledContract::matching_state_indices_post`]) may evaluate
+    /// over attributes a lean snapshot never probed. A monitor that
+    /// skips state reporting probes this scope instead — on the
+    /// generated Cinder contracts that drops the `project` and
+    /// `quota_sets` GETs from every read-path snapshot.
+    #[must_use]
+    pub fn pre_scope_lean(&self) -> &AttrScope {
+        &self.pre_scope_lean
+    }
+
+    /// Lean counterpart of [`CompiledContract::post_scope`] (see
+    /// [`CompiledContract::pre_scope_lean`]).
+    #[must_use]
+    pub fn post_scope_lean(&self) -> &AttrScope {
+        &self.post_scope_lean
+    }
+
     /// The compiled pre-side program (for stats/audit output).
     #[must_use]
     pub fn pre_program(&self) -> &Program {
@@ -249,6 +272,34 @@ fn resolve_pairs<'a>(
         .collect()
 }
 
+/// The pre/post snapshot scopes implied by a compiled pre/post program
+/// pair: the pre scope is the pre side's current-state reads plus the
+/// post side's `pre()` reads (one snapshot serves both), the post scope
+/// is the post side's current-state reads. Falls back to whole-root
+/// wildcards when the analysis could not prove the read set exact.
+fn derive_scopes(syms: &SymbolTable, pre: &Program, post: &Program) -> (AttrScope, AttrScope) {
+    let pre_exact = pre.exact_scope() && post.exact_scope();
+    let pre_scope = if pre_exact {
+        let mut pairs = resolve_pairs(syms, pre.attr_refs().iter());
+        pairs.extend(resolve_pairs(
+            syms,
+            post.attr_refs().iter().filter(|&&(_, _, p)| p),
+        ));
+        AttrScope::new(pairs, true)
+    } else {
+        AttrScope::wildcard(&resolve_roots(syms, &[pre, post]))
+    };
+    let post_scope = if post.exact_scope() {
+        AttrScope::new(
+            resolve_pairs(syms, post.attr_refs().iter().filter(|&&(_, _, p)| !p)),
+            true,
+        )
+    } else {
+        AttrScope::wildcard(&resolve_roots(syms, &[post]))
+    };
+    (pre_scope, post_scope)
+}
+
 fn resolve_roots(syms: &SymbolTable, programs: &[&Program]) -> Vec<String> {
     let mut out: Vec<String> = Vec::new();
     for p in programs {
@@ -278,25 +329,22 @@ fn compile_contract(
     let post_state_roots: Vec<NodeId> = set.states.iter().map(|(_, inv)| b.add(inv)).collect();
     let post = b.finish();
 
-    let pre_exact = pre.exact_scope() && post.exact_scope();
-    let pre_scope = if pre_exact {
-        let mut pairs = resolve_pairs(symbols, pre.attr_refs().iter());
-        pairs.extend(resolve_pairs(
-            symbols,
-            post.attr_refs().iter().filter(|&&(_, _, p)| p),
-        ));
-        AttrScope::new(pairs, true)
-    } else {
-        AttrScope::wildcard(&resolve_roots(symbols, &[&pre, &post]))
-    };
-    let post_scope = if post.exact_scope() {
-        AttrScope::new(
-            resolve_pairs(symbols, post.attr_refs().iter().filter(|&&(_, _, p)| !p)),
-            true,
-        )
-    } else {
-        AttrScope::wildcard(&resolve_roots(symbols, &[&post]))
-    };
+    let (pre_scope, post_scope) = derive_scopes(symbols, &pre, &post);
+
+    // Shadow programs over the same sources *minus* the state
+    // invariants. They are never evaluated — compiled once at generate
+    // time purely so their attribute-reference analysis yields the lean
+    // scopes a diagnostics-free monitor can snapshot by.
+    let mut b = ProgramBuilder::new(symbols);
+    b.add(&mc.pre);
+    for clause in &mc.clauses {
+        b.add(&clause.pre);
+    }
+    let pre_lean = b.finish();
+    let mut b = ProgramBuilder::new(symbols);
+    b.add(&mc.post);
+    let post_lean = b.finish();
+    let (pre_scope_lean, post_scope_lean) = derive_scopes(symbols, &pre_lean, &post_lean);
 
     CompiledContract {
         trigger: mc.trigger.clone(),
@@ -309,6 +357,8 @@ fn compile_contract(
         post_state_roots,
         pre_scope,
         post_scope,
+        pre_scope_lean,
+        post_scope_lean,
     }
 }
 

@@ -348,6 +348,18 @@ pub struct CloudMonitor<S: SharedRestService> {
     mode: Mode,
     eval_strategy: EvalStrategy,
     snapshot_policy: SnapshotPolicy,
+    /// Whether passing requests also report which model state the cloud
+    /// is in afterwards (the paper's stateful view). State matching
+    /// evaluates every state invariant, so under
+    /// [`SnapshotPolicy::Scoped`] it forces the snapshots to cover the
+    /// invariants' reads; turning it off switches to the contracts'
+    /// *lean* scopes — fewer probes per request, identical verdicts.
+    report_states: bool,
+    /// Forward *safe* (read-only) requests speculatively: pre-probes,
+    /// the forward, and post-probes ride in one pipelined backend batch
+    /// instead of two sequential rounds. See
+    /// [`CloudMonitor::speculative_reads`].
+    speculative_reads: bool,
     degraded_policy: DegradedPolicy,
     /// Unchecked forwards admitted so far under `FailOpen`.
     fail_open_used: AtomicU64,
@@ -429,6 +441,8 @@ impl<S: SharedRestService> CloudMonitor<S> {
             mode: Mode::Enforce,
             eval_strategy: EvalStrategy::Compiled,
             snapshot_policy: SnapshotPolicy::Full,
+            report_states: true,
+            speculative_reads: false,
             degraded_policy: DegradedPolicy::FailClosed,
             fail_open_used: AtomicU64::new(0),
             monitor_token: String::new(),
@@ -492,6 +506,8 @@ impl<S: SharedRestService> CloudMonitor<S> {
             mode: Mode::Enforce,
             eval_strategy: EvalStrategy::Compiled,
             snapshot_policy: SnapshotPolicy::Full,
+            report_states: true,
+            speculative_reads: false,
             degraded_policy: DegradedPolicy::FailClosed,
             fail_open_used: AtomicU64::new(0),
             monitor_token: String::new(),
@@ -525,6 +541,46 @@ impl<S: SharedRestService> CloudMonitor<S> {
     #[must_use]
     pub fn eval_strategy(mut self, strategy: EvalStrategy) -> Self {
         self.eval_strategy = strategy;
+        self
+    }
+
+    /// Enable or disable post-pass state diagnostics (default on).
+    /// When off, passing requests carry no `state: …` diagnostics and
+    /// [`SnapshotPolicy::Scoped`] snapshots shrink to the contracts'
+    /// lean scopes (the state invariants' reads are no longer probed).
+    #[must_use]
+    pub fn report_states(mut self, report: bool) -> Self {
+        self.report_states = report;
+        self
+    }
+
+    /// Enable speculative forwarding of *safe* methods (RFC 7231
+    /// §4.2.1 — GET). When on, a modelled GET's pre-probes, the forward
+    /// itself, and its post-probes are issued as ONE pipelined backend
+    /// batch ordered `[pre…, forward, post…]`: in-order execution means
+    /// each phase still observes exactly the state it would have seen
+    /// in the sequential exchange, but two backend round-trips collapse
+    /// into one. The semantic shift — and why this is opt-in — is that
+    /// the GET reaches the cloud *before* the monitor's pre-verdict: a
+    /// request the monitor will deny still executes (harmlessly, being
+    /// read-only, and still subject to the cloud's own access control)
+    /// and only its response is withheld from the client. Verdicts and
+    /// client-visible responses are identical either way; mutating
+    /// methods always keep the strict check-then-forward order.
+    #[must_use]
+    pub fn speculative_reads(mut self, on: bool) -> Self {
+        self.speculative_reads = on;
+        self
+    }
+
+    /// Set the prober's identity-cache TTL: how long one token
+    /// introspection answer serves subsequent snapshots (default
+    /// [`crate::probe::DEFAULT_IDENTITY_TTL`]). `Duration::ZERO`
+    /// disables the cache — every snapshot re-introspects, so a
+    /// revocation is observed immediately instead of within the TTL.
+    #[must_use]
+    pub fn identity_cache_ttl(mut self, ttl: Duration) -> Self {
+        self.prober = self.prober.clone().identity_ttl(ttl);
         self
     }
 
@@ -1067,17 +1123,54 @@ impl<S: SharedRestService> CloudMonitor<S> {
             SnapshotPolicy::Minimal => contract.referenced_roots(),
             _ => Vec::new(),
         };
-        let pre_snapshot = timed(&mut obs.timings.snapshot, || match self.snapshot_policy {
-            SnapshotPolicy::Full => self.prober.snapshot_checked(&self.cloud, &target),
-            SnapshotPolicy::Minimal => {
-                self.prober
-                    .snapshot_scoped(&self.cloud, &target, &minimal_roots)
-            }
-            SnapshotPolicy::Scoped => {
-                self.prober
-                    .snapshot_attrs(&self.cloud, &target, compiled.pre_scope())
-            }
-        });
+        let (pre_scope, post_scope) = if self.report_states {
+            (compiled.pre_scope(), compiled.post_scope())
+        } else {
+            (compiled.pre_scope_lean(), compiled.post_scope_lean())
+        };
+        // Speculative safe-method pipelining (opt-in): for a GET the
+        // pre-probes, the forward, and the post-probes collapse into
+        // ONE pipelined backend batch. In-order batch execution keeps
+        // what each phase observes identical to the sequential
+        // exchange; the forward slot's result is held back until the
+        // pre-verdict is in (and discarded on a deny — the GET was
+        // side-effect-free). See [`CloudMonitor::speculative_reads`].
+        let mut speculated: Option<(RestResponse, crate::probe::Snapshot)> = None;
+        let pre_snapshot = if self.speculative_reads && request.method == HttpMethod::Get {
+            let (pre, response, post) =
+                timed(&mut obs.timings.snapshot, || match self.snapshot_policy {
+                    SnapshotPolicy::Full => {
+                        self.prober
+                            .snapshot_sandwich_checked(&self.cloud, request, &target)
+                    }
+                    SnapshotPolicy::Minimal => self.prober.snapshot_sandwich_scoped(
+                        &self.cloud,
+                        request,
+                        &target,
+                        &minimal_roots,
+                    ),
+                    SnapshotPolicy::Scoped => self.prober.snapshot_sandwich_attrs(
+                        &self.cloud,
+                        request,
+                        &target,
+                        pre_scope,
+                        post_scope,
+                    ),
+                });
+            speculated = Some((response, post));
+            pre
+        } else {
+            timed(&mut obs.timings.snapshot, || match self.snapshot_policy {
+                SnapshotPolicy::Full => self.prober.snapshot_checked(&self.cloud, &target),
+                SnapshotPolicy::Minimal => {
+                    self.prober
+                        .snapshot_scoped(&self.cloud, &target, &minimal_roots)
+                }
+                SnapshotPolicy::Scoped => {
+                    self.prober.snapshot_attrs(&self.cloud, &target, pre_scope)
+                }
+            })
+        };
         // A partial snapshot (transport faults) means the pre-condition
         // is *untestable*: judging the request on half-observed state
         // would attribute transport weather to the cloud's contract.
@@ -1173,12 +1266,55 @@ impl<S: SharedRestService> CloudMonitor<S> {
                     requirements: contract.security_requirements.clone(),
                 },
                 Some(trigger),
-                "blocked before reaching the cloud".to_string(),
+                if speculated.is_some() {
+                    // The speculative (read-only) forward did execute;
+                    // only its response is withheld from the client.
+                    "blocked; speculative read response discarded".to_string()
+                } else {
+                    "blocked before reaching the cloud".to_string()
+                },
             );
         }
 
-        // 5. Forward to the cloud.
-        let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
+        // 5. Forward to the cloud. When the pre-condition passed, the
+        //    overwhelmingly likely next step is the post-state snapshot,
+        //    so the forward and the post probes ride in ONE pipelined
+        //    batch over the backend connection: the backend answers a
+        //    batch in order, so the probes still observe the post-call
+        //    state, and a full round of backend round-trips disappears
+        //    from the pass path. The batch layer re-sends on a stale
+        //    pooled connection only before the first response commits,
+        //    so the forward keeps its at-most-once delivery. A failed
+        //    pre-condition (Verify mode continues here) never consults
+        //    the post-state, so it keeps the plain forward.
+        let mut merged_post: Option<crate::probe::Snapshot> = None;
+        let response = if let Some((response, post)) = speculated.take() {
+            // Sandwich batch already carried the forward and the
+            // post-probes; nothing further to send. This serves the
+            // pre-failed Verify path too — the forward genuinely
+            // executed, and the post-state rode along.
+            merged_post = Some(post);
+            response
+        } else if pre_ok {
+            let (response, snap) = timed(&mut obs.timings.forward, || match self.snapshot_policy {
+                SnapshotPolicy::Full => {
+                    self.prober
+                        .snapshot_checked_after(&self.cloud, request, &target)
+                }
+                SnapshotPolicy::Minimal => {
+                    self.prober
+                        .snapshot_scoped_after(&self.cloud, request, &target, &minimal_roots)
+                }
+                SnapshotPolicy::Scoped => {
+                    self.prober
+                        .snapshot_attrs_after(&self.cloud, request, &target, post_scope)
+                }
+            });
+            merged_post = Some(snap);
+            response
+        } else {
+            timed(&mut obs.timings.forward, || self.cloud.call(request))
+        };
         // A *marked* transport fault means the monitor's own client
         // synthesised this response (wire failure, shed, exhausted
         // budget): the backend never answered, so there is no cloud
@@ -1208,17 +1344,22 @@ impl<S: SharedRestService> CloudMonitor<S> {
         let success = response.status.is_success();
 
         // Both the success arm (post-condition check) and the gateway
-        // disambiguation below observe the post-state the same way.
-        let take_post_snapshot = || match self.snapshot_policy {
-            SnapshotPolicy::Full => self.prober.snapshot_checked(&self.cloud, &target),
-            SnapshotPolicy::Minimal => {
-                self.prober
-                    .snapshot_scoped(&self.cloud, &target, &minimal_roots)
-            }
-            SnapshotPolicy::Scoped => {
-                self.prober
-                    .snapshot_attrs(&self.cloud, &target, compiled.post_scope())
-            }
+        // disambiguation below observe the post-state the same way —
+        // normally straight from the merged batch above; the standalone
+        // probe round only runs on the pre-failed (Verify) path.
+        let mut take_post_snapshot = || {
+            merged_post
+                .take()
+                .unwrap_or_else(|| match self.snapshot_policy {
+                    SnapshotPolicy::Full => self.prober.snapshot_checked(&self.cloud, &target),
+                    SnapshotPolicy::Minimal => {
+                        self.prober
+                            .snapshot_scoped(&self.cloud, &target, &minimal_roots)
+                    }
+                    SnapshotPolicy::Scoped => {
+                        self.prober.snapshot_attrs(&self.cloud, &target, post_scope)
+                    }
+                })
         };
 
         // 6. Interpret the response code and check the post-condition.
@@ -1233,7 +1374,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
                     format!("expected {expected}, got {}", response.status),
                 )
             } else {
-                let post_snapshot = timed(&mut obs.timings.snapshot, take_post_snapshot);
+                let post_snapshot = timed(&mut obs.timings.snapshot, &mut take_post_snapshot);
                 // The call already executed; only its *verification* is
                 // lost. Report the post-condition as untestable rather
                 // than judging a half-observed post-state.
@@ -1275,23 +1416,29 @@ impl<S: SharedRestService> CloudMonitor<S> {
                 }) {
                     Ok(true) => {
                         // The paper's stateful view: report which model
-                        // state the system is in after the call.
-                        let states = timed(&mut obs.timings.post_check, || {
-                            match (self.eval_strategy, &post_view) {
-                                (EvalStrategy::Compiled, Some(view)) => compiled
-                                    .matching_state_indices_post(syms, view, &pre_view, scratch)
-                                    .map(|idxs| {
-                                        idxs.iter()
-                                            .map(|&i| self.compiled.state_names()[i].clone())
-                                            .collect::<Vec<_>>()
-                                    })
-                                    .unwrap_or_default(),
-                                _ => self
-                                    .contracts
-                                    .states_matching(&post_state)
-                                    .unwrap_or_default(),
-                            }
-                        });
+                        // state the system is in after the call. Skipped
+                        // entirely when state reporting is off — a lean
+                        // snapshot does not cover the invariants' reads.
+                        let states = if !self.report_states {
+                            Vec::new()
+                        } else {
+                            timed(&mut obs.timings.post_check, || {
+                                match (self.eval_strategy, &post_view) {
+                                    (EvalStrategy::Compiled, Some(view)) => compiled
+                                        .matching_state_indices_post(syms, view, &pre_view, scratch)
+                                        .map(|idxs| {
+                                            idxs.iter()
+                                                .map(|&i| self.compiled.state_names()[i].clone())
+                                                .collect::<Vec<_>>()
+                                        })
+                                        .unwrap_or_default(),
+                                    _ => self
+                                        .contracts
+                                        .states_matching(&post_state)
+                                        .unwrap_or_default(),
+                                }
+                            })
+                        };
                         let diagnostics = if states.is_empty() {
                             String::new()
                         } else {
@@ -1319,7 +1466,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
             // means the call ran — a status-lying cloud, a violation.
             // Anything else is indistinguishable from weather and
             // degrades (counted, never a false violation).
-            let post_snapshot = timed(&mut obs.timings.snapshot, take_post_snapshot);
+            let post_snapshot = timed(&mut obs.timings.snapshot, &mut take_post_snapshot);
             let executed = if post_snapshot.is_partial() {
                 obs.post_partial = true;
                 None
@@ -1808,6 +1955,188 @@ mod tests {
         }
         let over = h.send("alice", HttpMethod::Post, format!("/v3/{pid}/volumes"));
         assert_eq!(over.verdict, Verdict::PreBlocked);
+    }
+
+    /// Build a monitor over a freshly seeded fixture cloud with the
+    /// speculative-read sandwich toggled, plus tokens for every fixture
+    /// user (including the unauthorized `mallory`).
+    fn speculative_fixture(mode: Mode, speculative: bool) -> Harness {
+        let cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let mut tokens = HashMap::new();
+        for user in ["alice", "bob", "carol", "mallory"] {
+            let t = cloud.issue_token(user, &format!("{user}-pw")).unwrap();
+            tokens.insert(user, t.token);
+        }
+        let mut monitor = cinder_monitor(cloud)
+            .unwrap()
+            .mode(mode)
+            .speculative_reads(speculative);
+        monitor.authenticate("alice", "alice-pw").unwrap();
+        let mut h = Harness {
+            monitor,
+            pid,
+            tokens,
+        };
+        h.seed_volume();
+        h
+    }
+
+    /// The speculative sandwich must be invisible to clients: for every
+    /// request class in the bench mix, verdict, status, and body match
+    /// the strict check-then-forward exchange exactly.
+    #[test]
+    fn speculative_reads_match_sequential_outcomes() {
+        for mode in [Mode::Enforce, Mode::Observe] {
+            let mut seq = speculative_fixture(mode, false);
+            let mut spec = speculative_fixture(mode, true);
+            let pid = seq.pid;
+            let probes = [
+                ("alice", HttpMethod::Get, format!("/v3/{pid}/volumes/1")),
+                ("carol", HttpMethod::Get, format!("/v3/{pid}/volumes/1")),
+                ("mallory", HttpMethod::Get, format!("/v3/{pid}/volumes/1")),
+                ("carol", HttpMethod::Delete, format!("/v3/{pid}/volumes/1")),
+                ("alice", HttpMethod::Get, format!("/v3/{pid}/volumes")),
+                ("carol", HttpMethod::Get, "/unmodelled/x".to_string()),
+            ];
+            for (user, method, path) in probes {
+                let a = seq.send(user, method, path.clone());
+                let b = spec.send(user, method, path.clone());
+                assert_eq!(a.verdict, b.verdict, "{mode:?} {user} {method:?} {path}");
+                assert_eq!(
+                    a.response.status, b.response.status,
+                    "{mode:?} {user} {method:?} {path}"
+                );
+                assert_eq!(
+                    a.response.body, b.response.body,
+                    "{mode:?} {user} {method:?} {path}"
+                );
+            }
+        }
+    }
+
+    /// A pre-blocked speculative GET still answers 412 and the
+    /// speculatively fetched cloud response is discarded, never leaked.
+    #[test]
+    fn speculative_preblocked_get_discards_cloud_response() {
+        let mut h = speculative_fixture(Mode::Enforce, true);
+        let pid = h.pid;
+        let outcome = h.send("mallory", HttpMethod::Get, format!("/v3/{pid}/volumes/1"));
+        assert_eq!(outcome.verdict, Verdict::PreBlocked);
+        assert_eq!(outcome.response.status, StatusCode::PRECONDITION_FAILED);
+        let record = h.monitor.log().last().unwrap().clone();
+        assert!(
+            record
+                .diagnostics
+                .contains("speculative read response discarded"),
+            "{record:?}"
+        );
+    }
+
+    /// Mutating methods must never be speculated: the strict order is a
+    /// safety property, not a performance choice (RFC 7231 §4.2.1 only
+    /// licenses reordering safe methods).
+    #[test]
+    fn speculative_never_applies_to_mutating_methods() {
+        let mut h = speculative_fixture(Mode::Enforce, true);
+        let pid = h.pid;
+        let outcome = h.send("carol", HttpMethod::Delete, format!("/v3/{pid}/volumes/1"));
+        assert_eq!(outcome.verdict, Verdict::PreBlocked);
+        // The volume survives: the DELETE never reached the cloud even
+        // with speculation enabled.
+        assert_eq!(
+            h.monitor
+                .cloud()
+                .state()
+                .project(pid)
+                .unwrap()
+                .volumes
+                .len(),
+            1
+        );
+        let record = h.monitor.log().last().unwrap().clone();
+        assert!(
+            record
+                .diagnostics
+                .contains("blocked before reaching the cloud"),
+            "{record:?}"
+        );
+    }
+
+    /// Instrumented backend proving the sandwich collapses an authorized
+    /// GET to a single pipelined batch (pre-probes + forward +
+    /// post-probes) with zero standalone calls, while the sequential
+    /// exchange needs two batches plus a lone forward.
+    struct Tally {
+        inner: PrivateCloud,
+        calls: std::sync::atomic::AtomicU64,
+        batches: std::sync::atomic::AtomicU64,
+        batched: std::sync::atomic::AtomicU64,
+    }
+
+    impl SharedRestService for Tally {
+        fn call(&self, request: &RestRequest) -> RestResponse {
+            self.calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.call(request)
+        }
+        fn call_batch(&self, requests: &[RestRequest]) -> Vec<RestResponse> {
+            self.batches
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.batched
+                .fetch_add(requests.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            requests.iter().map(|r| self.inner.call(r)).collect()
+        }
+    }
+
+    impl Tally {
+        fn reset(&self) -> (u64, u64, u64) {
+            use std::sync::atomic::Ordering::Relaxed;
+            (
+                self.calls.swap(0, Relaxed),
+                self.batches.swap(0, Relaxed),
+                self.batched.swap(0, Relaxed),
+            )
+        }
+    }
+
+    #[test]
+    fn speculative_get_costs_one_backend_batch() {
+        let inner = PrivateCloud::my_project();
+        let pid = inner.project_id();
+        let alice = inner.issue_token("alice", "alice-pw").unwrap().token;
+        inner
+            .state_mut()
+            .create_volume(pid, "seed", 5, false)
+            .unwrap();
+        let cloud = Tally {
+            inner,
+            calls: std::sync::atomic::AtomicU64::new(0),
+            batches: std::sync::atomic::AtomicU64::new(0),
+            batched: std::sync::atomic::AtomicU64::new(0),
+        };
+        let mut monitor = cinder_monitor(cloud)
+            .unwrap()
+            .mode(Mode::Enforce)
+            .snapshot_policy(SnapshotPolicy::Scoped)
+            .report_states(false)
+            .speculative_reads(true);
+        monitor.authenticate("alice", "alice-pw").unwrap();
+        let get =
+            RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/1")).auth_token(&alice);
+        // Warm the identity cache so the steady state is measured.
+        assert_eq!(monitor.process(&get).verdict, Verdict::Pass);
+        monitor.cloud().reset();
+        let outcome = monitor.process(&get);
+        assert_eq!(outcome.verdict, Verdict::Pass);
+        let (calls, batches, batched) = monitor.cloud().reset();
+        assert_eq!(
+            (calls, batches),
+            (0, 1),
+            "speculative GET must be one pipelined batch, no lone calls"
+        );
+        // pre-probes + forward + post-probes travel together.
+        assert!(batched >= 3, "batch too small: {batched}");
     }
 }
 

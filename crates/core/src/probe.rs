@@ -14,6 +14,9 @@
 use cm_model::HttpMethod;
 use cm_ocl::{AttrScope, MapNavigator, ObjRef, Value};
 use cm_rest::{Json, RestRequest, RestResponse, SharedRestService, StatusCode};
+use std::collections::HashMap;
+use std::sync::{Arc, LazyLock, Mutex};
+use std::time::{Duration, Instant};
 
 /// How much of the evaluation environment a snapshot materialises.
 #[derive(Debug, Clone, Copy)]
@@ -83,10 +86,30 @@ struct ProbePlan {
 
 impl ProbePlan {
     fn new(scope: ProbeScope<'_>, target: &ProbeTarget) -> ProbePlan {
+        let volumes = scope.needs("project", "volumes");
+        // The volumes listing is a *detailed* listing: it binds every
+        // listed volume's `id`/`name`/`size`/`status` — exactly the
+        // attribute set `bind_volume_item` binds (and a volume absent
+        // from the listing gets no bindings either way). Whenever the
+        // listing is already in the plan the item GET is therefore
+        // redundant and elided: one fewer round-trip per snapshot. The
+        // `Full` (audit) granularity keeps the item probe anyway — its
+        // per-item denial signal catches a cloud that denies item reads
+        // while allowing listings, which the mutation campaigns rely on.
+        let listing_covers_item = volumes && !matches!(scope, ProbeScope::Full);
+        // The listing carries the project-existence signal too (404 iff
+        // the project is absent), which is all `project.id` encodes — so
+        // when only the id is read, the dedicated project GET is equally
+        // redundant beside the listing. `project.name` still needs the
+        // project body, and `Full` keeps the direct probe: it is the
+        // only probe that cross-checks the identity registry against
+        // the block-storage state (a divergence a mutant can introduce).
         ProbePlan {
-            project: scope.needs("project", "id") || scope.needs("project", "name"),
-            volumes: scope.needs("project", "volumes"),
+            project: scope.needs("project", "name")
+                || (scope.needs("project", "id") && !listing_covers_item),
+            volumes,
             volume_item: target.volume_id.is_some()
+                && !listing_covers_item
                 && scope.needs_other_than("volume", "snapshots"),
             snapshots: target.volume_id.is_some() && scope.needs("volume", "snapshots"),
             snapshot_item: target.volume_id.is_some()
@@ -164,17 +187,41 @@ pub struct ProbeTarget {
     pub monitor_token: String,
 }
 
+/// How long a token-introspection answer stays valid in the prober's
+/// identity cache. Keystone tokens are immutable for their lifetime
+/// (only expiry or explicit revocation ends them), so re-introspecting
+/// the same token on every snapshot mostly re-reads the same answer;
+/// OpenStack's own `keystonemiddleware` ships the same cache for the
+/// same reason. The TTL bounds how long a *revocation* can go unnoticed.
+pub const DEFAULT_IDENTITY_TTL: Duration = Duration::from_secs(60);
+
+/// token → (cached-at, shared introspection response).
+type IdentityCache = HashMap<String, (Instant, Arc<RestResponse>)>;
+
+/// Entries the identity cache holds before it is wholesale cleared — a
+/// bound against unauthenticated traffic spraying unique junk tokens.
+const IDENTITY_CACHE_CAP: usize = 4096;
+
 /// The prober. `prefix` is the block-storage API prefix (usually `/v3`).
 #[derive(Debug, Clone)]
 pub struct StateProber {
     /// API prefix for the block-storage service.
     pub prefix: String,
+    /// TTL for cached token introspections; zero disables the cache.
+    identity_ttl: Duration,
+    /// token → (cached-at, introspection response). Shared across
+    /// clones so every shard of one monitor sees the same cache; the
+    /// response itself is shared too, so a hit is a refcount bump
+    /// rather than a deep clone of the introspection body.
+    identity_cache: Arc<Mutex<IdentityCache>>,
 }
 
 impl Default for StateProber {
     fn default() -> Self {
         StateProber {
             prefix: "/v3".to_string(),
+            identity_ttl: DEFAULT_IDENTITY_TTL,
+            identity_cache: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 }
@@ -185,7 +232,52 @@ impl StateProber {
     pub fn new(prefix: impl Into<String>) -> Self {
         StateProber {
             prefix: prefix.into(),
+            ..StateProber::default()
         }
+    }
+
+    /// Set the identity-cache TTL (builder style). `Duration::ZERO`
+    /// disables caching: every snapshot re-introspects the token.
+    #[must_use]
+    pub fn identity_ttl(mut self, ttl: Duration) -> Self {
+        self.identity_ttl = ttl;
+        self
+    }
+
+    /// A still-fresh cached introspection for `token`, if any. Expired
+    /// entries are evicted on the way.
+    fn cached_identity(&self, token: &str) -> Option<Arc<RestResponse>> {
+        if self.identity_ttl.is_zero() {
+            return None;
+        }
+        let mut cache = self
+            .identity_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match cache.get(token) {
+            Some((at, resp)) if at.elapsed() < self.identity_ttl => Some(resp.clone()),
+            Some(_) => {
+                cache.remove(token);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Remember an introspection answer (callers skip transport faults:
+    /// a synthesised response says nothing about the token).
+    fn remember_identity(&self, token: &str, resp: &RestResponse) {
+        if self.identity_ttl.is_zero() {
+            return;
+        }
+        let mut cache = self
+            .identity_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if cache.len() >= IDENTITY_CACHE_CAP && !cache.contains_key(token) {
+            cache.clear();
+        }
+        cache.insert(token.to_string(), (Instant::now(), Arc::new(resp.clone())));
     }
 
     /// Probe the cloud and build the evaluation environment as a
@@ -199,7 +291,24 @@ impl StateProber {
         cloud: &dyn SharedRestService,
         target: &ProbeTarget,
     ) -> Snapshot {
-        self.snapshot_impl(cloud, target, ProbeScope::Full)
+        self.snapshot_impl(cloud, target, ProbeScope::Full, None).1
+    }
+
+    /// Forward `lead` to the cloud and take a full-granularity
+    /// post-state snapshot in the *same* pipelined batch
+    /// ([`SharedRestService::call_batch`]). The backend serves a batch
+    /// in order over one connection, so the probes observe the state
+    /// *after* the lead call executed — semantically the sequential
+    /// forward-then-snapshot, minus one full round of backend
+    /// round-trips. Returns the lead's response plus the snapshot.
+    pub fn snapshot_checked_after(
+        &self,
+        cloud: &dyn SharedRestService,
+        lead: &RestRequest,
+        target: &ProbeTarget,
+    ) -> (RestResponse, Snapshot) {
+        let (resp, snap) = self.snapshot_impl(cloud, target, ProbeScope::Full, Some(lead));
+        (resp.expect("lead response present"), snap)
     }
 
     /// Like [`StateProber::snapshot_checked`], but probes only the context
@@ -214,7 +323,20 @@ impl StateProber {
         target: &ProbeTarget,
         scope: &[String],
     ) -> Snapshot {
-        self.snapshot_impl(cloud, target, ProbeScope::Roots(scope))
+        self.snapshot_impl(cloud, target, ProbeScope::Roots(scope), None)
+            .1
+    }
+
+    /// [`StateProber::snapshot_checked_after`] at root granularity.
+    pub fn snapshot_scoped_after(
+        &self,
+        cloud: &dyn SharedRestService,
+        lead: &RestRequest,
+        target: &ProbeTarget,
+        scope: &[String],
+    ) -> (RestResponse, Snapshot) {
+        let (resp, snap) = self.snapshot_impl(cloud, target, ProbeScope::Roots(scope), Some(lead));
+        (resp.expect("lead response present"), snap)
     }
 
     /// Like [`StateProber::snapshot_scoped`], but at *attribute*
@@ -231,7 +353,69 @@ impl StateProber {
         target: &ProbeTarget,
         scope: &AttrScope,
     ) -> Snapshot {
-        self.snapshot_impl(cloud, target, ProbeScope::Attrs(scope))
+        self.snapshot_impl(cloud, target, ProbeScope::Attrs(scope), None)
+            .1
+    }
+
+    /// [`StateProber::snapshot_checked_after`] at attribute granularity.
+    pub fn snapshot_attrs_after(
+        &self,
+        cloud: &dyn SharedRestService,
+        lead: &RestRequest,
+        target: &ProbeTarget,
+        scope: &AttrScope,
+    ) -> (RestResponse, Snapshot) {
+        let (resp, snap) = self.snapshot_impl(cloud, target, ProbeScope::Attrs(scope), Some(lead));
+        (resp.expect("lead response present"), snap)
+    }
+
+    /// Full-granularity speculative sandwich: `[pre-probes…, lead,
+    /// post-probes…]` in one pipelined batch (see `sandwich_impl`).
+    /// Returns `(pre-snapshot, lead response, post-snapshot)`. Only
+    /// sound for *safe* (read-only) lead methods.
+    pub fn snapshot_sandwich_checked(
+        &self,
+        cloud: &dyn SharedRestService,
+        lead: &RestRequest,
+        target: &ProbeTarget,
+    ) -> (Snapshot, RestResponse, Snapshot) {
+        self.sandwich_impl(cloud, lead, target, ProbeScope::Full, ProbeScope::Full)
+    }
+
+    /// [`StateProber::snapshot_sandwich_checked`] at root granularity.
+    pub fn snapshot_sandwich_scoped(
+        &self,
+        cloud: &dyn SharedRestService,
+        lead: &RestRequest,
+        target: &ProbeTarget,
+        scope: &[String],
+    ) -> (Snapshot, RestResponse, Snapshot) {
+        self.sandwich_impl(
+            cloud,
+            lead,
+            target,
+            ProbeScope::Roots(scope),
+            ProbeScope::Roots(scope),
+        )
+    }
+
+    /// [`StateProber::snapshot_sandwich_checked`] at attribute
+    /// granularity, with separate pre- and post-phase scopes.
+    pub fn snapshot_sandwich_attrs(
+        &self,
+        cloud: &dyn SharedRestService,
+        lead: &RestRequest,
+        target: &ProbeTarget,
+        pre_scope: &AttrScope,
+        post_scope: &AttrScope,
+    ) -> (Snapshot, RestResponse, Snapshot) {
+        self.sandwich_impl(
+            cloud,
+            lead,
+            target,
+            ProbeScope::Attrs(pre_scope),
+            ProbeScope::Attrs(post_scope),
+        )
     }
 
     /// Probe the cloud and build the evaluation environment.
@@ -250,7 +434,9 @@ impl StateProber {
     ///   guards use role names as group labels), `user.roles` — the full
     ///   role set, `user.id` — the user id.
     pub fn snapshot(&self, cloud: &dyn SharedRestService, target: &ProbeTarget) -> MapNavigator {
-        self.snapshot_impl(cloud, target, ProbeScope::Full).nav
+        self.snapshot_impl(cloud, target, ProbeScope::Full, None)
+            .1
+            .nav
     }
 
     fn snapshot_impl(
@@ -258,16 +444,92 @@ impl StateProber {
         cloud: &dyn SharedRestService,
         target: &ProbeTarget,
         scope: ProbeScope<'_>,
-    ) -> Snapshot {
-        let mut denials = Vec::new();
-        let mut faults = Vec::new();
+        lead: Option<&RestRequest>,
+    ) -> (Option<RestResponse>, Snapshot) {
+        let mut asm = self.assemble(target, scope);
+        // A lead request (the monitored call itself) rides at the head
+        // of the probe batch: the backend answers a pipelined batch in
+        // order, so the probes still observe the post-lead state. The
+        // lead is spliced in head position and taken back out of the
+        // response vector, so the probe zip in `bind_snapshot` never
+        // sees it.
+        let mut responses = if let Some(lead) = lead {
+            asm.requests.insert(0, lead.clone());
+            let responses = cloud.call_batch(&asm.requests);
+            asm.requests.remove(0);
+            debug_assert!(!responses.is_empty());
+            responses
+        } else {
+            cloud.call_batch(&asm.requests)
+        };
+        let lead_response = lead.map(|_| responses.remove(0));
+        debug_assert_eq!(responses.len(), asm.requests.len());
+        let snapshot = self.bind_snapshot(
+            &asm.plan,
+            &asm.kinds,
+            &asm.requests,
+            asm.cached_user,
+            responses,
+            target,
+        );
+        (lead_response, snapshot)
+    }
+
+    /// Issue `[pre-probes…, lead, post-probes…]` as ONE pipelined batch
+    /// and bind both snapshots. The backend serves a batch in order over
+    /// a single connection, so the pre-probes observe the state *before*
+    /// the lead executed and the post-probes the state *after* — exactly
+    /// the sequential three-phase exchange, minus two full rounds of
+    /// backend round-trips.
+    ///
+    /// The caller is responsible for only sandwiching *safe* methods
+    /// (RFC 7231 §4.2.1: GET/HEAD): the lead reaches the cloud before
+    /// any verdict on the pre-state is computed, which is only sound
+    /// when the lead cannot change state.
+    fn sandwich_impl(
+        &self,
+        cloud: &dyn SharedRestService,
+        lead: &RestRequest,
+        target: &ProbeTarget,
+        pre_scope: ProbeScope<'_>,
+        post_scope: ProbeScope<'_>,
+    ) -> (Snapshot, RestResponse, Snapshot) {
+        let pre = self.assemble(target, pre_scope);
+        let post = self.assemble(target, post_scope);
+        let pre_len = pre.requests.len();
+        let mut all = pre.requests;
+        all.push(lead.clone());
+        all.extend(post.requests);
+        let mut responses = cloud.call_batch(&all);
+        debug_assert_eq!(responses.len(), all.len());
+        let post_responses = responses.split_off(pre_len + 1);
+        let lead_response = responses.pop().expect("lead response present");
+        let pre_snapshot = self.bind_snapshot(
+            &pre.plan,
+            &pre.kinds,
+            &all[..pre_len],
+            pre.cached_user,
+            responses,
+            target,
+        );
+        let post_snapshot = self.bind_snapshot(
+            &post.plan,
+            &post.kinds,
+            &all[pre_len + 1..],
+            post.cached_user,
+            post_responses,
+            target,
+        );
+        (pre_snapshot, lead_response, post_snapshot)
+    }
+
+    /// Assemble every probe GET for `scope` up front so they can be
+    /// issued as one batch: a network-backed cloud serves the whole
+    /// snapshot over a single pooled keep-alive connection instead of
+    /// one TCP connect per probe.
+    fn assemble(&self, target: &ProbeTarget, scope: ProbeScope<'_>) -> AssembledProbes {
         let plan = ProbePlan::new(scope, target);
         let pid = target.project_id;
-
-        // Assemble every probe GET up front and issue them as one batch:
-        // a network-backed cloud serves the whole snapshot over a single
-        // pooled keep-alive connection instead of one TCP connect per
-        // probe.
         let mut kinds: Vec<Probe> = Vec::with_capacity(7);
         let mut requests: Vec<RestRequest> = Vec::with_capacity(7);
         let add =
@@ -327,7 +589,15 @@ impl StateProber {
                 format!("{}/{pid}/quota_sets", self.prefix),
             );
         }
-        if plan.user {
+        // The user context rarely changes within a token's lifetime:
+        // serve it from the identity cache when fresh and skip the
+        // introspection round-trip.
+        let cached_user = if plan.user {
+            self.cached_identity(&target.user_token)
+        } else {
+            None
+        };
+        if plan.user && cached_user.is_none() {
             add(
                 &mut kinds,
                 &mut requests,
@@ -335,24 +605,47 @@ impl StateProber {
                 format!("/identity/tokens/{}", target.user_token),
             );
         }
-        let responses = cloud.call_batch(&requests);
-        debug_assert_eq!(responses.len(), requests.len());
+        AssembledProbes {
+            plan,
+            kinds,
+            requests,
+            cached_user,
+        }
+    }
+
+    /// Bind one snapshot's probe responses into an evaluation
+    /// environment. `requests` must align index-for-index with `kinds`
+    /// and `responses`.
+    fn bind_snapshot(
+        &self,
+        plan: &ProbePlan,
+        kinds: &[Probe],
+        requests: &[RestRequest],
+        cached_user: Option<Arc<RestResponse>>,
+        responses: Vec<RestResponse>,
+        target: &ProbeTarget,
+    ) -> Snapshot {
+        let mut denials = Vec::new();
+        let mut faults = Vec::new();
+        let pid = target.project_id;
 
         // Bind the context variables first; probes fill in attributes.
         let mut nav = MapNavigator::new();
-        let project = ObjRef::new("project", pid);
-        let quota = ObjRef::new("quota_sets", pid);
+        let project = ObjRef::new(Arc::clone(&PROJECT_CLASS), pid);
+        let quota = ObjRef::new(Arc::clone(&QUOTA_CLASS), pid);
         nav.set_variable("project", project.clone());
         nav.set_variable("quota_sets", quota.clone());
-        let volume = ObjRef::new("volume", target.volume_id.unwrap_or(0));
+        let volume = ObjRef::new(Arc::clone(&VOLUME_CLASS), target.volume_id.unwrap_or(0));
         nav.set_variable("volume", volume.clone());
-        let snapshot = ObjRef::new("snapshot", target.snapshot_id.unwrap_or(0));
+        let snapshot = ObjRef::new(Arc::clone(&SNAPSHOT_CLASS), target.snapshot_id.unwrap_or(0));
         nav.set_variable("snapshot", snapshot.clone());
         if !plan.user {
-            nav.set_variable("user", ObjRef::new("user", 0));
+            nav.set_variable("user", ObjRef::new(Arc::clone(&USER_CLASS), 0));
+        } else if let Some(resp) = &cached_user {
+            bind_user(&mut nav, resp);
         }
 
-        for ((kind, request), resp) in kinds.iter().zip(&requests).zip(responses) {
+        for ((kind, request), resp) in kinds.iter().zip(requests).zip(responses) {
             // A response the transport synthesised (or a gateway status)
             // means this probe never reached the cloud: record the fault
             // and skip binding — a half-bound root would let a contract
@@ -385,12 +678,31 @@ impl StateProber {
             }
             match kind {
                 Probe::Project => bind_project(&mut nav, &project, pid, &resp),
-                Probe::Volumes => bind_volumes(&mut nav, project.clone(), &resp),
+                Probe::Volumes => {
+                    // With the project GET elided, the listing's status
+                    // carries the existence signal `project.id` encodes.
+                    // When the project probe IS planned, it stays the
+                    // sole authority for the id binding.
+                    if !plan.project {
+                        let id = if resp.status == StatusCode::OK {
+                            Value::set(vec![Value::Int(pid as i64)])
+                        } else {
+                            Value::set(vec![])
+                        };
+                        nav.set_attribute(project.clone(), "id", id);
+                    }
+                    bind_volumes(&mut nav, project.clone(), &resp);
+                }
                 Probe::VolumeItem => bind_volume_item(&mut nav, &volume, &resp),
                 Probe::Snapshots => bind_snapshots(&mut nav, volume.clone(), &resp),
                 Probe::SnapshotItem => bind_snapshot_item(&mut nav, &snapshot, &resp),
                 Probe::Quota => bind_quota(&mut nav, quota.clone(), &resp),
-                Probe::User => bind_user(&mut nav, &resp),
+                Probe::User => {
+                    // Reached the cloud (faults `continue` above), so
+                    // the answer is authoritative and cacheable.
+                    self.remember_identity(&target.user_token, &resp);
+                    bind_user(&mut nav, &resp);
+                }
             }
         }
 
@@ -401,6 +713,26 @@ impl StateProber {
         }
     }
 }
+
+/// Probe requests assembled for one snapshot, before any of them is
+/// issued: the plan they follow, the probe kind and request at each
+/// batch index, and the identity-cache hit (if any) that stands in for
+/// an elided introspection probe.
+struct AssembledProbes {
+    plan: ProbePlan,
+    kinds: Vec<Probe>,
+    requests: Vec<RestRequest>,
+    cached_user: Option<Arc<RestResponse>>,
+}
+
+/// Interned class names for the cinder context variables: snapshots
+/// mint many `ObjRef`s per request, and a shared name makes each one a
+/// refcount bump instead of a fresh string allocation.
+static PROJECT_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("project"));
+static QUOTA_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("quota_sets"));
+static VOLUME_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("volume"));
+static SNAPSHOT_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("snapshot"));
+static USER_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("user"));
 
 /// One probe request kind within a snapshot batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -459,7 +791,7 @@ fn bind_volumes(nav: &mut MapNavigator, project: ObjRef, resp: &RestResponse) {
                 let Some(id) = v.get("id").and_then(Json::as_int) else {
                     continue;
                 };
-                let obj = ObjRef::new("volume", id as u64);
+                let obj = ObjRef::new(Arc::clone(&VOLUME_CLASS), id as u64);
                 nav.set_attribute(obj.clone(), "id", Value::set(vec![Value::Int(id)]));
                 if let Some(name) = v.get("name").and_then(Json::as_str) {
                     nav.set_attribute(obj.clone(), "name", name);
@@ -516,7 +848,7 @@ fn bind_snapshots(nav: &mut MapNavigator, volume: ObjRef, resp: &RestResponse) {
                 let Some(id) = snap.get("id").and_then(Json::as_int) else {
                     continue;
                 };
-                let obj = ObjRef::new("snapshot", id as u64);
+                let obj = ObjRef::new(Arc::clone(&SNAPSHOT_CLASS), id as u64);
                 nav.set_attribute(obj.clone(), "id", Value::set(vec![Value::Int(id)]));
                 if let Some(name) = snap.get("name").and_then(Json::as_str) {
                     nav.set_attribute(obj.clone(), "name", name);
@@ -572,7 +904,7 @@ fn bind_quota(nav: &mut MapNavigator, quota: ObjRef, resp: &RestResponse) {
 fn bind_user(nav: &mut MapNavigator, resp: &RestResponse) {
     if let Some(tok) = resp.body.as_ref().and_then(|b| b.get("token")) {
         let uid = tok.get("user_id").and_then(Json::as_int).unwrap_or(0);
-        let user = ObjRef::new("user", uid as u64);
+        let user = ObjRef::new(Arc::clone(&USER_CLASS), uid as u64);
         nav.set_variable("user", user.clone());
         nav.set_attribute(user.clone(), "id", Value::set(vec![Value::Int(uid)]));
         if let Some(name) = tok.get("user").and_then(Json::as_str) {
@@ -595,7 +927,7 @@ fn bind_user(nav: &mut MapNavigator, resp: &RestResponse) {
         }
         nav.set_attribute(user, "roles", Value::set(roles));
     } else {
-        nav.set_variable("user", ObjRef::new("user", 0));
+        nav.set_variable("user", ObjRef::new(Arc::clone(&USER_CLASS), 0));
     }
 }
 

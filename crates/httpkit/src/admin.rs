@@ -18,7 +18,11 @@
 //!   via [`AdminRoutes::with_stream`]. Each batch reports the resume
 //!   cursor (`next`) and how many records a lagging consumer missed
 //!   (`lagged`), so reconnects resume from the last acked offset and a
-//!   slow reader never blocks the writer.
+//!   slow reader never blocks the writer. On the reactor transport a
+//!   `wait_ms` long-poll parks the connection on the shard's timer
+//!   wheel ([`crate::try_request_park`]) instead of occupying a thread;
+//!   on the worker pool at most [`DEFAULT_PARKED_POLLERS`] polls may
+//!   block workers concurrently (see [`AdminRoutes::with_parked_cap`]).
 //!
 //! Every other request falls through to the wrapped handler, so the
 //! endpoints add no cost to the monitored path beyond one prefix check.
@@ -41,6 +45,14 @@ pub const DEFAULT_STREAM_BATCH: usize = 64;
 /// client cannot pin a server worker indefinitely.
 pub const MAX_STREAM_WAIT_MS: u64 = 30_000;
 
+/// Default cap on concurrently *blocking* long-pollers when the server
+/// runs the worker-pool transport (where each parked poll occupies a
+/// worker thread for its full wait). Pollers beyond the cap get an
+/// immediate (possibly empty) batch instead of a wait. On the reactor
+/// transport parking is free — connections wait on the shard's timer
+/// wheel — so this cap never applies there.
+pub const DEFAULT_PARKED_POLLERS: usize = 4;
+
 /// The reserved admin path prefix.
 pub const ADMIN_PREFIX: &str = "/-/";
 
@@ -52,6 +64,10 @@ pub struct AdminRoutes {
     events: Arc<dyn EventSink>,
     transport: Option<Arc<PooledClient>>,
     stream: Option<Arc<dyn TailStream>>,
+    /// Long-pollers currently blocking a worker thread, bounded by
+    /// `parked_cap` (shared across clones so `wrap` keeps the bound).
+    parked_pollers: Arc<std::sync::atomic::AtomicUsize>,
+    parked_cap: usize,
 }
 
 impl AdminRoutes {
@@ -64,7 +80,19 @@ impl AdminRoutes {
             events,
             transport: None,
             stream: None,
+            parked_pollers: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            parked_cap: DEFAULT_PARKED_POLLERS,
         }
+    }
+
+    /// Builder: cap the number of `/-/events/stream` long-polls allowed
+    /// to *block a worker thread* concurrently (worker-pool transport
+    /// only; default [`DEFAULT_PARKED_POLLERS`]). `0` disables blocking
+    /// waits entirely.
+    #[must_use]
+    pub fn with_parked_cap(mut self, cap: usize) -> Self {
+        self.parked_cap = cap;
+        self
     }
 
     /// Builder: attach a durable-log tail (e.g. `cm_audit::AuditLog`) so
@@ -170,7 +198,25 @@ impl AdminRoutes {
                     .and_then(|v| v.parse::<u64>().ok())
                     .unwrap_or(0)
                     .min(MAX_STREAM_WAIT_MS);
-                let batch = stream.tail_from(from, max, wait_ms);
+                // Serve whatever is committed right now, without waiting.
+                let mut batch = stream.tail_from(from, max, 0);
+                if wait_ms > 0 && batch.records.is_empty() {
+                    if crate::server::try_request_park(wait_ms) {
+                        // Reactor transport: the connection parks on the
+                        // shard's timer wheel and this handler is
+                        // re-invoked until records appear or the wait
+                        // budget is spent — the empty batch below is
+                        // withheld, not sent. No thread blocks.
+                    } else if self.acquire_parked_slot() {
+                        // Worker-pool transport: a bounded number of
+                        // pollers may block their worker for the wait.
+                        batch = stream.tail_from(from, max, wait_ms);
+                        self.parked_pollers
+                            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                    // Over the cap: answer immediately with the empty
+                    // batch; the client's resume cursor lets it retry.
+                }
                 let int = |v: u64| Json::Int(i64::try_from(v).unwrap_or(i64::MAX));
                 Some(RestResponse::ok(Json::object(vec![
                     ("start", int(batch.start)),
@@ -201,6 +247,16 @@ impl AdminRoutes {
                 format!("unknown admin endpoint {path}"),
             )),
         }
+    }
+
+    /// Reserve one of the bounded blocking-poller slots.
+    fn acquire_parked_slot(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        self.parked_pollers
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.parked_cap).then_some(n + 1)
+            })
+            .is_ok()
     }
 
     /// Compose with an application handler: admin paths are answered
@@ -389,6 +445,108 @@ mod tests {
         assert_eq!(body.get("next").unwrap().as_int(), Some(7));
         assert_eq!(body.get("end").unwrap().as_int(), Some(10));
         assert_eq!(body.get("records").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    /// A tail with no committed records that honours `wait_ms` by
+    /// sleeping, recording the largest wait it was asked to block for.
+    #[derive(Debug, Default)]
+    struct EmptyBlockingTail {
+        waits: std::sync::atomic::AtomicU64,
+    }
+
+    impl cm_obs::TailStream for EmptyBlockingTail {
+        fn tail_from(&self, _from: u64, _max: usize, wait_ms: u64) -> cm_obs::StreamBatch {
+            self.waits
+                .fetch_max(wait_ms, std::sync::atomic::Ordering::SeqCst);
+            if wait_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(wait_ms));
+            }
+            cm_obs::StreamBatch {
+                start: 0,
+                next: 0,
+                lagged: 0,
+                end: 0,
+                records: Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_longpoll_parks_on_the_reactor_instead_of_blocking() {
+        let tail = Arc::new(EmptyBlockingTail::default());
+        let routes = routes_with(0).with_stream(Arc::clone(&tail) as Arc<dyn cm_obs::TailStream>);
+        let req = RestRequest::new(HttpMethod::Get, "/-/events/stream?wait_ms=5000");
+        let start = std::time::Instant::now();
+        // Simulate a reactor dispatch: parking is available.
+        let (resp, park) = crate::server::with_park_scope(|| routes.try_handle(&req).unwrap());
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(park, Some(5000), "handler must ask to park, not block");
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(500),
+            "a parked poll must return immediately"
+        );
+        // The blocking path was never taken.
+        assert_eq!(tail.waits.load(std::sync::atomic::Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn longpoll_with_data_answers_immediately_even_on_the_reactor() {
+        let routes = routes_with(0).with_stream(Arc::new(CannedTail));
+        let req = RestRequest::new(
+            HttpMethod::Get,
+            "/-/events/stream?from=0&max=3&wait_ms=5000",
+        );
+        let (resp, park) = crate::server::with_park_scope(|| routes.try_handle(&req).unwrap());
+        assert_eq!(park, None, "data available: no reason to park");
+        let body = resp.body.unwrap();
+        assert_eq!(body.get("records").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn worker_pool_longpoll_blocking_is_capped() {
+        let tail = Arc::new(EmptyBlockingTail::default());
+        // Cap 0: no poller may block a worker; waits degrade to
+        // immediate empty batches.
+        let routes = routes_with(0)
+            .with_stream(Arc::clone(&tail) as Arc<dyn cm_obs::TailStream>)
+            .with_parked_cap(0);
+        let req = RestRequest::new(HttpMethod::Get, "/-/events/stream?wait_ms=2000");
+        let start = std::time::Instant::now();
+        // No park scope: this is a worker-pool dispatch.
+        let resp = routes.try_handle(&req).unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(500),
+            "over-cap pollers must not block"
+        );
+        assert_eq!(tail.waits.load(std::sync::atomic::Ordering::SeqCst), 0);
+        assert!(resp
+            .body
+            .unwrap()
+            .get("records")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn worker_pool_longpoll_blocks_within_the_cap() {
+        let tail = Arc::new(EmptyBlockingTail::default());
+        let routes = routes_with(0)
+            .with_stream(Arc::clone(&tail) as Arc<dyn cm_obs::TailStream>)
+            .with_parked_cap(1);
+        let req = RestRequest::new(HttpMethod::Get, "/-/events/stream?wait_ms=30");
+        let resp = routes.try_handle(&req).unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        // The blocking wait happened (and released its slot after).
+        assert_eq!(tail.waits.load(std::sync::atomic::Ordering::SeqCst), 30);
+        assert_eq!(
+            routes
+                .parked_pollers
+                .load(std::sync::atomic::Ordering::SeqCst),
+            0
+        );
     }
 
     #[test]

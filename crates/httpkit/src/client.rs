@@ -93,7 +93,19 @@ struct Conn {
     /// The read timeout currently programmed into the socket, tracked
     /// so per-attempt re-capping only pays a syscall when it changes.
     read_timeout: Duration,
+    /// When this connection was last checked in (or opened). A
+    /// connection idle for less than [`WARM_CHECKOUT_WINDOW`] skips the
+    /// three-syscall [`Conn::healthy`] peek on checkout.
+    idle_since: Instant,
 }
+
+/// Idle span under which a pooled connection is trusted without the
+/// checkout health peek. Far below any server idle timeout in practice;
+/// the rare conn that did die inside the window is caught by the
+/// existing stale-reuse recovery (free retry / reconnect-once), so the
+/// skip trades a vanishing failure-path cost for three fewer syscalls
+/// on every hot-path checkout.
+const WARM_CHECKOUT_WINDOW: Duration = Duration::from_millis(50);
 
 impl Conn {
     /// Open a fresh connection, capping both the connect and the read
@@ -107,6 +119,7 @@ impl Conn {
             reader: BufReader::with_capacity(8 * 1024, stream),
             buf: Vec::with_capacity(1024),
             read_timeout: timeout,
+            idle_since: Instant::now(),
         })
     }
 
@@ -121,6 +134,40 @@ impl Conn {
         let response = read_response_buf(&mut self.reader)?;
         let close = wants_close(&response.headers);
         Ok((response, close))
+    }
+
+    /// Write every request in `requests` back-to-back in **one** wire
+    /// payload, then read the responses in order — HTTP/1.1 pipelining,
+    /// the snapshot-probe fast path. A reactor-transport server drains
+    /// the whole batch per readiness event (one read, N handlers, one
+    /// `writev`), so a batch costs ~one round trip instead of N.
+    ///
+    /// Committed responses are pushed into `responses`. Returns how many
+    /// requests were answered before the server asked for the connection
+    /// to close — fewer than `requests.len()` means the server recycled
+    /// the connection mid-batch (`max_requests_per_conn`) and the caller
+    /// should continue the remainder on a fresh one.
+    fn pipeline(
+        &mut self,
+        requests: &[RestRequest],
+        responses: &mut Vec<RestResponse>,
+    ) -> Result<usize, WireError> {
+        self.buf.clear();
+        for request in requests {
+            serialize_request(&mut self.buf, request, ConnectionMode::KeepAlive);
+        }
+        let stream = self.reader.get_mut();
+        stream.write_all(&self.buf)?;
+        stream.flush()?;
+        for served in 1..=requests.len() {
+            let response = read_response_buf(&mut self.reader)?;
+            let close = wants_close(&response.headers);
+            responses.push(response);
+            if close {
+                return Ok(served);
+            }
+        }
+        Ok(requests.len())
     }
 
     /// Is this idle connection still usable? A healthy idle keep-alive
@@ -334,8 +381,15 @@ impl PooledClient {
     fn checkout(&self, addr: SocketAddr, limit: Duration) -> Result<(Conn, bool), WireError> {
         loop {
             let candidate = plock(&self.pools).get_mut(&addr).and_then(Vec::pop);
+            // A warm connection (checked in moments ago, nothing
+            // buffered) is trusted without the health peek.
+            let usable = |conn: &Conn| {
+                (conn.idle_since.elapsed() < WARM_CHECKOUT_WINDOW
+                    && conn.reader.buffer().is_empty())
+                    || conn.healthy()
+            };
             match candidate {
-                Some(mut conn) if conn.healthy() => {
+                Some(mut conn) if usable(&conn) => {
                     let timeout = effective_timeout(self.config.read_timeout, limit);
                     if timeout != conn.read_timeout {
                         // Pay the syscall only when the value changes; a
@@ -362,7 +416,8 @@ impl PooledClient {
         }
     }
 
-    fn checkin(&self, addr: SocketAddr, conn: Conn) {
+    fn checkin(&self, addr: SocketAddr, mut conn: Conn) {
+        conn.idle_since = Instant::now();
         let mut pools = plock(&self.pools);
         let pool = pools.entry(addr).or_default();
         if pool.len() < self.config.max_idle_per_addr {
@@ -626,29 +681,37 @@ impl PooledClient {
             })
         };
         let fresh = |e: WireError| BatchError::Fresh(e.into());
+        let committed_at_entry = responses.len();
         let (mut conn, mut reused) = self.checkout(addr, remaining()?).map_err(fresh)?;
-        let mut alive = true;
-        for request in requests {
-            if !alive {
-                conn = self.checkout(addr, remaining()?).map_err(fresh)?.0;
-                reused = false;
-            }
-            match conn.roundtrip(request) {
-                Ok((response, close)) => {
-                    responses.push(response);
-                    alive = !close;
+        if requests.is_empty() {
+            self.checkin(addr, conn);
+            return Ok(());
+        }
+        let mut done = 0;
+        while done < requests.len() {
+            match conn.pipeline(&requests[done..], responses) {
+                Ok(served) => {
+                    done += served;
+                    if done < requests.len() {
+                        // The server asked to close mid-batch (connection
+                        // recycling): the unanswered tail was discarded
+                        // unread, so re-pipelining it is safe. Continue
+                        // on another connection.
+                        conn = self.checkout(addr, remaining()?).map_err(fresh)?.0;
+                        reused = false;
+                    } else {
+                        self.checkin(addr, conn);
+                        return Ok(());
+                    }
                 }
                 Err(e) => {
                     // Reconnect-once applies only before any response
                     // committed — afterwards a retry would re-issue a
                     // probe the server already answered.
-                    if reused && responses.is_empty() {
+                    if reused && responses.len() == committed_at_entry {
                         self.opened.fetch_add(1, Ordering::Relaxed);
                         conn = Conn::connect(addr, &self.config, remaining()?).map_err(fresh)?;
                         reused = false;
-                        let (response, close) = conn.roundtrip(request).map_err(fresh)?;
-                        responses.push(response);
-                        alive = !close;
                     } else if reused {
                         // A reused keep-alive connection died after
                         // committing responses: a staleness artefact of
@@ -659,9 +722,6 @@ impl PooledClient {
                     }
                 }
             }
-        }
-        if alive {
-            self.checkin(addr, conn);
         }
         Ok(())
     }

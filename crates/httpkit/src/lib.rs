@@ -7,9 +7,12 @@
 //!
 //! * [`wire`] — request/response parsing and serialisation
 //!   (`Content-Length` framing, JSON bodies, size limits, reusable
-//!   serialisation buffers);
-//! * [`HttpServer`] — a blocking keep-alive server over a **bounded
-//!   worker pool** (constant thread count, graceful shutdown);
+//!   serialisation buffers, incremental parsing for pipelined input);
+//! * [`HttpServer`] — a keep-alive server with two engines behind one
+//!   API ([`ServerConfig::transport`]): the default **readiness-driven
+//!   reactor** ([`reactor`] — per-core epoll/poll event-loop shards,
+//!   request pipelining, vectored writes, [`timer`]-wheel deadlines) and
+//!   the blocking **bounded worker pool** baseline;
 //! * [`PooledClient`] — a per-address pool of keep-alive client
 //!   connections with health-checked checkout, reconnect-once on stale
 //!   connections, and a batched probe path;
@@ -44,8 +47,11 @@
 
 pub mod admin;
 pub mod client;
+#[cfg(unix)]
+pub mod reactor;
 pub mod resilience;
 pub mod server;
+pub mod timer;
 pub mod wire;
 
 pub use admin::{AdminRoutes, ADMIN_PREFIX, DEFAULT_EVENT_TAIL};
@@ -54,8 +60,12 @@ pub use resilience::{
     Admission, BackoffSchedule, BreakerState, CircuitBreaker, DeadlineBudget, TransportError,
     TransportStats,
 };
-pub use server::{send, Handler, HttpServer, ServerConfig};
+pub use server::{
+    send, try_request_park, Handler, HttpServer, ReactorBackend, ServerConfig, Transport,
+};
+pub use timer::TimerWheel;
 pub use wire::{
     read_request, read_request_buf, read_response, read_response_buf, serialize_request,
-    serialize_response, wants_close, write_request, write_response, ConnectionMode, WireError,
+    serialize_response, serialize_response_parts, try_parse_request, wants_close, write_request,
+    write_response, ConnectionMode, WireError,
 };

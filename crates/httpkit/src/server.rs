@@ -1,20 +1,26 @@
-//! A small blocking HTTP server over `std::net` with persistent
-//! connections and a bounded worker pool.
+//! The HTTP server: a readiness-driven reactor by default, with the
+//! blocking bounded worker pool retained as a differential baseline.
 //!
-//! The transport under the monitor-as-network-proxy deployment. Each
-//! accepted connection is served by one of `N` long-lived worker threads
-//! (no per-connection `thread::spawn`, no unbounded `JoinHandle`
-//! collection): the accept loop pushes connections onto a bounded queue
-//! and blocks when it is full, so the thread count is constant under any
-//! load. Workers run an HTTP/1.1 keep-alive loop per connection — they
-//! honour `Connection: close` / `keep-alive` from the client, cap the
-//! requests served per connection, and close connections idle past a
-//! configurable timeout — and serialise responses into one reusable
-//! per-worker buffer ([`crate::wire::serialize_response`]).
+//! The transport under the monitor-as-network-proxy deployment.
+//! [`ServerConfig::transport`] selects between two engines behind one
+//! public API:
 //!
-//! Graceful shutdown sets an atomic flag, wakes the accept loop with a
-//! dummy connection, drains the queue, and joins exactly the live
-//! workers deterministically.
+//! * [`Transport::Reactor`] (default, Unix) — per-core event-loop shards
+//!   over non-blocking sockets ([`crate::reactor`]): epoll on Linux,
+//!   `poll(2)` elsewhere, with pipelined request draining, vectored
+//!   response writes, and all connection deadlines on a timer wheel.
+//! * [`Transport::WorkerPool`] — each accepted connection is served by
+//!   one of `N` long-lived blocking worker threads fed from a bounded
+//!   queue (the accept loop blocks when it is full, so the thread count
+//!   is constant under any load). Workers run an HTTP/1.1 keep-alive
+//!   loop per connection and serialise responses into one reusable
+//!   per-worker buffer ([`crate::wire::serialize_response`]).
+//!
+//! Both engines honour `Connection: close` / `keep-alive`, cap the
+//! requests served per connection, guard against slow clients, and close
+//! idle connections. Graceful shutdown sets an atomic flag, wakes the
+//! accept loop with a dummy connection, and joins every thread
+//! deterministically.
 
 use crate::wire::{
     read_request_buf, serialize_response, wants_close, write_request, ConnectionMode, WireError,
@@ -31,12 +37,47 @@ use std::time::{Duration, Instant};
 /// Handler invoked for each incoming request.
 pub type Handler = dyn Fn(RestRequest) -> RestResponse + Send + Sync;
 
+/// Which engine serves connections; see the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Readiness-driven event-loop shards (the default). Falls back to
+    /// [`Transport::WorkerPool`] on non-Unix targets.
+    #[default]
+    Reactor,
+    /// Blocking thread-per-in-flight-connection worker pool — the
+    /// differential baseline the reactor is benchmarked and
+    /// parity-tested against.
+    WorkerPool,
+}
+
+/// Readiness backend for [`Transport::Reactor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReactorBackend {
+    /// epoll on Linux, `poll(2)` elsewhere.
+    #[default]
+    Auto,
+    /// Force epoll; binding fails off Linux.
+    Epoll,
+    /// Force the portable `poll(2)` backend (also how the fallback stays
+    /// exercised by tests on Linux).
+    Poll,
+}
+
 /// Tuning knobs for [`HttpServer`]; see the field docs for defaults.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads dispatching connections (default 8). This — plus
-    /// the accept thread — is the server's *entire* thread budget,
-    /// regardless of how many connections arrive.
+    /// Connection-serving engine (default [`Transport::Reactor`]).
+    pub transport: Transport,
+    /// Reactor shards (event-loop threads); 0 = one per available core,
+    /// capped at 8 (default 0). Ignored by the worker pool.
+    pub shards: usize,
+    /// Readiness backend for the reactor (default
+    /// [`ReactorBackend::Auto`]). Ignored by the worker pool.
+    pub reactor_backend: ReactorBackend,
+    /// Worker threads dispatching connections under
+    /// [`Transport::WorkerPool`] (default 8). This — plus the accept
+    /// thread — is that engine's *entire* thread budget, regardless of
+    /// how many connections arrive.
     pub workers: usize,
     /// Serve multiple requests per connection (default `true`). When
     /// `false` every response carries `Connection: close`, restoring the
@@ -62,6 +103,9 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            transport: Transport::Reactor,
+            shards: 0,
+            reactor_backend: ReactorBackend::Auto,
             workers: 8,
             keep_alive: true,
             max_requests_per_conn: 1024,
@@ -135,13 +179,75 @@ impl ConnQueue {
     }
 }
 
+/// Thread-local channel through which a long-poll handler asks a
+/// reactor shard to park its connection instead of blocking.
+#[derive(Clone, Copy)]
+enum ParkSlot {
+    /// Not inside a reactor dispatch: parking unavailable.
+    Inactive,
+    /// Inside a reactor dispatch: a handler may request parking.
+    Armed,
+    /// The handler asked to park for up to `wait_ms` milliseconds.
+    Requested(u64),
+}
+
+thread_local! {
+    static PARK_SLOT: std::cell::Cell<ParkSlot> = const { std::cell::Cell::new(ParkSlot::Inactive) };
+}
+
+/// Run `f` (a handler dispatch) with parking armed; returns the
+/// handler's result and the park request it made, if any.
+pub(crate) fn with_park_scope<R>(f: impl FnOnce() -> R) -> (R, Option<u64>) {
+    PARK_SLOT.set(ParkSlot::Armed);
+    let result = f();
+    let park = match PARK_SLOT.replace(ParkSlot::Inactive) {
+        ParkSlot::Requested(wait_ms) => Some(wait_ms),
+        _ => None,
+    };
+    (result, park)
+}
+
+/// Ask the transport to park the current connection for up to `wait_ms`
+/// milliseconds instead of blocking inside the handler.
+///
+/// Returns `true` when the caller is running on a reactor shard, which
+/// will then *withhold* the response the handler returns, park the
+/// connection on the shard's timer wheel, and re-invoke the handler
+/// (same request) every few milliseconds until it stops asking to park —
+/// or the wait budget is spent, at which point the latest response is
+/// delivered. Long-poll handlers should therefore answer with their
+/// *current* state (possibly empty) after this returns `true`, and fall
+/// back to blocking with bounded concurrency when it returns `false`
+/// (worker-pool transport).
+pub fn try_request_park(wait_ms: u64) -> bool {
+    PARK_SLOT.with(|slot| {
+        if matches!(slot.get(), ParkSlot::Armed | ParkSlot::Requested(_)) {
+            slot.set(ParkSlot::Requested(wait_ms));
+            true
+        } else {
+            false
+        }
+    })
+}
+
+/// The engine actually serving connections behind [`HttpServer`].
+enum Engine {
+    /// Blocking bounded worker pool.
+    Pool {
+        queue: Arc<ConnQueue>,
+        accept_thread: JoinHandle<()>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    /// Readiness-driven reactor shards.
+    #[cfg(unix)]
+    Reactor(crate::reactor::ReactorEngine),
+}
+
 /// A running HTTP server.
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    queue: Arc<ConnQueue>,
-    accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    engine: Option<Engine>,
     connections: Arc<AtomicU64>,
     config: ServerConfig,
 }
@@ -150,7 +256,7 @@ impl std::fmt::Debug for HttpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HttpServer")
             .field("addr", &self.addr)
-            .field("workers", &self.config.workers)
+            .field("transport", &self.transport())
             .field("keep_alive", &self.config.keep_alive)
             .finish()
     }
@@ -180,46 +286,68 @@ impl HttpServer {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let queue = Arc::new(ConnQueue::new(config.queue_depth));
         let connections = Arc::new(AtomicU64::new(0));
 
-        let worker_count = config.workers.max(1);
-        let mut workers = Vec::with_capacity(worker_count);
-        for _ in 0..worker_count {
-            let queue = Arc::clone(&queue);
-            let handler = Arc::clone(&handler);
-            let stop = Arc::clone(&stop);
-            let cfg = config.clone();
-            workers.push(std::thread::spawn(move || {
-                // One response buffer per worker, reused across every
-                // request of every connection this worker serves.
-                let mut resp_buf: Vec<u8> = Vec::with_capacity(4096);
-                while let Some(stream) = queue.pop() {
-                    serve_connection(stream, handler.as_ref(), &cfg, &stop, &mut resp_buf);
+        let engine = match effective_transport(config.transport) {
+            #[cfg(unix)]
+            Transport::Reactor => Engine::Reactor(crate::reactor::ReactorEngine::spawn(
+                listener,
+                handler,
+                &config,
+                Arc::clone(&stop),
+                Arc::clone(&connections),
+            )?),
+            #[cfg(not(unix))]
+            Transport::Reactor => unreachable!("effective_transport never picks Reactor here"),
+            Transport::WorkerPool => {
+                let queue = Arc::new(ConnQueue::new(config.queue_depth));
+                let worker_count = config.workers.max(1);
+                let mut workers = Vec::with_capacity(worker_count);
+                for _ in 0..worker_count {
+                    let queue = Arc::clone(&queue);
+                    let handler = Arc::clone(&handler);
+                    let stop = Arc::clone(&stop);
+                    let cfg = config.clone();
+                    workers.push(std::thread::spawn(move || {
+                        // One response buffer per worker, reused across
+                        // every request of every connection this worker
+                        // serves.
+                        let mut resp_buf: Vec<u8> = Vec::with_capacity(4096);
+                        while let Some(stream) = queue.pop() {
+                            serve_connection(stream, handler.as_ref(), &cfg, &stop, &mut resp_buf);
+                        }
+                    }));
                 }
-            }));
-        }
 
-        let stop_accept = Arc::clone(&stop);
-        let queue_accept = Arc::clone(&queue);
-        let connections_accept = Arc::clone(&connections);
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if stop_accept.load(Ordering::SeqCst) {
-                    break;
+                let stop_accept = Arc::clone(&stop);
+                let queue_accept = Arc::clone(&queue);
+                let connections_accept = Arc::clone(&connections);
+                let accept_thread = std::thread::spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop_accept.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        // Small HTTP responses to a pipelining peer stall
+                        // ~40ms each under Nagle + delayed ACK; disable
+                        // it like the reactor and the client do.
+                        let _ = stream.set_nodelay(true);
+                        connections_accept.fetch_add(1, Ordering::Relaxed);
+                        queue_accept.push(stream);
+                    }
+                });
+                Engine::Pool {
+                    queue,
+                    accept_thread,
+                    workers,
                 }
-                let Ok(stream) = stream else { continue };
-                connections_accept.fetch_add(1, Ordering::Relaxed);
-                queue_accept.push(stream);
             }
-        });
+        };
 
         Ok(HttpServer {
             addr: local,
             stop,
-            queue,
-            accept_thread: Some(accept_thread),
-            workers,
+            engine: Some(engine),
             connections,
             config,
         })
@@ -238,11 +366,28 @@ impl HttpServer {
         self.connections.load(Ordering::Relaxed)
     }
 
-    /// Number of dispatch workers — the server's constant thread budget
-    /// (plus one accept thread), independent of connection count.
+    /// Number of dispatch threads — worker-pool workers or reactor
+    /// shards — the server's constant thread budget (plus one accept
+    /// thread), independent of connection count.
     #[must_use]
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        match &self.engine {
+            Some(Engine::Pool { workers, .. }) => workers.len(),
+            #[cfg(unix)]
+            Some(Engine::Reactor(r)) => r.shard_count(),
+            None => 0,
+        }
+    }
+
+    /// The transport actually serving connections (after platform
+    /// fallback).
+    #[must_use]
+    pub fn transport(&self) -> Transport {
+        match &self.engine {
+            Some(Engine::Pool { .. }) | None => Transport::WorkerPool,
+            #[cfg(unix)]
+            Some(Engine::Reactor(_)) => Transport::Reactor,
+        }
     }
 
     /// Stop accepting connections and join all threads.
@@ -254,23 +399,44 @@ impl HttpServer {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the accept loop with a dummy connection.
         let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        // Unblock idle workers; busy ones observe the stop flag at their
-        // next idle poll tick and finish their in-flight request first.
-        self.queue.close();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        match self.engine.take() {
+            Some(Engine::Pool {
+                queue,
+                accept_thread,
+                workers,
+            }) => {
+                let _ = accept_thread.join();
+                // Unblock idle workers; busy ones observe the stop flag
+                // at their next idle poll tick and finish their
+                // in-flight request first.
+                queue.close();
+                for w in workers {
+                    let _ = w.join();
+                }
+            }
+            #[cfg(unix)]
+            Some(Engine::Reactor(mut r)) => r.join(),
+            None => {}
         }
     }
 }
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
+        if self.engine.is_some() {
             self.stop_and_join();
         }
+    }
+}
+
+/// Resolve the configured transport against platform support.
+fn effective_transport(requested: Transport) -> Transport {
+    match requested {
+        Transport::WorkerPool => Transport::WorkerPool,
+        #[cfg(unix)]
+        Transport::Reactor => Transport::Reactor,
+        #[cfg(not(unix))]
+        Transport::Reactor => Transport::WorkerPool,
     }
 }
 
@@ -520,6 +686,7 @@ mod tests {
     #[test]
     fn worker_pool_is_bounded_and_joined() {
         let config = ServerConfig {
+            transport: Transport::WorkerPool,
             workers: 3,
             ..ServerConfig::default()
         };

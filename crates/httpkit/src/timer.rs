@@ -1,0 +1,186 @@
+//! A hashed timer wheel for the reactor transport.
+//!
+//! Per-connection deadlines (idle timeout, slow-read guard, long-poll
+//! parking, close-drain) used to cost one `setsockopt` syscall per state
+//! change under the blocking transport. The reactor replaces them with
+//! entries on this wheel: scheduling is an in-memory push, expiry is a
+//! drain of the slots the cursor has passed, and cancellation is *lazy* —
+//! each connection carries a generation counter, bumped whenever its
+//! logical timer is rescheduled or dropped, and stale wheel entries are
+//! discarded when their slot comes up.
+//!
+//! The wheel is single-threaded by design: each reactor shard owns one,
+//! so no locking is needed anywhere on the timer path.
+
+use std::time::{Duration, Instant};
+
+/// One scheduled deadline: the connection token it belongs to, the
+/// generation that must still be current for it to fire, and the tick it
+/// is due at (entries whose due tick lies beyond the current wheel
+/// revolution are re-queued instead of fired).
+#[derive(Debug, Clone, Copy)]
+struct TimerEntry {
+    token: u64,
+    generation: u64,
+    due_tick: u64,
+}
+
+/// A fixed-size hashed timer wheel. Deadlines are quantised to `tick`
+/// and hashed into `slots.len()` buckets; deadlines further out than one
+/// revolution simply ride the wheel for another lap.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    tick: Duration,
+    anchor: Instant,
+    /// The next tick index to process (monotonic, not wrapped).
+    next_tick: u64,
+}
+
+/// Default tick granularity: coarse enough that an idle wheel is cheap,
+/// fine enough for the shortest configured timeout in the test battery.
+pub const DEFAULT_TICK: Duration = Duration::from_millis(10);
+
+/// Default slot count: one revolution covers `slots * tick` (2.56 s at
+/// the default tick); longer deadlines lap.
+pub const DEFAULT_SLOTS: usize = 256;
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets at `tick` granularity, anchored at
+    /// `now`.
+    #[must_use]
+    pub fn new(slots: usize, tick: Duration, now: Instant) -> Self {
+        TimerWheel {
+            slots: (0..slots.max(1)).map(|_| Vec::new()).collect(),
+            tick: tick.max(Duration::from_millis(1)),
+            anchor: now,
+            next_tick: 0,
+        }
+    }
+
+    /// The wheel's tick granularity (the reactor's poll timeout).
+    #[must_use]
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+
+    /// Schedule `(token, generation)` to fire at `deadline`. Deadlines in
+    /// the past fire on the next expiry pass.
+    pub fn schedule(&mut self, token: u64, generation: u64, deadline: Instant) {
+        let due_tick = self
+            .ticks_at(deadline)
+            // Never schedule into a tick the cursor has already passed,
+            // or the entry would wait a whole revolution.
+            .max(self.next_tick);
+        let slot = (due_tick as usize) % self.slots.len();
+        self.slots[slot].push(TimerEntry {
+            token,
+            generation,
+            due_tick,
+        });
+    }
+
+    /// Advance the wheel to `now`, appending every due `(token,
+    /// generation)` pair to `fired`. Entries due in a later revolution
+    /// stay queued; the caller is responsible for discarding pairs whose
+    /// generation is no longer current.
+    pub fn expire_into(&mut self, now: Instant, fired: &mut Vec<(u64, u64)>) {
+        let current = self.ticks_at(now);
+        while self.next_tick <= current {
+            let tick = self.next_tick;
+            let slot = (tick as usize) % self.slots.len();
+            // Entries hashed here but due on a later lap are retained.
+            let mut i = 0;
+            while i < self.slots[slot].len() {
+                if self.slots[slot][i].due_tick <= tick {
+                    let entry = self.slots[slot].swap_remove(i);
+                    fired.push((entry.token, entry.generation));
+                } else {
+                    i += 1;
+                }
+            }
+            self.next_tick += 1;
+        }
+    }
+
+    fn ticks_at(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.anchor);
+        // Round up so a deadline never fires early.
+        elapsed.as_micros().div_ceil(self.tick.as_micros().max(1)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fire(wheel: &mut TimerWheel, now: Instant) -> Vec<(u64, u64)> {
+        let mut fired = Vec::new();
+        wheel.expire_into(now, &mut fired);
+        fired
+    }
+
+    #[test]
+    fn fires_at_and_not_before_the_deadline() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(16, Duration::from_millis(10), start);
+        wheel.schedule(7, 1, start + Duration::from_millis(55));
+        assert!(fire(&mut wheel, start + Duration::from_millis(40)).is_empty());
+        assert_eq!(
+            fire(&mut wheel, start + Duration::from_millis(70)),
+            [(7, 1)]
+        );
+        // One-shot: nothing fires again.
+        assert!(fire(&mut wheel, start + Duration::from_millis(200)).is_empty());
+    }
+
+    #[test]
+    fn deadlines_beyond_one_revolution_ride_extra_laps() {
+        let start = Instant::now();
+        // 8 slots x 10ms = 80ms per revolution; schedule 250ms out.
+        let mut wheel = TimerWheel::new(8, Duration::from_millis(10), start);
+        wheel.schedule(1, 3, start + Duration::from_millis(250));
+        assert!(fire(&mut wheel, start + Duration::from_millis(240)).is_empty());
+        assert_eq!(
+            fire(&mut wheel, start + Duration::from_millis(260)),
+            [(1, 3)]
+        );
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_pass() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(16, Duration::from_millis(10), start);
+        let mut fired = Vec::new();
+        wheel.expire_into(start + Duration::from_millis(100), &mut fired);
+        wheel.schedule(9, 1, start); // long past
+        wheel.expire_into(start + Duration::from_millis(110), &mut fired);
+        assert_eq!(fired, [(9, 1)]);
+    }
+
+    #[test]
+    fn stale_generations_are_the_callers_problem_but_all_fire() {
+        // The wheel fires every scheduled entry; the reactor compares
+        // generations. Rescheduling therefore just adds entries.
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(16, Duration::from_millis(10), start);
+        wheel.schedule(4, 1, start + Duration::from_millis(20));
+        wheel.schedule(4, 2, start + Duration::from_millis(40));
+        let fired = fire(&mut wheel, start + Duration::from_millis(60));
+        assert!(fired.contains(&(4, 1)) && fired.contains(&(4, 2)));
+    }
+
+    #[test]
+    fn many_tokens_in_one_slot_all_fire() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(4, Duration::from_millis(10), start);
+        for t in 0..100u64 {
+            wheel.schedule(t, 0, start + Duration::from_millis(10 + (t % 3)));
+        }
+        let mut fired = fire(&mut wheel, start + Duration::from_millis(30));
+        fired.sort_unstable();
+        assert_eq!(fired.len(), 100);
+        assert_eq!(fired.first(), Some(&(0, 0)));
+        assert_eq!(fired.last(), Some(&(99, 0)));
+    }
+}

@@ -205,6 +205,67 @@ pub fn read_request_buf(reader: &mut impl BufRead) -> Result<RestRequest, WireEr
     })
 }
 
+/// Try to parse one complete HTTP request from the front of `buf`.
+///
+/// The readiness-driven transport accumulates raw bytes per connection
+/// and calls this after every read: `Ok(Some((request, consumed)))`
+/// yields a complete message and how many bytes it occupied (the caller
+/// drains them and retries, which is what makes pipelining work — every
+/// complete request already in the buffer is parsed before the socket is
+/// re-armed), `Ok(None)` means the buffer holds only a message prefix
+/// (read more), and `Err` is an authoritative reject: a syntactically
+/// complete-but-malformed head, an oversized header section, or a
+/// declared `Content-Length` beyond the body cap.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] / [`WireError::TooLarge`] as
+/// [`read_request`]; never [`WireError::UnexpectedEof`] (a short buffer
+/// is `Ok(None)`).
+pub fn try_parse_request(buf: &[u8]) -> Result<Option<(RestRequest, usize)>, WireError> {
+    // Only hand the buffer to the line parser once the header section is
+    // complete: `read_line` treats end-of-buffer as end-of-line, so a
+    // partial header like `Hos` would otherwise be misread as a
+    // (malformed) whole line. A head that never terminates within the
+    // header cap is an authoritative reject, matching the blocking
+    // parser's cumulative line budget.
+    if !head_is_complete(buf) {
+        if buf.len() > MAX_HEADER_BYTES + 2 {
+            return Err(WireError::TooLarge("header"));
+        }
+        return Ok(None);
+    }
+    let mut cursor = std::io::Cursor::new(buf);
+    match read_request_buf(&mut cursor) {
+        Ok(request) => {
+            let consumed = usize::try_from(cursor.position()).unwrap_or(buf.len());
+            Ok(Some((request, consumed)))
+        }
+        // With the head complete, the only "ran out of bytes" path left
+        // is a short body: the message is simply not complete yet.
+        Err(WireError::UnexpectedEof) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Does `buf` contain a full header section (an empty line)? The line
+/// parser splits on `\n` and discards `\r`, so the terminator is two
+/// newlines separated by at most one carriage return.
+fn head_is_complete(buf: &[u8]) -> bool {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1) {
+                Some(b'\n') => return true,
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return true,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
 /// Read one HTTP response from a stream.
 ///
 /// # Errors
@@ -256,24 +317,77 @@ fn serialize_tail(
     // `write!` into a `Vec<u8>` is infallible, so the results below are
     // safely discarded; nothing here allocates beyond the body rendering.
     let body_text = body.map(Json::to_compact_string);
+    serialize_head_tail(
+        out,
+        headers,
+        body_text.as_ref().map(String::len),
+        body_text.is_some(),
+        mode,
+    );
+    if let Some(body_text) = body_text {
+        out.extend_from_slice(body_text.as_bytes());
+    }
+}
+
+/// The header lines shared by every serialised message: caller headers
+/// (minus `Content-Length`), content headers for `body_len`, and the
+/// connection directive, ending with the blank line.
+fn serialize_head_tail(
+    out: &mut Vec<u8>,
+    headers: &[(String, String)],
+    body_len: Option<usize>,
+    has_body: bool,
+    mode: ConnectionMode,
+) {
     for (n, v) in headers {
         if n.eq_ignore_ascii_case("content-length") {
             continue; // we compute it ourselves
         }
         let _ = write!(out, "{n}: {v}\r\n");
     }
-    if let Some(body_text) = &body_text {
+    if has_body {
         out.extend_from_slice(b"Content-Type: application/json\r\n");
-        let _ = write!(out, "Content-Length: {}\r\n", body_text.len());
+        let _ = write!(out, "Content-Length: {}\r\n", body_len.unwrap_or(0));
     } else {
         out.extend_from_slice(b"Content-Length: 0\r\n");
     }
     out.extend_from_slice(b"Connection: ");
     out.extend_from_slice(mode.header_value().as_bytes());
     out.extend_from_slice(b"\r\n\r\n");
-    if let Some(body_text) = body_text {
-        out.extend_from_slice(body_text.as_bytes());
+}
+
+/// Serialise one HTTP response as two parts — the head (status line,
+/// headers, blank line) appended to `head` and the rendered JSON body
+/// appended to `body` — so the reactor transport can hand both to one
+/// vectored write without copying the body behind the head.
+///
+/// Concatenating what this appends to `head` and `body` is byte-identical
+/// to [`serialize_response`] with the same arguments; the split is pinned
+/// by a unit test.
+pub fn serialize_response_parts(
+    head: &mut Vec<u8>,
+    body: &mut String,
+    response: &RestResponse,
+    mode: ConnectionMode,
+) {
+    let body_start = body.len();
+    if let Some(json) = &response.body {
+        json.write_compact(body);
     }
+    let body_len = body.len() - body_start;
+    let _ = write!(
+        head,
+        "HTTP/1.1 {} {}\r\n",
+        response.status.0,
+        response.status.reason()
+    );
+    serialize_head_tail(
+        head,
+        &response.headers,
+        Some(body_len),
+        response.body.is_some(),
+        mode,
+    );
 }
 
 /// Serialise one HTTP request into `out` (appending; callers reusing a
@@ -542,6 +656,104 @@ mod tests {
         assert_eq!(second.path, "/b");
         assert!(!wants_close(&first.headers));
         assert!(wants_close(&second.headers));
+    }
+
+    #[test]
+    fn try_parse_yields_each_pipelined_request_with_consumed_len() {
+        let mut buf = Vec::new();
+        serialize_request(
+            &mut buf,
+            &RestRequest::new(HttpMethod::Post, "/a").json(Json::Int(1)),
+            ConnectionMode::KeepAlive,
+        );
+        let first_len = buf.len();
+        serialize_request(
+            &mut buf,
+            &RestRequest::new(HttpMethod::Get, "/b"),
+            ConnectionMode::Close,
+        );
+        let (first, consumed) = try_parse_request(&buf).unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        assert_eq!(consumed, first_len);
+        let (second, rest) = try_parse_request(&buf[consumed..]).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+        assert_eq!(consumed + rest, buf.len());
+    }
+
+    #[test]
+    fn try_parse_treats_every_prefix_as_incomplete() {
+        let mut buf = Vec::new();
+        serialize_request(
+            &mut buf,
+            &RestRequest::new(HttpMethod::Post, "/v3/1/volumes")
+                .auth_token("tok")
+                .json(Json::object(vec![("size", Json::Int(3))])),
+            ConnectionMode::KeepAlive,
+        );
+        for cut in 0..buf.len() {
+            assert!(
+                try_parse_request(&buf[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes parsed as complete"
+            );
+        }
+        assert!(try_parse_request(&buf).unwrap().is_some());
+    }
+
+    #[test]
+    fn try_parse_rejects_malformed_and_oversized_heads() {
+        assert!(matches!(
+            try_parse_request(b"BREW /pot HTTP/1.1\r\n\r\n"),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            try_parse_request(b"GET / HTTP/1.1\r\nBadHeaderNoColon\r\n\r\n"),
+            Err(WireError::Malformed(_))
+        ));
+        let oversized = format!(
+            "GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            usize::MAX / 2
+        );
+        assert!(matches!(
+            try_parse_request(oversized.as_bytes()),
+            Err(WireError::TooLarge(_))
+        ));
+        // A head that never terminates is rejected once past the cap.
+        let runaway = vec![b'a'; MAX_HEADER_BYTES + 3];
+        assert!(matches!(
+            try_parse_request(&runaway),
+            Err(WireError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn response_parts_concatenate_to_the_single_buffer_serialisation() {
+        let responses = [
+            RestResponse::ok(Json::object(vec![
+                ("id", Json::Int(7)),
+                ("name", Json::Str("vol".into())),
+            ])),
+            RestResponse::error(StatusCode::FORBIDDEN, "no"),
+            RestResponse::no_content(),
+            RestResponse {
+                status: StatusCode::OK,
+                headers: vec![
+                    ("X-Custom".into(), "yes".into()),
+                    ("Content-Length".into(), "999".into()),
+                ],
+                body: Some(Json::Array(vec![Json::Int(1), Json::Int(2)])),
+            },
+        ];
+        for mode in [ConnectionMode::KeepAlive, ConnectionMode::Close] {
+            for resp in &responses {
+                let mut whole = Vec::new();
+                serialize_response(&mut whole, resp, mode);
+                let mut head = Vec::new();
+                let mut body = String::new();
+                serialize_response_parts(&mut head, &mut body, resp, mode);
+                head.extend_from_slice(body.as_bytes());
+                assert_eq!(head, whole, "split serialisation diverged: {resp:?}");
+            }
+        }
     }
 
     #[test]

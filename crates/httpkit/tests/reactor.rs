@@ -1,0 +1,447 @@
+//! Reactor-transport battery: pipelining parity against the blocking
+//! baseline, long-poll parking liveness, and a many-connection soak.
+//!
+//! The parity tests drive both engines with identical raw byte streams
+//! and assert the responses are **byte-identical** — the reactor is only
+//! correct if a client cannot tell it from the worker pool. The soak
+//! proves the flagship scaling claim: thousands of concurrent keep-alive
+//! connections on a constant thread budget, bounded only by
+//! `RLIMIT_NOFILE` (the test raises the limit when it can and scales
+//! down gracefully when it cannot).
+
+#![cfg(unix)]
+
+use cm_httpkit::{
+    read_response_buf, send, serialize_request, AdminRoutes, ConnectionMode, HttpServer,
+    ServerConfig, Transport,
+};
+use cm_model::HttpMethod;
+use cm_obs::{MetricsRegistry, RingBufferSink, StreamBatch, TailStream};
+use cm_rest::{Json, RestRequest, RestResponse, StatusCode};
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+type Handler = dyn Fn(RestRequest) -> RestResponse + Send + Sync;
+
+fn echo_handler() -> Arc<Handler> {
+    Arc::new(|req: RestRequest| {
+        RestResponse::ok(Json::object(vec![
+            ("path", Json::Str(req.path.clone())),
+            ("body", req.body.clone().unwrap_or(Json::Null)),
+        ]))
+    })
+}
+
+fn cfg(transport: Transport) -> ServerConfig {
+    ServerConfig {
+        transport,
+        ..ServerConfig::default()
+    }
+}
+
+/// Write `payload` in one shot and collect every byte the server sends
+/// until it closes the connection.
+fn exchange_raw(addr: std::net::SocketAddr, payload: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(payload).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    raw
+}
+
+/// A burst of pipelined keep-alive requests (the last one `close`) must
+/// come back in order, one response per request — and the reactor's
+/// bytes must equal the worker pool's exactly.
+#[test]
+fn pipelined_requests_are_answered_in_order_and_byte_identical() {
+    const N: usize = 8;
+    let mut payload = Vec::new();
+    for i in 0..N {
+        let req = RestRequest::new(HttpMethod::Post, format!("/pipe/{i}"))
+            .json(Json::object(vec![("seq", Json::Int(i as i64))]));
+        let mode = if i == N - 1 {
+            ConnectionMode::Close
+        } else {
+            ConnectionMode::KeepAlive
+        };
+        serialize_request(&mut payload, &req, mode);
+    }
+
+    let mut outputs = Vec::new();
+    for transport in [Transport::Reactor, Transport::WorkerPool] {
+        let server = HttpServer::bind_with("127.0.0.1:0", echo_handler(), cfg(transport)).unwrap();
+        let raw = exchange_raw(server.local_addr(), &payload);
+        server.shutdown();
+
+        // One well-formed response per request, in request order.
+        let mut reader = BufReader::new(raw.as_slice());
+        for i in 0..N {
+            let resp = read_response_buf(&mut reader)
+                .unwrap_or_else(|e| panic!("{transport:?} response {i}: {e}"));
+            assert_eq!(resp.status, StatusCode::OK);
+            let body = resp.body.unwrap();
+            assert_eq!(
+                body.get("path").unwrap().as_str(),
+                Some(format!("/pipe/{i}").as_str()),
+                "{transport:?} must answer pipelined requests in order"
+            );
+            assert_eq!(
+                body.get("body").unwrap().get("seq").unwrap().as_int(),
+                Some(i as i64)
+            );
+        }
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert!(
+            rest.is_empty(),
+            "{transport:?} sent trailing bytes: {rest:?}"
+        );
+        outputs.push(raw);
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "reactor and worker pool must be byte-identical on a pipelined burst"
+    );
+}
+
+/// An oversized `Content-Length` arriving *mid-pipeline* must still be
+/// answered with 400-and-close after the earlier requests got their
+/// responses — identically on both transports.
+#[test]
+fn oversized_content_length_mid_pipeline_is_rejected_identically() {
+    let mut payload = Vec::new();
+    for i in 0..2 {
+        serialize_request(
+            &mut payload,
+            &RestRequest::new(HttpMethod::Get, format!("/ok/{i}")),
+            ConnectionMode::KeepAlive,
+        );
+    }
+    payload.extend_from_slice(b"POST /huge HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n");
+    // A trailing request that must never be answered (conn closed by 400).
+    serialize_request(
+        &mut payload,
+        &RestRequest::new(HttpMethod::Get, "/never"),
+        ConnectionMode::KeepAlive,
+    );
+
+    let mut outputs = Vec::new();
+    for transport in [Transport::Reactor, Transport::WorkerPool] {
+        let server = HttpServer::bind_with("127.0.0.1:0", echo_handler(), cfg(transport)).unwrap();
+        let raw = exchange_raw(server.local_addr(), &payload);
+        server.shutdown();
+
+        let mut reader = BufReader::new(raw.as_slice());
+        for i in 0..2 {
+            let resp = read_response_buf(&mut reader).unwrap();
+            assert_eq!(resp.status, StatusCode::OK, "{transport:?} response {i}");
+        }
+        let reject = read_response_buf(&mut reader).unwrap();
+        assert_eq!(
+            reject.status,
+            StatusCode::BAD_REQUEST,
+            "{transport:?} must reject the oversized declaration"
+        );
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert!(
+            rest.is_empty(),
+            "{transport:?} must close after the 400, got: {rest:?}"
+        );
+        outputs.push(raw);
+    }
+    assert_eq!(outputs[0], outputs[1], "both transports byte-identical");
+}
+
+/// In-memory tail used to exercise the long-poll park protocol: records
+/// appear when the test pushes them.
+#[derive(Debug, Default)]
+struct LiveTail {
+    records: Mutex<Vec<Json>>,
+}
+
+impl LiveTail {
+    fn push(&self, record: Json) {
+        self.records.lock().unwrap().push(record);
+    }
+}
+
+impl TailStream for LiveTail {
+    fn tail_from(&self, from: u64, max: usize, _wait_ms: u64) -> StreamBatch {
+        let records = self.records.lock().unwrap();
+        let end = records.len() as u64;
+        let start = from.min(end);
+        let next = (start + max as u64).min(end);
+        StreamBatch {
+            start,
+            next,
+            lagged: 0,
+            end,
+            records: records[start as usize..next as usize].to_vec(),
+        }
+    }
+}
+
+/// A `wait_ms` long-poll on the reactor parks on the timer wheel: while
+/// it waits, the *same single shard* keeps serving other requests, and
+/// the parked response is delivered promptly once a record is committed
+/// — long before the wait budget expires.
+#[test]
+fn parked_longpoll_does_not_block_the_shard_and_wakes_on_data() {
+    let tail = Arc::new(LiveTail::default());
+    let routes = AdminRoutes::new(
+        Arc::new(MetricsRegistry::new()),
+        Arc::new(RingBufferSink::new(16)),
+    )
+    .with_stream(Arc::clone(&tail) as Arc<dyn TailStream>);
+    let config = ServerConfig {
+        shards: 1, // the parked poll and the echo traffic share one shard
+        ..cfg(Transport::Reactor)
+    };
+    let server = HttpServer::bind_with("127.0.0.1:0", routes.wrap(echo_handler()), config).unwrap();
+    let addr = server.local_addr();
+
+    // Park a long-poll with a 10s budget on its own connection.
+    let poller = std::thread::spawn(move || {
+        let started = Instant::now();
+        let resp = send(
+            addr,
+            &RestRequest::new(HttpMethod::Get, "/-/events/stream?from=0&wait_ms=10000"),
+        )
+        .unwrap();
+        (resp, started.elapsed())
+    });
+
+    // While it waits, the shard must keep serving echo traffic.
+    std::thread::sleep(Duration::from_millis(150));
+    for i in 0..5 {
+        let started = Instant::now();
+        let resp = send(
+            addr,
+            &RestRequest::new(HttpMethod::Get, format!("/live/{i}")),
+        )
+        .unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "shard must stay responsive while a poll is parked"
+        );
+    }
+
+    // Commit a record: the parked poll must deliver it promptly.
+    tail.push(Json::object(vec![("offset", Json::Int(0))]));
+    let (resp, waited) = poller.join().unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    let body = resp.body.unwrap();
+    assert_eq!(
+        body.get("records").unwrap().as_array().unwrap().len(),
+        1,
+        "the committed record rides the parked response"
+    );
+    assert!(
+        waited >= Duration::from_millis(150),
+        "the poll actually waited for data ({waited:?})"
+    );
+    assert!(
+        waited < Duration::from_secs(8),
+        "parked poll must wake on data, not ride out its budget ({waited:?})"
+    );
+    server.shutdown();
+}
+
+/// An empty long-poll whose budget expires is answered with an empty
+/// batch (and a usable resume cursor), not an error or a hang.
+#[test]
+fn parked_longpoll_times_out_with_an_empty_batch() {
+    let tail = Arc::new(LiveTail::default());
+    let routes = AdminRoutes::new(
+        Arc::new(MetricsRegistry::new()),
+        Arc::new(RingBufferSink::new(16)),
+    )
+    .with_stream(Arc::clone(&tail) as Arc<dyn TailStream>);
+    let server = HttpServer::bind_with(
+        "127.0.0.1:0",
+        routes.wrap(echo_handler()),
+        cfg(Transport::Reactor),
+    )
+    .unwrap();
+    let started = Instant::now();
+    let resp = send(
+        server.local_addr(),
+        &RestRequest::new(HttpMethod::Get, "/-/events/stream?from=0&wait_ms=300"),
+    )
+    .unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    let waited = started.elapsed();
+    assert!(
+        waited >= Duration::from_millis(250),
+        "budget honoured ({waited:?})"
+    );
+    assert!(waited < Duration::from_secs(5), "no hang ({waited:?})");
+    let body = resp.body.unwrap();
+    assert!(body.get("records").unwrap().as_array().unwrap().is_empty());
+    assert_eq!(body.get("next").unwrap().as_int(), Some(0));
+    server.shutdown();
+}
+
+/// `RLIMIT_NOFILE` introspection for the soak, via the same thin-FFI
+/// style the reactor itself uses.
+mod rlimit {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: i32 = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: i32 = 8;
+
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+
+    /// The current soft fd limit, after a best-effort attempt to raise
+    /// it to at least `want` (needs privilege to lift the hard cap).
+    pub fn nofile_soft_after_raising_to(want: u64) -> u64 {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return 1024;
+        }
+        if lim.cur < want {
+            let raised = RLimit {
+                cur: want.max(lim.cur),
+                max: want.max(lim.max),
+            };
+            if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } == 0 {
+                return raised.cur;
+            }
+            // Could not lift the hard cap; use all of what is allowed.
+            let best = RLimit {
+                cur: lim.max,
+                max: lim.max,
+            };
+            if unsafe { setrlimit(RLIMIT_NOFILE, &best) } == 0 {
+                return best.cur;
+            }
+        }
+        lim.cur
+    }
+}
+
+/// The flagship scaling claim: ≥10k concurrent keep-alive connections
+/// on one reactor (client *and* server share this process's fd budget,
+/// so each connection costs two fds). When `RLIMIT_NOFILE` cannot cover
+/// 10k the soak scales down; below a useful floor it skips.
+#[test]
+fn soak_ten_thousand_concurrent_keep_alive_connections() {
+    const TARGET: u64 = 10_000;
+    const SLACK: u64 = 512; // test harness, poller, wake pipes, stdio…
+    let soft = rlimit::nofile_soft_after_raising_to(TARGET * 2 + SLACK);
+    let conns = TARGET.min((soft.saturating_sub(SLACK)) / 2) as usize;
+    if conns < 1_000 {
+        eprintln!("skipping soak: RLIMIT_NOFILE={soft} leaves room for only {conns} connections");
+        return;
+    }
+
+    let config = ServerConfig {
+        idle_timeout: Duration::from_secs(120),
+        max_requests_per_conn: 1 << 20,
+        ..cfg(Transport::Reactor)
+    };
+    let server = HttpServer::bind_with("127.0.0.1:0", echo_handler(), config).unwrap();
+    let addr = server.local_addr();
+
+    // Ramp: connect, round-trip one request, keep the socket open.
+    let mut conns_alive: Vec<TcpStream> = Vec::with_capacity(conns);
+    let mut buf = Vec::new();
+    for i in 0..conns {
+        let mut stream = TcpStream::connect(addr)
+            .unwrap_or_else(|e| panic!("connect #{i} of {conns} failed: {e}"));
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        buf.clear();
+        serialize_request(
+            &mut buf,
+            &RestRequest::new(HttpMethod::Get, format!("/soak/{i}")),
+            ConnectionMode::KeepAlive,
+        );
+        stream.write_all(&buf).unwrap();
+        let resp = cm_httpkit::read_response(&mut stream)
+            .unwrap_or_else(|e| panic!("response #{i} of {conns} failed: {e}"));
+        assert_eq!(resp.status, StatusCode::OK);
+        conns_alive.push(stream);
+    }
+    assert_eq!(server.connections_accepted(), conns as u64);
+
+    // Every connection is still live: revisit a spread of them with a
+    // second request after the whole fleet is parked.
+    for i in (0..conns).step_by((conns / 97).max(1)) {
+        let stream = &mut conns_alive[i];
+        buf.clear();
+        serialize_request(
+            &mut buf,
+            &RestRequest::new(HttpMethod::Get, format!("/again/{i}")),
+            ConnectionMode::KeepAlive,
+        );
+        stream.write_all(&buf).unwrap();
+        let resp = cm_httpkit::read_response(&mut *stream)
+            .unwrap_or_else(|e| panic!("revisit #{i} failed: {e}"));
+        assert_eq!(resp.status, StatusCode::OK);
+        let body = resp.body.unwrap();
+        assert_eq!(
+            body.get("path").unwrap().as_str(),
+            Some(format!("/again/{i}").as_str()),
+            "revisited connection must still be wired to its own state"
+        );
+    }
+    assert_eq!(
+        server.connections_accepted(),
+        conns as u64,
+        "revisits must reuse the parked connections, not reconnect"
+    );
+
+    eprintln!("soaked {conns} concurrent keep-alive connections");
+    drop(conns_alive);
+    server.shutdown();
+}
+
+/// Shutdown with thousands of connections still open must join cleanly
+/// and promptly — no hang, no leaked threads.
+#[test]
+fn shutdown_with_open_connections_joins_promptly() {
+    let server =
+        HttpServer::bind_with("127.0.0.1:0", echo_handler(), cfg(Transport::Reactor)).unwrap();
+    let addr = server.local_addr();
+    let mut open = Vec::new();
+    for i in 0..64 {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut buf = Vec::new();
+        serialize_request(
+            &mut buf,
+            &RestRequest::new(HttpMethod::Get, format!("/open/{i}")),
+            ConnectionMode::KeepAlive,
+        );
+        stream.write_all(&buf).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let resp = cm_httpkit::read_response(&mut stream).unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        open.push(stream);
+    }
+    let started = Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown must not wait on idle connections"
+    );
+}

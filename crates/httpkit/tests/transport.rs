@@ -5,8 +5,16 @@
 //! Everything here runs over live loopback TCP — these are the tests
 //! that pin down the *connection lifecycle* semantics the unit tests in
 //! `src/` can't see from inside one process half.
+//!
+//! Every scenario runs against **both** engines ([`Transport::Reactor`]
+//! and [`Transport::WorkerPool`]) via the `transport_battery!` macro at
+//! the bottom: the reactor must be observably indistinguishable from
+//! the blocking baseline across the whole lifecycle, and a `poll(2)`
+//! smoke group keeps the non-epoll fallback honest on Linux too.
 
-use cm_httpkit::{send, HttpServer, PooledClient, RemoteService, ServerConfig};
+use cm_httpkit::{
+    send, HttpServer, PooledClient, ReactorBackend, RemoteService, ServerConfig, Transport,
+};
 use cm_model::HttpMethod;
 use cm_rest::{Json, RestRequest, RestResponse, SharedRestService, StatusCode};
 use std::io::{Read, Write};
@@ -32,6 +40,14 @@ fn path_of(resp: &RestResponse) -> String {
         .to_string()
 }
 
+/// Default config pinned to one transport.
+fn cfg(transport: Transport) -> ServerConfig {
+    ServerConfig {
+        transport,
+        ..ServerConfig::default()
+    }
+}
+
 /// Bind a server on `addr`, retrying briefly — used to rebind the same
 /// port after a shutdown while old sockets may linger in TIME_WAIT.
 fn bind_retrying(addr: SocketAddr, config: ServerConfig) -> HttpServer {
@@ -50,10 +66,8 @@ fn bind_retrying(addr: SocketAddr, config: ServerConfig) -> HttpServer {
 
 /// One pooled client, many requests: the whole burst must ride on a
 /// single accepted connection, reused for every request after the first.
-#[test]
-fn keep_alive_reuses_one_connection() {
-    let server =
-        HttpServer::bind_with("127.0.0.1:0", echo_handler(), ServerConfig::default()).unwrap();
+fn keep_alive_reuses_one_connection(config: ServerConfig) {
+    let server = HttpServer::bind_with("127.0.0.1:0", echo_handler(), config).unwrap();
     let addr = server.local_addr();
     let client = PooledClient::default();
     for i in 0..20 {
@@ -72,11 +86,10 @@ fn keep_alive_reuses_one_connection() {
 /// A connection idle past `idle_timeout` is closed by the server; the
 /// pooled client notices the stale socket at checkout and transparently
 /// opens a fresh one.
-#[test]
-fn idle_timeout_closes_and_client_recovers() {
+fn idle_timeout_closes_and_client_recovers(config: ServerConfig) {
     let config = ServerConfig {
         idle_timeout: Duration::from_millis(100),
-        ..ServerConfig::default()
+        ..config
     };
     let server = HttpServer::bind_with("127.0.0.1:0", echo_handler(), config).unwrap();
     let addr = server.local_addr();
@@ -107,11 +120,10 @@ fn idle_timeout_closes_and_client_recovers() {
 /// The server closes a connection after `max_requests_per_conn`
 /// requests; a 5-request burst against a cap of 2 costs exactly 3
 /// connections and loses no response.
-#[test]
-fn max_requests_per_conn_caps_reuse() {
+fn max_requests_per_conn_caps_reuse(config: ServerConfig) {
     let config = ServerConfig {
         max_requests_per_conn: 2,
-        ..ServerConfig::default()
+        ..config
     };
     let server = HttpServer::bind_with("127.0.0.1:0", echo_handler(), config).unwrap();
     let addr = server.local_addr();
@@ -132,10 +144,8 @@ fn max_requests_per_conn_caps_reuse() {
 
 /// A request declaring an absurd `Content-Length` is answered with 400
 /// and the connection is closed — the body is never buffered.
-#[test]
-fn oversized_content_length_is_rejected_with_400() {
-    let server =
-        HttpServer::bind_with("127.0.0.1:0", echo_handler(), ServerConfig::default()).unwrap();
+fn oversized_content_length_is_rejected_with_400(config: ServerConfig) {
+    let server = HttpServer::bind_with("127.0.0.1:0", echo_handler(), config).unwrap();
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
@@ -154,13 +164,13 @@ fn oversized_content_length_is_rejected_with_400() {
 }
 
 /// A client that starts a request and then stalls mid-parse is cut off
-/// by the slow-client read timeout rather than pinning a worker forever.
-#[test]
-fn slow_client_is_disconnected_by_read_timeout() {
+/// by the slow-client read timeout rather than pinning a worker (or a
+/// reactor shard's attention) forever.
+fn slow_client_is_disconnected_by_read_timeout(config: ServerConfig) {
     let config = ServerConfig {
         read_timeout: Duration::from_millis(200),
         idle_timeout: Duration::from_secs(30),
-        ..ServerConfig::default()
+        ..config
     };
     let server = HttpServer::bind_with("127.0.0.1:0", echo_handler(), config).unwrap();
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
@@ -187,10 +197,8 @@ fn slow_client_is_disconnected_by_read_timeout() {
 /// Kill the backend and bring a new one up on the same port: the pooled
 /// client's parked connection is dead, and the next request must
 /// transparently reconnect instead of failing.
-#[test]
-fn pooled_client_reconnects_after_backend_restart() {
-    let first =
-        HttpServer::bind_with("127.0.0.1:0", echo_handler(), ServerConfig::default()).unwrap();
+fn pooled_client_reconnects_after_backend_restart(config: ServerConfig) {
+    let first = HttpServer::bind_with("127.0.0.1:0", echo_handler(), config.clone()).unwrap();
     let addr = first.local_addr();
     let client = PooledClient::default();
     let resp = client
@@ -199,7 +207,7 @@ fn pooled_client_reconnects_after_backend_restart() {
     assert_eq!(path_of(&resp), "/before");
     first.shutdown();
 
-    let second = bind_retrying(addr, ServerConfig::default());
+    let second = bind_retrying(addr, config);
     let resp = client
         .request(addr, &RestRequest::new(HttpMethod::Get, "/after"))
         .unwrap();
@@ -216,10 +224,8 @@ fn pooled_client_reconnects_after_backend_restart() {
 /// surfaces as a silent retry-once inside `RemoteService::call`, never
 /// as a 502 to the monitor. Only a backend that is actually down maps
 /// to BAD_GATEWAY.
-#[test]
-fn stale_pooled_connection_is_retried_not_bad_gateway() {
-    let first =
-        HttpServer::bind_with("127.0.0.1:0", echo_handler(), ServerConfig::default()).unwrap();
+fn stale_pooled_connection_is_retried_not_bad_gateway(config: ServerConfig) {
+    let first = HttpServer::bind_with("127.0.0.1:0", echo_handler(), config.clone()).unwrap();
     let addr = first.local_addr();
     let service = RemoteService::new(addr);
     assert_eq!(
@@ -232,7 +238,7 @@ fn stale_pooled_connection_is_retried_not_bad_gateway() {
 
     // Backend restarted: the parked connection is stale but the service
     // must come back with the real answer, not BAD_GATEWAY.
-    let second = bind_retrying(addr, ServerConfig::default());
+    let second = bind_retrying(addr, config);
     let resp = service.call(&RestRequest::new(HttpMethod::Get, "/again"));
     assert_eq!(
         resp.status,
@@ -249,10 +255,8 @@ fn stale_pooled_connection_is_retried_not_bad_gateway() {
 
 /// `call_batch` issues all requests of a probe cycle back-to-back over
 /// one pooled connection.
-#[test]
-fn call_batch_rides_one_connection() {
-    let server =
-        HttpServer::bind_with("127.0.0.1:0", echo_handler(), ServerConfig::default()).unwrap();
+fn call_batch_rides_one_connection(config: ServerConfig) {
+    let server = HttpServer::bind_with("127.0.0.1:0", echo_handler(), config).unwrap();
     let service = RemoteService::new(server.local_addr());
     let requests: Vec<RestRequest> = (0..6)
         .map(|i| RestRequest::new(HttpMethod::Get, format!("/probe/{i}")))
@@ -270,11 +274,10 @@ fn call_batch_rides_one_connection() {
 /// Keep-alive off restores the historical connection-per-request
 /// behaviour: every response carries `Connection: close` and each
 /// request costs one accepted connection even through a pooled client.
-#[test]
-fn keep_alive_off_closes_every_connection() {
+fn keep_alive_off_closes_every_connection(config: ServerConfig) {
     let config = ServerConfig {
         keep_alive: false,
-        ..ServerConfig::default()
+        ..config
     };
     let server = HttpServer::bind_with("127.0.0.1:0", echo_handler(), config).unwrap();
     let addr = server.local_addr();
@@ -292,10 +295,8 @@ fn keep_alive_off_closes_every_connection() {
 
 /// The one-shot `send` client and the pooled client interoperate against
 /// the same server without stealing each other's responses.
-#[test]
-fn one_shot_and_pooled_clients_coexist() {
-    let server =
-        HttpServer::bind_with("127.0.0.1:0", echo_handler(), ServerConfig::default()).unwrap();
+fn one_shot_and_pooled_clients_coexist(config: ServerConfig) {
+    let server = HttpServer::bind_with("127.0.0.1:0", echo_handler(), config).unwrap();
     let addr = server.local_addr();
     let client = PooledClient::default();
     for i in 0..3 {
@@ -310,3 +311,53 @@ fn one_shot_and_pooled_clients_coexist() {
     assert_eq!(server.connections_accepted(), 4);
     server.shutdown();
 }
+
+/// Instantiate every scenario once per transport (and once on the
+/// forced-`poll(2)` reactor, keeping the fallback path green on Linux).
+macro_rules! transport_battery {
+    ($($name:ident),* $(,)?) => {
+        mod reactor {
+            use super::*;
+            $(
+                #[test]
+                fn $name() {
+                    super::$name(cfg(Transport::Reactor));
+                }
+            )*
+        }
+        mod worker_pool {
+            use super::*;
+            $(
+                #[test]
+                fn $name() {
+                    super::$name(cfg(Transport::WorkerPool));
+                }
+            )*
+        }
+        mod reactor_poll_backend {
+            use super::*;
+            $(
+                #[test]
+                fn $name() {
+                    super::$name(ServerConfig {
+                        reactor_backend: ReactorBackend::Poll,
+                        ..cfg(Transport::Reactor)
+                    });
+                }
+            )*
+        }
+    };
+}
+
+transport_battery!(
+    keep_alive_reuses_one_connection,
+    idle_timeout_closes_and_client_recovers,
+    max_requests_per_conn_caps_reuse,
+    oversized_content_length_is_rejected_with_400,
+    slow_client_is_disconnected_by_read_timeout,
+    pooled_client_reconnects_after_backend_restart,
+    stale_pooled_connection_is_retried_not_bad_gateway,
+    call_batch_rides_one_connection,
+    keep_alive_off_closes_every_connection,
+    one_shot_and_pooled_clients_coexist,
+);

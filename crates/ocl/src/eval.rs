@@ -1077,7 +1077,7 @@ pub(crate) fn method_call(src: &Value, op: &str, args: &[Value]) -> Result<Value
                 .as_str()
                 .ok_or_else(|| EvalError::new(format!(".{op} requires a type name string")))?;
             match src {
-                Value::Obj(o) => Ok(Value::Bool(o.class == wanted)),
+                Value::Obj(o) => Ok(Value::Bool(&*o.class == wanted)),
                 other => Ok(Value::Bool(other.type_name() == wanted)),
             }
         }

@@ -3,15 +3,22 @@
 use crate::ast::CollectionKind;
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// A reference to a model object (a *resource* in the paper's terminology).
 ///
 /// Objects are identified by the class (resource definition) they instantiate
 /// and an opaque identifier assigned by the hosting environment.
+///
+/// The class name is shared (`Arc<str>`): object references are cloned on
+/// every snapshot binding and every collection copy during evaluation, and
+/// a shared name keeps those clones allocation-free. Equality, ordering,
+/// and hashing all compare the name by content, so two refs to the same
+/// class built from different strings still compare equal.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjRef {
     /// Name of the resource definition / class.
-    pub class: String,
+    pub class: Arc<str>,
     /// Environment-assigned object identifier.
     pub id: u64,
 }
@@ -19,7 +26,7 @@ pub struct ObjRef {
 impl ObjRef {
     /// Create an object reference.
     #[must_use]
-    pub fn new(class: impl Into<String>, id: u64) -> Self {
+    pub fn new(class: impl Into<Arc<str>>, id: u64) -> Self {
         ObjRef {
             class: class.into(),
             id,

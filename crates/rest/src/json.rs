@@ -98,6 +98,13 @@ impl Json {
         out
     }
 
+    /// Serialise compactly into an existing buffer (appending), so hot
+    /// paths can reuse one scratch allocation per connection instead of
+    /// building a fresh `String` per message.
+    pub fn write_compact(&self, out: &mut String) {
+        self.write(out);
+    }
+
     /// Serialise with 2-space indentation (log files, generated fixtures).
     #[must_use]
     pub fn to_pretty_string(&self) -> String {

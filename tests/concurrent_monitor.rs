@@ -90,14 +90,18 @@ fn soak_eight_threads_against_live_server() {
     }
 
     // Keep-alive transport: 1600 requests must not mean 1600 connects,
-    // and the server's worker pool stays at its configured bound instead
-    // of spawning a thread per connection.
+    // and the server's thread budget — pool workers or reactor shards —
+    // stays at its configured bound instead of a thread per connection.
     assert!(
         server.connections_accepted() <= (THREADS as u64) + 2,
         "soak should ride on at most one connection per client thread, got {}",
         server.connections_accepted()
     );
-    assert_eq!(server.worker_count(), ServerConfig::default().workers);
+    assert!(
+        (1..=ServerConfig::default().workers).contains(&server.worker_count()),
+        "dispatch thread budget must stay bounded, got {}",
+        server.worker_count()
+    );
     server.shutdown();
 
     // Exactly one log record and one metrics observation per request.

@@ -42,6 +42,8 @@ stages (run exactly what is named, in the order given, deduplicated):
   campaign   kill-matrix campaign vs committed baseline + static RBAC lint
   audit      durable-log battery (SIGKILL crash recovery, proptest framing
              corruption, differential replay, streaming tail)
+  replica    shadow-replica battery (drift detection, anti-entropy chaos,
+             replica/scoped differential property, bench smoke)
 
 flags (aliases kept for compatibility; each means core + that stage):
   --stress --chaos --campaign
@@ -72,7 +74,7 @@ for arg in "$@"; do
     --chaos) add_core; add_stage chaos ;;
     --campaign) add_core; add_stage campaign ;;
     core) add_core ;;
-    fmt|clippy|build|test|docs|features|smoke|stress|transport|chaos|campaign|audit)
+    fmt|clippy|build|test|docs|features|smoke|stress|transport|chaos|campaign|audit|replica)
       add_stage "$arg" ;;
     *) echo "unknown option: $arg" >&2; echo >&2; usage >&2; exit 2 ;;
   esac
@@ -190,6 +192,21 @@ stage_audit() {
 
   step "audit: cm-audit unit suite"
   cargo test --offline -p cm-audit -q
+}
+
+stage_replica() {
+  step "replica: drift detection + anti-entropy chaos battery (release)"
+  cargo test --offline --release --test replica -q
+
+  step "replica: cm-core replica state-machine unit suite"
+  cargo test --offline -p cm-core -q replica
+
+  step "replica: replica/scoped differential property"
+  cargo test --offline --features proptest --test proptests -q \
+    replica_matches_scoped_snapshots
+
+  step "bench smoke: contract_eval (replica parity + zero-probe assertions)"
+  cargo run --offline --release -p cm-bench --bin contract_eval -q -- --smoke
 }
 
 SUMMARY=""

@@ -484,7 +484,7 @@ impl TailStream for AuditLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::{EnvSnapshot, MonitorMode, ReplayContext, VerdictCode};
+    use crate::record::{EnvProvenance, EnvSnapshot, MonitorMode, ReplayContext, VerdictCode};
     use crate::recover::{read_records, recover};
 
     fn record(i: u64) -> AuditRecord {
@@ -508,6 +508,7 @@ mod tests {
                 probe_denials: vec![],
                 forwarded: true,
                 cloud_status: Some(200),
+                provenance: EnvProvenance::default(),
             },
         }
     }

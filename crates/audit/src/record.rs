@@ -13,8 +13,9 @@
 //! Records are encoded with a deterministic, versioned, little-endian
 //! binary codec (`encode_record` / `decode_record`): encoding the same
 //! record twice yields identical bytes, and decoding then re-encoding a
-//! valid payload is byte-identical — the property the corruption battery
-//! pins down. On disk each payload travels in a CRC frame
+//! current-version payload is byte-identical — the property the
+//! corruption battery pins down. Older-version payloads still decode
+//! (re-encoding upgrades them to the current version). On disk each payload travels in a CRC frame
 //! ([`encode_frame`]): `len: u32 | crc32(payload): u32 | payload`.
 
 use crate::crc::crc32;
@@ -22,8 +23,15 @@ use cm_ocl::{CollectionKind, MapNavigator, ObjRef, Value};
 use cm_rest::Json;
 use std::fmt;
 
-/// Codec version written as the first payload byte.
-pub const RECORD_VERSION: u8 = 1;
+/// Codec version written as the first payload byte. Version 2 added the
+/// [`VerdictCode::Drift`] verdict, the [`ReplayContext::Drift`] context,
+/// and the environment-provenance byte on [`ReplayContext::Checked`];
+/// version-1 payloads still decode (provenance defaults to
+/// [`EnvProvenance::Probe`]).
+pub const RECORD_VERSION: u8 = 2;
+
+/// Oldest codec version [`decode_record`] still accepts.
+pub const MIN_RECORD_VERSION: u8 = 1;
 
 /// Upper bound on one frame's payload, rejecting corrupt length headers
 /// before any allocation happens.
@@ -77,6 +85,11 @@ pub enum VerdictCode {
     ContractError,
     /// Transport prevented checking; explicitly not a violation.
     Degraded,
+    /// Anti-entropy reconciliation found the shadow replica diverged
+    /// from the cloud: out-of-band mutation bypassed the monitor. Not a
+    /// request violation — the monitored request itself was judged
+    /// separately.
+    Drift,
 }
 
 impl VerdictCode {
@@ -95,6 +108,7 @@ impl VerdictCode {
             }
             VerdictCode::ContractError => "contract-error".into(),
             VerdictCode::Degraded => "degraded".into(),
+            VerdictCode::Drift => "drift".into(),
         }
     }
 
@@ -159,6 +173,37 @@ impl EnvSnapshot {
     }
 }
 
+/// Where the environments in a [`ReplayContext::Checked`] record came
+/// from: live probe round-trips against the cloud, or the monitor's
+/// shadow replica (zero probes). Replay uses this to re-judge
+/// replica-mode traces with the same trust model they were taken under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnvProvenance {
+    /// Environments observed by probing the cloud (version-1 default).
+    #[default]
+    Probe,
+    /// Environments served from the model-derived shadow replica.
+    Replica,
+}
+
+impl EnvProvenance {
+    fn tag(self) -> u8 {
+        match self {
+            EnvProvenance::Probe => 0,
+            EnvProvenance::Replica => 1,
+        }
+    }
+
+    /// The label rendered in summaries and replay reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EnvProvenance::Probe => "probe",
+            EnvProvenance::Replica => "replica",
+        }
+    }
+}
+
 /// The branch `CloudMonitor::process` took, capturing the transport-level
 /// facts replay cannot re-derive from a contract set alone.
 #[derive(Debug, Clone, PartialEq)]
@@ -201,6 +246,15 @@ pub enum ReplayContext {
         /// The status the *cloud* answered with, before any
         /// enforce-mode rewrite of violation responses.
         cloud_status: Option<u16>,
+        /// Where the environments came from (probe vs shadow replica).
+        provenance: EnvProvenance,
+    },
+    /// An anti-entropy pass found replica/cloud divergence. The record's
+    /// requirements list carries the contracts whose scopes touch the
+    /// drifted attributes.
+    Drift {
+        /// `root.attr` pairs that diverged, e.g. `volume.size`.
+        attributes: Vec<String>,
     },
 }
 
@@ -544,10 +598,11 @@ fn put_verdict(out: &mut Vec<u8>, verdict: &VerdictCode) {
         }
         VerdictCode::ContractError => put_u8(out, 7),
         VerdictCode::Degraded => put_u8(out, 8),
+        VerdictCode::Drift => put_u8(out, 9),
     }
 }
 
-fn read_verdict(r: &mut Reader<'_>) -> Result<VerdictCode, DecodeError> {
+fn read_verdict(r: &mut Reader<'_>, version: u8) -> Result<VerdictCode, DecodeError> {
     Ok(match r.u8()? {
         0 => VerdictCode::Pass,
         1 => VerdictCode::NotModelled,
@@ -561,6 +616,7 @@ fn read_verdict(r: &mut Reader<'_>) -> Result<VerdictCode, DecodeError> {
         },
         7 => VerdictCode::ContractError,
         8 => VerdictCode::Degraded,
+        9 if version >= 2 => VerdictCode::Drift,
         t => return Err(DecodeError::new(format!("bad verdict tag {t}"))),
     })
 }
@@ -608,6 +664,7 @@ fn put_context(out: &mut Vec<u8>, context: &ReplayContext) {
             probe_denials,
             forwarded,
             cloud_status,
+            provenance,
         } => {
             put_u8(out, 5);
             put_env(out, pre_env);
@@ -622,11 +679,16 @@ fn put_context(out: &mut Vec<u8>, context: &ReplayContext) {
             put_strs(out, probe_denials);
             put_u8(out, u8::from(*forwarded));
             put_opt_u16(out, *cloud_status);
+            put_u8(out, provenance.tag());
+        }
+        ReplayContext::Drift { attributes } => {
+            put_u8(out, 6);
+            put_strs(out, attributes);
         }
     }
 }
 
-fn read_context(r: &mut Reader<'_>) -> Result<ReplayContext, DecodeError> {
+fn read_context(r: &mut Reader<'_>, version: u8) -> Result<ReplayContext, DecodeError> {
     Ok(match r.u8()? {
         0 => ReplayContext::Unmodelled,
         1 => ReplayContext::MethodNotAllowed {
@@ -646,15 +708,34 @@ fn read_context(r: &mut Reader<'_>) -> Result<ReplayContext, DecodeError> {
                 1 => Some(read_env(r)?),
                 t => return Err(DecodeError::new(format!("bad option tag {t}"))),
             };
+            let post_partial = r.u8()? != 0;
+            let probe_denials = r.strs()?;
+            let forwarded = r.u8()? != 0;
+            let cloud_status = read_opt_u16(r)?;
+            // Version 1 predates the provenance byte: every checked
+            // record was probe-observed.
+            let provenance = if version >= 2 {
+                match r.u8()? {
+                    0 => EnvProvenance::Probe,
+                    1 => EnvProvenance::Replica,
+                    t => return Err(DecodeError::new(format!("bad provenance tag {t}"))),
+                }
+            } else {
+                EnvProvenance::Probe
+            };
             ReplayContext::Checked {
                 pre_env,
                 post_env,
-                post_partial: r.u8()? != 0,
-                probe_denials: r.strs()?,
-                forwarded: r.u8()? != 0,
-                cloud_status: read_opt_u16(r)?,
+                post_partial,
+                probe_denials,
+                forwarded,
+                cloud_status,
+                provenance,
             }
         }
+        6 if version >= 2 => ReplayContext::Drift {
+            attributes: r.strs()?,
+        },
         t => return Err(DecodeError::new(format!("bad context tag {t}"))),
     })
 }
@@ -696,7 +777,7 @@ pub fn encode_record(record: &AuditRecord) -> Vec<u8> {
 pub fn decode_record(payload: &[u8]) -> Result<AuditRecord, DecodeError> {
     let mut r = Reader::new(payload);
     let version = r.u8()?;
-    if version != RECORD_VERSION {
+    if !(MIN_RECORD_VERSION..=RECORD_VERSION).contains(&version) {
         return Err(DecodeError::new(format!(
             "unsupported record version {version}"
         )));
@@ -717,11 +798,11 @@ pub fn decode_record(payload: &[u8]) -> Result<AuditRecord, DecodeError> {
         t => return Err(DecodeError::new(format!("bad mode tag {t}"))),
     };
     let degraded_policy = r.str()?;
-    let verdict = read_verdict(&mut r)?;
+    let verdict = read_verdict(&mut r, version)?;
     let requirements = r.strs()?;
     let status = r.u16()?;
     let diagnostics = r.str()?;
-    let context = read_context(&mut r)?;
+    let context = read_context(&mut r, version)?;
     r.done()?;
     Ok(AuditRecord {
         seq,
@@ -837,6 +918,11 @@ mod tests {
                 probe_denials: Vec::new(),
                 forwarded: true,
                 cloud_status: Some(204),
+                provenance: if i.is_multiple_of(2) {
+                    EnvProvenance::Probe
+                } else {
+                    EnvProvenance::Replica
+                },
             },
         }
     }
@@ -867,6 +953,9 @@ mod tests {
                 faults: vec!["GET /v3/1 -> 504 (deadline)".into()],
             },
             ReplayContext::DegradedForward,
+            ReplayContext::Drift {
+                attributes: vec!["volume.size".into(), "project.volumes".into()],
+            },
         ];
         for context in contexts {
             let mut record = sample_record(1);
@@ -874,6 +963,96 @@ mod tests {
             let bytes = encode_record(&record);
             assert_eq!(decode_record(&bytes).unwrap(), record);
         }
+    }
+
+    #[test]
+    fn drift_verdict_round_trips_and_is_not_a_violation() {
+        let mut record = sample_record(4);
+        record.verdict = VerdictCode::Drift;
+        record.context = ReplayContext::Drift {
+            attributes: vec!["volume.status".into()],
+        };
+        assert_eq!(record.verdict.label(), "drift");
+        assert!(!record.verdict.is_violation());
+        let bytes = encode_record(&record);
+        let decoded = decode_record(&bytes).unwrap();
+        assert_eq!(decoded, record);
+        assert_eq!(encode_record(&decoded), bytes);
+    }
+
+    /// Hand-encode a version-1 payload (no provenance byte, no Drift
+    /// tags) with the in-file putters and assert it still decodes, with
+    /// provenance defaulting to `Probe`.
+    #[test]
+    fn version_one_payloads_still_decode() {
+        let record = sample_record(6); // even i -> Probe provenance
+        let (pre_env, post_env, post_partial, probe_denials, forwarded, cloud_status) =
+            match &record.context {
+                ReplayContext::Checked {
+                    pre_env,
+                    post_env,
+                    post_partial,
+                    probe_denials,
+                    forwarded,
+                    cloud_status,
+                    ..
+                } => (
+                    pre_env,
+                    post_env,
+                    *post_partial,
+                    probe_denials,
+                    *forwarded,
+                    *cloud_status,
+                ),
+                other => panic!("sample_record changed shape: {other:?}"),
+            };
+        let mut v1 = Vec::new();
+        put_u8(&mut v1, 1); // version 1
+        put_u64(&mut v1, record.seq);
+        put_u64(&mut v1, record.ts_nanos);
+        put_str(&mut v1, &record.method);
+        put_str(&mut v1, &record.path);
+        put_opt_str(&mut v1, record.route.as_deref());
+        let (tm, tr) = record.trigger.as_ref().unwrap();
+        put_u8(&mut v1, 1);
+        put_str(&mut v1, tm);
+        put_str(&mut v1, tr);
+        put_u8(&mut v1, record.mode.tag());
+        put_str(&mut v1, &record.degraded_policy);
+        put_verdict(&mut v1, &record.verdict);
+        put_strs(&mut v1, &record.requirements);
+        put_u16(&mut v1, record.status);
+        put_str(&mut v1, &record.diagnostics);
+        // Version-1 Checked context: ends at cloud_status.
+        put_u8(&mut v1, 5);
+        put_env(&mut v1, pre_env);
+        match post_env {
+            None => put_u8(&mut v1, 0),
+            Some(env) => {
+                put_u8(&mut v1, 1);
+                put_env(&mut v1, env);
+            }
+        }
+        put_u8(&mut v1, u8::from(post_partial));
+        put_strs(&mut v1, probe_denials);
+        put_u8(&mut v1, u8::from(forwarded));
+        put_opt_u16(&mut v1, cloud_status);
+
+        let decoded = decode_record(&v1).unwrap();
+        assert_eq!(decoded, record);
+
+        // Version-1 payloads must reject version-2-only tags: a Drift
+        // verdict tag (9) is a codec error under version 1.
+        let mut bad = v1.clone();
+        // The verdict tag for sample_record(6) is Pass (0), one byte.
+        // Rather than hunt the offset, re-encode with the Drift tag.
+        let mut record9 = record.clone();
+        record9.verdict = VerdictCode::Drift;
+        let mut v1_drift = encode_record(&record9);
+        v1_drift[0] = 1; // claim version 1
+        assert!(decode_record(&v1_drift).is_err());
+        bad[0] = 3; // unknown future version
+        assert!(decode_record(&bad).is_err());
     }
 
     #[test]

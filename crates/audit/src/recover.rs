@@ -304,7 +304,8 @@ pub fn read_records(dir: &Path) -> io::Result<Vec<AuditRecord>> {
 mod tests {
     use super::*;
     use crate::record::{
-        encode_frame, encode_record, EnvSnapshot, MonitorMode, ReplayContext, VerdictCode,
+        encode_frame, encode_record, EnvProvenance, EnvSnapshot, MonitorMode, ReplayContext,
+        VerdictCode,
     };
 
     fn record(i: u64) -> AuditRecord {
@@ -328,6 +329,7 @@ mod tests {
                 probe_denials: vec![],
                 forwarded: true,
                 cloud_status: Some(200),
+                provenance: EnvProvenance::default(),
             },
         }
     }

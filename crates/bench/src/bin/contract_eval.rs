@@ -12,20 +12,30 @@
 //! * **full vs scoped snapshot** — the probe round-trips and wall-clock
 //!   of [`StateProber::snapshot_checked`] against
 //!   [`StateProber::snapshot_attrs`] driven by the compiled
-//!   `DELETE(volume)` pre-scope.
+//!   `DELETE(volume)` pre-scope;
+//! * **replica vs scoped monitoring** — a full authorized request mix
+//!   through two monitors, one probing a scoped snapshot per request
+//!   and one binding the evaluation environment from the model-derived
+//!   shadow replica. The replica side must serve steady state with
+//!   **zero** probe GETs per request, agree with the scoped oracle
+//!   verdict for verdict, and (non-smoke) be at least 1.5x faster.
 //!
 //! Results land in `BENCH_contract_eval.json` at the repo root. The run
 //! fails if the compiled pipeline is not at least 2x the interpreter.
 //! `--smoke` runs a handful of iterations, writes the artifact to
 //! `BENCH_contract_eval.smoke.json` instead, and skips the speedup
-//! assertion (used by `ci.sh` to keep CI fast and load-tolerant).
+//! assertions (used by `ci.sh` to keep CI fast and load-tolerant).
 
 use cm_cloudsim::PrivateCloud;
-use cm_core::{cinder_monitor_extended, ProbeTarget, StateProber};
+use cm_core::{
+    cinder_monitor_extended, CloudMonitor, Mode, ProbeTarget, SnapshotPolicy, StateProber,
+};
+use cm_model::HttpMethod;
 use cm_ocl::{EnvView, EvalScratch};
-use cm_rest::SharedRestService;
+use cm_rest::{Json, RestRequest, SharedRestService};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Counts the probe round-trips a snapshot costs.
@@ -39,6 +49,125 @@ impl SharedRestService for CountingCloud {
         self.hits.fetch_add(1, Ordering::Relaxed);
         self.inner.call(request)
     }
+}
+
+/// A cloud wrapped for monitored-mix measurement: counts backend GETs
+/// through a shared handle (the wrapper itself serves behind HTTP).
+struct MonitoredCloud {
+    inner: PrivateCloud,
+    gets: Arc<AtomicU64>,
+}
+
+impl SharedRestService for MonitoredCloud {
+    fn call(&self, request: &cm_rest::RestRequest) -> cm_rest::RestResponse {
+        if request.method == HttpMethod::Get {
+            self.gets.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.call(request)
+    }
+}
+
+struct MonitoredFixture {
+    monitor: CloudMonitor<cm_httpkit::RemoteService>,
+    // Keeps the backend serving for the fixture's lifetime.
+    _cloud_server: cm_httpkit::HttpServer,
+    gets: Arc<AtomicU64>,
+    pid: u64,
+    vid: u64,
+    sid: u64,
+    token: String,
+}
+
+/// The `cmcli serve` deployment in miniature: the cloud behind a real
+/// HTTP hop, the monitor probing and forwarding through a pooled
+/// client — so a probe round-trip costs what it costs in production,
+/// not a function call.
+fn monitored_fixture(policy: SnapshotPolicy) -> MonitoredFixture {
+    let cloud = PrivateCloud::my_project();
+    let pid = cloud.project_id();
+    let vid = cloud
+        .state_mut()
+        .create_volume(pid, "bench", 1, false)
+        .expect("seed volume")
+        .id;
+    let sid = cloud
+        .state_mut()
+        .create_snapshot(pid, vid, "bench-snap")
+        .expect("seed snapshot")
+        .id;
+    let token = cloud
+        .issue_token("alice", "alice-pw")
+        .expect("fixture credentials")
+        .token;
+    let gets = Arc::new(AtomicU64::new(0));
+    let wrapper = Arc::new(MonitoredCloud {
+        inner: cloud,
+        gets: Arc::clone(&gets),
+    });
+    let cloud_server = cm_httpkit::HttpServer::bind(
+        "127.0.0.1:0",
+        Arc::new(move |req: cm_rest::RestRequest| wrapper.call(&req)),
+    )
+    .expect("bind cloud server");
+    let mut monitor =
+        cinder_monitor_extended(cm_httpkit::RemoteService::new(cloud_server.local_addr()))
+            .expect("models generate")
+            .mode(Mode::Observe)
+            .snapshot_policy(policy);
+    monitor
+        .authenticate("alice", "alice-pw")
+        .expect("fixture credentials");
+    MonitoredFixture {
+        monitor,
+        _cloud_server: cloud_server,
+        gets,
+        pid,
+        vid,
+        sid,
+        token,
+    }
+}
+
+/// One authorized "request's worth" of monitored traffic: two reads and
+/// a create/delete mutation pair, all passing their contracts.
+fn monitored_mix(f: &MonitoredFixture) {
+    let reqs = [
+        RestRequest::new(HttpMethod::Get, format!("/v3/{}/volumes/{}", f.pid, f.vid))
+            .auth_token(&f.token),
+        RestRequest::new(
+            HttpMethod::Get,
+            format!("/v3/{}/volumes/{}/snapshots/{}", f.pid, f.vid, f.sid),
+        )
+        .auth_token(&f.token),
+    ];
+    for req in &reqs {
+        black_box(f.monitor.process(req));
+    }
+    let created = f.monitor.process(
+        &RestRequest::new(HttpMethod::Post, format!("/v3/{}/volumes", f.pid))
+            .auth_token(&f.token)
+            .json(Json::object(vec![(
+                "volume",
+                Json::object(vec![("name", Json::Str("mix".into()))]),
+            )])),
+    );
+    let new_vid = created
+        .response
+        .body
+        .expect("created volume body")
+        .get("volume")
+        .and_then(|v| v.get("id"))
+        .and_then(Json::as_int)
+        .expect("created volume id");
+    black_box(
+        f.monitor.process(
+            &RestRequest::new(
+                HttpMethod::Delete,
+                format!("/v3/{}/volumes/{new_vid}", f.pid),
+            )
+            .auth_token(&f.token),
+        ),
+    );
 }
 
 fn main() {
@@ -191,6 +320,75 @@ fn main() {
     let scoped_probes = counting.hits.load(Ordering::Relaxed) / u64::from(snap_iters);
     let snap_speedup = full_secs / scoped_secs;
 
+    // Monitored mix: replica vs scoped through the full monitor. Parity
+    // first — identical scripts through both monitors must agree verdict
+    // for verdict and requirement for requirement (the scoped side is
+    // the probing oracle the replica claims to equal).
+    let mix_iters: u32 = if smoke { 3 } else { 300 };
+    let replica_fixture = monitored_fixture(SnapshotPolicy::Replica);
+    let scoped_fixture = monitored_fixture(SnapshotPolicy::Scoped);
+    let parity_req = RestRequest::new(
+        HttpMethod::Get,
+        format!(
+            "/v3/{}/volumes/{}",
+            replica_fixture.pid, replica_fixture.vid
+        ),
+    )
+    .auth_token(&replica_fixture.token);
+    for _ in 0..8 {
+        let a = replica_fixture.monitor.process(&parity_req);
+        let scoped_req = RestRequest::new(
+            HttpMethod::Get,
+            format!("/v3/{}/volumes/{}", scoped_fixture.pid, scoped_fixture.vid),
+        )
+        .auth_token(&scoped_fixture.token);
+        let b = scoped_fixture.monitor.process(&scoped_req);
+        assert_eq!(a.verdict, b.verdict, "replica/scoped verdict parity");
+        assert_eq!(
+            a.requirements, b.requirements,
+            "replica/scoped requirement parity"
+        );
+    }
+
+    // Steady-state probe cost: the replica is seeded now, so a window of
+    // M monitored GETs must cost exactly M backend GETs — the forwards
+    // themselves — and zero probe round-trips.
+    let window = if smoke { 5 } else { 200 };
+    let before = replica_fixture.gets.load(Ordering::Relaxed);
+    for _ in 0..window {
+        black_box(replica_fixture.monitor.process(&parity_req));
+    }
+    let backend_gets = replica_fixture.gets.load(Ordering::Relaxed) - before;
+    let replica_probes_per_request = (backend_gets as f64 - f64::from(window)) / f64::from(window);
+    assert!(
+        replica_probes_per_request == 0.0,
+        "replica steady state must probe zero times per request, got {replica_probes_per_request}"
+    );
+
+    // Wall-clock: interleaved chunks of the authorized mix.
+    let mix_chunks = 10;
+    let per_mix_chunk = (mix_iters / mix_chunks).max(1);
+    for _ in 0..per_mix_chunk {
+        monitored_mix(&replica_fixture);
+        monitored_mix(&scoped_fixture);
+    }
+    let mut replica_secs = 0.0;
+    let mut scoped_monitor_secs = 0.0;
+    for _ in 0..mix_chunks {
+        let start = Instant::now();
+        for _ in 0..per_mix_chunk {
+            monitored_mix(&replica_fixture);
+        }
+        replica_secs += start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        for _ in 0..per_mix_chunk {
+            monitored_mix(&scoped_fixture);
+        }
+        scoped_monitor_secs += start.elapsed().as_secs_f64();
+    }
+    let replica_speedup = scoped_monitor_secs / replica_secs;
+    let mix_iters = per_mix_chunk * mix_chunks;
+
     println!("CONTRACT EVALUATION ({eval_iters} iters x {per_iter_contracts} contracts: pre + requirements + post)");
     println!();
     println!("  interpreter : {interp_us:8.2} us/contract");
@@ -208,13 +406,27 @@ fn main() {
         scoped_secs * 1e6 / f64::from(snap_iters)
     );
     println!("  speedup: {snap_speedup:8.2}x");
+    println!();
+    println!("MONITORED MIX ({mix_iters} iters x 4 authorized requests, replica vs scoped)");
+    println!();
+    println!(
+        "  scoped  : {:8.2} us/mix",
+        scoped_monitor_secs * 1e6 / f64::from(mix_iters)
+    );
+    println!(
+        "  replica : {:8.2} us/mix, {replica_probes_per_request} probe GETs per steady-state request",
+        replica_secs * 1e6 / f64::from(mix_iters)
+    );
+    println!("  speedup : {replica_speedup:8.2}x");
 
     let json = format!(
         "{{\n  \"benchmark\": \"contract_eval\",\n  \"smoke\": {smoke},\n  \"eval_iters\": {eval_iters},\n  \
          \"contracts\": {per_iter_contracts},\n  \"interpreter_us_per_contract\": {interp_us:.2},\n  \
          \"compiled_us_per_contract\": {compiled_us:.2},\n  \"eval_speedup\": {eval_speedup:.2},\n  \
          \"snapshot_iters\": {snap_iters},\n  \"full_snapshot_probes\": {full_probes},\n  \
-         \"scoped_snapshot_probes\": {scoped_probes},\n  \"snapshot_speedup\": {snap_speedup:.2}\n}}\n"
+         \"scoped_snapshot_probes\": {scoped_probes},\n  \"snapshot_speedup\": {snap_speedup:.2},\n  \
+         \"mix_iters\": {mix_iters},\n  \"replica_probes_per_request\": {replica_probes_per_request},\n  \
+         \"replica_speedup\": {replica_speedup:.2}\n}}\n"
     );
     // Smoke runs (CI) keep their numbers out of the committed-artifact
     // namespace — they land in *.smoke.json, which the workflow uploads
@@ -235,12 +447,16 @@ fn main() {
     println!("wrote {out}");
 
     if smoke {
-        println!("smoke mode: skipping speedup assertion");
+        println!("smoke mode: skipping speedup assertions");
         return;
     }
 
     assert!(
         eval_speedup >= 2.0,
         "compiled pipeline must be at least 2x the interpreter, got {eval_speedup:.2}x"
+    );
+    assert!(
+        replica_speedup >= 1.5,
+        "replica monitoring must be at least 1.5x scoped probing, got {replica_speedup:.2}x"
     );
 }

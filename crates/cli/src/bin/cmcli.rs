@@ -195,6 +195,39 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
                         .ok_or(CliError("--degraded-policy needs a value".into()))?,
                 )?;
             }
+            let mut snapshot_policy = cm_core::SnapshotPolicy::Full;
+            if let Some(pos) = rest.iter().position(|a| *a == "--snapshot-policy") {
+                snapshot_policy = cm_cli::parse_snapshot_policy(
+                    rest.get(pos + 1)
+                        .ok_or(CliError("--snapshot-policy needs a value".into()))?,
+                )?;
+            }
+            let mut anti_entropy_every = 0u64;
+            if let Some(pos) = rest.iter().position(|a| *a == "--anti-entropy-every") {
+                anti_entropy_every = rest
+                    .get(pos + 1)
+                    .and_then(|n| n.parse().ok())
+                    .ok_or(CliError("--anti-entropy-every needs a number".into()))?;
+            }
+            let mut identity_ttl = None;
+            if let Some(pos) = rest.iter().position(|a| *a == "--identity-ttl-secs") {
+                let secs: u64 = rest
+                    .get(pos + 1)
+                    .and_then(|n| n.parse().ok())
+                    .ok_or(CliError("--identity-ttl-secs needs a number".into()))?;
+                identity_ttl = Some(std::time::Duration::from_secs(secs));
+            }
+            let mut identity_cap = None;
+            if let Some(pos) = rest.iter().position(|a| *a == "--identity-cache-cap") {
+                identity_cap = Some(
+                    rest.get(pos + 1)
+                        .and_then(|n| n.parse().ok())
+                        .filter(|n| *n > 0)
+                        .ok_or(CliError(
+                            "--identity-cache-cap needs a positive number".into(),
+                        ))?,
+                );
+            }
             let mut client_config = cm_httpkit::ClientConfig::default();
             if let Some(pos) = rest.iter().position(|a| *a == "--request-deadline-ms") {
                 let ms: u64 = rest
@@ -221,6 +254,10 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
                 transport,
                 speculative_reads,
                 policy,
+                snapshot_policy,
+                anti_entropy_every,
+                identity_ttl,
+                identity_cap,
                 client_config,
                 audit_dir,
             )
@@ -253,6 +290,10 @@ fn serve(
     transport: cm_httpkit::Transport,
     speculative_reads: bool,
     policy: cm_core::DegradedPolicy,
+    snapshot_policy: cm_core::SnapshotPolicy,
+    anti_entropy_every: u64,
+    identity_ttl: Option<std::time::Duration>,
+    identity_cap: Option<usize>,
     client_config: cm_httpkit::ClientConfig,
     audit_dir: Option<&Path>,
 ) -> Result<String, CliError> {
@@ -314,7 +355,15 @@ fn serve(
     };
     let mut monitor = monitor
         .degraded_policy(policy)
+        .snapshot_policy(snapshot_policy)
+        .anti_entropy_every(anti_entropy_every)
         .speculative_reads(speculative_reads);
+    if let Some(ttl) = identity_ttl {
+        monitor = monitor.identity_cache_ttl(ttl);
+    }
+    if let Some(cap) = identity_cap {
+        monitor = monitor.identity_cache_capacity(cap);
+    }
     // The durable audit log shares the monitor's metrics registry so
     // group-commit latency and drop counts land in /-/metrics.
     let audit_log = match audit_dir {
@@ -376,6 +425,18 @@ fn serve(
         "resilience      : {policy:?}, deadline {:?}, breaker threshold {}",
         client.config().request_deadline,
         client.config().breaker_threshold
+    );
+    println!(
+        "snapshots       : {snapshot_policy:?}{}",
+        if snapshot_policy == cm_core::SnapshotPolicy::Replica {
+            if anti_entropy_every > 0 {
+                format!(", anti-entropy every {anti_entropy_every} replica serves")
+            } else {
+                ", anti-entropy on demand".to_string()
+            }
+        } else {
+            String::new()
+        }
     );
     println!("observability   : GET /-/metrics, /-/events?tail=N, /-/health (or `cmcli metrics`)");
     if audit_log.is_some() {

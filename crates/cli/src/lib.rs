@@ -624,6 +624,25 @@ pub fn parse_degraded_policy(value: &str) -> Result<cm_core::DegradedPolicy, Cli
     }
 }
 
+/// Parse a `--snapshot-policy` value: `full`, `minimal`, `scoped`, or
+/// `replica`.
+///
+/// # Errors
+///
+/// Unknown policy names.
+pub fn parse_snapshot_policy(value: &str) -> Result<cm_core::SnapshotPolicy, CliError> {
+    use cm_core::SnapshotPolicy;
+    match value {
+        "full" => Ok(SnapshotPolicy::Full),
+        "minimal" => Ok(SnapshotPolicy::Minimal),
+        "scoped" => Ok(SnapshotPolicy::Scoped),
+        "replica" => Ok(SnapshotPolicy::Replica),
+        other => Err(fail(format!(
+            "unknown snapshot policy `{other}` (expected full | minimal | scoped | replica)"
+        ))),
+    }
+}
+
 /// Parse a slice criterion from CLI-ish arguments.
 ///
 /// # Errors
@@ -704,6 +723,20 @@ pub fn usage() -> &'static str {
                                               cannot be snapshotted (default\n\
                                               fail-closed; fail-open:N allows\n\
                                               at most N unchecked forwards)\n\
+             [--snapshot-policy full|minimal|scoped|replica]\n\
+                                              how the OCL environment is\n\
+                                              materialised (default full);\n\
+                                              replica = model-derived shadow\n\
+                                              state, zero probes steady-state\n\
+             [--anti-entropy-every N]         under replica: scheduled probe\n\
+                                              reconciliation every N replica-\n\
+                                              served requests, surfacing out-\n\
+                                              of-band cloud edits as drift\n\
+                                              (0 = on-demand only, default)\n\
+             [--identity-ttl-secs S] [--identity-cache-cap N]\n\
+                                              token-introspection cache tuning\n\
+                                              (defaults 60s, 4096 entries);\n\
+                                              hit/miss counters in /-/metrics\n\
              [--request-deadline-ms MS] [--breaker-threshold N]\n\
                                               total per-request budget across\n\
                                               retries, and consecutive fresh-\n\

@@ -208,6 +208,22 @@ impl PrivateCloud {
         self.shard(project_id).lock().unwrap()
     }
 
+    /// Mutate cloud state **behind the monitored REST API** — the cloud
+    /// equivalent of an operator SSH-ing into the box, or malware
+    /// editing the database directly. The monitor never sees a request
+    /// for this change; only an anti-entropy reconciliation pass can
+    /// surface it as drift. Locks the owning shard for the duration of
+    /// the closure, so the mutation is atomic with respect to monitored
+    /// traffic.
+    pub fn mutate_out_of_band<R>(
+        &self,
+        project_id: u64,
+        f: impl FnOnce(&mut CloudState) -> R,
+    ) -> R {
+        let mut guard = self.state_of(project_id);
+        f(&mut guard)
+    }
+
     /// Read access to the identity store.
     pub fn identity(&self) -> RwLockReadGuard<'_, IdentityStore> {
         self.identity.read().unwrap()

@@ -217,6 +217,17 @@ impl CloudState {
         self.projects.get(&project_id)
     }
 
+    /// Mutable access to one volume — the escape hatch used by the
+    /// out-of-band mutation hook to model an administrator (or an
+    /// attacker) editing cloud state behind the monitored API.
+    pub fn volume_mut(&mut self, project_id: u64, volume_id: u64) -> Option<&mut Volume> {
+        self.projects
+            .get_mut(&project_id)?
+            .volumes
+            .iter_mut()
+            .find(|v| v.id == volume_id)
+    }
+
     /// Change a project's volume quota; returns false if the project is
     /// unknown.
     pub fn set_quota(&mut self, project_id: u64, quota: u32) -> bool {

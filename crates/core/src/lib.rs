@@ -53,6 +53,7 @@ pub mod monitor;
 pub mod oracle;
 pub mod probe;
 pub mod replay;
+pub mod replica;
 
 pub use coverage::{CoverageTracker, RequirementCoverage};
 pub use model_probe::ModelProber;
@@ -62,5 +63,6 @@ pub use monitor::{
     DEFAULT_EVENT_CAPACITY,
 };
 pub use oracle::{OracleReport, ScenarioResult, TestOracle};
-pub use probe::{ProbeFault, ProbeTarget, Snapshot, StateProber};
+pub use probe::{ProbeFault, ProbeTarget, Snapshot, StateProber, DEFAULT_IDENTITY_CAP};
 pub use replay::{ReplayEngine, ReplayEntry, ReplayOutcome, ReplayReport};
+pub use replica::{DriftEntry, ProjectReplica};

@@ -22,7 +22,10 @@
 
 use crate::coverage::CoverageTracker;
 use crate::probe::{ProbeTarget, StateProber};
-use cm_audit::{AuditRecord, AuditRecorder, EnvSnapshot, MonitorMode, ReplayContext, VerdictCode};
+use crate::replica::{DriftEntry, ProjectReplica};
+use cm_audit::{
+    AuditRecord, AuditRecorder, EnvProvenance, EnvSnapshot, MonitorMode, ReplayContext, VerdictCode,
+};
 use cm_contracts::{generate_with, CompiledContractSet, ContractSet, GenerateOptions};
 use cm_model::{BehavioralModel, HttpMethod, ResourceModel, Trigger};
 use cm_obs::{EventSink, MetricsRegistry, MonitorEvent, PhaseTimings, RingBufferSink};
@@ -81,6 +84,24 @@ struct ObsScratch {
     forwarded: bool,
     /// Status the cloud answered, before any enforce-mode rewrite.
     cloud_status: Option<u16>,
+    /// Environments were served from the shadow replica (zero probes);
+    /// recorded as audit provenance so replay re-judges the trace under
+    /// the same trust model.
+    replica_env: bool,
+    /// An anti-entropy pass piggybacked on this request found the cloud
+    /// diverged from the replica; emitted as a second, Drift record.
+    drift: Option<DriftReport>,
+}
+
+/// The outcome of one anti-entropy reconciliation that found drift.
+#[derive(Debug)]
+struct DriftReport {
+    /// `root.attr` pairs that diverged.
+    attributes: Vec<String>,
+    /// Human-readable replica-vs-cloud details.
+    details: String,
+    /// Security requirements whose contracts read a drifted attribute.
+    requirements: Vec<String>,
 }
 
 /// The non-contract-checked branches of `process_inner`, recorded for
@@ -126,6 +147,17 @@ pub enum SnapshotPolicy {
     /// back to whole-root probing when the analysis is inexact (`let`
     /// aliasing).
     Scoped,
+    /// Snapshot-free monitoring: bind the evaluation environment from a
+    /// model-derived **shadow replica** of the project's state, seeded
+    /// by one full probe pass and thereafter advanced purely from the
+    /// request/response pairs the monitor observes — zero probe
+    /// round-trips per request in steady state. Anti-entropy
+    /// reconciliation (periodic via
+    /// [`CloudMonitor::anti_entropy_every`], on-demand after any
+    /// uncertainty) re-probes, repairs the replica, and surfaces silent
+    /// out-of-band cloud mutation as [`Verdict::Drift`]. `Scoped` is
+    /// kept as the differential oracle.
+    Replica,
 }
 
 /// Which contract-evaluation pipeline runs on the wire path.
@@ -186,6 +218,12 @@ pub enum Verdict {
     /// The untestable security-requirement ids travel in the outcome's
     /// `requirements`, preserving Table-I traceability.
     Degraded,
+    /// An anti-entropy reconciliation pass found the cloud's state
+    /// diverged from the shadow replica: something mutated the cloud
+    /// **out of band**, bypassing the monitored path. Not a request
+    /// violation (the request it piggybacked on was judged separately)
+    /// but a detection the paper's probing monitor cannot make explicit.
+    Drift,
 }
 
 impl Verdict {
@@ -216,6 +254,7 @@ impl fmt::Display for Verdict {
             }
             Verdict::ContractError => write!(f, "contract-error"),
             Verdict::Degraded => write!(f, "degraded"),
+            Verdict::Drift => write!(f, "drift"),
         }
     }
 }
@@ -235,6 +274,7 @@ impl From<&Verdict> for VerdictCode {
             },
             Verdict::ContractError => VerdictCode::ContractError,
             Verdict::Degraded => VerdictCode::Degraded,
+            Verdict::Drift => VerdictCode::Drift,
         }
     }
 }
@@ -360,6 +400,10 @@ pub struct CloudMonitor<S: SharedRestService> {
     /// instead of two sequential rounds. See
     /// [`CloudMonitor::speculative_reads`].
     speculative_reads: bool,
+    /// Under [`SnapshotPolicy::Replica`]: run a scheduled anti-entropy
+    /// reconciliation after this many replica-served requests per
+    /// project (0 = on-demand reconciliation only).
+    anti_entropy_every: u64,
     degraded_policy: DegradedPolicy,
     /// Unchecked forwards admitted so far under `FailOpen`.
     fail_open_used: AtomicU64,
@@ -394,6 +438,11 @@ pub struct CloudMonitor<S: SharedRestService> {
 struct LogShard {
     records: Vec<MonitorRecord>,
     scratch: EvalScratch,
+    /// Shadow replicas for the projects this shard serves
+    /// ([`SnapshotPolicy::Replica`] only). Living under the shard lock
+    /// gives the replica the same per-project serialization guarantee
+    /// the snapshot protocol already relies on.
+    replicas: HashMap<u64, ProjectReplica>,
 }
 
 /// Freshly allocated, empty log shards.
@@ -432,17 +481,23 @@ impl<S: SharedRestService> CloudMonitor<S> {
         .map_err(|e| MonitorBuildError { message: e.message })?;
         let coverage = CoverageTracker::new(&contracts.covered_requirements());
         let compiled = CompiledContractSet::compile(&contracts);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let prober = StateProber::default().identity_counter_handles(
+            metrics.identity.counter("hit"),
+            metrics.identity.counter("miss"),
+        );
         Ok(CloudMonitor {
             cloud,
             routes: RouteTable::derive(resources, "/v3"),
             contracts,
             compiled,
-            prober: StateProber::default(),
+            prober,
             mode: Mode::Enforce,
             eval_strategy: EvalStrategy::Compiled,
             snapshot_policy: SnapshotPolicy::Full,
             report_states: true,
             speculative_reads: false,
+            anti_entropy_every: 0,
             degraded_policy: DegradedPolicy::FailClosed,
             fail_open_used: AtomicU64::new(0),
             monitor_token: String::new(),
@@ -451,7 +506,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
             log_shards: new_log_shards(),
             seq: AtomicU64::new(0),
             coverage,
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
             events: Arc::new(RingBufferSink::new(DEFAULT_EVENT_CAPACITY)),
             audit: None,
         })
@@ -497,17 +552,23 @@ impl<S: SharedRestService> CloudMonitor<S> {
         }
         let coverage = CoverageTracker::new(&merged.covered_requirements());
         let compiled = CompiledContractSet::compile(&merged);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let prober = StateProber::default().identity_counter_handles(
+            metrics.identity.counter("hit"),
+            metrics.identity.counter("miss"),
+        );
         Ok(CloudMonitor {
             cloud,
             routes: RouteTable::derive(resources, "/v3"),
             contracts: merged,
             compiled,
-            prober: StateProber::default(),
+            prober,
             mode: Mode::Enforce,
             eval_strategy: EvalStrategy::Compiled,
             snapshot_policy: SnapshotPolicy::Full,
             report_states: true,
             speculative_reads: false,
+            anti_entropy_every: 0,
             degraded_policy: DegradedPolicy::FailClosed,
             fail_open_used: AtomicU64::new(0),
             monitor_token: String::new(),
@@ -516,7 +577,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
             log_shards: new_log_shards(),
             seq: AtomicU64::new(0),
             coverage,
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
             events: Arc::new(RingBufferSink::new(DEFAULT_EVENT_CAPACITY)),
             audit: None,
         })
@@ -581,6 +642,31 @@ impl<S: SharedRestService> CloudMonitor<S> {
     #[must_use]
     pub fn identity_cache_ttl(mut self, ttl: Duration) -> Self {
         self.prober = self.prober.clone().identity_ttl(ttl);
+        self
+    }
+
+    /// Set the prober's identity-cache capacity: how many distinct
+    /// tokens the introspection cache retains before evicting (default
+    /// [`crate::probe::DEFAULT_IDENTITY_CAP`]).
+    #[must_use]
+    pub fn identity_cache_capacity(mut self, capacity: usize) -> Self {
+        self.prober = self.prober.clone().identity_capacity(capacity);
+        self
+    }
+
+    /// Under [`SnapshotPolicy::Replica`]: reconcile replica and cloud
+    /// (one full probe pass, diff, repair) after every `n`
+    /// replica-served requests per project. `0` (the default) disables
+    /// the schedule — reconciliation then happens only on demand, after
+    /// an uncertainty (miss, transport fault, unexpected response
+    /// shape) marks the replica stale. Out-of-band mutation is only
+    /// *reported* as [`Verdict::Drift`] by scheduled passes: an
+    /// on-demand pass re-seeds a replica that already knows it may be
+    /// wrong, so a diff would not distinguish drift from its own
+    /// uncertainty.
+    #[must_use]
+    pub fn anti_entropy_every(mut self, n: u64) -> Self {
+        self.anti_entropy_every = n;
         self
     }
 
@@ -814,8 +900,13 @@ impl<S: SharedRestService> CloudMonitor<S> {
             audit: self.audit.is_some(),
             ..ObsScratch::default()
         };
+        let LogShard {
+            records,
+            scratch,
+            replicas,
+        } = &mut *shard;
         let (outcome, trigger, diagnostics) =
-            self.process_inner(request, &mut obs, &mut shard.scratch);
+            self.process_inner(request, &mut obs, scratch, replicas);
         obs.timings.total = started.elapsed();
         if let Some(recorder) = &self.audit {
             recorder.record(self.audit_record(
@@ -854,10 +945,68 @@ impl<S: SharedRestService> CloudMonitor<S> {
         };
         self.coverage.record(&record);
         debug_assert!(
-            shard.records.last().is_none_or(|prev| prev.seq < seq),
+            records.last().is_none_or(|prev| prev.seq < seq),
             "per-shard log must stay seq-ordered"
         );
-        shard.records.push(record);
+        records.push(record);
+        // An anti-entropy pass piggybacked on this request found the
+        // cloud diverged from the replica: emit the detection as its own
+        // record/event — it is about the *cloud*, not this request,
+        // whose own verdict stands above.
+        if let Some(drift) = obs.drift.take() {
+            let drift_seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            let diagnostics = format!("replica drift: {}", drift.details);
+            if let Some(recorder) = &self.audit {
+                recorder.record(AuditRecord {
+                    seq: drift_seq,
+                    ts_nanos: SystemTime::now()
+                        .duration_since(UNIX_EPOCH)
+                        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+                        .unwrap_or(0),
+                    method: request.method.as_str().to_string(),
+                    path: request.path.clone(),
+                    route: None,
+                    trigger: None,
+                    mode: match self.mode {
+                        Mode::Enforce => MonitorMode::Enforce,
+                        Mode::Observe => MonitorMode::Observe,
+                    },
+                    degraded_policy: self.degraded_policy.label(),
+                    verdict: VerdictCode::Drift,
+                    requirements: drift.requirements.clone(),
+                    status: outcome.response.status.0,
+                    diagnostics: diagnostics.clone(),
+                    context: ReplayContext::Drift {
+                        attributes: drift.attributes.clone(),
+                    },
+                });
+            }
+            let event = MonitorEvent {
+                seq: 0,
+                method: request.method.as_str().to_string(),
+                path: request.path.clone(),
+                route: None,
+                verdict: Verdict::Drift.to_string(),
+                violation: false,
+                status: outcome.response.status.0,
+                requirements: drift.requirements.clone(),
+                contract: None,
+                timings: PhaseTimings::default(),
+                diagnostics: diagnostics.clone(),
+            };
+            self.metrics.observe(&event);
+            self.events.emit(event);
+            records.push(MonitorRecord {
+                seq: drift_seq,
+                method: request.method,
+                path: request.path.clone(),
+                trigger: None,
+                verdict: Verdict::Drift,
+                requirements: drift.requirements,
+                status: outcome.response.status,
+                diagnostics,
+            });
+        }
         outcome
     }
 
@@ -890,6 +1039,11 @@ impl<S: SharedRestService> CloudMonitor<S> {
                     probe_denials: std::mem::take(&mut obs.probe_denials),
                     forwarded: obs.forwarded,
                     cloud_status: obs.cloud_status,
+                    provenance: if obs.replica_env {
+                        EnvProvenance::Replica
+                    } else {
+                        EnvProvenance::Probe
+                    },
                 },
                 // Every checked branch captures a pre-state; reaching
                 // here means an unmapped branch — record the least
@@ -992,12 +1146,69 @@ impl<S: SharedRestService> CloudMonitor<S> {
         )
     }
 
+    /// Attribute drifted `(root, attr)` pairs to the security
+    /// requirements of every contract whose pre/post scope reads one of
+    /// them — the Table-I traceability of a drift detection.
+    fn drift_report(&self, drift: Vec<DriftEntry>) -> DriftReport {
+        let mut requirements: Vec<String> = Vec::new();
+        for (idx, compiled) in self.compiled.contracts().iter().enumerate() {
+            let touched = drift.iter().any(|d| {
+                compiled.pre_scope().contains(&d.root, &d.attr)
+                    || compiled.post_scope().contains(&d.root, &d.attr)
+            });
+            if touched {
+                for r in &self.contracts.contracts[idx].security_requirements {
+                    if !requirements.contains(r) {
+                        requirements.push(r.clone());
+                    }
+                }
+            }
+        }
+        DriftReport {
+            attributes: drift
+                .iter()
+                .map(|d| format!("{}.{}", d.root, d.attr))
+                .collect(),
+            details: drift
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; "),
+            requirements,
+        }
+    }
+
+    /// Replica bookkeeping for forwards that bypass the checked path: a
+    /// successful non-GET against a project whose replica exists may
+    /// have mutated state the transition function never saw, so the
+    /// replica can no longer predict — mark it stale (the next request
+    /// probes and re-seeds).
+    fn note_unmodelled_forward(
+        replicas: &mut HashMap<u64, ProjectReplica>,
+        path: &str,
+        method: HttpMethod,
+        response: &RestResponse,
+    ) {
+        if method == HttpMethod::Get || !response.status.is_success() {
+            return;
+        }
+        let mut segments = path.split('/').filter(|s| !s.is_empty());
+        if let (Some("v3" | "compute"), Some(pid)) = (segments.next(), segments.next()) {
+            if let Ok(pid) = pid.parse::<u64>() {
+                if let Some(replica) = replicas.get_mut(&pid) {
+                    replica.mark_stale();
+                }
+            }
+        }
+    }
+
     #[allow(clippy::too_many_lines)]
     fn process_inner(
         &self,
         request: &RestRequest,
         obs: &mut ObsScratch,
         scratch: &mut EvalScratch,
+        replicas: &mut HashMap<u64, ProjectReplica>,
     ) -> (MonitorOutcome, Option<Trigger>, String) {
         // 1. Resolve the URI against the model-derived routes.
         let (route, params) = match self.routes.resolve(request.method, &request.path) {
@@ -1026,6 +1237,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
                     );
                 }
                 let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
+                Self::note_unmodelled_forward(replicas, &request.path, request.method, &response);
                 obs.ctx = Some(CtxSpecial::MethodNotAllowed { enforced: false });
                 obs.forwarded = true;
                 obs.cloud_status = Some(response.status.0);
@@ -1047,6 +1259,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
             Resolution::NotFound => {
                 // Unknown to the model (e.g. /identity/…): transparent proxy.
                 let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
+                Self::note_unmodelled_forward(replicas, &request.path, request.method, &response);
                 obs.ctx = Some(CtxSpecial::Unmodelled);
                 obs.forwarded = true;
                 obs.cloud_status = Some(response.status.0);
@@ -1067,6 +1280,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
         let trigger = Trigger::new(request.method, route.trigger_resource(request.method));
         let Some(contract_idx) = self.compiled.index_for(&trigger) else {
             let response = timed(&mut obs.timings.forward, || self.cloud.call(request));
+            Self::note_unmodelled_forward(replicas, &request.path, request.method, &response);
             obs.ctx = Some(CtxSpecial::Unmodelled);
             obs.forwarded = true;
             obs.cloud_status = Some(response.status.0);
@@ -1136,7 +1350,76 @@ impl<S: SharedRestService> CloudMonitor<S> {
         // pre-verdict is in (and discarded on a deny — the GET was
         // side-effect-free). See [`CloudMonitor::speculative_reads`].
         let mut speculated: Option<(RestResponse, crate::probe::Snapshot)> = None;
-        let pre_snapshot = if self.speculative_reads && request.method == HttpMethod::Get {
+        let mut replica_identity: Option<Arc<RestResponse>> = None;
+        let mut via_replica = false;
+        let pre_snapshot = if self.snapshot_policy == SnapshotPolicy::Replica {
+            let replica = replicas.entry(project_id).or_default();
+            let miss =
+                !replica.ready() || volume_id.is_some_and(|vid| !replica.knows_snapshots(vid));
+            let due = !miss && replica.note_request(self.anti_entropy_every);
+            if miss || due {
+                // Probe path: one full-granularity pass serves this
+                // request AND re-seeds the replica. A *scheduled* pass
+                // additionally diffs the (still-trusted) replica first:
+                // every divergence is an out-of-band mutation, surfaced
+                // as a Drift detection.
+                self.metrics
+                    .replica
+                    .increment(if miss { "miss" } else { "reconcile" });
+                let reconcile_started = Instant::now();
+                let snap = timed(&mut obs.timings.snapshot, || {
+                    self.prober.snapshot_checked(&self.cloud, &target)
+                });
+                if snap.is_partial() {
+                    // Transport weather during anti-entropy: the
+                    // replica becomes stale (unverified), never wrong,
+                    // and the request degrades exactly as a probing
+                    // monitor's would.
+                    replica.mark_stale();
+                    self.metrics.replica.increment("stale");
+                    return self.degrade_pre(request, obs, &trigger, contract, &snap.faults);
+                }
+                if due {
+                    let drift = replica.diff(project_id, volume_id, &snap.nav);
+                    if !drift.is_empty() {
+                        self.metrics.replica.increment("drift");
+                        self.metrics.replica.increment("repair");
+                        obs.drift = Some(self.drift_report(drift));
+                    }
+                }
+                replica.absorb(project_id, volume_id, &snap.nav);
+                self.metrics
+                    .reconciliation
+                    .record(reconcile_started.elapsed());
+                snap
+            } else {
+                // Steady state: zero probe round-trips. The only
+                // possible network touch is the token introspection,
+                // and the identity cache serves that.
+                self.metrics.replica.increment("hit");
+                let mut nav = replica.build_nav(project_id, volume_id, snapshot_id);
+                match self.prober.identity(&self.cloud, &target.user_token) {
+                    Ok(introspection) => {
+                        ProjectReplica::bind_identity(&mut nav, &introspection);
+                        replica_identity = Some(introspection);
+                    }
+                    Err(fault) => {
+                        replica.mark_stale();
+                        self.metrics.replica.increment("stale");
+                        return self.degrade_pre(request, obs, &trigger, contract, &[fault]);
+                    }
+                }
+                via_replica = true;
+                if obs.audit {
+                    obs.replica_env = true;
+                }
+                crate::probe::Snapshot {
+                    nav,
+                    denials: Vec::new(),
+                    faults: Vec::new(),
+                }
+            }
+        } else if self.speculative_reads && request.method == HttpMethod::Get {
             let (pre, response, post) =
                 timed(&mut obs.timings.snapshot, || match self.snapshot_policy {
                     SnapshotPolicy::Full => {
@@ -1156,6 +1439,8 @@ impl<S: SharedRestService> CloudMonitor<S> {
                         pre_scope,
                         post_scope,
                     ),
+                    // Replica mode took the dedicated branch above.
+                    SnapshotPolicy::Replica => unreachable!("replica handled in its own arm"),
                 });
             speculated = Some((response, post));
             pre
@@ -1169,6 +1454,8 @@ impl<S: SharedRestService> CloudMonitor<S> {
                 SnapshotPolicy::Scoped => {
                     self.prober.snapshot_attrs(&self.cloud, &target, pre_scope)
                 }
+                // Replica mode took the dedicated branch above.
+                SnapshotPolicy::Replica => unreachable!("replica handled in its own arm"),
             })
         };
         // A partial snapshot (transport faults) means the pre-condition
@@ -1295,12 +1582,15 @@ impl<S: SharedRestService> CloudMonitor<S> {
             // executed, and the post-state rode along.
             merged_post = Some(post);
             response
+        } else if pre_ok && via_replica {
+            // Replica steady state: the post-state is *predicted* from
+            // the response, so the forward travels alone — no probes.
+            timed(&mut obs.timings.forward, || self.cloud.call(request))
         } else if pre_ok {
             let (response, snap) = timed(&mut obs.timings.forward, || match self.snapshot_policy {
-                SnapshotPolicy::Full => {
-                    self.prober
-                        .snapshot_checked_after(&self.cloud, request, &target)
-                }
+                SnapshotPolicy::Full | SnapshotPolicy::Replica => self
+                    .prober
+                    .snapshot_checked_after(&self.cloud, request, &target),
                 SnapshotPolicy::Minimal => {
                     self.prober
                         .snapshot_scoped_after(&self.cloud, request, &target, &minimal_roots)
@@ -1326,6 +1616,14 @@ impl<S: SharedRestService> CloudMonitor<S> {
         // check — they fall through to the classification below, which
         // disambiguates against the post-state.
         if response.is_transport_fault() {
+            if self.snapshot_policy == SnapshotPolicy::Replica {
+                // The forward may or may not have executed: the replica
+                // can no longer predict. Stale, not wrong.
+                if let Some(replica) = replicas.get_mut(&project_id) {
+                    replica.mark_stale();
+                    self.metrics.replica.increment("stale");
+                }
+            }
             self.metrics.resilience.increment("degraded_forward");
             obs.ctx = Some(CtxSpecial::DegradedForward);
             let diagnostics = format!("forward failed in transport: {}", response.status);
@@ -1343,23 +1641,84 @@ impl<S: SharedRestService> CloudMonitor<S> {
         obs.cloud_status = Some(response.status.0);
         let success = response.status.is_success();
 
+        // Advance the replica's state machine from the observed
+        // request/response pair — for EVERY forwarded response, whatever
+        // the pre-verdict: a wrongly-accepted mutation still changed the
+        // cloud, and the replica tracks the cloud, not the contract. An
+        // unpredictable response (gateway status, unexpected shape)
+        // marks the replica stale inside.
+        if self.snapshot_policy == SnapshotPolicy::Replica {
+            let replica = replicas.entry(project_id).or_default();
+            let was_ready = replica.ready();
+            let predicted = replica.observe_response(
+                &trigger.resource,
+                request.method,
+                volume_id,
+                snapshot_id,
+                &response,
+            );
+            if !predicted && was_ready {
+                self.metrics.replica.increment("stale");
+            }
+        }
+
         // Both the success arm (post-condition check) and the gateway
         // disambiguation below observe the post-state the same way —
         // normally straight from the merged batch above; the standalone
-        // probe round only runs on the pre-failed (Verify) path.
+        // round only runs on the pre-failed (Verify) path and the
+        // replica steady state (where it costs zero probes).
         let mut take_post_snapshot = || {
-            merged_post
-                .take()
-                .unwrap_or_else(|| match self.snapshot_policy {
-                    SnapshotPolicy::Full => self.prober.snapshot_checked(&self.cloud, &target),
-                    SnapshotPolicy::Minimal => {
-                        self.prober
-                            .snapshot_scoped(&self.cloud, &target, &minimal_roots)
+            if let Some(snap) = merged_post.take() {
+                // The replica probe path's post snapshot is ground
+                // truth after the mutation — absorb it.
+                if self.snapshot_policy == SnapshotPolicy::Replica && !snap.is_partial() {
+                    replicas
+                        .entry(project_id)
+                        .or_default()
+                        .absorb(project_id, volume_id, &snap.nav);
+                }
+                return snap;
+            }
+            match self.snapshot_policy {
+                SnapshotPolicy::Full => self.prober.snapshot_checked(&self.cloud, &target),
+                SnapshotPolicy::Minimal => {
+                    self.prober
+                        .snapshot_scoped(&self.cloud, &target, &minimal_roots)
+                }
+                SnapshotPolicy::Scoped => {
+                    self.prober.snapshot_attrs(&self.cloud, &target, post_scope)
+                }
+                SnapshotPolicy::Replica => {
+                    let replica = replicas.entry(project_id).or_default();
+                    if replica.ready() {
+                        // Post-state predicted by the transition just
+                        // applied; identity rides the stashed (cached)
+                        // introspection. Zero probes.
+                        let mut nav = replica.build_nav(project_id, volume_id, snapshot_id);
+                        match &replica_identity {
+                            Some(introspection) => {
+                                ProjectReplica::bind_identity(&mut nav, introspection);
+                            }
+                            None => ProjectReplica::bind_no_identity(&mut nav),
+                        }
+                        crate::probe::Snapshot {
+                            nav,
+                            denials: Vec::new(),
+                            faults: Vec::new(),
+                        }
+                    } else {
+                        // The response was unpredictable: on-demand
+                        // reconciliation serves the post-state and
+                        // re-seeds the replica.
+                        self.metrics.replica.increment("miss");
+                        let snap = self.prober.snapshot_checked(&self.cloud, &target);
+                        if !snap.is_partial() {
+                            replica.absorb(project_id, volume_id, &snap.nav);
+                        }
+                        snap
                     }
-                    SnapshotPolicy::Scoped => {
-                        self.prober.snapshot_attrs(&self.cloud, &target, post_scope)
-                    }
-                })
+                }
+            }
         };
 
         // 6. Interpret the response code and check the post-condition.

@@ -15,6 +15,7 @@ use cm_model::HttpMethod;
 use cm_ocl::{AttrScope, MapNavigator, ObjRef, Value};
 use cm_rest::{Json, RestRequest, RestResponse, SharedRestService, StatusCode};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, LazyLock, Mutex};
 use std::time::{Duration, Instant};
 
@@ -198,9 +199,21 @@ pub const DEFAULT_IDENTITY_TTL: Duration = Duration::from_secs(60);
 /// token → (cached-at, shared introspection response).
 type IdentityCache = HashMap<String, (Instant, Arc<RestResponse>)>;
 
-/// Entries the identity cache holds before it is wholesale cleared — a
-/// bound against unauthenticated traffic spraying unique junk tokens.
-const IDENTITY_CACHE_CAP: usize = 4096;
+/// Default number of entries the identity cache holds before it is
+/// wholesale cleared — a bound against unauthenticated traffic spraying
+/// unique junk tokens. Override with
+/// [`StateProber::identity_capacity`].
+pub const DEFAULT_IDENTITY_CAP: usize = 4096;
+
+/// Shared hit/miss counter handles for the identity cache, wired by the
+/// monitor so cache effectiveness shows up under `/-/metrics`. Plain
+/// atomics (not a metrics-registry reference) keep the prober free of
+/// any observability-layer coupling.
+#[derive(Debug, Clone)]
+struct IdentityCounters {
+    hit: Arc<AtomicU64>,
+    miss: Arc<AtomicU64>,
+}
 
 /// The prober. `prefix` is the block-storage API prefix (usually `/v3`).
 #[derive(Debug, Clone)]
@@ -209,6 +222,10 @@ pub struct StateProber {
     pub prefix: String,
     /// TTL for cached token introspections; zero disables the cache.
     identity_ttl: Duration,
+    /// Entries held before the cache is wholesale cleared.
+    identity_cap: usize,
+    /// Cache hit/miss tallies, when the owner wants them surfaced.
+    identity_counters: Option<IdentityCounters>,
     /// token → (cached-at, introspection response). Shared across
     /// clones so every shard of one monitor sees the same cache; the
     /// response itself is shared too, so a hit is a refcount bump
@@ -221,6 +238,8 @@ impl Default for StateProber {
         StateProber {
             prefix: "/v3".to_string(),
             identity_ttl: DEFAULT_IDENTITY_TTL,
+            identity_cap: DEFAULT_IDENTITY_CAP,
+            identity_counters: None,
             identity_cache: Arc::new(Mutex::new(HashMap::new())),
         }
     }
@@ -242,6 +261,33 @@ impl StateProber {
     pub fn identity_ttl(mut self, ttl: Duration) -> Self {
         self.identity_ttl = ttl;
         self
+    }
+
+    /// Set the identity-cache capacity (builder style): entries held
+    /// before the cache is wholesale cleared. A capacity of zero keeps
+    /// nothing (every insert immediately clears), which is effectively
+    /// the same as a zero TTL.
+    #[must_use]
+    pub fn identity_capacity(mut self, capacity: usize) -> Self {
+        self.identity_cap = capacity;
+        self
+    }
+
+    /// Attach hit/miss counter handles for the identity cache (builder
+    /// style); the monitor wires these to its metrics registry so cache
+    /// effectiveness is visible at `/-/metrics`.
+    #[must_use]
+    pub fn identity_counter_handles(mut self, hit: Arc<AtomicU64>, miss: Arc<AtomicU64>) -> Self {
+        self.identity_counters = Some(IdentityCounters { hit, miss });
+        self
+    }
+
+    /// Count one identity-cache lookup outcome.
+    fn count_identity(&self, hit: bool) {
+        if let Some(counters) = &self.identity_counters {
+            let counter = if hit { &counters.hit } else { &counters.miss };
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// A still-fresh cached introspection for `token`, if any. Expired
@@ -274,10 +320,48 @@ impl StateProber {
             .identity_cache
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if cache.len() >= IDENTITY_CACHE_CAP && !cache.contains_key(token) {
+        if cache.len() >= self.identity_cap && !cache.contains_key(token) {
             cache.clear();
         }
         cache.insert(token.to_string(), (Instant::now(), Arc::new(resp.clone())));
+    }
+
+    /// Introspect one token (`GET /identity/tokens/{token}`) through
+    /// the identity cache: a fresh cached answer is returned without
+    /// touching the cloud; otherwise one GET runs and the (non-fault)
+    /// answer is cached. This is the *only* round-trip a replica-mode
+    /// request may need in steady state — the shadow replica supplies
+    /// every other binding locally.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ProbeFault`] when the transport failed to deliver
+    /// the introspection (a 404 for an unknown token is a legitimate
+    /// *answer*, not a fault).
+    pub fn identity(
+        &self,
+        cloud: &dyn SharedRestService,
+        token: &str,
+    ) -> Result<Arc<RestResponse>, ProbeFault> {
+        if let Some(cached) = self.cached_identity(token) {
+            self.count_identity(true);
+            return Ok(cached);
+        }
+        self.count_identity(false);
+        let path = format!("/identity/tokens/{token}");
+        let resp = cloud.call(&RestRequest::new(HttpMethod::Get, path.clone()));
+        if resp.is_transport_fault() || resp.status.is_gateway_error() {
+            return Err(ProbeFault {
+                probe: format!("GET {path}"),
+                status: resp.status.0,
+                reason: resp
+                    .error_message()
+                    .unwrap_or("transport fault")
+                    .to_string(),
+            });
+        }
+        self.remember_identity(token, &resp);
+        Ok(Arc::new(resp))
     }
 
     /// Probe the cloud and build the evaluation environment as a
@@ -593,7 +677,9 @@ impl StateProber {
         // serve it from the identity cache when fresh and skip the
         // introspection round-trip.
         let cached_user = if plan.user {
-            self.cached_identity(&target.user_token)
+            let cached = self.cached_identity(&target.user_token);
+            self.count_identity(cached.is_some());
+            cached
         } else {
             None
         };
@@ -727,12 +813,14 @@ struct AssembledProbes {
 
 /// Interned class names for the cinder context variables: snapshots
 /// mint many `ObjRef`s per request, and a shared name makes each one a
-/// refcount bump instead of a fresh string allocation.
-static PROJECT_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("project"));
-static QUOTA_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("quota_sets"));
-static VOLUME_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("volume"));
-static SNAPSHOT_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("snapshot"));
-static USER_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("user"));
+/// refcount bump instead of a fresh string allocation. Shared with the
+/// replica module so replica-built navigators use identical object
+/// identities.
+pub(crate) static PROJECT_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("project"));
+pub(crate) static QUOTA_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("quota_sets"));
+pub(crate) static VOLUME_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("volume"));
+pub(crate) static SNAPSHOT_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("snapshot"));
+pub(crate) static USER_CLASS: LazyLock<Arc<str>> = LazyLock::new(|| Arc::from("user"));
 
 /// One probe request kind within a snapshot batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -900,8 +988,10 @@ fn bind_quota(nav: &mut MapNavigator, quota: ObjRef, resp: &RestResponse) {
 /// The `user` context from token introspection. Introspection 404s for
 /// unauthenticated requesters; that is a legitimate outcome, and the
 /// `user` variable is bound attribute-free so guards evaluate to false
-/// rather than erroring on an unknown variable.
-fn bind_user(nav: &mut MapNavigator, resp: &RestResponse) {
+/// rather than erroring on an unknown variable. Shared with the replica
+/// module: a replica-built environment binds `user` from the same
+/// introspection answer a probe-built one would.
+pub(crate) fn bind_user(nav: &mut MapNavigator, resp: &RestResponse) {
     if let Some(tok) = resp.body.as_ref().and_then(|b| b.get("token")) {
         let uid = tok.get("user_id").and_then(Json::as_int).unwrap_or(0);
         let user = ObjRef::new(Arc::clone(&USER_CLASS), uid as u64);

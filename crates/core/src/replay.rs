@@ -314,6 +314,19 @@ impl ReplayEngine {
                     None => ReplayOutcome::verdict(VerdictCode::NotModelled, Vec::new()),
                 }
             }
+            ReplayContext::Drift { .. } => {
+                // A drift record carries no evaluation environment to
+                // re-judge — it is the anti-entropy pass's observation,
+                // not a contract decision. Attribution follows the
+                // current contract set like the degraded arms.
+                match self.contract_for(record) {
+                    Some((_, contract)) => ReplayOutcome::verdict(
+                        VerdictCode::Drift,
+                        contract.security_requirements.clone(),
+                    ),
+                    None => ReplayOutcome::verdict(VerdictCode::Drift, record.requirements.clone()),
+                }
+            }
             ReplayContext::Checked {
                 pre_env,
                 post_env,
@@ -321,6 +334,9 @@ impl ReplayEngine {
                 probe_denials,
                 forwarded,
                 cloud_status,
+                // Whether the environment came from the replica or a
+                // probe pass does not change how it re-judges.
+                provenance: _,
             } => {
                 let Some((idx, _)) = self.contract_for(record) else {
                     return ReplayOutcome::verdict(VerdictCode::NotModelled, Vec::new());
@@ -526,6 +542,7 @@ mod tests {
                 probe_denials: Vec::new(),
                 forwarded,
                 cloud_status,
+                provenance: cm_audit::EnvProvenance::default(),
             },
         }
     }

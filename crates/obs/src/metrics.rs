@@ -102,6 +102,17 @@ pub struct MetricsRegistry {
     /// write errors (`"write_errors"`), and streaming-tail lag
     /// (`"stream_lagged"`).
     pub audit: CounterFamily,
+    /// Shadow-replica counters (`SnapshotPolicy::Replica`): pre-states
+    /// served from the replica (`"hit"`), knowledge gaps that forced a
+    /// probe pass (`"miss"`), scheduled anti-entropy passes
+    /// (`"reconcile"`), replicas invalidated by uncertainty
+    /// (`"stale"`), reconciliations that had to repair a diverged
+    /// replica (`"repair"`), and out-of-band mutations surfaced as
+    /// drift verdicts (`"drift"`).
+    pub replica: CounterFamily,
+    /// Identity-probe cache counters: token introspections served from
+    /// the cache (`"hit"`) vs. round-trips to the cloud (`"miss"`).
+    pub identity: CounterFamily,
     /// Pre-condition evaluation latency.
     pub pre_check: LatencyHistogram,
     /// Forwarding latency (the cloud call).
@@ -115,6 +126,10 @@ pub struct MetricsRegistry {
     /// Durable-log group-commit latency (serialize + write + fsync per
     /// group, recorded by the audit writer thread).
     pub audit_commit: LatencyHistogram,
+    /// Anti-entropy reconciliation latency: one probe pass diffing and
+    /// repairing a shadow replica (recorded by the monitor whenever a
+    /// replica-mode request falls back to probing).
+    pub reconciliation: LatencyHistogram,
 }
 
 /// Route label used when a request matches no modelled route.
@@ -176,6 +191,8 @@ impl MetricsRegistry {
             ("routes", self.routes.render_json()),
             ("resilience", self.resilience.render_json()),
             ("audit", self.audit.render_json()),
+            ("replica", self.replica.render_json()),
+            ("identity", self.identity.render_json()),
             (
                 "phases",
                 Json::object(vec![
@@ -185,6 +202,7 @@ impl MetricsRegistry {
                     ("post_check", self.post_check.render_json()),
                     ("total", self.total.render_json()),
                     ("audit_commit", self.audit_commit.render_json()),
+                    ("reconciliation", self.reconciliation.render_json()),
                 ]),
             ),
         ])
@@ -225,6 +243,20 @@ impl MetricsRegistry {
                 out.push_str(&format!("  {name:<20} {value}\n"));
             }
         }
+        let replica = self.replica.snapshot();
+        if !replica.is_empty() {
+            out.push_str("replica:\n");
+            for (name, value) in replica {
+                out.push_str(&format!("  {name:<20} {value}\n"));
+            }
+        }
+        let identity = self.identity.snapshot();
+        if !identity.is_empty() {
+            out.push_str("identity:\n");
+            for (name, value) in identity {
+                out.push_str(&format!("  {name:<20} {value}\n"));
+            }
+        }
         out.push_str("phase latency (ns):\n");
         for (label, histogram) in [
             ("pre_check", &self.pre_check),
@@ -233,6 +265,7 @@ impl MetricsRegistry {
             ("post_check", &self.post_check),
             ("total", &self.total),
             ("audit_commit", &self.audit_commit),
+            ("reconciliation", &self.reconciliation),
         ] {
             out.push_str(&format!(
                 "  {label:<10} count={:<8} mean={:<10} p50={:<10} p95={:<10} p99={}\n",
@@ -347,6 +380,40 @@ mod tests {
         let text = registry.render_text();
         assert!(text.contains("audit:"));
         assert!(text.contains("audit_commit"));
+    }
+
+    #[test]
+    fn replica_and_identity_families_show_up_in_renders() {
+        let registry = MetricsRegistry::new();
+        registry.replica.increment("hit");
+        registry.replica.increment("drift");
+        registry.identity.increment("hit");
+        registry.identity.increment("miss");
+        registry.reconciliation.record(Duration::from_micros(90));
+        let json = registry.render_json();
+        assert_eq!(
+            json.get("replica").unwrap().get("hit").unwrap().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("identity").unwrap().get("miss").unwrap().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("phases")
+                .unwrap()
+                .get("reconciliation")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_int(),
+            Some(1)
+        );
+        let text = registry.render_text();
+        assert!(text.contains("replica:"));
+        assert!(text.contains("identity:"));
+        assert!(text.contains("reconciliation"));
+        assert!(text.contains("drift"));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use cm_audit::recover::{segment_file_name, segment_header};
 use cm_audit::{
     decode_record, encode_frame, encode_record, next_frame, read_records, recover, AuditRecord,
-    EnvSnapshot, FrameEnd, MonitorMode, ReplayContext, VerdictCode, FRAME_HEADER,
+    EnvProvenance, EnvSnapshot, FrameEnd, MonitorMode, ReplayContext, VerdictCode, FRAME_HEADER,
 };
 use cm_ocl::{CollectionKind, MapNavigator, ObjRef, Value};
 use proptest::prelude::*;
@@ -101,6 +101,7 @@ fn verdict() -> impl Strategy<Value = VerdictCode> {
             .prop_map(|(expected, actual)| VerdictCode::WrongStatus { expected, actual }),
         Just(VerdictCode::ContractError),
         Just(VerdictCode::Degraded),
+        Just(VerdictCode::Drift),
     ]
 }
 
@@ -120,16 +121,22 @@ fn context() -> impl Strategy<Value = ReplayContext> {
         )
             .prop_map(|(forwarded, faults)| ReplayContext::DegradedPre { forwarded, faults }),
         Just(ReplayContext::DegradedForward),
+        prop::collection::vec("[a-z._0-9]{1,16}", 0..4)
+            .prop_map(|attributes| ReplayContext::Drift { attributes }),
         (
             (env_snapshot(), option_of(env_snapshot()), any::<bool>()),
             (
                 prop::collection::vec("[a-z :/0-9]{0,16}", 0..3),
                 any::<bool>(),
                 option_of(100u16..600),
+                any::<bool>(),
             ),
         )
             .prop_map(
-                |((pre_env, post_env, post_partial), (probe_denials, forwarded, cloud_status))| {
+                |(
+                    (pre_env, post_env, post_partial),
+                    (probe_denials, forwarded, cloud_status, replica),
+                )| {
                     ReplayContext::Checked {
                         pre_env,
                         post_env,
@@ -137,6 +144,11 @@ fn context() -> impl Strategy<Value = ReplayContext> {
                         probe_denials,
                         forwarded,
                         cloud_status,
+                        provenance: if replica {
+                            EnvProvenance::Replica
+                        } else {
+                            EnvProvenance::Probe
+                        },
                     }
                 },
             ),

@@ -18,8 +18,8 @@
 //!   watermark continues from the recovered prefix.
 
 use cm_audit::{
-    encode_record, read_records, recover, AuditLog, AuditLogOptions, AuditRecord, EnvSnapshot,
-    MonitorMode, ReplayContext, VerdictCode,
+    encode_record, read_records, recover, AuditLog, AuditLogOptions, AuditRecord, EnvProvenance,
+    EnvSnapshot, MonitorMode, ReplayContext, VerdictCode,
 };
 use std::fs;
 use std::io::Write;
@@ -56,6 +56,7 @@ fn record(i: u64) -> AuditRecord {
             probe_denials: vec![],
             forwarded: true,
             cloud_status: Some(200),
+            provenance: EnvProvenance::default(),
         },
     }
 }

@@ -9,7 +9,8 @@
 //! duplicates.
 
 use cm_audit::{
-    AuditLog, AuditLogOptions, AuditRecord, EnvSnapshot, MonitorMode, ReplayContext, VerdictCode,
+    AuditLog, AuditLogOptions, AuditRecord, EnvProvenance, EnvSnapshot, MonitorMode, ReplayContext,
+    VerdictCode,
 };
 use cm_httpkit::AdminRoutes;
 use cm_model::HttpMethod;
@@ -41,6 +42,7 @@ fn record(i: u64) -> AuditRecord {
             probe_denials: vec![],
             forwarded: true,
             cloud_status: Some(200),
+            provenance: EnvProvenance::default(),
         },
     }
 }

@@ -711,6 +711,105 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Differential oracle for the shadow replica: on arbitrary request
+    /// scripts against the extended Cinder scenario, a monitor binding
+    /// the OCL environment from the model-derived replica (probing only
+    /// to seed and on anti-entropy passes) and one probing a scoped
+    /// snapshot for every request must produce identical verdicts,
+    /// exercised requirement ids, and statuses at every step — and the
+    /// replica side, with no out-of-band edits, must never report
+    /// drift. The anti-entropy period is part of the generated input so
+    /// scheduled reconciliation passes interleave with the script.
+    #[test]
+    fn replica_matches_scoped_snapshots(
+        plan in prop::collection::vec((0usize..6, any::<bool>()), 1..12),
+        anti_entropy_every in 0u64..5,
+    ) {
+        use cm_cloudsim::PrivateCloud;
+        use cm_core::{cinder_monitor_extended, CloudMonitor, Mode, SnapshotPolicy, Verdict};
+        use cm_model::HttpMethod;
+        use cm_rest::RestRequest;
+
+        fn fixture(
+            policy: SnapshotPolicy,
+            anti_entropy_every: u64,
+        ) -> (CloudMonitor<PrivateCloud>, u64, u64, u64, String, String) {
+            let cloud = PrivateCloud::my_project();
+            let pid = cloud.project_id();
+            let vid = cloud
+                .state_mut()
+                .create_volume(pid, "seed", 1, false)
+                .unwrap()
+                .id;
+            let sid = cloud.state_mut().create_snapshot(pid, vid, "s").unwrap().id;
+            let admin = cloud.issue_token("alice", "alice-pw").unwrap().token;
+            let carol = cloud.issue_token("carol", "carol-pw").unwrap().token;
+            let mut monitor = cinder_monitor_extended(cloud)
+                .unwrap()
+                .mode(Mode::Observe)
+                .snapshot_policy(policy)
+                .anti_entropy_every(anti_entropy_every);
+            monitor.authenticate("alice", "alice-pw").unwrap();
+            (monitor, pid, vid, sid, admin, carol)
+        }
+
+        fn request(op: usize, pid: u64, vid: u64, sid: u64, token: &str) -> RestRequest {
+            let base = match op {
+                0 => RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes")).json(
+                    Json::object(vec![(
+                        "volume",
+                        Json::object(vec![("name", Json::Str("prop".into()))]),
+                    )]),
+                ),
+                1 => RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes/{vid}")),
+                2 => RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}")),
+                3 => RestRequest::new(
+                    HttpMethod::Post,
+                    format!("/v3/{pid}/volumes/{vid}/snapshots"),
+                )
+                .json(Json::object(vec![(
+                    "snapshot",
+                    Json::object(vec![("name", Json::Str("prop".into()))]),
+                )])),
+                4 => RestRequest::new(
+                    HttpMethod::Get,
+                    format!("/v3/{pid}/volumes/{vid}/snapshots/{sid}"),
+                ),
+                _ => RestRequest::new(
+                    HttpMethod::Delete,
+                    format!("/v3/{pid}/volumes/{vid}/snapshots/{sid}"),
+                ),
+            };
+            base.auth_token(token)
+        }
+
+        let (replica, pid, vid, sid, admin, carol) =
+            fixture(SnapshotPolicy::Replica, anti_entropy_every);
+        let (scoped, _, _, _, _, _) = fixture(SnapshotPolicy::Scoped, 0);
+        for (op, as_admin) in plan {
+            let token = if as_admin { &admin } else { &carol };
+            let req = request(op, pid, vid, sid, token);
+            let a = replica.process(&req);
+            let b = scoped.process(&req);
+            prop_assert_eq!(a.verdict, b.verdict, "verdict diverged on {:?}", &req);
+            prop_assert_eq!(
+                &a.requirements, &b.requirements,
+                "requirements diverged on {:?}", &req
+            );
+            prop_assert_eq!(a.response.status, b.response.status);
+        }
+        let drifted: Vec<_> = replica
+            .log()
+            .into_iter()
+            .filter(|r| r.verdict == Verdict::Drift)
+            .collect();
+        prop_assert!(drifted.is_empty(), "phantom drift: {:?}", drifted);
+    }
+}
+
 /// Arbitrary policy rules over a tiny fixed vocabulary (roles a–c,
 /// groups g–h, user ids 1–2) so runtime behaviour can be checked by
 /// exhaustive token enumeration.

@@ -44,6 +44,8 @@ stages (run exactly what is named, in the order given, deduplicated):
              corruption, differential replay, streaming tail)
   replica    shadow-replica battery (drift detection, anti-entropy chaos,
              replica/scoped differential property, bench smoke)
+  overload   overload-control battery (shed storm, admin-lane immunity,
+             brownout ladder, overload x chaos interleaving, bench smoke)
 
 flags (aliases kept for compatibility; each means core + that stage):
   --stress --chaos --campaign
@@ -74,7 +76,7 @@ for arg in "$@"; do
     --chaos) add_core; add_stage chaos ;;
     --campaign) add_core; add_stage campaign ;;
     core) add_core ;;
-    fmt|clippy|build|test|docs|features|smoke|stress|transport|chaos|campaign|audit|replica)
+    fmt|clippy|build|test|docs|features|smoke|stress|transport|chaos|campaign|audit|replica|overload)
       add_stage "$arg" ;;
     *) echo "unknown option: $arg" >&2; echo >&2; usage >&2; exit 2 ;;
   esac
@@ -207,6 +209,23 @@ stage_replica() {
 
   step "bench smoke: contract_eval (replica parity + zero-probe assertions)"
   cargo run --offline --release -p cm-bench --bin contract_eval -q -- --smoke
+}
+
+stage_overload() {
+  step "overload: shed storm, admin immunity, differential safety, slow-loris (release)"
+  cargo test --offline --release --test overload -q
+
+  step "overload: overload x chaos interleaving (release)"
+  cargo test --offline --release --test chaos_transport -q \
+    overload_sheds_interleaved_with_chaos_never_become_violations
+
+  step "overload: brownout ladder + shed provenance unit suites"
+  cargo test --offline -p cm-core -q brownout
+  cargo test --offline -p cm-obs -q
+  cargo test --offline -p cm-audit -q brownout_signal_relaxes_group_fsync
+
+  step "bench smoke: proxy_throughput (overload sweep rides along)"
+  cargo run --offline --release -p cm-bench --bin proxy_throughput -q -- --smoke
 }
 
 SUMMARY=""

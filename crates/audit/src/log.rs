@@ -27,7 +27,7 @@ use crate::recover::{
     recover_with, segment_file_name, segment_header, sync_dir, write_checkpoint, RecoveryReport,
     SegmentInfo,
 };
-use cm_obs::{MetricsRegistry, StreamBatch, TailStream};
+use cm_obs::{BrownoutSignal, MetricsRegistry, StreamBatch, TailStream};
 use cm_rest::Json;
 use std::collections::VecDeque;
 use std::fs;
@@ -60,6 +60,17 @@ pub struct AuditLogOptions {
     /// fsync after each group (disable only in tests that measure
     /// logic, never in production — the durability contract needs it).
     pub fsync: bool,
+    /// Also expire sealed segments older than this at each rotation
+    /// (`None` keeps the count-based retention alone). Age is the
+    /// segment file's last write; the active segment never expires.
+    pub max_age: Option<Duration>,
+    /// Brownout ladder signal: while it reports
+    /// [`BrownoutSignal::audit_relaxed`] (step ≥ 3), group commits skip
+    /// the per-group fsync — durability downgrades to flush-on-rotation
+    /// (rotation and shutdown always sync). Each skipped sync counts as
+    /// `audit.relaxed_commits`. The record *stream* is unaffected:
+    /// every record is still written, in order.
+    pub durability_signal: Option<Arc<BrownoutSignal>>,
 }
 
 impl Default for AuditLogOptions {
@@ -71,6 +82,8 @@ impl Default for AuditLogOptions {
             group_max: 256,
             tail_capacity: 1024,
             fsync: true,
+            max_age: None,
+            durability_signal: None,
         }
     }
 }
@@ -336,11 +349,25 @@ impl Writer {
         for record in batch {
             encode_frame(&encode_record(record), &mut buf);
         }
+        // Brownout step ≥ 3 downgrades durability to flush-on-rotation:
+        // the group is written (ordered, recoverable up to the last
+        // page the kernel flushed) but the per-group fsync is skipped.
+        let relaxed = self.options.fsync
+            && self
+                .options
+                .durability_signal
+                .as_ref()
+                .is_some_and(|signal| signal.audit_relaxed());
+        if relaxed {
+            if let Some(metrics) = &self.shared.metrics {
+                metrics.audit.increment("relaxed_commits");
+            }
+        }
         let written = self
             .active
             .write_all(&buf)
             .and_then(|()| {
-                if self.options.fsync {
+                if self.options.fsync && !relaxed {
                     self.active.sync_data()
                 } else {
                     Ok(())
@@ -423,8 +450,39 @@ impl Writer {
             let oldest = self.segments.remove(0);
             fs::remove_file(&oldest.path)?;
         }
+        // Age-based retention: drop sealed segments whose last write is
+        // older than `max_age`. The just-created active segment is
+        // `segments.last()` and is never considered.
+        if let Some(max_age) = self.options.max_age {
+            let mut expired = 0_u64;
+            while self.segments.len() > 1 && segment_expired(&self.segments[0].path, max_age) {
+                let oldest = self.segments.remove(0);
+                fs::remove_file(&oldest.path)?;
+                expired += 1;
+            }
+            if expired > 0 {
+                if let Some(metrics) = &self.shared.metrics {
+                    metrics
+                        .audit
+                        .counter("expired_segments")
+                        .fetch_add(expired, Ordering::Relaxed);
+                }
+            }
+        }
         Ok(())
     }
+}
+
+/// Whether the (sealed) segment at `path` is older than `max_age`,
+/// judged by its file modification time — i.e. its final write before
+/// sealing. Unreadable metadata reads as *not* expired: retention must
+/// never delete what it cannot date.
+fn segment_expired(path: &Path, max_age: Duration) -> bool {
+    fs::metadata(path)
+        .and_then(|meta| meta.modified())
+        .ok()
+        .and_then(|sealed| sealed.elapsed().ok())
+        .is_some_and(|age| age > max_age)
 }
 
 impl TailStream for AuditLog {
@@ -527,6 +585,7 @@ mod tests {
             group_max: 8,
             tail_capacity: 16,
             fsync: true,
+            ..AuditLogOptions::default()
         }
     }
 
@@ -664,6 +723,118 @@ mod tests {
         assert_eq!(batch.records[0].get("offset").unwrap().as_int(), Some(2));
         assert_eq!(batch.records[1].get("seq").unwrap().as_int(), Some(3));
         assert_eq!(batch.next, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn segment_files(dir: &Path) -> Vec<String> {
+        let mut names: Vec<String> = fs::read_dir(dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|name| name.starts_with("segment-") && name.ends_with(".log"))
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn max_age_retention_expires_old_segments_at_rotation() {
+        let dir = tmp("max-age");
+        let options = AuditLogOptions {
+            segment_max_bytes: 600,
+            max_segments: 64, // count-based retention out of the way
+            max_age: Some(Duration::from_millis(80)),
+            ..small_options()
+        };
+        let (log, _) = AuditLog::open(&dir, options, None).unwrap();
+        // First burst seals a few segments…
+        for i in 0..20 {
+            log.append(record(i));
+            log.flush().unwrap();
+        }
+        let before = segment_files(&dir).len();
+        assert!(before >= 3, "need several sealed segments, got {before}");
+        // …which age past max_age while the log idles…
+        thread::sleep(Duration::from_millis(120));
+        // …so the rotations driven by a second burst expire them.
+        for i in 20..40 {
+            log.append(record(i));
+            log.flush().unwrap();
+        }
+        drop(log);
+        let after = segment_files(&dir);
+        // Everything left on disk is younger than the idle gap: the
+        // aged first-burst segments are gone, and the survivors still
+        // recover cleanly to the full offset.
+        assert!(
+            after.len() < before + 4,
+            "expected first-burst segments expired, kept {after:?}"
+        );
+        assert!(
+            !after.contains(&"segment-00000000000000000000.log".to_string()),
+            "the oldest segment must have expired"
+        );
+        let (_, recovered) = recover(&dir).unwrap();
+        assert_eq!(recovered.report.next_offset, 40);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn huge_max_age_keeps_every_segment() {
+        let dir = tmp("max-age-keep");
+        let options = AuditLogOptions {
+            segment_max_bytes: 600,
+            max_segments: 64,
+            max_age: Some(Duration::from_secs(3600)),
+            ..small_options()
+        };
+        let (log, _) = AuditLog::open(&dir, options, None).unwrap();
+        for i in 0..40 {
+            log.append(record(i));
+            log.flush().unwrap();
+        }
+        drop(log);
+        // Nothing is old enough: only count-based retention (idle here)
+        // may delete, so the first segment is still present.
+        assert!(segment_files(&dir).contains(&"segment-00000000000000000000.log".to_string()));
+        let (records, _) = recover(&dir).unwrap();
+        assert_eq!(records.len(), 40);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn brownout_signal_relaxes_group_fsync_but_commits_every_record() {
+        let dir = tmp("relaxed");
+        let signal = Arc::new(BrownoutSignal::new());
+        let metrics = Arc::new(MetricsRegistry::new());
+        let options = AuditLogOptions {
+            durability_signal: Some(Arc::clone(&signal)),
+            ..small_options()
+        };
+        let (log, _) = AuditLog::open(&dir, options, Some(Arc::clone(&metrics))).unwrap();
+        for i in 0..5 {
+            log.append(record(i));
+        }
+        log.flush().unwrap();
+        assert_eq!(metrics.audit.get("relaxed_commits"), 0);
+        // Step 3: commits keep flowing, fsync per group is skipped.
+        signal.set_step(3);
+        for i in 5..10 {
+            log.append(record(i));
+            log.flush().unwrap();
+        }
+        assert_eq!(log.committed(), 10);
+        assert!(metrics.audit.get("relaxed_commits") >= 1);
+        // Stepping back down restores the per-group sync.
+        signal.set_step(0);
+        let relaxed = metrics.audit.get("relaxed_commits");
+        log.append(record(10));
+        log.flush().unwrap();
+        assert_eq!(metrics.audit.get("relaxed_commits"), relaxed);
+        drop(log);
+        // Every record — relaxed or not — is on disk after shutdown.
+        let records = read_records(&dir).unwrap();
+        assert_eq!(records.len(), 11);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -245,6 +245,44 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
                     .and_then(|n| n.parse().ok())
                     .ok_or(CliError("--breaker-threshold needs a number".into()))?;
             }
+            let mut overload = cm_httpkit::OverloadConfig::default();
+            if let Some(pos) = rest.iter().position(|a| *a == "--overload") {
+                overload.enabled = match rest.get(pos + 1) {
+                    Some(&"on") => true,
+                    Some(&"off") => false,
+                    _ => return Err(CliError("--overload needs on|off".into())),
+                };
+            }
+            if let Some(pos) = rest.iter().position(|a| *a == "--overload-deadline-ms") {
+                let ms: u64 = rest
+                    .get(pos + 1)
+                    .and_then(|n| n.parse().ok())
+                    .filter(|n| *n > 0)
+                    .ok_or(CliError(
+                        "--overload-deadline-ms needs a positive number".into(),
+                    ))?;
+                overload.deadline = std::time::Duration::from_millis(ms);
+            }
+            if let Some(pos) = rest.iter().position(|a| *a == "--overload-queue-limit") {
+                overload.queue_limit = rest
+                    .get(pos + 1)
+                    .and_then(|n| n.parse().ok())
+                    .filter(|n| *n > 0)
+                    .ok_or(CliError(
+                        "--overload-queue-limit needs a positive number".into(),
+                    ))?;
+            }
+            let mut audit_max_age = None;
+            if let Some(pos) = rest.iter().position(|a| *a == "--audit-max-age-secs") {
+                let secs: u64 = rest
+                    .get(pos + 1)
+                    .and_then(|n| n.parse().ok())
+                    .filter(|n| *n > 0)
+                    .ok_or(CliError(
+                        "--audit-max-age-secs needs a positive number".into(),
+                    ))?;
+                audit_max_age = Some(std::time::Duration::from_secs(secs));
+            }
             let audit_dir = flag_value(&rest, "--audit-dir")?.map(Path::new);
             serve(
                 port,
@@ -260,6 +298,8 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
                 identity_cap,
                 client_config,
                 audit_dir,
+                overload,
+                audit_max_age,
             )
         }
         Some("metrics") => {
@@ -296,18 +336,37 @@ fn serve(
     identity_cap: Option<usize>,
     client_config: cm_httpkit::ClientConfig,
     audit_dir: Option<&Path>,
+    overload: cm_httpkit::OverloadConfig,
+    audit_max_age: Option<std::time::Duration>,
 ) -> Result<String, CliError> {
     use cm_cloudsim::PrivateCloud;
-    use cm_core::CloudMonitor;
-    use cm_httpkit::{AdminRoutes, HttpServer, PooledClient, RemoteService, ServerConfig};
+    use cm_core::{BrownoutConfig, BrownoutController, CloudMonitor};
+    use cm_httpkit::{
+        AdminRoutes, HttpServer, PooledClient, RemoteService, ServerConfig, ShedObserver,
+    };
     use cm_model::cinder;
+    use cm_obs::{BrownoutSignal, OverloadStats};
     use cm_rest::SharedRestService;
     use std::sync::Arc;
 
-    let monitor_config = ServerConfig {
+    // Overload accounting and the brownout ladder are shared three
+    // ways: the monitor-facing server's reactor shards write the
+    // stats, the brownout controller reads them to move the ladder,
+    // and the admin routes surface both at /-/health and /-/metrics.
+    let overload_enabled = overload.enabled;
+    let overload_stats = Arc::new(OverloadStats::new());
+    let brownout = Arc::new(BrownoutSignal::new());
+    let overload = cm_httpkit::OverloadConfig {
+        stats: Some(Arc::clone(&overload_stats)),
+        ..overload
+    };
+    let overload_deadline = overload.deadline;
+    let overload_queue_limit = overload.queue_limit;
+    let mut monitor_config = ServerConfig {
         workers,
         keep_alive,
         transport,
+        overload,
         ..ServerConfig::default()
     };
     // Every monitor worker may pin one pooled backend connection for the
@@ -357,7 +416,8 @@ fn serve(
         .degraded_policy(policy)
         .snapshot_policy(snapshot_policy)
         .anti_entropy_every(anti_entropy_every)
-        .speculative_reads(speculative_reads);
+        .speculative_reads(speculative_reads)
+        .brownout_signal(Arc::clone(&brownout));
     if let Some(ttl) = identity_ttl {
         monitor = monitor.identity_cache_ttl(ttl);
     }
@@ -370,7 +430,11 @@ fn serve(
         Some(dir) => {
             let (log, report) = cm_audit::AuditLog::open(
                 dir,
-                cm_audit::AuditLogOptions::default(),
+                cm_audit::AuditLogOptions {
+                    max_age: audit_max_age,
+                    durability_signal: Some(Arc::clone(&brownout)),
+                    ..cm_audit::AuditLogOptions::default()
+                },
                 Some(monitor.metrics()),
             )
             .map_err(|e| CliError(format!("open audit log {}: {e}", dir.display())))?;
@@ -395,12 +459,36 @@ fn serve(
     monitor
         .authenticate("alice", "alice-pw")
         .map_err(|e| CliError(e.message))?;
-    let mut admin =
-        AdminRoutes::new(monitor.metrics(), monitor.events()).with_transport(Arc::clone(&client));
+    let mut admin = AdminRoutes::new(monitor.metrics(), monitor.events())
+        .with_transport(Arc::clone(&client))
+        .with_overload(Arc::clone(&overload_stats), Arc::clone(&brownout));
     if let Some(log) = &audit_log {
         admin = admin.with_stream(Arc::clone(log) as Arc<dyn cm_obs::TailStream>);
     }
     let monitor = Arc::new(monitor);
+    // Every shed request lands in the audit trail as a Degraded verdict
+    // with overload provenance — refused unjudged, never silently gone.
+    let shed_monitor = Arc::clone(&monitor);
+    monitor_config.shed_observer = Some(ShedObserver::new(move |request, decision| {
+        shed_monitor.record_shed(request, decision);
+    }));
+    if overload_enabled {
+        // The brownout controller samples the shed rate and moves the
+        // ladder the monitor and audit log listen to.
+        let mut controller = BrownoutController::new(
+            Arc::clone(&overload_stats),
+            Arc::clone(&brownout),
+            BrownoutConfig::default(),
+        )
+        .with_metrics(monitor.metrics());
+        std::thread::Builder::new()
+            .name("cm-brownout".into())
+            .spawn(move || loop {
+                std::thread::sleep(controller.tick_interval());
+                controller.tick();
+            })
+            .map_err(|e| CliError(format!("spawn brownout controller: {e}")))?;
+    }
     let monitor_handle = Arc::clone(&monitor);
     let monitor_server = HttpServer::bind_with(
         ("127.0.0.1", port),
@@ -426,6 +514,15 @@ fn serve(
         client.config().request_deadline,
         client.config().breaker_threshold
     );
+    if overload_enabled {
+        println!(
+            "overload        : admission on, queue-wait budget {:?}, read queue limit {} \
+             (sheds are marked 503 X-CM-Overload, audited as Degraded; brownout ladder live)",
+            overload_deadline, overload_queue_limit
+        );
+    } else {
+        println!("overload        : off (--overload on to enable deadline-aware admission)");
+    }
     println!(
         "snapshots       : {snapshot_policy:?}{}",
         if snapshot_policy == cm_core::SnapshotPolicy::Replica {

@@ -706,6 +706,22 @@ pub fn usage() -> &'static str {
        cmcli serve [--port P] [--extended]    run a live monitored cloud\n\
              [--audit-dir DIR]                durable crash-safe audit log; also\n\
                                               enables GET /-/events/stream\n\
+             [--audit-max-age-secs S]         additionally expire audit segments\n\
+                                              older than S seconds at rotation\n\
+                                              (default: count-based retention\n\
+                                              only)\n\
+             [--overload on|off]              deadline-aware admission control:\n\
+                                              shed requests whose queue wait\n\
+                                              exhausts their budget (marked 503\n\
+                                              X-CM-Overload, audited Degraded);\n\
+                                              admin/health lanes never shed;\n\
+                                              drives the brownout ladder\n\
+                                              (default off)\n\
+             [--overload-deadline-ms MS]      per-request queue-wait budget\n\
+                                              (default 500)\n\
+             [--overload-queue-limit N]       read-lane run-queue bound per\n\
+                                              shard; mutations tolerate 2N\n\
+                                              (default 1024)\n\
              [--workers N] [--keep-alive on|off]\n\
                                               size the worker pool and toggle\n\
                                               persistent connections\n\

@@ -27,8 +27,12 @@ use cm_audit::{
     AuditRecord, AuditRecorder, EnvProvenance, EnvSnapshot, MonitorMode, ReplayContext, VerdictCode,
 };
 use cm_contracts::{generate_with, CompiledContractSet, ContractSet, GenerateOptions};
+use cm_httpkit::ShedDecision;
 use cm_model::{BehavioralModel, HttpMethod, ResourceModel, Trigger};
-use cm_obs::{EventSink, MetricsRegistry, MonitorEvent, PhaseTimings, RingBufferSink};
+use cm_obs::{
+    BrownoutSignal, EventSink, MetricsRegistry, MonitorEvent, OverloadStats, PhaseTimings,
+    RingBufferSink, BROWNOUT_MAX_STEP,
+};
 use cm_ocl::{EnvView, EvalScratch};
 use cm_rbac::SecurityRequirementsTable;
 use cm_rest::{
@@ -58,6 +62,13 @@ pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
 /// resource); requests for different projects almost always land on
 /// different shards and proceed in parallel.
 const MONITOR_SHARDS: usize = 16;
+
+/// How much step ≥ 2 of the brownout ladder stretches the scheduled
+/// anti-entropy cadence: `anti_entropy_every` replica-served requests
+/// become `ANTI_ENTROPY_STRETCH ×` as many between reconciliation
+/// passes. Drift detection slows under overload; it never stops, and
+/// on-demand reconciliation (after an uncertainty) is untouched.
+pub const ANTI_ENTROPY_STRETCH: u64 = 4;
 
 /// Accumulates observability facts while a request moves through
 /// [`CloudMonitor::process`]; folded into a [`MonitorEvent`] (and, when
@@ -368,6 +379,147 @@ impl fmt::Display for MonitorBuildError {
 
 impl std::error::Error for MonitorBuildError {}
 
+/// Tuning for the [`BrownoutController`]'s hysteresis.
+///
+/// The controller samples the transport's [`OverloadStats`] once per
+/// [`BrownoutConfig::tick_interval`] and classifies the window:
+/// **hot** when the windowed shed fraction reaches `enter_shed_rate`,
+/// **cool** when it stays at or below `exit_shed_rate`, and *held*
+/// in between (the hysteresis band — neither streak advances, so the
+/// ladder neither climbs nor relaxes on noise). `enter_after`
+/// consecutive hot windows climb one rung; `exit_after` consecutive
+/// cool windows descend one. Asymmetric on purpose: shedding optional
+/// work should be quick, restoring it should wait for sustained calm.
+#[derive(Debug, Clone)]
+pub struct BrownoutConfig {
+    /// Windowed shed fraction (`shed / (admitted + shed)`) at or above
+    /// which a window counts as hot.
+    pub enter_shed_rate: f64,
+    /// Windowed shed fraction at or below which a window counts cool.
+    pub exit_shed_rate: f64,
+    /// Consecutive hot windows before climbing one rung.
+    pub enter_after: u32,
+    /// Consecutive cool windows before descending one rung.
+    pub exit_after: u32,
+    /// How often the driving loop should call [`BrownoutController::tick`]
+    /// (advisory — the controller itself is clockless).
+    pub tick_interval: Duration,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            enter_shed_rate: 0.05,
+            exit_shed_rate: 0.01,
+            enter_after: 2,
+            exit_after: 8,
+            tick_interval: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Moves the brownout ladder ([`cm_obs::BrownoutSignal`]) in response
+/// to transport overload, one rung per decision, with hysteresis on
+/// both edges. Clockless and side-effect-free apart from the signal and
+/// the optional metrics counters: call [`BrownoutController::tick`]
+/// from any periodic loop (the `cmcli serve` sampler thread, a test)
+/// and each call evaluates exactly one window.
+#[derive(Debug)]
+pub struct BrownoutController {
+    stats: Arc<OverloadStats>,
+    signal: Arc<BrownoutSignal>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    config: BrownoutConfig,
+    last_admitted: u64,
+    last_shed: u64,
+    hot_windows: u32,
+    cool_windows: u32,
+}
+
+impl BrownoutController {
+    /// A controller over the transport's stats and the shared ladder
+    /// signal (the same `Arc` the monitor and admin routes hold).
+    #[must_use]
+    pub fn new(
+        stats: Arc<OverloadStats>,
+        signal: Arc<BrownoutSignal>,
+        config: BrownoutConfig,
+    ) -> Self {
+        BrownoutController {
+            last_admitted: stats.admitted_total(),
+            last_shed: stats.shed_total(),
+            stats,
+            signal,
+            metrics: None,
+            config,
+            hot_windows: 0,
+            cool_windows: 0,
+        }
+    }
+
+    /// Builder: count ladder movements into the registry's `overload`
+    /// family (`brownout_step_up` / `brownout_step_down`).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The advisory cadence for the driving loop.
+    #[must_use]
+    pub fn tick_interval(&self) -> Duration {
+        self.config.tick_interval
+    }
+
+    /// Evaluate one control window; returns `Some((from, to))` when the
+    /// ladder moved. An idle window (no traffic at all) counts as cool:
+    /// a node nobody is asking anything of has no business browning out.
+    pub fn tick(&mut self) -> Option<(u8, u8)> {
+        let admitted = self.stats.admitted_total();
+        let shed = self.stats.shed_total();
+        let d_admitted = admitted.saturating_sub(self.last_admitted);
+        let d_shed = shed.saturating_sub(self.last_shed);
+        self.last_admitted = admitted;
+        self.last_shed = shed;
+        let seen = d_admitted + d_shed;
+        #[allow(clippy::cast_precision_loss)]
+        let rate = if seen == 0 {
+            0.0
+        } else {
+            d_shed as f64 / seen as f64
+        };
+        if rate >= self.config.enter_shed_rate {
+            self.hot_windows += 1;
+            self.cool_windows = 0;
+        } else if rate <= self.config.exit_shed_rate {
+            self.cool_windows += 1;
+            self.hot_windows = 0;
+        } else {
+            // Hysteresis band: hold the current rung.
+            self.hot_windows = 0;
+            self.cool_windows = 0;
+        }
+        let step = self.signal.step();
+        if self.hot_windows >= self.config.enter_after && step < BROWNOUT_MAX_STEP {
+            self.hot_windows = 0;
+            let from = self.signal.set_step(step + 1);
+            if let Some(metrics) = &self.metrics {
+                metrics.overload.increment("brownout_step_up");
+            }
+            return Some((from, step + 1));
+        }
+        if self.cool_windows >= self.config.exit_after && step > 0 {
+            self.cool_windows = 0;
+            let from = self.signal.set_step(step - 1);
+            if let Some(metrics) = &self.metrics {
+                metrics.overload.increment("brownout_step_down");
+            }
+            return Some((from, step - 1));
+        }
+        None
+    }
+}
+
 /// The generated cloud monitor, wrapping a cloud service `S`.
 ///
 /// The monitor is built and authenticated through `&mut self` methods,
@@ -428,6 +580,12 @@ pub struct CloudMonitor<S: SharedRestService> {
     /// Optional durable audit recorder; when attached, every processed
     /// request also emits a replayable [`AuditRecord`].
     audit: Option<Arc<dyn AuditRecorder>>,
+    /// Optional brownout ladder signal ([`CloudMonitor::brownout_signal`]).
+    /// When attached, steps ≥ 1 disable speculative safe-read
+    /// sandwiching and steps ≥ 2 stretch the scheduled anti-entropy
+    /// cadence — the monitor sheds its *optional* work before the
+    /// transport sheds requests.
+    brownout: Option<Arc<BrownoutSignal>>,
 }
 
 /// Per-shard mutable state: the log records plus the reusable evaluation
@@ -509,6 +667,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
             metrics,
             events: Arc::new(RingBufferSink::new(DEFAULT_EVENT_CAPACITY)),
             audit: None,
+            brownout: None,
         })
     }
 
@@ -580,6 +739,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
             metrics,
             events: Arc::new(RingBufferSink::new(DEFAULT_EVENT_CAPACITY)),
             audit: None,
+            brownout: None,
         })
     }
 
@@ -703,6 +863,46 @@ impl<S: SharedRestService> CloudMonitor<S> {
     pub fn audit_recorder(mut self, recorder: Arc<dyn AuditRecorder>) -> Self {
         self.audit = Some(recorder);
         self
+    }
+
+    /// Attach the brownout ladder signal (builder style). Share the same
+    /// `Arc` with a [`BrownoutController`] (which moves the step in
+    /// response to overload) and the admin routes (which surface it):
+    /// at step ≥ 1 the monitor stops speculative safe-read sandwiching,
+    /// at step ≥ 2 it stretches the scheduled anti-entropy cadence by
+    /// [`ANTI_ENTROPY_STRETCH`]×. Verdicts are never affected — only
+    /// how much optional work rides on each request.
+    #[must_use]
+    pub fn brownout_signal(mut self, signal: Arc<BrownoutSignal>) -> Self {
+        self.brownout = Some(signal);
+        self
+    }
+
+    /// Effective scheduled anti-entropy interval: the configured cadence,
+    /// stretched while the brownout ladder sits at step ≥ 2. `0` stays
+    /// `0` (on-demand only) — a brownout must not *enable* a schedule.
+    fn effective_anti_entropy(&self) -> u64 {
+        let every = self.anti_entropy_every;
+        if every > 0
+            && self
+                .brownout
+                .as_ref()
+                .is_some_and(|b| b.anti_entropy_stretched())
+        {
+            every.saturating_mul(ANTI_ENTROPY_STRETCH)
+        } else {
+            every
+        }
+    }
+
+    /// Whether speculative safe-read sandwiching is currently allowed:
+    /// configured on AND not shed by the brownout ladder (step ≥ 1).
+    fn speculation_allowed(&self) -> bool {
+        self.speculative_reads
+            && !self
+                .brownout
+                .as_ref()
+                .is_some_and(|b| b.speculative_disabled())
     }
 
     /// The metrics registry. The `Arc` is shared with the monitor, so a
@@ -1008,6 +1208,68 @@ impl<S: SharedRestService> CloudMonitor<S> {
             });
         }
         outcome
+    }
+
+    /// Record a request the transport shed under overload, without
+    /// processing it. The shed is written into the same audit trail as
+    /// every checked request — verdict [`Verdict::Degraded`] with a
+    /// [`ReplayContext::DegradedPre`] carrying the overload provenance
+    /// (`forwarded: false`: the cloud never saw the request, exactly as
+    /// under a fail-closed transport fault) — so a replay of the trace
+    /// sees the request was *refused unjudged*, never a violation and
+    /// never a silent drop. Wire this as the transport's shed observer
+    /// (`cm_httpkit::ShedObserver`).
+    pub fn record_shed(&self, request: &RestRequest, decision: &ShedDecision) {
+        let detail = format!(
+            "overload shed: lane={} cause={} queue_wait={}ms budget={}ms",
+            decision.lane.label(),
+            decision.cause.label(),
+            decision.queue_wait.as_millis(),
+            decision.budget.as_millis(),
+        );
+        if let Some(recorder) = &self.audit {
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            recorder.record(AuditRecord {
+                seq,
+                ts_nanos: SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+                    .unwrap_or(0),
+                method: request.method.as_str().to_string(),
+                path: request.path.clone(),
+                route: None,
+                trigger: None,
+                mode: match self.mode {
+                    Mode::Enforce => MonitorMode::Enforce,
+                    Mode::Observe => MonitorMode::Observe,
+                },
+                degraded_policy: self.degraded_policy.label(),
+                verdict: VerdictCode::Degraded,
+                requirements: Vec::new(),
+                status: StatusCode::SERVICE_UNAVAILABLE.0,
+                diagnostics: detail.clone(),
+                context: ReplayContext::DegradedPre {
+                    forwarded: false,
+                    faults: vec![detail.clone()],
+                },
+            });
+        }
+        let event = MonitorEvent {
+            seq: 0,
+            method: request.method.as_str().to_string(),
+            path: request.path.clone(),
+            route: None,
+            verdict: Verdict::Degraded.to_string(),
+            violation: false,
+            status: StatusCode::SERVICE_UNAVAILABLE.0,
+            requirements: Vec::new(),
+            contract: None,
+            timings: PhaseTimings::default(),
+            diagnostics: detail,
+        };
+        self.metrics.observe(&event);
+        self.metrics.overload.increment("shed_recorded");
+        self.events.emit(event);
     }
 
     /// Fold the observation scratch into a durable, replayable record.
@@ -1356,7 +1618,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
             let replica = replicas.entry(project_id).or_default();
             let miss =
                 !replica.ready() || volume_id.is_some_and(|vid| !replica.knows_snapshots(vid));
-            let due = !miss && replica.note_request(self.anti_entropy_every);
+            let due = !miss && replica.note_request(self.effective_anti_entropy());
             if miss || due {
                 // Probe path: one full-granularity pass serves this
                 // request AND re-seeds the replica. A *scheduled* pass
@@ -1419,7 +1681,7 @@ impl<S: SharedRestService> CloudMonitor<S> {
                     faults: Vec::new(),
                 }
             }
-        } else if self.speculative_reads && request.method == HttpMethod::Get {
+        } else if self.speculation_allowed() && request.method == HttpMethod::Get {
             let (pre, response, post) =
                 timed(&mut obs.timings.snapshot, || match self.snapshot_policy {
                     SnapshotPolicy::Full => {
@@ -3314,5 +3576,165 @@ mod state_tracking_tests {
         assert!(names.contains(&cinder::S_NO_VOLUME));
         assert!(names.contains(&cinder::S_VOL_NO_SNAPSHOT));
         assert_eq!(names.len(), 5);
+    }
+}
+
+#[cfg(test)]
+mod overload_brownout_tests {
+    use super::*;
+    use cm_cloudsim::PrivateCloud;
+
+    fn brownout_harness(
+        config: BrownoutConfig,
+    ) -> (Arc<OverloadStats>, Arc<BrownoutSignal>, BrownoutController) {
+        let stats = Arc::new(OverloadStats::new());
+        let signal = Arc::new(BrownoutSignal::new());
+        let controller = BrownoutController::new(Arc::clone(&stats), Arc::clone(&signal), config);
+        (stats, signal, controller)
+    }
+
+    fn feed(stats: &OverloadStats, admitted: u64, shed: u64) {
+        for _ in 0..admitted {
+            stats.note_admitted(cm_obs::Lane::Read, Duration::from_millis(1));
+        }
+        for _ in 0..shed {
+            stats.note_shed(cm_obs::Lane::Read);
+        }
+    }
+
+    #[test]
+    fn brownout_controller_climbs_and_descends_with_hysteresis() {
+        let config = BrownoutConfig {
+            enter_shed_rate: 0.05,
+            exit_shed_rate: 0.01,
+            enter_after: 2,
+            exit_after: 3,
+            ..BrownoutConfig::default()
+        };
+        let (stats, signal, mut controller) = brownout_harness(config);
+        // One hot window is a burst, not a brownout.
+        feed(&stats, 10, 10);
+        assert_eq!(controller.tick(), None);
+        assert_eq!(signal.step(), 0);
+        // The second consecutive hot window climbs one rung, not three.
+        feed(&stats, 10, 10);
+        assert_eq!(controller.tick(), Some((0, 1)));
+        assert_eq!(signal.step(), 1);
+        assert!(signal.speculative_disabled());
+        assert!(!signal.anti_entropy_stretched());
+        // Sustained overload keeps climbing to the top of the ladder —
+        // and never past it.
+        for _ in 0..8 {
+            feed(&stats, 10, 10);
+            controller.tick();
+        }
+        assert_eq!(signal.step(), BROWNOUT_MAX_STEP);
+        assert!(signal.audit_relaxed());
+        // A window inside the hysteresis band holds the rung and resets
+        // both streaks.
+        feed(&stats, 97, 3);
+        assert_eq!(controller.tick(), None);
+        // Calm windows descend only after `exit_after` in a row, one
+        // rung at a time.
+        feed(&stats, 50, 0);
+        assert_eq!(controller.tick(), None);
+        feed(&stats, 50, 0);
+        assert_eq!(controller.tick(), None);
+        feed(&stats, 50, 0);
+        assert_eq!(controller.tick(), Some((3, 2)));
+        // Idle windows count as calm too: drain all the way down.
+        for _ in 0..6 {
+            controller.tick();
+        }
+        assert_eq!(signal.step(), 0);
+        assert!(signal.transitions() >= 2);
+    }
+
+    #[test]
+    fn brownout_gates_speculation_and_stretches_anti_entropy() {
+        let signal = Arc::new(BrownoutSignal::new());
+        let cloud = PrivateCloud::my_project();
+        let monitor = cinder_monitor(cloud)
+            .unwrap()
+            .speculative_reads(true)
+            .anti_entropy_every(6)
+            .brownout_signal(Arc::clone(&signal));
+        assert!(monitor.speculation_allowed());
+        assert_eq!(monitor.effective_anti_entropy(), 6);
+        signal.set_step(1);
+        assert!(!monitor.speculation_allowed());
+        assert_eq!(monitor.effective_anti_entropy(), 6);
+        signal.set_step(2);
+        assert_eq!(monitor.effective_anti_entropy(), 6 * ANTI_ENTROPY_STRETCH);
+        signal.set_step(0);
+        assert!(monitor.speculation_allowed());
+        // A zero cadence (on-demand only) must stay zero: brownout
+        // sheds work, it never schedules new work.
+        let monitor = monitor.anti_entropy_every(0);
+        signal.set_step(2);
+        assert_eq!(monitor.effective_anti_entropy(), 0);
+    }
+
+    #[derive(Debug, Default)]
+    struct CapturingRecorder {
+        records: Mutex<Vec<AuditRecord>>,
+    }
+
+    impl AuditRecorder for CapturingRecorder {
+        fn record(&self, record: AuditRecord) {
+            plock(&self.records).push(record);
+        }
+    }
+
+    #[test]
+    fn record_shed_lands_as_degraded_with_overload_provenance() {
+        let recorder = Arc::new(CapturingRecorder::default());
+        let cloud = PrivateCloud::my_project();
+        let pid = cloud.project_id();
+        let monitor = cinder_monitor(cloud)
+            .unwrap()
+            .audit_recorder(Arc::clone(&recorder) as Arc<dyn AuditRecorder>);
+        let request = RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes"));
+        let decision = ShedDecision {
+            lane: cm_obs::Lane::Mutation,
+            queue_wait: Duration::from_millis(700),
+            budget: Duration::from_millis(500),
+            cause: cm_httpkit::ShedCause::BudgetExhausted,
+        };
+        monitor.record_shed(&request, &decision);
+        let records = plock(&recorder.records);
+        assert_eq!(records.len(), 1);
+        let record = &records[0];
+        assert_eq!(record.verdict, VerdictCode::Degraded);
+        assert_eq!(record.status, StatusCode::SERVICE_UNAVAILABLE.0);
+        assert!(record.diagnostics.contains("overload shed"));
+        assert!(record.diagnostics.contains("lane=mutation"));
+        assert!(record.diagnostics.contains("cause=budget_exhausted"));
+        match &record.context {
+            ReplayContext::DegradedPre { forwarded, faults } => {
+                assert!(!forwarded, "a shed request never reached the cloud");
+                assert!(faults[0].contains("overload shed"));
+            }
+            other => panic!("expected DegradedPre overload provenance, got {other:?}"),
+        }
+        // The shed is also visible to live observers: one event, one
+        // metrics observation, one overload counter.
+        let events = monitor.events().tail(8);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].verdict, "degraded");
+        assert!(
+            !events[0].violation,
+            "a shed must never read as a violation"
+        );
+        let rendered = monitor.metrics().render_json();
+        assert_eq!(
+            rendered
+                .get("overload")
+                .unwrap()
+                .get("shed_recorded")
+                .unwrap()
+                .as_int(),
+            Some(1)
+        );
     }
 }

@@ -12,7 +12,10 @@
 //! * `GET /-/health` — liveness plus the transport's resilience state
 //!   (circuit-breaker state per backend, retry/shed/transition
 //!   counters), when a [`PooledClient`] is attached via
-//!   [`AdminRoutes::with_transport`];
+//!   [`AdminRoutes::with_transport`], and a machine-readable `overload`
+//!   block (per-lane queue depths, admitted/shed counters, queue-delay
+//!   percentiles, brownout step) when overload state is attached via
+//!   [`AdminRoutes::with_overload`];
 //! * `GET /-/events/stream?from=N&max=M&wait_ms=T` — long-poll tail of
 //!   the durable audit log, when a [`cm_obs::TailStream`] is attached
 //!   via [`AdminRoutes::with_stream`]. Each batch reports the resume
@@ -30,7 +33,7 @@
 use crate::client::PooledClient;
 use crate::resilience::BreakerState;
 use crate::server::Handler;
-use cm_obs::{EventSink, MetricsRegistry, TailStream};
+use cm_obs::{BrownoutSignal, EventSink, MetricsRegistry, OverloadStats, TailStream};
 use cm_rest::{Json, RestRequest, RestResponse, StatusCode};
 use std::sync::Arc;
 
@@ -64,6 +67,7 @@ pub struct AdminRoutes {
     events: Arc<dyn EventSink>,
     transport: Option<Arc<PooledClient>>,
     stream: Option<Arc<dyn TailStream>>,
+    overload: Option<(Arc<OverloadStats>, Arc<BrownoutSignal>)>,
     /// Long-pollers currently blocking a worker thread, bounded by
     /// `parked_cap` (shared across clones so `wrap` keeps the bound).
     parked_pollers: Arc<std::sync::atomic::AtomicUsize>,
@@ -80,6 +84,7 @@ impl AdminRoutes {
             events,
             transport: None,
             stream: None,
+            overload: None,
             parked_pollers: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
             parked_cap: DEFAULT_PARKED_POLLERS,
         }
@@ -112,6 +117,32 @@ impl AdminRoutes {
         self
     }
 
+    /// Builder: attach the reactor's overload stats and the monitor's
+    /// brownout signal so `/-/health` grows a machine-readable
+    /// `overload` block (per-lane queue depths, shed rate, brownout
+    /// step) and `/-/metrics` gains an `overload` section. One poll of
+    /// `/-/health` then answers "is this node shedding, how hard, and
+    /// what has it already turned off" — the single target a fleet
+    /// coordinator needs.
+    #[must_use]
+    pub fn with_overload(
+        mut self,
+        stats: Arc<OverloadStats>,
+        brownout: Arc<BrownoutSignal>,
+    ) -> Self {
+        self.overload = Some((stats, brownout));
+        self
+    }
+
+    /// The overload block served under `/-/health` and `/-/metrics`.
+    fn overload_json(stats: &OverloadStats, brownout: &BrownoutSignal) -> Json {
+        let Json::Object(mut members) = stats.render_json() else {
+            unreachable!("OverloadStats::render_json returns an object");
+        };
+        members.push(("brownout".into(), brownout.render_json()));
+        Json::Object(members)
+    }
+
     /// The transport's resilience counters as a JSON object.
     fn transport_json(client: &PooledClient) -> Json {
         Json::object(
@@ -125,32 +156,40 @@ impl AdminRoutes {
     }
 
     /// The `/-/health` body: overall status is `"ok"` while every known
-    /// backend breaker is closed, `"degraded"` otherwise.
+    /// backend breaker is closed and the brownout ladder sits at step 0,
+    /// `"degraded"` otherwise.
     fn health_json(&self) -> Json {
-        let Some(client) = &self.transport else {
-            return Json::object(vec![("status", Json::Str("ok".into()))]);
-        };
-        let breakers = client.breaker_snapshot();
-        let degraded = breakers
-            .iter()
-            .any(|(_, state)| *state != BreakerState::Closed);
-        let backends = breakers
-            .into_iter()
-            .map(|(addr, state)| {
-                Json::object(vec![
-                    ("addr", Json::Str(addr.to_string())),
-                    ("breaker", Json::Str(state.as_str().into())),
-                ])
-            })
-            .collect();
-        Json::object(vec![
+        let mut degraded = false;
+        let mut members: Vec<(String, Json)> = Vec::new();
+        if let Some(client) = &self.transport {
+            let breakers = client.breaker_snapshot();
+            degraded |= breakers
+                .iter()
+                .any(|(_, state)| *state != BreakerState::Closed);
+            let backends = breakers
+                .into_iter()
+                .map(|(addr, state)| {
+                    Json::object(vec![
+                        ("addr", Json::Str(addr.to_string())),
+                        ("breaker", Json::Str(state.as_str().into())),
+                    ])
+                })
+                .collect();
+            members.push(("backends".into(), Json::Array(backends)));
+            members.push(("transport".into(), Self::transport_json(client)));
+        }
+        if let Some((stats, brownout)) = &self.overload {
+            degraded |= brownout.step() > 0;
+            members.push(("overload".into(), Self::overload_json(stats, brownout)));
+        }
+        members.insert(
+            0,
             (
-                "status",
+                "status".into(),
                 Json::Str(if degraded { "degraded" } else { "ok" }.into()),
             ),
-            ("backends", Json::Array(backends)),
-            ("transport", Self::transport_json(client)),
-        ])
+        );
+        Json::Object(members)
     }
 
     /// Handle `request` if it addresses the admin path space; `None`
@@ -175,8 +214,13 @@ impl AdminRoutes {
         match path {
             "/-/metrics" => {
                 let mut body = self.metrics.render_json();
-                if let (Some(client), Json::Object(members)) = (&self.transport, &mut body) {
-                    members.push(("transport".into(), Self::transport_json(client)));
+                if let Json::Object(members) = &mut body {
+                    if let Some(client) = &self.transport {
+                        members.push(("transport".into(), Self::transport_json(client)));
+                    }
+                    if let Some((stats, brownout)) = &self.overload {
+                        members.push(("overload".into(), Self::overload_json(stats, brownout)));
+                    }
                 }
                 Some(RestResponse::ok(body))
             }
@@ -373,6 +417,68 @@ mod tests {
             .try_handle(&RestRequest::new(HttpMethod::Get, "/-/metrics"))
             .unwrap();
         assert!(metrics.body.unwrap().get("transport").is_some());
+    }
+
+    #[test]
+    fn health_endpoint_reports_overload_block() {
+        use cm_obs::Lane;
+        let stats = Arc::new(OverloadStats::new());
+        let brownout = Arc::new(BrownoutSignal::new());
+        stats.note_admitted(Lane::Read, std::time::Duration::from_millis(2));
+        stats.note_shed(Lane::Read);
+        stats.adjust_depth(Lane::Mutation, 3);
+        let routes = routes_with(0).with_overload(Arc::clone(&stats), Arc::clone(&brownout));
+        let resp = routes
+            .try_handle(&RestRequest::new(HttpMethod::Get, "/-/health"))
+            .unwrap();
+        let body = resp.body.unwrap();
+        // Shedding alone is load management, not degradation.
+        assert_eq!(body.get("status").unwrap().as_str(), Some("ok"));
+        let overload = body.get("overload").unwrap();
+        assert_eq!(
+            overload.get("shed").unwrap().get("read").unwrap().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            overload
+                .get("lane_depths")
+                .unwrap()
+                .get("mutation")
+                .unwrap()
+                .as_int(),
+            Some(3)
+        );
+        assert_eq!(
+            overload
+                .get("brownout")
+                .unwrap()
+                .get("step")
+                .unwrap()
+                .as_int(),
+            Some(0)
+        );
+        // A brownout step marks the node degraded for pollers.
+        brownout.set_step(2);
+        let resp = routes
+            .try_handle(&RestRequest::new(HttpMethod::Get, "/-/health"))
+            .unwrap();
+        let body = resp.body.unwrap();
+        assert_eq!(body.get("status").unwrap().as_str(), Some("degraded"));
+        assert_eq!(
+            body.get("overload")
+                .unwrap()
+                .get("brownout")
+                .unwrap()
+                .get("step")
+                .unwrap()
+                .as_int(),
+            Some(2)
+        );
+        // `/-/metrics` carries the same block.
+        let metrics = routes
+            .try_handle(&RestRequest::new(HttpMethod::Get, "/-/metrics"))
+            .unwrap();
+        assert!(metrics.body.unwrap().get("overload").is_some());
     }
 
     #[test]

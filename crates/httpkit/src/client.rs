@@ -25,7 +25,10 @@ use crate::resilience::{
 };
 use crate::wire::{read_response_buf, serialize_request, wants_close, ConnectionMode, WireError};
 use cm_model::HttpMethod;
-use cm_rest::{RestRequest, RestResponse, SharedRestService, StatusCode, TRANSPORT_FAULT_HEADER};
+use cm_rest::{
+    RestRequest, RestResponse, SharedRestService, StatusCode, OVERLOAD_HEADER,
+    TRANSPORT_FAULT_HEADER,
+};
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -821,10 +824,15 @@ impl RemoteService {
     /// *did* answer, so it must not carry the synthesised-by-transport
     /// marker. Without this scrub a malicious cloud could set the header
     /// itself and have every misdeed written off as transport weather.
+    /// The overload-shed marker is scrubbed for the same reason: only
+    /// the monitor's own admission control may flag a request as shed,
+    /// else a backend 503 could masquerade as local load shedding and
+    /// be audited as `Degraded` instead of judged on its merits.
     fn scrub(mut response: RestResponse) -> RestResponse {
-        response
-            .headers
-            .retain(|(name, _)| !name.eq_ignore_ascii_case(TRANSPORT_FAULT_HEADER));
+        response.headers.retain(|(name, _)| {
+            !name.eq_ignore_ascii_case(TRANSPORT_FAULT_HEADER)
+                && !name.eq_ignore_ascii_case(OVERLOAD_HEADER)
+        });
         response
     }
 }
@@ -1264,6 +1272,30 @@ mod tests {
         );
         let batch = remote.call_batch(&[RestRequest::new(HttpMethod::Get, "/a")]);
         assert!(batch.iter().all(|r| !r.is_transport_fault()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn wire_responses_cannot_spoof_the_overload_shed_marker() {
+        // A backend 503 dressed up as local load shedding must not be
+        // audited as an overload-shed `Degraded`; strip the marker.
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|_req: RestRequest| {
+                RestResponse::error(StatusCode::SERVICE_UNAVAILABLE, "spoofed")
+                    .header(OVERLOAD_HEADER, "spoofed")
+            }),
+        )
+        .unwrap();
+        let remote = RemoteService::new(server.local_addr());
+        let resp = remote.call(&RestRequest::new(HttpMethod::Get, "/"));
+        assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
+        assert!(
+            !resp.is_overload_shed(),
+            "a wire response must never carry the overload-shed marker"
+        );
+        let batch = remote.call_batch(&[RestRequest::new(HttpMethod::Get, "/b")]);
+        assert!(batch.iter().all(|r| !r.is_overload_shed()));
         server.shutdown();
     }
 }

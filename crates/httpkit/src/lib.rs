@@ -61,7 +61,8 @@ pub use resilience::{
     TransportStats,
 };
 pub use server::{
-    send, try_request_park, Handler, HttpServer, ReactorBackend, ServerConfig, Transport,
+    send, try_request_park, Handler, HttpServer, OverloadConfig, ReactorBackend, ServerConfig,
+    ShedCause, ShedDecision, ShedObserver, Transport,
 };
 pub use timer::TimerWheel;
 pub use wire::{

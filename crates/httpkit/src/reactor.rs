@@ -25,11 +25,15 @@
 //! retried at a short cadence until data arrives or its wait budget
 //! expires. A parked connection costs a wheel entry, not a thread.
 
-use crate::server::{with_park_scope, Handler, ReactorBackend, ServerConfig};
+use crate::server::{
+    with_park_scope, Handler, ReactorBackend, ServerConfig, ShedCause, ShedDecision,
+};
 use crate::timer::{TimerWheel, DEFAULT_SLOTS, DEFAULT_TICK};
 use crate::wire::{serialize_response_parts, try_parse_request, wants_close, ConnectionMode};
+use cm_model::HttpMethod;
+use cm_obs::{Lane, OverloadStats, LANES};
 use cm_rest::{RestRequest, RestResponse, StatusCode};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::Read;
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
@@ -424,12 +428,65 @@ enum ConnState {
     Draining,
 }
 
+/// One unit of parsed-but-not-yet-dispatched work on a connection.
+/// Requests are answered strictly in arrival order per connection, so
+/// the lane queues schedule *connections* and each connection drains
+/// its own FIFO — priority reorders between connections, never within
+/// one (pipelined responses must not interleave on the wire).
+enum PendingWork {
+    /// A parsed request awaiting dispatch, stamped at admission.
+    Request {
+        request: Box<RestRequest>,
+        admitted: Instant,
+        lane: Lane,
+    },
+    /// A response decided at parse time (enqueue-time shed, malformed
+    /// framing) that must still ride the FIFO to keep wire order.
+    Answer {
+        response: Box<RestResponse>,
+        lane: Lane,
+        close_hint: bool,
+    },
+}
+
+impl PendingWork {
+    fn lane(&self) -> Lane {
+        match self {
+            PendingWork::Request { lane, .. } | PendingWork::Answer { lane, .. } => *lane,
+        }
+    }
+}
+
+/// Classify a request into its priority lane.
+fn lane_for(request: &RestRequest) -> Lane {
+    if request.path.starts_with(crate::admin::ADMIN_PREFIX) {
+        Lane::Admin
+    } else if request.method == HttpMethod::Get {
+        Lane::Read
+    } else {
+        Lane::Mutation
+    }
+}
+
 /// One connection owned by a shard.
 struct Conn {
     stream: TcpStream,
     state: ConnState,
     /// Raw bytes not yet parsed into requests.
     read_buf: Vec<u8>,
+    /// Parsed work awaiting dispatch, in arrival order.
+    pending: VecDeque<PendingWork>,
+    /// Token currently sitting in a shard lane queue.
+    queued: bool,
+    /// When the first byte of the currently-buffered partial request
+    /// arrived: the slow-read guard charges from this *fixed* origin,
+    /// so a client trickling header bytes cannot extend its deadline —
+    /// even while the run queue is saturated.
+    read_started: Option<Instant>,
+    /// Framing already failed on this connection: its 400 rides the
+    /// FIFO and any further input is junk to be discarded, never
+    /// re-parsed into duplicate errors.
+    input_dead: bool,
     /// Response heads of the pending write batch (reused scratch).
     head_buf: Vec<u8>,
     /// Response bodies of the pending write batch (reused scratch).
@@ -455,6 +512,10 @@ impl Conn {
             stream,
             state: ConnState::Open,
             read_buf: Vec::new(),
+            pending: VecDeque::new(),
+            queued: false,
+            read_started: None,
+            input_dead: false,
             head_buf: Vec::new(),
             body_buf: String::new(),
             segs: Vec::new(),
@@ -563,6 +624,7 @@ impl ReactorEngine {
         config: &ServerConfig,
         stop: Arc<AtomicBool>,
         connections: Arc<AtomicU64>,
+        overload: Arc<OverloadStats>,
     ) -> std::io::Result<ReactorEngine> {
         let shard_count = effective_shards(config);
         let mut shards = Vec::with_capacity(shard_count);
@@ -581,8 +643,9 @@ impl ReactorEngine {
             let handler = Arc::clone(&handler);
             let stop = Arc::clone(&stop);
             let cfg = config.clone();
+            let stats = Arc::clone(&overload);
             shards.push(std::thread::spawn(move || {
-                Shard::new(poller, pipe, inbox, handler, cfg, stop).run();
+                Shard::new(poller, pipe, inbox, handler, cfg, stop, stats).run();
             }));
         }
 
@@ -654,6 +717,19 @@ struct Shard {
     wheel: TimerWheel,
     next_token: u64,
     rscratch: Vec<u8>,
+    /// Connection tokens ready to run, one queue per priority lane
+    /// (admin drains first, reads shed first). A token appears at most
+    /// once across all lanes (`Conn::queued`).
+    lanes: [VecDeque<u64>; LANES],
+    /// Requests currently queued across this shard's connections — the
+    /// bound the enqueue-time shed checks.
+    pending_total: usize,
+    /// CoDel state: when queue delay first rose above target, `None`
+    /// while below (bursts reset it).
+    codel_above_since: Option<Instant>,
+    /// Shared per-lane admission/shed accounting (exposed via
+    /// `HttpServer::overload_stats`).
+    stats: Arc<OverloadStats>,
 }
 
 impl Shard {
@@ -664,6 +740,7 @@ impl Shard {
         handler: Arc<Handler>,
         cfg: ServerConfig,
         stop: Arc<AtomicBool>,
+        stats: Arc<OverloadStats>,
     ) -> Shard {
         Shard {
             poller,
@@ -676,6 +753,10 @@ impl Shard {
             wheel: TimerWheel::new(DEFAULT_SLOTS, DEFAULT_TICK, Instant::now()),
             next_token: WAKE_TOKEN + 1,
             rscratch: vec![0u8; READ_CHUNK],
+            lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            pending_total: 0,
+            codel_above_since: None,
+            stats,
         }
     }
 
@@ -710,6 +791,10 @@ impl Shard {
             for &(token, gen) in &fired {
                 self.on_timer(token, gen);
             }
+            // Dispatch everything parsed this iteration, admin lane
+            // first. With overload control off this runs in the same
+            // loop pass the bytes arrived in — pure FIFO plumbing.
+            self.drain_run_queue();
         }
         // Shutdown: best-effort flush of pending responses, then drop
         // (close) every socket.
@@ -810,10 +895,36 @@ impl Shard {
         true
     }
 
-    /// After any I/O: parse / dispatch, flush, update poller interest and
-    /// timers, and retire finished connections.
+    /// After any I/O: parse new input into the run queue, schedule the
+    /// connection for dispatch, then flush / retire / re-arm.
     fn after_io(&mut self, token: u64) {
         self.process_input(token);
+        self.schedule_conn(token);
+        self.after_work(token);
+    }
+
+    /// Put `token` into its priority lane if it has runnable work and
+    /// is not already scheduled. The lane is the *head* request's lane:
+    /// a connection's FIFO never reorders, priority only decides which
+    /// connection drains next.
+    fn schedule_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.queued || conn.close_after_write || !matches!(conn.state, ConnState::Open) {
+            return;
+        }
+        let Some(work) = conn.pending.front() else {
+            return;
+        };
+        let lane = work.lane();
+        conn.queued = true;
+        self.lanes[lane.index()].push_back(token);
+    }
+
+    /// Flush, retire finished connections, update poller interest and
+    /// timers — the post-dispatch half of the I/O path.
+    fn after_work(&mut self, token: u64) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
@@ -842,6 +953,7 @@ impl Shard {
         };
         if conn.peer_eof
             && conn.pending_out() == 0
+            && conn.pending.is_empty()
             && matches!(conn.state, ConnState::Open)
             && !conn.close_after_write
         {
@@ -866,6 +978,7 @@ impl Shard {
         if matches!(conn.state, ConnState::Open) {
             let now = Instant::now();
             if conn.read_buf.is_empty() {
+                conn.read_started = None;
                 arm_timer(
                     &mut self.wheel,
                     conn,
@@ -875,20 +988,25 @@ impl Shard {
                 );
             } else {
                 // Partial request buffered: the slow-client guard. The
-                // deadline refreshes on every read that makes progress.
+                // deadline is charged from the *first byte* of this
+                // request (fixed origin) — trickling more header bytes
+                // must not extend it, or a slow-loris client holds the
+                // connection open indefinitely.
+                let origin = *conn.read_started.get_or_insert(now);
                 arm_timer(
                     &mut self.wheel,
                     conn,
                     token,
                     TimerKind::Read,
-                    now + self.cfg.read_timeout,
+                    origin + self.cfg.read_timeout,
                 );
             }
         }
     }
 
-    /// Parse and answer every complete request in the read buffer before
-    /// the socket is re-armed — request pipelining.
+    /// Parse every complete request in the read buffer into the run
+    /// queue (admission-stamped) before the socket is re-armed —
+    /// request pipelining. Dispatch happens in [`Shard::run_conn`].
     fn process_input(&mut self, token: u64) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
@@ -896,7 +1014,144 @@ impl Shard {
         if !matches!(conn.state, ConnState::Open) {
             return;
         }
+        if conn.input_dead {
+            // Bytes after a framing error are junk; never re-parse them
+            // into duplicate 400s.
+            conn.read_buf.clear();
+            return;
+        }
+        let now = Instant::now();
         let mut consumed = 0usize;
+        loop {
+            if conn.close_after_write {
+                break;
+            }
+            match try_parse_request(&conn.read_buf[consumed..]) {
+                Ok(Some((request, used))) => {
+                    consumed += used;
+                    let lane = lane_for(&request);
+                    let limit = match lane {
+                        Lane::Admin => usize::MAX, // admin is never shed
+                        Lane::Mutation => self.cfg.overload.queue_limit.saturating_mul(2),
+                        Lane::Read => self.cfg.overload.queue_limit,
+                    };
+                    if self.cfg.overload.enabled && self.pending_total >= limit.max(1) {
+                        // Enqueue-time shed: answer a marked 503 now,
+                        // but ride the FIFO so pipelined responses keep
+                        // wire order.
+                        self.stats.note_shed(lane);
+                        if let Some(observer) = &self.cfg.shed_observer {
+                            observer.notify(
+                                &request,
+                                &ShedDecision {
+                                    lane,
+                                    queue_wait: Duration::ZERO,
+                                    budget: self.cfg.overload.deadline,
+                                    cause: ShedCause::QueueFull,
+                                },
+                            );
+                        }
+                        let response = RestResponse::overload_shed(format!(
+                            "overload: shard run queue full ({} queued)",
+                            self.pending_total
+                        ));
+                        conn.pending.push_back(PendingWork::Answer {
+                            response: Box::new(response),
+                            lane,
+                            close_hint: wants_close(&request.headers),
+                        });
+                    } else {
+                        conn.pending.push_back(PendingWork::Request {
+                            request: Box::new(request),
+                            admitted: now,
+                            lane,
+                        });
+                        self.pending_total += 1;
+                        self.stats.adjust_depth(lane, 1);
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Malformed framing / oversized declaration: a 400
+                    // that closes, queued behind any earlier requests —
+                    // their responses still flush first.
+                    let resp = RestResponse::error(StatusCode::BAD_REQUEST, e.to_string());
+                    conn.pending.push_back(PendingWork::Answer {
+                        response: Box::new(resp),
+                        lane: Lane::Read,
+                        close_hint: true,
+                    });
+                    conn.input_dead = true;
+                    break;
+                }
+            }
+        }
+        if consumed > 0 {
+            conn.read_buf.drain(..consumed);
+            // Whatever remains is the start of the *next* request: its
+            // slow-read clock starts now.
+            conn.read_started = (!conn.read_buf.is_empty()).then_some(now);
+        }
+        if conn.input_dead {
+            conn.read_buf.clear();
+        }
+    }
+
+    /// Pop and run every scheduled connection, admin lane first.
+    fn drain_run_queue(&mut self) {
+        while let Some(token) = self.pop_lane() {
+            self.run_conn(token);
+        }
+    }
+
+    /// The next scheduled connection, in lane-priority order.
+    fn pop_lane(&mut self) -> Option<u64> {
+        self.lanes.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    /// Admission check at dispatch time. `None` admits; `Some` sheds.
+    fn should_shed(&mut self, lane: Lane, wait: Duration, now: Instant) -> Option<ShedCause> {
+        if !self.cfg.overload.enabled || lane == Lane::Admin {
+            return None;
+        }
+        let overload = &self.cfg.overload;
+        if wait >= overload.deadline {
+            // The queue wait consumed the whole budget: serving this
+            // request now would produce a late, worthless answer.
+            return Some(ShedCause::BudgetExhausted);
+        }
+        if wait < overload.codel_target {
+            self.codel_above_since = None;
+            return None;
+        }
+        // Queue delay above target: a burst until it has stood for a
+        // whole interval, a standing queue after — drain it by
+        // shedding reads (mutations outrank them and keep flowing).
+        match self.codel_above_since {
+            None => {
+                self.codel_above_since = Some(now);
+                None
+            }
+            Some(since)
+                if now.duration_since(since) >= overload.codel_interval && lane == Lane::Read =>
+            {
+                Some(ShedCause::StandingQueue)
+            }
+            Some(_) => None,
+        }
+    }
+
+    /// Drain one scheduled connection's FIFO: shed or dispatch each
+    /// queued request in arrival order, then flush / retire / re-arm.
+    /// Stops early when the connection parks (long-poll) or queues a
+    /// closing response; remaining work is rescheduled when the park
+    /// delivers.
+    fn run_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.queued = false;
+        } else {
+            return; // closed while scheduled
+        }
         loop {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
@@ -904,38 +1159,70 @@ impl Shard {
             if conn.close_after_write || !matches!(conn.state, ConnState::Open) {
                 break;
             }
-            match try_parse_request(&conn.read_buf[consumed..]) {
-                Ok(Some((request, used))) => {
-                    consumed += used;
-                    self.handle_request(token, request);
+            let Some(work) = conn.pending.pop_front() else {
+                break;
+            };
+            match work {
+                PendingWork::Answer {
+                    response,
+                    lane: _,
+                    close_hint,
+                } => {
+                    conn.served += 1;
+                    let close = close_hint
+                        || !self.cfg.keep_alive
+                        || conn.served >= self.cfg.max_requests_per_conn
+                        || self.stop.load(Ordering::SeqCst);
+                    self.finish_response(token, &response, close);
                 }
-                Ok(None) => {
-                    // Peer sent EOF mid-request: nothing more will
-                    // complete it, close once pending writes drain.
-                    if conn.peer_eof && conn.read_buf.len() > consumed {
-                        conn.close_after_write = true;
+                PendingWork::Request {
+                    request,
+                    admitted,
+                    lane,
+                } => {
+                    self.pending_total -= 1;
+                    self.stats.adjust_depth(lane, -1);
+                    let now = Instant::now();
+                    let wait = now.duration_since(admitted);
+                    if let Some(cause) = self.should_shed(lane, wait, now) {
+                        self.stats.note_shed(lane);
+                        if let Some(observer) = &self.cfg.shed_observer {
+                            observer.notify(
+                                &request,
+                                &ShedDecision {
+                                    lane,
+                                    queue_wait: wait,
+                                    budget: self.cfg.overload.deadline,
+                                    cause,
+                                },
+                            );
+                        }
+                        let response = RestResponse::overload_shed(format!(
+                            "overload: queue wait {}ms against a {}ms budget ({})",
+                            wait.as_millis(),
+                            self.cfg.overload.deadline.as_millis(),
+                            cause.label(),
+                        ));
+                        let Some(conn) = self.conns.get_mut(&token) else {
+                            return;
+                        };
+                        conn.served += 1;
+                        let close = wants_close(&request.headers)
+                            || !self.cfg.keep_alive
+                            || conn.served >= self.cfg.max_requests_per_conn
+                            || self.stop.load(Ordering::SeqCst);
+                        self.finish_response(token, &response, close);
+                    } else {
+                        self.stats.note_admitted(lane, wait);
+                        self.dispatch_request(token, *request);
                     }
-                    break;
-                }
-                Err(e) => {
-                    // Malformed framing / oversized declaration: answer
-                    // 400 and close, exactly like the blocking server —
-                    // responses already queued ahead still flush first.
-                    let resp = RestResponse::error(StatusCode::BAD_REQUEST, e.to_string());
-                    conn.enqueue(&resp, ConnectionMode::Close);
-                    conn.close_after_write = true;
-                    break;
                 }
             }
         }
-        if consumed > 0 {
-            if let Some(conn) = self.conns.get_mut(&token) {
-                conn.read_buf.drain(..consumed);
-            }
-        }
+        self.after_work(token);
     }
 
-    fn handle_request(&mut self, token: u64, request: RestRequest) {
+    fn dispatch_request(&mut self, token: u64, request: RestRequest) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
@@ -1013,12 +1300,19 @@ impl Shard {
             }
             TimerKind::Read => {
                 // Stalled mid-request: answer 400 and close, matching
-                // the blocking server's slow-client guard.
+                // the blocking server's slow-client guard. The 400
+                // rides the run-queue FIFO so responses to requests
+                // admitted earlier on this connection still go first.
                 let resp = RestResponse::error(StatusCode::BAD_REQUEST, "request read timed out");
-                conn.enqueue(&resp, ConnectionMode::Close);
-                conn.close_after_write = true;
+                conn.pending.push_back(PendingWork::Answer {
+                    response: Box::new(resp),
+                    lane: Lane::Read,
+                    close_hint: true,
+                });
+                conn.input_dead = true;
                 conn.read_buf.clear();
-                self.after_io(token);
+                self.schedule_conn(token);
+                self.after_work(token);
             }
             TimerKind::Park => self.park_retry(token),
             TimerKind::Drain => self.close(token),
@@ -1089,6 +1383,14 @@ impl Shard {
 
     fn close(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
+            // Release queue accounting for work that will never run
+            // (the peer is gone — there is no one to answer).
+            for work in &conn.pending {
+                if let PendingWork::Request { lane, .. } = work {
+                    self.pending_total = self.pending_total.saturating_sub(1);
+                    self.stats.adjust_depth(*lane, -1);
+                }
+            }
             self.poller.deregister(conn.stream.as_raw_fd(), token);
             // Dropping the stream closes the fd.
         }

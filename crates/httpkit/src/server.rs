@@ -25,6 +25,7 @@
 use crate::wire::{
     read_request_buf, serialize_response, wants_close, write_request, ConnectionMode, WireError,
 };
+use cm_obs::{Lane, OverloadStats};
 use cm_rest::{RestRequest, RestResponse, StatusCode};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -98,6 +99,15 @@ pub struct ServerConfig {
     /// Accepted connections queued for dispatch before the accept loop
     /// applies backpressure (default 128).
     pub queue_depth: usize,
+    /// Deadline-aware admission and load shedding (reactor transport
+    /// only; the worker pool's bounded `queue_depth` handoff is its
+    /// backpressure). Disabled by default.
+    pub overload: OverloadConfig,
+    /// Called for every request shed by overload control, from the shard
+    /// thread, *before* the marked 503 is queued. Monitors hook this to
+    /// record the shed as a `Degraded` audit verdict so no request is
+    /// ever silently dropped.
+    pub shed_observer: Option<ShedObserver>,
 }
 
 impl Default for ServerConfig {
@@ -112,7 +122,122 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(5),
             read_timeout: Duration::from_secs(10),
             queue_depth: 128,
+            overload: OverloadConfig::default(),
+            shed_observer: None,
         }
+    }
+}
+
+/// Deadline-aware admission control for the reactor (see
+/// [`crate::reactor`]): every parsed request is stamped on arrival and
+/// carried through a per-shard run queue with three priority lanes
+/// (admin > mutation > read). A request is shed — answered with an
+/// immediate marked `503 X-CM-Overload` — when its queue wait has
+/// already consumed the deadline budget (serving it would produce a
+/// late, worthless answer), when the shard queue is full at enqueue, or
+/// when CoDel-style detection sees the queue delay stand above target
+/// for a whole interval (bursts are absorbed; standing queues are
+/// drained by shedding reads). Admin-lane requests are never shed.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Master switch (default `false`: every request is admitted and
+    /// the run queue is pure FIFO plumbing with zero behaviour change).
+    pub enabled: bool,
+    /// Queue-wait budget per request: a request that waited this long
+    /// before dispatch is already worthless and is shed (default
+    /// 500ms).
+    pub deadline: Duration,
+    /// Per-shard run-queue bound for read-lane requests at enqueue
+    /// time; mutations tolerate twice this before shedding, admin is
+    /// unbounded (default 1024).
+    pub queue_limit: usize,
+    /// CoDel target: queue delay below this resets the standing-queue
+    /// clock (default 5ms).
+    pub codel_target: Duration,
+    /// CoDel interval: delay continuously above target for this long
+    /// marks a standing queue, and reads shed until it drains (default
+    /// 100ms).
+    pub codel_interval: Duration,
+    /// Share a pre-built stats handle with the server (e.g. so admin
+    /// routes and a brownout controller can hold it before `bind_with`
+    /// runs). `None` (default) lets the server allocate its own,
+    /// retrievable via [`HttpServer::overload_stats`].
+    pub stats: Option<Arc<OverloadStats>>,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            enabled: false,
+            deadline: Duration::from_millis(500),
+            queue_limit: 1024,
+            codel_target: Duration::from_millis(5),
+            codel_interval: Duration::from_millis(100),
+            stats: None,
+        }
+    }
+}
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedCause {
+    /// The shard run queue was full at enqueue time.
+    QueueFull,
+    /// The request's queue wait consumed its whole deadline budget.
+    BudgetExhausted,
+    /// CoDel: queue delay stood above target for a full interval, so
+    /// reads shed until the standing queue drains.
+    StandingQueue,
+}
+
+impl ShedCause {
+    /// Stable label for provenance strings and metrics.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedCause::QueueFull => "queue_full",
+            ShedCause::BudgetExhausted => "budget_exhausted",
+            ShedCause::StandingQueue => "standing_queue",
+        }
+    }
+}
+
+/// Everything a shed observer learns about one shed request.
+#[derive(Debug, Clone)]
+pub struct ShedDecision {
+    /// Lane the request was classified into.
+    pub lane: Lane,
+    /// How long it had waited when the decision was made (zero for
+    /// enqueue-time sheds).
+    pub queue_wait: Duration,
+    /// The configured deadline budget, for provenance.
+    pub budget: Duration,
+    /// Which admission rule fired.
+    pub cause: ShedCause,
+}
+
+/// The boxed callback type a [`ShedObserver`] wraps.
+type ShedCallback = Arc<dyn Fn(&RestRequest, &ShedDecision) + Send + Sync>;
+
+/// Callback invoked (on the shard thread) for every shed request.
+#[derive(Clone)]
+pub struct ShedObserver(ShedCallback);
+
+impl ShedObserver {
+    /// Wrap a callback.
+    pub fn new(f: impl Fn(&RestRequest, &ShedDecision) + Send + Sync + 'static) -> Self {
+        ShedObserver(Arc::new(f))
+    }
+
+    /// Invoke the callback.
+    pub fn notify(&self, request: &RestRequest, decision: &ShedDecision) {
+        (self.0)(request, decision);
+    }
+}
+
+impl std::fmt::Debug for ShedObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ShedObserver(..)")
     }
 }
 
@@ -250,6 +375,7 @@ pub struct HttpServer {
     engine: Option<Engine>,
     connections: Arc<AtomicU64>,
     config: ServerConfig,
+    overload: Arc<OverloadStats>,
 }
 
 impl std::fmt::Debug for HttpServer {
@@ -287,6 +413,11 @@ impl HttpServer {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(AtomicU64::new(0));
+        let overload = config
+            .overload
+            .stats
+            .clone()
+            .unwrap_or_else(|| Arc::new(OverloadStats::new()));
 
         let engine = match effective_transport(config.transport) {
             #[cfg(unix)]
@@ -296,6 +427,7 @@ impl HttpServer {
                 &config,
                 Arc::clone(&stop),
                 Arc::clone(&connections),
+                Arc::clone(&overload),
             )?),
             #[cfg(not(unix))]
             Transport::Reactor => unreachable!("effective_transport never picks Reactor here"),
@@ -350,7 +482,17 @@ impl HttpServer {
             engine: Some(engine),
             connections,
             config,
+            overload,
         })
+    }
+
+    /// Per-lane overload accounting (admissions, sheds, live depths,
+    /// queue-delay histogram), shared live with the reactor shards.
+    /// All-zero under the worker-pool transport, whose bounded handoff
+    /// queue is its backpressure.
+    #[must_use]
+    pub fn overload_stats(&self) -> Arc<OverloadStats> {
+        Arc::clone(&self.overload)
     }
 
     /// The bound address (useful with ephemeral ports).

@@ -32,11 +32,13 @@
 pub mod event;
 pub mod histogram;
 pub mod metrics;
+pub mod overload;
 pub mod rng;
 pub mod stream;
 
 pub use event::{EventSink, MonitorEvent, NullSink, PhaseTimings, RingBufferSink, TeeSink};
 pub use histogram::LatencyHistogram;
 pub use metrics::{CounterFamily, MetricsRegistry};
+pub use overload::{BrownoutSignal, Lane, OverloadStats, BROWNOUT_MAX_STEP, LANES};
 pub use rng::XorShift64Star;
 pub use stream::{StreamBatch, TailStream};

@@ -113,6 +113,11 @@ pub struct MetricsRegistry {
     /// Identity-probe cache counters: token introspections served from
     /// the cache (`"hit"`) vs. round-trips to the cloud (`"miss"`).
     pub identity: CounterFamily,
+    /// Overload-control counters: requests shed by admission
+    /// (`"shed_recorded"` once audited), brownout ladder movements
+    /// (`"brownout_step_up"`, `"brownout_step_down"`), and audit
+    /// commits that ran with the relaxed fsync (`"relaxed_commits"`).
+    pub overload: CounterFamily,
     /// Pre-condition evaluation latency.
     pub pre_check: LatencyHistogram,
     /// Forwarding latency (the cloud call).
@@ -193,6 +198,7 @@ impl MetricsRegistry {
             ("audit", self.audit.render_json()),
             ("replica", self.replica.render_json()),
             ("identity", self.identity.render_json()),
+            ("overload", self.overload.render_json()),
             (
                 "phases",
                 Json::object(vec![
@@ -254,6 +260,13 @@ impl MetricsRegistry {
         if !identity.is_empty() {
             out.push_str("identity:\n");
             for (name, value) in identity {
+                out.push_str(&format!("  {name:<20} {value}\n"));
+            }
+        }
+        let overload = self.overload.snapshot();
+        if !overload.is_empty() {
+            out.push_str("overload:\n");
+            for (name, value) in overload {
                 out.push_str(&format!("  {name:<20} {value}\n"));
             }
         }

@@ -1,0 +1,344 @@
+//! Overload-control observability: priority lanes, shed accounting,
+//! the queue-delay histogram, and the brownout degradation ladder
+//! signal shared between the transport and the monitor.
+//!
+//! The types live here (not in `cm-httpkit`) because both sides of the
+//! control loop need them: the reactor's admission path classifies
+//! requests into a [`Lane`] and records sheds into [`OverloadStats`],
+//! while the monitor's brownout controller reads the same stats to
+//! decide when to shed *optional work* (speculative reads, anti-entropy
+//! cadence, per-group fsync) before the transport has to shed
+//! *requests*. The [`BrownoutSignal`] is the one-word channel between
+//! them.
+
+use crate::histogram::LatencyHistogram;
+use cm_rest::Json;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::Duration;
+
+/// Priority lane a request is admitted under. Ordering is priority:
+/// lower discriminant drains first and sheds last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Lane {
+    /// Admin-plane traffic (`/-/` health, metrics, event stream). Never
+    /// shed: the fleet needs the health endpoint most precisely when
+    /// the instance is drowning.
+    Admin = 0,
+    /// Monitored mutations (POST/PUT/PATCH/DELETE). Outrank reads: a
+    /// dropped read is retryable noise, a dropped mutation loses the
+    /// one chance to check it against the contract.
+    Mutation = 1,
+    /// Monitored reads (GET/HEAD) — first to shed under pressure.
+    Read = 2,
+}
+
+/// Number of lanes (array dimension for per-lane state).
+pub const LANES: usize = 3;
+
+impl Lane {
+    /// All lanes in drain-priority order.
+    pub const ALL: [Lane; LANES] = [Lane::Admin, Lane::Mutation, Lane::Read];
+
+    /// Stable lowercase label (metrics keys, health JSON).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Lane::Admin => "admin",
+            Lane::Mutation => "mutation",
+            Lane::Read => "read",
+        }
+    }
+
+    /// The lane's index into per-lane arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-lane overload accounting shared between the reactor shards and
+/// the admin/health exposition: admitted + shed counters, live queue
+/// depth gauges, and the queue-wait histogram the CoDel controller and
+/// the brownout ladder both key off.
+#[derive(Debug, Default)]
+pub struct OverloadStats {
+    admitted: [AtomicU64; LANES],
+    shed: [AtomicU64; LANES],
+    depth: [AtomicU64; LANES],
+    /// Time between a request's parse (admission stamp) and the moment
+    /// the handler actually starts on it.
+    pub queue_delay: LatencyHistogram,
+}
+
+impl OverloadStats {
+    /// Fresh, all-zero stats.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one admitted request and its queue wait.
+    pub fn note_admitted(&self, lane: Lane, queue_wait: Duration) {
+        self.admitted[lane.index()].fetch_add(1, Ordering::Relaxed);
+        self.queue_delay.record(queue_wait);
+    }
+
+    /// Record one shed request.
+    pub fn note_shed(&self, lane: Lane) {
+        self.shed[lane.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adjust the live queue depth of `lane` by `delta`.
+    pub fn adjust_depth(&self, lane: Lane, delta: i64) {
+        if delta >= 0 {
+            self.depth[lane.index()].fetch_add(delta.unsigned_abs(), Ordering::Relaxed);
+        } else {
+            self.depth[lane.index()].fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
+        }
+    }
+
+    /// Requests admitted on `lane` so far.
+    #[must_use]
+    pub fn admitted(&self, lane: Lane) -> u64 {
+        self.admitted[lane.index()].load(Ordering::Relaxed)
+    }
+
+    /// Requests shed on `lane` so far.
+    #[must_use]
+    pub fn shed(&self, lane: Lane) -> u64 {
+        self.shed[lane.index()].load(Ordering::Relaxed)
+    }
+
+    /// Live queue depth of `lane`.
+    #[must_use]
+    pub fn depth(&self, lane: Lane) -> u64 {
+        self.depth[lane.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total sheds across all lanes.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        Lane::ALL.iter().map(|&l| self.shed(l)).sum()
+    }
+
+    /// Total admissions across all lanes.
+    #[must_use]
+    pub fn admitted_total(&self) -> u64 {
+        Lane::ALL.iter().map(|&l| self.admitted(l)).sum()
+    }
+
+    /// Shed fraction over everything seen so far (`0.0` when idle).
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        let shed = self.shed_total();
+        let seen = shed + self.admitted_total();
+        if seen == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                shed as f64 / seen as f64
+            }
+        }
+    }
+
+    /// Machine-readable exposition block (`/-/health`, `/-/metrics`).
+    #[must_use]
+    pub fn render_json(&self) -> Json {
+        let per_lane = |values: &dyn Fn(Lane) -> u64| {
+            Json::Object(
+                Lane::ALL
+                    .iter()
+                    .map(|&lane| {
+                        (
+                            lane.label().to_string(),
+                            Json::Int(i64::try_from(values(lane)).unwrap_or(i64::MAX)),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        Json::object(vec![
+            ("admitted", per_lane(&|l| self.admitted(l))),
+            ("shed", per_lane(&|l| self.shed(l))),
+            ("lane_depths", per_lane(&|l| self.depth(l))),
+            (
+                "shed_rate_percent",
+                Json::Int({
+                    #[allow(
+                        clippy::cast_possible_truncation,
+                        clippy::cast_precision_loss,
+                        clippy::cast_sign_loss
+                    )]
+                    {
+                        (self.shed_rate() * 100.0).round() as i64
+                    }
+                }),
+            ),
+            ("queue_delay", self.queue_delay.render_json()),
+        ])
+    }
+}
+
+/// Highest rung of the brownout ladder.
+pub const BROWNOUT_MAX_STEP: u8 = 3;
+
+/// The brownout ladder's shared state: a single atomic step the
+/// monitor-side controller writes and every consumer of optional work
+/// reads. Steps are cumulative — step 2 implies step 1's shedding.
+///
+/// | step | optional work shed                                   |
+/// |------|------------------------------------------------------|
+/// | 0    | nothing — normal operation                           |
+/// | 1    | speculative safe-read sandwiching disabled           |
+/// | 2    | + anti-entropy reconciliation intervals stretched    |
+/// | 3    | + audit durability downgraded to flush-on-rotation   |
+#[derive(Debug, Default)]
+pub struct BrownoutSignal {
+    step: AtomicU8,
+    transitions: AtomicU64,
+}
+
+impl BrownoutSignal {
+    /// A signal at step 0 (no brownout).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current ladder step (0–[`BROWNOUT_MAX_STEP`]).
+    #[must_use]
+    pub fn step(&self) -> u8 {
+        self.step.load(Ordering::Relaxed)
+    }
+
+    /// Move to `step` (clamped to the ladder); returns the previous
+    /// step. Any actual change counts as one recorded transition.
+    pub fn set_step(&self, step: u8) -> u8 {
+        let step = step.min(BROWNOUT_MAX_STEP);
+        let previous = self.step.swap(step, Ordering::Relaxed);
+        if previous != step {
+            self.transitions.fetch_add(1, Ordering::Relaxed);
+        }
+        previous
+    }
+
+    /// Ladder transitions recorded so far.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions.load(Ordering::Relaxed)
+    }
+
+    /// Step ≥ 1: skip speculative safe-read sandwiching.
+    #[must_use]
+    pub fn speculative_disabled(&self) -> bool {
+        self.step() >= 1
+    }
+
+    /// Step ≥ 2: stretch scheduled anti-entropy intervals.
+    #[must_use]
+    pub fn anti_entropy_stretched(&self) -> bool {
+        self.step() >= 2
+    }
+
+    /// Step ≥ 3: audit commits may skip the per-group fsync (rotation
+    /// still always syncs).
+    #[must_use]
+    pub fn audit_relaxed(&self) -> bool {
+        self.step() >= 3
+    }
+
+    /// Exposition block for `/-/health` / `/-/metrics`.
+    #[must_use]
+    pub fn render_json(&self) -> Json {
+        Json::object(vec![
+            ("step", Json::Int(i64::from(self.step()))),
+            (
+                "transitions",
+                Json::Int(i64::try_from(self.transitions()).unwrap_or(i64::MAX)),
+            ),
+            (
+                "sheds",
+                Json::Array(
+                    [
+                        (self.speculative_disabled(), "speculative_reads"),
+                        (self.anti_entropy_stretched(), "anti_entropy_cadence"),
+                        (self.audit_relaxed(), "audit_group_fsync"),
+                    ]
+                    .iter()
+                    .filter(|(on, _)| *on)
+                    .map(|(_, label)| Json::Str((*label).to_string()))
+                    .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_order_and_label() {
+        assert!(Lane::Admin < Lane::Mutation);
+        assert!(Lane::Mutation < Lane::Read);
+        assert_eq!(Lane::ALL.map(Lane::label), ["admin", "mutation", "read"]);
+        assert_eq!(Lane::Read.index(), 2);
+    }
+
+    #[test]
+    fn stats_account_per_lane() {
+        let stats = OverloadStats::new();
+        stats.note_admitted(Lane::Mutation, Duration::from_micros(250));
+        stats.note_admitted(Lane::Read, Duration::from_micros(900));
+        stats.note_shed(Lane::Read);
+        stats.adjust_depth(Lane::Read, 3);
+        stats.adjust_depth(Lane::Read, -1);
+        assert_eq!(stats.admitted(Lane::Mutation), 1);
+        assert_eq!(stats.shed(Lane::Read), 1);
+        assert_eq!(stats.shed(Lane::Admin), 0);
+        assert_eq!(stats.depth(Lane::Read), 2);
+        assert_eq!(stats.shed_total(), 1);
+        assert_eq!(stats.admitted_total(), 2);
+        assert!((stats.shed_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(stats.queue_delay.count(), 2);
+        let json = stats.render_json();
+        assert_eq!(
+            json.get("shed").unwrap().get("read").unwrap().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("lane_depths")
+                .unwrap()
+                .get("read")
+                .unwrap()
+                .as_int(),
+            Some(2)
+        );
+        assert_eq!(json.get("shed_rate_percent").unwrap().as_int(), Some(33));
+    }
+
+    #[test]
+    fn brownout_ladder_is_cumulative_and_counts_transitions() {
+        let signal = BrownoutSignal::new();
+        assert_eq!(signal.step(), 0);
+        assert!(!signal.speculative_disabled());
+        signal.set_step(1);
+        assert!(signal.speculative_disabled());
+        assert!(!signal.anti_entropy_stretched());
+        signal.set_step(3);
+        assert!(signal.speculative_disabled());
+        assert!(signal.anti_entropy_stretched());
+        assert!(signal.audit_relaxed());
+        signal.set_step(3); // no-op: not a transition
+        signal.set_step(0);
+        assert_eq!(signal.transitions(), 3);
+        signal.set_step(BROWNOUT_MAX_STEP + 5);
+        assert_eq!(signal.step(), BROWNOUT_MAX_STEP);
+        let json = signal.render_json();
+        assert_eq!(json.get("step").unwrap().as_int(), Some(3));
+        assert_eq!(json.get("sheds").unwrap().as_array().unwrap().len(), 3);
+    }
+}

@@ -41,7 +41,7 @@ pub mod uri;
 
 pub use json::{parse_json, Json, JsonError};
 pub use message::{
-    RestRequest, RestResponse, RestService, SharedRestService, AUTH_TOKEN_HEADER,
+    RestRequest, RestResponse, RestService, SharedRestService, AUTH_TOKEN_HEADER, OVERLOAD_HEADER,
     TRANSPORT_FAULT_HEADER,
 };
 pub use route::{Resolution, Route, RouteTable};

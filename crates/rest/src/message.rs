@@ -20,6 +20,14 @@ pub const AUTH_TOKEN_HEADER: &str = "X-Auth-Token";
 /// `Degraded` verdicts instead of fake contract violations.
 pub const TRANSPORT_FAULT_HEADER: &str = "X-CM-Transport-Fault";
 
+/// Header marking a response as an *overload shed*: the serving layer
+/// rejected the request before any monitor work because its queue wait
+/// had already consumed the deadline budget (serving it would produce a
+/// late, worthless answer). Like [`TRANSPORT_FAULT_HEADER`] this marker
+/// separates capacity weather from genuine verdicts — a shed must never
+/// surface as a contract violation.
+pub const OVERLOAD_HEADER: &str = "X-CM-Overload";
+
 /// An abstract REST request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RestRequest {
@@ -168,6 +176,22 @@ impl RestResponse {
         self.header_value(TRANSPORT_FAULT_HEADER).is_some()
     }
 
+    /// A 503 shed by overload control (marked with [`OVERLOAD_HEADER`]):
+    /// the request was never admitted, so no verdict exists for it.
+    #[must_use]
+    pub fn overload_shed(message: impl Into<String>) -> Self {
+        let message = message.into();
+        RestResponse::error(StatusCode::SERVICE_UNAVAILABLE, message.clone())
+            .header(OVERLOAD_HEADER, message)
+            .header("Retry-After", "1")
+    }
+
+    /// Was this response shed by overload control rather than served?
+    #[must_use]
+    pub fn is_overload_shed(&self) -> bool {
+        self.header_value(OVERLOAD_HEADER).is_some()
+    }
+
     /// Builder: add a header.
     #[must_use]
     pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
@@ -275,6 +299,17 @@ mod tests {
                 .as_int(),
             Some(403)
         );
+    }
+
+    #[test]
+    fn overload_shed_marker() {
+        let shed = RestResponse::overload_shed("queue wait 12ms exceeded budget 10ms");
+        assert_eq!(shed.status, StatusCode::SERVICE_UNAVAILABLE);
+        assert!(shed.is_overload_shed());
+        assert!(!shed.is_transport_fault());
+        assert_eq!(shed.header_value("retry-after"), Some("1"));
+        assert!(shed.error_message().unwrap().contains("budget"));
+        assert!(!RestResponse::error(StatusCode::SERVICE_UNAVAILABLE, "busy").is_overload_shed());
     }
 
     #[test]

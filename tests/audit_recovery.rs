@@ -70,6 +70,7 @@ fn writer_options() -> AuditLogOptions {
         group_max: 8,
         tail_capacity: 64,
         fsync: true,
+        ..AuditLogOptions::default()
     }
 }
 

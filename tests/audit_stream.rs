@@ -61,6 +61,7 @@ fn options(tail_capacity: usize) -> AuditLogOptions {
         group_max: 16,
         tail_capacity,
         fsync: false, // logic-only tests; durability is covered elsewhere
+        ..AuditLogOptions::default()
     }
 }
 

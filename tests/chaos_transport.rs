@@ -12,10 +12,12 @@
 //!   healthy transport must never hide behind a degraded verdict — it
 //!   still dies as a proper violation.
 
+use cm_audit::{AuditRecorder, MemoryRecorder, ReplayContext, VerdictCode};
 use cm_cloudsim::{ChaosListener, ChaosPlan, Fault, FaultPlan, PrivateCloud};
 use cm_core::{cinder_monitor, Mode, Verdict};
-use cm_httpkit::{ClientConfig, HttpServer, PooledClient, RemoteService};
+use cm_httpkit::{ClientConfig, HttpServer, PooledClient, RemoteService, ShedCause, ShedDecision};
 use cm_model::HttpMethod;
+use cm_obs::{BrownoutSignal, Lane, BROWNOUT_MAX_STEP};
 use cm_rest::{Json, RestRequest, SharedRestService, StatusCode};
 use std::sync::Arc;
 use std::time::Duration;
@@ -135,6 +137,134 @@ fn chaos_soak_never_mislabels_transport_faults_as_violations() {
             .filter(|r| r.verdict == Verdict::Degraded && r.method == HttpMethod::Delete)
             .all(|r| r.requirements.contains(&"1.4".to_string())),
         "degraded verdicts must carry their untestable requirements"
+    );
+    proxy.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_interleaved_with_chaos_never_become_violations() {
+    // The worst weather: wire faults from the chaos proxy, the brownout
+    // ladder climbing and descending mid-soak, and transport-level sheds
+    // landing between monitored requests. Three things must stay true
+    // throughout: no verdict is ever a violation (neither weather nor
+    // shedding incriminates the cloud), every shed reaches the audit
+    // trail as `Degraded` with overload provenance, and brownout rungs
+    // only gate optional work — they never change how an admitted
+    // request is classified.
+    let cloud = Arc::new(PrivateCloud::my_project());
+    let pid = cloud.project_id();
+    let alice = cloud.issue_token("alice", "alice-pw").unwrap().token;
+    let handle = Arc::clone(&cloud);
+    let server = HttpServer::bind("127.0.0.1:0", Arc::new(move |req| handle.call(&req)))
+        .expect("bind cloud server");
+    let proxy = ChaosListener::spawn(server.local_addr(), ChaosPlan::seeded(0x0DD10AD, 89, 0.2))
+        .expect("spawn chaos proxy");
+    let recorder = Arc::new(MemoryRecorder::new());
+    let brownout = Arc::new(BrownoutSignal::new());
+    let mut monitor = cinder_monitor(RemoteService::with_client(
+        proxy.local_addr(),
+        chaos_client(),
+    ))
+    .expect("generate monitor")
+    .mode(Mode::Observe)
+    .audit_recorder(Arc::clone(&recorder) as Arc<dyn AuditRecorder>)
+    .brownout_signal(Arc::clone(&brownout));
+    monitor
+        .authenticate("alice", "alice-pw")
+        .expect("authenticate through the clean grace slots");
+
+    let mut sheds_reported = 0u64;
+    for round in 0..40u8 {
+        // Walk the whole brownout ladder during the soak: up one rung
+        // every five rounds, back down across the last stretch.
+        brownout.set_step((round / 5).min(BROWNOUT_MAX_STEP));
+        let volumes: Vec<u64> = cloud
+            .state()
+            .project(pid)
+            .unwrap()
+            .volumes
+            .iter()
+            .map(|v| v.id)
+            .collect();
+        if (volumes.len() as u32) < cm_cloudsim::DEFAULT_VOLUME_QUOTA {
+            monitor.process(
+                &RestRequest::new(HttpMethod::Post, format!("/v3/{pid}/volumes"))
+                    .auth_token(&alice)
+                    .json(volume_body(&format!("storm-{round}"))),
+            );
+        }
+        if let Some(vid) = volumes.first() {
+            monitor.process(
+                &RestRequest::new(HttpMethod::Delete, format!("/v3/{pid}/volumes/{vid}"))
+                    .auth_token(&alice),
+            );
+        }
+        // Interleave a transport-level shed every third round, exactly
+        // as the reactor's shed observer would deliver it.
+        if round % 3 == 0 {
+            monitor.record_shed(
+                &RestRequest::new(HttpMethod::Get, format!("/v3/{pid}/volumes")).auth_token(&alice),
+                &ShedDecision {
+                    lane: Lane::Read,
+                    queue_wait: Duration::from_millis(42),
+                    budget: Duration::from_millis(25),
+                    cause: ShedCause::BudgetExhausted,
+                },
+            );
+            sheds_reported += 1;
+        }
+    }
+    brownout.set_step(0);
+
+    assert!(
+        proxy.stats().faults_injected() > 0,
+        "the soak must actually exercise injected faults"
+    );
+    // Invariant 1: nothing — weather, rung changes, or sheds — produces
+    // a contract violation.
+    assert!(
+        monitor.log().iter().all(|r| !r.verdict.is_violation()),
+        "overload+chaos interleaving surfaced a violation: {:?}",
+        monitor.log().iter().find(|r| r.verdict.is_violation())
+    );
+    // Invariant 2: every shed is on the audit trail as Degraded with
+    // overload provenance — never dropped, never anything stronger.
+    let records = recorder.records();
+    let shed_records: Vec<_> = records
+        .iter()
+        .filter(|r| match &r.context {
+            ReplayContext::DegradedPre { faults, .. } => {
+                faults.iter().any(|f| f.contains("overload shed"))
+            }
+            _ => false,
+        })
+        .collect();
+    assert_eq!(shed_records.len() as u64, sheds_reported, "lost sheds");
+    for shed in &shed_records {
+        assert_eq!(shed.verdict, VerdictCode::Degraded, "{shed:?}");
+        assert_eq!(shed.status, 503);
+        assert_eq!(shed.method, "GET");
+        match &shed.context {
+            ReplayContext::DegradedPre { forwarded, faults } => {
+                assert!(!forwarded, "a shed request must never reach the cloud");
+                assert!(
+                    faults
+                        .iter()
+                        .any(|f| f.contains("lane=read") && f.contains("cause=budget_exhausted")),
+                    "missing overload provenance: {faults:?}"
+                );
+            }
+            other => panic!("shed recorded under the wrong context: {other:?}"),
+        }
+    }
+    // Invariant 3: admitted traffic still produced real verdicts around
+    // the sheds — the ladder degraded optional work, not the monitor.
+    assert!(
+        records
+            .iter()
+            .any(|r| r.verdict == VerdictCode::Pass && r.method == "POST"),
+        "no clean pass recorded during the interleaving"
     );
     proxy.shutdown();
     server.shutdown();
